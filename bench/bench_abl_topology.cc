@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Ablation (beyond the paper's figures): torus vs mesh interconnect.
+ * The paper's machine is a 2-D torus (Sec V-B); Cerebras-class
+ * machines use meshes. Wraparound halves worst-case distances and
+ * doubles bisection, so the torus should win — by more under
+ * traffic-heavy mappings.
+ */
+#include "common.h"
+
+using namespace azul;
+using namespace azul::bench;
+
+int
+main(int argc, char** argv)
+{
+    const BenchArgs args = BenchArgs::Parse(argc, argv);
+    PrintBanner("Ablation: torus (paper) vs mesh interconnect",
+                "wraparound links help most when the mapping leaves "
+                "traffic on the network",
+                args);
+
+    std::printf("%-16s %12s %12s %10s %14s %14s\n", "matrix",
+                "torus", "mesh", "gain", "torus(RRmap)",
+                "mesh(RRmap)");
+    std::vector<double> torus_g;
+    std::vector<double> mesh_g;
+    std::vector<double> torus_rr_g;
+    std::vector<double> mesh_rr_g;
+    for (const BenchMatrix& bm : LoadSuite(args)) {
+        const auto run = [&](bool torus, MapperKind kind) {
+            AzulOptions opts = BaseOptions(args);
+            opts.sim.torus = torus;
+            opts.mapper = kind;
+            return RunConfig(bm.a, bm.b, opts).gflops;
+        };
+        const double torus_gf = run(true, MapperKind::kAzul);
+        const double mesh_gf = run(false, MapperKind::kAzul);
+        const double torus_rr = run(true, MapperKind::kRoundRobin);
+        const double mesh_rr = run(false, MapperKind::kRoundRobin);
+        torus_g.push_back(torus_gf);
+        mesh_g.push_back(mesh_gf);
+        torus_rr_g.push_back(torus_rr);
+        mesh_rr_g.push_back(mesh_rr);
+        std::printf("%-16s %12.1f %12.1f %9.2fx %14.1f %14.1f\n",
+                    bm.name.c_str(), torus_gf, mesh_gf,
+                    torus_gf / mesh_gf, torus_rr, mesh_rr);
+    }
+    std::printf("\n");
+    PrintGmean("torus (azul map)", torus_g);
+    PrintGmean("mesh (azul map)", mesh_g);
+    PrintGmean("torus (RR map)", torus_rr_g);
+    PrintGmean("mesh (RR map)", mesh_rr_g);
+    std::printf("torus gain: %.2fx (azul map), %.2fx (RR map)\n",
+                GeoMean(torus_g) / GeoMean(mesh_g),
+                GeoMean(torus_rr_g) / GeoMean(mesh_rr_g));
+    return 0;
+}

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Fig 2: headline summary — gmean GFLOP/s of (1) full Azul, (2) Azul
+ * PEs with Dalorex's Round-Robin mapping, (3) Dalorex (scalar cores +
+ * Round-Robin), and (4) the GPU model. The paper's ladder is
+ * 7640 / 748 / 93 / 35 GFLOP/s: the mapping and the PE each
+ * contribute ~10x.
+ */
+#include "baselines/gpu_model.h"
+#include "common.h"
+#include "solver/coloring.h"
+#include "solver/pcg.h"
+
+using namespace azul;
+using namespace azul::bench;
+
+int
+main(int argc, char** argv)
+{
+    const BenchArgs args = BenchArgs::Parse(argc, argv);
+    PrintBanner("Fig 2: gmean GFLOP/s ladder (Azul / Azul-PEs+RR / "
+                "Dalorex / GPU)",
+                "paper: 7640 / 748 / 93 / 35 GFLOP/s at 64x64 tiles — "
+                "mapping and PE each contribute ~10x",
+                args);
+
+    std::vector<double> azul_g;
+    std::vector<double> azul_rr_g;
+    std::vector<double> dalorex_g;
+    std::vector<double> gpu_g;
+    for (const BenchMatrix& bm : LoadSuite(args)) {
+        // Full Azul.
+        AzulOptions azul_opts = BaseOptions(args);
+        azul_g.push_back(RunConfig(bm.a, bm.b, azul_opts).gflops);
+
+        // Azul PEs + Dalorex (Round-Robin) mapping.
+        AzulOptions rr_opts = BaseOptions(args);
+        rr_opts.mapper = MapperKind::kRoundRobin;
+        azul_rr_g.push_back(RunConfig(bm.a, bm.b, rr_opts).gflops);
+
+        // Dalorex: scalar cores + Round-Robin + point-to-point sends.
+        AzulOptions dal_opts = BaseOptions(args);
+        dal_opts.mapper = MapperKind::kRoundRobin;
+        dal_opts.sim = DalorexConfig(dal_opts.sim);
+        dal_opts.graph.use_trees = false;
+        dalorex_g.push_back(RunConfig(bm.a, bm.b, dal_opts).gflops);
+
+        // GPU model (colored operator, like all paper results).
+        const ColoredMatrix cm = ColorAndPermute(bm.a);
+        const auto precond = MakePreconditioner(
+            PreconditionerKind::kIncompleteCholesky, cm.a);
+        gpu_g.push_back(
+            GpuPcgGflops(cm.a, precond->lower_factor(),
+                         PcgIterationFlops(cm.a, *precond).total()));
+        std::printf("  [%s done]\n", bm.name.c_str());
+    }
+
+    std::printf("\n%-28s %12s\n", "configuration", "gmean GFLOP/s");
+    std::printf("%-28s %12.1f\n", "Azul (this grid)",
+                GeoMean(azul_g));
+    std::printf("%-28s %12.1f\n", "Azul PEs + Dalorex mapping",
+                GeoMean(azul_rr_g));
+    std::printf("%-28s %12.1f\n", "Dalorex", GeoMean(dalorex_g));
+    std::printf("%-28s %12.1f\n", "V100 GPU model", GeoMean(gpu_g));
+    std::printf("\nratios: azul/azul+rr = %.1fx, azul/dalorex = "
+                "%.1fx, azul/gpu = %.1fx\n",
+                GeoMean(azul_g) / GeoMean(azul_rr_g),
+                GeoMean(azul_g) / GeoMean(dalorex_g),
+                GeoMean(azul_g) / GeoMean(gpu_g));
+    return 0;
+}

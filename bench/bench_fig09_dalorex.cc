@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Fig 9: Dalorex performance running PCG — absolute GFLOP/s and
+ * fraction of its (identical to Azul's) peak. The paper: at most
+ * 187 GFLOP/s, ~1% of the 16 TFLOP/s peak.
+ */
+#include "common.h"
+
+using namespace azul;
+using namespace azul::bench;
+
+int
+main(int argc, char** argv)
+{
+    const BenchArgs args = BenchArgs::Parse(argc, argv);
+    PrintBanner("Fig 9: Dalorex (scalar cores + Round-Robin mapping) "
+                "on PCG",
+                "Dalorex reaches only ~1% of the all-SRAM machine's "
+                "peak",
+                args);
+
+    std::printf("%-16s %12s %12s\n", "matrix", "GFLOP/s",
+                "% of peak");
+    std::vector<double> gflops_all;
+    for (const BenchMatrix& bm : LoadSuite(args)) {
+        AzulOptions opts = BaseOptions(args);
+        opts.mapper = MapperKind::kRoundRobin;
+        opts.sim = DalorexConfig(opts.sim);
+        opts.graph.use_trees = false;
+        const SolveReport rep = RunConfig(bm.a, bm.b, opts);
+        gflops_all.push_back(rep.gflops);
+        std::printf("%-16s %12.2f %11.2f%%\n", bm.name.c_str(),
+                    rep.gflops, rep.peak_fraction * 100.0);
+    }
+    PrintGmean("Dalorex GFLOP/s", gflops_all);
+    return 0;
+}

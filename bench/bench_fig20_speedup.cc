@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Fig 20: end-to-end PCG speedup over the GPU baseline for ALRESCHA,
+ * Dalorex, and Azul, per matrix (sorted by available parallelism) and
+ * in gmean. Paper gmeans at 64x64 tiles: Azul 217x, ALRESCHA ~1.4x,
+ * Dalorex ~2.4x over the GPU.
+ */
+#include "baselines/alrescha_model.h"
+#include "baselines/gpu_model.h"
+#include "common.h"
+#include "solver/coloring.h"
+#include "solver/pcg.h"
+
+using namespace azul;
+using namespace azul::bench;
+
+int
+main(int argc, char** argv)
+{
+    const BenchArgs args = BenchArgs::Parse(argc, argv);
+    PrintBanner("Fig 20: end-to-end speedup over the GPU baseline",
+                "Azul >> Dalorex > ALRESCHA > GPU on every matrix; "
+                "matrices sorted by available parallelism",
+                args);
+
+    std::printf("%-16s %12s %12s %12s\n", "matrix", "ALRESCHA",
+                "Dalorex", "Azul");
+    std::vector<double> alr_s;
+    std::vector<double> dal_s;
+    std::vector<double> azul_s;
+    for (const BenchMatrix& bm : LoadSuite(args)) {
+        const ColoredMatrix cm = ColorAndPermute(bm.a);
+        const auto precond = MakePreconditioner(
+            PreconditionerKind::kIncompleteCholesky, cm.a);
+        const CsrMatrix* l = precond->lower_factor();
+        const double flops = PcgIterationFlops(cm.a, *precond).total();
+        const double gpu = GpuPcgGflops(cm.a, l, flops);
+        const double alr = AlreschaPcgGflops(cm.a, l, flops);
+
+        AzulOptions dal_opts = BaseOptions(args);
+        dal_opts.mapper = MapperKind::kRoundRobin;
+        dal_opts.sim = DalorexConfig(dal_opts.sim);
+        dal_opts.graph.use_trees = false;
+        const double dal = RunConfig(bm.a, bm.b, dal_opts).gflops;
+
+        const double azul_gflops =
+            RunConfig(bm.a, bm.b, BaseOptions(args)).gflops;
+
+        alr_s.push_back(alr / gpu);
+        dal_s.push_back(dal / gpu);
+        azul_s.push_back(azul_gflops / gpu);
+        std::printf("%-16s %11.1fx %11.1fx %11.1fx\n",
+                    bm.name.c_str(), alr / gpu, dal / gpu,
+                    azul_gflops / gpu);
+    }
+    std::printf("\n");
+    PrintGmean("ALRESCHA speedup", alr_s);
+    PrintGmean("Dalorex speedup", dal_s);
+    PrintGmean("Azul speedup", azul_s);
+    std::printf("Azul vs Dalorex: %.1fx, vs ALRESCHA: %.1fx\n",
+                GeoMean(azul_s) / GeoMean(dal_s),
+                GeoMean(azul_s) / GeoMean(alr_s));
+    return 0;
+}

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Fig 22: Azul end-to-end runtime breakdown by kernel (SpTRSV /
+ * SpMV / vector ops). The paper: SpMV and SpTRSV still dominate after
+ * acceleration, with SpTRSV's share largest on parallelism-limited
+ * matrices.
+ */
+#include "common.h"
+
+using namespace azul;
+using namespace azul::bench;
+
+int
+main(int argc, char** argv)
+{
+    const BenchArgs args = BenchArgs::Parse(argc, argv);
+    PrintBanner("Fig 22: Azul runtime breakdown by kernel",
+                "SpTRSV's share is largest on the parallelism-limited "
+                "(left) matrices",
+                args);
+
+    std::printf("%-16s %10s %10s %10s\n", "matrix", "SpTRSV", "SpMV",
+                "VectorOps");
+    for (const BenchMatrix& bm : LoadSuite(args)) {
+        const SolveReport rep =
+            RunConfig(bm.a, bm.b, BaseOptions(args));
+        const auto& cc = rep.run.stats.class_cycles;
+        const double total =
+            static_cast<double>(rep.run.stats.cycles);
+        const double sptrsv = static_cast<double>(
+            cc[static_cast<std::size_t>(
+                KernelClass::kSpTRSVForward)] +
+            cc[static_cast<std::size_t>(
+                KernelClass::kSpTRSVBackward)]);
+        const double spmv = static_cast<double>(
+            cc[static_cast<std::size_t>(KernelClass::kSpMV)]);
+        const double vec = static_cast<double>(
+            cc[static_cast<std::size_t>(KernelClass::kVectorOp)]);
+        std::printf("%-16s %9.1f%% %9.1f%% %9.1f%%\n",
+                    bm.name.c_str(), sptrsv / total * 100.0,
+                    spmv / total * 100.0, vec / total * 100.0);
+    }
+    return 0;
+}

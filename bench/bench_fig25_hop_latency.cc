@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Fig 25: sensitivity of gmean throughput to NoC hop latency
+ * (1-4 cycles/hop). The paper: ~4% gmean degradation per extra cycle
+ * — Azul's mapping makes it barely network-latency sensitive.
+ */
+#include "common.h"
+
+using namespace azul;
+using namespace azul::bench;
+
+int
+main(int argc, char** argv)
+{
+    BenchArgs args = BenchArgs::Parse(argc, argv);
+    PrintBanner("Fig 25: NoC hop-latency sweep",
+                "gmean throughput degrades only ~4% per extra "
+                "cycle/hop",
+                args);
+
+    const auto suite = LoadSuite(args);
+    std::printf("%-10s %16s %12s\n", "cycles/hop", "gmean GFLOP/s",
+                "vs 1 cycle");
+    double base = 0.0;
+    for (const std::int32_t hop : {1, 2, 3, 4}) {
+        std::vector<double> gflops;
+        for (const BenchMatrix& bm : suite) {
+            AzulOptions opts = BaseOptions(args);
+            opts.sim.hop_latency = hop;
+            gflops.push_back(RunConfig(bm.a, bm.b, opts).gflops);
+        }
+        const double gm = GeoMean(gflops);
+        if (hop == 1) {
+            base = gm;
+        }
+        std::printf("%-10d %16.1f %11.1f%%\n", hop, gm,
+                    gm / base * 100.0);
+    }
+    return 0;
+}

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Fig 26: sensitivity of gmean throughput to scratchpad access
+ * latency (1-4 cycles). The paper: ~3% degradation per extra cycle —
+ * fine-grained multithreading hides the latency.
+ */
+#include "common.h"
+
+using namespace azul;
+using namespace azul::bench;
+
+int
+main(int argc, char** argv)
+{
+    BenchArgs args = BenchArgs::Parse(argc, argv);
+    PrintBanner("Fig 26: SRAM access-latency sweep",
+                "gmean throughput degrades only ~3% per extra cycle",
+                args);
+
+    const auto suite = LoadSuite(args);
+    std::printf("%-12s %16s %12s\n", "SRAM cycles", "gmean GFLOP/s",
+                "vs 1 cycle");
+    double base = 0.0;
+    for (const std::int32_t lat : {1, 2, 3, 4}) {
+        std::vector<double> gflops;
+        for (const BenchMatrix& bm : suite) {
+            AzulOptions opts = BaseOptions(args);
+            opts.sim.sram_latency = lat;
+            gflops.push_back(RunConfig(bm.a, bm.b, opts).gflops);
+        }
+        const double gm = GeoMean(gflops);
+        if (lat == 1) {
+            base = gm;
+        }
+        std::printf("%-12d %16.1f %11.1f%%\n", lat, gm,
+                    gm / base * 100.0);
+    }
+    return 0;
+}

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Fig 28: scaled-up Azul systems. Runs the suite on grid/2, grid, and
+ * grid*2 machines. The paper's shape: high-parallelism matrices gain
+ * >2x per 4x tile scaling, while parallelism-limited ones (the nd12k
+ * analog) plateau.
+ */
+#include "common.h"
+
+using namespace azul;
+using namespace azul::bench;
+
+int
+main(int argc, char** argv)
+{
+    BenchArgs args = BenchArgs::Parse(argc, argv);
+    PrintBanner("Fig 28: scaling up the machine",
+                "parallel matrices scale >2x per 4x tiles; "
+                "parallelism-limited ones plateau (nd12k analog)",
+                args);
+
+    const auto suite = LoadSuite(args);
+    const std::int32_t grids[3] = {args.grid / 2, args.grid,
+                                   args.grid * 2};
+    std::printf("%-16s %5s", "matrix", "class");
+    for (const std::int32_t g : grids) {
+        std::printf(" %7dx%-4d", g, g);
+    }
+    std::printf("%12s\n", "scaling");
+    for (const BenchMatrix& bm : suite) {
+        std::printf("%-16s %5d", bm.name.c_str(),
+                    bm.parallelism_class);
+        double first = 0.0;
+        double last = 0.0;
+        for (const std::int32_t g : grids) {
+            AzulOptions opts = BaseOptions(args);
+            opts.sim.grid_width = g;
+            opts.sim.grid_height = g;
+            const double gflops =
+                RunConfig(bm.a, bm.b, opts).gflops;
+            if (g == grids[0]) {
+                first = gflops;
+            }
+            last = gflops;
+            std::printf(" %11.1f", gflops);
+        }
+        std::printf(" %10.2fx\n", last / first);
+    }
+    std::printf("\n(16x total tile scaling across the three "
+                "columns)\n");
+    return 0;
+}

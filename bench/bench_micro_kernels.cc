@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Google-benchmark microbenchmarks of the substrate kernels and the
+ * preprocessing pipeline: SpMV, SpTRSV, IC(0), coloring, hypergraph
+ * partitioning, and kernel compilation. These measure host wall-clock
+ * (not simulated cycles) — the costs a user pays to *prepare* a
+ * problem for Azul.
+ */
+#include <benchmark/benchmark.h>
+
+#include "dataflow/program.h"
+#include "mapping/mapper_factory.h"
+#include "solver/coloring.h"
+#include "solver/ic0.h"
+#include "solver/pcg.h"
+#include "solver/spmv.h"
+#include "solver/sptrsv.h"
+#include "sparse/generators.h"
+#include "util/rng.h"
+
+namespace azul {
+namespace {
+
+CsrMatrix
+TestMatrix(std::int64_t n)
+{
+    return RandomGeometricLaplacian(n, 9.0, 42);
+}
+
+Vector
+TestVector(Index n)
+{
+    Rng rng(7);
+    Vector v(static_cast<std::size_t>(n));
+    for (double& x : v) {
+        x = rng.UniformDouble(-1.0, 1.0);
+    }
+    return v;
+}
+
+void
+BM_SpMV(benchmark::State& state)
+{
+    const CsrMatrix a = TestMatrix(state.range(0));
+    const Vector x = TestVector(a.rows());
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(SpMV(a, x));
+    }
+    state.SetItemsProcessed(state.iterations() * a.nnz());
+}
+BENCHMARK(BM_SpMV)->Arg(1024)->Arg(8192)->Arg(32768);
+
+void
+BM_SpTRSVForward(benchmark::State& state)
+{
+    const CsrMatrix a = TestMatrix(state.range(0));
+    const CsrMatrix l = IncompleteCholesky(a);
+    const Vector b = TestVector(a.rows());
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(SpTRSVLower(l, b));
+    }
+    state.SetItemsProcessed(state.iterations() * l.nnz());
+}
+BENCHMARK(BM_SpTRSVForward)->Arg(1024)->Arg(8192)->Arg(32768);
+
+void
+BM_Ic0Factorization(benchmark::State& state)
+{
+    const CsrMatrix a = TestMatrix(state.range(0));
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(IncompleteCholesky(a));
+    }
+}
+BENCHMARK(BM_Ic0Factorization)->Arg(1024)->Arg(8192);
+
+void
+BM_GreedyColoring(benchmark::State& state)
+{
+    const CsrMatrix a = TestMatrix(state.range(0));
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(GreedyColoring(a));
+    }
+}
+BENCHMARK(BM_GreedyColoring)->Arg(1024)->Arg(8192);
+
+void
+BM_PcgReferenceIteration(benchmark::State& state)
+{
+    const CsrMatrix a = TestMatrix(state.range(0));
+    const auto m = MakePreconditioner(
+        PreconditionerKind::kIncompleteCholesky, a);
+    const Vector b = TestVector(a.rows());
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            PreconditionedConjugateGradients(a, b, *m, 0.0, 1));
+    }
+}
+BENCHMARK(BM_PcgReferenceIteration)->Arg(1024)->Arg(8192);
+
+void
+BM_MapperOnProblem(benchmark::State& state, MapperKind kind)
+{
+    const CsrMatrix a = TestMatrix(2048);
+    const CsrMatrix l = IncompleteCholesky(a);
+    MappingProblem prob;
+    prob.a = &a;
+    prob.l = &l;
+    for (auto _ : state) {
+        const auto mapper = MakeMapper(kind);
+        benchmark::DoNotOptimize(mapper->Map(prob, 64));
+    }
+}
+BENCHMARK_CAPTURE(BM_MapperOnProblem, round_robin,
+                  MapperKind::kRoundRobin);
+BENCHMARK_CAPTURE(BM_MapperOnProblem, block, MapperKind::kBlock);
+BENCHMARK_CAPTURE(BM_MapperOnProblem, sparsep, MapperKind::kSparseP);
+BENCHMARK_CAPTURE(BM_MapperOnProblem, azul_hypergraph,
+                  MapperKind::kAzul);
+
+void
+BM_CompilePcgProgram(benchmark::State& state)
+{
+    const CsrMatrix a = TestMatrix(2048);
+    const CsrMatrix l = IncompleteCholesky(a);
+    MappingProblem prob;
+    prob.a = &a;
+    prob.l = &l;
+    const DataMapping mapping =
+        MakeMapper(MapperKind::kBlock)->Map(prob, 64);
+    ProgramBuildInputs in;
+    in.a = &a;
+    in.l = &l;
+    in.precond = PreconditionerKind::kIncompleteCholesky;
+    in.mapping = &mapping;
+    in.geom = TorusGeometry{8, 8};
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(BuildPcgProgram(in));
+    }
+}
+BENCHMARK(BM_CompilePcgProgram);
+
+} // namespace
+} // namespace azul
+
+BENCHMARK_MAIN();

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Table IV analog: the benchmark matrices with their A and vector
+ * SRAM footprints, and which machine sizes they fit into. The paper
+ * groups SuiteSparse matrices by whether they fit 64x64 / 128x128 /
+ * 256x256 tile machines; this bench does the same for the synthetic
+ * suite against the scaled grids.
+ */
+#include "common.h"
+#include "dataflow/program.h"
+#include "sim/sram.h"
+#include "solver/coloring.h"
+#include "solver/ic0.h"
+#include "sparse/matrix_stats.h"
+#include "util/strings.h"
+
+using namespace azul;
+using namespace azul::bench;
+
+namespace {
+
+/** True if the compiled problem fits the per-tile scratchpads. */
+bool
+Fits(const CsrMatrix& a, const CsrMatrix& l, std::int32_t grid)
+{
+    SimConfig cfg;
+    cfg.grid_width = grid;
+    cfg.grid_height = grid;
+    MappingProblem prob;
+    prob.a = &a;
+    prob.l = &l;
+    // Block mapping is fastest and has perfect nnz balance — a good
+    // capacity proxy (the azul mapping balances at least as well on
+    // constraint 0).
+    const DataMapping mapping =
+        MakeMapper(MapperKind::kBlock)->Map(prob, cfg.num_tiles());
+    ProgramBuildInputs in;
+    in.a = &a;
+    in.l = &l;
+    in.precond = PreconditionerKind::kIncompleteCholesky;
+    in.mapping = &mapping;
+    in.geom = cfg.geometry();
+    const PcgProgram prog = BuildPcgProgram(in);
+    return ComputeSramUsage(prog, cfg).fits;
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    const BenchArgs args = BenchArgs::Parse(argc, argv);
+    PrintBanner("Table IV analog: matrix footprints and machine-size "
+                "fits",
+                "matrices grouped by the smallest machine whose "
+                "distributed SRAM holds them",
+                args);
+
+    const std::int32_t grids[3] = {args.grid / 2, args.grid,
+                                   args.grid * 2};
+    std::printf("%-16s %10s %12s %10s %10s", "matrix", "n", "nnz",
+                "A bytes", "b bytes");
+    for (const std::int32_t g : grids) {
+        std::printf("  fit %2dx%-2d", g, g);
+    }
+    std::printf("\n");
+    for (const BenchMatrix& bm : LoadSuite(args)) {
+        const ColoredMatrix cm = ColorAndPermute(bm.a);
+        const CsrMatrix l = IncompleteCholesky(cm.a);
+        const MatrixStats s = ComputeMatrixStats(bm.a);
+        std::printf("%-16s %10lld %12lld %10s %10s",
+                    bm.name.c_str(), static_cast<long long>(s.n),
+                    static_cast<long long>(s.nnz),
+                    HumanBytes(static_cast<double>(s.matrix_bytes))
+                        .c_str(),
+                    HumanBytes(static_cast<double>(s.vector_bytes))
+                        .c_str());
+        for (const std::int32_t g : grids) {
+            std::printf("  %9s",
+                        Fits(cm.a, l, g) ? "yes" : "NO");
+        }
+        std::printf("\n");
+    }
+    return 0;
+}

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Table V: area breakdown of the 4096-tile Azul configuration at 7nm.
+ * Paper: PEs 17.8 mm², routers 6.6 mm², SRAMs 115.2 mm², I/O 15 mm²,
+ * total ~155 mm².
+ */
+#include "common.h"
+#include "energy/area_model.h"
+
+using namespace azul;
+using namespace azul::bench;
+
+int
+main(int argc, char** argv)
+{
+    const BenchArgs args = BenchArgs::Parse(argc, argv);
+    PrintBanner("Table V: Azul area estimates (7nm, paper 64x64 "
+                "config)",
+                "155 mm^2 total; SRAM dominates with ~74%", args);
+
+    const SimConfig cfg = AzulPaperConfig();
+    const AreaBreakdown area = ComputeArea(cfg);
+    std::printf("%-12s %10s\n", "component", "area mm^2");
+    std::printf("%-12s %10.1f\n", "PEs", area.pes_mm2);
+    std::printf("%-12s %10.1f\n", "Routers", area.routers_mm2);
+    std::printf("%-12s %10.1f\n", "SRAMs", area.srams_mm2);
+    std::printf("%-12s %10.1f\n", "I/O", area.io_mm2);
+    std::printf("%-12s %10.1f\n", "Total", area.total());
+    std::printf("SRAM share: %.0f%%\n",
+                area.srams_mm2 / area.total() * 100.0);
+
+    // Also report the scaled bench configuration for context.
+    SimConfig bench_cfg;
+    bench_cfg.grid_width = args.grid;
+    bench_cfg.grid_height = args.grid;
+    const AreaBreakdown bench_area = ComputeArea(bench_cfg);
+    std::printf("\n(bench-scale %dx%d machine: %.1f mm^2 total)\n",
+                args.grid, args.grid, bench_area.total());
+    return 0;
+}

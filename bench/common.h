@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Shared infrastructure for the figure/table reproduction benches:
+ * argument parsing, the benchmark matrix suite, configured runs, and
+ * table printing.
+ *
+ * Every bench accepts:
+ *   --scale=F   suite size multiplier        (default 1.0)
+ *   --grid=N    square tile-grid dimension   (default 8)
+ *   --iters=N   measured PCG iterations      (default 3)
+ *   --quick     small preset for smoke runs  (scale 0.2, grid 4)
+ *
+ * The defaults keep the per-tile working set (nnz/tile, vector slots
+ * per tile) close to the paper's 64x64-tile regime, which is what the
+ * relative results depend on; larger grids with laptop-sized matrices
+ * starve the tiles and flatten mapping effects.
+ */
+#ifndef AZUL_BENCH_COMMON_H_
+#define AZUL_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/azul_system.h"
+#include "sparse/generators.h"
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace azul::bench {
+
+/** Common bench parameters. */
+struct BenchArgs {
+    double scale = 1.0;
+    std::int32_t grid = 8;
+    Index iters = 3;
+    bool quick = false;
+
+    static BenchArgs
+    Parse(int argc, char** argv)
+    {
+        BenchArgs args;
+        for (int i = 1; i < argc; ++i) {
+            const std::string arg = argv[i];
+            if (arg.rfind("--scale=", 0) == 0) {
+                args.scale = std::stod(arg.substr(8));
+            } else if (arg.rfind("--grid=", 0) == 0) {
+                args.grid =
+                    static_cast<std::int32_t>(std::stol(arg.substr(7)));
+            } else if (arg.rfind("--iters=", 0) == 0) {
+                args.iters = std::stol(arg.substr(8));
+            } else if (arg == "--quick") {
+                args.quick = true;
+                args.scale = 0.2;
+                args.grid = 4;
+                args.iters = 2;
+            } else {
+                std::fprintf(stderr, "unknown argument '%s'\n",
+                             arg.c_str());
+                std::exit(2);
+            }
+        }
+        return args;
+    }
+};
+
+/** One suite matrix with its right-hand side. */
+struct BenchMatrix {
+    std::string name;
+    std::string analog_of;
+    CsrMatrix a;
+    Vector b;
+    int parallelism_class = 0;
+};
+
+/** Loads the benchmark suite with deterministic random rhs vectors. */
+inline std::vector<BenchMatrix>
+LoadSuite(const BenchArgs& args)
+{
+    std::vector<BenchMatrix> out;
+    for (SuiteMatrix& sm : MakeBenchmarkSuite(args.scale)) {
+        BenchMatrix bm;
+        bm.name = sm.name;
+        bm.analog_of = sm.analog_of;
+        bm.parallelism_class = sm.parallelism_class;
+        Rng rng(0xb0b + out.size());
+        bm.b.resize(static_cast<std::size_t>(sm.a.rows()));
+        for (double& v : bm.b) {
+            v = rng.UniformDouble(-1.0, 1.0);
+        }
+        bm.a = std::move(sm.a);
+        out.push_back(std::move(bm));
+    }
+    return out;
+}
+
+/** Base Azul options for a bench run (throughput mode: fixed iters). */
+inline AzulOptions
+BaseOptions(const BenchArgs& args)
+{
+    AzulOptions opts;
+    opts.sim.grid_width = args.grid;
+    opts.sim.grid_height = args.grid;
+    opts.tol = 0.0; // run exactly `iters` iterations
+    opts.max_iters = args.iters;
+    return opts;
+}
+
+/** Builds a system and solves; convenience wrapper. */
+inline SolveReport
+RunConfig(const CsrMatrix& a, const Vector& b, const AzulOptions& opts)
+{
+    AzulSystem sys(a, opts);
+    return sys.Solve(b);
+}
+
+/** Prints the bench banner with the paper's expected takeaway. */
+inline void
+PrintBanner(const char* figure, const char* paper_expectation,
+            const BenchArgs& args)
+{
+    std::printf("==================================================="
+                "=========================\n");
+    std::printf("%s\n", figure);
+    std::printf("paper: %s\n", paper_expectation);
+    std::printf("config: scale=%.2f grid=%dx%d iters=%lld\n",
+                args.scale, args.grid, args.grid,
+                static_cast<long long>(args.iters));
+    std::printf("---------------------------------------------------"
+                "-------------------------\n");
+}
+
+/** Prints a gmean footer row. */
+inline void
+PrintGmean(const char* label, const std::vector<double>& values)
+{
+    std::printf("%-16s gmean = %.4g\n", label, GeoMean(values));
+}
+
+} // namespace azul::bench
+
+#endif // AZUL_BENCH_COMMON_H_

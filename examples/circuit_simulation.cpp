@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Transient analysis of an RC ladder network — the circuit-simulation
+ * motivation from the paper's introduction (Xyce taking 3.5 hours on
+ * a 1.7M-nonzero SRAM netlist).
+ *
+ * A resistor mesh with capacitors to ground, driven by a step input,
+ * is integrated with backward Euler. Each timestep solves
+ *
+ *     (G + C/dt) v_next = C/dt * v + i_src
+ *
+ * where G is the (SPD) conductance matrix of the resistor mesh and C
+ * the diagonal capacitance matrix. The matrix is static; Azul's
+ * UpdateValues path is also demonstrated by switching one resistor
+ * bank mid-simulation (same sparsity pattern, new values).
+ */
+#include <cstdio>
+
+#include "core/azul_system.h"
+#include "sparse/generators.h"
+#include "util/logging.h"
+#include "util/rng.h"
+
+using namespace azul;
+
+namespace {
+
+constexpr Index kNodesX = 24;
+constexpr Index kNodesY = 24;
+constexpr Index kN = kNodesX * kNodesY;
+constexpr double kDt = 1e-6;     // 1 us timestep
+constexpr double kCap = 1e-6;    // 1 uF per node
+
+/** Conductance matrix of a resistor grid + ground leak per node. */
+CsrMatrix
+ConductanceMatrix(double mesh_conductance)
+{
+    Rng rng(11);
+    CooMatrix g(kN, kN);
+    std::vector<double> diag(static_cast<std::size_t>(kN), 1e-4);
+    const auto id = [](Index x, Index y) { return y * kNodesX + x; };
+    const auto add_resistor = [&](Index a, Index b, double cond) {
+        g.Add(a, b, -cond);
+        g.Add(b, a, -cond);
+        diag[static_cast<std::size_t>(a)] += cond;
+        diag[static_cast<std::size_t>(b)] += cond;
+    };
+    for (Index y = 0; y < kNodesY; ++y) {
+        for (Index x = 0; x < kNodesX; ++x) {
+            const double jitter = rng.UniformDouble(0.8, 1.2);
+            if (x + 1 < kNodesX) {
+                add_resistor(id(x, y), id(x + 1, y),
+                             mesh_conductance * jitter);
+            }
+            if (y + 1 < kNodesY) {
+                add_resistor(id(x, y), id(x, y + 1),
+                             mesh_conductance * jitter);
+            }
+        }
+    }
+    for (Index i = 0; i < kN; ++i) {
+        g.Add(i, i, diag[static_cast<std::size_t>(i)]);
+    }
+    return CsrMatrix::FromCoo(g);
+}
+
+/** A = G + C/dt (SPD: SPD G plus positive diagonal). */
+CsrMatrix
+SystemMatrix(const CsrMatrix& g)
+{
+    CsrMatrix a = g;
+    std::vector<double>& vals = a.mutable_vals();
+    for (Index r = 0; r < a.rows(); ++r) {
+        for (Index k = a.RowBegin(r); k < a.RowEnd(r); ++k) {
+            if (a.col_idx()[k] == r) {
+                vals[static_cast<std::size_t>(k)] += kCap / kDt;
+            }
+        }
+    }
+    return a;
+}
+
+} // namespace
+
+int
+main()
+{
+    SetLogLevel(LogLevel::kWarn);
+
+    CsrMatrix g = ConductanceMatrix(1e-3);
+    AzulOptions options;
+    options.sim.grid_width = 8;
+    options.sim.grid_height = 8;
+    options.tol = 1e-10;
+    AzulSystem system(SystemMatrix(g), options);
+    std::printf("circuit: %lld nodes, %lld conductances; mapping "
+                "%.2fs (once)\n",
+                static_cast<long long>(kN),
+                static_cast<long long>(g.nnz()),
+                system.mapping_seconds());
+
+    // Step input: current injected at one corner; probe the far one.
+    Vector v(static_cast<std::size_t>(kN), 0.0);
+    const Index probe = kN - 1;
+    const double i_in = 1e-3; // 1 mA
+
+    double total_sim_us = 0.0;
+    const int steps = 30;
+    std::printf("\n%-8s %14s %14s %10s\n", "t (us)", "V(inject) mV",
+                "V(probe) mV", "iters");
+    for (int step = 0; step < steps; ++step) {
+        // rhs = C/dt * v + source current.
+        Vector rhs(v.size());
+        for (std::size_t i = 0; i < v.size(); ++i) {
+            rhs[i] = kCap / kDt * v[i];
+        }
+        rhs[0] += i_in;
+        const SolveReport rep = system.Solve(rhs);
+        if (!rep.run.converged) {
+            std::fprintf(stderr, "timestep %d did not converge\n",
+                         step);
+            return 1;
+        }
+        v = rep.run.x;
+        total_sim_us += rep.solve_seconds * 1e6;
+        if (step % 5 == 0) {
+            std::printf("%-8.1f %14.4f %14.6f %10lld\n",
+                        (step + 1) * kDt * 1e6, v[0] * 1e3,
+                        v[static_cast<std::size_t>(probe)] * 1e3,
+                        static_cast<long long>(rep.run.iterations));
+        }
+        // Mid-simulation component change: the mesh conductance bank
+        // switches (same sparsity pattern, new values) — the cheap
+        // per-timestep update path of Sec II-C.
+        if (step == steps / 2) {
+            std::printf("-- switching resistor bank (UpdateValues, "
+                        "mapping reused) --\n");
+            g = ConductanceMatrix(2e-3);
+            system.UpdateValues(SystemMatrix(g));
+        }
+    }
+    std::printf("\n%d timesteps in %.1f us of simulated accelerator "
+                "time (%.2f us/step)\n",
+                steps, total_sim_us, total_sim_us / steps);
+    return 0;
+}

@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Plot a convergence-history CSV produced by `azul_solve --history=F`.
+
+Usage:
+    python3 scripts/plot_history.py history.csv [more.csv ...] [-o out.png]
+
+Each CSV has a header line `iteration,residual_norm`. Multiple files are
+overlaid (e.g. to compare preconditioners or mappings).
+"""
+import argparse
+import csv
+import sys
+
+
+def read_history(path):
+    iterations, residuals = [], []
+    with open(path, newline="") as f:
+        for row in csv.DictReader(f):
+            iterations.append(int(row["iteration"]))
+            residuals.append(float(row["residual_norm"]))
+    return iterations, residuals
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("csvs", nargs="+", help="history CSV files")
+    parser.add_argument("-o", "--output", default=None,
+                        help="write PNG instead of showing a window")
+    args = parser.parse_args()
+
+    try:
+        import matplotlib
+        if args.output:
+            matplotlib.use("Agg")
+        import matplotlib.pyplot as plt
+    except ImportError:
+        # Headless fallback: print a terminal sparkline per file.
+        for path in args.csvs:
+            its, res = read_history(path)
+            print(f"{path}: {len(its)} checks, "
+                  f"||r|| {res[0]:.3e} -> {res[-1]:.3e}")
+        print("(install matplotlib for plots)", file=sys.stderr)
+        return
+
+    fig, ax = plt.subplots(figsize=(7, 4.5))
+    for path in args.csvs:
+        its, res = read_history(path)
+        ax.semilogy(its, res, label=path, linewidth=1.5)
+    ax.set_xlabel("PCG iteration")
+    ax.set_ylabel("||r||")
+    ax.set_title("Azul simulated solve: residual history")
+    ax.grid(True, which="both", alpha=0.3)
+    ax.legend()
+    fig.tight_layout()
+    if args.output:
+        fig.savefig(args.output, dpi=150)
+        print(f"wrote {args.output}")
+    else:
+        plt.show()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,25 @@
+#include "baselines/alrescha_model.h"
+
+namespace azul {
+
+double
+AlreschaPcgIterationTime(const CsrMatrix& a, const CsrMatrix* l,
+                         const AlreschaModelConfig& cfg)
+{
+    double bytes = static_cast<double>(a.nnz()) * cfg.bytes_per_nnz;
+    if (l != nullptr) {
+        bytes += 2.0 * static_cast<double>(l->nnz()) * cfg.bytes_per_nnz;
+    }
+    return bytes / (cfg.mem_bw_gbs * 1e9);
+}
+
+double
+AlreschaPcgGflops(const CsrMatrix& a, const CsrMatrix* l,
+                  double flops_per_iteration,
+                  const AlreschaModelConfig& cfg)
+{
+    return flops_per_iteration /
+           AlreschaPcgIterationTime(a, l, cfg) / 1e9;
+}
+
+} // namespace azul

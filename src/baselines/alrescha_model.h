@@ -1,0 +1,34 @@
+/**
+ * @file
+ * ALRESCHA baseline model (Sec VI-A): the paper itself models this
+ * prior iterative-solver accelerator generously as a full-utilization
+ * design that saturates its 288 GB/s main-memory bandwidth with
+ * perfect reuse of all vectors, so the only traffic is the sparse
+ * matrices of SpMV and the two SpTRSVs.
+ */
+#ifndef AZUL_BASELINES_ALRESCHA_MODEL_H_
+#define AZUL_BASELINES_ALRESCHA_MODEL_H_
+
+#include "sparse/csr.h"
+
+namespace azul {
+
+/** ALRESCHA model parameters. */
+struct AlreschaModelConfig {
+    double mem_bw_gbs = 288.0;
+    /** Bytes streamed per stored nonzero (value + index). */
+    double bytes_per_nnz = 12.0;
+};
+
+/** Seconds per PCG iteration (matrix streaming only). */
+double AlreschaPcgIterationTime(const CsrMatrix& a, const CsrMatrix* l,
+                                const AlreschaModelConfig& cfg = {});
+
+/** Delivered GFLOP/s on PCG. */
+double AlreschaPcgGflops(const CsrMatrix& a, const CsrMatrix* l,
+                         double flops_per_iteration,
+                         const AlreschaModelConfig& cfg = {});
+
+} // namespace azul
+
+#endif // AZUL_BASELINES_ALRESCHA_MODEL_H_

@@ -1,0 +1,39 @@
+#include "baselines/dalorex.h"
+
+#include "mapping/round_robin.h"
+
+namespace azul {
+
+DalorexResult
+RunDalorexPcg(const CsrMatrix& a, const CsrMatrix* l, const Vector& b,
+              const SimConfig& base, double tol, Index max_iters)
+{
+    const SimConfig cfg = DalorexConfig(base);
+
+    MappingProblem prob;
+    prob.a = &a;
+    prob.l = l;
+    RoundRobinMapper mapper;
+    const DataMapping mapping = mapper.Map(prob, cfg.num_tiles());
+
+    ProgramBuildInputs in;
+    in.a = &a;
+    in.l = l;
+    in.precond = l != nullptr
+                     ? PreconditionerKind::kIncompleteCholesky
+                     : PreconditionerKind::kIdentity;
+    in.mapping = &mapping;
+    in.geom = cfg.geometry();
+    // Dalorex has no compiler-built multicast trees; sends are
+    // point-to-point from each producing core.
+    in.graph.use_trees = false;
+    const PcgProgram program = BuildPcgProgram(in);
+
+    Machine machine(cfg, &program);
+    DalorexResult result;
+    result.run = machine.RunPcg(b, tol, max_iters);
+    result.gflops = result.run.Gflops(cfg.clock_ghz);
+    return result;
+}
+
+} // namespace azul

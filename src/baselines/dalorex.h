@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Dalorex baseline (Sec III, VI-A): the same tiled all-SRAM fabric as
+ * Azul — identical SRAM capacity, torus, and peak FP throughput — but
+ * with (1) scalar in-order RISC-V-style cores whose bookkeeping
+ * instructions consume most issue slots, and (2) the Round-Robin data
+ * mapping. This module assembles that configuration and runs PCG on
+ * the cycle-level machine.
+ */
+#ifndef AZUL_BASELINES_DALOREX_H_
+#define AZUL_BASELINES_DALOREX_H_
+
+#include "dataflow/program.h"
+#include "sim/machine.h"
+#include "solver/preconditioner.h"
+#include "sparse/csr.h"
+
+namespace azul {
+
+/** Outcome of a Dalorex baseline run. */
+struct DalorexResult {
+    PcgRunResult run;
+    double gflops = 0.0;
+};
+
+/**
+ * Runs PCG on the Dalorex baseline.
+ *
+ * @param a       system matrix (already colored/permuted by caller,
+ *                matching how Azul is evaluated).
+ * @param l       lower preconditioner factor, or nullptr.
+ * @param b       right-hand side.
+ * @param base    machine geometry/clock shared with Azul; PE model
+ *                and mapping are overridden to Dalorex's.
+ */
+DalorexResult RunDalorexPcg(const CsrMatrix& a, const CsrMatrix* l,
+                            const Vector& b, const SimConfig& base,
+                            double tol, Index max_iters);
+
+} // namespace azul
+
+#endif // AZUL_BASELINES_DALOREX_H_

@@ -1,0 +1,76 @@
+#include "baselines/gpu_model.h"
+
+#include <algorithm>
+
+#include "solver/levels.h"
+#include "solver/spmv.h"
+#include "solver/sptrsv.h"
+
+namespace azul {
+
+namespace {
+
+/** Roofline time for a kernel moving `bytes` and doing `flops`. */
+double
+RooflineSeconds(double bytes, double flops, const GpuModelConfig& cfg)
+{
+    const double mem_s = bytes / (cfg.mem_bw_gbs * 1e9);
+    const double compute_s = flops / (cfg.peak_gflops * 1e9);
+    return std::max(mem_s, compute_s);
+}
+
+} // namespace
+
+GpuKernelTimes
+GpuPcgIterationTime(const CsrMatrix& a, const CsrMatrix* l,
+                    const GpuModelConfig& cfg)
+{
+    GpuKernelTimes t;
+    const double n = static_cast<double>(a.rows());
+    const double launch_s = cfg.launch_overhead_us * 1e-6;
+
+    // SpMV: streams the matrix once plus the input/output vectors.
+    {
+        const double bytes =
+            static_cast<double>(a.nnz()) * cfg.bytes_per_nnz +
+            2.0 * n * cfg.bytes_per_vector_elem;
+        t.spmv_s = RooflineSeconds(bytes, SpMVFlops(a), cfg) + launch_s;
+    }
+
+    // Two SpTRSVs: stream L twice; each level is a dependent step.
+    if (l != nullptr) {
+        const LevelSets fwd = ComputeLowerLevels(*l);
+        const LevelSets bwd = ComputeUpperLevelsFromLower(*l);
+        const double bytes =
+            static_cast<double>(l->nnz()) * cfg.bytes_per_nnz +
+            2.0 * n * cfg.bytes_per_vector_elem;
+        const double flops = SpTRSVFlops(*l);
+        const double fwd_sync = static_cast<double>(fwd.num_levels) *
+                                cfg.level_sync_us * 1e-6;
+        const double bwd_sync = static_cast<double>(bwd.num_levels) *
+                                cfg.level_sync_us * 1e-6;
+        t.sptrsv_s = 2.0 * (RooflineSeconds(bytes, flops, cfg) + launch_s) +
+                     fwd_sync + bwd_sync;
+    }
+
+    // Vector ops: 3 dots (each a separate launch with a device
+    // reduction) + 3 fused elementwise updates.
+    {
+        const double dot_bytes = 2.0 * n * cfg.bytes_per_vector_elem;
+        const double axpy_bytes = 3.0 * n * cfg.bytes_per_vector_elem;
+        t.vector_s =
+            3.0 * (RooflineSeconds(dot_bytes, 2.0 * n, cfg) + launch_s) +
+            3.0 * (RooflineSeconds(axpy_bytes, 2.0 * n, cfg) + launch_s);
+    }
+    return t;
+}
+
+double
+GpuPcgGflops(const CsrMatrix& a, const CsrMatrix* l,
+             double flops_per_iteration, const GpuModelConfig& cfg)
+{
+    const GpuKernelTimes t = GpuPcgIterationTime(a, l, cfg);
+    return flops_per_iteration / t.total() / 1e9;
+}
+
+} // namespace azul

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Analytic V100 GPU model for PCG (the paper's GPU baseline: Ginkgo
+ * Cg with an IC preconditioner on a V100 PCIe).
+ *
+ * Each kernel is modeled with a roofline (memory bytes / HBM
+ * bandwidth vs FLOPs / peak) plus kernel-launch overhead. SpTRSV runs
+ * as a level-set schedule — one dependent step per level — which is
+ * what makes it launch-bound and reproduces Fig 1's <1%-of-peak
+ * utilization and Fig 3's kernel breakdown.
+ */
+#ifndef AZUL_BASELINES_GPU_MODEL_H_
+#define AZUL_BASELINES_GPU_MODEL_H_
+
+#include "sparse/csr.h"
+
+namespace azul {
+
+/** V100-calibrated model parameters. */
+struct GpuModelConfig {
+    double peak_gflops = 7000.0;  //!< FP64 peak (V100 PCIe)
+    double mem_bw_gbs = 900.0;    //!< HBM2 bandwidth
+    double launch_overhead_us = 5.0;
+    /** Bytes streamed per stored nonzero: 8 value + 4 column index,
+     *  plus amortized row pointers. */
+    double bytes_per_nnz = 12.5;
+    double bytes_per_vector_elem = 8.0;
+    /** Dependent steps the SpTRSV executes (level-set sync depth)
+     *  are charged this fraction of a full launch (Ginkgo uses
+     *  device-side sync within one kernel for small level counts). */
+    double level_sync_us = 1.5;
+};
+
+/** Per-iteration kernel times in seconds (Fig 3 categories). */
+struct GpuKernelTimes {
+    double spmv_s = 0.0;
+    double sptrsv_s = 0.0;
+    double vector_s = 0.0;
+
+    double
+    total() const
+    {
+        return spmv_s + sptrsv_s + vector_s;
+    }
+};
+
+/**
+ * Models one PCG iteration: one SpMV with a, plus two triangular
+ * solves with l (pass nullptr for unpreconditioned CG), plus the
+ * vector ops.
+ */
+GpuKernelTimes GpuPcgIterationTime(const CsrMatrix& a, const CsrMatrix* l,
+                                   const GpuModelConfig& cfg = {});
+
+/**
+ * Delivered GFLOP/s of GPU PCG given the per-iteration FLOP count
+ * (from PcgIterationFlops or a program's FlopsPerIteration).
+ */
+double GpuPcgGflops(const CsrMatrix& a, const CsrMatrix* l,
+                    double flops_per_iteration,
+                    const GpuModelConfig& cfg = {});
+
+} // namespace azul
+
+#endif // AZUL_BASELINES_GPU_MODEL_H_

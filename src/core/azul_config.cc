@@ -1,0 +1,19 @@
+#include "core/azul_config.h"
+
+#include <sstream>
+
+namespace azul {
+
+std::string
+AzulOptions::ToString() const
+{
+    std::ostringstream oss;
+    oss << sim.ToString() << ", precond="
+        << PreconditionerKindName(precond)
+        << ", mapper=" << MapperKindName(mapper)
+        << (color_and_permute ? ", colored" : ", uncolored")
+        << (graph.use_trees ? ", trees" : ", p2p");
+    return oss.str();
+}
+
+} // namespace azul

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Top-level configuration of an Azul system instance: machine
+ * parameters, preprocessing (coloring), preconditioner, mapping
+ * strategy, and compiler options.
+ */
+#ifndef AZUL_CORE_AZUL_CONFIG_H_
+#define AZUL_CORE_AZUL_CONFIG_H_
+
+#include <string>
+
+#include "dataflow/spmv_graph.h"
+#include "mapping/mapper_factory.h"
+#include "sim/config.h"
+#include "solver/preconditioner.h"
+#include "util/common.h"
+
+namespace azul {
+
+/** Everything needed to instantiate an AzulSystem. */
+struct AzulOptions {
+    /** Machine parameters (Table III, scaled by default). */
+    SimConfig sim;
+    /** Preconditioner; PCG with IC(0) is the paper's evaluation. */
+    PreconditionerKind precond =
+        PreconditionerKind::kIncompleteCholesky;
+    double ssor_omega = 1.0;
+    /** Graph-coloring preprocessing (Sec II-A); on by default, as in
+     *  all the paper's results. */
+    bool color_and_permute = true;
+    /** Data-mapping strategy (Fig 23). */
+    MapperKind mapper = MapperKind::kAzul;
+    AzulMapperOptions azul_mapper;
+    /**
+     * Precomputed mapping (e.g. from mapping_io's LoadMapping),
+     * skipping the mapping step entirely — the cross-run half of the
+     * paper's Sec VI-D amortization argument. Must have been computed
+     * for the same matrix under the same preprocessing settings; the
+     * pointee must outlive system construction. nullptr = compute.
+     */
+    const DataMapping* precomputed_mapping = nullptr;
+    /** Kernel-compiler options (multicast trees vs point-to-point). */
+    GraphOptions graph;
+    /** Solver controls. */
+    double tol = 1e-8;
+    Index max_iters = 1000;
+
+    std::string ToString() const;
+};
+
+} // namespace azul
+
+#endif // AZUL_CORE_AZUL_CONFIG_H_

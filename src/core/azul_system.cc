@@ -1,0 +1,176 @@
+#include "core/azul_system.h"
+
+#include <chrono>
+
+#include "solver/coloring.h"
+#include "util/logging.h"
+
+namespace azul {
+
+namespace {
+
+double
+SecondsSince(const std::chrono::steady_clock::time_point& start)
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - start)
+        .count();
+}
+
+} // namespace
+
+AzulSystem::AzulSystem(CsrMatrix a, AzulOptions options)
+    : options_(std::move(options))
+{
+    AZUL_CHECK(a.rows() == a.cols());
+    AZUL_CHECK_MSG(a.rows() > 0, "empty matrix");
+
+    // 1. Coloring + permutation preprocessing.
+    if (options_.color_and_permute) {
+        ColoredMatrix colored = ColorAndPermute(a);
+        a_ = std::move(colored.a);
+        perm_ = std::move(colored.perm);
+        AZUL_LOG(kInfo) << "colored with " << colored.num_colors
+                        << " colors";
+    } else {
+        a_ = std::move(a);
+        perm_ = Permutation(a_.rows());
+    }
+
+    // 2. Preconditioner factorization.
+    const bool factored =
+        options_.precond == PreconditionerKind::kIncompleteCholesky ||
+        options_.precond == PreconditionerKind::kSymmetricGaussSeidel ||
+        options_.precond == PreconditionerKind::kSsor;
+    if (factored) {
+        const auto precond = MakePreconditioner(
+            options_.precond, a_, options_.ssor_omega);
+        l_ = *precond->lower_factor();
+    }
+
+    // 3. Data mapping.
+    MappingProblem prob;
+    prob.a = &a_;
+    prob.l = factored ? &l_ : nullptr;
+    if (options_.precomputed_mapping != nullptr) {
+        mapping_ = *options_.precomputed_mapping;
+        AZUL_CHECK_MSG(mapping_.num_tiles == options_.sim.num_tiles(),
+                       "precomputed mapping targets a different "
+                       "machine size");
+        mapping_.Validate(prob);
+    } else {
+        AzulMapperOptions mopts = options_.azul_mapper;
+        mopts.grid_width = options_.sim.grid_width;
+        mopts.grid_height = options_.sim.grid_height;
+        const auto mapper = MakeMapper(options_.mapper, mopts);
+        const auto t0 = std::chrono::steady_clock::now();
+        mapping_ = mapper->Map(prob, options_.sim.num_tiles());
+        mapping_seconds_ = SecondsSince(t0);
+        mapping_.Validate(prob);
+        AZUL_LOG(kInfo) << "mapped with " << mapper->name() << " in "
+                        << mapping_seconds_ << " s";
+    }
+
+    // 4. Dataflow compilation.
+    {
+        ProgramBuildInputs in;
+        in.a = &a_;
+        in.l = factored ? &l_ : nullptr;
+        in.precond = options_.precond;
+        in.mapping = &mapping_;
+        in.geom = options_.sim.geometry();
+        in.graph = options_.graph;
+        const auto t0 = std::chrono::steady_clock::now();
+        program_ = BuildPcgProgram(in);
+        compile_seconds_ = SecondsSince(t0);
+    }
+
+    // 5. Machine instantiation.
+    machine_ = std::make_unique<Machine>(options_.sim, &program_);
+    const SramUsage usage = sram_usage();
+    if (!usage.fits) {
+        AZUL_LOG(kWarn)
+            << "problem exceeds per-tile SRAM: data="
+            << usage.max_data_bytes << " B, accum="
+            << usage.max_accum_bytes << " B (configured "
+            << options_.sim.data_sram_kb << "+"
+            << options_.sim.accum_sram_kb << " KB)";
+    }
+}
+
+SramUsage
+AzulSystem::sram_usage() const
+{
+    return ComputeSramUsage(program_, options_.sim);
+}
+
+SolveReport
+AzulSystem::Solve(const Vector& b)
+{
+    AZUL_CHECK(static_cast<Index>(b.size()) == a_.rows());
+    const Vector b_perm = PermuteVector(b, perm_);
+    SolveReport report;
+    report.run =
+        machine_->RunPcg(b_perm, options_.tol, options_.max_iters);
+    report.run.x = UnpermuteVector(report.run.x, perm_);
+    report.gflops = report.run.Gflops(options_.sim.clock_ghz);
+    report.peak_fraction = report.gflops / options_.sim.PeakGflops();
+    report.mapping_seconds = mapping_seconds_;
+    report.compile_seconds = compile_seconds_;
+    report.solve_seconds = static_cast<double>(report.run.stats.cycles) /
+                           (options_.sim.clock_ghz * 1e9);
+    report.sram = sram_usage();
+    report.power = ComputePower(report.run.stats, options_.sim);
+    return report;
+}
+
+void
+AzulSystem::UpdateValues(const CsrMatrix& a_new)
+{
+    AZUL_CHECK_MSG(a_new.rows() == a_.rows() &&
+                       a_new.nnz() == a_.nnz(),
+                   "UpdateValues requires the same sparsity pattern");
+    CsrMatrix permuted = PermuteSymmetric(a_new, perm_);
+    AZUL_CHECK_MSG(permuted.col_idx() == a_.col_idx() &&
+                       permuted.row_ptr() == a_.row_ptr(),
+                   "UpdateValues requires the same sparsity pattern");
+    a_ = std::move(permuted);
+    const bool factored = l_.nnz() > 0;
+    if (factored) {
+        const auto precond = MakePreconditioner(
+            options_.precond, a_, options_.ssor_omega);
+        l_ = *precond->lower_factor();
+    }
+    // Recompile kernels in place: mapping and machine geometry are
+    // unchanged, so only the coefficient tables change.
+    ProgramBuildInputs in;
+    in.a = &a_;
+    in.l = factored ? &l_ : nullptr;
+    in.precond = options_.precond;
+    in.mapping = &mapping_;
+    in.geom = options_.sim.geometry();
+    in.graph = options_.graph;
+    program_ = BuildPcgProgram(in);
+    machine_ = std::make_unique<Machine>(options_.sim, &program_);
+}
+
+SimStats
+AzulSystem::RunKernelOnce(int matrix_kernel_index, const Vector& input)
+{
+    AZUL_CHECK(matrix_kernel_index >= 0 &&
+               matrix_kernel_index <
+                   static_cast<int>(program_.matrix_kernels.size()));
+    const MatrixKernel& kernel =
+        program_.matrix_kernels[static_cast<std::size_t>(
+            matrix_kernel_index)];
+    machine_->LoadProblem(Vector(input.size(), 0.0));
+    const Vector in_perm = PermuteVector(input, perm_);
+    // Seed the kernel's input and rhs vectors.
+    machine_->ScatterVector(kernel.input_vec, in_perm);
+    if (kernel.rhs_vec != VecName::kCount) {
+        machine_->ScatterVector(kernel.rhs_vec, in_perm);
+    }
+    return machine_->RunMatrixKernelStandalone(matrix_kernel_index);
+}
+
+} // namespace azul

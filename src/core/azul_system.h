@@ -1,0 +1,85 @@
+/**
+ * @file
+ * AzulSystem: the library's main entry point. It owns the full
+ * accelerator pipeline of the paper:
+ *
+ *   matrix -> coloring/permutation (Sec II-A)
+ *          -> preconditioner factorization (IC(0) etc.)
+ *          -> data mapping (Sec IV)
+ *          -> dataflow compilation (kernels, trees; Sec IV-A/D)
+ *          -> cycle-level simulation (Sec V / VI-A)
+ *
+ * A single instance amortizes the expensive preprocessing across many
+ * solves — exactly the physical-simulation use case of Sec II-C where
+ * one mapping serves millions of timesteps.
+ */
+#ifndef AZUL_CORE_AZUL_SYSTEM_H_
+#define AZUL_CORE_AZUL_SYSTEM_H_
+
+#include <memory>
+
+#include "core/azul_config.h"
+#include "core/solve_report.h"
+#include "dataflow/program.h"
+#include "sim/machine.h"
+#include "sparse/permute.h"
+
+namespace azul {
+
+/** A configured Azul accelerator instance for one sparsity pattern. */
+class AzulSystem {
+  public:
+    /**
+     * Builds the system: colors/permutes the matrix, factors the
+     * preconditioner, maps data, compiles the program, and
+     * instantiates the simulated machine.
+     */
+    AzulSystem(CsrMatrix a, AzulOptions options);
+
+    /** Solves A x = b on the simulated accelerator. The right-hand
+     *  side and returned x are in the caller's original row order. */
+    SolveReport Solve(const Vector& b);
+
+    /**
+     * Updates A's numeric values in place (same sparsity pattern) and
+     * refactors the preconditioner — the cheap per-timestep path of
+     * Sec II-C. Mapping and tree structure are reused.
+     */
+    void UpdateValues(const CsrMatrix& a_new);
+
+    /**
+     * Runs one standalone kernel with the machine's current vector
+     * state (benches: per-kernel cycles and traffic).
+     */
+    SimStats RunKernelOnce(int matrix_kernel_index, const Vector& input);
+
+    // ---- Introspection ----------------------------------------------------
+    const AzulOptions& options() const { return options_; }
+    const CsrMatrix& matrix() const { return a_; }
+    const CsrMatrix* factor() const
+    {
+        return l_.nnz() > 0 ? &l_ : nullptr;
+    }
+    const Permutation& permutation() const { return perm_; }
+    const DataMapping& mapping() const { return mapping_; }
+    const PcgProgram& program() const { return program_; }
+    Machine& machine() { return *machine_; }
+    double mapping_seconds() const { return mapping_seconds_; }
+    double compile_seconds() const { return compile_seconds_; }
+    SramUsage sram_usage() const;
+
+  private:
+    AzulOptions options_;
+    CsrMatrix a_;        //!< permuted system matrix
+    CsrMatrix l_;        //!< lower factor (empty if not factored)
+    Permutation perm_;   //!< coloring permutation (identity if off)
+    DataMapping mapping_;
+    PcgProgram program_;
+    std::unique_ptr<Machine> machine_;
+    double mapping_seconds_ = 0.0;
+    double compile_seconds_ = 0.0;
+};
+
+} // namespace azul
+
+#endif // AZUL_CORE_AZUL_SYSTEM_H_

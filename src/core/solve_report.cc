@@ -1,0 +1,69 @@
+#include "core/solve_report.h"
+
+#include <sstream>
+
+namespace azul {
+
+std::string
+SolveReport::Summary() const
+{
+    std::ostringstream oss;
+    oss.precision(4);
+    oss << (run.converged ? "converged" : "NOT converged") << " in "
+        << run.iterations << " iters, ||r||=" << run.residual_norm
+        << ", " << run.stats.cycles << " cycles, " << gflops
+        << " GFLOP/s (" << peak_fraction * 100.0 << "% of peak), "
+        << power.total() << " W";
+    return oss.str();
+}
+
+std::string
+SolveReport::ToJson() const
+{
+    std::ostringstream oss;
+    oss.precision(12);
+    oss << "{";
+    oss << "\"converged\":" << (run.converged ? "true" : "false");
+    oss << ",\"iterations\":" << run.iterations;
+    oss << ",\"residual_norm\":" << run.residual_norm;
+    oss << ",\"cycles\":" << run.stats.cycles;
+    oss << ",\"flops\":" << run.flops;
+    oss << ",\"gflops\":" << gflops;
+    oss << ",\"peak_fraction\":" << peak_fraction;
+    oss << ",\"solve_seconds\":" << solve_seconds;
+    oss << ",\"mapping_seconds\":" << mapping_seconds;
+    oss << ",\"compile_seconds\":" << compile_seconds;
+    oss << ",\"messages\":" << run.stats.messages;
+    oss << ",\"link_activations\":" << run.stats.link_activations;
+    oss << ",\"spilled_messages\":" << run.stats.spilled_messages;
+    oss << ",\"ops\":{\"fmac\":" << run.stats.ops.fmac
+        << ",\"add\":" << run.stats.ops.add
+        << ",\"mul\":" << run.stats.ops.mul
+        << ",\"send\":" << run.stats.ops.send << "}";
+    oss << ",\"stall_cycles\":" << run.stats.stall_cycles;
+    oss << ",\"class_cycles\":{\"spmv\":"
+        << run.stats.class_cycles[static_cast<std::size_t>(
+               KernelClass::kSpMV)]
+        << ",\"sptrsv_fwd\":"
+        << run.stats.class_cycles[static_cast<std::size_t>(
+               KernelClass::kSpTRSVForward)]
+        << ",\"sptrsv_bwd\":"
+        << run.stats.class_cycles[static_cast<std::size_t>(
+               KernelClass::kSpTRSVBackward)]
+        << ",\"vector\":"
+        << run.stats.class_cycles[static_cast<std::size_t>(
+               KernelClass::kVectorOp)]
+        << "}";
+    oss << ",\"power_w\":{\"sram\":" << power.sram_w
+        << ",\"compute\":" << power.compute_w
+        << ",\"noc\":" << power.noc_w
+        << ",\"leakage\":" << power.leakage_w
+        << ",\"total\":" << power.total() << "}";
+    oss << ",\"sram\":{\"max_data_bytes\":" << sram.max_data_bytes
+        << ",\"max_accum_bytes\":" << sram.max_accum_bytes
+        << ",\"fits\":" << (sram.fits ? "true" : "false") << "}";
+    oss << "}";
+    return oss.str();
+}
+
+} // namespace azul

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Result of an accelerated solve: solver outcome, simulated timing,
+ * traffic, power, and preprocessing costs — everything the evaluation
+ * figures consume.
+ */
+#ifndef AZUL_CORE_SOLVE_REPORT_H_
+#define AZUL_CORE_SOLVE_REPORT_H_
+
+#include <string>
+
+#include "energy/energy_model.h"
+#include "sim/machine.h"
+#include "sim/sram.h"
+
+namespace azul {
+
+/** Full report of one accelerated PCG solve. */
+struct SolveReport {
+    /** Solver outcome + cumulative simulation statistics. */
+    PcgRunResult run;
+    /** Delivered throughput over the whole solve. */
+    double gflops = 0.0;
+    /** Fraction of the machine's peak FP throughput. */
+    double peak_fraction = 0.0;
+    /** Wall-clock seconds spent in the mapping algorithm. */
+    double mapping_seconds = 0.0;
+    /** Wall-clock seconds spent compiling kernels. */
+    double compile_seconds = 0.0;
+    /** Simulated solve time in seconds at the configured clock. */
+    double solve_seconds = 0.0;
+    /** Scratchpad usage of the compiled program. */
+    SramUsage sram;
+    /** Average power over the solve. */
+    PowerBreakdown power;
+
+    /** One-line human-readable summary. */
+    std::string Summary() const;
+
+    /**
+     * Flat JSON object with the report's scalar fields — convenient
+     * for scripting sweeps over matrices/configurations.
+     */
+    std::string ToJson() const;
+};
+
+} // namespace azul
+
+#endif // AZUL_CORE_SOLVE_REPORT_H_

@@ -1,0 +1,246 @@
+#include "dataflow/kernel_builder.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace azul {
+
+namespace {
+
+/** Per-(tile, index) grouping of ops, with CSR-style layout. */
+struct Grouping {
+    /** Sorted unique (tile, index) keys. */
+    std::vector<std::pair<TileId, Index>> keys;
+    /** Op positions (into the original op array) per key, CSR style. */
+    std::vector<Index> ptr;
+    std::vector<Index> op_pos;
+
+    /** Tiles participating for one index. */
+    std::unordered_map<Index, std::vector<TileId>> tiles_of_index;
+};
+
+Grouping
+GroupBy(const std::vector<PatternOp>& ops, bool by_in)
+{
+    Grouping g;
+    std::vector<Index> order(ops.size());
+    for (std::size_t i = 0; i < ops.size(); ++i) {
+        order[i] = static_cast<Index>(i);
+    }
+    const auto key_of = [&ops, by_in](Index pos) {
+        const PatternOp& op = ops[static_cast<std::size_t>(pos)];
+        return std::make_pair(op.tile, by_in ? op.in : op.out);
+    };
+    std::sort(order.begin(), order.end(), [&key_of](Index a, Index b) {
+        return key_of(a) < key_of(b);
+    });
+    g.op_pos = std::move(order);
+    g.ptr.push_back(0);
+    for (std::size_t i = 0; i < g.op_pos.size(); ++i) {
+        const auto key = key_of(g.op_pos[i]);
+        if (g.keys.empty() || g.keys.back() != key) {
+            if (!g.keys.empty()) {
+                g.ptr.push_back(static_cast<Index>(i));
+            }
+            g.keys.push_back(key);
+            g.tiles_of_index[key.second].push_back(key.first);
+        }
+    }
+    g.ptr.push_back(static_cast<Index>(g.op_pos.size()));
+    return g;
+}
+
+} // namespace
+
+MatrixKernel
+BuildMatrixKernel(const TorusGeometry& geom,
+                  const std::vector<PatternOp>& ops, KernelBuildSpec spec)
+{
+    AZUL_CHECK(spec.vec_tile != nullptr);
+    AZUL_CHECK(static_cast<Index>(spec.vec_tile->size()) == spec.n);
+    const std::vector<TileId>& vec_tile = *spec.vec_tile;
+    const std::int32_t num_tiles = geom.num_tiles();
+    for (const PatternOp& op : ops) {
+        AZUL_CHECK(op.tile >= 0 && op.tile < num_tiles);
+        AZUL_CHECK(op.out >= 0 && op.out < spec.n);
+        AZUL_CHECK(op.in >= 0 && op.in < spec.n);
+    }
+
+    MatrixKernel kernel;
+    kernel.name = std::move(spec.name);
+    kernel.kclass = spec.kclass;
+    kernel.input_vec = spec.input_vec;
+    kernel.rhs_vec = spec.rhs_vec;
+    kernel.output_vec = spec.output_vec;
+    kernel.inv_diag = std::move(spec.inv_diag);
+    kernel.flops = spec.flops;
+    kernel.tiles.resize(static_cast<std::size_t>(num_tiles));
+
+    const auto new_node = [&kernel](TileId tile) {
+        TileKernel& tk = kernel.tiles[static_cast<std::size_t>(tile)];
+        tk.nodes.emplace_back();
+        return NodeRef{tile,
+                       static_cast<NodeId>(tk.nodes.size() - 1)};
+    };
+    const auto node_at = [&kernel](const NodeRef& ref) -> NodeDesc& {
+        return kernel.tiles[static_cast<std::size_t>(ref.tile)]
+            .nodes[static_cast<std::size_t>(ref.node)];
+    };
+
+    // ---- Accumulators (per tile, per output index) ------------------------
+    const Grouping by_out = GroupBy(ops, /*by_in=*/false);
+    // (tile, out) -> local accumulator id.
+    std::unordered_map<std::int64_t, std::int32_t> acc_of;
+    const auto acc_key = [&](TileId t, Index out) {
+        return static_cast<std::int64_t>(t) * spec.n + out;
+    };
+    for (std::size_t k = 0; k < by_out.keys.size(); ++k) {
+        const auto [tile, out] = by_out.keys[k];
+        TileKernel& tk = kernel.tiles[static_cast<std::size_t>(tile)];
+        acc_of[acc_key(tile, out)] =
+            static_cast<std::int32_t>(tk.accums.size());
+        AccumDesc acc;
+        acc.expected = static_cast<std::int32_t>(
+            by_out.ptr[k + 1] - by_out.ptr[k]);
+        tk.accums.push_back(acc);
+    }
+
+    // ---- Reduction trees (one per output index with participants) --------
+    // Root NodeRef per output index (for SpTRSV trigger wiring later).
+    std::vector<NodeRef> reduce_root(static_cast<std::size_t>(spec.n));
+    for (Index i = 0; i < spec.n; ++i) {
+        const auto it = by_out.tiles_of_index.find(i);
+        const bool has_participants = it != by_out.tiles_of_index.end();
+        const TileId root_tile = vec_tile[static_cast<std::size_t>(i)];
+        std::vector<std::int32_t> members;
+        if (has_participants) {
+            members.assign(it->second.begin(), it->second.end());
+        }
+        if (!has_participants && !spec.triggered) {
+            // SpMV output with no contributions: nothing to do.
+            continue;
+        }
+        const TreeTopology tree =
+            BuildTorusTree(geom, root_tile, members, spec.use_trees);
+        // Create a reduce node per tree tile; parents precede children
+        // in `tree`, so wire child -> parent as we go.
+        std::vector<NodeRef> refs(tree.size());
+        for (std::size_t ti = 0; ti < tree.size(); ++ti) {
+            refs[ti] = new_node(tree.tiles[ti]);
+            NodeDesc& node = node_at(refs[ti]);
+            node.kind = NodeKind::kReduce;
+            if (ti == 0) {
+                node.final_action = spec.triggered
+                                        ? FinalAction::kSolve
+                                        : FinalAction::kWriteOutput;
+                node.slot = i;
+            } else {
+                node.parent = refs[static_cast<std::size_t>(
+                    tree.parent[ti])];
+                ++node_at(node.parent).expected;
+            }
+        }
+        reduce_root[static_cast<std::size_t>(i)] = refs[0];
+        // Wire local accumulators into their tile's reduce node and
+        // bump expectations.
+        for (std::size_t ti = 0; ti < tree.size(); ++ti) {
+            const auto ait =
+                acc_of.find(acc_key(tree.tiles[ti], i));
+            if (ait != acc_of.end()) {
+                TileKernel& tk = kernel.tiles[static_cast<std::size_t>(
+                    tree.tiles[ti])];
+                tk.accums[static_cast<std::size_t>(ait->second)].dest =
+                    refs[ti];
+                ++node_at(refs[ti]).expected;
+            }
+        }
+        // Reduce roots that expect nothing fire at kernel start
+        // (SpTRSV rows with no dependencies).
+        if (node_at(refs[0]).expected == 0) {
+            kernel.tiles[static_cast<std::size_t>(refs[0].tile)]
+                .initial_nodes.push_back(refs[0].node);
+        }
+    }
+
+    // ---- Column tasks + multicast trees ----------------------------------
+    const Grouping by_in = GroupBy(ops, /*by_in=*/true);
+    // Copy ops into per-tile arrays and record each group's range.
+    struct GroupRange {
+        std::int32_t first_op = 0;
+        std::int32_t num_ops = 0;
+    };
+    std::unordered_map<std::int64_t, GroupRange> range_of; // (tile,in)
+    for (std::size_t k = 0; k < by_in.keys.size(); ++k) {
+        const auto [tile, in] = by_in.keys[k];
+        TileKernel& tk = kernel.tiles[static_cast<std::size_t>(tile)];
+        GroupRange range;
+        range.first_op = static_cast<std::int32_t>(tk.ops.size());
+        for (Index p = by_in.ptr[k]; p < by_in.ptr[k + 1]; ++p) {
+            const PatternOp& op =
+                ops[static_cast<std::size_t>(by_in.op_pos[p])];
+            ColumnOp cop;
+            cop.acc = acc_of.at(acc_key(tile, op.out));
+            cop.coeff = op.coeff;
+            tk.ops.push_back(cop);
+        }
+        range.num_ops = static_cast<std::int32_t>(tk.ops.size()) -
+                        range.first_op;
+        range_of[acc_key(tile, in)] = range;
+    }
+
+    for (Index j = 0; j < spec.n; ++j) {
+        const auto it = by_in.tiles_of_index.find(j);
+        const bool has_members = it != by_in.tiles_of_index.end();
+        if (!has_members && !spec.triggered) {
+            continue; // nobody consumes in[j]
+        }
+        const TileId root_tile = vec_tile[static_cast<std::size_t>(j)];
+        std::vector<std::int32_t> members;
+        if (has_members) {
+            members.assign(it->second.begin(), it->second.end());
+        }
+        if (!has_members && spec.triggered) {
+            // Solved variable consumed by nobody (last rows of the
+            // solve): no multicast needed.
+            continue;
+        }
+        const TreeTopology tree =
+            BuildTorusTree(geom, root_tile, members, spec.use_trees);
+        std::vector<NodeRef> refs(tree.size());
+        for (std::size_t ti = 0; ti < tree.size(); ++ti) {
+            refs[ti] = new_node(tree.tiles[ti]);
+            NodeDesc& node = node_at(refs[ti]);
+            node.kind = NodeKind::kMulticast;
+            const auto rit = range_of.find(acc_key(tree.tiles[ti], j));
+            if (rit != range_of.end()) {
+                node.first_op = rit->second.first_op;
+                node.num_ops = rit->second.num_ops;
+            }
+        }
+        for (std::size_t ti = 0; ti < tree.size(); ++ti) {
+            if (tree.parent[ti] >= 0) {
+                node_at(refs[static_cast<std::size_t>(tree.parent[ti])])
+                    .children.push_back(refs[ti]);
+            }
+        }
+        if (spec.triggered) {
+            // Fired by the solve of variable j (same tile by
+            // construction: both root at vec_tile[j]).
+            const NodeRef solver =
+                reduce_root[static_cast<std::size_t>(j)];
+            AZUL_CHECK(solver.valid());
+            AZUL_CHECK(solver.tile == refs[0].tile);
+            node_at(solver).trigger_node = refs[0].node;
+        } else {
+            // SpMV: seed from the input vector at kernel start.
+            node_at(refs[0]).source_slot = j;
+            kernel.tiles[static_cast<std::size_t>(refs[0].tile)]
+                .initial_nodes.push_back(refs[0].node);
+        }
+    }
+
+    kernel.Validate();
+    return kernel;
+}
+
+} // namespace azul

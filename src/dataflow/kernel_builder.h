@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Generic matrix-kernel compiler. Both SpMV and SpTRSV reduce to the
+ * same dataflow shape (Sec IV-A, V-A): a set of elementary operations
+ * out[i] += coeff * in[j], each pinned to a tile by the data mapping,
+ * glued together by per-column multicast trees and per-row reduction
+ * trees. SpTRSV differs only in that column j's multicast fires when
+ * variable j is solved (rather than at kernel start) and row
+ * reductions end in a solve instead of a plain write.
+ */
+#ifndef AZUL_DATAFLOW_KERNEL_BUILDER_H_
+#define AZUL_DATAFLOW_KERNEL_BUILDER_H_
+
+#include <vector>
+
+#include "dataflow/task.h"
+#include "dataflow/tree.h"
+#include "mapping/mapping.h"
+
+namespace azul {
+
+/** One elementary operation: out[out] += coeff * in[in], on `tile`. */
+struct PatternOp {
+    Index out = 0;
+    Index in = 0;
+    double coeff = 0.0;
+    TileId tile = 0;
+};
+
+/** Builder inputs beyond the op list. */
+struct KernelBuildSpec {
+    std::string name;
+    KernelClass kclass = KernelClass::kSpMV;
+    VecName input_vec = VecName::kP;
+    VecName rhs_vec = VecName::kCount;
+    VecName output_vec = VecName::kAp;
+    /** Number of vector indices n (slots are [0, n)). */
+    Index n = 0;
+    /** Home tile of each vector slot. */
+    const std::vector<TileId>* vec_tile = nullptr;
+    /** kSolve roots need 1/diag per index; empty for SpMV. */
+    std::vector<double> inv_diag;
+    /** True for SpTRSV-style triggered multicasts + solve roots. */
+    bool triggered = false;
+    /** False = point-to-point stars instead of chained trees. */
+    bool use_trees = true;
+    double flops = 0.0;
+};
+
+/**
+ * Compiles the op list into per-tile node/op/accumulator tables.
+ * See the file comment for the construction.
+ */
+MatrixKernel BuildMatrixKernel(const TorusGeometry& geom,
+                               const std::vector<PatternOp>& ops,
+                               KernelBuildSpec spec);
+
+} // namespace azul
+
+#endif // AZUL_DATAFLOW_KERNEL_BUILDER_H_

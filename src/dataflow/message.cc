@@ -1,0 +1,35 @@
+#include "dataflow/message.h"
+
+namespace azul {
+
+std::string
+OpKindName(OpKind kind)
+{
+    switch (kind) {
+      case OpKind::kFmac: return "Fmac";
+      case OpKind::kAdd: return "Add";
+      case OpKind::kMul: return "Mul";
+      case OpKind::kSend: return "Send";
+    }
+    return "?";
+}
+
+std::string
+VecNameStr(VecName v)
+{
+    switch (v) {
+      case VecName::kX: return "x";
+      case VecName::kR: return "r";
+      case VecName::kP: return "p";
+      case VecName::kZ: return "z";
+      case VecName::kAp: return "Ap";
+      case VecName::kT: return "t";
+      case VecName::kB: return "b";
+      case VecName::kR0: return "r0";
+      case VecName::kS: return "s";
+      case VecName::kCount: break;
+    }
+    return "?";
+}
+
+} // namespace azul

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Message and operation primitives of Azul's dataflow execution model
+ * (Sec IV-A). Kernels are graphs of tasks; tasks run on tiles and are
+ * triggered by the arrival of messages. Each message is one 96-bit
+ * flit: a 64-bit value plus 32 bits of metadata (here: a destination
+ * node id local to the receiving tile).
+ */
+#ifndef AZUL_DATAFLOW_MESSAGE_H_
+#define AZUL_DATAFLOW_MESSAGE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "util/common.h"
+
+namespace azul {
+
+/** Operation kinds executed by the PE (the Fig 21 categories). */
+enum class OpKind : std::uint8_t { kFmac, kAdd, kMul, kSend };
+
+/** Returns a printable op-kind name. */
+std::string OpKindName(OpKind kind);
+
+/** Dense vectors held distributed across tiles during PCG. */
+enum class VecName : std::uint8_t {
+    kX = 0,  //!< solution estimate
+    kR,      //!< residual
+    kP,      //!< search direction
+    kZ,      //!< preconditioned residual
+    kAp,     //!< SpMV output A*p
+    kT,      //!< intermediate of the two-stage trisolve
+    kB,      //!< right-hand side
+    kR0,     //!< shadow residual (BiCGStab)
+    kS,      //!< BiCGStab intermediate s
+    kCount,
+};
+
+/** Returns a printable vector name. */
+std::string VecNameStr(VecName v);
+
+/** Scalar registers replicated on every tile (broadcast values). */
+enum class ScalarReg : std::uint8_t {
+    kAlpha = 0,
+    kBeta,
+    kRzOld,
+    kRzNew,
+    kPap,
+    kRr,
+    kOmega, //!< BiCGStab stabilization scalar
+    kTmp,   //!< scratch (second dot of omega's quotient)
+    kCount,
+};
+
+/** One in-flight message: a value heading to a node on a tile. */
+struct Message {
+    std::int32_t dest_tile = -1;
+    std::int32_t dest_node = -1;
+    double value = 0.0;
+};
+
+} // namespace azul
+
+#endif // AZUL_DATAFLOW_MESSAGE_H_

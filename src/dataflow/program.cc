@@ -1,0 +1,277 @@
+#include "dataflow/program.h"
+
+#include "solver/spmv.h"
+#include "solver/sptrsv.h"
+
+namespace azul {
+
+PcgProgram
+BuildPcgProgram(const ProgramBuildInputs& in)
+{
+    AZUL_CHECK(in.a != nullptr);
+    AZUL_CHECK(in.mapping != nullptr);
+    AZUL_CHECK(in.geom.num_tiles() == in.mapping->num_tiles);
+    const bool factored =
+        in.precond == PreconditionerKind::kIncompleteCholesky ||
+        in.precond == PreconditionerKind::kSymmetricGaussSeidel ||
+        in.precond == PreconditionerKind::kSsor;
+    AZUL_CHECK_MSG(!factored || in.l != nullptr,
+                   "trisolve preconditioner requires a lower factor");
+
+    PcgProgram prog;
+    prog.geom = in.geom;
+    prog.vec_tile = in.mapping->vec_tile;
+
+    // ---- Matrix kernels ---------------------------------------------------
+    const int spmv_idx = 0;
+    prog.matrix_kernels.push_back(
+        BuildSpMVKernel(*in.a, in.mapping->a_nnz_tile,
+                        in.mapping->vec_tile, in.geom, VecName::kP,
+                        VecName::kAp, in.graph));
+    int fwd_idx = -1;
+    int bwd_idx = -1;
+    if (factored) {
+        fwd_idx = static_cast<int>(prog.matrix_kernels.size());
+        prog.matrix_kernels.push_back(BuildSpTRSVForwardKernel(
+            *in.l, in.mapping->l_nnz_tile, in.mapping->vec_tile, in.geom,
+            VecName::kR, VecName::kT, in.graph));
+        bwd_idx = static_cast<int>(prog.matrix_kernels.size());
+        prog.matrix_kernels.push_back(BuildSpTRSVBackwardKernel(
+            *in.l, in.mapping->l_nnz_tile, in.mapping->vec_tile, in.geom,
+            VecName::kT, VecName::kZ, in.graph));
+    }
+    if (in.precond == PreconditionerKind::kJacobi) {
+        prog.jacobi_inv_diag.resize(static_cast<std::size_t>(in.a->rows()));
+        for (Index i = 0; i < in.a->rows(); ++i) {
+            const double d = in.a->At(i, i);
+            AZUL_CHECK_MSG(d != 0.0, "Jacobi: zero diagonal at " << i);
+            prog.jacobi_inv_diag[static_cast<std::size_t>(i)] = 1.0 / d;
+        }
+    }
+
+    // Phases applying the preconditioner z = M^{-1} r.
+    const auto apply_precond = [&](std::vector<Phase>& out) {
+        switch (in.precond) {
+          case PreconditionerKind::kIdentity:
+            out.push_back(Phase::Vector(MakeCopy(VecName::kZ,
+                                                 VecName::kR)));
+            break;
+          case PreconditionerKind::kJacobi:
+            out.push_back(Phase::Vector(MakeDiagScale(VecName::kZ,
+                                                      VecName::kR)));
+            break;
+          default:
+            out.push_back(Phase::Matrix(fwd_idx));
+            out.push_back(Phase::Matrix(bwd_idx));
+            break;
+        }
+    };
+
+    // ---- Prologue: z = M^-1 r; p = z; rz_old = r.z; rr = r.r -------------
+    apply_precond(prog.prologue);
+    prog.prologue.push_back(
+        Phase::Vector(MakeCopy(VecName::kP, VecName::kZ)));
+    prog.prologue.push_back(Phase::Vector(
+        MakeDot(ScalarReg::kRzOld, VecName::kR, VecName::kZ)));
+    prog.prologue.push_back(
+        Phase::Vector(MakeDot(ScalarReg::kRr, VecName::kR, VecName::kR)));
+
+    // ---- Iteration body (Listing 1, lines 5-13) ---------------------------
+    // 1. Ap = A p
+    prog.iteration.push_back(Phase::Matrix(spmv_idx));
+    // 2. alpha = rz_old / dot(p, Ap)
+    {
+        VectorKernel dot =
+            MakeDot(ScalarReg::kPap, VecName::kP, VecName::kAp);
+        dot.post_divide = true;
+        dot.divide_dot_by_num = false; // alpha = rz_old / pap
+        dot.div_num = ScalarReg::kRzOld;
+        dot.div_out = ScalarReg::kAlpha;
+        prog.iteration.push_back(Phase::Vector(dot));
+    }
+    // 3. x += alpha p ; 4. r -= alpha Ap
+    prog.iteration.push_back(Phase::Vector(
+        MakeAxpy(VecName::kX, ScalarReg::kAlpha, VecName::kP)));
+    prog.iteration.push_back(Phase::Vector(
+        MakeAxpy(VecName::kR, ScalarReg::kAlpha, VecName::kAp, -1.0)));
+    // 5-6. z = M^-1 r
+    apply_precond(prog.iteration);
+    // 7. rz_new = r.z ; beta = rz_new / rz_old ; rz_old = rz_new
+    {
+        VectorKernel dot =
+            MakeDot(ScalarReg::kRzNew, VecName::kR, VecName::kZ);
+        dot.post_divide = true;
+        dot.divide_dot_by_num = true; // beta = rz_new / rz_old
+        dot.div_num = ScalarReg::kRzOld;
+        dot.div_out = ScalarReg::kBeta;
+        dot.copy_dot_to = true;
+        dot.dot_copy_reg = ScalarReg::kRzOld;
+        prog.iteration.push_back(Phase::Vector(dot));
+    }
+    // 8. p = z + beta p
+    prog.iteration.push_back(Phase::Vector(
+        MakeXpby(VecName::kP, VecName::kZ, ScalarReg::kBeta)));
+    // 9. rr = r.r (convergence check read by the host)
+    prog.iteration.push_back(
+        Phase::Vector(MakeDot(ScalarReg::kRr, VecName::kR, VecName::kR)));
+
+    // ---- FLOP accounting --------------------------------------------------
+    const double n = static_cast<double>(in.a->rows());
+    prog.spmv_flops = SpMVFlops(*in.a);
+    if (factored) {
+        prog.sptrsv_flops = 2.0 * SpTRSVFlops(*in.l);
+    }
+    // 3 dots (2n each) + 3 elementwise updates (2n each) less
+    // bookkeeping; kJacobi adds one n-FLOP scale.
+    prog.vector_flops = 12.0 * n;
+    if (in.precond == PreconditionerKind::kJacobi) {
+        prog.vector_flops += n;
+    }
+    return prog;
+}
+
+PcgProgram
+BuildJacobiSolverProgram(const CsrMatrix& a, const DataMapping& mapping,
+                         const TorusGeometry& geom, double omega,
+                         const GraphOptions& graph)
+{
+    AZUL_CHECK(geom.num_tiles() == mapping.num_tiles);
+    AZUL_CHECK(omega > 0.0 && omega <= 1.0);
+    PcgProgram prog;
+    prog.geom = geom;
+    prog.vec_tile = mapping.vec_tile;
+    prog.matrix_kernels.push_back(
+        BuildSpMVKernel(a, mapping.a_nnz_tile, mapping.vec_tile, geom,
+                        VecName::kX, VecName::kAp, graph));
+    prog.jacobi_inv_diag.resize(static_cast<std::size_t>(a.rows()));
+    for (Index i = 0; i < a.rows(); ++i) {
+        const double d = a.At(i, i);
+        AZUL_CHECK_MSG(d != 0.0, "Jacobi: zero diagonal at " << i);
+        prog.jacobi_inv_diag[static_cast<std::size_t>(i)] = 1.0 / d;
+    }
+
+    // Prologue: rr = b.b (r == b after LoadProblem with x = 0).
+    prog.prologue.push_back(
+        Phase::Vector(MakeDot(ScalarReg::kRr, VecName::kR, VecName::kR)));
+
+    // Iteration: Ap = A x; r = b - Ap; z = D^-1 r; x += omega z;
+    // rr = r.r.
+    prog.iteration.push_back(Phase::Matrix(0));
+    prog.iteration.push_back(Phase::Vector(
+        MakeSub(VecName::kR, VecName::kB, VecName::kAp)));
+    prog.iteration.push_back(Phase::Vector(
+        MakeDiagScale(VecName::kZ, VecName::kR)));
+    prog.iteration.push_back(Phase::Vector(
+        MakeAxpyConst(VecName::kX, omega, VecName::kZ)));
+    prog.iteration.push_back(
+        Phase::Vector(MakeDot(ScalarReg::kRr, VecName::kR, VecName::kR)));
+
+    const double n = static_cast<double>(a.rows());
+    prog.spmv_flops = SpMVFlops(a);
+    prog.vector_flops = 7.0 * n; // sub + scale + axpy + dot
+    return prog;
+}
+
+PcgProgram
+BuildBiCgStabProgram(const CsrMatrix& a, const DataMapping& mapping,
+                     const TorusGeometry& geom,
+                     const GraphOptions& graph)
+{
+    AZUL_CHECK(geom.num_tiles() == mapping.num_tiles);
+    PcgProgram prog;
+    prog.geom = geom;
+    prog.vec_tile = mapping.vec_tile;
+
+    // Two SpMVs per iteration: v = A p and t = A s.
+    prog.matrix_kernels.push_back(
+        BuildSpMVKernel(a, mapping.a_nnz_tile, mapping.vec_tile, geom,
+                        VecName::kP, VecName::kAp, graph));
+    prog.matrix_kernels.push_back(
+        BuildSpMVKernel(a, mapping.a_nnz_tile, mapping.vec_tile, geom,
+                        VecName::kS, VecName::kT, graph));
+
+    // ---- Prologue: r0 = r; p = r; rho_old = r0.r; rr = r.r --------------
+    prog.prologue.push_back(
+        Phase::Vector(MakeCopy(VecName::kR0, VecName::kR)));
+    prog.prologue.push_back(
+        Phase::Vector(MakeCopy(VecName::kP, VecName::kR)));
+    prog.prologue.push_back(Phase::Vector(
+        MakeDot(ScalarReg::kRzOld, VecName::kR0, VecName::kR)));
+    prog.prologue.push_back(
+        Phase::Vector(MakeDot(ScalarReg::kRr, VecName::kR, VecName::kR)));
+
+    // ---- Iteration --------------------------------------------------------
+    // 1. v = A p
+    prog.iteration.push_back(Phase::Matrix(0));
+    // 2. alpha = rho_old / (r0 . v)
+    {
+        VectorKernel dot =
+            MakeDot(ScalarReg::kPap, VecName::kR0, VecName::kAp);
+        dot.post_divide = true;
+        dot.div_num = ScalarReg::kRzOld;
+        dot.div_out = ScalarReg::kAlpha;
+        prog.iteration.push_back(Phase::Vector(dot));
+    }
+    // 3. s = r - alpha v
+    prog.iteration.push_back(
+        Phase::Vector(MakeCopy(VecName::kS, VecName::kR)));
+    prog.iteration.push_back(Phase::Vector(
+        MakeAxpy(VecName::kS, ScalarReg::kAlpha, VecName::kAp, -1.0)));
+    // 4. t = A s
+    prog.iteration.push_back(Phase::Matrix(1));
+    // 5. omega = (t . s) / (t . t)
+    prog.iteration.push_back(Phase::Vector(
+        MakeDot(ScalarReg::kTmp, VecName::kT, VecName::kS)));
+    {
+        VectorKernel dot =
+            MakeDot(ScalarReg::kPap, VecName::kT, VecName::kT);
+        dot.post_divide = true;
+        dot.div_num = ScalarReg::kTmp;
+        dot.div_out = ScalarReg::kOmega; // (t.s) / (t.t)
+        prog.iteration.push_back(Phase::Vector(dot));
+    }
+    // 6. x += alpha p + omega s
+    prog.iteration.push_back(Phase::Vector(
+        MakeAxpy(VecName::kX, ScalarReg::kAlpha, VecName::kP)));
+    prog.iteration.push_back(Phase::Vector(
+        MakeAxpy(VecName::kX, ScalarReg::kOmega, VecName::kS)));
+    // 7. r = s - omega t
+    prog.iteration.push_back(
+        Phase::Vector(MakeCopy(VecName::kR, VecName::kS)));
+    prog.iteration.push_back(Phase::Vector(
+        MakeAxpy(VecName::kR, ScalarReg::kOmega, VecName::kT, -1.0)));
+    // 8. rho_new = r0 . r; beta = (rho_new/rho_old)*(alpha/omega);
+    //    rho_old = rho_new
+    prog.iteration.push_back(Phase::Vector(
+        MakeDot(ScalarReg::kRzNew, VecName::kR0, VecName::kR)));
+    {
+        ScalarOp beta;
+        beta.kind = ScalarOp::Kind::kMulDiv;
+        beta.out = ScalarReg::kBeta;
+        beta.a = ScalarReg::kRzNew;
+        beta.b = ScalarReg::kRzOld;
+        beta.c = ScalarReg::kAlpha;
+        beta.d = ScalarReg::kOmega;
+        prog.iteration.push_back(Phase::Scalar(beta));
+        ScalarOp rot;
+        rot.kind = ScalarOp::Kind::kCopy;
+        rot.out = ScalarReg::kRzOld;
+        rot.a = ScalarReg::kRzNew;
+        prog.iteration.push_back(Phase::Scalar(rot));
+    }
+    // 9. p = r + beta (p - omega v)
+    prog.iteration.push_back(Phase::Vector(
+        MakeAxpy(VecName::kP, ScalarReg::kOmega, VecName::kAp, -1.0)));
+    prog.iteration.push_back(Phase::Vector(
+        MakeXpby(VecName::kP, VecName::kR, ScalarReg::kBeta)));
+    // 10. rr = r . r
+    prog.iteration.push_back(
+        Phase::Vector(MakeDot(ScalarReg::kRr, VecName::kR, VecName::kR)));
+
+    const double n = static_cast<double>(a.rows());
+    prog.spmv_flops = 2.0 * SpMVFlops(a);
+    prog.vector_flops = 22.0 * n;
+    return prog;
+}
+
+} // namespace azul

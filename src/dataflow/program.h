@@ -1,0 +1,139 @@
+/**
+ * @file
+ * The compiled PCG program: the full sequence of kernel phases the
+ * machine executes per solver iteration (Listing 1 of the paper),
+ * plus the prologue that establishes the initial residual state.
+ */
+#ifndef AZUL_DATAFLOW_PROGRAM_H_
+#define AZUL_DATAFLOW_PROGRAM_H_
+
+#include <vector>
+
+#include "dataflow/sptrsv_graph.h"
+#include "dataflow/task.h"
+#include "dataflow/vector_ops_graph.h"
+#include "mapping/mapping.h"
+#include "solver/preconditioner.h"
+
+namespace azul {
+
+/**
+ * A register-file operation computed at the scalar-tree root and
+ * broadcast to all tiles (e.g. BiCGStab's beta and omega updates).
+ */
+struct ScalarOp {
+    enum class Kind : std::uint8_t {
+        kCopy,   //!< out = a
+        kDiv,    //!< out = a / b
+        kMulDiv, //!< out = (a / b) * (c / d)
+    };
+    Kind kind = Kind::kCopy;
+    ScalarReg out = ScalarReg::kTmp;
+    ScalarReg a = ScalarReg::kTmp;
+    ScalarReg b = ScalarReg::kTmp;
+    ScalarReg c = ScalarReg::kTmp;
+    ScalarReg d = ScalarReg::kTmp;
+};
+
+/** One phase: a matrix kernel (by index), an inline vector kernel, or
+ *  a scalar-register operation. */
+struct Phase {
+    enum class Kind : std::uint8_t { kMatrix, kVector, kScalar };
+    Kind kind = Kind::kVector;
+    int matrix_kernel = -1;
+    VectorKernel vec;
+    ScalarOp scalar;
+
+    static Phase
+    Matrix(int index)
+    {
+        Phase p;
+        p.kind = Kind::kMatrix;
+        p.matrix_kernel = index;
+        return p;
+    }
+    static Phase
+    Vector(VectorKernel k)
+    {
+        Phase p;
+        p.kind = Kind::kVector;
+        p.vec = std::move(k);
+        return p;
+    }
+    static Phase
+    Scalar(ScalarOp op)
+    {
+        Phase p;
+        p.kind = Kind::kScalar;
+        p.scalar = op;
+        return p;
+    }
+};
+
+/** A compiled PCG program with its placement context. */
+struct PcgProgram {
+    TorusGeometry geom;
+    std::vector<TileId> vec_tile;
+    std::vector<MatrixKernel> matrix_kernels;
+    std::vector<Phase> prologue;  //!< run once (x = 0, r = b assumed)
+    std::vector<Phase> iteration; //!< run until convergence
+    /** Per-index 1/diag(A) for the Jacobi kDiagScale kernel. */
+    std::vector<double> jacobi_inv_diag;
+    /** Nominal FLOPs per iteration, by kernel class. */
+    double spmv_flops = 0.0;
+    double sptrsv_flops = 0.0;
+    double vector_flops = 0.0;
+
+    double
+    FlopsPerIteration() const
+    {
+        return spmv_flops + sptrsv_flops + vector_flops;
+    }
+};
+
+/** Inputs to program compilation. */
+struct ProgramBuildInputs {
+    const CsrMatrix* a = nullptr;
+    /** Lower factor; required for trisolve-based preconditioners. */
+    const CsrMatrix* l = nullptr;
+    PreconditionerKind precond = PreconditionerKind::kIncompleteCholesky;
+    const DataMapping* mapping = nullptr;
+    TorusGeometry geom;
+    GraphOptions graph;
+};
+
+/**
+ * Compiles the full PCG program: SpMV + preconditioner application +
+ * vector ops, on the placement given by the mapping.
+ */
+PcgProgram BuildPcgProgram(const ProgramBuildInputs& in);
+
+/**
+ * Compiles a weighted-Jacobi (damped Richardson) solver program —
+ * the simplest Table II workload, exercising only SpMV + vector ops:
+ *
+ *     x += omega * D^{-1} (b - A x)
+ *
+ * Shares the PcgProgram container and the machine's RunPcg driver
+ * (the driver only depends on phases + the rr register).
+ */
+PcgProgram BuildJacobiSolverProgram(const CsrMatrix& a,
+                                    const DataMapping& mapping,
+                                    const TorusGeometry& geom,
+                                    double omega = 2.0 / 3.0,
+                                    const GraphOptions& graph = {});
+
+/**
+ * Compiles a (unpreconditioned) BiCGStab solver program — Table II's
+ * nonsymmetric workhorse, built from two SpMVs plus vector and scalar
+ * kernels per iteration. The matrix need not be symmetric, so this
+ * exercises Azul's generality beyond PCG.
+ */
+PcgProgram BuildBiCgStabProgram(const CsrMatrix& a,
+                                const DataMapping& mapping,
+                                const TorusGeometry& geom,
+                                const GraphOptions& graph = {});
+
+} // namespace azul
+
+#endif // AZUL_DATAFLOW_PROGRAM_H_

@@ -1,0 +1,40 @@
+#include "dataflow/spmv_graph.h"
+
+#include "solver/spmv.h"
+
+namespace azul {
+
+MatrixKernel
+BuildSpMVKernel(const CsrMatrix& a, const std::vector<TileId>& nnz_tile,
+                const std::vector<TileId>& vec_tile,
+                const TorusGeometry& geom, VecName input_vec,
+                VecName output_vec, const GraphOptions& opts)
+{
+    AZUL_CHECK(static_cast<Index>(nnz_tile.size()) == a.nnz());
+    AZUL_CHECK(static_cast<Index>(vec_tile.size()) == a.rows());
+    AZUL_CHECK(a.rows() == a.cols());
+
+    std::vector<PatternOp> ops;
+    ops.reserve(static_cast<std::size_t>(a.nnz()));
+    for (Index r = 0; r < a.rows(); ++r) {
+        for (Index k = a.RowBegin(r); k < a.RowEnd(r); ++k) {
+            ops.push_back({r, a.col_idx()[k], a.vals()[k],
+                           nnz_tile[static_cast<std::size_t>(k)]});
+        }
+    }
+
+    KernelBuildSpec spec;
+    spec.name = "spmv:" + VecNameStr(output_vec) + "=A*" +
+                VecNameStr(input_vec);
+    spec.kclass = KernelClass::kSpMV;
+    spec.input_vec = input_vec;
+    spec.output_vec = output_vec;
+    spec.n = a.rows();
+    spec.vec_tile = &vec_tile;
+    spec.triggered = false;
+    spec.use_trees = opts.use_trees;
+    spec.flops = SpMVFlops(a);
+    return BuildMatrixKernel(geom, ops, std::move(spec));
+}
+
+} // namespace azul

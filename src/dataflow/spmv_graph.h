@@ -1,0 +1,37 @@
+/**
+ * @file
+ * SpMV kernel compilation: y = A * v with A's nonzeros and the vector
+ * homes placed by a DataMapping (the worked example of Sec IV-A,
+ * Figs 12-15).
+ */
+#ifndef AZUL_DATAFLOW_SPMV_GRAPH_H_
+#define AZUL_DATAFLOW_SPMV_GRAPH_H_
+
+#include "dataflow/kernel_builder.h"
+#include "mapping/mapping.h"
+#include "sparse/csr.h"
+
+namespace azul {
+
+/** Options shared by the kernel compilers. */
+struct GraphOptions {
+    bool use_trees = true; //!< chained trees vs point-to-point
+};
+
+/**
+ * Compiles the SpMV kernel out_vec = A * input_vec.
+ *
+ * @param a        system matrix.
+ * @param nnz_tile tile of each A nonzero (CSR order).
+ * @param vec_tile home tile of each vector slot.
+ */
+MatrixKernel BuildSpMVKernel(const CsrMatrix& a,
+                             const std::vector<TileId>& nnz_tile,
+                             const std::vector<TileId>& vec_tile,
+                             const TorusGeometry& geom,
+                             VecName input_vec, VecName output_vec,
+                             const GraphOptions& opts = {});
+
+} // namespace azul
+
+#endif // AZUL_DATAFLOW_SPMV_GRAPH_H_

@@ -1,0 +1,100 @@
+#include "dataflow/sptrsv_graph.h"
+
+#include "solver/sptrsv.h"
+#include "sparse/triangle.h"
+
+namespace azul {
+
+namespace {
+
+/** Extracts 1/diag of L, checking for zero diagonals. */
+std::vector<double>
+InverseDiagonal(const CsrMatrix& l)
+{
+    std::vector<double> inv(static_cast<std::size_t>(l.rows()));
+    for (Index r = 0; r < l.rows(); ++r) {
+        const double d = l.At(r, r);
+        AZUL_CHECK_MSG(d != 0.0, "SpTRSV: zero diagonal at row " << r);
+        inv[static_cast<std::size_t>(r)] = 1.0 / d;
+    }
+    return inv;
+}
+
+MatrixKernel
+BuildSolveKernel(const CsrMatrix& l, const std::vector<TileId>& nnz_tile,
+                 const std::vector<TileId>& vec_tile,
+                 const TorusGeometry& geom, VecName rhs_vec,
+                 VecName output_vec, const GraphOptions& opts,
+                 bool transpose)
+{
+    AZUL_CHECK(static_cast<Index>(nnz_tile.size()) == l.nnz());
+    AZUL_CHECK(static_cast<Index>(vec_tile.size()) == l.rows());
+    AZUL_CHECK(l.rows() == l.cols());
+    AZUL_CHECK_MSG(IsLowerTriangular(l),
+                   "SpTRSV kernels require a lower-triangular factor");
+
+    // Elementary op for L entry (r, c), c < r:
+    //  forward:  acc[r] += L_rc * x[c]  (op out=r, in=c)
+    //  backward: row c of L^T holds L_rc, so acc[c] += L_rc * x[r]
+    //            (op out=c, in=r). Diagonal entries become the solve's
+    //            reciprocal multiply and are not ops.
+    std::vector<PatternOp> ops;
+    ops.reserve(static_cast<std::size_t>(l.nnz() - l.rows()));
+    for (Index r = 0; r < l.rows(); ++r) {
+        for (Index k = l.RowBegin(r); k < l.RowEnd(r); ++k) {
+            const Index c = l.col_idx()[k];
+            if (c == r) {
+                continue;
+            }
+            const TileId tile = nnz_tile[static_cast<std::size_t>(k)];
+            if (!transpose) {
+                ops.push_back({r, c, l.vals()[k], tile});
+            } else {
+                ops.push_back({c, r, l.vals()[k], tile});
+            }
+        }
+    }
+
+    KernelBuildSpec spec;
+    spec.name = std::string(transpose ? "sptrsv-bwd:" : "sptrsv-fwd:") +
+                VecNameStr(output_vec) + "=" +
+                (transpose ? "L^-T " : "L^-1 ") + VecNameStr(rhs_vec);
+    spec.kclass = transpose ? KernelClass::kSpTRSVBackward
+                            : KernelClass::kSpTRSVForward;
+    spec.input_vec = output_vec; // multicasts carry solved outputs
+    spec.rhs_vec = rhs_vec;
+    spec.output_vec = output_vec;
+    spec.n = l.rows();
+    spec.vec_tile = &vec_tile;
+    spec.inv_diag = InverseDiagonal(l);
+    spec.triggered = true;
+    spec.use_trees = opts.use_trees;
+    spec.flops = SpTRSVFlops(l);
+    return BuildMatrixKernel(geom, ops, std::move(spec));
+}
+
+} // namespace
+
+MatrixKernel
+BuildSpTRSVForwardKernel(const CsrMatrix& l,
+                         const std::vector<TileId>& nnz_tile,
+                         const std::vector<TileId>& vec_tile,
+                         const TorusGeometry& geom, VecName rhs_vec,
+                         VecName output_vec, const GraphOptions& opts)
+{
+    return BuildSolveKernel(l, nnz_tile, vec_tile, geom, rhs_vec,
+                            output_vec, opts, /*transpose=*/false);
+}
+
+MatrixKernel
+BuildSpTRSVBackwardKernel(const CsrMatrix& l,
+                          const std::vector<TileId>& nnz_tile,
+                          const std::vector<TileId>& vec_tile,
+                          const TorusGeometry& geom, VecName rhs_vec,
+                          VecName output_vec, const GraphOptions& opts)
+{
+    return BuildSolveKernel(l, nnz_tile, vec_tile, geom, rhs_vec,
+                            output_vec, opts, /*transpose=*/true);
+}
+
+} // namespace azul

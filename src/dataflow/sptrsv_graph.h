@@ -1,0 +1,37 @@
+/**
+ * @file
+ * SpTRSV kernel compilation: forward solve L t = r and backward solve
+ * L^T z = t, both from L's storage and placement. Multicasts carry
+ * solved variables; reductions end in solve actions at each variable's
+ * home tile (Sec IV-A, V-A).
+ */
+#ifndef AZUL_DATAFLOW_SPTRSV_GRAPH_H_
+#define AZUL_DATAFLOW_SPTRSV_GRAPH_H_
+
+#include "dataflow/spmv_graph.h"
+#include "mapping/mapping.h"
+#include "sparse/csr.h"
+
+namespace azul {
+
+/**
+ * Compiles the forward solve out_vec = L^{-1} rhs_vec.
+ *
+ * @param l        lower-triangular factor (with nonzero diagonal).
+ * @param nnz_tile tile of each L nonzero (CSR order).
+ * @param vec_tile home tile of each vector slot.
+ */
+MatrixKernel BuildSpTRSVForwardKernel(
+    const CsrMatrix& l, const std::vector<TileId>& nnz_tile,
+    const std::vector<TileId>& vec_tile, const TorusGeometry& geom,
+    VecName rhs_vec, VecName output_vec, const GraphOptions& opts = {});
+
+/** Compiles the backward solve out_vec = L^{-T} rhs_vec. */
+MatrixKernel BuildSpTRSVBackwardKernel(
+    const CsrMatrix& l, const std::vector<TileId>& nnz_tile,
+    const std::vector<TileId>& vec_tile, const TorusGeometry& geom,
+    VecName rhs_vec, VecName output_vec, const GraphOptions& opts = {});
+
+} // namespace azul
+
+#endif // AZUL_DATAFLOW_SPTRSV_GRAPH_H_

@@ -1,0 +1,56 @@
+#include "dataflow/task.h"
+
+namespace azul {
+
+void
+MatrixKernel::Validate() const
+{
+    const auto num_tiles = static_cast<std::int32_t>(tiles.size());
+    const auto check_ref = [&](const NodeRef& ref) {
+        AZUL_CHECK(ref.tile >= 0 && ref.tile < num_tiles);
+        const auto& tk = tiles[static_cast<std::size_t>(ref.tile)];
+        AZUL_CHECK(ref.node >= 0 &&
+                   ref.node < static_cast<NodeId>(tk.nodes.size()));
+    };
+    for (std::int32_t t = 0; t < num_tiles; ++t) {
+        const TileKernel& tk = tiles[static_cast<std::size_t>(t)];
+        for (const NodeDesc& node : tk.nodes) {
+            if (node.kind == NodeKind::kMulticast) {
+                for (const NodeRef& child : node.children) {
+                    check_ref(child);
+                }
+                AZUL_CHECK(node.first_op >= 0);
+                AZUL_CHECK(node.first_op + node.num_ops <=
+                           static_cast<std::int32_t>(tk.ops.size()));
+            } else {
+                if (node.parent.valid()) {
+                    check_ref(node.parent);
+                    AZUL_CHECK(node.final_action == FinalAction::kNone);
+                } else {
+                    AZUL_CHECK(node.final_action != FinalAction::kNone);
+                }
+                if (node.trigger_node != -1) {
+                    AZUL_CHECK(
+                        node.trigger_node >= 0 &&
+                        node.trigger_node <
+                            static_cast<NodeId>(tk.nodes.size()));
+                }
+            }
+        }
+        for (const ColumnOp& op : tk.ops) {
+            AZUL_CHECK(op.acc >= 0 &&
+                       op.acc <
+                           static_cast<std::int32_t>(tk.accums.size()));
+        }
+        for (const AccumDesc& acc : tk.accums) {
+            AZUL_CHECK(acc.expected > 0);
+            check_ref(acc.dest);
+        }
+        for (NodeId n : tk.initial_nodes) {
+            AZUL_CHECK(n >= 0 &&
+                       n < static_cast<NodeId>(tk.nodes.size()));
+        }
+    }
+}
+
+} // namespace azul

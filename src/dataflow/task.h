@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Compiled kernel representation: the per-tile node/op/accumulator
+ * tables that the cycle-level simulator interprets.
+ *
+ * A matrix kernel (SpMV or SpTRSV) compiles to, per tile:
+ *
+ *  - nodes: communication-tree vertices. A multicast node forwards an
+ *    incoming value to child nodes and triggers a local column task (a
+ *    run of FMAC ops — the paper's ScaleAndAccumCol). A reduce node
+ *    accumulates `expected` contributions, then forwards the sum to
+ *    its parent or executes a final action (write an output element,
+ *    or solve an SpTRSV variable and fire its multicast).
+ *
+ *  - ops: flattened column-task bodies. Each op is one FMAC:
+ *    accums[op.acc] += coeff * incoming_value.
+ *
+ *  - accums: per-row partial sums local to the tile. When an
+ *    accumulator has received its expected number of updates it
+ *    delivers its value to a reduce node (possibly on another tile).
+ */
+#ifndef AZUL_DATAFLOW_TASK_H_
+#define AZUL_DATAFLOW_TASK_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dataflow/message.h"
+#include "util/common.h"
+
+namespace azul {
+
+/** Node id local to one tile's kernel table. */
+using NodeId = std::int32_t;
+
+/** Address of a node: (tile, node id within that tile). */
+struct NodeRef {
+    std::int32_t tile = -1;
+    NodeId node = -1;
+
+    bool valid() const { return tile >= 0; }
+};
+
+/** Node kinds. */
+enum class NodeKind : std::uint8_t { kMulticast, kReduce };
+
+/** What a reduce node does once all contributions arrived. */
+enum class FinalAction : std::uint8_t {
+    kNone,        //!< interior node: forward to parent
+    kWriteOutput, //!< out_vec[slot] = rhs? + acc (SpMV result row)
+    kSolve,       //!< x = (rhs[slot] - acc) * inv_diag; fire trigger
+};
+
+/** One communication-tree vertex on a tile. */
+struct NodeDesc {
+    NodeKind kind = NodeKind::kMulticast;
+
+    /** Multicast: children to forward the value to. */
+    std::vector<NodeRef> children;
+    /** Multicast: local column task (FMACs) triggered on delivery. */
+    std::int32_t first_op = 0;
+    std::int32_t num_ops = 0;
+    /** Multicast root: vector slot whose value seeds the tree (for
+     *  kernel-start sends); -1 if triggered by a solve. */
+    Index source_slot = -1;
+
+    /** Reduce: contributions to await before completing. */
+    std::int32_t expected = 0;
+    /** Reduce: parent to forward the sum to (invalid at the root). */
+    NodeRef parent;
+    /** Reduce root: what to do on completion. */
+    FinalAction final_action = FinalAction::kNone;
+    /** Reduce root: global vector index written / solved. */
+    Index slot = -1;
+    /** Reduce root (kSolve): same-tile multicast node to fire. */
+    NodeId trigger_node = -1;
+};
+
+/** One FMAC of a column task: accums[acc] += coeff * value. */
+struct ColumnOp {
+    std::int32_t acc = 0;
+    double coeff = 0.0;
+};
+
+/** Per-row partial sum local to a tile. */
+struct AccumDesc {
+    std::int32_t expected = 0; //!< FMAC updates before delivery
+    NodeRef dest;              //!< reduce node receiving the partial
+};
+
+/** All kernel state of one tile. */
+struct TileKernel {
+    std::vector<NodeDesc> nodes;
+    std::vector<ColumnOp> ops;
+    std::vector<AccumDesc> accums;
+    /** Nodes fired at kernel start: multicast roots with a source
+     *  slot, and reduce roots whose expected count is zero. */
+    std::vector<NodeId> initial_nodes;
+};
+
+/** Kernel classes for statistics (Fig 22 categories). */
+enum class KernelClass : std::uint8_t {
+    kSpMV,
+    kSpTRSVForward,
+    kSpTRSVBackward,
+    kVectorOp,
+};
+
+/** A compiled matrix kernel: one SpMV or one triangular solve. */
+struct MatrixKernel {
+    std::string name;
+    KernelClass kclass = KernelClass::kSpMV;
+    VecName input_vec = VecName::kP;   //!< multicast source values
+    VecName rhs_vec = VecName::kCount; //!< reduce rhs (SpTRSV only)
+    VecName output_vec = VecName::kAp; //!< result vector
+    std::vector<TileKernel> tiles;
+    /** 1/diag per vector index for kSolve roots (empty for SpMV);
+     *  conceptually stored at each slot's home tile (the paper stores
+     *  diagonals as reciprocals to avoid critical-path divides). */
+    std::vector<double> inv_diag;
+    double flops = 0.0; //!< nominal FLOP count of one execution
+
+    /** Structural sanity checks (node/op/accum cross-references). */
+    void Validate() const;
+};
+
+} // namespace azul
+
+#endif // AZUL_DATAFLOW_TASK_H_

@@ -1,0 +1,175 @@
+#include "dataflow/tree.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <map>
+
+namespace azul {
+
+std::int32_t
+TorusGeometry::WrapDelta(std::int32_t a, std::int32_t b, std::int32_t dim)
+{
+    std::int32_t d = b - a;
+    if (d > dim / 2) {
+        d -= dim;
+    } else if (d < -(dim - 1) / 2) {
+        d += dim;
+    }
+    return d;
+}
+
+std::int32_t
+TorusGeometry::HopDistance(std::int32_t a, std::int32_t b) const
+{
+    return std::abs(Delta(XOf(a), XOf(b), width)) +
+           std::abs(Delta(YOf(a), YOf(b), height));
+}
+
+std::vector<std::vector<std::int32_t>>
+TreeTopology::Children() const
+{
+    std::vector<std::vector<std::int32_t>> children(tiles.size());
+    for (std::size_t i = 1; i < tiles.size(); ++i) {
+        children[static_cast<std::size_t>(parent[i])].push_back(
+            static_cast<std::int32_t>(i));
+    }
+    return children;
+}
+
+std::int32_t
+TreeTopology::Depth() const
+{
+    std::vector<std::int32_t> depth(tiles.size(), 0);
+    std::int32_t max_depth = 0;
+    // parents always precede children in construction order
+    for (std::size_t i = 1; i < tiles.size(); ++i) {
+        depth[i] = depth[static_cast<std::size_t>(parent[i])] + 1;
+        max_depth = std::max(max_depth, depth[i]);
+    }
+    return max_depth;
+}
+
+std::int64_t
+TreeTopology::TotalHops(const TorusGeometry& geom) const
+{
+    std::int64_t hops = 0;
+    for (std::size_t i = 1; i < tiles.size(); ++i) {
+        hops += geom.HopDistance(
+            tiles[static_cast<std::size_t>(parent[i])], tiles[i]);
+    }
+    return hops;
+}
+
+TreeTopology
+BuildTorusTree(const TorusGeometry& geom, std::int32_t root,
+               std::vector<std::int32_t> members, bool use_tree)
+{
+    AZUL_CHECK(root >= 0 && root < geom.num_tiles());
+    std::sort(members.begin(), members.end());
+    members.erase(std::unique(members.begin(), members.end()),
+                  members.end());
+    members.erase(std::remove(members.begin(), members.end(), root),
+                  members.end());
+
+    TreeTopology tree;
+    tree.tiles.push_back(root);
+    tree.parent.push_back(-1);
+
+    if (!use_tree) {
+        for (std::int32_t m : members) {
+            tree.tiles.push_back(m);
+            tree.parent.push_back(0);
+        }
+        return tree;
+    }
+
+    // Group members by column.
+    std::map<std::int32_t, std::vector<std::int32_t>> by_column;
+    for (std::int32_t m : members) {
+        by_column[geom.XOf(m)].push_back(m);
+    }
+
+    const std::int32_t root_x = geom.XOf(root);
+    const std::int32_t root_y = geom.YOf(root);
+
+    // Chain branch tiles along the root's row, east and west.
+    // Columns are sorted by signed wrap offset from the root column.
+    std::vector<std::pair<std::int32_t, std::int32_t>> col_offsets;
+    for (const auto& [x, tiles_in_col] : by_column) {
+        (void)tiles_in_col;
+        col_offsets.emplace_back(
+            geom.Delta(root_x, x, geom.width), x);
+    }
+    std::sort(col_offsets.begin(), col_offsets.end());
+
+    // index-into-tree of the branch node of each column.
+    std::map<std::int32_t, std::int32_t> branch_node_of_col;
+    branch_node_of_col[root_x] = 0;
+
+    const auto add_node = [&tree](std::int32_t tile,
+                                  std::int32_t parent_idx) {
+        tree.tiles.push_back(tile);
+        tree.parent.push_back(parent_idx);
+        return static_cast<std::int32_t>(tree.tiles.size() - 1);
+    };
+
+    // Eastward chain (positive offsets, ascending).
+    std::int32_t prev = 0;
+    for (const auto& [off, x] : col_offsets) {
+        if (off <= 0) {
+            continue;
+        }
+        const std::int32_t branch_tile = geom.TileAt(x, root_y);
+        prev = add_node(branch_tile, prev);
+        branch_node_of_col[x] = prev;
+    }
+    // Westward chain (negative offsets, descending toward the west).
+    prev = 0;
+    for (auto it = col_offsets.rbegin(); it != col_offsets.rend(); ++it) {
+        if (it->first >= 0) {
+            continue;
+        }
+        const std::int32_t branch_tile = geom.TileAt(it->second, root_y);
+        prev = add_node(branch_tile, prev);
+        branch_node_of_col[it->second] = prev;
+    }
+
+    // Within each column: chain members north and south of the branch
+    // row, nearest first.
+    for (auto& [x, tiles_in_col] : by_column) {
+        const std::int32_t branch_idx = branch_node_of_col.at(x);
+        const std::int32_t branch_tile = tree.tiles[static_cast<
+            std::size_t>(branch_idx)];
+        // The branch tile itself may be a member; it is already a
+        // node, so just skip it in the chains.
+        std::vector<std::pair<std::int32_t, std::int32_t>> offs;
+        for (std::int32_t m : tiles_in_col) {
+            if (m == branch_tile) {
+                continue;
+            }
+            offs.emplace_back(geom.Delta(geom.YOf(branch_tile),
+                                         geom.YOf(m), geom.height),
+                              m);
+        }
+        std::sort(offs.begin(), offs.end());
+        // Southward (positive y-offset) chain, ascending.
+        std::int32_t prev_idx = branch_idx;
+        for (const auto& [off, m] : offs) {
+            if (off <= 0) {
+                continue;
+            }
+            prev_idx = add_node(m, prev_idx);
+        }
+        // Northward chain, descending.
+        prev_idx = branch_idx;
+        for (auto it = offs.rbegin(); it != offs.rend(); ++it) {
+            if (it->first >= 0) {
+                continue;
+            }
+            prev_idx = add_node(it->second, prev_idx);
+        }
+    }
+    return tree;
+}
+
+} // namespace azul

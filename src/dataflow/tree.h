@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Multicast/reduction tree construction on the 2-D torus (Sec IV-D,
+ * Fig 18). Trees are dimension-ordered: the root reaches the branch
+ * tile in each participating column by chaining along its own row
+ * (east and west, shortest wrap direction), and each branch tile
+ * chains through its column's members north and south. Chaining means
+ * one message serves many destinations, avoiding both redundant link
+ * traffic and long serialized send loops at the root.
+ *
+ * Reduction trees are the same topology reversed.
+ */
+#ifndef AZUL_DATAFLOW_TREE_H_
+#define AZUL_DATAFLOW_TREE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/common.h"
+
+namespace azul {
+
+/**
+ * 2-D grid geometry helper shared by the compiler and simulator.
+ * The paper's machine is a torus (wraparound links, Sec V-B); a plain
+ * mesh (no wraparound, Cerebras-style) is available as an ablation
+ * via `wrap = false`.
+ */
+struct TorusGeometry {
+    std::int32_t width = 1;
+    std::int32_t height = 1;
+    bool wrap = true; //!< torus (paper default) vs mesh
+
+    std::int32_t num_tiles() const { return width * height; }
+    std::int32_t XOf(std::int32_t tile) const { return tile % width; }
+    std::int32_t YOf(std::int32_t tile) const { return tile / width; }
+    std::int32_t
+    TileAt(std::int32_t x, std::int32_t y) const
+    {
+        return y * width + x;
+    }
+
+    /** Signed shortest wrap offset from a to b along one dimension of
+     *  size `dim` (ties broken toward positive). */
+    static std::int32_t WrapDelta(std::int32_t a, std::int32_t b,
+                                  std::int32_t dim);
+
+    /** Signed offset from a to b along one dimension, honoring the
+     *  wrap setting. */
+    std::int32_t
+    Delta(std::int32_t a, std::int32_t b, std::int32_t dim) const
+    {
+        return wrap ? WrapDelta(a, b, dim) : b - a;
+    }
+
+    /** Shortest-path hop count between two tiles. */
+    std::int32_t HopDistance(std::int32_t a, std::int32_t b) const;
+};
+
+/**
+ * A communication tree: tiles[0] is the root; parent[i] indexes into
+ * tiles (parent[0] == -1). For a multicast, values flow root→leaves;
+ * for a reduction, leaves→root.
+ */
+struct TreeTopology {
+    std::vector<std::int32_t> tiles;
+    std::vector<std::int32_t> parent;
+
+    std::size_t size() const { return tiles.size(); }
+
+    /** Children lists (index-into-tiles), derived on demand. */
+    std::vector<std::vector<std::int32_t>> Children() const;
+
+    /** Tree depth in edges (0 for a single-node tree). */
+    std::int32_t Depth() const;
+
+    /** Total hop count of all tree edges under the geometry. */
+    std::int64_t TotalHops(const TorusGeometry& geom) const;
+};
+
+/**
+ * Builds a dimension-ordered chained tree rooted at `root` spanning
+ * `members` (duplicates and the root itself are tolerated). With
+ * use_tree == false, returns a star: every member parented directly
+ * to the root (the paper's point-to-point baseline).
+ */
+TreeTopology BuildTorusTree(const TorusGeometry& geom, std::int32_t root,
+                            std::vector<std::int32_t> members,
+                            bool use_tree = true);
+
+} // namespace azul
+
+#endif // AZUL_DATAFLOW_TREE_H_

@@ -1,0 +1,115 @@
+#include "dataflow/vector_ops_graph.h"
+
+#include <sstream>
+
+namespace azul {
+
+std::string
+VectorKernel::ToString() const
+{
+    std::ostringstream oss;
+    switch (op) {
+      case VecOpKind::kAxpy:
+        oss << VecNameStr(dst) << " += " << (scale_sign < 0 ? "-" : "")
+            << "s*" << VecNameStr(src_a);
+        break;
+      case VecOpKind::kXpby:
+        oss << VecNameStr(dst) << " = " << VecNameStr(src_a) << " + s*"
+            << VecNameStr(dst);
+        break;
+      case VecOpKind::kCopy:
+        oss << VecNameStr(dst) << " = " << VecNameStr(src_a);
+        break;
+      case VecOpKind::kSub:
+        oss << VecNameStr(dst) << " = " << VecNameStr(src_a) << " - "
+            << VecNameStr(src_b);
+        break;
+      case VecOpKind::kDiagScale:
+        oss << VecNameStr(dst) << " = D^-1 " << VecNameStr(src_a);
+        break;
+      case VecOpKind::kDotReduce:
+        oss << "dot(" << VecNameStr(src_a) << "," << VecNameStr(src_b)
+            << ")";
+        break;
+    }
+    return oss.str();
+}
+
+VectorKernel
+MakeAxpy(VecName dst, ScalarReg reg, VecName a, double sign)
+{
+    VectorKernel k;
+    k.op = VecOpKind::kAxpy;
+    k.dst = dst;
+    k.src_a = a;
+    k.scale_reg = reg;
+    k.scale_sign = sign;
+    return k;
+}
+
+VectorKernel
+MakeXpby(VecName dst, VecName a, ScalarReg reg)
+{
+    VectorKernel k;
+    k.op = VecOpKind::kXpby;
+    k.dst = dst;
+    k.src_a = a;
+    k.scale_reg = reg;
+    return k;
+}
+
+VectorKernel
+MakeAxpyConst(VecName dst, double s, VecName a)
+{
+    VectorKernel k;
+    k.op = VecOpKind::kAxpy;
+    k.dst = dst;
+    k.src_a = a;
+    k.use_const_scale = true;
+    k.const_scale = s;
+    return k;
+}
+
+VectorKernel
+MakeSub(VecName dst, VecName a, VecName b)
+{
+    VectorKernel k;
+    k.op = VecOpKind::kSub;
+    k.dst = dst;
+    k.src_a = a;
+    k.src_b = b;
+    return k;
+}
+
+VectorKernel
+MakeCopy(VecName dst, VecName a)
+{
+    VectorKernel k;
+    k.op = VecOpKind::kCopy;
+    k.dst = dst;
+    k.src_a = a;
+    return k;
+}
+
+VectorKernel
+MakeDiagScale(VecName dst, VecName a)
+{
+    VectorKernel k;
+    k.op = VecOpKind::kDiagScale;
+    k.dst = dst;
+    k.src_a = a;
+    return k;
+}
+
+VectorKernel
+MakeDot(ScalarReg reg, VecName a, VecName b)
+{
+    VectorKernel k;
+    k.op = VecOpKind::kDotReduce;
+    k.src_a = a;
+    k.src_b = b;
+    k.dot_out = reg;
+    return k;
+}
+
+} // namespace azul

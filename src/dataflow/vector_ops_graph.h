@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Vector-operation kernels of PCG (the "Vector Ops" of Fig 3/22):
+ * elementwise updates over the distributed vector slots plus dot
+ * products with a global scalar reduce-and-broadcast.
+ *
+ * Elementwise kernels touch only local data (all dense vectors of one
+ * index share a home tile), so they need no compilation — the machine
+ * sweeps each tile's slots. Dot products reduce local partials over a
+ * machine-wide scalar tree and broadcast the results (and any derived
+ * quotients, e.g. alpha and beta) back.
+ */
+#ifndef AZUL_DATAFLOW_VECTOR_OPS_GRAPH_H_
+#define AZUL_DATAFLOW_VECTOR_OPS_GRAPH_H_
+
+#include "dataflow/message.h"
+
+namespace azul {
+
+/** Vector kernel kinds. */
+enum class VecOpKind : std::uint8_t {
+    kAxpy,      //!< dst[i] += sign * reg * a[i]
+    kXpby,      //!< dst[i] = a[i] + reg * dst[i]
+    kCopy,      //!< dst[i] = a[i]
+    kSub,       //!< dst[i] = a[i] - b[i]
+    kDiagScale, //!< dst[i] = a[i] * inv_diag[i] (Jacobi apply)
+    kDotReduce, //!< reg = dot(a, b), with optional derived quotient
+};
+
+/** One vector-op phase. */
+struct VectorKernel {
+    VecOpKind op = VecOpKind::kCopy;
+    VecName dst = VecName::kX;
+    VecName src_a = VecName::kX;
+    VecName src_b = VecName::kX; //!< second dot operand
+
+    ScalarReg scale_reg = ScalarReg::kAlpha; //!< axpy/xpby scale
+    double scale_sign = 1.0;                 //!< -1 for r -= alpha*Ap
+    /** When set, axpy/xpby use this compile-time constant instead of
+     *  a scalar register (e.g. Jacobi's fixed damping omega). */
+    bool use_const_scale = false;
+    double const_scale = 1.0;
+
+    // kDotReduce extras, applied at the reduction root then broadcast:
+    ScalarReg dot_out = ScalarReg::kRr; //!< receives dot(a, b)
+    bool post_divide = false;           //!< compute a quotient too
+    bool divide_dot_by_num = false;     //!< false: num/dot; true: dot/num
+    ScalarReg div_num = ScalarReg::kRzOld;
+    ScalarReg div_out = ScalarReg::kAlpha;
+    bool copy_dot_to = false;           //!< also copy dot into a reg
+    ScalarReg dot_copy_reg = ScalarReg::kRzOld;
+
+    /** Human-readable description for traces. */
+    std::string ToString() const;
+};
+
+// ---- Convenience constructors used by the PCG program builder -----------
+
+/** dst += sign * reg * a. */
+VectorKernel MakeAxpy(VecName dst, ScalarReg reg, VecName a,
+                      double sign = 1.0);
+
+/** dst = a + reg * dst. */
+VectorKernel MakeXpby(VecName dst, VecName a, ScalarReg reg);
+
+/** dst += s * a with a compile-time constant scale. */
+VectorKernel MakeAxpyConst(VecName dst, double s, VecName a);
+
+/** dst = a. */
+VectorKernel MakeCopy(VecName dst, VecName a);
+
+/** dst = a - b (elementwise). */
+VectorKernel MakeSub(VecName dst, VecName a, VecName b);
+
+/** dst = D^{-1} a (Jacobi apply; uses the program's inv-diag table). */
+VectorKernel MakeDiagScale(VecName dst, VecName a);
+
+/** reg = dot(a, b). */
+VectorKernel MakeDot(ScalarReg reg, VecName a, VecName b);
+
+} // namespace azul
+
+#endif // AZUL_DATAFLOW_VECTOR_OPS_GRAPH_H_

@@ -1,0 +1,19 @@
+#include "energy/area_model.h"
+
+namespace azul {
+
+AreaBreakdown
+ComputeArea(const SimConfig& cfg, const AreaParams& params)
+{
+    AreaBreakdown out;
+    const double tiles = static_cast<double>(cfg.num_tiles());
+    out.pes_mm2 = tiles * params.pe_mm2;
+    out.routers_mm2 = tiles * params.router_mm2;
+    const double sram_mb =
+        tiles * (cfg.data_sram_kb + cfg.accum_sram_kb) / 1024.0;
+    out.srams_mm2 = sram_mb / params.sram_mb_per_mm2;
+    out.io_mm2 = params.io_mm2;
+    return out;
+}
+
+} // namespace azul

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Area model (Table V): per-component 7nm areas — synthesized PE,
+ * DSENT router, 3.75 MB/mm² SRAM macros, and an HBM2e-PHY-sized I/O
+ * block.
+ */
+#ifndef AZUL_ENERGY_AREA_MODEL_H_
+#define AZUL_ENERGY_AREA_MODEL_H_
+
+#include "sim/config.h"
+
+namespace azul {
+
+/** Per-component 7nm area parameters (Table V). */
+struct AreaParams {
+    double pe_mm2 = 0.0043;
+    double router_mm2 = 0.0016;
+    double sram_mb_per_mm2 = 3.75;
+    double io_mm2 = 15.0;
+};
+
+/** Area breakdown in mm² (Table V rows). */
+struct AreaBreakdown {
+    double pes_mm2 = 0.0;
+    double routers_mm2 = 0.0;
+    double srams_mm2 = 0.0;
+    double io_mm2 = 0.0;
+
+    double
+    total() const
+    {
+        return pes_mm2 + routers_mm2 + srams_mm2 + io_mm2;
+    }
+};
+
+/** Computes the area of a machine configuration. */
+AreaBreakdown ComputeArea(const SimConfig& cfg,
+                          const AreaParams& params = {});
+
+} // namespace azul
+
+#endif // AZUL_ENERGY_AREA_MODEL_H_

@@ -1,0 +1,43 @@
+#include "energy/energy_model.h"
+
+namespace azul {
+
+double
+ComputeEnergyJoules(const SimStats& stats, const SimConfig& cfg,
+                    const EnergyParams& params)
+{
+    const PowerBreakdown p = ComputePower(stats, cfg, params);
+    const double seconds =
+        static_cast<double>(stats.cycles) / (cfg.clock_ghz * 1e9);
+    return p.total() * seconds;
+}
+
+PowerBreakdown
+ComputePower(const SimStats& stats, const SimConfig& cfg,
+             const EnergyParams& params)
+{
+    PowerBreakdown out;
+    if (stats.cycles == 0) {
+        return out;
+    }
+    const double seconds =
+        static_cast<double>(stats.cycles) / (cfg.clock_ghz * 1e9);
+
+    const double sram_j =
+        (static_cast<double>(stats.sram_reads) * params.sram_read_pj +
+         static_cast<double>(stats.sram_writes) * params.sram_write_pj) *
+        1e-12;
+    const double compute_j =
+        static_cast<double>(stats.ops.total()) * params.fp_op_pj * 1e-12;
+    const double noc_j = static_cast<double>(stats.link_activations) *
+                         params.noc_hop_pj * 1e-12;
+
+    out.sram_w = sram_j / seconds;
+    out.compute_w = compute_j / seconds;
+    out.noc_w = noc_j / seconds;
+    out.leakage_w = params.leakage_mw_per_tile * 1e-3 *
+                    static_cast<double>(cfg.num_tiles());
+    return out;
+}
+
+} // namespace azul

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Power model (Sec VI-E, Fig 24). Combines per-event energies — the
+ * paper's CACTI-derived 10.9 pJ per 96-bit SRAM access, synthesized
+ * PE op energy, DSENT-derived per-hop link energy — with activity
+ * factors from simulation, plus leakage.
+ */
+#ifndef AZUL_ENERGY_ENERGY_MODEL_H_
+#define AZUL_ENERGY_ENERGY_MODEL_H_
+
+#include "sim/config.h"
+#include "sim/sim_stats.h"
+
+namespace azul {
+
+/** Per-event energies at 7nm (paper-calibrated). */
+struct EnergyParams {
+    double sram_read_pj = 10.9;  //!< per 96-bit read (paper, CACTI)
+    double sram_write_pj = 12.0; //!< per 96-bit write
+    double fp_op_pj = 4.5;       //!< FP64 FMAC datapath + control
+    double noc_hop_pj = 2.6;     //!< per flit-hop (router + link)
+    double leakage_mw_per_tile = 3.5;
+};
+
+/** Power breakdown in watts (Fig 24 categories). */
+struct PowerBreakdown {
+    double sram_w = 0.0;
+    double compute_w = 0.0;
+    double noc_w = 0.0;
+    double leakage_w = 0.0;
+
+    double
+    total() const
+    {
+        return sram_w + compute_w + noc_w + leakage_w;
+    }
+};
+
+/**
+ * Average power over a simulated interval: event counts from `stats`
+ * over `stats.cycles` at the configured clock.
+ */
+PowerBreakdown ComputePower(const SimStats& stats, const SimConfig& cfg,
+                            const EnergyParams& params = {});
+
+/** Total energy in joules over the simulated interval. */
+double ComputeEnergyJoules(const SimStats& stats, const SimConfig& cfg,
+                           const EnergyParams& params = {});
+
+} // namespace azul
+
+#endif // AZUL_ENERGY_ENERGY_MODEL_H_

@@ -1,0 +1,189 @@
+#include "mapping/azul_mapper.h"
+
+#include <cmath>
+
+#include "mapping/quantiles.h"
+#include "solver/levels.h"
+#include "util/logging.h"
+
+namespace azul {
+
+namespace {
+
+/**
+ * Appends row and column hyperedges of matrix m to the edge lists.
+ * Vertex ids of m's nonzeros start at nnz_base; vector slots start at
+ * vec_base. Row edge i additionally pins slot i (the reduction
+ * destination); column edge j pins slot j (the multicast source).
+ */
+void
+AppendMatrixEdges(const CsrMatrix& m, Index nnz_base, Index vec_base,
+                  Weight row_weight, Weight col_weight,
+                  std::vector<Index>& pin_ptr, std::vector<Index>& pins,
+                  std::vector<Weight>& eweights)
+{
+    // Row edges.
+    for (Index r = 0; r < m.rows(); ++r) {
+        if (m.RowNnz(r) == 0) {
+            continue;
+        }
+        for (Index k = m.RowBegin(r); k < m.RowEnd(r); ++k) {
+            pins.push_back(nnz_base + k);
+        }
+        pins.push_back(vec_base + r);
+        pin_ptr.push_back(static_cast<Index>(pins.size()));
+        eweights.push_back(row_weight);
+    }
+    // Column edges (walk the transpose pattern).
+    std::vector<std::vector<Index>> col_pins(
+        static_cast<std::size_t>(m.cols()));
+    for (Index r = 0; r < m.rows(); ++r) {
+        for (Index k = m.RowBegin(r); k < m.RowEnd(r); ++k) {
+            col_pins[static_cast<std::size_t>(m.col_idx()[k])].push_back(
+                nnz_base + k);
+        }
+    }
+    for (Index c = 0; c < m.cols(); ++c) {
+        const auto& cp = col_pins[static_cast<std::size_t>(c)];
+        if (cp.empty()) {
+            continue;
+        }
+        pins.insert(pins.end(), cp.begin(), cp.end());
+        pins.push_back(vec_base + c);
+        pin_ptr.push_back(static_cast<Index>(pins.size()));
+        eweights.push_back(col_weight);
+    }
+}
+
+} // namespace
+
+Hypergraph
+AzulMapper::BuildHypergraph(const MappingProblem& prob) const
+{
+    AZUL_CHECK(prob.a != nullptr);
+    const Index nnz_a = prob.a->nnz();
+    const Index nnz_l = prob.l != nullptr ? prob.l->nnz() : 0;
+    const Index n = prob.n();
+    const Index num_vertices = nnz_a + nnz_l + n;
+
+    const int q =
+        prob.l != nullptr && opts_.time_quantiles > 1
+            ? opts_.time_quantiles
+            : 0;
+    const int nc = 1 + q;
+
+    // ---- Vertex weights ---------------------------------------------------
+    std::vector<Weight> vweights(
+        static_cast<std::size_t>(num_vertices) *
+            static_cast<std::size_t>(nc),
+        0);
+    const auto wslot = [&vweights, nc](Index v, int c) -> Weight& {
+        return vweights[static_cast<std::size_t>(v) *
+                            static_cast<std::size_t>(nc) +
+                        static_cast<std::size_t>(c)];
+    };
+    for (Index v = 0; v < nnz_a + nnz_l; ++v) {
+        wslot(v, 0) = 1;
+    }
+    for (Index v = nnz_a + nnz_l; v < num_vertices; ++v) {
+        wslot(v, 0) = opts_.vector_slot_weight;
+    }
+
+    // Temporal quantiles over the SpTRSV dependence depth: each L
+    // nonzero's operation executes when its row's turn comes in the
+    // forward solve, so its depth is the row's level.
+    if (q > 0) {
+        const LevelSets lower = ComputeLowerLevels(*prob.l);
+        std::vector<Index> depth(static_cast<std::size_t>(nnz_l));
+        for (Index r = 0; r < prob.l->rows(); ++r) {
+            for (Index k = prob.l->RowBegin(r); k < prob.l->RowEnd(r);
+                 ++k) {
+                depth[static_cast<std::size_t>(k)] =
+                    lower.level_of[static_cast<std::size_t>(r)];
+            }
+        }
+        const std::vector<int> bucket = QuantileBuckets(depth, q);
+        for (Index k = 0; k < nnz_l; ++k) {
+            wslot(nnz_a + k,
+                  1 + bucket[static_cast<std::size_t>(k)]) = 1;
+        }
+    }
+
+    // ---- Hyperedges -------------------------------------------------------
+    std::vector<Index> pin_ptr{0};
+    std::vector<Index> pins;
+    std::vector<Weight> eweights;
+    const Index vec_base = nnz_a + nnz_l;
+    AppendMatrixEdges(*prob.a, 0, vec_base, opts_.row_edge_weight,
+                      opts_.col_edge_weight, pin_ptr, pins, eweights);
+    if (prob.l != nullptr) {
+        AppendMatrixEdges(*prob.l, nnz_a, vec_base,
+                          opts_.row_edge_weight, opts_.col_edge_weight,
+                          pin_ptr, pins, eweights);
+    }
+
+    Hypergraph hg(nc, std::move(vweights), std::move(eweights),
+                  std::move(pin_ptr), std::move(pins));
+    hg.BuildIncidence();
+    return hg;
+}
+
+DataMapping
+AzulMapper::Map(const MappingProblem& prob, std::int32_t num_tiles)
+{
+    AZUL_CHECK(prob.a != nullptr);
+    AZUL_CHECK(num_tiles > 0);
+
+    Hypergraph hg = BuildHypergraph(prob);
+    AZUL_LOG(kInfo) << "azul mapper: hypergraph with "
+                    << hg.NumVertices() << " vertices, " << hg.NumEdges()
+                    << " edges, " << hg.NumPins() << " pins, "
+                    << hg.num_constraints() << " constraints";
+
+    const std::vector<std::int32_t> part =
+        PartitionHypergraph(hg, num_tiles, opts_.partitioner);
+
+    // Derive the torus grid and the part -> tile placement.
+    std::int32_t width = opts_.grid_width;
+    std::int32_t height = opts_.grid_height;
+    if (width == 0 || height == 0) {
+        width = static_cast<std::int32_t>(
+            std::round(std::sqrt(static_cast<double>(num_tiles))));
+        while (width > 1 && num_tiles % width != 0) {
+            --width;
+        }
+        height = num_tiles / width;
+    }
+    AZUL_CHECK_MSG(width * height == num_tiles,
+                   "grid " << width << "x" << height
+                           << " does not cover " << num_tiles
+                           << " tiles");
+    const std::vector<std::int32_t> part_to_tile =
+        PlaceParts(width, height, opts_.placement);
+
+    const Index nnz_a = prob.a->nnz();
+    const Index nnz_l = prob.l != nullptr ? prob.l->nnz() : 0;
+    DataMapping m;
+    m.num_tiles = num_tiles;
+    m.a_nnz_tile.resize(static_cast<std::size_t>(nnz_a));
+    for (Index k = 0; k < nnz_a; ++k) {
+        m.a_nnz_tile[static_cast<std::size_t>(k)] =
+            part_to_tile[static_cast<std::size_t>(
+                part[static_cast<std::size_t>(k)])];
+    }
+    m.l_nnz_tile.resize(static_cast<std::size_t>(nnz_l));
+    for (Index k = 0; k < nnz_l; ++k) {
+        m.l_nnz_tile[static_cast<std::size_t>(k)] =
+            part_to_tile[static_cast<std::size_t>(
+                part[static_cast<std::size_t>(nnz_a + k)])];
+    }
+    m.vec_tile.resize(static_cast<std::size_t>(prob.n()));
+    for (Index i = 0; i < prob.n(); ++i) {
+        m.vec_tile[static_cast<std::size_t>(i)] =
+            part_to_tile[static_cast<std::size_t>(
+                part[static_cast<std::size_t>(nnz_a + nnz_l + i)])];
+    }
+    return m;
+}
+
+} // namespace azul

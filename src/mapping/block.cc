@@ -1,0 +1,40 @@
+#include "mapping/block.h"
+
+namespace azul {
+
+namespace {
+
+/** Assigns index i of `count` items to one of `parts` equal blocks. */
+std::vector<TileId>
+BlockAssign(Index count, std::int32_t parts)
+{
+    std::vector<TileId> out(static_cast<std::size_t>(count));
+    if (count == 0) {
+        return out;
+    }
+    const Index chunk = (count + parts - 1) / parts;
+    for (Index i = 0; i < count; ++i) {
+        out[static_cast<std::size_t>(i)] =
+            static_cast<TileId>(i / chunk);
+    }
+    return out;
+}
+
+} // namespace
+
+DataMapping
+BlockMapper::Map(const MappingProblem& prob, std::int32_t num_tiles)
+{
+    AZUL_CHECK(prob.a != nullptr);
+    AZUL_CHECK(num_tiles > 0);
+    DataMapping m;
+    m.num_tiles = num_tiles;
+    m.a_nnz_tile = BlockAssign(prob.a->nnz(), num_tiles);
+    if (prob.l != nullptr) {
+        m.l_nnz_tile = BlockAssign(prob.l->nnz(), num_tiles);
+    }
+    m.vec_tile = BlockAssign(prob.n(), num_tiles);
+    return m;
+}
+
+} // namespace azul

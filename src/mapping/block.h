@@ -1,0 +1,24 @@
+/**
+ * @file
+ * Block mapping — Tascade's strategy and the common MPI/HPC layout
+ * (Sec III, Sec IV-E): the row-major nonzero enumeration is split into
+ * P contiguous chunks of ⌈nnz/P⌉.
+ */
+#ifndef AZUL_MAPPING_BLOCK_H_
+#define AZUL_MAPPING_BLOCK_H_
+
+#include "mapping/mapping.h"
+
+namespace azul {
+
+/** Block (Tascade) mapper. */
+class BlockMapper final : public Mapper {
+  public:
+    std::string name() const override { return "block"; }
+    DataMapping Map(const MappingProblem& prob,
+                    std::int32_t num_tiles) override;
+};
+
+} // namespace azul
+
+#endif // AZUL_MAPPING_BLOCK_H_

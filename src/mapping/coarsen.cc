@@ -1,0 +1,154 @@
+#include "mapping/coarsen.h"
+
+#include <algorithm>
+#include <numeric>
+#include <unordered_map>
+
+namespace azul {
+
+CoarseningStep
+CoarsenOnce(const Hypergraph& hg, Rng& rng, const CoarsenOptions& opts)
+{
+    AZUL_CHECK(hg.HasIncidence());
+    const Index n = hg.NumVertices();
+
+    // ---- Matching phase -------------------------------------------------
+    // Visit vertices in random order; for each unmatched vertex,
+    // accumulate a connectivity score to each neighbour via shared
+    // edges (w_e / (|e| - 1)) and match with the best unmatched one.
+    std::vector<Index> visit(static_cast<std::size_t>(n));
+    std::iota(visit.begin(), visit.end(), Index{0});
+    rng.Shuffle(visit);
+
+    std::vector<Index> match(static_cast<std::size_t>(n), Index{-1});
+    // Dense scratch arrays beat a hash map here: score[] holds the
+    // accumulated connectivity, touched[] the neighbours to reset.
+    std::vector<double> score(static_cast<std::size_t>(n), 0.0);
+    std::vector<Index> touched;
+
+    for (Index u : visit) {
+        if (match[static_cast<std::size_t>(u)] != -1) {
+            continue;
+        }
+        touched.clear();
+        for (Index ik = hg.IncBegin(u); ik < hg.IncEnd(u); ++ik) {
+            const Index e = hg.IncEdge(ik);
+            const Index size = hg.EdgeSize(e);
+            if (size < 2 || size > opts.big_edge_threshold) {
+                continue;
+            }
+            const double s = static_cast<double>(hg.EdgeWeight(e)) /
+                             static_cast<double>(size - 1);
+            for (Index pk = hg.EdgeBegin(e); pk < hg.EdgeEnd(e); ++pk) {
+                const Index v = hg.Pin(pk);
+                if (v == u || match[static_cast<std::size_t>(v)] != -1) {
+                    continue;
+                }
+                if (score[static_cast<std::size_t>(v)] == 0.0) {
+                    touched.push_back(v);
+                }
+                score[static_cast<std::size_t>(v)] += s;
+            }
+        }
+        Index best = -1;
+        double best_score = 0.0;
+        for (Index v : touched) {
+            if (score[static_cast<std::size_t>(v)] > best_score) {
+                best_score = score[static_cast<std::size_t>(v)];
+                best = v;
+            }
+            score[static_cast<std::size_t>(v)] = 0.0;
+        }
+        if (best != -1) {
+            match[static_cast<std::size_t>(u)] = best;
+            match[static_cast<std::size_t>(best)] = u;
+        }
+    }
+
+    // ---- Contraction ----------------------------------------------------
+    CoarseningStep step;
+    step.fine_to_coarse.assign(static_cast<std::size_t>(n), Index{-1});
+    Index coarse_n = 0;
+    for (Index v = 0; v < n; ++v) {
+        if (step.fine_to_coarse[static_cast<std::size_t>(v)] != -1) {
+            continue;
+        }
+        step.fine_to_coarse[static_cast<std::size_t>(v)] = coarse_n;
+        const Index m = match[static_cast<std::size_t>(v)];
+        if (m != -1 &&
+            step.fine_to_coarse[static_cast<std::size_t>(m)] == -1) {
+            step.fine_to_coarse[static_cast<std::size_t>(m)] = coarse_n;
+        }
+        ++coarse_n;
+    }
+
+    const int nc = hg.num_constraints();
+    std::vector<Weight> cw(
+        static_cast<std::size_t>(coarse_n) * static_cast<std::size_t>(nc),
+        0);
+    for (Index v = 0; v < n; ++v) {
+        const Index cv = step.fine_to_coarse[static_cast<std::size_t>(v)];
+        for (int c = 0; c < nc; ++c) {
+            cw[static_cast<std::size_t>(cv) * nc +
+               static_cast<std::size_t>(c)] += hg.VertexWeight(v, c);
+        }
+    }
+
+    // Project edges, dedupe pins within each edge, drop single-pin
+    // edges, and merge identical edges via hashing.
+    std::vector<Index> pin_ptr{0};
+    std::vector<Index> pins;
+    std::vector<Weight> eweights;
+    std::unordered_map<std::size_t, std::vector<Index>> bucket_of_hash;
+
+    std::vector<Index> scratch;
+    for (Index e = 0; e < hg.NumEdges(); ++e) {
+        scratch.clear();
+        for (Index k = hg.EdgeBegin(e); k < hg.EdgeEnd(e); ++k) {
+            scratch.push_back(
+                step.fine_to_coarse[static_cast<std::size_t>(hg.Pin(k))]);
+        }
+        std::sort(scratch.begin(), scratch.end());
+        scratch.erase(std::unique(scratch.begin(), scratch.end()),
+                      scratch.end());
+        if (scratch.size() < 2) {
+            continue;
+        }
+        // Hash the pin list to find identical existing edges.
+        std::size_t h = scratch.size();
+        for (Index p : scratch) {
+            h = h * 1000003ULL + static_cast<std::size_t>(p);
+        }
+        bool merged = false;
+        auto it = bucket_of_hash.find(h);
+        if (it != bucket_of_hash.end()) {
+            for (Index cand : it->second) {
+                const Index begin = pin_ptr[cand];
+                const Index end = pin_ptr[cand + 1];
+                if (end - begin ==
+                        static_cast<Index>(scratch.size()) &&
+                    std::equal(scratch.begin(), scratch.end(),
+                               pins.begin() + begin)) {
+                    eweights[static_cast<std::size_t>(cand)] +=
+                        hg.EdgeWeight(e);
+                    merged = true;
+                    break;
+                }
+            }
+        }
+        if (!merged) {
+            const Index new_edge = static_cast<Index>(eweights.size());
+            pins.insert(pins.end(), scratch.begin(), scratch.end());
+            pin_ptr.push_back(static_cast<Index>(pins.size()));
+            eweights.push_back(hg.EdgeWeight(e));
+            bucket_of_hash[h].push_back(new_edge);
+        }
+    }
+
+    step.coarse = Hypergraph(nc, std::move(cw), std::move(eweights),
+                             std::move(pin_ptr), std::move(pins));
+    step.coarse.BuildIncidence();
+    return step;
+}
+
+} // namespace azul

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Multilevel coarsening by heavy-connectivity matching.
+ *
+ * Pairs of vertices that share many (small, heavy) hyperedges are
+ * contracted, shrinking the hypergraph while preserving its cut
+ * structure — the standard first phase of multilevel partitioners
+ * (PaToH, hMETIS).
+ */
+#ifndef AZUL_MAPPING_COARSEN_H_
+#define AZUL_MAPPING_COARSEN_H_
+
+#include "mapping/hypergraph.h"
+#include "util/rng.h"
+
+namespace azul {
+
+/** Knobs for one coarsening step. */
+struct CoarsenOptions {
+    /** Edges with more pins than this are skipped when scoring
+     *  (they contribute little locality signal and cost a lot). */
+    Index big_edge_threshold = 256;
+};
+
+/** Result of one coarsening step. */
+struct CoarseningStep {
+    Hypergraph coarse;
+    /** fine vertex -> coarse vertex. */
+    std::vector<Index> fine_to_coarse;
+};
+
+/**
+ * One level of heavy-connectivity matching + contraction. The input
+ * must have incidence built. Identical coarse hyperedges are merged
+ * (weights summed) and single-pin edges dropped.
+ */
+CoarseningStep CoarsenOnce(const Hypergraph& hg, Rng& rng,
+                           const CoarsenOptions& opts = {});
+
+} // namespace azul
+
+#endif // AZUL_MAPPING_COARSEN_H_

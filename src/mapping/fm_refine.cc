@@ -1,0 +1,255 @@
+#include "mapping/fm_refine.h"
+
+#include <algorithm>
+#include <queue>
+
+namespace azul {
+
+Weight
+BisectionCut(const Hypergraph& hg, const std::vector<std::int32_t>& part)
+{
+    Weight cut = 0;
+    for (Index e = 0; e < hg.NumEdges(); ++e) {
+        bool has0 = false;
+        bool has1 = false;
+        for (Index k = hg.EdgeBegin(e); k < hg.EdgeEnd(e); ++k) {
+            (part[static_cast<std::size_t>(hg.Pin(k))] == 0 ? has0
+                                                            : has1) = true;
+            if (has0 && has1) {
+                cut += hg.EdgeWeight(e);
+                break;
+            }
+        }
+    }
+    return cut;
+}
+
+namespace {
+
+/** Mutable state of one FM run. */
+class FmState {
+  public:
+    FmState(const Hypergraph& hg, std::vector<std::int32_t>& part,
+            const BisectionConstraints& cons)
+        : hg_(hg), part_(part), cons_(cons),
+          nc_(hg.num_constraints()),
+          pin_count0_(static_cast<std::size_t>(hg.NumEdges()), 0),
+          gain_(static_cast<std::size_t>(hg.NumVertices()), 0),
+          locked_(static_cast<std::size_t>(hg.NumVertices()), 0),
+          stamp_(static_cast<std::size_t>(hg.NumVertices()), 0),
+          side_weight_(2 * static_cast<std::size_t>(nc_), 0)
+    {
+        for (Index e = 0; e < hg_.NumEdges(); ++e) {
+            Index c0 = 0;
+            for (Index k = hg_.EdgeBegin(e); k < hg_.EdgeEnd(e); ++k) {
+                if (part_[static_cast<std::size_t>(hg_.Pin(k))] == 0) {
+                    ++c0;
+                }
+            }
+            pin_count0_[static_cast<std::size_t>(e)] = c0;
+        }
+        for (Index v = 0; v < hg_.NumVertices(); ++v) {
+            const int side = part_[static_cast<std::size_t>(v)];
+            for (int c = 0; c < nc_; ++c) {
+                side_weight_[static_cast<std::size_t>(side * nc_ + c)] +=
+                    hg_.VertexWeight(v, c);
+            }
+        }
+    }
+
+    Weight
+    ComputeGain(Index v) const
+    {
+        const int side = part_[static_cast<std::size_t>(v)];
+        Weight g = 0;
+        for (Index ik = hg_.IncBegin(v); ik < hg_.IncEnd(v); ++ik) {
+            const Index e = hg_.IncEdge(ik);
+            const Index size = hg_.EdgeSize(e);
+            const Index c0 = pin_count0_[static_cast<std::size_t>(e)];
+            const Index on_my_side = side == 0 ? c0 : size - c0;
+            if (on_my_side == 1) {
+                g += hg_.EdgeWeight(e); // edge becomes internal
+            } else if (on_my_side == size) {
+                g -= hg_.EdgeWeight(e); // edge becomes cut
+            }
+        }
+        return g;
+    }
+
+    /** Sum over sides/constraints of weight above the allowed max. */
+    Weight
+    Violation() const
+    {
+        Weight total = 0;
+        for (int c = 0; c < nc_; ++c) {
+            total += std::max<Weight>(
+                0, side_weight_[static_cast<std::size_t>(c)] -
+                       cons_.max_part0[static_cast<std::size_t>(c)]);
+            total += std::max<Weight>(
+                0, side_weight_[static_cast<std::size_t>(nc_ + c)] -
+                       cons_.max_part1[static_cast<std::size_t>(c)]);
+        }
+        return total;
+    }
+
+    /** Violation if v moved to the other side. */
+    Weight
+    ViolationAfterMove(Index v) const
+    {
+        const int from = part_[static_cast<std::size_t>(v)];
+        Weight total = 0;
+        for (int c = 0; c < nc_; ++c) {
+            const Weight w = hg_.VertexWeight(v, c);
+            const Weight delta0 = from == 0 ? -w : w;
+            const Weight w0 =
+                side_weight_[static_cast<std::size_t>(c)] + delta0;
+            const Weight w1 =
+                side_weight_[static_cast<std::size_t>(nc_ + c)] - delta0;
+            total += std::max<Weight>(
+                0, w0 - cons_.max_part0[static_cast<std::size_t>(c)]);
+            total += std::max<Weight>(
+                0, w1 - cons_.max_part1[static_cast<std::size_t>(c)]);
+        }
+        return total;
+    }
+
+    /** Applies the move of v to the other side, updating all state. */
+    void
+    Move(Index v)
+    {
+        const int from = part_[static_cast<std::size_t>(v)];
+        const int to = 1 - from;
+        part_[static_cast<std::size_t>(v)] = to;
+        for (int c = 0; c < nc_; ++c) {
+            const Weight w = hg_.VertexWeight(v, c);
+            side_weight_[static_cast<std::size_t>(from * nc_ + c)] -= w;
+            side_weight_[static_cast<std::size_t>(to * nc_ + c)] += w;
+        }
+        for (Index ik = hg_.IncBegin(v); ik < hg_.IncEnd(v); ++ik) {
+            const Index e = hg_.IncEdge(ik);
+            pin_count0_[static_cast<std::size_t>(e)] +=
+                to == 0 ? 1 : -1;
+        }
+    }
+
+    const Hypergraph& hg_;
+    std::vector<std::int32_t>& part_;
+    const BisectionConstraints& cons_;
+    int nc_;
+    std::vector<Index> pin_count0_;
+    std::vector<Weight> gain_;
+    std::vector<char> locked_;
+    std::vector<std::uint32_t> stamp_;
+    std::vector<Weight> side_weight_;
+};
+
+} // namespace
+
+Weight
+FmRefineBisection(const Hypergraph& hg, std::vector<std::int32_t>& part,
+                  const BisectionConstraints& constraints,
+                  const FmOptions& opts)
+{
+    AZUL_CHECK(hg.HasIncidence());
+    AZUL_CHECK(static_cast<Index>(part.size()) == hg.NumVertices());
+    AZUL_CHECK(static_cast<int>(constraints.max_part0.size()) ==
+               hg.num_constraints());
+    AZUL_CHECK(static_cast<int>(constraints.max_part1.size()) ==
+               hg.num_constraints());
+
+    FmState st(hg, part, constraints);
+    Weight total_improvement = 0;
+
+    struct HeapEntry {
+        Weight gain;
+        Index vertex;
+        std::uint32_t stamp;
+        bool
+        operator<(const HeapEntry& o) const
+        {
+            return gain < o.gain; // max-heap on gain
+        }
+    };
+
+    for (int pass = 0; pass < opts.max_passes; ++pass) {
+        std::fill(st.locked_.begin(), st.locked_.end(), 0);
+        std::priority_queue<HeapEntry> heap;
+        for (Index v = 0; v < hg.NumVertices(); ++v) {
+            st.gain_[static_cast<std::size_t>(v)] = st.ComputeGain(v);
+            ++st.stamp_[static_cast<std::size_t>(v)];
+            heap.push({st.gain_[static_cast<std::size_t>(v)], v,
+                       st.stamp_[static_cast<std::size_t>(v)]});
+        }
+
+        std::vector<Index> move_sequence;
+        Weight cum_gain = 0;
+        Weight best_cum_gain = 0;
+        // Best prefix ranks feasibility first, then cut gain, so a
+        // pass on an infeasible partition keeps the moves that repair
+        // balance even when they cost cut (uncommon, but required
+        // right after greedy initial growth).
+        Weight best_violation = st.Violation();
+        const Weight start_violation = best_violation;
+        std::size_t best_prefix = 0;
+
+        while (!heap.empty()) {
+            const HeapEntry top = heap.top();
+            heap.pop();
+            const Index v = top.vertex;
+            if (top.stamp != st.stamp_[static_cast<std::size_t>(v)] ||
+                st.locked_[static_cast<std::size_t>(v)]) {
+                continue; // stale entry
+            }
+            // Admissibility: moving v must not worsen the violation.
+            if (st.ViolationAfterMove(v) > st.Violation()) {
+                // Re-examine later only if other moves change the
+                // weights; lock for this pass to guarantee progress.
+                st.locked_[static_cast<std::size_t>(v)] = 1;
+                continue;
+            }
+            st.Move(v);
+            st.locked_[static_cast<std::size_t>(v)] = 1;
+            cum_gain += top.gain;
+            move_sequence.push_back(v);
+            const Weight violation = st.Violation();
+            if (violation < best_violation ||
+                (violation == best_violation &&
+                 cum_gain > best_cum_gain)) {
+                best_violation = violation;
+                best_cum_gain = cum_gain;
+                best_prefix = move_sequence.size();
+            }
+            // Refresh gains of unlocked pins of v's edges.
+            for (Index ik = hg.IncBegin(v); ik < hg.IncEnd(v); ++ik) {
+                const Index e = hg.IncEdge(ik);
+                for (Index pk = hg.EdgeBegin(e); pk < hg.EdgeEnd(e);
+                     ++pk) {
+                    const Index u = hg.Pin(pk);
+                    if (st.locked_[static_cast<std::size_t>(u)]) {
+                        continue;
+                    }
+                    const Weight g = st.ComputeGain(u);
+                    if (g != st.gain_[static_cast<std::size_t>(u)]) {
+                        st.gain_[static_cast<std::size_t>(u)] = g;
+                        ++st.stamp_[static_cast<std::size_t>(u)];
+                        heap.push(
+                            {g, u,
+                             st.stamp_[static_cast<std::size_t>(u)]});
+                    }
+                }
+            }
+        }
+
+        // Roll back the moves beyond the best prefix.
+        for (std::size_t i = move_sequence.size(); i > best_prefix; --i) {
+            st.Move(move_sequence[i - 1]);
+        }
+        total_improvement += best_cum_gain;
+        if (best_cum_gain <= 0 && best_violation >= start_violation) {
+            break;
+        }
+    }
+    return total_improvement;
+}
+
+} // namespace azul

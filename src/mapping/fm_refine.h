@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Fiduccia-Mattheyses refinement for 2-way partitions, with
+ * multi-constraint balance (the mechanism behind the paper's
+ * time-balanced quantile constraints, Sec IV-C).
+ */
+#ifndef AZUL_MAPPING_FM_REFINE_H_
+#define AZUL_MAPPING_FM_REFINE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "mapping/hypergraph.h"
+
+namespace azul {
+
+/** Per-constraint capacity limits of the two sides of a bisection. */
+struct BisectionConstraints {
+    /** max_part[side][constraint] upper bounds. */
+    std::vector<Weight> max_part0;
+    std::vector<Weight> max_part1;
+};
+
+/** FM knobs. */
+struct FmOptions {
+    int max_passes = 4;
+};
+
+/**
+ * Refines a 2-way partition in place. Returns the total cut
+ * improvement (>= 0). A move is admissible if it does not increase
+ * the partition's constraint violation, so an infeasible input is
+ * driven toward feasibility.
+ */
+Weight FmRefineBisection(const Hypergraph& hg,
+                         std::vector<std::int32_t>& part,
+                         const BisectionConstraints& constraints,
+                         const FmOptions& opts = {});
+
+/** Cut weight of a bisection (edges spanning both sides). */
+Weight BisectionCut(const Hypergraph& hg,
+                    const std::vector<std::int32_t>& part);
+
+} // namespace azul
+
+#endif // AZUL_MAPPING_FM_REFINE_H_

@@ -1,0 +1,78 @@
+#include "mapping/hypergraph.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace azul {
+
+Hypergraph::Hypergraph(int num_constraints,
+                       std::vector<Weight> vertex_weights,
+                       std::vector<Weight> edge_weights,
+                       std::vector<Index> pin_ptr, std::vector<Index> pins)
+    : num_constraints_(num_constraints),
+      vertex_weights_(std::move(vertex_weights)),
+      edge_weights_(std::move(edge_weights)),
+      pin_ptr_(std::move(pin_ptr)),
+      pins_(std::move(pins))
+{
+    AZUL_CHECK(num_constraints_ >= 1);
+    AZUL_CHECK(vertex_weights_.size() % num_constraints_ == 0);
+    num_vertices_ = static_cast<Index>(vertex_weights_.size() /
+                                       num_constraints_);
+    AZUL_CHECK(pin_ptr_.size() == edge_weights_.size() + 1);
+    AZUL_CHECK(pin_ptr_.front() == 0);
+    AZUL_CHECK(pin_ptr_.back() == static_cast<Index>(pins_.size()));
+    for (Index p : pins_) {
+        AZUL_CHECK_MSG(p >= 0 && p < num_vertices_,
+                       "pin " << p << " out of range");
+    }
+}
+
+void
+Hypergraph::BuildIncidence()
+{
+    inc_ptr_.assign(static_cast<std::size_t>(num_vertices_) + 1, 0);
+    for (Index p : pins_) {
+        ++inc_ptr_[static_cast<std::size_t>(p) + 1];
+    }
+    for (std::size_t v = 0; v + 1 < inc_ptr_.size(); ++v) {
+        inc_ptr_[v + 1] += inc_ptr_[v];
+    }
+    inc_.resize(pins_.size());
+    std::vector<Index> cursor(inc_ptr_.begin(), inc_ptr_.end() - 1);
+    for (Index e = 0; e < NumEdges(); ++e) {
+        for (Index k = EdgeBegin(e); k < EdgeEnd(e); ++k) {
+            inc_[static_cast<std::size_t>(
+                cursor[static_cast<std::size_t>(Pin(k))]++)] = e;
+        }
+    }
+}
+
+Weight
+Hypergraph::TotalWeight(int c) const
+{
+    Weight total = 0;
+    for (Index v = 0; v < num_vertices_; ++v) {
+        total += VertexWeight(v, c);
+    }
+    return total;
+}
+
+Weight
+Hypergraph::ConnectivityCut(const std::vector<std::int32_t>& part) const
+{
+    AZUL_CHECK(static_cast<Index>(part.size()) == num_vertices_);
+    Weight cut = 0;
+    std::unordered_set<std::int32_t> seen;
+    for (Index e = 0; e < NumEdges(); ++e) {
+        seen.clear();
+        for (Index k = EdgeBegin(e); k < EdgeEnd(e); ++k) {
+            seen.insert(part[static_cast<std::size_t>(Pin(k))]);
+        }
+        cut += EdgeWeight(e) *
+               static_cast<Weight>(seen.size() - 1);
+    }
+    return cut;
+}
+
+} // namespace azul

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Hypergraph representation for the data-mapping problem (Sec IV-B).
+ *
+ * Vertices are operand values (matrix nonzeros and vector slots);
+ * hyperedges are communication sets (one per matrix row and one per
+ * matrix column). Partitioning minimizes the connectivity metric
+ * sum_e w_e * (lambda_e - 1), which equals the number of induced
+ * messages: a set spanning lambda tiles needs lambda - 1 transfers.
+ *
+ * Vertices carry multi-dimensional weights: constraint 0 is the
+ * memory footprint, and constraints 1..q are the temporal quantile
+ * loads used for time balancing (Sec IV-C).
+ */
+#ifndef AZUL_MAPPING_HYPERGRAPH_H_
+#define AZUL_MAPPING_HYPERGRAPH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/common.h"
+
+namespace azul {
+
+/** Vertex/edge weight type for the partitioner. */
+using Weight = std::int64_t;
+
+/** Multi-constraint weighted hypergraph in CSR-of-pins form. */
+class Hypergraph {
+  public:
+    Hypergraph() = default;
+
+    /**
+     * Constructs with explicit members.
+     *
+     * @param num_constraints weights per vertex (>= 1).
+     * @param vertex_weights  flattened [vertex][constraint] array.
+     * @param edge_weights    one weight per hyperedge.
+     * @param pin_ptr         CSR offsets into pins, size E+1.
+     * @param pins            concatenated pin (vertex) lists.
+     */
+    Hypergraph(int num_constraints, std::vector<Weight> vertex_weights,
+               std::vector<Weight> edge_weights,
+               std::vector<Index> pin_ptr, std::vector<Index> pins);
+
+    Index NumVertices() const { return num_vertices_; }
+    Index NumEdges() const
+    {
+        return static_cast<Index>(edge_weights_.size());
+    }
+    Index NumPins() const { return static_cast<Index>(pins_.size()); }
+    int num_constraints() const { return num_constraints_; }
+
+    Weight
+    VertexWeight(Index v, int c) const
+    {
+        return vertex_weights_[static_cast<std::size_t>(v) *
+                                   num_constraints_ +
+                               static_cast<std::size_t>(c)];
+    }
+
+    Weight EdgeWeight(Index e) const
+    {
+        return edge_weights_[static_cast<std::size_t>(e)];
+    }
+
+    Index EdgeBegin(Index e) const { return pin_ptr_[e]; }
+    Index EdgeEnd(Index e) const { return pin_ptr_[e + 1]; }
+    Index EdgeSize(Index e) const { return pin_ptr_[e + 1] - pin_ptr_[e]; }
+    Index Pin(Index k) const { return pins_[static_cast<std::size_t>(k)]; }
+
+    /** Edges incident to vertex v (requires BuildIncidence()). */
+    Index IncBegin(Index v) const { return inc_ptr_[v]; }
+    Index IncEnd(Index v) const { return inc_ptr_[v + 1]; }
+    Index IncEdge(Index k) const
+    {
+        return inc_[static_cast<std::size_t>(k)];
+    }
+    bool HasIncidence() const { return !inc_ptr_.empty(); }
+
+    /** Builds the vertex→edge incidence structure. */
+    void BuildIncidence();
+
+    /** Sum of vertex weights for one constraint. */
+    Weight TotalWeight(int c) const;
+
+    /**
+     * Connectivity cut of a partition assignment:
+     * sum_e w_e * (lambda_e - 1), lambda_e = #parts edge e touches.
+     */
+    Weight ConnectivityCut(const std::vector<std::int32_t>& part) const;
+
+    const std::vector<Weight>& vertex_weights() const
+    {
+        return vertex_weights_;
+    }
+
+  private:
+    Index num_vertices_ = 0;
+    int num_constraints_ = 1;
+    std::vector<Weight> vertex_weights_;
+    std::vector<Weight> edge_weights_;
+    std::vector<Index> pin_ptr_{0};
+    std::vector<Index> pins_;
+    std::vector<Index> inc_ptr_;
+    std::vector<Index> inc_;
+};
+
+} // namespace azul
+
+#endif // AZUL_MAPPING_HYPERGRAPH_H_

@@ -1,0 +1,37 @@
+#include "mapping/mapper_factory.h"
+
+#include "mapping/block.h"
+#include "mapping/round_robin.h"
+#include "mapping/sparsep.h"
+
+namespace azul {
+
+std::string
+MapperKindName(MapperKind kind)
+{
+    switch (kind) {
+      case MapperKind::kRoundRobin: return "round-robin";
+      case MapperKind::kBlock: return "block";
+      case MapperKind::kSparseP: return "sparsep";
+      case MapperKind::kAzul: return "azul";
+    }
+    return "?";
+}
+
+std::unique_ptr<Mapper>
+MakeMapper(MapperKind kind, const AzulMapperOptions& azul_opts)
+{
+    switch (kind) {
+      case MapperKind::kRoundRobin:
+        return std::make_unique<RoundRobinMapper>();
+      case MapperKind::kBlock:
+        return std::make_unique<BlockMapper>();
+      case MapperKind::kSparseP:
+        return std::make_unique<SparsePMapper>();
+      case MapperKind::kAzul:
+        return std::make_unique<AzulMapper>(azul_opts);
+    }
+    throw AzulError("unknown mapper kind");
+}
+
+} // namespace azul

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Factory over the four mapping strategies compared in the paper
+ * (Sec VI-C, Fig 23): Round-Robin (Dalorex), Block (Tascade / MPI),
+ * SparseP (coordinate-based 2-D chunks), and Azul's hypergraph
+ * partitioning.
+ */
+#ifndef AZUL_MAPPING_MAPPER_FACTORY_H_
+#define AZUL_MAPPING_MAPPER_FACTORY_H_
+
+#include <memory>
+#include <string>
+
+#include "mapping/azul_mapper.h"
+#include "mapping/mapping.h"
+
+namespace azul {
+
+/** The mapping strategies of Fig 23. */
+enum class MapperKind {
+    kRoundRobin,
+    kBlock,
+    kSparseP,
+    kAzul,
+};
+
+/** Returns the strategy's display name. */
+std::string MapperKindName(MapperKind kind);
+
+/** Instantiates a mapper; azul_opts applies to kAzul only. */
+std::unique_ptr<Mapper> MakeMapper(MapperKind kind,
+                                   const AzulMapperOptions& azul_opts = {});
+
+} // namespace azul
+
+#endif // AZUL_MAPPING_MAPPER_FACTORY_H_

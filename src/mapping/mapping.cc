@@ -1,0 +1,124 @@
+#include "mapping/mapping.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace azul {
+
+void
+DataMapping::Validate(const MappingProblem& prob) const
+{
+    AZUL_CHECK(prob.a != nullptr);
+    AZUL_CHECK(num_tiles > 0);
+    AZUL_CHECK_MSG(static_cast<Index>(a_nnz_tile.size()) == prob.a->nnz(),
+                   "A nnz mapping size mismatch");
+    if (prob.l != nullptr) {
+        AZUL_CHECK_MSG(
+            static_cast<Index>(l_nnz_tile.size()) == prob.l->nnz(),
+            "L nnz mapping size mismatch");
+    } else {
+        AZUL_CHECK(l_nnz_tile.empty());
+    }
+    AZUL_CHECK_MSG(static_cast<Index>(vec_tile.size()) == prob.n(),
+                   "vector mapping size mismatch");
+    const auto in_range = [this](TileId t) {
+        return t >= 0 && t < num_tiles;
+    };
+    for (TileId t : a_nnz_tile) {
+        AZUL_CHECK_MSG(in_range(t), "A tile id " << t << " out of range");
+    }
+    for (TileId t : l_nnz_tile) {
+        AZUL_CHECK_MSG(in_range(t), "L tile id " << t << " out of range");
+    }
+    for (TileId t : vec_tile) {
+        AZUL_CHECK_MSG(in_range(t),
+                       "vector tile id " << t << " out of range");
+    }
+}
+
+std::vector<Index>
+DataMapping::TileLoads() const
+{
+    std::vector<Index> loads(static_cast<std::size_t>(num_tiles), 0);
+    for (TileId t : a_nnz_tile) {
+        ++loads[static_cast<std::size_t>(t)];
+    }
+    for (TileId t : l_nnz_tile) {
+        ++loads[static_cast<std::size_t>(t)];
+    }
+    for (TileId t : vec_tile) {
+        ++loads[static_cast<std::size_t>(t)];
+    }
+    return loads;
+}
+
+namespace {
+
+/**
+ * Counts, for every communication set of matrix m (rows and columns
+ * jointly with the vector homes), the induced messages: |tiles| - 1
+ * per set.
+ *
+ * For rows: the set is {tiles of row-i nonzeros} ∪ {home(out_i)}.
+ * For cols: the set is {tiles of col-j nonzeros} ∪ {home(in_j)}.
+ */
+double
+MatrixKernelMessages(const CsrMatrix& m,
+                     const std::vector<TileId>& nnz_tile,
+                     const std::vector<TileId>& vec_tile)
+{
+    double messages = 0.0;
+    // Row sets (reductions into the output home).
+    std::unordered_set<TileId> set;
+    for (Index r = 0; r < m.rows(); ++r) {
+        set.clear();
+        for (Index k = m.RowBegin(r); k < m.RowEnd(r); ++k) {
+            set.insert(nnz_tile[static_cast<std::size_t>(k)]);
+        }
+        set.insert(vec_tile[static_cast<std::size_t>(r)]);
+        messages += static_cast<double>(set.size() - 1);
+    }
+    // Column sets (multicasts of the input element). Use the
+    // transpose pattern: walk nonzeros grouped by column.
+    std::vector<std::vector<TileId>> col_tiles(
+        static_cast<std::size_t>(m.cols()));
+    for (Index r = 0; r < m.rows(); ++r) {
+        for (Index k = m.RowBegin(r); k < m.RowEnd(r); ++k) {
+            col_tiles[static_cast<std::size_t>(m.col_idx()[k])].push_back(
+                nnz_tile[static_cast<std::size_t>(k)]);
+        }
+    }
+    for (Index c = 0; c < m.cols(); ++c) {
+        set.clear();
+        for (TileId t : col_tiles[static_cast<std::size_t>(c)]) {
+            set.insert(t);
+        }
+        set.insert(vec_tile[static_cast<std::size_t>(c)]);
+        messages += static_cast<double>(set.size() - 1);
+    }
+    return messages;
+}
+
+} // namespace
+
+TrafficEstimate
+EstimateTraffic(const MappingProblem& prob, const DataMapping& mapping)
+{
+    mapping.Validate(prob);
+    TrafficEstimate est;
+    est.spmv_messages =
+        MatrixKernelMessages(*prob.a, mapping.a_nnz_tile,
+                             mapping.vec_tile);
+    if (prob.l != nullptr) {
+        // The forward solve multicasts along columns and reduces along
+        // rows; the backward solve (with L^T) does the transpose, but
+        // the sets are identical modulo swapping roles, so one pass
+        // counts each solve.
+        est.sptrsv_messages =
+            2.0 * MatrixKernelMessages(*prob.l, mapping.l_nnz_tile,
+                                       mapping.vec_tile);
+    }
+    return est;
+}
+
+} // namespace azul

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Data-mapping abstractions (Sec IV of the paper).
+ *
+ * A mapping assigns every operand value — each nonzero of A, each
+ * nonzero of the preconditioner factor L, and each vector slot — to a
+ * tile. Vector slots are per-index homes shared by all of PCG's dense
+ * vectors (x, r, p, z, b and SpMV partial outputs), because those
+ * vectors are used elementwise and co-locating them is strictly
+ * better.
+ *
+ * The mapping fully determines inter-tile traffic (Sec IV-A): vector
+ * element j must be multicast to every tile holding a column-j
+ * nonzero, and every tile holding row-i nonzeros produces a partial
+ * sum that must reach y_i's home.
+ */
+#ifndef AZUL_MAPPING_MAPPING_H_
+#define AZUL_MAPPING_MAPPING_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sparse/csr.h"
+
+namespace azul {
+
+/** Tile id within the machine, in [0, num_tiles). */
+using TileId = std::int32_t;
+
+/** The operand structures being mapped. */
+struct MappingProblem {
+    const CsrMatrix* a = nullptr; //!< system matrix (required)
+    const CsrMatrix* l = nullptr; //!< lower factor (optional)
+
+    Index n() const { return a->rows(); }
+};
+
+/** Assignment of every operand value to a tile. */
+struct DataMapping {
+    std::int32_t num_tiles = 0;
+    /** Tile of each A nonzero, in CSR order. */
+    std::vector<TileId> a_nnz_tile;
+    /** Tile of each L nonzero, in CSR order (empty if no L). */
+    std::vector<TileId> l_nnz_tile;
+    /** Home tile of vector slot i (all dense vectors share homes). */
+    std::vector<TileId> vec_tile;
+
+    /** Validates sizes and tile-id ranges against the problem. */
+    void Validate(const MappingProblem& prob) const;
+
+    /** Number of operand values (matrix + vector) per tile. */
+    std::vector<Index> TileLoads() const;
+};
+
+/** Mapping algorithm interface. */
+class Mapper {
+  public:
+    virtual ~Mapper() = default;
+
+    /** Human-readable algorithm name, e.g. "round-robin". */
+    virtual std::string name() const = 0;
+
+    /** Produces a mapping of the problem onto num_tiles tiles. */
+    virtual DataMapping Map(const MappingProblem& prob,
+                            std::int32_t num_tiles) = 0;
+};
+
+/**
+ * Static traffic estimate (message count) for the PCG kernels under a
+ * mapping, using the communication-set model of Sec IV-B: a set
+ * spanning N tiles induces N-1 messages. Counts one SpMV over A plus,
+ * if L is present, one forward and one backward SpTRSV.
+ */
+struct TrafficEstimate {
+    double spmv_messages = 0.0;
+    double sptrsv_messages = 0.0;
+
+    double total() const { return spmv_messages + sptrsv_messages; }
+};
+TrafficEstimate EstimateTraffic(const MappingProblem& prob,
+                                const DataMapping& mapping);
+
+} // namespace azul
+
+#endif // AZUL_MAPPING_MAPPING_H_

@@ -1,0 +1,108 @@
+#include "mapping/mapping_io.h"
+
+#include <fstream>
+#include <istream>
+#include <ostream>
+
+namespace azul {
+
+namespace {
+
+void
+WriteSection(std::ostream& out, const char* name,
+             const std::vector<TileId>& tiles)
+{
+    out << name << " " << tiles.size() << "\n";
+    for (std::size_t i = 0; i < tiles.size(); ++i) {
+        out << tiles[i]
+            << ((i + 1) % 16 == 0 || i + 1 == tiles.size() ? '\n'
+                                                           : ' ');
+    }
+}
+
+std::vector<TileId>
+ReadSection(std::istream& in, const std::string& expected_name,
+            std::int32_t num_tiles)
+{
+    std::string name;
+    std::size_t count = 0;
+    if (!(in >> name >> count) || name != expected_name) {
+        throw AzulError("mapping file: expected section '" +
+                        expected_name + "', got '" + name + "'");
+    }
+    std::vector<TileId> tiles(count);
+    for (std::size_t i = 0; i < count; ++i) {
+        if (!(in >> tiles[i])) {
+            throw AzulError("mapping file: truncated section '" +
+                            expected_name + "'");
+        }
+        if (tiles[i] < 0 || tiles[i] >= num_tiles) {
+            throw AzulError("mapping file: tile id out of range in '" +
+                            expected_name + "'");
+        }
+    }
+    return tiles;
+}
+
+} // namespace
+
+void
+WriteMapping(const DataMapping& mapping, std::ostream& out)
+{
+    out << "azul-mapping v1\n";
+    out << "num_tiles " << mapping.num_tiles << "\n";
+    WriteSection(out, "a", mapping.a_nnz_tile);
+    WriteSection(out, "l", mapping.l_nnz_tile);
+    WriteSection(out, "vec", mapping.vec_tile);
+}
+
+void
+SaveMapping(const DataMapping& mapping, const std::string& path)
+{
+    std::ofstream out(path);
+    if (!out) {
+        throw AzulError("cannot open '" + path + "' for writing");
+    }
+    WriteMapping(mapping, out);
+    if (!out) {
+        throw AzulError("write to '" + path + "' failed");
+    }
+}
+
+DataMapping
+ReadMapping(std::istream& in)
+{
+    std::string magic;
+    std::string version;
+    // Skip leading comment lines.
+    while (in.peek() == '#') {
+        std::string comment;
+        std::getline(in, comment);
+    }
+    if (!(in >> magic >> version) || magic != "azul-mapping" ||
+        version != "v1") {
+        throw AzulError("not an azul-mapping v1 file");
+    }
+    std::string key;
+    DataMapping mapping;
+    if (!(in >> key >> mapping.num_tiles) || key != "num_tiles" ||
+        mapping.num_tiles <= 0) {
+        throw AzulError("mapping file: bad num_tiles");
+    }
+    mapping.a_nnz_tile = ReadSection(in, "a", mapping.num_tiles);
+    mapping.l_nnz_tile = ReadSection(in, "l", mapping.num_tiles);
+    mapping.vec_tile = ReadSection(in, "vec", mapping.num_tiles);
+    return mapping;
+}
+
+DataMapping
+LoadMapping(const std::string& path)
+{
+    std::ifstream in(path);
+    if (!in) {
+        throw AzulError("cannot open mapping file '" + path + "'");
+    }
+    return ReadMapping(in);
+}
+
+} // namespace azul

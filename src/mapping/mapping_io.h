@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Mapping serialization. Azul's mapping is expensive to compute
+ * (Sec VI-D) and the paper's amortization argument extends across
+ * program runs: a simulation campaign reuses one mapping for every
+ * run over the same sparsity pattern. These helpers persist a
+ * DataMapping to a small self-describing text format.
+ *
+ * Format (line-oriented, '#' comments allowed at the top):
+ *   azul-mapping v1
+ *   num_tiles <P>
+ *   a <count>    followed by <count> whitespace-separated tile ids
+ *   l <count>    followed by <count> tile ids (count may be 0)
+ *   vec <count>  followed by <count> tile ids
+ */
+#ifndef AZUL_MAPPING_MAPPING_IO_H_
+#define AZUL_MAPPING_MAPPING_IO_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "mapping/mapping.h"
+
+namespace azul {
+
+/** Writes a mapping to a stream. */
+void WriteMapping(const DataMapping& mapping, std::ostream& out);
+
+/** Writes a mapping to a file; throws AzulError on I/O failure. */
+void SaveMapping(const DataMapping& mapping, const std::string& path);
+
+/** Reads a mapping from a stream; throws AzulError on bad input. */
+DataMapping ReadMapping(std::istream& in);
+
+/** Reads a mapping from a file; throws AzulError on failure. */
+DataMapping LoadMapping(const std::string& path);
+
+} // namespace azul
+
+#endif // AZUL_MAPPING_MAPPING_IO_H_

@@ -1,0 +1,302 @@
+#include "mapping/partitioner.h"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+
+#include "mapping/coarsen.h"
+#include "mapping/fm_refine.h"
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace azul {
+
+namespace {
+
+/**
+ * Builds per-side capacity limits for a bisection with target ratio r
+ * (share of every constraint's weight going to side 0). Capacities get
+ * epsilon slack plus one max-vertex-weight of headroom so a feasible
+ * assignment always exists.
+ */
+BisectionConstraints
+MakeConstraints(const Hypergraph& hg, double ratio, double epsilon)
+{
+    const int nc = hg.num_constraints();
+    BisectionConstraints cons;
+    cons.max_part0.resize(static_cast<std::size_t>(nc));
+    cons.max_part1.resize(static_cast<std::size_t>(nc));
+    for (int c = 0; c < nc; ++c) {
+        const Weight total = hg.TotalWeight(c);
+        Weight max_vw = 0;
+        for (Index v = 0; v < hg.NumVertices(); ++v) {
+            max_vw = std::max(max_vw, hg.VertexWeight(v, c));
+        }
+        cons.max_part0[static_cast<std::size_t>(c)] =
+            static_cast<Weight>(std::ceil(static_cast<double>(total) *
+                                          ratio * (1.0 + epsilon))) +
+            max_vw;
+        cons.max_part1[static_cast<std::size_t>(c)] =
+            static_cast<Weight>(
+                std::ceil(static_cast<double>(total) * (1.0 - ratio) *
+                          (1.0 + epsilon))) +
+            max_vw;
+    }
+    return cons;
+}
+
+/**
+ * Greedy region growth: BFS-like expansion from a random seed,
+ * repeatedly absorbing the frontier vertex with the highest
+ * connectivity to the grown side, until side 0 reaches its target
+ * share of constraint 0.
+ */
+std::vector<std::int32_t>
+GrowInitialBisection(const Hypergraph& hg, double ratio, Rng& rng)
+{
+    const Index n = hg.NumVertices();
+    std::vector<std::int32_t> part(static_cast<std::size_t>(n), 1);
+    const Weight target0 = static_cast<Weight>(
+        static_cast<double>(hg.TotalWeight(0)) * ratio);
+    if (n == 0) {
+        return part;
+    }
+
+    std::vector<double> score(static_cast<std::size_t>(n), 0.0);
+    using Entry = std::pair<double, Index>;
+    std::priority_queue<Entry> frontier;
+    const Index seed = rng.UniformInt(0, n - 1);
+    frontier.push({1.0, seed});
+    score[static_cast<std::size_t>(seed)] = 1.0;
+
+    Weight grown = 0;
+    Index grown_count = 0;
+    while (grown < target0 && grown_count < n) {
+        Index v = -1;
+        while (!frontier.empty()) {
+            const Entry top = frontier.top();
+            frontier.pop();
+            if (part[static_cast<std::size_t>(top.second)] == 1 &&
+                top.first >= score[static_cast<std::size_t>(top.second)]) {
+                v = top.second;
+                break;
+            }
+        }
+        if (v == -1) {
+            // Disconnected: restart from any remaining vertex.
+            for (Index u = 0; u < n; ++u) {
+                if (part[static_cast<std::size_t>(u)] == 1) {
+                    v = u;
+                    break;
+                }
+            }
+            if (v == -1) {
+                break;
+            }
+        }
+        part[static_cast<std::size_t>(v)] = 0;
+        grown += hg.VertexWeight(v, 0);
+        ++grown_count;
+        for (Index ik = hg.IncBegin(v); ik < hg.IncEnd(v); ++ik) {
+            const Index e = hg.IncEdge(ik);
+            const double s = static_cast<double>(hg.EdgeWeight(e)) /
+                             static_cast<double>(hg.EdgeSize(e));
+            for (Index pk = hg.EdgeBegin(e); pk < hg.EdgeEnd(e); ++pk) {
+                const Index u = hg.Pin(pk);
+                if (part[static_cast<std::size_t>(u)] == 1) {
+                    score[static_cast<std::size_t>(u)] += s;
+                    frontier.push({score[static_cast<std::size_t>(u)], u});
+                }
+            }
+        }
+    }
+    return part;
+}
+
+/** One multilevel 2-way partition of hg with the given ratio. */
+std::vector<std::int32_t>
+MultilevelBisect(const Hypergraph& hg, double ratio,
+                 const PartitionerOptions& opts, Rng& rng)
+{
+    // ---- Coarsening chain ----------------------------------------------
+    std::vector<Hypergraph> levels;
+    std::vector<std::vector<Index>> projections; // fine->coarse per level
+    const Hypergraph* cur = &hg;
+    CoarsenOptions copts;
+    copts.big_edge_threshold = opts.big_edge_threshold;
+    while (cur->NumVertices() > opts.coarsen_to) {
+        CoarseningStep step = CoarsenOnce(*cur, rng, copts);
+        const double shrink =
+            static_cast<double>(step.coarse.NumVertices()) /
+            static_cast<double>(cur->NumVertices());
+        if (shrink > opts.min_shrink) {
+            break; // matching stalled; further levels are wasted work
+        }
+        projections.push_back(std::move(step.fine_to_coarse));
+        levels.push_back(std::move(step.coarse));
+        cur = &levels.back();
+    }
+
+    // ---- Initial partition at the coarsest level -------------------------
+    const Hypergraph& coarsest = levels.empty() ? hg : levels.back();
+    const BisectionConstraints coarse_cons =
+        MakeConstraints(coarsest, ratio, opts.epsilon);
+    std::vector<std::int32_t> best_part;
+    Weight best_cut = 0;
+    for (int t = 0; t < opts.initial_tries; ++t) {
+        std::vector<std::int32_t> part =
+            GrowInitialBisection(coarsest, ratio, rng);
+        FmOptions fm;
+        fm.max_passes = opts.fm_passes;
+        FmRefineBisection(coarsest, part, coarse_cons, fm);
+        const Weight cut = BisectionCut(coarsest, part);
+        if (best_part.empty() || cut < best_cut) {
+            best_cut = cut;
+            best_part = std::move(part);
+        }
+    }
+
+    // ---- Uncoarsening + refinement ---------------------------------------
+    std::vector<std::int32_t> part = std::move(best_part);
+    for (std::size_t lvl = levels.size(); lvl-- > 0;) {
+        const Hypergraph& fine = lvl == 0 ? hg : levels[lvl - 1];
+        const std::vector<Index>& f2c = projections[lvl];
+        std::vector<std::int32_t> fine_part(
+            static_cast<std::size_t>(fine.NumVertices()));
+        for (Index v = 0; v < fine.NumVertices(); ++v) {
+            fine_part[static_cast<std::size_t>(v)] =
+                part[static_cast<std::size_t>(
+                    f2c[static_cast<std::size_t>(v)])];
+        }
+        const BisectionConstraints cons =
+            MakeConstraints(fine, ratio, opts.epsilon);
+        FmOptions fm;
+        fm.max_passes = opts.fm_passes;
+        FmRefineBisection(fine, fine_part, cons, fm);
+        part = std::move(fine_part);
+    }
+    if (levels.empty()) {
+        // No coarsening happened; `part` is already at full
+        // resolution (computed on hg directly above).
+    }
+    return part;
+}
+
+/** Extracts the sub-hypergraph induced by the vertices with flag set. */
+struct SubHypergraph {
+    Hypergraph hg;
+    std::vector<Index> to_parent; // sub vertex -> parent vertex
+};
+
+SubHypergraph
+ExtractSide(const Hypergraph& hg, const std::vector<std::int32_t>& part,
+            std::int32_t side)
+{
+    SubHypergraph sub;
+    std::vector<Index> parent_to_sub(
+        static_cast<std::size_t>(hg.NumVertices()), Index{-1});
+    for (Index v = 0; v < hg.NumVertices(); ++v) {
+        if (part[static_cast<std::size_t>(v)] == side) {
+            parent_to_sub[static_cast<std::size_t>(v)] =
+                static_cast<Index>(sub.to_parent.size());
+            sub.to_parent.push_back(v);
+        }
+    }
+    const int nc = hg.num_constraints();
+    std::vector<Weight> vw(sub.to_parent.size() *
+                               static_cast<std::size_t>(nc));
+    for (std::size_t sv = 0; sv < sub.to_parent.size(); ++sv) {
+        for (int c = 0; c < nc; ++c) {
+            vw[sv * static_cast<std::size_t>(nc) +
+               static_cast<std::size_t>(c)] =
+                hg.VertexWeight(sub.to_parent[sv], c);
+        }
+    }
+    std::vector<Index> pin_ptr{0};
+    std::vector<Index> pins;
+    std::vector<Weight> ew;
+    for (Index e = 0; e < hg.NumEdges(); ++e) {
+        Index count = 0;
+        for (Index k = hg.EdgeBegin(e); k < hg.EdgeEnd(e); ++k) {
+            if (parent_to_sub[static_cast<std::size_t>(hg.Pin(k))] != -1) {
+                ++count;
+            }
+        }
+        if (count < 2) {
+            continue;
+        }
+        for (Index k = hg.EdgeBegin(e); k < hg.EdgeEnd(e); ++k) {
+            const Index sv =
+                parent_to_sub[static_cast<std::size_t>(hg.Pin(k))];
+            if (sv != -1) {
+                pins.push_back(sv);
+            }
+        }
+        pin_ptr.push_back(static_cast<Index>(pins.size()));
+        ew.push_back(hg.EdgeWeight(e));
+    }
+    sub.hg = Hypergraph(nc, std::move(vw), std::move(ew),
+                        std::move(pin_ptr), std::move(pins));
+    sub.hg.BuildIncidence();
+    return sub;
+}
+
+/** Recursive bisection assigning parts [part_base, part_base + k). */
+void
+RecursiveBisect(const Hypergraph& hg, const std::vector<Index>& to_parent,
+                std::int32_t k, std::int32_t part_base,
+                const PartitionerOptions& opts, Rng& rng,
+                std::vector<std::int32_t>& out)
+{
+    if (k == 1) {
+        for (Index v = 0; v < hg.NumVertices(); ++v) {
+            out[static_cast<std::size_t>(
+                to_parent[static_cast<std::size_t>(v)])] = part_base;
+        }
+        return;
+    }
+    const std::int32_t k0 = k / 2;
+    const std::int32_t k1 = k - k0;
+    const double ratio =
+        static_cast<double>(k0) / static_cast<double>(k);
+    const std::vector<std::int32_t> part =
+        MultilevelBisect(hg, ratio, opts, rng);
+
+    SubHypergraph side0 = ExtractSide(hg, part, 0);
+    SubHypergraph side1 = ExtractSide(hg, part, 1);
+    // Translate sub indices through to the original vertex space.
+    for (Index& v : side0.to_parent) {
+        v = to_parent[static_cast<std::size_t>(v)];
+    }
+    for (Index& v : side1.to_parent) {
+        v = to_parent[static_cast<std::size_t>(v)];
+    }
+    RecursiveBisect(side0.hg, side0.to_parent, k0, part_base, opts, rng,
+                    out);
+    RecursiveBisect(side1.hg, side1.to_parent, k1, part_base + k0, opts,
+                    rng, out);
+}
+
+} // namespace
+
+std::vector<std::int32_t>
+PartitionHypergraph(const Hypergraph& hg, std::int32_t k,
+                    const PartitionerOptions& opts)
+{
+    AZUL_CHECK(k >= 1);
+    AZUL_CHECK(hg.HasIncidence());
+    std::vector<std::int32_t> out(
+        static_cast<std::size_t>(hg.NumVertices()), 0);
+    if (k == 1) {
+        return out;
+    }
+    Rng rng(opts.seed);
+    std::vector<Index> identity(static_cast<std::size_t>(hg.NumVertices()));
+    for (Index v = 0; v < hg.NumVertices(); ++v) {
+        identity[static_cast<std::size_t>(v)] = v;
+    }
+    RecursiveBisect(hg, identity, k, 0, opts, rng, out);
+    return out;
+}
+
+} // namespace azul

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Multilevel k-way hypergraph partitioner via recursive bisection —
+ * the from-scratch replacement for PaToH used by the Azul mapper.
+ *
+ * Pipeline per bisection (standard multilevel scheme):
+ *   1. coarsen by heavy-connectivity matching until small;
+ *   2. initial partition by greedy region growth (several seeds);
+ *   3. uncoarsen, refining with multi-constraint FM at every level.
+ * Recursive bisection then yields k parts with per-constraint balance.
+ */
+#ifndef AZUL_MAPPING_PARTITIONER_H_
+#define AZUL_MAPPING_PARTITIONER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "mapping/hypergraph.h"
+
+namespace azul {
+
+/** Partitioner quality/effort knobs (PaToH-preset analog). */
+struct PartitionerOptions {
+    double epsilon = 0.08;       //!< allowed per-constraint imbalance
+    Index coarsen_to = 160;      //!< stop coarsening below this size
+    double min_shrink = 0.95;    //!< stop if a level shrinks less
+    int initial_tries = 4;       //!< greedy-growth restarts
+    int fm_passes = 4;           //!< FM passes per level
+    Index big_edge_threshold = 256;
+    std::uint64_t seed = 0xA201;
+};
+
+/**
+ * Partitions hg into k parts, minimizing connectivity cut subject to
+ * multi-constraint balance. Returns the part id of every vertex.
+ */
+std::vector<std::int32_t> PartitionHypergraph(
+    const Hypergraph& hg, std::int32_t k,
+    const PartitionerOptions& opts = {});
+
+} // namespace azul
+
+#endif // AZUL_MAPPING_PARTITIONER_H_

@@ -1,0 +1,62 @@
+#include "mapping/placement.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace azul {
+
+namespace {
+
+bool
+IsPowerOfTwo(std::int32_t x)
+{
+    return x > 0 && (x & (x - 1)) == 0;
+}
+
+/** Interleaves the bits of x (even positions) and y (odd positions). */
+std::int64_t
+MortonEncode(std::int32_t x, std::int32_t y)
+{
+    std::int64_t out = 0;
+    for (int b = 0; b < 16; ++b) {
+        out |= static_cast<std::int64_t>((x >> b) & 1) << (2 * b);
+        out |= static_cast<std::int64_t>((y >> b) & 1) << (2 * b + 1);
+    }
+    return out;
+}
+
+} // namespace
+
+std::vector<std::int32_t>
+PlaceParts(std::int32_t width, std::int32_t height,
+           PlacementStrategy strategy)
+{
+    AZUL_CHECK(width > 0 && height > 0);
+    const std::int32_t total = width * height;
+    std::vector<std::int32_t> part_to_tile(
+        static_cast<std::size_t>(total));
+    if (strategy == PlacementStrategy::kZOrder && IsPowerOfTwo(width) &&
+        IsPowerOfTwo(height)) {
+        // Sort tiles by Morton code; part p takes the p-th tile in
+        // that order, so contiguous part ranges form compact blocks.
+        std::vector<std::pair<std::int64_t, std::int32_t>> order;
+        order.reserve(static_cast<std::size_t>(total));
+        for (std::int32_t y = 0; y < height; ++y) {
+            for (std::int32_t x = 0; x < width; ++x) {
+                order.emplace_back(MortonEncode(x, y), y * width + x);
+            }
+        }
+        std::sort(order.begin(), order.end());
+        for (std::int32_t p = 0; p < total; ++p) {
+            part_to_tile[static_cast<std::size_t>(p)] =
+                order[static_cast<std::size_t>(p)].second;
+        }
+        return part_to_tile;
+    }
+    for (std::int32_t p = 0; p < total; ++p) {
+        part_to_tile[static_cast<std::size_t>(p)] = p;
+    }
+    return part_to_tile;
+}
+
+} // namespace azul

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Partition→tile placement. Recursive bisection gives hierarchically
+ * related part ids (siblings share a recursion subtree), so placing
+ * contiguous id ranges in spatially compact torus regions (Z-order)
+ * keeps communicating parts close. Row-major placement is the naive
+ * fallback and an ablation point.
+ */
+#ifndef AZUL_MAPPING_PLACEMENT_H_
+#define AZUL_MAPPING_PLACEMENT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/common.h"
+
+namespace azul {
+
+/** Placement strategies for laying parts onto the 2-D torus. */
+enum class PlacementStrategy {
+    kRowMajor, //!< part p -> tile p
+    kZOrder,   //!< Morton order (requires power-of-two grid dims)
+};
+
+/**
+ * Returns tile id (row-major index into a width x height grid) for
+ * each part in [0, width*height). Z-order falls back to row-major
+ * when a dimension is not a power of two.
+ */
+std::vector<std::int32_t> PlaceParts(std::int32_t width,
+                                     std::int32_t height,
+                                     PlacementStrategy strategy);
+
+} // namespace azul
+
+#endif // AZUL_MAPPING_PLACEMENT_H_

@@ -1,0 +1,49 @@
+#include "mapping/quantiles.h"
+
+#include <algorithm>
+
+namespace azul {
+
+std::vector<int>
+QuantileBuckets(const std::vector<Index>& depths, int q)
+{
+    AZUL_CHECK(q >= 1);
+    std::vector<int> bucket(depths.size(), 0);
+    if (depths.empty() || q == 1) {
+        return bucket;
+    }
+    // Histogram depths, then walk the histogram accumulating counts
+    // and advancing the bucket at each 1/q population boundary. All
+    // items of one depth share a bucket.
+    Index max_depth = 0;
+    for (Index d : depths) {
+        AZUL_CHECK(d >= 0);
+        max_depth = std::max(max_depth, d);
+    }
+    std::vector<Index> hist(static_cast<std::size_t>(max_depth) + 1, 0);
+    for (Index d : depths) {
+        ++hist[static_cast<std::size_t>(d)];
+    }
+    std::vector<int> bucket_of_depth(hist.size(), 0);
+    const auto total = static_cast<double>(depths.size());
+    Index seen = 0;
+    for (std::size_t d = 0; d < hist.size(); ++d) {
+        // Bucket by the midpoint of this depth's population range so
+        // a single dominant depth doesn't push everything into the
+        // last bucket.
+        const double mid =
+            static_cast<double>(seen) +
+            static_cast<double>(hist[d]) / 2.0;
+        int b = static_cast<int>(mid / total * static_cast<double>(q));
+        b = std::clamp(b, 0, q - 1);
+        bucket_of_depth[d] = b;
+        seen += hist[d];
+    }
+    for (std::size_t i = 0; i < depths.size(); ++i) {
+        bucket[i] =
+            bucket_of_depth[static_cast<std::size_t>(depths[i])];
+    }
+    return bucket;
+}
+
+} // namespace azul

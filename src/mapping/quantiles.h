@@ -1,0 +1,27 @@
+/**
+ * @file
+ * Temporal quantile bucketing for time-balanced partitioning
+ * (Sec IV-C, Fig 17). Each operation's depth in the dataflow graph's
+ * topological order is bucketed into q equal-population quantiles;
+ * balancing every quantile across tiles prevents a few tiles from
+ * hoarding all the late (or early) work.
+ */
+#ifndef AZUL_MAPPING_QUANTILES_H_
+#define AZUL_MAPPING_QUANTILES_H_
+
+#include <vector>
+
+#include "util/common.h"
+
+namespace azul {
+
+/**
+ * Buckets depth values into q quantiles of (approximately) equal
+ * population. Returns a bucket id in [0, q) for each input. Equal
+ * depths always land in the same bucket.
+ */
+std::vector<int> QuantileBuckets(const std::vector<Index>& depths, int q);
+
+} // namespace azul
+
+#endif // AZUL_MAPPING_QUANTILES_H_

@@ -1,0 +1,29 @@
+#include "mapping/round_robin.h"
+
+namespace azul {
+
+DataMapping
+RoundRobinMapper::Map(const MappingProblem& prob, std::int32_t num_tiles)
+{
+    AZUL_CHECK(prob.a != nullptr);
+    AZUL_CHECK(num_tiles > 0);
+    DataMapping m;
+    m.num_tiles = num_tiles;
+    m.a_nnz_tile.resize(static_cast<std::size_t>(prob.a->nnz()));
+    for (std::size_t i = 0; i < m.a_nnz_tile.size(); ++i) {
+        m.a_nnz_tile[i] = static_cast<TileId>(i % num_tiles);
+    }
+    if (prob.l != nullptr) {
+        m.l_nnz_tile.resize(static_cast<std::size_t>(prob.l->nnz()));
+        for (std::size_t i = 0; i < m.l_nnz_tile.size(); ++i) {
+            m.l_nnz_tile[i] = static_cast<TileId>(i % num_tiles);
+        }
+    }
+    m.vec_tile.resize(static_cast<std::size_t>(prob.n()));
+    for (std::size_t i = 0; i < m.vec_tile.size(); ++i) {
+        m.vec_tile[i] = static_cast<TileId>(i % num_tiles);
+    }
+    return m;
+}
+
+} // namespace azul

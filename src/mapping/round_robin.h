@@ -1,0 +1,25 @@
+/**
+ * @file
+ * Round-Robin mapping — Dalorex's strategy (Sec III): enumerate the
+ * nonzeros of each structure in row-major order and assign nonzero i
+ * to tile i mod P. Sparsity-pattern agnostic; the paper's low-locality
+ * baseline.
+ */
+#ifndef AZUL_MAPPING_ROUND_ROBIN_H_
+#define AZUL_MAPPING_ROUND_ROBIN_H_
+
+#include "mapping/mapping.h"
+
+namespace azul {
+
+/** Round-Robin (Dalorex) mapper. */
+class RoundRobinMapper final : public Mapper {
+  public:
+    std::string name() const override { return "round-robin"; }
+    DataMapping Map(const MappingProblem& prob,
+                    std::int32_t num_tiles) override;
+};
+
+} // namespace azul
+
+#endif // AZUL_MAPPING_ROUND_ROBIN_H_

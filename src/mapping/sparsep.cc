@@ -1,0 +1,129 @@
+#include "mapping/sparsep.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace azul {
+
+namespace {
+
+/**
+ * Splits columns [0, cols) into `parts` contiguous chunks with
+ * approximately equal total weight. Returns per-column chunk ids.
+ */
+std::vector<std::int32_t>
+EqualWeightChunks(const std::vector<Index>& weight, std::int32_t parts)
+{
+    const Index total = [&weight] {
+        Index t = 0;
+        for (Index w : weight) {
+            t += w;
+        }
+        return t;
+    }();
+    std::vector<std::int32_t> chunk_of(weight.size(), 0);
+    Index acc = 0;
+    std::int32_t cur = 0;
+    for (std::size_t i = 0; i < weight.size(); ++i) {
+        // Advance the chunk when the running weight passes the ideal
+        // boundary, keeping chunks contiguous.
+        const Index boundary =
+            (static_cast<Index>(cur) + 1) * total / parts;
+        if (acc >= boundary && cur + 1 < parts) {
+            ++cur;
+        }
+        chunk_of[i] = cur;
+        acc += weight[i];
+    }
+    return chunk_of;
+}
+
+/** 2-D chunking of one matrix; returns per-nonzero tile ids. */
+std::vector<TileId>
+SparsePAssign(const CsrMatrix& m, std::int32_t grid,
+              std::vector<std::int32_t>* col_chunk_out,
+              std::vector<std::vector<std::int32_t>>* row_chunk_out)
+{
+    // 1. Column chunks of equal nonzero count.
+    std::vector<Index> col_weight(static_cast<std::size_t>(m.cols()), 0);
+    for (Index c : m.col_idx()) {
+        ++col_weight[static_cast<std::size_t>(c)];
+    }
+    const std::vector<std::int32_t> col_chunk =
+        EqualWeightChunks(col_weight, grid);
+
+    // 2. Within each column chunk, row chunks of equal nonzero count.
+    std::vector<std::vector<Index>> row_weight(
+        static_cast<std::size_t>(grid),
+        std::vector<Index>(static_cast<std::size_t>(m.rows()), 0));
+    for (Index r = 0; r < m.rows(); ++r) {
+        for (Index k = m.RowBegin(r); k < m.RowEnd(r); ++k) {
+            const std::int32_t cc =
+                col_chunk[static_cast<std::size_t>(m.col_idx()[k])];
+            ++row_weight[static_cast<std::size_t>(cc)]
+                        [static_cast<std::size_t>(r)];
+        }
+    }
+    std::vector<std::vector<std::int32_t>> row_chunk;
+    row_chunk.reserve(static_cast<std::size_t>(grid));
+    for (std::int32_t cc = 0; cc < grid; ++cc) {
+        row_chunk.push_back(EqualWeightChunks(
+            row_weight[static_cast<std::size_t>(cc)], grid));
+    }
+
+    std::vector<TileId> out(static_cast<std::size_t>(m.nnz()));
+    for (Index r = 0; r < m.rows(); ++r) {
+        for (Index k = m.RowBegin(r); k < m.RowEnd(r); ++k) {
+            const std::int32_t cc =
+                col_chunk[static_cast<std::size_t>(m.col_idx()[k])];
+            const std::int32_t rc =
+                row_chunk[static_cast<std::size_t>(cc)]
+                         [static_cast<std::size_t>(r)];
+            out[static_cast<std::size_t>(k)] =
+                static_cast<TileId>(cc * grid + rc);
+        }
+    }
+    if (col_chunk_out != nullptr) {
+        *col_chunk_out = col_chunk;
+    }
+    if (row_chunk_out != nullptr) {
+        *row_chunk_out = std::move(row_chunk);
+    }
+    return out;
+}
+
+} // namespace
+
+DataMapping
+SparsePMapper::Map(const MappingProblem& prob, std::int32_t num_tiles)
+{
+    AZUL_CHECK(prob.a != nullptr);
+    AZUL_CHECK(num_tiles > 0);
+    const auto grid = static_cast<std::int32_t>(
+        std::floor(std::sqrt(static_cast<double>(num_tiles))));
+    AZUL_CHECK_MSG(grid >= 1, "SparseP needs at least one tile");
+
+    DataMapping m;
+    m.num_tiles = num_tiles;
+
+    std::vector<std::int32_t> col_chunk;
+    std::vector<std::vector<std::int32_t>> row_chunk;
+    m.a_nnz_tile = SparsePAssign(*prob.a, grid, &col_chunk, &row_chunk);
+    if (prob.l != nullptr) {
+        m.l_nnz_tile = SparsePAssign(*prob.l, grid, nullptr, nullptr);
+    }
+    // Vector slot i lives on the diagonal chunk: (column chunk of i,
+    // row chunk of i within that column chunk).
+    m.vec_tile.resize(static_cast<std::size_t>(prob.n()));
+    for (Index i = 0; i < prob.n(); ++i) {
+        const std::int32_t cc = col_chunk[static_cast<std::size_t>(i)];
+        const std::int32_t rc =
+            row_chunk[static_cast<std::size_t>(cc)]
+                     [static_cast<std::size_t>(i)];
+        m.vec_tile[static_cast<std::size_t>(i)] =
+            static_cast<TileId>(cc * grid + rc);
+    }
+    return m;
+}
+
+} // namespace azul

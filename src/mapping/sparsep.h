@@ -1,0 +1,25 @@
+/**
+ * @file
+ * SparseP mapping — the coordinate-based 2-D chunking of Sec VI-C:
+ * split the matrix into √P column chunks of equal nonzero count, then
+ * split each column chunk into √P row chunks of equal nonzero count,
+ * giving P coordinate-contiguous partitions.
+ */
+#ifndef AZUL_MAPPING_SPARSEP_H_
+#define AZUL_MAPPING_SPARSEP_H_
+
+#include "mapping/mapping.h"
+
+namespace azul {
+
+/** SparseP coordinate-based mapper. */
+class SparsePMapper final : public Mapper {
+  public:
+    std::string name() const override { return "sparsep"; }
+    DataMapping Map(const MappingProblem& prob,
+                    std::int32_t num_tiles) override;
+};
+
+} // namespace azul
+
+#endif // AZUL_MAPPING_SPARSEP_H_

@@ -1,0 +1,71 @@
+#include "sim/config.h"
+
+#include <sstream>
+
+namespace azul {
+
+double
+SimConfig::PeakGflops() const
+{
+    return static_cast<double>(num_tiles()) * clock_ghz * 2.0;
+}
+
+double
+SimConfig::TotalSramBytes() const
+{
+    return static_cast<double>(num_tiles()) *
+           (data_sram_kb + accum_sram_kb) * 1024.0;
+}
+
+std::string
+SimConfig::ToString() const
+{
+    std::ostringstream oss;
+    oss << grid_width << "x" << grid_height << " tiles @ " << clock_ghz
+        << " GHz, " << data_sram_kb << "+" << accum_sram_kb
+        << " KB/tile, ";
+    switch (pe_model) {
+      case PeModel::kAzul: oss << "azul-pe"; break;
+      case PeModel::kScalarCore: oss << "scalar-core"; break;
+      case PeModel::kIdeal: oss << "ideal-pe"; break;
+    }
+    oss << (multithreading ? " MT" : " ST") << ", hop=" << hop_latency
+        << "cy, sram=" << sram_latency << "cy"
+        << (torus ? "" : ", mesh");
+    return oss.str();
+}
+
+SimConfig
+AzulPaperConfig()
+{
+    SimConfig cfg;
+    cfg.grid_width = 64;
+    cfg.grid_height = 64;
+    return cfg;
+}
+
+SimConfig
+AzulDefaultConfig()
+{
+    return SimConfig{};
+}
+
+SimConfig
+DalorexConfig(const SimConfig& base)
+{
+    SimConfig cfg = base;
+    cfg.pe_model = PeModel::kScalarCore;
+    cfg.multithreading = false;
+    cfg.num_contexts = 1;
+    return cfg;
+}
+
+SimConfig
+IdealPeConfig(const SimConfig& base)
+{
+    SimConfig cfg = base;
+    cfg.pe_model = PeModel::kIdeal;
+    return cfg;
+}
+
+} // namespace azul

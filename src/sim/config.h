@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Simulated machine configuration (Table III of the paper, scaled).
+ *
+ * The paper's default is a 64x64 grid of 2 GHz tiles, each with a
+ * (72+36) KB scratchpad pair, a 7-stage PE pipeline, a 2-cycle SRAM
+ * access, a 1 FMAC/cycle FP64 unit, and a 96-bit-link 2-D torus at
+ * 1 cycle/hop. This repo's default scales the grid to 16x16 so that
+ * cycle-level simulation of the benchmark suite runs on a laptop;
+ * all parameters remain sweepable (Figs 25-27) and the paper's grid
+ * is available via AzulPaperConfig().
+ */
+#ifndef AZUL_SIM_CONFIG_H_
+#define AZUL_SIM_CONFIG_H_
+
+#include <cstdint>
+#include <string>
+
+#include "dataflow/tree.h"
+#include "util/common.h"
+
+namespace azul {
+
+/** PE timing models. */
+enum class PeModel : std::uint8_t {
+    kAzul,       //!< specialized pipeline, 1 op/cycle (Sec V-A)
+    kScalarCore, //!< Dalorex-style in-order core with bookkeeping
+                 //!< instructions consuming extra issue slots
+    kIdeal,      //!< infinite issue width, zero latency (Fig 10/11)
+};
+
+/** Machine configuration. */
+struct SimConfig {
+    std::int32_t grid_width = 16;
+    std::int32_t grid_height = 16;
+    double clock_ghz = 2.0;
+
+    // Tile memory (Table III).
+    double data_sram_kb = 72.0;
+    double accum_sram_kb = 36.0;
+    std::int32_t sram_latency = 2; //!< cycles per scratchpad access
+
+    // PE pipeline.
+    PeModel pe_model = PeModel::kAzul;
+    /** Cycles until an FMAC result may be reused (accumulator-read +
+     *  FP stages of the 7-stage pipeline). */
+    std::int32_t fmac_latency = 4;
+    bool multithreading = true;
+    std::int32_t num_contexts = 8;
+    /** kScalarCore: total issue slots consumed per arithmetic op
+     *  (1 useful + bookkeeping: address calc, loads, branches). */
+    std::int32_t scalar_issue_slots = 8;
+
+    // Network.
+    std::int32_t hop_latency = 1; //!< cycles per hop (Fig 25 sweep)
+    /** Torus (paper, Sec V-B) vs plain mesh (ablation; Cerebras-like
+     *  machines lack wraparound). */
+    bool torus = true;
+
+    // Message buffer (register-based; overflow spills to Data SRAM).
+    std::int32_t msg_buffer_entries = 64;
+    std::int32_t spill_penalty = 2; //!< extra cycles per spilled msg
+
+    /** Watchdog: abort a phase after this many cycles. */
+    Cycle max_phase_cycles = 1'000'000'000ULL;
+
+    std::int32_t num_tiles() const { return grid_width * grid_height; }
+    TorusGeometry
+    geometry() const
+    {
+        return TorusGeometry{grid_width, grid_height, torus};
+    }
+
+    /** Peak FP throughput in GFLOP/s (1 FMAC = 2 FLOP per PE/cycle). */
+    double PeakGflops() const;
+
+    /** Total scratchpad capacity in bytes. */
+    double TotalSramBytes() const;
+
+    /** One-line summary for reports. */
+    std::string ToString() const;
+};
+
+/** The paper's Table III configuration (64x64 tiles). */
+SimConfig AzulPaperConfig();
+
+/** The scaled-down default used by tests and benches (16x16). */
+SimConfig AzulDefaultConfig();
+
+/** Dalorex baseline: same fabric, scalar cores, single-threaded. */
+SimConfig DalorexConfig(const SimConfig& base);
+
+/** Idealized-PE configuration for mapping studies (Fig 10/11). */
+SimConfig IdealPeConfig(const SimConfig& base);
+
+} // namespace azul
+
+#endif // AZUL_SIM_CONFIG_H_

@@ -1,0 +1,163 @@
+/**
+ * @file
+ * The simulated Azul machine: a grid of tiles (PE + scratchpads)
+ * connected by a 2-D torus, executing a compiled PCG program phase by
+ * phase (Sec VI-A's cycle-level methodology).
+ *
+ * Simulation is functional + timing: messages and accumulators carry
+ * real FP64 values, so a simulated solve produces an x vector that
+ * callers check against the reference solver.
+ */
+#ifndef AZUL_SIM_MACHINE_H_
+#define AZUL_SIM_MACHINE_H_
+
+#include <memory>
+#include <vector>
+
+#include "dataflow/program.h"
+#include "sim/config.h"
+#include "sim/noc.h"
+#include "sim/pe.h"
+#include "sim/sim_stats.h"
+#include "sim/tile.h"
+#include "solver/vector_ops.h"
+
+namespace azul {
+
+/** Result of a full simulated PCG run. */
+struct PcgRunResult {
+    Vector x;
+    bool converged = false;
+    Index iterations = 0;
+    double residual_norm = 0.0;
+    SimStats stats;
+    /** FLOPs of the simulated work (prologue + iterations). */
+    double flops = 0.0;
+    /** ||r|| after the prologue and after each iteration. */
+    std::vector<double> residual_history;
+
+    /** Delivered throughput in GFLOP/s under `clock_ghz`. */
+    double
+    Gflops(double clock_ghz) const
+    {
+        return SimStats::Gflops(flops, stats.cycles, clock_ghz);
+    }
+};
+
+/** The cycle-level machine model. */
+class Machine {
+  public:
+    /** The program must outlive the machine. */
+    Machine(SimConfig cfg, const PcgProgram* program);
+
+    /** Sets x = 0 and r = b; clears the other vectors and stats. */
+    void LoadProblem(const Vector& b);
+
+    /** Runs the program prologue. */
+    void RunPrologue();
+
+    /** Runs one PCG iteration. */
+    void RunIteration();
+
+    /** Runs prologue + iterations until ||r|| <= tol or the cap. */
+    PcgRunResult RunPcg(const Vector& b, double tol, Index max_iters);
+
+    /** Runs one matrix kernel standalone (tests/benches). */
+    SimStats RunMatrixKernelStandalone(int kernel_index);
+
+    /** Runs one vector kernel standalone (tests); returns duration. */
+    Cycle
+    RunVectorKernelForTest(const VectorKernel& kernel)
+    {
+        return RunVectorKernel(kernel);
+    }
+
+    /** Reads a broadcast scalar register. */
+    double ReadScalar(ScalarReg reg) const;
+
+    /** Gathers a distributed vector into natural index order. */
+    Vector GatherVector(VecName which) const;
+
+    /** Writes a vector into the distributed storage. */
+    void ScatterVector(VecName which, const Vector& v);
+
+    /** Cumulative statistics since LoadProblem. */
+    const SimStats& stats() const { return stats_; }
+
+    const SimConfig& config() const { return cfg_; }
+
+    /** Enables Fig 17-style issue sampling during matrix kernels. */
+    void
+    EnableIssueSampling(Cycle period)
+    {
+        issue_sample_period_ = period;
+    }
+
+  private:
+    // ---- Matrix-kernel execution -----------------------------------------
+    Cycle RunMatrixKernel(const MatrixKernel& kernel);
+    void StartMatrixKernel(const MatrixKernel& kernel);
+    void DeliverMessage(const MatrixKernel& kernel, std::int32_t tile,
+                        const Message& msg);
+    /** Issues ops on one tile for the current cycle; returns number
+     *  of ops issued. */
+    int TickTile(const MatrixKernel& kernel, std::int32_t tile,
+                 Cycle now);
+    /** Attempts the next micro-op of a task; returns true if issued
+     *  (the task may complete as a side effect). */
+    bool TryIssue(const MatrixKernel& kernel, std::int32_t tile,
+                  RuntimeTask& task, Cycle now, bool& completed);
+    void ActivateTask(std::int32_t tile, RuntimeTask task);
+    void
+    MarkTileActive(std::int32_t tile)
+    {
+        if (!tile_active_[static_cast<std::size_t>(tile)]) {
+            tile_active_[static_cast<std::size_t>(tile)] = 1;
+            active_list_.push_back(tile);
+        }
+    }
+
+    // ---- Vector-kernel execution ------------------------------------------
+    Cycle RunVectorKernel(const VectorKernel& kernel);
+    Cycle RunElementwise(const VectorKernel& kernel);
+    Cycle RunDotReduce(const VectorKernel& kernel);
+    Cycle RunScalarPhase(const ScalarOp& op);
+    /** Timing + stats of broadcasting `values` scalars from the root
+     *  down the machine-wide tree, starting at root_done. */
+    Cycle BroadcastScalars(Cycle root_done, int values);
+
+    // ---- Storage helpers ---------------------------------------------------
+    double ReadSlot(VecName vec, Index slot) const;
+    void WriteSlot(VecName vec, Index slot, double value);
+
+    void RunPhases(const std::vector<Phase>& phases);
+
+    SimConfig cfg_;
+    const PcgProgram* prog_;
+    TorusGeometry geom_;
+    Noc noc_;
+
+    std::vector<TileStorage> tiles_;
+    std::vector<std::int32_t> slot_local_; //!< global slot -> local idx
+    std::vector<TileRun> runs_;
+    std::vector<char> tile_active_;
+    std::vector<std::int32_t> active_list_;
+    std::int64_t outstanding_tasks_ = 0;
+
+    /** Scalar registers (functionally global; broadcast is timed). */
+    std::array<double, static_cast<std::size_t>(ScalarReg::kCount)>
+        scalar_regs_{};
+
+    /** Machine-wide scalar reduction/broadcast tree (rooted at 0). */
+    TreeTopology scalar_tree_;
+    std::vector<std::vector<std::int32_t>> scalar_tree_children_;
+
+    Cycle clock_ = 0;
+    SimStats stats_;
+    Cycle issue_sample_period_ = 0;
+    std::vector<Delivery> delivery_buffer_;
+};
+
+} // namespace azul
+
+#endif // AZUL_SIM_MACHINE_H_

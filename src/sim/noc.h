@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Event-driven 2-D torus transport. Messages hop link by link under
+ * dimension-ordered routing; each directed link carries one flit per
+ * cycle, so contention serializes messages FCFS per link. Hop latency
+ * is configurable (Fig 25 sweep).
+ */
+#ifndef AZUL_SIM_NOC_H_
+#define AZUL_SIM_NOC_H_
+
+#include <cstdint>
+#include <queue>
+#include <vector>
+
+#include "dataflow/message.h"
+#include "sim/router.h"
+#include "util/common.h"
+
+namespace azul {
+
+/** A message delivered to its destination tile. */
+struct Delivery {
+    Cycle arrival = 0;
+    Message msg;
+};
+
+/** The torus interconnect. */
+class Noc {
+  public:
+    Noc(const TorusGeometry& geom, std::int32_t hop_latency);
+
+    /** Injects a message from src_tile at the given cycle. Local
+     *  (src == dest) messages bypass the network with 1 cycle. */
+    void Inject(Cycle now, std::int32_t src_tile, const Message& msg);
+
+    /**
+     * Advances transport to `now`, appending all messages whose
+     * arrival is <= now to `out`.
+     */
+    void AdvanceTo(Cycle now, std::vector<Delivery>& out);
+
+    /** True if no messages are in flight. */
+    bool Empty() const { return events_.empty(); }
+
+    /** Earliest pending event time (only valid if !Empty()). */
+    Cycle NextEventTime() const { return events_.top().time; }
+
+    std::uint64_t link_activations() const { return link_activations_; }
+    std::uint64_t messages_injected() const { return messages_injected_; }
+
+    /** Clears traffic counters (between phases/kernels). */
+    void ResetCounters();
+
+  private:
+    struct Event {
+        Cycle time = 0;
+        std::int32_t cur_tile = -1;
+        std::uint64_t seq = 0; //!< FIFO tie-break
+        Message msg;
+
+        bool
+        operator>(const Event& o) const
+        {
+            return time != o.time ? time > o.time : seq > o.seq;
+        }
+    };
+
+    TorusGeometry geom_;
+    std::int32_t hop_latency_;
+    std::vector<Cycle> link_free_;
+    std::priority_queue<Event, std::vector<Event>, std::greater<Event>>
+        events_;
+    std::uint64_t seq_ = 0;
+    std::uint64_t link_activations_ = 0;
+    std::uint64_t messages_injected_ = 0;
+};
+
+} // namespace azul
+
+#endif // AZUL_SIM_NOC_H_

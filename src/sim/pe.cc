@@ -1,0 +1,16 @@
+#include "sim/pe.h"
+
+namespace azul {
+
+std::int32_t
+IssueCost(const SimConfig& cfg)
+{
+    switch (cfg.pe_model) {
+      case PeModel::kAzul: return 1;
+      case PeModel::kScalarCore: return cfg.scalar_issue_slots;
+      case PeModel::kIdeal: return 0;
+    }
+    return 1;
+}
+
+} // namespace azul

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * PE runtime state for matrix-kernel execution.
+ *
+ * The Azul PE (Sec V-A) is modeled at operation granularity: tasks
+ * (multicast deliveries and reduction arrivals) occupy hardware
+ * contexts; each cycle the PE issues one operation from the earliest
+ * context whose next operation has no RAW hazard on an in-flight
+ * accumulator. The scalar-core model (Dalorex baseline) additionally
+ * charges bookkeeping issue slots per operation; the ideal model
+ * issues everything instantly.
+ */
+#ifndef AZUL_SIM_PE_H_
+#define AZUL_SIM_PE_H_
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "dataflow/task.h"
+#include "sim/config.h"
+#include "util/common.h"
+
+namespace azul {
+
+/** An activated task occupying (or waiting for) a PE context. */
+struct RuntimeTask {
+    enum class Kind : std::uint8_t {
+        kMulticastDeliver, //!< forward to children, run column FMACs
+        kReduceArrival,    //!< add a contribution to a reduce node
+    };
+    Kind kind = Kind::kMulticastDeliver;
+    NodeId node = -1;
+    double value = 0.0;
+    /** Micro-op progress within the task (sends, then FMACs; or the
+     *  Add, then the solve Mul). */
+    std::int32_t progress = 0;
+};
+
+/** Per-tile mutable state during one matrix-kernel execution. */
+struct TileRun {
+    /** Active task contexts (bounded by num_contexts), oldest first. */
+    std::deque<RuntimeTask> contexts;
+    /** Tasks waiting for a free context. */
+    std::deque<RuntimeTask> pending;
+
+    // Per-accumulator state (indices match TileKernel::accums).
+    std::vector<double> acc_value;
+    std::vector<std::int32_t> acc_remaining;
+    std::vector<Cycle> acc_busy;
+
+    // Per-reduce-node state (indices match TileKernel::nodes).
+    std::vector<double> node_acc;
+    std::vector<std::int32_t> node_remaining;
+    std::vector<Cycle> node_busy;
+
+    /** Scalar-core model: PE blocked until this cycle. */
+    Cycle pe_busy_until = 0;
+
+    bool
+    HasWork() const
+    {
+        return !contexts.empty() || !pending.empty();
+    }
+};
+
+/** Issue slots one operation costs under a PE model. */
+std::int32_t IssueCost(const SimConfig& cfg);
+
+} // namespace azul
+
+#endif // AZUL_SIM_PE_H_

@@ -1,0 +1,37 @@
+#include "sim/router.h"
+
+namespace azul {
+
+RouteStep
+NextHop(const TorusGeometry& geom, std::int32_t cur, std::int32_t dest)
+{
+    AZUL_CHECK(cur != dest);
+    const std::int32_t cx = geom.XOf(cur);
+    const std::int32_t cy = geom.YOf(cur);
+    const std::int32_t dx = geom.Delta(cx, geom.XOf(dest), geom.width);
+    RouteStep step;
+    if (dx != 0) {
+        if (dx > 0) {
+            step.dir = PortDir::kEast;
+            step.next_tile = geom.TileAt((cx + 1) % geom.width, cy);
+        } else {
+            step.dir = PortDir::kWest;
+            step.next_tile =
+                geom.TileAt((cx + geom.width - 1) % geom.width, cy);
+        }
+        return step;
+    }
+    const std::int32_t dy = geom.Delta(cy, geom.YOf(dest), geom.height);
+    AZUL_CHECK(dy != 0);
+    if (dy > 0) {
+        step.dir = PortDir::kSouth;
+        step.next_tile = geom.TileAt(cx, (cy + 1) % geom.height);
+    } else {
+        step.dir = PortDir::kNorth;
+        step.next_tile =
+            geom.TileAt(cx, (cy + geom.height - 1) % geom.height);
+    }
+    return step;
+}
+
+} // namespace azul

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Dimension-ordered routing on the 2-D torus. Each tile's router has
+ * four directed output links (E/W/N/S); messages route X-first along
+ * the shortest wrap direction, then Y (Sec V-B). Link contention is
+ * modeled by per-link serialization (one flit per cycle per link).
+ */
+#ifndef AZUL_SIM_ROUTER_H_
+#define AZUL_SIM_ROUTER_H_
+
+#include <cstdint>
+
+#include "dataflow/tree.h"
+
+namespace azul {
+
+/** Directed output port of a router. */
+enum class PortDir : std::uint8_t { kEast = 0, kWest, kSouth, kNorth };
+
+/** Number of directed ports per router. */
+inline constexpr std::int32_t kPortsPerRouter = 4;
+
+/** One routing step: where the message goes next and over which port. */
+struct RouteStep {
+    std::int32_t next_tile = -1;
+    PortDir dir = PortDir::kEast;
+};
+
+/**
+ * Computes the next hop from cur toward dest (cur != dest):
+ * X dimension first, shortest wrap direction, then Y.
+ */
+RouteStep NextHop(const TorusGeometry& geom, std::int32_t cur,
+                  std::int32_t dest);
+
+/** Global id of a directed link (tile output port). */
+inline std::int32_t
+LinkIndex(std::int32_t tile, PortDir dir)
+{
+    return tile * kPortsPerRouter + static_cast<std::int32_t>(dir);
+}
+
+} // namespace azul
+
+#endif // AZUL_SIM_ROUTER_H_

@@ -1,0 +1,79 @@
+#include "sim/sim_stats.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace azul {
+
+SimStats&
+SimStats::operator+=(const SimStats& o)
+{
+    cycles += o.cycles;
+    ops += o.ops;
+    stall_cycles += o.stall_cycles;
+    idle_cycles += o.idle_cycles;
+    link_activations += o.link_activations;
+    messages += o.messages;
+    spilled_messages += o.spilled_messages;
+    sram_reads += o.sram_reads;
+    sram_writes += o.sram_writes;
+    for (std::size_t i = 0; i < class_cycles.size(); ++i) {
+        class_cycles[i] += o.class_cycles[i];
+    }
+    // Timelines are per-run artefacts; keep the first one.
+    if (issue_timeline.empty() && !o.issue_timeline.empty()) {
+        issue_timeline = o.issue_timeline;
+        issue_sample_period = o.issue_sample_period;
+    }
+    if (tile_ops.size() < o.tile_ops.size()) {
+        tile_ops.resize(o.tile_ops.size(), 0);
+    }
+    for (std::size_t t = 0; t < o.tile_ops.size(); ++t) {
+        tile_ops[t] += o.tile_ops[t];
+    }
+    return *this;
+}
+
+double
+SimStats::TileImbalance() const
+{
+    if (tile_ops.empty()) {
+        return 0.0;
+    }
+    std::uint64_t max_ops = 0;
+    std::uint64_t total = 0;
+    for (std::uint64_t t : tile_ops) {
+        max_ops = std::max(max_ops, t);
+        total += t;
+    }
+    if (total == 0) {
+        return 0.0;
+    }
+    const double mean = static_cast<double>(total) /
+                        static_cast<double>(tile_ops.size());
+    return static_cast<double>(max_ops) / mean;
+}
+
+double
+SimStats::Gflops(double flops, Cycle cycles, double clock_ghz)
+{
+    if (cycles == 0) {
+        return 0.0;
+    }
+    const double seconds =
+        static_cast<double>(cycles) / (clock_ghz * 1e9);
+    return flops / seconds / 1e9;
+}
+
+std::string
+SimStats::ToString() const
+{
+    std::ostringstream oss;
+    oss << "cycles=" << cycles << " fmac=" << ops.fmac
+        << " add=" << ops.add << " mul=" << ops.mul
+        << " send=" << ops.send << " stalls=" << stall_cycles
+        << " msgs=" << messages << " links=" << link_activations;
+    return oss.str();
+}
+
+} // namespace azul

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Simulation statistics: the counters behind Figs 11, 17, 21, 22 and
+ * the energy model's activity factors.
+ */
+#ifndef AZUL_SIM_SIM_STATS_H_
+#define AZUL_SIM_SIM_STATS_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dataflow/message.h"
+#include "dataflow/task.h"
+#include "util/common.h"
+
+namespace azul {
+
+/** Issued-operation counts by kind (Fig 21 categories). */
+struct OpCounts {
+    std::uint64_t fmac = 0;
+    std::uint64_t add = 0;
+    std::uint64_t mul = 0;
+    std::uint64_t send = 0;
+
+    std::uint64_t
+    total() const
+    {
+        return fmac + add + mul + send;
+    }
+
+    void
+    Count(OpKind kind)
+    {
+        switch (kind) {
+          case OpKind::kFmac: ++fmac; break;
+          case OpKind::kAdd: ++add; break;
+          case OpKind::kMul: ++mul; break;
+          case OpKind::kSend: ++send; break;
+        }
+    }
+
+    OpCounts&
+    operator+=(const OpCounts& o)
+    {
+        fmac += o.fmac;
+        add += o.add;
+        mul += o.mul;
+        send += o.send;
+        return *this;
+    }
+};
+
+/** Number of kernel classes tracked (KernelClass enumerators). */
+inline constexpr std::size_t kNumKernelClasses = 4;
+
+/** Counters for one simulation (a phase, an iteration, or a run). */
+struct SimStats {
+    Cycle cycles = 0;
+    OpCounts ops;
+    /** Cycles in which a PE had pending work but could not issue. */
+    std::uint64_t stall_cycles = 0;
+    /** Tile-cycles with no pending work during active phases. */
+    std::uint64_t idle_cycles = 0;
+    /** Total directed-link traversals (Fig 11's metric). */
+    std::uint64_t link_activations = 0;
+    /** Messages injected into the NoC. */
+    std::uint64_t messages = 0;
+    /** Messages that overflowed the register buffer into SRAM. */
+    std::uint64_t spilled_messages = 0;
+    /** Scratchpad accesses (for the energy model). */
+    std::uint64_t sram_reads = 0;
+    std::uint64_t sram_writes = 0;
+    /** Cycles attributed to each kernel class (Fig 22). */
+    std::array<Cycle, kNumKernelClasses> class_cycles{};
+    /** Issued-op count per sampled cycle bucket (Fig 17 curves);
+     *  empty unless sampling was enabled. */
+    std::vector<std::uint64_t> issue_timeline;
+    Cycle issue_sample_period = 0;
+    /** Operations issued per tile — the spatial load balance the
+     *  mapper's constraint-0 balancing targets (Sec IV-B). */
+    std::vector<std::uint64_t> tile_ops;
+
+    /** max/mean of tile_ops (1.0 = perfectly balanced); 0 if empty. */
+    double TileImbalance() const;
+
+    SimStats& operator+=(const SimStats& o);
+
+    /** GFLOP/s given FLOPs executed and the configured clock. */
+    static double Gflops(double flops, Cycle cycles, double clock_ghz);
+
+    std::string ToString() const;
+};
+
+} // namespace azul
+
+#endif // AZUL_SIM_SIM_STATS_H_

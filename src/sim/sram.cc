@@ -1,0 +1,67 @@
+#include "sim/sram.h"
+
+#include <algorithm>
+
+namespace azul {
+
+SramUsage
+ComputeSramUsage(const PcgProgram& prog, const SimConfig& cfg)
+{
+    const std::int32_t num_tiles = cfg.num_tiles();
+    // 96 bits = 12 bytes per stored operand (64-bit value + 32-bit
+    // metadata), matching the paper's SRAM word.
+    constexpr std::size_t kWord = 12;
+    const std::size_t num_vecs =
+        static_cast<std::size_t>(VecName::kCount);
+
+    std::vector<std::size_t> data_bytes(
+        static_cast<std::size_t>(num_tiles), 0);
+    std::vector<std::size_t> accum_bytes(
+        static_cast<std::size_t>(num_tiles), 0);
+
+    // Vector shards: one word per slot per dense vector.
+    for (TileId home : prog.vec_tile) {
+        data_bytes[static_cast<std::size_t>(home)] += kWord * num_vecs;
+    }
+    // Matrix kernels: ops are stored nonzeros; accumulators live in
+    // the Accumulator SRAM; node tables cost one word each. Partial
+    // sums of different kernels reuse the same Accumulator SRAM, so
+    // take the max across kernels, not the sum.
+    std::vector<std::size_t> kernel_accum(
+        static_cast<std::size_t>(num_tiles), 0);
+    for (const MatrixKernel& k : prog.matrix_kernels) {
+        std::fill(kernel_accum.begin(), kernel_accum.end(), 0);
+        for (std::int32_t t = 0; t < num_tiles; ++t) {
+            const TileKernel& tk = k.tiles[static_cast<std::size_t>(t)];
+            data_bytes[static_cast<std::size_t>(t)] +=
+                kWord * tk.ops.size() + kWord * tk.nodes.size();
+            kernel_accum[static_cast<std::size_t>(t)] =
+                kWord * tk.accums.size();
+        }
+        for (std::int32_t t = 0; t < num_tiles; ++t) {
+            accum_bytes[static_cast<std::size_t>(t)] =
+                std::max(accum_bytes[static_cast<std::size_t>(t)],
+                         kernel_accum[static_cast<std::size_t>(t)]);
+        }
+    }
+
+    SramUsage usage;
+    for (std::int32_t t = 0; t < num_tiles; ++t) {
+        usage.max_data_bytes =
+            std::max(usage.max_data_bytes,
+                     data_bytes[static_cast<std::size_t>(t)]);
+        usage.max_accum_bytes =
+            std::max(usage.max_accum_bytes,
+                     accum_bytes[static_cast<std::size_t>(t)]);
+        usage.total_bytes += data_bytes[static_cast<std::size_t>(t)] +
+                             accum_bytes[static_cast<std::size_t>(t)];
+    }
+    usage.fits =
+        static_cast<double>(usage.max_data_bytes) <=
+            cfg.data_sram_kb * 1024.0 &&
+        static_cast<double>(usage.max_accum_bytes) <=
+            cfg.accum_sram_kb * 1024.0;
+    return usage;
+}
+
+} // namespace azul

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Scratchpad capacity model. Azul is an all-SRAM architecture: the
+ * whole point (Sec I) is that solver state fits on-chip. This module
+ * computes each tile's Data/Accumulator SRAM footprint for a compiled
+ * program so callers can check a problem fits the configured machine
+ * (the paper's Table IV groups matrices by which machine size fits).
+ */
+#ifndef AZUL_SIM_SRAM_H_
+#define AZUL_SIM_SRAM_H_
+
+#include <cstdint>
+
+#include "dataflow/program.h"
+#include "sim/config.h"
+
+namespace azul {
+
+/** Per-tile SRAM usage summary. */
+struct SramUsage {
+    /** Largest Data SRAM footprint across tiles, bytes. Holds matrix
+     *  nonzeros (value + 32-bit metadata), the dense-vector shards,
+     *  and the node/op tables. */
+    std::size_t max_data_bytes = 0;
+    /** Largest Accumulator SRAM footprint across tiles, bytes
+     *  (96 bits per live partial sum). */
+    std::size_t max_accum_bytes = 0;
+    std::size_t total_bytes = 0;
+    bool fits = false;
+};
+
+/** Computes per-tile usage of a compiled program under a config. */
+SramUsage ComputeSramUsage(const PcgProgram& prog, const SimConfig& cfg);
+
+} // namespace azul
+
+#endif // AZUL_SIM_SRAM_H_

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Per-tile persistent storage: the distributed dense vectors. Every
+ * dense vector of PCG (x, r, p, z, Ap, t, b) is sharded by slot home,
+ * so all elementwise kernels touch only local data.
+ */
+#ifndef AZUL_SIM_TILE_H_
+#define AZUL_SIM_TILE_H_
+
+#include <array>
+#include <vector>
+
+#include "dataflow/message.h"
+#include "util/common.h"
+
+namespace azul {
+
+/** Persistent per-tile storage. */
+struct TileStorage {
+    /** Global slot indices homed on this tile (sorted). */
+    std::vector<Index> slots;
+    /** Local data of each dense vector, indexed [vec][local slot]. */
+    std::array<std::vector<double>, static_cast<std::size_t>(
+                                        VecName::kCount)>
+        vecs;
+    /** 1/diag(A) per local slot (Jacobi preconditioner), if used. */
+    std::vector<double> jacobi_inv_diag;
+
+    Index
+    NumSlots() const
+    {
+        return static_cast<Index>(slots.size());
+    }
+
+    void
+    InitStorage()
+    {
+        for (auto& v : vecs) {
+            v.assign(slots.size(), 0.0);
+        }
+    }
+};
+
+} // namespace azul
+
+#endif // AZUL_SIM_TILE_H_

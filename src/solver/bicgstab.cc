@@ -1,0 +1,83 @@
+#include "solver/bicgstab.h"
+
+#include <cmath>
+
+#include "solver/spmv.h"
+
+namespace azul {
+
+SolveResult
+BiCgStab(const CsrMatrix& a, const Vector& b, const Preconditioner& m,
+         double tol, Index max_iters)
+{
+    AZUL_CHECK(a.rows() == a.cols());
+    AZUL_CHECK(static_cast<Index>(b.size()) == a.rows());
+    const Index n = a.rows();
+    const double vec_flops = static_cast<double>(n);
+    const bool preconditioned =
+        m.kind() != PreconditionerKind::kIdentity;
+
+    SolveResult res;
+    res.x = ZeroVector(n);
+    Vector r = b;
+    const Vector r0 = r; // shadow residual
+    Vector p = r;
+    double rho_old = Dot(r0, r);
+    res.flops.vector_ops += vec_flops;
+
+    while (res.iterations < max_iters) {
+        res.residual_norm = Norm2(r);
+        res.flops.vector_ops += 2.0 * vec_flops;
+        if (res.residual_norm <= tol) {
+            res.converged = true;
+            return res;
+        }
+        const Vector p_hat = m.Apply(p);
+        const Vector v = SpMV(a, p_hat);
+        res.flops.spmv += SpMVFlops(a);
+        if (preconditioned) {
+            res.flops.sptrsv += m.ApplyFlops();
+        }
+        const double alpha = rho_old / Dot(r0, v);
+        Vector s = r;
+        Axpy(-alpha, v, s);
+        const double s_norm = Norm2(s);
+        res.flops.vector_ops += 5.0 * vec_flops;
+        if (s_norm <= tol) {
+            Axpy(alpha, p_hat, res.x);
+            r = s;
+            res.residual_norm = s_norm;
+            res.converged = true;
+            ++res.iterations;
+            return res;
+        }
+        const Vector s_hat = m.Apply(s);
+        const Vector t = SpMV(a, s_hat);
+        res.flops.spmv += SpMVFlops(a);
+        if (preconditioned) {
+            res.flops.sptrsv += m.ApplyFlops();
+        }
+        const double omega = Dot(t, s) / Dot(t, t);
+        Axpy(alpha, p_hat, res.x);
+        Axpy(omega, s_hat, res.x);
+        r = s;
+        Axpy(-omega, t, r);
+        const double rho_new = Dot(r0, r);
+        const double beta = (rho_new / rho_old) * (alpha / omega);
+        // p = r + beta * (p - omega * v)
+        for (std::size_t i = 0; i < p.size(); ++i) {
+            p[i] = r[i] + beta * (p[i] - omega * v[i]);
+        }
+        rho_old = rho_new;
+        res.flops.vector_ops += 16.0 * vec_flops;
+        ++res.iterations;
+        if (std::abs(omega) < 1e-300 || std::abs(rho_old) < 1e-300) {
+            break; // breakdown
+        }
+    }
+    res.residual_norm = Norm2(r);
+    res.converged = res.residual_norm <= tol;
+    return res;
+}
+
+} // namespace azul

@@ -1,0 +1,31 @@
+/**
+ * @file
+ * BiCGStab solver (Sec II-B, Table II) — handles nonsymmetric systems
+ * with the same SpMV (+ optional SpTRSV preconditioner) kernel mix as
+ * PCG, demonstrating the generality of the kernels Azul accelerates.
+ */
+#ifndef AZUL_SOLVER_BICGSTAB_H_
+#define AZUL_SOLVER_BICGSTAB_H_
+
+#include "solver/preconditioner.h"
+#include "solver/solve_result.h"
+#include "sparse/csr.h"
+
+namespace azul {
+
+/**
+ * Solves A x = b by preconditioned BiCGStab.
+ *
+ * @param a         system matrix (need not be symmetric).
+ * @param b         right-hand side.
+ * @param m         preconditioner applied as right preconditioning.
+ * @param tol       convergence threshold on ||r||.
+ * @param max_iters iteration cap.
+ */
+SolveResult BiCgStab(const CsrMatrix& a, const Vector& b,
+                     const Preconditioner& m, double tol = 1e-10,
+                     Index max_iters = 10000);
+
+} // namespace azul
+
+#endif // AZUL_SOLVER_BICGSTAB_H_

@@ -1,0 +1,47 @@
+#include "solver/cg.h"
+
+#include "solver/spmv.h"
+
+namespace azul {
+
+SolveResult
+ConjugateGradients(const CsrMatrix& a, const Vector& b, double tol,
+                   Index max_iters)
+{
+    AZUL_CHECK(a.rows() == a.cols());
+    AZUL_CHECK(static_cast<Index>(b.size()) == a.rows());
+    const Index n = a.rows();
+    const double vec_flops = static_cast<double>(n);
+
+    SolveResult res;
+    res.x = ZeroVector(n);
+    Vector r = b;
+    Vector p = r;
+    double rr = Dot(r, r);
+    res.flops.vector_ops += 2.0 * vec_flops;
+
+    while (res.iterations < max_iters) {
+        res.residual_norm = std::sqrt(rr);
+        if (res.residual_norm <= tol) {
+            res.converged = true;
+            return res;
+        }
+        const Vector ap = SpMV(a, p);
+        res.flops.spmv += SpMVFlops(a);
+        const double p_ap = Dot(p, ap);
+        const double alpha = rr / p_ap;
+        Axpy(alpha, p, res.x);
+        Axpy(-alpha, ap, r);
+        const double rr_new = Dot(r, r);
+        const double beta = rr_new / rr;
+        Xpby(r, beta, p);
+        rr = rr_new;
+        res.flops.vector_ops += 10.0 * vec_flops;
+        ++res.iterations;
+    }
+    res.residual_norm = std::sqrt(rr);
+    res.converged = res.residual_norm <= tol;
+    return res;
+}
+
+} // namespace azul

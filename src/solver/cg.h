@@ -1,0 +1,27 @@
+/**
+ * @file
+ * Unpreconditioned conjugate gradients.
+ */
+#ifndef AZUL_SOLVER_CG_H_
+#define AZUL_SOLVER_CG_H_
+
+#include "solver/solve_result.h"
+#include "sparse/csr.h"
+
+namespace azul {
+
+/**
+ * Solves A x = b for SPD A by conjugate gradients.
+ *
+ * @param a         SPD system matrix.
+ * @param b         right-hand side.
+ * @param tol       convergence threshold on ||r||.
+ * @param max_iters iteration cap.
+ */
+SolveResult ConjugateGradients(const CsrMatrix& a, const Vector& b,
+                               double tol = 1e-10,
+                               Index max_iters = 10000);
+
+} // namespace azul
+
+#endif // AZUL_SOLVER_CG_H_

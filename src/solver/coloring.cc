@@ -1,0 +1,95 @@
+#include "solver/coloring.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace azul {
+
+Coloring
+GreedyColoring(const CsrMatrix& a, ColoringStrategy strategy)
+{
+    AZUL_CHECK(a.rows() == a.cols());
+    const Index n = a.rows();
+    std::vector<Index> order(static_cast<std::size_t>(n));
+    std::iota(order.begin(), order.end(), Index{0});
+    if (strategy == ColoringStrategy::kLargestFirst) {
+        std::stable_sort(order.begin(), order.end(),
+                         [&a](Index x, Index y) {
+                             return a.RowNnz(x) > a.RowNnz(y);
+                         });
+    }
+
+    Coloring coloring;
+    coloring.color_of.assign(static_cast<std::size_t>(n), Index{-1});
+    std::vector<Index> neighbor_colors; // scratch, reset per vertex
+    std::vector<char> used;
+    for (Index v : order) {
+        neighbor_colors.clear();
+        for (Index k = a.RowBegin(v); k < a.RowEnd(v); ++k) {
+            const Index u = a.col_idx()[k];
+            if (u == v) {
+                continue;
+            }
+            const Index c = coloring.color_of[static_cast<std::size_t>(u)];
+            if (c >= 0) {
+                neighbor_colors.push_back(c);
+            }
+        }
+        used.assign(neighbor_colors.size() + 1, 0);
+        for (Index c : neighbor_colors) {
+            if (c < static_cast<Index>(used.size())) {
+                used[static_cast<std::size_t>(c)] = 1;
+            }
+        }
+        Index chosen = 0;
+        while (used[static_cast<std::size_t>(chosen)]) {
+            ++chosen;
+        }
+        coloring.color_of[static_cast<std::size_t>(v)] = chosen;
+        coloring.num_colors = std::max(coloring.num_colors, chosen + 1);
+    }
+    return coloring;
+}
+
+Permutation
+ColoringPermutation(const Coloring& coloring)
+{
+    const Index n = static_cast<Index>(coloring.color_of.size());
+    std::vector<Index> order(static_cast<std::size_t>(n));
+    std::iota(order.begin(), order.end(), Index{0});
+    std::stable_sort(order.begin(), order.end(), [&coloring](Index x,
+                                                             Index y) {
+        return coloring.color_of[static_cast<std::size_t>(x)] <
+               coloring.color_of[static_cast<std::size_t>(y)];
+    });
+    return Permutation::FromNewToOld(std::move(order));
+}
+
+ColoredMatrix
+ColorAndPermute(const CsrMatrix& a, ColoringStrategy strategy)
+{
+    const Coloring coloring = GreedyColoring(a, strategy);
+    ColoredMatrix out;
+    out.perm = ColoringPermutation(coloring);
+    out.a = PermuteSymmetric(a, out.perm);
+    out.num_colors = coloring.num_colors;
+    return out;
+}
+
+bool
+IsValidColoring(const CsrMatrix& a, const Coloring& coloring)
+{
+    for (Index r = 0; r < a.rows(); ++r) {
+        for (Index k = a.RowBegin(r); k < a.RowEnd(r); ++k) {
+            const Index c = a.col_idx()[k];
+            if (c != r &&
+                coloring.color_of[static_cast<std::size_t>(c)] ==
+                    coloring.color_of[static_cast<std::size_t>(r)]) {
+                return false;
+            }
+        }
+    }
+    return true;
+}
+
+} // namespace azul

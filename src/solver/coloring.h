@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Graph-coloring preprocessing (Sec II-A, Fig 6). Treats the matrix as
+ * an adjacency graph, colors it greedily (largest-degree-first, the
+ * same strategy as networkx's greedy_color used by the paper), and
+ * builds the symmetric permutation that groups same-color rows so that
+ * SpTRSV gains parallelism.
+ */
+#ifndef AZUL_SOLVER_COLORING_H_
+#define AZUL_SOLVER_COLORING_H_
+
+#include <vector>
+
+#include "sparse/csr.h"
+#include "sparse/permute.h"
+
+namespace azul {
+
+/** Result of greedy coloring. */
+struct Coloring {
+    std::vector<Index> color_of; //!< color id per row
+    Index num_colors = 0;
+};
+
+/** Coloring vertex-ordering strategies. */
+enum class ColoringStrategy {
+    kLargestFirst, //!< by descending degree (networkx default analog)
+    kNatural,      //!< natural row order
+};
+
+/**
+ * Greedily colors the adjacency graph of symmetric matrix a (an edge
+ * wherever a[i][j] != 0, i != j). Adjacent rows always receive
+ * different colors.
+ */
+Coloring GreedyColoring(const CsrMatrix& a,
+                        ColoringStrategy strategy =
+                            ColoringStrategy::kLargestFirst);
+
+/**
+ * Builds the permutation that orders rows by ascending color (stable
+ * within a color). Applying it with PermuteSymmetric yields the
+ * "permuted" matrices of Fig 6 / Table I.
+ */
+Permutation ColoringPermutation(const Coloring& coloring);
+
+/** Convenience: colors a, permutes it, returns both. */
+struct ColoredMatrix {
+    CsrMatrix a;
+    Permutation perm;
+    Index num_colors = 0;
+};
+ColoredMatrix ColorAndPermute(const CsrMatrix& a,
+                              ColoringStrategy strategy =
+                                  ColoringStrategy::kLargestFirst);
+
+/** Verifies that no two adjacent rows share a color. */
+bool IsValidColoring(const CsrMatrix& a, const Coloring& coloring);
+
+} // namespace azul
+
+#endif // AZUL_SOLVER_COLORING_H_

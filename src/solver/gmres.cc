@@ -1,0 +1,145 @@
+#include "solver/gmres.h"
+
+#include <cmath>
+
+#include "solver/spmv.h"
+
+namespace azul {
+
+SolveResult
+Gmres(const CsrMatrix& a, const Vector& b, const Preconditioner& m,
+      Index restart, double tol, Index max_iters)
+{
+    AZUL_CHECK(a.rows() == a.cols());
+    AZUL_CHECK(static_cast<Index>(b.size()) == a.rows());
+    AZUL_CHECK(restart >= 1);
+    const Index n = a.rows();
+    const double vec_flops = static_cast<double>(n);
+    const bool preconditioned =
+        m.kind() != PreconditionerKind::kIdentity;
+    const auto mi = static_cast<std::size_t>(restart);
+
+    SolveResult res;
+    res.x = ZeroVector(n);
+
+    // Krylov basis and Hessenberg matrix (column-major, (m+1) x m).
+    std::vector<Vector> basis;
+    std::vector<std::vector<double>> h(
+        mi, std::vector<double>(mi + 1, 0.0));
+    std::vector<double> cs(mi, 0.0);
+    std::vector<double> sn(mi, 0.0);
+    std::vector<double> g(mi + 1, 0.0); // rotated rhs of the LS problem
+
+    while (res.iterations < max_iters) {
+        // Residual at the cycle start: r = b - A x.
+        Vector r = SpMV(a, res.x);
+        res.flops.spmv += SpMVFlops(a);
+        for (std::size_t i = 0; i < r.size(); ++i) {
+            r[i] = b[i] - r[i];
+        }
+        const double beta = Norm2(r);
+        res.flops.vector_ops += 3.0 * vec_flops;
+        res.residual_norm = beta;
+        if (beta <= tol) {
+            res.converged = true;
+            return res;
+        }
+
+        basis.clear();
+        Scale(r, 1.0 / beta);
+        basis.push_back(std::move(r));
+        std::fill(g.begin(), g.end(), 0.0);
+        g[0] = beta;
+
+        std::size_t k = 0; // columns completed this cycle
+        for (; k < mi && res.iterations < max_iters;
+             ++k, ++res.iterations) {
+            // w = A M^{-1} v_k  (right preconditioning).
+            const Vector z = m.Apply(basis[k]);
+            if (preconditioned) {
+                res.flops.sptrsv += m.ApplyFlops();
+            }
+            Vector w = SpMV(a, z);
+            res.flops.spmv += SpMVFlops(a);
+
+            // Modified Gram-Schmidt against the basis.
+            for (std::size_t i = 0; i <= k; ++i) {
+                h[k][i] = Dot(w, basis[i]);
+                Axpy(-h[k][i], basis[i], w);
+                res.flops.vector_ops += 4.0 * vec_flops;
+            }
+            h[k][k + 1] = Norm2(w);
+            const double w_norm = h[k][k + 1];
+            res.flops.vector_ops += 2.0 * vec_flops;
+
+            // Apply existing Givens rotations to the new column.
+            for (std::size_t i = 0; i < k; ++i) {
+                const double tmp =
+                    cs[i] * h[k][i] + sn[i] * h[k][i + 1];
+                h[k][i + 1] =
+                    -sn[i] * h[k][i] + cs[i] * h[k][i + 1];
+                h[k][i] = tmp;
+            }
+            // New rotation to annihilate h[k][k+1].
+            const double denom = std::hypot(h[k][k], h[k][k + 1]);
+            if (denom == 0.0) {
+                // Lucky breakdown: exact solution in the subspace.
+                ++k;
+                ++res.iterations;
+                break;
+            }
+            cs[k] = h[k][k] / denom;
+            sn[k] = h[k][k + 1] / denom;
+            h[k][k] = denom;
+            h[k][k + 1] = 0.0;
+            g[k + 1] = -sn[k] * g[k];
+            g[k] = cs[k] * g[k];
+
+            if (std::abs(g[k + 1]) <= tol) {
+                ++k;
+                ++res.iterations;
+                break;
+            }
+            if (w_norm == 0.0) {
+                ++k;
+                ++res.iterations;
+                break; // invariant subspace reached
+            }
+            Scale(w, 1.0 / w_norm);
+            basis.push_back(std::move(w));
+        }
+
+        // Back-substitute y from the triangular LS system and update
+        // x += M^{-1} (V_k y).
+        std::vector<double> y(k, 0.0);
+        for (std::size_t i = k; i-- > 0;) {
+            double acc = g[i];
+            for (std::size_t j = i + 1; j < k; ++j) {
+                acc -= h[j][i] * y[j];
+            }
+            y[i] = acc / h[i][i];
+        }
+        Vector update = ZeroVector(n);
+        for (std::size_t i = 0; i < k; ++i) {
+            Axpy(y[i], basis[i], update);
+            res.flops.vector_ops += 2.0 * vec_flops;
+        }
+        const Vector preconditioned_update = m.Apply(update);
+        if (preconditioned) {
+            res.flops.sptrsv += m.ApplyFlops();
+        }
+        Axpy(1.0, preconditioned_update, res.x);
+        res.flops.vector_ops += 2.0 * vec_flops;
+    }
+
+    // Final residual check.
+    Vector r = SpMV(a, res.x);
+    for (std::size_t i = 0; i < r.size(); ++i) {
+        r[i] = b[i] - r[i];
+    }
+    res.residual_norm = Norm2(r);
+    res.converged = res.residual_norm <= tol;
+    return res;
+}
+
+} // namespace azul

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Restarted GMRES (Sec II-B): like BiCGStab, a Krylov solver for
+ * nonsymmetric systems built from the same SpMV (+ optional SpTRSV
+ * preconditioner) kernels Azul accelerates.
+ *
+ * Implementation: Arnoldi with modified Gram-Schmidt, Givens-rotation
+ * QR of the Hessenberg matrix, right preconditioning, restart every m
+ * iterations.
+ */
+#ifndef AZUL_SOLVER_GMRES_H_
+#define AZUL_SOLVER_GMRES_H_
+
+#include "solver/preconditioner.h"
+#include "solver/solve_result.h"
+#include "sparse/csr.h"
+
+namespace azul {
+
+/**
+ * Solves A x = b by right-preconditioned GMRES(m).
+ *
+ * @param a         system matrix (need not be symmetric).
+ * @param b         right-hand side.
+ * @param m         preconditioner.
+ * @param restart   Krylov subspace dimension per cycle.
+ * @param tol       convergence threshold on ||r||.
+ * @param max_iters total inner-iteration cap.
+ */
+SolveResult Gmres(const CsrMatrix& a, const Vector& b,
+                  const Preconditioner& m, Index restart = 30,
+                  double tol = 1e-10, Index max_iters = 10000);
+
+} // namespace azul
+
+#endif // AZUL_SOLVER_GMRES_H_

@@ -1,0 +1,81 @@
+#include "solver/ic0.h"
+
+#include <cmath>
+#include <unordered_map>
+
+#include "sparse/triangle.h"
+
+namespace azul {
+
+CsrMatrix
+IncompleteCholesky(const CsrMatrix& a)
+{
+    AZUL_CHECK(a.rows() == a.cols());
+    CsrMatrix l = LowerTriangle(a);
+    std::vector<double>& vals = l.mutable_vals();
+    const std::vector<Index>& col_idx = l.col_idx();
+    const Index n = l.rows();
+
+    // Position of each row's diagonal entry within the CSR arrays.
+    // Because rows are sorted and lower triangular, the diagonal is
+    // the last entry of each row.
+    std::vector<Index> diag_pos(static_cast<std::size_t>(n));
+    for (Index r = 0; r < n; ++r) {
+        AZUL_CHECK_MSG(l.RowNnz(r) > 0 &&
+                           col_idx[l.RowEnd(r) - 1] == r,
+                       "IC(0): missing diagonal at row " << r);
+        diag_pos[static_cast<std::size_t>(r)] = l.RowEnd(r) - 1;
+    }
+
+    // Up-looking IC(0): for each row i, in ascending column order
+    // finalize
+    //   L[i][k] = (A[i][k] - sum_{j<k} L[i][j] * L[k][j]) / L[k][k]
+    // where the sum ranges over the pattern intersection of rows i and
+    // k, then
+    //   L[i][i] = sqrt(A[i][i] - sum_{j<i} L[i][j]^2).
+    //
+    // row_val maps column -> position in row i for O(1) intersection
+    // probes while sweeping row k.
+    std::unordered_map<Index, Index> row_pos;
+    for (Index i = 0; i < n; ++i) {
+        row_pos.clear();
+        for (Index kk = l.RowBegin(i); kk < l.RowEnd(i); ++kk) {
+            row_pos.emplace(col_idx[kk], kk);
+        }
+        for (Index kk = l.RowBegin(i); kk < l.RowEnd(i); ++kk) {
+            const Index k = col_idx[kk];
+            if (k == i) {
+                break; // diagonal handled below
+            }
+            double acc = vals[static_cast<std::size_t>(kk)];
+            // Sweep row k (all columns j <= k); for j < k in the
+            // intersection, subtract L[i][j] * L[k][j]. L[i][j] is
+            // final because j < k and we finalize in column order.
+            for (Index kj = l.RowBegin(k); kj < l.RowEnd(k) - 1; ++kj) {
+                const Index j = col_idx[kj];
+                const auto it = row_pos.find(j);
+                if (it != row_pos.end()) {
+                    acc -= vals[static_cast<std::size_t>(it->second)] *
+                           vals[static_cast<std::size_t>(kj)];
+                }
+            }
+            const double lkk = vals[static_cast<std::size_t>(
+                diag_pos[static_cast<std::size_t>(k)])];
+            vals[static_cast<std::size_t>(kk)] = acc / lkk;
+        }
+        // Diagonal.
+        const Index dpos = diag_pos[static_cast<std::size_t>(i)];
+        double acc = vals[static_cast<std::size_t>(dpos)];
+        for (Index kk = l.RowBegin(i); kk < dpos; ++kk) {
+            const double lij = vals[static_cast<std::size_t>(kk)];
+            acc -= lij * lij;
+        }
+        AZUL_CHECK_MSG(acc > 0.0,
+                       "IC(0) breakdown: non-positive pivot " << acc
+                           << " at row " << i);
+        vals[static_cast<std::size_t>(dpos)] = std::sqrt(acc);
+    }
+    return l;
+}
+
+} // namespace azul

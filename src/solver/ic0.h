@@ -1,0 +1,28 @@
+/**
+ * @file
+ * Incomplete Cholesky factorization with zero fill-in, IC(0).
+ *
+ * Produces a lower-triangular L with the same sparsity pattern as A's
+ * lower triangle such that L L^T ≈ A. This is the preconditioner the
+ * paper evaluates PCG with (Sec VI: "PCG with an incomplete-Cholesky
+ * preconditioner").
+ */
+#ifndef AZUL_SOLVER_IC0_H_
+#define AZUL_SOLVER_IC0_H_
+
+#include "sparse/csr.h"
+
+namespace azul {
+
+/**
+ * Computes the IC(0) factor of SPD matrix a.
+ *
+ * Throws AzulError if a pivot becomes non-positive (the standard
+ * breakdown condition; does not occur for the diagonally dominant
+ * matrices our generators produce).
+ */
+CsrMatrix IncompleteCholesky(const CsrMatrix& a);
+
+} // namespace azul
+
+#endif // AZUL_SOLVER_IC0_H_

@@ -1,0 +1,72 @@
+#include "solver/levels.h"
+
+#include <algorithm>
+
+namespace azul {
+
+namespace {
+
+LevelSets
+BuildFromLevels(std::vector<Index> level_of)
+{
+    LevelSets out;
+    out.level_of = std::move(level_of);
+    for (std::size_t i = 0; i < out.level_of.size(); ++i) {
+        out.num_levels = std::max(out.num_levels, out.level_of[i] + 1);
+    }
+    out.rows.resize(static_cast<std::size_t>(out.num_levels));
+    for (std::size_t i = 0; i < out.level_of.size(); ++i) {
+        out.rows[static_cast<std::size_t>(out.level_of[i])].push_back(
+            static_cast<Index>(i));
+    }
+    return out;
+}
+
+} // namespace
+
+LevelSets
+ComputeLowerLevels(const CsrMatrix& l)
+{
+    AZUL_CHECK(l.rows() == l.cols());
+    std::vector<Index> level(static_cast<std::size_t>(l.rows()), 0);
+    for (Index r = 0; r < l.rows(); ++r) {
+        Index lv = 0;
+        for (Index k = l.RowBegin(r); k < l.RowEnd(r); ++k) {
+            const Index c = l.col_idx()[k];
+            AZUL_CHECK_MSG(c <= r, "not lower triangular");
+            if (c < r) {
+                lv = std::max(lv,
+                              level[static_cast<std::size_t>(c)] + 1);
+            }
+        }
+        level[static_cast<std::size_t>(r)] = lv;
+    }
+    return BuildFromLevels(std::move(level));
+}
+
+LevelSets
+ComputeUpperLevelsFromLower(const CsrMatrix& l)
+{
+    AZUL_CHECK(l.rows() == l.cols());
+    // Backward solve: x[r] depends on x[c] for L[c][r] != 0 with
+    // c > r. Iterate rows in reverse; when row r is processed all its
+    // dependents' levels are known because dependencies have larger
+    // indices. We need column access: level[r] = 1 + max over c in
+    // col r of L (c > r). Using the transpose's rows = L's columns.
+    const CsrMatrix lt = l.Transposed(); // row r of lt = column r of l
+    std::vector<Index> level(static_cast<std::size_t>(l.rows()), 0);
+    for (Index r = l.rows() - 1; r >= 0; --r) {
+        Index lv = 0;
+        for (Index k = lt.RowBegin(r); k < lt.RowEnd(r); ++k) {
+            const Index c = lt.col_idx()[k]; // c >= r in lower L
+            if (c > r) {
+                lv = std::max(lv,
+                              level[static_cast<std::size_t>(c)] + 1);
+            }
+        }
+        level[static_cast<std::size_t>(r)] = lv;
+    }
+    return BuildFromLevels(std::move(level));
+}
+
+} // namespace azul

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Level-set analysis of the SpTRSV dependence graph (Fig 5). Row i of
+ * lower-triangular L depends on every row j with L[i][j] != 0, j < i;
+ * the level of a row is the length of its longest dependence chain.
+ * Level sets drive both the GPU baseline model (one kernel launch per
+ * level) and the time-balancing quantiles of the Azul mapper.
+ */
+#ifndef AZUL_SOLVER_LEVELS_H_
+#define AZUL_SOLVER_LEVELS_H_
+
+#include <vector>
+
+#include "sparse/csr.h"
+
+namespace azul {
+
+/** Level-set decomposition of a triangular solve. */
+struct LevelSets {
+    std::vector<Index> level_of;           //!< per-row level (0-based)
+    std::vector<std::vector<Index>> rows;  //!< rows in each level
+    Index num_levels = 0;
+};
+
+/** Computes level sets of lower-triangular L (forward solve order). */
+LevelSets ComputeLowerLevels(const CsrMatrix& l);
+
+/**
+ * Computes level sets of the backward solve with L^T: row i depends on
+ * rows j > i with L[j][i] != 0.
+ */
+LevelSets ComputeUpperLevelsFromLower(const CsrMatrix& l);
+
+} // namespace azul
+
+#endif // AZUL_SOLVER_LEVELS_H_

@@ -1,0 +1,72 @@
+#include "solver/parallelism.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace azul {
+
+namespace {
+
+double
+Log2Ceil(Index x)
+{
+    if (x <= 1) {
+        return 0.0;
+    }
+    return std::ceil(std::log2(static_cast<double>(x)));
+}
+
+} // namespace
+
+ParallelismReport
+AnalyzeSpMVParallelism(const CsrMatrix& a)
+{
+    ParallelismReport rep;
+    rep.total_ops = 2.0 * static_cast<double>(a.nnz());
+    Index max_row = 0;
+    for (Index r = 0; r < a.rows(); ++r) {
+        max_row = std::max(max_row, a.RowNnz(r));
+    }
+    rep.critical_path = 1.0 + Log2Ceil(max_row);
+    rep.parallelism =
+        rep.critical_path > 0.0 ? rep.total_ops / rep.critical_path : 0.0;
+    return rep;
+}
+
+ParallelismReport
+AnalyzeSpTRSVParallelism(const CsrMatrix& l)
+{
+    AZUL_CHECK(l.rows() == l.cols());
+    ParallelismReport rep;
+    // Work: one multiply+add per off-diagonal nonzero, one divide per
+    // row.
+    rep.total_ops = 2.0 * static_cast<double>(l.nnz() - l.rows()) +
+                    static_cast<double>(l.rows());
+
+    // Longest weighted dependence chain. depth[i] is the earliest time
+    // x[i] can be final.
+    std::vector<double> depth(static_cast<std::size_t>(l.rows()), 0.0);
+    double critical = 0.0;
+    for (Index r = 0; r < l.rows(); ++r) {
+        double ready = 0.0;
+        for (Index k = l.RowBegin(r); k < l.RowEnd(r); ++k) {
+            const Index c = l.col_idx()[k];
+            AZUL_CHECK_MSG(c <= r, "not lower triangular");
+            if (c < r) {
+                ready = std::max(ready,
+                                 depth[static_cast<std::size_t>(c)]);
+            }
+        }
+        // After the last dependency: multiply its contribution, reduce
+        // the row (log depth), divide by the diagonal.
+        const double row_cost = 1.0 + Log2Ceil(l.RowNnz(r) - 1) + 1.0;
+        depth[static_cast<std::size_t>(r)] = ready + row_cost;
+        critical = std::max(critical,
+                            depth[static_cast<std::size_t>(r)]);
+    }
+    rep.critical_path = std::max(critical, 1.0);
+    rep.parallelism = rep.total_ops / rep.critical_path;
+    return rep;
+}
+
+} // namespace azul

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Available-parallelism analysis (Table I of the paper): total work
+ * divided by critical-path length, assuming single-cycle operations
+ * and ignoring data-movement latency — exactly the paper's estimate.
+ */
+#ifndef AZUL_SOLVER_PARALLELISM_H_
+#define AZUL_SOLVER_PARALLELISM_H_
+
+#include "sparse/csr.h"
+
+namespace azul {
+
+/** Work / critical-path summary for one kernel. */
+struct ParallelismReport {
+    double total_ops = 0.0;
+    double critical_path = 0.0;
+    double parallelism = 0.0; //!< total_ops / critical_path
+};
+
+/**
+ * SpMV parallelism: every product is independent; the critical path is
+ * the balanced reduction tree of the densest row (1 multiply +
+ * ceil(log2(row nnz)) adds).
+ */
+ParallelismReport AnalyzeSpMVParallelism(const CsrMatrix& a);
+
+/**
+ * SpTRSV parallelism on lower-triangular L: the critical path is the
+ * longest weighted dependence chain, where solving row i after its
+ * last dependency costs 1 multiply + a log-depth reduction of the
+ * row's contributions + 1 divide.
+ */
+ParallelismReport AnalyzeSpTRSVParallelism(const CsrMatrix& l);
+
+} // namespace azul
+
+#endif // AZUL_SOLVER_PARALLELISM_H_

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Preconditioned conjugate gradients — the algorithm of Listing 1 in
+ * the paper, and the kernel mix (SpMV + 2 SpTRSV + vector ops per
+ * iteration) that Azul accelerates.
+ */
+#ifndef AZUL_SOLVER_PCG_H_
+#define AZUL_SOLVER_PCG_H_
+
+#include "solver/preconditioner.h"
+#include "solver/solve_result.h"
+#include "sparse/csr.h"
+
+namespace azul {
+
+/** Per-iteration observer (used by tests and convergence plots). */
+using IterationCallback =
+    void (*)(Index iteration, double residual_norm, void* user);
+
+/**
+ * Solves A x = b by PCG with the given preconditioner, following the
+ * paper's Listing 1.
+ *
+ * @param a         SPD system matrix.
+ * @param b         right-hand side.
+ * @param m         preconditioner (z = M^{-1} r each iteration).
+ * @param tol       convergence threshold on ||r||.
+ * @param max_iters iteration cap.
+ * @param cb        optional per-iteration callback.
+ * @param cb_user   opaque pointer passed to cb.
+ */
+SolveResult PreconditionedConjugateGradients(
+    const CsrMatrix& a, const Vector& b, const Preconditioner& m,
+    double tol = 1e-10, Index max_iters = 10000,
+    IterationCallback cb = nullptr, void* cb_user = nullptr);
+
+/**
+ * Counts the FLOPs of a single PCG iteration given A and the
+ * preconditioner — the quantity the paper's GFLOP/s figures divide by
+ * cycle time. Broken down by kernel.
+ */
+KernelFlops PcgIterationFlops(const CsrMatrix& a, const Preconditioner& m);
+
+} // namespace azul
+
+#endif // AZUL_SOLVER_PCG_H_

@@ -1,0 +1,46 @@
+#include "solver/power_iteration.h"
+
+#include <cmath>
+
+#include "solver/spmv.h"
+#include "util/rng.h"
+
+namespace azul {
+
+PowerIterationResult
+PowerIteration(const CsrMatrix& a, double tol, Index max_iters)
+{
+    AZUL_CHECK(a.rows() == a.cols());
+    AZUL_CHECK(a.rows() > 0);
+    Rng rng(17);
+    PowerIterationResult res;
+    Vector v(static_cast<std::size_t>(a.rows()));
+    for (double& x : v) {
+        x = rng.UniformDouble(-1.0, 1.0);
+    }
+    Scale(v, 1.0 / Norm2(v));
+
+    double lambda_old = 0.0;
+    while (res.iterations < max_iters) {
+        Vector av = SpMV(a, v);
+        const double lambda = Dot(v, av);
+        const double norm = Norm2(av);
+        AZUL_CHECK_MSG(norm > 0.0, "power iteration hit the null space");
+        Scale(av, 1.0 / norm);
+        v = std::move(av);
+        ++res.iterations;
+        if (std::abs(lambda - lambda_old) <=
+            tol * std::max(1.0, std::abs(lambda))) {
+            res.converged = true;
+            res.eigenvalue = lambda;
+            res.eigenvector = v;
+            return res;
+        }
+        lambda_old = lambda;
+    }
+    res.eigenvalue = lambda_old;
+    res.eigenvector = v;
+    return res;
+}
+
+} // namespace azul

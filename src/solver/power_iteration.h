@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Power iteration (Table II) — the simplest SpMV-only iterative
+ * algorithm, used as an extra workload exercising Azul's SpMV path.
+ */
+#ifndef AZUL_SOLVER_POWER_ITERATION_H_
+#define AZUL_SOLVER_POWER_ITERATION_H_
+
+#include "solver/vector_ops.h"
+#include "sparse/csr.h"
+
+namespace azul {
+
+/** Result of power iteration. */
+struct PowerIterationResult {
+    double eigenvalue = 0.0;
+    Vector eigenvector;
+    Index iterations = 0;
+    bool converged = false;
+};
+
+/**
+ * Estimates the dominant eigenpair of a by power iteration starting
+ * from a deterministic pseudo-random vector.
+ */
+PowerIterationResult PowerIteration(const CsrMatrix& a, double tol = 1e-8,
+                                    Index max_iters = 5000);
+
+} // namespace azul
+
+#endif // AZUL_SOLVER_POWER_ITERATION_H_

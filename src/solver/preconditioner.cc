@@ -1,0 +1,169 @@
+#include "solver/preconditioner.h"
+
+#include <cmath>
+
+#include "solver/ic0.h"
+#include "solver/sptrsv.h"
+#include "sparse/triangle.h"
+
+namespace azul {
+
+std::string
+PreconditionerKindName(PreconditionerKind kind)
+{
+    switch (kind) {
+      case PreconditionerKind::kIdentity: return "none";
+      case PreconditionerKind::kJacobi: return "jacobi";
+      case PreconditionerKind::kSymmetricGaussSeidel: return "symgs";
+      case PreconditionerKind::kSsor: return "ssor";
+      case PreconditionerKind::kIncompleteCholesky: return "ic0";
+    }
+    return "?";
+}
+
+namespace {
+
+class IdentityPreconditioner final : public Preconditioner {
+  public:
+    Vector Apply(const Vector& r) const override { return r; }
+    PreconditionerKind
+    kind() const override
+    {
+        return PreconditionerKind::kIdentity;
+    }
+    double ApplyFlops() const override { return 0.0; }
+};
+
+class JacobiPreconditioner final : public Preconditioner {
+  public:
+    explicit JacobiPreconditioner(const CsrMatrix& a)
+    {
+        inv_diag_.reserve(static_cast<std::size_t>(a.rows()));
+        for (Index i = 0; i < a.rows(); ++i) {
+            const double d = a.At(i, i);
+            AZUL_CHECK_MSG(d != 0.0, "Jacobi: zero diagonal at " << i);
+            inv_diag_.push_back(1.0 / d);
+        }
+    }
+
+    Vector
+    Apply(const Vector& r) const override
+    {
+        AZUL_CHECK(r.size() == inv_diag_.size());
+        Vector z(r.size());
+        for (std::size_t i = 0; i < r.size(); ++i) {
+            z[i] = r[i] * inv_diag_[i];
+        }
+        return z;
+    }
+
+    PreconditionerKind
+    kind() const override
+    {
+        return PreconditionerKind::kJacobi;
+    }
+
+    double
+    ApplyFlops() const override
+    {
+        return static_cast<double>(inv_diag_.size());
+    }
+
+  private:
+    std::vector<double> inv_diag_;
+};
+
+/**
+ * Preconditioner of the form M = L L^T applied via two triangular
+ * solves. Covers IC(0), symmetric Gauss-Seidel and SSOR (the latter
+ * two via the scaled factor L = (D/w + Lo) (D/w)^{-1/2} * sqrt(c)).
+ */
+class FactoredPreconditioner final : public Preconditioner {
+  public:
+    FactoredPreconditioner(PreconditionerKind kind, CsrMatrix l)
+        : kind_(kind), l_(std::move(l))
+    {
+    }
+
+    Vector
+    Apply(const Vector& r) const override
+    {
+        return SpTRSVLowerTranspose(l_, SpTRSVLower(l_, r));
+    }
+
+    PreconditionerKind kind() const override { return kind_; }
+
+    const CsrMatrix* lower_factor() const override { return &l_; }
+
+    double
+    ApplyFlops() const override
+    {
+        return 2.0 * SpTRSVFlops(l_);
+    }
+
+  private:
+    PreconditionerKind kind_;
+    CsrMatrix l_;
+};
+
+/**
+ * Builds the SSOR lower factor L = sqrt(c) * (D/w + Lo) * (D/w)^{-1/2}
+ * with c = 1 / (w * (2 - w)); w = 1 gives symmetric Gauss-Seidel.
+ */
+CsrMatrix
+SsorFactor(const CsrMatrix& a, double omega)
+{
+    AZUL_CHECK_MSG(omega > 0.0 && omega < 2.0,
+                   "SSOR requires omega in (0, 2), got " << omega);
+    const double c = 1.0 / (omega * (2.0 - omega));
+    const double sqrt_c = std::sqrt(c);
+    CsrMatrix l = LowerTriangle(a);
+    // Replace the diagonal entries with d/w, then scale column j by
+    // (d_j / w)^{-1/2} and everything by sqrt(c).
+    std::vector<double> dw(static_cast<std::size_t>(a.rows()));
+    for (Index i = 0; i < a.rows(); ++i) {
+        const double d = a.At(i, i);
+        AZUL_CHECK_MSG(d > 0.0, "SSOR: non-positive diagonal at " << i);
+        dw[static_cast<std::size_t>(i)] = d / omega;
+    }
+    std::vector<double>& vals = l.mutable_vals();
+    for (Index r = 0; r < l.rows(); ++r) {
+        for (Index k = l.RowBegin(r); k < l.RowEnd(r); ++k) {
+            const Index cidx = l.col_idx()[k];
+            double v = vals[static_cast<std::size_t>(k)];
+            if (cidx == r) {
+                v = dw[static_cast<std::size_t>(r)];
+            }
+            v *= sqrt_c /
+                 std::sqrt(dw[static_cast<std::size_t>(cidx)]);
+            vals[static_cast<std::size_t>(k)] = v;
+        }
+    }
+    return l;
+}
+
+} // namespace
+
+std::unique_ptr<Preconditioner>
+MakePreconditioner(PreconditionerKind kind, const CsrMatrix& a,
+                   double ssor_omega)
+{
+    switch (kind) {
+      case PreconditionerKind::kIdentity:
+        return std::make_unique<IdentityPreconditioner>();
+      case PreconditionerKind::kJacobi:
+        return std::make_unique<JacobiPreconditioner>(a);
+      case PreconditionerKind::kSymmetricGaussSeidel:
+        return std::make_unique<FactoredPreconditioner>(kind,
+                                                        SsorFactor(a, 1.0));
+      case PreconditionerKind::kSsor:
+        return std::make_unique<FactoredPreconditioner>(
+            kind, SsorFactor(a, ssor_omega));
+      case PreconditionerKind::kIncompleteCholesky:
+        return std::make_unique<FactoredPreconditioner>(
+            kind, IncompleteCholesky(a));
+    }
+    throw AzulError("unknown preconditioner kind");
+}
+
+} // namespace azul

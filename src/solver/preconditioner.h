@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Preconditioners for iterative solvers (Table II of the paper).
+ *
+ * A preconditioner applies z = M^{-1} r. The ones built from
+ * triangular factors (IC(0), symmetric Gauss-Seidel, SSOR) expose
+ * their lower factor so the Azul compiler can map the SpTRSV kernels
+ * onto the accelerator.
+ */
+#ifndef AZUL_SOLVER_PRECONDITIONER_H_
+#define AZUL_SOLVER_PRECONDITIONER_H_
+
+#include <memory>
+#include <string>
+
+#include "solver/vector_ops.h"
+#include "sparse/csr.h"
+
+namespace azul {
+
+/** Preconditioner kinds from Table II. */
+enum class PreconditionerKind {
+    kIdentity,
+    kJacobi,
+    kSymmetricGaussSeidel,
+    kSsor,
+    kIncompleteCholesky,
+};
+
+/** Returns the human-readable name of a preconditioner kind. */
+std::string PreconditionerKindName(PreconditionerKind kind);
+
+/** Abstract preconditioner: z = Apply(r) computes M^{-1} r. */
+class Preconditioner {
+  public:
+    virtual ~Preconditioner() = default;
+
+    /** Applies M^{-1} to r. */
+    virtual Vector Apply(const Vector& r) const = 0;
+
+    virtual PreconditionerKind kind() const = 0;
+
+    /**
+     * Lower-triangular factor for trisolve-based preconditioners, or
+     * nullptr for diagonal/identity ones. When non-null, Apply() is
+     * equivalent to SpTRSVLowerTranspose(L, SpTRSVLower(L, r)) up to
+     * an optional diagonal scaling captured in the factor itself.
+     */
+    virtual const CsrMatrix* lower_factor() const { return nullptr; }
+
+    /** FLOPs of one application (for throughput accounting). */
+    virtual double ApplyFlops() const = 0;
+};
+
+/** Builds the requested preconditioner from SPD matrix a. */
+std::unique_ptr<Preconditioner> MakePreconditioner(PreconditionerKind kind,
+                                                   const CsrMatrix& a,
+                                                   double ssor_omega = 1.0);
+
+} // namespace azul
+
+#endif // AZUL_SOLVER_PRECONDITIONER_H_

@@ -1,0 +1,62 @@
+#include "solver/rcm.h"
+
+#include <algorithm>
+#include <deque>
+#include <numeric>
+
+namespace azul {
+
+Permutation
+RcmPermutation(const CsrMatrix& a)
+{
+    AZUL_CHECK(a.rows() == a.cols());
+    const Index n = a.rows();
+    std::vector<char> visited(static_cast<std::size_t>(n), 0);
+    std::vector<Index> order;
+    order.reserve(static_cast<std::size_t>(n));
+
+    // Vertices sorted by degree: BFS roots are chosen minimum-degree
+    // first (a cheap pseudo-peripheral heuristic).
+    std::vector<Index> by_degree(static_cast<std::size_t>(n));
+    std::iota(by_degree.begin(), by_degree.end(), Index{0});
+    std::stable_sort(by_degree.begin(), by_degree.end(),
+                     [&a](Index x, Index y) {
+                         return a.RowNnz(x) < a.RowNnz(y);
+                     });
+
+    std::deque<Index> queue;
+    std::vector<Index> neighbors;
+    for (Index root : by_degree) {
+        if (visited[static_cast<std::size_t>(root)]) {
+            continue;
+        }
+        visited[static_cast<std::size_t>(root)] = 1;
+        queue.push_back(root);
+        while (!queue.empty()) {
+            const Index v = queue.front();
+            queue.pop_front();
+            order.push_back(v);
+            neighbors.clear();
+            for (Index k = a.RowBegin(v); k < a.RowEnd(v); ++k) {
+                const Index u = a.col_idx()[k];
+                if (u != v && !visited[static_cast<std::size_t>(u)]) {
+                    visited[static_cast<std::size_t>(u)] = 1;
+                    neighbors.push_back(u);
+                }
+            }
+            std::sort(neighbors.begin(), neighbors.end(),
+                      [&a](Index x, Index y) {
+                          return a.RowNnz(x) != a.RowNnz(y)
+                                     ? a.RowNnz(x) < a.RowNnz(y)
+                                     : x < y;
+                      });
+            for (Index u : neighbors) {
+                queue.push_back(u);
+            }
+        }
+    }
+    std::reverse(order.begin(), order.end());
+    return Permutation::FromNewToOld(std::move(order));
+}
+
+} // namespace azul

@@ -1,0 +1,27 @@
+/**
+ * @file
+ * Reverse Cuthill-McKee ordering. The classic bandwidth-reducing
+ * permutation — the natural ablation counterpart to the paper's
+ * graph-coloring preprocessing: RCM improves locality (which helps
+ * position/coordinate-based mappings) but, unlike coloring, it does
+ * NOT shorten SpTRSV dependence chains.
+ */
+#ifndef AZUL_SOLVER_RCM_H_
+#define AZUL_SOLVER_RCM_H_
+
+#include "sparse/csr.h"
+#include "sparse/permute.h"
+
+namespace azul {
+
+/**
+ * Computes the reverse Cuthill-McKee permutation of symmetric matrix
+ * a: BFS from a minimum-degree peripheral vertex per connected
+ * component, neighbors visited in ascending-degree order, final order
+ * reversed.
+ */
+Permutation RcmPermutation(const CsrMatrix& a);
+
+} // namespace azul
+
+#endif // AZUL_SOLVER_RCM_H_

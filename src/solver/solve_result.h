@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Common result type for the reference iterative solvers, including
+ * the per-kernel FLOP accounting the evaluation harness uses to turn
+ * runtimes into GFLOP/s.
+ */
+#ifndef AZUL_SOLVER_SOLVE_RESULT_H_
+#define AZUL_SOLVER_SOLVE_RESULT_H_
+
+#include "solver/vector_ops.h"
+
+namespace azul {
+
+/** FLOPs broken down by kernel (matches Fig 3/22 categories). */
+struct KernelFlops {
+    double spmv = 0.0;
+    double sptrsv = 0.0;
+    double vector_ops = 0.0;
+
+    double total() const { return spmv + sptrsv + vector_ops; }
+};
+
+/** Result of a reference solver run. */
+struct SolveResult {
+    Vector x;
+    bool converged = false;
+    Index iterations = 0;
+    double residual_norm = 0.0;
+    KernelFlops flops;
+};
+
+} // namespace azul
+
+#endif // AZUL_SOLVER_SOLVE_RESULT_H_

@@ -1,0 +1,43 @@
+#include "solver/spmv.h"
+
+namespace azul {
+
+Vector
+SpMV(const CsrMatrix& a, const Vector& x)
+{
+    Vector y = ZeroVector(a.rows());
+    SpMVAccumulate(a, x, y);
+    return y;
+}
+
+void
+SpMVAccumulate(const CsrMatrix& a, const Vector& x, Vector& y)
+{
+    AZUL_CHECK(static_cast<Index>(x.size()) == a.cols());
+    AZUL_CHECK(static_cast<Index>(y.size()) == a.rows());
+    for (Index r = 0; r < a.rows(); ++r) {
+        double acc = y[static_cast<std::size_t>(r)];
+        for (Index k = a.RowBegin(r); k < a.RowEnd(r); ++k) {
+            acc += a.vals()[k] *
+                   x[static_cast<std::size_t>(a.col_idx()[k])];
+        }
+        y[static_cast<std::size_t>(r)] = acc;
+    }
+}
+
+Vector
+SpMVTranspose(const CsrMatrix& a, const Vector& x)
+{
+    AZUL_CHECK(static_cast<Index>(x.size()) == a.rows());
+    Vector y = ZeroVector(a.cols());
+    for (Index r = 0; r < a.rows(); ++r) {
+        const double xr = x[static_cast<std::size_t>(r)];
+        for (Index k = a.RowBegin(r); k < a.RowEnd(r); ++k) {
+            y[static_cast<std::size_t>(a.col_idx()[k])] +=
+                a.vals()[k] * xr;
+        }
+    }
+    return y;
+}
+
+} // namespace azul

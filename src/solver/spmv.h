@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Reference sparse matrix-vector multiply (SpMV), the first of the two
+ * dominant PCG kernels (Sec II-A). The simulator's results are checked
+ * against these routines.
+ */
+#ifndef AZUL_SOLVER_SPMV_H_
+#define AZUL_SOLVER_SPMV_H_
+
+#include "solver/vector_ops.h"
+#include "sparse/csr.h"
+
+namespace azul {
+
+/** y = A * x. */
+Vector SpMV(const CsrMatrix& a, const Vector& x);
+
+/** y += A * x (accumulating form). */
+void SpMVAccumulate(const CsrMatrix& a, const Vector& x, Vector& y);
+
+/** y = A^T * x without materializing the transpose. */
+Vector SpMVTranspose(const CsrMatrix& a, const Vector& x);
+
+/** FLOP count of one SpMV: 2 per stored nonzero (multiply + add). */
+inline double
+SpMVFlops(const CsrMatrix& a)
+{
+    return 2.0 * static_cast<double>(a.nnz());
+}
+
+} // namespace azul
+
+#endif // AZUL_SOLVER_SPMV_H_

@@ -1,0 +1,84 @@
+#include "solver/sptrsv.h"
+
+#include "sparse/triangle.h"
+
+namespace azul {
+
+Vector
+SpTRSVLower(const CsrMatrix& l, const Vector& b)
+{
+    AZUL_CHECK(l.rows() == l.cols());
+    AZUL_CHECK(static_cast<Index>(b.size()) == l.rows());
+    Vector x = ZeroVector(l.rows());
+    for (Index r = 0; r < l.rows(); ++r) {
+        double acc = b[static_cast<std::size_t>(r)];
+        double diag = 0.0;
+        for (Index k = l.RowBegin(r); k < l.RowEnd(r); ++k) {
+            const Index c = l.col_idx()[k];
+            AZUL_CHECK_MSG(c <= r, "matrix is not lower triangular");
+            if (c == r) {
+                diag = l.vals()[k];
+            } else {
+                acc -= l.vals()[k] * x[static_cast<std::size_t>(c)];
+            }
+        }
+        AZUL_CHECK_MSG(diag != 0.0, "zero diagonal at row " << r);
+        x[static_cast<std::size_t>(r)] = acc / diag;
+    }
+    return x;
+}
+
+Vector
+SpTRSVUpper(const CsrMatrix& u, const Vector& b)
+{
+    AZUL_CHECK(u.rows() == u.cols());
+    AZUL_CHECK(static_cast<Index>(b.size()) == u.rows());
+    Vector x = ZeroVector(u.rows());
+    for (Index r = u.rows() - 1; r >= 0; --r) {
+        double acc = b[static_cast<std::size_t>(r)];
+        double diag = 0.0;
+        for (Index k = u.RowBegin(r); k < u.RowEnd(r); ++k) {
+            const Index c = u.col_idx()[k];
+            AZUL_CHECK_MSG(c >= r, "matrix is not upper triangular");
+            if (c == r) {
+                diag = u.vals()[k];
+            } else {
+                acc -= u.vals()[k] * x[static_cast<std::size_t>(c)];
+            }
+        }
+        AZUL_CHECK_MSG(diag != 0.0, "zero diagonal at row " << r);
+        x[static_cast<std::size_t>(r)] = acc / diag;
+    }
+    return x;
+}
+
+Vector
+SpTRSVLowerTranspose(const CsrMatrix& l, const Vector& b)
+{
+    AZUL_CHECK(l.rows() == l.cols());
+    AZUL_CHECK(static_cast<Index>(b.size()) == l.rows());
+    // L^T is upper triangular; iterate rows of L backwards, treating
+    // row r of L as column r of L^T: once x[r] is final, scatter its
+    // contribution to all x[c] with L[r][c] != 0, c < r.
+    Vector x(b);
+    for (Index r = l.rows() - 1; r >= 0; --r) {
+        double diag = 0.0;
+        for (Index k = l.RowBegin(r); k < l.RowEnd(r); ++k) {
+            if (l.col_idx()[k] == r) {
+                diag = l.vals()[k];
+            }
+        }
+        AZUL_CHECK_MSG(diag != 0.0, "zero diagonal at row " << r);
+        x[static_cast<std::size_t>(r)] /= diag;
+        const double xr = x[static_cast<std::size_t>(r)];
+        for (Index k = l.RowBegin(r); k < l.RowEnd(r); ++k) {
+            const Index c = l.col_idx()[k];
+            if (c != r) {
+                x[static_cast<std::size_t>(c)] -= l.vals()[k] * xr;
+            }
+        }
+    }
+    return x;
+}
+
+} // namespace azul

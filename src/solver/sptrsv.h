@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Reference sparse triangular solve (SpTRSV), the second dominant PCG
+ * kernel (Sec II-A, Fig 4/5). Forward substitution solves Lx = b for
+ * lower-triangular L; backward substitution solves Ux = b. The
+ * transpose variant solves L^T x = b directly from L's storage.
+ */
+#ifndef AZUL_SOLVER_SPTRSV_H_
+#define AZUL_SOLVER_SPTRSV_H_
+
+#include "solver/vector_ops.h"
+#include "sparse/csr.h"
+
+namespace azul {
+
+/**
+ * Solves L x = b by forward substitution. L must be lower triangular
+ * with a full nonzero diagonal.
+ */
+Vector SpTRSVLower(const CsrMatrix& l, const Vector& b);
+
+/** Solves U x = b by backward substitution (U upper triangular). */
+Vector SpTRSVUpper(const CsrMatrix& u, const Vector& b);
+
+/**
+ * Solves L^T x = b given lower-triangular L, without materializing
+ * L^T (column sweep from the last row).
+ */
+Vector SpTRSVLowerTranspose(const CsrMatrix& l, const Vector& b);
+
+/** FLOP count of one SpTRSV: 2 per off-diagonal nonzero + 1 per row. */
+inline double
+SpTRSVFlops(const CsrMatrix& l)
+{
+    return 2.0 * static_cast<double>(l.nnz() - l.rows()) +
+           static_cast<double>(l.rows());
+}
+
+} // namespace azul
+
+#endif // AZUL_SOLVER_SPTRSV_H_

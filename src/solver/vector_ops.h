@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Dense vector helpers used by the iterative solvers. These are the
+ * "Vector Ops" of the paper's kernel breakdown (Fig 3/22): dot
+ * products, axpy updates, and norms.
+ */
+#ifndef AZUL_SOLVER_VECTOR_OPS_H_
+#define AZUL_SOLVER_VECTOR_OPS_H_
+
+#include <cmath>
+#include <vector>
+
+#include "util/common.h"
+
+namespace azul {
+
+using Vector = std::vector<double>;
+
+/** Dot product; sizes must match. */
+inline double
+Dot(const Vector& a, const Vector& b)
+{
+    AZUL_CHECK(a.size() == b.size());
+    double acc = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        acc += a[i] * b[i];
+    }
+    return acc;
+}
+
+/** Euclidean norm. */
+inline double
+Norm2(const Vector& a)
+{
+    return std::sqrt(Dot(a, a));
+}
+
+/** y += alpha * x. */
+inline void
+Axpy(double alpha, const Vector& x, Vector& y)
+{
+    AZUL_CHECK(x.size() == y.size());
+    for (std::size_t i = 0; i < x.size(); ++i) {
+        y[i] += alpha * x[i];
+    }
+}
+
+/** y = x + beta * y (the "xpby" update used for search directions). */
+inline void
+Xpby(const Vector& x, double beta, Vector& y)
+{
+    AZUL_CHECK(x.size() == y.size());
+    for (std::size_t i = 0; i < x.size(); ++i) {
+        y[i] = x[i] + beta * y[i];
+    }
+}
+
+/** Elementwise scale: a *= s. */
+inline void
+Scale(Vector& a, double s)
+{
+    for (double& v : a) {
+        v *= s;
+    }
+}
+
+/** Returns a zero vector of length n. */
+inline Vector
+ZeroVector(Index n)
+{
+    return Vector(static_cast<std::size_t>(n), 0.0);
+}
+
+} // namespace azul
+
+#endif // AZUL_SOLVER_VECTOR_OPS_H_

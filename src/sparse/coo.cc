@@ -1,0 +1,76 @@
+#include "sparse/coo.h"
+
+#include <algorithm>
+
+namespace azul {
+
+void
+CooMatrix::Add(Index row, Index col, double val)
+{
+    AZUL_CHECK_MSG(row >= 0 && row < rows_ && col >= 0 && col < cols_,
+                   "entry (" << row << "," << col << ") out of bounds for "
+                             << rows_ << "x" << cols_);
+    entries_.push_back({row, col, val});
+}
+
+void
+CooMatrix::Canonicalize()
+{
+    std::sort(entries_.begin(), entries_.end(),
+              [](const Triplet& a, const Triplet& b) {
+                  return a.row != b.row ? a.row < b.row : a.col < b.col;
+              });
+    std::vector<Triplet> merged;
+    merged.reserve(entries_.size());
+    for (const Triplet& t : entries_) {
+        if (!merged.empty() && merged.back().row == t.row &&
+            merged.back().col == t.col) {
+            merged.back().val += t.val;
+        } else {
+            merged.push_back(t);
+        }
+    }
+    entries_ = std::move(merged);
+}
+
+bool
+CooMatrix::IsCanonical() const
+{
+    for (std::size_t i = 1; i < entries_.size(); ++i) {
+        const Triplet& a = entries_[i - 1];
+        const Triplet& b = entries_[i];
+        if (a.row > b.row || (a.row == b.row && a.col >= b.col)) {
+            return false;
+        }
+    }
+    return true;
+}
+
+CooMatrix
+CooMatrix::Transposed() const
+{
+    CooMatrix out(cols_, rows_);
+    out.entries_.reserve(entries_.size());
+    for (const Triplet& t : entries_) {
+        out.entries_.push_back({t.col, t.row, t.val});
+    }
+    out.Canonicalize();
+    return out;
+}
+
+void
+CooMatrix::SymmetrizeFromLower()
+{
+    std::vector<Triplet> extra;
+    for (const Triplet& t : entries_) {
+        AZUL_CHECK_MSG(t.row >= t.col,
+                       "SymmetrizeFromLower expects lower-triangular input");
+        if (t.row != t.col) {
+            extra.push_back({t.col, t.row, t.val});
+        }
+    }
+    entries_.insert(entries_.end(), extra.begin(), extra.end());
+    Canonicalize();
+}
+
+} // namespace azul

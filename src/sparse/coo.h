@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Coordinate-format sparse matrix. COO is the interchange format: the
+ * Matrix Market reader and the synthetic generators produce COO, which
+ * is then converted to CSR/CSC for computation.
+ */
+#ifndef AZUL_SPARSE_COO_H_
+#define AZUL_SPARSE_COO_H_
+
+#include <vector>
+
+#include "util/common.h"
+
+namespace azul {
+
+/** One nonzero entry in coordinate format. */
+struct Triplet {
+    Index row = 0;
+    Index col = 0;
+    double val = 0.0;
+
+    friend bool
+    operator==(const Triplet& a, const Triplet& b)
+    {
+        return a.row == b.row && a.col == b.col && a.val == b.val;
+    }
+};
+
+/**
+ * Coordinate-format sparse matrix.
+ *
+ * Entries may be in any order and may contain duplicates until
+ * Canonicalize() is called, which sorts row-major and sums duplicates.
+ */
+class CooMatrix {
+  public:
+    CooMatrix() = default;
+    CooMatrix(Index rows, Index cols) : rows_(rows), cols_(cols)
+    {
+        AZUL_CHECK(rows >= 0 && cols >= 0);
+    }
+
+    Index rows() const { return rows_; }
+    Index cols() const { return cols_; }
+    Index nnz() const { return static_cast<Index>(entries_.size()); }
+
+    const std::vector<Triplet>& entries() const { return entries_; }
+    std::vector<Triplet>& mutable_entries() { return entries_; }
+
+    /** Appends one entry; bounds-checked. */
+    void Add(Index row, Index col, double val);
+
+    /**
+     * Sorts entries row-major (row, then col) and merges duplicate
+     * coordinates by summing their values. Zero-valued results of the
+     * merge are kept (explicit zeros are legal in sparse formats).
+     */
+    void Canonicalize();
+
+    /** True if entries are sorted row-major with no duplicates. */
+    bool IsCanonical() const;
+
+    /** Returns the transpose (entries swapped, then canonicalized). */
+    CooMatrix Transposed() const;
+
+    /**
+     * Fills in the strictly-upper (or strictly-lower) entries so the
+     * matrix is numerically symmetric. Requires that only one triangle
+     * is currently populated off the diagonal.
+     */
+    void SymmetrizeFromLower();
+
+  private:
+    Index rows_ = 0;
+    Index cols_ = 0;
+    std::vector<Triplet> entries_;
+};
+
+} // namespace azul
+
+#endif // AZUL_SPARSE_COO_H_

@@ -1,0 +1,34 @@
+#include "sparse/csc.h"
+
+namespace azul {
+
+CscMatrix
+CscMatrix::FromCsr(const CsrMatrix& csr)
+{
+    // The transpose of a CSR matrix, reinterpreted, is the CSC form of
+    // the original.
+    const CsrMatrix t = csr.Transposed();
+    CscMatrix out;
+    out.rows_ = csr.rows();
+    out.cols_ = csr.cols();
+    out.col_ptr_ = t.row_ptr();
+    out.row_idx_ = t.col_idx();
+    out.vals_ = t.vals();
+    return out;
+}
+
+CscMatrix
+CscMatrix::FromCoo(const CooMatrix& coo)
+{
+    return FromCsr(CsrMatrix::FromCoo(coo));
+}
+
+CsrMatrix
+CscMatrix::ToCsr() const
+{
+    CsrMatrix as_transpose = CsrMatrix::FromParts(
+        cols_, rows_, col_ptr_, row_idx_, vals_);
+    return as_transpose.Transposed();
+}
+
+} // namespace azul

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Compressed sparse column matrix — used by the dataflow compiler,
+ * which traverses matrices column-wise (each received vector element
+ * scales a column of local nonzeros, Sec IV-A of the paper).
+ */
+#ifndef AZUL_SPARSE_CSC_H_
+#define AZUL_SPARSE_CSC_H_
+
+#include <vector>
+
+#include "sparse/csr.h"
+#include "util/common.h"
+
+namespace azul {
+
+/**
+ * Compressed sparse column matrix. Same invariants as CsrMatrix with
+ * rows and columns exchanged.
+ */
+class CscMatrix {
+  public:
+    CscMatrix() = default;
+
+    static CscMatrix FromCsr(const CsrMatrix& csr);
+    static CscMatrix FromCoo(const CooMatrix& coo);
+
+    Index rows() const { return rows_; }
+    Index cols() const { return cols_; }
+    Index nnz() const { return static_cast<Index>(row_idx_.size()); }
+
+    const std::vector<Index>& col_ptr() const { return col_ptr_; }
+    const std::vector<Index>& row_idx() const { return row_idx_; }
+    const std::vector<double>& vals() const { return vals_; }
+
+    Index ColBegin(Index c) const { return col_ptr_[c]; }
+    Index ColEnd(Index c) const { return col_ptr_[c + 1]; }
+    Index ColNnz(Index c) const { return col_ptr_[c + 1] - col_ptr_[c]; }
+
+    /** Converts to CSR. */
+    CsrMatrix ToCsr() const;
+
+  private:
+    Index rows_ = 0;
+    Index cols_ = 0;
+    std::vector<Index> col_ptr_{0};
+    std::vector<Index> row_idx_;
+    std::vector<double> vals_;
+};
+
+} // namespace azul
+
+#endif // AZUL_SPARSE_CSC_H_

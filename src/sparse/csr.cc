@@ -1,0 +1,146 @@
+#include "sparse/csr.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace azul {
+
+CsrMatrix
+CsrMatrix::FromCoo(const CooMatrix& coo)
+{
+    const CooMatrix* src = &coo;
+    CooMatrix canonical;
+    if (!coo.IsCanonical()) {
+        canonical = coo;
+        canonical.Canonicalize();
+        src = &canonical;
+    }
+
+    CsrMatrix out;
+    out.rows_ = src->rows();
+    out.cols_ = src->cols();
+    out.row_ptr_.assign(static_cast<std::size_t>(src->rows()) + 1, 0);
+    out.col_idx_.reserve(src->entries().size());
+    out.vals_.reserve(src->entries().size());
+    for (const Triplet& t : src->entries()) {
+        ++out.row_ptr_[static_cast<std::size_t>(t.row) + 1];
+        out.col_idx_.push_back(t.col);
+        out.vals_.push_back(t.val);
+    }
+    for (std::size_t r = 0; r + 1 < out.row_ptr_.size(); ++r) {
+        out.row_ptr_[r + 1] += out.row_ptr_[r];
+    }
+    return out;
+}
+
+CsrMatrix
+CsrMatrix::FromParts(Index rows, Index cols, std::vector<Index> row_ptr,
+                     std::vector<Index> col_idx, std::vector<double> vals)
+{
+    AZUL_CHECK(rows >= 0 && cols >= 0);
+    AZUL_CHECK(row_ptr.size() == static_cast<std::size_t>(rows) + 1);
+    AZUL_CHECK(row_ptr.front() == 0);
+    AZUL_CHECK(row_ptr.back() == static_cast<Index>(col_idx.size()));
+    AZUL_CHECK(col_idx.size() == vals.size());
+    for (Index r = 0; r < rows; ++r) {
+        AZUL_CHECK(row_ptr[r] <= row_ptr[r + 1]);
+        for (Index k = row_ptr[r]; k < row_ptr[r + 1]; ++k) {
+            AZUL_CHECK(col_idx[k] >= 0 && col_idx[k] < cols);
+            if (k > row_ptr[r]) {
+                AZUL_CHECK_MSG(col_idx[k - 1] < col_idx[k],
+                               "row " << r << " not strictly sorted");
+            }
+        }
+    }
+
+    CsrMatrix out;
+    out.rows_ = rows;
+    out.cols_ = cols;
+    out.row_ptr_ = std::move(row_ptr);
+    out.col_idx_ = std::move(col_idx);
+    out.vals_ = std::move(vals);
+    return out;
+}
+
+double
+CsrMatrix::At(Index r, Index c) const
+{
+    AZUL_CHECK(r >= 0 && r < rows_ && c >= 0 && c < cols_);
+    const auto begin = col_idx_.begin() + RowBegin(r);
+    const auto end = col_idx_.begin() + RowEnd(r);
+    const auto it = std::lower_bound(begin, end, c);
+    if (it != end && *it == c) {
+        return vals_[static_cast<std::size_t>(it - col_idx_.begin())];
+    }
+    return 0.0;
+}
+
+bool
+CsrMatrix::IsSymmetric(double tol) const
+{
+    if (rows_ != cols_) {
+        return false;
+    }
+    for (Index r = 0; r < rows_; ++r) {
+        for (Index k = RowBegin(r); k < RowEnd(r); ++k) {
+            const Index c = col_idx_[k];
+            if (c <= r) {
+                continue; // check each unordered pair once, from above
+            }
+            const double mirror = At(c, r);
+            if (std::abs(mirror - vals_[k]) > tol) {
+                return false;
+            }
+        }
+    }
+    return true;
+}
+
+CooMatrix
+CsrMatrix::ToCoo() const
+{
+    CooMatrix out(rows_, cols_);
+    for (Index r = 0; r < rows_; ++r) {
+        for (Index k = RowBegin(r); k < RowEnd(r); ++k) {
+            out.Add(r, col_idx_[k], vals_[k]);
+        }
+    }
+    return out;
+}
+
+CsrMatrix
+CsrMatrix::Transposed() const
+{
+    // Counting transpose: histogram columns, prefix sum, scatter.
+    CsrMatrix out;
+    out.rows_ = cols_;
+    out.cols_ = rows_;
+    out.row_ptr_.assign(static_cast<std::size_t>(cols_) + 1, 0);
+    out.col_idx_.resize(col_idx_.size());
+    out.vals_.resize(vals_.size());
+    for (Index c : col_idx_) {
+        ++out.row_ptr_[static_cast<std::size_t>(c) + 1];
+    }
+    for (std::size_t r = 0; r + 1 < out.row_ptr_.size(); ++r) {
+        out.row_ptr_[r + 1] += out.row_ptr_[r];
+    }
+    std::vector<Index> cursor(out.row_ptr_.begin(), out.row_ptr_.end() - 1);
+    for (Index r = 0; r < rows_; ++r) {
+        for (Index k = RowBegin(r); k < RowEnd(r); ++k) {
+            const Index c = col_idx_[k];
+            const Index slot = cursor[static_cast<std::size_t>(c)]++;
+            out.col_idx_[slot] = r;
+            out.vals_[slot] = vals_[k];
+        }
+    }
+    return out;
+}
+
+std::size_t
+CsrMatrix::FootprintBytes() const
+{
+    return row_ptr_.size() * sizeof(Index) +
+           col_idx_.size() * sizeof(Index) + vals_.size() * sizeof(double);
+}
+
+} // namespace azul

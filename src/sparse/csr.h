@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Compressed sparse row matrix — the primary compute format for SpMV
+ * and row-oriented traversals.
+ */
+#ifndef AZUL_SPARSE_CSR_H_
+#define AZUL_SPARSE_CSR_H_
+
+#include <vector>
+
+#include "sparse/coo.h"
+#include "util/common.h"
+
+namespace azul {
+
+/**
+ * Compressed sparse row matrix.
+ *
+ * Invariants: row_ptr has rows()+1 entries, is nondecreasing,
+ * row_ptr[0] == 0 and row_ptr[rows()] == nnz(); within each row the
+ * column indices are strictly increasing.
+ */
+class CsrMatrix {
+  public:
+    CsrMatrix() = default;
+
+    /** Builds from canonical COO (canonicalizes a copy if needed). */
+    static CsrMatrix FromCoo(const CooMatrix& coo);
+
+    /** Builds directly from raw arrays; validates invariants. */
+    static CsrMatrix FromParts(Index rows, Index cols,
+                               std::vector<Index> row_ptr,
+                               std::vector<Index> col_idx,
+                               std::vector<double> vals);
+
+    Index rows() const { return rows_; }
+    Index cols() const { return cols_; }
+    Index nnz() const { return static_cast<Index>(col_idx_.size()); }
+
+    const std::vector<Index>& row_ptr() const { return row_ptr_; }
+    const std::vector<Index>& col_idx() const { return col_idx_; }
+    const std::vector<double>& vals() const { return vals_; }
+    std::vector<double>& mutable_vals() { return vals_; }
+
+    Index RowBegin(Index r) const { return row_ptr_[r]; }
+    Index RowEnd(Index r) const { return row_ptr_[r + 1]; }
+    Index RowNnz(Index r) const { return row_ptr_[r + 1] - row_ptr_[r]; }
+
+    /** Value at (r, c), or 0 if not stored. Binary search within row. */
+    double At(Index r, Index c) const;
+
+    /** True if the sparsity pattern and values are symmetric. */
+    bool IsSymmetric(double tol = 0.0) const;
+
+    /** Converts back to canonical COO. */
+    CooMatrix ToCoo() const;
+
+    /** Returns the transpose as CSR (equivalently, this in CSC). */
+    CsrMatrix Transposed() const;
+
+    /** Memory footprint of the stored arrays in bytes. */
+    std::size_t FootprintBytes() const;
+
+    friend bool
+    operator==(const CsrMatrix& a, const CsrMatrix& b)
+    {
+        return a.rows_ == b.rows_ && a.cols_ == b.cols_ &&
+               a.row_ptr_ == b.row_ptr_ && a.col_idx_ == b.col_idx_ &&
+               a.vals_ == b.vals_;
+    }
+
+  private:
+    Index rows_ = 0;
+    Index cols_ = 0;
+    std::vector<Index> row_ptr_{0};
+    std::vector<Index> col_idx_;
+    std::vector<double> vals_;
+};
+
+} // namespace azul
+
+#endif // AZUL_SPARSE_CSR_H_

@@ -1,0 +1,414 @@
+#include "sparse/generators.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "sparse/permute.h"
+#include "util/rng.h"
+
+namespace azul {
+
+namespace {
+
+/**
+ * Builds an SPD matrix from a symmetric off-diagonal weight list by
+ * setting diag(i) = shift + sum_j |w_ij| (strict diagonal dominance).
+ */
+CsrMatrix
+SpdFromEdges(Index n, const std::vector<Triplet>& off_diag, double shift)
+{
+    std::vector<double> diag(static_cast<std::size_t>(n), shift);
+    CooMatrix coo(n, n);
+    for (const Triplet& t : off_diag) {
+        AZUL_CHECK(t.row != t.col);
+        coo.Add(t.row, t.col, t.val);
+        diag[static_cast<std::size_t>(t.row)] += std::abs(t.val);
+    }
+    for (Index i = 0; i < n; ++i) {
+        coo.Add(i, i, diag[static_cast<std::size_t>(i)]);
+    }
+    return CsrMatrix::FromCoo(coo);
+}
+
+} // namespace
+
+CsrMatrix
+Grid2dLaplacian(Index nx, Index ny, double shift)
+{
+    AZUL_CHECK(nx > 0 && ny > 0);
+    const auto id = [nx](Index x, Index y) { return y * nx + x; };
+    std::vector<Triplet> edges;
+    for (Index y = 0; y < ny; ++y) {
+        for (Index x = 0; x < nx; ++x) {
+            const Index i = id(x, y);
+            if (x + 1 < nx) {
+                edges.push_back({i, id(x + 1, y), -1.0});
+                edges.push_back({id(x + 1, y), i, -1.0});
+            }
+            if (y + 1 < ny) {
+                edges.push_back({i, id(x, y + 1), -1.0});
+                edges.push_back({id(x, y + 1), i, -1.0});
+            }
+        }
+    }
+    return SpdFromEdges(nx * ny, edges, shift);
+}
+
+CsrMatrix
+Grid3dLaplacian(Index nx, Index ny, Index nz, double shift)
+{
+    AZUL_CHECK(nx > 0 && ny > 0 && nz > 0);
+    const auto id = [nx, ny](Index x, Index y, Index z) {
+        return (z * ny + y) * nx + x;
+    };
+    std::vector<Triplet> edges;
+    for (Index z = 0; z < nz; ++z) {
+        for (Index y = 0; y < ny; ++y) {
+            for (Index x = 0; x < nx; ++x) {
+                const Index i = id(x, y, z);
+                if (x + 1 < nx) {
+                    edges.push_back({i, id(x + 1, y, z), -1.0});
+                    edges.push_back({id(x + 1, y, z), i, -1.0});
+                }
+                if (y + 1 < ny) {
+                    edges.push_back({i, id(x, y + 1, z), -1.0});
+                    edges.push_back({id(x, y + 1, z), i, -1.0});
+                }
+                if (z + 1 < nz) {
+                    edges.push_back({i, id(x, y, z + 1), -1.0});
+                    edges.push_back({id(x, y, z + 1), i, -1.0});
+                }
+            }
+        }
+    }
+    return SpdFromEdges(nx * ny * nz, edges, shift);
+}
+
+CsrMatrix
+Grid2dNinePoint(Index nx, Index ny, double shift)
+{
+    AZUL_CHECK(nx > 0 && ny > 0);
+    const auto id = [nx](Index x, Index y) { return y * nx + x; };
+    std::vector<Triplet> edges;
+    for (Index y = 0; y < ny; ++y) {
+        for (Index x = 0; x < nx; ++x) {
+            const Index i = id(x, y);
+            // Enumerate the four "forward" neighbours; mirror each.
+            const Index dxs[] = {1, 0, 1, -1};
+            const Index dys[] = {0, 1, 1, 1};
+            for (int d = 0; d < 4; ++d) {
+                const Index x2 = x + dxs[d];
+                const Index y2 = y + dys[d];
+                if (x2 < 0 || x2 >= nx || y2 >= ny) {
+                    continue;
+                }
+                const double w = (dxs[d] != 0 && dys[d] != 0) ? -0.5 : -1.0;
+                edges.push_back({i, id(x2, y2), w});
+                edges.push_back({id(x2, y2), i, w});
+            }
+        }
+    }
+    return SpdFromEdges(nx * ny, edges, shift);
+}
+
+namespace {
+
+struct Point2 {
+    double x, y;
+};
+
+struct Point3 {
+    double x, y, z;
+};
+
+/** Orders node ids by spatial buckets so ids are spatially correlated. */
+std::vector<Index>
+SpatialOrder2d(const std::vector<Point2>& pts, Index buckets_per_dim)
+{
+    std::vector<Index> order(pts.size());
+    std::iota(order.begin(), order.end(), Index{0});
+    std::sort(order.begin(), order.end(), [&](Index a, Index b) {
+        const auto bucket = [&](const Point2& p) {
+            const Index bx = std::min<Index>(
+                buckets_per_dim - 1,
+                static_cast<Index>(p.x * static_cast<double>(
+                                             buckets_per_dim)));
+            const Index by = std::min<Index>(
+                buckets_per_dim - 1,
+                static_cast<Index>(p.y * static_cast<double>(
+                                             buckets_per_dim)));
+            return by * buckets_per_dim + bx;
+        };
+        const Index ba = bucket(pts[static_cast<std::size_t>(a)]);
+        const Index bb = bucket(pts[static_cast<std::size_t>(b)]);
+        return ba != bb ? ba < bb : a < b;
+    });
+    return order;
+}
+
+} // namespace
+
+CsrMatrix
+RandomGeometricLaplacian(Index n, double avg_degree, std::uint64_t seed,
+                         double shift)
+{
+    AZUL_CHECK(n > 1);
+    AZUL_CHECK(avg_degree > 0.0);
+    Rng rng(seed);
+    std::vector<Point2> pts(static_cast<std::size_t>(n));
+    for (auto& p : pts) {
+        p = {rng.UniformDouble(0.0, 1.0), rng.UniformDouble(0.0, 1.0)};
+    }
+    // Expected degree for radius r in the unit square is ~ n*pi*r^2.
+    const double radius =
+        std::sqrt(avg_degree / (static_cast<double>(n) * M_PI));
+
+    // Bucket grid for neighbour search.
+    const Index gdim = std::max<Index>(
+        1, static_cast<Index>(1.0 / std::max(radius, 1e-9)));
+    std::vector<std::vector<Index>> grid(
+        static_cast<std::size_t>(gdim * gdim));
+    const auto cell_of = [&](const Point2& p) {
+        const Index cx = std::min<Index>(
+            gdim - 1, static_cast<Index>(p.x * static_cast<double>(gdim)));
+        const Index cy = std::min<Index>(
+            gdim - 1, static_cast<Index>(p.y * static_cast<double>(gdim)));
+        return cy * gdim + cx;
+    };
+    for (Index i = 0; i < n; ++i) {
+        grid[static_cast<std::size_t>(
+                 cell_of(pts[static_cast<std::size_t>(i)]))]
+            .push_back(i);
+    }
+
+    // Relabel nodes in spatial-bucket order so ids correlate with
+    // position (like SuiteSparse mesh orderings).
+    const std::vector<Index> order = SpatialOrder2d(pts, gdim);
+    std::vector<Index> relabel(static_cast<std::size_t>(n));
+    for (Index new_id = 0; new_id < n; ++new_id) {
+        relabel[static_cast<std::size_t>(
+            order[static_cast<std::size_t>(new_id)])] = new_id;
+    }
+
+    std::vector<Triplet> edges;
+    const double r2 = radius * radius;
+    for (Index i = 0; i < n; ++i) {
+        const Point2& pi = pts[static_cast<std::size_t>(i)];
+        const Index cx = std::min<Index>(
+            gdim - 1, static_cast<Index>(pi.x * static_cast<double>(gdim)));
+        const Index cy = std::min<Index>(
+            gdim - 1, static_cast<Index>(pi.y * static_cast<double>(gdim)));
+        for (Index dy = -1; dy <= 1; ++dy) {
+            for (Index dx = -1; dx <= 1; ++dx) {
+                const Index nx = cx + dx;
+                const Index ny = cy + dy;
+                if (nx < 0 || nx >= gdim || ny < 0 || ny >= gdim) {
+                    continue;
+                }
+                for (Index j :
+                     grid[static_cast<std::size_t>(ny * gdim + nx)]) {
+                    if (j <= i) {
+                        continue; // each pair once
+                    }
+                    const Point2& pj = pts[static_cast<std::size_t>(j)];
+                    const double ddx = pi.x - pj.x;
+                    const double ddy = pi.y - pj.y;
+                    if (ddx * ddx + ddy * ddy <= r2) {
+                        const Index a = relabel[static_cast<std::size_t>(i)];
+                        const Index b = relabel[static_cast<std::size_t>(j)];
+                        edges.push_back({a, b, -1.0});
+                        edges.push_back({b, a, -1.0});
+                    }
+                }
+            }
+        }
+    }
+    return SpdFromEdges(n, edges, shift);
+}
+
+CsrMatrix
+FemLikeSpd(Index n, Index neighbors, std::uint64_t seed, double shift)
+{
+    AZUL_CHECK(n > 1);
+    AZUL_CHECK(neighbors > 0 && neighbors < n);
+    Rng rng(seed);
+    std::vector<Point3> pts(static_cast<std::size_t>(n));
+    for (auto& p : pts) {
+        p = {rng.UniformDouble(0.0, 1.0), rng.UniformDouble(0.0, 1.0),
+             rng.UniformDouble(0.0, 1.0)};
+    }
+    // Sort nodes along a 3-D bucket sweep so ids are spatially
+    // correlated, then find k nearest among a candidate window — an
+    // O(n·w) approximation sufficient for mesh-like connectivity.
+    std::vector<Index> order(static_cast<std::size_t>(n));
+    std::iota(order.begin(), order.end(), Index{0});
+    const Index gdim =
+        std::max<Index>(1, static_cast<Index>(std::cbrt(
+                               static_cast<double>(n) / 8.0)));
+    const auto bucket = [&](const Point3& p) {
+        const auto clamp = [&](double v) {
+            return std::min<Index>(
+                gdim - 1,
+                static_cast<Index>(v * static_cast<double>(gdim)));
+        };
+        return (clamp(p.z) * gdim + clamp(p.y)) * gdim + clamp(p.x);
+    };
+    std::sort(order.begin(), order.end(), [&](Index a, Index b) {
+        const Index ba = bucket(pts[static_cast<std::size_t>(a)]);
+        const Index bb = bucket(pts[static_cast<std::size_t>(b)]);
+        return ba != bb ? ba < bb : a < b;
+    });
+    std::vector<Point3> sorted_pts(static_cast<std::size_t>(n));
+    for (Index i = 0; i < n; ++i) {
+        sorted_pts[static_cast<std::size_t>(i)] =
+            pts[static_cast<std::size_t>(order[static_cast<std::size_t>(i)])];
+    }
+
+    const Index window = std::max<Index>(neighbors * 4, 32);
+    std::vector<Triplet> edges;
+    std::vector<std::pair<double, Index>> cand;
+    for (Index i = 0; i < n; ++i) {
+        cand.clear();
+        const Point3& pi = sorted_pts[static_cast<std::size_t>(i)];
+        const Index lo = std::max<Index>(0, i - window);
+        const Index hi = std::min<Index>(n - 1, i + window);
+        for (Index j = lo; j <= hi; ++j) {
+            if (j == i) {
+                continue;
+            }
+            const Point3& pj = sorted_pts[static_cast<std::size_t>(j)];
+            const double dx = pi.x - pj.x;
+            const double dy = pi.y - pj.y;
+            const double dz = pi.z - pj.z;
+            cand.emplace_back(dx * dx + dy * dy + dz * dz, j);
+        }
+        const std::size_t k = std::min<std::size_t>(
+            static_cast<std::size_t>(neighbors), cand.size());
+        std::partial_sort(cand.begin(), cand.begin() + k, cand.end());
+        for (std::size_t c = 0; c < k; ++c) {
+            const Index j = cand[c].second;
+            const double w = -rng.UniformDouble(0.5, 1.5);
+            edges.push_back({i, j, w});
+            edges.push_back({j, i, w});
+        }
+    }
+    // Symmetrize weights: keep min (most negative) per unordered pair.
+    CooMatrix coo(n, n);
+    for (const Triplet& t : edges) {
+        coo.Add(t.row, t.col, t.val);
+    }
+    coo.Canonicalize();
+    std::vector<Triplet> sym;
+    const CsrMatrix half = CsrMatrix::FromCoo(coo);
+    for (Index r = 0; r < n; ++r) {
+        for (Index k = half.RowBegin(r); k < half.RowEnd(r); ++k) {
+            const Index c = half.col_idx()[k];
+            if (c <= r) {
+                continue;
+            }
+            const double w =
+                std::min(half.vals()[k], half.At(c, r) != 0.0
+                                             ? half.At(c, r)
+                                             : half.vals()[k]);
+            sym.push_back({r, c, w});
+            sym.push_back({c, r, w});
+        }
+    }
+    return SpdFromEdges(n, sym, shift);
+}
+
+CsrMatrix
+RandomSpd(Index n, Index nnz_per_row, std::uint64_t seed, double shift)
+{
+    AZUL_CHECK(n > 1);
+    AZUL_CHECK(nnz_per_row > 0);
+    Rng rng(seed);
+    std::vector<Triplet> edges;
+    for (Index i = 0; i < n; ++i) {
+        for (Index e = 0; e < nnz_per_row; ++e) {
+            Index j = rng.UniformInt(0, n - 2);
+            if (j >= i) {
+                ++j; // avoid the diagonal
+            }
+            const double w = rng.UniformDouble(-1.0, 1.0);
+            edges.push_back({i, j, w});
+            edges.push_back({j, i, w});
+        }
+    }
+    // Deduplicate via COO canonicalization (values sum, which keeps
+    // symmetry).
+    CooMatrix coo(n, n);
+    for (const Triplet& t : edges) {
+        coo.Add(t.row, t.col, t.val);
+    }
+    coo.Canonicalize();
+    return SpdFromEdges(n, coo.entries(), shift);
+}
+
+CsrMatrix
+Scramble(const CsrMatrix& a, std::uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<Index> order(static_cast<std::size_t>(a.rows()));
+    std::iota(order.begin(), order.end(), Index{0});
+    rng.Shuffle(order);
+    return PermuteSymmetric(a, Permutation::FromNewToOld(std::move(order)));
+}
+
+std::vector<SuiteMatrix>
+MakeBenchmarkSuite(double scale)
+{
+    AZUL_CHECK(scale > 0.0);
+    const auto s = [scale](Index base) {
+        return std::max<Index>(
+            4, static_cast<Index>(static_cast<double>(base) *
+                                  std::cbrt(scale)));
+    };
+    const auto s2 = [scale](Index base) {
+        return std::max<Index>(
+            4, static_cast<Index>(static_cast<double>(base) *
+                                  std::sqrt(scale)));
+    };
+
+    std::vector<SuiteMatrix> suite;
+    // Parallelism-limited, dense-row FEM meshes (thread / nd12k /
+    // crankseg_1 analogs).
+    suite.push_back({"fem3d-dense", "thread/nd12k",
+                     FemLikeSpd(s(12) * s(12) * s(12), 24, 101), 0});
+    suite.push_back({"fem3d-crank", "crankseg_1/m_t1",
+                     FemLikeSpd(s(14) * s(14) * s(14), 16, 102), 0});
+    // Mid-parallelism unstructured meshes (shipsec1 / consph / hood).
+    suite.push_back({"geo-mesh", "shipsec1/consph",
+                     RandomGeometricLaplacian(s2(64) * s2(64), 12.0, 103),
+                     1});
+    suite.push_back({"fem3d-shell", "bmwcra_1/hood",
+                     FemLikeSpd(s(16) * s(16) * s(16), 8, 104), 1});
+    suite.push_back({"geo-scrambled", "offshore (scrambled)",
+                     Scramble(RandomGeometricLaplacian(
+                                  s2(56) * s2(56), 10.0, 105),
+                              105),
+                     1});
+    // High-parallelism, few-nonzeros-per-row grids (thermal2 / apache2 /
+    // G3_circuit / ecology2 analogs).
+    suite.push_back({"grid3d", "apache2/thermal2",
+                     Grid3dLaplacian(s(20), s(20), s(20)), 2});
+    suite.push_back({"grid2d-9pt", "tmt_sym",
+                     Grid2dNinePoint(s2(72), s2(72)), 2});
+    suite.push_back({"grid2d", "ecology2/G3_circuit",
+                     Grid2dLaplacian(s2(90), s2(90)), 2});
+    return suite;
+}
+
+std::vector<SuiteMatrix>
+MakeSmallSuite()
+{
+    std::vector<SuiteMatrix> suite;
+    suite.push_back({"small-fem", "crankseg_1", FemLikeSpd(512, 12, 7), 0});
+    suite.push_back(
+        {"small-geo", "consph", RandomGeometricLaplacian(768, 9.0, 8), 1});
+    suite.push_back({"small-grid", "ecology2", Grid2dLaplacian(28, 28), 2});
+    return suite;
+}
+
+} // namespace azul

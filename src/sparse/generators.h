@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Synthetic SPD matrix generators.
+ *
+ * The paper evaluates on SuiteSparse SPD matrices spanning structured
+ * grids (thermal2, ecology2, apache2), unstructured 3-D FEM meshes
+ * (consph, shipsec1, m_t1) and parallelism-limited stiffness matrices
+ * (thread, nd12k, crankseg_1). Those files are not redistributable
+ * here, so these generators produce matrices of the same classes:
+ *
+ *  - grid Laplacians (5/7/9-point): structured, high parallelism, few
+ *    nonzeros per row;
+ *  - random-geometric-graph Laplacians: unstructured but spatially
+ *    correlated, moderate degree;
+ *  - k-nearest-neighbour FEM-like meshes with boosted connectivity:
+ *    dense rows, low SpTRSV parallelism (the crankseg_1 analog);
+ *  - scrambled variants (random symmetric permutation) that destroy
+ *    spatial correlation, defeating position- and coordinate-based
+ *    mappings exactly as the paper's Sec VI-C discusses.
+ *
+ * All generators return SPD matrices (symmetric + strictly diagonally
+ * dominant with positive diagonal) so that CG/PCG and IC(0) are well
+ * defined.
+ */
+#ifndef AZUL_SPARSE_GENERATORS_H_
+#define AZUL_SPARSE_GENERATORS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sparse/csr.h"
+
+namespace azul {
+
+/** 2-D grid Laplacian (5-point stencil) + shift, nx*ny unknowns. */
+CsrMatrix Grid2dLaplacian(Index nx, Index ny, double shift = 1e-3);
+
+/** 3-D grid Laplacian (7-point stencil) + shift, nx*ny*nz unknowns. */
+CsrMatrix Grid3dLaplacian(Index nx, Index ny, Index nz,
+                          double shift = 1e-3);
+
+/** 2-D grid with 9-point (Moore-neighbourhood) stencil + shift. */
+CsrMatrix Grid2dNinePoint(Index nx, Index ny, double shift = 1e-3);
+
+/**
+ * Laplacian of a random geometric graph: n points uniform in the unit
+ * square, edges between points within the radius giving the requested
+ * expected degree. Spatially correlated when nodes are ordered by a
+ * grid-bucket sweep (the default).
+ */
+CsrMatrix RandomGeometricLaplacian(Index n, double avg_degree,
+                                   std::uint64_t seed,
+                                   double shift = 1e-3);
+
+/**
+ * FEM-like unstructured mesh matrix: k-nearest-neighbour graph over
+ * random 3-D points, symmetrized, with random SPD element weights.
+ * Large k produces dense rows and long dependence chains — the analog
+ * of the paper's parallelism-limited matrices.
+ */
+CsrMatrix FemLikeSpd(Index n, Index neighbors, std::uint64_t seed,
+                     double shift = 1e-2);
+
+/**
+ * Random sparse SPD matrix with no structure at all: uniformly random
+ * off-diagonal pattern, symmetrized, diagonally dominant.
+ */
+CsrMatrix RandomSpd(Index n, Index nnz_per_row, std::uint64_t seed,
+                    double shift = 1.0);
+
+/** Applies a random symmetric permutation, destroying locality. */
+CsrMatrix Scramble(const CsrMatrix& a, std::uint64_t seed);
+
+/**
+ * One matrix of the benchmark suite. `parallelism_class` orders the
+ * suite the way the paper's figures do (limited → ample).
+ */
+struct SuiteMatrix {
+    std::string name;      //!< paper-analog name, e.g. "grid2d-large"
+    std::string analog_of; //!< the SuiteSparse matrix it stands in for
+    CsrMatrix a;
+    int parallelism_class; //!< 0 = parallelism-limited … 2 = ample
+};
+
+/**
+ * The benchmark suite used by the evaluation benches: a fixed,
+ * deterministic set of matrices spanning the paper's axis from
+ * parallelism-limited FEM meshes to high-parallelism 2-D grids.
+ * `scale` multiplies problem sizes (1 = laptop default, larger values
+ * approach the paper's footprints).
+ */
+std::vector<SuiteMatrix> MakeBenchmarkSuite(double scale = 1.0);
+
+/** Reduced suite for quick benches and tests (3 small matrices). */
+std::vector<SuiteMatrix> MakeSmallSuite();
+
+} // namespace azul
+
+#endif // AZUL_SPARSE_GENERATORS_H_

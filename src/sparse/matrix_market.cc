@@ -1,0 +1,138 @@
+#include "sparse/matrix_market.h"
+
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "util/strings.h"
+
+namespace azul {
+
+namespace {
+
+struct MmHeader {
+    bool pattern = false;
+    bool symmetric = false;
+    bool skew = false;
+};
+
+MmHeader
+ParseHeader(const std::string& line)
+{
+    // %%MatrixMarket matrix coordinate <field> <symmetry>
+    const std::vector<std::string> tok = SplitWhitespace(ToLower(line));
+    if (tok.size() < 5 || tok[0] != "%%matrixmarket" || tok[1] != "matrix") {
+        throw AzulError("not a Matrix Market file: bad banner '" + line +
+                        "'");
+    }
+    if (tok[2] != "coordinate") {
+        throw AzulError("only coordinate Matrix Market format is "
+                        "supported, got '" + tok[2] + "'");
+    }
+    MmHeader h;
+    if (tok[3] == "pattern") {
+        h.pattern = true;
+    } else if (tok[3] != "real" && tok[3] != "integer") {
+        throw AzulError("unsupported Matrix Market field '" + tok[3] + "'");
+    }
+    if (tok[4] == "symmetric") {
+        h.symmetric = true;
+    } else if (tok[4] == "skew-symmetric") {
+        h.symmetric = true;
+        h.skew = true;
+    } else if (tok[4] != "general") {
+        throw AzulError("unsupported Matrix Market symmetry '" + tok[4] +
+                        "'");
+    }
+    return h;
+}
+
+} // namespace
+
+CooMatrix
+ReadMatrixMarketStream(std::istream& in)
+{
+    std::string line;
+    if (!std::getline(in, line)) {
+        throw AzulError("empty Matrix Market input");
+    }
+    const MmHeader header = ParseHeader(line);
+
+    // Skip comments, find the size line.
+    while (std::getline(in, line)) {
+        if (!line.empty() && line[0] != '%') {
+            break;
+        }
+    }
+    Index rows = 0, cols = 0, nnz = 0;
+    {
+        std::istringstream iss(line);
+        if (!(iss >> rows >> cols >> nnz)) {
+            throw AzulError("bad Matrix Market size line: '" + line + "'");
+        }
+    }
+
+    CooMatrix out(rows, cols);
+    for (Index i = 0; i < nnz; ++i) {
+        if (!std::getline(in, line)) {
+            throw AzulError("Matrix Market input truncated: expected " +
+                            std::to_string(nnz) + " entries, got " +
+                            std::to_string(i));
+        }
+        if (line.empty()) {
+            --i;
+            continue;
+        }
+        std::istringstream iss(line);
+        Index r = 0, c = 0;
+        double v = 1.0;
+        if (!(iss >> r >> c)) {
+            throw AzulError("bad Matrix Market entry: '" + line + "'");
+        }
+        if (!header.pattern && !(iss >> v)) {
+            throw AzulError("missing value in entry: '" + line + "'");
+        }
+        // Matrix Market is 1-indexed.
+        out.Add(r - 1, c - 1, v);
+        if (header.symmetric && r != c) {
+            out.Add(c - 1, r - 1, header.skew ? -v : v);
+        }
+    }
+    out.Canonicalize();
+    return out;
+}
+
+CooMatrix
+ReadMatrixMarket(const std::string& path)
+{
+    std::ifstream in(path);
+    if (!in) {
+        throw AzulError("cannot open Matrix Market file '" + path + "'");
+    }
+    return ReadMatrixMarketStream(in);
+}
+
+void
+WriteMatrixMarketStream(const CooMatrix& m, std::ostream& out)
+{
+    out << "%%MatrixMarket matrix coordinate real general\n";
+    out << "% written by azul\n";
+    out << m.rows() << " " << m.cols() << " " << m.nnz() << "\n";
+    out.precision(17);
+    for (const Triplet& t : m.entries()) {
+        out << (t.row + 1) << " " << (t.col + 1) << " " << t.val << "\n";
+    }
+}
+
+void
+WriteMatrixMarket(const CooMatrix& m, const std::string& path)
+{
+    std::ofstream out(path);
+    if (!out) {
+        throw AzulError("cannot open '" + path + "' for writing");
+    }
+    WriteMatrixMarketStream(m, out);
+}
+
+} // namespace azul

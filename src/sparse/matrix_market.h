@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Matrix Market (.mtx) reader and writer.
+ *
+ * Supports the subset used by SuiteSparse SPD matrices: coordinate
+ * format, real/integer/pattern fields, general/symmetric symmetry.
+ * Symmetric inputs are expanded to full storage on read.
+ */
+#ifndef AZUL_SPARSE_MATRIX_MARKET_H_
+#define AZUL_SPARSE_MATRIX_MARKET_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "sparse/coo.h"
+
+namespace azul {
+
+/** Reads a Matrix Market file from disk. Throws AzulError on failure. */
+CooMatrix ReadMatrixMarket(const std::string& path);
+
+/** Reads Matrix Market content from a stream (for tests). */
+CooMatrix ReadMatrixMarketStream(std::istream& in);
+
+/**
+ * Writes in coordinate/real/general format (symmetric matrices are
+ * written with full storage for simplicity).
+ */
+void WriteMatrixMarket(const CooMatrix& m, const std::string& path);
+
+/** Stream variant of WriteMatrixMarket. */
+void WriteMatrixMarketStream(const CooMatrix& m, std::ostream& out);
+
+} // namespace azul
+
+#endif // AZUL_SPARSE_MATRIX_MARKET_H_

@@ -1,0 +1,55 @@
+#include "sparse/matrix_stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "util/strings.h"
+
+namespace azul {
+
+MatrixStats
+ComputeMatrixStats(const CsrMatrix& a)
+{
+    MatrixStats s;
+    s.n = a.rows();
+    s.nnz = a.nnz();
+    s.avg_nnz_per_row =
+        s.n > 0 ? static_cast<double>(s.nnz) / static_cast<double>(s.n)
+                : 0.0;
+    s.min_nnz_per_row = s.n > 0 ? a.RowNnz(0) : 0;
+    double dist_sum = 0.0;
+    Index offdiag = 0;
+    for (Index r = 0; r < a.rows(); ++r) {
+        s.max_nnz_per_row = std::max(s.max_nnz_per_row, a.RowNnz(r));
+        s.min_nnz_per_row = std::min(s.min_nnz_per_row, a.RowNnz(r));
+        for (Index k = a.RowBegin(r); k < a.RowEnd(r); ++k) {
+            const Index d = std::abs(a.col_idx()[k] - r);
+            s.bandwidth = std::max(s.bandwidth, d);
+            if (d > 0) {
+                dist_sum += static_cast<double>(d);
+                ++offdiag;
+            }
+        }
+    }
+    s.avg_offdiag_distance =
+        offdiag > 0 ? dist_sum / static_cast<double>(offdiag) : 0.0;
+    s.matrix_bytes = a.FootprintBytes();
+    s.vector_bytes = static_cast<std::size_t>(a.rows()) * sizeof(double);
+    return s;
+}
+
+std::string
+FormatMatrixStats(const MatrixStats& s)
+{
+    std::ostringstream oss;
+    oss << "n=" << s.n << " nnz=" << s.nnz << " nnz/row="
+        << s.avg_nnz_per_row << " [" << s.min_nnz_per_row << ","
+        << s.max_nnz_per_row << "]"
+        << " bw=" << s.bandwidth
+        << " A=" << HumanBytes(static_cast<double>(s.matrix_bytes))
+        << " b=" << HumanBytes(static_cast<double>(s.vector_bytes));
+    return oss.str();
+}
+
+} // namespace azul

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Structural statistics of sparse matrices, used for the evaluation
+ * tables (footprints like Table IV) and to characterize generator
+ * output (nonzeros per row, bandwidth, spatial correlation).
+ */
+#ifndef AZUL_SPARSE_MATRIX_STATS_H_
+#define AZUL_SPARSE_MATRIX_STATS_H_
+
+#include <string>
+
+#include "sparse/csr.h"
+
+namespace azul {
+
+/** Summary of a matrix's structure. */
+struct MatrixStats {
+    Index n = 0;
+    Index nnz = 0;
+    double avg_nnz_per_row = 0.0;
+    Index max_nnz_per_row = 0;
+    Index min_nnz_per_row = 0;
+    /** Max |row - col| over stored entries. */
+    Index bandwidth = 0;
+    /** Mean |row - col| over stored off-diagonal entries. */
+    double avg_offdiag_distance = 0.0;
+    /** Matrix footprint in bytes (CSR arrays). */
+    std::size_t matrix_bytes = 0;
+    /** One dense fp64 vector's footprint in bytes. */
+    std::size_t vector_bytes = 0;
+};
+
+/** Computes structural statistics of a. */
+MatrixStats ComputeMatrixStats(const CsrMatrix& a);
+
+/** Formats stats as one human-readable line. */
+std::string FormatMatrixStats(const MatrixStats& s);
+
+} // namespace azul
+
+#endif // AZUL_SPARSE_MATRIX_STATS_H_

@@ -1,0 +1,98 @@
+#include "sparse/permute.h"
+
+#include <numeric>
+
+namespace azul {
+
+Permutation::Permutation(Index n)
+{
+    AZUL_CHECK(n >= 0);
+    new_to_old_.resize(static_cast<std::size_t>(n));
+    std::iota(new_to_old_.begin(), new_to_old_.end(), Index{0});
+    old_to_new_ = new_to_old_;
+}
+
+Permutation
+Permutation::FromNewToOld(std::vector<Index> new_to_old)
+{
+    Permutation p;
+    const Index n = static_cast<Index>(new_to_old.size());
+    p.new_to_old_ = std::move(new_to_old);
+    p.old_to_new_.assign(static_cast<std::size_t>(n), Index{-1});
+    for (Index new_idx = 0; new_idx < n; ++new_idx) {
+        const Index old_idx = p.new_to_old_[new_idx];
+        AZUL_CHECK_MSG(old_idx >= 0 && old_idx < n,
+                       "permutation entry " << old_idx << " out of range");
+        AZUL_CHECK_MSG(p.old_to_new_[old_idx] == -1,
+                       "duplicate permutation entry " << old_idx);
+        p.old_to_new_[old_idx] = new_idx;
+    }
+    return p;
+}
+
+Permutation
+Permutation::Compose(const Permutation& other) const
+{
+    AZUL_CHECK(size() == other.size());
+    std::vector<Index> composed(new_to_old_.size());
+    for (Index i = 0; i < size(); ++i) {
+        composed[i] = other.NewToOld(NewToOld(i));
+    }
+    return FromNewToOld(std::move(composed));
+}
+
+Permutation
+Permutation::Inverse() const
+{
+    return FromNewToOld(old_to_new_);
+}
+
+bool
+Permutation::IsIdentity() const
+{
+    for (Index i = 0; i < size(); ++i) {
+        if (new_to_old_[i] != i) {
+            return false;
+        }
+    }
+    return true;
+}
+
+CsrMatrix
+PermuteSymmetric(const CsrMatrix& a, const Permutation& p)
+{
+    AZUL_CHECK(a.rows() == a.cols());
+    AZUL_CHECK(a.rows() == p.size());
+    CooMatrix coo(a.rows(), a.cols());
+    for (Index r = 0; r < a.rows(); ++r) {
+        const Index new_r = p.OldToNew(r);
+        for (Index k = a.RowBegin(r); k < a.RowEnd(r); ++k) {
+            coo.Add(new_r, p.OldToNew(a.col_idx()[k]), a.vals()[k]);
+        }
+    }
+    return CsrMatrix::FromCoo(coo);
+}
+
+std::vector<double>
+PermuteVector(const std::vector<double>& v, const Permutation& p)
+{
+    AZUL_CHECK(static_cast<Index>(v.size()) == p.size());
+    std::vector<double> out(v.size());
+    for (Index i = 0; i < p.size(); ++i) {
+        out[i] = v[p.NewToOld(i)];
+    }
+    return out;
+}
+
+std::vector<double>
+UnpermuteVector(const std::vector<double>& v, const Permutation& p)
+{
+    AZUL_CHECK(static_cast<Index>(v.size()) == p.size());
+    std::vector<double> out(v.size());
+    for (Index i = 0; i < p.size(); ++i) {
+        out[p.NewToOld(i)] = v[i];
+    }
+    return out;
+}
+
+} // namespace azul

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Permutation utilities. Graph-coloring preprocessing (Sec II-A of the
+ * paper) produces a symmetric permutation P so that PAP^T groups
+ * independent rows; these helpers apply and validate such permutations.
+ */
+#ifndef AZUL_SPARSE_PERMUTE_H_
+#define AZUL_SPARSE_PERMUTE_H_
+
+#include <vector>
+
+#include "sparse/csr.h"
+#include "util/common.h"
+
+namespace azul {
+
+/**
+ * A permutation of n indices. perm[new_index] == old_index, i.e. it
+ * answers "which old row lands in this new slot?". The inverse
+ * satisfies inverse[old_index] == new_index.
+ */
+class Permutation {
+  public:
+    Permutation() = default;
+
+    /** Identity permutation of size n. */
+    explicit Permutation(Index n);
+
+    /** Builds from new→old order; validates it is a bijection. */
+    static Permutation FromNewToOld(std::vector<Index> new_to_old);
+
+    Index size() const { return static_cast<Index>(new_to_old_.size()); }
+    Index NewToOld(Index new_idx) const { return new_to_old_[new_idx]; }
+    Index OldToNew(Index old_idx) const { return old_to_new_[old_idx]; }
+
+    const std::vector<Index>& new_to_old() const { return new_to_old_; }
+    const std::vector<Index>& old_to_new() const { return old_to_new_; }
+
+    /** Composition: (this ∘ other), applying `other` first. */
+    Permutation Compose(const Permutation& other) const;
+
+    Permutation Inverse() const;
+
+    bool IsIdentity() const;
+
+  private:
+    std::vector<Index> new_to_old_;
+    std::vector<Index> old_to_new_;
+};
+
+/** Applies symmetric permutation: result = P A P^T. */
+CsrMatrix PermuteSymmetric(const CsrMatrix& a, const Permutation& p);
+
+/** Permutes a dense vector: out[new] = v[perm.NewToOld(new)]. */
+std::vector<double> PermuteVector(const std::vector<double>& v,
+                                  const Permutation& p);
+
+/** Inverse of PermuteVector: out[perm.NewToOld(new)] = v[new]. */
+std::vector<double> UnpermuteVector(const std::vector<double>& v,
+                                    const Permutation& p);
+
+} // namespace azul
+
+#endif // AZUL_SPARSE_PERMUTE_H_

@@ -1,0 +1,66 @@
+#include "sparse/spy.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace azul {
+
+std::string
+AsciiSpyPlot(const CsrMatrix& a, int width, int height)
+{
+    AZUL_CHECK(width > 0 && height > 0);
+    AZUL_CHECK(a.rows() > 0 && a.cols() > 0);
+    width = static_cast<int>(
+        std::min<Index>(width, a.cols()));
+    height = static_cast<int>(
+        std::min<Index>(height, a.rows()));
+
+    std::vector<Index> counts(
+        static_cast<std::size_t>(width) *
+            static_cast<std::size_t>(height),
+        0);
+    for (Index r = 0; r < a.rows(); ++r) {
+        const auto cell_r = static_cast<std::size_t>(
+            r * height / a.rows());
+        for (Index k = a.RowBegin(r); k < a.RowEnd(r); ++k) {
+            const auto cell_c = static_cast<std::size_t>(
+                a.col_idx()[k] * width / a.cols());
+            ++counts[cell_r * static_cast<std::size_t>(width) +
+                     cell_c];
+        }
+    }
+    Index max_count = 1;
+    for (Index c : counts) {
+        max_count = std::max(max_count, c);
+    }
+
+    static const char kRamp[] = " .:+*#@";
+    constexpr int kLevels = static_cast<int>(sizeof(kRamp)) - 2;
+    std::string out;
+    out.reserve(static_cast<std::size_t>((width + 1) * height));
+    for (int y = 0; y < height; ++y) {
+        for (int x = 0; x < width; ++x) {
+            const Index c =
+                counts[static_cast<std::size_t>(y) *
+                           static_cast<std::size_t>(width) +
+                       static_cast<std::size_t>(x)];
+            if (c == 0) {
+                out.push_back(' ');
+            } else {
+                // Log-ish ramp: even a single nonzero is visible.
+                const double frac =
+                    std::log1p(static_cast<double>(c)) /
+                    std::log1p(static_cast<double>(max_count));
+                const int level = 1 + std::min(kLevels - 1,
+                                               static_cast<int>(
+                                                   frac * kLevels));
+                out.push_back(kRamp[level]);
+            }
+        }
+        out.push_back('\n');
+    }
+    return out;
+}
+
+} // namespace azul

@@ -1,0 +1,26 @@
+/**
+ * @file
+ * ASCII "spy plot" of a sparse matrix's structure — handy for docs,
+ * examples, and eyeballing what coloring/RCM/scrambling do to a
+ * sparsity pattern.
+ */
+#ifndef AZUL_SPARSE_SPY_H_
+#define AZUL_SPARSE_SPY_H_
+
+#include <string>
+
+#include "sparse/csr.h"
+
+namespace azul {
+
+/**
+ * Renders the sparsity pattern of a into a width x height character
+ * grid. Each cell aggregates a block of the matrix; density maps to
+ * the ramp " .:+*#@" (space = empty block). Rows end with '\n'.
+ */
+std::string AsciiSpyPlot(const CsrMatrix& a, int width = 64,
+                         int height = 32);
+
+} // namespace azul
+
+#endif // AZUL_SPARSE_SPY_H_

@@ -1,0 +1,92 @@
+#include "sparse/triangle.h"
+
+namespace azul {
+
+namespace {
+
+enum class TriangleKind { kLower, kUpper, kStrictLower };
+
+CsrMatrix
+ExtractTriangle(const CsrMatrix& a, TriangleKind kind)
+{
+    AZUL_CHECK(a.rows() == a.cols());
+    std::vector<Index> row_ptr{0};
+    std::vector<Index> col_idx;
+    std::vector<double> vals;
+    row_ptr.reserve(static_cast<std::size_t>(a.rows()) + 1);
+    for (Index r = 0; r < a.rows(); ++r) {
+        for (Index k = a.RowBegin(r); k < a.RowEnd(r); ++k) {
+            const Index c = a.col_idx()[k];
+            const bool keep =
+                kind == TriangleKind::kLower ? c <= r :
+                kind == TriangleKind::kUpper ? c >= r : c < r;
+            if (keep) {
+                col_idx.push_back(c);
+                vals.push_back(a.vals()[k]);
+            }
+        }
+        row_ptr.push_back(static_cast<Index>(col_idx.size()));
+    }
+    return CsrMatrix::FromParts(a.rows(), a.cols(), std::move(row_ptr),
+                                std::move(col_idx), std::move(vals));
+}
+
+} // namespace
+
+CsrMatrix
+LowerTriangle(const CsrMatrix& a)
+{
+    return ExtractTriangle(a, TriangleKind::kLower);
+}
+
+CsrMatrix
+UpperTriangle(const CsrMatrix& a)
+{
+    return ExtractTriangle(a, TriangleKind::kUpper);
+}
+
+CsrMatrix
+StrictLowerTriangle(const CsrMatrix& a)
+{
+    return ExtractTriangle(a, TriangleKind::kStrictLower);
+}
+
+bool
+IsLowerTriangular(const CsrMatrix& a)
+{
+    for (Index r = 0; r < a.rows(); ++r) {
+        for (Index k = a.RowBegin(r); k < a.RowEnd(r); ++k) {
+            if (a.col_idx()[k] > r) {
+                return false;
+            }
+        }
+    }
+    return true;
+}
+
+bool
+IsUpperTriangular(const CsrMatrix& a)
+{
+    for (Index r = 0; r < a.rows(); ++r) {
+        if (a.RowBegin(r) < a.RowEnd(r) && a.col_idx()[a.RowBegin(r)] < r) {
+            return false;
+        }
+    }
+    return true;
+}
+
+bool
+HasFullNonzeroDiagonal(const CsrMatrix& a)
+{
+    if (a.rows() != a.cols()) {
+        return false;
+    }
+    for (Index r = 0; r < a.rows(); ++r) {
+        if (a.At(r, r) == 0.0) {
+            return false;
+        }
+    }
+    return true;
+}
+
+} // namespace azul

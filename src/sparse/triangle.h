@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Triangle extraction helpers. PCG's Gauss-Seidel-style preconditioners
+ * operate on A's lower/upper triangles; IC(0) produces a lower factor L
+ * with the same pattern as A's lower triangle.
+ */
+#ifndef AZUL_SPARSE_TRIANGLE_H_
+#define AZUL_SPARSE_TRIANGLE_H_
+
+#include "sparse/csr.h"
+
+namespace azul {
+
+/** Returns the lower triangle of a, including the diagonal. */
+CsrMatrix LowerTriangle(const CsrMatrix& a);
+
+/** Returns the upper triangle of a, including the diagonal. */
+CsrMatrix UpperTriangle(const CsrMatrix& a);
+
+/** Returns the strictly lower triangle (no diagonal). */
+CsrMatrix StrictLowerTriangle(const CsrMatrix& a);
+
+/** True if every stored entry satisfies col <= row. */
+bool IsLowerTriangular(const CsrMatrix& a);
+
+/** True if every stored entry satisfies col >= row. */
+bool IsUpperTriangular(const CsrMatrix& a);
+
+/** True if every diagonal entry exists and is nonzero. */
+bool HasFullNonzeroDiagonal(const CsrMatrix& a);
+
+} // namespace azul
+
+#endif // AZUL_SPARSE_TRIANGLE_H_

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Basic shared types and check macros used throughout Azul.
+ */
+#ifndef AZUL_UTIL_COMMON_H_
+#define AZUL_UTIL_COMMON_H_
+
+#include <cstdint>
+#include <cstdlib>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace azul {
+
+/** Index type used for matrix dimensions and nonzero counts. */
+using Index = std::int64_t;
+
+/** Cycle count type for the simulator. */
+using Cycle = std::uint64_t;
+
+/** Exception thrown on user errors (bad input files, bad configs). */
+class AzulError : public std::runtime_error {
+  public:
+    explicit AzulError(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void
+CheckFailed(const char* file, int line, const char* expr,
+            const std::string& msg)
+{
+    std::ostringstream oss;
+    oss << file << ":" << line << ": check failed: " << expr;
+    if (!msg.empty()) {
+        oss << " — " << msg;
+    }
+    throw AzulError(oss.str());
+}
+
+} // namespace detail
+
+} // namespace azul
+
+/**
+ * Internal invariant check. Throws AzulError on failure so tests can
+ * observe violations; unlike assert() it is active in release builds.
+ */
+#define AZUL_CHECK(expr)                                                     \
+    do {                                                                     \
+        if (!(expr)) {                                                       \
+            ::azul::detail::CheckFailed(__FILE__, __LINE__, #expr, "");      \
+        }                                                                    \
+    } while (0)
+
+/** Check with an explanatory message (streamed into a string). */
+#define AZUL_CHECK_MSG(expr, msg)                                            \
+    do {                                                                     \
+        if (!(expr)) {                                                       \
+            std::ostringstream azul_check_oss_;                              \
+            azul_check_oss_ << msg;                                          \
+            ::azul::detail::CheckFailed(__FILE__, __LINE__, #expr,           \
+                                        azul_check_oss_.str());              \
+        }                                                                    \
+    } while (0)
+
+#endif // AZUL_UTIL_COMMON_H_

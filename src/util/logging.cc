@@ -1,0 +1,52 @@
+#include "util/logging.h"
+
+#include <atomic>
+#include <cstdio>
+
+namespace azul {
+
+namespace {
+
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
+
+const char*
+LevelName(LogLevel level)
+{
+    switch (level) {
+      case LogLevel::kDebug: return "DEBUG";
+      case LogLevel::kInfo: return "INFO";
+      case LogLevel::kWarn: return "WARN";
+      case LogLevel::kError: return "ERROR";
+      case LogLevel::kSilent: return "SILENT";
+    }
+    return "?";
+}
+
+} // namespace
+
+void
+SetLogLevel(LogLevel level)
+{
+    g_level.store(level, std::memory_order_relaxed);
+}
+
+LogLevel
+GetLogLevel()
+{
+    return g_level.load(std::memory_order_relaxed);
+}
+
+namespace detail {
+
+void
+LogLine(LogLevel level, const std::string& msg)
+{
+    if (static_cast<int>(level) < static_cast<int>(GetLogLevel())) {
+        return;
+    }
+    std::fprintf(stderr, "[azul %s] %s\n", LevelName(level), msg.c_str());
+}
+
+} // namespace detail
+
+} // namespace azul

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Minimal leveled logging for the Azul library and tools.
+ *
+ * The library itself logs sparingly (mapping progress, simulator
+ * warnings); benches and examples raise the level for user-facing
+ * progress reporting.
+ */
+#ifndef AZUL_UTIL_LOGGING_H_
+#define AZUL_UTIL_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace azul {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3,
+                      kSilent = 4 };
+
+/** Sets the global minimum level that is actually emitted. */
+void SetLogLevel(LogLevel level);
+
+/** Returns the current global log level. */
+LogLevel GetLogLevel();
+
+namespace detail {
+
+/** Emits one formatted log line to stderr if level passes the filter. */
+void LogLine(LogLevel level, const std::string& msg);
+
+/** RAII line builder used by the AZUL_LOG macro. */
+class LogMessage {
+  public:
+    explicit LogMessage(LogLevel level) : level_(level) {}
+    ~LogMessage() { LogLine(level_, stream_.str()); }
+
+    LogMessage(const LogMessage&) = delete;
+    LogMessage& operator=(const LogMessage&) = delete;
+
+    std::ostringstream& stream() { return stream_; }
+
+  private:
+    LogLevel level_;
+    std::ostringstream stream_;
+};
+
+} // namespace detail
+
+} // namespace azul
+
+#define AZUL_LOG(level)                                                      \
+    ::azul::detail::LogMessage(::azul::LogLevel::level).stream()
+
+#endif // AZUL_UTIL_LOGGING_H_

@@ -1,0 +1,36 @@
+#include "util/rng.h"
+
+#include <algorithm>
+
+namespace azul {
+
+Index
+Rng::UniformInt(Index lo, Index hi)
+{
+    AZUL_CHECK(lo <= hi);
+    std::uniform_int_distribution<Index> dist(lo, hi);
+    return dist(engine_);
+}
+
+double
+Rng::UniformDouble(double lo, double hi)
+{
+    std::uniform_real_distribution<double> dist(lo, hi);
+    return dist(engine_);
+}
+
+double
+Rng::Normal(double mean, double stddev)
+{
+    std::normal_distribution<double> dist(mean, stddev);
+    return dist(engine_);
+}
+
+bool
+Rng::Bernoulli(double p)
+{
+    std::bernoulli_distribution dist(p);
+    return dist(engine_);
+}
+
+} // namespace azul

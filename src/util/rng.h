@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Deterministic random number generation.
+ *
+ * All stochastic choices in Azul (matrix generators, partitioner
+ * tie-breaking) draw from an explicitly seeded Rng so that every run is
+ * bit-reproducible.
+ */
+#ifndef AZUL_UTIL_RNG_H_
+#define AZUL_UTIL_RNG_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <random>
+
+#include "util/common.h"
+
+namespace azul {
+
+/** Thin wrapper around std::mt19937_64 with convenience draws. */
+class Rng {
+  public:
+    explicit Rng(std::uint64_t seed = 0x5eed'a201ULL) : engine_(seed) {}
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    Index UniformInt(Index lo, Index hi);
+
+    /** Uniform double in [lo, hi). */
+    double UniformDouble(double lo, double hi);
+
+    /** Standard normal draw. */
+    double Normal(double mean = 0.0, double stddev = 1.0);
+
+    /** Returns true with probability p. */
+    bool Bernoulli(double p);
+
+    /** Fisher-Yates shuffle of a container. */
+    template <typename Container>
+    void
+    Shuffle(Container& c)
+    {
+        std::shuffle(c.begin(), c.end(), engine_);
+    }
+
+    std::mt19937_64& engine() { return engine_; }
+
+  private:
+    std::mt19937_64 engine_;
+};
+
+} // namespace azul
+
+#endif // AZUL_UTIL_RNG_H_

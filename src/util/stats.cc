@@ -1,0 +1,81 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/common.h"
+
+namespace azul {
+
+double
+Mean(const std::vector<double>& xs)
+{
+    if (xs.empty()) {
+        return 0.0;
+    }
+    double sum = 0.0;
+    for (double x : xs) {
+        sum += x;
+    }
+    return sum / static_cast<double>(xs.size());
+}
+
+double
+GeoMean(const std::vector<double>& xs)
+{
+    if (xs.empty()) {
+        return 0.0;
+    }
+    double log_sum = 0.0;
+    for (double x : xs) {
+        AZUL_CHECK_MSG(x > 0.0, "GeoMean requires positive inputs, got "
+                                << x);
+        log_sum += std::log(x);
+    }
+    return std::exp(log_sum / static_cast<double>(xs.size()));
+}
+
+double
+StdDev(const std::vector<double>& xs)
+{
+    if (xs.size() < 2) {
+        return 0.0;
+    }
+    const double mu = Mean(xs);
+    double acc = 0.0;
+    for (double x : xs) {
+        acc += (x - mu) * (x - mu);
+    }
+    return std::sqrt(acc / static_cast<double>(xs.size()));
+}
+
+double
+Percentile(std::vector<double> xs, double p)
+{
+    AZUL_CHECK(!xs.empty());
+    AZUL_CHECK(p >= 0.0 && p <= 100.0);
+    std::sort(xs.begin(), xs.end());
+    if (xs.size() == 1) {
+        return xs[0];
+    }
+    const double pos = p / 100.0 * static_cast<double>(xs.size() - 1);
+    const auto lo = static_cast<std::size_t>(pos);
+    const auto hi = std::min(lo + 1, xs.size() - 1);
+    const double frac = pos - static_cast<double>(lo);
+    return xs[lo] * (1.0 - frac) + xs[hi] * frac;
+}
+
+void
+RunningStats::Add(double x)
+{
+    if (count_ == 0) {
+        min_ = max_ = x;
+    } else {
+        min_ = std::min(min_, x);
+        max_ = std::max(max_, x);
+    }
+    sum_ += x;
+    ++count_;
+}
+
+} // namespace azul

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Small statistics helpers shared by the evaluation harness: means,
+ * geometric means, percentiles, and a streaming accumulator.
+ */
+#ifndef AZUL_UTIL_STATS_H_
+#define AZUL_UTIL_STATS_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace azul {
+
+/** Arithmetic mean; 0 for an empty input. */
+double Mean(const std::vector<double>& xs);
+
+/** Geometric mean; requires strictly positive inputs; 0 if empty. */
+double GeoMean(const std::vector<double>& xs);
+
+/** Population standard deviation; 0 for fewer than two samples. */
+double StdDev(const std::vector<double>& xs);
+
+/**
+ * Linear-interpolated percentile, p in [0, 100].
+ * The input need not be sorted.
+ */
+double Percentile(std::vector<double> xs, double p);
+
+/** Streaming accumulator for count/mean/min/max/sum. */
+class RunningStats {
+  public:
+    void Add(double x);
+
+    std::size_t count() const { return count_; }
+    double sum() const { return sum_; }
+    double mean() const { return count_ ? sum_ / count_ : 0.0; }
+    double min() const { return min_; }
+    double max() const { return max_; }
+
+  private:
+    std::size_t count_ = 0;
+    double sum_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+} // namespace azul
+
+#endif // AZUL_UTIL_STATS_H_

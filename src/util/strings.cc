@@ -1,0 +1,71 @@
+#include "util/strings.h"
+
+#include <cctype>
+#include <cstdio>
+#include <sstream>
+
+namespace azul {
+
+std::vector<std::string>
+SplitWhitespace(const std::string& line)
+{
+    std::vector<std::string> out;
+    std::istringstream iss(line);
+    std::string tok;
+    while (iss >> tok) {
+        out.push_back(tok);
+    }
+    return out;
+}
+
+std::string
+ToLower(std::string s)
+{
+    for (char& c : s) {
+        c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    }
+    return s;
+}
+
+bool
+StartsWith(const std::string& s, const std::string& prefix)
+{
+    return s.size() >= prefix.size() &&
+           s.compare(0, prefix.size(), prefix) == 0;
+}
+
+namespace {
+
+std::string
+FormatWithSuffix(double value, const char* const* suffixes, int count,
+                 double base)
+{
+    int idx = 0;
+    double v = value;
+    while (v >= base && idx + 1 < count) {
+        v /= base;
+        ++idx;
+    }
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.3g%s", v, suffixes[idx]);
+    return buf;
+}
+
+} // namespace
+
+std::string
+HumanCount(double value)
+{
+    static const char* const kSuffixes[] = {"", "K", "M", "G", "T", "P"};
+    return FormatWithSuffix(value, kSuffixes, 6, 1000.0);
+}
+
+std::string
+HumanBytes(double bytes)
+{
+    static const char* const kSuffixes[] = {" B", " KB", " MB", " GB",
+                                            " TB", " PB"};
+    return FormatWithSuffix(bytes, kSuffixes, 6, 1024.0);
+}
+
+} // namespace azul

@@ -1,0 +1,31 @@
+/**
+ * @file
+ * String formatting helpers used by reports and the Matrix Market
+ * reader.
+ */
+#ifndef AZUL_UTIL_STRINGS_H_
+#define AZUL_UTIL_STRINGS_H_
+
+#include <string>
+#include <vector>
+
+namespace azul {
+
+/** Splits on any whitespace, skipping empty fields. */
+std::vector<std::string> SplitWhitespace(const std::string& line);
+
+/** Lower-cases ASCII. */
+std::string ToLower(std::string s);
+
+/** True if s starts with the given prefix. */
+bool StartsWith(const std::string& s, const std::string& prefix);
+
+/** Formats a quantity with engineering suffix, e.g. 12.3M, 4.56G. */
+std::string HumanCount(double value);
+
+/** Formats a byte quantity, e.g. 12.3 MB. */
+std::string HumanBytes(double bytes);
+
+} // namespace azul
+
+#endif // AZUL_UTIL_STRINGS_H_

@@ -1,0 +1,161 @@
+#include <gtest/gtest.h>
+
+#include "mapping/azul_mapper.h"
+#include "mapping/mapper_factory.h"
+#include "solver/ic0.h"
+#include "sparse/generators.h"
+
+namespace azul {
+namespace {
+
+struct Problem {
+    CsrMatrix a;
+    CsrMatrix l;
+};
+
+Problem
+MakeProblem(Index n = 800)
+{
+    Problem p;
+    p.a = RandomGeometricLaplacian(n, 8.0, 7);
+    p.l = IncompleteCholesky(p.a);
+    return p;
+}
+
+TEST(AzulMapper, HypergraphShape)
+{
+    const Problem p = MakeProblem(300);
+    MappingProblem prob;
+    prob.a = &p.a;
+    prob.l = &p.l;
+    AzulMapper mapper;
+    const Hypergraph hg = mapper.BuildHypergraph(prob);
+    EXPECT_EQ(hg.NumVertices(), p.a.nnz() + p.l.nnz() + p.a.rows());
+    // Row+col edges for A (2n) plus for L (2n), minus empty columns
+    // of L (none here since the diagonal is full).
+    EXPECT_GE(hg.NumEdges(), 3 * p.a.rows());
+    // Time balancing adds quantile constraints.
+    EXPECT_EQ(hg.num_constraints(), 1 + 5);
+}
+
+TEST(AzulMapper, NoTimeQuantilesWithoutFactor)
+{
+    const Problem p = MakeProblem(300);
+    MappingProblem prob;
+    prob.a = &p.a;
+    AzulMapper mapper;
+    const Hypergraph hg = mapper.BuildHypergraph(prob);
+    EXPECT_EQ(hg.num_constraints(), 1);
+}
+
+TEST(AzulMapper, RowEdgesWeighMore)
+{
+    AzulMapperOptions opts;
+    opts.row_edge_weight = 3;
+    opts.col_edge_weight = 1;
+    const Problem p = MakeProblem(200);
+    MappingProblem prob;
+    prob.a = &p.a;
+    AzulMapper mapper(opts);
+    const Hypergraph hg = mapper.BuildHypergraph(prob);
+    // First n edges are A's row edges.
+    for (Index e = 0; e < 10; ++e) {
+        EXPECT_EQ(hg.EdgeWeight(e), 3);
+    }
+    // Column edges follow with weight 1.
+    bool saw_col_weight = false;
+    for (Index e = 0; e < hg.NumEdges(); ++e) {
+        if (hg.EdgeWeight(e) == 1) {
+            saw_col_weight = true;
+            break;
+        }
+    }
+    EXPECT_TRUE(saw_col_weight);
+}
+
+TEST(AzulMapper, TrafficFarBelowRoundRobin)
+{
+    const Problem p = MakeProblem();
+    MappingProblem prob;
+    prob.a = &p.a;
+    prob.l = &p.l;
+    const auto azul_m = MakeMapper(MapperKind::kAzul)->Map(prob, 16);
+    const auto rr_m =
+        MakeMapper(MapperKind::kRoundRobin)->Map(prob, 16);
+    const double azul_traffic = EstimateTraffic(prob, azul_m).total();
+    const double rr_traffic = EstimateTraffic(prob, rr_m).total();
+    EXPECT_LT(azul_traffic, rr_traffic / 4.0)
+        << "azul=" << azul_traffic << " rr=" << rr_traffic;
+}
+
+TEST(AzulMapper, MemoryBalanced)
+{
+    const Problem p = MakeProblem();
+    MappingProblem prob;
+    prob.a = &p.a;
+    prob.l = &p.l;
+    const auto m = MakeMapper(MapperKind::kAzul)->Map(prob, 16);
+    const auto loads = m.TileLoads();
+    const Index total = p.a.nnz() + p.l.nnz() + p.a.rows();
+    for (Index l : loads) {
+        EXPECT_LT(l, total / 16 * 2);
+    }
+}
+
+TEST(AzulMapper, QuantileDisableStillValid)
+{
+    AzulMapperOptions opts;
+    opts.time_quantiles = 0;
+    const Problem p = MakeProblem(300);
+    MappingProblem prob;
+    prob.a = &p.a;
+    prob.l = &p.l;
+    AzulMapper mapper(opts);
+    const DataMapping m = mapper.Map(prob, 9);
+    EXPECT_NO_THROW(m.Validate(prob));
+}
+
+TEST(AzulMapper, ExplicitGridDims)
+{
+    AzulMapperOptions opts;
+    opts.grid_width = 8;
+    opts.grid_height = 2;
+    const Problem p = MakeProblem(300);
+    MappingProblem prob;
+    prob.a = &p.a;
+    prob.l = &p.l;
+    AzulMapper mapper(opts);
+    const DataMapping m = mapper.Map(prob, 16);
+    EXPECT_NO_THROW(m.Validate(prob));
+}
+
+TEST(AzulMapper, MismatchedGridThrows)
+{
+    AzulMapperOptions opts;
+    opts.grid_width = 3;
+    opts.grid_height = 3;
+    const Problem p = MakeProblem(200);
+    MappingProblem prob;
+    prob.a = &p.a;
+    AzulMapper mapper(opts);
+    EXPECT_THROW(mapper.Map(prob, 16), AzulError);
+}
+
+TEST(AzulMapper, RowWeightAblationChangesMapping)
+{
+    // The Sec IV-C row-weighting refinement must actually influence
+    // the result on a nontrivial problem.
+    const Problem p = MakeProblem(600);
+    MappingProblem prob;
+    prob.a = &p.a;
+    prob.l = &p.l;
+    AzulMapperOptions weighted;
+    AzulMapperOptions unweighted;
+    unweighted.row_edge_weight = 1;
+    const auto m1 = AzulMapper(weighted).Map(prob, 16);
+    const auto m2 = AzulMapper(unweighted).Map(prob, 16);
+    EXPECT_NE(m1.a_nnz_tile, m2.a_nnz_tile);
+}
+
+} // namespace
+} // namespace azul

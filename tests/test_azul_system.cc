@@ -1,0 +1,158 @@
+#include <gtest/gtest.h>
+
+#include "core/azul_system.h"
+#include "solver/spmv.h"
+#include "sparse/generators.h"
+#include "test_helpers.h"
+
+namespace azul {
+namespace {
+
+using azul::testing::RandomVector;
+
+AzulOptions
+SmallOptions()
+{
+    AzulOptions opts;
+    opts.sim.grid_width = 4;
+    opts.sim.grid_height = 4;
+    opts.tol = 1e-8;
+    opts.max_iters = 800;
+    return opts;
+}
+
+TEST(AzulSystem, EndToEndSolve)
+{
+    const CsrMatrix a = RandomGeometricLaplacian(400, 7.0, 3);
+    AzulSystem sys(a, SmallOptions());
+    const Vector b = RandomVector(a.rows(), 5);
+    const SolveReport rep = sys.Solve(b);
+    EXPECT_TRUE(rep.run.converged);
+    // Solution is returned in the ORIGINAL (unpermuted) order.
+    EXPECT_VECTOR_NEAR(SpMV(a, rep.run.x), b, 1e-6);
+    EXPECT_GT(rep.gflops, 0.0);
+    EXPECT_GT(rep.peak_fraction, 0.0);
+    EXPECT_LT(rep.peak_fraction, 1.0);
+    EXPECT_GT(rep.power.total(), 0.0);
+    EXPECT_GT(rep.solve_seconds, 0.0);
+}
+
+TEST(AzulSystem, ColoringOffStillSolves)
+{
+    const CsrMatrix a = RandomGeometricLaplacian(300, 7.0, 5);
+    AzulOptions opts = SmallOptions();
+    opts.color_and_permute = false;
+    AzulSystem sys(a, opts);
+    EXPECT_TRUE(sys.permutation().IsIdentity());
+    const Vector b = RandomVector(a.rows(), 7);
+    const SolveReport rep = sys.Solve(b);
+    EXPECT_TRUE(rep.run.converged);
+    EXPECT_VECTOR_NEAR(SpMV(a, rep.run.x), b, 1e-6);
+}
+
+TEST(AzulSystem, JacobiVariantHasNoFactor)
+{
+    const CsrMatrix a = RandomGeometricLaplacian(300, 7.0, 9);
+    AzulOptions opts = SmallOptions();
+    opts.precond = PreconditionerKind::kJacobi;
+    AzulSystem sys(a, opts);
+    EXPECT_EQ(sys.factor(), nullptr);
+    EXPECT_EQ(sys.program().matrix_kernels.size(), 1u); // SpMV only
+    const Vector b = RandomVector(a.rows(), 11);
+    EXPECT_TRUE(sys.Solve(b).run.converged);
+}
+
+TEST(AzulSystem, MappingSecondsRecorded)
+{
+    const CsrMatrix a = RandomGeometricLaplacian(300, 7.0, 13);
+    AzulSystem sys(a, SmallOptions());
+    EXPECT_GT(sys.mapping_seconds(), 0.0);
+    const SolveReport rep = sys.Solve(RandomVector(a.rows(), 1));
+    EXPECT_DOUBLE_EQ(rep.mapping_seconds, sys.mapping_seconds());
+}
+
+TEST(AzulSystem, SramUsageReported)
+{
+    const CsrMatrix a = RandomGeometricLaplacian(300, 7.0, 15);
+    AzulSystem sys(a, SmallOptions());
+    const SramUsage usage = sys.sram_usage();
+    EXPECT_TRUE(usage.fits);
+    EXPECT_GT(usage.total_bytes, 0u);
+}
+
+TEST(AzulSystem, UpdateValuesKeepsMappingAndSolves)
+{
+    // The Sec II-C timestep path: same pattern, new values.
+    const CsrMatrix a = RandomGeometricLaplacian(300, 7.0, 17);
+    AzulSystem sys(a, SmallOptions());
+    const auto mapping_before = sys.mapping().a_nnz_tile;
+
+    // Scale all values by 2: same pattern, SPD preserved.
+    CsrMatrix a2 = a;
+    for (double& v : a2.mutable_vals()) {
+        v *= 2.0;
+    }
+    sys.UpdateValues(a2);
+    EXPECT_EQ(sys.mapping().a_nnz_tile, mapping_before);
+
+    const Vector b = RandomVector(a.rows(), 19);
+    const SolveReport rep = sys.Solve(b);
+    ASSERT_TRUE(rep.run.converged);
+    EXPECT_VECTOR_NEAR(SpMV(a2, rep.run.x), b, 1e-6);
+}
+
+TEST(AzulSystem, UpdateValuesRejectsNewPattern)
+{
+    const CsrMatrix a = RandomGeometricLaplacian(300, 7.0, 21);
+    AzulSystem sys(a, SmallOptions());
+    const CsrMatrix other = RandomGeometricLaplacian(300, 7.0, 22);
+    EXPECT_THROW(sys.UpdateValues(other), AzulError);
+}
+
+TEST(AzulSystem, RunKernelOnceSpMV)
+{
+    const CsrMatrix a = RandomGeometricLaplacian(300, 7.0, 23);
+    AzulSystem sys(a, SmallOptions());
+    const Vector v = RandomVector(a.rows(), 25);
+    const SimStats stats = sys.RunKernelOnce(0, v);
+    EXPECT_GT(stats.cycles, 0u);
+    EXPECT_GT(stats.ops.fmac, 0u);
+}
+
+TEST(AzulSystem, SolveIsRepeatable)
+{
+    const CsrMatrix a = RandomGeometricLaplacian(300, 7.0, 27);
+    AzulSystem sys(a, SmallOptions());
+    const Vector b = RandomVector(a.rows(), 29);
+    const SolveReport r1 = sys.Solve(b);
+    const SolveReport r2 = sys.Solve(b);
+    EXPECT_EQ(r1.run.iterations, r2.run.iterations);
+    EXPECT_EQ(r1.run.stats.cycles, r2.run.stats.cycles);
+    EXPECT_EQ(r1.run.x, r2.run.x);
+}
+
+TEST(AzulSystem, EmptyMatrixRejected)
+{
+    CsrMatrix empty;
+    EXPECT_THROW(AzulSystem(empty, SmallOptions()), AzulError);
+}
+
+TEST(AzulSystem, SummaryMentionsConvergence)
+{
+    const CsrMatrix a = RandomGeometricLaplacian(300, 7.0, 31);
+    AzulSystem sys(a, SmallOptions());
+    const SolveReport rep = sys.Solve(RandomVector(a.rows(), 33));
+    EXPECT_NE(rep.Summary().find("converged"), std::string::npos);
+    EXPECT_NE(rep.Summary().find("GFLOP/s"), std::string::npos);
+}
+
+TEST(AzulSystem, OptionsToString)
+{
+    const AzulOptions opts = SmallOptions();
+    const std::string s = opts.ToString();
+    EXPECT_NE(s.find("azul"), std::string::npos);
+    EXPECT_NE(s.find("ic0"), std::string::npos);
+}
+
+} // namespace
+} // namespace azul

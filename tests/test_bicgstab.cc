@@ -1,0 +1,93 @@
+#include <gtest/gtest.h>
+
+#include "solver/bicgstab.h"
+#include "solver/spmv.h"
+#include "sparse/generators.h"
+#include "test_helpers.h"
+
+namespace azul {
+namespace {
+
+TEST(BiCgStab, SolvesSpdSystem)
+{
+    const CsrMatrix a = azul::testing::SmallSpd();
+    const Vector b{1.0, 2.0, 3.0, 4.0};
+    const auto m =
+        MakePreconditioner(PreconditionerKind::kIdentity, a);
+    const SolveResult res = BiCgStab(a, b, *m, 1e-10, 200);
+    EXPECT_TRUE(res.converged);
+    EXPECT_VECTOR_NEAR(SpMV(a, res.x), b, 1e-7);
+}
+
+TEST(BiCgStab, SolvesNonsymmetricSystem)
+{
+    // Nonsymmetric diagonally dominant system: BiCGStab's use case
+    // that plain CG cannot handle.
+    CooMatrix coo(5, 5);
+    for (Index i = 0; i < 5; ++i) {
+        coo.Add(i, i, 5.0);
+        if (i + 1 < 5) {
+            coo.Add(i, i + 1, 1.5); // asymmetric couplings
+            coo.Add(i + 1, i, -0.5);
+        }
+    }
+    const CsrMatrix a = CsrMatrix::FromCoo(coo);
+    const Vector b{1.0, 0.0, 2.0, -1.0, 3.0};
+    const auto m =
+        MakePreconditioner(PreconditionerKind::kIdentity, a);
+    const SolveResult res = BiCgStab(a, b, *m, 1e-10, 200);
+    EXPECT_TRUE(res.converged);
+    EXPECT_VECTOR_NEAR(SpMV(a, res.x), b, 1e-7);
+}
+
+TEST(BiCgStab, JacobiPreconditionedConverges)
+{
+    const CsrMatrix a = RandomGeometricLaplacian(300, 8.0, 3);
+    const Vector b(a.rows(), 1.0);
+    const auto m = MakePreconditioner(PreconditionerKind::kJacobi, a);
+    const SolveResult res = BiCgStab(a, b, *m, 1e-9, 2000);
+    EXPECT_TRUE(res.converged);
+    EXPECT_VECTOR_NEAR(SpMV(a, res.x), b, 1e-6);
+}
+
+TEST(BiCgStab, IcPreconditioningReducesIterations)
+{
+    const CsrMatrix a = Grid2dLaplacian(20, 20, 1e-4);
+    // Random rhs: the constant vector is an eigenvector of these
+    // generated Laplacians and converges instantly.
+    const Vector b = azul::testing::RandomVector(a.rows(), 42);
+    const auto ident =
+        MakePreconditioner(PreconditionerKind::kIdentity, a);
+    const auto ic = MakePreconditioner(
+        PreconditionerKind::kIncompleteCholesky, a);
+    const SolveResult plain = BiCgStab(a, b, *ident, 1e-9, 10000);
+    const SolveResult pre = BiCgStab(a, b, *ic, 1e-9, 10000);
+    ASSERT_TRUE(plain.converged);
+    ASSERT_TRUE(pre.converged);
+    EXPECT_LT(pre.iterations, plain.iterations);
+}
+
+TEST(BiCgStab, IterationCapRespected)
+{
+    const CsrMatrix a = RandomGeometricLaplacian(400, 8.0, 9);
+    const auto m =
+        MakePreconditioner(PreconditionerKind::kIdentity, a);
+    const SolveResult res =
+        BiCgStab(a, Vector(a.rows(), 1.0), *m, 1e-15, 2);
+    EXPECT_FALSE(res.converged);
+    EXPECT_LE(res.iterations, 2);
+}
+
+TEST(BiCgStab, FlopsAccumulated)
+{
+    const CsrMatrix a = azul::testing::SmallSpd();
+    const auto m = MakePreconditioner(
+        PreconditionerKind::kIncompleteCholesky, a);
+    const SolveResult res =
+        BiCgStab(a, {1.0, 1.0, 1.0, 1.0}, *m, 1e-10, 100);
+    EXPECT_GT(res.flops.spmv, 0.0);
+    EXPECT_GT(res.flops.sptrsv, 0.0);
+}
+
+} // namespace
+} // namespace azul

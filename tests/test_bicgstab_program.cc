@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Tests of the BiCGStab solver program on the simulated machine —
+ * Table II's nonsymmetric solver built from two SpMVs plus vector and
+ * scalar kernels.
+ */
+#include <gtest/gtest.h>
+
+#include "dataflow/program.h"
+#include "mapping/mapper_factory.h"
+#include "sim/machine.h"
+#include "solver/bicgstab.h"
+#include "solver/spmv.h"
+#include "sparse/generators.h"
+#include "test_helpers.h"
+
+namespace azul {
+namespace {
+
+using azul::testing::RandomVector;
+
+/** Diagonally dominant nonsymmetric matrix. */
+CsrMatrix
+Nonsymmetric(Index n, std::uint64_t seed)
+{
+    CooMatrix coo(n, n);
+    Rng rng(seed);
+    for (Index i = 0; i < n; ++i) {
+        coo.Add(i, i, 6.0);
+        if (i + 1 < n) {
+            coo.Add(i, i + 1, rng.UniformDouble(0.5, 1.5));
+            coo.Add(i + 1, i, rng.UniformDouble(-1.5, -0.5));
+        }
+        if (i + 9 < n) {
+            coo.Add(i, i + 9, 0.4);
+            coo.Add(i + 9, i, -0.3);
+        }
+    }
+    return CsrMatrix::FromCoo(coo);
+}
+
+struct BiCgCtx {
+    CsrMatrix a;
+    DataMapping mapping;
+    PcgProgram program;
+    SimConfig cfg;
+
+    explicit BiCgCtx(Index n = 250)
+    {
+        a = Nonsymmetric(n, 61);
+        cfg.grid_width = 4;
+        cfg.grid_height = 4;
+        MappingProblem prob;
+        prob.a = &a;
+        mapping =
+            MakeMapper(MapperKind::kAzul)->Map(prob, cfg.num_tiles());
+        program =
+            BuildBiCgStabProgram(a, mapping, cfg.geometry());
+    }
+};
+
+TEST(BiCgStabProgram, SolvesNonsymmetricSystem)
+{
+    BiCgCtx ctx;
+    Machine machine(ctx.cfg, &ctx.program);
+    const Vector b = RandomVector(ctx.a.rows(), 3);
+    const PcgRunResult run = machine.RunPcg(b, 1e-9, 2000);
+    ASSERT_TRUE(run.converged);
+    EXPECT_VECTOR_NEAR(SpMV(ctx.a, run.x), b, 1e-6);
+}
+
+TEST(BiCgStabProgram, IterationCountComparableToHostReference)
+{
+    BiCgCtx ctx;
+    Machine machine(ctx.cfg, &ctx.program);
+    const Vector b = RandomVector(ctx.a.rows(), 5);
+    const PcgRunResult run = machine.RunPcg(b, 1e-9, 2000);
+    ASSERT_TRUE(run.converged);
+
+    const auto m = MakePreconditioner(
+        PreconditionerKind::kIdentity, ctx.a);
+    const SolveResult ref = BiCgStab(ctx.a, b, *m, 1e-9, 2000);
+    ASSERT_TRUE(ref.converged);
+    // Same algorithm, slightly different update fusion: iteration
+    // counts should be very close (the machine has no s-norm early
+    // exit, so allow a small delta).
+    EXPECT_NEAR(static_cast<double>(run.iterations),
+                static_cast<double>(ref.iterations), 3.0);
+}
+
+TEST(BiCgStabProgram, TwoSpMVsPerIteration)
+{
+    BiCgCtx ctx;
+    Machine machine(ctx.cfg, &ctx.program);
+    machine.LoadProblem(RandomVector(ctx.a.rows(), 7));
+    machine.RunPrologue();
+    const std::uint64_t fmac_before = machine.stats().ops.fmac;
+    machine.RunIteration();
+    const std::uint64_t fmac_per_iter =
+        machine.stats().ops.fmac - fmac_before;
+    // Two SpMVs = 2 * nnz FMACs, plus 11n from 5 dots and 6
+    // axpy/xpby updates.
+    EXPECT_GE(fmac_per_iter,
+              2 * static_cast<std::uint64_t>(ctx.a.nnz()));
+    EXPECT_LE(fmac_per_iter,
+              2 * static_cast<std::uint64_t>(ctx.a.nnz()) +
+                  12 * static_cast<std::uint64_t>(ctx.a.rows()));
+}
+
+TEST(BiCgStabProgram, WorksOnSpdToo)
+{
+    CsrMatrix a = RandomGeometricLaplacian(300, 8.0, 63);
+    SimConfig cfg;
+    cfg.grid_width = 4;
+    cfg.grid_height = 4;
+    MappingProblem prob;
+    prob.a = &a;
+    const DataMapping mapping =
+        MakeMapper(MapperKind::kAzul)->Map(prob, cfg.num_tiles());
+    const PcgProgram program =
+        BuildBiCgStabProgram(a, mapping, cfg.geometry());
+    Machine machine(cfg, &program);
+    const Vector b = RandomVector(a.rows(), 9);
+    const PcgRunResult run = machine.RunPcg(b, 1e-8, 3000);
+    ASSERT_TRUE(run.converged);
+    EXPECT_VECTOR_NEAR(SpMV(a, run.x), b, 1e-5);
+}
+
+TEST(BiCgStabProgram, ScalarPhasesBroadcastCorrectValues)
+{
+    BiCgCtx ctx;
+    Machine machine(ctx.cfg, &ctx.program);
+    machine.LoadProblem(RandomVector(ctx.a.rows(), 11));
+    machine.RunPrologue();
+    machine.RunIteration();
+    // After one iteration: beta == (rz_new/rz_old_before)*(alpha/omega)
+    // and rz_old must have been rotated to rz_new.
+    EXPECT_DOUBLE_EQ(machine.ReadScalar(ScalarReg::kRzOld),
+                     machine.ReadScalar(ScalarReg::kRzNew));
+    EXPECT_NE(machine.ReadScalar(ScalarReg::kBeta), 0.0);
+    EXPECT_NE(machine.ReadScalar(ScalarReg::kOmega), 0.0);
+}
+
+} // namespace
+} // namespace azul

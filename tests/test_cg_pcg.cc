@@ -1,0 +1,204 @@
+#include <gtest/gtest.h>
+
+#include "solver/cg.h"
+#include "solver/pcg.h"
+#include "solver/spmv.h"
+#include "sparse/generators.h"
+#include "test_helpers.h"
+
+namespace azul {
+namespace {
+
+using azul::testing::RandomVector;
+
+void
+ExpectSolves(const CsrMatrix& a, const Vector& x, const Vector& b,
+             double tol)
+{
+    const Vector ax = SpMV(a, x);
+    EXPECT_VECTOR_NEAR(ax, b, tol);
+}
+
+TEST(Cg, SolvesSmallSystem)
+{
+    const CsrMatrix a = azul::testing::SmallSpd();
+    const Vector b{1.0, 2.0, 3.0, 4.0};
+    const SolveResult res = ConjugateGradients(a, b, 1e-12, 100);
+    EXPECT_TRUE(res.converged);
+    ExpectSolves(a, res.x, b, 1e-9);
+}
+
+TEST(Cg, ZeroRhsGivesZeroInZeroIterations)
+{
+    const CsrMatrix a = azul::testing::SmallSpd();
+    const SolveResult res = ConjugateGradients(a, Vector(4, 0.0));
+    EXPECT_TRUE(res.converged);
+    EXPECT_EQ(res.iterations, 0);
+    for (double v : res.x) {
+        EXPECT_EQ(v, 0.0);
+    }
+}
+
+TEST(Cg, ExactConvergenceInNSteps)
+{
+    // In exact arithmetic CG converges in at most n steps; with a
+    // 4x4 well-conditioned system it should take <= 4 + slack.
+    const CsrMatrix a = azul::testing::SmallSpd();
+    const SolveResult res =
+        ConjugateGradients(a, {1.0, 0.0, 0.0, 0.0}, 1e-12, 100);
+    EXPECT_TRUE(res.converged);
+    EXPECT_LE(res.iterations, 6);
+}
+
+TEST(Cg, IterationCapReported)
+{
+    const CsrMatrix a = RandomGeometricLaplacian(500, 8.0, 3);
+    const SolveResult res =
+        ConjugateGradients(a, Vector(a.rows(), 1.0), 1e-14, 3);
+    EXPECT_FALSE(res.converged);
+    EXPECT_EQ(res.iterations, 3);
+    EXPECT_GT(res.residual_norm, 0.0);
+}
+
+TEST(Cg, FlopsAccumulated)
+{
+    const CsrMatrix a = azul::testing::SmallSpd();
+    const SolveResult res =
+        ConjugateGradients(a, {1.0, 1.0, 1.0, 1.0}, 1e-12, 100);
+    EXPECT_GT(res.flops.spmv, 0.0);
+    EXPECT_GT(res.flops.vector_ops, 0.0);
+    EXPECT_EQ(res.flops.sptrsv, 0.0);
+    EXPECT_GT(res.flops.total(), res.flops.spmv);
+}
+
+// ---- PCG across preconditioners --------------------------------------------
+
+class PcgPreconditionerTest
+    : public ::testing::TestWithParam<PreconditionerKind> {};
+
+TEST_P(PcgPreconditionerTest, SolvesGeneratedSystem)
+{
+    const CsrMatrix a = RandomGeometricLaplacian(400, 8.0, 5);
+    const Vector b = RandomVector(a.rows(), 77);
+    const auto m = MakePreconditioner(GetParam(), a, 1.3);
+    const SolveResult res =
+        PreconditionedConjugateGradients(a, b, *m, 1e-10, 2000);
+    EXPECT_TRUE(res.converged) << "residual " << res.residual_norm;
+    ExpectSolves(a, res.x, b, 1e-7);
+}
+
+TEST_P(PcgPreconditionerTest, ResidualIsMonotonicallyBoundedAtEnd)
+{
+    const CsrMatrix a = Grid2dLaplacian(16, 16);
+    const Vector b(a.rows(), 1.0);
+    const auto m = MakePreconditioner(GetParam(), a, 1.3);
+    const SolveResult res =
+        PreconditionedConjugateGradients(a, b, *m, 1e-9, 5000);
+    EXPECT_TRUE(res.converged);
+    EXPECT_LE(res.residual_norm, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Kinds, PcgPreconditionerTest,
+    ::testing::Values(PreconditionerKind::kIdentity,
+                      PreconditionerKind::kJacobi,
+                      PreconditionerKind::kSymmetricGaussSeidel,
+                      PreconditionerKind::kSsor,
+                      PreconditionerKind::kIncompleteCholesky),
+    [](const ::testing::TestParamInfo<PreconditionerKind>& info) {
+        std::string name = PreconditionerKindName(info.param);
+        return name == "none" ? "identity" : name;
+    });
+
+TEST(Pcg, IcPreconditioningReducesIterations)
+{
+    const CsrMatrix a = Grid2dLaplacian(24, 24, 1e-4);
+    // A random rhs: the constant vector is an eigenvector of these
+    // generated Laplacians (A*1 = shift*1) and converges instantly.
+    const Vector b = RandomVector(a.rows(), 42);
+    const auto ident =
+        MakePreconditioner(PreconditionerKind::kIdentity, a);
+    const auto ic = MakePreconditioner(
+        PreconditionerKind::kIncompleteCholesky, a);
+    const SolveResult plain =
+        PreconditionedConjugateGradients(a, b, *ident, 1e-9, 10000);
+    const SolveResult pre =
+        PreconditionedConjugateGradients(a, b, *ic, 1e-9, 10000);
+    ASSERT_TRUE(plain.converged);
+    ASSERT_TRUE(pre.converged);
+    EXPECT_LT(pre.iterations, plain.iterations);
+}
+
+TEST(Pcg, MatchesCgWithIdentityPreconditioner)
+{
+    const CsrMatrix a = azul::testing::SmallSpd();
+    const Vector b{1.0, -1.0, 2.0, 0.0};
+    const auto ident =
+        MakePreconditioner(PreconditionerKind::kIdentity, a);
+    const SolveResult pcg =
+        PreconditionedConjugateGradients(a, b, *ident, 1e-12, 100);
+    const SolveResult cg = ConjugateGradients(a, b, 1e-12, 100);
+    EXPECT_EQ(pcg.iterations, cg.iterations);
+    EXPECT_VECTOR_NEAR(pcg.x, cg.x, 1e-10);
+}
+
+TEST(Pcg, CallbackObservesDecreasingResiduals)
+{
+    struct Ctx {
+        std::vector<double> residuals;
+    } ctx;
+    const CsrMatrix a = Grid2dLaplacian(12, 12);
+    const auto m = MakePreconditioner(
+        PreconditionerKind::kIncompleteCholesky, a);
+    PreconditionedConjugateGradients(
+        a, Vector(a.rows(), 1.0), *m, 1e-10, 1000,
+        [](Index, double rn, void* user) {
+            static_cast<Ctx*>(user)->residuals.push_back(rn);
+        },
+        &ctx);
+    ASSERT_GE(ctx.residuals.size(), 3u);
+    // Overall decrease from first to last (not necessarily monotone).
+    EXPECT_LT(ctx.residuals.back(), ctx.residuals.front() * 1e-3);
+}
+
+TEST(Pcg, SizeMismatchThrows)
+{
+    const CsrMatrix a = azul::testing::SmallSpd();
+    const auto m =
+        MakePreconditioner(PreconditionerKind::kIdentity, a);
+    EXPECT_THROW(
+        PreconditionedConjugateGradients(a, Vector(3, 1.0), *m),
+        AzulError);
+}
+
+TEST(Pcg, IterationFlopsBreakdown)
+{
+    const CsrMatrix a = azul::testing::SmallSpd();
+    const auto ic = MakePreconditioner(
+        PreconditionerKind::kIncompleteCholesky, a);
+    const KernelFlops f = PcgIterationFlops(a, *ic);
+    EXPECT_DOUBLE_EQ(f.spmv, SpMVFlops(a));
+    EXPECT_GT(f.sptrsv, 0.0);
+    EXPECT_GT(f.vector_ops, 0.0);
+
+    const auto jac =
+        MakePreconditioner(PreconditionerKind::kJacobi, a);
+    const KernelFlops fj = PcgIterationFlops(a, *jac);
+    EXPECT_EQ(fj.sptrsv, 0.0);
+}
+
+TEST(Pcg, SolvesSuiteMatrices)
+{
+    for (const SuiteMatrix& sm : MakeSmallSuite()) {
+        const auto m = MakePreconditioner(
+            PreconditionerKind::kIncompleteCholesky, sm.a);
+        const Vector b(sm.a.rows(), 1.0);
+        const SolveResult res =
+            PreconditionedConjugateGradients(sm.a, b, *m, 1e-8, 3000);
+        EXPECT_TRUE(res.converged) << sm.name;
+        ExpectSolves(sm.a, res.x, b, 1e-5);
+    }
+}
+
+} // namespace
+} // namespace azul

@@ -1,0 +1,211 @@
+#include <gtest/gtest.h>
+
+#include "mapping/coarsen.h"
+#include "mapping/fm_refine.h"
+#include "mapping/hypergraph.h"
+#include "util/rng.h"
+
+namespace azul {
+namespace {
+
+/** Path-like hypergraph: n vertices, an edge {i, i+1} per pair. */
+Hypergraph
+PathHg(Index n)
+{
+    std::vector<Weight> vw(static_cast<std::size_t>(n), 1);
+    std::vector<Weight> ew;
+    std::vector<Index> pin_ptr{0};
+    std::vector<Index> pins;
+    for (Index i = 0; i + 1 < n; ++i) {
+        pins.push_back(i);
+        pins.push_back(i + 1);
+        pin_ptr.push_back(static_cast<Index>(pins.size()));
+        ew.push_back(1);
+    }
+    Hypergraph hg(1, std::move(vw), std::move(ew), std::move(pin_ptr),
+                  std::move(pins));
+    hg.BuildIncidence();
+    return hg;
+}
+
+TEST(Coarsen, ShrinksVertexCount)
+{
+    const Hypergraph hg = PathHg(64);
+    Rng rng(1);
+    const CoarseningStep step = CoarsenOnce(hg, rng);
+    EXPECT_LT(step.coarse.NumVertices(), hg.NumVertices());
+    EXPECT_GE(step.coarse.NumVertices(), hg.NumVertices() / 2);
+}
+
+TEST(Coarsen, PreservesTotalWeight)
+{
+    const Hypergraph hg = PathHg(50);
+    Rng rng(2);
+    const CoarseningStep step = CoarsenOnce(hg, rng);
+    EXPECT_EQ(step.coarse.TotalWeight(0), hg.TotalWeight(0));
+}
+
+TEST(Coarsen, ProjectionCoversAllVertices)
+{
+    const Hypergraph hg = PathHg(40);
+    Rng rng(3);
+    const CoarseningStep step = CoarsenOnce(hg, rng);
+    for (Index v = 0; v < hg.NumVertices(); ++v) {
+        const Index cv =
+            step.fine_to_coarse[static_cast<std::size_t>(v)];
+        EXPECT_GE(cv, 0);
+        EXPECT_LT(cv, step.coarse.NumVertices());
+    }
+}
+
+TEST(Coarsen, DropsSinglePinEdges)
+{
+    // Matching on a 2-vertex edge contracts it; the projected edge
+    // has one pin and must be dropped.
+    const Hypergraph hg = PathHg(2);
+    Rng rng(4);
+    const CoarseningStep step = CoarsenOnce(hg, rng);
+    EXPECT_EQ(step.coarse.NumVertices(), 1);
+    EXPECT_EQ(step.coarse.NumEdges(), 0);
+}
+
+TEST(Coarsen, MergesIdenticalEdges)
+{
+    // Two parallel edges {0,1} and {0,1} with weights 1 and 3 plus a
+    // separator vertex to avoid full contraction.
+    std::vector<Weight> vw{1, 1, 1, 1};
+    Hypergraph hg(1, std::move(vw), {1, 3, 1}, {0, 2, 4, 6},
+                  {0, 1, 0, 1, 2, 3});
+    hg.BuildIncidence();
+    Rng rng(5);
+    const CoarseningStep step = CoarsenOnce(hg, rng);
+    // Edge weights are conserved in aggregate (modulo dropped
+    // single-pin edges whose weight disappears with the contraction).
+    Weight coarse_total = 0;
+    for (Index e = 0; e < step.coarse.NumEdges(); ++e) {
+        coarse_total += step.coarse.EdgeWeight(e);
+    }
+    EXPECT_LE(coarse_total, 5);
+}
+
+TEST(Coarsen, MultiConstraintWeightsSummed)
+{
+    std::vector<Weight> vw{1, 2, 1, 0, 1, 5}; // 3 vertices, 2 cons
+    Hypergraph hg(2, std::move(vw), {1}, {0, 3}, {0, 1, 2});
+    hg.BuildIncidence();
+    Rng rng(6);
+    const CoarseningStep step = CoarsenOnce(hg, rng);
+    EXPECT_EQ(step.coarse.TotalWeight(0), 3);
+    EXPECT_EQ(step.coarse.TotalWeight(1), 7);
+}
+
+// ---- FM refinement ----------------------------------------------------------
+
+BisectionConstraints
+EvenSplit(const Hypergraph& hg, double eps = 0.3)
+{
+    BisectionConstraints cons;
+    for (int c = 0; c < hg.num_constraints(); ++c) {
+        const auto half = static_cast<Weight>(
+            static_cast<double>(hg.TotalWeight(c)) * 0.5 * (1.0 + eps) +
+            1.0);
+        cons.max_part0.push_back(half);
+        cons.max_part1.push_back(half);
+    }
+    return cons;
+}
+
+TEST(Fm, ImprovesBadBisection)
+{
+    // Alternating assignment on a path cuts every edge; FM should
+    // repair it to a near-optimal single cut.
+    const Hypergraph hg = PathHg(32);
+    std::vector<std::int32_t> part(32);
+    for (std::size_t i = 0; i < part.size(); ++i) {
+        part[i] = static_cast<std::int32_t>(i % 2);
+    }
+    const Weight before = BisectionCut(hg, part);
+    const Weight gain =
+        FmRefineBisection(hg, part, EvenSplit(hg));
+    const Weight after = BisectionCut(hg, part);
+    EXPECT_EQ(before - after, gain);
+    EXPECT_LT(after, before / 4);
+}
+
+TEST(Fm, RespectsBalanceConstraints)
+{
+    const Hypergraph hg = PathHg(32);
+    std::vector<std::int32_t> part(32);
+    for (std::size_t i = 0; i < part.size(); ++i) {
+        part[i] = i < 16 ? 0 : 1;
+    }
+    const BisectionConstraints cons = EvenSplit(hg, 0.1);
+    FmRefineBisection(hg, part, cons);
+    Weight w0 = 0;
+    for (std::int32_t p : part) {
+        w0 += p == 0 ? 1 : 0;
+    }
+    EXPECT_LE(w0, cons.max_part0[0]);
+    EXPECT_LE(32 - w0, cons.max_part1[0]);
+}
+
+TEST(Fm, OptimalBisectionIsStable)
+{
+    const Hypergraph hg = PathHg(16);
+    std::vector<std::int32_t> part(16);
+    for (std::size_t i = 0; i < part.size(); ++i) {
+        part[i] = i < 8 ? 0 : 1;
+    }
+    const Weight gain = FmRefineBisection(hg, part, EvenSplit(hg));
+    EXPECT_EQ(gain, 0);
+    EXPECT_EQ(BisectionCut(hg, part), 1);
+}
+
+TEST(Fm, DrivesInfeasibleTowardFeasible)
+{
+    // Start with everything on side 0 under a tight balance: FM must
+    // move weight across without increasing violation.
+    const Hypergraph hg = PathHg(20);
+    std::vector<std::int32_t> part(20, 0);
+    const BisectionConstraints cons = EvenSplit(hg, 0.1);
+    FmRefineBisection(hg, part, cons);
+    Weight w0 = 0;
+    for (std::int32_t p : part) {
+        w0 += p == 0 ? 1 : 0;
+    }
+    EXPECT_LT(w0, 20); // some vertices moved
+}
+
+TEST(Fm, CutNeverIncreases)
+{
+    Rng rng(9);
+    // Random hypergraph.
+    std::vector<Weight> vw(60, 1);
+    std::vector<Weight> ew;
+    std::vector<Index> pin_ptr{0};
+    std::vector<Index> pins;
+    for (int e = 0; e < 120; ++e) {
+        const Index a = rng.UniformInt(0, 59);
+        Index b = rng.UniformInt(0, 59);
+        if (a == b) {
+            b = (b + 1) % 60;
+        }
+        pins.push_back(a);
+        pins.push_back(b);
+        pin_ptr.push_back(static_cast<Index>(pins.size()));
+        ew.push_back(1 + rng.UniformInt(0, 3));
+    }
+    Hypergraph hg(1, std::move(vw), std::move(ew), std::move(pin_ptr),
+                  std::move(pins));
+    hg.BuildIncidence();
+    std::vector<std::int32_t> part(60);
+    for (std::size_t i = 0; i < part.size(); ++i) {
+        part[i] = static_cast<std::int32_t>(rng.UniformInt(0, 1));
+    }
+    const Weight before = BisectionCut(hg, part);
+    FmRefineBisection(hg, part, EvenSplit(hg));
+    EXPECT_LE(BisectionCut(hg, part), before);
+}
+
+} // namespace
+} // namespace azul

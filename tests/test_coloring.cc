@@ -1,0 +1,110 @@
+#include <gtest/gtest.h>
+
+#include "solver/coloring.h"
+#include "solver/levels.h"
+#include "sparse/generators.h"
+#include "sparse/triangle.h"
+#include "test_helpers.h"
+
+namespace azul {
+namespace {
+
+TEST(Coloring, ValidOnSmallSpd)
+{
+    const CsrMatrix a = azul::testing::SmallSpd();
+    const Coloring c = GreedyColoring(a);
+    EXPECT_TRUE(IsValidColoring(a, c));
+    EXPECT_GE(c.num_colors, 2);
+}
+
+TEST(Coloring, GridIsTwoColorable)
+{
+    // A 5-point grid graph is bipartite: greedy largest-first finds
+    // the 2-coloring.
+    const CsrMatrix a = Grid2dLaplacian(10, 10);
+    const Coloring c = GreedyColoring(a);
+    EXPECT_TRUE(IsValidColoring(a, c));
+    EXPECT_EQ(c.num_colors, 2);
+}
+
+TEST(Coloring, NaturalStrategyAlsoValid)
+{
+    const CsrMatrix a = RandomGeometricLaplacian(500, 8.0, 3);
+    const Coloring c = GreedyColoring(a, ColoringStrategy::kNatural);
+    EXPECT_TRUE(IsValidColoring(a, c));
+}
+
+TEST(Coloring, EveryVertexColored)
+{
+    const CsrMatrix a = FemLikeSpd(200, 10, 5);
+    const Coloring c = GreedyColoring(a);
+    for (Index color : c.color_of) {
+        EXPECT_GE(color, 0);
+        EXPECT_LT(color, c.num_colors);
+    }
+}
+
+TEST(Coloring, DiagonalMatrixIsOneColorable)
+{
+    CooMatrix coo(5, 5);
+    for (Index i = 0; i < 5; ++i) {
+        coo.Add(i, i, 1.0);
+    }
+    const Coloring c = GreedyColoring(CsrMatrix::FromCoo(coo));
+    EXPECT_EQ(c.num_colors, 1);
+}
+
+TEST(ColoringPermutation, GroupsColorsContiguously)
+{
+    const CsrMatrix a = Grid2dLaplacian(8, 8);
+    const Coloring c = GreedyColoring(a);
+    const Permutation p = ColoringPermutation(c);
+    Index prev_color = -1;
+    for (Index i = 0; i < p.size(); ++i) {
+        const Index color =
+            c.color_of[static_cast<std::size_t>(p.NewToOld(i))];
+        EXPECT_GE(color, prev_color);
+        prev_color = color;
+    }
+}
+
+TEST(ColorAndPermute, PreservesSymmetryAndValues)
+{
+    const CsrMatrix a = RandomGeometricLaplacian(300, 8.0, 7);
+    const ColoredMatrix cm = ColorAndPermute(a);
+    EXPECT_TRUE(cm.a.IsSymmetric(1e-12));
+    EXPECT_EQ(cm.a.nnz(), a.nnz());
+    // Spot-check value preservation through the permutation.
+    for (Index r = 0; r < 20; ++r) {
+        for (Index k = a.RowBegin(r); k < a.RowEnd(r); ++k) {
+            const Index c = a.col_idx()[k];
+            EXPECT_DOUBLE_EQ(
+                cm.a.At(cm.perm.OldToNew(r), cm.perm.OldToNew(c)),
+                a.vals()[k]);
+        }
+    }
+}
+
+TEST(ColorAndPermute, IncreasesSpTRSVParallelism)
+{
+    // The headline effect of Fig 6/Table I: coloring shortens the
+    // triangular solve's dependence chains.
+    const CsrMatrix a = RandomGeometricLaplacian(1500, 10.0, 11);
+    const ColoredMatrix cm = ColorAndPermute(a);
+    const LevelSets before = ComputeLowerLevels(LowerTriangle(a));
+    const LevelSets after = ComputeLowerLevels(LowerTriangle(cm.a));
+    EXPECT_LT(after.num_levels, before.num_levels);
+}
+
+TEST(ColorAndPermute, LevelCountBoundedByColors)
+{
+    // After color-grouping, rows of one color have no mutual deps, so
+    // the number of SpTRSV levels is at most the number of colors.
+    const CsrMatrix a = RandomGeometricLaplacian(800, 8.0, 13);
+    const ColoredMatrix cm = ColorAndPermute(a);
+    const LevelSets levels = ComputeLowerLevels(LowerTriangle(cm.a));
+    EXPECT_LE(levels.num_levels, cm.num_colors);
+}
+
+} // namespace
+} // namespace azul

@@ -1,0 +1,114 @@
+#include <gtest/gtest.h>
+
+#include "sim/config.h"
+#include "sim/sim_stats.h"
+
+namespace azul {
+namespace {
+
+TEST(SimConfig, PaperConfigMatchesTableIII)
+{
+    const SimConfig cfg = AzulPaperConfig();
+    EXPECT_EQ(cfg.num_tiles(), 4096);
+    EXPECT_DOUBLE_EQ(cfg.clock_ghz, 2.0);
+    // 16 TFLOP/s aggregate (1 FMAC = 2 FLOP per PE per cycle).
+    EXPECT_DOUBLE_EQ(cfg.PeakGflops(), 16384.0);
+    // 432 MB of SRAM ((72+36) KB x 4096).
+    EXPECT_NEAR(cfg.TotalSramBytes() / (1024.0 * 1024.0), 432.0, 0.1);
+    EXPECT_EQ(cfg.sram_latency, 2);
+    EXPECT_EQ(cfg.hop_latency, 1);
+    EXPECT_TRUE(cfg.torus);
+}
+
+TEST(SimConfig, DefaultIsScaledDown)
+{
+    const SimConfig cfg = AzulDefaultConfig();
+    EXPECT_LT(cfg.num_tiles(), AzulPaperConfig().num_tiles());
+    EXPECT_EQ(cfg.pe_model, PeModel::kAzul);
+    EXPECT_TRUE(cfg.multithreading);
+}
+
+TEST(SimConfig, DalorexOverridesPeOnly)
+{
+    SimConfig base;
+    base.grid_width = 12;
+    base.grid_height = 10;
+    base.hop_latency = 3;
+    const SimConfig dal = DalorexConfig(base);
+    EXPECT_EQ(dal.pe_model, PeModel::kScalarCore);
+    EXPECT_FALSE(dal.multithreading);
+    // Fabric parameters are shared with Azul (same peak, same NoC).
+    EXPECT_EQ(dal.grid_width, 12);
+    EXPECT_EQ(dal.grid_height, 10);
+    EXPECT_EQ(dal.hop_latency, 3);
+    EXPECT_DOUBLE_EQ(dal.PeakGflops(), base.PeakGflops());
+}
+
+TEST(SimConfig, IdealPeConfig)
+{
+    const SimConfig ideal = IdealPeConfig(AzulDefaultConfig());
+    EXPECT_EQ(ideal.pe_model, PeModel::kIdeal);
+}
+
+TEST(SimConfig, GeometryReflectsTopology)
+{
+    SimConfig cfg;
+    cfg.grid_width = 6;
+    cfg.grid_height = 4;
+    cfg.torus = false;
+    const TorusGeometry geom = cfg.geometry();
+    EXPECT_EQ(geom.width, 6);
+    EXPECT_EQ(geom.height, 4);
+    EXPECT_FALSE(geom.wrap);
+}
+
+TEST(SimConfig, ToStringMentionsKeyFields)
+{
+    SimConfig cfg = AzulPaperConfig();
+    EXPECT_NE(cfg.ToString().find("64x64"), std::string::npos);
+    EXPECT_NE(cfg.ToString().find("azul-pe"), std::string::npos);
+    cfg.pe_model = PeModel::kScalarCore;
+    cfg.torus = false;
+    EXPECT_NE(cfg.ToString().find("scalar-core"), std::string::npos);
+    EXPECT_NE(cfg.ToString().find("mesh"), std::string::npos);
+}
+
+TEST(SimStatsMore, GflopsArithmetic)
+{
+    // 1e9 FLOPs in 1e9 cycles at 2 GHz = 2 GFLOP/s.
+    EXPECT_DOUBLE_EQ(SimStats::Gflops(1e9, 1'000'000'000ULL, 2.0),
+                     2.0);
+    EXPECT_EQ(SimStats::Gflops(1e9, 0, 2.0), 0.0);
+}
+
+TEST(SimStatsMore, AccumulationAddsEverything)
+{
+    SimStats a;
+    a.cycles = 10;
+    a.ops.fmac = 5;
+    a.tile_ops = {1, 2};
+    SimStats b;
+    b.cycles = 7;
+    b.ops.fmac = 3;
+    b.ops.send = 2;
+    b.tile_ops = {10, 20};
+    a += b;
+    EXPECT_EQ(a.cycles, 17u);
+    EXPECT_EQ(a.ops.fmac, 8u);
+    EXPECT_EQ(a.ops.send, 2u);
+    EXPECT_EQ(a.tile_ops[0], 11u);
+    EXPECT_EQ(a.tile_ops[1], 22u);
+}
+
+TEST(SimStatsMore, TileImbalance)
+{
+    SimStats s;
+    EXPECT_EQ(s.TileImbalance(), 0.0);
+    s.tile_ops = {10, 10, 10, 10};
+    EXPECT_DOUBLE_EQ(s.TileImbalance(), 1.0);
+    s.tile_ops = {40, 0, 0, 0};
+    EXPECT_DOUBLE_EQ(s.TileImbalance(), 4.0);
+}
+
+} // namespace
+} // namespace azul

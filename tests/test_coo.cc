@@ -1,0 +1,133 @@
+#include <gtest/gtest.h>
+
+#include "sparse/coo.h"
+#include "util/common.h"
+
+namespace azul {
+namespace {
+
+TEST(Coo, EmptyMatrix)
+{
+    CooMatrix m(3, 4);
+    EXPECT_EQ(m.rows(), 3);
+    EXPECT_EQ(m.cols(), 4);
+    EXPECT_EQ(m.nnz(), 0);
+    EXPECT_TRUE(m.IsCanonical());
+}
+
+TEST(Coo, AddBoundsChecked)
+{
+    CooMatrix m(2, 2);
+    EXPECT_NO_THROW(m.Add(1, 1, 1.0));
+    EXPECT_THROW(m.Add(2, 0, 1.0), AzulError);
+    EXPECT_THROW(m.Add(0, -1, 1.0), AzulError);
+}
+
+TEST(Coo, CanonicalizeSorts)
+{
+    CooMatrix m(3, 3);
+    m.Add(2, 1, 1.0);
+    m.Add(0, 2, 2.0);
+    m.Add(0, 0, 3.0);
+    m.Canonicalize();
+    ASSERT_EQ(m.nnz(), 3);
+    EXPECT_EQ(m.entries()[0], (Triplet{0, 0, 3.0}));
+    EXPECT_EQ(m.entries()[1], (Triplet{0, 2, 2.0}));
+    EXPECT_EQ(m.entries()[2], (Triplet{2, 1, 1.0}));
+    EXPECT_TRUE(m.IsCanonical());
+}
+
+TEST(Coo, CanonicalizeMergesDuplicates)
+{
+    CooMatrix m(2, 2);
+    m.Add(1, 0, 1.5);
+    m.Add(1, 0, 2.5);
+    m.Add(0, 0, 1.0);
+    m.Canonicalize();
+    ASSERT_EQ(m.nnz(), 2);
+    EXPECT_EQ(m.entries()[1], (Triplet{1, 0, 4.0}));
+}
+
+TEST(Coo, DuplicatesMakeNonCanonical)
+{
+    CooMatrix m(2, 2);
+    m.Add(0, 0, 1.0);
+    m.Add(0, 0, 1.0);
+    EXPECT_FALSE(m.IsCanonical());
+}
+
+TEST(Coo, UnsortedIsNonCanonical)
+{
+    CooMatrix m(2, 2);
+    m.Add(1, 0, 1.0);
+    m.Add(0, 0, 1.0);
+    EXPECT_FALSE(m.IsCanonical());
+}
+
+TEST(Coo, TransposeSwapsCoordinates)
+{
+    CooMatrix m(2, 3);
+    m.Add(0, 2, 5.0);
+    m.Add(1, 0, 7.0);
+    const CooMatrix t = m.Transposed();
+    EXPECT_EQ(t.rows(), 3);
+    EXPECT_EQ(t.cols(), 2);
+    ASSERT_EQ(t.nnz(), 2);
+    EXPECT_EQ(t.entries()[0], (Triplet{0, 1, 7.0}));
+    EXPECT_EQ(t.entries()[1], (Triplet{2, 0, 5.0}));
+}
+
+TEST(Coo, TransposeTwiceIsIdentity)
+{
+    CooMatrix m(4, 4);
+    m.Add(1, 3, 2.0);
+    m.Add(3, 0, -1.0);
+    m.Add(2, 2, 4.0);
+    m.Canonicalize();
+    const CooMatrix tt = m.Transposed().Transposed();
+    EXPECT_EQ(tt.entries(), m.entries());
+}
+
+TEST(Coo, SymmetrizeFromLower)
+{
+    CooMatrix m(3, 3);
+    m.Add(0, 0, 1.0);
+    m.Add(1, 1, 2.0);
+    m.Add(2, 2, 3.0);
+    m.Add(2, 0, -1.0);
+    m.SymmetrizeFromLower();
+    EXPECT_EQ(m.nnz(), 5);
+    bool found_upper = false;
+    for (const Triplet& t : m.entries()) {
+        if (t.row == 0 && t.col == 2) {
+            EXPECT_DOUBLE_EQ(t.val, -1.0);
+            found_upper = true;
+        }
+    }
+    EXPECT_TRUE(found_upper);
+}
+
+TEST(Coo, SymmetrizeRejectsUpperEntries)
+{
+    CooMatrix m(3, 3);
+    m.Add(0, 2, 1.0);
+    EXPECT_THROW(m.SymmetrizeFromLower(), AzulError);
+}
+
+TEST(Coo, ZeroValuedEntriesKept)
+{
+    CooMatrix m(2, 2);
+    m.Add(0, 1, 1.0);
+    m.Add(0, 1, -1.0);
+    m.Canonicalize();
+    ASSERT_EQ(m.nnz(), 1);
+    EXPECT_DOUBLE_EQ(m.entries()[0].val, 0.0);
+}
+
+TEST(Coo, NegativeDimensionsRejected)
+{
+    EXPECT_THROW(CooMatrix(-1, 2), AzulError);
+}
+
+} // namespace
+} // namespace azul

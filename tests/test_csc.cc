@@ -1,0 +1,86 @@
+#include <gtest/gtest.h>
+
+#include "sparse/csc.h"
+#include "test_helpers.h"
+
+namespace azul {
+namespace {
+
+CsrMatrix
+Example()
+{
+    CooMatrix coo(3, 4);
+    coo.Add(0, 0, 1.0);
+    coo.Add(0, 3, 2.0);
+    coo.Add(1, 1, 3.0);
+    coo.Add(2, 0, 4.0);
+    coo.Add(2, 2, 5.0);
+    return CsrMatrix::FromCoo(coo);
+}
+
+TEST(Csc, FromCsrShape)
+{
+    const CscMatrix c = CscMatrix::FromCsr(Example());
+    EXPECT_EQ(c.rows(), 3);
+    EXPECT_EQ(c.cols(), 4);
+    EXPECT_EQ(c.nnz(), 5);
+}
+
+TEST(Csc, ColumnStructure)
+{
+    const CscMatrix c = CscMatrix::FromCsr(Example());
+    EXPECT_EQ(c.ColNnz(0), 2); // rows 0 and 2
+    EXPECT_EQ(c.ColNnz(1), 1);
+    EXPECT_EQ(c.ColNnz(2), 1);
+    EXPECT_EQ(c.ColNnz(3), 1);
+    // Column 0 holds rows {0, 2} in ascending order.
+    EXPECT_EQ(c.row_idx()[c.ColBegin(0)], 0);
+    EXPECT_EQ(c.row_idx()[c.ColBegin(0) + 1], 2);
+    EXPECT_DOUBLE_EQ(c.vals()[c.ColBegin(0) + 1], 4.0);
+}
+
+TEST(Csc, RoundTripToCsr)
+{
+    const CsrMatrix m = Example();
+    const CsrMatrix back = CscMatrix::FromCsr(m).ToCsr();
+    EXPECT_EQ(m, back);
+}
+
+TEST(Csc, FromCooMatchesFromCsr)
+{
+    CooMatrix coo = Example().ToCoo();
+    const CscMatrix a = CscMatrix::FromCoo(coo);
+    const CscMatrix b = CscMatrix::FromCsr(Example());
+    EXPECT_EQ(a.col_ptr(), b.col_ptr());
+    EXPECT_EQ(a.row_idx(), b.row_idx());
+    EXPECT_EQ(a.vals(), b.vals());
+}
+
+TEST(Csc, EmptyColumns)
+{
+    CooMatrix coo(2, 3);
+    coo.Add(1, 2, 7.0);
+    const CscMatrix c = CscMatrix::FromCoo(coo);
+    EXPECT_EQ(c.ColNnz(0), 0);
+    EXPECT_EQ(c.ColNnz(1), 0);
+    EXPECT_EQ(c.ColNnz(2), 1);
+}
+
+TEST(Csc, ValuesFollowColumnOrder)
+{
+    const CsrMatrix spd = azul::testing::SmallSpd();
+    const CscMatrix c = CscMatrix::FromCsr(spd);
+    // SPD: column j of CSC equals row j of CSR.
+    for (Index j = 0; j < spd.rows(); ++j) {
+        ASSERT_EQ(c.ColNnz(j), spd.RowNnz(j));
+        for (Index k = 0; k < c.ColNnz(j); ++k) {
+            EXPECT_EQ(c.row_idx()[c.ColBegin(j) + k],
+                      spd.col_idx()[spd.RowBegin(j) + k]);
+            EXPECT_DOUBLE_EQ(c.vals()[c.ColBegin(j) + k],
+                             spd.vals()[spd.RowBegin(j) + k]);
+        }
+    }
+}
+
+} // namespace
+} // namespace azul

@@ -1,0 +1,146 @@
+#include <gtest/gtest.h>
+
+#include "sparse/csr.h"
+#include "test_helpers.h"
+#include "util/common.h"
+
+namespace azul {
+namespace {
+
+CooMatrix
+ExampleCoo()
+{
+    // The 4x4 SpMV example matrix of the paper's Fig 12.
+    CooMatrix coo(4, 4);
+    coo.Add(0, 0, 1.0);
+    coo.Add(0, 2, 2.0);
+    coo.Add(0, 3, 3.0);
+    coo.Add(1, 1, 4.0);
+    coo.Add(2, 0, 5.0);
+    coo.Add(2, 2, 6.0);
+    coo.Add(3, 0, 7.0);
+    coo.Add(3, 3, 8.0);
+    return coo;
+}
+
+TEST(Csr, FromCooBasic)
+{
+    const CsrMatrix m = CsrMatrix::FromCoo(ExampleCoo());
+    EXPECT_EQ(m.rows(), 4);
+    EXPECT_EQ(m.cols(), 4);
+    EXPECT_EQ(m.nnz(), 8);
+    EXPECT_EQ(m.RowNnz(0), 3);
+    EXPECT_EQ(m.RowNnz(1), 1);
+    EXPECT_DOUBLE_EQ(m.At(0, 2), 2.0);
+    EXPECT_DOUBLE_EQ(m.At(3, 3), 8.0);
+    EXPECT_DOUBLE_EQ(m.At(1, 0), 0.0);
+}
+
+TEST(Csr, FromUnsortedCoo)
+{
+    CooMatrix coo(2, 2);
+    coo.Add(1, 1, 2.0);
+    coo.Add(0, 0, 1.0);
+    const CsrMatrix m = CsrMatrix::FromCoo(coo);
+    EXPECT_DOUBLE_EQ(m.At(0, 0), 1.0);
+    EXPECT_DOUBLE_EQ(m.At(1, 1), 2.0);
+}
+
+TEST(Csr, EmptyRowsHandled)
+{
+    CooMatrix coo(3, 3);
+    coo.Add(2, 2, 9.0);
+    const CsrMatrix m = CsrMatrix::FromCoo(coo);
+    EXPECT_EQ(m.RowNnz(0), 0);
+    EXPECT_EQ(m.RowNnz(1), 0);
+    EXPECT_EQ(m.RowNnz(2), 1);
+}
+
+TEST(Csr, FromPartsValidates)
+{
+    // Bad: row_ptr not matching nnz.
+    EXPECT_THROW(CsrMatrix::FromParts(1, 1, {0, 2}, {0}, {1.0}),
+                 AzulError);
+    // Bad: unsorted columns within a row.
+    EXPECT_THROW(
+        CsrMatrix::FromParts(1, 3, {0, 2}, {2, 1}, {1.0, 2.0}),
+        AzulError);
+    // Bad: column out of range.
+    EXPECT_THROW(CsrMatrix::FromParts(1, 1, {0, 1}, {1}, {1.0}),
+                 AzulError);
+    // Good.
+    EXPECT_NO_THROW(
+        CsrMatrix::FromParts(2, 2, {0, 1, 2}, {0, 1}, {1.0, 2.0}));
+}
+
+TEST(Csr, RoundTripThroughCoo)
+{
+    const CsrMatrix m = CsrMatrix::FromCoo(ExampleCoo());
+    const CsrMatrix m2 = CsrMatrix::FromCoo(m.ToCoo());
+    EXPECT_EQ(m, m2);
+}
+
+TEST(Csr, TransposeAgainstDense)
+{
+    const CsrMatrix m = CsrMatrix::FromCoo(ExampleCoo());
+    const CsrMatrix t = m.Transposed();
+    for (Index r = 0; r < m.rows(); ++r) {
+        for (Index c = 0; c < m.cols(); ++c) {
+            EXPECT_DOUBLE_EQ(m.At(r, c), t.At(c, r));
+        }
+    }
+}
+
+TEST(Csr, TransposeTwiceIsIdentity)
+{
+    const CsrMatrix m = CsrMatrix::FromCoo(ExampleCoo());
+    EXPECT_EQ(m.Transposed().Transposed(), m);
+}
+
+TEST(Csr, IsSymmetric)
+{
+    EXPECT_TRUE(azul::testing::SmallSpd().IsSymmetric());
+    const CsrMatrix m = CsrMatrix::FromCoo(ExampleCoo());
+    EXPECT_FALSE(m.IsSymmetric());
+}
+
+TEST(Csr, IsSymmetricWithTolerance)
+{
+    CooMatrix coo(2, 2);
+    coo.Add(0, 1, 1.0);
+    coo.Add(1, 0, 1.0 + 1e-12);
+    const CsrMatrix m = CsrMatrix::FromCoo(coo);
+    EXPECT_FALSE(m.IsSymmetric(0.0));
+    EXPECT_TRUE(m.IsSymmetric(1e-10));
+}
+
+TEST(Csr, NonSquareIsNotSymmetric)
+{
+    CooMatrix coo(2, 3);
+    coo.Add(0, 0, 1.0);
+    EXPECT_FALSE(CsrMatrix::FromCoo(coo).IsSymmetric());
+}
+
+TEST(Csr, FootprintBytes)
+{
+    const CsrMatrix m = CsrMatrix::FromCoo(ExampleCoo());
+    // 5 row_ptr + 8 col_idx entries (8B each) + 8 values (8B each).
+    EXPECT_EQ(m.FootprintBytes(), 5 * 8 + 8 * 8 + 8 * 8u);
+}
+
+TEST(Csr, AtOutOfRangeThrows)
+{
+    const CsrMatrix m = CsrMatrix::FromCoo(ExampleCoo());
+    EXPECT_THROW(m.At(4, 0), AzulError);
+    EXPECT_THROW(m.At(0, -1), AzulError);
+}
+
+TEST(Csr, DefaultConstructedIsEmpty)
+{
+    CsrMatrix m;
+    EXPECT_EQ(m.rows(), 0);
+    EXPECT_EQ(m.nnz(), 0);
+}
+
+} // namespace
+} // namespace azul

@@ -1,0 +1,109 @@
+#include <gtest/gtest.h>
+
+#include "energy/area_model.h"
+#include "energy/energy_model.h"
+
+namespace azul {
+namespace {
+
+TEST(Area, PaperConfigMatchesTableV)
+{
+    // Table V: 4096 tiles -> PEs 17.8 mm², routers 6.6 mm², SRAM
+    // 115.2 mm², I/O 15 mm², total ~155 mm².
+    const AreaBreakdown area = ComputeArea(AzulPaperConfig());
+    EXPECT_NEAR(area.pes_mm2, 17.8, 0.3);
+    EXPECT_NEAR(area.routers_mm2, 6.6, 0.2);
+    EXPECT_NEAR(area.srams_mm2, 115.2, 0.5);
+    EXPECT_NEAR(area.io_mm2, 15.0, 0.01);
+    EXPECT_NEAR(area.total(), 155.0, 2.0);
+}
+
+TEST(Area, SramDominates)
+{
+    const AreaBreakdown area = ComputeArea(AzulPaperConfig());
+    EXPECT_GT(area.srams_mm2 / area.total(), 0.6);
+}
+
+TEST(Area, ScalesWithTileCount)
+{
+    SimConfig small = AzulPaperConfig();
+    small.grid_width = 32;
+    small.grid_height = 32;
+    const AreaBreakdown big = ComputeArea(AzulPaperConfig());
+    const AreaBreakdown quarter = ComputeArea(small);
+    EXPECT_NEAR((big.total() - big.io_mm2) /
+                    (quarter.total() - quarter.io_mm2),
+                4.0, 0.01);
+}
+
+SimStats
+BusyStats(const SimConfig& cfg, double utilization)
+{
+    // Synthetic activity: `utilization` FMACs per tile-cycle with
+    // 2 reads + 1 write each, plus modest NoC traffic.
+    SimStats s;
+    s.cycles = 1'000'000;
+    const double tile_cycles = static_cast<double>(s.cycles) *
+                               static_cast<double>(cfg.num_tiles());
+    s.ops.fmac =
+        static_cast<std::uint64_t>(tile_cycles * utilization);
+    s.sram_reads = 2 * s.ops.fmac;
+    s.sram_writes = s.ops.fmac;
+    s.link_activations = s.ops.fmac / 10;
+    return s;
+}
+
+TEST(Power, SramDominatedAtHighUtilization)
+{
+    const SimConfig cfg = AzulPaperConfig();
+    const PowerBreakdown p = ComputePower(BusyStats(cfg, 0.5), cfg);
+    EXPECT_GT(p.sram_w, p.compute_w);
+    EXPECT_GT(p.sram_w, p.noc_w);
+    EXPECT_GT(p.sram_w, p.leakage_w);
+}
+
+TEST(Power, PaperScaleMagnitude)
+{
+    // Fig 24: ~210 W average, up to 288 W at 4096 tiles. At ~50%
+    // FMAC utilization our model should land in that neighborhood.
+    const SimConfig cfg = AzulPaperConfig();
+    const PowerBreakdown p = ComputePower(BusyStats(cfg, 0.5), cfg);
+    EXPECT_GT(p.total(), 100.0);
+    EXPECT_LT(p.total(), 350.0);
+}
+
+TEST(Power, ZeroCyclesGivesZero)
+{
+    const PowerBreakdown p = ComputePower(SimStats{}, SimConfig{});
+    EXPECT_EQ(p.total(), 0.0);
+}
+
+TEST(Power, LeakageIndependentOfActivity)
+{
+    const SimConfig cfg = AzulPaperConfig();
+    const PowerBreakdown busy = ComputePower(BusyStats(cfg, 0.9), cfg);
+    const PowerBreakdown idle = ComputePower(BusyStats(cfg, 0.01), cfg);
+    EXPECT_DOUBLE_EQ(busy.leakage_w, idle.leakage_w);
+    EXPECT_GT(busy.sram_w, idle.sram_w);
+}
+
+TEST(Power, EnergyIntegratesPower)
+{
+    const SimConfig cfg = AzulPaperConfig();
+    const SimStats s = BusyStats(cfg, 0.5);
+    const double joules = ComputeEnergyJoules(s, cfg);
+    const double seconds =
+        static_cast<double>(s.cycles) / (cfg.clock_ghz * 1e9);
+    EXPECT_NEAR(joules, ComputePower(s, cfg).total() * seconds, 1e-9);
+}
+
+TEST(Power, ScalesLinearlyWithActivity)
+{
+    const SimConfig cfg = AzulPaperConfig();
+    const PowerBreakdown p1 = ComputePower(BusyStats(cfg, 0.2), cfg);
+    const PowerBreakdown p2 = ComputePower(BusyStats(cfg, 0.4), cfg);
+    EXPECT_NEAR(p2.sram_w / p1.sram_w, 2.0, 0.01);
+}
+
+} // namespace
+} // namespace azul

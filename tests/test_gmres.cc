@@ -1,0 +1,157 @@
+#include <gtest/gtest.h>
+
+#include "solver/gmres.h"
+#include "solver/pcg.h"
+#include "solver/spmv.h"
+#include "sparse/generators.h"
+#include "test_helpers.h"
+
+namespace azul {
+namespace {
+
+using azul::testing::RandomVector;
+
+CsrMatrix
+Nonsymmetric(Index n)
+{
+    // Diagonally dominant with asymmetric off-diagonals.
+    CooMatrix coo(n, n);
+    Rng rng(5);
+    for (Index i = 0; i < n; ++i) {
+        coo.Add(i, i, 6.0);
+        if (i + 1 < n) {
+            coo.Add(i, i + 1, rng.UniformDouble(0.5, 1.5));
+            coo.Add(i + 1, i, rng.UniformDouble(-1.5, -0.5));
+        }
+        if (i + 7 < n) {
+            coo.Add(i, i + 7, 0.5);
+        }
+    }
+    return CsrMatrix::FromCoo(coo);
+}
+
+TEST(Gmres, SolvesSpdSystem)
+{
+    const CsrMatrix a = azul::testing::SmallSpd();
+    const auto m =
+        MakePreconditioner(PreconditionerKind::kIdentity, a);
+    const Vector b{1.0, 2.0, 3.0, 4.0};
+    const SolveResult res = Gmres(a, b, *m, 10, 1e-10, 100);
+    EXPECT_TRUE(res.converged);
+    EXPECT_VECTOR_NEAR(SpMV(a, res.x), b, 1e-8);
+}
+
+TEST(Gmres, SolvesNonsymmetricSystem)
+{
+    const CsrMatrix a = Nonsymmetric(200);
+    const auto m =
+        MakePreconditioner(PreconditionerKind::kIdentity, a);
+    const Vector b = RandomVector(a.rows(), 7);
+    const SolveResult res = Gmres(a, b, *m, 30, 1e-9, 2000);
+    EXPECT_TRUE(res.converged);
+    EXPECT_VECTOR_NEAR(SpMV(a, res.x), b, 1e-6);
+}
+
+TEST(Gmres, FullSubspaceIsDirect)
+{
+    // With restart >= n, GMRES converges within n iterations in exact
+    // arithmetic.
+    const CsrMatrix a = Nonsymmetric(24);
+    const auto m =
+        MakePreconditioner(PreconditionerKind::kIdentity, a);
+    const Vector b = RandomVector(a.rows(), 9);
+    const SolveResult res = Gmres(a, b, *m, 24, 1e-10, 48);
+    EXPECT_TRUE(res.converged);
+    EXPECT_LE(res.iterations, 26);
+}
+
+TEST(Gmres, SmallRestartStillConverges)
+{
+    // Restarted GMRES with a tiny subspace stagnates on
+    // ill-conditioned systems (a real property, not a bug), so use a
+    // well-conditioned diagonally dominant matrix here.
+    const CsrMatrix a = RandomSpd(300, 4, 11);
+    const auto m =
+        MakePreconditioner(PreconditionerKind::kIdentity, a);
+    const Vector b = RandomVector(a.rows(), 13);
+    const SolveResult res = Gmres(a, b, *m, 5, 1e-8, 20000);
+    EXPECT_TRUE(res.converged);
+    EXPECT_VECTOR_NEAR(SpMV(a, res.x), b, 1e-5);
+}
+
+TEST(Gmres, JacobiPreconditioningReducesIterations)
+{
+    const CsrMatrix a = Nonsymmetric(400);
+    const Vector b = RandomVector(a.rows(), 15);
+    const auto ident =
+        MakePreconditioner(PreconditionerKind::kIdentity, a);
+    const auto jacobi =
+        MakePreconditioner(PreconditionerKind::kJacobi, a);
+    const SolveResult plain = Gmres(a, b, *ident, 30, 1e-9, 5000);
+    const SolveResult pre = Gmres(a, b, *jacobi, 30, 1e-9, 5000);
+    ASSERT_TRUE(plain.converged);
+    ASSERT_TRUE(pre.converged);
+    EXPECT_LE(pre.iterations, plain.iterations);
+}
+
+TEST(Gmres, IcPreconditionedOnSpd)
+{
+    const CsrMatrix a = RandomGeometricLaplacian(400, 8.0, 17);
+    const Vector b = RandomVector(a.rows(), 19);
+    const auto ic = MakePreconditioner(
+        PreconditionerKind::kIncompleteCholesky, a);
+    const SolveResult res = Gmres(a, b, *ic, 30, 1e-9, 2000);
+    EXPECT_TRUE(res.converged);
+    EXPECT_VECTOR_NEAR(SpMV(a, res.x), b, 1e-6);
+    EXPECT_GT(res.flops.sptrsv, 0.0);
+}
+
+TEST(Gmres, ZeroRhs)
+{
+    const CsrMatrix a = azul::testing::SmallSpd();
+    const auto m =
+        MakePreconditioner(PreconditionerKind::kIdentity, a);
+    const SolveResult res = Gmres(a, Vector(4, 0.0), *m);
+    EXPECT_TRUE(res.converged);
+    EXPECT_EQ(res.iterations, 0);
+}
+
+TEST(Gmres, IterationCapRespected)
+{
+    const CsrMatrix a = RandomGeometricLaplacian(400, 8.0, 21);
+    const auto m =
+        MakePreconditioner(PreconditionerKind::kIdentity, a);
+    const SolveResult res =
+        Gmres(a, RandomVector(a.rows(), 23), *m, 10, 1e-15, 7);
+    EXPECT_FALSE(res.converged);
+    EXPECT_LE(res.iterations, 7);
+}
+
+TEST(Gmres, FlopsAccumulated)
+{
+    const CsrMatrix a = azul::testing::SmallSpd();
+    const auto m =
+        MakePreconditioner(PreconditionerKind::kIdentity, a);
+    const SolveResult res =
+        Gmres(a, {1.0, 0.0, 2.0, -1.0}, *m, 4, 1e-10, 50);
+    EXPECT_GT(res.flops.spmv, 0.0);
+    EXPECT_GT(res.flops.vector_ops, 0.0);
+}
+
+TEST(Gmres, ComparableToPcgOnSpd)
+{
+    // Both should reach the same solution on an SPD system.
+    const CsrMatrix a = RandomGeometricLaplacian(300, 8.0, 25);
+    const Vector b = RandomVector(a.rows(), 27);
+    const auto m =
+        MakePreconditioner(PreconditionerKind::kIdentity, a);
+    const SolveResult g = Gmres(a, b, *m, 40, 1e-10, 5000);
+    const SolveResult p =
+        PreconditionedConjugateGradients(a, b, *m, 1e-10, 5000);
+    ASSERT_TRUE(g.converged);
+    ASSERT_TRUE(p.converged);
+    EXPECT_VECTOR_NEAR(g.x, p.x, 1e-6);
+}
+
+} // namespace
+} // namespace azul

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Shared helpers for the Azul test suite: small deterministic
+ * matrices, dense comparisons, and common assertions.
+ */
+#ifndef AZUL_TESTS_TEST_HELPERS_H_
+#define AZUL_TESTS_TEST_HELPERS_H_
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "solver/vector_ops.h"
+#include "sparse/csr.h"
+#include "util/rng.h"
+
+namespace azul::testing {
+
+/** Dense matrix helper for cross-checking sparse kernels. */
+using Dense = std::vector<std::vector<double>>;
+
+inline Dense
+ToDense(const CsrMatrix& a)
+{
+    Dense d(static_cast<std::size_t>(a.rows()),
+            std::vector<double>(static_cast<std::size_t>(a.cols()), 0.0));
+    for (Index r = 0; r < a.rows(); ++r) {
+        for (Index k = a.RowBegin(r); k < a.RowEnd(r); ++k) {
+            d[static_cast<std::size_t>(r)]
+             [static_cast<std::size_t>(a.col_idx()[k])] = a.vals()[k];
+        }
+    }
+    return d;
+}
+
+inline Vector
+DenseMatVec(const Dense& d, const Vector& x)
+{
+    Vector y(d.size(), 0.0);
+    for (std::size_t r = 0; r < d.size(); ++r) {
+        for (std::size_t c = 0; c < d[r].size(); ++c) {
+            y[r] += d[r][c] * x[c];
+        }
+    }
+    return y;
+}
+
+/** The 3x3 example from the paper's Fig 4 region (small triangular). */
+inline CsrMatrix
+SmallLowerTriangular()
+{
+    CooMatrix coo(3, 3);
+    coo.Add(0, 0, 2.0);
+    coo.Add(1, 0, -1.0);
+    coo.Add(1, 1, 3.0);
+    coo.Add(2, 1, -0.5);
+    coo.Add(2, 2, 4.0);
+    return CsrMatrix::FromCoo(coo);
+}
+
+/** Small SPD matrix used across unit tests. */
+inline CsrMatrix
+SmallSpd()
+{
+    CooMatrix coo(4, 4);
+    const double vals[4][4] = {{4, -1, 0, -1},
+                               {-1, 4, -1, 0},
+                               {0, -1, 4, -1},
+                               {-1, 0, -1, 4}};
+    for (Index r = 0; r < 4; ++r) {
+        for (Index c = 0; c < 4; ++c) {
+            if (vals[r][c] != 0.0) {
+                coo.Add(r, c, vals[r][c]);
+            }
+        }
+    }
+    return CsrMatrix::FromCoo(coo);
+}
+
+/** Random dense vector with a fixed seed. */
+inline Vector
+RandomVector(Index n, std::uint64_t seed)
+{
+    Rng rng(seed);
+    Vector v(static_cast<std::size_t>(n));
+    for (double& x : v) {
+        x = rng.UniformDouble(-1.0, 1.0);
+    }
+    return v;
+}
+
+inline double
+MaxAbsDiff(const Vector& a, const Vector& b)
+{
+    EXPECT_EQ(a.size(), b.size());
+    double m = 0.0;
+    for (std::size_t i = 0; i < a.size() && i < b.size(); ++i) {
+        m = std::max(m, std::abs(a[i] - b[i]));
+    }
+    return m;
+}
+
+#define EXPECT_VECTOR_NEAR(a, b, tol)                                        \
+    EXPECT_LE(::azul::testing::MaxAbsDiff((a), (b)), (tol))
+
+} // namespace azul::testing
+
+#endif // AZUL_TESTS_TEST_HELPERS_H_

@@ -1,0 +1,102 @@
+#include <gtest/gtest.h>
+
+#include "mapping/hypergraph.h"
+#include "util/common.h"
+
+namespace azul {
+namespace {
+
+/** Tiny hypergraph: 4 vertices, edges {0,1,2} (w=2) and {2,3} (w=1). */
+Hypergraph
+TinyHg(int constraints = 1)
+{
+    std::vector<Weight> vw;
+    for (Index v = 0; v < 4; ++v) {
+        vw.push_back(1);
+        for (int c = 1; c < constraints; ++c) {
+            vw.push_back(v % 2);
+        }
+    }
+    Hypergraph hg(constraints, std::move(vw), {2, 1}, {0, 3, 5},
+                  {0, 1, 2, 2, 3});
+    hg.BuildIncidence();
+    return hg;
+}
+
+TEST(Hypergraph, BasicShape)
+{
+    const Hypergraph hg = TinyHg();
+    EXPECT_EQ(hg.NumVertices(), 4);
+    EXPECT_EQ(hg.NumEdges(), 2);
+    EXPECT_EQ(hg.NumPins(), 5);
+    EXPECT_EQ(hg.EdgeSize(0), 3);
+    EXPECT_EQ(hg.EdgeSize(1), 2);
+    EXPECT_EQ(hg.EdgeWeight(0), 2);
+}
+
+TEST(Hypergraph, IncidenceIsInverseOfPins)
+{
+    const Hypergraph hg = TinyHg();
+    // Vertex 2 is in both edges.
+    std::vector<Index> edges_of_2;
+    for (Index k = hg.IncBegin(2); k < hg.IncEnd(2); ++k) {
+        edges_of_2.push_back(hg.IncEdge(k));
+    }
+    ASSERT_EQ(edges_of_2.size(), 2u);
+    EXPECT_EQ(hg.IncEnd(0) - hg.IncBegin(0), 1);
+    EXPECT_EQ(hg.IncEnd(3) - hg.IncBegin(3), 1);
+}
+
+TEST(Hypergraph, TotalWeight)
+{
+    const Hypergraph hg = TinyHg(2);
+    EXPECT_EQ(hg.TotalWeight(0), 4);
+    EXPECT_EQ(hg.TotalWeight(1), 2); // vertices 1 and 3
+}
+
+TEST(Hypergraph, VertexWeightMultiConstraint)
+{
+    const Hypergraph hg = TinyHg(2);
+    EXPECT_EQ(hg.VertexWeight(1, 0), 1);
+    EXPECT_EQ(hg.VertexWeight(1, 1), 1);
+    EXPECT_EQ(hg.VertexWeight(2, 1), 0);
+}
+
+TEST(Hypergraph, ConnectivityCutAllTogether)
+{
+    const Hypergraph hg = TinyHg();
+    EXPECT_EQ(hg.ConnectivityCut({0, 0, 0, 0}), 0);
+}
+
+TEST(Hypergraph, ConnectivityCutCountsLambdaMinusOne)
+{
+    const Hypergraph hg = TinyHg();
+    // Edge 0 spans parts {0,1,2} -> 2 * (3-1) = 4;
+    // edge 1 spans {2,0} -> 1 * (2-1) = 1.
+    EXPECT_EQ(hg.ConnectivityCut({0, 1, 2, 0}), 5);
+    // Edge 0 spans {0,0,1} -> 2; edge 1 spans {1,1} -> 0.
+    EXPECT_EQ(hg.ConnectivityCut({0, 0, 1, 1}), 2);
+}
+
+TEST(Hypergraph, ValidatesPinRange)
+{
+    EXPECT_THROW(Hypergraph(1, {1, 1}, {1}, {0, 2}, {0, 5}),
+                 AzulError);
+}
+
+TEST(Hypergraph, ValidatesPinPtr)
+{
+    EXPECT_THROW(Hypergraph(1, {1, 1}, {1}, {0, 3}, {0, 1}),
+                 AzulError);
+}
+
+TEST(Hypergraph, EmptyGraphIsLegal)
+{
+    Hypergraph hg(1, {}, {}, {0}, {});
+    hg.BuildIncidence();
+    EXPECT_EQ(hg.NumVertices(), 0);
+    EXPECT_EQ(hg.ConnectivityCut({}), 0);
+}
+
+} // namespace
+} // namespace azul

@@ -1,0 +1,146 @@
+#include <gtest/gtest.h>
+
+#include "solver/ic0.h"
+#include "solver/spmv.h"
+#include "solver/sptrsv.h"
+#include "sparse/generators.h"
+#include "sparse/triangle.h"
+#include "test_helpers.h"
+
+namespace azul {
+namespace {
+
+using azul::testing::ToDense;
+
+/** Computes L L^T densely. */
+azul::testing::Dense
+LLt(const CsrMatrix& l)
+{
+    const auto dl = ToDense(l);
+    const std::size_t n = dl.size();
+    azul::testing::Dense out(n, std::vector<double>(n, 0.0));
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = 0; j < n; ++j) {
+            for (std::size_t k = 0; k < n; ++k) {
+                out[i][j] += dl[i][k] * dl[j][k];
+            }
+        }
+    }
+    return out;
+}
+
+TEST(Ic0, PatternMatchesLowerTriangle)
+{
+    const CsrMatrix a = RandomSpd(60, 4, 5);
+    const CsrMatrix l = IncompleteCholesky(a);
+    const CsrMatrix lower = LowerTriangle(a);
+    EXPECT_EQ(l.row_ptr(), lower.row_ptr());
+    EXPECT_EQ(l.col_idx(), lower.col_idx());
+}
+
+TEST(Ic0, ExactOnDiagonalMatrix)
+{
+    CooMatrix coo(3, 3);
+    coo.Add(0, 0, 4.0);
+    coo.Add(1, 1, 9.0);
+    coo.Add(2, 2, 16.0);
+    const CsrMatrix l = IncompleteCholesky(CsrMatrix::FromCoo(coo));
+    EXPECT_DOUBLE_EQ(l.At(0, 0), 2.0);
+    EXPECT_DOUBLE_EQ(l.At(1, 1), 3.0);
+    EXPECT_DOUBLE_EQ(l.At(2, 2), 4.0);
+}
+
+TEST(Ic0, ExactOnTridiagonal)
+{
+    // For a tridiagonal SPD matrix, IC(0) has no dropped fill, so
+    // L L^T == A exactly.
+    const CsrMatrix a = Grid2dLaplacian(8, 1, 0.5); // 1-D chain
+    const CsrMatrix l = IncompleteCholesky(a);
+    const auto prod = LLt(l);
+    const auto da = ToDense(a);
+    for (std::size_t i = 0; i < da.size(); ++i) {
+        for (std::size_t j = 0; j < da.size(); ++j) {
+            EXPECT_NEAR(prod[i][j], da[i][j], 1e-10);
+        }
+    }
+}
+
+TEST(Ic0, MatchesAOnStoredPattern)
+{
+    // On the stored pattern, (L L^T)_ij == A_ij by construction.
+    const CsrMatrix a = RandomSpd(40, 3, 9);
+    const CsrMatrix l = IncompleteCholesky(a);
+    const auto prod = LLt(l);
+    for (Index r = 0; r < a.rows(); ++r) {
+        for (Index k = a.RowBegin(r); k < a.RowEnd(r); ++k) {
+            const Index c = a.col_idx()[k];
+            if (c > r) {
+                continue;
+            }
+            EXPECT_NEAR(prod[static_cast<std::size_t>(r)]
+                            [static_cast<std::size_t>(c)],
+                        a.vals()[k], 1e-9)
+                << "(" << r << "," << c << ")";
+        }
+    }
+}
+
+TEST(Ic0, PositiveDiagonal)
+{
+    const CsrMatrix a = FemLikeSpd(150, 8, 17);
+    const CsrMatrix l = IncompleteCholesky(a);
+    for (Index r = 0; r < l.rows(); ++r) {
+        EXPECT_GT(l.At(r, r), 0.0);
+    }
+}
+
+TEST(Ic0, LowerTriangularOutput)
+{
+    const CsrMatrix a = Grid3dLaplacian(4, 4, 4);
+    EXPECT_TRUE(IsLowerTriangular(IncompleteCholesky(a)));
+}
+
+TEST(Ic0, ThrowsOnMissingDiagonal)
+{
+    CooMatrix coo(2, 2);
+    coo.Add(0, 0, 1.0);
+    coo.Add(1, 0, 0.5); // missing (1,1)
+    EXPECT_THROW(IncompleteCholesky(CsrMatrix::FromCoo(coo)),
+                 AzulError);
+}
+
+TEST(Ic0, ThrowsOnIndefiniteMatrix)
+{
+    CooMatrix coo(2, 2);
+    coo.Add(0, 0, 1.0);
+    coo.Add(0, 1, 4.0);
+    coo.Add(1, 0, 4.0);
+    coo.Add(1, 1, 1.0); // pivot 1 - 16 < 0
+    EXPECT_THROW(IncompleteCholesky(CsrMatrix::FromCoo(coo)),
+                 AzulError);
+}
+
+// IC(0) quality: the preconditioned operator should be much better
+// conditioned; indirectly tested in test_cg_pcg.cc by iteration-count
+// reduction.
+
+class Ic0PropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(Ic0PropertyTest, FactorSolveRoundTrip)
+{
+    // z = L^-T L^-1 (L L^T x) == x for any x.
+    const CsrMatrix a = RandomSpd(70, 4, GetParam());
+    const CsrMatrix l = IncompleteCholesky(a);
+    const Vector x = azul::testing::RandomVector(a.rows(),
+                                                 GetParam() + 3);
+    const Vector y = SpMVTranspose(l, x); // L^T x
+    const Vector b = SpMV(l, y);          // L L^T x
+    const Vector z = SpTRSVLowerTranspose(l, SpTRSVLower(l, b));
+    EXPECT_VECTOR_NEAR(z, x, 1e-8);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Ic0PropertyTest,
+                         ::testing::Range(1, 6));
+
+} // namespace
+} // namespace azul

@@ -1,0 +1,216 @@
+/**
+ * @file
+ * Cross-module integration tests: the paper's headline qualitative
+ * claims, verified end-to-end on small problems.
+ */
+#include <gtest/gtest.h>
+
+#include "baselines/alrescha_model.h"
+#include "baselines/dalorex.h"
+#include "baselines/gpu_model.h"
+#include "core/azul_system.h"
+#include "solver/coloring.h"
+#include "solver/ic0.h"
+#include "solver/pcg.h"
+#include "solver/spmv.h"
+#include "sparse/generators.h"
+#include "test_helpers.h"
+#include "util/stats.h"
+
+namespace azul {
+namespace {
+
+using azul::testing::RandomVector;
+
+AzulOptions
+Options16()
+{
+    AzulOptions opts;
+    opts.sim.grid_width = 4;
+    opts.sim.grid_height = 4;
+    opts.max_iters = 12; // throughput measurement, not convergence
+    opts.tol = 0.0;
+    return opts;
+}
+
+TEST(Integration, AzulBeatsAllBaselinesOnThroughput)
+{
+    // Fig 20's ordering on one representative matrix: Azul > Dalorex,
+    // Azul > ALRESCHA-model, Azul > GPU-model. ALRESCHA's analytic
+    // bound is ~48 GFLOP/s regardless of machine size, so this check
+    // needs a grid big enough (8x8, 256 GFLOP/s peak) to exceed it —
+    // the paper's 64x64 machine clears it by 159x.
+    const CsrMatrix a = RandomGeometricLaplacian(1500, 9.0, 3);
+    AzulOptions opts = Options16();
+    opts.sim.grid_width = 8;
+    opts.sim.grid_height = 8;
+    AzulSystem sys(a, opts);
+    const Vector b = RandomVector(a.rows(), 5);
+    const SolveReport azul_rep = sys.Solve(b);
+    const double azul_gflops = azul_rep.gflops;
+
+    // Dalorex on the same (colored) operator.
+    const ColoredMatrix cm = ColorAndPermute(a);
+    const CsrMatrix l = IncompleteCholesky(cm.a);
+    const DalorexResult dal =
+        RunDalorexPcg(cm.a, &l, PermuteVector(b, cm.perm), opts.sim,
+                      0.0, 12);
+
+    const auto m = MakePreconditioner(
+        PreconditionerKind::kIncompleteCholesky, cm.a);
+    const double flops_per_iter = PcgIterationFlops(cm.a, *m).total();
+    const double gpu = GpuPcgGflops(cm.a, &l, flops_per_iter);
+    const double alrescha =
+        AlreschaPcgGflops(cm.a, &l, flops_per_iter);
+
+    EXPECT_GT(azul_gflops, dal.gflops);
+    EXPECT_GT(azul_gflops, gpu);
+    EXPECT_GT(azul_gflops, alrescha);
+}
+
+TEST(Integration, MappingOrderingHoldsAcrossSmallSuite)
+{
+    // Fig 23's qualitative result: the Azul mapping delivers the
+    // highest throughput on every matrix of the suite.
+    for (const SuiteMatrix& sm : MakeSmallSuite()) {
+        double azul_gflops = 0.0;
+        double best_other = 0.0;
+        for (const MapperKind kind :
+             {MapperKind::kAzul, MapperKind::kRoundRobin,
+              MapperKind::kBlock, MapperKind::kSparseP}) {
+            AzulOptions opts = Options16();
+            opts.mapper = kind;
+            opts.max_iters = 6;
+            AzulSystem sys(sm.a, opts);
+            const SolveReport rep =
+                sys.Solve(RandomVector(sm.a.rows(), 7));
+            if (kind == MapperKind::kAzul) {
+                azul_gflops = rep.gflops;
+            } else {
+                best_other = std::max(best_other, rep.gflops);
+            }
+        }
+        EXPECT_GT(azul_gflops, best_other) << sm.name;
+    }
+}
+
+TEST(Integration, TrafficReductionIsLarge)
+{
+    // Fig 11: the hypergraph mapping reduces link activations by a
+    // large factor vs Round Robin on a spatially correlated matrix.
+    const CsrMatrix a = RandomGeometricLaplacian(800, 8.0, 9);
+    const Vector b = RandomVector(a.rows(), 11);
+    std::uint64_t links_azul = 0;
+    std::uint64_t links_rr = 0;
+    for (const MapperKind kind :
+         {MapperKind::kAzul, MapperKind::kRoundRobin}) {
+        AzulOptions opts = Options16();
+        opts.mapper = kind;
+        opts.max_iters = 4;
+        AzulSystem sys(a, opts);
+        const SolveReport rep = sys.Solve(b);
+        (kind == MapperKind::kAzul ? links_azul : links_rr) =
+            rep.run.stats.link_activations;
+    }
+    EXPECT_LT(links_azul, links_rr / 5);
+}
+
+TEST(Integration, TimeBalancingImprovesSpTRSV)
+{
+    // Fig 17: quantile time-balancing speeds up the triangular solve
+    // on a parallelism-limited matrix.
+    const CsrMatrix a0 = FemLikeSpd(600, 12, 13);
+    const ColoredMatrix cm = ColorAndPermute(a0);
+    const CsrMatrix l = IncompleteCholesky(cm.a);
+    const Vector r = RandomVector(cm.a.rows(), 15);
+
+    const auto run_fwd = [&](int quantiles) {
+        SimConfig cfg;
+        cfg.grid_width = 4;
+        cfg.grid_height = 4;
+        AzulMapperOptions mopts;
+        mopts.time_quantiles = quantiles;
+        MappingProblem prob;
+        prob.a = &cm.a;
+        prob.l = &l;
+        AzulMapper mapper(mopts);
+        const DataMapping mapping = mapper.Map(prob, cfg.num_tiles());
+        ProgramBuildInputs in;
+        in.a = &cm.a;
+        in.l = &l;
+        in.precond = PreconditionerKind::kIncompleteCholesky;
+        in.mapping = &mapping;
+        in.geom = cfg.geometry();
+        const PcgProgram prog = BuildPcgProgram(in);
+        Machine machine(cfg, &prog);
+        machine.LoadProblem(Vector(cm.a.rows(), 0.0));
+        machine.ScatterVector(VecName::kR, r);
+        return machine.RunMatrixKernelStandalone(1).cycles;
+    };
+    const Cycle balanced = run_fwd(5);
+    const Cycle unbalanced = run_fwd(0);
+    // Time balancing should not hurt and usually helps.
+    EXPECT_LE(balanced, unbalanced * 11 / 10);
+}
+
+TEST(Integration, ScalingUpImprovesThroughputOnParallelMatrix)
+{
+    // Fig 28's shape: a high-parallelism matrix gains from more tiles.
+    const CsrMatrix a = Grid2dLaplacian(40, 40);
+    const Vector b = RandomVector(a.rows(), 17);
+    double gflops_small = 0.0;
+    double gflops_large = 0.0;
+    for (const std::int32_t dim : {2, 4}) {
+        AzulOptions opts = Options16();
+        opts.sim.grid_width = dim;
+        opts.sim.grid_height = dim;
+        opts.max_iters = 6;
+        AzulSystem sys(a, opts);
+        const SolveReport rep = sys.Solve(b);
+        (dim == 2 ? gflops_small : gflops_large) = rep.gflops;
+    }
+    EXPECT_GT(gflops_large, gflops_small);
+}
+
+TEST(Integration, SimulatedSolveMatchesReferenceAcrossSuite)
+{
+    // Sec VI-A's validation: simulator results checked against the
+    // reference implementation, across the whole small suite.
+    for (const SuiteMatrix& sm : MakeSmallSuite()) {
+        AzulOptions opts;
+        opts.sim.grid_width = 4;
+        opts.sim.grid_height = 4;
+        opts.tol = 1e-8;
+        opts.max_iters = 2000;
+        AzulSystem sys(sm.a, opts);
+        const Vector b = RandomVector(sm.a.rows(), 19);
+        const SolveReport rep = sys.Solve(b);
+        ASSERT_TRUE(rep.run.converged) << sm.name;
+        EXPECT_VECTOR_NEAR(SpMV(sm.a, rep.run.x), b, 1e-5);
+    }
+}
+
+TEST(Integration, GmeanSpeedupOverGpuIsLarge)
+{
+    // Fig 20's gmean claim (scaled): even the 16-tile toy machine
+    // posts a healthy gmean speedup over the GPU model thanks to
+    // on-chip residence.
+    std::vector<double> speedups;
+    for (const SuiteMatrix& sm : MakeSmallSuite()) {
+        AzulOptions opts = Options16();
+        opts.max_iters = 6;
+        AzulSystem sys(sm.a, opts);
+        const SolveReport rep =
+            sys.Solve(RandomVector(sm.a.rows(), 21));
+        const CsrMatrix* l = sys.factor();
+        const auto m = MakePreconditioner(
+            PreconditionerKind::kIncompleteCholesky, sys.matrix());
+        const double gpu = GpuPcgGflops(
+            sys.matrix(), l, PcgIterationFlops(sys.matrix(), *m).total());
+        speedups.push_back(rep.gflops / gpu);
+    }
+    EXPECT_GT(GeoMean(speedups), 3.0);
+}
+
+} // namespace
+} // namespace azul

@@ -1,0 +1,214 @@
+#include <gtest/gtest.h>
+
+#include "dataflow/spmv_graph.h"
+#include "dataflow/sptrsv_graph.h"
+#include "mapping/mapper_factory.h"
+#include "solver/ic0.h"
+#include "sparse/generators.h"
+#include "sparse/triangle.h"
+#include "test_helpers.h"
+
+namespace azul {
+namespace {
+
+struct Compiled {
+    CsrMatrix a;
+    CsrMatrix l;
+    DataMapping mapping;
+    TorusGeometry geom{4, 4};
+};
+
+Compiled
+MakeCompiled(MapperKind kind = MapperKind::kBlock)
+{
+    Compiled c;
+    c.a = RandomGeometricLaplacian(300, 7.0, 3);
+    c.l = IncompleteCholesky(c.a);
+    MappingProblem prob;
+    prob.a = &c.a;
+    prob.l = &c.l;
+    c.mapping = MakeMapper(kind)->Map(prob, 16);
+    return c;
+}
+
+TEST(KernelBuilder, SpMVValidates)
+{
+    const Compiled c = MakeCompiled();
+    const MatrixKernel k =
+        BuildSpMVKernel(c.a, c.mapping.a_nnz_tile, c.mapping.vec_tile,
+                        c.geom, VecName::kP, VecName::kAp);
+    EXPECT_NO_THROW(k.Validate());
+    EXPECT_EQ(k.kclass, KernelClass::kSpMV);
+    EXPECT_EQ(k.tiles.size(), 16u);
+}
+
+TEST(KernelBuilder, SpMVOpCountEqualsNnz)
+{
+    const Compiled c = MakeCompiled();
+    const MatrixKernel k =
+        BuildSpMVKernel(c.a, c.mapping.a_nnz_tile, c.mapping.vec_tile,
+                        c.geom, VecName::kP, VecName::kAp);
+    std::size_t total_ops = 0;
+    for (const TileKernel& tk : k.tiles) {
+        total_ops += tk.ops.size();
+    }
+    EXPECT_EQ(total_ops, static_cast<std::size_t>(c.a.nnz()));
+}
+
+TEST(KernelBuilder, SpMVAllMulticastRootsInitial)
+{
+    const Compiled c = MakeCompiled();
+    const MatrixKernel k =
+        BuildSpMVKernel(c.a, c.mapping.a_nnz_tile, c.mapping.vec_tile,
+                        c.geom, VecName::kP, VecName::kAp);
+    std::size_t initial = 0;
+    for (const TileKernel& tk : k.tiles) {
+        initial += tk.initial_nodes.size();
+    }
+    // One SendV per column with consumers (all columns here: the
+    // diagonal is full).
+    EXPECT_EQ(initial, static_cast<std::size_t>(c.a.rows()));
+}
+
+TEST(KernelBuilder, SpMVAccumExpectationsMatchOps)
+{
+    const Compiled c = MakeCompiled();
+    const MatrixKernel k =
+        BuildSpMVKernel(c.a, c.mapping.a_nnz_tile, c.mapping.vec_tile,
+                        c.geom, VecName::kP, VecName::kAp);
+    for (const TileKernel& tk : k.tiles) {
+        std::vector<int> updates(tk.accums.size(), 0);
+        for (const ColumnOp& op : tk.ops) {
+            ++updates[static_cast<std::size_t>(op.acc)];
+        }
+        for (std::size_t a = 0; a < tk.accums.size(); ++a) {
+            EXPECT_EQ(tk.accums[a].expected, updates[a]);
+        }
+    }
+}
+
+TEST(KernelBuilder, SpTRSVForwardValidates)
+{
+    const Compiled c = MakeCompiled();
+    const MatrixKernel k = BuildSpTRSVForwardKernel(
+        c.l, c.mapping.l_nnz_tile, c.mapping.vec_tile, c.geom,
+        VecName::kR, VecName::kT);
+    EXPECT_NO_THROW(k.Validate());
+    EXPECT_EQ(k.kclass, KernelClass::kSpTRSVForward);
+    EXPECT_EQ(k.inv_diag.size(), static_cast<std::size_t>(c.l.rows()));
+}
+
+TEST(KernelBuilder, SpTRSVOpCountExcludesDiagonal)
+{
+    const Compiled c = MakeCompiled();
+    const MatrixKernel k = BuildSpTRSVForwardKernel(
+        c.l, c.mapping.l_nnz_tile, c.mapping.vec_tile, c.geom,
+        VecName::kR, VecName::kT);
+    std::size_t total_ops = 0;
+    for (const TileKernel& tk : k.tiles) {
+        total_ops += tk.ops.size();
+    }
+    EXPECT_EQ(total_ops,
+              static_cast<std::size_t>(c.l.nnz() - c.l.rows()));
+}
+
+TEST(KernelBuilder, SpTRSVSolveRootsExist)
+{
+    const Compiled c = MakeCompiled();
+    const MatrixKernel k = BuildSpTRSVForwardKernel(
+        c.l, c.mapping.l_nnz_tile, c.mapping.vec_tile, c.geom,
+        VecName::kR, VecName::kT);
+    std::size_t solve_roots = 0;
+    for (const TileKernel& tk : k.tiles) {
+        for (const NodeDesc& node : tk.nodes) {
+            if (node.kind == NodeKind::kReduce &&
+                node.final_action == FinalAction::kSolve) {
+                ++solve_roots;
+            }
+        }
+    }
+    EXPECT_EQ(solve_roots, static_cast<std::size_t>(c.l.rows()));
+}
+
+TEST(KernelBuilder, SpTRSVInitialNodesAreLevelZeroRows)
+{
+    const Compiled c = MakeCompiled();
+    const MatrixKernel k = BuildSpTRSVForwardKernel(
+        c.l, c.mapping.l_nnz_tile, c.mapping.vec_tile, c.geom,
+        VecName::kR, VecName::kT);
+    // Count rows with no off-diagonal dependencies.
+    Index level0 = 0;
+    for (Index r = 0; r < c.l.rows(); ++r) {
+        if (c.l.RowNnz(r) == 1) {
+            ++level0;
+        }
+    }
+    std::size_t initial = 0;
+    for (const TileKernel& tk : k.tiles) {
+        initial += tk.initial_nodes.size();
+    }
+    EXPECT_EQ(initial, static_cast<std::size_t>(level0));
+    EXPECT_GT(initial, 0u);
+}
+
+TEST(KernelBuilder, BackwardUsesTransposedDependencies)
+{
+    const Compiled c = MakeCompiled();
+    const MatrixKernel k = BuildSpTRSVBackwardKernel(
+        c.l, c.mapping.l_nnz_tile, c.mapping.vec_tile, c.geom,
+        VecName::kT, VecName::kZ);
+    EXPECT_NO_THROW(k.Validate());
+    EXPECT_EQ(k.kclass, KernelClass::kSpTRSVBackward);
+    // The last row of L has no dependents in the backward solve; the
+    // initial nodes correspond to columns of L that appear on no row
+    // below their diagonal — at least one exists.
+    std::size_t initial = 0;
+    for (const TileKernel& tk : k.tiles) {
+        initial += tk.initial_nodes.size();
+    }
+    EXPECT_GT(initial, 0u);
+}
+
+TEST(KernelBuilder, PointToPointHasNoForwarders)
+{
+    Compiled c = MakeCompiled();
+    GraphOptions opts;
+    opts.use_trees = false;
+    const MatrixKernel k =
+        BuildSpMVKernel(c.a, c.mapping.a_nnz_tile, c.mapping.vec_tile,
+                        c.geom, VecName::kP, VecName::kAp, opts);
+    // In star mode, only multicast roots have children.
+    for (std::size_t t = 0; t < k.tiles.size(); ++t) {
+        const TileKernel& tk = k.tiles[t];
+        for (std::size_t n = 0; n < tk.nodes.size(); ++n) {
+            const NodeDesc& node = tk.nodes[n];
+            if (node.kind == NodeKind::kMulticast &&
+                !node.children.empty()) {
+                EXPECT_GE(node.source_slot, 0)
+                    << "non-root multicast node with children";
+            }
+        }
+    }
+}
+
+TEST(KernelBuilder, RejectsNonLowerTriangularFactor)
+{
+    const Compiled c = MakeCompiled();
+    std::vector<TileId> fake(static_cast<std::size_t>(c.a.nnz()), 0);
+    EXPECT_THROW(
+        BuildSpTRSVForwardKernel(c.a, fake, c.mapping.vec_tile, c.geom,
+                                 VecName::kR, VecName::kT),
+        AzulError);
+}
+
+TEST(KernelBuilder, FlopsMatchSolverAccounting)
+{
+    const Compiled c = MakeCompiled();
+    const MatrixKernel spmv =
+        BuildSpMVKernel(c.a, c.mapping.a_nnz_tile, c.mapping.vec_tile,
+                        c.geom, VecName::kP, VecName::kAp);
+    EXPECT_DOUBLE_EQ(spmv.flops, 2.0 * static_cast<double>(c.a.nnz()));
+}
+
+} // namespace
+} // namespace azul

@@ -1,0 +1,118 @@
+#include <gtest/gtest.h>
+
+#include "solver/levels.h"
+#include "sparse/generators.h"
+#include "sparse/triangle.h"
+#include "test_helpers.h"
+
+namespace azul {
+namespace {
+
+TEST(Levels, DiagonalMatrixIsSingleLevel)
+{
+    CooMatrix coo(4, 4);
+    for (Index i = 0; i < 4; ++i) {
+        coo.Add(i, i, 1.0);
+    }
+    const LevelSets ls = ComputeLowerLevels(CsrMatrix::FromCoo(coo));
+    EXPECT_EQ(ls.num_levels, 1);
+    EXPECT_EQ(ls.rows[0].size(), 4u);
+}
+
+TEST(Levels, ChainIsFullySequential)
+{
+    // Bidiagonal: every row depends on the previous one.
+    CooMatrix coo(5, 5);
+    for (Index i = 0; i < 5; ++i) {
+        coo.Add(i, i, 2.0);
+        if (i > 0) {
+            coo.Add(i, i - 1, -1.0);
+        }
+    }
+    const LevelSets ls = ComputeLowerLevels(CsrMatrix::FromCoo(coo));
+    EXPECT_EQ(ls.num_levels, 5);
+    for (Index i = 0; i < 5; ++i) {
+        EXPECT_EQ(ls.level_of[static_cast<std::size_t>(i)], i);
+    }
+}
+
+TEST(Levels, RespectsDependencies)
+{
+    const CsrMatrix l =
+        LowerTriangle(RandomGeometricLaplacian(400, 8.0, 3));
+    const LevelSets ls = ComputeLowerLevels(l);
+    for (Index r = 0; r < l.rows(); ++r) {
+        for (Index k = l.RowBegin(r); k < l.RowEnd(r); ++k) {
+            const Index c = l.col_idx()[k];
+            if (c < r) {
+                EXPECT_LT(ls.level_of[static_cast<std::size_t>(c)],
+                          ls.level_of[static_cast<std::size_t>(r)]);
+            }
+        }
+    }
+}
+
+TEST(Levels, RowsPartitionAllIndices)
+{
+    const CsrMatrix l = LowerTriangle(FemLikeSpd(300, 8, 5));
+    const LevelSets ls = ComputeLowerLevels(l);
+    std::size_t total = 0;
+    for (const auto& level : ls.rows) {
+        total += level.size();
+    }
+    EXPECT_EQ(total, static_cast<std::size_t>(l.rows()));
+}
+
+TEST(Levels, UpperLevelsReverseChain)
+{
+    CooMatrix coo(4, 4);
+    for (Index i = 0; i < 4; ++i) {
+        coo.Add(i, i, 2.0);
+        if (i > 0) {
+            coo.Add(i, i - 1, -1.0);
+        }
+    }
+    const LevelSets ls =
+        ComputeUpperLevelsFromLower(CsrMatrix::FromCoo(coo));
+    // Backward solve: row 3 is first (level 0), row 0 last.
+    EXPECT_EQ(ls.level_of[3], 0);
+    EXPECT_EQ(ls.level_of[0], 3);
+}
+
+TEST(Levels, UpperRespectsTransposedDependencies)
+{
+    const CsrMatrix l =
+        LowerTriangle(RandomGeometricLaplacian(400, 8.0, 7));
+    const LevelSets ls = ComputeUpperLevelsFromLower(l);
+    // In the backward solve, x[c] depends on x[r] for L[r][c] != 0
+    // with r > c.
+    for (Index r = 0; r < l.rows(); ++r) {
+        for (Index k = l.RowBegin(r); k < l.RowEnd(r); ++k) {
+            const Index c = l.col_idx()[k];
+            if (c < r) {
+                EXPECT_LT(ls.level_of[static_cast<std::size_t>(r)],
+                          ls.level_of[static_cast<std::size_t>(c)]);
+            }
+        }
+    }
+}
+
+TEST(Levels, ForwardAndBackwardDepthsMatchForSymmetricPattern)
+{
+    // For the lower triangle of a symmetric matrix, the backward
+    // solve's dependence graph is the reverse of the forward one, so
+    // the level counts coincide.
+    const CsrMatrix l =
+        LowerTriangle(RandomGeometricLaplacian(500, 9.0, 9));
+    EXPECT_EQ(ComputeLowerLevels(l).num_levels,
+              ComputeUpperLevelsFromLower(l).num_levels);
+}
+
+TEST(Levels, NotLowerTriangularThrows)
+{
+    EXPECT_THROW(ComputeLowerLevels(azul::testing::SmallSpd()),
+                 AzulError);
+}
+
+} // namespace
+} // namespace azul

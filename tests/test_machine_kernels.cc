@@ -1,0 +1,227 @@
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "dataflow/program.h"
+#include "mapping/mapper_factory.h"
+#include "sim/machine.h"
+#include "solver/ic0.h"
+#include "solver/spmv.h"
+#include "solver/sptrsv.h"
+#include "sparse/generators.h"
+#include "test_helpers.h"
+
+namespace azul {
+namespace {
+
+using azul::testing::RandomVector;
+
+/** Full compiled context for standalone-kernel tests. */
+struct Context {
+    CsrMatrix a;
+    CsrMatrix l;
+    DataMapping mapping;
+    PcgProgram program;
+    SimConfig cfg;
+
+    Context(MapperKind kind, PeModel pe, bool use_trees = true,
+            Index n = 300)
+    {
+        a = RandomGeometricLaplacian(n, 7.0, 17);
+        l = IncompleteCholesky(a);
+        cfg.grid_width = 4;
+        cfg.grid_height = 4;
+        cfg.pe_model = pe;
+        MappingProblem prob;
+        prob.a = &a;
+        prob.l = &l;
+        mapping = MakeMapper(kind)->Map(prob, cfg.num_tiles());
+        ProgramBuildInputs in;
+        in.a = &a;
+        in.l = &l;
+        in.precond = PreconditionerKind::kIncompleteCholesky;
+        in.mapping = &mapping;
+        in.geom = cfg.geometry();
+        in.graph.use_trees = use_trees;
+        program = BuildPcgProgram(in);
+    }
+};
+
+struct Combo {
+    MapperKind mapper;
+    PeModel pe;
+    bool trees;
+};
+
+class MachineKernelTest : public ::testing::TestWithParam<Combo> {};
+
+TEST_P(MachineKernelTest, SpMVMatchesReference)
+{
+    Context ctx(GetParam().mapper, GetParam().pe, GetParam().trees);
+    Machine machine(ctx.cfg, &ctx.program);
+    machine.LoadProblem(Vector(ctx.a.rows(), 0.0));
+    const Vector p = RandomVector(ctx.a.rows(), 5);
+    machine.ScatterVector(VecName::kP, p);
+    const SimStats stats = machine.RunMatrixKernelStandalone(0);
+    EXPECT_GT(stats.cycles, 0u);
+    EXPECT_EQ(stats.ops.fmac, static_cast<std::uint64_t>(ctx.a.nnz()));
+    EXPECT_VECTOR_NEAR(machine.GatherVector(VecName::kAp),
+                       SpMV(ctx.a, p), 1e-9);
+}
+
+TEST_P(MachineKernelTest, ForwardSolveMatchesReference)
+{
+    Context ctx(GetParam().mapper, GetParam().pe, GetParam().trees);
+    Machine machine(ctx.cfg, &ctx.program);
+    machine.LoadProblem(Vector(ctx.a.rows(), 0.0));
+    const Vector r = RandomVector(ctx.a.rows(), 6);
+    machine.ScatterVector(VecName::kR, r);
+    machine.RunMatrixKernelStandalone(1);
+    EXPECT_VECTOR_NEAR(machine.GatherVector(VecName::kT),
+                       SpTRSVLower(ctx.l, r), 1e-9);
+}
+
+TEST_P(MachineKernelTest, BackwardSolveMatchesReference)
+{
+    Context ctx(GetParam().mapper, GetParam().pe, GetParam().trees);
+    Machine machine(ctx.cfg, &ctx.program);
+    machine.LoadProblem(Vector(ctx.a.rows(), 0.0));
+    const Vector t = RandomVector(ctx.a.rows(), 7);
+    machine.ScatterVector(VecName::kT, t);
+    machine.RunMatrixKernelStandalone(2);
+    EXPECT_VECTOR_NEAR(machine.GatherVector(VecName::kZ),
+                       SpTRSVLowerTranspose(ctx.l, t), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Combos, MachineKernelTest,
+    ::testing::Values(
+        Combo{MapperKind::kRoundRobin, PeModel::kAzul, true},
+        Combo{MapperKind::kBlock, PeModel::kAzul, true},
+        Combo{MapperKind::kSparseP, PeModel::kAzul, true},
+        Combo{MapperKind::kAzul, PeModel::kAzul, true},
+        Combo{MapperKind::kAzul, PeModel::kIdeal, true},
+        Combo{MapperKind::kAzul, PeModel::kScalarCore, true},
+        Combo{MapperKind::kBlock, PeModel::kAzul, false},
+        Combo{MapperKind::kRoundRobin, PeModel::kIdeal, false}),
+    [](const ::testing::TestParamInfo<Combo>& info) {
+        std::string name = MapperKindName(info.param.mapper);
+        std::replace(name.begin(), name.end(), '-', '_');
+        name += info.param.pe == PeModel::kAzul ? "_azulpe"
+                : info.param.pe == PeModel::kIdeal ? "_ideal"
+                                                   : "_scalar";
+        name += info.param.trees ? "_tree" : "_p2p";
+        return name;
+    });
+
+// ---- Timing-model properties ------------------------------------------------
+
+TEST(MachineTiming, IdealPeIsFastest)
+{
+    Context azul_ctx(MapperKind::kAzul, PeModel::kAzul);
+    Context ideal_ctx(MapperKind::kAzul, PeModel::kIdeal);
+    Context scalar_ctx(MapperKind::kAzul, PeModel::kScalarCore);
+    const Vector p = RandomVector(azul_ctx.a.rows(), 9);
+
+    const auto run = [&p](Context& ctx) {
+        Machine machine(ctx.cfg, &ctx.program);
+        machine.LoadProblem(Vector(ctx.a.rows(), 0.0));
+        machine.ScatterVector(VecName::kP, p);
+        return machine.RunMatrixKernelStandalone(0).cycles;
+    };
+    const Cycle ideal = run(ideal_ctx);
+    const Cycle azul_pe = run(azul_ctx);
+    const Cycle scalar = run(scalar_ctx);
+    EXPECT_LE(ideal, azul_pe);
+    EXPECT_LT(azul_pe, scalar);
+}
+
+TEST(MachineTiming, MultithreadingHelpsSpTRSV)
+{
+    Context ctx(MapperKind::kAzul, PeModel::kAzul);
+    SimConfig st_cfg = ctx.cfg;
+    st_cfg.multithreading = false;
+    const Vector r = RandomVector(ctx.a.rows(), 10);
+
+    Machine mt(ctx.cfg, &ctx.program);
+    mt.LoadProblem(Vector(ctx.a.rows(), 0.0));
+    mt.ScatterVector(VecName::kR, r);
+    const Cycle mt_cycles = mt.RunMatrixKernelStandalone(1).cycles;
+
+    Machine st(st_cfg, &ctx.program);
+    st.LoadProblem(Vector(ctx.a.rows(), 0.0));
+    st.ScatterVector(VecName::kR, r);
+    const Cycle st_cycles = st.RunMatrixKernelStandalone(1).cycles;
+
+    EXPECT_LT(mt_cycles, st_cycles);
+}
+
+TEST(MachineTiming, TreesReduceTrafficVsPointToPoint)
+{
+    Context tree_ctx(MapperKind::kRoundRobin, PeModel::kIdeal, true);
+    Context p2p_ctx(MapperKind::kRoundRobin, PeModel::kIdeal, false);
+    const Vector p = RandomVector(tree_ctx.a.rows(), 11);
+
+    const auto run = [&p](Context& ctx) {
+        Machine machine(ctx.cfg, &ctx.program);
+        machine.LoadProblem(Vector(ctx.a.rows(), 0.0));
+        machine.ScatterVector(VecName::kP, p);
+        return machine.RunMatrixKernelStandalone(0).link_activations;
+    };
+    EXPECT_LT(run(tree_ctx), run(p2p_ctx));
+}
+
+TEST(MachineTiming, HopLatencySlowsKernels)
+{
+    Context ctx(MapperKind::kBlock, PeModel::kAzul);
+    const Vector p = RandomVector(ctx.a.rows(), 12);
+    Cycle prev = 0;
+    for (const std::int32_t hop : {1, 4}) {
+        SimConfig cfg = ctx.cfg;
+        cfg.hop_latency = hop;
+        Machine machine(cfg, &ctx.program);
+        machine.LoadProblem(Vector(ctx.a.rows(), 0.0));
+        machine.ScatterVector(VecName::kP, p);
+        const Cycle cycles = machine.RunMatrixKernelStandalone(0).cycles;
+        if (prev != 0) {
+            EXPECT_GT(cycles, prev);
+        }
+        prev = cycles;
+    }
+}
+
+TEST(MachineTiming, StatsClassAttribution)
+{
+    Context ctx(MapperKind::kAzul, PeModel::kAzul);
+    Machine machine(ctx.cfg, &ctx.program);
+    machine.LoadProblem(Vector(ctx.a.rows(), 0.0));
+    machine.ScatterVector(VecName::kP,
+                          RandomVector(ctx.a.rows(), 13));
+    const SimStats stats = machine.RunMatrixKernelStandalone(0);
+    EXPECT_EQ(stats.class_cycles[static_cast<std::size_t>(
+                  KernelClass::kSpMV)],
+              stats.cycles);
+    EXPECT_EQ(stats.class_cycles[static_cast<std::size_t>(
+                  KernelClass::kSpTRSVForward)],
+              0u);
+}
+
+TEST(MachineTiming, IssueSamplingProducesTimeline)
+{
+    Context ctx(MapperKind::kAzul, PeModel::kAzul);
+    Machine machine(ctx.cfg, &ctx.program);
+    machine.EnableIssueSampling(16);
+    machine.LoadProblem(Vector(ctx.a.rows(), 0.0));
+    machine.ScatterVector(VecName::kR,
+                          RandomVector(ctx.a.rows(), 14));
+    const SimStats stats = machine.RunMatrixKernelStandalone(1);
+    EXPECT_FALSE(stats.issue_timeline.empty());
+    std::uint64_t total = 0;
+    for (std::uint64_t x : stats.issue_timeline) {
+        total += x;
+    }
+    EXPECT_EQ(total, stats.ops.total());
+}
+
+} // namespace
+} // namespace azul

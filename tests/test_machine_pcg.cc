@@ -1,0 +1,216 @@
+#include <gtest/gtest.h>
+
+#include "dataflow/program.h"
+#include "mapping/mapper_factory.h"
+#include "sim/machine.h"
+#include "solver/ic0.h"
+#include "solver/pcg.h"
+#include "solver/spmv.h"
+#include "sparse/generators.h"
+#include "test_helpers.h"
+
+namespace azul {
+namespace {
+
+using azul::testing::RandomVector;
+
+struct PcgContext {
+    CsrMatrix a;
+    CsrMatrix l;
+    DataMapping mapping;
+    PcgProgram program;
+    SimConfig cfg;
+
+    explicit PcgContext(PreconditionerKind precond =
+                            PreconditionerKind::kIncompleteCholesky,
+                        Index n = 256)
+    {
+        a = RandomGeometricLaplacian(n, 7.0, 23);
+        const bool factored =
+            precond == PreconditionerKind::kIncompleteCholesky ||
+            precond == PreconditionerKind::kSymmetricGaussSeidel ||
+            precond == PreconditionerKind::kSsor;
+        if (factored) {
+            const auto m = MakePreconditioner(precond, a, 1.0);
+            l = *m->lower_factor();
+        }
+        cfg.grid_width = 4;
+        cfg.grid_height = 4;
+        MappingProblem prob;
+        prob.a = &a;
+        prob.l = factored ? &l : nullptr;
+        mapping =
+            MakeMapper(MapperKind::kAzul)->Map(prob, cfg.num_tiles());
+        ProgramBuildInputs in;
+        in.a = &a;
+        in.l = factored ? &l : nullptr;
+        in.precond = precond;
+        in.mapping = &mapping;
+        in.geom = cfg.geometry();
+        program = BuildPcgProgram(in);
+    }
+};
+
+class MachinePcgTest
+    : public ::testing::TestWithParam<PreconditionerKind> {};
+
+TEST_P(MachinePcgTest, MatchesReferenceSolver)
+{
+    PcgContext ctx(GetParam());
+    Machine machine(ctx.cfg, &ctx.program);
+    const Vector b = RandomVector(ctx.a.rows(), 3);
+    const PcgRunResult run = machine.RunPcg(b, 1e-8, 600);
+    EXPECT_TRUE(run.converged);
+
+    const auto m = MakePreconditioner(GetParam(), ctx.a, 1.0);
+    const SolveResult ref =
+        PreconditionedConjugateGradients(ctx.a, b, *m, 1e-8, 600);
+    EXPECT_EQ(run.iterations, ref.iterations);
+    EXPECT_VECTOR_NEAR(run.x, ref.x, 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Preconds, MachinePcgTest,
+    ::testing::Values(PreconditionerKind::kIdentity,
+                      PreconditionerKind::kJacobi,
+                      PreconditionerKind::kSymmetricGaussSeidel,
+                      PreconditionerKind::kIncompleteCholesky),
+    [](const ::testing::TestParamInfo<PreconditionerKind>& info) {
+        const std::string name = PreconditionerKindName(info.param);
+        return name == "none" ? "identity" : name;
+    });
+
+TEST(MachinePcg, SolutionSolvesSystem)
+{
+    PcgContext ctx;
+    Machine machine(ctx.cfg, &ctx.program);
+    const Vector b = RandomVector(ctx.a.rows(), 4);
+    const PcgRunResult run = machine.RunPcg(b, 1e-9, 1000);
+    ASSERT_TRUE(run.converged);
+    EXPECT_VECTOR_NEAR(SpMV(ctx.a, run.x), b, 1e-6);
+}
+
+TEST(MachinePcg, StatsAccumulateAcrossIterations)
+{
+    PcgContext ctx;
+    Machine machine(ctx.cfg, &ctx.program);
+    const PcgRunResult run =
+        machine.RunPcg(RandomVector(ctx.a.rows(), 5), 1e-8, 400);
+    EXPECT_GT(run.stats.cycles, 0u);
+    EXPECT_GT(run.stats.ops.fmac, 0u);
+    EXPECT_GT(run.stats.messages, 0u);
+    EXPECT_GT(run.flops, 0.0);
+    // Kernel-class cycles partition total cycles.
+    Cycle sum = 0;
+    for (Cycle c : run.stats.class_cycles) {
+        sum += c;
+    }
+    EXPECT_EQ(sum, run.stats.cycles);
+}
+
+TEST(MachinePcg, ScalarRegistersBroadcast)
+{
+    PcgContext ctx;
+    Machine machine(ctx.cfg, &ctx.program);
+    machine.LoadProblem(RandomVector(ctx.a.rows(), 6));
+    machine.RunPrologue();
+    // rz_old = r.z and rr = r.r must be positive after the prologue.
+    EXPECT_GT(machine.ReadScalar(ScalarReg::kRzOld), 0.0);
+    EXPECT_GT(machine.ReadScalar(ScalarReg::kRr), 0.0);
+}
+
+TEST(MachinePcg, IterationUpdatesResidual)
+{
+    PcgContext ctx;
+    Machine machine(ctx.cfg, &ctx.program);
+    machine.LoadProblem(RandomVector(ctx.a.rows(), 7));
+    machine.RunPrologue();
+    const double rr0 = machine.ReadScalar(ScalarReg::kRr);
+    machine.RunIteration();
+    const double rr1 = machine.ReadScalar(ScalarReg::kRr);
+    EXPECT_LT(rr1, rr0);
+}
+
+TEST(MachinePcg, GatherScatterRoundTrip)
+{
+    PcgContext ctx;
+    Machine machine(ctx.cfg, &ctx.program);
+    machine.LoadProblem(Vector(ctx.a.rows(), 0.0));
+    const Vector v = RandomVector(ctx.a.rows(), 8);
+    machine.ScatterVector(VecName::kZ, v);
+    EXPECT_EQ(machine.GatherVector(VecName::kZ), v);
+}
+
+TEST(MachinePcg, LoadProblemInitializesResidual)
+{
+    PcgContext ctx;
+    Machine machine(ctx.cfg, &ctx.program);
+    const Vector b = RandomVector(ctx.a.rows(), 9);
+    machine.LoadProblem(b);
+    EXPECT_EQ(machine.GatherVector(VecName::kR), b);
+    EXPECT_EQ(machine.GatherVector(VecName::kB), b);
+    const Vector x = machine.GatherVector(VecName::kX);
+    for (double v : x) {
+        EXPECT_EQ(v, 0.0);
+    }
+}
+
+TEST(MachinePcg, ZeroRhsConvergesImmediately)
+{
+    PcgContext ctx;
+    Machine machine(ctx.cfg, &ctx.program);
+    const PcgRunResult run =
+        machine.RunPcg(Vector(ctx.a.rows(), 0.0), 1e-10, 100);
+    EXPECT_TRUE(run.converged);
+    EXPECT_EQ(run.iterations, 0);
+}
+
+TEST(MachinePcg, IterationCapRespected)
+{
+    PcgContext ctx;
+    Machine machine(ctx.cfg, &ctx.program);
+    const PcgRunResult run =
+        machine.RunPcg(RandomVector(ctx.a.rows(), 10), 1e-15, 3);
+    EXPECT_EQ(run.iterations, 3);
+    EXPECT_FALSE(run.converged);
+}
+
+TEST(MachinePcg, ResidualHistoryRecorded)
+{
+    PcgContext ctx;
+    Machine machine(ctx.cfg, &ctx.program);
+    const PcgRunResult run =
+        machine.RunPcg(RandomVector(ctx.a.rows(), 12), 1e-8, 600);
+    ASSERT_TRUE(run.converged);
+    // One entry per convergence check: iterations + the final check.
+    EXPECT_EQ(run.residual_history.size(),
+              static_cast<std::size_t>(run.iterations) + 1);
+    EXPECT_DOUBLE_EQ(run.residual_history.back(), run.residual_norm);
+    // Large overall decrease.
+    EXPECT_LT(run.residual_history.back(),
+              run.residual_history.front() * 1e-4);
+}
+
+TEST(MachinePcg, MismatchedGeometryThrows)
+{
+    PcgContext ctx;
+    SimConfig bad = ctx.cfg;
+    bad.grid_width = 8;
+    EXPECT_THROW(Machine(bad, &ctx.program), AzulError);
+}
+
+TEST(MachinePcg, DalorexConfigMatchesReferenceToo)
+{
+    // The scalar-core machine is slower but must be functionally
+    // identical.
+    PcgContext ctx;
+    SimConfig cfg = DalorexConfig(ctx.cfg);
+    Machine machine(cfg, &ctx.program);
+    const Vector b = RandomVector(ctx.a.rows(), 11);
+    const PcgRunResult run = machine.RunPcg(b, 1e-8, 600);
+    ASSERT_TRUE(run.converged);
+    EXPECT_VECTOR_NEAR(SpMV(ctx.a, run.x), b, 1e-6);
+}
+
+} // namespace
+} // namespace azul

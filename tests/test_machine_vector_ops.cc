@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Exact-value tests of the machine's vector kernels (the "Vector Ops"
+ * phases): axpy/xpby/copy/sub/diagscale semantics, scalar-register vs
+ * constant scales, and dot-reduce post-operations — under every PE
+ * model, since timing models must never change values.
+ */
+#include <gtest/gtest.h>
+
+#include "dataflow/program.h"
+#include "mapping/mapper_factory.h"
+#include "sim/machine.h"
+#include "sparse/generators.h"
+#include "test_helpers.h"
+
+namespace azul {
+namespace {
+
+using azul::testing::RandomVector;
+
+/** Machine wrapper with a trivial program (one SpMV; we only use the
+ *  vector phases via a custom phase list). */
+struct VecCtx {
+    CsrMatrix a;
+    DataMapping mapping;
+    PcgProgram program;
+    SimConfig cfg;
+    std::unique_ptr<Machine> machine;
+
+    explicit VecCtx(PeModel pe = PeModel::kAzul)
+    {
+        a = RandomSpd(120, 3, 77);
+        cfg.grid_width = 4;
+        cfg.grid_height = 4;
+        cfg.pe_model = pe;
+        MappingProblem prob;
+        prob.a = &a;
+        mapping =
+            MakeMapper(MapperKind::kBlock)->Map(prob, cfg.num_tiles());
+        // A Jacobi program gives us inv-diag storage plus a kernel
+        // list; we drive phases manually.
+        program = BuildJacobiSolverProgram(a, mapping, cfg.geometry());
+        machine = std::make_unique<Machine>(cfg, &program);
+        machine->LoadProblem(Vector(a.rows(), 0.0));
+    }
+
+    Index n() const { return a.rows(); }
+};
+
+class VecOpsPeTest : public ::testing::TestWithParam<PeModel> {};
+
+TEST_P(VecOpsPeTest, CopyAndSubExact)
+{
+    VecCtx ctx(GetParam());
+    const Vector u = RandomVector(ctx.n(), 1);
+    const Vector w = RandomVector(ctx.n(), 2);
+    ctx.machine->ScatterVector(VecName::kR, u);
+    ctx.machine->ScatterVector(VecName::kAp, w);
+
+    // z = r (copy), then t = z - Ap (sub).
+    ctx.machine->RunVectorKernelForTest(
+        MakeCopy(VecName::kZ, VecName::kR));
+    ctx.machine->RunVectorKernelForTest(
+        MakeSub(VecName::kT, VecName::kZ, VecName::kAp));
+    const Vector t = ctx.machine->GatherVector(VecName::kT);
+    for (std::size_t i = 0; i < t.size(); ++i) {
+        EXPECT_DOUBLE_EQ(t[i], u[i] - w[i]);
+    }
+}
+
+TEST_P(VecOpsPeTest, AxpyConstExact)
+{
+    VecCtx ctx(GetParam());
+    const Vector u = RandomVector(ctx.n(), 3);
+    const Vector w = RandomVector(ctx.n(), 4);
+    ctx.machine->ScatterVector(VecName::kX, u);
+    ctx.machine->ScatterVector(VecName::kZ, w);
+    ctx.machine->RunVectorKernelForTest(
+        MakeAxpyConst(VecName::kX, 0.25, VecName::kZ));
+    const Vector x = ctx.machine->GatherVector(VecName::kX);
+    for (std::size_t i = 0; i < x.size(); ++i) {
+        EXPECT_DOUBLE_EQ(x[i], u[i] + 0.25 * w[i]);
+    }
+}
+
+TEST_P(VecOpsPeTest, DiagScaleUsesInverseDiagonal)
+{
+    VecCtx ctx(GetParam());
+    const Vector r = RandomVector(ctx.n(), 5);
+    ctx.machine->ScatterVector(VecName::kR, r);
+    ctx.machine->RunVectorKernelForTest(
+        MakeDiagScale(VecName::kZ, VecName::kR));
+    const Vector z = ctx.machine->GatherVector(VecName::kZ);
+    for (Index i = 0; i < ctx.n(); ++i) {
+        EXPECT_NEAR(z[static_cast<std::size_t>(i)],
+                    r[static_cast<std::size_t>(i)] / ctx.a.At(i, i),
+                    1e-14);
+    }
+}
+
+TEST_P(VecOpsPeTest, DotWithQuotientAndCopy)
+{
+    VecCtx ctx(GetParam());
+    const Vector u = RandomVector(ctx.n(), 6);
+    const Vector w = RandomVector(ctx.n(), 7);
+    ctx.machine->ScatterVector(VecName::kR, u);
+    ctx.machine->ScatterVector(VecName::kZ, w);
+
+    // First a plain dot into rz_old.
+    ctx.machine->RunVectorKernelForTest(
+        MakeDot(ScalarReg::kRzOld, VecName::kR, VecName::kR));
+    // Then rz_new = r.z with beta = rz_new / rz_old and rotation.
+    VectorKernel dot =
+        MakeDot(ScalarReg::kRzNew, VecName::kR, VecName::kZ);
+    dot.post_divide = true;
+    dot.divide_dot_by_num = true;
+    dot.div_num = ScalarReg::kRzOld;
+    dot.div_out = ScalarReg::kBeta;
+    dot.copy_dot_to = true;
+    dot.dot_copy_reg = ScalarReg::kRzOld;
+    ctx.machine->RunVectorKernelForTest(dot);
+
+    const double rr = Dot(u, u);
+    const double rz = Dot(u, w);
+    EXPECT_NEAR(ctx.machine->ReadScalar(ScalarReg::kRzNew), rz,
+                1e-9);
+    EXPECT_NEAR(ctx.machine->ReadScalar(ScalarReg::kBeta), rz / rr,
+                1e-12);
+    EXPECT_NEAR(ctx.machine->ReadScalar(ScalarReg::kRzOld), rz,
+                1e-9);
+}
+
+TEST_P(VecOpsPeTest, XpbyWithRegisterScale)
+{
+    VecCtx ctx(GetParam());
+    const Vector u = RandomVector(ctx.n(), 8);
+    const Vector w = RandomVector(ctx.n(), 9);
+    ctx.machine->ScatterVector(VecName::kZ, u);
+    ctx.machine->ScatterVector(VecName::kP, w);
+    // Set beta via a dot of known vectors: beta = dot(z, z)... easier:
+    // use a scalar phase through a dot with post-divide of itself = 1,
+    // then const-scale check instead. Simpler: drive beta with a dot.
+    ctx.machine->RunVectorKernelForTest(
+        MakeDot(ScalarReg::kBeta, VecName::kZ, VecName::kZ));
+    const double beta = Dot(u, u);
+    ctx.machine->RunVectorKernelForTest(
+        MakeXpby(VecName::kP, VecName::kZ, ScalarReg::kBeta));
+    const Vector p = ctx.machine->GatherVector(VecName::kP);
+    for (std::size_t i = 0; i < p.size(); ++i) {
+        EXPECT_NEAR(p[i], u[i] + beta * w[i], 1e-9);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PeModels, VecOpsPeTest,
+    ::testing::Values(PeModel::kAzul, PeModel::kIdeal,
+                      PeModel::kScalarCore),
+    [](const ::testing::TestParamInfo<PeModel>& info) {
+        return info.param == PeModel::kAzul ? "azul"
+               : info.param == PeModel::kIdeal ? "ideal"
+                                               : "scalar";
+    });
+
+} // namespace
+} // namespace azul

@@ -1,0 +1,257 @@
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "mapping/block.h"
+#include "mapping/mapper_factory.h"
+#include "mapping/round_robin.h"
+#include "mapping/sparsep.h"
+#include "solver/ic0.h"
+#include "sparse/generators.h"
+#include "test_helpers.h"
+
+namespace azul {
+namespace {
+
+struct Problem {
+    CsrMatrix a;
+    CsrMatrix l;
+
+    MappingProblem
+    AsMappingProblem() const
+    {
+        MappingProblem p;
+        p.a = &a;
+        p.l = &l;
+        return p;
+    }
+};
+
+Problem
+MakeProblem()
+{
+    Problem p;
+    p.a = RandomGeometricLaplacian(600, 8.0, 3);
+    p.l = IncompleteCholesky(p.a);
+    return p;
+}
+
+// ---- Parameterized over all mapper kinds ----------------------------------
+
+class MapperTest : public ::testing::TestWithParam<MapperKind> {};
+
+TEST_P(MapperTest, ProducesValidMapping)
+{
+    const Problem p = MakeProblem();
+    const auto mapper = MakeMapper(GetParam());
+    const DataMapping m = mapper->Map(p.AsMappingProblem(), 16);
+    EXPECT_NO_THROW(m.Validate(p.AsMappingProblem()));
+    EXPECT_EQ(m.num_tiles, 16);
+}
+
+TEST_P(MapperTest, Deterministic)
+{
+    const Problem p = MakeProblem();
+    const auto m1 =
+        MakeMapper(GetParam())->Map(p.AsMappingProblem(), 16);
+    const auto m2 =
+        MakeMapper(GetParam())->Map(p.AsMappingProblem(), 16);
+    EXPECT_EQ(m1.a_nnz_tile, m2.a_nnz_tile);
+    EXPECT_EQ(m1.l_nnz_tile, m2.l_nnz_tile);
+    EXPECT_EQ(m1.vec_tile, m2.vec_tile);
+}
+
+TEST_P(MapperTest, ReasonableLoadBalance)
+{
+    const Problem p = MakeProblem();
+    const DataMapping m =
+        MakeMapper(GetParam())->Map(p.AsMappingProblem(), 16);
+    const std::vector<Index> loads = m.TileLoads();
+    const Index total = p.a.nnz() + p.l.nnz() + p.a.rows();
+    const Index ideal = total / 16;
+    const Index max_load = *std::max_element(loads.begin(), loads.end());
+    // All strategies balance data within a generous factor.
+    EXPECT_LE(max_load, 3 * ideal) << MapperKindName(GetParam());
+}
+
+TEST_P(MapperTest, WorksWithoutFactor)
+{
+    const Problem p = MakeProblem();
+    MappingProblem prob;
+    prob.a = &p.a;
+    const DataMapping m = MakeMapper(GetParam())->Map(prob, 9);
+    EXPECT_NO_THROW(m.Validate(prob));
+    EXPECT_TRUE(m.l_nnz_tile.empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Kinds, MapperTest,
+    ::testing::Values(MapperKind::kRoundRobin, MapperKind::kBlock,
+                      MapperKind::kSparseP, MapperKind::kAzul),
+    [](const ::testing::TestParamInfo<MapperKind>& info) {
+        std::string name = MapperKindName(info.param);
+        std::replace(name.begin(), name.end(), '-', '_');
+        return name;
+    });
+
+// ---- Strategy-specific behavior --------------------------------------------
+
+TEST(RoundRobin, StripesByNnzIndex)
+{
+    const Problem p = MakeProblem();
+    RoundRobinMapper mapper;
+    const DataMapping m = mapper.Map(p.AsMappingProblem(), 4);
+    for (std::size_t i = 0; i < m.a_nnz_tile.size(); ++i) {
+        EXPECT_EQ(m.a_nnz_tile[i], static_cast<TileId>(i % 4));
+    }
+}
+
+TEST(Block, ContiguousChunks)
+{
+    const Problem p = MakeProblem();
+    BlockMapper mapper;
+    const DataMapping m = mapper.Map(p.AsMappingProblem(), 4);
+    // Tile ids are nondecreasing over the row-major enumeration.
+    for (std::size_t i = 1; i < m.a_nnz_tile.size(); ++i) {
+        EXPECT_LE(m.a_nnz_tile[i - 1], m.a_nnz_tile[i]);
+    }
+}
+
+TEST(Block, PerfectNnzBalance)
+{
+    const Problem p = MakeProblem();
+    BlockMapper mapper;
+    const DataMapping m = mapper.Map(p.AsMappingProblem(), 8);
+    std::vector<Index> counts(8, 0);
+    for (TileId t : m.a_nnz_tile) {
+        ++counts[static_cast<std::size_t>(t)];
+    }
+    const Index chunk = (p.a.nnz() + 7) / 8;
+    for (Index c : counts) {
+        EXPECT_LE(c, chunk);
+    }
+}
+
+TEST(SparseP, UsesSquareGrid)
+{
+    const Problem p = MakeProblem();
+    SparsePMapper mapper;
+    const DataMapping m = mapper.Map(p.AsMappingProblem(), 16);
+    // All tile ids fall inside the 4x4 chunk grid.
+    for (TileId t : m.a_nnz_tile) {
+        EXPECT_LT(t, 16);
+    }
+}
+
+TEST(SparseP, CoordinateContiguity)
+{
+    // Within one chunk, the set of rows and columns is contiguous in
+    // coordinate space (that's SparseP's defining property).
+    const CsrMatrix a = Grid2dLaplacian(16, 16);
+    MappingProblem prob;
+    prob.a = &a;
+    SparsePMapper mapper;
+    const DataMapping m = mapper.Map(prob, 16);
+    std::vector<Index> min_col(16, a.cols());
+    std::vector<Index> max_col(16, -1);
+    Index k = 0;
+    for (Index r = 0; r < a.rows(); ++r) {
+        for (Index kk = a.RowBegin(r); kk < a.RowEnd(r); ++kk, ++k) {
+            const TileId t = m.a_nnz_tile[static_cast<std::size_t>(k)];
+            min_col[static_cast<std::size_t>(t)] = std::min(
+                min_col[static_cast<std::size_t>(t)], a.col_idx()[kk]);
+            max_col[static_cast<std::size_t>(t)] = std::max(
+                max_col[static_cast<std::size_t>(t)], a.col_idx()[kk]);
+        }
+    }
+    // Column ranges of chunks in the same column-chunk band overlap
+    // only within the band: chunk c covers a contiguous column range
+    // disjoint from other bands.
+    for (int band = 0; band < 4; ++band) {
+        for (int other = band + 1; other < 4; ++other) {
+            const Index band_max = *std::max_element(
+                max_col.begin() + band * 4,
+                max_col.begin() + band * 4 + 4);
+            const Index other_min = *std::min_element(
+                min_col.begin() + other * 4,
+                min_col.begin() + other * 4 + 4);
+            EXPECT_LE(band_max, other_min + 1);
+        }
+    }
+}
+
+// ---- Traffic estimation -----------------------------------------------------
+
+TEST(TrafficEstimate, ZeroOnSingleTile)
+{
+    const Problem p = MakeProblem();
+    const DataMapping m =
+        MakeMapper(MapperKind::kBlock)->Map(p.AsMappingProblem(), 1);
+    const TrafficEstimate est =
+        EstimateTraffic(p.AsMappingProblem(), m);
+    EXPECT_EQ(est.total(), 0.0);
+}
+
+TEST(TrafficEstimate, AzulBeatsPositionBasedMappings)
+{
+    // The central claim of Sec IV: hypergraph mapping cuts traffic by
+    // a large factor on spatially correlated matrices.
+    const Problem p = MakeProblem();
+    const auto prob = p.AsMappingProblem();
+    const double rr = EstimateTraffic(
+                          prob, MakeMapper(MapperKind::kRoundRobin)
+                                    ->Map(prob, 16))
+                          .total();
+    const double azul_traffic =
+        EstimateTraffic(prob,
+                        MakeMapper(MapperKind::kAzul)->Map(prob, 16))
+            .total();
+    EXPECT_LT(azul_traffic, rr / 3.0);
+}
+
+TEST(TrafficEstimate, SpMVAndSpTRSVBothCounted)
+{
+    const Problem p = MakeProblem();
+    const auto prob = p.AsMappingProblem();
+    const TrafficEstimate est = EstimateTraffic(
+        prob, MakeMapper(MapperKind::kRoundRobin)->Map(prob, 16));
+    EXPECT_GT(est.spmv_messages, 0.0);
+    EXPECT_GT(est.sptrsv_messages, 0.0);
+}
+
+TEST(DataMapping, ValidateCatchesBadSizes)
+{
+    const Problem p = MakeProblem();
+    const auto prob = p.AsMappingProblem();
+    DataMapping m =
+        MakeMapper(MapperKind::kBlock)->Map(prob, 4);
+    m.vec_tile.pop_back();
+    EXPECT_THROW(m.Validate(prob), AzulError);
+}
+
+TEST(DataMapping, ValidateCatchesOutOfRangeTile)
+{
+    const Problem p = MakeProblem();
+    const auto prob = p.AsMappingProblem();
+    DataMapping m =
+        MakeMapper(MapperKind::kBlock)->Map(prob, 4);
+    m.a_nnz_tile[0] = 99;
+    EXPECT_THROW(m.Validate(prob), AzulError);
+}
+
+TEST(DataMapping, TileLoadsSumToTotal)
+{
+    const Problem p = MakeProblem();
+    const auto prob = p.AsMappingProblem();
+    const DataMapping m =
+        MakeMapper(MapperKind::kRoundRobin)->Map(prob, 7);
+    const std::vector<Index> loads = m.TileLoads();
+    Index total = 0;
+    for (Index l : loads) {
+        total += l;
+    }
+    EXPECT_EQ(total, p.a.nnz() + p.l.nnz() + p.a.rows());
+}
+
+} // namespace
+} // namespace azul

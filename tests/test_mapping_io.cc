@@ -1,0 +1,133 @@
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "core/azul_system.h"
+#include "mapping/mapper_factory.h"
+#include "mapping/mapping_io.h"
+#include "solver/ic0.h"
+#include "sparse/generators.h"
+#include "test_helpers.h"
+
+namespace azul {
+namespace {
+
+DataMapping
+MakeMappingFixture(const CsrMatrix& a, const CsrMatrix& l)
+{
+    MappingProblem prob;
+    prob.a = &a;
+    prob.l = &l;
+    return MakeMapper(MapperKind::kAzul)->Map(prob, 16);
+}
+
+TEST(MappingIo, StreamRoundTrip)
+{
+    const CsrMatrix a = RandomGeometricLaplacian(300, 7.0, 3);
+    const CsrMatrix l = IncompleteCholesky(a);
+    const DataMapping original = MakeMappingFixture(a, l);
+
+    std::stringstream buffer;
+    WriteMapping(original, buffer);
+    const DataMapping loaded = ReadMapping(buffer);
+    EXPECT_EQ(loaded.num_tiles, original.num_tiles);
+    EXPECT_EQ(loaded.a_nnz_tile, original.a_nnz_tile);
+    EXPECT_EQ(loaded.l_nnz_tile, original.l_nnz_tile);
+    EXPECT_EQ(loaded.vec_tile, original.vec_tile);
+}
+
+TEST(MappingIo, FileRoundTrip)
+{
+    const CsrMatrix a = RandomGeometricLaplacian(200, 7.0, 5);
+    const CsrMatrix l = IncompleteCholesky(a);
+    const DataMapping original = MakeMappingFixture(a, l);
+    const std::string path = ::testing::TempDir() + "/azul_map.txt";
+    SaveMapping(original, path);
+    const DataMapping loaded = LoadMapping(path);
+    EXPECT_EQ(loaded.a_nnz_tile, original.a_nnz_tile);
+    EXPECT_EQ(loaded.vec_tile, original.vec_tile);
+}
+
+TEST(MappingIo, EmptyFactorSectionSupported)
+{
+    const CsrMatrix a = RandomGeometricLaplacian(200, 7.0, 7);
+    MappingProblem prob;
+    prob.a = &a;
+    const DataMapping original =
+        MakeMapper(MapperKind::kBlock)->Map(prob, 9);
+    std::stringstream buffer;
+    WriteMapping(original, buffer);
+    const DataMapping loaded = ReadMapping(buffer);
+    EXPECT_TRUE(loaded.l_nnz_tile.empty());
+    EXPECT_EQ(loaded.a_nnz_tile, original.a_nnz_tile);
+}
+
+TEST(MappingIo, RejectsBadMagic)
+{
+    std::stringstream buffer("not-a-mapping v1\n");
+    EXPECT_THROW(ReadMapping(buffer), AzulError);
+}
+
+TEST(MappingIo, RejectsTruncatedFile)
+{
+    std::stringstream buffer(
+        "azul-mapping v1\nnum_tiles 4\na 3\n0 1\n");
+    EXPECT_THROW(ReadMapping(buffer), AzulError);
+}
+
+TEST(MappingIo, RejectsOutOfRangeTile)
+{
+    std::stringstream buffer(
+        "azul-mapping v1\nnum_tiles 4\na 1\n9\nl 0\nvec 0\n");
+    EXPECT_THROW(ReadMapping(buffer), AzulError);
+}
+
+TEST(MappingIo, MissingFileThrows)
+{
+    EXPECT_THROW(LoadMapping("/nonexistent/azul.map"), AzulError);
+}
+
+TEST(MappingIo, PrecomputedMappingSkipsMappingStep)
+{
+    // The cross-run amortization path: save a mapping once, reuse it
+    // for a fresh AzulSystem over the same matrix.
+    const CsrMatrix a = RandomGeometricLaplacian(300, 7.0, 9);
+    AzulOptions opts;
+    opts.sim.grid_width = 4;
+    opts.sim.grid_height = 4;
+    opts.tol = 1e-8;
+    opts.max_iters = 500;
+
+    AzulSystem first(a, opts);
+    std::stringstream buffer;
+    WriteMapping(first.mapping(), buffer);
+    const DataMapping restored = ReadMapping(buffer);
+
+    AzulOptions reuse = opts;
+    reuse.precomputed_mapping = &restored;
+    AzulSystem second(a, reuse);
+    EXPECT_EQ(second.mapping().a_nnz_tile, first.mapping().a_nnz_tile);
+
+    const Vector b = azul::testing::RandomVector(a.rows(), 11);
+    const SolveReport r1 = first.Solve(b);
+    const SolveReport r2 = second.Solve(b);
+    EXPECT_EQ(r1.run.stats.cycles, r2.run.stats.cycles);
+    EXPECT_EQ(r1.run.x, r2.run.x);
+}
+
+TEST(MappingIo, PrecomputedMappingValidatedAgainstProblem)
+{
+    const CsrMatrix a = RandomGeometricLaplacian(300, 7.0, 13);
+    const CsrMatrix other = RandomGeometricLaplacian(200, 7.0, 14);
+    const CsrMatrix other_l = IncompleteCholesky(other);
+    const DataMapping wrong = MakeMappingFixture(other, other_l);
+
+    AzulOptions opts;
+    opts.sim.grid_width = 4;
+    opts.sim.grid_height = 4;
+    opts.precomputed_mapping = &wrong;
+    EXPECT_THROW(AzulSystem(a, opts), AzulError);
+}
+
+} // namespace
+} // namespace azul

@@ -1,0 +1,165 @@
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "sparse/matrix_market.h"
+#include "util/common.h"
+
+namespace azul {
+namespace {
+
+CooMatrix
+Parse(const std::string& text)
+{
+    std::istringstream in(text);
+    return ReadMatrixMarketStream(in);
+}
+
+TEST(MatrixMarket, ReadsGeneralReal)
+{
+    const CooMatrix m = Parse(
+        "%%MatrixMarket matrix coordinate real general\n"
+        "% a comment\n"
+        "2 3 2\n"
+        "1 1 1.5\n"
+        "2 3 -2.0\n");
+    EXPECT_EQ(m.rows(), 2);
+    EXPECT_EQ(m.cols(), 3);
+    ASSERT_EQ(m.nnz(), 2);
+    EXPECT_EQ(m.entries()[0], (Triplet{0, 0, 1.5}));
+    EXPECT_EQ(m.entries()[1], (Triplet{1, 2, -2.0}));
+}
+
+TEST(MatrixMarket, ExpandsSymmetric)
+{
+    const CooMatrix m = Parse(
+        "%%MatrixMarket matrix coordinate real symmetric\n"
+        "3 3 3\n"
+        "1 1 1.0\n"
+        "2 1 5.0\n"
+        "3 3 2.0\n");
+    EXPECT_EQ(m.nnz(), 4); // (1,0) mirrored into (0,1)
+    bool mirror = false;
+    for (const Triplet& t : m.entries()) {
+        if (t.row == 0 && t.col == 1) {
+            EXPECT_DOUBLE_EQ(t.val, 5.0);
+            mirror = true;
+        }
+    }
+    EXPECT_TRUE(mirror);
+}
+
+TEST(MatrixMarket, SkewSymmetricNegatesMirror)
+{
+    const CooMatrix m = Parse(
+        "%%MatrixMarket matrix coordinate real skew-symmetric\n"
+        "2 2 1\n"
+        "2 1 3.0\n");
+    ASSERT_EQ(m.nnz(), 2);
+    EXPECT_DOUBLE_EQ(m.entries()[0].val, -3.0); // (0,1)
+    EXPECT_DOUBLE_EQ(m.entries()[1].val, 3.0);  // (1,0)
+}
+
+TEST(MatrixMarket, PatternGetsUnitValues)
+{
+    const CooMatrix m = Parse(
+        "%%MatrixMarket matrix coordinate pattern general\n"
+        "2 2 2\n"
+        "1 2\n"
+        "2 1\n");
+    ASSERT_EQ(m.nnz(), 2);
+    EXPECT_DOUBLE_EQ(m.entries()[0].val, 1.0);
+}
+
+TEST(MatrixMarket, IntegerFieldAccepted)
+{
+    const CooMatrix m = Parse(
+        "%%MatrixMarket matrix coordinate integer general\n"
+        "1 1 1\n"
+        "1 1 7\n");
+    EXPECT_DOUBLE_EQ(m.entries()[0].val, 7.0);
+}
+
+TEST(MatrixMarket, RejectsBadBanner)
+{
+    EXPECT_THROW(Parse("%%NotMatrixMarket\n1 1 0\n"), AzulError);
+}
+
+TEST(MatrixMarket, RejectsArrayFormat)
+{
+    EXPECT_THROW(Parse("%%MatrixMarket matrix array real general\n"),
+                 AzulError);
+}
+
+TEST(MatrixMarket, RejectsComplexField)
+{
+    EXPECT_THROW(
+        Parse("%%MatrixMarket matrix coordinate complex general\n"),
+        AzulError);
+}
+
+TEST(MatrixMarket, RejectsTruncatedInput)
+{
+    EXPECT_THROW(Parse("%%MatrixMarket matrix coordinate real general\n"
+                       "2 2 2\n"
+                       "1 1 1.0\n"),
+                 AzulError);
+}
+
+TEST(MatrixMarket, RejectsMissingValue)
+{
+    EXPECT_THROW(Parse("%%MatrixMarket matrix coordinate real general\n"
+                       "2 2 1\n"
+                       "1 1\n"),
+                 AzulError);
+}
+
+TEST(MatrixMarket, RejectsEmptyInput)
+{
+    EXPECT_THROW(Parse(""), AzulError);
+}
+
+TEST(MatrixMarket, RejectsOutOfBoundsEntry)
+{
+    EXPECT_THROW(Parse("%%MatrixMarket matrix coordinate real general\n"
+                       "2 2 1\n"
+                       "3 1 1.0\n"),
+                 AzulError);
+}
+
+TEST(MatrixMarket, MissingFileThrows)
+{
+    EXPECT_THROW(ReadMatrixMarket("/nonexistent/file.mtx"), AzulError);
+}
+
+TEST(MatrixMarket, WriteReadRoundTrip)
+{
+    CooMatrix m(3, 3);
+    m.Add(0, 0, 1.25);
+    m.Add(2, 1, -0.5);
+    m.Add(1, 2, 1e-17);
+    m.Canonicalize();
+
+    std::ostringstream out;
+    WriteMatrixMarketStream(m, out);
+    const CooMatrix back = Parse(out.str());
+    EXPECT_EQ(back.rows(), m.rows());
+    EXPECT_EQ(back.cols(), m.cols());
+    ASSERT_EQ(back.nnz(), m.nnz());
+    for (Index i = 0; i < m.nnz(); ++i) {
+        EXPECT_EQ(back.entries()[static_cast<std::size_t>(i)],
+                  m.entries()[static_cast<std::size_t>(i)]);
+    }
+}
+
+TEST(MatrixMarket, CaseInsensitiveHeader)
+{
+    const CooMatrix m = Parse(
+        "%%MatrixMarket MATRIX Coordinate Real General\n"
+        "1 1 1\n"
+        "1 1 2.0\n");
+    EXPECT_EQ(m.nnz(), 1);
+}
+
+} // namespace
+} // namespace azul

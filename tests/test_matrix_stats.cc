@@ -1,0 +1,63 @@
+#include <gtest/gtest.h>
+
+#include "sparse/generators.h"
+#include "sparse/matrix_stats.h"
+#include "test_helpers.h"
+
+namespace azul {
+namespace {
+
+TEST(MatrixStats, BasicCounts)
+{
+    const CsrMatrix a = azul::testing::SmallSpd();
+    const MatrixStats s = ComputeMatrixStats(a);
+    EXPECT_EQ(s.n, 4);
+    EXPECT_EQ(s.nnz, 12);
+    EXPECT_DOUBLE_EQ(s.avg_nnz_per_row, 3.0);
+    EXPECT_EQ(s.max_nnz_per_row, 3);
+    EXPECT_EQ(s.min_nnz_per_row, 3);
+}
+
+TEST(MatrixStats, Bandwidth)
+{
+    const CsrMatrix a = azul::testing::SmallSpd();
+    // Farthest off-diagonal entries are (0,3) and (3,0).
+    EXPECT_EQ(ComputeMatrixStats(a).bandwidth, 3);
+}
+
+TEST(MatrixStats, OffdiagDistance)
+{
+    CooMatrix coo(4, 4);
+    coo.Add(0, 0, 1.0);
+    coo.Add(0, 2, 1.0); // distance 2
+    coo.Add(3, 2, 1.0); // distance 1
+    const MatrixStats s =
+        ComputeMatrixStats(CsrMatrix::FromCoo(coo));
+    EXPECT_DOUBLE_EQ(s.avg_offdiag_distance, 1.5);
+}
+
+TEST(MatrixStats, FootprintMatchesCsr)
+{
+    const CsrMatrix a = Grid2dLaplacian(6, 6);
+    const MatrixStats s = ComputeMatrixStats(a);
+    EXPECT_EQ(s.matrix_bytes, a.FootprintBytes());
+    EXPECT_EQ(s.vector_bytes, 36u * sizeof(double));
+}
+
+TEST(MatrixStats, FormatContainsKeyFields)
+{
+    const std::string str =
+        FormatMatrixStats(ComputeMatrixStats(azul::testing::SmallSpd()));
+    EXPECT_NE(str.find("n=4"), std::string::npos);
+    EXPECT_NE(str.find("nnz=12"), std::string::npos);
+}
+
+TEST(MatrixStats, GridBandwidthEqualsRowLength)
+{
+    const CsrMatrix a = Grid2dLaplacian(8, 4);
+    // Vertical neighbors are nx apart in row-major numbering.
+    EXPECT_EQ(ComputeMatrixStats(a).bandwidth, 8);
+}
+
+} // namespace
+} // namespace azul

@@ -1,0 +1,85 @@
+#include <gtest/gtest.h>
+
+#include "solver/coloring.h"
+#include "solver/parallelism.h"
+#include "sparse/generators.h"
+#include "sparse/triangle.h"
+#include "test_helpers.h"
+
+namespace azul {
+namespace {
+
+TEST(Parallelism, SpMVWorkCount)
+{
+    const CsrMatrix a = azul::testing::SmallSpd();
+    const ParallelismReport rep = AnalyzeSpMVParallelism(a);
+    EXPECT_DOUBLE_EQ(rep.total_ops, 24.0);
+    EXPECT_GT(rep.parallelism, 1.0);
+}
+
+TEST(Parallelism, SpMVCriticalPathIsLogOfDensestRow)
+{
+    CooMatrix coo(4, 4);
+    for (Index c = 0; c < 4; ++c) {
+        coo.Add(0, c, 1.0); // dense row of 4
+    }
+    coo.Add(1, 1, 1.0);
+    coo.Add(2, 2, 1.0);
+    coo.Add(3, 3, 1.0);
+    const ParallelismReport rep =
+        AnalyzeSpMVParallelism(CsrMatrix::FromCoo(coo));
+    EXPECT_DOUBLE_EQ(rep.critical_path, 1.0 + 2.0); // 1 + log2(4)
+}
+
+TEST(Parallelism, SequentialChainHasLowParallelism)
+{
+    CooMatrix coo(64, 64);
+    for (Index i = 0; i < 64; ++i) {
+        coo.Add(i, i, 2.0);
+        if (i > 0) {
+            coo.Add(i, i - 1, -1.0);
+        }
+    }
+    const ParallelismReport rep =
+        AnalyzeSpTRSVParallelism(CsrMatrix::FromCoo(coo));
+    EXPECT_LT(rep.parallelism, 3.0);
+}
+
+TEST(Parallelism, DiagonalHasFullParallelism)
+{
+    CooMatrix coo(64, 64);
+    for (Index i = 0; i < 64; ++i) {
+        coo.Add(i, i, 2.0);
+    }
+    const ParallelismReport rep =
+        AnalyzeSpTRSVParallelism(CsrMatrix::FromCoo(coo));
+    EXPECT_NEAR(rep.parallelism, 32.0, 1.0); // 64 ops / 2-cycle rows
+}
+
+TEST(Parallelism, TableIPermutationBoostsSpTRSV)
+{
+    // The paper's Table I property: coloring + permutation raises
+    // available SpTRSV parallelism by orders of magnitude, while SpMV
+    // parallelism dwarfs both.
+    const CsrMatrix a = RandomGeometricLaplacian(3000, 10.0, 3);
+    const ColoredMatrix cm = ColorAndPermute(a);
+
+    const auto spmv = AnalyzeSpMVParallelism(a);
+    const auto orig = AnalyzeSpTRSVParallelism(LowerTriangle(a));
+    const auto perm = AnalyzeSpTRSVParallelism(LowerTriangle(cm.a));
+
+    EXPECT_GT(perm.parallelism, 5.0 * orig.parallelism);
+    EXPECT_GT(spmv.parallelism, perm.parallelism);
+}
+
+TEST(Parallelism, WorkConservedUnderPermutation)
+{
+    const CsrMatrix a = RandomGeometricLaplacian(1000, 8.0, 5);
+    const ColoredMatrix cm = ColorAndPermute(a);
+    const auto orig = AnalyzeSpTRSVParallelism(LowerTriangle(a));
+    const auto perm = AnalyzeSpTRSVParallelism(LowerTriangle(cm.a));
+    EXPECT_DOUBLE_EQ(orig.total_ops, perm.total_ops);
+}
+
+} // namespace
+} // namespace azul

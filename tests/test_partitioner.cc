@@ -1,0 +1,189 @@
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "mapping/partitioner.h"
+#include "sparse/generators.h"
+#include "util/rng.h"
+
+namespace azul {
+namespace {
+
+/** Hypergraph of a matrix's rows+cols over its nonzeros (SpMV-like),
+ *  without vector vertices — enough to exercise the partitioner. */
+Hypergraph
+MatrixHg(const CsrMatrix& a)
+{
+    std::vector<Weight> vw(static_cast<std::size_t>(a.nnz()), 1);
+    std::vector<Weight> ew;
+    std::vector<Index> pin_ptr{0};
+    std::vector<Index> pins;
+    for (Index r = 0; r < a.rows(); ++r) {
+        if (a.RowNnz(r) == 0) {
+            continue;
+        }
+        for (Index k = a.RowBegin(r); k < a.RowEnd(r); ++k) {
+            pins.push_back(k);
+        }
+        pin_ptr.push_back(static_cast<Index>(pins.size()));
+        ew.push_back(1);
+    }
+    // Column edges: positions of a's nonzeros grouped by column.
+    std::vector<std::vector<Index>> col_members(
+        static_cast<std::size_t>(a.cols()));
+    Index k = 0;
+    for (Index r = 0; r < a.rows(); ++r) {
+        for (Index kk = a.RowBegin(r); kk < a.RowEnd(r); ++kk, ++k) {
+            col_members[static_cast<std::size_t>(a.col_idx()[kk])]
+                .push_back(k);
+        }
+    }
+    for (Index c = 0; c < a.cols(); ++c) {
+        const auto& members = col_members[static_cast<std::size_t>(c)];
+        if (members.size() < 2) {
+            continue;
+        }
+        pins.insert(pins.end(), members.begin(), members.end());
+        pin_ptr.push_back(static_cast<Index>(pins.size()));
+        ew.push_back(1);
+    }
+    Hypergraph hg(1, std::move(vw), std::move(ew), std::move(pin_ptr),
+                  std::move(pins));
+    hg.BuildIncidence();
+    return hg;
+}
+
+TEST(Partitioner, SinglePartIsTrivial)
+{
+    const Hypergraph hg = MatrixHg(Grid2dLaplacian(6, 6));
+    const auto part = PartitionHypergraph(hg, 1);
+    for (std::int32_t p : part) {
+        EXPECT_EQ(p, 0);
+    }
+}
+
+TEST(Partitioner, ProducesKParts)
+{
+    const Hypergraph hg = MatrixHg(Grid2dLaplacian(12, 12));
+    const auto part = PartitionHypergraph(hg, 8);
+    std::vector<bool> seen(8, false);
+    for (std::int32_t p : part) {
+        ASSERT_GE(p, 0);
+        ASSERT_LT(p, 8);
+        seen[static_cast<std::size_t>(p)] = true;
+    }
+    for (bool s : seen) {
+        EXPECT_TRUE(s);
+    }
+}
+
+TEST(Partitioner, HandlesNonPowerOfTwoK)
+{
+    const Hypergraph hg = MatrixHg(Grid2dLaplacian(10, 10));
+    const auto part = PartitionHypergraph(hg, 7);
+    std::vector<Index> counts(7, 0);
+    for (std::int32_t p : part) {
+        ++counts[static_cast<std::size_t>(p)];
+    }
+    const Index total = hg.NumVertices();
+    for (Index c : counts) {
+        EXPECT_GT(c, 0);
+        EXPECT_LT(c, total / 2);
+    }
+}
+
+TEST(Partitioner, BalancesWithinEpsilon)
+{
+    const Hypergraph hg = MatrixHg(Grid2dLaplacian(16, 16));
+    PartitionerOptions opts;
+    opts.epsilon = 0.10;
+    const auto part = PartitionHypergraph(hg, 4, opts);
+    std::vector<Weight> w(4, 0);
+    for (Index v = 0; v < hg.NumVertices(); ++v) {
+        w[static_cast<std::size_t>(
+            part[static_cast<std::size_t>(v)])] +=
+            hg.VertexWeight(v, 0);
+    }
+    const double ideal =
+        static_cast<double>(hg.TotalWeight(0)) / 4.0;
+    for (Weight x : w) {
+        // Recursive bisection compounds slack: allow ~2 levels + the
+        // max-vertex headroom.
+        EXPECT_LT(static_cast<double>(x), ideal * 1.35);
+    }
+}
+
+TEST(Partitioner, BeatsRandomPartitionOnLocality)
+{
+    const CsrMatrix a = RandomGeometricLaplacian(1200, 8.0, 3);
+    const Hypergraph hg = MatrixHg(a);
+    const auto part = PartitionHypergraph(hg, 16);
+    Rng rng(11);
+    std::vector<std::int32_t> random(part.size());
+    for (auto& p : random) {
+        p = static_cast<std::int32_t>(rng.UniformInt(0, 15));
+    }
+    EXPECT_LT(hg.ConnectivityCut(part),
+              hg.ConnectivityCut(random) / 4);
+}
+
+TEST(Partitioner, DeterministicForFixedSeed)
+{
+    const Hypergraph hg = MatrixHg(Grid2dLaplacian(10, 10));
+    PartitionerOptions opts;
+    opts.seed = 77;
+    EXPECT_EQ(PartitionHypergraph(hg, 4, opts),
+              PartitionHypergraph(hg, 4, opts));
+}
+
+TEST(Partitioner, MultiConstraintBalanced)
+{
+    // Two constraints: uniform memory plus a "late work" flag on the
+    // second half of the vertices; both must spread across parts.
+    const Index n = 400;
+    std::vector<Weight> vw;
+    for (Index v = 0; v < n; ++v) {
+        vw.push_back(1);
+        vw.push_back(v >= n / 2 ? 1 : 0);
+    }
+    std::vector<Weight> ew;
+    std::vector<Index> pin_ptr{0};
+    std::vector<Index> pins;
+    for (Index v = 0; v + 1 < n; ++v) {
+        pins.push_back(v);
+        pins.push_back(v + 1);
+        pin_ptr.push_back(static_cast<Index>(pins.size()));
+        ew.push_back(1);
+    }
+    Hypergraph hg(2, std::move(vw), std::move(ew), std::move(pin_ptr),
+                  std::move(pins));
+    hg.BuildIncidence();
+
+    const auto part = PartitionHypergraph(hg, 4);
+    std::vector<Weight> late(4, 0);
+    for (Index v = 0; v < n; ++v) {
+        late[static_cast<std::size_t>(
+            part[static_cast<std::size_t>(v)])] +=
+            hg.VertexWeight(v, 1);
+    }
+    // Without the second constraint, a cut-optimal partition puts all
+    // late vertices in two parts; with it, every part gets some.
+    for (Weight w : late) {
+        EXPECT_GT(w, 0) << "a part received no late work";
+        EXPECT_LT(w, n / 2);
+    }
+}
+
+TEST(Partitioner, LargerKNeverReducesCutBelowSmallerK)
+{
+    const Hypergraph hg =
+        MatrixHg(RandomGeometricLaplacian(800, 8.0, 5));
+    const Weight cut4 =
+        hg.ConnectivityCut(PartitionHypergraph(hg, 4));
+    const Weight cut16 =
+        hg.ConnectivityCut(PartitionHypergraph(hg, 16));
+    EXPECT_GE(cut16, cut4);
+}
+
+} // namespace
+} // namespace azul

@@ -1,0 +1,113 @@
+#include <gtest/gtest.h>
+
+#include "sparse/permute.h"
+#include "test_helpers.h"
+
+namespace azul {
+namespace {
+
+TEST(Permutation, IdentityByDefault)
+{
+    const Permutation p(4);
+    EXPECT_TRUE(p.IsIdentity());
+    for (Index i = 0; i < 4; ++i) {
+        EXPECT_EQ(p.NewToOld(i), i);
+        EXPECT_EQ(p.OldToNew(i), i);
+    }
+}
+
+TEST(Permutation, FromNewToOldInverts)
+{
+    const Permutation p = Permutation::FromNewToOld({2, 0, 1});
+    EXPECT_EQ(p.NewToOld(0), 2);
+    EXPECT_EQ(p.OldToNew(2), 0);
+    EXPECT_EQ(p.OldToNew(0), 1);
+    EXPECT_FALSE(p.IsIdentity());
+}
+
+TEST(Permutation, RejectsNonBijection)
+{
+    EXPECT_THROW(Permutation::FromNewToOld({0, 0, 1}), AzulError);
+    EXPECT_THROW(Permutation::FromNewToOld({0, 3}), AzulError);
+}
+
+TEST(Permutation, InverseComposesToIdentity)
+{
+    const Permutation p = Permutation::FromNewToOld({3, 1, 0, 2});
+    EXPECT_TRUE(p.Compose(p.Inverse()).IsIdentity());
+    EXPECT_TRUE(p.Inverse().Compose(p).IsIdentity());
+}
+
+TEST(Permutation, ComposeAppliesRightFirst)
+{
+    // q maps new->old {1,2,0}; p maps new->old {2,0,1}.
+    const Permutation p = Permutation::FromNewToOld({2, 0, 1});
+    const Permutation q = Permutation::FromNewToOld({1, 2, 0});
+    const Permutation pq = p.Compose(q);
+    for (Index i = 0; i < 3; ++i) {
+        EXPECT_EQ(pq.NewToOld(i), q.NewToOld(p.NewToOld(i)));
+    }
+}
+
+TEST(PermuteVector, AppliesAndUndoes)
+{
+    const Permutation p = Permutation::FromNewToOld({2, 0, 1});
+    const Vector v{10.0, 20.0, 30.0};
+    const Vector pv = PermuteVector(v, p);
+    EXPECT_EQ(pv, (Vector{30.0, 10.0, 20.0}));
+    EXPECT_EQ(UnpermuteVector(pv, p), v);
+}
+
+TEST(PermuteVector, SizeMismatchThrows)
+{
+    const Permutation p(3);
+    EXPECT_THROW(PermuteVector({1.0}, p), AzulError);
+}
+
+TEST(PermuteSymmetric, PreservesEntries)
+{
+    const CsrMatrix a = azul::testing::SmallSpd();
+    const Permutation p = Permutation::FromNewToOld({3, 1, 0, 2});
+    const CsrMatrix pa = PermuteSymmetric(a, p);
+    EXPECT_EQ(pa.nnz(), a.nnz());
+    for (Index r = 0; r < a.rows(); ++r) {
+        for (Index c = 0; c < a.cols(); ++c) {
+            EXPECT_DOUBLE_EQ(pa.At(p.OldToNew(r), p.OldToNew(c)),
+                             a.At(r, c));
+        }
+    }
+}
+
+TEST(PermuteSymmetric, KeepsSymmetry)
+{
+    const CsrMatrix a = azul::testing::SmallSpd();
+    const Permutation p = Permutation::FromNewToOld({1, 3, 0, 2});
+    EXPECT_TRUE(PermuteSymmetric(a, p).IsSymmetric());
+}
+
+TEST(PermuteSymmetric, IdentityIsNoop)
+{
+    const CsrMatrix a = azul::testing::SmallSpd();
+    EXPECT_EQ(PermuteSymmetric(a, Permutation(4)), a);
+}
+
+TEST(PermuteSymmetric, SolutionMapsBack)
+{
+    // Solving (PAP^T) y = P b and unpermuting y gives the solution of
+    // A x = b. Check via explicit matvec identity.
+    const CsrMatrix a = azul::testing::SmallSpd();
+    const Permutation p = Permutation::FromNewToOld({2, 0, 3, 1});
+    const CsrMatrix pa = PermuteSymmetric(a, p);
+    const Vector x{1.0, -2.0, 3.0, 0.5};
+    // A x in the original order:
+    const auto dense = azul::testing::ToDense(a);
+    const Vector ax = azul::testing::DenseMatVec(dense, x);
+    // (PAP^T)(Px) should equal P(Ax).
+    const auto pdense = azul::testing::ToDense(pa);
+    const Vector pax =
+        azul::testing::DenseMatVec(pdense, PermuteVector(x, p));
+    EXPECT_VECTOR_NEAR(pax, PermuteVector(ax, p), 1e-12);
+}
+
+} // namespace
+} // namespace azul

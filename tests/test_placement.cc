@@ -1,0 +1,63 @@
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "mapping/placement.h"
+#include "dataflow/tree.h"
+
+namespace azul {
+namespace {
+
+TEST(Placement, RowMajorIsIdentity)
+{
+    const auto p = PlaceParts(4, 4, PlacementStrategy::kRowMajor);
+    for (std::int32_t i = 0; i < 16; ++i) {
+        EXPECT_EQ(p[static_cast<std::size_t>(i)], i);
+    }
+}
+
+TEST(Placement, ZOrderIsPermutation)
+{
+    auto p = PlaceParts(8, 8, PlacementStrategy::kZOrder);
+    std::sort(p.begin(), p.end());
+    for (std::int32_t i = 0; i < 64; ++i) {
+        EXPECT_EQ(p[static_cast<std::size_t>(i)], i);
+    }
+}
+
+TEST(Placement, ZOrderKeepsSiblingsAdjacent)
+{
+    // Parts 0 and 1 (recursion siblings) must be torus neighbours.
+    const auto p = PlaceParts(8, 8, PlacementStrategy::kZOrder);
+    const TorusGeometry geom{8, 8};
+    EXPECT_EQ(geom.HopDistance(p[0], p[1]), 1);
+    EXPECT_LE(geom.HopDistance(p[2], p[3]), 2);
+}
+
+TEST(Placement, ZOrderQuadrantLocality)
+{
+    // The first quarter of part ids fills one 4x4 quadrant.
+    const auto p = PlaceParts(8, 8, PlacementStrategy::kZOrder);
+    const TorusGeometry geom{8, 8};
+    for (std::int32_t i = 0; i < 16; ++i) {
+        EXPECT_LT(geom.XOf(p[static_cast<std::size_t>(i)]), 4);
+        EXPECT_LT(geom.YOf(p[static_cast<std::size_t>(i)]), 4);
+    }
+}
+
+TEST(Placement, ZOrderFallsBackOnNonPowerOfTwo)
+{
+    const auto p = PlaceParts(6, 5, PlacementStrategy::kZOrder);
+    for (std::int32_t i = 0; i < 30; ++i) {
+        EXPECT_EQ(p[static_cast<std::size_t>(i)], i);
+    }
+}
+
+TEST(Placement, InvalidDimsThrow)
+{
+    EXPECT_THROW(PlaceParts(0, 4, PlacementStrategy::kRowMajor),
+                 AzulError);
+}
+
+} // namespace
+} // namespace azul

@@ -1,0 +1,70 @@
+#include <gtest/gtest.h>
+
+#include "solver/power_iteration.h"
+#include "solver/spmv.h"
+#include "sparse/generators.h"
+#include "test_helpers.h"
+
+namespace azul {
+namespace {
+
+TEST(PowerIteration, FindsDominantEigenvalueOfDiagonal)
+{
+    CooMatrix coo(3, 3);
+    coo.Add(0, 0, 1.0);
+    coo.Add(1, 1, 5.0);
+    coo.Add(2, 2, 2.0);
+    const auto res =
+        PowerIteration(CsrMatrix::FromCoo(coo), 1e-10, 2000);
+    EXPECT_TRUE(res.converged);
+    EXPECT_NEAR(res.eigenvalue, 5.0, 1e-6);
+    // Eigenvector concentrates on index 1.
+    EXPECT_NEAR(std::abs(res.eigenvector[1]), 1.0, 1e-4);
+}
+
+TEST(PowerIteration, EigenpairSatisfiesDefinition)
+{
+    const CsrMatrix a = RandomSpd(60, 4, 5);
+    const auto res = PowerIteration(a, 1e-12, 5000);
+    ASSERT_TRUE(res.converged);
+    const Vector av = SpMV(a, res.eigenvector);
+    for (std::size_t i = 0; i < av.size(); ++i) {
+        EXPECT_NEAR(av[i], res.eigenvalue * res.eigenvector[i], 1e-4);
+    }
+}
+
+TEST(PowerIteration, EigenvectorIsNormalized)
+{
+    const CsrMatrix a = azul::testing::SmallSpd();
+    const auto res = PowerIteration(a, 1e-12, 1000);
+    EXPECT_NEAR(Norm2(res.eigenvector), 1.0, 1e-10);
+}
+
+TEST(PowerIteration, IterationCapRespected)
+{
+    const CsrMatrix a = RandomSpd(50, 4, 6);
+    const auto res = PowerIteration(a, 0.0, 3);
+    EXPECT_FALSE(res.converged);
+    EXPECT_EQ(res.iterations, 3);
+}
+
+TEST(PowerIteration, GershgorinBoundHolds)
+{
+    // Dominant eigenvalue of an SPD matrix is at most max row sum of
+    // absolute values.
+    const CsrMatrix a = RandomSpd(40, 3, 7);
+    const auto res = PowerIteration(a, 1e-10, 5000);
+    double bound = 0.0;
+    for (Index r = 0; r < a.rows(); ++r) {
+        double row = 0.0;
+        for (Index k = a.RowBegin(r); k < a.RowEnd(r); ++k) {
+            row += std::abs(a.vals()[k]);
+        }
+        bound = std::max(bound, row);
+    }
+    EXPECT_LE(res.eigenvalue, bound + 1e-9);
+    EXPECT_GT(res.eigenvalue, 0.0);
+}
+
+} // namespace
+} // namespace azul

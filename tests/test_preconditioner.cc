@@ -1,0 +1,168 @@
+#include <gtest/gtest.h>
+
+#include "solver/preconditioner.h"
+#include "solver/spmv.h"
+#include "solver/sptrsv.h"
+#include "sparse/generators.h"
+#include "test_helpers.h"
+
+namespace azul {
+namespace {
+
+using azul::testing::RandomVector;
+
+TEST(Preconditioner, IdentityIsNoop)
+{
+    const CsrMatrix a = azul::testing::SmallSpd();
+    const auto m =
+        MakePreconditioner(PreconditionerKind::kIdentity, a);
+    const Vector r{1.0, -2.0, 3.0, 4.0};
+    EXPECT_EQ(m->Apply(r), r);
+    EXPECT_EQ(m->ApplyFlops(), 0.0);
+    EXPECT_EQ(m->lower_factor(), nullptr);
+}
+
+TEST(Preconditioner, JacobiDividesByDiagonal)
+{
+    const CsrMatrix a = azul::testing::SmallSpd(); // diag = 4
+    const auto m = MakePreconditioner(PreconditionerKind::kJacobi, a);
+    const Vector z = m->Apply({4.0, 8.0, -4.0, 0.0});
+    EXPECT_VECTOR_NEAR(z, (Vector{1.0, 2.0, -1.0, 0.0}), 1e-14);
+    EXPECT_EQ(m->lower_factor(), nullptr);
+}
+
+TEST(Preconditioner, IcApplyMatchesManualTrisolves)
+{
+    const CsrMatrix a = RandomSpd(50, 4, 3);
+    const auto m = MakePreconditioner(
+        PreconditionerKind::kIncompleteCholesky, a);
+    ASSERT_NE(m->lower_factor(), nullptr);
+    const CsrMatrix& l = *m->lower_factor();
+    const Vector r = RandomVector(a.rows(), 11);
+    EXPECT_VECTOR_NEAR(m->Apply(r),
+                       SpTRSVLowerTranspose(l, SpTRSVLower(l, r)),
+                       1e-12);
+}
+
+TEST(Preconditioner, SymGsEqualsSsorOmegaOne)
+{
+    const CsrMatrix a = RandomSpd(40, 3, 7);
+    const auto gs = MakePreconditioner(
+        PreconditionerKind::kSymmetricGaussSeidel, a);
+    const auto ssor =
+        MakePreconditioner(PreconditionerKind::kSsor, a, 1.0);
+    const Vector r = RandomVector(a.rows(), 13);
+    EXPECT_VECTOR_NEAR(gs->Apply(r), ssor->Apply(r), 1e-12);
+}
+
+TEST(Preconditioner, SymGsFactorReproducesClassicForm)
+{
+    // M = (D + Lo) D^-1 (D + Up). Verify M z == r after applying.
+    const CsrMatrix a = azul::testing::SmallSpd();
+    const auto m = MakePreconditioner(
+        PreconditionerKind::kSymmetricGaussSeidel, a);
+    const Vector r{1.0, 2.0, 3.0, 4.0};
+    const Vector z = m->Apply(r);
+    // Compute M z densely.
+    const auto d = azul::testing::ToDense(a);
+    const std::size_t n = d.size();
+    std::vector<std::vector<double>> dl(n, std::vector<double>(n, 0.0));
+    std::vector<std::vector<double>> du(n, std::vector<double>(n, 0.0));
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = 0; j < n; ++j) {
+            if (j < i) {
+                dl[i][j] = d[i][j];
+            } else if (j > i) {
+                du[i][j] = d[i][j];
+            }
+        }
+    }
+    // t = (D + Up) z
+    Vector t(n, 0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+        t[i] = d[i][i] * z[i];
+        for (std::size_t j = 0; j < n; ++j) {
+            t[i] += du[i][j] * z[j];
+        }
+    }
+    // s = D^-1 t
+    for (std::size_t i = 0; i < n; ++i) {
+        t[i] /= d[i][i];
+    }
+    // mz = (D + Lo) t
+    Vector mz(n, 0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+        mz[i] = d[i][i] * t[i];
+        for (std::size_t j = 0; j < n; ++j) {
+            mz[i] += dl[i][j] * t[j];
+        }
+    }
+    EXPECT_VECTOR_NEAR(mz, r, 1e-10);
+}
+
+TEST(Preconditioner, SsorRejectsBadOmega)
+{
+    const CsrMatrix a = azul::testing::SmallSpd();
+    EXPECT_THROW(
+        MakePreconditioner(PreconditionerKind::kSsor, a, 0.0),
+        AzulError);
+    EXPECT_THROW(
+        MakePreconditioner(PreconditionerKind::kSsor, a, 2.0),
+        AzulError);
+}
+
+TEST(Preconditioner, JacobiRejectsZeroDiagonal)
+{
+    CooMatrix coo(2, 2);
+    coo.Add(0, 0, 1.0);
+    coo.Add(1, 0, 1.0);
+    coo.Add(0, 1, 1.0);
+    EXPECT_THROW(MakePreconditioner(PreconditionerKind::kJacobi,
+                                    CsrMatrix::FromCoo(coo)),
+                 AzulError);
+}
+
+TEST(Preconditioner, KindNames)
+{
+    EXPECT_EQ(PreconditionerKindName(PreconditionerKind::kIdentity),
+              "none");
+    EXPECT_EQ(PreconditionerKindName(
+                  PreconditionerKind::kIncompleteCholesky),
+              "ic0");
+    EXPECT_EQ(PreconditionerKindName(PreconditionerKind::kSsor),
+              "ssor");
+}
+
+TEST(Preconditioner, ApplyFlopsPositiveForFactored)
+{
+    const CsrMatrix a = azul::testing::SmallSpd();
+    for (const auto kind : {PreconditionerKind::kIncompleteCholesky,
+                            PreconditionerKind::kSymmetricGaussSeidel,
+                            PreconditionerKind::kSsor}) {
+        const auto m = MakePreconditioner(kind, a, 1.2);
+        EXPECT_GT(m->ApplyFlops(), 0.0);
+        EXPECT_EQ(m->kind(), kind);
+    }
+}
+
+TEST(Preconditioner, ApplicationIsLinear)
+{
+    const CsrMatrix a = RandomSpd(30, 3, 21);
+    const auto m = MakePreconditioner(
+        PreconditionerKind::kIncompleteCholesky, a);
+    const Vector r1 = RandomVector(a.rows(), 1);
+    const Vector r2 = RandomVector(a.rows(), 2);
+    Vector combo(r1.size());
+    for (std::size_t i = 0; i < r1.size(); ++i) {
+        combo[i] = 2.0 * r1[i] + 0.5 * r2[i];
+    }
+    const Vector z1 = m->Apply(r1);
+    const Vector z2 = m->Apply(r2);
+    const Vector zc = m->Apply(combo);
+    for (std::size_t i = 0; i < zc.size(); ++i) {
+        EXPECT_NEAR(zc[i], 2.0 * z1[i] + 0.5 * z2[i], 1e-9);
+    }
+}
+
+} // namespace
+} // namespace azul

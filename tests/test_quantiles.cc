@@ -1,0 +1,88 @@
+#include <gtest/gtest.h>
+
+#include "mapping/quantiles.h"
+#include "util/common.h"
+
+namespace azul {
+namespace {
+
+TEST(Quantiles, SingleBucketForQOne)
+{
+    const auto b = QuantileBuckets({0, 5, 3, 9}, 1);
+    for (int x : b) {
+        EXPECT_EQ(x, 0);
+    }
+}
+
+TEST(Quantiles, EmptyInput)
+{
+    EXPECT_TRUE(QuantileBuckets({}, 4).empty());
+}
+
+TEST(Quantiles, UniformDepthsSplitEvenly)
+{
+    std::vector<Index> depths(100);
+    for (Index i = 0; i < 100; ++i) {
+        depths[static_cast<std::size_t>(i)] = i;
+    }
+    const auto b = QuantileBuckets(depths, 4);
+    std::vector<int> counts(4, 0);
+    for (int x : b) {
+        ASSERT_GE(x, 0);
+        ASSERT_LT(x, 4);
+        ++counts[static_cast<std::size_t>(x)];
+    }
+    for (int c : counts) {
+        EXPECT_NEAR(c, 25, 2);
+    }
+}
+
+TEST(Quantiles, MonotoneInDepth)
+{
+    std::vector<Index> depths{0, 1, 2, 3, 4, 5, 6, 7};
+    const auto b = QuantileBuckets(depths, 4);
+    for (std::size_t i = 1; i < b.size(); ++i) {
+        EXPECT_LE(b[i - 1], b[i]);
+    }
+}
+
+TEST(Quantiles, EqualDepthsShareBucket)
+{
+    std::vector<Index> depths{5, 1, 5, 2, 5, 3, 5};
+    const auto b = QuantileBuckets(depths, 3);
+    const int bucket_of_5 = b[0];
+    for (std::size_t i = 0; i < depths.size(); ++i) {
+        if (depths[i] == 5) {
+            EXPECT_EQ(b[i], bucket_of_5);
+        }
+    }
+}
+
+TEST(Quantiles, DominantDepthUsesMidpoint)
+{
+    // 90% of items share one depth: they land in a middle bucket, not
+    // all in the last one.
+    std::vector<Index> depths(100, 3);
+    depths[0] = 0;
+    depths[1] = 10;
+    const auto b = QuantileBuckets(depths, 4);
+    EXPECT_LT(b[2], 3); // the dominant depth is not in the top bucket
+    EXPECT_EQ(b[0], 0);
+}
+
+TEST(Quantiles, AllSameDepthIsOneBucket)
+{
+    const auto b = QuantileBuckets(std::vector<Index>(50, 7), 5);
+    for (std::size_t i = 1; i < b.size(); ++i) {
+        EXPECT_EQ(b[i], b[0]);
+    }
+}
+
+TEST(Quantiles, RejectsNegativeDepthAndBadQ)
+{
+    EXPECT_THROW(QuantileBuckets({-1}, 2), AzulError);
+    EXPECT_THROW(QuantileBuckets({1}, 0), AzulError);
+}
+
+} // namespace
+} // namespace azul

@@ -1,0 +1,176 @@
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "sim/noc.h"
+#include "sim/router.h"
+
+namespace azul {
+namespace {
+
+TEST(Router, XFirstRouting)
+{
+    const TorusGeometry geom{8, 8};
+    // From (0,0) to (3,3): first hops go east.
+    const RouteStep step =
+        NextHop(geom, geom.TileAt(0, 0), geom.TileAt(3, 3));
+    EXPECT_EQ(step.dir, PortDir::kEast);
+    EXPECT_EQ(step.next_tile, geom.TileAt(1, 0));
+}
+
+TEST(Router, YAfterXAligned)
+{
+    const TorusGeometry geom{8, 8};
+    const RouteStep step =
+        NextHop(geom, geom.TileAt(3, 0), geom.TileAt(3, 3));
+    EXPECT_EQ(step.dir, PortDir::kSouth);
+    EXPECT_EQ(step.next_tile, geom.TileAt(3, 1));
+}
+
+TEST(Router, WrapsWestWhenShorter)
+{
+    const TorusGeometry geom{8, 8};
+    const RouteStep step =
+        NextHop(geom, geom.TileAt(0, 0), geom.TileAt(7, 0));
+    EXPECT_EQ(step.dir, PortDir::kWest);
+    EXPECT_EQ(step.next_tile, geom.TileAt(7, 0));
+}
+
+TEST(Router, WrapsNorthWhenShorter)
+{
+    const TorusGeometry geom{8, 8};
+    const RouteStep step =
+        NextHop(geom, geom.TileAt(2, 0), geom.TileAt(2, 7));
+    EXPECT_EQ(step.dir, PortDir::kNorth);
+    EXPECT_EQ(step.next_tile, geom.TileAt(2, 7));
+}
+
+TEST(Router, SameTileThrows)
+{
+    const TorusGeometry geom{4, 4};
+    EXPECT_THROW(NextHop(geom, 5, 5), AzulError);
+}
+
+TEST(Router, PathTerminates)
+{
+    const TorusGeometry geom{8, 8};
+    for (std::int32_t src = 0; src < 64; src += 7) {
+        for (std::int32_t dst = 0; dst < 64; dst += 5) {
+            std::int32_t cur = src;
+            int hops = 0;
+            while (cur != dst) {
+                cur = NextHop(geom, cur, dst).next_tile;
+                ASSERT_LT(++hops, 20);
+            }
+            EXPECT_EQ(hops, geom.HopDistance(src, dst));
+        }
+    }
+}
+
+TEST(Noc, DeliversAfterHopLatency)
+{
+    const TorusGeometry geom{4, 4};
+    Noc noc(geom, 1);
+    noc.Inject(0, 0, Message{geom.TileAt(2, 0), 7, 1.5});
+    std::vector<Delivery> out;
+    noc.AdvanceTo(1, out);
+    EXPECT_TRUE(out.empty()); // still in flight
+    noc.AdvanceTo(2, out);
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out[0].arrival, 2u);
+    EXPECT_EQ(out[0].msg.dest_node, 7);
+    EXPECT_DOUBLE_EQ(out[0].msg.value, 1.5);
+    EXPECT_TRUE(noc.Empty());
+}
+
+TEST(Noc, LocalDeliveryBypassesLinks)
+{
+    const TorusGeometry geom{4, 4};
+    Noc noc(geom, 1);
+    noc.Inject(5, 3, Message{3, 0, 2.0});
+    std::vector<Delivery> out;
+    noc.AdvanceTo(5, out);
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(noc.link_activations(), 0u);
+}
+
+TEST(Noc, HopLatencyScalesArrival)
+{
+    const TorusGeometry geom{8, 8};
+    for (const std::int32_t lat : {1, 2, 4}) {
+        Noc noc(geom, lat);
+        noc.Inject(0, 0, Message{geom.TileAt(3, 0), 0, 1.0});
+        std::vector<Delivery> out;
+        noc.AdvanceTo(100, out);
+        ASSERT_EQ(out.size(), 1u);
+        EXPECT_EQ(out[0].arrival, static_cast<Cycle>(3 * lat));
+    }
+}
+
+TEST(Noc, LinkContentionSerializes)
+{
+    const TorusGeometry geom{8, 8};
+    Noc noc(geom, 1);
+    // Three messages from tile 0 east to (2,0) at the same cycle all
+    // share link (0 -> east).
+    for (int i = 0; i < 3; ++i) {
+        noc.Inject(0, 0, Message{geom.TileAt(2, 0), i, 1.0});
+    }
+    std::vector<Delivery> out;
+    noc.AdvanceTo(100, out);
+    ASSERT_EQ(out.size(), 3u);
+    // Arrivals must be spaced by >= 1 cycle due to serialization.
+    std::vector<Cycle> arrivals;
+    for (const Delivery& d : out) {
+        arrivals.push_back(d.arrival);
+    }
+    std::sort(arrivals.begin(), arrivals.end());
+    EXPECT_EQ(arrivals[0], 2u);
+    EXPECT_GE(arrivals[1], 3u);
+    EXPECT_GE(arrivals[2], 4u);
+}
+
+TEST(Noc, LinkActivationsCountHops)
+{
+    const TorusGeometry geom{8, 8};
+    Noc noc(geom, 1);
+    noc.Inject(0, 0, Message{geom.TileAt(3, 2), 0, 1.0});
+    std::vector<Delivery> out;
+    noc.AdvanceTo(100, out);
+    EXPECT_EQ(noc.link_activations(), 5u);
+    EXPECT_EQ(noc.messages_injected(), 1u);
+    noc.ResetCounters();
+    EXPECT_EQ(noc.link_activations(), 0u);
+}
+
+TEST(Noc, DisjointPathsDontContend)
+{
+    const TorusGeometry geom{8, 8};
+    Noc noc(geom, 1);
+    noc.Inject(0, geom.TileAt(0, 0), Message{geom.TileAt(1, 0), 0, 1.0});
+    noc.Inject(0, geom.TileAt(0, 4), Message{geom.TileAt(1, 4), 0, 1.0});
+    std::vector<Delivery> out;
+    noc.AdvanceTo(100, out);
+    ASSERT_EQ(out.size(), 2u);
+    EXPECT_EQ(out[0].arrival, 1u);
+    EXPECT_EQ(out[1].arrival, 1u);
+}
+
+TEST(Noc, NextEventTimeTracksEarliest)
+{
+    const TorusGeometry geom{4, 4};
+    Noc noc(geom, 1);
+    noc.Inject(10, 0, Message{1, 0, 1.0});
+    ASSERT_FALSE(noc.Empty());
+    EXPECT_EQ(noc.NextEventTime(), 10u);
+}
+
+TEST(Noc, RejectsInvalidDestination)
+{
+    const TorusGeometry geom{4, 4};
+    Noc noc(geom, 1);
+    EXPECT_THROW(noc.Inject(0, 0, Message{99, 0, 1.0}), AzulError);
+}
+
+} // namespace
+} // namespace azul

@@ -1,0 +1,65 @@
+#include <gtest/gtest.h>
+
+#include "core/azul_system.h"
+#include "sparse/generators.h"
+#include "test_helpers.h"
+
+namespace azul {
+namespace {
+
+SolveReport
+MakeReport()
+{
+    const CsrMatrix a = RandomGeometricLaplacian(300, 7.0, 3);
+    AzulOptions opts;
+    opts.sim.grid_width = 4;
+    opts.sim.grid_height = 4;
+    opts.tol = 1e-8;
+    opts.max_iters = 400;
+    AzulSystem sys(a, opts);
+    return sys.Solve(azul::testing::RandomVector(a.rows(), 5));
+}
+
+TEST(SolveReportJson, ContainsKeyFields)
+{
+    const std::string json = MakeReport().ToJson();
+    for (const char* field :
+         {"\"converged\":true", "\"iterations\":", "\"cycles\":",
+          "\"gflops\":", "\"power_w\":", "\"ops\":", "\"sram\":",
+          "\"link_activations\":", "\"fits\":true",
+          "\"class_cycles\":", "\"sptrsv_fwd\":"}) {
+        EXPECT_NE(json.find(field), std::string::npos)
+            << "missing " << field << " in " << json;
+    }
+}
+
+TEST(SolveReportJson, BalancedBracesAndQuotes)
+{
+    const std::string json = MakeReport().ToJson();
+    int depth = 0;
+    int quotes = 0;
+    for (char c : json) {
+        if (c == '{') {
+            ++depth;
+        } else if (c == '}') {
+            --depth;
+            EXPECT_GE(depth, 0);
+        } else if (c == '"') {
+            ++quotes;
+        }
+    }
+    EXPECT_EQ(depth, 0);
+    EXPECT_EQ(quotes % 2, 0);
+    EXPECT_EQ(json.front(), '{');
+    EXPECT_EQ(json.back(), '}');
+}
+
+TEST(SolveReportJson, NoNansInOutput)
+{
+    const std::string json = MakeReport().ToJson();
+    EXPECT_EQ(json.find("nan"), std::string::npos);
+    EXPECT_EQ(json.find("inf"), std::string::npos);
+}
+
+} // namespace
+} // namespace azul

@@ -1,0 +1,116 @@
+#include <gtest/gtest.h>
+
+#include "solver/spmv.h"
+#include "sparse/generators.h"
+#include "test_helpers.h"
+
+namespace azul {
+namespace {
+
+using azul::testing::DenseMatVec;
+using azul::testing::RandomVector;
+using azul::testing::ToDense;
+
+TEST(SpMV, MatchesDenseOnSmall)
+{
+    const CsrMatrix a = azul::testing::SmallSpd();
+    const Vector x{1.0, 2.0, 3.0, 4.0};
+    EXPECT_VECTOR_NEAR(SpMV(a, x), DenseMatVec(ToDense(a), x), 1e-14);
+}
+
+TEST(SpMV, ZeroVectorGivesZero)
+{
+    const CsrMatrix a = azul::testing::SmallSpd();
+    const Vector y = SpMV(a, Vector(4, 0.0));
+    for (double v : y) {
+        EXPECT_EQ(v, 0.0);
+    }
+}
+
+TEST(SpMV, AccumulateAddsToExisting)
+{
+    const CsrMatrix a = azul::testing::SmallSpd();
+    const Vector x{1.0, 1.0, 1.0, 1.0};
+    Vector y(4, 10.0);
+    SpMVAccumulate(a, x, y);
+    const Vector expect = SpMV(a, x);
+    for (std::size_t i = 0; i < y.size(); ++i) {
+        EXPECT_NEAR(y[i], expect[i] + 10.0, 1e-14);
+    }
+}
+
+TEST(SpMV, RectangularMatrix)
+{
+    CooMatrix coo(2, 3);
+    coo.Add(0, 0, 1.0);
+    coo.Add(0, 2, 2.0);
+    coo.Add(1, 1, 3.0);
+    const CsrMatrix a = CsrMatrix::FromCoo(coo);
+    const Vector y = SpMV(a, {1.0, 2.0, 3.0});
+    ASSERT_EQ(y.size(), 2u);
+    EXPECT_DOUBLE_EQ(y[0], 7.0);
+    EXPECT_DOUBLE_EQ(y[1], 6.0);
+}
+
+TEST(SpMV, SizeMismatchThrows)
+{
+    const CsrMatrix a = azul::testing::SmallSpd();
+    EXPECT_THROW(SpMV(a, Vector(3, 1.0)), AzulError);
+}
+
+TEST(SpMV, TransposeMatchesExplicitTranspose)
+{
+    const CsrMatrix a =
+        CsrMatrix::FromCoo([&] {
+            CooMatrix c(3, 4);
+            c.Add(0, 1, 2.0);
+            c.Add(1, 0, -1.0);
+            c.Add(2, 3, 5.0);
+            c.Add(2, 0, 1.5);
+            return c;
+        }());
+    const Vector x{1.0, -1.0, 2.0};
+    EXPECT_VECTOR_NEAR(SpMVTranspose(a, x), SpMV(a.Transposed(), x),
+                       1e-14);
+}
+
+TEST(SpMV, FlopCount)
+{
+    const CsrMatrix a = azul::testing::SmallSpd();
+    EXPECT_DOUBLE_EQ(SpMVFlops(a), 24.0);
+}
+
+// Property sweep: SpMV matches dense on randomized matrices.
+class SpMVPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SpMVPropertyTest, MatchesDenseOnGeneratedMatrix)
+{
+    const int seed = GetParam();
+    const CsrMatrix a = RandomSpd(60 + 7 * seed, 4, seed);
+    const Vector x = RandomVector(a.rows(), seed * 31 + 1);
+    EXPECT_VECTOR_NEAR(SpMV(a, x), DenseMatVec(ToDense(a), x), 1e-11);
+}
+
+TEST_P(SpMVPropertyTest, LinearityHolds)
+{
+    const int seed = GetParam();
+    const CsrMatrix a = RandomSpd(50, 3, seed);
+    const Vector x = RandomVector(a.rows(), seed + 100);
+    const Vector y = RandomVector(a.rows(), seed + 200);
+    Vector xy(x.size());
+    for (std::size_t i = 0; i < x.size(); ++i) {
+        xy[i] = 2.0 * x[i] - 3.0 * y[i];
+    }
+    const Vector lhs = SpMV(a, xy);
+    const Vector ax = SpMV(a, x);
+    const Vector ay = SpMV(a, y);
+    for (std::size_t i = 0; i < lhs.size(); ++i) {
+        EXPECT_NEAR(lhs[i], 2.0 * ax[i] - 3.0 * ay[i], 1e-10);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SpMVPropertyTest,
+                         ::testing::Range(1, 9));
+
+} // namespace
+} // namespace azul

@@ -1,0 +1,114 @@
+#include <gtest/gtest.h>
+
+#include "solver/spmv.h"
+#include "solver/sptrsv.h"
+#include "sparse/generators.h"
+#include "sparse/triangle.h"
+#include "test_helpers.h"
+
+namespace azul {
+namespace {
+
+using azul::testing::RandomVector;
+
+TEST(SpTRSVLower, SolvesSmallSystem)
+{
+    const CsrMatrix l = azul::testing::SmallLowerTriangular();
+    const Vector b{2.0, 5.0, 3.0};
+    const Vector x = SpTRSVLower(l, b);
+    // Verify L x == b.
+    EXPECT_VECTOR_NEAR(SpMV(l, x), b, 1e-12);
+}
+
+TEST(SpTRSVLower, IdentityMatrix)
+{
+    CooMatrix coo(3, 3);
+    for (Index i = 0; i < 3; ++i) {
+        coo.Add(i, i, 1.0);
+    }
+    const CsrMatrix eye = CsrMatrix::FromCoo(coo);
+    const Vector b{1.0, 2.0, 3.0};
+    EXPECT_VECTOR_NEAR(SpTRSVLower(eye, b), b, 1e-15);
+}
+
+TEST(SpTRSVLower, RejectsUpperEntries)
+{
+    const CsrMatrix a = azul::testing::SmallSpd();
+    EXPECT_THROW(SpTRSVLower(a, Vector(4, 1.0)), AzulError);
+}
+
+TEST(SpTRSVLower, RejectsZeroDiagonal)
+{
+    CooMatrix coo(2, 2);
+    coo.Add(0, 0, 1.0);
+    coo.Add(1, 0, 2.0); // no (1,1)
+    EXPECT_THROW(SpTRSVLower(CsrMatrix::FromCoo(coo), Vector(2, 1.0)),
+                 AzulError);
+}
+
+TEST(SpTRSVUpper, SolvesSmallSystem)
+{
+    const CsrMatrix u =
+        azul::testing::SmallLowerTriangular().Transposed();
+    const Vector b{2.0, 1.0, -4.0};
+    const Vector x = SpTRSVUpper(u, b);
+    EXPECT_VECTOR_NEAR(SpMV(u, x), b, 1e-12);
+}
+
+TEST(SpTRSVUpper, RejectsLowerEntries)
+{
+    const CsrMatrix l = azul::testing::SmallLowerTriangular();
+    EXPECT_THROW(SpTRSVUpper(l, Vector(3, 1.0)), AzulError);
+}
+
+TEST(SpTRSVLowerTranspose, MatchesExplicitUpperSolve)
+{
+    const CsrMatrix l = azul::testing::SmallLowerTriangular();
+    const Vector b{1.0, 2.0, 3.0};
+    EXPECT_VECTOR_NEAR(SpTRSVLowerTranspose(l, b),
+                       SpTRSVUpper(l.Transposed(), b), 1e-12);
+}
+
+TEST(SpTRSV, FlopCount)
+{
+    const CsrMatrix l = azul::testing::SmallLowerTriangular();
+    // 2 off-diagonal nonzeros -> 4 flops, plus 3 divides.
+    EXPECT_DOUBLE_EQ(SpTRSVFlops(l), 7.0);
+}
+
+// Property sweep over generated SPD matrices: forward/backward solves
+// on the lower triangle invert the corresponding products.
+class SpTRSVPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SpTRSVPropertyTest, ForwardSolveInvertsLowerProduct)
+{
+    const CsrMatrix a = RandomSpd(80, 4, GetParam());
+    const CsrMatrix l = LowerTriangle(a);
+    const Vector x_true = RandomVector(a.rows(), GetParam() + 50);
+    const Vector b = SpMV(l, x_true);
+    EXPECT_VECTOR_NEAR(SpTRSVLower(l, b), x_true, 1e-9);
+}
+
+TEST_P(SpTRSVPropertyTest, TransposeSolveInvertsTransposeProduct)
+{
+    const CsrMatrix a = RandomSpd(80, 4, GetParam());
+    const CsrMatrix l = LowerTriangle(a);
+    const Vector x_true = RandomVector(a.rows(), GetParam() + 70);
+    const Vector b = SpMVTranspose(l, x_true);
+    EXPECT_VECTOR_NEAR(SpTRSVLowerTranspose(l, b), x_true, 1e-9);
+}
+
+TEST_P(SpTRSVPropertyTest, UpperSolveInvertsUpperProduct)
+{
+    const CsrMatrix a = RandomSpd(80, 4, GetParam());
+    const CsrMatrix u = UpperTriangle(a);
+    const Vector x_true = RandomVector(a.rows(), GetParam() + 90);
+    const Vector b = SpMV(u, x_true);
+    EXPECT_VECTOR_NEAR(SpTRSVUpper(u, b), x_true, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SpTRSVPropertyTest,
+                         ::testing::Range(1, 7));
+
+} // namespace
+} // namespace azul

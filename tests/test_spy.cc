@@ -1,0 +1,94 @@
+#include <gtest/gtest.h>
+
+#include "sparse/generators.h"
+#include "sparse/spy.h"
+#include "test_helpers.h"
+
+namespace azul {
+namespace {
+
+TEST(Spy, DimensionsMatchRequest)
+{
+    const CsrMatrix a = Grid2dLaplacian(40, 40);
+    const std::string plot = AsciiSpyPlot(a, 32, 16);
+    std::size_t rows = 0;
+    std::size_t cols = 0;
+    std::size_t current = 0;
+    for (char c : plot) {
+        if (c == '\n') {
+            ++rows;
+            cols = std::max(cols, current);
+            current = 0;
+        } else {
+            ++current;
+        }
+    }
+    EXPECT_EQ(rows, 16u);
+    EXPECT_EQ(cols, 32u);
+}
+
+TEST(Spy, DiagonalMatrixShowsDiagonal)
+{
+    CooMatrix coo(8, 8);
+    for (Index i = 0; i < 8; ++i) {
+        coo.Add(i, i, 1.0);
+    }
+    const std::string plot =
+        AsciiSpyPlot(CsrMatrix::FromCoo(coo), 8, 8);
+    // Cell (i, i) nonempty, everything else blank.
+    std::size_t pos = 0;
+    for (int y = 0; y < 8; ++y) {
+        for (int x = 0; x < 8; ++x, ++pos) {
+            if (x == y) {
+                EXPECT_NE(plot[pos], ' ');
+            } else {
+                EXPECT_EQ(plot[pos], ' ');
+            }
+        }
+        ++pos; // newline
+    }
+}
+
+TEST(Spy, DenserBlocksDarker)
+{
+    // Top-left dense block vs one isolated entry.
+    CooMatrix coo(16, 16);
+    for (Index r = 0; r < 4; ++r) {
+        for (Index c = 0; c < 4; ++c) {
+            coo.Add(r, c, 1.0);
+        }
+    }
+    coo.Add(15, 15, 1.0);
+    const std::string plot =
+        AsciiSpyPlot(CsrMatrix::FromCoo(coo), 4, 4);
+    // 4x4 cells of a 16x16 matrix: cell (0,0) holds 16 entries, cell
+    // (3,3) holds one.
+    const char dense = plot[0];
+    const char sparse = plot[3 * 5 + 3]; // row 3 (stride 5), col 3
+    EXPECT_NE(dense, ' ');
+    EXPECT_NE(sparse, ' ');
+    static const std::string kRamp = " .:+*#@";
+    EXPECT_GT(kRamp.find(dense), kRamp.find(sparse));
+}
+
+TEST(Spy, ClampsToMatrixSize)
+{
+    const CsrMatrix a = azul::testing::SmallSpd();
+    const std::string plot = AsciiSpyPlot(a, 100, 100);
+    std::size_t rows = 0;
+    for (char c : plot) {
+        rows += c == '\n' ? 1 : 0;
+    }
+    EXPECT_EQ(rows, 4u);
+}
+
+TEST(Spy, RejectsEmptyOrBadArgs)
+{
+    CsrMatrix empty;
+    EXPECT_THROW(AsciiSpyPlot(empty), AzulError);
+    EXPECT_THROW(AsciiSpyPlot(azul::testing::SmallSpd(), 0, 4),
+                 AzulError);
+}
+
+} // namespace
+} // namespace azul

@@ -1,0 +1,99 @@
+#include <gtest/gtest.h>
+
+#include "dataflow/program.h"
+#include "mapping/mapper_factory.h"
+#include "sim/sram.h"
+#include "solver/ic0.h"
+#include "sparse/generators.h"
+
+namespace azul {
+namespace {
+
+PcgProgram
+MakeProgram(const CsrMatrix& a, const CsrMatrix& l, const SimConfig& cfg,
+            DataMapping& mapping)
+{
+    MappingProblem prob;
+    prob.a = &a;
+    prob.l = &l;
+    mapping = MakeMapper(MapperKind::kBlock)->Map(prob, cfg.num_tiles());
+    ProgramBuildInputs in;
+    in.a = &a;
+    in.l = &l;
+    in.precond = PreconditionerKind::kIncompleteCholesky;
+    in.mapping = &mapping;
+    in.geom = cfg.geometry();
+    return BuildPcgProgram(in);
+}
+
+TEST(Sram, SmallProblemFits)
+{
+    const CsrMatrix a = RandomGeometricLaplacian(400, 7.0, 3);
+    const CsrMatrix l = IncompleteCholesky(a);
+    SimConfig cfg;
+    cfg.grid_width = 4;
+    cfg.grid_height = 4;
+    DataMapping mapping;
+    const PcgProgram prog = MakeProgram(a, l, cfg, mapping);
+    const SramUsage usage = ComputeSramUsage(prog, cfg);
+    EXPECT_TRUE(usage.fits);
+    EXPECT_GT(usage.max_data_bytes, 0u);
+    EXPECT_GT(usage.total_bytes, usage.max_data_bytes);
+}
+
+TEST(Sram, TinySramDoesNotFit)
+{
+    const CsrMatrix a = RandomGeometricLaplacian(400, 7.0, 3);
+    const CsrMatrix l = IncompleteCholesky(a);
+    SimConfig cfg;
+    cfg.grid_width = 4;
+    cfg.grid_height = 4;
+    cfg.data_sram_kb = 0.25;
+    cfg.accum_sram_kb = 0.1;
+    DataMapping mapping;
+    const PcgProgram prog = MakeProgram(a, l, cfg, mapping);
+    EXPECT_FALSE(ComputeSramUsage(prog, cfg).fits);
+}
+
+TEST(Sram, AccumUsesMaxAcrossKernelsNotSum)
+{
+    const CsrMatrix a = RandomGeometricLaplacian(300, 7.0, 5);
+    const CsrMatrix l = IncompleteCholesky(a);
+    SimConfig cfg;
+    cfg.grid_width = 4;
+    cfg.grid_height = 4;
+    DataMapping mapping;
+    const PcgProgram prog = MakeProgram(a, l, cfg, mapping);
+    const SramUsage usage = ComputeSramUsage(prog, cfg);
+    // Upper bound if accumulators were summed across the 3 kernels:
+    std::size_t sum_bound = 0;
+    for (const MatrixKernel& k : prog.matrix_kernels) {
+        std::size_t max_tile = 0;
+        for (const TileKernel& tk : k.tiles) {
+            max_tile = std::max(max_tile, 12 * tk.accums.size());
+        }
+        sum_bound += max_tile;
+    }
+    EXPECT_LE(usage.max_accum_bytes, sum_bound);
+}
+
+TEST(Sram, GrowsWithProblemSize)
+{
+    SimConfig cfg;
+    cfg.grid_width = 4;
+    cfg.grid_height = 4;
+    const CsrMatrix a1 = Grid2dLaplacian(10, 10);
+    const CsrMatrix l1 = IncompleteCholesky(a1);
+    const CsrMatrix a2 = Grid2dLaplacian(30, 30);
+    const CsrMatrix l2 = IncompleteCholesky(a2);
+    DataMapping m1;
+    DataMapping m2;
+    const SramUsage u1 =
+        ComputeSramUsage(MakeProgram(a1, l1, cfg, m1), cfg);
+    const SramUsage u2 =
+        ComputeSramUsage(MakeProgram(a2, l2, cfg, m2), cfg);
+    EXPECT_GT(u2.total_bytes, u1.total_bytes);
+}
+
+} // namespace
+} // namespace azul

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Negative tests for the compiled-kernel invariants: hand-built
+ * malformed TileKernel tables must be rejected by
+ * MatrixKernel::Validate, guarding the simulator against compiler
+ * bugs.
+ */
+#include <gtest/gtest.h>
+
+#include "dataflow/task.h"
+
+namespace azul {
+namespace {
+
+/** Minimal well-formed 2-tile kernel used as a mutation base. */
+MatrixKernel
+GoodKernel()
+{
+    MatrixKernel k;
+    k.name = "test";
+    k.tiles.resize(2);
+
+    // Tile 0: multicast root with one op, child on tile 1.
+    TileKernel& t0 = k.tiles[0];
+    t0.accums.push_back({1, NodeRef{1, 0}}); // deliver to reduce node
+    t0.ops.push_back({0, 2.0});
+    NodeDesc mc;
+    mc.kind = NodeKind::kMulticast;
+    mc.source_slot = 0;
+    mc.first_op = 0;
+    mc.num_ops = 1;
+    mc.children.push_back(NodeRef{1, 1});
+    t0.nodes.push_back(mc);
+    t0.initial_nodes.push_back(0);
+
+    // Tile 1: reduce root node 0 (expects the partial), multicast
+    // leaf node 1.
+    TileKernel& t1 = k.tiles[1];
+    NodeDesc red;
+    red.kind = NodeKind::kReduce;
+    red.expected = 1;
+    red.final_action = FinalAction::kWriteOutput;
+    red.slot = 0;
+    t1.nodes.push_back(red);
+    NodeDesc leaf;
+    leaf.kind = NodeKind::kMulticast;
+    t1.nodes.push_back(leaf);
+    return k;
+}
+
+TEST(TaskValidation, GoodKernelPasses)
+{
+    EXPECT_NO_THROW(GoodKernel().Validate());
+}
+
+TEST(TaskValidation, ChildTileOutOfRange)
+{
+    MatrixKernel k = GoodKernel();
+    k.tiles[0].nodes[0].children[0].tile = 7;
+    EXPECT_THROW(k.Validate(), AzulError);
+}
+
+TEST(TaskValidation, ChildNodeOutOfRange)
+{
+    MatrixKernel k = GoodKernel();
+    k.tiles[0].nodes[0].children[0].node = 9;
+    EXPECT_THROW(k.Validate(), AzulError);
+}
+
+TEST(TaskValidation, OpRangeBeyondOps)
+{
+    MatrixKernel k = GoodKernel();
+    k.tiles[0].nodes[0].num_ops = 3;
+    EXPECT_THROW(k.Validate(), AzulError);
+}
+
+TEST(TaskValidation, OpReferencesMissingAccum)
+{
+    MatrixKernel k = GoodKernel();
+    k.tiles[0].ops[0].acc = 5;
+    EXPECT_THROW(k.Validate(), AzulError);
+}
+
+TEST(TaskValidation, AccumWithZeroExpected)
+{
+    MatrixKernel k = GoodKernel();
+    k.tiles[0].accums[0].expected = 0;
+    EXPECT_THROW(k.Validate(), AzulError);
+}
+
+TEST(TaskValidation, AccumDestInvalid)
+{
+    MatrixKernel k = GoodKernel();
+    k.tiles[0].accums[0].dest = NodeRef{1, 5};
+    EXPECT_THROW(k.Validate(), AzulError);
+}
+
+TEST(TaskValidation, ReduceRootNeedsFinalAction)
+{
+    MatrixKernel k = GoodKernel();
+    k.tiles[1].nodes[0].final_action = FinalAction::kNone;
+    EXPECT_THROW(k.Validate(), AzulError);
+}
+
+TEST(TaskValidation, InteriorReduceMustNotHaveFinalAction)
+{
+    MatrixKernel k = GoodKernel();
+    k.tiles[1].nodes[0].parent = NodeRef{0, 0};
+    // Keeps final_action kWriteOutput -> invalid.
+    EXPECT_THROW(k.Validate(), AzulError);
+}
+
+TEST(TaskValidation, TriggerNodeOutOfRange)
+{
+    MatrixKernel k = GoodKernel();
+    k.tiles[1].nodes[0].trigger_node = 4;
+    EXPECT_THROW(k.Validate(), AzulError);
+}
+
+TEST(TaskValidation, InitialNodeOutOfRange)
+{
+    MatrixKernel k = GoodKernel();
+    k.tiles[0].initial_nodes.push_back(3);
+    EXPECT_THROW(k.Validate(), AzulError);
+}
+
+} // namespace
+} // namespace azul

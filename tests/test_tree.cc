@@ -1,0 +1,164 @@
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "dataflow/tree.h"
+
+namespace azul {
+namespace {
+
+void
+ExpectValidTree(const TreeTopology& tree,
+                const std::vector<std::int32_t>& members,
+                std::int32_t root)
+{
+    ASSERT_FALSE(tree.tiles.empty());
+    EXPECT_EQ(tree.tiles[0], root);
+    EXPECT_EQ(tree.parent[0], -1);
+    std::set<std::int32_t> in_tree(tree.tiles.begin(), tree.tiles.end());
+    // Every member is reachable.
+    for (std::int32_t m : members) {
+        EXPECT_TRUE(in_tree.count(m)) << "member " << m << " missing";
+    }
+    // Parents precede children; no duplicate tiles.
+    EXPECT_EQ(in_tree.size(), tree.tiles.size());
+    for (std::size_t i = 1; i < tree.tiles.size(); ++i) {
+        EXPECT_GE(tree.parent[i], 0);
+        EXPECT_LT(tree.parent[i], static_cast<std::int32_t>(i));
+    }
+}
+
+TEST(TorusGeometry, WrapDelta)
+{
+    EXPECT_EQ(TorusGeometry::WrapDelta(0, 3, 8), 3);
+    EXPECT_EQ(TorusGeometry::WrapDelta(0, 7, 8), -1);
+    EXPECT_EQ(TorusGeometry::WrapDelta(7, 0, 8), 1);
+    EXPECT_EQ(TorusGeometry::WrapDelta(0, 4, 8), 4); // tie -> positive
+    EXPECT_EQ(TorusGeometry::WrapDelta(2, 2, 8), 0);
+}
+
+TEST(TorusGeometry, HopDistanceUsesShortestWrap)
+{
+    const TorusGeometry geom{8, 8};
+    EXPECT_EQ(geom.HopDistance(geom.TileAt(0, 0), geom.TileAt(7, 0)),
+              1);
+    EXPECT_EQ(geom.HopDistance(geom.TileAt(0, 0), geom.TileAt(3, 3)),
+              6);
+    EXPECT_EQ(geom.HopDistance(geom.TileAt(1, 1), geom.TileAt(1, 1)),
+              0);
+}
+
+TEST(Tree, SingleNodeWhenNoMembers)
+{
+    const TorusGeometry geom{4, 4};
+    const TreeTopology tree = BuildTorusTree(geom, 5, {});
+    EXPECT_EQ(tree.size(), 1u);
+    EXPECT_EQ(tree.Depth(), 0);
+}
+
+TEST(Tree, RootInMembersIsTolerated)
+{
+    const TorusGeometry geom{4, 4};
+    const TreeTopology tree = BuildTorusTree(geom, 5, {5, 6});
+    ExpectValidTree(tree, {6}, 5);
+    EXPECT_EQ(tree.size(), 2u);
+}
+
+TEST(Tree, CoversAllMembers)
+{
+    const TorusGeometry geom{8, 8};
+    std::vector<std::int32_t> members{3, 17, 22, 40, 63, 12, 12};
+    const TreeTopology tree = BuildTorusTree(geom, 0, members);
+    ExpectValidTree(tree, members, 0);
+}
+
+TEST(Tree, StarModeParentsEverythingToRoot)
+{
+    const TorusGeometry geom{8, 8};
+    const TreeTopology tree =
+        BuildTorusTree(geom, 9, {1, 2, 3}, /*use_tree=*/false);
+    ASSERT_EQ(tree.size(), 4u);
+    for (std::size_t i = 1; i < 4; ++i) {
+        EXPECT_EQ(tree.parent[i], 0);
+    }
+}
+
+TEST(Tree, ChainReducesLinkUsage)
+{
+    // Members along one column: a chained tree uses each link once,
+    // while a star re-traverses the column repeatedly.
+    const TorusGeometry geom{8, 8};
+    std::vector<std::int32_t> members;
+    for (std::int32_t y = 1; y < 5; ++y) {
+        members.push_back(geom.TileAt(0, y));
+    }
+    const auto tree = BuildTorusTree(geom, geom.TileAt(0, 0), members);
+    const auto star = BuildTorusTree(geom, geom.TileAt(0, 0), members,
+                                     /*use_tree=*/false);
+    EXPECT_LT(tree.TotalHops(geom), star.TotalHops(geom));
+    EXPECT_EQ(tree.TotalHops(geom), 4); // one hop per chain link
+}
+
+TEST(Tree, RowBranchesThenColumns)
+{
+    // Root at (0,0); members in columns 2 and 6 (wrap west).
+    const TorusGeometry geom{8, 8};
+    const std::vector<std::int32_t> members{geom.TileAt(2, 3),
+                                            geom.TileAt(6, 2)};
+    const TreeTopology tree =
+        BuildTorusTree(geom, geom.TileAt(0, 0), members);
+    // Branch tiles on the root row must be present.
+    std::set<std::int32_t> tiles(tree.tiles.begin(), tree.tiles.end());
+    EXPECT_TRUE(tiles.count(geom.TileAt(2, 0)));
+    EXPECT_TRUE(tiles.count(geom.TileAt(6, 0)));
+}
+
+TEST(Tree, DepthBoundedByGridDiameterPlusChain)
+{
+    const TorusGeometry geom{8, 8};
+    std::vector<std::int32_t> members;
+    for (std::int32_t t = 0; t < 64; ++t) {
+        members.push_back(t);
+    }
+    const TreeTopology tree = BuildTorusTree(geom, 0, members);
+    EXPECT_EQ(tree.size(), 64u);
+    // Chains: at most width/2 east + height/2 down etc.
+    EXPECT_LE(tree.Depth(), 8);
+}
+
+TEST(Tree, ChildrenConsistentWithParents)
+{
+    const TorusGeometry geom{6, 6};
+    const TreeTopology tree = BuildTorusTree(geom, 7, {1, 14, 30, 35});
+    const auto children = tree.Children();
+    std::size_t edge_count = 0;
+    for (std::size_t i = 0; i < children.size(); ++i) {
+        for (std::int32_t c : children[i]) {
+            EXPECT_EQ(tree.parent[static_cast<std::size_t>(c)],
+                      static_cast<std::int32_t>(i));
+            ++edge_count;
+        }
+    }
+    EXPECT_EQ(edge_count, tree.size() - 1);
+}
+
+TEST(Tree, WrapDirectionIsShortest)
+{
+    // Member just west of the root (wrapping): the tree edge must be
+    // 1 hop, not width-1.
+    const TorusGeometry geom{8, 8};
+    const std::int32_t root = geom.TileAt(0, 0);
+    const std::int32_t member = geom.TileAt(7, 0);
+    const TreeTopology tree = BuildTorusTree(geom, root, {member});
+    EXPECT_EQ(tree.TotalHops(geom), 1);
+}
+
+TEST(Tree, InvalidRootThrows)
+{
+    const TorusGeometry geom{4, 4};
+    EXPECT_THROW(BuildTorusTree(geom, 99, {}), AzulError);
+}
+
+} // namespace
+} // namespace azul

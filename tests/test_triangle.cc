@@ -1,0 +1,84 @@
+#include <gtest/gtest.h>
+
+#include "sparse/triangle.h"
+#include "test_helpers.h"
+
+namespace azul {
+namespace {
+
+TEST(Triangle, LowerIncludesDiagonal)
+{
+    const CsrMatrix a = azul::testing::SmallSpd();
+    const CsrMatrix l = LowerTriangle(a);
+    EXPECT_TRUE(IsLowerTriangular(l));
+    for (Index r = 0; r < a.rows(); ++r) {
+        EXPECT_DOUBLE_EQ(l.At(r, r), a.At(r, r));
+        for (Index c = 0; c <= r; ++c) {
+            EXPECT_DOUBLE_EQ(l.At(r, c), a.At(r, c));
+        }
+    }
+}
+
+TEST(Triangle, UpperIncludesDiagonal)
+{
+    const CsrMatrix a = azul::testing::SmallSpd();
+    const CsrMatrix u = UpperTriangle(a);
+    EXPECT_TRUE(IsUpperTriangular(u));
+    for (Index r = 0; r < a.rows(); ++r) {
+        for (Index c = r; c < a.cols(); ++c) {
+            EXPECT_DOUBLE_EQ(u.At(r, c), a.At(r, c));
+        }
+    }
+}
+
+TEST(Triangle, StrictLowerExcludesDiagonal)
+{
+    const CsrMatrix a = azul::testing::SmallSpd();
+    const CsrMatrix sl = StrictLowerTriangle(a);
+    for (Index r = 0; r < a.rows(); ++r) {
+        EXPECT_DOUBLE_EQ(sl.At(r, r), 0.0);
+    }
+    EXPECT_TRUE(IsLowerTriangular(sl));
+}
+
+TEST(Triangle, LowerPlusStrictUpperCoversAll)
+{
+    const CsrMatrix a = azul::testing::SmallSpd();
+    const CsrMatrix l = LowerTriangle(a);
+    const CsrMatrix sl = StrictLowerTriangle(a);
+    EXPECT_EQ(l.nnz() + (a.nnz() - l.nnz()), a.nnz());
+    EXPECT_EQ(l.nnz() - sl.nnz(), a.rows()); // full diagonal present
+}
+
+TEST(Triangle, SymmetricSplitsEvenly)
+{
+    const CsrMatrix a = azul::testing::SmallSpd();
+    EXPECT_EQ(LowerTriangle(a).nnz(), UpperTriangle(a).nnz());
+}
+
+TEST(Triangle, IsLowerTriangularDetectsViolation)
+{
+    const CsrMatrix a = azul::testing::SmallSpd();
+    EXPECT_FALSE(IsLowerTriangular(a));
+    EXPECT_FALSE(IsUpperTriangular(a));
+}
+
+TEST(Triangle, HasFullNonzeroDiagonal)
+{
+    EXPECT_TRUE(HasFullNonzeroDiagonal(azul::testing::SmallSpd()));
+    CooMatrix coo(2, 2);
+    coo.Add(0, 0, 1.0);
+    coo.Add(1, 0, 1.0);
+    EXPECT_FALSE(HasFullNonzeroDiagonal(CsrMatrix::FromCoo(coo)));
+}
+
+TEST(Triangle, SmallLowerIsAlreadyLower)
+{
+    const CsrMatrix l = azul::testing::SmallLowerTriangular();
+    EXPECT_TRUE(IsLowerTriangular(l));
+    EXPECT_EQ(LowerTriangle(l), l);
+    EXPECT_EQ(StrictLowerTriangle(l).nnz(), l.nnz() - l.rows());
+}
+
+} // namespace
+} // namespace azul

@@ -1,0 +1,225 @@
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "util/common.h"
+#include "util/logging.h"
+#include "util/rng.h"
+#include "util/stats.h"
+#include "util/strings.h"
+
+namespace azul {
+namespace {
+
+TEST(Check, PassingCheckDoesNothing)
+{
+    EXPECT_NO_THROW(AZUL_CHECK(1 + 1 == 2));
+}
+
+TEST(Check, FailingCheckThrowsAzulError)
+{
+    EXPECT_THROW(AZUL_CHECK(1 == 2), AzulError);
+}
+
+TEST(Check, MessageIsIncluded)
+{
+    try {
+        AZUL_CHECK_MSG(false, "the value was " << 42);
+        FAIL() << "expected throw";
+    } catch (const AzulError& e) {
+        EXPECT_NE(std::string(e.what()).find("the value was 42"),
+                  std::string::npos);
+    }
+}
+
+TEST(Stats, MeanOfEmptyIsZero)
+{
+    EXPECT_EQ(Mean({}), 0.0);
+}
+
+TEST(Stats, MeanBasic)
+{
+    EXPECT_DOUBLE_EQ(Mean({1.0, 2.0, 3.0}), 2.0);
+}
+
+TEST(Stats, GeoMeanBasic)
+{
+    EXPECT_NEAR(GeoMean({1.0, 100.0}), 10.0, 1e-12);
+}
+
+TEST(Stats, GeoMeanSingle)
+{
+    EXPECT_NEAR(GeoMean({7.0}), 7.0, 1e-12);
+}
+
+TEST(Stats, GeoMeanRejectsNonPositive)
+{
+    EXPECT_THROW(GeoMean({1.0, 0.0}), AzulError);
+    EXPECT_THROW(GeoMean({1.0, -2.0}), AzulError);
+}
+
+TEST(Stats, GeoMeanEmptyIsZero)
+{
+    EXPECT_EQ(GeoMean({}), 0.0);
+}
+
+TEST(Stats, StdDevOfConstantIsZero)
+{
+    EXPECT_DOUBLE_EQ(StdDev({5.0, 5.0, 5.0}), 0.0);
+}
+
+TEST(Stats, StdDevBasic)
+{
+    // Population stddev of {2, 4}: mean 3, deviations ±1.
+    EXPECT_NEAR(StdDev({2.0, 4.0}), 1.0, 1e-12);
+}
+
+TEST(Stats, PercentileEndpoints)
+{
+    std::vector<double> xs{3.0, 1.0, 2.0};
+    EXPECT_DOUBLE_EQ(Percentile(xs, 0.0), 1.0);
+    EXPECT_DOUBLE_EQ(Percentile(xs, 100.0), 3.0);
+    EXPECT_DOUBLE_EQ(Percentile(xs, 50.0), 2.0);
+}
+
+TEST(Stats, PercentileInterpolates)
+{
+    EXPECT_NEAR(Percentile({0.0, 10.0}, 25.0), 2.5, 1e-12);
+}
+
+TEST(Stats, PercentileOfEmptyThrows)
+{
+    EXPECT_THROW(Percentile({}, 50.0), AzulError);
+}
+
+TEST(Stats, RunningStatsTracksAll)
+{
+    RunningStats rs;
+    rs.Add(3.0);
+    rs.Add(-1.0);
+    rs.Add(4.0);
+    EXPECT_EQ(rs.count(), 3u);
+    EXPECT_DOUBLE_EQ(rs.sum(), 6.0);
+    EXPECT_DOUBLE_EQ(rs.mean(), 2.0);
+    EXPECT_DOUBLE_EQ(rs.min(), -1.0);
+    EXPECT_DOUBLE_EQ(rs.max(), 4.0);
+}
+
+TEST(Stats, RunningStatsEmpty)
+{
+    RunningStats rs;
+    EXPECT_EQ(rs.count(), 0u);
+    EXPECT_EQ(rs.mean(), 0.0);
+}
+
+TEST(Rng, DeterministicAcrossInstances)
+{
+    Rng a(123);
+    Rng b(123);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_EQ(a.UniformInt(0, 1000), b.UniformInt(0, 1000));
+    }
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1);
+    Rng b(2);
+    int same = 0;
+    for (int i = 0; i < 50; ++i) {
+        if (a.UniformInt(0, 1'000'000) == b.UniformInt(0, 1'000'000)) {
+            ++same;
+        }
+    }
+    EXPECT_LT(same, 5);
+}
+
+TEST(Rng, UniformIntRespectsBounds)
+{
+    Rng rng(7);
+    for (int i = 0; i < 1000; ++i) {
+        const Index v = rng.UniformInt(-3, 8);
+        EXPECT_GE(v, -3);
+        EXPECT_LE(v, 8);
+    }
+}
+
+TEST(Rng, UniformDoubleRespectsBounds)
+{
+    Rng rng(7);
+    for (int i = 0; i < 1000; ++i) {
+        const double v = rng.UniformDouble(2.0, 3.0);
+        EXPECT_GE(v, 2.0);
+        EXPECT_LT(v, 3.0);
+    }
+}
+
+TEST(Rng, BernoulliExtremes)
+{
+    Rng rng(7);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(rng.Bernoulli(0.0));
+        EXPECT_TRUE(rng.Bernoulli(1.0));
+    }
+}
+
+TEST(Rng, ShufflePreservesElements)
+{
+    Rng rng(7);
+    std::vector<int> v{1, 2, 3, 4, 5};
+    auto w = v;
+    rng.Shuffle(w);
+    std::sort(w.begin(), w.end());
+    EXPECT_EQ(v, w);
+}
+
+TEST(Strings, SplitWhitespace)
+{
+    const auto toks = SplitWhitespace("  a\tbb   ccc \n");
+    ASSERT_EQ(toks.size(), 3u);
+    EXPECT_EQ(toks[0], "a");
+    EXPECT_EQ(toks[1], "bb");
+    EXPECT_EQ(toks[2], "ccc");
+}
+
+TEST(Strings, SplitEmpty)
+{
+    EXPECT_TRUE(SplitWhitespace("").empty());
+    EXPECT_TRUE(SplitWhitespace("   ").empty());
+}
+
+TEST(Strings, ToLower)
+{
+    EXPECT_EQ(ToLower("MatrixMarket"), "matrixmarket");
+}
+
+TEST(Strings, StartsWith)
+{
+    EXPECT_TRUE(StartsWith("%%MatrixMarket", "%%"));
+    EXPECT_FALSE(StartsWith("%", "%%"));
+    EXPECT_TRUE(StartsWith("abc", ""));
+}
+
+TEST(Strings, HumanCount)
+{
+    EXPECT_EQ(HumanCount(999.0), "999");
+    EXPECT_EQ(HumanCount(1500.0), "1.5K");
+    EXPECT_EQ(HumanCount(2.5e6), "2.5M");
+}
+
+TEST(Strings, HumanBytes)
+{
+    EXPECT_EQ(HumanBytes(512.0), "512 B");
+    EXPECT_EQ(HumanBytes(2048.0), "2 KB");
+}
+
+TEST(Logging, LevelFilterRoundTrip)
+{
+    const LogLevel before = GetLogLevel();
+    SetLogLevel(LogLevel::kError);
+    EXPECT_EQ(GetLogLevel(), LogLevel::kError);
+    SetLogLevel(before);
+}
+
+} // namespace
+} // namespace azul

@@ -1,0 +1,213 @@
+/**
+ * @file
+ * azul_solve — command-line driver for the simulated accelerator.
+ *
+ * Loads (or generates) an SPD system, configures the machine from
+ * flags, runs the solve, and prints either a human summary or a JSON
+ * report for scripting.
+ *
+ * Usage:
+ *   azul_solve [matrix.mtx] [flags]
+ *
+ * Flags:
+ *   --grid=N            square tile grid dimension     (default 16)
+ *   --mapper=NAME       round-robin|block|sparsep|azul (default azul)
+ *   --precond=NAME      none|jacobi|symgs|ssor|ic0     (default ic0)
+ *   --tol=F             convergence threshold          (default 1e-8)
+ *   --max-iters=N       iteration cap                  (default 5000)
+ *   --pe=NAME           azul|ideal|scalar PE model     (default azul)
+ *   --mesh              plain mesh instead of torus
+ *   --p2p               point-to-point sends (no trees)
+ *   --no-color          skip coloring/permutation
+ *   --save-mapping=P    write the computed mapping to P
+ *   --load-mapping=P    reuse a mapping written earlier
+ *   --json              print a JSON report instead of a summary
+ *   --history=P         write per-iteration ||r|| to CSV file P
+ *   --gen-n=N           generated problem size         (default 4096)
+ */
+#include <cstdio>
+#include <optional>
+#include <string>
+
+#include "core/azul_system.h"
+#include "mapping/mapping_io.h"
+#include "sparse/generators.h"
+#include "sparse/matrix_market.h"
+#include "sparse/matrix_stats.h"
+#include "util/logging.h"
+#include "util/rng.h"
+
+using namespace azul;
+
+namespace {
+
+[[noreturn]] void
+Usage(const char* msg)
+{
+    std::fprintf(stderr, "azul_solve: %s\n(see the file comment for "
+                         "flags)\n",
+                 msg);
+    std::exit(2);
+}
+
+MapperKind
+ParseMapper(const std::string& name)
+{
+    if (name == "round-robin") {
+        return MapperKind::kRoundRobin;
+    }
+    if (name == "block") {
+        return MapperKind::kBlock;
+    }
+    if (name == "sparsep") {
+        return MapperKind::kSparseP;
+    }
+    if (name == "azul") {
+        return MapperKind::kAzul;
+    }
+    Usage("unknown mapper");
+}
+
+PreconditionerKind
+ParsePrecond(const std::string& name)
+{
+    if (name == "none") {
+        return PreconditionerKind::kIdentity;
+    }
+    if (name == "jacobi") {
+        return PreconditionerKind::kJacobi;
+    }
+    if (name == "symgs") {
+        return PreconditionerKind::kSymmetricGaussSeidel;
+    }
+    if (name == "ssor") {
+        return PreconditionerKind::kSsor;
+    }
+    if (name == "ic0") {
+        return PreconditionerKind::kIncompleteCholesky;
+    }
+    Usage("unknown preconditioner");
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    SetLogLevel(LogLevel::kWarn);
+    std::string path;
+    std::string save_mapping;
+    std::string load_mapping;
+    std::string history_path;
+    bool json = false;
+    Index gen_n = 4096;
+    AzulOptions opts;
+    opts.tol = 1e-8;
+    opts.max_iters = 5000;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        const auto value = [&arg](const char* prefix)
+            -> std::optional<std::string> {
+            const std::string p = prefix;
+            if (arg.rfind(p, 0) == 0) {
+                return arg.substr(p.size());
+            }
+            return std::nullopt;
+        };
+        if (const auto v = value("--grid=")) {
+            opts.sim.grid_width = opts.sim.grid_height =
+                static_cast<std::int32_t>(std::stol(*v));
+        } else if (const auto v2 = value("--mapper=")) {
+            opts.mapper = ParseMapper(*v2);
+        } else if (const auto v3 = value("--precond=")) {
+            opts.precond = ParsePrecond(*v3);
+        } else if (const auto v4 = value("--tol=")) {
+            opts.tol = std::stod(*v4);
+        } else if (const auto v5 = value("--max-iters=")) {
+            opts.max_iters = std::stol(*v5);
+        } else if (const auto vp = value("--pe=")) {
+            if (*vp == "azul") {
+                opts.sim.pe_model = PeModel::kAzul;
+            } else if (*vp == "ideal") {
+                opts.sim.pe_model = PeModel::kIdeal;
+            } else if (*vp == "scalar") {
+                opts.sim.pe_model = PeModel::kScalarCore;
+            } else {
+                Usage("unknown PE model");
+            }
+        } else if (arg == "--mesh") {
+            opts.sim.torus = false;
+        } else if (arg == "--p2p") {
+            opts.graph.use_trees = false;
+        } else if (arg == "--no-color") {
+            opts.color_and_permute = false;
+        } else if (const auto v6 = value("--save-mapping=")) {
+            save_mapping = *v6;
+        } else if (const auto v7 = value("--load-mapping=")) {
+            load_mapping = *v7;
+        } else if (arg == "--json") {
+            json = true;
+        } else if (const auto vh = value("--history=")) {
+            history_path = *vh;
+        } else if (const auto v8 = value("--gen-n=")) {
+            gen_n = std::stol(*v8);
+        } else if (arg.rfind("--", 0) == 0) {
+            Usage(("unknown flag " + arg).c_str());
+        } else {
+            path = arg;
+        }
+    }
+
+    CsrMatrix a =
+        path.empty()
+            ? RandomGeometricLaplacian(gen_n, 9.0, 1)
+            : CsrMatrix::FromCoo(ReadMatrixMarket(path));
+    if (!json) {
+        std::printf("matrix: %s\n",
+                    FormatMatrixStats(ComputeMatrixStats(a)).c_str());
+    }
+
+    DataMapping loaded;
+    if (!load_mapping.empty()) {
+        loaded = LoadMapping(load_mapping);
+        opts.precomputed_mapping = &loaded;
+    }
+
+    AzulSystem system(std::move(a), opts);
+    if (!save_mapping.empty()) {
+        SaveMapping(system.mapping(), save_mapping);
+        if (!json) {
+            std::printf("mapping saved to %s\n", save_mapping.c_str());
+        }
+    }
+
+    Rng rng(99);
+    Vector b(static_cast<std::size_t>(system.matrix().rows()));
+    for (double& v : b) {
+        v = rng.UniformDouble(-1.0, 1.0);
+    }
+    const SolveReport report = system.Solve(b);
+    if (!history_path.empty()) {
+        std::FILE* f = std::fopen(history_path.c_str(), "w");
+        if (f == nullptr) {
+            std::fprintf(stderr, "cannot open %s\n",
+                         history_path.c_str());
+            return 2;
+        }
+        std::fprintf(f, "iteration,residual_norm\n");
+        for (std::size_t i = 0;
+             i < report.run.residual_history.size(); ++i) {
+            std::fprintf(f, "%zu,%.17g\n", i,
+                         report.run.residual_history[i]);
+        }
+        std::fclose(f);
+    }
+    if (json) {
+        std::printf("%s\n", report.ToJson().c_str());
+    } else {
+        std::printf("config: %s\n", opts.ToString().c_str());
+        std::printf("%s\n", report.Summary().c_str());
+    }
+    return report.run.converged ? 0 : 1;
+}
