@@ -10,6 +10,7 @@
 #include "dataflow/program.h"
 #include "mapping/azul_mapper.h"
 #include "sim/machine.h"
+#include "sim/observer.h"
 #include "solver/coloring.h"
 #include "solver/ic0.h"
 
@@ -44,14 +45,14 @@ RunForwardSolve(const CsrMatrix& a, const CsrMatrix& l, const Vector& r,
     in.precond = PreconditionerKind::kIncompleteCholesky;
     in.mapping = &mapping;
     in.geom = cfg.geometry();
-    const PcgProgram prog = BuildPcgProgram(in);
+    const SolverProgram prog = BuildPcgProgram(in);
     Machine machine(cfg, &prog);
+    TimelineObserver timeline(32);
+    machine.AttachObserver(&timeline);
     machine.LoadProblem(Vector(a.rows(), 0.0));
     machine.ScatterVector(VecName::kR, r);
-    machine.EnableIssueSampling(32);
     const SimStats stats = machine.RunMatrixKernelStandalone(1);
-    return {stats.cycles, stats.issue_timeline,
-            stats.issue_sample_period};
+    return {stats.cycles, timeline.timeline(), timeline.period()};
 }
 
 void

@@ -22,9 +22,9 @@ main(int argc, char** argv)
     std::printf("%-16s %8s %8s %8s %8s %8s\n", "matrix", "Add",
                 "Fmac", "Send", "Mul", "Stalls");
     for (const BenchMatrix& bm : LoadSuite(args)) {
-        const SolveReport rep =
-            RunConfig(bm.a, bm.b, BaseOptions(args));
-        const SimStats& s = rep.run.stats;
+        KernelMetricsObserver metrics;
+        (void)RunConfig(bm.a, bm.b, BaseOptions(args), {&metrics});
+        const KernelMetricsObserver::ClassMetrics s = metrics.Total();
         // Normalize against tile-cycles actually issued or stalled.
         const double denom = static_cast<double>(
             s.ops.total() + s.stall_cycles);

@@ -22,20 +22,18 @@ main(int argc, char** argv)
     std::printf("%-16s %10s %10s %10s\n", "matrix", "SpTRSV", "SpMV",
                 "VectorOps");
     for (const BenchMatrix& bm : LoadSuite(args)) {
+        KernelMetricsObserver metrics;
         const SolveReport rep =
-            RunConfig(bm.a, bm.b, BaseOptions(args));
-        const auto& cc = rep.run.stats.class_cycles;
+            RunConfig(bm.a, bm.b, BaseOptions(args), {&metrics});
         const double total =
             static_cast<double>(rep.run.stats.cycles);
         const double sptrsv = static_cast<double>(
-            cc[static_cast<std::size_t>(
-                KernelClass::kSpTRSVForward)] +
-            cc[static_cast<std::size_t>(
-                KernelClass::kSpTRSVBackward)]);
+            metrics.row(KernelClass::kSpTRSVForward).cycles +
+            metrics.row(KernelClass::kSpTRSVBackward).cycles);
         const double spmv = static_cast<double>(
-            cc[static_cast<std::size_t>(KernelClass::kSpMV)]);
+            metrics.row(KernelClass::kSpMV).cycles);
         const double vec = static_cast<double>(
-            cc[static_cast<std::size_t>(KernelClass::kVectorOp)]);
+            metrics.row(KernelClass::kVectorOp).cycles);
         std::printf("%-16s %9.1f%% %9.1f%% %9.1f%%\n",
                     bm.name.c_str(), sptrsv / total * 100.0,
                     spmv / total * 100.0, vec / total * 100.0);

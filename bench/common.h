@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "core/azul_system.h"
+#include "sim/observer.h"
 #include "sparse/generators.h"
 #include "util/rng.h"
 #include "util/stats.h"
@@ -112,6 +113,18 @@ inline SolveReport
 RunConfig(const CsrMatrix& a, const Vector& b, const AzulOptions& opts)
 {
     AzulSystem sys(a, opts);
+    return sys.Solve(b);
+}
+
+/** RunConfig with measurement observers attached for the solve. */
+inline SolveReport
+RunConfig(const CsrMatrix& a, const Vector& b, const AzulOptions& opts,
+          const std::vector<SimObserver*>& observers)
+{
+    AzulSystem sys(a, opts);
+    for (SimObserver* o : observers) {
+        sys.machine().AttachObserver(o);
+    }
     return sys.Solve(b);
 }
 

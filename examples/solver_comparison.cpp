@@ -98,11 +98,12 @@ main()
         cfg.grid_height = 8;
         const DataMapping mapping =
             MakeMapper(MapperKind::kAzul)->Map(prob, cfg.num_tiles());
-        const PcgProgram prog = BuildJacobiSolverProgram(
+        const SolverProgram prog = BuildJacobiSolverProgram(
             easy, mapping, cfg.geometry(), 2.0 / 3.0);
         Machine machine(cfg, &prog);
         Vector b2(static_cast<std::size_t>(easy.rows()), 1.0);
-        const PcgRunResult run = machine.RunPcg(b2, tol, cap);
+        const SolverRunResult run =
+            SolverDriver().Run(machine, b2, tol, cap);
         std::printf("%-24s %lld iters, ||r||=%.2e, %s, %llu cycles\n",
                     "Azul weighted Jacobi",
                     static_cast<long long>(run.iterations),

@@ -27,11 +27,11 @@ RunDalorexPcg(const CsrMatrix& a, const CsrMatrix* l, const Vector& b,
     // Dalorex has no compiler-built multicast trees; sends are
     // point-to-point from each producing core.
     in.graph.use_trees = false;
-    const PcgProgram program = BuildPcgProgram(in);
+    const SolverProgram program = BuildPcgProgram(in);
 
     Machine machine(cfg, &program);
     DalorexResult result;
-    result.run = machine.RunPcg(b, tol, max_iters);
+    result.run = SolverDriver().Run(machine, b, tol, max_iters);
     result.gflops = result.run.Gflops(cfg.clock_ghz);
     return result;
 }

@@ -19,7 +19,7 @@ namespace azul {
 
 /** Outcome of a Dalorex baseline run. */
 struct DalorexResult {
-    PcgRunResult run;
+    SolverRunResult run;
     double gflops = 0.0;
 };
 

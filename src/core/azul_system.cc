@@ -110,8 +110,8 @@ AzulSystem::Solve(const Vector& b)
     AZUL_CHECK(static_cast<Index>(b.size()) == a_.rows());
     const Vector b_perm = PermuteVector(b, perm_);
     SolveReport report;
-    report.run =
-        machine_->RunPcg(b_perm, options_.tol, options_.max_iters);
+    report.run = SolverDriver().Run(*machine_, b_perm, options_.tol,
+                                    options_.max_iters);
     report.run.x = UnpermuteVector(report.run.x, perm_);
     report.gflops = report.run.Gflops(options_.sim.clock_ghz);
     report.peak_fraction = report.gflops / options_.sim.PeakGflops();

@@ -62,7 +62,7 @@ class AzulSystem {
     }
     const Permutation& permutation() const { return perm_; }
     const DataMapping& mapping() const { return mapping_; }
-    const PcgProgram& program() const { return program_; }
+    const SolverProgram& program() const { return program_; }
     Machine& machine() { return *machine_; }
     double mapping_seconds() const { return mapping_seconds_; }
     double compile_seconds() const { return compile_seconds_; }
@@ -74,7 +74,7 @@ class AzulSystem {
     CsrMatrix l_;        //!< lower factor (empty if not factored)
     Permutation perm_;   //!< coloring permutation (identity if off)
     DataMapping mapping_;
-    PcgProgram program_;
+    SolverProgram program_;
     std::unique_ptr<Machine> machine_;
     double mapping_seconds_ = 0.0;
     double compile_seconds_ = 0.0;

@@ -15,10 +15,10 @@
 
 namespace azul {
 
-/** Full report of one accelerated PCG solve. */
+/** Full report of one accelerated solve. */
 struct SolveReport {
     /** Solver outcome + cumulative simulation statistics. */
-    PcgRunResult run;
+    SolverRunResult run;
     /** Delivered throughput over the whole solve. */
     double gflops = 0.0;
     /** Fraction of the machine's peak FP throughput. */

@@ -5,7 +5,7 @@
 
 namespace azul {
 
-PcgProgram
+SolverProgram
 BuildPcgProgram(const ProgramBuildInputs& in)
 {
     AZUL_CHECK(in.a != nullptr);
@@ -18,7 +18,7 @@ BuildPcgProgram(const ProgramBuildInputs& in)
     AZUL_CHECK_MSG(!factored || in.l != nullptr,
                    "trisolve preconditioner requires a lower factor");
 
-    PcgProgram prog;
+    SolverProgram prog;
     prog.geom = in.geom;
     prog.vec_tile = in.mapping->vec_tile;
 
@@ -127,17 +127,19 @@ BuildPcgProgram(const ProgramBuildInputs& in)
     if (in.precond == PreconditionerKind::kJacobi) {
         prog.vector_flops += n;
     }
+    // Preconditioner application + copy (n) + two dots (2n each).
+    prog.prologue_flops = prog.sptrsv_flops + 5.0 * n;
     return prog;
 }
 
-PcgProgram
+SolverProgram
 BuildJacobiSolverProgram(const CsrMatrix& a, const DataMapping& mapping,
                          const TorusGeometry& geom, double omega,
                          const GraphOptions& graph)
 {
     AZUL_CHECK(geom.num_tiles() == mapping.num_tiles);
     AZUL_CHECK(omega > 0.0 && omega <= 1.0);
-    PcgProgram prog;
+    SolverProgram prog;
     prog.geom = geom;
     prog.vec_tile = mapping.vec_tile;
     prog.matrix_kernels.push_back(
@@ -166,19 +168,29 @@ BuildJacobiSolverProgram(const CsrMatrix& a, const DataMapping& mapping,
     prog.iteration.push_back(
         Phase::Vector(MakeDot(ScalarReg::kRr, VecName::kR, VecName::kR)));
 
+    // True-residual recompute (the iteration's own residual path
+    // without the x update): Ap = A x; r = b - Ap; rr = r.r.
+    prog.residual_recompute.push_back(Phase::Matrix(0));
+    prog.residual_recompute.push_back(Phase::Vector(
+        MakeSub(VecName::kR, VecName::kB, VecName::kAp)));
+    prog.residual_recompute.push_back(
+        Phase::Vector(MakeDot(ScalarReg::kRr, VecName::kR, VecName::kR)));
+
     const double n = static_cast<double>(a.rows());
     prog.spmv_flops = SpMVFlops(a);
     prog.vector_flops = 7.0 * n; // sub + scale + axpy + dot
+    prog.prologue_flops = 2.0 * n;  // one dot
+    prog.recompute_flops = prog.spmv_flops + 3.0 * n;
     return prog;
 }
 
-PcgProgram
+SolverProgram
 BuildBiCgStabProgram(const CsrMatrix& a, const DataMapping& mapping,
                      const TorusGeometry& geom,
                      const GraphOptions& graph)
 {
     AZUL_CHECK(geom.num_tiles() == mapping.num_tiles);
-    PcgProgram prog;
+    SolverProgram prog;
     prog.geom = geom;
     prog.vec_tile = mapping.vec_tile;
 
@@ -271,6 +283,7 @@ BuildBiCgStabProgram(const CsrMatrix& a, const DataMapping& mapping,
     const double n = static_cast<double>(a.rows());
     prog.spmv_flops = 2.0 * SpMVFlops(a);
     prog.vector_flops = 22.0 * n;
+    prog.prologue_flops = 6.0 * n; // two copies + two dots
     return prog;
 }
 

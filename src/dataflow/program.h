@@ -1,8 +1,15 @@
 /**
  * @file
- * The compiled PCG program: the full sequence of kernel phases the
- * machine executes per solver iteration (Listing 1 of the paper),
- * plus the prologue that establishes the initial residual state.
+ * The compiled solver program IR: the full sequence of kernel phases
+ * the machine executes per solver iteration (Listing 1 of the paper
+ * for PCG), plus the prologue that establishes the initial residual
+ * state and an explicit convergence contract.
+ *
+ * A SolverProgram is pure data — the engine layer (`src/sim/`)
+ * interprets it without knowing which algorithm it encodes. PCG,
+ * weighted Jacobi, and BiCGStab (Table II) are all built here as
+ * plain programs; adding another iterative method (e.g. Chebyshev)
+ * is an IR-level change only.
  */
 #ifndef AZUL_DATAFLOW_PROGRAM_H_
 #define AZUL_DATAFLOW_PROGRAM_H_
@@ -70,19 +77,58 @@ struct Phase {
     }
 };
 
-/** A compiled PCG program with its placement context. */
-struct PcgProgram {
+/**
+ * The convergence contract of a program: which scalar register the
+ * iteration body leaves the residual measure in, how to turn that
+ * register into ||r||, and how often (if ever) to re-establish the
+ * true residual before reading it. The generic run driver consults
+ * only this spec — it has no built-in knowledge of PCG's kRr
+ * convention.
+ */
+struct ConvergenceSpec {
+    /** Register the iteration leaves the residual measure in. */
+    ScalarReg residual_reg = ScalarReg::kRr;
+
+    enum class Norm : std::uint8_t {
+        kL2FromSquared, //!< register holds ||r||^2 (dot(r, r))
+        kAbsolute,      //!< register holds ||r|| directly
+    };
+    Norm norm = Norm::kL2FromSquared;
+
+    /**
+     * If > 0 and the program provides `residual_recompute` phases,
+     * the driver runs them every this-many iterations before reading
+     * the residual register — guarding against drift between the
+     * recurrence residual and the true residual b - A x on
+     * long-running solves.
+     */
+    Index true_residual_interval = 0;
+};
+
+/** A compiled solver program with its placement context. */
+struct SolverProgram {
     TorusGeometry geom;
     std::vector<TileId> vec_tile;
     std::vector<MatrixKernel> matrix_kernels;
     std::vector<Phase> prologue;  //!< run once (x = 0, r = b assumed)
     std::vector<Phase> iteration; //!< run until convergence
+    /** Optional phases re-establishing the true residual measure
+     *  (see ConvergenceSpec::true_residual_interval). */
+    std::vector<Phase> residual_recompute;
+    /** How the run driver detects convergence. */
+    ConvergenceSpec convergence;
+    /** Vector holding the solution the driver gathers at the end. */
+    VecName solution = VecName::kX;
     /** Per-index 1/diag(A) for the Jacobi kDiagScale kernel. */
     std::vector<double> jacobi_inv_diag;
     /** Nominal FLOPs per iteration, by kernel class. */
     double spmv_flops = 0.0;
     double sptrsv_flops = 0.0;
     double vector_flops = 0.0;
+    /** Nominal FLOPs of the one-time prologue. */
+    double prologue_flops = 0.0;
+    /** Nominal FLOPs of one residual_recompute execution. */
+    double recompute_flops = 0.0;
 
     double
     FlopsPerIteration() const
@@ -90,6 +136,10 @@ struct PcgProgram {
         return spmv_flops + sptrsv_flops + vector_flops;
     }
 };
+
+/** Deprecated alias — every solver squatted in the "PCG" container
+ *  before the IR/engine split. Use SolverProgram in new code. */
+using PcgProgram = SolverProgram;
 
 /** Inputs to program compilation. */
 struct ProgramBuildInputs {
@@ -106,7 +156,7 @@ struct ProgramBuildInputs {
  * Compiles the full PCG program: SpMV + preconditioner application +
  * vector ops, on the placement given by the mapping.
  */
-PcgProgram BuildPcgProgram(const ProgramBuildInputs& in);
+SolverProgram BuildPcgProgram(const ProgramBuildInputs& in);
 
 /**
  * Compiles a weighted-Jacobi (damped Richardson) solver program —
@@ -114,14 +164,13 @@ PcgProgram BuildPcgProgram(const ProgramBuildInputs& in);
  *
  *     x += omega * D^{-1} (b - A x)
  *
- * Shares the PcgProgram container and the machine's RunPcg driver
- * (the driver only depends on phases + the rr register).
+ * Runs through the same generic SolverDriver as every other program.
  */
-PcgProgram BuildJacobiSolverProgram(const CsrMatrix& a,
-                                    const DataMapping& mapping,
-                                    const TorusGeometry& geom,
-                                    double omega = 2.0 / 3.0,
-                                    const GraphOptions& graph = {});
+SolverProgram BuildJacobiSolverProgram(const CsrMatrix& a,
+                                       const DataMapping& mapping,
+                                       const TorusGeometry& geom,
+                                       double omega = 2.0 / 3.0,
+                                       const GraphOptions& graph = {});
 
 /**
  * Compiles a (unpreconditioned) BiCGStab solver program — Table II's
@@ -129,10 +178,10 @@ PcgProgram BuildJacobiSolverProgram(const CsrMatrix& a,
  * kernels per iteration. The matrix need not be symmetric, so this
  * exercises Azul's generality beyond PCG.
  */
-PcgProgram BuildBiCgStabProgram(const CsrMatrix& a,
-                                const DataMapping& mapping,
-                                const TorusGeometry& geom,
-                                const GraphOptions& graph = {});
+SolverProgram BuildBiCgStabProgram(const CsrMatrix& a,
+                                   const DataMapping& mapping,
+                                   const TorusGeometry& geom,
+                                   const GraphOptions& graph = {});
 
 } // namespace azul
 

@@ -1,60 +1,20 @@
+/**
+ * @file
+ * Machine core: construction, distributed vector storage, observer
+ * attachment, and phase orchestration. The matrix- and vector-kernel
+ * engines live in machine_matrix.cc / machine_vector.cc; the generic
+ * convergence loop in solver_driver.cc.
+ */
 #include "sim/machine.h"
 
 #include <algorithm>
-#include <cmath>
 
+#include "sim/observer.h"
 #include "util/logging.h"
 
 namespace azul {
 
-namespace {
-
-/** Pipeline fill depth: decode + Data SRAM + compute + writeback. */
-Cycle
-PipelineDepth(const SimConfig& cfg)
-{
-    return static_cast<Cycle>(1 + cfg.sram_latency + cfg.fmac_latency +
-                              1);
-}
-
-/** Field-wise difference of additive counters (timeline excluded). */
-SimStats
-SubtractStats(const SimStats& after, const SimStats& before)
-{
-    SimStats d;
-    d.cycles = after.cycles - before.cycles;
-    d.ops.fmac = after.ops.fmac - before.ops.fmac;
-    d.ops.add = after.ops.add - before.ops.add;
-    d.ops.mul = after.ops.mul - before.ops.mul;
-    d.ops.send = after.ops.send - before.ops.send;
-    d.stall_cycles = after.stall_cycles - before.stall_cycles;
-    d.idle_cycles = after.idle_cycles - before.idle_cycles;
-    d.link_activations =
-        after.link_activations - before.link_activations;
-    d.messages = after.messages - before.messages;
-    d.spilled_messages =
-        after.spilled_messages - before.spilled_messages;
-    d.sram_reads = after.sram_reads - before.sram_reads;
-    d.sram_writes = after.sram_writes - before.sram_writes;
-    for (std::size_t i = 0; i < d.class_cycles.size(); ++i) {
-        d.class_cycles[i] =
-            after.class_cycles[i] - before.class_cycles[i];
-    }
-    d.issue_timeline = after.issue_timeline;
-    d.issue_sample_period = after.issue_sample_period;
-    d.tile_ops.resize(after.tile_ops.size(), 0);
-    for (std::size_t t = 0; t < after.tile_ops.size(); ++t) {
-        d.tile_ops[t] = after.tile_ops[t] -
-                        (t < before.tile_ops.size()
-                             ? before.tile_ops[t]
-                             : 0);
-    }
-    return d;
-}
-
-} // namespace
-
-Machine::Machine(SimConfig cfg, const PcgProgram* program)
+Machine::Machine(SimConfig cfg, const SolverProgram* program)
     : cfg_(std::move(cfg)), prog_(program), geom_(cfg_.geometry()),
       noc_(geom_, cfg_.hop_latency)
 {
@@ -170,613 +130,102 @@ Machine::ReadScalar(ScalarReg reg) const
 }
 
 // ---------------------------------------------------------------------------
-// Matrix-kernel execution
+// Measurement layer
 // ---------------------------------------------------------------------------
 
 void
-Machine::ActivateTask(std::int32_t tile, RuntimeTask task)
+Machine::AttachObserver(SimObserver* observer)
 {
-    TileRun& run = runs_[static_cast<std::size_t>(tile)];
-    if (static_cast<std::int32_t>(run.contexts.size() +
-                                  run.pending.size()) >
-        cfg_.msg_buffer_entries) {
-        // Register buffer overflow: the message spills to Data SRAM
-        // (Sec V-A). Charged as extra SRAM traffic.
-        ++stats_.spilled_messages;
-        ++stats_.sram_writes;
-        ++stats_.sram_reads;
-    }
-    run.pending.push_back(task);
-    ++outstanding_tasks_;
-    MarkTileActive(tile);
+    AZUL_CHECK(observer != nullptr);
+    observers_.push_back(observer);
 }
 
 void
-Machine::StartMatrixKernel(const MatrixKernel& kernel)
+Machine::DetachObserver(SimObserver* observer)
 {
-    for (std::int32_t t = 0; t < geom_.num_tiles(); ++t) {
-        const TileKernel& tk =
-            kernel.tiles[static_cast<std::size_t>(t)];
-        TileRun& run = runs_[static_cast<std::size_t>(t)];
-        run.contexts.clear();
-        run.pending.clear();
-        run.acc_value.assign(tk.accums.size(), 0.0);
-        run.acc_remaining.resize(tk.accums.size());
-        for (std::size_t a = 0; a < tk.accums.size(); ++a) {
-            run.acc_remaining[a] = tk.accums[a].expected;
-        }
-        run.acc_busy.assign(tk.accums.size(), 0);
-        run.node_acc.assign(tk.nodes.size(), 0.0);
-        run.node_remaining.resize(tk.nodes.size());
-        for (std::size_t nd = 0; nd < tk.nodes.size(); ++nd) {
-            run.node_remaining[nd] = tk.nodes[nd].expected;
-        }
-        run.node_busy.assign(tk.nodes.size(), 0);
-        run.pe_busy_until = 0;
-    }
-    // Fire initial nodes.
-    for (std::int32_t t = 0; t < geom_.num_tiles(); ++t) {
-        const TileKernel& tk =
-            kernel.tiles[static_cast<std::size_t>(t)];
-        for (NodeId n : tk.initial_nodes) {
-            const NodeDesc& node =
-                tk.nodes[static_cast<std::size_t>(n)];
-            RuntimeTask task;
-            task.node = n;
-            if (node.kind == NodeKind::kMulticast) {
-                task.kind = RuntimeTask::Kind::kMulticastDeliver;
-                task.value =
-                    ReadSlot(kernel.input_vec, node.source_slot);
-                ++stats_.sram_reads;
-            } else {
-                // Reduce root with no contributions: go straight to
-                // the solve stage.
-                task.kind = RuntimeTask::Kind::kReduceArrival;
-                task.progress = 1;
-            }
-            ActivateTask(t, task);
-        }
-    }
-}
-
-void
-Machine::DeliverMessage(const MatrixKernel& kernel, std::int32_t tile,
-                        const Message& msg)
-{
-    const NodeDesc& node =
-        kernel.tiles[static_cast<std::size_t>(tile)]
-            .nodes[static_cast<std::size_t>(msg.dest_node)];
-    RuntimeTask task;
-    task.node = msg.dest_node;
-    task.value = msg.value;
-    task.kind = node.kind == NodeKind::kMulticast
-                    ? RuntimeTask::Kind::kMulticastDeliver
-                    : RuntimeTask::Kind::kReduceArrival;
-    ActivateTask(tile, task);
-}
-
-bool
-Machine::TryIssue(const MatrixKernel& kernel, std::int32_t tile,
-                  RuntimeTask& task, Cycle now, bool& completed)
-{
-    const bool ideal = cfg_.pe_model == PeModel::kIdeal;
-    const Cycle lat =
-        ideal ? 1 : static_cast<Cycle>(cfg_.fmac_latency) +
-                        static_cast<Cycle>(cfg_.sram_latency);
-    const TileKernel& tk = kernel.tiles[static_cast<std::size_t>(tile)];
-    TileRun& run = runs_[static_cast<std::size_t>(tile)];
-    completed = false;
-
-    if (task.kind == RuntimeTask::Kind::kMulticastDeliver) {
-        const NodeDesc& node =
-            tk.nodes[static_cast<std::size_t>(task.node)];
-        const auto num_children =
-            static_cast<std::int32_t>(node.children.size());
-        if (task.progress < num_children) {
-            // Forward to the next child in the tree.
-            const NodeRef& child =
-                node.children[static_cast<std::size_t>(task.progress)];
-            stats_.ops.Count(OpKind::kSend);
-            ++stats_.sram_reads;
-            ++stats_.messages;
-            noc_.Inject(now + 1, tile,
-                        Message{child.tile, child.node, task.value});
-            ++task.progress;
-            completed =
-                task.progress == num_children && node.num_ops == 0;
-            return true;
-        }
-        // Column-task FMAC.
-        const std::int32_t j = task.progress - num_children;
-        AZUL_CHECK(j < node.num_ops);
-        const ColumnOp& op =
-            tk.ops[static_cast<std::size_t>(node.first_op + j)];
-        if (!ideal &&
-            run.acc_busy[static_cast<std::size_t>(op.acc)] > now) {
-            return false; // RAW hazard on the accumulator
-        }
-        stats_.ops.Count(OpKind::kFmac);
-        stats_.sram_reads += 2; // nonzero + accumulator
-        ++stats_.sram_writes;
-        run.acc_value[static_cast<std::size_t>(op.acc)] +=
-            op.coeff * task.value;
-        run.acc_busy[static_cast<std::size_t>(op.acc)] = now + lat;
-        if (--run.acc_remaining[static_cast<std::size_t>(op.acc)] ==
-            0) {
-            // Deliver the finished partial sum: the send is fused
-            // into the final FMAC's writeback stage.
-            const AccumDesc& acc =
-                tk.accums[static_cast<std::size_t>(op.acc)];
-            ++stats_.messages;
-            noc_.Inject(now + lat, tile,
-                        Message{acc.dest.tile, acc.dest.node,
-                                run.acc_value[static_cast<std::size_t>(
-                                    op.acc)]});
-        }
-        ++task.progress;
-        completed = task.progress == num_children + node.num_ops;
-        return true;
-    }
-
-    // kReduceArrival
-    const NodeDesc& node = tk.nodes[static_cast<std::size_t>(task.node)];
-    if (task.progress == 0) {
-        if (!ideal &&
-            run.node_busy[static_cast<std::size_t>(task.node)] > now) {
-            return false; // previous contribution still in flight
-        }
-        stats_.ops.Count(OpKind::kAdd);
-        ++stats_.sram_reads;
-        ++stats_.sram_writes;
-        run.node_acc[static_cast<std::size_t>(task.node)] += task.value;
-        run.node_busy[static_cast<std::size_t>(task.node)] = now + lat;
-        if (--run.node_remaining[static_cast<std::size_t>(task.node)] >
-            0) {
-            completed = true;
-            return true;
-        }
-        // All contributions in: forward or finalize.
-        if (node.parent.valid()) {
-            ++stats_.messages;
-            noc_.Inject(now + lat, tile,
-                        Message{node.parent.tile, node.parent.node,
-                                run.node_acc[static_cast<std::size_t>(
-                                    task.node)]});
-            completed = true;
-            return true;
-        }
-        if (node.final_action == FinalAction::kWriteOutput) {
-            WriteSlot(kernel.output_vec, node.slot,
-                      run.node_acc[static_cast<std::size_t>(task.node)]);
-            ++stats_.sram_writes;
-            completed = true;
-            return true;
-        }
-        AZUL_CHECK(node.final_action == FinalAction::kSolve);
-        task.progress = 1; // continue with the solve Mul
-        return true;
-    }
-
-    // Solve stage: x = (rhs - acc) * inv_diag.
-    AZUL_CHECK(task.progress == 1);
-    if (!ideal &&
-        run.node_busy[static_cast<std::size_t>(task.node)] > now) {
-        return false; // wait for the final Add's result
-    }
-    stats_.ops.Count(OpKind::kMul);
-    stats_.sram_reads += 2; // rhs + 1/diag
-    ++stats_.sram_writes;
-    const double rhs = kernel.rhs_vec == VecName::kCount
-                           ? 0.0
-                           : ReadSlot(kernel.rhs_vec, node.slot);
-    const double x =
-        (rhs - run.node_acc[static_cast<std::size_t>(task.node)]) *
-        kernel.inv_diag[static_cast<std::size_t>(node.slot)];
-    WriteSlot(kernel.output_vec, node.slot, x);
-    if (node.trigger_node != -1) {
-        RuntimeTask mc;
-        mc.kind = RuntimeTask::Kind::kMulticastDeliver;
-        mc.node = node.trigger_node;
-        mc.value = x;
-        ActivateTask(tile, mc);
-    }
-    completed = true;
-    return true;
-}
-
-int
-Machine::TickTile(const MatrixKernel& kernel, std::int32_t tile,
-                  Cycle now)
-{
-    TileRun& run = runs_[static_cast<std::size_t>(tile)];
-    const std::int32_t max_contexts =
-        cfg_.multithreading ? cfg_.num_contexts : 1;
-    while (static_cast<std::int32_t>(run.contexts.size()) <
-               max_contexts &&
-           !run.pending.empty()) {
-        run.contexts.push_back(run.pending.front());
-        run.pending.pop_front();
-    }
-    if (run.contexts.empty()) {
-        return 0;
-    }
-
-    if (cfg_.pe_model == PeModel::kIdeal) {
-        // Unbounded issue width, no hazards: drain everything that
-        // can run this cycle.
-        int issued = 0;
-        bool progress = true;
-        while (progress) {
-            progress = false;
-            for (std::size_t c = 0; c < run.contexts.size();) {
-                bool completed = false;
-                if (TryIssue(kernel, tile, run.contexts[c], now,
-                             completed)) {
-                    ++issued;
-                    progress = true;
-                }
-                if (completed) {
-                    run.contexts.erase(run.contexts.begin() +
-                                       static_cast<std::ptrdiff_t>(c));
-                    --outstanding_tasks_;
-                } else {
-                    ++c;
-                }
-            }
-            while (static_cast<std::int32_t>(run.contexts.size()) <
-                       max_contexts &&
-                   !run.pending.empty()) {
-                run.contexts.push_back(run.pending.front());
-                run.pending.pop_front();
-                progress = true;
-            }
-        }
-        if (!stats_.tile_ops.empty()) {
-            stats_.tile_ops[static_cast<std::size_t>(tile)] +=
-                static_cast<std::uint64_t>(issued);
-        }
-        return issued;
-    }
-
-    if (now < run.pe_busy_until) {
-        return 0; // scalar core executing bookkeeping instructions
-    }
-    for (std::size_t c = 0; c < run.contexts.size(); ++c) {
-        bool completed = false;
-        if (TryIssue(kernel, tile, run.contexts[c], now, completed)) {
-            run.pe_busy_until =
-                now + static_cast<Cycle>(IssueCost(cfg_));
-            if (!stats_.tile_ops.empty()) {
-                ++stats_.tile_ops[static_cast<std::size_t>(tile)];
-            }
-            if (completed) {
-                run.contexts.erase(run.contexts.begin() +
-                                   static_cast<std::ptrdiff_t>(c));
-                --outstanding_tasks_;
-            }
-            return 1;
-        }
-        if (!cfg_.multithreading) {
-            break; // single-threaded: blocked on the oldest task
-        }
-    }
-    ++stats_.stall_cycles;
-    return 0;
-}
-
-Cycle
-Machine::RunMatrixKernel(const MatrixKernel& kernel)
-{
-    StartMatrixKernel(kernel);
-    const Cycle start = clock_;
-    const std::uint64_t links_before = noc_.link_activations();
-
-    while (outstanding_tasks_ > 0 || !noc_.Empty()) {
-        AZUL_CHECK_MSG(clock_ - start < cfg_.max_phase_cycles,
-                       "matrix kernel " << kernel.name
-                                        << " exceeded the cycle cap");
-        delivery_buffer_.clear();
-        noc_.AdvanceTo(clock_, delivery_buffer_);
-        for (const Delivery& d : delivery_buffer_) {
-            DeliverMessage(kernel, d.msg.dest_tile, d.msg);
-        }
-
-        int issued_this_cycle = 0;
-        bool any_active = false;
-        for (std::size_t i = 0; i < active_list_.size();) {
-            const std::int32_t t = active_list_[i];
-            TileRun& run = runs_[static_cast<std::size_t>(t)];
-            if (!run.HasWork()) {
-                tile_active_[static_cast<std::size_t>(t)] = 0;
-                active_list_[i] = active_list_.back();
-                active_list_.pop_back();
-                continue;
-            }
-            any_active = true;
-            issued_this_cycle += TickTile(kernel, t, clock_);
-            ++i;
-        }
-
-        if (issue_sample_period_ > 0) {
-            const std::size_t bucket = static_cast<std::size_t>(
-                (clock_ - start) / issue_sample_period_);
-            if (stats_.issue_timeline.size() <= bucket) {
-                stats_.issue_timeline.resize(bucket + 1, 0);
-            }
-            stats_.issue_timeline[bucket] +=
-                static_cast<std::uint64_t>(issued_this_cycle);
-            stats_.issue_sample_period = issue_sample_period_;
-        }
-
-        ++clock_;
-        if (!any_active && outstanding_tasks_ == 0 && !noc_.Empty()) {
-            clock_ = std::max(clock_, noc_.NextEventTime());
-        }
-    }
-
-    const Cycle elapsed = clock_ - start;
-    stats_.cycles += elapsed;
-    stats_.class_cycles[static_cast<std::size_t>(kernel.kclass)] +=
-        elapsed;
-    stats_.link_activations +=
-        noc_.link_activations() - links_before;
-    return elapsed;
-}
-
-SimStats
-Machine::RunMatrixKernelStandalone(int kernel_index)
-{
-    AZUL_CHECK(kernel_index >= 0 &&
-               kernel_index <
-                   static_cast<int>(prog_->matrix_kernels.size()));
-    const SimStats before = stats_;
-    RunMatrixKernel(prog_->matrix_kernels[static_cast<std::size_t>(
-        kernel_index)]);
-    return SubtractStats(stats_, before);
-}
-
-// ---------------------------------------------------------------------------
-// Vector-kernel execution
-// ---------------------------------------------------------------------------
-
-Cycle
-Machine::RunElementwise(const VectorKernel& kernel)
-{
-    const std::int32_t cost = IssueCost(cfg_);
-    Index max_slots = 0;
-    for (std::size_t tile = 0; tile < tiles_.size(); ++tile) {
-        TileStorage& storage = tiles_[tile];
-        max_slots = std::max(max_slots, storage.NumSlots());
-        if (!stats_.tile_ops.empty()) {
-            stats_.tile_ops[tile] +=
-                static_cast<std::uint64_t>(storage.NumSlots());
-        }
-        auto& dst =
-            storage.vecs[static_cast<std::size_t>(kernel.dst)];
-        const auto& a =
-            storage.vecs[static_cast<std::size_t>(kernel.src_a)];
-        const auto& b2 =
-            storage.vecs[static_cast<std::size_t>(kernel.src_b)];
-        const double s =
-            kernel.scale_sign *
-            (kernel.use_const_scale
-                 ? kernel.const_scale
-                 : scalar_regs_[static_cast<std::size_t>(
-                       kernel.scale_reg)]);
-        for (std::size_t i = 0; i < dst.size(); ++i) {
-            switch (kernel.op) {
-              case VecOpKind::kAxpy:
-                dst[i] += s * a[i];
-                stats_.ops.Count(OpKind::kFmac);
-                break;
-              case VecOpKind::kXpby:
-                dst[i] = a[i] + s * dst[i];
-                stats_.ops.Count(OpKind::kFmac);
-                break;
-              case VecOpKind::kSub:
-                dst[i] = a[i] - b2[i];
-                stats_.ops.Count(OpKind::kAdd);
-                break;
-              case VecOpKind::kCopy:
-                dst[i] = a[i];
-                stats_.ops.Count(OpKind::kMul);
-                break;
-              case VecOpKind::kDiagScale:
-                dst[i] = a[i] * storage.jacobi_inv_diag[i];
-                stats_.ops.Count(OpKind::kMul);
-                break;
-              default:
-                throw AzulError("bad elementwise kernel");
-            }
-            stats_.sram_reads += 2;
-            ++stats_.sram_writes;
-        }
-    }
-    const Cycle duration =
-        cost == 0 ? 1
-                  : static_cast<Cycle>(max_slots) *
-                            static_cast<Cycle>(cost) +
-                        PipelineDepth(cfg_);
-    return duration;
-}
-
-Cycle
-Machine::RunDotReduce(const VectorKernel& kernel)
-{
-    const std::int32_t cost = IssueCost(cfg_);
-    const Cycle pipe = PipelineDepth(cfg_);
-    const Cycle op_cost = cost == 0 ? 0 : static_cast<Cycle>(cost);
-
-    // Local partials.
-    const std::size_t num_nodes = scalar_tree_.size();
-    std::vector<double> partial(num_nodes, 0.0);
-    std::vector<Cycle> ready(num_nodes, 0);
-    double dot = 0.0;
-    for (std::size_t ni = 0; ni < num_nodes; ++ni) {
-        const TileStorage& ts = tiles_[static_cast<std::size_t>(
-            scalar_tree_.tiles[ni])];
-        const auto& a = ts.vecs[static_cast<std::size_t>(kernel.src_a)];
-        const auto& b = ts.vecs[static_cast<std::size_t>(kernel.src_b)];
-        double acc = 0.0;
-        for (std::size_t i = 0; i < a.size(); ++i) {
-            acc += a[i] * b[i];
-        }
-        stats_.ops.fmac += a.size();
-        stats_.sram_reads += 2 * a.size();
-        if (!stats_.tile_ops.empty()) {
-            stats_.tile_ops[static_cast<std::size_t>(
-                scalar_tree_.tiles[ni])] += a.size();
-        }
-        partial[ni] = acc;
-        dot += acc;
-        ready[ni] = cost == 0
-                        ? 1
-                        : static_cast<Cycle>(a.size()) * op_cost + pipe;
-    }
-
-    // Upward reduction: children precede parents in completion; tree
-    // node indices have parents before children, so sweep backwards.
-    std::vector<Cycle> done = ready;
-    for (std::size_t ni = num_nodes; ni-- > 0;) {
-        for (std::int32_t ci : scalar_tree_children_[ni]) {
-            const Cycle arrival =
-                done[static_cast<std::size_t>(ci)] + 1 +
-                static_cast<Cycle>(
-                    geom_.HopDistance(
-                        scalar_tree_.tiles[static_cast<std::size_t>(
-                            ci)],
-                        scalar_tree_.tiles[ni]) *
-                    cfg_.hop_latency);
-            done[ni] = std::max(done[ni], arrival) + 1;
-            stats_.ops.Count(OpKind::kAdd);
-            stats_.ops.Count(OpKind::kSend);
-            ++stats_.messages;
-            stats_.link_activations += static_cast<std::uint64_t>(
-                geom_.HopDistance(
-                    scalar_tree_.tiles[static_cast<std::size_t>(ci)],
-                    scalar_tree_.tiles[ni]));
-        }
-    }
-
-    // Root post-ops: quotient and register copies, then broadcast.
-    scalar_regs_[static_cast<std::size_t>(kernel.dot_out)] = dot;
-    int broadcast_values = 1;
-    Cycle root_done = done[0];
-    if (kernel.post_divide) {
-        const double num =
-            scalar_regs_[static_cast<std::size_t>(kernel.div_num)];
-        const double q =
-            kernel.divide_dot_by_num ? dot / num : num / dot;
-        scalar_regs_[static_cast<std::size_t>(kernel.div_out)] = q;
-        stats_.ops.Count(OpKind::kMul);
-        root_done += 4; // FP divide latency at the root
-        ++broadcast_values;
-    }
-    if (kernel.copy_dot_to) {
-        scalar_regs_[static_cast<std::size_t>(kernel.dot_copy_reg)] =
-            dot;
-        ++broadcast_values;
-    }
-
-    return BroadcastScalars(root_done, broadcast_values);
-}
-
-Cycle
-Machine::BroadcastScalars(Cycle root_done, int values)
-{
-    const std::size_t num_nodes = scalar_tree_.size();
-    std::vector<Cycle> down(num_nodes, 0);
-    down[0] = root_done;
-    Cycle finish = root_done;
-    for (std::size_t ni = 0; ni < num_nodes; ++ni) {
-        for (std::int32_t ci : scalar_tree_children_[ni]) {
-            const std::uint64_t hops = static_cast<std::uint64_t>(
-                geom_.HopDistance(
-                    scalar_tree_.tiles[ni],
-                    scalar_tree_.tiles[static_cast<std::size_t>(ci)]));
-            down[static_cast<std::size_t>(ci)] =
-                down[ni] + 1 +
-                hops * static_cast<Cycle>(cfg_.hop_latency) +
-                static_cast<Cycle>(values - 1);
-            stats_.ops.send += static_cast<std::uint64_t>(values);
-            stats_.messages += static_cast<std::uint64_t>(values);
-            stats_.link_activations +=
-                hops * static_cast<std::uint64_t>(values);
-            finish = std::max(finish,
-                              down[static_cast<std::size_t>(ci)]);
-        }
-    }
-    return finish;
-}
-
-Cycle
-Machine::RunScalarPhase(const ScalarOp& op)
-{
-    const auto reg = [this](ScalarReg r) {
-        return scalar_regs_[static_cast<std::size_t>(r)];
-    };
-    double out = 0.0;
-    Cycle root_done = 0;
-    switch (op.kind) {
-      case ScalarOp::Kind::kCopy:
-        out = reg(op.a);
-        root_done = 1;
-        break;
-      case ScalarOp::Kind::kDiv:
-        out = reg(op.a) / reg(op.b);
-        stats_.ops.Count(OpKind::kMul);
-        root_done = 4; // FP divide latency at the root
-        break;
-      case ScalarOp::Kind::kMulDiv:
-        out = (reg(op.a) / reg(op.b)) * (reg(op.c) / reg(op.d));
-        stats_.ops.Count(OpKind::kMul);
-        stats_.ops.Count(OpKind::kMul);
-        stats_.ops.Count(OpKind::kMul);
-        root_done = 9; // two divides + a multiply
-        break;
-    }
-    scalar_regs_[static_cast<std::size_t>(op.out)] = out;
-    return BroadcastScalars(root_done, 1);
-}
-
-Cycle
-Machine::RunVectorKernel(const VectorKernel& kernel)
-{
-    const Cycle duration = kernel.op == VecOpKind::kDotReduce
-                               ? RunDotReduce(kernel)
-                               : RunElementwise(kernel);
-    clock_ += duration;
-    stats_.cycles += duration;
-    stats_.class_cycles[static_cast<std::size_t>(
-        KernelClass::kVectorOp)] += duration;
-    return duration;
+    observers_.erase(
+        std::remove(observers_.begin(), observers_.end(), observer),
+        observers_.end());
 }
 
 // ---------------------------------------------------------------------------
 // Program execution
 // ---------------------------------------------------------------------------
 
+namespace {
+
+PhaseInfo
+MakePhaseInfo(const SolverProgram& prog, const Phase& phase, int index)
+{
+    PhaseInfo info;
+    info.kind = phase.kind;
+    info.index = index;
+    switch (phase.kind) {
+      case Phase::Kind::kMatrix: {
+        const MatrixKernel& kernel =
+            prog.matrix_kernels[static_cast<std::size_t>(
+                phase.matrix_kernel)];
+        info.kclass = kernel.kclass;
+        info.name = kernel.name;
+        break;
+      }
+      case Phase::Kind::kVector:
+        info.kclass = KernelClass::kVectorOp;
+        info.name = phase.vec.ToString();
+        break;
+      case Phase::Kind::kScalar:
+        info.kclass = KernelClass::kVectorOp;
+        info.name = "scalar";
+        break;
+    }
+    return info;
+}
+
+} // namespace
+
+void
+Machine::RunPhase(const Phase& phase)
+{
+    switch (phase.kind) {
+      case Phase::Kind::kMatrix:
+        RunMatrixKernel(
+            prog_->matrix_kernels[static_cast<std::size_t>(
+                phase.matrix_kernel)]);
+        break;
+      case Phase::Kind::kVector:
+        RunVectorKernel(phase.vec);
+        break;
+      case Phase::Kind::kScalar: {
+        const Cycle duration = RunScalarPhase(phase.scalar);
+        clock_ += duration;
+        stats_.cycles += duration;
+        stats_.class_cycles[static_cast<std::size_t>(
+            KernelClass::kVectorOp)] += duration;
+        break;
+      }
+    }
+}
+
 void
 Machine::RunPhases(const std::vector<Phase>& phases)
 {
+    if (observers_.empty()) {
+        for (const Phase& phase : phases) {
+            RunPhase(phase);
+        }
+        return;
+    }
+    int index = 0;
     for (const Phase& phase : phases) {
-        switch (phase.kind) {
-          case Phase::Kind::kMatrix:
-            RunMatrixKernel(
-                prog_->matrix_kernels[static_cast<std::size_t>(
-                    phase.matrix_kernel)]);
-            break;
-          case Phase::Kind::kVector:
-            RunVectorKernel(phase.vec);
-            break;
-          case Phase::Kind::kScalar: {
-            const Cycle duration = RunScalarPhase(phase.scalar);
-            clock_ += duration;
-            stats_.cycles += duration;
-            stats_.class_cycles[static_cast<std::size_t>(
-                KernelClass::kVectorOp)] += duration;
-            break;
-          }
+        const PhaseInfo info = MakePhaseInfo(*prog_, phase, index++);
+        const SimStats before = stats_;
+        for (SimObserver* o : observers_) {
+            o->OnPhaseStart(info, clock_);
+        }
+        RunPhase(phase);
+        const SimStats delta = stats_ - before;
+        for (SimObserver* o : observers_) {
+            o->OnPhaseEnd(info, clock_, delta);
         }
     }
 }
@@ -793,37 +242,16 @@ Machine::RunIteration()
     RunPhases(prog_->iteration);
 }
 
-PcgRunResult
+void
+Machine::RunResidualRecompute()
+{
+    RunPhases(prog_->residual_recompute);
+}
+
+SolverRunResult
 Machine::RunPcg(const Vector& b, double tol, Index max_iters)
 {
-    LoadProblem(b);
-    RunPrologue();
-    PcgRunResult result;
-    // Prologue work: one preconditioner application + copy + 2 dots.
-    result.flops = prog_->sptrsv_flops +
-                   5.0 * static_cast<double>(b.size());
-    while (result.iterations < max_iters) {
-        const double rr = ReadScalar(ScalarReg::kRr);
-        result.residual_norm = std::sqrt(std::max(rr, 0.0));
-        result.residual_history.push_back(result.residual_norm);
-        if (result.residual_norm <= tol) {
-            result.converged = true;
-            break;
-        }
-        RunIteration();
-        result.flops += prog_->FlopsPerIteration();
-        ++result.iterations;
-    }
-    const double rr = ReadScalar(ScalarReg::kRr);
-    result.residual_norm = std::sqrt(std::max(rr, 0.0));
-    result.converged = result.residual_norm <= tol;
-    if (result.residual_history.empty() ||
-        result.residual_history.back() != result.residual_norm) {
-        result.residual_history.push_back(result.residual_norm);
-    }
-    result.x = GatherVector(VecName::kX);
-    result.stats = stats_;
-    return result;
+    return SolverDriver().Run(*this, b, tol, max_iters);
 }
 
 } // namespace azul

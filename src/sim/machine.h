@@ -1,12 +1,19 @@
 /**
  * @file
  * The simulated Azul machine: a grid of tiles (PE + scratchpads)
- * connected by a 2-D torus, executing a compiled PCG program phase by
- * phase (Sec VI-A's cycle-level methodology).
+ * connected by a 2-D torus, executing a compiled SolverProgram phase
+ * by phase (Sec VI-A's cycle-level methodology).
  *
  * Simulation is functional + timing: messages and accumulators carry
  * real FP64 values, so a simulated solve produces an x vector that
  * callers check against the reference solver.
+ *
+ * The engine is split across three translation units:
+ *   machine.cc        — construction, storage, phase orchestration
+ *   machine_matrix.cc — matrix-kernel (SpMV/SpTRSV) execution
+ *   machine_vector.cc — vector/scalar-kernel execution
+ * The convergence loop lives in the generic SolverDriver
+ * (solver_driver.h); measurement hooks in SimObserver (observer.h).
  */
 #ifndef AZUL_SIM_MACHINE_H_
 #define AZUL_SIM_MACHINE_H_
@@ -19,36 +26,19 @@
 #include "sim/noc.h"
 #include "sim/pe.h"
 #include "sim/sim_stats.h"
+#include "sim/solver_driver.h"
 #include "sim/tile.h"
 #include "solver/vector_ops.h"
 
 namespace azul {
 
-/** Result of a full simulated PCG run. */
-struct PcgRunResult {
-    Vector x;
-    bool converged = false;
-    Index iterations = 0;
-    double residual_norm = 0.0;
-    SimStats stats;
-    /** FLOPs of the simulated work (prologue + iterations). */
-    double flops = 0.0;
-    /** ||r|| after the prologue and after each iteration. */
-    std::vector<double> residual_history;
-
-    /** Delivered throughput in GFLOP/s under `clock_ghz`. */
-    double
-    Gflops(double clock_ghz) const
-    {
-        return SimStats::Gflops(flops, stats.cycles, clock_ghz);
-    }
-};
+class SimObserver;
 
 /** The cycle-level machine model. */
 class Machine {
   public:
     /** The program must outlive the machine. */
-    Machine(SimConfig cfg, const PcgProgram* program);
+    Machine(SimConfig cfg, const SolverProgram* program);
 
     /** Sets x = 0 and r = b; clears the other vectors and stats. */
     void LoadProblem(const Vector& b);
@@ -56,11 +46,19 @@ class Machine {
     /** Runs the program prologue. */
     void RunPrologue();
 
-    /** Runs one PCG iteration. */
+    /** Runs one solver iteration. */
     void RunIteration();
 
-    /** Runs prologue + iterations until ||r|| <= tol or the cap. */
-    PcgRunResult RunPcg(const Vector& b, double tol, Index max_iters);
+    /** Runs the program's residual_recompute phases (if any). */
+    void RunResidualRecompute();
+
+    /**
+     * Deprecated shim over the generic driver: prefer
+     * `SolverDriver().Run(machine, b, tol, max_iters)`. Runs any
+     * program (PCG, Jacobi, BiCGStab, ...) to convergence.
+     */
+    SolverRunResult RunPcg(const Vector& b, double tol,
+                           Index max_iters);
 
     /** Runs one matrix kernel standalone (tests/benches). */
     SimStats RunMatrixKernelStandalone(int kernel_index);
@@ -70,6 +68,13 @@ class Machine {
     RunVectorKernelForTest(const VectorKernel& kernel)
     {
         return RunVectorKernel(kernel);
+    }
+
+    /** Activates a task directly (tests of buffer-spill behavior). */
+    void
+    ActivateTaskForTest(std::int32_t tile, const RuntimeTask& task)
+    {
+        ActivateTask(tile, task);
     }
 
     /** Reads a broadcast scalar register. */
@@ -86,7 +91,27 @@ class Machine {
 
     const SimConfig& config() const { return cfg_; }
 
-    /** Enables Fig 17-style issue sampling during matrix kernels. */
+    /** The program this machine executes. */
+    const SolverProgram& program() const { return *prog_; }
+
+    /** Monotonic cycle clock (not reset by LoadProblem). */
+    Cycle clock() const { return clock_; }
+
+    // ---- Measurement layer -------------------------------------------------
+    /**
+     * Attaches a passive observer; the caller retains ownership and
+     * must keep it alive until detached or the machine is destroyed.
+     * Observers never affect timing.
+     */
+    void AttachObserver(SimObserver* observer);
+    void DetachObserver(SimObserver* observer);
+    const std::vector<SimObserver*>& observers() const
+    {
+        return observers_;
+    }
+
+    /** Enables Fig 17-style issue sampling during matrix kernels
+     *  (built-in equivalent of attaching a TimelineObserver). */
     void
     EnableIssueSampling(Cycle period)
     {
@@ -94,7 +119,7 @@ class Machine {
     }
 
   private:
-    // ---- Matrix-kernel execution -----------------------------------------
+    // ---- Matrix-kernel execution (machine_matrix.cc) ----------------------
     Cycle RunMatrixKernel(const MatrixKernel& kernel);
     void StartMatrixKernel(const MatrixKernel& kernel);
     void DeliverMessage(const MatrixKernel& kernel, std::int32_t tile,
@@ -117,7 +142,7 @@ class Machine {
         }
     }
 
-    // ---- Vector-kernel execution ------------------------------------------
+    // ---- Vector-kernel execution (machine_vector.cc) ----------------------
     Cycle RunVectorKernel(const VectorKernel& kernel);
     Cycle RunElementwise(const VectorKernel& kernel);
     Cycle RunDotReduce(const VectorKernel& kernel);
@@ -131,9 +156,11 @@ class Machine {
     void WriteSlot(VecName vec, Index slot, double value);
 
     void RunPhases(const std::vector<Phase>& phases);
+    /** Executes one phase; observer notifications handled by caller. */
+    void RunPhase(const Phase& phase);
 
     SimConfig cfg_;
-    const PcgProgram* prog_;
+    const SolverProgram* prog_;
     TorusGeometry geom_;
     Noc noc_;
 
@@ -156,6 +183,7 @@ class Machine {
     SimStats stats_;
     Cycle issue_sample_period_ = 0;
     std::vector<Delivery> delivery_buffer_;
+    std::vector<SimObserver*> observers_;
 };
 
 } // namespace azul

@@ -1,0 +1,401 @@
+/**
+ * @file
+ * Matrix-kernel engine: message-driven execution of compiled SpMV /
+ * SpTRSV task graphs (Sec IV-A, V-A) — task activation, per-tile
+ * issue, and the kernel main loop.
+ */
+#include <algorithm>
+
+#include "sim/machine.h"
+#include "sim/observer.h"
+#include "util/logging.h"
+
+namespace azul {
+
+void
+Machine::ActivateTask(std::int32_t tile, RuntimeTask task)
+{
+    TileRun& run = runs_[static_cast<std::size_t>(tile)];
+    // Occupancy including the incoming message: the buffer holds at
+    // most msg_buffer_entries tasks; this arrival spills if it would
+    // exceed that.
+    if (static_cast<std::int32_t>(run.contexts.size() +
+                                  run.pending.size()) +
+            1 >
+        cfg_.msg_buffer_entries) {
+        // Register buffer overflow: the message spills to Data SRAM
+        // (Sec V-A). Charged as extra SRAM traffic.
+        ++stats_.spilled_messages;
+        ++stats_.sram_writes;
+        ++stats_.sram_reads;
+    }
+    run.pending.push_back(task);
+    ++outstanding_tasks_;
+    MarkTileActive(tile);
+}
+
+void
+Machine::StartMatrixKernel(const MatrixKernel& kernel)
+{
+    for (std::int32_t t = 0; t < geom_.num_tiles(); ++t) {
+        const TileKernel& tk =
+            kernel.tiles[static_cast<std::size_t>(t)];
+        TileRun& run = runs_[static_cast<std::size_t>(t)];
+        run.contexts.clear();
+        run.pending.clear();
+        run.acc_value.assign(tk.accums.size(), 0.0);
+        run.acc_remaining.resize(tk.accums.size());
+        for (std::size_t a = 0; a < tk.accums.size(); ++a) {
+            run.acc_remaining[a] = tk.accums[a].expected;
+        }
+        run.acc_busy.assign(tk.accums.size(), 0);
+        run.node_acc.assign(tk.nodes.size(), 0.0);
+        run.node_remaining.resize(tk.nodes.size());
+        for (std::size_t nd = 0; nd < tk.nodes.size(); ++nd) {
+            run.node_remaining[nd] = tk.nodes[nd].expected;
+        }
+        run.node_busy.assign(tk.nodes.size(), 0);
+        run.pe_busy_until = 0;
+    }
+    // Fire initial nodes.
+    for (std::int32_t t = 0; t < geom_.num_tiles(); ++t) {
+        const TileKernel& tk =
+            kernel.tiles[static_cast<std::size_t>(t)];
+        for (NodeId n : tk.initial_nodes) {
+            const NodeDesc& node =
+                tk.nodes[static_cast<std::size_t>(n)];
+            RuntimeTask task;
+            task.node = n;
+            if (node.kind == NodeKind::kMulticast) {
+                task.kind = RuntimeTask::Kind::kMulticastDeliver;
+                task.value =
+                    ReadSlot(kernel.input_vec, node.source_slot);
+                ++stats_.sram_reads;
+            } else {
+                // Reduce root with no contributions: go straight to
+                // the solve stage.
+                task.kind = RuntimeTask::Kind::kReduceArrival;
+                task.progress = 1;
+            }
+            ActivateTask(t, task);
+        }
+    }
+}
+
+void
+Machine::DeliverMessage(const MatrixKernel& kernel, std::int32_t tile,
+                        const Message& msg)
+{
+    const NodeDesc& node =
+        kernel.tiles[static_cast<std::size_t>(tile)]
+            .nodes[static_cast<std::size_t>(msg.dest_node)];
+    RuntimeTask task;
+    task.node = msg.dest_node;
+    task.value = msg.value;
+    task.kind = node.kind == NodeKind::kMulticast
+                    ? RuntimeTask::Kind::kMulticastDeliver
+                    : RuntimeTask::Kind::kReduceArrival;
+    ActivateTask(tile, task);
+}
+
+bool
+Machine::TryIssue(const MatrixKernel& kernel, std::int32_t tile,
+                  RuntimeTask& task, Cycle now, bool& completed)
+{
+    const bool ideal = cfg_.pe_model == PeModel::kIdeal;
+    const Cycle lat =
+        ideal ? 1 : static_cast<Cycle>(cfg_.fmac_latency) +
+                        static_cast<Cycle>(cfg_.sram_latency);
+    const TileKernel& tk = kernel.tiles[static_cast<std::size_t>(tile)];
+    TileRun& run = runs_[static_cast<std::size_t>(tile)];
+    completed = false;
+
+    if (task.kind == RuntimeTask::Kind::kMulticastDeliver) {
+        const NodeDesc& node =
+            tk.nodes[static_cast<std::size_t>(task.node)];
+        const auto num_children =
+            static_cast<std::int32_t>(node.children.size());
+        if (task.progress < num_children) {
+            // Forward to the next child in the tree.
+            const NodeRef& child =
+                node.children[static_cast<std::size_t>(task.progress)];
+            stats_.ops.Count(OpKind::kSend);
+            ++stats_.sram_reads;
+            ++stats_.messages;
+            noc_.Inject(now + 1, tile,
+                        Message{child.tile, child.node, task.value});
+            ++task.progress;
+            completed =
+                task.progress == num_children && node.num_ops == 0;
+            return true;
+        }
+        // Column-task FMAC.
+        const std::int32_t j = task.progress - num_children;
+        AZUL_CHECK(j < node.num_ops);
+        const ColumnOp& op =
+            tk.ops[static_cast<std::size_t>(node.first_op + j)];
+        if (!ideal &&
+            run.acc_busy[static_cast<std::size_t>(op.acc)] > now) {
+            return false; // RAW hazard on the accumulator
+        }
+        stats_.ops.Count(OpKind::kFmac);
+        stats_.sram_reads += 2; // nonzero + accumulator
+        ++stats_.sram_writes;
+        run.acc_value[static_cast<std::size_t>(op.acc)] +=
+            op.coeff * task.value;
+        run.acc_busy[static_cast<std::size_t>(op.acc)] = now + lat;
+        if (--run.acc_remaining[static_cast<std::size_t>(op.acc)] ==
+            0) {
+            // Deliver the finished partial sum: the send is fused
+            // into the final FMAC's writeback stage.
+            const AccumDesc& acc =
+                tk.accums[static_cast<std::size_t>(op.acc)];
+            ++stats_.messages;
+            noc_.Inject(now + lat, tile,
+                        Message{acc.dest.tile, acc.dest.node,
+                                run.acc_value[static_cast<std::size_t>(
+                                    op.acc)]});
+        }
+        ++task.progress;
+        completed = task.progress == num_children + node.num_ops;
+        return true;
+    }
+
+    // kReduceArrival
+    const NodeDesc& node = tk.nodes[static_cast<std::size_t>(task.node)];
+    if (task.progress == 0) {
+        if (!ideal &&
+            run.node_busy[static_cast<std::size_t>(task.node)] > now) {
+            return false; // previous contribution still in flight
+        }
+        stats_.ops.Count(OpKind::kAdd);
+        ++stats_.sram_reads;
+        ++stats_.sram_writes;
+        run.node_acc[static_cast<std::size_t>(task.node)] += task.value;
+        run.node_busy[static_cast<std::size_t>(task.node)] = now + lat;
+        if (--run.node_remaining[static_cast<std::size_t>(task.node)] >
+            0) {
+            completed = true;
+            return true;
+        }
+        // All contributions in: forward or finalize.
+        if (node.parent.valid()) {
+            ++stats_.messages;
+            noc_.Inject(now + lat, tile,
+                        Message{node.parent.tile, node.parent.node,
+                                run.node_acc[static_cast<std::size_t>(
+                                    task.node)]});
+            completed = true;
+            return true;
+        }
+        if (node.final_action == FinalAction::kWriteOutput) {
+            WriteSlot(kernel.output_vec, node.slot,
+                      run.node_acc[static_cast<std::size_t>(task.node)]);
+            ++stats_.sram_writes;
+            completed = true;
+            return true;
+        }
+        AZUL_CHECK(node.final_action == FinalAction::kSolve);
+        task.progress = 1; // continue with the solve Mul
+        return true;
+    }
+
+    // Solve stage: x = (rhs - acc) * inv_diag.
+    AZUL_CHECK(task.progress == 1);
+    if (!ideal &&
+        run.node_busy[static_cast<std::size_t>(task.node)] > now) {
+        return false; // wait for the final Add's result
+    }
+    stats_.ops.Count(OpKind::kMul);
+    stats_.sram_reads += 2; // rhs + 1/diag
+    ++stats_.sram_writes;
+    const double rhs = kernel.rhs_vec == VecName::kCount
+                           ? 0.0
+                           : ReadSlot(kernel.rhs_vec, node.slot);
+    const double x =
+        (rhs - run.node_acc[static_cast<std::size_t>(task.node)]) *
+        kernel.inv_diag[static_cast<std::size_t>(node.slot)];
+    WriteSlot(kernel.output_vec, node.slot, x);
+    if (node.trigger_node != -1) {
+        RuntimeTask mc;
+        mc.kind = RuntimeTask::Kind::kMulticastDeliver;
+        mc.node = node.trigger_node;
+        mc.value = x;
+        ActivateTask(tile, mc);
+    }
+    completed = true;
+    return true;
+}
+
+int
+Machine::TickTile(const MatrixKernel& kernel, std::int32_t tile,
+                  Cycle now)
+{
+    TileRun& run = runs_[static_cast<std::size_t>(tile)];
+    const std::int32_t max_contexts =
+        cfg_.multithreading ? cfg_.num_contexts : 1;
+    while (static_cast<std::int32_t>(run.contexts.size()) <
+               max_contexts &&
+           !run.pending.empty()) {
+        run.contexts.push_back(run.pending.front());
+        run.pending.pop_front();
+    }
+    if (run.contexts.empty()) {
+        return 0;
+    }
+
+    if (cfg_.pe_model == PeModel::kIdeal) {
+        // Unbounded issue width, no hazards: drain everything that
+        // can run this cycle.
+        int issued = 0;
+        bool progress = true;
+        while (progress) {
+            progress = false;
+            for (std::size_t c = 0; c < run.contexts.size();) {
+                bool completed = false;
+                if (TryIssue(kernel, tile, run.contexts[c], now,
+                             completed)) {
+                    ++issued;
+                    progress = true;
+                }
+                if (completed) {
+                    run.contexts.erase(run.contexts.begin() +
+                                       static_cast<std::ptrdiff_t>(c));
+                    --outstanding_tasks_;
+                } else {
+                    ++c;
+                }
+            }
+            while (static_cast<std::int32_t>(run.contexts.size()) <
+                       max_contexts &&
+                   !run.pending.empty()) {
+                run.contexts.push_back(run.pending.front());
+                run.pending.pop_front();
+                progress = true;
+            }
+        }
+        if (!stats_.tile_ops.empty()) {
+            stats_.tile_ops[static_cast<std::size_t>(tile)] +=
+                static_cast<std::uint64_t>(issued);
+        }
+        return issued;
+    }
+
+    if (now < run.pe_busy_until) {
+        return 0; // scalar core executing bookkeeping instructions
+    }
+    for (std::size_t c = 0; c < run.contexts.size(); ++c) {
+        bool completed = false;
+        if (TryIssue(kernel, tile, run.contexts[c], now, completed)) {
+            run.pe_busy_until =
+                now + static_cast<Cycle>(IssueCost(cfg_));
+            if (!stats_.tile_ops.empty()) {
+                ++stats_.tile_ops[static_cast<std::size_t>(tile)];
+            }
+            if (completed) {
+                run.contexts.erase(run.contexts.begin() +
+                                   static_cast<std::ptrdiff_t>(c));
+                --outstanding_tasks_;
+            }
+            return 1;
+        }
+        if (!cfg_.multithreading) {
+            break; // single-threaded: blocked on the oldest task
+        }
+    }
+    ++stats_.stall_cycles;
+    return 0;
+}
+
+Cycle
+Machine::RunMatrixKernel(const MatrixKernel& kernel)
+{
+    StartMatrixKernel(kernel);
+    const Cycle start = clock_;
+    const std::uint64_t links_before = noc_.link_activations();
+
+    while (outstanding_tasks_ > 0 || !noc_.Empty()) {
+        AZUL_CHECK_MSG(clock_ - start < cfg_.max_phase_cycles,
+                       "matrix kernel " << kernel.name
+                                        << " exceeded the cycle cap");
+        delivery_buffer_.clear();
+        noc_.AdvanceTo(clock_, delivery_buffer_);
+        for (const Delivery& d : delivery_buffer_) {
+            DeliverMessage(kernel, d.msg.dest_tile, d.msg);
+        }
+
+        int issued_this_cycle = 0;
+        bool any_active = false;
+        for (std::size_t i = 0; i < active_list_.size();) {
+            const std::int32_t t = active_list_[i];
+            TileRun& run = runs_[static_cast<std::size_t>(t)];
+            if (!run.HasWork()) {
+                tile_active_[static_cast<std::size_t>(t)] = 0;
+                active_list_[i] = active_list_.back();
+                active_list_.pop_back();
+                continue;
+            }
+            any_active = true;
+            issued_this_cycle += TickTile(kernel, t, clock_);
+            ++i;
+        }
+
+        if (issue_sample_period_ > 0) {
+            const std::size_t bucket = static_cast<std::size_t>(
+                (clock_ - start) / issue_sample_period_);
+            if (stats_.issue_timeline.size() <= bucket) {
+                stats_.issue_timeline.resize(bucket + 1, 0);
+            }
+            stats_.issue_timeline[bucket] +=
+                static_cast<std::uint64_t>(issued_this_cycle);
+            stats_.issue_sample_period = issue_sample_period_;
+        }
+        for (SimObserver* o : observers_) {
+            o->OnKernelCycle(clock_ - start, issued_this_cycle);
+        }
+
+        ++clock_;
+        if (!any_active && outstanding_tasks_ == 0 && !noc_.Empty()) {
+            clock_ = std::max(clock_, noc_.NextEventTime());
+        }
+    }
+
+    const Cycle elapsed = clock_ - start;
+    stats_.cycles += elapsed;
+    stats_.class_cycles[static_cast<std::size_t>(kernel.kclass)] +=
+        elapsed;
+    stats_.link_activations +=
+        noc_.link_activations() - links_before;
+    return elapsed;
+}
+
+SimStats
+Machine::RunMatrixKernelStandalone(int kernel_index)
+{
+    AZUL_CHECK(kernel_index >= 0 &&
+               kernel_index <
+                   static_cast<int>(prog_->matrix_kernels.size()));
+    const MatrixKernel& kernel =
+        prog_->matrix_kernels[static_cast<std::size_t>(kernel_index)];
+    const SimStats before = stats_;
+    if (!observers_.empty()) {
+        PhaseInfo info;
+        info.kind = Phase::Kind::kMatrix;
+        info.kclass = kernel.kclass;
+        info.name = kernel.name;
+        info.index = kernel_index;
+        for (SimObserver* o : observers_) {
+            o->OnPhaseStart(info, clock_);
+        }
+        RunMatrixKernel(kernel);
+        const SimStats delta = stats_ - before;
+        for (SimObserver* o : observers_) {
+            o->OnPhaseEnd(info, clock_, delta);
+        }
+        return delta;
+    }
+    RunMatrixKernel(kernel);
+    return stats_ - before;
+}
+
+} // namespace azul

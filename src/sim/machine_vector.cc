@@ -1,0 +1,241 @@
+/**
+ * @file
+ * Vector/scalar-kernel engine: elementwise sweeps over the
+ * distributed vector slots, dot products over the machine-wide scalar
+ * tree, root scalar-register operations, and the broadcast timing
+ * model (the "Vector Ops" of Fig 3/22).
+ */
+#include <algorithm>
+#include <cmath>
+
+#include "sim/machine.h"
+#include "util/logging.h"
+
+namespace azul {
+
+namespace {
+
+/** Pipeline fill depth: decode + Data SRAM + compute + writeback. */
+Cycle
+PipelineDepth(const SimConfig& cfg)
+{
+    return static_cast<Cycle>(1 + cfg.sram_latency + cfg.fmac_latency +
+                              1);
+}
+
+} // namespace
+
+Cycle
+Machine::RunElementwise(const VectorKernel& kernel)
+{
+    const std::int32_t cost = IssueCost(cfg_);
+    Index max_slots = 0;
+    for (std::size_t tile = 0; tile < tiles_.size(); ++tile) {
+        TileStorage& storage = tiles_[tile];
+        max_slots = std::max(max_slots, storage.NumSlots());
+        if (!stats_.tile_ops.empty()) {
+            stats_.tile_ops[tile] +=
+                static_cast<std::uint64_t>(storage.NumSlots());
+        }
+        auto& dst =
+            storage.vecs[static_cast<std::size_t>(kernel.dst)];
+        const auto& a =
+            storage.vecs[static_cast<std::size_t>(kernel.src_a)];
+        const auto& b2 =
+            storage.vecs[static_cast<std::size_t>(kernel.src_b)];
+        const double s =
+            kernel.scale_sign *
+            (kernel.use_const_scale
+                 ? kernel.const_scale
+                 : scalar_regs_[static_cast<std::size_t>(
+                       kernel.scale_reg)]);
+        for (std::size_t i = 0; i < dst.size(); ++i) {
+            switch (kernel.op) {
+              case VecOpKind::kAxpy:
+                dst[i] += s * a[i];
+                stats_.ops.Count(OpKind::kFmac);
+                break;
+              case VecOpKind::kXpby:
+                dst[i] = a[i] + s * dst[i];
+                stats_.ops.Count(OpKind::kFmac);
+                break;
+              case VecOpKind::kSub:
+                dst[i] = a[i] - b2[i];
+                stats_.ops.Count(OpKind::kAdd);
+                break;
+              case VecOpKind::kCopy:
+                dst[i] = a[i];
+                stats_.ops.Count(OpKind::kMul);
+                break;
+              case VecOpKind::kDiagScale:
+                dst[i] = a[i] * storage.jacobi_inv_diag[i];
+                stats_.ops.Count(OpKind::kMul);
+                break;
+              default:
+                throw AzulError("bad elementwise kernel");
+            }
+            stats_.sram_reads += 2;
+            ++stats_.sram_writes;
+        }
+    }
+    const Cycle duration =
+        cost == 0 ? 1
+                  : static_cast<Cycle>(max_slots) *
+                            static_cast<Cycle>(cost) +
+                        PipelineDepth(cfg_);
+    return duration;
+}
+
+Cycle
+Machine::RunDotReduce(const VectorKernel& kernel)
+{
+    const std::int32_t cost = IssueCost(cfg_);
+    const Cycle pipe = PipelineDepth(cfg_);
+    const Cycle op_cost = cost == 0 ? 0 : static_cast<Cycle>(cost);
+
+    // Local partials.
+    const std::size_t num_nodes = scalar_tree_.size();
+    std::vector<double> partial(num_nodes, 0.0);
+    std::vector<Cycle> ready(num_nodes, 0);
+    double dot = 0.0;
+    for (std::size_t ni = 0; ni < num_nodes; ++ni) {
+        const TileStorage& ts = tiles_[static_cast<std::size_t>(
+            scalar_tree_.tiles[ni])];
+        const auto& a = ts.vecs[static_cast<std::size_t>(kernel.src_a)];
+        const auto& b = ts.vecs[static_cast<std::size_t>(kernel.src_b)];
+        double acc = 0.0;
+        for (std::size_t i = 0; i < a.size(); ++i) {
+            acc += a[i] * b[i];
+        }
+        stats_.ops.fmac += a.size();
+        stats_.sram_reads += 2 * a.size();
+        if (!stats_.tile_ops.empty()) {
+            stats_.tile_ops[static_cast<std::size_t>(
+                scalar_tree_.tiles[ni])] += a.size();
+        }
+        partial[ni] = acc;
+        dot += acc;
+        ready[ni] = cost == 0
+                        ? 1
+                        : static_cast<Cycle>(a.size()) * op_cost + pipe;
+    }
+
+    // Upward reduction: children precede parents in completion; tree
+    // node indices have parents before children, so sweep backwards.
+    std::vector<Cycle> done = ready;
+    for (std::size_t ni = num_nodes; ni-- > 0;) {
+        for (std::int32_t ci : scalar_tree_children_[ni]) {
+            const Cycle arrival =
+                done[static_cast<std::size_t>(ci)] + 1 +
+                static_cast<Cycle>(
+                    geom_.HopDistance(
+                        scalar_tree_.tiles[static_cast<std::size_t>(
+                            ci)],
+                        scalar_tree_.tiles[ni]) *
+                    cfg_.hop_latency);
+            done[ni] = std::max(done[ni], arrival) + 1;
+            stats_.ops.Count(OpKind::kAdd);
+            stats_.ops.Count(OpKind::kSend);
+            ++stats_.messages;
+            stats_.link_activations += static_cast<std::uint64_t>(
+                geom_.HopDistance(
+                    scalar_tree_.tiles[static_cast<std::size_t>(ci)],
+                    scalar_tree_.tiles[ni]));
+        }
+    }
+
+    // Root post-ops: quotient and register copies, then broadcast.
+    scalar_regs_[static_cast<std::size_t>(kernel.dot_out)] = dot;
+    int broadcast_values = 1;
+    Cycle root_done = done[0];
+    if (kernel.post_divide) {
+        const double num =
+            scalar_regs_[static_cast<std::size_t>(kernel.div_num)];
+        const double q =
+            kernel.divide_dot_by_num ? dot / num : num / dot;
+        scalar_regs_[static_cast<std::size_t>(kernel.div_out)] = q;
+        stats_.ops.Count(OpKind::kMul);
+        root_done += 4; // FP divide latency at the root
+        ++broadcast_values;
+    }
+    if (kernel.copy_dot_to) {
+        scalar_regs_[static_cast<std::size_t>(kernel.dot_copy_reg)] =
+            dot;
+        ++broadcast_values;
+    }
+
+    return BroadcastScalars(root_done, broadcast_values);
+}
+
+Cycle
+Machine::BroadcastScalars(Cycle root_done, int values)
+{
+    const std::size_t num_nodes = scalar_tree_.size();
+    std::vector<Cycle> down(num_nodes, 0);
+    down[0] = root_done;
+    Cycle finish = root_done;
+    for (std::size_t ni = 0; ni < num_nodes; ++ni) {
+        for (std::int32_t ci : scalar_tree_children_[ni]) {
+            const std::uint64_t hops = static_cast<std::uint64_t>(
+                geom_.HopDistance(
+                    scalar_tree_.tiles[ni],
+                    scalar_tree_.tiles[static_cast<std::size_t>(ci)]));
+            down[static_cast<std::size_t>(ci)] =
+                down[ni] + 1 +
+                hops * static_cast<Cycle>(cfg_.hop_latency) +
+                static_cast<Cycle>(values - 1);
+            stats_.ops.send += static_cast<std::uint64_t>(values);
+            stats_.messages += static_cast<std::uint64_t>(values);
+            stats_.link_activations +=
+                hops * static_cast<std::uint64_t>(values);
+            finish = std::max(finish,
+                              down[static_cast<std::size_t>(ci)]);
+        }
+    }
+    return finish;
+}
+
+Cycle
+Machine::RunScalarPhase(const ScalarOp& op)
+{
+    const auto reg = [this](ScalarReg r) {
+        return scalar_regs_[static_cast<std::size_t>(r)];
+    };
+    double out = 0.0;
+    Cycle root_done = 0;
+    switch (op.kind) {
+      case ScalarOp::Kind::kCopy:
+        out = reg(op.a);
+        root_done = 1;
+        break;
+      case ScalarOp::Kind::kDiv:
+        out = reg(op.a) / reg(op.b);
+        stats_.ops.Count(OpKind::kMul);
+        root_done = 4; // FP divide latency at the root
+        break;
+      case ScalarOp::Kind::kMulDiv:
+        out = (reg(op.a) / reg(op.b)) * (reg(op.c) / reg(op.d));
+        stats_.ops.Count(OpKind::kMul);
+        stats_.ops.Count(OpKind::kMul);
+        stats_.ops.Count(OpKind::kMul);
+        root_done = 9; // two divides + a multiply
+        break;
+    }
+    scalar_regs_[static_cast<std::size_t>(op.out)] = out;
+    return BroadcastScalars(root_done, 1);
+}
+
+Cycle
+Machine::RunVectorKernel(const VectorKernel& kernel)
+{
+    const Cycle duration = kernel.op == VecOpKind::kDotReduce
+                               ? RunDotReduce(kernel)
+                               : RunElementwise(kernel);
+    clock_ += duration;
+    stats_.cycles += duration;
+    stats_.class_cycles[static_cast<std::size_t>(
+        KernelClass::kVectorOp)] += duration;
+    return duration;
+}
+
+} // namespace azul

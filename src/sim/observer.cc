@@ -1,0 +1,227 @@
+#include "sim/observer.h"
+
+#include <cstdio>
+#include <sstream>
+
+namespace azul {
+
+std::string
+KernelClassName(KernelClass kclass)
+{
+    switch (kclass) {
+      case KernelClass::kSpMV: return "SpMV";
+      case KernelClass::kSpTRSVForward: return "SpTRSV-fwd";
+      case KernelClass::kSpTRSVBackward: return "SpTRSV-bwd";
+      case KernelClass::kVectorOp: return "VectorOp";
+    }
+    return "unknown";
+}
+
+// ---------------------------------------------------------------------------
+// ChromeTraceObserver
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/** Minimal JSON string escaping (quotes, backslashes, control). */
+std::string
+JsonEscape(const std::string& s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          case '\r': out += "\\r"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(c));
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+void
+ChromeTraceObserver::Record(std::string name, std::string category,
+                            Cycle start, Cycle end)
+{
+    TraceEvent ev;
+    ev.name = std::move(name);
+    ev.category = std::move(category);
+    ev.ts = start;
+    ev.dur = end >= start ? end - start : 0;
+    events_.push_back(std::move(ev));
+}
+
+void
+ChromeTraceObserver::OnRunStart(const SolverProgram& program,
+                                const SimConfig& config, Cycle now)
+{
+    (void)program;
+    (void)config;
+    run_start_ = now;
+    in_run_ = true;
+    prologue_open_ = true;
+}
+
+void
+ChromeTraceObserver::OnPhaseStart(const PhaseInfo& info, Cycle now)
+{
+    (void)info;
+    phase_start_ = now;
+}
+
+void
+ChromeTraceObserver::OnPhaseEnd(const PhaseInfo& info, Cycle now,
+                                const SimStats& delta)
+{
+    (void)delta;
+    const char* category = "phase";
+    switch (info.kind) {
+      case Phase::Kind::kMatrix: category = "matrix"; break;
+      case Phase::Kind::kVector: category = "vector"; break;
+      case Phase::Kind::kScalar: category = "scalar"; break;
+    }
+    Record(info.name, category, phase_start_, now);
+}
+
+void
+ChromeTraceObserver::OnIterationStart(Index iteration, Cycle now)
+{
+    if (prologue_open_) {
+        Record("prologue", "driver", run_start_, now);
+        prologue_open_ = false;
+    }
+    (void)iteration;
+    iter_start_ = now;
+}
+
+void
+ChromeTraceObserver::OnIterationDone(Index iteration,
+                                     double residual_norm, Cycle now)
+{
+    (void)residual_norm;
+    Record("iteration " + std::to_string(iteration), "driver",
+           iter_start_, now);
+}
+
+void
+ChromeTraceObserver::OnRunEnd(const SolverRunResult& result, Cycle now)
+{
+    (void)result;
+    if (prologue_open_) {
+        Record("prologue", "driver", run_start_, now);
+        prologue_open_ = false;
+    }
+    if (in_run_) {
+        Record("solve", "driver", run_start_, now);
+        in_run_ = false;
+    }
+}
+
+void
+ChromeTraceObserver::WriteJson(std::ostream& out) const
+{
+    out << "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[";
+    bool first = true;
+    for (const TraceEvent& ev : events_) {
+        if (!first) {
+            out << ",";
+        }
+        first = false;
+        out << "{\"name\":\"" << JsonEscape(ev.name)
+            << "\",\"cat\":\"" << JsonEscape(ev.category)
+            << "\",\"ph\":\"X\",\"ts\":" << ev.ts
+            << ",\"dur\":" << ev.dur << ",\"pid\":0,\"tid\":0}";
+    }
+    out << "]}";
+}
+
+std::string
+ChromeTraceObserver::ToJson() const
+{
+    std::ostringstream oss;
+    WriteJson(oss);
+    return oss.str();
+}
+
+// ---------------------------------------------------------------------------
+// KernelMetricsObserver
+// ---------------------------------------------------------------------------
+
+void
+KernelMetricsObserver::OnPhaseEnd(const PhaseInfo& info, Cycle now,
+                                  const SimStats& delta)
+{
+    (void)now;
+    ClassMetrics& row = rows_[static_cast<std::size_t>(info.kclass)];
+    ++row.invocations;
+    row.cycles += delta.cycles;
+    row.ops += delta.ops;
+    row.stall_cycles += delta.stall_cycles;
+    row.messages += delta.messages;
+    row.spilled_messages += delta.spilled_messages;
+    row.link_activations += delta.link_activations;
+    row.sram_reads += delta.sram_reads;
+    row.sram_writes += delta.sram_writes;
+}
+
+KernelMetricsObserver::ClassMetrics
+KernelMetricsObserver::Total() const
+{
+    ClassMetrics total;
+    for (const ClassMetrics& row : rows_) {
+        total.invocations += row.invocations;
+        total.cycles += row.cycles;
+        total.ops += row.ops;
+        total.stall_cycles += row.stall_cycles;
+        total.messages += row.messages;
+        total.spilled_messages += row.spilled_messages;
+        total.link_activations += row.link_activations;
+        total.sram_reads += row.sram_reads;
+        total.sram_writes += row.sram_writes;
+    }
+    return total;
+}
+
+std::string
+KernelMetricsObserver::ToTable() const
+{
+    std::ostringstream oss;
+    oss << "class        runs       cycles         fmac          add"
+           "         send          mul       stalls         msgs"
+           "        links\n";
+    for (std::size_t k = 0; k < rows_.size(); ++k) {
+        const ClassMetrics& r = rows_[k];
+        char line[256];
+        std::snprintf(
+            line, sizeof(line),
+            "%-10s %6llu %12llu %12llu %12llu %12llu %12llu %12llu "
+            "%12llu %12llu\n",
+            KernelClassName(static_cast<KernelClass>(k)).c_str(),
+            static_cast<unsigned long long>(r.invocations),
+            static_cast<unsigned long long>(r.cycles),
+            static_cast<unsigned long long>(r.ops.fmac),
+            static_cast<unsigned long long>(r.ops.add),
+            static_cast<unsigned long long>(r.ops.send),
+            static_cast<unsigned long long>(r.ops.mul),
+            static_cast<unsigned long long>(r.stall_cycles),
+            static_cast<unsigned long long>(r.messages),
+            static_cast<unsigned long long>(r.link_activations));
+        oss << line;
+    }
+    return oss.str();
+}
+
+} // namespace azul

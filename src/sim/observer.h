@@ -1,0 +1,246 @@
+/**
+ * @file
+ * The measurement layer of the simulator stack: a passive observer
+ * interface the engine notifies at phase boundaries, plus the
+ * built-in observers behind the evaluation figures.
+ *
+ * Observers never influence timing — attaching any number of them
+ * (including zero) reproduces the same cycle counts. The engine calls
+ * the hooks with the machine's monotonic clock and, for phase ends,
+ * the stats delta of the phase (via SimStats::operator-).
+ *
+ *  - TimelineObserver:      Fig 17 issued-ops-per-bucket curves.
+ *  - ChromeTraceObserver:   chrome://tracing JSON of the phase tree.
+ *  - KernelMetricsObserver: per-kernel-class cycle/op/traffic table
+ *                           (Figs 21/22).
+ */
+#ifndef AZUL_SIM_OBSERVER_H_
+#define AZUL_SIM_OBSERVER_H_
+
+#include <array>
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "dataflow/program.h"
+#include "sim/config.h"
+#include "sim/sim_stats.h"
+#include "sim/solver_driver.h"
+
+namespace azul {
+
+/** Identity of one executed phase, passed to the phase hooks. */
+struct PhaseInfo {
+    Phase::Kind kind = Phase::Kind::kVector;
+    /** Kernel class the phase's cycles are attributed to. */
+    KernelClass kclass = KernelClass::kVectorOp;
+    /** Matrix-kernel name, vector-op description, or "scalar". */
+    std::string name;
+    /** Index of the phase within its sequence (prologue/iteration). */
+    int index = 0;
+};
+
+/**
+ * Interface of the measurement layer. All hooks default to no-ops;
+ * implement only what the observer needs. `now` is the machine's
+ * monotonic cycle clock.
+ */
+class SimObserver {
+  public:
+    virtual ~SimObserver() = default;
+
+    /** A driver-run solve is starting (after LoadProblem). */
+    virtual void
+    OnRunStart(const SolverProgram& program, const SimConfig& config,
+               Cycle now)
+    {
+        (void)program;
+        (void)config;
+        (void)now;
+    }
+
+    /** A phase is about to execute. */
+    virtual void
+    OnPhaseStart(const PhaseInfo& info, Cycle now)
+    {
+        (void)info;
+        (void)now;
+    }
+
+    /** A phase finished; `delta` is its stats contribution. */
+    virtual void
+    OnPhaseEnd(const PhaseInfo& info, Cycle now, const SimStats& delta)
+    {
+        (void)info;
+        (void)now;
+        (void)delta;
+    }
+
+    /**
+     * One simulated cycle of a matrix kernel elapsed with `issued`
+     * operations issued machine-wide. `cycle_in_kernel` is relative
+     * to the kernel's start. Called only during matrix kernels (the
+     * analytically-timed vector/scalar phases have no issue trace).
+     */
+    virtual void
+    OnKernelCycle(Cycle cycle_in_kernel, int issued)
+    {
+        (void)cycle_in_kernel;
+        (void)issued;
+    }
+
+    /** The driver is about to run iteration `iteration` (0-based). */
+    virtual void
+    OnIterationStart(Index iteration, Cycle now)
+    {
+        (void)iteration;
+        (void)now;
+    }
+
+    /** Iteration finished; `residual_norm` is the post-iteration
+     *  ||r|| the next convergence check will read. */
+    virtual void
+    OnIterationDone(Index iteration, double residual_norm, Cycle now)
+    {
+        (void)iteration;
+        (void)residual_norm;
+        (void)now;
+    }
+
+    /** The driver-run solve finished. */
+    virtual void
+    OnRunEnd(const SolverRunResult& result, Cycle now)
+    {
+        (void)result;
+        (void)now;
+    }
+};
+
+/**
+ * Reimplements the Fig 17 issue sampling as an observer: issued-op
+ * counts accumulated into fixed-width cycle buckets relative to each
+ * matrix kernel's start. Produces the same buckets, bit for bit, as
+ * the machine's built-in `EnableIssueSampling` path.
+ */
+class TimelineObserver : public SimObserver {
+  public:
+    explicit TimelineObserver(Cycle period) : period_(period) {}
+
+    void
+    OnKernelCycle(Cycle cycle_in_kernel, int issued) override
+    {
+        const std::size_t bucket =
+            static_cast<std::size_t>(cycle_in_kernel / period_);
+        if (timeline_.size() <= bucket) {
+            timeline_.resize(bucket + 1, 0);
+        }
+        timeline_[bucket] += static_cast<std::uint64_t>(issued);
+    }
+
+    const std::vector<std::uint64_t>& timeline() const
+    {
+        return timeline_;
+    }
+    Cycle period() const { return period_; }
+
+    void Reset() { timeline_.clear(); }
+
+  private:
+    Cycle period_;
+    std::vector<std::uint64_t> timeline_;
+};
+
+/**
+ * Records the phase tree as Chrome trace_event complete ("X") events:
+ * one event per phase, nested inside per-iteration events, nested
+ * inside a whole-solve event (all on one pid/tid; chrome://tracing
+ * nests complete events by time containment). Timestamps are machine
+ * cycles.
+ */
+class ChromeTraceObserver : public SimObserver {
+  public:
+    void OnRunStart(const SolverProgram& program,
+                    const SimConfig& config, Cycle now) override;
+    void OnPhaseStart(const PhaseInfo& info, Cycle now) override;
+    void OnPhaseEnd(const PhaseInfo& info, Cycle now,
+                    const SimStats& delta) override;
+    void OnIterationStart(Index iteration, Cycle now) override;
+    void OnIterationDone(Index iteration, double residual_norm,
+                         Cycle now) override;
+    void OnRunEnd(const SolverRunResult& result, Cycle now) override;
+
+    /** Serializes the trace as a chrome://tracing JSON object. */
+    void WriteJson(std::ostream& out) const;
+    std::string ToJson() const;
+
+    /** Number of recorded events (phases + iterations + wrappers). */
+    std::size_t num_events() const { return events_.size(); }
+
+  private:
+    struct TraceEvent {
+        std::string name;
+        std::string category;
+        Cycle ts = 0;
+        Cycle dur = 0;
+    };
+
+    void Record(std::string name, std::string category, Cycle start,
+                Cycle end);
+
+    std::vector<TraceEvent> events_;
+    Cycle run_start_ = 0;
+    Cycle phase_start_ = 0;
+    Cycle iter_start_ = 0;
+    bool in_run_ = false;
+    bool prologue_open_ = false;
+};
+
+/**
+ * Aggregates per-kernel-class execution metrics — the cycle / op /
+ * traffic table behind the Fig 21 (issue-slot breakdown) and Fig 22
+ * (runtime-by-kernel) benches.
+ */
+class KernelMetricsObserver : public SimObserver {
+  public:
+    struct ClassMetrics {
+        std::uint64_t invocations = 0;
+        Cycle cycles = 0;
+        OpCounts ops;
+        std::uint64_t stall_cycles = 0;
+        std::uint64_t messages = 0;
+        std::uint64_t spilled_messages = 0;
+        std::uint64_t link_activations = 0;
+        std::uint64_t sram_reads = 0;
+        std::uint64_t sram_writes = 0;
+    };
+
+    void OnPhaseEnd(const PhaseInfo& info, Cycle now,
+                    const SimStats& delta) override;
+
+    const std::array<ClassMetrics, kNumKernelClasses>& rows() const
+    {
+        return rows_;
+    }
+    const ClassMetrics&
+    row(KernelClass kclass) const
+    {
+        return rows_[static_cast<std::size_t>(kclass)];
+    }
+
+    /** Totals across all classes. */
+    ClassMetrics Total() const;
+
+    /** Printable table, one row per kernel class. */
+    std::string ToTable() const;
+
+  private:
+    std::array<ClassMetrics, kNumKernelClasses> rows_{};
+};
+
+/** Printable kernel-class name ("SpMV", "SpTRSV-fwd", ...). */
+std::string KernelClassName(KernelClass kclass);
+
+} // namespace azul
+
+#endif // AZUL_SIM_OBSERVER_H_

@@ -34,6 +34,37 @@ SimStats::operator+=(const SimStats& o)
     return *this;
 }
 
+SimStats
+SimStats::operator-(const SimStats& before) const
+{
+    SimStats d;
+    d.cycles = cycles - before.cycles;
+    d.ops.fmac = ops.fmac - before.ops.fmac;
+    d.ops.add = ops.add - before.ops.add;
+    d.ops.mul = ops.mul - before.ops.mul;
+    d.ops.send = ops.send - before.ops.send;
+    d.stall_cycles = stall_cycles - before.stall_cycles;
+    d.idle_cycles = idle_cycles - before.idle_cycles;
+    d.link_activations = link_activations - before.link_activations;
+    d.messages = messages - before.messages;
+    d.spilled_messages = spilled_messages - before.spilled_messages;
+    d.sram_reads = sram_reads - before.sram_reads;
+    d.sram_writes = sram_writes - before.sram_writes;
+    for (std::size_t i = 0; i < d.class_cycles.size(); ++i) {
+        d.class_cycles[i] = class_cycles[i] - before.class_cycles[i];
+    }
+    // Timelines are per-run artefacts; keep the minuend's.
+    d.issue_timeline = issue_timeline;
+    d.issue_sample_period = issue_sample_period;
+    d.tile_ops.resize(tile_ops.size(), 0);
+    for (std::size_t t = 0; t < tile_ops.size(); ++t) {
+        d.tile_ops[t] =
+            tile_ops[t] -
+            (t < before.tile_ops.size() ? before.tile_ops[t] : 0);
+    }
+    return d;
+}
+
 double
 SimStats::TileImbalance() const
 {

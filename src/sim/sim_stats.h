@@ -87,6 +87,16 @@ struct SimStats {
 
     SimStats& operator+=(const SimStats& o);
 
+    /**
+     * Field-wise difference of the additive counters: the stats delta
+     * of a sub-run given cumulative snapshots taken before and after
+     * (per-kernel tables, observer phase deltas). The issue timeline
+     * is a per-run artefact, not additive — the minuend's is kept.
+     * Defined next to the struct so a new counter cannot silently be
+     * forgotten in per-kernel deltas.
+     */
+    SimStats operator-(const SimStats& before) const;
+
     /** GFLOP/s given FLOPs executed and the configured clock. */
     static double Gflops(double flops, Cycle cycles, double clock_ghz);
 

@@ -1,0 +1,86 @@
+#include "sim/solver_driver.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/machine.h"
+#include "sim/observer.h"
+
+namespace azul {
+
+namespace {
+
+/** Turns the residual register's value into ||r|| per the spec. */
+double
+ResidualNorm(const Machine& machine, const ConvergenceSpec& spec)
+{
+    const double v = machine.ReadScalar(spec.residual_reg);
+    switch (spec.norm) {
+      case ConvergenceSpec::Norm::kL2FromSquared:
+        return std::sqrt(std::max(v, 0.0));
+      case ConvergenceSpec::Norm::kAbsolute:
+        return std::abs(v);
+    }
+    return std::abs(v);
+}
+
+} // namespace
+
+SolverRunResult
+SolverDriver::Run(Machine& machine, const Vector& b, double tol,
+                  Index max_iters) const
+{
+    const SolverProgram& prog = machine.program();
+    const ConvergenceSpec& conv = prog.convergence;
+
+    machine.LoadProblem(b);
+    for (SimObserver* o : machine.observers()) {
+        o->OnRunStart(prog, machine.config(), machine.clock());
+    }
+    machine.RunPrologue();
+
+    SolverRunResult result;
+    result.flops = prog.prologue_flops;
+    while (result.iterations < max_iters) {
+        if (conv.true_residual_interval > 0 &&
+            result.iterations > 0 &&
+            result.iterations % conv.true_residual_interval == 0 &&
+            !prog.residual_recompute.empty()) {
+            machine.RunResidualRecompute();
+            result.flops += prog.recompute_flops;
+        }
+        result.residual_norm = ResidualNorm(machine, conv);
+        result.residual_history.push_back(result.residual_norm);
+        if (result.residual_norm <= tol) {
+            result.converged = true;
+            break;
+        }
+        for (SimObserver* o : machine.observers()) {
+            o->OnIterationStart(result.iterations, machine.clock());
+        }
+        machine.RunIteration();
+        result.flops += prog.FlopsPerIteration();
+        ++result.iterations;
+        if (!machine.observers().empty()) {
+            const double norm = ResidualNorm(machine, conv);
+            for (SimObserver* o : machine.observers()) {
+                o->OnIterationDone(result.iterations - 1, norm,
+                                   machine.clock());
+            }
+        }
+    }
+    result.residual_norm = ResidualNorm(machine, conv);
+    result.converged = result.residual_norm <= tol;
+    if (result.residual_history.empty() ||
+        result.residual_history.back() != result.residual_norm) {
+        result.residual_history.push_back(result.residual_norm);
+    }
+    result.x = machine.GatherVector(prog.solution);
+    result.stats = machine.stats();
+    for (SimObserver* o : machine.observers()) {
+        o->OnRunEnd(result, machine.clock());
+    }
+    return result;
+}
+
+} // namespace azul

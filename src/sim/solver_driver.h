@@ -1,0 +1,66 @@
+/**
+ * @file
+ * The generic run driver of the engine layer: executes any compiled
+ * SolverProgram (PCG, weighted Jacobi, BiCGStab, ...) on a Machine to
+ * convergence, consulting only the program's ConvergenceSpec. The
+ * algorithm lives entirely in the IR; the driver owns the outer loop,
+ * residual bookkeeping, and observer notifications.
+ */
+#ifndef AZUL_SIM_SOLVER_DRIVER_H_
+#define AZUL_SIM_SOLVER_DRIVER_H_
+
+#include <vector>
+
+#include "sim/sim_stats.h"
+#include "solver/vector_ops.h"
+#include "util/common.h"
+
+namespace azul {
+
+class Machine;
+
+/** Result of a full simulated solver run. */
+struct SolverRunResult {
+    Vector x;
+    bool converged = false;
+    Index iterations = 0;
+    double residual_norm = 0.0;
+    SimStats stats;
+    /** FLOPs of the simulated work (prologue + iterations). */
+    double flops = 0.0;
+    /** ||r|| after the prologue and after each iteration. */
+    std::vector<double> residual_history;
+
+    /** Delivered throughput in GFLOP/s under `clock_ghz`. */
+    double
+    Gflops(double clock_ghz) const
+    {
+        return SimStats::Gflops(flops, stats.cycles, clock_ghz);
+    }
+};
+
+/** Deprecated alias from before the IR/engine split. */
+using PcgRunResult = SolverRunResult;
+
+/**
+ * Runs a machine's program to convergence:
+ *
+ *     SolverDriver driver;
+ *     SolverRunResult run = driver.Run(machine, b, tol, max_iters);
+ *
+ * The loop: load b, run the prologue, then run iterations until the
+ * residual norm (read per the program's ConvergenceSpec) drops to
+ * `tol` or `max_iters` is reached. If the spec requests periodic
+ * true-residual recomputation, the program's residual_recompute
+ * phases run before the corresponding convergence checks. Observers
+ * attached to the machine receive run/iteration notifications.
+ */
+class SolverDriver {
+  public:
+    SolverRunResult Run(Machine& machine, const Vector& b, double tol,
+                        Index max_iters) const;
+};
+
+} // namespace azul
+
+#endif // AZUL_SIM_SOLVER_DRIVER_H_

@@ -5,7 +5,7 @@
 namespace azul {
 
 SramUsage
-ComputeSramUsage(const PcgProgram& prog, const SimConfig& cfg)
+ComputeSramUsage(const SolverProgram& prog, const SimConfig& cfg)
 {
     const std::int32_t num_tiles = cfg.num_tiles();
     // 96 bits = 12 bytes per stored operand (64-bit value + 32-bit

@@ -30,7 +30,7 @@ struct SramUsage {
 };
 
 /** Computes per-tile usage of a compiled program under a config. */
-SramUsage ComputeSramUsage(const PcgProgram& prog, const SimConfig& cfg);
+SramUsage ComputeSramUsage(const SolverProgram& prog, const SimConfig& cfg);
 
 } // namespace azul
 

@@ -42,7 +42,7 @@ Nonsymmetric(Index n, std::uint64_t seed)
 struct BiCgCtx {
     CsrMatrix a;
     DataMapping mapping;
-    PcgProgram program;
+    SolverProgram program;
     SimConfig cfg;
 
     explicit BiCgCtx(Index n = 250)
@@ -64,7 +64,7 @@ TEST(BiCgStabProgram, SolvesNonsymmetricSystem)
     BiCgCtx ctx;
     Machine machine(ctx.cfg, &ctx.program);
     const Vector b = RandomVector(ctx.a.rows(), 3);
-    const PcgRunResult run = machine.RunPcg(b, 1e-9, 2000);
+    const SolverRunResult run = SolverDriver().Run(machine, b, 1e-9, 2000);
     ASSERT_TRUE(run.converged);
     EXPECT_VECTOR_NEAR(SpMV(ctx.a, run.x), b, 1e-6);
 }
@@ -74,7 +74,7 @@ TEST(BiCgStabProgram, IterationCountComparableToHostReference)
     BiCgCtx ctx;
     Machine machine(ctx.cfg, &ctx.program);
     const Vector b = RandomVector(ctx.a.rows(), 5);
-    const PcgRunResult run = machine.RunPcg(b, 1e-9, 2000);
+    const SolverRunResult run = SolverDriver().Run(machine, b, 1e-9, 2000);
     ASSERT_TRUE(run.converged);
 
     const auto m = MakePreconditioner(
@@ -117,11 +117,11 @@ TEST(BiCgStabProgram, WorksOnSpdToo)
     prob.a = &a;
     const DataMapping mapping =
         MakeMapper(MapperKind::kAzul)->Map(prob, cfg.num_tiles());
-    const PcgProgram program =
+    const SolverProgram program =
         BuildBiCgStabProgram(a, mapping, cfg.geometry());
     Machine machine(cfg, &program);
     const Vector b = RandomVector(a.rows(), 9);
-    const PcgRunResult run = machine.RunPcg(b, 1e-8, 3000);
+    const SolverRunResult run = SolverDriver().Run(machine, b, 1e-8, 3000);
     ASSERT_TRUE(run.converged);
     EXPECT_VECTOR_NEAR(SpMV(a, run.x), b, 1e-5);
 }

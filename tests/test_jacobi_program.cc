@@ -21,7 +21,7 @@ using azul::testing::RandomVector;
 struct JacobiContext {
     CsrMatrix a;
     DataMapping mapping;
-    PcgProgram program;
+    SolverProgram program;
     SimConfig cfg;
 
     explicit JacobiContext(double omega = 2.0 / 3.0)
@@ -70,12 +70,12 @@ TEST(JacobiProgram, MatchesHostReferenceExactly)
     EXPECT_VECTOR_NEAR(machine.GatherVector(VecName::kX), ref, 1e-10);
 }
 
-TEST(JacobiProgram, ConvergesViaRunPcgDriver)
+TEST(JacobiProgram, ConvergesViaGenericDriver)
 {
     JacobiContext ctx;
     Machine machine(ctx.cfg, &ctx.program);
     const Vector b = RandomVector(ctx.a.rows(), 5);
-    const PcgRunResult run = machine.RunPcg(b, 1e-8, 2000);
+    const SolverRunResult run = SolverDriver().Run(machine, b, 1e-8, 2000);
     EXPECT_TRUE(run.converged);
     EXPECT_VECTOR_NEAR(SpMV(ctx.a, run.x), b, 1e-6);
 }
@@ -84,8 +84,8 @@ TEST(JacobiProgram, OnlySpMVAndVectorCycles)
 {
     JacobiContext ctx;
     Machine machine(ctx.cfg, &ctx.program);
-    const PcgRunResult run =
-        machine.RunPcg(RandomVector(ctx.a.rows(), 7), 1e-6, 200);
+    const SolverRunResult run =
+        SolverDriver().Run(machine, RandomVector(ctx.a.rows(), 7), 1e-6, 200);
     const auto& cc = run.stats.class_cycles;
     EXPECT_GT(cc[static_cast<std::size_t>(KernelClass::kSpMV)], 0u);
     EXPECT_EQ(cc[static_cast<std::size_t>(
@@ -134,7 +134,7 @@ TEST(JacobiProgram, SlowerConvergenceThanPcgButCheaperIterations)
     JacobiContext ctx;
     Machine jacobi(ctx.cfg, &ctx.program);
     const Vector b = RandomVector(ctx.a.rows(), 11);
-    const PcgRunResult jrun = jacobi.RunPcg(b, 1e-8, 5000);
+    const SolverRunResult jrun = SolverDriver().Run(jacobi, b, 1e-8, 5000);
     ASSERT_TRUE(jrun.converged);
 
     MappingProblem prob;
@@ -144,9 +144,9 @@ TEST(JacobiProgram, SlowerConvergenceThanPcgButCheaperIterations)
     in.precond = PreconditionerKind::kJacobi;
     in.mapping = &ctx.mapping;
     in.geom = ctx.cfg.geometry();
-    const PcgProgram pcg_prog = BuildPcgProgram(in);
+    const SolverProgram pcg_prog = BuildPcgProgram(in);
     Machine pcg(ctx.cfg, &pcg_prog);
-    const PcgRunResult prun = pcg.RunPcg(b, 1e-8, 5000);
+    const SolverRunResult prun = SolverDriver().Run(pcg, b, 1e-8, 5000);
     ASSERT_TRUE(prun.converged);
 
     EXPECT_GT(jrun.iterations, prun.iterations);

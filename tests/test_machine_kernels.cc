@@ -206,6 +206,38 @@ TEST(MachineTiming, StatsClassAttribution)
               0u);
 }
 
+// ---- Register-buffer spill accounting ---------------------------------------
+
+TEST(MachineSpill, ChargesSpillExactlyWhenBufferWouldOverflow)
+{
+    Context ctx(MapperKind::kAzul, PeModel::kAzul);
+    SimConfig cfg = ctx.cfg;
+    cfg.msg_buffer_entries = 4;
+    Machine machine(cfg, &ctx.program);
+    machine.LoadProblem(Vector(ctx.a.rows(), 0.0));
+
+    // Occupancy is all that matters here; the tasks are never issued.
+    RuntimeTask task;
+    for (std::int32_t i = 0; i < cfg.msg_buffer_entries; ++i) {
+        machine.ActivateTaskForTest(0, task);
+    }
+    // The buffer holds exactly msg_buffer_entries tasks spill-free.
+    EXPECT_EQ(machine.stats().spilled_messages, 0u);
+    const std::uint64_t reads = machine.stats().sram_reads;
+    const std::uint64_t writes = machine.stats().sram_writes;
+
+    // The (N+1)-th arrival no longer fits: it spills to Data SRAM and
+    // is charged one write (spill) plus one read (refill).
+    machine.ActivateTaskForTest(0, task);
+    EXPECT_EQ(machine.stats().spilled_messages, 1u);
+    EXPECT_EQ(machine.stats().sram_writes, writes + 1);
+    EXPECT_EQ(machine.stats().sram_reads, reads + 1);
+
+    // Every further arrival while full keeps spilling.
+    machine.ActivateTaskForTest(0, task);
+    EXPECT_EQ(machine.stats().spilled_messages, 2u);
+}
+
 TEST(MachineTiming, IssueSamplingProducesTimeline)
 {
     Context ctx(MapperKind::kAzul, PeModel::kAzul);

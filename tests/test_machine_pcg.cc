@@ -18,7 +18,7 @@ struct PcgContext {
     CsrMatrix a;
     CsrMatrix l;
     DataMapping mapping;
-    PcgProgram program;
+    SolverProgram program;
     SimConfig cfg;
 
     explicit PcgContext(PreconditionerKind precond =
@@ -59,7 +59,7 @@ TEST_P(MachinePcgTest, MatchesReferenceSolver)
     PcgContext ctx(GetParam());
     Machine machine(ctx.cfg, &ctx.program);
     const Vector b = RandomVector(ctx.a.rows(), 3);
-    const PcgRunResult run = machine.RunPcg(b, 1e-8, 600);
+    const SolverRunResult run = SolverDriver().Run(machine, b, 1e-8, 600);
     EXPECT_TRUE(run.converged);
 
     const auto m = MakePreconditioner(GetParam(), ctx.a, 1.0);
@@ -85,7 +85,7 @@ TEST(MachinePcg, SolutionSolvesSystem)
     PcgContext ctx;
     Machine machine(ctx.cfg, &ctx.program);
     const Vector b = RandomVector(ctx.a.rows(), 4);
-    const PcgRunResult run = machine.RunPcg(b, 1e-9, 1000);
+    const SolverRunResult run = SolverDriver().Run(machine, b, 1e-9, 1000);
     ASSERT_TRUE(run.converged);
     EXPECT_VECTOR_NEAR(SpMV(ctx.a, run.x), b, 1e-6);
 }
@@ -94,8 +94,8 @@ TEST(MachinePcg, StatsAccumulateAcrossIterations)
 {
     PcgContext ctx;
     Machine machine(ctx.cfg, &ctx.program);
-    const PcgRunResult run =
-        machine.RunPcg(RandomVector(ctx.a.rows(), 5), 1e-8, 400);
+    const SolverRunResult run =
+        SolverDriver().Run(machine, RandomVector(ctx.a.rows(), 5), 1e-8, 400);
     EXPECT_GT(run.stats.cycles, 0u);
     EXPECT_GT(run.stats.ops.fmac, 0u);
     EXPECT_GT(run.stats.messages, 0u);
@@ -159,8 +159,8 @@ TEST(MachinePcg, ZeroRhsConvergesImmediately)
 {
     PcgContext ctx;
     Machine machine(ctx.cfg, &ctx.program);
-    const PcgRunResult run =
-        machine.RunPcg(Vector(ctx.a.rows(), 0.0), 1e-10, 100);
+    const SolverRunResult run =
+        SolverDriver().Run(machine, Vector(ctx.a.rows(), 0.0), 1e-10, 100);
     EXPECT_TRUE(run.converged);
     EXPECT_EQ(run.iterations, 0);
 }
@@ -169,8 +169,8 @@ TEST(MachinePcg, IterationCapRespected)
 {
     PcgContext ctx;
     Machine machine(ctx.cfg, &ctx.program);
-    const PcgRunResult run =
-        machine.RunPcg(RandomVector(ctx.a.rows(), 10), 1e-15, 3);
+    const SolverRunResult run =
+        SolverDriver().Run(machine, RandomVector(ctx.a.rows(), 10), 1e-15, 3);
     EXPECT_EQ(run.iterations, 3);
     EXPECT_FALSE(run.converged);
 }
@@ -179,8 +179,8 @@ TEST(MachinePcg, ResidualHistoryRecorded)
 {
     PcgContext ctx;
     Machine machine(ctx.cfg, &ctx.program);
-    const PcgRunResult run =
-        machine.RunPcg(RandomVector(ctx.a.rows(), 12), 1e-8, 600);
+    const SolverRunResult run =
+        SolverDriver().Run(machine, RandomVector(ctx.a.rows(), 12), 1e-8, 600);
     ASSERT_TRUE(run.converged);
     // One entry per convergence check: iterations + the final check.
     EXPECT_EQ(run.residual_history.size(),
@@ -207,7 +207,7 @@ TEST(MachinePcg, DalorexConfigMatchesReferenceToo)
     SimConfig cfg = DalorexConfig(ctx.cfg);
     Machine machine(cfg, &ctx.program);
     const Vector b = RandomVector(ctx.a.rows(), 11);
-    const PcgRunResult run = machine.RunPcg(b, 1e-8, 600);
+    const SolverRunResult run = SolverDriver().Run(machine, b, 1e-8, 600);
     ASSERT_TRUE(run.converged);
     EXPECT_VECTOR_NEAR(SpMV(ctx.a, run.x), b, 1e-6);
 }

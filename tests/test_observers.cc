@@ -1,0 +1,291 @@
+/**
+ * @file
+ * Tests of the measurement layer: observers are passive (attaching
+ * them never changes timing), TimelineObserver reproduces the
+ * built-in issue sampling bit for bit, ChromeTraceObserver emits
+ * well-formed chrome://tracing JSON, and KernelMetricsObserver's
+ * totals reconcile with the run's cumulative stats.
+ */
+#include <cstddef>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "dataflow/program.h"
+#include "mapping/mapper_factory.h"
+#include "sim/machine.h"
+#include "sim/observer.h"
+#include "solver/ic0.h"
+#include "sparse/generators.h"
+#include "test_helpers.h"
+
+namespace azul {
+namespace {
+
+using azul::testing::RandomVector;
+
+/** Compiled PCG context shared by the observer tests. */
+struct Context {
+    CsrMatrix a;
+    CsrMatrix l;
+    DataMapping mapping;
+    SolverProgram program;
+    SimConfig cfg;
+
+    explicit Context(Index n = 300)
+    {
+        a = RandomGeometricLaplacian(n, 7.0, 17);
+        l = IncompleteCholesky(a);
+        cfg.grid_width = 4;
+        cfg.grid_height = 4;
+        MappingProblem prob;
+        prob.a = &a;
+        prob.l = &l;
+        mapping =
+            MakeMapper(MapperKind::kAzul)->Map(prob, cfg.num_tiles());
+        ProgramBuildInputs in;
+        in.a = &a;
+        in.l = &l;
+        in.precond = PreconditionerKind::kIncompleteCholesky;
+        in.mapping = &mapping;
+        in.geom = cfg.geometry();
+        program = BuildPcgProgram(in);
+    }
+};
+
+std::size_t
+CountOccurrences(const std::string& haystack, const std::string& needle)
+{
+    std::size_t count = 0;
+    for (std::size_t pos = haystack.find(needle);
+         pos != std::string::npos;
+         pos = haystack.find(needle, pos + needle.size())) {
+        ++count;
+    }
+    return count;
+}
+
+/** Minimal JSON well-formedness check: balanced braces/brackets
+ *  outside string literals, and a single top-level object. */
+bool
+JsonIsBalanced(const std::string& s)
+{
+    int braces = 0;
+    int brackets = 0;
+    bool in_string = false;
+    for (std::size_t i = 0; i < s.size(); ++i) {
+        const char ch = s[i];
+        if (in_string) {
+            if (ch == '\\') {
+                ++i; // skip the escaped character
+            } else if (ch == '"') {
+                in_string = false;
+            }
+            continue;
+        }
+        switch (ch) {
+          case '"': in_string = true; break;
+          case '{': ++braces; break;
+          case '}': --braces; break;
+          case '[': ++brackets; break;
+          case ']': --brackets; break;
+          default: break;
+        }
+        if (braces < 0 || brackets < 0) {
+            return false;
+        }
+    }
+    return braces == 0 && brackets == 0 && !in_string;
+}
+
+// ---- Passivity --------------------------------------------------------------
+
+TEST(Observers, AttachingObserversNeverChangesTheRun)
+{
+    Context ctx;
+    const Vector b = RandomVector(ctx.a.rows(), 3);
+
+    Machine bare(ctx.cfg, &ctx.program);
+    const SolverRunResult plain =
+        SolverDriver().Run(bare, b, 1e-8, 500);
+
+    Machine observed(ctx.cfg, &ctx.program);
+    TimelineObserver timeline(32);
+    ChromeTraceObserver trace;
+    KernelMetricsObserver metrics;
+    observed.AttachObserver(&timeline);
+    observed.AttachObserver(&trace);
+    observed.AttachObserver(&metrics);
+    const SolverRunResult traced =
+        SolverDriver().Run(observed, b, 1e-8, 500);
+
+    ASSERT_TRUE(plain.converged);
+    EXPECT_EQ(traced.converged, plain.converged);
+    EXPECT_EQ(traced.iterations, plain.iterations);
+    EXPECT_EQ(traced.stats.cycles, plain.stats.cycles);
+    EXPECT_EQ(traced.stats.ops.total(), plain.stats.ops.total());
+    ASSERT_EQ(traced.x.size(), plain.x.size());
+    for (std::size_t i = 0; i < plain.x.size(); ++i) {
+        EXPECT_EQ(traced.x[i], plain.x[i]);
+    }
+}
+
+TEST(Observers, DetachStopsNotifications)
+{
+    Context ctx;
+    Machine machine(ctx.cfg, &ctx.program);
+    ChromeTraceObserver trace;
+    machine.AttachObserver(&trace);
+    machine.LoadProblem(RandomVector(ctx.a.rows(), 5));
+    machine.ScatterVector(VecName::kP, RandomVector(ctx.a.rows(), 6));
+    machine.RunMatrixKernelStandalone(0);
+    const std::size_t events = trace.num_events();
+    EXPECT_GT(events, 0u);
+
+    machine.DetachObserver(&trace);
+    EXPECT_TRUE(machine.observers().empty());
+    machine.RunMatrixKernelStandalone(0);
+    EXPECT_EQ(trace.num_events(), events);
+}
+
+// ---- TimelineObserver -------------------------------------------------------
+
+TEST(TimelineObserver, MatchesBuiltInIssueSamplingBitForBit)
+{
+    Context ctx;
+    Machine machine(ctx.cfg, &ctx.program);
+    TimelineObserver observer(16);
+    machine.AttachObserver(&observer);
+    machine.EnableIssueSampling(16);
+    machine.LoadProblem(Vector(ctx.a.rows(), 0.0));
+    machine.ScatterVector(VecName::kR, RandomVector(ctx.a.rows(), 14));
+    const SimStats stats = machine.RunMatrixKernelStandalone(1);
+
+    ASSERT_FALSE(stats.issue_timeline.empty());
+    EXPECT_EQ(observer.timeline(), stats.issue_timeline);
+}
+
+TEST(TimelineObserver, MatchesBuiltInSamplingAcrossAWholeSolve)
+{
+    Context ctx;
+    Machine machine(ctx.cfg, &ctx.program);
+    TimelineObserver observer(64);
+    machine.AttachObserver(&observer);
+    machine.EnableIssueSampling(64);
+    const SolverRunResult run = SolverDriver().Run(
+        machine, RandomVector(ctx.a.rows(), 7), 1e-8, 500);
+
+    ASSERT_TRUE(run.converged);
+    ASSERT_FALSE(run.stats.issue_timeline.empty());
+    EXPECT_EQ(observer.timeline(), run.stats.issue_timeline);
+
+    observer.Reset();
+    EXPECT_TRUE(observer.timeline().empty());
+    EXPECT_EQ(observer.period(), 64u);
+}
+
+// ---- ChromeTraceObserver ----------------------------------------------------
+
+TEST(ChromeTraceObserver, EmitsWellFormedJsonWithOneEventPerPhase)
+{
+    Context ctx;
+    Machine machine(ctx.cfg, &ctx.program);
+    ChromeTraceObserver trace;
+    machine.AttachObserver(&trace);
+    const SolverRunResult run = SolverDriver().Run(
+        machine, RandomVector(ctx.a.rows(), 9), 1e-8, 500);
+    ASSERT_TRUE(run.converged);
+
+    const std::string json = trace.ToJson();
+    EXPECT_TRUE(JsonIsBalanced(json));
+    EXPECT_EQ(json.front(), '{');
+    EXPECT_EQ(json.back(), '}');
+    EXPECT_NE(json.find("\"displayTimeUnit\""), std::string::npos);
+    EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+
+    // Every recorded event serializes as one complete ("X") event.
+    EXPECT_EQ(CountOccurrences(json, "\"ph\":\"X\""),
+              trace.num_events());
+
+    // One phase event per executed phase, plus the wrappers: one
+    // per-iteration event, one prologue event, one whole-solve event.
+    const std::size_t iters =
+        static_cast<std::size_t>(run.iterations);
+    const std::size_t phase_events =
+        ctx.program.prologue.size() +
+        iters * ctx.program.iteration.size();
+    EXPECT_EQ(trace.num_events(), phase_events + iters + 2);
+    EXPECT_EQ(CountOccurrences(json, "\"name\":\"iteration "), iters);
+    EXPECT_EQ(CountOccurrences(json, "\"name\":\"prologue\""), 1u);
+    EXPECT_EQ(CountOccurrences(json, "\"name\":\"solve\""), 1u);
+    // Phase events carry their layer as the category.
+    const std::size_t categorized =
+        CountOccurrences(json, "\"cat\":\"matrix\"") +
+        CountOccurrences(json, "\"cat\":\"vector\"") +
+        CountOccurrences(json, "\"cat\":\"scalar\"");
+    EXPECT_EQ(categorized, phase_events);
+}
+
+TEST(ChromeTraceObserver, WritesTheSameJsonToAStream)
+{
+    Context ctx(120);
+    Machine machine(ctx.cfg, &ctx.program);
+    ChromeTraceObserver trace;
+    machine.AttachObserver(&trace);
+    (void)SolverDriver().Run(machine, RandomVector(ctx.a.rows(), 11),
+                             1e-8, 500);
+    std::ostringstream out;
+    trace.WriteJson(out);
+    EXPECT_EQ(out.str(), trace.ToJson());
+}
+
+// ---- KernelMetricsObserver --------------------------------------------------
+
+TEST(KernelMetricsObserver, TotalsReconcileWithRunStats)
+{
+    Context ctx;
+    Machine machine(ctx.cfg, &ctx.program);
+    KernelMetricsObserver metrics;
+    machine.AttachObserver(&metrics);
+    const SolverRunResult run = SolverDriver().Run(
+        machine, RandomVector(ctx.a.rows(), 13), 1e-8, 500);
+    ASSERT_TRUE(run.converged);
+
+    const KernelMetricsObserver::ClassMetrics total = metrics.Total();
+    EXPECT_EQ(total.cycles, run.stats.cycles);
+    EXPECT_EQ(total.ops.total(), run.stats.ops.total());
+    EXPECT_EQ(total.messages, run.stats.messages);
+    EXPECT_EQ(total.sram_reads, run.stats.sram_reads);
+    EXPECT_EQ(total.sram_writes, run.stats.sram_writes);
+
+    // Per-class cycles match the engine's own attribution.
+    for (std::size_t k = 0; k < kNumKernelClasses; ++k) {
+        EXPECT_EQ(metrics.rows()[k].cycles, run.stats.class_cycles[k]);
+    }
+    // PCG runs one SpMV and two trisolves per iteration.
+    const auto iters = static_cast<std::uint64_t>(run.iterations);
+    EXPECT_GE(metrics.row(KernelClass::kSpMV).invocations, iters);
+    EXPECT_GE(metrics.row(KernelClass::kSpTRSVForward).invocations,
+              iters);
+    EXPECT_GE(metrics.row(KernelClass::kSpTRSVBackward).invocations,
+              iters);
+
+    const std::string table = metrics.ToTable();
+    EXPECT_NE(table.find("SpMV"), std::string::npos);
+    EXPECT_NE(table.find("SpTRSV"), std::string::npos);
+    EXPECT_NE(table.find("VectorOp"), std::string::npos);
+}
+
+TEST(KernelMetricsObserver, KernelClassNamesAreDistinct)
+{
+    EXPECT_NE(KernelClassName(KernelClass::kSpMV),
+              KernelClassName(KernelClass::kSpTRSVForward));
+    EXPECT_NE(KernelClassName(KernelClass::kSpTRSVForward),
+              KernelClassName(KernelClass::kSpTRSVBackward));
+    EXPECT_NE(KernelClassName(KernelClass::kVectorOp),
+              KernelClassName(KernelClass::kSpMV));
+}
+
+} // namespace
+} // namespace azul

@@ -1,0 +1,320 @@
+/**
+ * @file
+ * Tests of the generic SolverDriver: one convergence loop running
+ * every compiled solver program (PCG, weighted Jacobi, BiCGStab)
+ * purely through the SolverProgram / ConvergenceSpec contract.
+ */
+#include <gtest/gtest.h>
+
+#include "dataflow/program.h"
+#include "mapping/mapper_factory.h"
+#include "sim/machine.h"
+#include "solver/bicgstab.h"
+#include "solver/ic0.h"
+#include "solver/pcg.h"
+#include "solver/spmv.h"
+#include "sparse/generators.h"
+#include "test_helpers.h"
+
+namespace azul {
+namespace {
+
+using azul::testing::RandomVector;
+
+enum class SolverKind { kPcg, kJacobi, kBiCgStab };
+
+/** Diagonally dominant nonsymmetric matrix for BiCGStab. */
+CsrMatrix
+Nonsymmetric(Index n, std::uint64_t seed)
+{
+    CooMatrix coo(n, n);
+    Rng rng(seed);
+    for (Index i = 0; i < n; ++i) {
+        coo.Add(i, i, 6.0);
+        if (i + 1 < n) {
+            coo.Add(i, i + 1, rng.UniformDouble(0.5, 1.5));
+            coo.Add(i + 1, i, rng.UniformDouble(-1.5, -0.5));
+        }
+        if (i + 9 < n) {
+            coo.Add(i, i + 9, 0.4);
+            coo.Add(i + 9, i, -0.3);
+        }
+    }
+    return CsrMatrix::FromCoo(coo);
+}
+
+/** One compiled solver program plus its build context. */
+struct Compiled {
+    CsrMatrix a;
+    CsrMatrix l;
+    DataMapping mapping;
+    SolverProgram program;
+    SimConfig cfg;
+};
+
+Compiled
+Build(SolverKind kind)
+{
+    Compiled c;
+    c.cfg.grid_width = 4;
+    c.cfg.grid_height = 4;
+    switch (kind) {
+      case SolverKind::kPcg: {
+        c.a = RandomGeometricLaplacian(300, 7.0, 17);
+        c.l = IncompleteCholesky(c.a);
+        MappingProblem prob;
+        prob.a = &c.a;
+        prob.l = &c.l;
+        c.mapping = MakeMapper(MapperKind::kAzul)
+                        ->Map(prob, c.cfg.num_tiles());
+        ProgramBuildInputs in;
+        in.a = &c.a;
+        in.l = &c.l;
+        in.precond = PreconditionerKind::kIncompleteCholesky;
+        in.mapping = &c.mapping;
+        in.geom = c.cfg.geometry();
+        c.program = BuildPcgProgram(in);
+        break;
+      }
+      case SolverKind::kJacobi: {
+        c.a = RandomSpd(200, 4, 31);
+        MappingProblem prob;
+        prob.a = &c.a;
+        c.mapping = MakeMapper(MapperKind::kAzul)
+                        ->Map(prob, c.cfg.num_tiles());
+        c.program = BuildJacobiSolverProgram(c.a, c.mapping,
+                                             c.cfg.geometry());
+        break;
+      }
+      case SolverKind::kBiCgStab: {
+        c.a = Nonsymmetric(250, 61);
+        MappingProblem prob;
+        prob.a = &c.a;
+        c.mapping = MakeMapper(MapperKind::kAzul)
+                        ->Map(prob, c.cfg.num_tiles());
+        c.program =
+            BuildBiCgStabProgram(c.a, c.mapping, c.cfg.geometry());
+        break;
+      }
+    }
+    return c;
+}
+
+struct DriverCase {
+    SolverKind kind;
+    const char* name;
+    double tol;
+    Index max_iters;
+};
+
+class SolverDriverTest : public ::testing::TestWithParam<DriverCase> {};
+
+TEST_P(SolverDriverTest, ConvergesAndSolvesTheSystem)
+{
+    const DriverCase& tc = GetParam();
+    Compiled c = Build(tc.kind);
+    Machine machine(c.cfg, &c.program);
+    const Vector b = RandomVector(c.a.rows(), 3);
+
+    const SolverRunResult run =
+        SolverDriver().Run(machine, b, tc.tol, tc.max_iters);
+    ASSERT_TRUE(run.converged);
+    EXPECT_GT(run.iterations, 0);
+    EXPECT_LT(run.iterations, tc.max_iters);
+    EXPECT_GT(run.stats.cycles, 0u);
+    EXPECT_GT(run.flops, 0.0);
+    EXPECT_VECTOR_NEAR(SpMV(c.a, run.x), b, 1e-5);
+
+    // The history covers every convergence check and ends below tol.
+    ASSERT_GE(run.residual_history.size(),
+              static_cast<std::size_t>(run.iterations));
+    EXPECT_LE(run.residual_history.back(), tc.tol);
+    EXPECT_LT(run.residual_history.back(), run.residual_history.front());
+}
+
+TEST_P(SolverDriverTest, AgreesWithHostReferenceSolver)
+{
+    const DriverCase& tc = GetParam();
+    Compiled c = Build(tc.kind);
+    Machine machine(c.cfg, &c.program);
+    const Vector b = RandomVector(c.a.rows(), 5);
+
+    const SolverRunResult run =
+        SolverDriver().Run(machine, b, tc.tol, tc.max_iters);
+    ASSERT_TRUE(run.converged);
+
+    Vector ref_x;
+    switch (tc.kind) {
+      case SolverKind::kPcg: {
+        const auto m = MakePreconditioner(
+            PreconditionerKind::kIncompleteCholesky, c.a);
+        const SolveResult ref = PreconditionedConjugateGradients(
+            c.a, b, *m, tc.tol, tc.max_iters);
+        ASSERT_TRUE(ref.converged);
+        // Same algorithm on the same data: iteration counts match up
+        // to roundoff near the threshold.
+        EXPECT_NEAR(static_cast<double>(run.iterations),
+                    static_cast<double>(ref.iterations), 2.0);
+        ref_x = ref.x;
+        break;
+      }
+      case SolverKind::kJacobi: {
+        // Host weighted Jacobi with the builder's default damping.
+        Vector x(b.size(), 0.0);
+        for (Index it = 0; it < run.iterations; ++it) {
+            const Vector ax = SpMV(c.a, x);
+            for (Index i = 0; i < c.a.rows(); ++i) {
+                const double r = b[static_cast<std::size_t>(i)] -
+                                 ax[static_cast<std::size_t>(i)];
+                x[static_cast<std::size_t>(i)] +=
+                    (2.0 / 3.0) * r / c.a.At(i, i);
+            }
+        }
+        ref_x = x;
+        break;
+      }
+      case SolverKind::kBiCgStab: {
+        const auto m = MakePreconditioner(
+            PreconditionerKind::kIdentity, c.a);
+        const SolveResult ref =
+            BiCgStab(c.a, b, *m, tc.tol, tc.max_iters);
+        ASSERT_TRUE(ref.converged);
+        EXPECT_NEAR(static_cast<double>(run.iterations),
+                    static_cast<double>(ref.iterations), 3.0);
+        ref_x = ref.x;
+        break;
+      }
+    }
+    EXPECT_VECTOR_NEAR(run.x, ref_x, 1e-5);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Programs, SolverDriverTest,
+    ::testing::Values(
+        DriverCase{SolverKind::kPcg, "pcg", 1e-8, 500},
+        DriverCase{SolverKind::kJacobi, "jacobi", 1e-8, 2000},
+        DriverCase{SolverKind::kBiCgStab, "bicgstab", 1e-9, 2000}),
+    [](const ::testing::TestParamInfo<DriverCase>& info) {
+        return std::string(info.param.name);
+    });
+
+// ---- Deprecated-shim equivalence --------------------------------------------
+
+TEST(SolverDriverShim, RunPcgMatchesGenericDriverExactly)
+{
+    Compiled c = Build(SolverKind::kPcg);
+    const Vector b = RandomVector(c.a.rows(), 7);
+
+    Machine via_shim(c.cfg, &c.program);
+    const SolverRunResult shim = via_shim.RunPcg(b, 1e-8, 500);
+
+    Machine via_driver(c.cfg, &c.program);
+    const SolverRunResult direct =
+        SolverDriver().Run(via_driver, b, 1e-8, 500);
+
+    EXPECT_EQ(shim.converged, direct.converged);
+    EXPECT_EQ(shim.iterations, direct.iterations);
+    EXPECT_EQ(shim.stats.cycles, direct.stats.cycles);
+    EXPECT_EQ(shim.stats.ops.total(), direct.stats.ops.total());
+    EXPECT_EQ(shim.residual_history, direct.residual_history);
+    ASSERT_EQ(shim.x.size(), direct.x.size());
+    for (std::size_t i = 0; i < shim.x.size(); ++i) {
+        EXPECT_EQ(shim.x[i], direct.x[i]);
+    }
+}
+
+// ---- ConvergenceSpec contract -----------------------------------------------
+
+TEST(ConvergenceSpec, DriverReadsTheResidualRegisterItIsGiven)
+{
+    // Rewire Jacobi's convergence dot into a different register; the
+    // driver must follow the spec, not a built-in kRr convention.
+    Compiled c = Build(SolverKind::kJacobi);
+    SolverProgram alt = c.program;
+    bool rewired = false;
+    const auto rewire = [&rewired](std::vector<Phase>& phases) {
+        for (Phase& p : phases) {
+            if (p.kind == Phase::Kind::kVector &&
+                p.vec.op == VecOpKind::kDotReduce &&
+                p.vec.dot_out == ScalarReg::kRr) {
+                p.vec.dot_out = ScalarReg::kTmp;
+                rewired = true;
+            }
+        }
+    };
+    rewire(alt.prologue);
+    rewire(alt.iteration);
+    ASSERT_TRUE(rewired);
+    alt.convergence.residual_reg = ScalarReg::kTmp;
+
+    const Vector b = RandomVector(c.a.rows(), 9);
+    Machine base(c.cfg, &c.program);
+    const SolverRunResult base_run =
+        SolverDriver().Run(base, b, 1e-8, 2000);
+    Machine moved(c.cfg, &alt);
+    const SolverRunResult alt_run =
+        SolverDriver().Run(moved, b, 1e-8, 2000);
+
+    ASSERT_TRUE(base_run.converged);
+    ASSERT_TRUE(alt_run.converged);
+    EXPECT_EQ(alt_run.iterations, base_run.iterations);
+    EXPECT_VECTOR_NEAR(alt_run.x, base_run.x, 0.0);
+}
+
+TEST(ConvergenceSpec, TrueResidualRecomputeRunsOnTheGivenInterval)
+{
+    Compiled c = Build(SolverKind::kJacobi);
+    ASSERT_FALSE(c.program.residual_recompute.empty());
+    ASSERT_GT(c.program.recompute_flops, 0.0);
+
+    SolverProgram periodic = c.program;
+    periodic.convergence.true_residual_interval = 7;
+
+    const Vector b = RandomVector(c.a.rows(), 11);
+    Machine base(c.cfg, &c.program);
+    const SolverRunResult base_run =
+        SolverDriver().Run(base, b, 1e-8, 2000);
+    Machine machine(c.cfg, &periodic);
+    const SolverRunResult run =
+        SolverDriver().Run(machine, b, 1e-8, 2000);
+
+    ASSERT_TRUE(base_run.converged);
+    ASSERT_TRUE(run.converged);
+    // Jacobi's recurrence residual lags the x update by one iteration,
+    // so refreshing it can only help (never hurt) convergence.
+    EXPECT_LE(run.iterations, base_run.iterations);
+    // The recompute phases actually executed: the FLOP total exceeds
+    // prologue + iterations alone by at least one recompute.
+    const double no_recompute_flops =
+        periodic.prologue_flops +
+        static_cast<double>(run.iterations) *
+            periodic.FlopsPerIteration();
+    EXPECT_GE(run.flops,
+              no_recompute_flops + periodic.recompute_flops - 0.5);
+}
+
+TEST(ConvergenceSpec, AbsoluteNormSkipsTheSquareRoot)
+{
+    // A program whose register already holds ||r|| converges at the
+    // squared threshold of one holding ||r||^2.
+    Compiled c = Build(SolverKind::kJacobi);
+    SolverProgram abs = c.program;
+    abs.convergence.norm = ConvergenceSpec::Norm::kAbsolute;
+
+    const Vector b = RandomVector(c.a.rows(), 13);
+    Machine sq(c.cfg, &c.program);
+    const SolverRunResult sq_run =
+        SolverDriver().Run(sq, b, 1e-8, 2000);
+    Machine machine(c.cfg, &abs);
+    // The register holds ||r||^2, so reading it "absolute" against
+    // tol^2 must stop at the same iteration as sqrt against tol.
+    const SolverRunResult abs_run =
+        SolverDriver().Run(machine, b, 1e-16, 2000);
+
+    ASSERT_TRUE(sq_run.converged);
+    ASSERT_TRUE(abs_run.converged);
+    EXPECT_EQ(abs_run.iterations, sq_run.iterations);
+}
+
+} // namespace
+} // namespace azul
