@@ -8,6 +8,9 @@
  *   --scale=F   suite size multiplier        (default 1.0)
  *   --grid=N    square tile-grid dimension   (default 8)
  *   --iters=N   measured PCG iterations      (default 3)
+ *   --threads=N host simulation threads      (default: env
+ *               AZUL_SIM_THREADS, else 1; results are bit-identical
+ *               at any thread count)
  *   --quick     small preset for smoke runs  (scale 0.2, grid 4)
  *
  * The defaults keep the per-tile working set (nnz/tile, vector slots
@@ -36,6 +39,7 @@ struct BenchArgs {
     double scale = 1.0;
     std::int32_t grid = 8;
     Index iters = 3;
+    std::int32_t threads = SimThreadsFromEnv(1);
     bool quick = false;
 
     static BenchArgs
@@ -51,6 +55,9 @@ struct BenchArgs {
                     static_cast<std::int32_t>(std::stol(arg.substr(7)));
             } else if (arg.rfind("--iters=", 0) == 0) {
                 args.iters = std::stol(arg.substr(8));
+            } else if (arg.rfind("--threads=", 0) == 0) {
+                args.threads = static_cast<std::int32_t>(
+                    std::stol(arg.substr(10)));
             } else if (arg == "--quick") {
                 args.quick = true;
                 args.scale = 0.2;
@@ -103,6 +110,7 @@ BaseOptions(const BenchArgs& args)
     AzulOptions opts;
     opts.sim.grid_width = args.grid;
     opts.sim.grid_height = args.grid;
+    opts.sim.sim_threads = args.threads;
     opts.tol = 0.0; // run exactly `iters` iterations
     opts.max_iters = args.iters;
     return opts;
@@ -137,9 +145,10 @@ PrintBanner(const char* figure, const char* paper_expectation,
                 "=========================\n");
     std::printf("%s\n", figure);
     std::printf("paper: %s\n", paper_expectation);
-    std::printf("config: scale=%.2f grid=%dx%d iters=%lld\n",
+    std::printf("config: scale=%.2f grid=%dx%d iters=%lld"
+                " host-threads=%d\n",
                 args.scale, args.grid, args.grid,
-                static_cast<long long>(args.iters));
+                static_cast<long long>(args.iters), args.threads);
     std::printf("---------------------------------------------------"
                 "-------------------------\n");
 }

@@ -15,14 +15,17 @@ struct Grouping {
     std::vector<Index> ptr;
     std::vector<Index> op_pos;
 
-    /** Tiles participating for one index. */
-    std::unordered_map<Index, std::vector<TileId>> tiles_of_index;
+    /** Tiles participating for each index (ascending-tile order),
+     *  indexed by the vector index itself so iteration order never
+     *  depends on hashing. */
+    std::vector<std::vector<TileId>> tiles_of_index;
 };
 
 Grouping
-GroupBy(const std::vector<PatternOp>& ops, bool by_in)
+GroupBy(const std::vector<PatternOp>& ops, bool by_in, Index n)
 {
     Grouping g;
+    g.tiles_of_index.resize(static_cast<std::size_t>(n));
     std::vector<Index> order(ops.size());
     for (std::size_t i = 0; i < ops.size(); ++i) {
         order[i] = static_cast<Index>(i);
@@ -43,7 +46,8 @@ GroupBy(const std::vector<PatternOp>& ops, bool by_in)
                 g.ptr.push_back(static_cast<Index>(i));
             }
             g.keys.push_back(key);
-            g.tiles_of_index[key.second].push_back(key.first);
+            g.tiles_of_index[static_cast<std::size_t>(key.second)]
+                .push_back(key.first);
         }
     }
     g.ptr.push_back(static_cast<Index>(g.op_pos.size()));
@@ -88,7 +92,7 @@ BuildMatrixKernel(const TorusGeometry& geom,
     };
 
     // ---- Accumulators (per tile, per output index) ------------------------
-    const Grouping by_out = GroupBy(ops, /*by_in=*/false);
+    const Grouping by_out = GroupBy(ops, /*by_in=*/false, spec.n);
     // (tile, out) -> local accumulator id.
     std::unordered_map<std::int64_t, std::int32_t> acc_of;
     const auto acc_key = [&](TileId t, Index out) {
@@ -109,12 +113,13 @@ BuildMatrixKernel(const TorusGeometry& geom,
     // Root NodeRef per output index (for SpTRSV trigger wiring later).
     std::vector<NodeRef> reduce_root(static_cast<std::size_t>(spec.n));
     for (Index i = 0; i < spec.n; ++i) {
-        const auto it = by_out.tiles_of_index.find(i);
-        const bool has_participants = it != by_out.tiles_of_index.end();
+        const auto& participants =
+            by_out.tiles_of_index[static_cast<std::size_t>(i)];
+        const bool has_participants = !participants.empty();
         const TileId root_tile = vec_tile[static_cast<std::size_t>(i)];
         std::vector<std::int32_t> members;
         if (has_participants) {
-            members.assign(it->second.begin(), it->second.end());
+            members.assign(participants.begin(), participants.end());
         }
         if (!has_participants && !spec.triggered) {
             // SpMV output with no contributions: nothing to do.
@@ -163,7 +168,7 @@ BuildMatrixKernel(const TorusGeometry& geom,
     }
 
     // ---- Column tasks + multicast trees ----------------------------------
-    const Grouping by_in = GroupBy(ops, /*by_in=*/true);
+    const Grouping by_in = GroupBy(ops, /*by_in=*/true, spec.n);
     // Copy ops into per-tile arrays and record each group's range.
     struct GroupRange {
         std::int32_t first_op = 0;
@@ -189,15 +194,16 @@ BuildMatrixKernel(const TorusGeometry& geom,
     }
 
     for (Index j = 0; j < spec.n; ++j) {
-        const auto it = by_in.tiles_of_index.find(j);
-        const bool has_members = it != by_in.tiles_of_index.end();
+        const auto& consumers =
+            by_in.tiles_of_index[static_cast<std::size_t>(j)];
+        const bool has_members = !consumers.empty();
         if (!has_members && !spec.triggered) {
             continue; // nobody consumes in[j]
         }
         const TileId root_tile = vec_tile[static_cast<std::size_t>(j)];
         std::vector<std::int32_t> members;
         if (has_members) {
-            members.assign(it->second.begin(), it->second.end());
+            members.assign(consumers.begin(), consumers.end());
         }
         if (!has_members && spec.triggered) {
             // Solved variable consumed by nobody (last rows of the

@@ -1,5 +1,6 @@
 #include "sim/config.h"
 
+#include <cstdlib>
 #include <sstream>
 
 namespace azul {
@@ -32,6 +33,9 @@ SimConfig::ToString() const
     oss << (multithreading ? " MT" : " ST") << ", hop=" << hop_latency
         << "cy, sram=" << sram_latency << "cy"
         << (torus ? "" : ", mesh");
+    if (sim_threads > 1) {
+        oss << ", host-threads=" << sim_threads;
+    }
     return oss.str();
 }
 
@@ -66,6 +70,21 @@ IdealPeConfig(const SimConfig& base)
     SimConfig cfg = base;
     cfg.pe_model = PeModel::kIdeal;
     return cfg;
+}
+
+std::int32_t
+SimThreadsFromEnv(std::int32_t fallback)
+{
+    const char* env = std::getenv("AZUL_SIM_THREADS");
+    if (env == nullptr || *env == '\0') {
+        return fallback;
+    }
+    char* end = nullptr;
+    const long v = std::strtol(env, &end, 10);
+    if (end == env || *end != '\0' || v < 1 || v > 1024) {
+        return fallback;
+    }
+    return static_cast<std::int32_t>(v);
 }
 
 } // namespace azul

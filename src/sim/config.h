@@ -64,6 +64,25 @@ struct SimConfig {
     /** Watchdog: abort a phase after this many cycles. */
     Cycle max_phase_cycles = 1'000'000'000ULL;
 
+    // Host-side execution (not part of the modeled hardware).
+    /**
+     * Host worker threads sharding tiles inside the simulation
+     * engine; <= 1 runs serial. The parallel engine is bit-identical
+     * to the serial one at every thread count — cycle counts, FP64
+     * results, stats, and observer timelines do not change (see
+     * docs/SIMULATOR.md, "Deterministic parallel execution").
+     * Benches default this from the AZUL_SIM_THREADS env var.
+     */
+    std::int32_t sim_threads = 1;
+    /**
+     * Minimum parallel work items (active tiles of a cycle, tree
+     * nodes of a dot product) before a pass is dispatched to the
+     * pool; smaller passes run on the coordinating thread. Purely a
+     * host-performance knob — results are identical either way.
+     * Tests lower it to 1 to force parallel execution on tiny grids.
+     */
+    std::int32_t sim_parallel_grain = 64;
+
     std::int32_t num_tiles() const { return grid_width * grid_height; }
     TorusGeometry
     geometry() const
@@ -92,6 +111,13 @@ SimConfig DalorexConfig(const SimConfig& base);
 
 /** Idealized-PE configuration for mapping studies (Fig 10/11). */
 SimConfig IdealPeConfig(const SimConfig& base);
+
+/**
+ * Host thread count from the AZUL_SIM_THREADS environment variable,
+ * or `fallback` if unset/invalid. Benches use this so that any figure
+ * reproduction can be parallelized without touching its command line.
+ */
+std::int32_t SimThreadsFromEnv(std::int32_t fallback);
 
 } // namespace azul
 

@@ -63,6 +63,27 @@ Machine::Machine(SimConfig cfg, const SolverProgram* program)
     }
     scalar_tree_ = BuildTorusTree(geom_, 0, all_tiles);
     scalar_tree_children_ = scalar_tree_.Children();
+
+    // Host worker pool for the deterministic parallel engine. One
+    // lane per worker; serial runs use lanes_[0] only, so both modes
+    // execute the identical staged-side-effect code path.
+    const std::int32_t threads =
+        cfg_.sim_threads < 1 ? 1 : cfg_.sim_threads;
+    lanes_.resize(static_cast<std::size_t>(threads));
+    if (threads > 1) {
+        pool_ = std::make_unique<ThreadPool>(threads);
+    }
+}
+
+void
+Machine::ResetLanes()
+{
+    for (EngineLane& lane : lanes_) {
+        lane.stats = SimStats{};
+        lane.sends.clear();
+        lane.tasks_delta = 0;
+        lane.issued = 0;
+    }
 }
 
 // ---------------------------------------------------------------------------

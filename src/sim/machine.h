@@ -14,6 +14,15 @@
  *   machine_vector.cc — vector/scalar-kernel execution
  * The convergence loop lives in the generic SolverDriver
  * (solver_driver.h); measurement hooks in SimObserver (observer.h).
+ *
+ * With cfg.sim_threads > 1 the engine shards tiles across a worker
+ * pool under an epoch barrier per simulated cycle. Execution is
+ * bit-identical to the serial engine at every thread count: each
+ * tile's state is touched by exactly one worker per cycle, all shared
+ * side effects (stats counters, NoC injections, task counts) are
+ * staged in per-worker lanes the coordinating thread folds in a fixed
+ * order, and observers fire on the coordinating thread only. The
+ * determinism contract is documented in docs/SIMULATOR.md.
  */
 #ifndef AZUL_SIM_MACHINE_H_
 #define AZUL_SIM_MACHINE_H_
@@ -29,10 +38,37 @@
 #include "sim/solver_driver.h"
 #include "sim/tile.h"
 #include "solver/vector_ops.h"
+#include "util/thread_pool.h"
 
 namespace azul {
 
 class SimObserver;
+
+/** A NoC injection staged during a tile pass, flushed by the
+ *  coordinating thread in active-list position order. */
+struct PendingSend {
+    Cycle time = 0;
+    std::int32_t src_tile = -1;
+    Message msg;
+};
+
+/**
+ * Per-worker accumulator of engine side effects. During a tile pass
+ * every shared-state mutation a tick produces is routed through the
+ * worker's lane: counter deltas into `stats`, NoC injections into
+ * `sends`, task activations/completions into `tasks_delta`. The
+ * coordinating thread folds lanes in worker order after each pass.
+ * Because workers own contiguous ascending chunks of the active list,
+ * flushing sends lane by lane reproduces the serial injection order
+ * exactly (and with it the NoC's FCFS tie-breaking); the integer
+ * counters are commutative, so their fold order cannot matter.
+ */
+struct EngineLane {
+    SimStats stats;
+    std::vector<PendingSend> sends;
+    std::int64_t tasks_delta = 0;
+    std::int64_t issued = 0;
+};
 
 /** The cycle-level machine model. */
 class Machine {
@@ -74,7 +110,8 @@ class Machine {
     void
     ActivateTaskForTest(std::int32_t tile, const RuntimeTask& task)
     {
-        ActivateTask(tile, task);
+        ActivateTask(tile, task, lanes_[0]);
+        FoldLaneCounters();
     }
 
     /** Reads a broadcast scalar register. */
@@ -125,14 +162,17 @@ class Machine {
     void DeliverMessage(const MatrixKernel& kernel, std::int32_t tile,
                         const Message& msg);
     /** Issues ops on one tile for the current cycle; returns number
-     *  of ops issued. */
+     *  of ops issued. Touches only the tile's own state and `lane`,
+     *  so distinct tiles tick concurrently without races. */
     int TickTile(const MatrixKernel& kernel, std::int32_t tile,
-                 Cycle now);
+                 Cycle now, EngineLane& lane);
     /** Attempts the next micro-op of a task; returns true if issued
      *  (the task may complete as a side effect). */
     bool TryIssue(const MatrixKernel& kernel, std::int32_t tile,
-                  RuntimeTask& task, Cycle now, bool& completed);
-    void ActivateTask(std::int32_t tile, RuntimeTask task);
+                  RuntimeTask& task, Cycle now, bool& completed,
+                  EngineLane& lane);
+    void ActivateTask(std::int32_t tile, RuntimeTask task,
+                      EngineLane& lane);
     void
     MarkTileActive(std::int32_t tile)
     {
@@ -150,6 +190,30 @@ class Machine {
     /** Timing + stats of broadcasting `values` scalars from the root
      *  down the machine-wide tree, starting at root_done. */
     Cycle BroadcastScalars(Cycle root_done, int values);
+
+    // ---- Parallel execution ------------------------------------------------
+    /** True if a pass over `items` work items should use the pool. */
+    bool
+    UseParallel(std::size_t items) const
+    {
+        return pool_ != nullptr &&
+               items >= static_cast<std::size_t>(
+                            cfg_.sim_parallel_grain);
+    }
+    /** Zeroes every lane (kernel start). */
+    void ResetLanes();
+    /** Folds lane counter deltas (not sends) into the shared state;
+     *  used by coordinator-side activations outside a tile pass. */
+    void
+    FoldLaneCounters()
+    {
+        for (EngineLane& lane : lanes_) {
+            stats_ += lane.stats;
+            lane.stats = SimStats{};
+            outstanding_tasks_ += lane.tasks_delta;
+            lane.tasks_delta = 0;
+        }
+    }
 
     // ---- Storage helpers ---------------------------------------------------
     double ReadSlot(VecName vec, Index slot) const;
@@ -184,6 +248,11 @@ class Machine {
     Cycle issue_sample_period_ = 0;
     std::vector<Delivery> delivery_buffer_;
     std::vector<SimObserver*> observers_;
+
+    /** Worker pool (null when cfg_.sim_threads <= 1) and one lane per
+     *  worker; lanes_[0] doubles as the coordinator's sink. */
+    std::unique_ptr<ThreadPool> pool_;
+    std::vector<EngineLane> lanes_;
 };
 
 } // namespace azul

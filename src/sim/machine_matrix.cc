@@ -3,6 +3,25 @@
  * Matrix-kernel engine: message-driven execution of compiled SpMV /
  * SpTRSV task graphs (Sec IV-A, V-A) — task activation, per-tile
  * issue, and the kernel main loop.
+ *
+ * Each simulated cycle is an epoch with three strictly ordered
+ * stages, all coordinated by the calling thread:
+ *
+ *   1. deliver  — NoC messages arriving this cycle activate tasks
+ *                 (coordinator only);
+ *   2. tick     — every active tile issues ops for this cycle. Tiles
+ *                 are independent within the stage (the kernel
+ *                 builder homes every slot a tile touches on that
+ *                 tile), so with cfg.sim_threads > 1 the active list
+ *                 is sharded across the worker pool. All shared side
+ *                 effects are staged in per-worker EngineLanes;
+ *   3. fold     — the coordinator flushes staged NoC injections in
+ *                 active-list position order (reproducing the serial
+ *                 engine's FCFS injection order bit for bit), sums
+ *                 issue counts, and notifies observers.
+ *
+ * The parallel engine is therefore bit-identical to the serial one at
+ * every thread count; tests/test_parallel_sim.cc enforces this.
  */
 #include <algorithm>
 
@@ -13,7 +32,8 @@
 namespace azul {
 
 void
-Machine::ActivateTask(std::int32_t tile, RuntimeTask task)
+Machine::ActivateTask(std::int32_t tile, RuntimeTask task,
+                      EngineLane& lane)
 {
     TileRun& run = runs_[static_cast<std::size_t>(tile)];
     // Occupancy including the incoming message: the buffer holds at
@@ -25,12 +45,15 @@ Machine::ActivateTask(std::int32_t tile, RuntimeTask task)
         cfg_.msg_buffer_entries) {
         // Register buffer overflow: the message spills to Data SRAM
         // (Sec V-A). Charged as extra SRAM traffic.
-        ++stats_.spilled_messages;
-        ++stats_.sram_writes;
-        ++stats_.sram_reads;
+        ++lane.stats.spilled_messages;
+        ++lane.stats.sram_writes;
+        ++lane.stats.sram_reads;
     }
     run.pending.push_back(task);
-    ++outstanding_tasks_;
+    ++lane.tasks_delta;
+    // During a tile pass this is a same-tile activation (solve
+    // triggering its multicast), so the tile is already active and
+    // the shared active list is never touched concurrently.
     MarkTileActive(tile);
 }
 
@@ -70,14 +93,14 @@ Machine::StartMatrixKernel(const MatrixKernel& kernel)
                 task.kind = RuntimeTask::Kind::kMulticastDeliver;
                 task.value =
                     ReadSlot(kernel.input_vec, node.source_slot);
-                ++stats_.sram_reads;
+                ++lanes_[0].stats.sram_reads;
             } else {
                 // Reduce root with no contributions: go straight to
                 // the solve stage.
                 task.kind = RuntimeTask::Kind::kReduceArrival;
                 task.progress = 1;
             }
-            ActivateTask(t, task);
+            ActivateTask(t, task, lanes_[0]);
         }
     }
 }
@@ -95,12 +118,13 @@ Machine::DeliverMessage(const MatrixKernel& kernel, std::int32_t tile,
     task.kind = node.kind == NodeKind::kMulticast
                     ? RuntimeTask::Kind::kMulticastDeliver
                     : RuntimeTask::Kind::kReduceArrival;
-    ActivateTask(tile, task);
+    ActivateTask(tile, task, lanes_[0]);
 }
 
 bool
 Machine::TryIssue(const MatrixKernel& kernel, std::int32_t tile,
-                  RuntimeTask& task, Cycle now, bool& completed)
+                  RuntimeTask& task, Cycle now, bool& completed,
+                  EngineLane& lane)
 {
     const bool ideal = cfg_.pe_model == PeModel::kIdeal;
     const Cycle lat =
@@ -119,11 +143,12 @@ Machine::TryIssue(const MatrixKernel& kernel, std::int32_t tile,
             // Forward to the next child in the tree.
             const NodeRef& child =
                 node.children[static_cast<std::size_t>(task.progress)];
-            stats_.ops.Count(OpKind::kSend);
-            ++stats_.sram_reads;
-            ++stats_.messages;
-            noc_.Inject(now + 1, tile,
-                        Message{child.tile, child.node, task.value});
+            lane.stats.ops.Count(OpKind::kSend);
+            ++lane.stats.sram_reads;
+            ++lane.stats.messages;
+            lane.sends.push_back(PendingSend{
+                now + 1, tile,
+                Message{child.tile, child.node, task.value}});
             ++task.progress;
             completed =
                 task.progress == num_children && node.num_ops == 0;
@@ -138,9 +163,9 @@ Machine::TryIssue(const MatrixKernel& kernel, std::int32_t tile,
             run.acc_busy[static_cast<std::size_t>(op.acc)] > now) {
             return false; // RAW hazard on the accumulator
         }
-        stats_.ops.Count(OpKind::kFmac);
-        stats_.sram_reads += 2; // nonzero + accumulator
-        ++stats_.sram_writes;
+        lane.stats.ops.Count(OpKind::kFmac);
+        lane.stats.sram_reads += 2; // nonzero + accumulator
+        ++lane.stats.sram_writes;
         run.acc_value[static_cast<std::size_t>(op.acc)] +=
             op.coeff * task.value;
         run.acc_busy[static_cast<std::size_t>(op.acc)] = now + lat;
@@ -150,11 +175,12 @@ Machine::TryIssue(const MatrixKernel& kernel, std::int32_t tile,
             // into the final FMAC's writeback stage.
             const AccumDesc& acc =
                 tk.accums[static_cast<std::size_t>(op.acc)];
-            ++stats_.messages;
-            noc_.Inject(now + lat, tile,
-                        Message{acc.dest.tile, acc.dest.node,
-                                run.acc_value[static_cast<std::size_t>(
-                                    op.acc)]});
+            ++lane.stats.messages;
+            lane.sends.push_back(PendingSend{
+                now + lat, tile,
+                Message{acc.dest.tile, acc.dest.node,
+                        run.acc_value[static_cast<std::size_t>(
+                            op.acc)]}});
         }
         ++task.progress;
         completed = task.progress == num_children + node.num_ops;
@@ -168,9 +194,9 @@ Machine::TryIssue(const MatrixKernel& kernel, std::int32_t tile,
             run.node_busy[static_cast<std::size_t>(task.node)] > now) {
             return false; // previous contribution still in flight
         }
-        stats_.ops.Count(OpKind::kAdd);
-        ++stats_.sram_reads;
-        ++stats_.sram_writes;
+        lane.stats.ops.Count(OpKind::kAdd);
+        ++lane.stats.sram_reads;
+        ++lane.stats.sram_writes;
         run.node_acc[static_cast<std::size_t>(task.node)] += task.value;
         run.node_busy[static_cast<std::size_t>(task.node)] = now + lat;
         if (--run.node_remaining[static_cast<std::size_t>(task.node)] >
@@ -180,18 +206,21 @@ Machine::TryIssue(const MatrixKernel& kernel, std::int32_t tile,
         }
         // All contributions in: forward or finalize.
         if (node.parent.valid()) {
-            ++stats_.messages;
-            noc_.Inject(now + lat, tile,
-                        Message{node.parent.tile, node.parent.node,
-                                run.node_acc[static_cast<std::size_t>(
-                                    task.node)]});
+            ++lane.stats.messages;
+            lane.sends.push_back(PendingSend{
+                now + lat, tile,
+                Message{node.parent.tile, node.parent.node,
+                        run.node_acc[static_cast<std::size_t>(
+                            task.node)]}});
             completed = true;
             return true;
         }
         if (node.final_action == FinalAction::kWriteOutput) {
+            // The reduce root is homed with its output slot, so this
+            // write is tile-local.
             WriteSlot(kernel.output_vec, node.slot,
                       run.node_acc[static_cast<std::size_t>(task.node)]);
-            ++stats_.sram_writes;
+            ++lane.stats.sram_writes;
             completed = true;
             return true;
         }
@@ -206,9 +235,9 @@ Machine::TryIssue(const MatrixKernel& kernel, std::int32_t tile,
         run.node_busy[static_cast<std::size_t>(task.node)] > now) {
         return false; // wait for the final Add's result
     }
-    stats_.ops.Count(OpKind::kMul);
-    stats_.sram_reads += 2; // rhs + 1/diag
-    ++stats_.sram_writes;
+    lane.stats.ops.Count(OpKind::kMul);
+    lane.stats.sram_reads += 2; // rhs + 1/diag
+    ++lane.stats.sram_writes;
     const double rhs = kernel.rhs_vec == VecName::kCount
                            ? 0.0
                            : ReadSlot(kernel.rhs_vec, node.slot);
@@ -221,7 +250,7 @@ Machine::TryIssue(const MatrixKernel& kernel, std::int32_t tile,
         mc.kind = RuntimeTask::Kind::kMulticastDeliver;
         mc.node = node.trigger_node;
         mc.value = x;
-        ActivateTask(tile, mc);
+        ActivateTask(tile, mc, lane);
     }
     completed = true;
     return true;
@@ -229,7 +258,7 @@ Machine::TryIssue(const MatrixKernel& kernel, std::int32_t tile,
 
 int
 Machine::TickTile(const MatrixKernel& kernel, std::int32_t tile,
-                  Cycle now)
+                  Cycle now, EngineLane& lane)
 {
     TileRun& run = runs_[static_cast<std::size_t>(tile)];
     const std::int32_t max_contexts =
@@ -254,14 +283,14 @@ Machine::TickTile(const MatrixKernel& kernel, std::int32_t tile,
             for (std::size_t c = 0; c < run.contexts.size();) {
                 bool completed = false;
                 if (TryIssue(kernel, tile, run.contexts[c], now,
-                             completed)) {
+                             completed, lane)) {
                     ++issued;
                     progress = true;
                 }
                 if (completed) {
                     run.contexts.erase(run.contexts.begin() +
                                        static_cast<std::ptrdiff_t>(c));
-                    --outstanding_tasks_;
+                    --lane.tasks_delta;
                 } else {
                     ++c;
                 }
@@ -275,6 +304,8 @@ Machine::TickTile(const MatrixKernel& kernel, std::int32_t tile,
             }
         }
         if (!stats_.tile_ops.empty()) {
+            // Distinct tiles touch distinct elements, so this shared
+            // vector is written race-free from concurrent workers.
             stats_.tile_ops[static_cast<std::size_t>(tile)] +=
                 static_cast<std::uint64_t>(issued);
         }
@@ -286,7 +317,8 @@ Machine::TickTile(const MatrixKernel& kernel, std::int32_t tile,
     }
     for (std::size_t c = 0; c < run.contexts.size(); ++c) {
         bool completed = false;
-        if (TryIssue(kernel, tile, run.contexts[c], now, completed)) {
+        if (TryIssue(kernel, tile, run.contexts[c], now, completed,
+                     lane)) {
             run.pe_busy_until =
                 now + static_cast<Cycle>(IssueCost(cfg_));
             if (!stats_.tile_ops.empty()) {
@@ -295,7 +327,7 @@ Machine::TickTile(const MatrixKernel& kernel, std::int32_t tile,
             if (completed) {
                 run.contexts.erase(run.contexts.begin() +
                                    static_cast<std::ptrdiff_t>(c));
-                --outstanding_tasks_;
+                --lane.tasks_delta;
             }
             return 1;
         }
@@ -303,14 +335,18 @@ Machine::TickTile(const MatrixKernel& kernel, std::int32_t tile,
             break; // single-threaded: blocked on the oldest task
         }
     }
-    ++stats_.stall_cycles;
+    ++lane.stats.stall_cycles;
     return 0;
 }
 
 Cycle
 Machine::RunMatrixKernel(const MatrixKernel& kernel)
 {
+    ResetLanes();
     StartMatrixKernel(kernel);
+    outstanding_tasks_ += lanes_[0].tasks_delta;
+    lanes_[0].tasks_delta = 0;
+
     const Cycle start = clock_;
     const std::uint64_t links_before = noc_.link_activations();
 
@@ -318,26 +354,65 @@ Machine::RunMatrixKernel(const MatrixKernel& kernel)
         AZUL_CHECK_MSG(clock_ - start < cfg_.max_phase_cycles,
                        "matrix kernel " << kernel.name
                                         << " exceeded the cycle cap");
+        // Stage 1: deliveries (coordinator only).
         delivery_buffer_.clear();
         noc_.AdvanceTo(clock_, delivery_buffer_);
         for (const Delivery& d : delivery_buffer_) {
             DeliverMessage(kernel, d.msg.dest_tile, d.msg);
         }
+        outstanding_tasks_ += lanes_[0].tasks_delta;
+        lanes_[0].tasks_delta = 0;
 
-        int issued_this_cycle = 0;
-        bool any_active = false;
+        // Compact the active list. Idle tiles are swap-removed
+        // exactly as the serial engine always has, so list order —
+        // and with it message injection order — is reproduced.
         for (std::size_t i = 0; i < active_list_.size();) {
             const std::int32_t t = active_list_[i];
-            TileRun& run = runs_[static_cast<std::size_t>(t)];
-            if (!run.HasWork()) {
+            if (!runs_[static_cast<std::size_t>(t)].HasWork()) {
                 tile_active_[static_cast<std::size_t>(t)] = 0;
                 active_list_[i] = active_list_.back();
                 active_list_.pop_back();
-                continue;
+            } else {
+                ++i;
             }
-            any_active = true;
-            issued_this_cycle += TickTile(kernel, t, clock_);
-            ++i;
+        }
+        const bool any_active = !active_list_.empty();
+
+        // Stage 2: tick every active tile. Workers own contiguous
+        // ascending chunks of the active list; each tile's state is
+        // touched by exactly one worker.
+        if (UseParallel(active_list_.size())) {
+            pool_->ParallelFor(
+                active_list_.size(),
+                [&](int worker, std::size_t begin, std::size_t end) {
+                    EngineLane& lane =
+                        lanes_[static_cast<std::size_t>(worker)];
+                    for (std::size_t i = begin; i < end; ++i) {
+                        lane.issued += TickTile(
+                            kernel, active_list_[i], clock_, lane);
+                    }
+                });
+        } else {
+            EngineLane& lane = lanes_[0];
+            for (std::size_t i = 0; i < active_list_.size(); ++i) {
+                lane.issued +=
+                    TickTile(kernel, active_list_[i], clock_, lane);
+            }
+        }
+
+        // Stage 3: fold lanes in worker order. Chunks are contiguous
+        // and ascending, so this flushes staged sends in active-list
+        // position order — the serial injection order.
+        int issued_this_cycle = 0;
+        for (EngineLane& lane : lanes_) {
+            for (const PendingSend& s : lane.sends) {
+                noc_.Inject(s.time, s.src_tile, s.msg);
+            }
+            lane.sends.clear();
+            issued_this_cycle += static_cast<int>(lane.issued);
+            lane.issued = 0;
+            outstanding_tasks_ += lane.tasks_delta;
+            lane.tasks_delta = 0;
         }
 
         if (issue_sample_period_ > 0) {
@@ -350,6 +425,8 @@ Machine::RunMatrixKernel(const MatrixKernel& kernel)
                 static_cast<std::uint64_t>(issued_this_cycle);
             stats_.issue_sample_period = issue_sample_period_;
         }
+        // Observers fire on the coordinating thread only — the
+        // observer layer needs no locking (see observer.h).
         for (SimObserver* o : observers_) {
             o->OnKernelCycle(clock_ - start, issued_this_cycle);
         }
@@ -358,6 +435,13 @@ Machine::RunMatrixKernel(const MatrixKernel& kernel)
         if (!any_active && outstanding_tasks_ == 0 && !noc_.Empty()) {
             clock_ = std::max(clock_, noc_.NextEventTime());
         }
+    }
+
+    // Merge per-worker counters; integer adds commute, so the result
+    // does not depend on how tiles were distributed over workers.
+    for (EngineLane& lane : lanes_) {
+        stats_ += lane.stats;
+        lane.stats = SimStats{};
     }
 
     const Cycle elapsed = clock_ - start;

@@ -4,6 +4,14 @@
  * distributed vector slots, dot products over the machine-wide scalar
  * tree, root scalar-register operations, and the broadcast timing
  * model (the "Vector Ops" of Fig 3/22).
+ *
+ * With cfg.sim_threads > 1 the per-tile work (elementwise sweeps, dot
+ * partial sums) is sharded across the worker pool; each tile is
+ * processed by exactly one worker and per-worker counters fold in
+ * worker order, so results are bit-identical to the serial engine.
+ * The cross-tile dot reduction and the tree timing sweeps stay on the
+ * coordinating thread: their FP accumulation order is part of the
+ * determinism contract.
  */
 #include <algorithm>
 #include <cmath>
@@ -29,10 +37,18 @@ Cycle
 Machine::RunElementwise(const VectorKernel& kernel)
 {
     const std::int32_t cost = IssueCost(cfg_);
-    Index max_slots = 0;
-    for (std::size_t tile = 0; tile < tiles_.size(); ++tile) {
+    const double s =
+        kernel.scale_sign *
+        (kernel.use_const_scale
+             ? kernel.const_scale
+             : scalar_regs_[static_cast<std::size_t>(
+                   kernel.scale_reg)]);
+
+    // Per-tile sweep: touches only the tile's own slots plus `sink`,
+    // so distinct tiles run concurrently without races.
+    const auto sweep_tile = [&](std::size_t tile,
+                                SimStats& sink) -> Index {
         TileStorage& storage = tiles_[tile];
-        max_slots = std::max(max_slots, storage.NumSlots());
         if (!stats_.tile_ops.empty()) {
             stats_.tile_ops[tile] +=
                 static_cast<std::uint64_t>(storage.NumSlots());
@@ -43,41 +59,61 @@ Machine::RunElementwise(const VectorKernel& kernel)
             storage.vecs[static_cast<std::size_t>(kernel.src_a)];
         const auto& b2 =
             storage.vecs[static_cast<std::size_t>(kernel.src_b)];
-        const double s =
-            kernel.scale_sign *
-            (kernel.use_const_scale
-                 ? kernel.const_scale
-                 : scalar_regs_[static_cast<std::size_t>(
-                       kernel.scale_reg)]);
         for (std::size_t i = 0; i < dst.size(); ++i) {
             switch (kernel.op) {
               case VecOpKind::kAxpy:
                 dst[i] += s * a[i];
-                stats_.ops.Count(OpKind::kFmac);
+                sink.ops.Count(OpKind::kFmac);
                 break;
               case VecOpKind::kXpby:
                 dst[i] = a[i] + s * dst[i];
-                stats_.ops.Count(OpKind::kFmac);
+                sink.ops.Count(OpKind::kFmac);
                 break;
               case VecOpKind::kSub:
                 dst[i] = a[i] - b2[i];
-                stats_.ops.Count(OpKind::kAdd);
+                sink.ops.Count(OpKind::kAdd);
                 break;
               case VecOpKind::kCopy:
                 dst[i] = a[i];
-                stats_.ops.Count(OpKind::kMul);
+                sink.ops.Count(OpKind::kMul);
                 break;
               case VecOpKind::kDiagScale:
                 dst[i] = a[i] * storage.jacobi_inv_diag[i];
-                stats_.ops.Count(OpKind::kMul);
+                sink.ops.Count(OpKind::kMul);
                 break;
               default:
                 throw AzulError("bad elementwise kernel");
             }
-            stats_.sram_reads += 2;
-            ++stats_.sram_writes;
+            sink.sram_reads += 2;
+            ++sink.sram_writes;
+        }
+        return storage.NumSlots();
+    };
+
+    Index max_slots = 0;
+    if (UseParallel(tiles_.size())) {
+        std::vector<Index> worker_max(lanes_.size(), 0);
+        pool_->ParallelFor(
+            tiles_.size(),
+            [&](int worker, std::size_t begin, std::size_t end) {
+                const auto w = static_cast<std::size_t>(worker);
+                for (std::size_t tile = begin; tile < end; ++tile) {
+                    worker_max[w] = std::max(
+                        worker_max[w],
+                        sweep_tile(tile, lanes_[w].stats));
+                }
+            });
+        for (std::size_t w = 0; w < lanes_.size(); ++w) {
+            max_slots = std::max(max_slots, worker_max[w]);
+            stats_ += lanes_[w].stats;
+            lanes_[w].stats = SimStats{};
+        }
+    } else {
+        for (std::size_t tile = 0; tile < tiles_.size(); ++tile) {
+            max_slots = std::max(max_slots, sweep_tile(tile, stats_));
         }
     }
+
     const Cycle duration =
         cost == 0 ? 1
                   : static_cast<Cycle>(max_slots) *
@@ -93,12 +129,13 @@ Machine::RunDotReduce(const VectorKernel& kernel)
     const Cycle pipe = PipelineDepth(cfg_);
     const Cycle op_cost = cost == 0 ? 0 : static_cast<Cycle>(cost);
 
-    // Local partials.
+    // Local partials, one per tree node (i.e. per tile). Each node's
+    // partial sums its own tile's slots in slot order regardless of
+    // thread count.
     const std::size_t num_nodes = scalar_tree_.size();
     std::vector<double> partial(num_nodes, 0.0);
     std::vector<Cycle> ready(num_nodes, 0);
-    double dot = 0.0;
-    for (std::size_t ni = 0; ni < num_nodes; ++ni) {
+    const auto local_dot = [&](std::size_t ni, SimStats& sink) {
         const TileStorage& ts = tiles_[static_cast<std::size_t>(
             scalar_tree_.tiles[ni])];
         const auto& a = ts.vecs[static_cast<std::size_t>(kernel.src_a)];
@@ -107,17 +144,41 @@ Machine::RunDotReduce(const VectorKernel& kernel)
         for (std::size_t i = 0; i < a.size(); ++i) {
             acc += a[i] * b[i];
         }
-        stats_.ops.fmac += a.size();
-        stats_.sram_reads += 2 * a.size();
+        sink.ops.fmac += a.size();
+        sink.sram_reads += 2 * a.size();
         if (!stats_.tile_ops.empty()) {
             stats_.tile_ops[static_cast<std::size_t>(
                 scalar_tree_.tiles[ni])] += a.size();
         }
         partial[ni] = acc;
-        dot += acc;
         ready[ni] = cost == 0
                         ? 1
                         : static_cast<Cycle>(a.size()) * op_cost + pipe;
+    };
+    if (UseParallel(num_nodes)) {
+        pool_->ParallelFor(
+            num_nodes,
+            [&](int worker, std::size_t begin, std::size_t end) {
+                const auto w = static_cast<std::size_t>(worker);
+                for (std::size_t ni = begin; ni < end; ++ni) {
+                    local_dot(ni, lanes_[w].stats);
+                }
+            });
+        for (EngineLane& lane : lanes_) {
+            stats_ += lane.stats;
+            lane.stats = SimStats{};
+        }
+    } else {
+        for (std::size_t ni = 0; ni < num_nodes; ++ni) {
+            local_dot(ni, stats_);
+        }
+    }
+    // The functional dot accumulates in ascending node order on the
+    // coordinating thread — FP addition does not commute, so this
+    // order is fixed by the determinism contract.
+    double dot = 0.0;
+    for (std::size_t ni = 0; ni < num_nodes; ++ni) {
+        dot += partial[ni];
     }
 
     // Upward reduction: children precede parents in completion; tree

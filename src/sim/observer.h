@@ -9,6 +9,13 @@
  * the hooks with the machine's monotonic clock and, for phase ends,
  * the stats delta of the phase (via SimStats::operator-).
  *
+ * Threading: observer dispatch is single-threaded by contract. Even
+ * when the engine runs with cfg.sim_threads > 1, every hook fires on
+ * the coordinating thread, outside the parallel tile passes, in the
+ * same order (and with the same arguments) as a serial run — so
+ * observers need no locking, and recorded timelines are bit-identical
+ * across thread counts.
+ *
  *  - TimelineObserver:      Fig 17 issued-ops-per-bucket curves.
  *  - ChromeTraceObserver:   chrome://tracing JSON of the phase tree.
  *  - KernelMetricsObserver: per-kernel-class cycle/op/traffic table

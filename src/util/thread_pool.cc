@@ -1,0 +1,121 @@
+#include "util/thread_pool.h"
+
+namespace azul {
+
+namespace {
+
+/** Atomic-load spins before a waiting worker falls back to the
+ *  condition variable. Simulation passes arrive every few
+ *  microseconds, so a short spin usually catches the next job without
+ *  paying a futex round trip; idle pools still park quickly. */
+constexpr int kSpinLimit = 1 << 14;
+
+} // namespace
+
+ThreadPool::ThreadPool(int num_threads)
+    : num_threads_(num_threads < 1 ? 1 : num_threads)
+{
+    threads_.reserve(static_cast<std::size_t>(num_threads_ - 1));
+    for (int w = 1; w < num_threads_; ++w) {
+        threads_.emplace_back([this, w] { WorkerLoop(w); });
+    }
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        shutdown_.store(true, std::memory_order_release);
+    }
+    job_cv_.notify_all();
+    for (std::thread& t : threads_) {
+        t.join();
+    }
+}
+
+void
+ThreadPool::RecordError()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!first_error_) {
+        first_error_ = std::current_exception();
+    }
+}
+
+void
+ThreadPool::RunChunk(int worker)
+{
+    const std::size_t begin =
+        ChunkBegin(job_n_, num_threads_, worker);
+    const std::size_t end =
+        ChunkBegin(job_n_, num_threads_, worker + 1);
+    if (begin == end) {
+        return;
+    }
+    try {
+        (*job_)(worker, begin, end);
+    } catch (...) {
+        RecordError();
+    }
+}
+
+void
+ThreadPool::ParallelFor(std::size_t n, const RangeFn& fn)
+{
+    if (n == 0) {
+        return;
+    }
+    if (num_threads_ == 1 || n == 1) {
+        fn(0, 0, n);
+        return;
+    }
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        job_ = &fn;
+        job_n_ = n;
+        pending_.store(num_threads_ - 1, std::memory_order_relaxed);
+        job_gen_.fetch_add(1, std::memory_order_release);
+    }
+    job_cv_.notify_all();
+    RunChunk(0);
+    // The chunks are balanced, so the stragglers finish within the
+    // caller's own chunk time; yield rather than park.
+    while (pending_.load(std::memory_order_acquire) != 0) {
+        std::this_thread::yield();
+    }
+    job_ = nullptr;
+    if (first_error_) {
+        std::exception_ptr e = first_error_;
+        first_error_ = nullptr;
+        std::rethrow_exception(e);
+    }
+}
+
+void
+ThreadPool::WorkerLoop(int worker)
+{
+    std::uint64_t seen = 0;
+    for (;;) {
+        int spins = 0;
+        while (job_gen_.load(std::memory_order_acquire) == seen &&
+               !shutdown_.load(std::memory_order_acquire)) {
+            if (++spins >= kSpinLimit) {
+                std::unique_lock<std::mutex> lock(mu_);
+                job_cv_.wait(lock, [&] {
+                    return job_gen_.load(
+                               std::memory_order_relaxed) != seen ||
+                           shutdown_.load(std::memory_order_relaxed);
+                });
+                break;
+            }
+        }
+        if (job_gen_.load(std::memory_order_acquire) == seen) {
+            return; // shutdown with no new job pending
+        }
+        seen = job_gen_.load(std::memory_order_acquire);
+        RunChunk(worker);
+        pending_.fetch_sub(1, std::memory_order_release);
+    }
+}
+
+} // namespace azul

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * A fixed worker pool for deterministic fork-join parallelism.
+ *
+ * ParallelFor(n, fn) splits [0, n) into one contiguous chunk per
+ * worker — worker w gets [w*n/T, (w+1)*n/T) — and blocks until every
+ * chunk finishes; the calling thread executes chunk 0 itself. The
+ * static partition is part of the determinism contract of the
+ * parallel simulation engine: chunk boundaries depend only on
+ * (n, num_threads), never on scheduling, so per-worker accumulators
+ * folded in worker order always see the same items in the same order.
+ *
+ * Exceptions thrown inside a chunk are captured; the first one is
+ * rethrown on the calling thread after all chunks have finished, so a
+ * failing worker can never leave the pool deadlocked.
+ */
+#ifndef AZUL_UTIL_THREAD_POOL_H_
+#define AZUL_UTIL_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace azul {
+
+/** Fork-join worker pool with static contiguous partitioning. */
+class ThreadPool {
+  public:
+    /** fn(worker, begin, end): process items [begin, end) as worker
+     *  `worker` (0 = the calling thread). */
+    using RangeFn =
+        std::function<void(int worker, std::size_t begin,
+                           std::size_t end)>;
+
+    /** Spawns num_threads - 1 background workers (the caller is the
+     *  remaining worker). num_threads < 1 is clamped to 1. */
+    explicit ThreadPool(int num_threads);
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool&) = delete;
+    ThreadPool& operator=(const ThreadPool&) = delete;
+
+    int num_threads() const { return num_threads_; }
+
+    /**
+     * Runs fn over [0, n) in num_threads() contiguous chunks and
+     * blocks until all chunks complete. Not reentrant: must not be
+     * called from inside a running chunk.
+     */
+    void ParallelFor(std::size_t n, const RangeFn& fn);
+
+    /** Chunk of worker w over n items: [w*n/T, (w+1)*n/T). */
+    static std::size_t
+    ChunkBegin(std::size_t n, int num_threads, int worker)
+    {
+        return n * static_cast<std::size_t>(worker) /
+               static_cast<std::size_t>(num_threads);
+    }
+
+  private:
+    void WorkerLoop(int worker);
+    void RunChunk(int worker);
+    void RecordError();
+
+    int num_threads_;
+    std::vector<std::thread> threads_;
+
+    std::mutex mu_;
+    std::condition_variable job_cv_;
+    /** Bumped (under mu_, with release) to publish a new job. */
+    std::atomic<std::uint64_t> job_gen_{0};
+    std::atomic<bool> shutdown_{false};
+    /** Workers still running the current job's chunk. */
+    std::atomic<int> pending_{0};
+    const RangeFn* job_ = nullptr;
+    std::size_t job_n_ = 0;
+    std::exception_ptr first_error_;
+};
+
+} // namespace azul
+
+#endif // AZUL_UTIL_THREAD_POOL_H_

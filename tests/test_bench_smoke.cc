@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Smoke tests of the figure-reproduction bench binaries: run each
+ * bench in its tiny --quick preset as a subprocess and check that it
+ * exits cleanly and prints a parseable table (banner + gmean footer).
+ * Catches link rot, argument-parsing regressions, and crashes in the
+ * bench drivers that the library-level tests never execute.
+ *
+ * The binary paths are injected by CMake as AZUL_BENCH_*_BIN compile
+ * definitions pointing at the actual build products.
+ */
+#include <cstdio>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace azul {
+namespace {
+
+/** Runs a command, captures stdout+stderr, returns the exit code. */
+int
+RunCommand(const std::string& cmd, std::string* output)
+{
+    FILE* pipe = popen((cmd + " 2>&1").c_str(), "r");
+    if (pipe == nullptr) {
+        ADD_FAILURE() << "popen failed for: " << cmd;
+        return -1;
+    }
+    char buf[4096];
+    output->clear();
+    while (std::fgets(buf, sizeof(buf), pipe) != nullptr) {
+        output->append(buf);
+    }
+    const int status = pclose(pipe);
+    return status;
+}
+
+void
+ExpectQuickRunOk(const std::string& binary, const char* banner)
+{
+    std::string out;
+    const int status = RunCommand(binary + " --quick", &out);
+    EXPECT_EQ(status, 0) << "bench exited non-zero; output:\n" << out;
+    EXPECT_NE(out.find(banner), std::string::npos)
+        << "missing banner '" << banner << "'; output:\n"
+        << out;
+    EXPECT_NE(out.find("gmean"), std::string::npos)
+        << "missing gmean footer; output:\n"
+        << out;
+}
+
+TEST(BenchSmoke, Fig20SpeedupQuickRuns)
+{
+    ExpectQuickRunOk(AZUL_BENCH_FIG20_BIN, "Fig 20");
+}
+
+TEST(BenchSmoke, Fig11NocTrafficQuickRuns)
+{
+    ExpectQuickRunOk(AZUL_BENCH_FIG11_BIN, "Fig 11");
+}
+
+// The host-thread knob must be accepted and must not change results:
+// the quick run's printed table is identical at 1 and 4 threads.
+TEST(BenchSmoke, Fig11OutputIdenticalAcrossThreadCounts)
+{
+    std::string serial;
+    std::string parallel;
+    const int s1 = RunCommand(
+        std::string(AZUL_BENCH_FIG11_BIN) + " --quick --threads=1",
+        &serial);
+    const int s4 = RunCommand(
+        std::string(AZUL_BENCH_FIG11_BIN) + " --quick --threads=4",
+        &parallel);
+    ASSERT_EQ(s1, 0) << serial;
+    ASSERT_EQ(s4, 0) << parallel;
+    // The banner echoes the thread count; strip the config line
+    // before comparing.
+    const auto strip_config = [](std::string text) {
+        const std::size_t pos = text.find("config:");
+        if (pos != std::string::npos) {
+            const std::size_t eol = text.find('\n', pos);
+            text.erase(pos, eol == std::string::npos
+                                ? std::string::npos
+                                : eol - pos);
+        }
+        return text;
+    };
+    EXPECT_EQ(strip_config(serial), strip_config(parallel));
+}
+
+} // namespace
+} // namespace azul

@@ -1,0 +1,290 @@
+/**
+ * @file
+ * Differential tests of the deterministic parallel engine: for every
+ * solver program (PCG, weighted Jacobi, BiCGStab) and mapping policy
+ * (round-robin, block, hypergraph), a run sharded over 2/4/8 host
+ * threads must be bit-for-bit identical to the serial run — same
+ * SimStats counters, same FP64 solution and residual history, same
+ * observer timelines. Any scheduling leak (fold-order dependence,
+ * racy counter, NoC injection reordering) shows up here as a diff.
+ */
+#include <cstring>
+
+#include <gtest/gtest.h>
+
+#include "dataflow/program.h"
+#include "mapping/mapper_factory.h"
+#include "sim/machine.h"
+#include "sim/observer.h"
+#include "solver/ic0.h"
+#include "solver/spmv.h"
+#include "sparse/generators.h"
+#include "test_helpers.h"
+
+namespace azul {
+namespace {
+
+using azul::testing::RandomVector;
+
+enum class SolverKind { kPcg, kJacobi, kBiCgStab };
+
+constexpr Index kIters = 4;
+constexpr Cycle kSamplePeriod = 32;
+
+/** Diagonally dominant nonsymmetric matrix for BiCGStab. */
+CsrMatrix
+Nonsymmetric(Index n, std::uint64_t seed)
+{
+    CooMatrix coo(n, n);
+    Rng rng(seed);
+    for (Index i = 0; i < n; ++i) {
+        coo.Add(i, i, 6.0);
+        if (i + 1 < n) {
+            coo.Add(i, i + 1, rng.UniformDouble(0.5, 1.5));
+            coo.Add(i + 1, i, rng.UniformDouble(-1.5, -0.5));
+        }
+        if (i + 9 < n) {
+            coo.Add(i, i + 9, 0.4);
+            coo.Add(i + 9, i, -0.3);
+        }
+    }
+    return CsrMatrix::FromCoo(coo);
+}
+
+/** A compiled program plus everything needed to re-run it. */
+struct Compiled {
+    CsrMatrix a;
+    CsrMatrix l;
+    DataMapping mapping;
+    SolverProgram program;
+    SimConfig cfg;
+    Vector b;
+};
+
+Compiled
+Build(SolverKind kind, MapperKind mapper, std::int32_t grid)
+{
+    Compiled c;
+    c.cfg.grid_width = grid;
+    c.cfg.grid_height = grid;
+    MappingProblem prob;
+    switch (kind) {
+      case SolverKind::kPcg: {
+        c.a = RandomGeometricLaplacian(50 * grid, 7.0, 17);
+        c.l = IncompleteCholesky(c.a);
+        prob.a = &c.a;
+        prob.l = &c.l;
+        c.mapping =
+            MakeMapper(mapper)->Map(prob, c.cfg.num_tiles());
+        ProgramBuildInputs in;
+        in.a = &c.a;
+        in.l = &c.l;
+        in.precond = PreconditionerKind::kIncompleteCholesky;
+        in.mapping = &c.mapping;
+        in.geom = c.cfg.geometry();
+        c.program = BuildPcgProgram(in);
+        break;
+      }
+      case SolverKind::kJacobi: {
+        c.a = RandomSpd(40 * grid, 4, 31);
+        prob.a = &c.a;
+        c.mapping =
+            MakeMapper(mapper)->Map(prob, c.cfg.num_tiles());
+        c.program = BuildJacobiSolverProgram(c.a, c.mapping,
+                                             c.cfg.geometry());
+        break;
+      }
+      case SolverKind::kBiCgStab: {
+        c.a = Nonsymmetric(45 * grid, 61);
+        prob.a = &c.a;
+        c.mapping =
+            MakeMapper(mapper)->Map(prob, c.cfg.num_tiles());
+        c.program =
+            BuildBiCgStabProgram(c.a, c.mapping, c.cfg.geometry());
+        break;
+      }
+    }
+    c.b = RandomVector(c.a.rows(), 3);
+    return c;
+}
+
+struct RunOutput {
+    SolverRunResult run;
+    std::vector<std::uint64_t> observer_timeline;
+};
+
+/** Runs the compiled program for exactly kIters iterations. */
+RunOutput
+RunOnce(const Compiled& c, std::int32_t threads, std::int32_t grain)
+{
+    SimConfig cfg = c.cfg;
+    cfg.sim_threads = threads;
+    cfg.sim_parallel_grain = grain;
+    Machine machine(cfg, &c.program);
+    machine.EnableIssueSampling(kSamplePeriod);
+    TimelineObserver timeline(kSamplePeriod);
+    machine.AttachObserver(&timeline);
+    RunOutput out;
+    out.run = SolverDriver().Run(machine, c.b, 0.0, kIters);
+    out.observer_timeline = timeline.timeline();
+    return out;
+}
+
+/** Exact FP64 equality, compared as bit patterns (so even a sign-of-
+ *  zero or NaN-payload difference fails). */
+void
+ExpectBitEqual(const Vector& got, const Vector& want,
+               const char* label)
+{
+    ASSERT_EQ(got.size(), want.size()) << label;
+    for (std::size_t i = 0; i < got.size(); ++i) {
+        std::uint64_t gb = 0;
+        std::uint64_t wb = 0;
+        std::memcpy(&gb, &got[i], sizeof(gb));
+        std::memcpy(&wb, &want[i], sizeof(wb));
+        EXPECT_EQ(gb, wb) << label << "[" << i << "]: " << got[i]
+                          << " vs " << want[i];
+    }
+}
+
+/** Field-by-field equality of every SimStats counter. */
+void
+ExpectStatsEqual(const SimStats& got, const SimStats& want)
+{
+    EXPECT_EQ(got.cycles, want.cycles);
+    EXPECT_EQ(got.ops.fmac, want.ops.fmac);
+    EXPECT_EQ(got.ops.add, want.ops.add);
+    EXPECT_EQ(got.ops.mul, want.ops.mul);
+    EXPECT_EQ(got.ops.send, want.ops.send);
+    EXPECT_EQ(got.stall_cycles, want.stall_cycles);
+    EXPECT_EQ(got.idle_cycles, want.idle_cycles);
+    EXPECT_EQ(got.link_activations, want.link_activations);
+    EXPECT_EQ(got.messages, want.messages);
+    EXPECT_EQ(got.spilled_messages, want.spilled_messages);
+    EXPECT_EQ(got.sram_reads, want.sram_reads);
+    EXPECT_EQ(got.sram_writes, want.sram_writes);
+    for (std::size_t k = 0; k < got.class_cycles.size(); ++k) {
+        EXPECT_EQ(got.class_cycles[k], want.class_cycles[k])
+            << "kernel class " << k;
+    }
+    EXPECT_EQ(got.issue_sample_period, want.issue_sample_period);
+    EXPECT_EQ(got.issue_timeline, want.issue_timeline);
+    EXPECT_EQ(got.tile_ops, want.tile_ops);
+}
+
+void
+ExpectRunsIdentical(const RunOutput& got, const RunOutput& want)
+{
+    EXPECT_EQ(got.run.converged, want.run.converged);
+    EXPECT_EQ(got.run.iterations, want.run.iterations);
+    ExpectBitEqual(got.run.x, want.run.x, "x");
+    ExpectBitEqual(got.run.residual_history,
+                   want.run.residual_history, "residual_history");
+    {
+        std::uint64_t gb = 0;
+        std::uint64_t wb = 0;
+        std::memcpy(&gb, &got.run.residual_norm, sizeof(gb));
+        std::memcpy(&wb, &want.run.residual_norm, sizeof(wb));
+        EXPECT_EQ(gb, wb) << "residual_norm";
+    }
+    EXPECT_EQ(got.run.flops, want.run.flops);
+    ExpectStatsEqual(got.run.stats, want.run.stats);
+    EXPECT_EQ(got.observer_timeline, want.observer_timeline);
+}
+
+struct ParallelCase {
+    SolverKind kind;
+    MapperKind mapper;
+    const char* name;
+};
+
+class ParallelSimTest : public ::testing::TestWithParam<ParallelCase> {
+};
+
+TEST_P(ParallelSimTest, BitIdenticalAcrossThreadCounts)
+{
+    const ParallelCase& tc = GetParam();
+    const Compiled c = Build(tc.kind, tc.mapper, /*grid=*/8);
+
+    // grain=1 forces every tile pass through the pool, so small
+    // active lists exercise the parallel path too.
+    const RunOutput serial = RunOnce(c, /*threads=*/1, /*grain=*/1);
+    EXPECT_GT(serial.run.stats.cycles, 0u);
+    EXPECT_FALSE(serial.observer_timeline.empty());
+
+    for (const std::int32_t threads : {2, 4, 8}) {
+        SCOPED_TRACE("threads=" + std::to_string(threads));
+        const RunOutput par = RunOnce(c, threads, /*grain=*/1);
+        ExpectRunsIdentical(par, serial);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Programs, ParallelSimTest,
+    ::testing::Values(
+        ParallelCase{SolverKind::kPcg, MapperKind::kRoundRobin,
+                     "pcg_roundrobin"},
+        ParallelCase{SolverKind::kPcg, MapperKind::kBlock,
+                     "pcg_block"},
+        ParallelCase{SolverKind::kPcg, MapperKind::kAzul,
+                     "pcg_hypergraph"},
+        ParallelCase{SolverKind::kJacobi, MapperKind::kRoundRobin,
+                     "jacobi_roundrobin"},
+        ParallelCase{SolverKind::kJacobi, MapperKind::kBlock,
+                     "jacobi_block"},
+        ParallelCase{SolverKind::kJacobi, MapperKind::kAzul,
+                     "jacobi_hypergraph"},
+        ParallelCase{SolverKind::kBiCgStab, MapperKind::kRoundRobin,
+                     "bicgstab_roundrobin"},
+        ParallelCase{SolverKind::kBiCgStab, MapperKind::kBlock,
+                     "bicgstab_block"},
+        ParallelCase{SolverKind::kBiCgStab, MapperKind::kAzul,
+                     "bicgstab_hypergraph"}),
+    [](const ::testing::TestParamInfo<ParallelCase>& info) {
+        return std::string(info.param.name);
+    });
+
+// With the default grain the engine switches between serial and
+// pooled passes cycle by cycle as the active list grows and shrinks;
+// the mixed schedule must still match the serial run exactly.
+TEST(ParallelSimAdaptive, DefaultGrainIsStillBitIdentical)
+{
+    const Compiled c =
+        Build(SolverKind::kPcg, MapperKind::kAzul, /*grid=*/16);
+    const RunOutput serial = RunOnce(c, /*threads=*/1,
+                                     SimConfig{}.sim_parallel_grain);
+    const RunOutput par = RunOnce(c, /*threads=*/4,
+                                  SimConfig{}.sim_parallel_grain);
+    ExpectRunsIdentical(par, serial);
+}
+
+// Thread counts far beyond the item count leave trailing workers with
+// empty chunks; they must contribute nothing.
+TEST(ParallelSimAdaptive, MoreThreadsThanTilesIsStillBitIdentical)
+{
+    const Compiled c =
+        Build(SolverKind::kJacobi, MapperKind::kRoundRobin,
+              /*grid=*/4);
+    const RunOutput serial = RunOnce(c, /*threads=*/1, /*grain=*/1);
+    const RunOutput par = RunOnce(c, /*threads=*/8, /*grain=*/1);
+    ExpectRunsIdentical(par, serial);
+}
+
+// The parallel engine must agree with the host reference solver, not
+// just with itself: solving the system is the end-to-end check.
+TEST(ParallelSimAdaptive, ParallelRunSolvesTheSystem)
+{
+    Compiled c = Build(SolverKind::kPcg, MapperKind::kAzul,
+                       /*grid=*/8);
+    SimConfig cfg = c.cfg;
+    cfg.sim_threads = 4;
+    cfg.sim_parallel_grain = 1;
+    Machine machine(cfg, &c.program);
+    const SolverRunResult run =
+        SolverDriver().Run(machine, c.b, 1e-8, 500);
+    ASSERT_TRUE(run.converged);
+    EXPECT_VECTOR_NEAR(SpMV(c.a, run.x), c.b, 1e-5);
+}
+
+} // namespace
+} // namespace azul

@@ -1,4 +1,8 @@
 #include <algorithm>
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -7,6 +11,7 @@
 #include "util/rng.h"
 #include "util/stats.h"
 #include "util/strings.h"
+#include "util/thread_pool.h"
 
 namespace azul {
 namespace {
@@ -211,6 +216,98 @@ TEST(Strings, HumanBytes)
 {
     EXPECT_EQ(HumanBytes(512.0), "512 B");
     EXPECT_EQ(HumanBytes(2048.0), "2 KB");
+}
+
+TEST(ThreadPool, ChunksPartitionTheRangeInOrder)
+{
+    // Chunks are contiguous, ascending, and cover [0, n) exactly —
+    // the property the engine's send-flush ordering relies on.
+    for (const int threads : {1, 2, 3, 4, 8}) {
+        for (const std::size_t n : {0u, 1u, 5u, 64u, 1000u}) {
+            std::size_t prev = 0;
+            for (int w = 0; w <= threads; ++w) {
+                const std::size_t b =
+                    ThreadPool::ChunkBegin(n, threads, w);
+                EXPECT_GE(b, prev) << "n=" << n << " w=" << w;
+                prev = b;
+            }
+            EXPECT_EQ(ThreadPool::ChunkBegin(n, threads, 0), 0u);
+            EXPECT_EQ(ThreadPool::ChunkBegin(n, threads, threads), n);
+        }
+    }
+}
+
+TEST(ThreadPool, ParallelForVisitsEveryIndexExactlyOnce)
+{
+    ThreadPool pool(4);
+    std::vector<std::atomic<int>> visits(257);
+    for (auto& v : visits) {
+        v.store(0);
+    }
+    pool.ParallelFor(visits.size(),
+                     [&](int, std::size_t begin, std::size_t end) {
+                         for (std::size_t i = begin; i < end; ++i) {
+                             visits[i].fetch_add(1);
+                         }
+                     });
+    for (std::size_t i = 0; i < visits.size(); ++i) {
+        EXPECT_EQ(visits[i].load(), 1) << "index " << i;
+    }
+}
+
+TEST(ThreadPool, PerWorkerSumsFoldToTheSerialResult)
+{
+    ThreadPool pool(3);
+    std::vector<std::int64_t> data(1000);
+    std::iota(data.begin(), data.end(), 1);
+    std::vector<std::int64_t> partial(3, 0);
+    pool.ParallelFor(data.size(),
+                     [&](int worker, std::size_t begin,
+                         std::size_t end) {
+                         for (std::size_t i = begin; i < end; ++i) {
+                             partial[static_cast<std::size_t>(
+                                 worker)] += data[i];
+                         }
+                     });
+    const std::int64_t total =
+        std::accumulate(partial.begin(), partial.end(),
+                        std::int64_t{0});
+    EXPECT_EQ(total, 1000 * 1001 / 2);
+}
+
+TEST(ThreadPool, IsReusableAcrossManyJobs)
+{
+    ThreadPool pool(4);
+    std::atomic<std::int64_t> total{0};
+    for (int round = 0; round < 100; ++round) {
+        pool.ParallelFor(round,
+                         [&](int, std::size_t begin,
+                             std::size_t end) {
+                             total.fetch_add(
+                                 static_cast<std::int64_t>(end -
+                                                           begin));
+                         });
+    }
+    EXPECT_EQ(total.load(), 99 * 100 / 2);
+}
+
+TEST(ThreadPool, WorkerExceptionPropagatesToCaller)
+{
+    ThreadPool pool(4);
+    EXPECT_THROW(
+        pool.ParallelFor(100,
+                         [](int, std::size_t begin, std::size_t) {
+                             if (begin >= 25) {
+                                 throw std::runtime_error("boom");
+                             }
+                         }),
+        std::runtime_error);
+    // The pool survives the exception and keeps working.
+    std::atomic<int> count{0};
+    pool.ParallelFor(8, [&](int, std::size_t begin, std::size_t end) {
+        count.fetch_add(static_cast<int>(end - begin));
+    });
+    EXPECT_EQ(count.load(), 8);
 }
 
 TEST(Logging, LevelFilterRoundTrip)
