@@ -8,10 +8,12 @@
  *   --scale=F   suite size multiplier        (default 1.0)
  *   --grid=N    square tile-grid dimension   (default 8)
  *   --iters=N   measured PCG iterations      (default 3)
- *   --threads=N host simulation threads      (default: env
+ *   --threads=N host simulation + mapping threads (default: env
  *               AZUL_SIM_THREADS, else 1; results are bit-identical
  *               at any thread count)
  *   --quick     small preset for smoke runs  (scale 0.2, grid 4)
+ *   --cache[=D] reuse mappings via the persistent cache in directory
+ *               D (default .azul-mapping-cache); off when absent
  *
  * The defaults keep the per-tile working set (nnz/tile, vector slots
  * per tile) close to the paper's 64x64-tile regime, which is what the
@@ -41,6 +43,7 @@ struct BenchArgs {
     Index iters = 3;
     std::int32_t threads = SimThreadsFromEnv(1);
     bool quick = false;
+    std::string cache_dir; //!< empty = mapping cache disabled
 
     static BenchArgs
     Parse(int argc, char** argv)
@@ -58,6 +61,10 @@ struct BenchArgs {
             } else if (arg.rfind("--threads=", 0) == 0) {
                 args.threads = static_cast<std::int32_t>(
                     std::stol(arg.substr(10)));
+            } else if (arg == "--cache") {
+                args.cache_dir = ".azul-mapping-cache";
+            } else if (arg.rfind("--cache=", 0) == 0) {
+                args.cache_dir = arg.substr(8);
             } else if (arg == "--quick") {
                 args.quick = true;
                 args.scale = 0.2;
@@ -111,6 +118,8 @@ BaseOptions(const BenchArgs& args)
     opts.sim.grid_width = args.grid;
     opts.sim.grid_height = args.grid;
     opts.sim.sim_threads = args.threads;
+    opts.azul_mapper.partitioner.threads = args.threads;
+    opts.mapping_cache_dir = args.cache_dir;
     opts.tol = 0.0; // run exactly `iters` iterations
     opts.max_iters = args.iters;
     return opts;

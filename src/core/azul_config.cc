@@ -13,6 +13,9 @@ AzulOptions::ToString() const
         << ", mapper=" << MapperKindName(mapper)
         << (color_and_permute ? ", colored" : ", uncolored")
         << (graph.use_trees ? ", trees" : ", p2p");
+    if (!mapping_cache_dir.empty()) {
+        oss << ", cache=" << mapping_cache_dir;
+    }
     return oss.str();
 }
 

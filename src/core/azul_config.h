@@ -39,6 +39,16 @@ struct AzulOptions {
      * pointee must outlive system construction. nullptr = compute.
      */
     const DataMapping* precomputed_mapping = nullptr;
+    /**
+     * Directory of the persistent mapping cache (mapping_cache.h).
+     * When set, the mapping step first looks up the content-hash key
+     * of (matrix structure, mapper, options) and reuses a stored
+     * mapping on a hit; misses compute and persist. Empty string
+     * falls back to the AZUL_MAPPING_CACHE environment variable, and
+     * if that is unset too, caching is disabled. Ignored when
+     * precomputed_mapping is given.
+     */
+    std::string mapping_cache_dir;
     /** Kernel-compiler options (multicast trees vs point-to-point). */
     GraphOptions graph;
     /** Solver controls. */

@@ -1,7 +1,10 @@
 #include "core/azul_system.h"
 
 #include <chrono>
+#include <optional>
+#include <utility>
 
+#include "mapping/mapping_cache.h"
 #include "solver/coloring.h"
 #include "util/logging.h"
 
@@ -63,12 +66,36 @@ AzulSystem::AzulSystem(CsrMatrix a, AzulOptions options)
         mopts.grid_width = options_.sim.grid_width;
         mopts.grid_height = options_.sim.grid_height;
         const auto mapper = MakeMapper(options_.mapper, mopts);
+        MappingCache cache(options_.mapping_cache_dir.empty()
+                               ? MappingCache::DirFromEnv()
+                               : options_.mapping_cache_dir);
+        const std::uint64_t key =
+            cache.enabled()
+                ? MappingCacheKey(prob, mapper->name(),
+                                  options_.sim.num_tiles(), mopts)
+                : 0;
         const auto t0 = std::chrono::steady_clock::now();
-        mapping_ = mapper->Map(prob, options_.sim.num_tiles());
-        mapping_seconds_ = SecondsSince(t0);
-        mapping_.Validate(prob);
-        AZUL_LOG(kInfo) << "mapped with " << mapper->name() << " in "
-                        << mapping_seconds_ << " s";
+        std::optional<DataMapping> cached =
+            cache.enabled()
+                ? cache.TryLoad(key, prob, options_.sim.num_tiles())
+                : std::nullopt;
+        if (cached.has_value()) {
+            mapping_ = *std::move(cached);
+            mapping_seconds_ = SecondsSince(t0);
+            AZUL_LOG(kInfo) << "mapping cache hit ("
+                            << cache.PathForKey(key) << ")";
+        } else {
+            mapping_ = mapper->Map(prob, options_.sim.num_tiles());
+            mapping_seconds_ = SecondsSince(t0);
+            mapping_.Validate(prob);
+            if (cache.enabled()) {
+                cache.Store(key, mapping_);
+            }
+            AZUL_LOG(kInfo) << "mapped with " << mapper->name()
+                            << " in " << mapping_seconds_ << " s";
+        }
+        mapping_cache_hits_ = cache.hits();
+        mapping_cache_misses_ = cache.misses();
     }
 
     // 4. Dataflow compilation.
@@ -117,6 +144,8 @@ AzulSystem::Solve(const Vector& b)
     report.peak_fraction = report.gflops / options_.sim.PeakGflops();
     report.mapping_seconds = mapping_seconds_;
     report.compile_seconds = compile_seconds_;
+    report.mapping_cache_hits = mapping_cache_hits_;
+    report.mapping_cache_misses = mapping_cache_misses_;
     report.solve_seconds = static_cast<double>(report.run.stats.cycles) /
                            (options_.sim.clock_ghz * 1e9);
     report.sram = sram_usage();

@@ -66,6 +66,10 @@ class AzulSystem {
     Machine& machine() { return *machine_; }
     double mapping_seconds() const { return mapping_seconds_; }
     double compile_seconds() const { return compile_seconds_; }
+    /** Mapping-cache lookups during construction (0/0 if disabled or
+     *  a precomputed mapping was supplied). */
+    int mapping_cache_hits() const { return mapping_cache_hits_; }
+    int mapping_cache_misses() const { return mapping_cache_misses_; }
     SramUsage sram_usage() const;
 
   private:
@@ -78,6 +82,8 @@ class AzulSystem {
     std::unique_ptr<Machine> machine_;
     double mapping_seconds_ = 0.0;
     double compile_seconds_ = 0.0;
+    int mapping_cache_hits_ = 0;
+    int mapping_cache_misses_ = 0;
 };
 
 } // namespace azul

@@ -33,6 +33,8 @@ SolveReport::ToJson() const
     oss << ",\"solve_seconds\":" << solve_seconds;
     oss << ",\"mapping_seconds\":" << mapping_seconds;
     oss << ",\"compile_seconds\":" << compile_seconds;
+    oss << ",\"mapping_cache_hits\":" << mapping_cache_hits;
+    oss << ",\"mapping_cache_misses\":" << mapping_cache_misses;
     oss << ",\"messages\":" << run.stats.messages;
     oss << ",\"link_activations\":" << run.stats.link_activations;
     oss << ",\"spilled_messages\":" << run.stats.spilled_messages;

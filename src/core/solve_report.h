@@ -27,6 +27,10 @@ struct SolveReport {
     double mapping_seconds = 0.0;
     /** Wall-clock seconds spent compiling kernels. */
     double compile_seconds = 0.0;
+    /** Persistent mapping-cache lookups during system construction
+     *  (both 0 when the cache is disabled). */
+    int mapping_cache_hits = 0;
+    int mapping_cache_misses = 0;
     /** Simulated solve time in seconds at the configured clock. */
     double solve_seconds = 0.0;
     /** Scratchpad usage of the compiled program. */

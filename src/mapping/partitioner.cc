@@ -1,26 +1,65 @@
 #include "mapping/partitioner.h"
 
 #include <algorithm>
+#include <array>
 #include <cmath>
+#include <functional>
+#include <optional>
 #include <queue>
+#include <utility>
 
 #include "mapping/coarsen.h"
 #include "mapping/fm_refine.h"
 #include "util/logging.h"
 #include "util/rng.h"
+#include "util/thread_pool.h"
 
 namespace azul {
 
 namespace {
 
+// Salts separating the branch-local RNG streams of one recursion
+// node: the coarsening chain and each initial-partition try draw from
+// independent streams, so the tries can run in any order (or in
+// parallel) without consuming from a shared generator.
+constexpr std::uint64_t kCoarsenSalt = 0xC0A7;
+constexpr std::uint64_t kInitialSalt = 0x171A;
+
+/** Shared, immutable context of one PartitionHypergraph call. */
+struct BisectContext {
+    const PartitionerOptions& opts;
+    ThreadPool* pool; //!< nullptr => fully serial execution
+    std::vector<std::int32_t>* out;
+    PartitionPhaseStats* phases; //!< optional, may be nullptr
+};
+
+/** Per-constraint maximum vertex weight, in one pass over vertices
+ *  (hoisted out of MakeConstraints: callers compute it once per
+ *  hypergraph instead of once per constraint scan). */
+std::vector<Weight>
+MaxVertexWeights(const Hypergraph& hg)
+{
+    const int nc = hg.num_constraints();
+    std::vector<Weight> max_vw(static_cast<std::size_t>(nc), 0);
+    for (Index v = 0; v < hg.NumVertices(); ++v) {
+        for (int c = 0; c < nc; ++c) {
+            max_vw[static_cast<std::size_t>(c)] =
+                std::max(max_vw[static_cast<std::size_t>(c)],
+                         hg.VertexWeight(v, c));
+        }
+    }
+    return max_vw;
+}
+
 /**
  * Builds per-side capacity limits for a bisection with target ratio r
  * (share of every constraint's weight going to side 0). Capacities get
  * epsilon slack plus one max-vertex-weight of headroom so a feasible
- * assignment always exists.
+ * assignment always exists. max_vw comes from MaxVertexWeights(hg).
  */
 BisectionConstraints
-MakeConstraints(const Hypergraph& hg, double ratio, double epsilon)
+MakeConstraints(const Hypergraph& hg, double ratio, double epsilon,
+                const std::vector<Weight>& max_vw)
 {
     const int nc = hg.num_constraints();
     BisectionConstraints cons;
@@ -28,19 +67,15 @@ MakeConstraints(const Hypergraph& hg, double ratio, double epsilon)
     cons.max_part1.resize(static_cast<std::size_t>(nc));
     for (int c = 0; c < nc; ++c) {
         const Weight total = hg.TotalWeight(c);
-        Weight max_vw = 0;
-        for (Index v = 0; v < hg.NumVertices(); ++v) {
-            max_vw = std::max(max_vw, hg.VertexWeight(v, c));
-        }
         cons.max_part0[static_cast<std::size_t>(c)] =
             static_cast<Weight>(std::ceil(static_cast<double>(total) *
                                           ratio * (1.0 + epsilon))) +
-            max_vw;
+            max_vw[static_cast<std::size_t>(c)];
         cons.max_part1[static_cast<std::size_t>(c)] =
             static_cast<Weight>(
                 std::ceil(static_cast<double>(total) * (1.0 - ratio) *
                           (1.0 + epsilon))) +
-            max_vw;
+            max_vw[static_cast<std::size_t>(c)];
     }
     return cons;
 }
@@ -113,50 +148,96 @@ GrowInitialBisection(const Hypergraph& hg, double ratio, Rng& rng)
     return part;
 }
 
-/** One multilevel 2-way partition of hg with the given ratio. */
+/**
+ * One multilevel 2-way partition of hg with the given ratio. All
+ * randomness derives from node_seed (see MixSeed), never from
+ * execution order.
+ */
 std::vector<std::int32_t>
 MultilevelBisect(const Hypergraph& hg, double ratio,
-                 const PartitionerOptions& opts, Rng& rng)
+                 const BisectContext& ctx, std::uint64_t node_seed)
 {
+    const PartitionerOptions& opts = ctx.opts;
+
     // ---- Coarsening chain ----------------------------------------------
     std::vector<Hypergraph> levels;
     std::vector<std::vector<Index>> projections; // fine->coarse per level
-    const Hypergraph* cur = &hg;
-    CoarsenOptions copts;
-    copts.big_edge_threshold = opts.big_edge_threshold;
-    while (cur->NumVertices() > opts.coarsen_to) {
-        CoarseningStep step = CoarsenOnce(*cur, rng, copts);
-        const double shrink =
-            static_cast<double>(step.coarse.NumVertices()) /
-            static_cast<double>(cur->NumVertices());
-        if (shrink > opts.min_shrink) {
-            break; // matching stalled; further levels are wasted work
+    {
+        ScopedTimer timer(ctx.phases != nullptr ? &ctx.phases->coarsen
+                                                : nullptr);
+        Rng coarsen_rng(MixSeed(node_seed, kCoarsenSalt, 0));
+        const Hypergraph* cur = &hg;
+        CoarsenOptions copts;
+        copts.big_edge_threshold = opts.big_edge_threshold;
+        while (cur->NumVertices() > opts.coarsen_to) {
+            CoarseningStep step = CoarsenOnce(*cur, coarsen_rng, copts);
+            const double shrink =
+                static_cast<double>(step.coarse.NumVertices()) /
+                static_cast<double>(cur->NumVertices());
+            if (shrink > opts.min_shrink) {
+                break; // matching stalled; further levels are wasted work
+            }
+            projections.push_back(std::move(step.fine_to_coarse));
+            levels.push_back(std::move(step.coarse));
+            cur = &levels.back();
         }
-        projections.push_back(std::move(step.fine_to_coarse));
-        levels.push_back(std::move(step.coarse));
-        cur = &levels.back();
     }
 
     // ---- Initial partition at the coarsest level -------------------------
     const Hypergraph& coarsest = levels.empty() ? hg : levels.back();
-    const BisectionConstraints coarse_cons =
-        MakeConstraints(coarsest, ratio, opts.epsilon);
     std::vector<std::int32_t> best_part;
-    Weight best_cut = 0;
-    for (int t = 0; t < opts.initial_tries; ++t) {
-        std::vector<std::int32_t> part =
-            GrowInitialBisection(coarsest, ratio, rng);
-        FmOptions fm;
-        fm.max_passes = opts.fm_passes;
-        FmRefineBisection(coarsest, part, coarse_cons, fm);
-        const Weight cut = BisectionCut(coarsest, part);
-        if (best_part.empty() || cut < best_cut) {
-            best_cut = cut;
-            best_part = std::move(part);
+    {
+        ScopedTimer timer(ctx.phases != nullptr ? &ctx.phases->initial
+                                                : nullptr);
+        const BisectionConstraints coarse_cons = MakeConstraints(
+            coarsest, ratio, opts.epsilon, MaxVertexWeights(coarsest));
+        const int tries = std::max(1, opts.initial_tries);
+        std::vector<std::vector<std::int32_t>> parts(
+            static_cast<std::size_t>(tries));
+        std::vector<Weight> cuts(static_cast<std::size_t>(tries), 0);
+        const auto run_try = [&](int t) {
+            Rng rng(MixSeed(node_seed, kInitialSalt,
+                            static_cast<std::uint64_t>(t)));
+            std::vector<std::int32_t> part =
+                GrowInitialBisection(coarsest, ratio, rng);
+            FmOptions fm;
+            fm.max_passes = opts.fm_passes;
+            FmRefineBisection(coarsest, part, coarse_cons, fm);
+            cuts[static_cast<std::size_t>(t)] =
+                BisectionCut(coarsest, part);
+            parts[static_cast<std::size_t>(t)] = std::move(part);
+        };
+        // The tries are independent streams; fan them out only when
+        // coarsening stalled and the coarsest level is still big
+        // enough that a try costs real work.
+        if (ctx.pool != nullptr && tries > 1 &&
+            coarsest.NumVertices() >= opts.parallel_grain) {
+            std::vector<std::function<void()>> fns;
+            fns.reserve(static_cast<std::size_t>(tries));
+            for (int t = 0; t < tries; ++t) {
+                fns.push_back([&run_try, t] { run_try(t); });
+            }
+            ctx.pool->RunSubtasks(std::move(fns));
+        } else {
+            for (int t = 0; t < tries; ++t) {
+                run_try(t);
+            }
         }
+        // Fold in try order: the first minimal cut wins, exactly as a
+        // serial loop would pick it.
+        int best = 0;
+        for (int t = 1; t < tries; ++t) {
+            if (cuts[static_cast<std::size_t>(t)] <
+                cuts[static_cast<std::size_t>(best)]) {
+                best = t;
+            }
+        }
+        best_part = std::move(parts[static_cast<std::size_t>(best)]);
     }
 
     // ---- Uncoarsening + refinement ---------------------------------------
+    ScopedTimer timer(ctx.phases != nullptr ? &ctx.phases->refine
+                                            : nullptr);
     std::vector<std::int32_t> part = std::move(best_part);
     for (std::size_t lvl = levels.size(); lvl-- > 0;) {
         const Hypergraph& fine = lvl == 0 ? hg : levels[lvl - 1];
@@ -168,86 +249,114 @@ MultilevelBisect(const Hypergraph& hg, double ratio,
                 part[static_cast<std::size_t>(
                     f2c[static_cast<std::size_t>(v)])];
         }
-        const BisectionConstraints cons =
-            MakeConstraints(fine, ratio, opts.epsilon);
+        const BisectionConstraints cons = MakeConstraints(
+            fine, ratio, opts.epsilon, MaxVertexWeights(fine));
         FmOptions fm;
         fm.max_passes = opts.fm_passes;
         FmRefineBisection(fine, fine_part, cons, fm);
         part = std::move(fine_part);
     }
-    if (levels.empty()) {
-        // No coarsening happened; `part` is already at full
-        // resolution (computed on hg directly above).
-    }
     return part;
 }
 
-/** Extracts the sub-hypergraph induced by the vertices with flag set. */
+/** A side sub-hypergraph induced by one half of a bisection. */
 struct SubHypergraph {
     Hypergraph hg;
     std::vector<Index> to_parent; // sub vertex -> parent vertex
 };
 
-SubHypergraph
-ExtractSide(const Hypergraph& hg, const std::vector<std::int32_t>& part,
-            std::int32_t side)
+/**
+ * Extracts both induced side sub-hypergraphs in a single pass over
+ * vertices and edges (the former ExtractSide ran the whole scan twice
+ * per bisection, and scanned each edge twice — once counting, once
+ * pushing). Edges reduced below 2 pins on a side are dropped there.
+ */
+std::array<SubHypergraph, 2>
+ExtractSides(const Hypergraph& hg, const std::vector<std::int32_t>& part)
 {
-    SubHypergraph sub;
-    std::vector<Index> parent_to_sub(
-        static_cast<std::size_t>(hg.NumVertices()), Index{-1});
-    for (Index v = 0; v < hg.NumVertices(); ++v) {
-        if (part[static_cast<std::size_t>(v)] == side) {
-            parent_to_sub[static_cast<std::size_t>(v)] =
-                static_cast<Index>(sub.to_parent.size());
-            sub.to_parent.push_back(v);
-        }
+    std::array<SubHypergraph, 2> sides;
+    const Index n = hg.NumVertices();
+    // Every vertex lands on exactly one side, so one parent->sub map
+    // serves both (the side is recoverable from part[]).
+    std::vector<Index> parent_to_sub(static_cast<std::size_t>(n));
+    for (Index v = 0; v < n; ++v) {
+        SubHypergraph& s =
+            sides[static_cast<std::size_t>(part[static_cast<std::size_t>(v)])];
+        parent_to_sub[static_cast<std::size_t>(v)] =
+            static_cast<Index>(s.to_parent.size());
+        s.to_parent.push_back(v);
     }
+
     const int nc = hg.num_constraints();
-    std::vector<Weight> vw(sub.to_parent.size() *
-                               static_cast<std::size_t>(nc));
-    for (std::size_t sv = 0; sv < sub.to_parent.size(); ++sv) {
-        for (int c = 0; c < nc; ++c) {
-            vw[sv * static_cast<std::size_t>(nc) +
-               static_cast<std::size_t>(c)] =
-                hg.VertexWeight(sub.to_parent[sv], c);
+    std::array<std::vector<Weight>, 2> vw;
+    for (int side = 0; side < 2; ++side) {
+        const auto& to_parent =
+            sides[static_cast<std::size_t>(side)].to_parent;
+        auto& w = vw[static_cast<std::size_t>(side)];
+        w.resize(to_parent.size() * static_cast<std::size_t>(nc));
+        for (std::size_t sv = 0; sv < to_parent.size(); ++sv) {
+            for (int c = 0; c < nc; ++c) {
+                w[sv * static_cast<std::size_t>(nc) +
+                  static_cast<std::size_t>(c)] =
+                    hg.VertexWeight(to_parent[sv], c);
+            }
         }
     }
-    std::vector<Index> pin_ptr{0};
-    std::vector<Index> pins;
-    std::vector<Weight> ew;
+
+    std::array<std::vector<Index>, 2> pin_ptr{
+        std::vector<Index>{0}, std::vector<Index>{0}};
+    std::array<std::vector<Index>, 2> pins;
+    std::array<std::vector<Weight>, 2> ew;
+    std::array<std::vector<Index>, 2> scratch;
     for (Index e = 0; e < hg.NumEdges(); ++e) {
-        Index count = 0;
+        scratch[0].clear();
+        scratch[1].clear();
         for (Index k = hg.EdgeBegin(e); k < hg.EdgeEnd(e); ++k) {
-            if (parent_to_sub[static_cast<std::size_t>(hg.Pin(k))] != -1) {
-                ++count;
+            const Index v = hg.Pin(k);
+            scratch[static_cast<std::size_t>(
+                        part[static_cast<std::size_t>(v)])]
+                .push_back(parent_to_sub[static_cast<std::size_t>(v)]);
+        }
+        // Pin conservation: the two sides partition the edge's pins.
+        AZUL_CHECK(static_cast<Index>(scratch[0].size() +
+                                      scratch[1].size()) ==
+                   hg.EdgeSize(e));
+        for (int side = 0; side < 2; ++side) {
+            auto& sp = scratch[static_cast<std::size_t>(side)];
+            if (sp.size() < 2) {
+                continue; // internal or dangling on this side
             }
+            auto& p = pins[static_cast<std::size_t>(side)];
+            p.insert(p.end(), sp.begin(), sp.end());
+            pin_ptr[static_cast<std::size_t>(side)].push_back(
+                static_cast<Index>(p.size()));
+            ew[static_cast<std::size_t>(side)].push_back(
+                hg.EdgeWeight(e));
         }
-        if (count < 2) {
-            continue;
-        }
-        for (Index k = hg.EdgeBegin(e); k < hg.EdgeEnd(e); ++k) {
-            const Index sv =
-                parent_to_sub[static_cast<std::size_t>(hg.Pin(k))];
-            if (sv != -1) {
-                pins.push_back(sv);
-            }
-        }
-        pin_ptr.push_back(static_cast<Index>(pins.size()));
-        ew.push_back(hg.EdgeWeight(e));
     }
-    sub.hg = Hypergraph(nc, std::move(vw), std::move(ew),
-                        std::move(pin_ptr), std::move(pins));
-    sub.hg.BuildIncidence();
-    return sub;
+
+    for (int side = 0; side < 2; ++side) {
+        const auto s = static_cast<std::size_t>(side);
+        sides[s].hg =
+            Hypergraph(nc, std::move(vw[s]), std::move(ew[s]),
+                       std::move(pin_ptr[s]), std::move(pins[s]));
+        sides[s].hg.BuildIncidence();
+    }
+    return sides;
 }
 
-/** Recursive bisection assigning parts [part_base, part_base + k). */
+/**
+ * Recursive bisection assigning parts [part_base, part_base + k).
+ * Each node is identified by (part_base, k) — unique across the tree
+ * — and seeds its own RNG streams from that identity, so the result
+ * does not depend on which worker runs it, or when.
+ */
 void
-RecursiveBisect(const Hypergraph& hg, const std::vector<Index>& to_parent,
-                std::int32_t k, std::int32_t part_base,
-                const PartitionerOptions& opts, Rng& rng,
-                std::vector<std::int32_t>& out)
+BisectNode(const Hypergraph& hg, const std::vector<Index>& to_parent,
+           std::int32_t k, std::int32_t part_base,
+           const BisectContext& ctx)
 {
+    std::vector<std::int32_t>& out = *ctx.out;
     if (k == 1) {
         for (Index v = 0; v < hg.NumVertices(); ++v) {
             out[static_cast<std::size_t>(
@@ -255,33 +364,57 @@ RecursiveBisect(const Hypergraph& hg, const std::vector<Index>& to_parent,
         }
         return;
     }
+    const std::uint64_t node_seed =
+        MixSeed(ctx.opts.seed, static_cast<std::uint64_t>(part_base),
+                static_cast<std::uint64_t>(k));
     const std::int32_t k0 = k / 2;
     const std::int32_t k1 = k - k0;
     const double ratio =
         static_cast<double>(k0) / static_cast<double>(k);
     const std::vector<std::int32_t> part =
-        MultilevelBisect(hg, ratio, opts, rng);
+        MultilevelBisect(hg, ratio, ctx, node_seed);
 
-    SubHypergraph side0 = ExtractSide(hg, part, 0);
-    SubHypergraph side1 = ExtractSide(hg, part, 1);
-    // Translate sub indices through to the original vertex space.
-    for (Index& v : side0.to_parent) {
-        v = to_parent[static_cast<std::size_t>(v)];
+    std::array<SubHypergraph, 2> sides;
+    {
+        ScopedTimer timer(ctx.phases != nullptr ? &ctx.phases->extract
+                                                : nullptr);
+        sides = ExtractSides(hg, part);
+        // Translate sub indices through to the original vertex space.
+        for (Index& v : sides[0].to_parent) {
+            v = to_parent[static_cast<std::size_t>(v)];
+        }
+        for (Index& v : sides[1].to_parent) {
+            v = to_parent[static_cast<std::size_t>(v)];
+        }
     }
-    for (Index& v : side1.to_parent) {
-        v = to_parent[static_cast<std::size_t>(v)];
+
+    const std::int32_t child_k[2] = {k0, k1};
+    const std::int32_t child_base[2] = {part_base, part_base + k0};
+    for (int side = 0; side < 2; ++side) {
+        SubHypergraph& sub = sides[static_cast<std::size_t>(side)];
+        const std::int32_t ck = child_k[side];
+        const std::int32_t cb = child_base[side];
+        // Fire-and-forget is safe: subtrees write disjoint out[]
+        // entries and nothing runs after the recursion, so the only
+        // join is the root's task-tree barrier.
+        if (ctx.pool != nullptr && ck > 1 &&
+            sub.hg.NumVertices() >= ctx.opts.parallel_grain) {
+            ctx.pool->SubmitTask(
+                [s = std::move(sub), ck, cb, &ctx]() mutable {
+                    BisectNode(s.hg, s.to_parent, ck, cb, ctx);
+                });
+        } else {
+            BisectNode(sub.hg, sub.to_parent, ck, cb, ctx);
+        }
     }
-    RecursiveBisect(side0.hg, side0.to_parent, k0, part_base, opts, rng,
-                    out);
-    RecursiveBisect(side1.hg, side1.to_parent, k1, part_base + k0, opts,
-                    rng, out);
 }
 
 } // namespace
 
 std::vector<std::int32_t>
 PartitionHypergraph(const Hypergraph& hg, std::int32_t k,
-                    const PartitionerOptions& opts)
+                    const PartitionerOptions& opts,
+                    PartitionPhaseStats* phases)
 {
     AZUL_CHECK(k >= 1);
     AZUL_CHECK(hg.HasIncidence());
@@ -290,12 +423,22 @@ PartitionHypergraph(const Hypergraph& hg, std::int32_t k,
     if (k == 1) {
         return out;
     }
-    Rng rng(opts.seed);
     std::vector<Index> identity(static_cast<std::size_t>(hg.NumVertices()));
     for (Index v = 0; v < hg.NumVertices(); ++v) {
         identity[static_cast<std::size_t>(v)] = v;
     }
-    RecursiveBisect(hg, identity, k, 0, opts, rng, out);
+    std::optional<ThreadPool> pool;
+    if (opts.threads > 1) {
+        pool.emplace(opts.threads);
+    }
+    BisectContext ctx{opts, pool.has_value() ? &*pool : nullptr, &out,
+                      phases};
+    if (ctx.pool != nullptr) {
+        ctx.pool->RunTaskTree(
+            [&hg, &identity, k, &ctx] { BisectNode(hg, identity, k, 0, ctx); });
+    } else {
+        BisectNode(hg, identity, k, 0, ctx);
+    }
     return out;
 }
 

@@ -8,6 +8,14 @@
  *   2. initial partition by greedy region growth (several seeds);
  *   3. uncoarsen, refining with multi-constraint FM at every level.
  * Recursive bisection then yields k parts with per-constraint balance.
+ *
+ * The recursion tree is parallelized over a ThreadPool task tree
+ * (`threads` knob): after each bisection the two side sub-problems are
+ * independent tasks; subproblems below `parallel_grain` vertices stay
+ * inline on the submitting worker. Every recursion node draws from a
+ * branch-local RNG stream seeded by MixSeed(seed, part_base, k), so
+ * the partition is a pure function of (hypergraph, k, options) —
+ * bit-identical at any thread count, and across repeated runs.
  */
 #ifndef AZUL_MAPPING_PARTITIONER_H_
 #define AZUL_MAPPING_PARTITIONER_H_
@@ -16,6 +24,7 @@
 #include <vector>
 
 #include "mapping/hypergraph.h"
+#include "util/scoped_timer.h"
 
 namespace azul {
 
@@ -27,16 +36,48 @@ struct PartitionerOptions {
     int initial_tries = 4;       //!< greedy-growth restarts
     int fm_passes = 4;           //!< FM passes per level
     Index big_edge_threshold = 256;
-    std::uint64_t seed = 0xA201;
+    std::uint64_t seed = 0xA202;
+    /**
+     * Host worker threads for the recursive-bisection task tree;
+     * <= 1 runs serial. Output is bit-identical at any thread count
+     * (branch-local seeding), so this is purely a host-perf knob.
+     */
+    int threads = 1;
+    /** Minimum sub-hypergraph vertices before a recursion branch (or
+     *  the coarsest-level initial tries) is submitted to the pool;
+     *  smaller subproblems run inline on the current worker. */
+    Index parallel_grain = 2048;
+};
+
+/**
+ * Wall-clock phase breakdown of one PartitionHypergraph call, summed
+ * over all recursion nodes. Accumulators are thread-safe; with
+ * threads > 1 phases overlap across workers, so the sum can exceed
+ * the elapsed wall time (it measures work, not the critical path).
+ */
+struct PartitionPhaseStats {
+    AtomicSeconds coarsen; //!< matching + contraction chain
+    AtomicSeconds initial; //!< greedy growth + FM at coarsest level
+    AtomicSeconds refine;  //!< uncoarsening FM passes
+    AtomicSeconds extract; //!< side sub-hypergraph construction
+
+    double
+    total() const
+    {
+        return coarsen.seconds() + initial.seconds() +
+               refine.seconds() + extract.seconds();
+    }
 };
 
 /**
  * Partitions hg into k parts, minimizing connectivity cut subject to
  * multi-constraint balance. Returns the part id of every vertex.
+ * Optional `phases` receives the phase timing breakdown.
  */
 std::vector<std::int32_t> PartitionHypergraph(
     const Hypergraph& hg, std::int32_t k,
-    const PartitionerOptions& opts = {});
+    const PartitionerOptions& opts = {},
+    PartitionPhaseStats* phases = nullptr);
 
 } // namespace azul
 

@@ -17,6 +17,30 @@
 
 namespace azul {
 
+/**
+ * SplitMix64 finalizer (Steele/Lea/Flood). A cheap, high-quality
+ * 64-bit mixing step used to derive statistically independent seeds
+ * for branch-local RNG streams — e.g. one stream per node of the
+ * partitioner's recursion tree — so results are a pure function of a
+ * branch's logical position, never of execution order.
+ */
+constexpr std::uint64_t
+SplitMix64(std::uint64_t x)
+{
+    x += 0x9e37'79b9'7f4a'7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58'476d'1ce4'e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d0'49bb'1331'11ebULL;
+    return x ^ (x >> 31);
+}
+
+/** Derives a child-stream seed from a parent seed and two branch
+ *  labels; distinct (a, b) pairs give independent streams. */
+constexpr std::uint64_t
+MixSeed(std::uint64_t seed, std::uint64_t a, std::uint64_t b)
+{
+    return SplitMix64(SplitMix64(seed ^ SplitMix64(a)) ^ SplitMix64(b));
+}
+
 /** Thin wrapper around std::mt19937_64 with convenience draws. */
 class Rng {
   public:

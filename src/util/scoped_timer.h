@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Lightweight wall-clock phase timing. AtomicSeconds is a thread-safe
+ * seconds accumulator (tasks of a parallel phase add concurrently);
+ * ScopedTimer adds its own lifetime to one on destruction. Used by
+ * the partitioner to report its coarsen/initial/refine/extract phase
+ * breakdown without any locking on the hot path.
+ */
+#ifndef AZUL_UTIL_SCOPED_TIMER_H_
+#define AZUL_UTIL_SCOPED_TIMER_H_
+
+#include <atomic>
+#include <chrono>
+
+namespace azul {
+
+/** Thread-safe accumulator of elapsed seconds (CAS loop; avoids
+ *  depending on library support for atomic<double>::fetch_add). */
+class AtomicSeconds {
+  public:
+    void
+    Add(double s)
+    {
+        double cur = v_.load(std::memory_order_relaxed);
+        while (!v_.compare_exchange_weak(cur, cur + s,
+                                         std::memory_order_relaxed)) {
+        }
+    }
+
+    double seconds() const { return v_.load(std::memory_order_relaxed); }
+
+  private:
+    std::atomic<double> v_{0.0};
+};
+
+/** Adds its own lifetime to an AtomicSeconds; a null target makes the
+ *  timer a no-op, so callers can pass through optional stats. */
+class ScopedTimer {
+  public:
+    explicit ScopedTimer(AtomicSeconds* acc)
+        : acc_(acc), start_(std::chrono::steady_clock::now())
+    {
+    }
+
+    ~ScopedTimer()
+    {
+        if (acc_ != nullptr) {
+            acc_->Add(std::chrono::duration<double>(
+                          std::chrono::steady_clock::now() - start_)
+                          .count());
+        }
+    }
+
+    ScopedTimer(const ScopedTimer&) = delete;
+    ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+  private:
+    AtomicSeconds* acc_;
+    std::chrono::steady_clock::time_point start_;
+};
+
+} // namespace azul
+
+#endif // AZUL_UTIL_SCOPED_TIMER_H_

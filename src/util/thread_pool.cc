@@ -92,6 +92,125 @@ ThreadPool::ParallelFor(std::size_t n, const RangeFn& fn)
 }
 
 void
+ThreadPool::FinishTask(std::function<void()>& task)
+{
+    try {
+        task();
+    } catch (...) {
+        RecordError();
+    }
+    if (tasks_outstanding_.fetch_sub(1, std::memory_order_acq_rel) ==
+        1) {
+        // Last task: wake every worker parked in DrainTasks. The
+        // empty critical section pairs with the waiters' predicate
+        // check so the notification cannot be lost.
+        { std::lock_guard<std::mutex> lock(task_mu_); }
+        task_cv_.notify_all();
+    }
+}
+
+bool
+ThreadPool::TryRunQueuedTask()
+{
+    std::function<void()> task;
+    {
+        std::lock_guard<std::mutex> lock(task_mu_);
+        if (task_queue_.empty()) {
+            return false;
+        }
+        task = std::move(task_queue_.front());
+        task_queue_.pop_front();
+    }
+    FinishTask(task);
+    return true;
+}
+
+void
+ThreadPool::DrainTasks()
+{
+    for (;;) {
+        std::function<void()> task;
+        {
+            std::unique_lock<std::mutex> lock(task_mu_);
+            task_cv_.wait(lock, [this] {
+                return !task_queue_.empty() ||
+                       tasks_outstanding_.load(
+                           std::memory_order_acquire) == 0;
+            });
+            if (task_queue_.empty()) {
+                return; // tree fully drained
+            }
+            task = std::move(task_queue_.front());
+            task_queue_.pop_front();
+        }
+        FinishTask(task);
+    }
+}
+
+void
+ThreadPool::SubmitTask(std::function<void()> fn)
+{
+    tasks_outstanding_.fetch_add(1, std::memory_order_relaxed);
+    {
+        std::lock_guard<std::mutex> lock(task_mu_);
+        task_queue_.push_back(std::move(fn));
+    }
+    task_cv_.notify_one();
+}
+
+void
+ThreadPool::RunSubtasks(std::vector<std::function<void()>> fns)
+{
+    const bool in_tree =
+        tasks_outstanding_.load(std::memory_order_acquire) > 0;
+    if (num_threads_ == 1 || !in_tree) {
+        for (auto& fn : fns) {
+            fn();
+        }
+        return;
+    }
+    std::atomic<std::size_t> remaining{fns.size()};
+    for (auto& fn : fns) {
+        SubmitTask([&remaining, f = std::move(fn)] {
+            struct Decrement {
+                std::atomic<std::size_t>& r;
+                ~Decrement()
+                {
+                    r.fetch_sub(1, std::memory_order_release);
+                }
+            } dec{remaining};
+            f();
+        });
+    }
+    // Help-first join: run whatever is queued (our subtasks or other
+    // tasks of the tree) until our own subtasks have all finished.
+    while (remaining.load(std::memory_order_acquire) != 0) {
+        if (!TryRunQueuedTask()) {
+            std::this_thread::yield();
+        }
+    }
+}
+
+void
+ThreadPool::RunTaskTree(std::function<void()> root)
+{
+    if (num_threads_ == 1) {
+        root();
+        return;
+    }
+    tasks_outstanding_.store(1, std::memory_order_relaxed);
+    {
+        std::lock_guard<std::mutex> lock(task_mu_);
+        task_queue_.push_back(std::move(root));
+    }
+    // All workers (the caller included) drain the shared queue; the
+    // ParallelFor barrier doubles as the tree's completion barrier and
+    // rethrows the first task error.
+    ParallelFor(static_cast<std::size_t>(num_threads_),
+                [this](int, std::size_t, std::size_t) { DrainTasks(); });
+}
+
+void
 ThreadPool::WorkerLoop(int worker)
 {
     std::uint64_t seen = 0;

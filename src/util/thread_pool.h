@@ -13,6 +13,15 @@
  * Exceptions thrown inside a chunk are captured; the first one is
  * rethrown on the calling thread after all chunks have finished, so a
  * failing worker can never leave the pool deadlocked.
+ *
+ * RunTaskTree(root) is the second execution mode, for recursive
+ * fork-join work whose shape is only discovered while running (the
+ * partitioner's recursive bisection): the root task and everything it
+ * transitively submits via SubmitTask()/RunSubtasks() are drained by
+ * all workers, with the caller participating as worker 0. Scheduling
+ * order is unspecified — tasks must be independent (disjoint outputs,
+ * branch-local RNG seeding) so any interleaving yields identical
+ * results.
  */
 #ifndef AZUL_UTIL_THREAD_POOL_H_
 #define AZUL_UTIL_THREAD_POOL_H_
@@ -21,6 +30,7 @@
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
+#include <deque>
 #include <exception>
 #include <functional>
 #include <mutex>
@@ -63,10 +73,38 @@ class ThreadPool {
                static_cast<std::size_t>(num_threads);
     }
 
+    /**
+     * Runs `root` plus every task it transitively submits across all
+     * workers and blocks until the whole tree has drained. The first
+     * exception thrown by any task is rethrown here. With one thread,
+     * root runs inline. Not reentrant (one tree at a time), and must
+     * not be nested inside ParallelFor or another task tree.
+     */
+    void RunTaskTree(std::function<void()> root);
+
+    /**
+     * Enqueues one fire-and-forget task on the currently running task
+     * tree. Must be called from inside a task of RunTaskTree (the
+     * tree cannot drain before the submission is counted).
+     */
+    void SubmitTask(std::function<void()> fn);
+
+    /**
+     * Fork-join inside a task tree: submits every closure and blocks
+     * until all of them completed, helping to execute queued tasks
+     * (not necessarily its own subtasks) while waiting. Outside a
+     * task tree, or with one thread, the closures run inline in
+     * order.
+     */
+    void RunSubtasks(std::vector<std::function<void()>> fns);
+
   private:
     void WorkerLoop(int worker);
     void RunChunk(int worker);
     void RecordError();
+    void DrainTasks();
+    bool TryRunQueuedTask();
+    void FinishTask(std::function<void()>& task);
 
     int num_threads_;
     std::vector<std::thread> threads_;
@@ -81,6 +119,14 @@ class ThreadPool {
     const RangeFn* job_ = nullptr;
     std::size_t job_n_ = 0;
     std::exception_ptr first_error_;
+
+    // Task-tree state (RunTaskTree/SubmitTask/RunSubtasks).
+    std::mutex task_mu_;
+    std::condition_variable task_cv_;
+    std::deque<std::function<void()>> task_queue_;
+    /** Tasks submitted but not yet finished; the tree is drained when
+     *  this reaches zero (it can only grow from within a task). */
+    std::atomic<std::int64_t> tasks_outstanding_{0};
 };
 
 } // namespace azul

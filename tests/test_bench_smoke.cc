@@ -10,6 +10,7 @@
  * definitions pointing at the actual build products.
  */
 #include <cstdio>
+#include <filesystem>
 #include <string>
 
 #include <gtest/gtest.h>
@@ -86,6 +87,31 @@ TEST(BenchSmoke, Fig11OutputIdenticalAcrossThreadCounts)
         return text;
     };
     EXPECT_EQ(strip_config(serial), strip_config(parallel));
+}
+
+// secVID exercises the parallel partitioner and the mapping cache end
+// to end: two identical cached runs — the first all misses, the
+// second all hits — plus the speedup table.
+TEST(BenchSmoke, SecVIDMappingCostCachedRuns)
+{
+    const std::string cache_dir =
+        ::testing::TempDir() + "/azul_bench_smoke_cache";
+    std::filesystem::remove_all(cache_dir);
+    const std::string cmd = std::string(AZUL_BENCH_SECVID_BIN) +
+                            " --quick --threads=4 --cache=" +
+                            cache_dir;
+
+    std::string first;
+    ASSERT_EQ(RunCommand(cmd, &first), 0) << first;
+    EXPECT_NE(first.find("Sec VI-D"), std::string::npos) << first;
+    EXPECT_NE(first.find("speedup"), std::string::npos) << first;
+    EXPECT_NE(first.find("cache-hits=0"), std::string::npos) << first;
+
+    std::string second;
+    ASSERT_EQ(RunCommand(cmd, &second), 0) << second;
+    EXPECT_NE(second.find("cache-misses=0"), std::string::npos)
+        << "second run should be served entirely from the cache:\n"
+        << second;
 }
 
 } // namespace

@@ -10,6 +10,7 @@
 #include <gtest/gtest.h>
 
 #include "dataflow/program.h"
+#include "mapping/partitioner.h"
 #include "sim/machine.h"
 #include "solver/ic0.h"
 #include "solver/spmv.h"
@@ -244,6 +245,123 @@ TEST(StressSweep, SeededIrregularKernelsMatchReference)
             " — rerun with AZUL_STRESS_SEED=" + std::to_string(seed) +
             " ./test_fuzz_kernels --gtest_filter='StressSweep.*'");
         RunStressSeed(seed);
+        if (::testing::Test::HasFailure()) {
+            break; // the trace above names the failing seed
+        }
+    }
+}
+
+/** Hypergraph of a matrix's rows+cols over its nonzeros — the same
+ *  shape the mapper produces, minus vector vertices. */
+Hypergraph
+FuzzMatrixHg(const CsrMatrix& a)
+{
+    std::vector<Weight> vw(static_cast<std::size_t>(a.nnz()), 1);
+    std::vector<Weight> ew;
+    std::vector<Index> pin_ptr{0};
+    std::vector<Index> pins;
+    for (Index r = 0; r < a.rows(); ++r) {
+        if (a.RowNnz(r) < 2) {
+            continue;
+        }
+        for (Index k = a.RowBegin(r); k < a.RowEnd(r); ++k) {
+            pins.push_back(k);
+        }
+        pin_ptr.push_back(static_cast<Index>(pins.size()));
+        ew.push_back(1);
+    }
+    std::vector<std::vector<Index>> cols(
+        static_cast<std::size_t>(a.cols()));
+    Index k = 0;
+    for (Index r = 0; r < a.rows(); ++r) {
+        for (Index kk = a.RowBegin(r); kk < a.RowEnd(r); ++kk, ++k) {
+            cols[static_cast<std::size_t>(a.col_idx()[kk])].push_back(k);
+        }
+    }
+    for (const auto& members : cols) {
+        if (members.size() < 2) {
+            continue;
+        }
+        pins.insert(pins.end(), members.begin(), members.end());
+        pin_ptr.push_back(static_cast<Index>(pins.size()));
+        ew.push_back(1);
+    }
+    Hypergraph hg(1, std::move(vw), std::move(ew), std::move(pin_ptr),
+                  std::move(pins));
+    hg.BuildIncidence();
+    return hg;
+}
+
+/** One seed-derived partitioner configuration: the parallel runs must
+ *  reproduce the serial partition bit for bit, and the partition
+ *  itself must be well-formed and balanced. */
+void
+RunPartitionerStressSeed(std::uint64_t seed)
+{
+    Rng rng(seed);
+    const Index n = static_cast<Index>(rng.UniformInt(60, 200));
+    const bool laplacian = rng.UniformInt(0, 1) == 1;
+    const CsrMatrix a =
+        laplacian
+            ? RandomGeometricLaplacian(
+                  n, rng.UniformDouble(4.0, 9.0), seed ^ 0xcafe)
+            : RandomSpd(n, static_cast<Index>(rng.UniformInt(2, 6)),
+                        seed ^ 0xcafe);
+    const Hypergraph hg = FuzzMatrixHg(a);
+    const auto k =
+        static_cast<std::int32_t>(rng.UniformInt(2, 8));
+
+    PartitionerOptions opts;
+    opts.seed = seed * 0x9e3779b9ULL + 1;
+    opts.parallel_grain = 1; // force every branch onto the task tree
+    opts.threads = 1;
+    const auto serial = PartitionHypergraph(hg, k, opts);
+
+    // Well-formed: ids in range, every part populated.
+    std::vector<Weight> weights(static_cast<std::size_t>(k), 0);
+    for (Index v = 0; v < hg.NumVertices(); ++v) {
+        const std::int32_t p = serial[static_cast<std::size_t>(v)];
+        ASSERT_GE(p, 0);
+        ASSERT_LT(p, k);
+        weights[static_cast<std::size_t>(p)] += hg.VertexWeight(v, 0);
+    }
+    const double ideal = static_cast<double>(hg.TotalWeight(0)) /
+                         static_cast<double>(k);
+    for (std::int32_t p = 0; p < k; ++p) {
+        EXPECT_GT(weights[static_cast<std::size_t>(p)], 0)
+            << "part " << p << " is empty (k=" << k << ")";
+        EXPECT_LT(static_cast<double>(
+                      weights[static_cast<std::size_t>(p)]),
+                  ideal * 2.0)
+            << "part " << p << " over twice the ideal weight";
+    }
+
+    const Weight serial_cut = hg.ConnectivityCut(serial);
+    for (const int threads : {2, 4, 8}) {
+        opts.threads = threads;
+        const auto parallel = PartitionHypergraph(hg, k, opts);
+        EXPECT_EQ(parallel, serial)
+            << "partition diverged at threads=" << threads;
+        EXPECT_EQ(hg.ConnectivityCut(parallel), serial_cut);
+    }
+}
+
+TEST(PartitionerStress, SeededParallelMatchesSerial)
+{
+    if (const char* env = std::getenv("AZUL_STRESS_SEED")) {
+        const std::uint64_t seed = std::strtoull(env, nullptr, 0);
+        SCOPED_TRACE("stress seed " + std::to_string(seed) +
+                     " (from AZUL_STRESS_SEED)");
+        RunPartitionerStressSeed(seed);
+        return;
+    }
+    for (std::uint64_t seed = 1; seed <= 12; ++seed) {
+        SCOPED_TRACE(
+            "stress seed " + std::to_string(seed) +
+            " — rerun with AZUL_STRESS_SEED=" + std::to_string(seed) +
+            " ./test_fuzz_kernels "
+            "--gtest_filter='PartitionerStress.*'");
+        RunPartitionerStressSeed(seed);
         if (::testing::Test::HasFailure()) {
             break; // the trace above names the failing seed
         }

@@ -1,3 +1,5 @@
+#include <filesystem>
+#include <fstream>
 #include <sstream>
 
 #include <gtest/gtest.h>
@@ -113,6 +115,109 @@ TEST(MappingIo, PrecomputedMappingSkipsMappingStep)
     const SolveReport r2 = second.Solve(b);
     EXPECT_EQ(r1.run.stats.cycles, r2.run.stats.cycles);
     EXPECT_EQ(r1.run.x, r2.run.x);
+}
+
+TEST(MappingCache, SecondSystemHitsAndReproducesMapping)
+{
+    const std::string dir =
+        ::testing::TempDir() + "/azul_mapping_cache_hit";
+    std::filesystem::remove_all(dir);
+
+    const CsrMatrix a = RandomGeometricLaplacian(300, 7.0, 9);
+    AzulOptions opts;
+    opts.sim.grid_width = 4;
+    opts.sim.grid_height = 4;
+    opts.mapping_cache_dir = dir;
+    opts.tol = 1e-8;
+    opts.max_iters = 500;
+
+    AzulSystem first(a, opts);
+    EXPECT_EQ(first.mapping_cache_hits(), 0);
+    EXPECT_EQ(first.mapping_cache_misses(), 1);
+
+    AzulSystem second(a, opts);
+    EXPECT_EQ(second.mapping_cache_hits(), 1);
+    EXPECT_EQ(second.mapping_cache_misses(), 0);
+
+    // The cached mapping is the computed one, bit for bit, and drives
+    // the machine to identical simulated behavior.
+    EXPECT_EQ(second.mapping().a_nnz_tile, first.mapping().a_nnz_tile);
+    EXPECT_EQ(second.mapping().l_nnz_tile, first.mapping().l_nnz_tile);
+    EXPECT_EQ(second.mapping().vec_tile, first.mapping().vec_tile);
+
+    MappingProblem prob;
+    prob.a = &first.matrix();
+    prob.l = first.factor();
+    EXPECT_EQ(EstimateTraffic(prob, first.mapping()).total(),
+              EstimateTraffic(prob, second.mapping()).total());
+
+    const Vector b = azul::testing::RandomVector(a.rows(), 11);
+    const SolveReport r1 = first.Solve(b);
+    const SolveReport r2 = second.Solve(b);
+    EXPECT_EQ(r1.run.stats.cycles, r2.run.stats.cycles);
+    EXPECT_EQ(r1.run.x, r2.run.x);
+    EXPECT_EQ(r1.mapping_cache_misses, 1);
+    EXPECT_EQ(r2.mapping_cache_hits, 1);
+    EXPECT_NE(r1.ToJson().find("\"mapping_cache_hits\":0"),
+              std::string::npos);
+    EXPECT_NE(r2.ToJson().find("\"mapping_cache_hits\":1"),
+              std::string::npos);
+}
+
+TEST(MappingCache, DifferentSeedMisses)
+{
+    const std::string dir =
+        ::testing::TempDir() + "/azul_mapping_cache_seed";
+    std::filesystem::remove_all(dir);
+
+    const CsrMatrix a = RandomGeometricLaplacian(250, 7.0, 15);
+    AzulOptions opts;
+    opts.sim.grid_width = 4;
+    opts.sim.grid_height = 4;
+    opts.mapping_cache_dir = dir;
+
+    AzulSystem first(a, opts);
+    EXPECT_EQ(first.mapping_cache_misses(), 1);
+
+    // A different partitioner seed is a different computation — it
+    // must not be served the first seed's mapping.
+    AzulOptions reseeded = opts;
+    reseeded.azul_mapper.partitioner.seed += 1;
+    AzulSystem second(a, reseeded);
+    EXPECT_EQ(second.mapping_cache_hits(), 0);
+    EXPECT_EQ(second.mapping_cache_misses(), 1);
+
+    // While thread count is not part of the key: a parallel run hits
+    // the serial run's entry.
+    AzulOptions threaded = opts;
+    threaded.azul_mapper.partitioner.threads = 4;
+    AzulSystem third(a, threaded);
+    EXPECT_EQ(third.mapping_cache_hits(), 1);
+    EXPECT_EQ(third.mapping().a_nnz_tile, first.mapping().a_nnz_tile);
+}
+
+TEST(MappingCache, CorruptEntryIsAMissNotAnError)
+{
+    const std::string dir =
+        ::testing::TempDir() + "/azul_mapping_cache_corrupt";
+    std::filesystem::remove_all(dir);
+
+    const CsrMatrix a = RandomGeometricLaplacian(200, 7.0, 17);
+    AzulOptions opts;
+    opts.sim.grid_width = 4;
+    opts.sim.grid_height = 4;
+    opts.mapping_cache_dir = dir;
+
+    AzulSystem first(a, opts);
+    // Truncate every cache entry in place.
+    for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+        std::ofstream(entry.path(), std::ios::trunc)
+            << "azul-mapping v1\n";
+    }
+    AzulSystem second(a, opts);
+    EXPECT_EQ(second.mapping_cache_hits(), 0);
+    EXPECT_EQ(second.mapping_cache_misses(), 1);
+    EXPECT_EQ(second.mapping().a_nnz_tile, first.mapping().a_nnz_tile);
 }
 
 TEST(MappingIo, PrecomputedMappingValidatedAgainstProblem)

@@ -174,6 +174,60 @@ TEST(Partitioner, MultiConstraintBalanced)
     }
 }
 
+TEST(Partitioner, BitIdenticalAcrossThreadCounts)
+{
+    const Hypergraph hg = MatrixHg(Grid2dLaplacian(24, 24));
+    PartitionerOptions opts;
+    opts.seed = 123;
+    // grain 1 forces every recursion node and every initial try onto
+    // the task tree — the maximally parallel schedule.
+    opts.parallel_grain = 1;
+    opts.threads = 1;
+    const auto serial = PartitionHypergraph(hg, 8, opts);
+    for (int threads : {2, 8}) {
+        opts.threads = threads;
+        EXPECT_EQ(PartitionHypergraph(hg, 8, opts), serial)
+            << "partition changed at threads=" << threads;
+    }
+}
+
+TEST(Partitioner, ParallelRunsAreStableAcrossRepeats)
+{
+    const Hypergraph hg =
+        MatrixHg(RandomGeometricLaplacian(900, 8.0, 7));
+    PartitionerOptions opts;
+    opts.threads = 4;
+    opts.parallel_grain = 1;
+    const auto first = PartitionHypergraph(hg, 16, opts);
+    for (int rep = 0; rep < 3; ++rep) {
+        EXPECT_EQ(PartitionHypergraph(hg, 16, opts), first)
+            << "parallel run " << rep << " diverged";
+    }
+}
+
+TEST(Partitioner, GrainKeepsSmallSubproblemsInline)
+{
+    // With the default grain, this small instance never forks — the
+    // parallel path must still agree with the serial one.
+    const Hypergraph hg = MatrixHg(Grid2dLaplacian(12, 12));
+    PartitionerOptions opts;
+    const auto serial = PartitionHypergraph(hg, 4, opts);
+    opts.threads = 4;
+    EXPECT_EQ(PartitionHypergraph(hg, 4, opts), serial);
+}
+
+TEST(Partitioner, PhaseStatsPopulated)
+{
+    const Hypergraph hg = MatrixHg(Grid2dLaplacian(20, 20));
+    PartitionPhaseStats phases;
+    PartitionHypergraph(hg, 4, {}, &phases);
+    EXPECT_GT(phases.total(), 0.0);
+    EXPECT_GE(phases.coarsen.seconds(), 0.0);
+    EXPECT_GE(phases.initial.seconds(), 0.0);
+    EXPECT_GE(phases.refine.seconds(), 0.0);
+    EXPECT_GE(phases.extract.seconds(), 0.0);
+}
+
 TEST(Partitioner, LargerKNeverReducesCutBelowSmallerK)
 {
     const Hypergraph hg =

@@ -1,5 +1,6 @@
 #include <algorithm>
 #include <atomic>
+#include <functional>
 #include <numeric>
 #include <stdexcept>
 #include <vector>
@@ -308,6 +309,75 @@ TEST(ThreadPool, WorkerExceptionPropagatesToCaller)
         count.fetch_add(static_cast<int>(end - begin));
     });
     EXPECT_EQ(count.load(), 8);
+}
+
+namespace {
+
+/** Counts binary-tree leaves via RunSubtasks fork-join recursion. */
+void
+CountLeaves(ThreadPool& pool, int depth, std::atomic<int>& leaves)
+{
+    if (depth == 0) {
+        leaves.fetch_add(1);
+        return;
+    }
+    pool.RunSubtasks(
+        {[&] { CountLeaves(pool, depth - 1, leaves); },
+         [&] { CountLeaves(pool, depth - 1, leaves); }});
+}
+
+} // namespace
+
+TEST(ThreadPool, TaskTreeRunSubtasksJoinsRecursively)
+{
+    ThreadPool pool(4);
+    std::atomic<int> leaves{0};
+    pool.RunTaskTree([&] { CountLeaves(pool, 6, leaves); });
+    EXPECT_EQ(leaves.load(), 64);
+}
+
+TEST(ThreadPool, TaskTreeDrainsFireAndForgetSubmissions)
+{
+    // Tasks submit further tasks without joining them; RunTaskTree
+    // must not return before the whole tree has drained.
+    ThreadPool pool(4);
+    std::atomic<int> visits{0};
+    std::function<void(int)> spawn = [&](int depth) {
+        visits.fetch_add(1);
+        if (depth == 0) {
+            return;
+        }
+        pool.SubmitTask([&spawn, depth] { spawn(depth - 1); });
+        pool.SubmitTask([&spawn, depth] { spawn(depth - 1); });
+    };
+    pool.RunTaskTree([&] { spawn(5); });
+    EXPECT_EQ(visits.load(), 63); // full binary tree, levels 5..0
+}
+
+TEST(ThreadPool, TaskTreeExceptionPropagatesAndPoolSurvives)
+{
+    ThreadPool pool(4);
+    std::atomic<int> ran{0};
+    EXPECT_THROW(pool.RunTaskTree([&] {
+        pool.SubmitTask([&] { ran.fetch_add(1); });
+        pool.SubmitTask([] { throw std::runtime_error("boom"); });
+    }),
+                 std::runtime_error);
+    // Both ParallelFor and a fresh task tree still work afterwards.
+    std::atomic<int> count{0};
+    pool.ParallelFor(8, [&](int, std::size_t begin, std::size_t end) {
+        count.fetch_add(static_cast<int>(end - begin));
+    });
+    pool.RunTaskTree([&] { count.fetch_add(1); });
+    EXPECT_EQ(count.load(), 9);
+}
+
+TEST(ThreadPool, TaskTreeRunsInlineWithOneThread)
+{
+    ThreadPool pool(1);
+    std::atomic<int> leaves{0};
+    pool.RunTaskTree([&] { CountLeaves(pool, 4, leaves); });
+    EXPECT_EQ(leaves.load(), 16);
 }
 
 TEST(Logging, LevelFilterRoundTrip)
