@@ -14,6 +14,12 @@
  *   --quick     small preset for smoke runs  (scale 0.2, grid 4)
  *   --cache[=D] reuse mappings via the persistent cache in directory
  *               D (default .azul-mapping-cache); off when absent
+ *   --faults[=SPEC] arm fault injection (docs/ROBUSTNESS.md). SPEC is
+ *               the AZUL_FAULTS format, e.g.
+ *               rate=1e-5,kinds=sram|noc,seed=7,interval=32; the bare
+ *               flag uses rate=1e-5 with all kinds. The AZUL_FAULTS
+ *               environment variable is applied first, so the flag
+ *               overrides it key by key.
  *
  * The defaults keep the per-tile working set (nnz/tile, vector slots
  * per tile) close to the paper's 64x64-tile regime, which is what the
@@ -43,7 +49,8 @@ struct BenchArgs {
     Index iters = 3;
     std::int32_t threads = SimThreadsFromEnv(1);
     bool quick = false;
-    std::string cache_dir; //!< empty = mapping cache disabled
+    std::string cache_dir;  //!< empty = mapping cache disabled
+    std::string fault_spec; //!< ParseFaultSpec format; empty = off
 
     static BenchArgs
     Parse(int argc, char** argv)
@@ -65,6 +72,10 @@ struct BenchArgs {
                 args.cache_dir = ".azul-mapping-cache";
             } else if (arg.rfind("--cache=", 0) == 0) {
                 args.cache_dir = arg.substr(8);
+            } else if (arg == "--faults") {
+                args.fault_spec = "rate=1e-5,kinds=all";
+            } else if (arg.rfind("--faults=", 0) == 0) {
+                args.fault_spec = arg.substr(9);
             } else if (arg == "--quick") {
                 args.quick = true;
                 args.scale = 0.2;
@@ -122,6 +133,15 @@ BaseOptions(const BenchArgs& args)
     opts.mapping_cache_dir = args.cache_dir;
     opts.tol = 0.0; // run exactly `iters` iterations
     opts.max_iters = args.iters;
+    // Robustness knobs: the environment first, then the explicit
+    // --faults spec on top of it.
+    ApplyFaultEnv(opts.sim);
+    if (!args.fault_spec.empty() &&
+        !ParseFaultSpec(args.fault_spec, opts.sim)) {
+        std::fprintf(stderr, "malformed --faults spec '%s'\n",
+                     args.fault_spec.c_str());
+        std::exit(2);
+    }
     return opts;
 }
 

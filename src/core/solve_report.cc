@@ -1,8 +1,27 @@
 #include "core/solve_report.h"
 
+#include <cmath>
 #include <sstream>
 
 namespace azul {
+
+namespace {
+
+// A breakdown run can carry a NaN/Inf residual; bare "nan"/"inf"
+// tokens are not valid JSON, so emit null for non-finite values.
+std::string
+JsonNumber(double v)
+{
+    if (!std::isfinite(v)) {
+        return "null";
+    }
+    std::ostringstream oss;
+    oss.precision(12);
+    oss << v;
+    return oss.str();
+}
+
+} // namespace
 
 std::string
 SolveReport::Summary() const
@@ -14,6 +33,12 @@ SolveReport::Summary() const
         << ", " << run.stats.cycles << " cycles, " << gflops
         << " GFLOP/s (" << peak_fraction * 100.0 << "% of peak), "
         << power.total() << " W";
+    if (run.failure != FailureKind::kNone) {
+        oss << " [" << FailureKindName(run.failure) << "]";
+    }
+    if (run.recoveries > 0) {
+        oss << " (" << run.recoveries << " recoveries)";
+    }
     return oss.str();
 }
 
@@ -24,8 +49,10 @@ SolveReport::ToJson() const
     oss.precision(12);
     oss << "{";
     oss << "\"converged\":" << (run.converged ? "true" : "false");
+    oss << ",\"failure\":\"" << FailureKindName(run.failure) << "\"";
     oss << ",\"iterations\":" << run.iterations;
-    oss << ",\"residual_norm\":" << run.residual_norm;
+    oss << ",\"recoveries\":" << run.recoveries;
+    oss << ",\"residual_norm\":" << JsonNumber(run.residual_norm);
     oss << ",\"cycles\":" << run.stats.cycles;
     oss << ",\"flops\":" << run.flops;
     oss << ",\"gflops\":" << gflops;
@@ -38,6 +65,14 @@ SolveReport::ToJson() const
     oss << ",\"messages\":" << run.stats.messages;
     oss << ",\"link_activations\":" << run.stats.link_activations;
     oss << ",\"spilled_messages\":" << run.stats.spilled_messages;
+    oss << ",\"faults\":{\"injected\":" << run.stats.faults_injected
+        << ",\"sram\":" << run.stats.faults_sram
+        << ",\"noc_dropped\":" << run.stats.faults_noc_dropped
+        << ",\"noc_corrupted\":" << run.stats.faults_noc_corrupted
+        << ",\"pe_stalls\":" << run.stats.faults_pe_stalls
+        << ",\"detected\":" << run.stats.faults_detected
+        << ",\"checkpoints\":" << run.stats.checkpoints
+        << ",\"rollbacks\":" << run.stats.rollbacks << "}";
     oss << ",\"ops\":{\"fmac\":" << run.stats.ops.fmac
         << ",\"add\":" << run.stats.ops.add
         << ",\"mul\":" << run.stats.ops.mul

@@ -115,6 +115,28 @@ BuildPcgProgram(const ProgramBuildInputs& in)
     prog.iteration.push_back(
         Phase::Vector(MakeDot(ScalarReg::kRr, VecName::kR, VecName::kR)));
 
+    // ---- True-residual recompute (residual replacement + restart) ---------
+    // Re-establishes r = b - A x through the SpMV kernel (input kP,
+    // output kAp), then RESTARTS the recurrence from the replaced
+    // residual: z = M^-1 r, p = z, rz_old = r.z. Replacing r alone
+    // would leave p and rz_old consistent with the discarded
+    // recurrence; CG with such a mismatched direction can fall into a
+    // limit cycle and never converge (observed under injected data
+    // faults). A full restart makes the recompute equivalent to
+    // restarted PCG, which converges from any finite state.
+    prog.residual_recompute.push_back(
+        Phase::Vector(MakeCopy(VecName::kP, VecName::kX)));
+    prog.residual_recompute.push_back(Phase::Matrix(spmv_idx));
+    prog.residual_recompute.push_back(Phase::Vector(
+        MakeSub(VecName::kR, VecName::kB, VecName::kAp)));
+    apply_precond(prog.residual_recompute);
+    prog.residual_recompute.push_back(
+        Phase::Vector(MakeCopy(VecName::kP, VecName::kZ)));
+    prog.residual_recompute.push_back(Phase::Vector(
+        MakeDot(ScalarReg::kRzOld, VecName::kR, VecName::kZ)));
+    prog.residual_recompute.push_back(
+        Phase::Vector(MakeDot(ScalarReg::kRr, VecName::kR, VecName::kR)));
+
     // ---- FLOP accounting --------------------------------------------------
     const double n = static_cast<double>(in.a->rows());
     prog.spmv_flops = SpMVFlops(*in.a);
@@ -129,6 +151,12 @@ BuildPcgProgram(const ProgramBuildInputs& in)
     }
     // Preconditioner application + copy (n) + two dots (2n each).
     prog.prologue_flops = prog.sptrsv_flops + 5.0 * n;
+    // SpMV + preconditioner apply + two copies (n each) + sub (n) +
+    // two dots (2n each).
+    prog.recompute_flops = prog.spmv_flops + prog.sptrsv_flops + 7.0 * n;
+    if (in.precond == PreconditionerKind::kJacobi) {
+        prog.recompute_flops += n;
+    }
     return prog;
 }
 
@@ -280,10 +308,23 @@ BuildBiCgStabProgram(const CsrMatrix& a, const DataMapping& mapping,
     prog.iteration.push_back(
         Phase::Vector(MakeDot(ScalarReg::kRr, VecName::kR, VecName::kR)));
 
+    // ---- True-residual recompute (residual replacement) -------------------
+    // Uses the second SpMV kernel (input kS, output kT); both are
+    // dead across iteration boundaries, so nothing needs restoring.
+    prog.residual_recompute.push_back(
+        Phase::Vector(MakeCopy(VecName::kS, VecName::kX)));
+    prog.residual_recompute.push_back(Phase::Matrix(1));
+    prog.residual_recompute.push_back(Phase::Vector(
+        MakeSub(VecName::kR, VecName::kB, VecName::kT)));
+    prog.residual_recompute.push_back(
+        Phase::Vector(MakeDot(ScalarReg::kRr, VecName::kR, VecName::kR)));
+
     const double n = static_cast<double>(a.rows());
     prog.spmv_flops = 2.0 * SpMVFlops(a);
     prog.vector_flops = 22.0 * n;
     prog.prologue_flops = 6.0 * n; // two copies + two dots
+    // One SpMV + copy (n) + sub (n) + dot (2n).
+    prog.recompute_flops = SpMVFlops(a) + 4.0 * n;
     return prog;
 }
 

@@ -36,6 +36,12 @@ SimConfig::ToString() const
     if (sim_threads > 1) {
         oss << ", host-threads=" << sim_threads;
     }
+    if (faults_enabled()) {
+        oss << ", fault-rate=" << fault_rate;
+    }
+    if (checkpoint_interval > 0) {
+        oss << ", ckpt-every=" << checkpoint_interval;
+    }
     return oss.str();
 }
 
@@ -70,6 +76,139 @@ IdealPeConfig(const SimConfig& base)
     SimConfig cfg = base;
     cfg.pe_model = PeModel::kIdeal;
     return cfg;
+}
+
+namespace {
+
+/** Parses the '|'-joined kind list of a fault spec; returns false on
+ *  an unknown kind name. */
+bool
+ParseFaultKinds(const std::string& value, std::uint32_t& kinds)
+{
+    kinds = 0;
+    std::size_t pos = 0;
+    while (pos <= value.size()) {
+        const std::size_t bar = value.find('|', pos);
+        const std::string kind = value.substr(
+            pos, bar == std::string::npos ? std::string::npos
+                                          : bar - pos);
+        if (kind == "sram") {
+            kinds |= kFaultSram;
+        } else if (kind == "nocdrop") {
+            kinds |= kFaultNocDrop;
+        } else if (kind == "noccorrupt") {
+            kinds |= kFaultNocCorrupt;
+        } else if (kind == "noc") {
+            kinds |= kFaultNocDrop | kFaultNocCorrupt;
+        } else if (kind == "pe") {
+            kinds |= kFaultPeStall;
+        } else if (kind == "all") {
+            kinds |= kFaultAll;
+        } else {
+            return false;
+        }
+        if (bar == std::string::npos) {
+            break;
+        }
+        pos = bar + 1;
+    }
+    return kinds != 0;
+}
+
+bool
+ParsePositiveLong(const std::string& value, long& out)
+{
+    try {
+        std::size_t used = 0;
+        out = std::stol(value, &used);
+        return used == value.size() && out >= 0;
+    } catch (const std::exception&) {
+        return false;
+    }
+}
+
+} // namespace
+
+bool
+ParseFaultSpec(const std::string& spec, SimConfig& cfg)
+{
+    SimConfig parsed = cfg;
+    std::size_t pos = 0;
+    while (pos < spec.size()) {
+        const std::size_t comma = spec.find(',', pos);
+        const std::string item = spec.substr(
+            pos, comma == std::string::npos ? std::string::npos
+                                            : comma - pos);
+        const std::size_t eq = item.find('=');
+        if (eq == std::string::npos || eq == 0) {
+            return false;
+        }
+        const std::string key = item.substr(0, eq);
+        const std::string value = item.substr(eq + 1);
+        long n = 0;
+        if (key == "rate") {
+            try {
+                std::size_t used = 0;
+                parsed.fault_rate = std::stod(value, &used);
+                if (used != value.size() || parsed.fault_rate < 0.0 ||
+                    parsed.fault_rate > 1.0) {
+                    return false;
+                }
+            } catch (const std::exception&) {
+                return false;
+            }
+        } else if (key == "kinds") {
+            if (!ParseFaultKinds(value, parsed.fault_kinds)) {
+                return false;
+            }
+        } else if (key == "seed") {
+            if (!ParsePositiveLong(value, n)) {
+                return false;
+            }
+            parsed.fault_seed = static_cast<std::uint64_t>(n);
+        } else if (key == "interval") {
+            if (!ParsePositiveLong(value, n)) {
+                return false;
+            }
+            parsed.checkpoint_interval = static_cast<Index>(n);
+        } else if (key == "dir") {
+            parsed.checkpoint_dir = value;
+        } else if (key == "stall") {
+            if (!ParsePositiveLong(value, n) || n < 1) {
+                return false;
+            }
+            parsed.fault_stall_cycles = static_cast<std::int32_t>(n);
+        } else if (key == "retransmit") {
+            if (!ParsePositiveLong(value, n)) {
+                return false;
+            }
+            parsed.fault_retransmit_cycles =
+                static_cast<std::int32_t>(n);
+        } else if (key == "recoveries") {
+            if (!ParsePositiveLong(value, n)) {
+                return false;
+            }
+            parsed.max_recoveries = static_cast<std::int32_t>(n);
+        } else {
+            return false;
+        }
+        if (comma == std::string::npos) {
+            break;
+        }
+        pos = comma + 1;
+    }
+    cfg = parsed;
+    return true;
+}
+
+void
+ApplyFaultEnv(SimConfig& cfg)
+{
+    const char* env = std::getenv("AZUL_FAULTS");
+    if (env == nullptr || *env == '\0') {
+        return;
+    }
+    ParseFaultSpec(env, cfg);
 }
 
 std::int32_t

@@ -21,6 +21,15 @@
 
 namespace azul {
 
+// Fault-kind bitmask for SimConfig::fault_kinds (bit i enables
+// FaultKind i; see sim/fault.h and docs/ROBUSTNESS.md).
+inline constexpr std::uint32_t kFaultSram = 1u << 0;
+inline constexpr std::uint32_t kFaultNocDrop = 1u << 1;
+inline constexpr std::uint32_t kFaultNocCorrupt = 1u << 2;
+inline constexpr std::uint32_t kFaultPeStall = 1u << 3;
+inline constexpr std::uint32_t kFaultAll =
+    kFaultSram | kFaultNocDrop | kFaultNocCorrupt | kFaultPeStall;
+
 /** PE timing models. */
 enum class PeModel : std::uint8_t {
     kAzul,       //!< specialized pipeline, 1 op/cycle (Sec V-A)
@@ -63,6 +72,54 @@ struct SimConfig {
 
     /** Watchdog: abort a phase after this many cycles. */
     Cycle max_phase_cycles = 1'000'000'000ULL;
+
+    // Fault injection (off by default; docs/ROBUSTNESS.md). All
+    // decisions are seeded and order-independent, so injected runs
+    // stay bit-identical at any host thread count.
+    /**
+     * Per-opportunity fault probability. An opportunity is one SRAM
+     * word per tile per phase, one NoC flit per injection (corrupt)
+     * or per hop (drop), or one active tile-cycle (PE stall). 0
+     * disables injection entirely — the engine then takes the exact
+     * pre-robustness-layer code paths, bit for bit.
+     */
+    double fault_rate = 0.0;
+    /** Bitmask of enabled FaultKinds (kFaultSram | ...). */
+    std::uint32_t fault_kinds = kFaultAll;
+    std::uint64_t fault_seed = 0xfa17'5eedULL;
+    /** Cycles a transient PE stall blocks issue for. */
+    std::int32_t fault_stall_cycles = 16;
+    /** Link-level retransmission delay after a dropped (CRC-failed)
+     *  flit, before the flit re-arbitrates for the same link. */
+    std::int32_t fault_retransmit_cycles = 8;
+    /** Residual spike over the best norm so far that the driver
+     *  treats as detected corruption (active only while fault
+     *  injection is on; legitimate solvers oscillate far less). */
+    double fault_spike_factor = 1e6;
+    /** Residual blow-up over the initial norm classified as
+     *  divergence (active only while fault injection is on). */
+    double divergence_factor = 1e8;
+
+    // Checkpoint/replay (sim/fault.h). Captures are host-side state
+    // snapshots and cost no simulated cycles, so enabling them does
+    // not perturb the simulation — recovery's cost is the replayed
+    // iterations themselves.
+    /** Capture a MachineCheckpoint every N driver iterations
+     *  (0 = off). */
+    Index checkpoint_interval = 0;
+    /** When non-empty, each capture also persists to
+     *  CheckpointPath(checkpoint_dir) via a tmp+rename store. */
+    std::string checkpoint_dir;
+    /** Maximum rollbacks per solve before the driver gives up and
+     *  reports the failure instead. */
+    std::int32_t max_recoveries = 8;
+
+    /** True when the fault injector should be instantiated. */
+    bool
+    faults_enabled() const
+    {
+        return fault_rate > 0.0 && fault_kinds != 0;
+    }
 
     // Host-side execution (not part of the modeled hardware).
     /**
@@ -118,6 +175,23 @@ SimConfig IdealPeConfig(const SimConfig& base);
  * reproduction can be parallelized without touching its command line.
  */
 std::int32_t SimThreadsFromEnv(std::int32_t fallback);
+
+/**
+ * Applies a fault-injection spec string to a config. The format is a
+ * comma-separated key=value list:
+ *
+ *     rate=1e-5,kinds=sram|noc|pe,seed=7,interval=32,dir=/tmp/ck,
+ *     stall=16,retransmit=8,recoveries=4
+ *
+ * `kinds` accepts sram, nocdrop, noccorrupt, noc (both NoC kinds),
+ * pe, and all, joined with '|'. Unknown keys or malformed values make
+ * the whole spec invalid: returns false and leaves `cfg` untouched.
+ */
+bool ParseFaultSpec(const std::string& spec, SimConfig& cfg);
+
+/** Applies the AZUL_FAULTS environment variable (same format as
+ *  ParseFaultSpec) to `cfg`; no-op if unset, empty, or malformed. */
+void ApplyFaultEnv(SimConfig& cfg);
 
 } // namespace azul
 

@@ -1,0 +1,217 @@
+#include "sim/fault.h"
+
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace azul {
+
+const char*
+FaultKindName(FaultKind kind)
+{
+    switch (kind) {
+      case FaultKind::kSramFlip: return "sram-flip";
+      case FaultKind::kNocDrop: return "noc-drop";
+      case FaultKind::kNocCorrupt: return "noc-corrupt";
+      case FaultKind::kPeStall: return "pe-stall";
+      case FaultKind::kCount: break;
+    }
+    return "unknown";
+}
+
+namespace {
+
+/** Per-kind salts so the four fault streams are independent even at
+ *  colliding (a, b) positions. Arbitrary odd constants. */
+constexpr std::array<std::uint64_t,
+                     static_cast<std::size_t>(FaultKind::kCount)>
+    kKindSalt = {
+        0x5ac1'f11b'0000'0001ULL, // sram-flip
+        0xd20b'0d20'0000'0003ULL, // noc-drop
+        0xc02b'0b17'0000'0005ULL, // noc-corrupt
+        0x57a1'1000'0000'0007ULL, // pe-stall
+};
+
+/** Maps a 64-bit word to a uniform double in [0, 1). */
+double
+ToUnit(std::uint64_t u)
+{
+    return static_cast<double>(u >> 11) * 0x1.0p-53;
+}
+
+std::uint64_t
+Mix(std::uint64_t seed, FaultKind kind, std::uint64_t a,
+    std::uint64_t b)
+{
+    return MixSeed(seed ^ kKindSalt[static_cast<std::size_t>(kind)], a,
+                   b);
+}
+
+} // namespace
+
+FaultInjector::FaultInjector(std::uint64_t seed, double rate,
+                             std::uint32_t kinds)
+    : seed_(seed), rate_(rate), kinds_(kinds)
+{
+    AZUL_CHECK_MSG(rate >= 0.0 && rate <= 1.0,
+                   "fault rate must be a probability, got " << rate);
+}
+
+bool
+FaultInjector::Fires(FaultKind kind, std::uint64_t a,
+                     std::uint64_t b) const
+{
+    if (!enabled(kind) || rate_ <= 0.0) {
+        return false;
+    }
+    return ToUnit(Mix(seed_, kind, a, b)) < rate_;
+}
+
+std::uint64_t
+FaultInjector::Draw(FaultKind kind, std::uint64_t a,
+                    std::uint64_t b) const
+{
+    // An extra finalize over a distinct salt keeps the detail draw
+    // statistically independent of the firing decision.
+    return SplitMix64(Mix(seed_, kind, a, b) ^
+                      0xdead'beef'd00d'f00dULL);
+}
+
+double
+FlipFp64Bit(double value, int bit)
+{
+    AZUL_CHECK(bit >= 0 && bit < 64);
+    std::uint64_t u = 0;
+    std::memcpy(&u, &value, sizeof(u));
+    u ^= std::uint64_t{1} << bit;
+    double out = 0.0;
+    std::memcpy(&out, &u, sizeof(out));
+    return out;
+}
+
+// ---------------------------------------------------------------------------
+// Checkpoint persistence
+// ---------------------------------------------------------------------------
+
+namespace {
+
+constexpr char kCheckpointMagic[8] = {'A', 'Z', 'C', 'K',
+                                      'P', 'T', '0', '1'};
+
+template <typename T>
+void
+WritePod(std::ostream& out, const T& v)
+{
+    out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+template <typename T>
+void
+ReadPod(std::istream& in, T& v)
+{
+    in.read(reinterpret_cast<char*>(&v), sizeof(v));
+    AZUL_CHECK_MSG(in.good(), "checkpoint: truncated file");
+}
+
+} // namespace
+
+std::string
+CheckpointPath(const std::string& dir)
+{
+    return (std::filesystem::path(dir) / "azul-checkpoint.bin")
+        .string();
+}
+
+bool
+MachineCheckpoint::Save(const std::string& path) const
+{
+    const std::string tmp = path + ".tmp";
+    try {
+        std::error_code ec;
+        std::filesystem::create_directories(
+            std::filesystem::path(path).parent_path(), ec);
+        {
+            std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+            AZUL_CHECK_MSG(out.is_open(),
+                           "checkpoint: cannot open " << tmp);
+            out.write(kCheckpointMagic, sizeof(kCheckpointMagic));
+            WritePod(out, static_cast<std::int64_t>(iteration));
+            WritePod(out, flops);
+            WritePod(out, residual_norm);
+            WritePod(out, history_size);
+            WritePod(out,
+                     static_cast<std::uint64_t>(scalar_regs.size()));
+            for (const double v : scalar_regs) {
+                WritePod(out, v);
+            }
+            WritePod(out, static_cast<std::uint64_t>(vecs.size()));
+            for (const Vector& v : vecs) {
+                WritePod(out, static_cast<std::uint64_t>(v.size()));
+                out.write(reinterpret_cast<const char*>(v.data()),
+                          static_cast<std::streamsize>(
+                              v.size() * sizeof(double)));
+            }
+            AZUL_CHECK_MSG(out.good(),
+                           "checkpoint: short write to " << tmp);
+        }
+        std::filesystem::rename(tmp, path);
+        return true;
+    } catch (const std::exception& e) {
+        AZUL_LOG(kWarn) << "checkpoint: failed to store " << path
+                        << ": " << e.what();
+        std::error_code ec;
+        std::filesystem::remove(tmp, ec);
+        return false;
+    }
+}
+
+MachineCheckpoint
+MachineCheckpoint::Load(const std::string& path)
+{
+    std::ifstream in(path, std::ios::binary);
+    AZUL_CHECK_MSG(in.is_open(), "checkpoint: cannot open " << path);
+    char magic[sizeof(kCheckpointMagic)] = {};
+    in.read(magic, sizeof(magic));
+    AZUL_CHECK_MSG(in.good() && std::memcmp(magic, kCheckpointMagic,
+                                            sizeof(magic)) == 0,
+                   "checkpoint: bad magic in " << path);
+    MachineCheckpoint ck;
+    std::int64_t iteration = 0;
+    ReadPod(in, iteration);
+    AZUL_CHECK_MSG(iteration >= 0, "checkpoint: negative iteration");
+    ck.iteration = static_cast<Index>(iteration);
+    ReadPod(in, ck.flops);
+    ReadPod(in, ck.residual_norm);
+    ReadPod(in, ck.history_size);
+    std::uint64_t num_scalars = 0;
+    ReadPod(in, num_scalars);
+    AZUL_CHECK_MSG(num_scalars == ck.scalar_regs.size(),
+                   "checkpoint: scalar register count mismatch");
+    for (double& v : ck.scalar_regs) {
+        ReadPod(in, v);
+    }
+    std::uint64_t num_vecs = 0;
+    ReadPod(in, num_vecs);
+    AZUL_CHECK_MSG(num_vecs == ck.vecs.size(),
+                   "checkpoint: vector count mismatch");
+    std::uint64_t expected = 0;
+    for (std::size_t i = 0; i < ck.vecs.size(); ++i) {
+        std::uint64_t n = 0;
+        ReadPod(in, n);
+        if (i == 0) {
+            expected = n;
+        }
+        AZUL_CHECK_MSG(n == expected,
+                       "checkpoint: ragged vector lengths");
+        ck.vecs[i].resize(n);
+        in.read(reinterpret_cast<char*>(ck.vecs[i].data()),
+                static_cast<std::streamsize>(n * sizeof(double)));
+        AZUL_CHECK_MSG(in.good(), "checkpoint: truncated vector data");
+    }
+    return ck;
+}
+
+} // namespace azul

@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Fault injection + checkpoint/replay primitives of the robustness
+ * layer (docs/ROBUSTNESS.md).
+ *
+ * The FaultInjector is stateless: every injection decision is a pure
+ * function of the fault seed and the *logical* position of the
+ * opportunity (tile and phase counter for SRAM words, message
+ * sequence number for NoC flits, tile and cycle for PE stalls),
+ * derived through the same MixSeed/SplitMix64 discipline the parallel
+ * partitioner uses. Decisions therefore never depend on execution
+ * order or shared RNG state, so an injected run is bit-identical at
+ * any host thread count — the same determinism contract the rest of
+ * the engine honors (docs/SIMULATOR.md).
+ *
+ * MachineCheckpoint snapshots the machine's architectural state (the
+ * distributed dense vectors plus the scalar register file) so the
+ * solver driver can roll a corrupted solve back and replay forward.
+ * Checkpoints optionally persist to disk with the same tmp+rename /
+ * corrupt-entry-is-an-error discipline as the mapping cache.
+ */
+#ifndef AZUL_SIM_FAULT_H_
+#define AZUL_SIM_FAULT_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "dataflow/message.h"
+#include "solver/vector_ops.h"
+#include "util/common.h"
+
+namespace azul {
+
+/** Kinds of injected faults. Bitmask constants live in SimConfig
+ *  (kFaultSram, kFaultNocDrop, ...); bit i enables kind i. */
+enum class FaultKind : std::uint8_t {
+    kSramFlip = 0, //!< bit flip in a scratchpad vector word
+    kNocDrop,      //!< flit fails its link CRC and is retransmitted
+    kNocCorrupt,   //!< undetected payload bit flip in a flit
+    kPeStall,      //!< transient PE pipeline stall
+    kCount,
+};
+
+/** Printable fault-kind name ("sram-flip", "noc-drop", ...). */
+const char* FaultKindName(FaultKind kind);
+
+/** One injected fault, staged by the engine and reported to
+ *  observers on the coordinating thread. */
+struct FaultEvent {
+    FaultKind kind = FaultKind::kSramFlip;
+    /** Machine clock at injection. */
+    Cycle cycle = 0;
+    /** Tile the fault hit (SRAM/PE) or the flit's current hop. */
+    std::int32_t tile = -1;
+    /** Kind-specific detail: flipped bit index (SRAM / NoC corrupt),
+     *  directed link id (NoC drop), or stall length (PE stall). */
+    std::int64_t detail = 0;
+};
+
+/**
+ * Seeded, stateless Bernoulli source for fault decisions. `rate` is
+ * the per-opportunity firing probability; an opportunity is one
+ * (kind, a, b) logical position (see file comment). Kinds not present
+ * in the `kinds` bitmask never fire.
+ */
+class FaultInjector {
+  public:
+    FaultInjector(std::uint64_t seed, double rate, std::uint32_t kinds);
+
+    bool
+    enabled(FaultKind kind) const
+    {
+        return (kinds_ & (1u << static_cast<std::uint32_t>(kind))) != 0;
+    }
+    double rate() const { return rate_; }
+    std::uint64_t seed() const { return seed_; }
+
+    /** True if a fault of `kind` fires at logical position (a, b). */
+    bool Fires(FaultKind kind, std::uint64_t a, std::uint64_t b) const;
+
+    /** Deterministic 64-bit draw for choosing the fault's details
+     *  (victim word, bit index, ...); independent of Fires(). */
+    std::uint64_t Draw(FaultKind kind, std::uint64_t a,
+                       std::uint64_t b) const;
+
+  private:
+    std::uint64_t seed_;
+    double rate_;
+    std::uint32_t kinds_;
+};
+
+/** Flips bit `bit` (0-63) of an FP64 word — the payload-corruption
+ *  primitive shared by the SRAM and NoC fault models. */
+double FlipFp64Bit(double value, int bit);
+
+/**
+ * Snapshot of the machine's architectural state: every distributed
+ * dense vector (gathered to natural order) plus the scalar register
+ * file, with the driver-side solve position needed to replay. The
+ * cycle clock and cumulative stats are deliberately NOT part of a
+ * checkpoint: recovery costs real simulated time, and replayed phases
+ * must draw fresh fault decisions (keys include the monotonic phase
+ * counter), so a rollback can never re-inject the same fault loop.
+ */
+struct MachineCheckpoint {
+    /** Driver iteration the snapshot was taken at. */
+    Index iteration = 0;
+    /** Cumulative solve FLOPs at capture (driver bookkeeping). */
+    double flops = 0.0;
+    /** Residual norm at capture. */
+    double residual_norm = 0.0;
+    /** Length of the driver's residual history at capture. */
+    std::uint64_t history_size = 0;
+    std::array<double, static_cast<std::size_t>(ScalarReg::kCount)>
+        scalar_regs{};
+    std::array<Vector, static_cast<std::size_t>(VecName::kCount)> vecs;
+
+    /**
+     * Persists the checkpoint to `path` via a tmp+rename store
+     * (mirroring mapping_cache.cc), so readers never observe a torn
+     * file. Returns false (and logs a warning) on I/O failure.
+     */
+    bool Save(const std::string& path) const;
+
+    /** Loads a checkpoint; throws AzulError if the file is absent,
+     *  torn, or fails validation — a corrupt entry is an error the
+     *  caller degrades from, never silently bad state. */
+    static MachineCheckpoint Load(const std::string& path);
+};
+
+/** Canonical checkpoint file path inside a checkpoint directory. */
+std::string CheckpointPath(const std::string& dir);
+
+} // namespace azul
+
+#endif // AZUL_SIM_FAULT_H_

@@ -10,6 +10,7 @@
 #include <algorithm>
 
 #include "sim/observer.h"
+#include "sim/sram.h"
 #include "util/logging.h"
 
 namespace azul {
@@ -73,6 +74,15 @@ Machine::Machine(SimConfig cfg, const SolverProgram* program)
     if (threads > 1) {
         pool_ = std::make_unique<ThreadPool>(threads);
     }
+
+    // Robustness layer: the injector only exists when enabled, so a
+    // fault-free machine takes the exact pre-existing code paths.
+    if (cfg_.faults_enabled()) {
+        fault_ = std::make_unique<FaultInjector>(
+            cfg_.fault_seed, cfg_.fault_rate, cfg_.fault_kinds);
+        noc_.SetFaultInjector(fault_.get(),
+                              cfg_.fault_retransmit_cycles);
+    }
 }
 
 void
@@ -81,6 +91,7 @@ Machine::ResetLanes()
     for (EngineLane& lane : lanes_) {
         lane.stats = SimStats{};
         lane.sends.clear();
+        lane.faults.clear();
         lane.tasks_delta = 0;
         lane.issued = 0;
     }
@@ -170,6 +181,114 @@ Machine::DetachObserver(SimObserver* observer)
 }
 
 // ---------------------------------------------------------------------------
+// Robustness layer
+// ---------------------------------------------------------------------------
+
+void
+Machine::RecordFault(const FaultEvent& event)
+{
+    ++stats_.faults_injected;
+    switch (event.kind) {
+      case FaultKind::kSramFlip: ++stats_.faults_sram; break;
+      case FaultKind::kNocDrop: ++stats_.faults_noc_dropped; break;
+      case FaultKind::kNocCorrupt:
+        ++stats_.faults_noc_corrupted;
+        break;
+      case FaultKind::kPeStall: ++stats_.faults_pe_stalls; break;
+      case FaultKind::kCount: break;
+    }
+    for (SimObserver* o : observers_) {
+        o->OnFaultInjected(event, clock_);
+    }
+}
+
+void
+Machine::DrainNocFaults()
+{
+    fault_drain_buffer_.clear();
+    noc_.DrainFaultEvents(fault_drain_buffer_);
+    for (const FaultEvent& ev : fault_drain_buffer_) {
+        RecordFault(ev);
+    }
+}
+
+void
+Machine::InjectSramFaults()
+{
+    // One Bernoulli draw per (phase, tile). The victim word is chosen
+    // from the draw: a vector other than b (corrupting the right-hand
+    // side would silently redefine the problem — no rollback could
+    // recover it), a local slot, and a bit.
+    constexpr auto kNumVecs =
+        static_cast<std::uint64_t>(VecName::kCount);
+    constexpr auto kRhs = static_cast<std::uint64_t>(VecName::kB);
+    for (std::int32_t t = 0; t < geom_.num_tiles(); ++t) {
+        if (!fault_->Fires(FaultKind::kSramFlip, fault_phase_counter_,
+                           static_cast<std::uint64_t>(t))) {
+            continue;
+        }
+        TileStorage& ts = tiles_[static_cast<std::size_t>(t)];
+        if (ts.slots.empty()) {
+            continue;
+        }
+        const std::uint64_t draw = fault_->Draw(
+            FaultKind::kSramFlip, fault_phase_counter_,
+            static_cast<std::uint64_t>(t));
+        std::uint64_t vec = draw % (kNumVecs - 1);
+        if (vec >= kRhs) {
+            ++vec;
+        }
+        const std::size_t slot =
+            static_cast<std::size_t>((draw >> 8) % ts.slots.size());
+        const int bit = static_cast<int>((draw >> 16) % 64);
+        auto& word = ts.vecs[static_cast<std::size_t>(vec)][slot];
+        word = CorruptSramWord(word, static_cast<std::uint64_t>(bit));
+        RecordFault({FaultKind::kSramFlip, clock_, t, bit});
+    }
+}
+
+MachineCheckpoint
+Machine::CaptureCheckpoint(Index iteration)
+{
+    MachineCheckpoint ck;
+    ck.iteration = iteration;
+    for (std::size_t v = 0;
+         v < static_cast<std::size_t>(VecName::kCount); ++v) {
+        ck.vecs[v] = GatherVector(static_cast<VecName>(v));
+    }
+    ck.scalar_regs = scalar_regs_;
+    ++stats_.checkpoints;
+    for (SimObserver* o : observers_) {
+        o->OnCheckpointTaken(iteration, clock_);
+    }
+    return ck;
+}
+
+void
+Machine::RestoreCheckpoint(const MachineCheckpoint& checkpoint,
+                           Index from_iteration)
+{
+    for (std::size_t v = 0;
+         v < static_cast<std::size_t>(VecName::kCount); ++v) {
+        ScatterVector(static_cast<VecName>(v), checkpoint.vecs[v]);
+    }
+    scalar_regs_ = checkpoint.scalar_regs;
+    ++stats_.rollbacks;
+    for (SimObserver* o : observers_) {
+        o->OnRollback(from_iteration, checkpoint.iteration, clock_);
+    }
+}
+
+void
+Machine::RecordFaultDetected(Index iteration, double residual_norm)
+{
+    ++stats_.faults_detected;
+    for (SimObserver* o : observers_) {
+        o->OnFaultDetected(iteration, residual_norm, clock_);
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Program execution
 // ---------------------------------------------------------------------------
 
@@ -207,6 +326,13 @@ MakePhaseInfo(const SolverProgram& prog, const Phase& phase, int index)
 void
 Machine::RunPhase(const Phase& phase)
 {
+    if (fault_ != nullptr) {
+        // The phase counter is the SRAM fault key space: monotonic
+        // and never reset, so a replayed phase after a rollback draws
+        // fresh decisions instead of re-injecting the same fault.
+        ++fault_phase_counter_;
+        InjectSramFaults();
+    }
     switch (phase.kind) {
       case Phase::Kind::kMatrix:
         RunMatrixKernel(

@@ -32,6 +32,7 @@
 
 #include "dataflow/program.h"
 #include "sim/config.h"
+#include "sim/fault.h"
 #include "sim/noc.h"
 #include "sim/pe.h"
 #include "sim/sim_stats.h"
@@ -66,6 +67,9 @@ struct PendingSend {
 struct EngineLane {
     SimStats stats;
     std::vector<PendingSend> sends;
+    /** Faults injected during the tile pass (PE stalls); reported to
+     *  observers by the coordinator in lane order. */
+    std::vector<FaultEvent> faults;
     std::int64_t tasks_delta = 0;
     std::int64_t issued = 0;
 };
@@ -155,6 +159,29 @@ class Machine {
         issue_sample_period_ = period;
     }
 
+    // ---- Robustness layer (sim/fault.h, docs/ROBUSTNESS.md) ----------------
+    /** True if a fault injector is active (cfg.faults_enabled()). */
+    bool faults_enabled() const { return fault_ != nullptr; }
+    const FaultInjector* fault_injector() const { return fault_.get(); }
+
+    /**
+     * Snapshots the architectural state (vectors + scalar registers)
+     * at driver iteration `iteration`. Host-side: costs zero
+     * simulated cycles. The driver fills the solve-position fields.
+     */
+    MachineCheckpoint CaptureCheckpoint(Index iteration);
+
+    /** Restores a checkpoint's architectural state; `from_iteration`
+     *  is where the solve was when corruption was detected (for the
+     *  observer timeline). The clock and stats are NOT rewound —
+     *  recovery costs real simulated time. */
+    void RestoreCheckpoint(const MachineCheckpoint& checkpoint,
+                           Index from_iteration);
+
+    /** Records a driver-side corruption detection (counter +
+     *  observer notification). */
+    void RecordFaultDetected(Index iteration, double residual_norm);
+
   private:
     // ---- Matrix-kernel execution (machine_matrix.cc) ----------------------
     Cycle RunMatrixKernel(const MatrixKernel& kernel);
@@ -215,6 +242,16 @@ class Machine {
         }
     }
 
+    // ---- Fault injection (coordinator-side) --------------------------------
+    /** Counts an injected fault and notifies observers. */
+    void RecordFault(const FaultEvent& event);
+    /** Reports faults the NoC staged since the last drain. */
+    void DrainNocFaults();
+    /** Draws per-tile SRAM bit flips for the phase about to run;
+     *  keyed on the monotonic phase counter so replayed phases draw
+     *  fresh decisions. */
+    void InjectSramFaults();
+
     // ---- Storage helpers ---------------------------------------------------
     double ReadSlot(VecName vec, Index slot) const;
     void WriteSlot(VecName vec, Index slot, double value);
@@ -248,6 +285,13 @@ class Machine {
     Cycle issue_sample_period_ = 0;
     std::vector<Delivery> delivery_buffer_;
     std::vector<SimObserver*> observers_;
+
+    /** Fault injector (null unless cfg_.faults_enabled()). */
+    std::unique_ptr<FaultInjector> fault_;
+    /** Monotonic count of phases executed — the per-run key space of
+     *  SRAM fault decisions. Never reset (replay must re-draw). */
+    std::uint64_t fault_phase_counter_ = 0;
+    std::vector<FaultEvent> fault_drain_buffer_;
 
     /** Worker pool (null when cfg_.sim_threads <= 1) and one lane per
      *  worker; lanes_[0] doubles as the coordinator's sink. */

@@ -312,6 +312,17 @@ Machine::TickTile(const MatrixKernel& kernel, std::int32_t tile,
         return issued;
     }
 
+    if (fault_ != nullptr &&
+        fault_->Fires(FaultKind::kPeStall,
+                      static_cast<std::uint64_t>(tile),
+                      static_cast<std::uint64_t>(now))) {
+        // Transient pipeline hang: timing-only, staged in the lane so
+        // the coordinator reports it in deterministic order.
+        ApplyPeStall(run,
+                     now + static_cast<Cycle>(cfg_.fault_stall_cycles));
+        lane.faults.push_back({FaultKind::kPeStall, now, tile,
+                               cfg_.fault_stall_cycles});
+    }
     if (now < run.pe_busy_until) {
         return 0; // scalar core executing bookkeeping instructions
     }
@@ -357,6 +368,9 @@ Machine::RunMatrixKernel(const MatrixKernel& kernel)
         // Stage 1: deliveries (coordinator only).
         delivery_buffer_.clear();
         noc_.AdvanceTo(clock_, delivery_buffer_);
+        if (fault_ != nullptr) {
+            DrainNocFaults(); // drops staged during transport
+        }
         for (const Delivery& d : delivery_buffer_) {
             DeliverMessage(kernel, d.msg.dest_tile, d.msg);
         }
@@ -409,10 +423,17 @@ Machine::RunMatrixKernel(const MatrixKernel& kernel)
                 noc_.Inject(s.time, s.src_tile, s.msg);
             }
             lane.sends.clear();
+            for (const FaultEvent& ev : lane.faults) {
+                RecordFault(ev);
+            }
+            lane.faults.clear();
             issued_this_cycle += static_cast<int>(lane.issued);
             lane.issued = 0;
             outstanding_tasks_ += lane.tasks_delta;
             lane.tasks_delta = 0;
+        }
+        if (fault_ != nullptr) {
+            DrainNocFaults(); // corruptions staged at injection
         }
 
         if (issue_sample_period_ > 0) {

@@ -12,11 +12,39 @@ Noc::Noc(const TorusGeometry& geom, std::int32_t hop_latency)
 }
 
 void
+Noc::SetFaultInjector(const FaultInjector* injector,
+                      std::int32_t retransmit_cycles)
+{
+    fault_ = injector;
+    retransmit_cycles_ = retransmit_cycles;
+}
+
+void
+Noc::DrainFaultEvents(std::vector<FaultEvent>& out)
+{
+    out.insert(out.end(), fault_events_.begin(), fault_events_.end());
+    fault_events_.clear();
+}
+
+void
 Noc::Inject(Cycle now, std::int32_t src_tile, const Message& msg)
 {
     AZUL_CHECK(msg.dest_tile >= 0 && msg.dest_tile < geom_.num_tiles());
     ++messages_injected_;
-    events_.push({now, src_tile, seq_++, msg});
+    Message injected = msg;
+    if (fault_ != nullptr && src_tile != msg.dest_tile &&
+        fault_->Fires(FaultKind::kNocCorrupt, seq_,
+                      static_cast<std::uint64_t>(src_tile))) {
+        const int bit = static_cast<int>(
+            fault_->Draw(FaultKind::kNocCorrupt, seq_,
+                         static_cast<std::uint64_t>(src_tile)) %
+            64);
+        injected.value = FlipFp64Bit(injected.value, bit);
+        ++flits_corrupted_;
+        fault_events_.push_back(
+            {FaultKind::kNocCorrupt, now, src_tile, bit});
+    }
+    events_.push({now, src_tile, seq_++, injected});
 }
 
 void
@@ -37,6 +65,24 @@ Noc::AdvanceTo(Cycle now, std::vector<Delivery>& out)
         const Cycle depart = std::max(ev.time, free_at);
         free_at = depart + 1;
         ++link_activations_;
+        if (fault_ != nullptr &&
+            fault_->Fires(FaultKind::kNocDrop, ev.seq,
+                          static_cast<std::uint64_t>(ev.cur_tile))) {
+            // Link CRC failure: the flit occupied the link but did not
+            // arrive; retransmit from this hop after the detection
+            // delay. The retry carries a fresh sequence number, so it
+            // re-draws its own Bernoulli — termination is certain for
+            // any rate < 1.
+            ++flits_dropped_;
+            fault_events_.push_back(
+                {FaultKind::kNocDrop, depart, ev.cur_tile,
+                 LinkIndex(ev.cur_tile, step.dir)});
+            events_.push(
+                {depart + static_cast<Cycle>(hop_latency_ +
+                                             retransmit_cycles_),
+                 ev.cur_tile, seq_++, ev.msg});
+            continue;
+        }
         events_.push({depart + static_cast<Cycle>(hop_latency_),
                       step.next_tile, seq_++, ev.msg});
     }
@@ -47,6 +93,8 @@ Noc::ResetCounters()
 {
     link_activations_ = 0;
     messages_injected_ = 0;
+    flits_dropped_ = 0;
+    flits_corrupted_ = 0;
 }
 
 } // namespace azul

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "dataflow/message.h"
+#include "sim/fault.h"
 #include "sim/router.h"
 #include "util/common.h"
 
@@ -48,6 +49,25 @@ class Noc {
     std::uint64_t link_activations() const { return link_activations_; }
     std::uint64_t messages_injected() const { return messages_injected_; }
 
+    /**
+     * Attaches a fault injector (nullptr detaches). Corrupt faults
+     * flip a payload bit at injection; drop faults model a link-CRC
+     * failure — the flit is retransmitted over the same link after
+     * `retransmit_cycles`, so drops cost time but never lose a flit
+     * (a lost flit would deadlock the task-counting kernel loop).
+     * Fault decisions key on the flit sequence number, so they are
+     * independent of host thread count.
+     */
+    void SetFaultInjector(const FaultInjector* injector,
+                          std::int32_t retransmit_cycles);
+
+    /** Moves staged fault events (since the last drain) into `out`.
+     *  Called by the engine on the coordinating thread. */
+    void DrainFaultEvents(std::vector<FaultEvent>& out);
+
+    std::uint64_t flits_dropped() const { return flits_dropped_; }
+    std::uint64_t flits_corrupted() const { return flits_corrupted_; }
+
     /** Clears traffic counters (between phases/kernels). */
     void ResetCounters();
 
@@ -73,6 +93,11 @@ class Noc {
     std::uint64_t seq_ = 0;
     std::uint64_t link_activations_ = 0;
     std::uint64_t messages_injected_ = 0;
+    const FaultInjector* fault_ = nullptr;
+    std::int32_t retransmit_cycles_ = 0;
+    std::vector<FaultEvent> fault_events_;
+    std::uint64_t flits_dropped_ = 0;
+    std::uint64_t flits_corrupted_ = 0;
 };
 
 } // namespace azul

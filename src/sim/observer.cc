@@ -3,6 +3,8 @@
 #include <cstdio>
 #include <sstream>
 
+#include "sim/router.h"
+
 namespace azul {
 
 std::string
@@ -61,6 +63,18 @@ ChromeTraceObserver::Record(std::string name, std::string category,
     ev.category = std::move(category);
     ev.ts = start;
     ev.dur = end >= start ? end - start : 0;
+    events_.push_back(std::move(ev));
+}
+
+void
+ChromeTraceObserver::RecordInstant(std::string name,
+                                   std::string category, Cycle at)
+{
+    TraceEvent ev;
+    ev.name = std::move(name);
+    ev.category = std::move(category);
+    ev.ts = at;
+    ev.ph = 'i';
     events_.push_back(std::move(ev));
 }
 
@@ -131,6 +145,41 @@ ChromeTraceObserver::OnRunEnd(const SolverRunResult& result, Cycle now)
 }
 
 void
+ChromeTraceObserver::OnFaultInjected(const FaultEvent& event,
+                                     Cycle now)
+{
+    std::ostringstream name;
+    name << FaultKindName(event.kind) << " tile=" << event.tile
+         << " detail=" << event.detail;
+    RecordInstant(name.str(), "fault", now);
+}
+
+void
+ChromeTraceObserver::OnFaultDetected(Index iteration,
+                                     double residual_norm, Cycle now)
+{
+    (void)residual_norm;
+    RecordInstant("detected @it " + std::to_string(iteration), "fault",
+                  now);
+}
+
+void
+ChromeTraceObserver::OnCheckpointTaken(Index iteration, Cycle now)
+{
+    RecordInstant("checkpoint @it " + std::to_string(iteration),
+                  "checkpoint", now);
+}
+
+void
+ChromeTraceObserver::OnRollback(Index from_iteration,
+                                Index to_iteration, Cycle now)
+{
+    RecordInstant("rollback " + std::to_string(from_iteration) +
+                      "->" + std::to_string(to_iteration),
+                  "checkpoint", now);
+}
+
+void
 ChromeTraceObserver::WriteJson(std::ostream& out) const
 {
     out << "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[";
@@ -142,8 +191,15 @@ ChromeTraceObserver::WriteJson(std::ostream& out) const
         first = false;
         out << "{\"name\":\"" << JsonEscape(ev.name)
             << "\",\"cat\":\"" << JsonEscape(ev.category)
-            << "\",\"ph\":\"X\",\"ts\":" << ev.ts
-            << ",\"dur\":" << ev.dur << ",\"pid\":0,\"tid\":0}";
+            << "\",\"ph\":\"" << ev.ph << "\",\"ts\":" << ev.ts;
+        if (ev.ph == 'i') {
+            // Instant events take a scope instead of a duration;
+            // "g" (global) draws a full-height line in the viewer.
+            out << ",\"s\":\"g\"";
+        } else {
+            out << ",\"dur\":" << ev.dur;
+        }
+        out << ",\"pid\":0,\"tid\":0}";
     }
     out << "]}";
 }
@@ -154,6 +210,117 @@ ChromeTraceObserver::ToJson() const
     std::ostringstream oss;
     WriteJson(oss);
     return oss.str();
+}
+
+// ---------------------------------------------------------------------------
+// FaultObserver
+// ---------------------------------------------------------------------------
+
+void
+FaultObserver::OnFaultInjected(const FaultEvent& event, Cycle now)
+{
+    Entry e;
+    e.what = Entry::What::kInjection;
+    e.cycle = now;
+    e.fault = event;
+    entries_.push_back(e);
+    ++total_injections_;
+    ++kind_counts_[static_cast<std::size_t>(event.kind)];
+}
+
+void
+FaultObserver::OnFaultDetected(Index iteration, double residual_norm,
+                               Cycle now)
+{
+    Entry e;
+    e.what = Entry::What::kDetection;
+    e.cycle = now;
+    e.iteration = iteration;
+    e.residual_norm = residual_norm;
+    entries_.push_back(e);
+    ++detections_;
+}
+
+void
+FaultObserver::OnCheckpointTaken(Index iteration, Cycle now)
+{
+    Entry e;
+    e.what = Entry::What::kCheckpoint;
+    e.cycle = now;
+    e.iteration = iteration;
+    entries_.push_back(e);
+    ++checkpoints_;
+}
+
+void
+FaultObserver::OnRollback(Index from_iteration, Index to_iteration,
+                          Cycle now)
+{
+    Entry e;
+    e.what = Entry::What::kRollback;
+    e.cycle = now;
+    e.iteration = from_iteration;
+    e.to_iteration = to_iteration;
+    entries_.push_back(e);
+    ++rollbacks_;
+}
+
+std::string
+FaultObserver::ToString() const
+{
+    std::ostringstream oss;
+    for (const Entry& e : entries_) {
+        oss << "cycle " << e.cycle << ": ";
+        switch (e.what) {
+          case Entry::What::kInjection:
+            oss << "inject " << FaultKindName(e.fault.kind)
+                << " tile=" << e.fault.tile;
+            switch (e.fault.kind) {
+              case FaultKind::kSramFlip:
+              case FaultKind::kNocCorrupt:
+                oss << " bit=" << e.fault.detail;
+                break;
+              case FaultKind::kNocDrop: {
+                const auto link =
+                    static_cast<std::int32_t>(e.fault.detail);
+                oss << " link=" << link << " ("
+                    << PortDirName(static_cast<PortDir>(
+                           link % kPortsPerRouter))
+                    << ")";
+                break;
+              }
+              case FaultKind::kPeStall:
+                oss << " stall=" << e.fault.detail << "cy";
+                break;
+              case FaultKind::kCount: break;
+            }
+            break;
+          case Entry::What::kDetection:
+            oss << "detect @it " << e.iteration
+                << " norm=" << e.residual_norm;
+            break;
+          case Entry::What::kCheckpoint:
+            oss << "checkpoint @it " << e.iteration;
+            break;
+          case Entry::What::kRollback:
+            oss << "rollback it " << e.iteration << " -> it "
+                << e.to_iteration;
+            break;
+        }
+        oss << "\n";
+    }
+    return oss.str();
+}
+
+void
+FaultObserver::Reset()
+{
+    entries_.clear();
+    kind_counts_.fill(0);
+    total_injections_ = 0;
+    detections_ = 0;
+    checkpoints_ = 0;
+    rollbacks_ = 0;
 }
 
 // ---------------------------------------------------------------------------

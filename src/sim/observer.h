@@ -32,6 +32,7 @@
 
 #include "dataflow/program.h"
 #include "sim/config.h"
+#include "sim/fault.h"
 #include "sim/sim_stats.h"
 #include "sim/solver_driver.h"
 
@@ -122,6 +123,46 @@ class SimObserver {
         (void)result;
         (void)now;
     }
+
+    // Robustness hooks (sim/fault.h): fired on the coordinating
+    // thread like every other hook, so injected-run timelines stay
+    // bit-identical across host thread counts.
+
+    /** A fault was injected into the machine. */
+    virtual void
+    OnFaultInjected(const FaultEvent& event, Cycle now)
+    {
+        (void)event;
+        (void)now;
+    }
+
+    /** The driver detected corruption at `iteration` (the residual
+     *  norm it saw is passed for the timeline). */
+    virtual void
+    OnFaultDetected(Index iteration, double residual_norm, Cycle now)
+    {
+        (void)iteration;
+        (void)residual_norm;
+        (void)now;
+    }
+
+    /** The driver captured a checkpoint at `iteration`. */
+    virtual void
+    OnCheckpointTaken(Index iteration, Cycle now)
+    {
+        (void)iteration;
+        (void)now;
+    }
+
+    /** The driver rolled back from `from_iteration` to the checkpoint
+     *  taken at `to_iteration` and will replay forward. */
+    virtual void
+    OnRollback(Index from_iteration, Index to_iteration, Cycle now)
+    {
+        (void)from_iteration;
+        (void)to_iteration;
+        (void)now;
+    }
 };
 
 /**
@@ -176,12 +217,19 @@ class ChromeTraceObserver : public SimObserver {
     void OnIterationDone(Index iteration, double residual_norm,
                          Cycle now) override;
     void OnRunEnd(const SolverRunResult& result, Cycle now) override;
+    void OnFaultInjected(const FaultEvent& event, Cycle now) override;
+    void OnFaultDetected(Index iteration, double residual_norm,
+                         Cycle now) override;
+    void OnCheckpointTaken(Index iteration, Cycle now) override;
+    void OnRollback(Index from_iteration, Index to_iteration,
+                    Cycle now) override;
 
     /** Serializes the trace as a chrome://tracing JSON object. */
     void WriteJson(std::ostream& out) const;
     std::string ToJson() const;
 
-    /** Number of recorded events (phases + iterations + wrappers). */
+    /** Number of recorded events (phases + iterations + wrappers +
+     *  robustness instants). */
     std::size_t num_events() const { return events_.size(); }
 
   private:
@@ -190,10 +238,14 @@ class ChromeTraceObserver : public SimObserver {
         std::string category;
         Cycle ts = 0;
         Cycle dur = 0;
+        /** Chrome trace phase: 'X' = complete, 'i' = instant. */
+        char ph = 'X';
     };
 
     void Record(std::string name, std::string category, Cycle start,
                 Cycle end);
+    void RecordInstant(std::string name, std::string category,
+                       Cycle at);
 
     std::vector<TraceEvent> events_;
     Cycle run_start_ = 0;
@@ -201,6 +253,68 @@ class ChromeTraceObserver : public SimObserver {
     Cycle iter_start_ = 0;
     bool in_run_ = false;
     bool prologue_open_ = false;
+};
+
+/**
+ * Records the robustness timeline: every injected fault, detection,
+ * checkpoint, and rollback, with per-kind counts. Backs the
+ * fault-tolerance ablation bench and the fault-injection tests
+ * (docs/ROBUSTNESS.md).
+ */
+class FaultObserver : public SimObserver {
+  public:
+    /** One robustness event on the timeline. */
+    struct Entry {
+        enum class What : std::uint8_t {
+            kInjection = 0,
+            kDetection,
+            kCheckpoint,
+            kRollback,
+        };
+        What what = What::kInjection;
+        Cycle cycle = 0;
+        /** Injection payload (valid when what == kInjection). */
+        FaultEvent fault;
+        /** Driver iteration (detection/checkpoint/rollback-from). */
+        Index iteration = 0;
+        /** Rollback target iteration (valid for kRollback). */
+        Index to_iteration = 0;
+        /** Residual norm the detector saw (valid for kDetection). */
+        double residual_norm = 0.0;
+    };
+
+    void OnFaultInjected(const FaultEvent& event, Cycle now) override;
+    void OnFaultDetected(Index iteration, double residual_norm,
+                         Cycle now) override;
+    void OnCheckpointTaken(Index iteration, Cycle now) override;
+    void OnRollback(Index from_iteration, Index to_iteration,
+                    Cycle now) override;
+
+    const std::vector<Entry>& entries() const { return entries_; }
+    std::uint64_t
+    injections(FaultKind kind) const
+    {
+        return kind_counts_[static_cast<std::size_t>(kind)];
+    }
+    std::uint64_t total_injections() const { return total_injections_; }
+    std::uint64_t detections() const { return detections_; }
+    std::uint64_t checkpoints() const { return checkpoints_; }
+    std::uint64_t rollbacks() const { return rollbacks_; }
+
+    /** Printable timeline, one line per event. */
+    std::string ToString() const;
+
+    void Reset();
+
+  private:
+    std::vector<Entry> entries_;
+    std::array<std::uint64_t,
+               static_cast<std::size_t>(FaultKind::kCount)>
+        kind_counts_{};
+    std::uint64_t total_injections_ = 0;
+    std::uint64_t detections_ = 0;
+    std::uint64_t checkpoints_ = 0;
+    std::uint64_t rollbacks_ = 0;
 };
 
 /**

@@ -1,5 +1,7 @@
 #include "sim/pe.h"
 
+#include <algorithm>
+
 namespace azul {
 
 std::int32_t
@@ -11,6 +13,12 @@ IssueCost(const SimConfig& cfg)
       case PeModel::kIdeal: return 0;
     }
     return 1;
+}
+
+void
+ApplyPeStall(TileRun& run, Cycle until)
+{
+    run.pe_busy_until = std::max(run.pe_busy_until, until);
 }
 
 } // namespace azul

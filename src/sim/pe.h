@@ -67,6 +67,12 @@ struct TileRun {
 /** Issue slots one operation costs under a PE model. */
 std::int32_t IssueCost(const SimConfig& cfg);
 
+/**
+ * Models a transient PE hang (injected fault): the PE issues nothing
+ * until `until`. Timing-only — no architectural state is corrupted.
+ */
+void ApplyPeStall(TileRun& run, Cycle until);
+
 } // namespace azul
 
 #endif // AZUL_SIM_PE_H_

@@ -34,4 +34,16 @@ NextHop(const TorusGeometry& geom, std::int32_t cur, std::int32_t dest)
     return step;
 }
 
+const char*
+PortDirName(PortDir dir)
+{
+    switch (dir) {
+      case PortDir::kEast: return "E";
+      case PortDir::kWest: return "W";
+      case PortDir::kSouth: return "S";
+      case PortDir::kNorth: return "N";
+    }
+    return "?";
+}
+
 } // namespace azul

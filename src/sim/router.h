@@ -40,6 +40,10 @@ LinkIndex(std::int32_t tile, PortDir dir)
     return tile * kPortsPerRouter + static_cast<std::int32_t>(dir);
 }
 
+/** Printable port-direction name ("E", "W", "S", "N") — used by the
+ *  fault observer to label dropped-flit link ids. */
+const char* PortDirName(PortDir dir);
+
 } // namespace azul
 
 #endif // AZUL_SIM_ROUTER_H_

@@ -17,6 +17,14 @@ SimStats::operator+=(const SimStats& o)
     spilled_messages += o.spilled_messages;
     sram_reads += o.sram_reads;
     sram_writes += o.sram_writes;
+    faults_injected += o.faults_injected;
+    faults_sram += o.faults_sram;
+    faults_noc_dropped += o.faults_noc_dropped;
+    faults_noc_corrupted += o.faults_noc_corrupted;
+    faults_pe_stalls += o.faults_pe_stalls;
+    faults_detected += o.faults_detected;
+    checkpoints += o.checkpoints;
+    rollbacks += o.rollbacks;
     for (std::size_t i = 0; i < class_cycles.size(); ++i) {
         class_cycles[i] += o.class_cycles[i];
     }
@@ -50,6 +58,16 @@ SimStats::operator-(const SimStats& before) const
     d.spilled_messages = spilled_messages - before.spilled_messages;
     d.sram_reads = sram_reads - before.sram_reads;
     d.sram_writes = sram_writes - before.sram_writes;
+    d.faults_injected = faults_injected - before.faults_injected;
+    d.faults_sram = faults_sram - before.faults_sram;
+    d.faults_noc_dropped =
+        faults_noc_dropped - before.faults_noc_dropped;
+    d.faults_noc_corrupted =
+        faults_noc_corrupted - before.faults_noc_corrupted;
+    d.faults_pe_stalls = faults_pe_stalls - before.faults_pe_stalls;
+    d.faults_detected = faults_detected - before.faults_detected;
+    d.checkpoints = checkpoints - before.checkpoints;
+    d.rollbacks = rollbacks - before.rollbacks;
     for (std::size_t i = 0; i < d.class_cycles.size(); ++i) {
         d.class_cycles[i] = class_cycles[i] - before.class_cycles[i];
     }
@@ -104,6 +122,12 @@ SimStats::ToString() const
         << " add=" << ops.add << " mul=" << ops.mul
         << " send=" << ops.send << " stalls=" << stall_cycles
         << " msgs=" << messages << " links=" << link_activations;
+    if (faults_injected > 0 || faults_detected > 0 ||
+        checkpoints > 0 || rollbacks > 0) {
+        oss << " faults=" << faults_injected
+            << " detected=" << faults_detected
+            << " ckpts=" << checkpoints << " rollbacks=" << rollbacks;
+    }
     return oss.str();
 }
 

@@ -72,6 +72,19 @@ struct SimStats {
     /** Scratchpad accesses (for the energy model). */
     std::uint64_t sram_reads = 0;
     std::uint64_t sram_writes = 0;
+    // Robustness counters (sim/fault.h; all 0 when injection and
+    // checkpointing are off).
+    /** Total injected faults, and the per-kind breakdown. */
+    std::uint64_t faults_injected = 0;
+    std::uint64_t faults_sram = 0;
+    std::uint64_t faults_noc_dropped = 0;
+    std::uint64_t faults_noc_corrupted = 0;
+    std::uint64_t faults_pe_stalls = 0;
+    /** Corruption detections by the solver driver. */
+    std::uint64_t faults_detected = 0;
+    /** Checkpoints captured / rollbacks replayed by the driver. */
+    std::uint64_t checkpoints = 0;
+    std::uint64_t rollbacks = 0;
     /** Cycles attributed to each kernel class (Fig 22). */
     std::array<Cycle, kNumKernelClasses> class_cycles{};
     /** Issued-op count per sampled cycle bucket (Fig 17 curves);

@@ -3,10 +3,24 @@
 #include <algorithm>
 #include <cmath>
 
+#include "sim/fault.h"
 #include "sim/machine.h"
 #include "sim/observer.h"
 
 namespace azul {
+
+const char*
+FailureKindName(FailureKind kind)
+{
+    switch (kind) {
+      case FailureKind::kNone: return "none";
+      case FailureKind::kNumericalBreakdown:
+        return "numerical-breakdown";
+      case FailureKind::kDivergence: return "divergence";
+      case FailureKind::kStagnation: return "stagnation";
+    }
+    return "unknown";
+}
 
 namespace {
 
@@ -24,6 +38,34 @@ ResidualNorm(const Machine& machine, const ConvergenceSpec& spec)
     return std::abs(v);
 }
 
+/**
+ * Classifies the residual the driver just read. A non-finite norm
+ * always fails fast — NaN compares false against any tolerance, so it
+ * previously spun silently to max_iters. The spike and divergence
+ * screens arm only while fault injection is active: legitimate
+ * BiCGStab oscillation (or tol=0 throughput benches) must never trip
+ * them, and the fault-free path must stay bit-identical.
+ */
+FailureKind
+ClassifyResidual(double norm, double initial_norm, double best_norm,
+                 bool faults_on, const SimConfig& cfg)
+{
+    if (!std::isfinite(norm)) {
+        return FailureKind::kNumericalBreakdown;
+    }
+    if (!faults_on) {
+        return FailureKind::kNone;
+    }
+    if (best_norm > 0.0 && norm > cfg.fault_spike_factor * best_norm) {
+        return FailureKind::kDivergence;
+    }
+    if (initial_norm > 0.0 &&
+        norm > cfg.divergence_factor * initial_norm) {
+        return FailureKind::kDivergence;
+    }
+    return FailureKind::kNone;
+}
+
 } // namespace
 
 SolverRunResult
@@ -32,6 +74,17 @@ SolverDriver::Run(Machine& machine, const Vector& b, double tol,
 {
     const SolverProgram& prog = machine.program();
     const ConvergenceSpec& conv = prog.convergence;
+    const SimConfig& cfg = machine.config();
+    const bool faults_on = machine.faults_enabled();
+    const bool has_recompute = !prog.residual_recompute.empty();
+
+    // Effective true-residual cadence: the program's own request, or
+    // — with faults on — the checkpoint interval, so every checkpoint
+    // is captured right after a passed true-residual check.
+    Index recompute_interval = conv.true_residual_interval;
+    if (faults_on && has_recompute && recompute_interval <= 0) {
+        recompute_interval = cfg.checkpoint_interval;
+    }
 
     machine.LoadProblem(b);
     for (SimObserver* o : machine.observers()) {
@@ -41,17 +94,100 @@ SolverDriver::Run(Machine& machine, const Vector& b, double tol,
 
     SolverRunResult result;
     result.flops = prog.prologue_flops;
+
+    MachineCheckpoint ckpt;
+    bool have_ckpt = false;
+    Index last_ckpt_iter = -1;
+    const std::string ckpt_path =
+        cfg.checkpoint_dir.empty()
+            ? std::string()
+            : CheckpointPath(cfg.checkpoint_dir);
+    double initial_norm = -1.0;
+    double best_norm = -1.0;
+
+    // Rolls the solve back to the last clean checkpoint; returns
+    // false when recovery is impossible (no injector, no checkpoint,
+    // or the recovery budget is spent) and the caller must fail.
+    const auto try_rollback = [&]() -> bool {
+        if (!faults_on || !have_ckpt ||
+            result.recoveries >=
+                static_cast<Index>(cfg.max_recoveries)) {
+            return false;
+        }
+        machine.RestoreCheckpoint(ckpt, result.iterations);
+        result.iterations = ckpt.iteration;
+        result.flops = ckpt.flops;
+        result.residual_history.resize(
+            static_cast<std::size_t>(ckpt.history_size));
+        last_ckpt_iter = ckpt.iteration;
+        ++result.recoveries;
+        return true;
+    };
+
     while (result.iterations < max_iters) {
-        if (conv.true_residual_interval > 0 &&
-            result.iterations > 0 &&
-            result.iterations % conv.true_residual_interval == 0 &&
-            !prog.residual_recompute.empty()) {
+        if (recompute_interval > 0 && result.iterations > 0 &&
+            result.iterations % recompute_interval == 0 &&
+            has_recompute) {
             machine.RunResidualRecompute();
             result.flops += prog.recompute_flops;
         }
-        result.residual_norm = ResidualNorm(machine, conv);
-        result.residual_history.push_back(result.residual_norm);
-        if (result.residual_norm <= tol) {
+        const double norm = ResidualNorm(machine, conv);
+        const FailureKind anomaly = ClassifyResidual(
+            norm, initial_norm, best_norm, faults_on, cfg);
+        if (anomaly != FailureKind::kNone) {
+            machine.RecordFaultDetected(result.iterations, norm);
+            if (try_rollback()) {
+                continue;
+            }
+            result.failure = anomaly;
+            break;
+        }
+        if (initial_norm < 0.0) {
+            initial_norm = norm;
+        }
+        if (best_norm < 0.0 || norm < best_norm) {
+            best_norm = norm;
+        }
+        // Capture a checkpoint of the (screened-clean) state. Taken
+        // before this iteration's history push, so a rollback resizes
+        // the history to exactly this point and the loop top re-reads
+        // the restored norm.
+        if (cfg.checkpoint_interval > 0 &&
+            result.iterations % cfg.checkpoint_interval == 0 &&
+            result.iterations != last_ckpt_iter) {
+            ckpt = machine.CaptureCheckpoint(result.iterations);
+            ckpt.flops = result.flops;
+            ckpt.residual_norm = norm;
+            ckpt.history_size = result.residual_history.size();
+            have_ckpt = true;
+            last_ckpt_iter = result.iterations;
+            if (!ckpt_path.empty()) {
+                ckpt.Save(ckpt_path);
+            }
+        }
+        result.residual_norm = norm;
+        result.residual_history.push_back(norm);
+        if (norm <= tol) {
+            if (faults_on && tol > 0.0 && has_recompute) {
+                // Trust but verify: the recurrence residual can be
+                // stale when a fault corrupted x without touching r.
+                machine.RunResidualRecompute();
+                result.flops += prog.recompute_flops;
+                const double true_norm = ResidualNorm(machine, conv);
+                if (!(true_norm <= tol)) {
+                    machine.RecordFaultDetected(result.iterations,
+                                                true_norm);
+                    result.residual_history.pop_back();
+                    if (try_rollback()) {
+                        continue;
+                    }
+                    result.failure =
+                        std::isfinite(true_norm)
+                            ? FailureKind::kDivergence
+                            : FailureKind::kNumericalBreakdown;
+                    break;
+                }
+            }
             result.converged = true;
             break;
         }
@@ -62,18 +198,31 @@ SolverDriver::Run(Machine& machine, const Vector& b, double tol,
         result.flops += prog.FlopsPerIteration();
         ++result.iterations;
         if (!machine.observers().empty()) {
-            const double norm = ResidualNorm(machine, conv);
+            const double post = ResidualNorm(machine, conv);
             for (SimObserver* o : machine.observers()) {
-                o->OnIterationDone(result.iterations - 1, norm,
+                o->OnIterationDone(result.iterations - 1, post,
                                    machine.clock());
             }
         }
     }
     result.residual_norm = ResidualNorm(machine, conv);
-    result.converged = result.residual_norm <= tol;
+    result.converged = result.failure == FailureKind::kNone &&
+                       result.residual_norm <= tol;
     if (result.residual_history.empty() ||
         result.residual_history.back() != result.residual_norm) {
         result.residual_history.push_back(result.residual_norm);
+    }
+    if (!result.converged && result.failure == FailureKind::kNone) {
+        // Post-hoc label for an out-of-iterations exit. tol = 0 runs
+        // (throughput benches) are not failures — they never intended
+        // to converge.
+        if (!std::isfinite(result.residual_norm)) {
+            result.failure = FailureKind::kNumericalBreakdown;
+        } else if (tol > 0.0 && initial_norm >= 0.0) {
+            result.failure = result.residual_norm <= initial_norm
+                                 ? FailureKind::kStagnation
+                                 : FailureKind::kDivergence;
+        }
     }
     result.x = machine.GatherVector(prog.solution);
     result.stats = machine.stats();

@@ -19,6 +19,27 @@ namespace azul {
 
 class Machine;
 
+/**
+ * Why a solve did not (or almost did not) converge. kNone on success;
+ * the breakdown/divergence kinds are set when the driver fails fast
+ * on a non-finite or exploding residual (docs/ROBUSTNESS.md), the
+ * post-hoc kinds label an out-of-iterations exit.
+ */
+enum class FailureKind : std::uint8_t {
+    kNone = 0,
+    /** The residual norm became NaN/Inf (singular or indefinite
+     *  operator, or unrecovered data corruption). */
+    kNumericalBreakdown,
+    /** The residual norm exploded past the divergence threshold, or
+     *  grew from its initial value by max_iters. */
+    kDivergence,
+    /** Out of iterations without diverging. */
+    kStagnation,
+};
+
+/** Printable failure-kind name ("none", "numerical-breakdown", ...). */
+const char* FailureKindName(FailureKind kind);
+
 /** Result of a full simulated solver run. */
 struct SolverRunResult {
     Vector x;
@@ -30,6 +51,10 @@ struct SolverRunResult {
     double flops = 0.0;
     /** ||r|| after the prologue and after each iteration. */
     std::vector<double> residual_history;
+    /** Why the solve failed (kNone when converged). */
+    FailureKind failure = FailureKind::kNone;
+    /** Checkpoint rollbacks performed during the solve. */
+    Index recoveries = 0;
 
     /** Delivered throughput in GFLOP/s under `clock_ghz`. */
     double
@@ -54,6 +79,18 @@ using PcgRunResult = SolverRunResult;
  * true-residual recomputation, the program's residual_recompute
  * phases run before the corresponding convergence checks. Observers
  * attached to the machine receive run/iteration notifications.
+ *
+ * Robustness (docs/ROBUSTNESS.md): a non-finite residual always fails
+ * fast with FailureKind::kNumericalBreakdown (a NaN compares false
+ * against any tolerance, so it used to spin to max_iters). When the
+ * machine's fault injector is active, the driver additionally screens
+ * for residual spikes, captures a checkpoint of the architectural
+ * state every cfg.checkpoint_interval iterations (persisted to
+ * cfg.checkpoint_dir when set), rolls back to it on detection (at
+ * most cfg.max_recoveries times), and re-verifies the true residual
+ * before declaring convergence. None of these paths execute when
+ * faults are off, so fault-free runs are bit-identical to the
+ * pre-robustness driver.
  */
 class SolverDriver {
   public:

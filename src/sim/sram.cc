@@ -2,7 +2,15 @@
 
 #include <algorithm>
 
+#include "sim/fault.h"
+
 namespace azul {
+
+double
+CorruptSramWord(double value, std::uint64_t draw)
+{
+    return FlipFp64Bit(value, static_cast<int>(draw % 64));
+}
 
 SramUsage
 ComputeSramUsage(const SolverProgram& prog, const SimConfig& cfg)

@@ -32,6 +32,12 @@ struct SramUsage {
 /** Computes per-tile usage of a compiled program under a config. */
 SramUsage ComputeSramUsage(const SolverProgram& prog, const SimConfig& cfg);
 
+/**
+ * Models a soft error in a stored SRAM word: flips one bit of the
+ * 64-bit value payload, chosen by the injector's draw (sim/fault.h).
+ */
+double CorruptSramWord(double value, std::uint64_t draw);
+
 } // namespace azul
 
 #endif // AZUL_SIM_SRAM_H_

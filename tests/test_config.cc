@@ -110,5 +110,102 @@ TEST(SimStatsMore, TileImbalance)
     EXPECT_DOUBLE_EQ(s.TileImbalance(), 4.0);
 }
 
+// ---- Fault-spec parsing (docs/ROBUSTNESS.md) --------------------------------
+
+TEST(ParseFaultSpec, FullSpecSetsEveryKnob)
+{
+    SimConfig cfg;
+    ASSERT_TRUE(ParseFaultSpec(
+        "rate=1e-5,kinds=sram|noc,seed=7,interval=32,dir=/tmp/ck,"
+        "stall=24,retransmit=4,recoveries=3",
+        cfg));
+    EXPECT_DOUBLE_EQ(cfg.fault_rate, 1e-5);
+    EXPECT_EQ(cfg.fault_kinds,
+              kFaultSram | kFaultNocDrop | kFaultNocCorrupt);
+    EXPECT_EQ(cfg.fault_seed, 7u);
+    EXPECT_EQ(cfg.checkpoint_interval, 32);
+    EXPECT_EQ(cfg.checkpoint_dir, "/tmp/ck");
+    EXPECT_EQ(cfg.fault_stall_cycles, 24);
+    EXPECT_EQ(cfg.fault_retransmit_cycles, 4);
+    EXPECT_EQ(cfg.max_recoveries, 3);
+    EXPECT_TRUE(cfg.faults_enabled());
+}
+
+TEST(ParseFaultSpec, KindNamesMapToTheRightMasks)
+{
+    const struct {
+        const char* name;
+        std::uint32_t mask;
+    } cases[] = {
+        {"sram", kFaultSram},
+        {"nocdrop", kFaultNocDrop},
+        {"noccorrupt", kFaultNocCorrupt},
+        {"noc", kFaultNocDrop | kFaultNocCorrupt},
+        {"pe", kFaultPeStall},
+        {"all", kFaultAll},
+        {"sram|pe", kFaultSram | kFaultPeStall},
+    };
+    for (const auto& tc : cases) {
+        SimConfig cfg;
+        ASSERT_TRUE(ParseFaultSpec(
+            std::string("kinds=") + tc.name, cfg))
+            << tc.name;
+        EXPECT_EQ(cfg.fault_kinds, tc.mask) << tc.name;
+    }
+}
+
+TEST(ParseFaultSpec, MalformedSpecsAreRejectedWithoutSideEffects)
+{
+    const char* bad[] = {
+        "rate=2.0",        // out of [0, 1]
+        "rate=-1e-5",      // negative
+        "rate=abc",        // not a number
+        "kinds=gamma-ray", // unknown kind
+        "seed=-3",         // negative
+        "interval=x",      // not a number
+        "stall=0",         // must be >= 1
+        "bogus=1",         // unknown key
+        "=5",              // empty key
+        "rate",            // no '='
+    };
+    for (const char* spec : bad) {
+        SimConfig cfg;
+        cfg.fault_rate = 0.25; // sentinel
+        EXPECT_FALSE(ParseFaultSpec(spec, cfg)) << spec;
+        EXPECT_DOUBLE_EQ(cfg.fault_rate, 0.25)
+            << spec << " modified the config on failure";
+    }
+}
+
+TEST(ParseFaultSpec, RateZeroDisablesInjection)
+{
+    SimConfig cfg;
+    ASSERT_TRUE(ParseFaultSpec("rate=0", cfg));
+    EXPECT_FALSE(cfg.faults_enabled());
+}
+
+TEST(ApplyFaultEnv, ReadsAzulFaultsAndIgnoresGarbage)
+{
+    {
+        SimConfig cfg;
+        ::setenv("AZUL_FAULTS", "rate=3e-4,kinds=pe", 1);
+        ApplyFaultEnv(cfg);
+        EXPECT_DOUBLE_EQ(cfg.fault_rate, 3e-4);
+        EXPECT_EQ(cfg.fault_kinds, kFaultPeStall);
+    }
+    {
+        SimConfig cfg;
+        ::setenv("AZUL_FAULTS", "rate=banana", 1);
+        ApplyFaultEnv(cfg); // malformed: config untouched
+        EXPECT_DOUBLE_EQ(cfg.fault_rate, 0.0);
+    }
+    {
+        SimConfig cfg;
+        ::unsetenv("AZUL_FAULTS");
+        ApplyFaultEnv(cfg); // unset: no-op
+        EXPECT_DOUBLE_EQ(cfg.fault_rate, 0.0);
+    }
+}
+
 } // namespace
 } // namespace azul

@@ -1,0 +1,558 @@
+/**
+ * @file
+ * Differential tests of the fault-injection + checkpoint/replay
+ * robustness layer (docs/ROBUSTNESS.md):
+ *
+ *  - a zero-rate "injector" configuration is bit-identical to a run
+ *    with no injector at all, at 1, 2, and 8 host threads;
+ *  - seeded injection is reproducible (same seed -> same run, bit for
+ *    bit, including the fault timeline) and thread-count independent;
+ *  - checkpoint/replay recovers every solver x mapping configuration
+ *    to the uninjected solution within tolerance;
+ *  - MachineCheckpoint round-trips through its tmp+rename store and
+ *    rejects corrupt files;
+ *  - a poisoned (NaN) solve fails fast instead of spinning to
+ *    max_iters.
+ */
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "dataflow/program.h"
+#include "mapping/mapper_factory.h"
+#include "sim/fault.h"
+#include "sim/machine.h"
+#include "sim/observer.h"
+#include "solver/ic0.h"
+#include "solver/spmv.h"
+#include "sparse/generators.h"
+#include "test_helpers.h"
+
+namespace azul {
+namespace {
+
+using azul::testing::RandomVector;
+
+enum class SolverKind { kPcg, kJacobi, kBiCgStab };
+
+/** Diagonally dominant nonsymmetric matrix for BiCGStab. */
+CsrMatrix
+Nonsymmetric(Index n, std::uint64_t seed)
+{
+    CooMatrix coo(n, n);
+    Rng rng(seed);
+    for (Index i = 0; i < n; ++i) {
+        coo.Add(i, i, 6.0);
+        if (i + 1 < n) {
+            coo.Add(i, i + 1, rng.UniformDouble(0.5, 1.5));
+            coo.Add(i + 1, i, rng.UniformDouble(-1.5, -0.5));
+        }
+        if (i + 9 < n) {
+            coo.Add(i, i + 9, 0.4);
+            coo.Add(i + 9, i, -0.3);
+        }
+    }
+    return CsrMatrix::FromCoo(coo);
+}
+
+/** A compiled program plus everything needed to re-run it. */
+struct Compiled {
+    CsrMatrix a;
+    CsrMatrix l;
+    DataMapping mapping;
+    SolverProgram program;
+    SimConfig cfg;
+    Vector b;
+};
+
+Compiled
+Build(SolverKind kind, MapperKind mapper, std::int32_t grid)
+{
+    Compiled c;
+    c.cfg.grid_width = grid;
+    c.cfg.grid_height = grid;
+    MappingProblem prob;
+    switch (kind) {
+      case SolverKind::kPcg: {
+        c.a = RandomGeometricLaplacian(50 * grid, 7.0, 17);
+        c.l = IncompleteCholesky(c.a);
+        prob.a = &c.a;
+        prob.l = &c.l;
+        c.mapping = MakeMapper(mapper)->Map(prob, c.cfg.num_tiles());
+        ProgramBuildInputs in;
+        in.a = &c.a;
+        in.l = &c.l;
+        in.precond = PreconditionerKind::kIncompleteCholesky;
+        in.mapping = &c.mapping;
+        in.geom = c.cfg.geometry();
+        c.program = BuildPcgProgram(in);
+        break;
+      }
+      case SolverKind::kJacobi: {
+        c.a = RandomSpd(40 * grid, 4, 31);
+        prob.a = &c.a;
+        c.mapping = MakeMapper(mapper)->Map(prob, c.cfg.num_tiles());
+        c.program = BuildJacobiSolverProgram(c.a, c.mapping,
+                                             c.cfg.geometry());
+        break;
+      }
+      case SolverKind::kBiCgStab: {
+        c.a = Nonsymmetric(45 * grid, 61);
+        prob.a = &c.a;
+        c.mapping = MakeMapper(mapper)->Map(prob, c.cfg.num_tiles());
+        c.program =
+            BuildBiCgStabProgram(c.a, c.mapping, c.cfg.geometry());
+        break;
+      }
+    }
+    c.b = RandomVector(c.a.rows(), 3);
+    return c;
+}
+
+struct RunOutput {
+    SolverRunResult run;
+    std::vector<FaultObserver::Entry> fault_log;
+};
+
+RunOutput
+RunOnce(const Compiled& c, const SimConfig& cfg, double tol,
+        Index max_iters)
+{
+    Machine machine(cfg, &c.program);
+    FaultObserver faults;
+    machine.AttachObserver(&faults);
+    RunOutput out;
+    out.run = SolverDriver().Run(machine, c.b, tol, max_iters);
+    out.fault_log = faults.entries();
+    return out;
+}
+
+/** Exact FP64 equality, compared as bit patterns. */
+void
+ExpectBitEqual(const Vector& got, const Vector& want,
+               const char* label)
+{
+    ASSERT_EQ(got.size(), want.size()) << label;
+    for (std::size_t i = 0; i < got.size(); ++i) {
+        std::uint64_t gb = 0;
+        std::uint64_t wb = 0;
+        std::memcpy(&gb, &got[i], sizeof(gb));
+        std::memcpy(&wb, &want[i], sizeof(wb));
+        EXPECT_EQ(gb, wb) << label << "[" << i << "]: " << got[i]
+                          << " vs " << want[i];
+    }
+}
+
+void
+ExpectFaultLogsEqual(const std::vector<FaultObserver::Entry>& got,
+                     const std::vector<FaultObserver::Entry>& want)
+{
+    ASSERT_EQ(got.size(), want.size());
+    for (std::size_t i = 0; i < got.size(); ++i) {
+        EXPECT_EQ(static_cast<int>(got[i].what),
+                  static_cast<int>(want[i].what))
+            << "entry " << i;
+        EXPECT_EQ(got[i].cycle, want[i].cycle) << "entry " << i;
+        EXPECT_EQ(static_cast<int>(got[i].fault.kind),
+                  static_cast<int>(want[i].fault.kind))
+            << "entry " << i;
+        EXPECT_EQ(got[i].fault.tile, want[i].fault.tile)
+            << "entry " << i;
+        EXPECT_EQ(got[i].fault.detail, want[i].fault.detail)
+            << "entry " << i;
+        EXPECT_EQ(got[i].iteration, want[i].iteration) << "entry " << i;
+        EXPECT_EQ(got[i].to_iteration, want[i].to_iteration)
+            << "entry " << i;
+    }
+}
+
+void
+ExpectRunsIdentical(const RunOutput& got, const RunOutput& want)
+{
+    EXPECT_EQ(got.run.converged, want.run.converged);
+    EXPECT_EQ(got.run.iterations, want.run.iterations);
+    EXPECT_EQ(got.run.recoveries, want.run.recoveries);
+    EXPECT_EQ(static_cast<int>(got.run.failure),
+              static_cast<int>(want.run.failure));
+    ExpectBitEqual(got.run.x, want.run.x, "x");
+    ExpectBitEqual(got.run.residual_history,
+                   want.run.residual_history, "residual_history");
+    EXPECT_EQ(got.run.flops, want.run.flops);
+    EXPECT_EQ(got.run.stats.cycles, want.run.stats.cycles);
+    EXPECT_EQ(got.run.stats.ops.total(), want.run.stats.ops.total());
+    EXPECT_EQ(got.run.stats.messages, want.run.stats.messages);
+    EXPECT_EQ(got.run.stats.link_activations,
+              want.run.stats.link_activations);
+    EXPECT_EQ(got.run.stats.faults_injected,
+              want.run.stats.faults_injected);
+    EXPECT_EQ(got.run.stats.faults_sram, want.run.stats.faults_sram);
+    EXPECT_EQ(got.run.stats.faults_noc_dropped,
+              want.run.stats.faults_noc_dropped);
+    EXPECT_EQ(got.run.stats.faults_noc_corrupted,
+              want.run.stats.faults_noc_corrupted);
+    EXPECT_EQ(got.run.stats.faults_pe_stalls,
+              want.run.stats.faults_pe_stalls);
+    EXPECT_EQ(got.run.stats.faults_detected,
+              want.run.stats.faults_detected);
+    EXPECT_EQ(got.run.stats.checkpoints, want.run.stats.checkpoints);
+    EXPECT_EQ(got.run.stats.rollbacks, want.run.stats.rollbacks);
+    ExpectFaultLogsEqual(got.fault_log, want.fault_log);
+}
+
+/** Unique scratch directory under the build tree. */
+std::string
+ScratchDir(const char* name)
+{
+    const auto dir = std::filesystem::temp_directory_path() /
+                     ("azul-fault-test-" + std::string(name));
+    std::filesystem::remove_all(dir);
+    std::filesystem::create_directories(dir);
+    return dir.string();
+}
+
+// ---- (a) fault_rate = 0 is the pre-robustness engine, bit for bit ----------
+
+TEST(ZeroRateInjection, BitIdenticalToNoInjectorAcrossThreadCounts)
+{
+    const Compiled c = Build(SolverKind::kPcg, MapperKind::kAzul, 4);
+
+    SimConfig plain = c.cfg;
+    const RunOutput baseline = RunOnce(c, plain, 0.0, 4);
+    EXPECT_EQ(baseline.run.stats.faults_injected, 0u);
+    EXPECT_EQ(baseline.run.stats.checkpoints, 0u);
+
+    for (const std::int32_t threads : {1, 2, 8}) {
+        SCOPED_TRACE("threads=" + std::to_string(threads));
+        SimConfig cfg = c.cfg;
+        cfg.sim_threads = threads;
+        cfg.sim_parallel_grain = 1;
+        cfg.fault_rate = 0.0; // knobs set, rate zero: no injector
+        cfg.fault_kinds = kFaultAll;
+        cfg.fault_seed = 1234;
+        const RunOutput zero = RunOnce(c, cfg, 0.0, 4);
+        ExpectRunsIdentical(zero, baseline);
+    }
+}
+
+TEST(ZeroRateInjection, CheckpointingAloneDoesNotPerturbTheRun)
+{
+    const Compiled c =
+        Build(SolverKind::kJacobi, MapperKind::kBlock, 4);
+
+    const RunOutput baseline = RunOnce(c, c.cfg, 0.0, 8);
+
+    SimConfig cfg = c.cfg;
+    cfg.checkpoint_interval = 3; // captures, but no injector
+    const RunOutput ckpt = RunOnce(c, cfg, 0.0, 8);
+
+    EXPECT_GT(ckpt.run.stats.checkpoints, 0u);
+    EXPECT_EQ(ckpt.run.stats.rollbacks, 0u);
+    // Captures are host-side: identical simulation otherwise.
+    ExpectBitEqual(ckpt.run.x, baseline.run.x, "x");
+    EXPECT_EQ(ckpt.run.stats.cycles, baseline.run.stats.cycles);
+    EXPECT_EQ(ckpt.run.iterations, baseline.run.iterations);
+    EXPECT_EQ(ckpt.run.stats.faults_injected, 0u);
+}
+
+// ---- (b) seeded injection is reproducible ----------------------------------
+
+/** Fault config used by the reproducibility tests: high enough to
+ *  fire every kind in a short run, low enough not to derail it. */
+SimConfig
+InjectingConfig(const Compiled& c, std::uint64_t seed)
+{
+    SimConfig cfg = c.cfg;
+    cfg.fault_rate = 3e-4;
+    cfg.fault_kinds = kFaultAll;
+    cfg.fault_seed = seed;
+    cfg.checkpoint_interval = 2;
+    cfg.max_recoveries = 100;
+    return cfg;
+}
+
+TEST(SeededInjection, SameSeedReproducesTheRunBitForBit)
+{
+    const Compiled c = Build(SolverKind::kPcg, MapperKind::kBlock, 4);
+    const SimConfig cfg = InjectingConfig(c, 0xfa17);
+
+    const RunOutput first = RunOnce(c, cfg, 0.0, 6);
+    ASSERT_GT(first.run.stats.faults_injected, 0u)
+        << "rate too low to exercise injection";
+    const RunOutput second = RunOnce(c, cfg, 0.0, 6);
+    ExpectRunsIdentical(second, first);
+}
+
+TEST(SeededInjection, DifferentSeedsDrawDifferentFaultTimelines)
+{
+    const Compiled c = Build(SolverKind::kPcg, MapperKind::kBlock, 4);
+    const RunOutput a = RunOnce(c, InjectingConfig(c, 1), 0.0, 6);
+    const RunOutput b = RunOnce(c, InjectingConfig(c, 2), 0.0, 6);
+    ASSERT_GT(a.run.stats.faults_injected, 0u);
+    ASSERT_GT(b.run.stats.faults_injected, 0u);
+    // The two timelines must differ somewhere: counts, positions, or
+    // cycle stamps.
+    bool differ = a.fault_log.size() != b.fault_log.size();
+    for (std::size_t i = 0;
+         !differ && i < a.fault_log.size() && i < b.fault_log.size();
+         ++i) {
+        differ = a.fault_log[i].cycle != b.fault_log[i].cycle ||
+                 a.fault_log[i].fault.tile != b.fault_log[i].fault.tile;
+    }
+    EXPECT_TRUE(differ) << "seeds 1 and 2 produced identical fault "
+                           "timelines";
+}
+
+TEST(SeededInjection, InjectedRunIsBitIdenticalAcrossThreadCounts)
+{
+    const Compiled c = Build(SolverKind::kPcg, MapperKind::kAzul, 4);
+    SimConfig serial_cfg = InjectingConfig(c, 0x5eed);
+    serial_cfg.sim_parallel_grain = 1;
+    const RunOutput serial = RunOnce(c, serial_cfg, 0.0, 6);
+    ASSERT_GT(serial.run.stats.faults_injected, 0u);
+
+    for (const std::int32_t threads : {2, 8}) {
+        SCOPED_TRACE("threads=" + std::to_string(threads));
+        SimConfig cfg = serial_cfg;
+        cfg.sim_threads = threads;
+        const RunOutput par = RunOnce(c, cfg, 0.0, 6);
+        ExpectRunsIdentical(par, serial);
+    }
+}
+
+// ---- (c) checkpoint/replay recovers to the uninjected solution -------------
+
+struct RecoveryCase {
+    SolverKind kind;
+    MapperKind mapper;
+    const char* name;
+    double fault_rate;
+    double tol;
+    Index max_iters;
+};
+
+class FaultRecoveryTest
+    : public ::testing::TestWithParam<RecoveryCase> {};
+
+TEST_P(FaultRecoveryTest, RecoversToTheUninjectedSolution)
+{
+    const RecoveryCase& tc = GetParam();
+    const Compiled c = Build(tc.kind, tc.mapper, /*grid=*/4);
+
+    const RunOutput clean = RunOnce(c, c.cfg, tc.tol, tc.max_iters);
+    ASSERT_TRUE(clean.run.converged);
+
+    SimConfig cfg = c.cfg;
+    cfg.fault_rate = tc.fault_rate;
+    // Data faults only: stalls and drops are timing-only and cannot
+    // corrupt the solve (SeededInjection covers them).
+    cfg.fault_kinds = kFaultSram | kFaultNocCorrupt;
+    cfg.fault_seed = 0xc0ffee;
+    cfg.checkpoint_interval = 8;
+    cfg.max_recoveries = 200;
+    const RunOutput faulty = RunOnce(c, cfg, tc.tol, tc.max_iters);
+
+    EXPECT_GT(faulty.run.stats.faults_injected, 0u)
+        << "fault rate too low to test recovery";
+    ASSERT_TRUE(faulty.run.converged)
+        << "failure=" << FailureKindName(faulty.run.failure)
+        << " recoveries=" << faulty.run.recoveries
+        << " injected=" << faulty.run.stats.faults_injected;
+    // The recovered solve really solves the system...
+    EXPECT_VECTOR_NEAR(SpMV(c.a, faulty.run.x), c.b, 1e-5);
+    // ...and lands on the uninjected solution within tolerance.
+    EXPECT_VECTOR_NEAR(faulty.run.x, clean.run.x, 1e-4);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Programs, FaultRecoveryTest,
+    ::testing::Values(
+        // Round-robin mapping generates far more NoC traffic, so the
+        // same rate injects ~10x the faults: dial it down to keep the
+        // solve recoverable.
+        RecoveryCase{SolverKind::kPcg, MapperKind::kRoundRobin,
+                     "pcg_roundrobin", 3e-6, 1e-8, 2000},
+        RecoveryCase{SolverKind::kPcg, MapperKind::kBlock,
+                     "pcg_block", 1e-5, 1e-8, 2000},
+        RecoveryCase{SolverKind::kPcg, MapperKind::kAzul,
+                     "pcg_hypergraph", 3e-5, 1e-8, 2000},
+        RecoveryCase{SolverKind::kJacobi, MapperKind::kRoundRobin,
+                     "jacobi_roundrobin", 3e-5, 1e-8, 2000},
+        RecoveryCase{SolverKind::kJacobi, MapperKind::kBlock,
+                     "jacobi_block", 3e-5, 1e-8, 2000},
+        RecoveryCase{SolverKind::kJacobi, MapperKind::kAzul,
+                     "jacobi_hypergraph", 3e-5, 1e-8, 2000},
+        RecoveryCase{SolverKind::kBiCgStab, MapperKind::kRoundRobin,
+                     "bicgstab_roundrobin", 1e-4, 1e-9, 2000},
+        RecoveryCase{SolverKind::kBiCgStab, MapperKind::kBlock,
+                     "bicgstab_block", 1e-4, 1e-9, 2000},
+        RecoveryCase{SolverKind::kBiCgStab, MapperKind::kAzul,
+                     "bicgstab_hypergraph", 1e-4, 1e-9, 2000}),
+    [](const ::testing::TestParamInfo<RecoveryCase>& info) {
+        return std::string(info.param.name);
+    });
+
+// ---- Checkpoint persistence -------------------------------------------------
+
+TEST(MachineCheckpoint, SaveLoadRoundTripsBitForBit)
+{
+    const std::string dir = ScratchDir("roundtrip");
+    MachineCheckpoint ck;
+    ck.iteration = 42;
+    ck.flops = 1.5e9;
+    ck.residual_norm = 3.25e-7;
+    ck.history_size = 17;
+    for (std::size_t i = 0; i < ck.scalar_regs.size(); ++i) {
+        ck.scalar_regs[i] = 0.5 * static_cast<double>(i) - 1.0;
+    }
+    for (std::size_t v = 0; v < ck.vecs.size(); ++v) {
+        ck.vecs[v] = RandomVector(64, 100 + v);
+    }
+
+    const std::string path = CheckpointPath(dir);
+    ASSERT_TRUE(ck.Save(path));
+    const MachineCheckpoint loaded = MachineCheckpoint::Load(path);
+
+    EXPECT_EQ(loaded.iteration, ck.iteration);
+    EXPECT_EQ(loaded.flops, ck.flops);
+    EXPECT_EQ(loaded.residual_norm, ck.residual_norm);
+    EXPECT_EQ(loaded.history_size, ck.history_size);
+    for (std::size_t i = 0; i < ck.scalar_regs.size(); ++i) {
+        EXPECT_EQ(loaded.scalar_regs[i], ck.scalar_regs[i]);
+    }
+    for (std::size_t v = 0; v < ck.vecs.size(); ++v) {
+        ExpectBitEqual(loaded.vecs[v], ck.vecs[v], "vec");
+    }
+    std::filesystem::remove_all(dir);
+}
+
+TEST(MachineCheckpoint, CorruptFilesAreRejectedNotSilentlyLoaded)
+{
+    const std::string dir = ScratchDir("corrupt");
+    MachineCheckpoint ck;
+    for (auto& v : ck.vecs) {
+        v = Vector(8, 1.0);
+    }
+    const std::string path = CheckpointPath(dir);
+    ASSERT_TRUE(ck.Save(path));
+
+    // Absent file.
+    EXPECT_THROW(MachineCheckpoint::Load(path + ".nope"), AzulError);
+
+    // Bad magic.
+    {
+        std::fstream f(path,
+                       std::ios::binary | std::ios::in | std::ios::out);
+        f.seekp(0);
+        f.write("XXXXXXXX", 8);
+    }
+    EXPECT_THROW(MachineCheckpoint::Load(path), AzulError);
+
+    // Truncation.
+    ASSERT_TRUE(ck.Save(path));
+    const auto full = std::filesystem::file_size(path);
+    std::filesystem::resize_file(path, full / 2);
+    EXPECT_THROW(MachineCheckpoint::Load(path), AzulError);
+    std::filesystem::remove_all(dir);
+}
+
+TEST(MachineCheckpoint, SaveToUnwritablePathDegradesGracefully)
+{
+    const std::string dir = ScratchDir("unwritable");
+    // Make the "directory" a regular file so create_directories and
+    // the tmp open both fail.
+    const std::string blocker = dir + "/blocker";
+    std::ofstream(blocker) << "x";
+    MachineCheckpoint ck;
+    EXPECT_FALSE(ck.Save(CheckpointPath(blocker)));
+    std::filesystem::remove_all(dir);
+}
+
+TEST(MachineCheckpoint, SolveWithCheckpointDirPersistsToDisk)
+{
+    const Compiled c = Build(SolverKind::kPcg, MapperKind::kBlock, 4);
+    const std::string dir = ScratchDir("solve-persist");
+
+    SimConfig cfg = c.cfg;
+    cfg.checkpoint_interval = 2;
+    cfg.checkpoint_dir = dir;
+    const RunOutput run = RunOnce(c, cfg, 0.0, 5);
+    ASSERT_GT(run.run.stats.checkpoints, 0u);
+
+    const MachineCheckpoint ck =
+        MachineCheckpoint::Load(CheckpointPath(dir));
+    EXPECT_EQ(ck.iteration % 2, 0);
+    EXPECT_LE(ck.iteration, 5);
+    for (const Vector& v : ck.vecs) {
+        EXPECT_EQ(v.size(), static_cast<std::size_t>(c.a.rows()));
+    }
+    std::filesystem::remove_all(dir);
+}
+
+// ---- Observer plumbing ------------------------------------------------------
+
+TEST(FaultObservers, CountsMatchSimStatsAndTraceShowsInstants)
+{
+    const Compiled c = Build(SolverKind::kPcg, MapperKind::kBlock, 4);
+    SimConfig cfg = InjectingConfig(c, 0xfeedface);
+
+    Machine machine(cfg, &c.program);
+    FaultObserver faults;
+    ChromeTraceObserver trace;
+    machine.AttachObserver(&faults);
+    machine.AttachObserver(&trace);
+    const SolverRunResult run =
+        SolverDriver().Run(machine, c.b, 0.0, 6);
+
+    ASSERT_GT(run.stats.faults_injected, 0u);
+    EXPECT_EQ(faults.total_injections(), run.stats.faults_injected);
+    EXPECT_EQ(faults.injections(FaultKind::kSramFlip),
+              run.stats.faults_sram);
+    EXPECT_EQ(faults.injections(FaultKind::kNocDrop),
+              run.stats.faults_noc_dropped);
+    EXPECT_EQ(faults.injections(FaultKind::kNocCorrupt),
+              run.stats.faults_noc_corrupted);
+    EXPECT_EQ(faults.injections(FaultKind::kPeStall),
+              run.stats.faults_pe_stalls);
+    EXPECT_EQ(faults.detections(), run.stats.faults_detected);
+    EXPECT_EQ(faults.checkpoints(), run.stats.checkpoints);
+    EXPECT_EQ(faults.rollbacks(), run.stats.rollbacks);
+    EXPECT_FALSE(faults.ToString().empty());
+
+    // The Chrome trace carries the robustness events as instants.
+    const std::string json = trace.ToJson();
+    EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);
+    EXPECT_NE(json.find("\"cat\":\"checkpoint\""), std::string::npos);
+    EXPECT_NE(json.find("\"s\":\"g\""), std::string::npos);
+
+    faults.Reset();
+    EXPECT_EQ(faults.total_injections(), 0u);
+    EXPECT_TRUE(faults.entries().empty());
+}
+
+// ---- NaN fail-fast regression ----------------------------------------------
+
+TEST(NumericalBreakdown, PoisonedSolveFailsFastInsteadOfSpinning)
+{
+    // Regression: a NaN residual compares false against any tolerance,
+    // so the driver used to spin silently to max_iters.
+    const Compiled c = Build(SolverKind::kPcg, MapperKind::kBlock, 4);
+    Vector poisoned = c.b;
+    poisoned[poisoned.size() / 2] =
+        std::numeric_limits<double>::quiet_NaN();
+
+    Machine machine(c.cfg, &c.program);
+    const SolverRunResult run =
+        SolverDriver().Run(machine, poisoned, 1e-8, 500);
+
+    EXPECT_FALSE(run.converged);
+    EXPECT_EQ(static_cast<int>(run.failure),
+              static_cast<int>(FailureKind::kNumericalBreakdown));
+    EXPECT_LT(run.iterations, 500) << "driver spun on a NaN residual";
+}
+
+} // namespace
+} // namespace azul

@@ -5,7 +5,9 @@
  * emits — must still produce functionally correct SpMV and SpTRSV on
  * the machine, on awkward grid shapes, under every PE model.
  */
+#include <cmath>
 #include <cstdlib>
+#include <cstring>
 
 #include <gtest/gtest.h>
 
@@ -245,6 +247,133 @@ TEST(StressSweep, SeededIrregularKernelsMatchReference)
             " — rerun with AZUL_STRESS_SEED=" + std::to_string(seed) +
             " ./test_fuzz_kernels --gtest_filter='StressSweep.*'");
         RunStressSeed(seed);
+        if (::testing::Test::HasFailure()) {
+            break; // the trace above names the failing seed
+        }
+    }
+}
+
+/**
+ * One seed-derived configuration with fault injection armed
+ * (docs/ROBUSTNESS.md). Two invariants:
+ *
+ *  1. Timing-only fault kinds (PE stalls, NoC drops with
+ *     retransmission) must leave every kernel functionally EXACT —
+ *     they reshuffle cycles, never data.
+ *  2. An all-kinds injected run must reproduce bit for bit when
+ *     re-run with the same fault seed, including its fault counters.
+ */
+void
+RunFaultStressSeed(std::uint64_t seed)
+{
+    Rng rng(seed);
+    const Index n = static_cast<Index>(rng.UniformInt(80, 240));
+    const CsrMatrix a =
+        RandomSpd(n, static_cast<Index>(rng.UniformInt(2, 5)),
+                  seed ^ 0xfa17);
+    const CsrMatrix l = IncompleteCholesky(a);
+
+    SimConfig cfg;
+    cfg.grid_width = static_cast<std::int32_t>(rng.UniformInt(2, 4));
+    cfg.grid_height = static_cast<std::int32_t>(rng.UniformInt(2, 4));
+    cfg.torus = rng.UniformInt(0, 1) == 1;
+    const std::int32_t thread_choices[] = {1, 2, 4, 8};
+    cfg.sim_threads = thread_choices[rng.UniformInt(0, 3)];
+    cfg.sim_parallel_grain = 1;
+    // Timing-only kinds at a seed-derived rate in [1e-5, 1e-3].
+    cfg.fault_kinds = kFaultPeStall | kFaultNocDrop;
+    cfg.fault_rate = std::pow(10.0, rng.UniformDouble(-5.0, -3.0));
+    cfg.fault_seed = seed * 0x9e3779b97f4a7c15ULL + 1;
+    cfg.fault_stall_cycles =
+        static_cast<std::int32_t>(rng.UniformInt(2, 40));
+    cfg.fault_retransmit_cycles =
+        static_cast<std::int32_t>(rng.UniformInt(1, 20));
+
+    MappingProblem prob;
+    prob.a = &a;
+    prob.l = &l;
+    const DataMapping mapping =
+        RandomMapping(prob, cfg.num_tiles(), seed ^ 0xdead);
+    mapping.Validate(prob);
+
+    ProgramBuildInputs in;
+    in.a = &a;
+    in.l = &l;
+    in.precond = PreconditionerKind::kIncompleteCholesky;
+    in.mapping = &mapping;
+    in.geom = cfg.geometry();
+    in.graph.use_trees = rng.UniformInt(0, 1) == 1;
+    const PcgProgram program = BuildPcgProgram(in);
+
+    // 1. Timing-only faults: functionally exact kernels.
+    Machine machine(cfg, &program);
+    machine.LoadProblem(Vector(a.rows(), 0.0));
+
+    const Vector p = RandomVector(a.rows(), seed + 1);
+    machine.ScatterVector(VecName::kP, p);
+    machine.RunMatrixKernelStandalone(0);
+    EXPECT_VECTOR_NEAR(machine.GatherVector(VecName::kAp),
+                       SpMV(a, p), 1e-9);
+
+    const Vector r = RandomVector(a.rows(), seed + 2);
+    machine.ScatterVector(VecName::kR, r);
+    machine.RunMatrixKernelStandalone(1);
+    EXPECT_VECTOR_NEAR(machine.GatherVector(VecName::kT),
+                       SpTRSVLower(l, r), 1e-9);
+
+    const Vector t = RandomVector(a.rows(), seed + 3);
+    machine.ScatterVector(VecName::kT, t);
+    machine.RunMatrixKernelStandalone(2);
+    EXPECT_VECTOR_NEAR(machine.GatherVector(VecName::kZ),
+                       SpTRSVLowerTranspose(l, t), 1e-9);
+
+    // 2. All-kinds injection reproduces bit for bit from its seed.
+    SimConfig all = cfg;
+    all.fault_kinds = kFaultAll;
+    Vector gathered[2];
+    SimStats stats[2];
+    for (int run = 0; run < 2; ++run) {
+        Machine m(all, &program);
+        m.LoadProblem(Vector(a.rows(), 0.0));
+        m.ScatterVector(VecName::kP, p);
+        m.RunMatrixKernelStandalone(0);
+        gathered[run] = m.GatherVector(VecName::kAp);
+        stats[run] = m.stats();
+    }
+    ASSERT_EQ(gathered[0].size(), gathered[1].size());
+    for (std::size_t i = 0; i < gathered[0].size(); ++i) {
+        std::uint64_t b0 = 0;
+        std::uint64_t b1 = 0;
+        std::memcpy(&b0, &gathered[0][i], sizeof(b0));
+        std::memcpy(&b1, &gathered[1][i], sizeof(b1));
+        EXPECT_EQ(b0, b1) << "injected SpMV diverged at " << i;
+    }
+    EXPECT_EQ(stats[0].cycles, stats[1].cycles);
+    EXPECT_EQ(stats[0].faults_injected, stats[1].faults_injected);
+    EXPECT_EQ(stats[0].faults_sram, stats[1].faults_sram);
+    EXPECT_EQ(stats[0].faults_noc_dropped,
+              stats[1].faults_noc_dropped);
+    EXPECT_EQ(stats[0].faults_noc_corrupted,
+              stats[1].faults_noc_corrupted);
+    EXPECT_EQ(stats[0].faults_pe_stalls, stats[1].faults_pe_stalls);
+}
+
+TEST(StressSweep, SeededFaultedKernelsStayCorrect)
+{
+    if (const char* env = std::getenv("AZUL_STRESS_SEED")) {
+        const std::uint64_t seed = std::strtoull(env, nullptr, 0);
+        SCOPED_TRACE("stress seed " + std::to_string(seed) +
+                     " (from AZUL_STRESS_SEED)");
+        RunFaultStressSeed(seed);
+        return;
+    }
+    for (std::uint64_t seed = 1; seed <= 12; ++seed) {
+        SCOPED_TRACE(
+            "stress seed " + std::to_string(seed) +
+            " — rerun with AZUL_STRESS_SEED=" + std::to_string(seed) +
+            " ./test_fuzz_kernels "
+            "--gtest_filter='StressSweep.SeededFaultedKernels*'");
+        RunFaultStressSeed(seed);
         if (::testing::Test::HasFailure()) {
             break; // the trace above names the failing seed
         }

@@ -170,6 +170,14 @@ ExpectStatsEqual(const SimStats& got, const SimStats& want)
     EXPECT_EQ(got.issue_sample_period, want.issue_sample_period);
     EXPECT_EQ(got.issue_timeline, want.issue_timeline);
     EXPECT_EQ(got.tile_ops, want.tile_ops);
+    EXPECT_EQ(got.faults_injected, want.faults_injected);
+    EXPECT_EQ(got.faults_sram, want.faults_sram);
+    EXPECT_EQ(got.faults_noc_dropped, want.faults_noc_dropped);
+    EXPECT_EQ(got.faults_noc_corrupted, want.faults_noc_corrupted);
+    EXPECT_EQ(got.faults_pe_stalls, want.faults_pe_stalls);
+    EXPECT_EQ(got.faults_detected, want.faults_detected);
+    EXPECT_EQ(got.checkpoints, want.checkpoints);
+    EXPECT_EQ(got.rollbacks, want.rollbacks);
 }
 
 void

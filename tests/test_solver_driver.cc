@@ -4,6 +4,8 @@
  * every compiled solver program (PCG, weighted Jacobi, BiCGStab)
  * purely through the SolverProgram / ConvergenceSpec contract.
  */
+#include <limits>
+
 #include <gtest/gtest.h>
 
 #include "dataflow/program.h"
@@ -314,6 +316,186 @@ TEST(ConvergenceSpec, AbsoluteNormSkipsTheSquareRoot)
     ASSERT_TRUE(sq_run.converged);
     ASSERT_TRUE(abs_run.converged);
     EXPECT_EQ(abs_run.iterations, sq_run.iterations);
+}
+
+// ---- Failure classification (docs/ROBUSTNESS.md) ----------------------------
+
+TEST(FailureClassification, PoisonedRhsFailsFastAsNumericalBreakdown)
+{
+    // Regression for the ResidualNorm NaN fix: a NaN residual compares
+    // false against any tolerance, so the driver used to spin silently
+    // to max_iters reporting "not converged" with a plausible count.
+    Compiled c = Build(SolverKind::kJacobi);
+    Vector b = RandomVector(c.a.rows(), 3);
+    b[0] = std::numeric_limits<double>::quiet_NaN();
+
+    Machine machine(c.cfg, &c.program);
+    const SolverRunResult run =
+        SolverDriver().Run(machine, b, 1e-8, 2000);
+
+    EXPECT_FALSE(run.converged);
+    EXPECT_EQ(run.failure, FailureKind::kNumericalBreakdown);
+    // The NaN is visible in the prologue's rr = b.b: no iteration may
+    // execute before the driver notices.
+    EXPECT_EQ(run.iterations, 0);
+    EXPECT_STREQ(FailureKindName(run.failure), "numerical-breakdown");
+}
+
+TEST(FailureClassification, InfinityInRhsIsAlsoABreakdown)
+{
+    Compiled c = Build(SolverKind::kJacobi);
+    Vector b = RandomVector(c.a.rows(), 3);
+    b[b.size() / 2] = std::numeric_limits<double>::infinity();
+
+    Machine machine(c.cfg, &c.program);
+    const SolverRunResult run =
+        SolverDriver().Run(machine, b, 1e-8, 2000);
+
+    EXPECT_FALSE(run.converged);
+    EXPECT_EQ(run.failure, FailureKind::kNumericalBreakdown);
+    EXPECT_EQ(run.iterations, 0);
+}
+
+/** Symmetric tridiagonal matrix with unit diagonal and off-diagonal
+ *  couplings of +-1: weighted Jacobi diverges on it (the iteration
+ *  matrix has spectral radius > 1) while every diagonal entry stays
+ *  legal for the builder. */
+CsrMatrix
+JacobiDivergent(Index n)
+{
+    CooMatrix coo(n, n);
+    for (Index i = 0; i < n; ++i) {
+        coo.Add(i, i, 1.0);
+        if (i + 1 < n) {
+            coo.Add(i, i + 1, 1.0);
+            coo.Add(i + 1, i, 1.0);
+        }
+    }
+    return CsrMatrix::FromCoo(coo);
+}
+
+TEST(FailureClassification, DivergentStationaryIterationIsLabeled)
+{
+    const CsrMatrix a = JacobiDivergent(160);
+    SimConfig cfg;
+    cfg.grid_width = 4;
+    cfg.grid_height = 4;
+    MappingProblem prob;
+    prob.a = &a;
+    const DataMapping mapping =
+        MakeMapper(MapperKind::kBlock)->Map(prob, cfg.num_tiles());
+    const SolverProgram program =
+        BuildJacobiSolverProgram(a, mapping, cfg.geometry());
+
+    Machine machine(cfg, &program);
+    const SolverRunResult run = SolverDriver().Run(
+        machine, RandomVector(a.rows(), 5), 1e-8, 200);
+
+    EXPECT_FALSE(run.converged);
+    // The residual grows geometrically: by 200 iterations it is far
+    // above its initial value (but still finite), which the post-hoc
+    // classifier labels divergence.
+    EXPECT_EQ(run.failure, FailureKind::kDivergence);
+    EXPECT_GT(run.residual_norm, run.residual_history.front());
+}
+
+TEST(FailureClassification, OutOfIterationsWhileImprovingIsStagnation)
+{
+    Compiled c = Build(SolverKind::kJacobi);
+    Machine machine(c.cfg, &c.program);
+    // Far too few iterations to reach tol, but enough to improve on
+    // the initial residual.
+    const SolverRunResult run = SolverDriver().Run(
+        machine, RandomVector(c.a.rows(), 3), 1e-12, 5);
+
+    EXPECT_FALSE(run.converged);
+    EXPECT_EQ(run.failure, FailureKind::kStagnation);
+    EXPECT_LT(run.residual_norm, run.residual_history.front());
+}
+
+TEST(FailureClassification, ThroughputRunsWithZeroTolAreNotFailures)
+{
+    // tol = 0 bench runs never intend to converge: an out-of-
+    // iterations exit must stay failure-free.
+    Compiled c = Build(SolverKind::kJacobi);
+    Machine machine(c.cfg, &c.program);
+    const SolverRunResult run = SolverDriver().Run(
+        machine, RandomVector(c.a.rows(), 3), 0.0, 5);
+
+    EXPECT_FALSE(run.converged);
+    EXPECT_EQ(run.failure, FailureKind::kNone);
+}
+
+/** Compiles plain CG (identity preconditioner — IC0 would reject
+ *  these operators outright) and runs it on the given matrix. */
+SolverRunResult
+RunIdentityCg(const CsrMatrix& a, const Vector& b, Index max_iters)
+{
+    SimConfig cfg;
+    cfg.grid_width = 4;
+    cfg.grid_height = 4;
+    MappingProblem prob;
+    prob.a = &a;
+    const DataMapping mapping =
+        MakeMapper(MapperKind::kBlock)->Map(prob, cfg.num_tiles());
+    ProgramBuildInputs in;
+    in.a = &a;
+    in.precond = PreconditionerKind::kIdentity;
+    in.mapping = &mapping;
+    in.geom = cfg.geometry();
+    const SolverProgram program = BuildPcgProgram(in);
+    Machine machine(cfg, &program);
+    return SolverDriver().Run(machine, b, 1e-8, max_iters);
+}
+
+TEST(FailureClassification, SingularOperatorUnderCgIsLabeledDivergence)
+{
+    // Singular PSD operator (2x2 blocks [[1,1],[1,1]]) with an
+    // inconsistent right-hand side: p'Ap approaches zero, alpha
+    // explodes, and the iterate blows up. The driver must label the
+    // exit instead of reporting a silent non-convergence.
+    const Index n = 160;
+    CooMatrix coo(n, n);
+    for (Index i = 0; i < n; i += 2) {
+        coo.Add(i, i, 1.0);
+        coo.Add(i, i + 1, 1.0);
+        coo.Add(i + 1, i, 1.0);
+        coo.Add(i + 1, i + 1, 1.0);
+    }
+    const CsrMatrix a = CsrMatrix::FromCoo(coo);
+
+    const SolverRunResult run =
+        RunIdentityCg(a, RandomVector(n, 5), 300);
+
+    EXPECT_FALSE(run.converged);
+    EXPECT_EQ(run.failure, FailureKind::kDivergence);
+    EXPECT_GT(run.residual_norm, 1e6); // exploded, still finite
+}
+
+TEST(FailureClassification, IndefiniteHardBreakdownFailsFastAsNan)
+{
+    // Classic CG hard breakdown: on the anti-diagonal operator
+    // (blocks [[0,1],[1,0]], eigenvalues +-1) with b supported on the
+    // even positions, p0 = r0 = b gives p'Ap = 0 exactly — alpha is
+    // Inf at the first step and the iterate turns NaN. The driver
+    // must fail fast, not spin for 300 iterations.
+    const Index n = 160;
+    CooMatrix coo(n, n);
+    for (Index i = 0; i < n; i += 2) {
+        coo.Add(i, i + 1, 1.0);
+        coo.Add(i + 1, i, 1.0);
+    }
+    const CsrMatrix a = CsrMatrix::FromCoo(coo);
+    Vector b(static_cast<std::size_t>(n), 0.0);
+    for (std::size_t i = 0; i < b.size(); i += 2) {
+        b[i] = 1.0;
+    }
+
+    const SolverRunResult run = RunIdentityCg(a, b, 300);
+
+    EXPECT_FALSE(run.converged);
+    EXPECT_EQ(run.failure, FailureKind::kNumericalBreakdown);
+    EXPECT_LE(run.iterations, 2) << "NaN must be caught immediately";
 }
 
 } // namespace

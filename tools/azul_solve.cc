@@ -24,6 +24,11 @@
  *   --json              print a JSON report instead of a summary
  *   --history=P         write per-iteration ||r|| to CSV file P
  *   --gen-n=N           generated problem size         (default 4096)
+ *   --faults=SPEC       arm fault injection (docs/ROBUSTNESS.md);
+ *                       SPEC is the AZUL_FAULTS format, e.g.
+ *                       rate=1e-5,kinds=sram|noc,interval=25. The
+ *                       AZUL_FAULTS environment variable is applied
+ *                       first; the flag overrides it key by key.
  */
 #include <cstdio>
 #include <optional>
@@ -104,6 +109,7 @@ main(int argc, char** argv)
     AzulOptions opts;
     opts.tol = 1e-8;
     opts.max_iters = 5000;
+    ApplyFaultEnv(opts.sim);
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -152,6 +158,10 @@ main(int argc, char** argv)
             history_path = *vh;
         } else if (const auto v8 = value("--gen-n=")) {
             gen_n = std::stol(*v8);
+        } else if (const auto vf = value("--faults=")) {
+            if (!ParseFaultSpec(*vf, opts.sim)) {
+                Usage(("malformed --faults spec " + *vf).c_str());
+            }
         } else if (arg.rfind("--", 0) == 0) {
             Usage(("unknown flag " + arg).c_str());
         } else {
