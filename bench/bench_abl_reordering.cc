@@ -39,7 +39,7 @@ ForwardSolveCycles(const CsrMatrix& a, const Vector& r,
     in.precond = PreconditionerKind::kIncompleteCholesky;
     in.mapping = &mapping;
     in.geom = cfg.geometry();
-    const PcgProgram prog = BuildPcgProgram(in);
+    const SolverProgram prog = BuildSolverProgram(SolverKind::kPcg, in);
     Machine machine(cfg, &prog);
     machine.LoadProblem(Vector(a.rows(), 0.0));
     machine.ScatterVector(VecName::kR, r);

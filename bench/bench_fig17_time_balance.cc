@@ -45,7 +45,7 @@ RunForwardSolve(const CsrMatrix& a, const CsrMatrix& l, const Vector& r,
     in.precond = PreconditionerKind::kIncompleteCholesky;
     in.mapping = &mapping;
     in.geom = cfg.geometry();
-    const SolverProgram prog = BuildPcgProgram(in);
+    const SolverProgram prog = BuildSolverProgram(SolverKind::kPcg, in);
     Machine machine(cfg, &prog);
     TimelineObserver timeline(32);
     machine.AttachObserver(&timeline);

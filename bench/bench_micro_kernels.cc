@@ -118,7 +118,7 @@ BENCHMARK_CAPTURE(BM_MapperOnProblem, azul_hypergraph,
                   MapperKind::kAzul);
 
 void
-BM_CompilePcgProgram(benchmark::State& state)
+BM_CompileSolverProgram(benchmark::State& state)
 {
     const CsrMatrix a = TestMatrix(2048);
     const CsrMatrix l = IncompleteCholesky(a);
@@ -134,10 +134,10 @@ BM_CompilePcgProgram(benchmark::State& state)
     in.mapping = &mapping;
     in.geom = TorusGeometry{8, 8};
     for (auto _ : state) {
-        benchmark::DoNotOptimize(BuildPcgProgram(in));
+        benchmark::DoNotOptimize(BuildSolverProgram(SolverKind::kPcg, in));
     }
 }
-BENCHMARK(BM_CompilePcgProgram);
+BENCHMARK(BM_CompileSolverProgram);
 
 } // namespace
 } // namespace azul

@@ -112,7 +112,7 @@ main(int argc, char** argv)
             in.precond = PreconditionerKind::kIncompleteCholesky;
             in.mapping = &mapping;
             in.geom = TorusGeometry{args.grid, args.grid};
-            const PcgProgram prog = BuildPcgProgram(in);
+            const SolverProgram prog = BuildSolverProgram(SolverKind::kPcg, in);
             secs[i] = SecondsSince(t0);
             totals[static_cast<std::size_t>(i)] += secs[i];
         }

@@ -1,0 +1,188 @@
+/**
+ * @file
+ * Serving-layer throughput: solves/sec and request latency (p50/p99)
+ * of one AzulService under multi-tenant load, swept over service
+ * thread counts.
+ *
+ * Expectation: throughput scales with --service-threads until the
+ * host runs out of cores, because sessions are independent and the
+ * scheduler overlaps them; per-response *results* are bit-identical
+ * at every point of the sweep (tests/test_service.cc asserts this —
+ * here we only measure). The 8-thread row should comfortably beat the
+ * serial (1-thread) row on any multi-core host.
+ *
+ * Flags (bench/common.h), plus:
+ *   --sessions=N    concurrent tenants            (default 6)
+ *   --requests=M    solves submitted per tenant   (default 6)
+ *
+ * The per-tenant matrices reuse the bench suite cycle so tenants are
+ * heterogeneous, as in the paper's Sec II-C serving scenario.
+ */
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+#include "common.h"
+#include "service/azul_service.h"
+
+using namespace azul;
+using namespace azul::bench;
+
+namespace {
+
+struct ServeArgs {
+    int sessions = 6;
+    int requests = 6;
+};
+
+/** Strips --sessions/--requests before BenchArgs sees the rest. */
+ServeArgs
+ParseServeArgs(int& argc, char** argv)
+{
+    ServeArgs out;
+    int w = 1;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg.rfind("--sessions=", 0) == 0) {
+            out.sessions = static_cast<int>(std::stol(arg.substr(11)));
+        } else if (arg.rfind("--requests=", 0) == 0) {
+            out.requests = static_cast<int>(std::stol(arg.substr(11)));
+        } else {
+            argv[w++] = argv[i];
+        }
+    }
+    argc = w;
+    return out;
+}
+
+struct SweepRow {
+    int threads = 0;
+    double solves_per_sec = 0.0;
+    double p50_ms = 0.0;
+    double p99_ms = 0.0;
+    double wall_seconds = 0.0;
+};
+
+SweepRow
+RunSweepPoint(int service_threads, const ServeArgs& serve,
+              const std::vector<BenchMatrix>& suite,
+              const AzulOptions& base)
+{
+    ServiceOptions sopts;
+    sopts.num_threads = service_threads;
+    sopts.max_queue =
+        static_cast<std::size_t>(serve.sessions * serve.requests);
+    std::unique_ptr<AzulService> svc = *AzulService::Create(sopts);
+
+    std::vector<SessionId> ids;
+    std::vector<const BenchMatrix*> mats;
+    for (int s = 0; s < serve.sessions; ++s) {
+        const BenchMatrix& bm =
+            suite[static_cast<std::size_t>(s) % suite.size()];
+        AzulOptions opts = base;
+        const StatusOr<SessionId> id =
+            svc->OpenSession(bm.a, opts, bm.name);
+        if (!id.ok()) {
+            std::fprintf(stderr, "open %s: %s\n", bm.name.c_str(),
+                         id.status().ToString().c_str());
+            std::exit(1);
+        }
+        ids.push_back(*id);
+        mats.push_back(&bm);
+    }
+
+    // Measured region: admission of every request through the last
+    // response. Round-robin so all tenants stay loaded.
+    const auto t0 = std::chrono::steady_clock::now();
+    std::vector<RequestId> reqs;
+    for (int r = 0; r < serve.requests; ++r) {
+        for (int s = 0; s < serve.sessions; ++s) {
+            Vector b = mats[static_cast<std::size_t>(s)]->b;
+            const StatusOr<RequestId> id =
+                svc->SubmitSolve(ids[static_cast<std::size_t>(s)],
+                                 std::move(b));
+            if (!id.ok()) {
+                std::fprintf(stderr, "submit: %s\n",
+                             id.status().ToString().c_str());
+                std::exit(1);
+            }
+            reqs.push_back(*id);
+        }
+    }
+    std::vector<double> latencies_ms;
+    latencies_ms.reserve(reqs.size());
+    for (const RequestId id : reqs) {
+        const StatusOr<SolveResponse> resp = svc->Wait(id);
+        if (!resp.ok() || !resp->status.ok()) {
+            std::fprintf(stderr, "wait %llu: %s\n",
+                         static_cast<unsigned long long>(id),
+                         (resp.ok() ? resp->status : resp.status())
+                             .ToString()
+                             .c_str());
+            std::exit(1);
+        }
+        latencies_ms.push_back(
+            (resp->queue_seconds + resp->service_seconds) * 1e3);
+    }
+    const double wall = std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - t0)
+                            .count();
+
+    SweepRow row;
+    row.threads = service_threads;
+    row.wall_seconds = wall;
+    row.solves_per_sec = static_cast<double>(reqs.size()) / wall;
+    row.p50_ms = Percentile(latencies_ms, 50.0);
+    row.p99_ms = Percentile(latencies_ms, 99.0);
+    return row;
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    ServeArgs serve = ParseServeArgs(argc, argv);
+    BenchArgs args = BenchArgs::Parse(argc, argv);
+    if (args.quick) {
+        serve.sessions = 3;
+        serve.requests = 3;
+    }
+    PrintBanner(
+        "service throughput: multi-tenant solves/sec vs scheduler "
+        "threads",
+        "independent sessions overlap; results stay bit-identical "
+        "(test_service)",
+        args);
+
+    const std::vector<BenchMatrix> suite = LoadSuite(args);
+    AzulOptions base = BaseOptions(args);
+    // Serving benches measure latency under convergence, not fixed
+    // iteration counts.
+    base.tol = 1e-6;
+    base.max_iters = 500;
+
+    std::printf("%d sessions x %d requests, matrices cycled from the "
+                "%zu-matrix suite (host has %u hardware threads; "
+                "scaling flattens beyond that)\n\n",
+                serve.sessions, serve.requests, suite.size(),
+                std::thread::hardware_concurrency());
+    std::printf("%-16s %12s %10s %10s %10s %9s\n", "service-threads",
+                "solves/sec", "p50-ms", "p99-ms", "wall-s", "vs-1t");
+
+    double serial_rate = 0.0;
+    for (const int threads : {1, 2, 4, 8}) {
+        const SweepRow row =
+            RunSweepPoint(threads, serve, suite, base);
+        if (threads == 1) {
+            serial_rate = row.solves_per_sec;
+        }
+        std::printf("%-16d %12.2f %10.2f %10.2f %10.2f %8.2fx\n",
+                    row.threads, row.solves_per_sec, row.p50_ms,
+                    row.p99_ms, row.wall_seconds,
+                    row.solves_per_sec / serial_rate);
+    }
+    std::printf("\n(vs-1t > 1 means the shared scheduler beats "
+                "serial submission)\n");
+    return 0;
+}

@@ -40,7 +40,7 @@ Fits(const CsrMatrix& a, const CsrMatrix& l, std::int32_t grid)
     in.precond = PreconditionerKind::kIncompleteCholesky;
     in.mapping = &mapping;
     in.geom = cfg.geometry();
-    const PcgProgram prog = BuildPcgProgram(in);
+    const SolverProgram prog = BuildSolverProgram(SolverKind::kPcg, in);
     return ComputeSramUsage(prog, cfg).fits;
 }
 

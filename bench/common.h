@@ -47,7 +47,7 @@ struct BenchArgs {
     double scale = 1.0;
     std::int32_t grid = 8;
     Index iters = 3;
-    std::int32_t threads = SimThreadsFromEnv(1);
+    std::int32_t threads = 0; //!< 0 = resolved from env in Parse
     bool quick = false;
     std::string cache_dir;  //!< empty = mapping cache disabled
     std::string fault_spec; //!< ParseFaultSpec format; empty = off
@@ -86,6 +86,13 @@ struct BenchArgs {
                              arg.c_str());
                 std::exit(2);
             }
+        }
+        if (args.threads <= 0) {
+            // No explicit flag: the documented env overrides decide
+            // (flags > env > defaults, see ApplyEnvOverrides).
+            AzulOptions defaults;
+            ApplyEnvOverrides(defaults);
+            args.threads = defaults.sim.sim_threads;
         }
         return args;
     }
@@ -126,16 +133,18 @@ inline AzulOptions
 BaseOptions(const BenchArgs& args)
 {
     AzulOptions opts;
+    // Env first (AZUL_FAULTS, AZUL_MAPPING_CACHE, AZUL_SIM_THREADS),
+    // then the explicit flags on top so flags win.
+    ApplyEnvOverrides(opts);
     opts.sim.grid_width = args.grid;
     opts.sim.grid_height = args.grid;
     opts.sim.sim_threads = args.threads;
     opts.azul_mapper.partitioner.threads = args.threads;
-    opts.mapping_cache_dir = args.cache_dir;
+    if (!args.cache_dir.empty()) {
+        opts.mapping_cache_dir = args.cache_dir;
+    }
     opts.tol = 0.0; // run exactly `iters` iterations
     opts.max_iters = args.iters;
-    // Robustness knobs: the environment first, then the explicit
-    // --faults spec on top of it.
-    ApplyFaultEnv(opts.sim);
     if (!args.fault_spec.empty() &&
         !ParseFaultSpec(args.fault_spec, opts.sim)) {
         std::fprintf(stderr, "malformed --faults spec '%s'\n",

@@ -136,7 +136,13 @@ main()
             std::printf("-- switching resistor bank (UpdateValues, "
                         "mapping reused) --\n");
             g = ConductanceMatrix(2e-3);
-            system.UpdateValues(SystemMatrix(g));
+            const azul::Status updated =
+                system.UpdateValues(SystemMatrix(g));
+            if (!updated.ok()) {
+                std::fprintf(stderr, "UpdateValues failed: %s\n",
+                             updated.ToString().c_str());
+                return 1;
+            }
         }
     }
     std::printf("\n%d timesteps in %.1f us of simulated accelerator "

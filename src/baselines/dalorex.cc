@@ -27,7 +27,7 @@ RunDalorexPcg(const CsrMatrix& a, const CsrMatrix* l, const Vector& b,
     // Dalorex has no compiler-built multicast trees; sends are
     // point-to-point from each producing core.
     in.graph.use_trees = false;
-    const SolverProgram program = BuildPcgProgram(in);
+    const SolverProgram program = BuildSolverProgram(SolverKind::kPcg, in);
 
     Machine machine(cfg, &program);
     DalorexResult result;

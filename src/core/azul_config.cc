@@ -1,5 +1,6 @@
 #include "core/azul_config.h"
 
+#include <cstdlib>
 #include <sstream>
 
 namespace azul {
@@ -8,8 +9,8 @@ std::string
 AzulOptions::ToString() const
 {
     std::ostringstream oss;
-    oss << sim.ToString() << ", precond="
-        << PreconditionerKindName(precond)
+    oss << sim.ToString() << ", solver=" << SolverKindName(solver)
+        << ", precond=" << PreconditionerKindName(precond)
         << ", mapper=" << MapperKindName(mapper)
         << (color_and_permute ? ", colored" : ", uncolored")
         << (graph.use_trees ? ", trees" : ", p2p");
@@ -17,6 +18,42 @@ AzulOptions::ToString() const
         oss << ", cache=" << mapping_cache_dir;
     }
     return oss.str();
+}
+
+void
+ApplyEnvOverrides(AzulOptions& opts)
+{
+    // Host parallelism: one knob drives both the simulation engine
+    // and the parallel partitioner, exactly as the bench --threads
+    // flag does.
+    const std::int32_t threads =
+        SimThreadsFromEnv(opts.sim.sim_threads);
+    opts.sim.sim_threads = threads;
+    opts.azul_mapper.partitioner.threads = threads;
+
+    if (opts.mapping_cache_dir.empty()) {
+        if (const char* dir = std::getenv("AZUL_MAPPING_CACHE")) {
+            opts.mapping_cache_dir = dir;
+        }
+    }
+
+    // Malformed AZUL_FAULTS specs are rejected atomically inside.
+    ApplyFaultEnv(opts.sim);
+}
+
+std::uint64_t
+StressSeedFromEnv(std::uint64_t fallback)
+{
+    const char* env = std::getenv("AZUL_STRESS_SEED");
+    if (env == nullptr || *env == '\0') {
+        return fallback;
+    }
+    char* end = nullptr;
+    const unsigned long long v = std::strtoull(env, &end, 0);
+    if (end == env || *end != '\0') {
+        return fallback;
+    }
+    return static_cast<std::uint64_t>(v);
 }
 
 } // namespace azul

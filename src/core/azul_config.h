@@ -7,8 +7,10 @@
 #ifndef AZUL_CORE_AZUL_CONFIG_H_
 #define AZUL_CORE_AZUL_CONFIG_H_
 
+#include <cstdint>
 #include <string>
 
+#include "dataflow/program.h"
 #include "dataflow/spmv_graph.h"
 #include "mapping/mapper_factory.h"
 #include "sim/config.h"
@@ -21,6 +23,12 @@ namespace azul {
 struct AzulOptions {
     /** Machine parameters (Table III, scaled by default). */
     SimConfig sim;
+    /** Iterative method the system compiles and runs. kJacobi and
+     *  kBiCgStab are their own methods and require precond =
+     *  kIdentity (AzulSystem::Create rejects other combinations). */
+    SolverKind solver = SolverKind::kPcg;
+    /** Damping weight of the kJacobi solver (ignored otherwise). */
+    double jacobi_omega = 2.0 / 3.0;
     /** Preconditioner; PCG with IC(0) is the paper's evaluation. */
     PreconditionerKind precond =
         PreconditionerKind::kIncompleteCholesky;
@@ -54,9 +62,45 @@ struct AzulOptions {
     /** Solver controls. */
     double tol = 1e-8;
     Index max_iters = 1000;
+    /**
+     * When true, AzulSystem::Create fails with RESOURCE_EXHAUSTED if
+     * the compiled program does not fit the per-tile scratchpads.
+     * When false (default, and always via the deprecated throwing
+     * constructor), overflow only logs a warning — the simulator
+     * models the spill penalty and many sweeps oversubscribe on
+     * purpose.
+     */
+    bool strict_sram_fit = false;
 
     std::string ToString() const;
 };
+
+/**
+ * Applies the documented environment overrides to `opts` — the single
+ * consolidated entry point for env parsing (benches, tools, and the
+ * service route through here). Precedence is flags > env > defaults:
+ * call this on a default-constructed options struct *before* applying
+ * command-line flags, so explicit flags win.
+ *
+ *   AZUL_SIM_THREADS    host threads for the simulation engine and
+ *                       the parallel partitioner (results are
+ *                       bit-identical at any thread count)
+ *   AZUL_MAPPING_CACHE  persistent mapping-cache directory
+ *   AZUL_FAULTS         fault-injection spec (ParseFaultSpec format;
+ *                       malformed specs are ignored atomically)
+ *
+ * Unset or invalid variables leave the corresponding fields at their
+ * defaults.
+ */
+void ApplyEnvOverrides(AzulOptions& opts);
+
+/**
+ * Seed of the randomized stress/fuzz sweeps from AZUL_STRESS_SEED, or
+ * `fallback` when unset/invalid — the reproduction knob printed by a
+ * failing stress test (docs/TESTING.md). Lives here with the other
+ * env parsing rather than in each test file.
+ */
+std::uint64_t StressSeedFromEnv(std::uint64_t fallback);
 
 } // namespace azul
 

@@ -2,6 +2,7 @@
 
 #include <chrono>
 #include <optional>
+#include <sstream>
 #include <utility>
 
 #include "mapping/mapping_cache.h"
@@ -20,14 +21,108 @@ SecondsSince(const std::chrono::steady_clock::time_point& start)
         .count();
 }
 
+/** Validates everything Create can reject without running the
+ *  pipeline; OK means Init may proceed. */
+Status
+ValidateCreate(const CsrMatrix& a, const AzulOptions& options)
+{
+    std::ostringstream oss;
+    if (a.rows() != a.cols()) {
+        oss << "matrix must be square (" << a.rows() << "x"
+            << a.cols() << ")";
+        return InvalidArgument(oss.str());
+    }
+    if (a.rows() == 0) {
+        return InvalidArgument("empty matrix");
+    }
+    if (options.sim.grid_width <= 0 || options.sim.grid_height <= 0) {
+        oss << "tile grid must be positive ("
+            << options.sim.grid_width << "x"
+            << options.sim.grid_height << ")";
+        return InvalidArgument(oss.str());
+    }
+    if (!(options.tol >= 0.0)) {
+        oss << "tolerance must be >= 0 (got " << options.tol << ")";
+        return InvalidArgument(oss.str());
+    }
+    if (options.max_iters < 0) {
+        oss << "max_iters must be >= 0 (got " << options.max_iters
+            << ")";
+        return InvalidArgument(oss.str());
+    }
+    if (options.solver != SolverKind::kPcg &&
+        options.precond != PreconditionerKind::kIdentity) {
+        oss << "solver " << SolverKindName(options.solver)
+            << " is its own method and supports only precond=none "
+               "(got "
+            << PreconditionerKindName(options.precond) << ")";
+        return InvalidArgument(oss.str());
+    }
+    if (options.solver == SolverKind::kJacobi &&
+        !(options.jacobi_omega > 0.0 &&
+          options.jacobi_omega <= 1.0)) {
+        oss << "jacobi_omega must be in (0, 1] (got "
+            << options.jacobi_omega << ")";
+        return InvalidArgument(oss.str());
+    }
+    if (options.precomputed_mapping != nullptr &&
+        options.precomputed_mapping->num_tiles !=
+            options.sim.num_tiles()) {
+        oss << "precomputed mapping targets "
+            << options.precomputed_mapping->num_tiles
+            << " tiles but the machine has "
+            << options.sim.num_tiles();
+        return InvalidArgument(oss.str());
+    }
+    return OkStatus();
+}
+
 } // namespace
 
-AzulSystem::AzulSystem(CsrMatrix a, AzulOptions options)
-    : options_(std::move(options))
+StatusOr<AzulSystem>
+AzulSystem::Create(CsrMatrix a, AzulOptions options)
 {
-    AZUL_CHECK(a.rows() == a.cols());
-    AZUL_CHECK_MSG(a.rows() > 0, "empty matrix");
+    AZUL_RETURN_IF_ERROR(ValidateCreate(a, options));
+    AzulSystem sys;
+    sys.options_ = std::move(options);
+    try {
+        sys.Init(std::move(a));
+    } catch (const AzulError& e) {
+        // The pipeline's own validation tripped on user input the
+        // upfront checks cannot see (e.g. a structurally invalid
+        // precomputed mapping, a zero Jacobi diagonal).
+        return InvalidArgument(e.what());
+    }
+    if (sys.options_.strict_sram_fit) {
+        const SramUsage usage = sys.sram_usage();
+        if (!usage.fits) {
+            std::ostringstream oss;
+            oss << "problem exceeds per-tile SRAM: data="
+                << usage.max_data_bytes << " B, accum="
+                << usage.max_accum_bytes << " B (configured "
+                << sys.options_.sim.data_sram_kb << "+"
+                << sys.options_.sim.accum_sram_kb << " KB)";
+            return ResourceExhausted(oss.str());
+        }
+    }
+    return sys;
+}
 
+AzulSystem::AzulSystem(CsrMatrix a, AzulOptions options)
+    : AzulSystem([&] {
+          StatusOr<AzulSystem> sys =
+              Create(std::move(a), std::move(options));
+          if (!sys.ok()) {
+              throw AzulError(sys.status().ToString());
+          }
+          return *std::move(sys);
+      }())
+{
+}
+
+void
+AzulSystem::Init(CsrMatrix a)
+{
     // 1. Coloring + permutation preprocessing.
     if (options_.color_and_permute) {
         ColoredMatrix colored = ColorAndPermute(a);
@@ -40,11 +135,13 @@ AzulSystem::AzulSystem(CsrMatrix a, AzulOptions options)
         perm_ = Permutation(a_.rows());
     }
 
-    // 2. Preconditioner factorization.
+    // 2. Preconditioner factorization (kPcg only; the other solver
+    // kinds are their own methods — Create enforces precond=none).
     const bool factored =
-        options_.precond == PreconditionerKind::kIncompleteCholesky ||
-        options_.precond == PreconditionerKind::kSymmetricGaussSeidel ||
-        options_.precond == PreconditionerKind::kSsor;
+        options_.solver == SolverKind::kPcg &&
+        (options_.precond == PreconditionerKind::kIncompleteCholesky ||
+         options_.precond == PreconditionerKind::kSymmetricGaussSeidel ||
+         options_.precond == PreconditionerKind::kSsor);
     if (factored) {
         const auto precond = MakePreconditioner(
             options_.precond, a_, options_.ssor_omega);
@@ -57,9 +154,6 @@ AzulSystem::AzulSystem(CsrMatrix a, AzulOptions options)
     prob.l = factored ? &l_ : nullptr;
     if (options_.precomputed_mapping != nullptr) {
         mapping_ = *options_.precomputed_mapping;
-        AZUL_CHECK_MSG(mapping_.num_tiles == options_.sim.num_tiles(),
-                       "precomputed mapping targets a different "
-                       "machine size");
         mapping_.Validate(prob);
     } else {
         AzulMapperOptions mopts = options_.azul_mapper;
@@ -107,13 +201,15 @@ AzulSystem::AzulSystem(CsrMatrix a, AzulOptions options)
         in.mapping = &mapping_;
         in.geom = options_.sim.geometry();
         in.graph = options_.graph;
+        in.jacobi_omega = options_.jacobi_omega;
         const auto t0 = std::chrono::steady_clock::now();
-        program_ = BuildPcgProgram(in);
+        program_ = std::make_unique<SolverProgram>(
+            BuildSolverProgram(options_.solver, in));
         compile_seconds_ = SecondsSince(t0);
     }
 
     // 5. Machine instantiation.
-    machine_ = std::make_unique<Machine>(options_.sim, &program_);
+    machine_ = std::make_unique<Machine>(options_.sim, program_.get());
     const SramUsage usage = sram_usage();
     if (!usage.fits) {
         AZUL_LOG(kWarn)
@@ -128,17 +224,23 @@ AzulSystem::AzulSystem(CsrMatrix a, AzulOptions options)
 SramUsage
 AzulSystem::sram_usage() const
 {
-    return ComputeSramUsage(program_, options_.sim);
+    return ComputeSramUsage(*program_, options_.sim);
 }
 
 SolveReport
 AzulSystem::Solve(const Vector& b)
 {
+    return Solve(b, RunBudget{});
+}
+
+SolveReport
+AzulSystem::Solve(const Vector& b, const RunBudget& budget)
+{
     AZUL_CHECK(static_cast<Index>(b.size()) == a_.rows());
     const Vector b_perm = PermuteVector(b, perm_);
     SolveReport report;
     report.run = SolverDriver().Run(*machine_, b_perm, options_.tol,
-                                    options_.max_iters);
+                                    options_.max_iters, budget);
     report.run.x = UnpermuteVector(report.run.x, perm_);
     report.gflops = report.run.Gflops(options_.sim.clock_ghz);
     report.peak_fraction = report.gflops / options_.sim.PeakGflops();
@@ -153,34 +255,51 @@ AzulSystem::Solve(const Vector& b)
     return report;
 }
 
-void
+Status
 AzulSystem::UpdateValues(const CsrMatrix& a_new)
 {
-    AZUL_CHECK_MSG(a_new.rows() == a_.rows() &&
-                       a_new.nnz() == a_.nnz(),
-                   "UpdateValues requires the same sparsity pattern");
-    CsrMatrix permuted = PermuteSymmetric(a_new, perm_);
-    AZUL_CHECK_MSG(permuted.col_idx() == a_.col_idx() &&
-                       permuted.row_ptr() == a_.row_ptr(),
-                   "UpdateValues requires the same sparsity pattern");
-    a_ = std::move(permuted);
-    const bool factored = l_.nnz() > 0;
-    if (factored) {
-        const auto precond = MakePreconditioner(
-            options_.precond, a_, options_.ssor_omega);
-        l_ = *precond->lower_factor();
+    if (a_new.rows() != a_.rows() || a_new.nnz() != a_.nnz()) {
+        std::ostringstream oss;
+        oss << "UpdateValues requires the same sparsity pattern (got "
+            << a_new.rows() << "x" << a_new.cols() << " with "
+            << a_new.nnz() << " nnz; expected " << a_.rows() << "x"
+            << a_.cols() << " with " << a_.nnz() << " nnz)";
+        return InvalidArgument(oss.str());
     }
-    // Recompile kernels in place: mapping and machine geometry are
-    // unchanged, so only the coefficient tables change.
-    ProgramBuildInputs in;
-    in.a = &a_;
-    in.l = factored ? &l_ : nullptr;
-    in.precond = options_.precond;
-    in.mapping = &mapping_;
-    in.geom = options_.sim.geometry();
-    in.graph = options_.graph;
-    program_ = BuildPcgProgram(in);
-    machine_ = std::make_unique<Machine>(options_.sim, &program_);
+    CsrMatrix permuted = PermuteSymmetric(a_new, perm_);
+    if (permuted.col_idx() != a_.col_idx() ||
+        permuted.row_ptr() != a_.row_ptr()) {
+        return InvalidArgument(
+            "UpdateValues requires the same sparsity pattern");
+    }
+    try {
+        a_ = std::move(permuted);
+        const bool factored = l_.nnz() > 0;
+        if (factored) {
+            const auto precond = MakePreconditioner(
+                options_.precond, a_, options_.ssor_omega);
+            l_ = *precond->lower_factor();
+        }
+        // Recompile kernels in place: mapping and machine geometry
+        // are unchanged, so only the coefficient tables change.
+        ProgramBuildInputs in;
+        in.a = &a_;
+        in.l = factored ? &l_ : nullptr;
+        in.precond = options_.precond;
+        in.mapping = &mapping_;
+        in.geom = options_.sim.geometry();
+        in.graph = options_.graph;
+        in.jacobi_omega = options_.jacobi_omega;
+        program_ = std::make_unique<SolverProgram>(
+            BuildSolverProgram(options_.solver, in));
+        machine_ =
+            std::make_unique<Machine>(options_.sim, program_.get());
+    } catch (const AzulError& e) {
+        // Refactorization/recompilation rejected the new values
+        // (e.g. a zero Jacobi diagonal).
+        return InvalidArgument(e.what());
+    }
+    return OkStatus();
 }
 
 SimStats
@@ -188,9 +307,9 @@ AzulSystem::RunKernelOnce(int matrix_kernel_index, const Vector& input)
 {
     AZUL_CHECK(matrix_kernel_index >= 0 &&
                matrix_kernel_index <
-                   static_cast<int>(program_.matrix_kernels.size()));
+                   static_cast<int>(program_->matrix_kernels.size()));
     const MatrixKernel& kernel =
-        program_.matrix_kernels[static_cast<std::size_t>(
+        program_->matrix_kernels[static_cast<std::size_t>(
             matrix_kernel_index)];
     machine_->LoadProblem(Vector(input.size(), 0.0));
     const Vector in_perm = PermuteVector(input, perm_);

@@ -11,7 +11,13 @@
  *
  * A single instance amortizes the expensive preprocessing across many
  * solves — exactly the physical-simulation use case of Sec II-C where
- * one mapping serves millions of timesteps.
+ * one mapping serves millions of timesteps. The serving layer
+ * (src/service/azul_service.h) multiplexes many instances.
+ *
+ * Construction is fallible: `AzulSystem::Create` validates the user's
+ * matrix/configuration and returns a typed Status instead of
+ * throwing (docs/API.md). The throwing constructor is a deprecated
+ * shim over Create and will be removed.
  */
 #ifndef AZUL_CORE_AZUL_SYSTEM_H_
 #define AZUL_CORE_AZUL_SYSTEM_H_
@@ -23,6 +29,7 @@
 #include "dataflow/program.h"
 #include "sim/machine.h"
 #include "sparse/permute.h"
+#include "util/status.h"
 
 namespace azul {
 
@@ -32,20 +39,45 @@ class AzulSystem {
     /**
      * Builds the system: colors/permutes the matrix, factors the
      * preconditioner, maps data, compiles the program, and
-     * instantiates the simulated machine.
+     * instantiates the simulated machine. Invalid user input — a
+     * non-square or empty matrix, a non-positive tile grid, a
+     * precomputed mapping for a different machine size, a solver /
+     * preconditioner combination the compiler rejects, or (with
+     * options.strict_sram_fit) a program that overflows the
+     * scratchpads — returns a non-OK Status instead of aborting.
+     */
+    static StatusOr<AzulSystem> Create(CsrMatrix a,
+                                       AzulOptions options);
+
+    /**
+     * Deprecated: throwing wrapper over Create — throws AzulError
+     * with the Status text on invalid input. Prefer Create; this
+     * stays for one PR so out-of-tree callers can migrate.
      */
     AzulSystem(CsrMatrix a, AzulOptions options);
+
+    AzulSystem(AzulSystem&&) = default;
+    AzulSystem& operator=(AzulSystem&&) = default;
 
     /** Solves A x = b on the simulated accelerator. The right-hand
      *  side and returned x are in the caller's original row order. */
     SolveReport Solve(const Vector& b);
 
     /**
+     * Solve under a resource budget (serving layer: per-request cycle
+     * budgets). Identical to Solve(b) until the budget expires;
+     * truncated runs are labeled FailureKind::kBudgetExhausted.
+     */
+    SolveReport Solve(const Vector& b, const RunBudget& budget);
+
+    /**
      * Updates A's numeric values in place (same sparsity pattern) and
      * refactors the preconditioner — the cheap per-timestep path of
-     * Sec II-C. Mapping and tree structure are reused.
+     * Sec II-C. Mapping and tree structure are reused. Returns
+     * INVALID_ARGUMENT (leaving the system untouched) when a_new has
+     * a different shape or sparsity pattern.
      */
-    void UpdateValues(const CsrMatrix& a_new);
+    Status UpdateValues(const CsrMatrix& a_new);
 
     /**
      * Runs one standalone kernel with the machine's current vector
@@ -62,7 +94,7 @@ class AzulSystem {
     }
     const Permutation& permutation() const { return perm_; }
     const DataMapping& mapping() const { return mapping_; }
-    const SolverProgram& program() const { return program_; }
+    const SolverProgram& program() const { return *program_; }
     Machine& machine() { return *machine_; }
     double mapping_seconds() const { return mapping_seconds_; }
     double compile_seconds() const { return compile_seconds_; }
@@ -73,12 +105,20 @@ class AzulSystem {
     SramUsage sram_usage() const;
 
   private:
+    AzulSystem() = default; //!< Create fills the members in
+
+    /** The construction pipeline behind Create (may throw AzulError
+     *  from internal validation; Create converts to Status). */
+    void Init(CsrMatrix a);
+
     AzulOptions options_;
     CsrMatrix a_;        //!< permuted system matrix
     CsrMatrix l_;        //!< lower factor (empty if not factored)
     Permutation perm_;   //!< coloring permutation (identity if off)
     DataMapping mapping_;
-    SolverProgram program_;
+    /** Heap-allocated so the machine's pointer to it survives moves
+     *  of the AzulSystem (StatusOr/containers move freely). */
+    std::unique_ptr<SolverProgram> program_;
     std::unique_ptr<Machine> machine_;
     double mapping_seconds_ = 0.0;
     double compile_seconds_ = 0.0;

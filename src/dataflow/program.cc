@@ -5,8 +5,12 @@
 
 namespace azul {
 
+namespace {
+
+/** Compiles the full PCG program: SpMV + preconditioner application +
+ *  vector ops (Listing 1 of the paper). */
 SolverProgram
-BuildPcgProgram(const ProgramBuildInputs& in)
+BuildPcg(const ProgramBuildInputs& in)
 {
     AZUL_CHECK(in.a != nullptr);
     AZUL_CHECK(in.mapping != nullptr);
@@ -158,6 +162,38 @@ BuildPcgProgram(const ProgramBuildInputs& in)
         prog.recompute_flops += n;
     }
     return prog;
+}
+
+} // namespace
+
+const char*
+SolverKindName(SolverKind kind)
+{
+    switch (kind) {
+      case SolverKind::kPcg: return "pcg";
+      case SolverKind::kJacobi: return "jacobi";
+      case SolverKind::kBiCgStab: return "bicgstab";
+    }
+    return "unknown";
+}
+
+SolverProgram
+BuildSolverProgram(SolverKind kind, const ProgramBuildInputs& in)
+{
+    AZUL_CHECK(in.a != nullptr);
+    AZUL_CHECK(in.mapping != nullptr);
+    switch (kind) {
+      case SolverKind::kPcg:
+        return BuildPcg(in);
+      case SolverKind::kJacobi:
+        return BuildJacobiSolverProgram(*in.a, *in.mapping, in.geom,
+                                        in.jacobi_omega, in.graph);
+      case SolverKind::kBiCgStab:
+        return BuildBiCgStabProgram(*in.a, *in.mapping, in.geom,
+                                    in.graph);
+    }
+    AZUL_CHECK_MSG(false, "unknown solver kind");
+    return SolverProgram{};
 }
 
 SolverProgram

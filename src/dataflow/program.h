@@ -137,9 +137,15 @@ struct SolverProgram {
     }
 };
 
-/** Deprecated alias — every solver squatted in the "PCG" container
- *  before the IR/engine split. Use SolverProgram in new code. */
-using PcgProgram = SolverProgram;
+/** The iterative methods the program compiler knows how to build. */
+enum class SolverKind : std::uint8_t {
+    kPcg,      //!< preconditioned CG (Listing 1; the paper's default)
+    kJacobi,   //!< weighted Jacobi (damped Richardson)
+    kBiCgStab, //!< unpreconditioned BiCGStab (nonsymmetric systems)
+};
+
+/** Printable solver-kind name ("pcg", "jacobi", "bicgstab"). */
+const char* SolverKindName(SolverKind kind);
 
 /** Inputs to program compilation. */
 struct ProgramBuildInputs {
@@ -150,13 +156,19 @@ struct ProgramBuildInputs {
     const DataMapping* mapping = nullptr;
     TorusGeometry geom;
     GraphOptions graph;
+    /** Damping weight of the kJacobi solver (ignored otherwise). */
+    double jacobi_omega = 2.0 / 3.0;
 };
 
 /**
- * Compiles the full PCG program: SpMV + preconditioner application +
- * vector ops, on the placement given by the mapping.
+ * Compiles a solver program of the requested kind on the placement
+ * given by the mapping — the single compilation entry point. kPcg
+ * honors `in.precond`/`in.l`; kJacobi and kBiCgStab are their own
+ * methods and ignore the preconditioner fields (pass
+ * PreconditionerKind::kIdentity and l = nullptr).
  */
-SolverProgram BuildPcgProgram(const ProgramBuildInputs& in);
+SolverProgram BuildSolverProgram(SolverKind kind,
+                                 const ProgramBuildInputs& in);
 
 /**
  * Compiles a weighted-Jacobi (damped Richardson) solver program —

@@ -1,0 +1,347 @@
+#include "service/azul_service.h"
+
+#include <chrono>
+#include <sstream>
+#include <utility>
+
+#include "util/logging.h"
+
+namespace azul {
+
+StatusOr<std::unique_ptr<AzulService>>
+AzulService::Create(ServiceOptions options)
+{
+    if (options.num_threads < 1) {
+        std::ostringstream oss;
+        oss << "num_threads must be >= 1 (got "
+            << options.num_threads << ")";
+        return InvalidArgument(oss.str());
+    }
+    if (options.max_queue < 1) {
+        return InvalidArgument("max_queue must be >= 1");
+    }
+    if (options.default_deadline_seconds < 0.0) {
+        std::ostringstream oss;
+        oss << "default_deadline_seconds must be >= 0 (got "
+            << options.default_deadline_seconds << ")";
+        return InvalidArgument(oss.str());
+    }
+    return std::unique_ptr<AzulService>(
+        new AzulService(std::move(options)));
+}
+
+AzulService::AzulService(ServiceOptions options)
+    : options_(std::move(options)),
+      scheduler_(std::make_unique<Scheduler>(options_.num_threads))
+{
+}
+
+AzulService::~AzulService()
+{
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        shutdown_ = true; // reject new admissions
+    }
+    // Every admitted request still gets its response (the sessions
+    // keep rescheduling themselves until their FIFOs drain), so a
+    // Wait() racing destruction never hangs on a broken promise.
+    Drain();
+    scheduler_->Stop();
+}
+
+StatusOr<SessionId>
+AzulService::OpenSession(CsrMatrix a, AzulOptions opts,
+                         std::string name)
+{
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (shutdown_) {
+            return Unavailable("service is shutting down");
+        }
+    }
+    if (opts.mapping_cache_dir.empty()) {
+        opts.mapping_cache_dir = options_.mapping_cache_dir;
+    }
+    // The expensive amortized step; deliberately outside the service
+    // lock so tenants can open sessions while others are served.
+    StatusOr<AzulSystem> sys =
+        AzulSystem::Create(std::move(a), std::move(opts));
+    if (!sys.ok()) {
+        return sys.status();
+    }
+
+    std::lock_guard<std::mutex> lock(mu_);
+    if (shutdown_) {
+        return Unavailable("service is shutting down");
+    }
+    const SessionId id = next_session_++;
+    if (name.empty()) {
+        name = "session-" + std::to_string(id);
+    }
+    auto session = std::make_shared<Session>(id, std::move(name),
+                                             *std::move(sys));
+    stats_.mapping_cache_hits += session->mapping_cache_hits();
+    stats_.mapping_cache_misses += session->mapping_cache_misses();
+    ++stats_.sessions_opened;
+    AZUL_LOG(kInfo) << "service: opened " << session->name() << " ("
+                    << session->rows() << " rows)";
+    sessions_.emplace(id, std::move(session));
+    return id;
+}
+
+Status
+AzulService::CloseSession(SessionId session)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = sessions_.find(session);
+    if (it == sessions_.end()) {
+        std::ostringstream oss;
+        oss << "unknown session id " << session;
+        return NotFound(oss.str());
+    }
+    if (!it->second->closed()) {
+        it->second->MarkClosed();
+        ++stats_.sessions_closed;
+    }
+    return OkStatus();
+}
+
+namespace {
+
+/** Fills a request's zero budgets from the service defaults. */
+void
+ApplyDefaults(const ServiceOptions& service, SubmitOptions& opts)
+{
+    if (opts.cycle_budget == 0) {
+        opts.cycle_budget = service.default_cycle_budget;
+    }
+    if (opts.deadline_seconds == 0.0) {
+        opts.deadline_seconds = service.default_deadline_seconds;
+    }
+}
+
+} // namespace
+
+StatusOr<RequestId>
+AzulService::Submit(SessionId session, Request req)
+{
+    std::shared_ptr<Session> target;
+    bool newly_runnable = false;
+    RequestId id = 0;
+    int priority = 0;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (shutdown_) {
+            ++stats_.rejected;
+            return Unavailable("service is shutting down");
+        }
+        auto it = sessions_.find(session);
+        if (it == sessions_.end()) {
+            ++stats_.rejected;
+            std::ostringstream oss;
+            oss << "unknown session id " << session;
+            return NotFound(oss.str());
+        }
+        target = it->second;
+        if (target->closed()) {
+            ++stats_.rejected;
+            std::ostringstream oss;
+            oss << target->name() << " is closed";
+            return FailedPrecondition(oss.str());
+        }
+        if (req.kind == RequestKind::kSolve &&
+            static_cast<Index>(req.b.size()) != target->rows()) {
+            ++stats_.rejected;
+            std::ostringstream oss;
+            oss << "rhs has " << req.b.size() << " entries but "
+                << target->name() << " solves " << target->rows()
+                << " rows";
+            return InvalidArgument(oss.str());
+        }
+        if (pending_ >= options_.max_queue) {
+            ++stats_.rejected;
+            std::ostringstream oss;
+            oss << "admission queue full (" << pending_ << "/"
+                << options_.max_queue << " requests pending)";
+            return ResourceExhausted(oss.str());
+        }
+        id = next_request_++;
+        ++pending_;
+        ++stats_.submitted;
+        req.id = id;
+        ApplyDefaults(options_, req.opts);
+        priority = req.opts.priority;
+        req.admitted = std::chrono::steady_clock::now();
+        results_.emplace(id, req.promise.get_future());
+        newly_runnable = target->Enqueue(std::move(req));
+    }
+    if (newly_runnable) {
+        ScheduleSession(std::move(target), priority);
+    }
+    return id;
+}
+
+StatusOr<RequestId>
+AzulService::SubmitSolve(SessionId session, Vector b,
+                         SubmitOptions opts)
+{
+    Request req;
+    req.kind = RequestKind::kSolve;
+    req.b = std::move(b);
+    req.opts = opts;
+    return Submit(session, std::move(req));
+}
+
+StatusOr<std::vector<RequestId>>
+AzulService::SubmitBatch(SessionId session, std::vector<Vector> rhs,
+                         SubmitOptions opts)
+{
+    if (rhs.empty()) {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++stats_.rejected;
+        return InvalidArgument("empty batch");
+    }
+    std::shared_ptr<Session> target;
+    bool newly_runnable = false;
+    std::vector<RequestId> ids;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (shutdown_) {
+            ++stats_.rejected;
+            return Unavailable("service is shutting down");
+        }
+        auto it = sessions_.find(session);
+        if (it == sessions_.end()) {
+            ++stats_.rejected;
+            std::ostringstream oss;
+            oss << "unknown session id " << session;
+            return NotFound(oss.str());
+        }
+        target = it->second;
+        if (target->closed()) {
+            ++stats_.rejected;
+            std::ostringstream oss;
+            oss << target->name() << " is closed";
+            return FailedPrecondition(oss.str());
+        }
+        for (const Vector& b : rhs) {
+            if (static_cast<Index>(b.size()) != target->rows()) {
+                ++stats_.rejected;
+                std::ostringstream oss;
+                oss << "batch rhs has " << b.size()
+                    << " entries but " << target->name()
+                    << " solves " << target->rows() << " rows";
+                return InvalidArgument(oss.str());
+            }
+        }
+        // Atomic admission: the whole batch or nothing.
+        if (pending_ + rhs.size() > options_.max_queue) {
+            ++stats_.rejected;
+            std::ostringstream oss;
+            oss << "admission queue cannot fit the batch ("
+                << pending_ << " pending + " << rhs.size() << " > "
+                << options_.max_queue << ")";
+            return ResourceExhausted(oss.str());
+        }
+        ids.reserve(rhs.size());
+        const auto now = std::chrono::steady_clock::now();
+        for (Vector& b : rhs) {
+            Request req;
+            req.kind = RequestKind::kSolve;
+            req.b = std::move(b);
+            req.opts = opts;
+            ApplyDefaults(options_, req.opts);
+            req.id = next_request_++;
+            req.admitted = now;
+            ++pending_;
+            ++stats_.submitted;
+            ids.push_back(req.id);
+            results_.emplace(req.id, req.promise.get_future());
+            // Only the first enqueue of an idle session reports it
+            // newly runnable.
+            newly_runnable |= target->Enqueue(std::move(req));
+        }
+    }
+    if (newly_runnable) {
+        ScheduleSession(std::move(target), opts.priority);
+    }
+    return ids;
+}
+
+StatusOr<RequestId>
+AzulService::SubmitUpdateValues(SessionId session, CsrMatrix a_new,
+                                SubmitOptions opts)
+{
+    Request req;
+    req.kind = RequestKind::kUpdateValues;
+    req.a_new = std::move(a_new);
+    req.opts = opts;
+    return Submit(session, std::move(req));
+}
+
+StatusOr<SolveResponse>
+AzulService::Wait(RequestId id)
+{
+    std::future<SolveResponse> fut;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        auto it = results_.find(id);
+        if (it == results_.end()) {
+            std::ostringstream oss;
+            oss << "unknown or already-waited request id " << id;
+            return NotFound(oss.str());
+        }
+        fut = std::move(it->second);
+        results_.erase(it);
+    }
+    return fut.get();
+}
+
+void
+AzulService::Drain()
+{
+    std::unique_lock<std::mutex> lock(mu_);
+    drain_cv_.wait(lock, [this] { return pending_ == 0; });
+}
+
+ServiceStats
+AzulService::stats() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return stats_;
+}
+
+void
+AzulService::ScheduleSession(std::shared_ptr<Session> session,
+                             int priority)
+{
+    scheduler_->Submit(
+        [this, session = std::move(session)] { ExecuteOne(session); },
+        priority);
+}
+
+void
+AzulService::ExecuteOne(const std::shared_ptr<Session>& session)
+{
+    Request req = session->PopFront();
+    std::promise<SolveResponse> promise = std::move(req.promise);
+    SolveResponse resp = session->Execute(std::move(req));
+    const bool expired =
+        resp.status.code() == StatusCode::kDeadlineExceeded;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        --pending_;
+        ++stats_.completed;
+        if (expired) {
+            ++stats_.deadline_expired;
+        }
+    }
+    promise.set_value(std::move(resp));
+    drain_cv_.notify_all();
+    int next_priority = 0;
+    if (session->FinishOne(&next_priority)) {
+        ScheduleSession(session, next_priority);
+    }
+}
+
+} // namespace azul

@@ -1,0 +1,89 @@
+#include "service/scheduler.h"
+
+#include <utility>
+
+#include "util/logging.h"
+
+namespace azul {
+
+Scheduler::Scheduler(int num_threads)
+    : num_threads_(num_threads < 1 ? 1 : num_threads),
+      pool_(num_threads_ + 1)
+{
+    dispatcher_ = std::thread([this] {
+        try {
+            pool_.RunTaskTree([this] { DispatchLoop(); });
+        } catch (const std::exception& e) {
+            // Closures swallow their own exceptions, so only a pool
+            // invariant failure can land here; the queue is already
+            // closed or will be by Stop(), so just record it.
+            AZUL_LOG(kError)
+                << "scheduler dispatch tree failed: " << e.what();
+        }
+    });
+}
+
+Scheduler::~Scheduler()
+{
+    Stop();
+}
+
+void
+Scheduler::Submit(std::function<void()> fn, int priority)
+{
+    // Unbounded queue: TryPush only fails after Stop(), when the
+    // service has already ceased admitting work.
+    (void)queue_.TryPush(std::move(fn), priority);
+}
+
+void
+Scheduler::Stop()
+{
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (stopped_) {
+            return;
+        }
+        stopped_ = true;
+    }
+    queue_.Close();
+    if (dispatcher_.joinable()) {
+        dispatcher_.join();
+    }
+}
+
+void
+Scheduler::DispatchLoop()
+{
+    for (;;) {
+        std::optional<std::function<void()>> fn = queue_.Pop();
+        if (!fn.has_value()) {
+            // Closed and drained; the task tree ends once the
+            // in-flight executions finish (they are counted as
+            // outstanding tasks of the tree).
+            return;
+        }
+        {
+            std::unique_lock<std::mutex> lock(mu_);
+            slot_cv_.wait(lock, [this] {
+                return in_flight_ < num_threads_;
+            });
+            ++in_flight_;
+        }
+        pool_.SubmitTask([this, f = std::move(*fn)] {
+            try {
+                f();
+            } catch (...) {
+                AZUL_LOG(kError)
+                    << "scheduler closure threw; dropping";
+            }
+            {
+                std::lock_guard<std::mutex> lock(mu_);
+                --in_flight_;
+            }
+            slot_cv_.notify_one();
+        });
+    }
+}
+
+} // namespace azul

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Priority dispatch over the service's one shared util/ThreadPool.
+ *
+ * The pool is a fork-join pool (ParallelFor / task trees), not a
+ * long-running executor, so the scheduler bridges the two worlds: a
+ * dedicated dispatcher thread runs one long-lived task tree whose
+ * root is the dispatch loop. The loop pops the priority WorkQueue and
+ * SubmitTask()s each closure to the pool's workers, keeping at most
+ * `num_threads` executions in flight — the throttle is what makes the
+ * priority order meaningful (a lower-priority task never occupies a
+ * worker while a higher-priority one waits in the queue). The pool is
+ * sized num_threads + 1 so the blocked dispatcher never starves an
+ * execution slot.
+ *
+ * Stop() closes the queue, lets the dispatcher drain everything
+ * already submitted (the WorkQueue's drain-on-close contract), and
+ * joins — after Stop() returns, every submitted closure has run.
+ */
+#ifndef AZUL_SERVICE_SCHEDULER_H_
+#define AZUL_SERVICE_SCHEDULER_H_
+
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <thread>
+
+#include "util/thread_pool.h"
+#include "util/work_queue.h"
+
+namespace azul {
+
+/** Runs submitted closures on a shared pool, highest priority first. */
+class Scheduler {
+  public:
+    /** Starts the dispatcher; `num_threads` (>= 1) closures can
+     *  execute concurrently. */
+    explicit Scheduler(int num_threads);
+    ~Scheduler();
+
+    Scheduler(const Scheduler&) = delete;
+    Scheduler& operator=(const Scheduler&) = delete;
+
+    /**
+     * Enqueues a closure. The scheduler's own queue is unbounded —
+     * admission control (bounding, typed rejection) is the service's
+     * job, *before* work reaches here. Closures must not throw; the
+     * dispatcher swallows anything that escapes to keep one failing
+     * request from poisoning the shared pool.
+     */
+    void Submit(std::function<void()> fn, int priority);
+
+    /** Drains everything already submitted, then stops. Idempotent. */
+    void Stop();
+
+    int num_threads() const { return num_threads_; }
+
+    /** The shared pool (sized num_threads + 1; see file comment). */
+    ThreadPool& pool() { return pool_; }
+
+  private:
+    void DispatchLoop();
+
+    const int num_threads_;
+    ThreadPool pool_;
+    WorkQueue<std::function<void()>> queue_;
+
+    std::mutex mu_;
+    std::condition_variable slot_cv_;
+    int in_flight_ = 0;     //!< executions occupying a worker
+    bool stopped_ = false;
+
+    std::thread dispatcher_;
+};
+
+} // namespace azul
+
+#endif // AZUL_SERVICE_SCHEDULER_H_

@@ -1,0 +1,62 @@
+#include "service/session.h"
+
+#include <exception>
+#include <sstream>
+
+namespace azul {
+
+SolveResponse
+Session::Execute(Request req)
+{
+    SolveResponse resp;
+    resp.id = req.id;
+    resp.session = id_;
+    const auto start = std::chrono::steady_clock::now();
+    resp.queue_seconds =
+        std::chrono::duration<double>(start - req.admitted).count();
+
+    if (req.opts.deadline_seconds > 0.0 &&
+        resp.queue_seconds > req.opts.deadline_seconds) {
+        // Expired while queued: deliver the typed response without
+        // touching the machine, so an overloaded service sheds load
+        // instead of running work nobody is waiting for.
+        std::ostringstream oss;
+        oss << "request " << req.id << " queued "
+            << resp.queue_seconds << " s, past its "
+            << req.opts.deadline_seconds << " s deadline";
+        resp.status = DeadlineExceeded(oss.str());
+    } else {
+        try {
+            switch (req.kind) {
+            case RequestKind::kSolve: {
+                RunBudget budget;
+                budget.max_cycles = req.opts.cycle_budget;
+                resp.report = system_.Solve(req.b, budget);
+                if (resp.report.run.failure ==
+                    FailureKind::kBudgetExhausted) {
+                    std::ostringstream oss;
+                    oss << "cycle budget " << req.opts.cycle_budget
+                        << " exhausted after "
+                        << resp.report.run.iterations
+                        << " iterations";
+                    resp.status = DeadlineExceeded(oss.str());
+                }
+                break;
+            }
+            case RequestKind::kUpdateValues:
+                resp.status = system_.UpdateValues(req.a_new);
+                break;
+            }
+        } catch (const std::exception& e) {
+            resp.status = InternalError(e.what());
+        }
+    }
+
+    resp.service_seconds =
+        std::chrono::duration<double>(
+            std::chrono::steady_clock::now() - start)
+            .count();
+    return resp;
+}
+
+} // namespace azul

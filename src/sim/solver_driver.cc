@@ -18,6 +18,7 @@ FailureKindName(FailureKind kind)
         return "numerical-breakdown";
       case FailureKind::kDivergence: return "divergence";
       case FailureKind::kStagnation: return "stagnation";
+      case FailureKind::kBudgetExhausted: return "budget-exhausted";
     }
     return "unknown";
 }
@@ -70,8 +71,9 @@ ClassifyResidual(double norm, double initial_norm, double best_norm,
 
 SolverRunResult
 SolverDriver::Run(Machine& machine, const Vector& b, double tol,
-                  Index max_iters) const
+                  Index max_iters, const RunBudget& budget) const
 {
+    const Cycle start_clock = machine.clock();
     const SolverProgram& prog = machine.program();
     const ConvergenceSpec& conv = prog.convergence;
     const SimConfig& cfg = machine.config();
@@ -189,6 +191,16 @@ SolverDriver::Run(Machine& machine, const Vector& b, double tol,
                 }
             }
             result.converged = true;
+            break;
+        }
+        // Budget gate: stop before paying for the next iteration once
+        // the simulated-cycle allowance is spent. Checked last so a
+        // run that converged exactly at the budget still reports
+        // success, and never checked when unlimited (bit-identical
+        // fast path).
+        if (!budget.unlimited() &&
+            machine.clock() - start_clock >= budget.max_cycles) {
+            result.failure = FailureKind::kBudgetExhausted;
             break;
         }
         for (SimObserver* o : machine.observers()) {

@@ -35,10 +35,29 @@ enum class FailureKind : std::uint8_t {
     kDivergence,
     /** Out of iterations without diverging. */
     kStagnation,
+    /** The caller's simulated-cycle budget ran out mid-solve (serving
+     *  layer: per-request budgets; see RunBudget below). */
+    kBudgetExhausted,
 };
 
 /** Printable failure-kind name ("none", "numerical-breakdown", ...). */
 const char* FailureKindName(FailureKind kind);
+
+/**
+ * Resource limits of one driver run, beyond tol/max_iters. The
+ * default (all zero) imposes no limit and leaves the run bit-identical
+ * to a limitless one; with a budget set, the run is truncated — also
+ * deterministically, since the cutoff is in simulated cycles, not
+ * wall-clock — and labeled FailureKind::kBudgetExhausted. The serving
+ * layer (src/service/) maps that onto Status kDeadlineExceeded.
+ */
+struct RunBudget {
+    /** Max simulated cycles this run may consume, measured from run
+     *  start (the prologue always completes). 0 = unlimited. */
+    Cycle max_cycles = 0;
+
+    bool unlimited() const { return max_cycles == 0; }
+};
 
 /** Result of a full simulated solver run. */
 struct SolverRunResult {
@@ -63,9 +82,6 @@ struct SolverRunResult {
         return SimStats::Gflops(flops, stats.cycles, clock_ghz);
     }
 };
-
-/** Deprecated alias from before the IR/engine split. */
-using PcgRunResult = SolverRunResult;
 
 /**
  * Runs a machine's program to convergence:
@@ -94,8 +110,22 @@ using PcgRunResult = SolverRunResult;
  */
 class SolverDriver {
   public:
+    SolverRunResult
+    Run(Machine& machine, const Vector& b, double tol,
+        Index max_iters) const
+    {
+        return Run(machine, b, tol, max_iters, RunBudget{});
+    }
+
+    /**
+     * Run with a resource budget: identical to the plain overload up
+     * to the point the budget expires, at which point the driver
+     * stops before the next iteration and labels the result
+     * FailureKind::kBudgetExhausted. The partial x / stats /
+     * residual_history are still gathered and valid.
+     */
     SolverRunResult Run(Machine& machine, const Vector& b, double tol,
-                        Index max_iters) const;
+                        Index max_iters, const RunBudget& budget) const;
 };
 
 } // namespace azul

@@ -1,0 +1,36 @@
+#include "util/status.h"
+
+namespace azul {
+
+const char*
+StatusCodeName(StatusCode code)
+{
+    switch (code) {
+      case StatusCode::kOk: return "OK";
+      case StatusCode::kInvalidArgument: return "INVALID_ARGUMENT";
+      case StatusCode::kFailedPrecondition:
+        return "FAILED_PRECONDITION";
+      case StatusCode::kNotFound: return "NOT_FOUND";
+      case StatusCode::kResourceExhausted: return "RESOURCE_EXHAUSTED";
+      case StatusCode::kDeadlineExceeded: return "DEADLINE_EXCEEDED";
+      case StatusCode::kUnavailable: return "UNAVAILABLE";
+      case StatusCode::kInternal: return "INTERNAL";
+    }
+    return "UNKNOWN";
+}
+
+std::string
+Status::ToString() const
+{
+    if (ok()) {
+        return "OK";
+    }
+    std::string out = StatusCodeName(code_);
+    if (!message_.empty()) {
+        out += ": ";
+        out += message_;
+    }
+    return out;
+}
+
+} // namespace azul

@@ -1,0 +1,211 @@
+/**
+ * @file
+ * Typed error returns for the public Azul surface.
+ *
+ * A Status carries an error code plus a human-readable message; a
+ * StatusOr<T> is either a value or a non-OK Status. The facade
+ * (`AzulSystem::Create`) and the serving layer (`AzulService`) return
+ * these instead of throwing on invalid user input, so callers can
+ * branch on the taxonomy (queue full vs. bad matrix vs. deadline)
+ * without string matching. Internal invariant violations remain
+ * AZUL_CHECK throws — a Status is for errors the *user* can cause.
+ *
+ * The taxonomy mirrors the canonical RPC codes so a later network
+ * front end can forward codes unchanged (docs/API.md).
+ */
+#ifndef AZUL_UTIL_STATUS_H_
+#define AZUL_UTIL_STATUS_H_
+
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "util/common.h"
+
+namespace azul {
+
+/** Error taxonomy of the public API (subset of the RPC canon). */
+enum class StatusCode : std::uint8_t {
+    kOk = 0,
+    /** The request itself is malformed (non-square matrix, size-0
+     *  grid, rhs length mismatch, negative tolerance, ...). */
+    kInvalidArgument,
+    /** The request is well-formed but the target's state rejects it
+     *  (session closed, service shut down, mapping/machine size
+     *  mismatch). */
+    kFailedPrecondition,
+    /** The named entity does not exist (unknown session/request id). */
+    kNotFound,
+    /** A bounded resource is full (admission queue, SRAM capacity
+     *  under strict fitting). */
+    kResourceExhausted,
+    /** A wall-clock deadline or simulated-cycle budget expired before
+     *  the solve completed. */
+    kDeadlineExceeded,
+    /** The service is shutting down and cannot take the request. */
+    kUnavailable,
+    /** An invariant failed inside the library (a bug, not bad user
+     *  input); the message carries the AZUL_CHECK text. */
+    kInternal,
+};
+
+/** Canonical upper-snake name ("OK", "INVALID_ARGUMENT", ...). */
+const char* StatusCodeName(StatusCode code);
+
+/** An error code plus message; default-constructed Status is OK. */
+class [[nodiscard]] Status {
+  public:
+    Status() = default;
+    Status(StatusCode code, std::string message)
+        : code_(code), message_(std::move(message))
+    {
+    }
+
+    static Status Ok() { return Status(); }
+
+    bool ok() const { return code_ == StatusCode::kOk; }
+    StatusCode code() const { return code_; }
+    const std::string& message() const { return message_; }
+
+    /** "OK" or "INVALID_ARGUMENT: matrix must be square (3x4)". */
+    std::string ToString() const;
+
+    friend bool
+    operator==(const Status& a, const Status& b)
+    {
+        return a.code_ == b.code_ && a.message_ == b.message_;
+    }
+    friend bool
+    operator!=(const Status& a, const Status& b)
+    {
+        return !(a == b);
+    }
+
+  private:
+    StatusCode code_ = StatusCode::kOk;
+    std::string message_;
+};
+
+// Factories, one per error code, so call sites read as the taxonomy.
+inline Status OkStatus() { return Status(); }
+inline Status
+InvalidArgument(std::string msg)
+{
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+}
+inline Status
+FailedPrecondition(std::string msg)
+{
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+}
+inline Status
+NotFound(std::string msg)
+{
+    return Status(StatusCode::kNotFound, std::move(msg));
+}
+inline Status
+ResourceExhausted(std::string msg)
+{
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+}
+inline Status
+DeadlineExceeded(std::string msg)
+{
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+}
+inline Status
+Unavailable(std::string msg)
+{
+    return Status(StatusCode::kUnavailable, std::move(msg));
+}
+inline Status
+InternalError(std::string msg)
+{
+    return Status(StatusCode::kInternal, std::move(msg));
+}
+
+/**
+ * A value or a non-OK Status. Accessing value() on an error is an
+ * AZUL_CHECK failure (programming error); callers branch on ok()
+ * first:
+ *
+ *     StatusOr<AzulSystem> sys = AzulSystem::Create(a, opts);
+ *     if (!sys.ok()) { return sys.status(); }
+ *     sys->Solve(b);
+ */
+template <typename T> class [[nodiscard]] StatusOr {
+  public:
+    /** Error state; `status` must not be OK. */
+    StatusOr(Status status) : status_(std::move(status)) // NOLINT
+    {
+        AZUL_CHECK_MSG(!status_.ok(),
+                       "StatusOr constructed from an OK status "
+                       "without a value");
+    }
+
+    /** Value state. */
+    StatusOr(T value) // NOLINT
+        : value_(std::move(value))
+    {
+    }
+
+    bool ok() const { return value_.has_value(); }
+    const Status& status() const { return status_; }
+
+    const T&
+    value() const&
+    {
+        CheckHasValue();
+        return *value_;
+    }
+    T&
+    value() &
+    {
+        CheckHasValue();
+        return *value_;
+    }
+    T&&
+    value() &&
+    {
+        CheckHasValue();
+        return *std::move(value_);
+    }
+
+    const T& operator*() const& { return value(); }
+    T& operator*() & { return value(); }
+    T&& operator*() && { return std::move(*this).value(); }
+    const T* operator->() const { return &value(); }
+    T* operator->() { return &value(); }
+
+    /** The value, or `fallback` on error. */
+    T
+    value_or(T fallback) const&
+    {
+        return ok() ? *value_ : std::move(fallback);
+    }
+
+  private:
+    void
+    CheckHasValue() const
+    {
+        AZUL_CHECK_MSG(value_.has_value(),
+                       "StatusOr::value() on error: "
+                           << status_.ToString());
+    }
+
+    Status status_; //!< OK iff value_ holds the value
+    std::optional<T> value_;
+};
+
+} // namespace azul
+
+/** Propagates a non-OK Status to the caller. */
+#define AZUL_RETURN_IF_ERROR(expr)                                           \
+    do {                                                                     \
+        ::azul::Status azul_status_ = (expr);                                \
+        if (!azul_status_.ok()) {                                            \
+            return azul_status_;                                             \
+        }                                                                    \
+    } while (0)
+
+#endif // AZUL_UTIL_STATUS_H_

@@ -1,0 +1,151 @@
+/**
+ * @file
+ * A bounded, closeable, priority work queue — the admission structure
+ * of the serving layer (src/service/scheduler.h).
+ *
+ * Ordering: highest priority first; FIFO (by admission sequence)
+ * within a priority level, so equal-priority work is served fairly.
+ *
+ * Admission is non-blocking (TryPush fails fast when full or closed —
+ * the caller turns that into a typed rejection); consumption blocks
+ * (Pop waits for work). Close() stops new admissions but lets
+ * consumers drain everything already queued: Pop returns the
+ * remaining items, then std::nullopt forever. That drain-on-close
+ * contract is what lets the service promise a response for every
+ * admitted request even across shutdown.
+ */
+#ifndef AZUL_UTIL_WORK_QUEUE_H_
+#define AZUL_UTIL_WORK_QUEUE_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <queue>
+#include <utility>
+#include <vector>
+
+namespace azul {
+
+/** Multi-producer multi-consumer bounded priority queue. */
+template <typename T> class WorkQueue {
+  public:
+    /** capacity 0 = unbounded. */
+    explicit WorkQueue(std::size_t capacity = 0) : capacity_(capacity)
+    {
+    }
+
+    WorkQueue(const WorkQueue&) = delete;
+    WorkQueue& operator=(const WorkQueue&) = delete;
+
+    /** Admits an item; returns false when the queue is full or
+     *  closed. Higher `priority` pops sooner. */
+    bool
+    TryPush(T item, int priority = 0)
+    {
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            if (closed_ ||
+                (capacity_ != 0 && heap_.size() >= capacity_)) {
+                return false;
+            }
+            heap_.push(Entry{priority, next_seq_++, std::move(item)});
+        }
+        pop_cv_.notify_one();
+        return true;
+    }
+
+    /**
+     * Blocks until an item is available or the queue is closed and
+     * drained; std::nullopt means "closed and empty" (terminal).
+     */
+    std::optional<T>
+    Pop()
+    {
+        std::unique_lock<std::mutex> lock(mu_);
+        pop_cv_.wait(lock,
+                     [this] { return closed_ || !heap_.empty(); });
+        if (heap_.empty()) {
+            return std::nullopt;
+        }
+        return PopLocked();
+    }
+
+    /** Non-blocking Pop; std::nullopt when nothing is queued. */
+    std::optional<T>
+    TryPop()
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (heap_.empty()) {
+            return std::nullopt;
+        }
+        return PopLocked();
+    }
+
+    /** Stops admissions; consumers drain the remainder (see above). */
+    void
+    Close()
+    {
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            closed_ = true;
+        }
+        pop_cv_.notify_all();
+    }
+
+    bool
+    closed() const
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        return closed_;
+    }
+
+    std::size_t
+    size() const
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        return heap_.size();
+    }
+
+    std::size_t capacity() const { return capacity_; }
+
+  private:
+    struct Entry {
+        int priority = 0;
+        std::uint64_t seq = 0;
+        T item;
+
+        /** std::priority_queue pops the *largest*: larger = higher
+         *  priority, then smaller sequence (earlier admission). */
+        friend bool
+        operator<(const Entry& a, const Entry& b)
+        {
+            if (a.priority != b.priority) {
+                return a.priority < b.priority;
+            }
+            return a.seq > b.seq;
+        }
+    };
+
+    T
+    PopLocked()
+    {
+        // priority_queue::top() is const; the move is safe because
+        // the entry is popped before anyone can observe it again.
+        Entry e = std::move(const_cast<Entry&>(heap_.top()));
+        heap_.pop();
+        return std::move(e.item);
+    }
+
+    mutable std::mutex mu_;
+    std::condition_variable pop_cv_;
+    std::priority_queue<Entry> heap_;
+    const std::size_t capacity_;
+    std::uint64_t next_seq_ = 0;
+    bool closed_ = false;
+};
+
+} // namespace azul
+
+#endif // AZUL_UTIL_WORK_QUEUE_H_

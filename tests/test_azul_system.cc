@@ -2,6 +2,7 @@
 
 #include "core/azul_system.h"
 #include "solver/spmv.h"
+#include "sparse/coo.h"
 #include "sparse/generators.h"
 #include "test_helpers.h"
 
@@ -92,7 +93,7 @@ TEST(AzulSystem, UpdateValuesKeepsMappingAndSolves)
     for (double& v : a2.mutable_vals()) {
         v *= 2.0;
     }
-    sys.UpdateValues(a2);
+    ASSERT_TRUE(sys.UpdateValues(a2).ok());
     EXPECT_EQ(sys.mapping().a_nnz_tile, mapping_before);
 
     const Vector b = RandomVector(a.rows(), 19);
@@ -106,7 +107,115 @@ TEST(AzulSystem, UpdateValuesRejectsNewPattern)
     const CsrMatrix a = RandomGeometricLaplacian(300, 7.0, 21);
     AzulSystem sys(a, SmallOptions());
     const CsrMatrix other = RandomGeometricLaplacian(300, 7.0, 22);
-    EXPECT_THROW(sys.UpdateValues(other), AzulError);
+    const Status st = sys.UpdateValues(other);
+    EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+    EXPECT_NE(st.message().find("sparsity pattern"),
+              std::string::npos);
+    // The rejection left the system untouched.
+    const Vector b = RandomVector(a.rows(), 22);
+    EXPECT_TRUE(sys.Solve(b).run.converged);
+}
+
+TEST(AzulSystemCreate, OkPathSolves)
+{
+    const CsrMatrix a = RandomGeometricLaplacian(300, 7.0, 41);
+    StatusOr<AzulSystem> sys = AzulSystem::Create(a, SmallOptions());
+    ASSERT_TRUE(sys.ok()) << sys.status().ToString();
+    const Vector b = RandomVector(a.rows(), 43);
+    EXPECT_TRUE(sys->Solve(b).run.converged);
+}
+
+TEST(AzulSystemCreate, RejectsNonSquareMatrix)
+{
+    CooMatrix coo(3, 4);
+    coo.Add(0, 0, 1.0);
+    coo.Add(1, 1, 1.0);
+    coo.Add(2, 3, 1.0);
+    const StatusOr<AzulSystem> sys =
+        AzulSystem::Create(CsrMatrix::FromCoo(coo), SmallOptions());
+    ASSERT_FALSE(sys.ok());
+    EXPECT_EQ(sys.status().code(), StatusCode::kInvalidArgument);
+    EXPECT_NE(sys.status().message().find("square"),
+              std::string::npos);
+}
+
+TEST(AzulSystemCreate, RejectsEmptyMatrix)
+{
+    const StatusOr<AzulSystem> sys =
+        AzulSystem::Create(CsrMatrix(), SmallOptions());
+    ASSERT_FALSE(sys.ok());
+    EXPECT_EQ(sys.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(AzulSystemCreate, RejectsBadTileGrid)
+{
+    const CsrMatrix a = RandomGeometricLaplacian(100, 7.0, 45);
+    AzulOptions opts = SmallOptions();
+    opts.sim.grid_width = 0;
+    const StatusOr<AzulSystem> sys = AzulSystem::Create(a, opts);
+    ASSERT_FALSE(sys.ok());
+    EXPECT_EQ(sys.status().code(), StatusCode::kInvalidArgument);
+    EXPECT_NE(sys.status().message().find("tile grid"),
+              std::string::npos);
+}
+
+TEST(AzulSystemCreate, RejectsNegativeTolerance)
+{
+    const CsrMatrix a = RandomGeometricLaplacian(100, 7.0, 47);
+    AzulOptions opts = SmallOptions();
+    opts.tol = -1.0;
+    const StatusOr<AzulSystem> sys = AzulSystem::Create(a, opts);
+    ASSERT_FALSE(sys.ok());
+    EXPECT_EQ(sys.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(AzulSystemCreate, RejectsPreconditionedJacobiSolver)
+{
+    const CsrMatrix a = RandomGeometricLaplacian(100, 7.0, 49);
+    AzulOptions opts = SmallOptions();
+    opts.solver = SolverKind::kJacobi;
+    // kJacobi is its own method; the default IC(0) precond clashes.
+    const StatusOr<AzulSystem> sys = AzulSystem::Create(a, opts);
+    ASSERT_FALSE(sys.ok());
+    EXPECT_EQ(sys.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(AzulSystemCreate, RejectsMismatchedPrecomputedMapping)
+{
+    const CsrMatrix a = RandomGeometricLaplacian(100, 7.0, 51);
+    DataMapping wrong;
+    wrong.num_tiles = 99; // machine has 16
+    AzulOptions opts = SmallOptions();
+    opts.precomputed_mapping = &wrong;
+    const StatusOr<AzulSystem> sys = AzulSystem::Create(a, opts);
+    ASSERT_FALSE(sys.ok());
+    EXPECT_EQ(sys.status().code(), StatusCode::kInvalidArgument);
+    EXPECT_NE(sys.status().message().find("precomputed mapping"),
+              std::string::npos);
+}
+
+TEST(AzulSystemCreate, StrictSramFitRejectsOverflow)
+{
+    // A problem far too large for 2x2 tiles with tiny scratchpads.
+    const CsrMatrix a = RandomGeometricLaplacian(2000, 7.0, 53);
+    AzulOptions opts = SmallOptions();
+    opts.sim.grid_width = 2;
+    opts.sim.grid_height = 2;
+    opts.sim.data_sram_kb = 1;
+    opts.sim.accum_sram_kb = 1;
+    opts.strict_sram_fit = true;
+    const StatusOr<AzulSystem> sys = AzulSystem::Create(a, opts);
+    ASSERT_FALSE(sys.ok());
+    EXPECT_EQ(sys.status().code(), StatusCode::kResourceExhausted);
+
+    // The default (non-strict) policy still builds the system.
+    opts.strict_sram_fit = false;
+    EXPECT_TRUE(AzulSystem::Create(a, opts).ok());
+}
+
+TEST(AzulSystemCreate, DeprecatedConstructorStillThrows)
+{
+    EXPECT_THROW(AzulSystem(CsrMatrix(), SmallOptions()), AzulError);
 }
 
 TEST(AzulSystem, RunKernelOnceSpMV)

@@ -154,9 +154,9 @@ TEST(Dalorex, SlowerThanAzulPeSameMapping)
     in.precond = PreconditionerKind::kIncompleteCholesky;
     in.mapping = &mapping;
     in.geom = base.geometry();
-    const PcgProgram prog = BuildPcgProgram(in);
+    const SolverProgram prog = BuildSolverProgram(SolverKind::kPcg, in);
     Machine machine(base, &prog);
-    const PcgRunResult azul_run = machine.RunPcg(b, 1e-8, 50);
+    const SolverRunResult azul_run = machine.RunPcg(b, 1e-8, 50);
 
     EXPECT_GT(azul_run.Gflops(base.clock_ghz), 2.0 * dal.gflops);
 }

@@ -37,7 +37,7 @@ namespace {
 
 using azul::testing::RandomVector;
 
-enum class SolverKind { kPcg, kJacobi, kBiCgStab };
+// SolverKind comes from dataflow/program.h (the public enum).
 
 /** Diagonally dominant nonsymmetric matrix for BiCGStab. */
 CsrMatrix
@@ -89,7 +89,7 @@ Build(SolverKind kind, MapperKind mapper, std::int32_t grid)
         in.precond = PreconditionerKind::kIncompleteCholesky;
         in.mapping = &c.mapping;
         in.geom = c.cfg.geometry();
-        c.program = BuildPcgProgram(in);
+        c.program = BuildSolverProgram(SolverKind::kPcg, in);
         break;
       }
       case SolverKind::kJacobi: {

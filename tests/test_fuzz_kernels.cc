@@ -11,6 +11,7 @@
 
 #include <gtest/gtest.h>
 
+#include "core/azul_config.h"
 #include "dataflow/program.h"
 #include "mapping/partitioner.h"
 #include "sim/machine.h"
@@ -89,7 +90,7 @@ TEST_P(KernelFuzzTest, RandomMappingStaysCorrect)
     in.mapping = &mapping;
     in.geom = cfg.geometry();
     in.graph.use_trees = fc.trees;
-    const PcgProgram program = BuildPcgProgram(in);
+    const SolverProgram program = BuildSolverProgram(SolverKind::kPcg, in);
 
     Machine machine(cfg, &program);
     machine.LoadProblem(Vector(a.rows(), 0.0));
@@ -208,7 +209,7 @@ RunStressSeed(std::uint64_t seed)
     in.mapping = &mapping;
     in.geom = cfg.geometry();
     in.graph.use_trees = rng.UniformInt(0, 1) == 1;
-    const PcgProgram program = BuildPcgProgram(in);
+    const SolverProgram program = BuildSolverProgram(SolverKind::kPcg, in);
 
     Machine machine(cfg, &program);
     machine.LoadProblem(Vector(a.rows(), 0.0));
@@ -234,8 +235,8 @@ RunStressSeed(std::uint64_t seed)
 
 TEST(StressSweep, SeededIrregularKernelsMatchReference)
 {
-    if (const char* env = std::getenv("AZUL_STRESS_SEED")) {
-        const std::uint64_t seed = std::strtoull(env, nullptr, 0);
+    // Sweep seeds start at 1, so 0 doubles as "env unset".
+    if (const std::uint64_t seed = StressSeedFromEnv(0)) {
         SCOPED_TRACE("stress seed " + std::to_string(seed) +
                      " (from AZUL_STRESS_SEED)");
         RunStressSeed(seed);
@@ -303,7 +304,7 @@ RunFaultStressSeed(std::uint64_t seed)
     in.mapping = &mapping;
     in.geom = cfg.geometry();
     in.graph.use_trees = rng.UniformInt(0, 1) == 1;
-    const PcgProgram program = BuildPcgProgram(in);
+    const SolverProgram program = BuildSolverProgram(SolverKind::kPcg, in);
 
     // 1. Timing-only faults: functionally exact kernels.
     Machine machine(cfg, &program);
@@ -360,8 +361,8 @@ RunFaultStressSeed(std::uint64_t seed)
 
 TEST(StressSweep, SeededFaultedKernelsStayCorrect)
 {
-    if (const char* env = std::getenv("AZUL_STRESS_SEED")) {
-        const std::uint64_t seed = std::strtoull(env, nullptr, 0);
+    // Sweep seeds start at 1, so 0 doubles as "env unset".
+    if (const std::uint64_t seed = StressSeedFromEnv(0)) {
         SCOPED_TRACE("stress seed " + std::to_string(seed) +
                      " (from AZUL_STRESS_SEED)");
         RunFaultStressSeed(seed);
@@ -477,8 +478,8 @@ RunPartitionerStressSeed(std::uint64_t seed)
 
 TEST(PartitionerStress, SeededParallelMatchesSerial)
 {
-    if (const char* env = std::getenv("AZUL_STRESS_SEED")) {
-        const std::uint64_t seed = std::strtoull(env, nullptr, 0);
+    // Sweep seeds start at 1, so 0 doubles as "env unset".
+    if (const std::uint64_t seed = StressSeedFromEnv(0)) {
         SCOPED_TRACE("stress seed " + std::to_string(seed) +
                      " (from AZUL_STRESS_SEED)");
         RunPartitionerStressSeed(seed);
@@ -514,9 +515,9 @@ TEST(TileOpsStats, PopulatedAndConsistent)
     in.precond = PreconditionerKind::kIncompleteCholesky;
     in.mapping = &mapping;
     in.geom = cfg.geometry();
-    const PcgProgram program = BuildPcgProgram(in);
+    const SolverProgram program = BuildSolverProgram(SolverKind::kPcg, in);
     Machine machine(cfg, &program);
-    const PcgRunResult run =
+    const SolverRunResult run =
         machine.RunPcg(RandomVector(a.rows(), 7), 0.0, 3);
     ASSERT_EQ(run.stats.tile_ops.size(), 16u);
     std::uint64_t total = 0;

@@ -45,7 +45,7 @@ namespace {
 
 using azul::testing::RandomVector;
 
-enum class SolverKind { kPcg, kJacobi, kBiCgStab };
+// SolverKind comes from dataflow/program.h (the public enum).
 
 CsrMatrix
 Nonsymmetric(Index n, std::uint64_t seed)
@@ -95,7 +95,7 @@ Build(SolverKind kind, MapperKind mapper, std::int32_t grid)
         in.precond = PreconditionerKind::kIncompleteCholesky;
         in.mapping = &c.mapping;
         in.geom = c.cfg.geometry();
-        c.program = BuildPcgProgram(in);
+        c.program = BuildSolverProgram(SolverKind::kPcg, in);
         break;
       }
       case SolverKind::kJacobi: {

@@ -141,7 +141,7 @@ TEST(Integration, TimeBalancingImprovesSpTRSV)
         in.precond = PreconditionerKind::kIncompleteCholesky;
         in.mapping = &mapping;
         in.geom = cfg.geometry();
-        const PcgProgram prog = BuildPcgProgram(in);
+        const SolverProgram prog = BuildSolverProgram(SolverKind::kPcg, in);
         Machine machine(cfg, &prog);
         machine.LoadProblem(Vector(cm.a.rows(), 0.0));
         machine.ScatterVector(VecName::kR, r);

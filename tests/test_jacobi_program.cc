@@ -144,7 +144,7 @@ TEST(JacobiProgram, SlowerConvergenceThanPcgButCheaperIterations)
     in.precond = PreconditionerKind::kJacobi;
     in.mapping = &ctx.mapping;
     in.geom = ctx.cfg.geometry();
-    const SolverProgram pcg_prog = BuildPcgProgram(in);
+    const SolverProgram pcg_prog = BuildSolverProgram(SolverKind::kPcg, in);
     Machine pcg(ctx.cfg, &pcg_prog);
     const SolverRunResult prun = SolverDriver().Run(pcg, b, 1e-8, 5000);
     ASSERT_TRUE(prun.converged);

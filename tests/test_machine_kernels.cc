@@ -21,7 +21,7 @@ struct Context {
     CsrMatrix a;
     CsrMatrix l;
     DataMapping mapping;
-    PcgProgram program;
+    SolverProgram program;
     SimConfig cfg;
 
     Context(MapperKind kind, PeModel pe, bool use_trees = true,
@@ -43,7 +43,7 @@ struct Context {
         in.mapping = &mapping;
         in.geom = cfg.geometry();
         in.graph.use_trees = use_trees;
-        program = BuildPcgProgram(in);
+        program = BuildSolverProgram(SolverKind::kPcg, in);
     }
 };
 

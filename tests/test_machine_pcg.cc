@@ -47,7 +47,7 @@ struct PcgContext {
         in.precond = precond;
         in.mapping = &mapping;
         in.geom = cfg.geometry();
-        program = BuildPcgProgram(in);
+        program = BuildSolverProgram(SolverKind::kPcg, in);
     }
 };
 

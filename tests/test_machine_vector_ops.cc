@@ -23,7 +23,7 @@ using azul::testing::RandomVector;
 struct VecCtx {
     CsrMatrix a;
     DataMapping mapping;
-    PcgProgram program;
+    SolverProgram program;
     SimConfig cfg;
     std::unique_ptr<Machine> machine;
 

@@ -83,10 +83,10 @@ TEST(Mesh, MachineFunctionallyCorrect)
     in.precond = PreconditionerKind::kIncompleteCholesky;
     in.mapping = &mapping;
     in.geom = cfg.geometry();
-    const PcgProgram program = BuildPcgProgram(in);
+    const SolverProgram program = BuildSolverProgram(SolverKind::kPcg, in);
     Machine machine(cfg, &program);
     const Vector b = azul::testing::RandomVector(a.rows(), 3);
-    const PcgRunResult run = machine.RunPcg(b, 1e-8, 500);
+    const SolverRunResult run = machine.RunPcg(b, 1e-8, 500);
     ASSERT_TRUE(run.converged);
     EXPECT_VECTOR_NEAR(SpMV(a, run.x), b, 1e-6);
 }
@@ -114,9 +114,9 @@ TEST(Mesh, TorusFasterOnWrapHeavyTraffic)
         in.precond = PreconditionerKind::kIncompleteCholesky;
         in.mapping = &mapping;
         in.geom = cfg.geometry();
-        const PcgProgram program = BuildPcgProgram(in);
+        const SolverProgram program = BuildSolverProgram(SolverKind::kPcg, in);
         Machine machine(cfg, &program);
-        const PcgRunResult run = machine.RunPcg(
+        const SolverRunResult run = machine.RunPcg(
             azul::testing::RandomVector(a.rows(), 5), 0.0, 5);
         return run.stats.cycles;
     };
@@ -138,7 +138,7 @@ TEST(Mesh, TopologyMismatchRejected)
     in.precond = PreconditionerKind::kIdentity;
     in.mapping = &mapping;
     in.geom = cfg.geometry(); // torus program
-    const PcgProgram program = BuildPcgProgram(in);
+    const SolverProgram program = BuildSolverProgram(SolverKind::kPcg, in);
     SimConfig mesh_cfg = cfg;
     mesh_cfg.torus = false;
     EXPECT_THROW(Machine(mesh_cfg, &program), AzulError);

@@ -50,7 +50,7 @@ struct Context {
         in.precond = PreconditionerKind::kIncompleteCholesky;
         in.mapping = &mapping;
         in.geom = cfg.geometry();
-        program = BuildPcgProgram(in);
+        program = BuildSolverProgram(SolverKind::kPcg, in);
     }
 };
 

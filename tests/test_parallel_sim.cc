@@ -26,7 +26,7 @@ namespace {
 
 using azul::testing::RandomVector;
 
-enum class SolverKind { kPcg, kJacobi, kBiCgStab };
+// SolverKind comes from dataflow/program.h (the public enum).
 
 constexpr Index kIters = 4;
 constexpr Cycle kSamplePeriod = 32;
@@ -82,7 +82,7 @@ Build(SolverKind kind, MapperKind mapper, std::int32_t grid)
         in.precond = PreconditionerKind::kIncompleteCholesky;
         in.mapping = &c.mapping;
         in.geom = c.cfg.geometry();
-        c.program = BuildPcgProgram(in);
+        c.program = BuildSolverProgram(SolverKind::kPcg, in);
         break;
       }
       case SolverKind::kJacobi: {

@@ -1,0 +1,473 @@
+/**
+ * @file
+ * Tests of the serving layer (src/service/): the concurrent-sessions
+ * differential suite — every response of a multi-tenant run must be
+ * bit-identical to the same request sequence run serially on a solo
+ * AzulSystem, at 1, 2, and 8 service threads — plus admission
+ * control, typed error paths, deadline/budget classification, and a
+ * mixed-traffic stress run with mid-stream UpdateValues.
+ */
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "service/azul_service.h"
+#include "sparse/generators.h"
+#include "test_helpers.h"
+
+namespace azul {
+namespace {
+
+using azul::testing::RandomVector;
+
+// ---- Scenario: N sessions with distinct matrices/solvers/mappings ----------
+
+/** One tenant's full request script. */
+struct SessionScript {
+    std::string name;
+    CsrMatrix a;
+    AzulOptions opts;
+    std::vector<Vector> rhs;  //!< solves, in order
+    /** Apply UpdateValues (scaling the matrix by `update_scale`)
+     *  after this many solves; -1 = never. */
+    int update_after = -1;
+    double update_scale = 1.0;
+};
+
+CsrMatrix
+Scaled(const CsrMatrix& a, double s)
+{
+    CsrMatrix out = a;
+    for (double& v : out.mutable_vals()) {
+        v *= s;
+    }
+    return out;
+}
+
+/** Three tenants with different matrices, solver kinds, mappers, and
+ *  grid shapes; the middle one swaps values mid-stream. */
+std::vector<SessionScript>
+MakeScripts()
+{
+    std::vector<SessionScript> scripts;
+    {
+        SessionScript s;
+        s.name = "pcg-ic0";
+        s.a = RandomGeometricLaplacian(300, 7.0, 101);
+        s.opts.sim.grid_width = 4;
+        s.opts.sim.grid_height = 4;
+        s.opts.max_iters = 800;
+        for (std::uint64_t i = 0; i < 4; ++i) {
+            s.rhs.push_back(RandomVector(s.a.rows(), 200 + i));
+        }
+        scripts.push_back(std::move(s));
+    }
+    {
+        SessionScript s;
+        s.name = "pcg-jacobi-update";
+        s.a = RandomGeometricLaplacian(250, 7.0, 103);
+        s.opts.sim.grid_width = 4;
+        s.opts.sim.grid_height = 2;
+        s.opts.precond = PreconditionerKind::kJacobi;
+        s.opts.mapper = MapperKind::kBlock;
+        s.opts.max_iters = 800;
+        for (std::uint64_t i = 0; i < 4; ++i) {
+            s.rhs.push_back(RandomVector(s.a.rows(), 300 + i));
+        }
+        s.update_after = 2; // UpdateValues between solves 2 and 3
+        s.update_scale = 3.0;
+        scripts.push_back(std::move(s));
+    }
+    {
+        SessionScript s;
+        s.name = "jacobi-solver";
+        s.a = RandomSpd(200, 4, 105);
+        s.opts.sim.grid_width = 2;
+        s.opts.sim.grid_height = 2;
+        s.opts.solver = SolverKind::kJacobi;
+        s.opts.precond = PreconditionerKind::kIdentity;
+        s.opts.max_iters = 2000;
+        for (std::uint64_t i = 0; i < 4; ++i) {
+            s.rhs.push_back(RandomVector(s.a.rows(), 400 + i));
+        }
+        scripts.push_back(std::move(s));
+    }
+    return scripts;
+}
+
+/** Runs a script serially on a solo AzulSystem: the ground truth. */
+std::vector<SolveReport>
+RunSerial(const SessionScript& script)
+{
+    StatusOr<AzulSystem> sys = AzulSystem::Create(script.a, script.opts);
+    EXPECT_TRUE(sys.ok()) << sys.status().ToString();
+    std::vector<SolveReport> reports;
+    for (std::size_t i = 0; i < script.rhs.size(); ++i) {
+        if (static_cast<int>(i) == script.update_after) {
+            EXPECT_TRUE(
+                sys->UpdateValues(
+                       Scaled(script.a, script.update_scale))
+                    .ok());
+        }
+        reports.push_back(sys->Solve(script.rhs[i]));
+    }
+    return reports;
+}
+
+/** The deterministic slice of a SolveReport: everything except the
+ *  wall-clock fields (mapping/compile seconds), which legitimately
+ *  differ between runs. */
+void
+ExpectBitIdentical(const SolveReport& got, const SolveReport& want,
+                   const std::string& context)
+{
+    SCOPED_TRACE(context);
+    EXPECT_EQ(got.run.x, want.run.x); // bitwise: no tolerance
+    EXPECT_EQ(got.run.converged, want.run.converged);
+    EXPECT_EQ(got.run.iterations, want.run.iterations);
+    EXPECT_EQ(got.run.residual_history, want.run.residual_history);
+    EXPECT_EQ(got.run.stats.cycles, want.run.stats.cycles);
+    EXPECT_EQ(got.run.stats.messages, want.run.stats.messages);
+    EXPECT_DOUBLE_EQ(got.gflops, want.gflops);
+    EXPECT_DOUBLE_EQ(got.solve_seconds, want.solve_seconds);
+}
+
+/** Runs all scripts concurrently through one service and checks every
+ *  response against the serial ground truth. */
+void
+RunDifferential(int num_threads)
+{
+    const std::vector<SessionScript> scripts = MakeScripts();
+    std::vector<std::vector<SolveReport>> want;
+    want.reserve(scripts.size());
+    for (const SessionScript& s : scripts) {
+        want.push_back(RunSerial(s));
+    }
+
+    ServiceOptions sopts;
+    sopts.num_threads = num_threads;
+    StatusOr<std::unique_ptr<AzulService>> service =
+        AzulService::Create(sopts);
+    ASSERT_TRUE(service.ok()) << service.status().ToString();
+    AzulService& svc = **service;
+
+    std::vector<SessionId> ids;
+    for (const SessionScript& s : scripts) {
+        StatusOr<SessionId> id = svc.OpenSession(s.a, s.opts, s.name);
+        ASSERT_TRUE(id.ok()) << id.status().ToString();
+        ids.push_back(*id);
+    }
+
+    // Interleave submissions round-robin across sessions so the
+    // scheduler actually overlaps tenants; per-session order (solve,
+    // solve, update, solve, ...) is still admission order.
+    std::vector<std::vector<RequestId>> solve_reqs(scripts.size());
+    for (std::size_t step = 0; step < 5; ++step) {
+        for (std::size_t s = 0; s < scripts.size(); ++s) {
+            const SessionScript& script = scripts[s];
+            const std::size_t n_before =
+                script.update_after >= 0 && static_cast<std::size_t>(
+                    script.update_after) <= step
+                    ? 1u
+                    : 0u;
+            // One submission per step: solves, with the update
+            // spliced in at its scripted position.
+            if (script.update_after >= 0 &&
+                static_cast<std::size_t>(script.update_after) == step) {
+                StatusOr<RequestId> r = svc.SubmitUpdateValues(
+                    ids[s], Scaled(script.a, script.update_scale));
+                ASSERT_TRUE(r.ok()) << r.status().ToString();
+                continue;
+            }
+            const std::size_t solve_idx = step - n_before;
+            if (solve_idx >= script.rhs.size()) {
+                continue;
+            }
+            StatusOr<RequestId> r =
+                svc.SubmitSolve(ids[s], script.rhs[solve_idx]);
+            ASSERT_TRUE(r.ok()) << r.status().ToString();
+            solve_reqs[s].push_back(*r);
+        }
+    }
+
+    for (std::size_t s = 0; s < scripts.size(); ++s) {
+        ASSERT_EQ(solve_reqs[s].size(), scripts[s].rhs.size());
+        for (std::size_t i = 0; i < solve_reqs[s].size(); ++i) {
+            StatusOr<SolveResponse> resp = svc.Wait(solve_reqs[s][i]);
+            ASSERT_TRUE(resp.ok()) << resp.status().ToString();
+            EXPECT_TRUE(resp->status.ok()) << resp->status.ToString();
+            ExpectBitIdentical(resp->report, want[s][i],
+                               scripts[s].name + " solve " +
+                                   std::to_string(i) + " at " +
+                                   std::to_string(num_threads) +
+                                   " threads");
+        }
+    }
+
+    const ServiceStats stats = svc.stats();
+    EXPECT_EQ(stats.sessions_opened, 3);
+    EXPECT_EQ(stats.submitted, 13); // 12 solves + 1 update
+    EXPECT_EQ(stats.completed, 13);
+    EXPECT_EQ(stats.rejected, 0);
+}
+
+TEST(ServiceDifferential, BitIdenticalToSerialAt1Thread)
+{
+    RunDifferential(1);
+}
+
+TEST(ServiceDifferential, BitIdenticalToSerialAt2Threads)
+{
+    RunDifferential(2);
+}
+
+TEST(ServiceDifferential, BitIdenticalToSerialAt8Threads)
+{
+    RunDifferential(8);
+}
+
+// ---- Admission control and typed errors -------------------------------------
+
+/** A small service + one session fixture for the error-path tests. */
+class ServiceErrors : public ::testing::Test {
+  protected:
+    void
+    SetUp() override
+    {
+        a_ = RandomGeometricLaplacian(200, 7.0, 111);
+        opts_.sim.grid_width = 2;
+        opts_.sim.grid_height = 2;
+        opts_.max_iters = 400;
+        ServiceOptions sopts;
+        sopts.num_threads = 2;
+        sopts.max_queue = 4;
+        service_ = *AzulService::Create(sopts);
+        session_ = *service_->OpenSession(a_, opts_, "tenant");
+    }
+
+    CsrMatrix a_;
+    AzulOptions opts_;
+    std::unique_ptr<AzulService> service_;
+    SessionId session_ = 0;
+};
+
+TEST_F(ServiceErrors, CreateRejectsBadOptions)
+{
+    ServiceOptions bad;
+    bad.num_threads = 0;
+    EXPECT_EQ(AzulService::Create(bad).status().code(),
+              StatusCode::kInvalidArgument);
+    bad = ServiceOptions{};
+    bad.max_queue = 0;
+    EXPECT_EQ(AzulService::Create(bad).status().code(),
+              StatusCode::kInvalidArgument);
+}
+
+TEST_F(ServiceErrors, OpenSessionForwardsCreateErrors)
+{
+    AzulOptions bad = opts_;
+    bad.sim.grid_width = -1;
+    const StatusOr<SessionId> id = service_->OpenSession(a_, bad);
+    EXPECT_EQ(id.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(ServiceErrors, UnknownSessionIsNotFound)
+{
+    const StatusOr<RequestId> r =
+        service_->SubmitSolve(9999, RandomVector(a_.rows(), 1));
+    EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+    EXPECT_EQ(service_->CloseSession(9999).code(),
+              StatusCode::kNotFound);
+}
+
+TEST_F(ServiceErrors, RhsLengthMismatchIsInvalidArgument)
+{
+    const StatusOr<RequestId> r =
+        service_->SubmitSolve(session_, Vector(7, 1.0));
+    EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+    EXPECT_NE(r.status().message().find("rhs"), std::string::npos);
+}
+
+TEST_F(ServiceErrors, ClosedSessionIsFailedPrecondition)
+{
+    ASSERT_TRUE(service_->CloseSession(session_).ok());
+    const StatusOr<RequestId> r =
+        service_->SubmitSolve(session_, RandomVector(a_.rows(), 3));
+    EXPECT_EQ(r.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST_F(ServiceErrors, OverflowingBatchIsRejectedAtomically)
+{
+    // max_queue is 4: a 5-RHS batch can never be admitted, no matter
+    // how fast earlier requests drain — a deterministic rejection.
+    std::vector<Vector> rhs;
+    for (std::uint64_t i = 0; i < 5; ++i) {
+        rhs.push_back(RandomVector(a_.rows(), 20 + i));
+    }
+    const StatusOr<std::vector<RequestId>> r =
+        service_->SubmitBatch(session_, rhs);
+    EXPECT_EQ(r.status().code(), StatusCode::kResourceExhausted);
+    // Nothing was admitted: the service drains to zero work.
+    service_->Drain();
+    EXPECT_EQ(service_->stats().submitted, 0);
+    EXPECT_EQ(service_->stats().rejected, 1);
+
+    // A batch that fits is admitted whole and every RHS solves.
+    rhs.resize(3);
+    const StatusOr<std::vector<RequestId>> ok =
+        service_->SubmitBatch(session_, rhs);
+    ASSERT_TRUE(ok.ok()) << ok.status().ToString();
+    ASSERT_EQ(ok->size(), 3u);
+    for (const RequestId id : *ok) {
+        const StatusOr<SolveResponse> resp = service_->Wait(id);
+        ASSERT_TRUE(resp.ok());
+        EXPECT_TRUE(resp->status.ok()) << resp->status.ToString();
+        EXPECT_TRUE(resp->report.run.converged);
+    }
+}
+
+TEST_F(ServiceErrors, EmptyBatchIsInvalidArgument)
+{
+    EXPECT_EQ(service_->SubmitBatch(session_, {}).status().code(),
+              StatusCode::kInvalidArgument);
+}
+
+TEST_F(ServiceErrors, WaitConsumesTheResponse)
+{
+    const StatusOr<RequestId> r =
+        service_->SubmitSolve(session_, RandomVector(a_.rows(), 5));
+    ASSERT_TRUE(r.ok());
+    ASSERT_TRUE(service_->Wait(*r).ok());
+    EXPECT_EQ(service_->Wait(*r).status().code(),
+              StatusCode::kNotFound);
+}
+
+TEST_F(ServiceErrors, CycleBudgetIsDeadlineExceeded)
+{
+    SubmitOptions sub;
+    sub.cycle_budget = 1; // expires after the first iteration
+    const StatusOr<RequestId> r = service_->SubmitSolve(
+        session_, RandomVector(a_.rows(), 7), sub);
+    ASSERT_TRUE(r.ok());
+    const StatusOr<SolveResponse> resp = service_->Wait(*r);
+    ASSERT_TRUE(resp.ok());
+    EXPECT_EQ(resp->status.code(), StatusCode::kDeadlineExceeded);
+    EXPECT_EQ(resp->report.run.failure,
+              FailureKind::kBudgetExhausted);
+    // The partial result is still delivered.
+    EXPECT_FALSE(resp->report.run.x.empty());
+}
+
+TEST_F(ServiceErrors, BadUpdateValuesReportsOnTheResponse)
+{
+    const CsrMatrix other = RandomGeometricLaplacian(200, 7.0, 112);
+    const StatusOr<RequestId> r =
+        service_->SubmitUpdateValues(session_, other);
+    ASSERT_TRUE(r.ok()); // admission cannot see the pattern mismatch
+    const StatusOr<SolveResponse> resp = service_->Wait(*r);
+    ASSERT_TRUE(resp.ok());
+    EXPECT_EQ(resp->status.code(), StatusCode::kInvalidArgument);
+
+    // The session survives and still solves correctly.
+    const StatusOr<RequestId> solve =
+        service_->SubmitSolve(session_, RandomVector(a_.rows(), 9));
+    ASSERT_TRUE(solve.ok());
+    const StatusOr<SolveResponse> sresp = service_->Wait(*solve);
+    ASSERT_TRUE(sresp.ok());
+    EXPECT_TRUE(sresp->status.ok());
+    EXPECT_TRUE(sresp->report.run.converged);
+}
+
+TEST_F(ServiceErrors, DestructorDrainsAdmittedWork)
+{
+    std::vector<RequestId> reqs;
+    for (std::uint64_t i = 0; i < 4; ++i) {
+        const StatusOr<RequestId> r = service_->SubmitSolve(
+            session_, RandomVector(a_.rows(), 30 + i));
+        ASSERT_TRUE(r.ok());
+        reqs.push_back(*r);
+    }
+    // Destroy with work in flight: every admitted request must still
+    // have been executed (responses delivered into the futures).
+    service_.reset();
+}
+
+// ---- Stress: mixed tenants under the 8-thread scheduler ---------------------
+
+TEST(ServiceStress, MixedTrafficMatchesSerialReferences)
+{
+    // Six sessions over three distinct matrices; every session runs
+    // solve, solve, UpdateValues, solve — submitted breadth-first so
+    // all six FIFOs stay populated while the scheduler overlaps them.
+    struct Tenant {
+        SessionScript script;
+        SessionId id = 0;
+        std::vector<RequestId> solves;
+    };
+    const std::vector<SessionScript> base = MakeScripts();
+    std::vector<Tenant> tenants;
+    for (std::uint64_t t = 0; t < 6; ++t) {
+        Tenant tenant;
+        tenant.script = base[t % base.size()];
+        tenant.script.name += "-" + std::to_string(t);
+        tenant.script.rhs.clear();
+        for (std::uint64_t i = 0; i < 3; ++i) {
+            tenant.script.rhs.push_back(RandomVector(
+                tenant.script.a.rows(), 1000 + 10 * t + i));
+        }
+        tenant.script.update_after = 2;
+        tenant.script.update_scale = 1.5 + 0.25 * t;
+        tenants.push_back(std::move(tenant));
+    }
+
+    std::vector<std::vector<SolveReport>> want;
+    want.reserve(tenants.size());
+    for (const Tenant& t : tenants) {
+        want.push_back(RunSerial(t.script));
+    }
+
+    ServiceOptions sopts;
+    sopts.num_threads = 8;
+    sopts.max_queue = 64;
+    std::unique_ptr<AzulService> svc = *AzulService::Create(sopts);
+    for (Tenant& t : tenants) {
+        t.id = *svc->OpenSession(t.script.a, t.script.opts,
+                                 t.script.name);
+    }
+    for (std::size_t step = 0; step < 4; ++step) {
+        for (Tenant& t : tenants) {
+            if (step == 2) {
+                ASSERT_TRUE(svc->SubmitUpdateValues(
+                                   t.id, Scaled(t.script.a,
+                                                t.script.update_scale))
+                                .ok());
+                continue;
+            }
+            const std::size_t solve_idx = step < 2 ? step : step - 1;
+            const StatusOr<RequestId> r = svc->SubmitSolve(
+                t.id, t.script.rhs[solve_idx]);
+            ASSERT_TRUE(r.ok()) << r.status().ToString();
+            t.solves.push_back(*r);
+        }
+    }
+    for (std::size_t t = 0; t < tenants.size(); ++t) {
+        for (std::size_t i = 0; i < tenants[t].solves.size(); ++i) {
+            const StatusOr<SolveResponse> resp =
+                svc->Wait(tenants[t].solves[i]);
+            ASSERT_TRUE(resp.ok());
+            ASSERT_TRUE(resp->status.ok()) << resp->status.ToString();
+            ExpectBitIdentical(resp->report, want[t][i],
+                               tenants[t].script.name + " solve " +
+                                   std::to_string(i));
+        }
+    }
+    const ServiceStats stats = svc->stats();
+    EXPECT_EQ(stats.submitted, 24); // 6 x (3 solves + 1 update)
+    EXPECT_EQ(stats.completed, 24);
+    EXPECT_EQ(stats.deadline_expired, 0);
+}
+
+} // namespace
+} // namespace azul

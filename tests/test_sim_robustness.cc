@@ -24,7 +24,7 @@ struct Ctx {
     CsrMatrix a;
     CsrMatrix l;
     DataMapping mapping;
-    PcgProgram program;
+    SolverProgram program;
     SimConfig cfg;
 
     explicit Ctx(SimConfig base = {})
@@ -45,7 +45,7 @@ struct Ctx {
         in.precond = PreconditionerKind::kIncompleteCholesky;
         in.mapping = &mapping;
         in.geom = cfg.geometry();
-        program = BuildPcgProgram(in);
+        program = BuildSolverProgram(SolverKind::kPcg, in);
     }
 };
 
@@ -83,7 +83,7 @@ TEST(SimRobustness, ExtremeLatenciesPreserveFunctionality)
     Ctx ctx(brutal);
     Machine machine(ctx.cfg, &ctx.program);
     const Vector b = RandomVector(ctx.a.rows(), 3);
-    const PcgRunResult run = machine.RunPcg(b, 1e-8, 500);
+    const SolverRunResult run = machine.RunPcg(b, 1e-8, 500);
     ASSERT_TRUE(run.converged);
     EXPECT_VECTOR_NEAR(SpMV(ctx.a, run.x), b, 1e-6);
 }
@@ -133,10 +133,10 @@ TEST(SimRobustness, SingleTileMachineWorks)
     in.precond = PreconditionerKind::kIncompleteCholesky;
     in.mapping = &mapping;
     in.geom = cfg.geometry();
-    const PcgProgram program = BuildPcgProgram(in);
+    const SolverProgram program = BuildSolverProgram(SolverKind::kPcg, in);
     Machine machine(cfg, &program);
     const Vector b = RandomVector(a.rows(), 6);
-    const PcgRunResult run = machine.RunPcg(b, 1e-8, 500);
+    const SolverRunResult run = machine.RunPcg(b, 1e-8, 500);
     ASSERT_TRUE(run.converged);
     EXPECT_EQ(run.stats.link_activations, 0u);
     EXPECT_VECTOR_NEAR(SpMV(a, run.x), b, 1e-6);
@@ -163,10 +163,10 @@ TEST(SimRobustness, NonSquareGridWorks)
     in.precond = PreconditionerKind::kIncompleteCholesky;
     in.mapping = &mapping;
     in.geom = cfg.geometry();
-    const PcgProgram program = BuildPcgProgram(in);
+    const SolverProgram program = BuildSolverProgram(SolverKind::kPcg, in);
     Machine machine(cfg, &program);
     const Vector b = RandomVector(a.rows(), 8);
-    const PcgRunResult run = machine.RunPcg(b, 1e-8, 500);
+    const SolverRunResult run = machine.RunPcg(b, 1e-8, 500);
     ASSERT_TRUE(run.converged);
     EXPECT_VECTOR_NEAR(SpMV(a, run.x), b, 1e-6);
 }
@@ -177,8 +177,8 @@ TEST(SimRobustness, DeterministicAcrossRuns)
     const Vector b = RandomVector(ctx.a.rows(), 9);
     Machine m1(ctx.cfg, &ctx.program);
     Machine m2(ctx.cfg, &ctx.program);
-    const PcgRunResult r1 = m1.RunPcg(b, 1e-8, 100);
-    const PcgRunResult r2 = m2.RunPcg(b, 1e-8, 100);
+    const SolverRunResult r1 = m1.RunPcg(b, 1e-8, 100);
+    const SolverRunResult r2 = m2.RunPcg(b, 1e-8, 100);
     EXPECT_EQ(r1.stats.cycles, r2.stats.cycles);
     EXPECT_EQ(r1.stats.messages, r2.stats.messages);
     EXPECT_EQ(r1.x, r2.x);

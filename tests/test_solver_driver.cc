@@ -23,7 +23,8 @@ namespace {
 
 using azul::testing::RandomVector;
 
-enum class SolverKind { kPcg, kJacobi, kBiCgStab };
+// The public SolverKind (dataflow/program.h) doubles as the test
+// parameter: the cases below cover each of its enumerators.
 
 /** Diagonally dominant nonsymmetric matrix for BiCGStab. */
 CsrMatrix
@@ -75,7 +76,7 @@ Build(SolverKind kind)
         in.precond = PreconditionerKind::kIncompleteCholesky;
         in.mapping = &c.mapping;
         in.geom = c.cfg.geometry();
-        c.program = BuildPcgProgram(in);
+        c.program = BuildSolverProgram(SolverKind::kPcg, in);
         break;
       }
       case SolverKind::kJacobi: {
@@ -443,7 +444,7 @@ RunIdentityCg(const CsrMatrix& a, const Vector& b, Index max_iters)
     in.precond = PreconditionerKind::kIdentity;
     in.mapping = &mapping;
     in.geom = cfg.geometry();
-    const SolverProgram program = BuildPcgProgram(in);
+    const SolverProgram program = BuildSolverProgram(SolverKind::kPcg, in);
     Machine machine(cfg, &program);
     return SolverDriver().Run(machine, b, 1e-8, max_iters);
 }

@@ -9,7 +9,7 @@
 namespace azul {
 namespace {
 
-PcgProgram
+SolverProgram
 MakeProgram(const CsrMatrix& a, const CsrMatrix& l, const SimConfig& cfg,
             DataMapping& mapping)
 {
@@ -23,7 +23,7 @@ MakeProgram(const CsrMatrix& a, const CsrMatrix& l, const SimConfig& cfg,
     in.precond = PreconditionerKind::kIncompleteCholesky;
     in.mapping = &mapping;
     in.geom = cfg.geometry();
-    return BuildPcgProgram(in);
+    return BuildSolverProgram(SolverKind::kPcg, in);
 }
 
 TEST(Sram, SmallProblemFits)
@@ -34,7 +34,7 @@ TEST(Sram, SmallProblemFits)
     cfg.grid_width = 4;
     cfg.grid_height = 4;
     DataMapping mapping;
-    const PcgProgram prog = MakeProgram(a, l, cfg, mapping);
+    const SolverProgram prog = MakeProgram(a, l, cfg, mapping);
     const SramUsage usage = ComputeSramUsage(prog, cfg);
     EXPECT_TRUE(usage.fits);
     EXPECT_GT(usage.max_data_bytes, 0u);
@@ -51,7 +51,7 @@ TEST(Sram, TinySramDoesNotFit)
     cfg.data_sram_kb = 0.25;
     cfg.accum_sram_kb = 0.1;
     DataMapping mapping;
-    const PcgProgram prog = MakeProgram(a, l, cfg, mapping);
+    const SolverProgram prog = MakeProgram(a, l, cfg, mapping);
     EXPECT_FALSE(ComputeSramUsage(prog, cfg).fits);
 }
 
@@ -63,7 +63,7 @@ TEST(Sram, AccumUsesMaxAcrossKernelsNotSum)
     cfg.grid_width = 4;
     cfg.grid_height = 4;
     DataMapping mapping;
-    const PcgProgram prog = MakeProgram(a, l, cfg, mapping);
+    const SolverProgram prog = MakeProgram(a, l, cfg, mapping);
     const SramUsage usage = ComputeSramUsage(prog, cfg);
     // Upper bound if accumulators were summed across the 3 kernels:
     std::size_t sum_bound = 0;

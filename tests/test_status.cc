@@ -1,0 +1,214 @@
+/**
+ * @file
+ * Unit tests of the stable error vocabulary (util/status.h) and the
+ * admission queue (util/work_queue.h) the serving layer builds on.
+ */
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/status.h"
+#include "util/work_queue.h"
+
+namespace azul {
+namespace {
+
+// ---- Status -----------------------------------------------------------------
+
+TEST(Status, DefaultIsOk)
+{
+    const Status st;
+    EXPECT_TRUE(st.ok());
+    EXPECT_EQ(st.code(), StatusCode::kOk);
+    EXPECT_EQ(st.ToString(), "OK");
+}
+
+TEST(Status, FactoriesCarryCodeAndMessage)
+{
+    const Status st = InvalidArgument("bad tile grid");
+    EXPECT_FALSE(st.ok());
+    EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+    EXPECT_EQ(st.message(), "bad tile grid");
+    EXPECT_EQ(st.ToString(), "INVALID_ARGUMENT: bad tile grid");
+}
+
+TEST(Status, EveryCodeHasAName)
+{
+    EXPECT_EQ(OkStatus().ToString(), "OK");
+    EXPECT_NE(FailedPrecondition("x").ToString().find(
+                  "FAILED_PRECONDITION"),
+              std::string::npos);
+    EXPECT_NE(NotFound("x").ToString().find("NOT_FOUND"),
+              std::string::npos);
+    EXPECT_NE(ResourceExhausted("x").ToString().find(
+                  "RESOURCE_EXHAUSTED"),
+              std::string::npos);
+    EXPECT_NE(DeadlineExceeded("x").ToString().find(
+                  "DEADLINE_EXCEEDED"),
+              std::string::npos);
+    EXPECT_NE(Unavailable("x").ToString().find("UNAVAILABLE"),
+              std::string::npos);
+    EXPECT_NE(InternalError("x").ToString().find("INTERNAL"),
+              std::string::npos);
+}
+
+TEST(Status, EqualityComparesCodeAndMessage)
+{
+    EXPECT_EQ(InvalidArgument("a"), InvalidArgument("a"));
+    EXPECT_NE(InvalidArgument("a"), InvalidArgument("b"));
+    EXPECT_NE(InvalidArgument("a"), NotFound("a"));
+    EXPECT_EQ(OkStatus(), Status());
+}
+
+Status
+FailsThrough()
+{
+    AZUL_RETURN_IF_ERROR(NotFound("inner"));
+    return InternalError("unreachable");
+}
+
+TEST(Status, ReturnIfErrorPropagates)
+{
+    const Status st = FailsThrough();
+    EXPECT_EQ(st.code(), StatusCode::kNotFound);
+    EXPECT_EQ(st.message(), "inner");
+}
+
+// ---- StatusOr ---------------------------------------------------------------
+
+StatusOr<int>
+ParsePositive(int v)
+{
+    if (v <= 0) {
+        return InvalidArgument("must be positive");
+    }
+    return v;
+}
+
+TEST(StatusOr, HoldsValueOnOk)
+{
+    const StatusOr<int> v = ParsePositive(7);
+    ASSERT_TRUE(v.ok());
+    EXPECT_EQ(*v, 7);
+    EXPECT_EQ(v.value(), 7);
+    EXPECT_EQ(v.status(), OkStatus());
+}
+
+TEST(StatusOr, HoldsStatusOnError)
+{
+    const StatusOr<int> v = ParsePositive(-1);
+    ASSERT_FALSE(v.ok());
+    EXPECT_EQ(v.status().code(), StatusCode::kInvalidArgument);
+    EXPECT_EQ(v.value_or(42), 42);
+}
+
+TEST(StatusOr, MoveOnlyPayloads)
+{
+    StatusOr<std::unique_ptr<int>> v = std::make_unique<int>(9);
+    ASSERT_TRUE(v.ok());
+    const std::unique_ptr<int> taken = *std::move(v);
+    EXPECT_EQ(*taken, 9);
+}
+
+TEST(StatusOr, BadAccessThrows)
+{
+    const StatusOr<int> v = ParsePositive(0);
+    EXPECT_THROW((void)v.value(), AzulError);
+}
+
+// ---- WorkQueue --------------------------------------------------------------
+
+TEST(WorkQueue, FifoWithinOnePriority)
+{
+    WorkQueue<int> q;
+    ASSERT_TRUE(q.TryPush(1));
+    ASSERT_TRUE(q.TryPush(2));
+    ASSERT_TRUE(q.TryPush(3));
+    EXPECT_EQ(q.Pop(), 1);
+    EXPECT_EQ(q.Pop(), 2);
+    EXPECT_EQ(q.Pop(), 3);
+}
+
+TEST(WorkQueue, HigherPriorityPopsFirst)
+{
+    WorkQueue<int> q;
+    ASSERT_TRUE(q.TryPush(1, 0));
+    ASSERT_TRUE(q.TryPush(2, 5));
+    ASSERT_TRUE(q.TryPush(3, 5));
+    ASSERT_TRUE(q.TryPush(4, 1));
+    EXPECT_EQ(q.Pop(), 2); // priority 5, earliest seq
+    EXPECT_EQ(q.Pop(), 3);
+    EXPECT_EQ(q.Pop(), 4);
+    EXPECT_EQ(q.Pop(), 1);
+}
+
+TEST(WorkQueue, BoundedAdmission)
+{
+    WorkQueue<int> q(2);
+    EXPECT_TRUE(q.TryPush(1));
+    EXPECT_TRUE(q.TryPush(2));
+    EXPECT_FALSE(q.TryPush(3)); // full: typed rejection upstream
+    EXPECT_EQ(q.Pop(), 1);
+    EXPECT_TRUE(q.TryPush(3)); // slot freed
+}
+
+TEST(WorkQueue, CloseDrainsThenTerminates)
+{
+    WorkQueue<int> q;
+    ASSERT_TRUE(q.TryPush(1));
+    ASSERT_TRUE(q.TryPush(2));
+    q.Close();
+    EXPECT_FALSE(q.TryPush(3)); // no admissions after close
+    EXPECT_EQ(q.Pop(), 1);      // ...but the remainder drains
+    EXPECT_EQ(q.Pop(), 2);
+    EXPECT_EQ(q.Pop(), std::nullopt); // terminal
+    EXPECT_EQ(q.Pop(), std::nullopt);
+}
+
+TEST(WorkQueue, PopBlocksUntilPushOrClose)
+{
+    WorkQueue<int> q;
+    std::vector<int> got;
+    std::thread consumer([&] {
+        while (auto v = q.Pop()) {
+            got.push_back(*v);
+        }
+    });
+    for (int i = 0; i < 100; ++i) {
+        ASSERT_TRUE(q.TryPush(i));
+    }
+    q.Close();
+    consumer.join();
+    EXPECT_EQ(got.size(), 100u);
+}
+
+TEST(WorkQueue, ManyProducersOneConsumer)
+{
+    WorkQueue<int> q;
+    std::vector<std::thread> producers;
+    for (int p = 0; p < 4; ++p) {
+        producers.emplace_back([&q, p] {
+            for (int i = 0; i < 250; ++i) {
+                ASSERT_TRUE(q.TryPush(p * 250 + i));
+            }
+        });
+    }
+    for (auto& t : producers) {
+        t.join();
+    }
+    q.Close();
+    std::vector<bool> seen(1000, false);
+    while (auto v = q.Pop()) {
+        ASSERT_FALSE(seen[static_cast<std::size_t>(*v)]);
+        seen[static_cast<std::size_t>(*v)] = true;
+    }
+    for (bool s : seen) {
+        EXPECT_TRUE(s);
+    }
+}
+
+} // namespace
+} // namespace azul

@@ -1,0 +1,372 @@
+/**
+ * @file
+ * azul_serve — trace-replay driver for the serving layer.
+ *
+ * Replays a textual request trace against one AzulService, so
+ * multi-tenant schedules are reproducible from a file: the trace
+ * fixes the admission order, and the service's determinism contract
+ * fixes everything else (each response is bit-identical to a serial
+ * solo run regardless of --threads).
+ *
+ * Usage:
+ *   azul_serve [trace.txt] [flags]
+ *
+ * Flags:
+ *   --threads=N    concurrent solves                 (default 2)
+ *   --max-queue=N  admission ceiling                 (default 256)
+ *   --quiet        summary only, no per-request rows
+ *
+ * Trace format: one command per line; '#' starts a comment. Tokens
+ * after the session name are key=value pairs.
+ *
+ *   open  NAME [n=4096] [seed=1] [grid=8] [matrix=path.mtx]
+ *              [solver=pcg|jacobi|bicgstab] [precond=none|jacobi|
+ *              symgs|ssor|ic0] [tol=1e-8] [max-iters=1000]
+ *   solve NAME [seed=9] [count=1] [priority=0] [budget=CYCLES]
+ *              [deadline=SECONDS]
+ *   update NAME [scale=2.0]      # same pattern, values scaled
+ *   close NAME
+ *
+ * With no trace file, a built-in two-tenant demo trace is replayed.
+ * The documented env overrides (AZUL_SIM_THREADS, AZUL_MAPPING_CACHE,
+ * AZUL_FAULTS) apply to every opened session; explicit trace keys
+ * win.
+ */
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "service/azul_service.h"
+#include "sparse/generators.h"
+#include "sparse/matrix_market.h"
+#include "util/logging.h"
+#include "util/rng.h"
+
+using namespace azul;
+
+namespace {
+
+[[noreturn]] void
+Die(const std::string& msg)
+{
+    std::fprintf(stderr, "azul_serve: %s\n", msg.c_str());
+    std::exit(2);
+}
+
+/** "key=value" tokens after the command and session name. */
+std::map<std::string, std::string>
+ParseKv(std::istringstream& iss, int line_no)
+{
+    std::map<std::string, std::string> kv;
+    std::string tok;
+    while (iss >> tok) {
+        const std::size_t eq = tok.find('=');
+        if (eq == std::string::npos) {
+            Die("line " + std::to_string(line_no) +
+                ": expected key=value, got '" + tok + "'");
+        }
+        kv[tok.substr(0, eq)] = tok.substr(eq + 1);
+    }
+    return kv;
+}
+
+std::string
+Take(std::map<std::string, std::string>& kv, const std::string& key,
+     const std::string& fallback)
+{
+    const auto it = kv.find(key);
+    if (it == kv.end()) {
+        return fallback;
+    }
+    std::string v = it->second;
+    kv.erase(it);
+    return v;
+}
+
+/** Per-tenant replay state. */
+struct Tenant {
+    SessionId id = 0;
+    CsrMatrix a;    //!< original values, for update scale=F
+    Index rows = 0;
+};
+
+struct PendingRequest {
+    RequestId id = 0;
+    std::string session;
+    std::string kind;
+};
+
+const char* kDemoTrace =
+    "# Built-in demo: two tenants sharing an 8-thread scheduler.\n"
+    "open fem    n=1200 seed=3 grid=4 precond=ic0\n"
+    "open filter n=800  seed=5 grid=4 solver=bicgstab precond=none "
+    "tol=1e-6 max-iters=2000\n"
+    "solve fem    seed=11 count=3\n"
+    "solve filter seed=13 count=3\n"
+    "update fem   scale=2.0\n"
+    "solve fem    seed=17 count=2\n"
+    "close filter\n";
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    SetLogLevel(LogLevel::kWarn);
+    std::string trace_path;
+    bool quiet = false;
+    ServiceOptions sopts;
+    sopts.num_threads = 2;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg.rfind("--threads=", 0) == 0) {
+            sopts.num_threads =
+                static_cast<int>(std::stol(arg.substr(10)));
+        } else if (arg.rfind("--max-queue=", 0) == 0) {
+            sopts.max_queue =
+                static_cast<std::size_t>(std::stoul(arg.substr(12)));
+        } else if (arg == "--quiet") {
+            quiet = true;
+        } else if (arg.rfind("--", 0) == 0) {
+            Die("unknown flag " + arg);
+        } else {
+            trace_path = arg;
+        }
+    }
+
+    std::string trace;
+    if (trace_path.empty()) {
+        trace = kDemoTrace;
+        std::printf("no trace file given; replaying the built-in "
+                    "demo trace\n");
+    } else {
+        std::FILE* f = std::fopen(trace_path.c_str(), "r");
+        if (f == nullptr) {
+            Die("cannot open " + trace_path);
+        }
+        char buf[4096];
+        while (std::fgets(buf, sizeof buf, f) != nullptr) {
+            trace += buf;
+        }
+        std::fclose(f);
+    }
+
+    StatusOr<std::unique_ptr<AzulService>> created =
+        AzulService::Create(sopts);
+    if (!created.ok()) {
+        Die(created.status().ToString());
+    }
+    AzulService& svc = **created;
+
+    std::map<std::string, Tenant> tenants;
+    std::vector<PendingRequest> pending;
+
+    std::istringstream lines(trace);
+    std::string line;
+    int line_no = 0;
+    while (std::getline(lines, line)) {
+        ++line_no;
+        const std::size_t hash = line.find('#');
+        if (hash != std::string::npos) {
+            line.resize(hash);
+        }
+        std::istringstream iss(line);
+        std::string cmd;
+        std::string name;
+        if (!(iss >> cmd)) {
+            continue; // blank / comment line
+        }
+        if (!(iss >> name)) {
+            Die("line " + std::to_string(line_no) +
+                ": missing session name");
+        }
+        auto kv = ParseKv(iss, line_no);
+
+        if (cmd == "open") {
+            AzulOptions opts;
+            ApplyEnvOverrides(opts);
+            const std::string matrix = Take(kv, "matrix", "");
+            const Index n = std::stol(Take(kv, "n", "4096"));
+            const std::uint64_t seed =
+                std::stoull(Take(kv, "seed", "1"));
+            const std::int32_t grid =
+                static_cast<std::int32_t>(
+                    std::stol(Take(kv, "grid", "8")));
+            opts.sim.grid_width = opts.sim.grid_height = grid;
+            const std::string solver = Take(kv, "solver", "pcg");
+            if (solver == "pcg") {
+                opts.solver = SolverKind::kPcg;
+            } else if (solver == "jacobi") {
+                opts.solver = SolverKind::kJacobi;
+            } else if (solver == "bicgstab") {
+                opts.solver = SolverKind::kBiCgStab;
+            } else {
+                Die("line " + std::to_string(line_no) +
+                    ": unknown solver " + solver);
+            }
+            const std::string precond = Take(kv, "precond", "ic0");
+            if (precond == "none") {
+                opts.precond = PreconditionerKind::kIdentity;
+            } else if (precond == "jacobi") {
+                opts.precond = PreconditionerKind::kJacobi;
+            } else if (precond == "symgs") {
+                opts.precond =
+                    PreconditionerKind::kSymmetricGaussSeidel;
+            } else if (precond == "ssor") {
+                opts.precond = PreconditionerKind::kSsor;
+            } else if (precond == "ic0") {
+                opts.precond =
+                    PreconditionerKind::kIncompleteCholesky;
+            } else {
+                Die("line " + std::to_string(line_no) +
+                    ": unknown precond " + precond);
+            }
+            opts.tol = std::stod(Take(kv, "tol", "1e-8"));
+            opts.max_iters =
+                std::stol(Take(kv, "max-iters", "1000"));
+
+            Tenant t;
+            t.a = matrix.empty()
+                      ? RandomGeometricLaplacian(n, 9.0, seed)
+                      : CsrMatrix::FromCoo(ReadMatrixMarket(matrix));
+            t.rows = t.a.rows();
+            const StatusOr<SessionId> id =
+                svc.OpenSession(t.a, opts, name);
+            if (!id.ok()) {
+                Die("line " + std::to_string(line_no) + ": open " +
+                    name + ": " + id.status().ToString());
+            }
+            t.id = *id;
+            tenants[name] = std::move(t);
+        } else if (cmd == "solve") {
+            const auto it = tenants.find(name);
+            if (it == tenants.end()) {
+                Die("line " + std::to_string(line_no) +
+                    ": unknown session " + name);
+            }
+            const std::uint64_t seed =
+                std::stoull(Take(kv, "seed", "9"));
+            const int count =
+                static_cast<int>(std::stol(Take(kv, "count", "1")));
+            SubmitOptions sub;
+            sub.priority =
+                static_cast<int>(std::stol(Take(kv, "priority", "0")));
+            sub.cycle_budget = static_cast<Cycle>(
+                std::stoull(Take(kv, "budget", "0")));
+            sub.deadline_seconds =
+                std::stod(Take(kv, "deadline", "0"));
+            std::vector<Vector> rhs;
+            for (int c = 0; c < count; ++c) {
+                Rng rng(seed + static_cast<std::uint64_t>(c));
+                Vector b(static_cast<std::size_t>(it->second.rows));
+                for (double& v : b) {
+                    v = rng.UniformDouble(-1.0, 1.0);
+                }
+                rhs.push_back(std::move(b));
+            }
+            const StatusOr<std::vector<RequestId>> ids =
+                svc.SubmitBatch(it->second.id, std::move(rhs), sub);
+            if (!ids.ok()) {
+                std::printf("line %d: solve %s rejected: %s\n",
+                            line_no, name.c_str(),
+                            ids.status().ToString().c_str());
+                continue;
+            }
+            for (const RequestId r : *ids) {
+                pending.push_back({r, name, "solve"});
+            }
+        } else if (cmd == "update") {
+            const auto it = tenants.find(name);
+            if (it == tenants.end()) {
+                Die("line " + std::to_string(line_no) +
+                    ": unknown session " + name);
+            }
+            const double scale =
+                std::stod(Take(kv, "scale", "2.0"));
+            CsrMatrix scaled = it->second.a;
+            for (double& v : scaled.mutable_vals()) {
+                v *= scale;
+            }
+            const StatusOr<RequestId> r = svc.SubmitUpdateValues(
+                it->second.id, std::move(scaled));
+            if (!r.ok()) {
+                std::printf("line %d: update %s rejected: %s\n",
+                            line_no, name.c_str(),
+                            r.status().ToString().c_str());
+                continue;
+            }
+            pending.push_back({*r, name, "update"});
+        } else if (cmd == "close") {
+            const auto it = tenants.find(name);
+            if (it == tenants.end()) {
+                Die("line " + std::to_string(line_no) +
+                    ": unknown session " + name);
+            }
+            const Status st = svc.CloseSession(it->second.id);
+            if (!st.ok()) {
+                Die("line " + std::to_string(line_no) + ": close " +
+                    name + ": " + st.ToString());
+            }
+        } else {
+            Die("line " + std::to_string(line_no) +
+                ": unknown command " + cmd);
+        }
+        if (!kv.empty()) {
+            Die("line " + std::to_string(line_no) +
+                ": unknown key '" + kv.begin()->first + "'");
+        }
+    }
+
+    if (!quiet) {
+        std::printf("%-6s %-12s %-7s %-20s %10s %10s %9s %9s\n", "req",
+                    "session", "kind", "status", "iters", "cycles",
+                    "queue-s", "solve-s");
+    }
+    int failures = 0;
+    for (const PendingRequest& p : pending) {
+        const StatusOr<SolveResponse> resp = svc.Wait(p.id);
+        if (!resp.ok()) {
+            Die("wait " + std::to_string(p.id) + ": " +
+                resp.status().ToString());
+        }
+        if (!resp->status.ok()) {
+            ++failures;
+        }
+        // An OK solve that merely hit max-iters is not a service
+        // failure, but the operator should see it.
+        const bool unconverged = p.kind == "solve" &&
+                                 resp->status.ok() &&
+                                 !resp->report.run.converged;
+        if (!quiet) {
+            std::printf(
+                "%-6llu %-12s %-7s %-20s %10lld %10llu %9.4f %9.4f\n",
+                static_cast<unsigned long long>(resp->id),
+                p.session.c_str(), p.kind.c_str(),
+                resp->status.ok()
+                    ? (unconverged ? "OK (max-iters)" : "OK")
+                    : StatusCodeName(resp->status.code()),
+                static_cast<long long>(resp->report.run.iterations),
+                static_cast<unsigned long long>(
+                    resp->report.run.stats.cycles),
+                resp->queue_seconds, resp->service_seconds);
+        }
+    }
+
+    const ServiceStats stats = svc.stats();
+    std::printf("\nsessions=%lld submitted=%lld completed=%lld "
+                "rejected=%lld deadline-expired=%lld "
+                "cache-hits=%lld threads=%d\n",
+                static_cast<long long>(stats.sessions_opened),
+                static_cast<long long>(stats.submitted),
+                static_cast<long long>(stats.completed),
+                static_cast<long long>(stats.rejected),
+                static_cast<long long>(stats.deadline_expired),
+                static_cast<long long>(stats.mapping_cache_hits),
+                svc.num_threads());
+    return failures == 0 ? 0 : 1;
+}

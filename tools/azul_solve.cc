@@ -109,7 +109,9 @@ main(int argc, char** argv)
     AzulOptions opts;
     opts.tol = 1e-8;
     opts.max_iters = 5000;
-    ApplyFaultEnv(opts.sim);
+    // Documented env overrides first (AZUL_SIM_THREADS, AZUL_FAULTS,
+    // AZUL_MAPPING_CACHE); explicit flags below override them.
+    ApplyEnvOverrides(opts);
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -184,7 +186,13 @@ main(int argc, char** argv)
         opts.precomputed_mapping = &loaded;
     }
 
-    AzulSystem system(std::move(a), opts);
+    StatusOr<AzulSystem> created = AzulSystem::Create(std::move(a), opts);
+    if (!created.ok()) {
+        std::fprintf(stderr, "azul_solve: %s\n",
+                     created.status().ToString().c_str());
+        return 2;
+    }
+    AzulSystem& system = *created;
     if (!save_mapping.empty()) {
         SaveMapping(system.mapping(), save_mapping);
         if (!json) {
