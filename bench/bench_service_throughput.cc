@@ -11,6 +11,13 @@
  * here we only measure). The 8-thread row should comfortably beat the
  * serial (1-thread) row on any multi-core host.
  *
+ * The sweep runs once per execution engine — the cycle-accurate
+ * machine and the functional engine (docs/SIMULATOR.md, "Choosing an
+ * execution engine") — and reports the functional-vs-cycle solves/sec
+ * multiple: the speedup a serving deployment gets from dropping the
+ * timing model while keeping bit-identical results. Passing --engine
+ * pins a single engine and skips the comparison.
+ *
  * Flags (bench/common.h), plus:
  *   --sessions=N    concurrent tenants            (default 6)
  *   --requests=M    solves submitted per tenant   (default 6)
@@ -137,6 +144,36 @@ RunSweepPoint(int service_threads, const ServeArgs& serve,
     return row;
 }
 
+/** Runs the thread sweep for one engine; returns solves/sec rows
+ *  keyed by thread count. */
+std::vector<SweepRow>
+RunEngineSweep(EngineKind engine, const ServeArgs& serve,
+               const std::vector<BenchMatrix>& suite,
+               const AzulOptions& base)
+{
+    AzulOptions opts = base;
+    opts.engine = engine;
+    std::printf("engine = %s\n", EngineKindName(engine).c_str());
+    std::printf("%-16s %12s %10s %10s %10s %9s\n", "service-threads",
+                "solves/sec", "p50-ms", "p99-ms", "wall-s", "vs-1t");
+    std::vector<SweepRow> rows;
+    double serial_rate = 0.0;
+    for (const int threads : {1, 2, 4, 8}) {
+        const SweepRow row =
+            RunSweepPoint(threads, serve, suite, opts);
+        if (threads == 1) {
+            serial_rate = row.solves_per_sec;
+        }
+        std::printf("%-16d %12.2f %10.2f %10.2f %10.2f %8.2fx\n",
+                    row.threads, row.solves_per_sec, row.p50_ms,
+                    row.p99_ms, row.wall_seconds,
+                    row.solves_per_sec / serial_rate);
+        rows.push_back(row);
+    }
+    std::printf("\n");
+    return rows;
+}
+
 } // namespace
 
 int
@@ -150,9 +187,10 @@ main(int argc, char** argv)
     }
     PrintBanner(
         "service throughput: multi-tenant solves/sec vs scheduler "
-        "threads",
+        "threads, per execution engine",
         "independent sessions overlap; results stay bit-identical "
-        "(test_service)",
+        "(test_service); the functional engine trades the timing "
+        "model for serving throughput",
         args);
 
     const std::vector<BenchMatrix> suite = LoadSuite(args);
@@ -167,22 +205,31 @@ main(int argc, char** argv)
                 "scaling flattens beyond that)\n\n",
                 serve.sessions, serve.requests, suite.size(),
                 std::thread::hardware_concurrency());
-    std::printf("%-16s %12s %10s %10s %10s %9s\n", "service-threads",
-                "solves/sec", "p50-ms", "p99-ms", "wall-s", "vs-1t");
 
-    double serial_rate = 0.0;
-    for (const int threads : {1, 2, 4, 8}) {
-        const SweepRow row =
-            RunSweepPoint(threads, serve, suite, base);
-        if (threads == 1) {
-            serial_rate = row.solves_per_sec;
-        }
-        std::printf("%-16d %12.2f %10.2f %10.2f %10.2f %8.2fx\n",
-                    row.threads, row.solves_per_sec, row.p50_ms,
-                    row.p99_ms, row.wall_seconds,
-                    row.solves_per_sec / serial_rate);
+    if (!args.engine.empty()) {
+        // Pinned engine: single sweep, no comparison.
+        RunEngineSweep(base.engine, serve, suite, base);
+        std::printf("(vs-1t > 1 means the shared scheduler beats "
+                    "serial submission)\n");
+        return 0;
     }
+
+    const std::vector<SweepRow> cycle =
+        RunEngineSweep(EngineKind::kCycle, serve, suite, base);
+    const std::vector<SweepRow> functional =
+        RunEngineSweep(EngineKind::kFunctional, serve, suite, base);
+
+    std::printf("functional-vs-cycle solves/sec multiple:\n");
+    std::vector<double> multiples;
+    for (std::size_t i = 0; i < cycle.size(); ++i) {
+        const double m =
+            functional[i].solves_per_sec / cycle[i].solves_per_sec;
+        multiples.push_back(m);
+        std::printf("%-16d %11.1fx\n", cycle[i].threads, m);
+    }
+    PrintGmean("functional/cycle", multiples);
     std::printf("\n(vs-1t > 1 means the shared scheduler beats "
-                "serial submission)\n");
+                "serial submission; the functional/cycle multiple is "
+                "the cost of cycle accuracy)\n");
     return 0;
 }

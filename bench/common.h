@@ -11,6 +11,9 @@
  *   --threads=N host simulation + mapping threads (default: env
  *               AZUL_SIM_THREADS, else 1; results are bit-identical
  *               at any thread count)
+ *   --engine=E  execution engine: cycle (default) or functional
+ *               (docs/SIMULATOR.md, "Choosing an execution engine");
+ *               overrides the AZUL_ENGINE environment variable
  *   --quick     small preset for smoke runs  (scale 0.2, grid 4)
  *   --cache[=D] reuse mappings via the persistent cache in directory
  *               D (default .azul-mapping-cache); off when absent
@@ -51,6 +54,9 @@ struct BenchArgs {
     bool quick = false;
     std::string cache_dir;  //!< empty = mapping cache disabled
     std::string fault_spec; //!< ParseFaultSpec format; empty = off
+    /** "cycle"/"functional" from --engine; empty = no explicit flag,
+     *  so the AZUL_ENGINE env override (or the default) stands. */
+    std::string engine;
 
     static BenchArgs
     Parse(int argc, char** argv)
@@ -76,6 +82,16 @@ struct BenchArgs {
                 args.fault_spec = "rate=1e-5,kinds=all";
             } else if (arg.rfind("--faults=", 0) == 0) {
                 args.fault_spec = arg.substr(9);
+            } else if (arg.rfind("--engine=", 0) == 0) {
+                args.engine = arg.substr(9);
+                EngineKind parsed = EngineKind::kCycle;
+                if (!ParseEngineKind(args.engine, parsed)) {
+                    std::fprintf(stderr,
+                                 "bad --engine '%s' (want cycle or "
+                                 "functional)\n",
+                                 args.engine.c_str());
+                    std::exit(2);
+                }
             } else if (arg == "--quick") {
                 args.quick = true;
                 args.scale = 0.2;
@@ -143,6 +159,10 @@ BaseOptions(const BenchArgs& args)
     if (!args.cache_dir.empty()) {
         opts.mapping_cache_dir = args.cache_dir;
     }
+    if (!args.engine.empty()) {
+        // Parse already validated the flag value.
+        ParseEngineKind(args.engine, opts.engine);
+    }
     opts.tol = 0.0; // run exactly `iters` iterations
     opts.max_iters = args.iters;
     if (!args.fault_spec.empty() &&
@@ -154,11 +174,25 @@ BaseOptions(const BenchArgs& args)
     return opts;
 }
 
+/** Builds a system or exits with the Status message — bench inputs
+ *  are generated, so a rejection is a bench bug, not user error. */
+inline AzulSystem
+MakeSystemOrDie(const CsrMatrix& a, const AzulOptions& opts)
+{
+    StatusOr<AzulSystem> sys = AzulSystem::Create(a, opts);
+    if (!sys.ok()) {
+        std::fprintf(stderr, "AzulSystem::Create failed: %s\n",
+                     sys.status().ToString().c_str());
+        std::exit(1);
+    }
+    return *std::move(sys);
+}
+
 /** Builds a system and solves; convenience wrapper. */
 inline SolveReport
 RunConfig(const CsrMatrix& a, const Vector& b, const AzulOptions& opts)
 {
-    AzulSystem sys(a, opts);
+    AzulSystem sys = MakeSystemOrDie(a, opts);
     return sys.Solve(b);
 }
 
@@ -167,9 +201,9 @@ inline SolveReport
 RunConfig(const CsrMatrix& a, const Vector& b, const AzulOptions& opts,
           const std::vector<SimObserver*>& observers)
 {
-    AzulSystem sys(a, opts);
+    AzulSystem sys = MakeSystemOrDie(a, opts);
     for (SimObserver* o : observers) {
-        sys.machine().AttachObserver(o);
+        sys.engine().AttachObserver(o);
     }
     return sys.Solve(b);
 }

@@ -92,7 +92,7 @@ main()
     options.sim.grid_width = 8;
     options.sim.grid_height = 8;
     options.tol = 1e-10;
-    AzulSystem system(SystemMatrix(g), options);
+    AzulSystem system = *AzulSystem::Create(SystemMatrix(g), options);
     std::printf("circuit: %lld nodes, %lld conductances; mapping "
                 "%.2fs (once)\n",
                 static_cast<long long>(kN),

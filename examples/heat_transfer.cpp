@@ -83,7 +83,9 @@ main()
     options.sim.grid_width = 8;
     options.sim.grid_height = 8;
     options.tol = 1e-9;
-    AzulSystem system(a, options);
+    // Generated input: a Create failure here is a bug, and value()
+    // checks, so no explicit branch is needed.
+    AzulSystem system = *AzulSystem::Create(a, options);
     std::printf("setup: mapping %.2fs (amortized across %d "
                 "timesteps)\n\n",
                 system.mapping_seconds(), timesteps);

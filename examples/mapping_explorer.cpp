@@ -72,7 +72,7 @@ main(int argc, char** argv)
         opts.mapper = kind;
         opts.tol = 0.0;
         opts.max_iters = iters;
-        AzulSystem sys(a, opts);
+        AzulSystem sys = *AzulSystem::Create(a, opts);
         const SolveReport rep = sys.Solve(b);
         std::printf("%-13s %14.3g %14llu %12llu %12.2f %10.2f\n",
                     MapperKindName(kind).c_str(), est.total(),

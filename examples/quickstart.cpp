@@ -9,6 +9,7 @@
  * symmetric-positive-definite Matrix Market file is loaded.
  */
 #include <cstdio>
+#include <utility>
 
 #include "core/azul_system.h"
 #include "solver/pcg.h"
@@ -44,9 +45,16 @@ main(int argc, char** argv)
     options.tol = 1e-8;
 
     // 3. Build the system: coloring, factorization, mapping, kernel
-    //    compilation, machine instantiation. This is the expensive,
-    //    once-per-sparsity-pattern step.
-    AzulSystem system(a, options);
+    //    compilation, engine instantiation. This is the expensive,
+    //    once-per-sparsity-pattern step. Create validates the input
+    //    and returns a Status instead of throwing.
+    StatusOr<AzulSystem> built = AzulSystem::Create(a, options);
+    if (!built.ok()) {
+        std::fprintf(stderr, "%s\n",
+                     built.status().ToString().c_str());
+        return 1;
+    }
+    AzulSystem system = *std::move(built);
     std::printf("mapping took %.2f s; per-tile SRAM: %zu B data, "
                 "%zu B accum\n",
                 system.mapping_seconds(),

@@ -82,7 +82,7 @@ main()
         opts.sim.grid_height = 8;
         opts.tol = tol;
         opts.max_iters = cap;
-        AzulSystem sys(a, opts);
+        AzulSystem sys = *AzulSystem::Create(a, opts);
         const SolveReport rep = sys.Solve(b);
         std::printf("%-24s %s\n", "Azul PCG + ic0",
                     rep.Summary().c_str());

@@ -9,7 +9,8 @@ std::string
 AzulOptions::ToString() const
 {
     std::ostringstream oss;
-    oss << sim.ToString() << ", solver=" << SolverKindName(solver)
+    oss << sim.ToString() << ", engine=" << EngineKindName(engine)
+        << ", solver=" << SolverKindName(solver)
         << ", precond=" << PreconditionerKindName(precond)
         << ", mapper=" << MapperKindName(mapper)
         << (color_and_permute ? ", colored" : ", uncolored")
@@ -30,6 +31,12 @@ ApplyEnvOverrides(AzulOptions& opts)
         SimThreadsFromEnv(opts.sim.sim_threads);
     opts.sim.sim_threads = threads;
     opts.azul_mapper.partitioner.threads = threads;
+
+    // Execution engine: "cycle" or "functional"; anything else is
+    // ignored (the default stays).
+    if (const char* engine_env = std::getenv("AZUL_ENGINE")) {
+        ParseEngineKind(engine_env, opts.engine);
+    }
 
     if (opts.mapping_cache_dir.empty()) {
         if (const char* dir = std::getenv("AZUL_MAPPING_CACHE")) {

@@ -23,6 +23,15 @@ namespace azul {
 struct AzulOptions {
     /** Machine parameters (Table III, scaled by default). */
     SimConfig sim;
+    /**
+     * Execution engine behind the solve (sim/execution_engine.h).
+     * kCycle (default) is the cycle-accurate Machine — ground truth
+     * for all paper figures. kFunctional runs the same compiled
+     * program with bit-identical FP64 results but no timing model
+     * (serving fast path); it is incompatible with fault injection
+     * (Create rejects engine=functional + sim.faults_enabled()).
+     */
+    EngineKind engine = EngineKind::kCycle;
     /** Iterative method the system compiles and runs. kJacobi and
      *  kBiCgStab are their own methods and require precond =
      *  kIdentity (AzulSystem::Create rejects other combinations). */
@@ -65,10 +74,9 @@ struct AzulOptions {
     /**
      * When true, AzulSystem::Create fails with RESOURCE_EXHAUSTED if
      * the compiled program does not fit the per-tile scratchpads.
-     * When false (default, and always via the deprecated throwing
-     * constructor), overflow only logs a warning — the simulator
-     * models the spill penalty and many sweeps oversubscribe on
-     * purpose.
+     * When false (default), overflow only logs a warning — the
+     * simulator models the spill penalty and many sweeps
+     * oversubscribe on purpose.
      */
     bool strict_sram_fit = false;
 
@@ -85,6 +93,8 @@ struct AzulOptions {
  *   AZUL_SIM_THREADS    host threads for the simulation engine and
  *                       the parallel partitioner (results are
  *                       bit-identical at any thread count)
+ *   AZUL_ENGINE         execution engine, "cycle" or "functional"
+ *                       (ParseEngineKind; anything else is ignored)
  *   AZUL_MAPPING_CACHE  persistent mapping-cache directory
  *   AZUL_FAULTS         fault-injection spec (ParseFaultSpec format;
  *                       malformed specs are ignored atomically)

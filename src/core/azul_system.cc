@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "mapping/mapping_cache.h"
+#include "sim/engine_functional.h"
 #include "solver/coloring.h"
 #include "util/logging.h"
 
@@ -74,7 +75,26 @@ ValidateCreate(const CsrMatrix& a, const AzulOptions& options)
             << options.sim.num_tiles();
         return InvalidArgument(oss.str());
     }
+    if (options.engine == EngineKind::kFunctional &&
+        options.sim.faults_enabled()) {
+        return InvalidArgument(
+            "engine=functional does not support fault injection "
+            "(faults need the cycle-accurate timing model; use "
+            "engine=cycle)");
+    }
     return OkStatus();
+}
+
+/** Instantiates the engine selected by the options (Create already
+ *  rejected invalid combinations). */
+std::unique_ptr<ExecutionEngine>
+MakeEngine(const AzulOptions& options, const SolverProgram* program)
+{
+    if (options.engine == EngineKind::kFunctional) {
+        return std::make_unique<FunctionalEngine>(options.sim,
+                                                  program);
+    }
+    return std::make_unique<Machine>(options.sim, program);
 }
 
 } // namespace
@@ -106,18 +126,6 @@ AzulSystem::Create(CsrMatrix a, AzulOptions options)
         }
     }
     return sys;
-}
-
-AzulSystem::AzulSystem(CsrMatrix a, AzulOptions options)
-    : AzulSystem([&] {
-          StatusOr<AzulSystem> sys =
-              Create(std::move(a), std::move(options));
-          if (!sys.ok()) {
-              throw AzulError(sys.status().ToString());
-          }
-          return *std::move(sys);
-      }())
-{
 }
 
 void
@@ -208,8 +216,8 @@ AzulSystem::Init(CsrMatrix a)
         compile_seconds_ = SecondsSince(t0);
     }
 
-    // 5. Machine instantiation.
-    machine_ = std::make_unique<Machine>(options_.sim, program_.get());
+    // 5. Execution-engine instantiation (options_.engine).
+    engine_ = MakeEngine(options_, program_.get());
     const SramUsage usage = sram_usage();
     if (!usage.fits) {
         AZUL_LOG(kWarn)
@@ -239,7 +247,8 @@ AzulSystem::Solve(const Vector& b, const RunBudget& budget)
     AZUL_CHECK(static_cast<Index>(b.size()) == a_.rows());
     const Vector b_perm = PermuteVector(b, perm_);
     SolveReport report;
-    report.run = SolverDriver().Run(*machine_, b_perm, options_.tol,
+    report.engine = options_.engine;
+    report.run = SolverDriver().Run(*engine_, b_perm, options_.tol,
                                     options_.max_iters, budget);
     report.run.x = UnpermuteVector(report.run.x, perm_);
     report.gflops = report.run.Gflops(options_.sim.clock_ghz);
@@ -292,8 +301,7 @@ AzulSystem::UpdateValues(const CsrMatrix& a_new)
         in.jacobi_omega = options_.jacobi_omega;
         program_ = std::make_unique<SolverProgram>(
             BuildSolverProgram(options_.solver, in));
-        machine_ =
-            std::make_unique<Machine>(options_.sim, program_.get());
+        engine_ = MakeEngine(options_, program_.get());
     } catch (const AzulError& e) {
         // Refactorization/recompilation rejected the new values
         // (e.g. a zero Jacobi diagonal).
@@ -311,14 +319,17 @@ AzulSystem::RunKernelOnce(int matrix_kernel_index, const Vector& input)
     const MatrixKernel& kernel =
         program_->matrix_kernels[static_cast<std::size_t>(
             matrix_kernel_index)];
-    machine_->LoadProblem(Vector(input.size(), 0.0));
+    // machine() checks the engine kind: per-kernel cycle counts only
+    // exist under the cycle engine.
+    Machine& m = machine();
+    m.LoadProblem(Vector(input.size(), 0.0));
     const Vector in_perm = PermuteVector(input, perm_);
     // Seed the kernel's input and rhs vectors.
-    machine_->ScatterVector(kernel.input_vec, in_perm);
+    m.ScatterVector(kernel.input_vec, in_perm);
     if (kernel.rhs_vec != VecName::kCount) {
-        machine_->ScatterVector(kernel.rhs_vec, in_perm);
+        m.ScatterVector(kernel.rhs_vec, in_perm);
     }
-    return machine_->RunMatrixKernelStandalone(matrix_kernel_index);
+    return m.RunMatrixKernelStandalone(matrix_kernel_index);
 }
 
 } // namespace azul

@@ -16,8 +16,13 @@
  *
  * Construction is fallible: `AzulSystem::Create` validates the user's
  * matrix/configuration and returns a typed Status instead of
- * throwing (docs/API.md). The throwing constructor is a deprecated
- * shim over Create and will be removed.
+ * throwing (docs/API.md). The deprecated throwing constructor was
+ * removed; Create is the only way to build a system.
+ *
+ * The solve runs on the execution engine selected by
+ * AzulOptions::engine (sim/execution_engine.h): the cycle-accurate
+ * Machine (default, ground truth for figures) or the timing-free
+ * FunctionalEngine with bit-identical numerics.
  */
 #ifndef AZUL_CORE_AZUL_SYSTEM_H_
 #define AZUL_CORE_AZUL_SYSTEM_H_
@@ -27,6 +32,7 @@
 #include "core/azul_config.h"
 #include "core/solve_report.h"
 #include "dataflow/program.h"
+#include "sim/execution_engine.h"
 #include "sim/machine.h"
 #include "sparse/permute.h"
 #include "util/status.h"
@@ -39,22 +45,16 @@ class AzulSystem {
     /**
      * Builds the system: colors/permutes the matrix, factors the
      * preconditioner, maps data, compiles the program, and
-     * instantiates the simulated machine. Invalid user input — a
+     * instantiates the execution engine. Invalid user input — a
      * non-square or empty matrix, a non-positive tile grid, a
      * precomputed mapping for a different machine size, a solver /
-     * preconditioner combination the compiler rejects, or (with
+     * preconditioner combination the compiler rejects,
+     * engine=functional combined with fault injection, or (with
      * options.strict_sram_fit) a program that overflows the
      * scratchpads — returns a non-OK Status instead of aborting.
      */
     static StatusOr<AzulSystem> Create(CsrMatrix a,
                                        AzulOptions options);
-
-    /**
-     * Deprecated: throwing wrapper over Create — throws AzulError
-     * with the Status text on invalid input. Prefer Create; this
-     * stays for one PR so out-of-tree callers can migrate.
-     */
-    AzulSystem(CsrMatrix a, AzulOptions options);
 
     AzulSystem(AzulSystem&&) = default;
     AzulSystem& operator=(AzulSystem&&) = default;
@@ -81,7 +81,9 @@ class AzulSystem {
 
     /**
      * Runs one standalone kernel with the machine's current vector
-     * state (benches: per-kernel cycles and traffic).
+     * state (benches: per-kernel cycles and traffic). Cycle engine
+     * only — per-kernel timing is exactly what the functional engine
+     * does not model (aborts under engine=functional).
      */
     SimStats RunKernelOnce(int matrix_kernel_index, const Vector& input);
 
@@ -95,7 +97,17 @@ class AzulSystem {
     const Permutation& permutation() const { return perm_; }
     const DataMapping& mapping() const { return mapping_; }
     const SolverProgram& program() const { return *program_; }
-    Machine& machine() { return *machine_; }
+    /** The execution engine behind Solve (kind per options().engine). */
+    ExecutionEngine& engine() { return *engine_; }
+    /** The cycle-accurate machine; requires options().engine ==
+     *  EngineKind::kCycle (aborts otherwise). Use engine() for
+     *  engine-agnostic access. */
+    Machine& machine()
+    {
+        AZUL_CHECK_MSG(engine_->kind() == EngineKind::kCycle,
+                       "machine() requires engine=cycle");
+        return static_cast<Machine&>(*engine_);
+    }
     double mapping_seconds() const { return mapping_seconds_; }
     double compile_seconds() const { return compile_seconds_; }
     /** Mapping-cache lookups during construction (0/0 if disabled or
@@ -116,10 +128,10 @@ class AzulSystem {
     CsrMatrix l_;        //!< lower factor (empty if not factored)
     Permutation perm_;   //!< coloring permutation (identity if off)
     DataMapping mapping_;
-    /** Heap-allocated so the machine's pointer to it survives moves
+    /** Heap-allocated so the engine's pointer to it survives moves
      *  of the AzulSystem (StatusOr/containers move freely). */
     std::unique_ptr<SolverProgram> program_;
-    std::unique_ptr<Machine> machine_;
+    std::unique_ptr<ExecutionEngine> engine_;
     double mapping_seconds_ = 0.0;
     double compile_seconds_ = 0.0;
     int mapping_cache_hits_ = 0;

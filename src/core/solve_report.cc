@@ -50,6 +50,7 @@ SolveReport::ToJson() const
     oss << "{";
     oss << "\"converged\":" << (run.converged ? "true" : "false");
     oss << ",\"failure\":\"" << FailureKindName(run.failure) << "\"";
+    oss << ",\"engine\":\"" << EngineKindName(engine) << "\"";
     oss << ",\"iterations\":" << run.iterations;
     oss << ",\"recoveries\":" << run.recoveries;
     oss << ",\"residual_norm\":" << JsonNumber(run.residual_norm);

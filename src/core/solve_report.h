@@ -19,6 +19,13 @@ namespace azul {
 struct SolveReport {
     /** Solver outcome + cumulative simulation statistics. */
     SolverRunResult run;
+    /**
+     * Execution engine that produced the run. Timing-derived fields
+     * (cycles, gflops, solve_seconds, power) are only meaningful under
+     * kCycle; under kFunctional, `cycles` counts solver iterations
+     * (docs/API.md, "Budgets and engines").
+     */
+    EngineKind engine = EngineKind::kCycle;
     /** Delivered throughput over the whole solve. */
     double gflops = 0.0;
     /** Fraction of the machine's peak FP throughput. */

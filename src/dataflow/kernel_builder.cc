@@ -142,7 +142,14 @@ BuildMatrixKernel(const TorusGeometry& geom,
             } else {
                 node.parent = refs[static_cast<std::size_t>(
                     tree.parent[ti])];
-                ++node_at(node.parent).expected;
+                // The contribution ordinal is the parent's expected
+                // count before the bump: tree children are wired in
+                // deterministic build order, so ordinals are a fixed
+                // property of the compiled kernel (the fold-order
+                // contract both engines share).
+                NodeDesc& parent = node_at(node.parent);
+                node.parent_ord = parent.expected;
+                ++parent.expected;
             }
         }
         reduce_root[static_cast<std::size_t>(i)] = refs[0];
@@ -154,9 +161,12 @@ BuildMatrixKernel(const TorusGeometry& geom,
             if (ait != acc_of.end()) {
                 TileKernel& tk = kernel.tiles[static_cast<std::size_t>(
                     tree.tiles[ti])];
-                tk.accums[static_cast<std::size_t>(ait->second)].dest =
-                    refs[ti];
-                ++node_at(refs[ti]).expected;
+                AccumDesc& acc =
+                    tk.accums[static_cast<std::size_t>(ait->second)];
+                acc.dest = refs[ti];
+                NodeDesc& node = node_at(refs[ti]);
+                acc.dest_ord = node.expected;
+                ++node.expected;
             }
         }
         // Reduce roots that expect nothing fire at kernel start
@@ -243,6 +253,29 @@ BuildMatrixKernel(const TorusGeometry& geom,
             kernel.tiles[static_cast<std::size_t>(refs[0].tile)]
                 .initial_nodes.push_back(refs[0].node);
         }
+    }
+
+    // ---- Finalize the canonical fold order --------------------------------
+    // Assign per-FMAC ordinals within each accumulator (ops are laid
+    // out in deterministic build order) and prefix-sum the staging
+    // ranges that both execution engines fold in.
+    for (TileKernel& tk : kernel.tiles) {
+        std::vector<std::int32_t> acc_count(tk.accums.size(), 0);
+        for (ColumnOp& op : tk.ops) {
+            op.acc_ord = acc_count[static_cast<std::size_t>(op.acc)]++;
+        }
+        std::int32_t acc_off = 0;
+        for (AccumDesc& acc : tk.accums) {
+            acc.stage_offset = acc_off;
+            acc_off += acc.expected;
+        }
+        tk.acc_stage_size = acc_off;
+        std::int32_t node_off = 0;
+        for (NodeDesc& node : tk.nodes) {
+            node.stage_offset = node_off;
+            node_off += node.expected;
+        }
+        tk.node_stage_size = node_off;
     }
 
     kernel.Validate();

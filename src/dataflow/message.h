@@ -57,6 +57,17 @@ struct Message {
     std::int32_t dest_tile = -1;
     std::int32_t dest_node = -1;
     double value = 0.0;
+    /**
+     * Contribution ordinal at the destination reduce node (see
+     * NodeDesc::stage_offset): which statically-assigned slot of the
+     * node's fold this value fills. Simulation bookkeeping only — it
+     * is NOT part of the modeled 96-bit flit. Hardware accumulates in
+     * arrival order; the simulator instead folds contributions in
+     * static program order so FP64 results are independent of message
+     * timing (the engines' shared determinism contract,
+     * docs/SIMULATOR.md).
+     */
+    std::int32_t ord = 0;
 };
 
 } // namespace azul

@@ -67,8 +67,15 @@ struct NodeDesc {
 
     /** Reduce: contributions to await before completing. */
     std::int32_t expected = 0;
+    /** Reduce: start of this node's contribution-staging range in the
+     *  tile's fold buffer (node_stage_size doubles total). Completed
+     *  nodes fold their `expected` staged values in ordinal order, so
+     *  the FP64 sum is independent of message arrival order. */
+    std::int32_t stage_offset = 0;
     /** Reduce: parent to forward the sum to (invalid at the root). */
     NodeRef parent;
+    /** Ordinal of this node's contribution at its parent. */
+    std::int32_t parent_ord = 0;
     /** Reduce root: what to do on completion. */
     FinalAction final_action = FinalAction::kNone;
     /** Reduce root: global vector index written / solved. */
@@ -81,12 +88,19 @@ struct NodeDesc {
 struct ColumnOp {
     std::int32_t acc = 0;
     double coeff = 0.0;
+    /** Ordinal of this op's product within accums[acc]'s fold. */
+    std::int32_t acc_ord = 0;
 };
 
 /** Per-row partial sum local to a tile. */
 struct AccumDesc {
     std::int32_t expected = 0; //!< FMAC updates before delivery
     NodeRef dest;              //!< reduce node receiving the partial
+    /** Ordinal of the delivered partial at the dest reduce node. */
+    std::int32_t dest_ord = 0;
+    /** Start of this accumulator's staging range in the tile's fold
+     *  buffer (acc_stage_size doubles total); see NodeDesc. */
+    std::int32_t stage_offset = 0;
 };
 
 /** All kernel state of one tile. */
@@ -97,6 +111,11 @@ struct TileKernel {
     /** Nodes fired at kernel start: multicast roots with a source
      *  slot, and reduce roots whose expected count is zero. */
     std::vector<NodeId> initial_nodes;
+    /** Fold-buffer sizes: sums of accums[].expected / nodes[].expected
+     *  (assigned with the stage offsets in BuildMatrixKernel's
+     *  fold-order finalize pass, kernel_builder.cc). */
+    std::int32_t acc_stage_size = 0;
+    std::int32_t node_stage_size = 0;
 };
 
 /** Kernel classes for statistics (Fig 22 categories). */

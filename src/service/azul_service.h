@@ -96,7 +96,12 @@ class AzulService {
      * applied unless `opts` names its own. `name` is a caller label
      * for logs and stats. Construction runs on the calling thread —
      * it is the expensive amortized step and callers may overlap it
-     * with traffic to other sessions.
+     * with traffic to other sessions. `opts.engine` picks the
+     * session's execution engine: serving-oriented tenants that only
+     * need numerics can use EngineKind::kFunctional, which runs
+     * bit-identical solves without the timing model and makes a
+     * session's budget deadline an iteration count (docs/API.md,
+     * "Budgets and engines").
      */
     StatusOr<SessionId> OpenSession(CsrMatrix a, AzulOptions opts,
                                     std::string name = "");

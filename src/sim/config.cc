@@ -5,6 +5,30 @@
 
 namespace azul {
 
+std::string
+EngineKindName(EngineKind kind)
+{
+    switch (kind) {
+      case EngineKind::kCycle: return "cycle";
+      case EngineKind::kFunctional: return "functional";
+    }
+    return "unknown";
+}
+
+bool
+ParseEngineKind(const std::string& text, EngineKind& out)
+{
+    if (text == "cycle") {
+        out = EngineKind::kCycle;
+        return true;
+    }
+    if (text == "functional") {
+        out = EngineKind::kFunctional;
+        return true;
+    }
+    return false;
+}
+
 double
 SimConfig::PeakGflops() const
 {

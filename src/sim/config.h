@@ -30,6 +30,29 @@ inline constexpr std::uint32_t kFaultPeStall = 1u << 3;
 inline constexpr std::uint32_t kFaultAll =
     kFaultSram | kFaultNocDrop | kFaultNocCorrupt | kFaultPeStall;
 
+/**
+ * Execution engines behind the ExecutionEngine interface
+ * (sim/execution_engine.h). Both run the same compiled SolverProgram
+ * + mapping and produce bit-identical FP64 solutions and residual
+ * histories; they differ only in what they model (docs/SIMULATOR.md,
+ * "Choosing an execution engine").
+ */
+enum class EngineKind : std::uint8_t {
+    kCycle,      //!< cycle-accurate Machine: NoC/PE/SRAM timing;
+                 //!< ground truth for every paper figure
+    kFunctional, //!< ordered task-graph walk, no timing model;
+                 //!< serving-oriented fast path (AzulService)
+};
+
+/** Returns "cycle" or "functional". */
+std::string EngineKindName(EngineKind kind);
+
+/**
+ * Parses "cycle" or "functional" into `out`. Returns false (leaving
+ * `out` untouched) for anything else.
+ */
+bool ParseEngineKind(const std::string& text, EngineKind& out);
+
 /** PE timing models. */
 enum class PeModel : std::uint8_t {
     kAzul,       //!< specialized pipeline, 1 op/cycle (Sec V-A)

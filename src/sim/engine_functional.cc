@@ -1,0 +1,826 @@
+/**
+ * @file
+ * Functional engine implementation: a FIFO walk over the compiled
+ * task graph. Because every FP reduction is folded from statically
+ * staged contributions (the canonical fold order the cycle engine
+ * also uses), the walk order cannot affect results — the queue is
+ * purely a traversal mechanism, not a timing model.
+ *
+ * The walk's control flow is also data-independent, so a kernel's
+ * first execution records the walk into a straight-line tape
+ * (KernelCache): the flat FMA table, the fold instructions in
+ * completion order, and the constant stats delta of one walk. Every
+ * later execution replays the tape — no queue, no countdowns, no
+ * node-table lookups — performing the identical FP operations in the
+ * identical order, so the replay is bit-equal to the walk.
+ */
+#include "sim/engine_functional.h"
+
+#include <cmath>
+
+#include "sim/observer.h"
+#include "util/logging.h"
+
+namespace azul {
+
+FunctionalEngine::FunctionalEngine(SimConfig cfg,
+                                   const SolverProgram* program)
+    : cfg_(std::move(cfg)), prog_(program), geom_(cfg_.geometry())
+{
+    AZUL_CHECK(prog_ != nullptr);
+    AZUL_CHECK_MSG(geom_.num_tiles() ==
+                       static_cast<std::int32_t>(
+                           prog_->geom.num_tiles()),
+                   "program compiled for a different machine size");
+    AZUL_CHECK_MSG(geom_.wrap == prog_->geom.wrap,
+                   "program compiled for a different topology "
+                   "(torus vs mesh)");
+    AZUL_CHECK_MSG(!cfg_.faults_enabled(),
+                   "the functional engine does not model fault "
+                   "injection; use the cycle engine");
+
+    // Identical storage sharding to Machine: slots pushed in
+    // ascending global order, so per-tile slot order — which fixes
+    // the dot-partial fold order — matches by construction.
+    const Index n = static_cast<Index>(prog_->vec_tile.size());
+    tiles_.resize(static_cast<std::size_t>(geom_.num_tiles()));
+    slot_local_.assign(static_cast<std::size_t>(n), -1);
+    for (Index i = 0; i < n; ++i) {
+        TileStorage& ts =
+            tiles_[static_cast<std::size_t>(
+                prog_->vec_tile[static_cast<std::size_t>(i)])];
+        slot_local_[static_cast<std::size_t>(i)] =
+            static_cast<std::int32_t>(ts.slots.size());
+        ts.slots.push_back(i);
+    }
+    for (auto& ts : tiles_) {
+        ts.InitStorage();
+    }
+    if (!prog_->jacobi_inv_diag.empty()) {
+        for (auto& ts : tiles_) {
+            ts.jacobi_inv_diag.assign(ts.slots.size(), 0.0);
+            for (std::size_t s = 0; s < ts.slots.size(); ++s) {
+                ts.jacobi_inv_diag[s] =
+                    prog_->jacobi_inv_diag[static_cast<std::size_t>(
+                        ts.slots[s])];
+            }
+        }
+    }
+
+    std::vector<std::int32_t> all_tiles(
+        static_cast<std::size_t>(geom_.num_tiles()));
+    for (std::int32_t t = 0; t < geom_.num_tiles(); ++t) {
+        all_tiles[static_cast<std::size_t>(t)] = t;
+    }
+    scalar_tree_ = BuildTorusTree(geom_, 0, all_tiles);
+    scalar_tree_children_ = scalar_tree_.Children();
+
+    scratch_.resize(tiles_.size());
+}
+
+// ---------------------------------------------------------------------------
+// Storage plumbing (mirrors machine.cc)
+// ---------------------------------------------------------------------------
+
+double
+FunctionalEngine::ReadSlot(VecName vec, Index slot) const
+{
+    const TileStorage& ts =
+        tiles_[static_cast<std::size_t>(
+            prog_->vec_tile[static_cast<std::size_t>(slot)])];
+    return ts.vecs[static_cast<std::size_t>(vec)]
+        [static_cast<std::size_t>(
+            slot_local_[static_cast<std::size_t>(slot)])];
+}
+
+void
+FunctionalEngine::WriteSlot(VecName vec, Index slot, double value)
+{
+    TileStorage& ts =
+        tiles_[static_cast<std::size_t>(
+            prog_->vec_tile[static_cast<std::size_t>(slot)])];
+    ts.vecs[static_cast<std::size_t>(vec)][static_cast<std::size_t>(
+        slot_local_[static_cast<std::size_t>(slot)])] = value;
+}
+
+Vector
+FunctionalEngine::GatherVector(VecName which) const
+{
+    Vector out(prog_->vec_tile.size(), 0.0);
+    for (Index i = 0; i < static_cast<Index>(out.size()); ++i) {
+        out[static_cast<std::size_t>(i)] = ReadSlot(which, i);
+    }
+    return out;
+}
+
+void
+FunctionalEngine::ScatterVector(VecName which, const Vector& v)
+{
+    AZUL_CHECK(v.size() == prog_->vec_tile.size());
+    for (Index i = 0; i < static_cast<Index>(v.size()); ++i) {
+        WriteSlot(which, i, v[static_cast<std::size_t>(i)]);
+    }
+}
+
+void
+FunctionalEngine::LoadProblem(const Vector& b)
+{
+    for (auto& ts : tiles_) {
+        ts.InitStorage();
+    }
+    ScatterVector(VecName::kB, b);
+    ScatterVector(VecName::kR, b);
+    scalar_regs_.fill(0.0);
+    stats_ = SimStats{};
+}
+
+double
+FunctionalEngine::ReadScalar(ScalarReg reg) const
+{
+    return scalar_regs_[static_cast<std::size_t>(reg)];
+}
+
+// ---------------------------------------------------------------------------
+// Robustness hooks (checkpoints are host-side state snapshots; they
+// work identically to the cycle engine's)
+// ---------------------------------------------------------------------------
+
+MachineCheckpoint
+FunctionalEngine::CaptureCheckpoint(Index iteration)
+{
+    MachineCheckpoint ck;
+    ck.iteration = iteration;
+    for (std::size_t v = 0;
+         v < static_cast<std::size_t>(VecName::kCount); ++v) {
+        ck.vecs[v] = GatherVector(static_cast<VecName>(v));
+    }
+    ck.scalar_regs = scalar_regs_;
+    ++stats_.checkpoints;
+    for (SimObserver* o : observers_) {
+        o->OnCheckpointTaken(iteration, clock_);
+    }
+    return ck;
+}
+
+void
+FunctionalEngine::RestoreCheckpoint(const MachineCheckpoint& checkpoint,
+                                    Index from_iteration)
+{
+    for (std::size_t v = 0;
+         v < static_cast<std::size_t>(VecName::kCount); ++v) {
+        ScatterVector(static_cast<VecName>(v), checkpoint.vecs[v]);
+    }
+    scalar_regs_ = checkpoint.scalar_regs;
+    ++stats_.rollbacks;
+    for (SimObserver* o : observers_) {
+        o->OnRollback(from_iteration, checkpoint.iteration, clock_);
+    }
+}
+
+void
+FunctionalEngine::RecordFaultDetected(Index iteration,
+                                      double residual_norm)
+{
+    ++stats_.faults_detected;
+    for (SimObserver* o : observers_) {
+        o->OnFaultDetected(iteration, residual_norm, clock_);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Matrix kernels. First execution of a kernel: a FIFO task-graph walk
+// with canonical folds, recorded into a straight-line tape. Later
+// executions: tape replay (ReplayTape).
+// ---------------------------------------------------------------------------
+
+void
+FunctionalEngine::FinishReduce(const MatrixKernel& kernel,
+                               const WorkItem& item, double sum,
+                               std::int32_t src, std::int32_t count,
+                               KernelCache& cache, TapeRecorder& rec)
+{
+    const TileKernel& tk =
+        kernel.tiles[static_cast<std::size_t>(item.tile)];
+    const NodeDesc& node =
+        tk.nodes[static_cast<std::size_t>(item.node)];
+    if (node.parent.valid()) {
+        ++rec.messages;
+        const NodeDesc& parent =
+            kernel.tiles[static_cast<std::size_t>(node.parent.tile)]
+                .nodes[static_cast<std::size_t>(node.parent.node)];
+        TapeInstr in;
+        in.op = TapeInstr::Op::kFoldForward;
+        in.a = src;
+        in.b = count;
+        in.dst = rec.node_base[static_cast<std::size_t>(
+                     node.parent.tile)] +
+                 parent.stage_offset + node.parent_ord;
+        cache.instrs.push_back(in);
+        queue_.push_back(WorkItem{WorkItem::Kind::kReduce,
+                                  node.parent.tile, node.parent.node,
+                                  sum, node.parent_ord});
+        return;
+    }
+    if (node.final_action == FinalAction::kWriteOutput) {
+        WriteSlot(kernel.output_vec, node.slot, sum);
+        ++rec.sram_writes;
+        TapeInstr in;
+        in.op = TapeInstr::Op::kFoldOutput;
+        in.a = src;
+        in.b = count;
+        in.tile = prog_->vec_tile[static_cast<std::size_t>(node.slot)];
+        in.local =
+            slot_local_[static_cast<std::size_t>(node.slot)];
+        cache.instrs.push_back(in);
+        return;
+    }
+    AZUL_CHECK(node.final_action == FinalAction::kSolve);
+    ++rec.mul;
+    rec.sram_reads += 2; // rhs + 1/diag
+    ++rec.sram_writes;
+    const double rhs = kernel.rhs_vec == VecName::kCount
+                           ? 0.0
+                           : ReadSlot(kernel.rhs_vec, node.slot);
+    const double x =
+        (rhs - sum) *
+        kernel.inv_diag[static_cast<std::size_t>(node.slot)];
+    WriteSlot(kernel.output_vec, node.slot, x);
+    TapeInstr in;
+    in.op = TapeInstr::Op::kFoldSolve;
+    in.a = src;
+    in.b = count;
+    in.tile = prog_->vec_tile[static_cast<std::size_t>(node.slot)];
+    in.local = slot_local_[static_cast<std::size_t>(node.slot)];
+    in.inv_diag =
+        kernel.inv_diag[static_cast<std::size_t>(node.slot)];
+    if (node.trigger_node != -1) {
+        in.val = cache.num_values++;
+        queue_.push_back(WorkItem{WorkItem::Kind::kMulticast,
+                                  item.tile, node.trigger_node, x,
+                                  in.val});
+    }
+    cache.instrs.push_back(in);
+}
+
+void
+FunctionalEngine::RecordMatrixKernel(const MatrixKernel& kernel,
+                                     KernelCache& cache)
+{
+    cache.has_rhs = kernel.rhs_vec != VecName::kCount;
+
+    TapeRecorder rec;
+    rec.acc_base.resize(kernel.tiles.size());
+    rec.node_base.resize(kernel.tiles.size());
+    std::int32_t stage_total = 0;
+    for (std::size_t t = 0; t < kernel.tiles.size(); ++t) {
+        rec.acc_base[t] = stage_total;
+        stage_total += kernel.tiles[t].acc_stage_size;
+        rec.node_base[t] = stage_total;
+        stage_total += kernel.tiles[t].node_stage_size;
+    }
+    cache.stage_size = stage_total;
+
+    // Seed the per-tile fold scratch for the one recorded walk. No
+    // zero-fill of the staging buffers: the build-time ordinals are a
+    // bijection onto [0, expected), so every staged slot is written
+    // before the fold that reads it.
+    for (std::int32_t t = 0; t < geom_.num_tiles(); ++t) {
+        const TileKernel& tk =
+            kernel.tiles[static_cast<std::size_t>(t)];
+        TileScratch& sc = scratch_[static_cast<std::size_t>(t)];
+        sc.acc_contrib.resize(
+            static_cast<std::size_t>(tk.acc_stage_size));
+        sc.node_contrib.resize(
+            static_cast<std::size_t>(tk.node_stage_size));
+        sc.acc_remaining.resize(tk.accums.size());
+        for (std::size_t a = 0; a < tk.accums.size(); ++a) {
+            sc.acc_remaining[a] = tk.accums[a].expected;
+        }
+        sc.node_remaining.resize(tk.nodes.size());
+        for (std::size_t nd = 0; nd < tk.nodes.size(); ++nd) {
+            sc.node_remaining[nd] = tk.nodes[nd].expected;
+        }
+    }
+
+    // Fire initial nodes in the cycle engine's order: ascending tile,
+    // initial_nodes order within a tile. (Any order would produce the
+    // same bits — the folds are canonical — but matching keeps the
+    // walk easy to reason about.)
+    queue_.clear();
+    for (std::int32_t t = 0; t < geom_.num_tiles(); ++t) {
+        const TileKernel& tk =
+            kernel.tiles[static_cast<std::size_t>(t)];
+        for (NodeId n : tk.initial_nodes) {
+            const NodeDesc& node =
+                tk.nodes[static_cast<std::size_t>(n)];
+            if (node.kind == NodeKind::kMulticast) {
+                ++rec.sram_reads;
+                TapeInstr in;
+                in.op = TapeInstr::Op::kLoadRoot;
+                in.val = cache.num_values++;
+                in.tile = prog_->vec_tile[static_cast<std::size_t>(
+                    node.source_slot)];
+                in.local = slot_local_[static_cast<std::size_t>(
+                    node.source_slot)];
+                cache.instrs.push_back(in);
+                queue_.push_back(WorkItem{
+                    WorkItem::Kind::kMulticast, t, n,
+                    ReadSlot(kernel.input_vec, node.source_slot),
+                    in.val});
+            } else {
+                // Reduce root with no contributions: straight to the
+                // solve stage with an empty (zero) fold.
+                queue_.push_back(WorkItem{
+                    WorkItem::Kind::kSolveZero, t, n, 0.0, 0});
+            }
+        }
+    }
+
+    // FIFO over a head index; pushes may reallocate, so copy the item
+    // out before dispatching on it.
+    for (std::size_t head = 0; head < queue_.size(); ++head) {
+        const WorkItem item = queue_[head];
+        const TileKernel& tk =
+            kernel.tiles[static_cast<std::size_t>(item.tile)];
+        TileScratch& sc =
+            scratch_[static_cast<std::size_t>(item.tile)];
+        const NodeDesc& node =
+            tk.nodes[static_cast<std::size_t>(item.node)];
+
+        switch (item.kind) {
+          case WorkItem::Kind::kMulticast: {
+            // One send + input read + message per forwarded copy (the
+            // copies share the multicast's value register); one FMAC +
+            // nonzero/accumulator traffic per column op.
+            const auto fanout =
+                static_cast<std::uint64_t>(node.children.size());
+            const auto ops =
+                static_cast<std::uint64_t>(node.num_ops);
+            rec.send += fanout;
+            rec.sram_reads += fanout + 2 * ops;
+            rec.messages += fanout;
+            rec.fmac += ops;
+            rec.sram_writes += ops;
+            for (const NodeRef& child : node.children) {
+                queue_.push_back(WorkItem{WorkItem::Kind::kMulticast,
+                                          child.tile, child.node,
+                                          item.value, item.ord});
+            }
+            if (node.num_ops > 0) {
+                TapeInstr in;
+                in.op = TapeInstr::Op::kFmaRun;
+                in.val = item.ord;
+                in.a = static_cast<std::int32_t>(cache.fmas.size());
+                in.b = in.a + node.num_ops;
+                cache.instrs.push_back(in);
+            }
+            for (std::int32_t j = 0; j < node.num_ops; ++j) {
+                const ColumnOp& op =
+                    tk.ops[static_cast<std::size_t>(node.first_op +
+                                                    j)];
+                const AccumDesc& acc =
+                    tk.accums[static_cast<std::size_t>(op.acc)];
+                const std::int32_t stage_at =
+                    acc.stage_offset + op.acc_ord;
+                cache.fmas.push_back(TapeFma{
+                    op.coeff,
+                    rec.acc_base[static_cast<std::size_t>(
+                        item.tile)] +
+                        stage_at});
+                sc.acc_contrib[static_cast<std::size_t>(stage_at)] =
+                    op.coeff * item.value;
+                if (--sc.acc_remaining[static_cast<std::size_t>(
+                        op.acc)] == 0) {
+                    double sum = 0.0;
+                    for (std::int32_t k = 0; k < acc.expected; ++k) {
+                        sum += sc.acc_contrib[static_cast<std::size_t>(
+                            acc.stage_offset + k)];
+                    }
+                    ++rec.messages;
+                    // The fold runs after the enclosing FMA run in the
+                    // tape, which is safe: the remaining FMAs of this
+                    // run write other accumulators' staged slots.
+                    const NodeDesc& dest =
+                        kernel
+                            .tiles[static_cast<std::size_t>(
+                                acc.dest.tile)]
+                            .nodes[static_cast<std::size_t>(
+                                acc.dest.node)];
+                    TapeInstr in;
+                    in.op = TapeInstr::Op::kAccFold;
+                    in.a = rec.acc_base[static_cast<std::size_t>(
+                               item.tile)] +
+                           acc.stage_offset;
+                    in.b = acc.expected;
+                    in.dst = rec.node_base[static_cast<std::size_t>(
+                                 acc.dest.tile)] +
+                             dest.stage_offset + acc.dest_ord;
+                    cache.instrs.push_back(in);
+                    queue_.push_back(WorkItem{WorkItem::Kind::kReduce,
+                                              acc.dest.tile,
+                                              acc.dest.node, sum,
+                                              acc.dest_ord});
+                }
+            }
+            break;
+          }
+          case WorkItem::Kind::kReduce: {
+            ++rec.add;
+            ++rec.sram_reads;
+            ++rec.sram_writes;
+            sc.node_contrib[static_cast<std::size_t>(
+                node.stage_offset + item.ord)] = item.value;
+            if (--sc.node_remaining[static_cast<std::size_t>(
+                    item.node)] > 0) {
+                break;
+            }
+            double sum = 0.0;
+            for (std::int32_t k = 0; k < node.expected; ++k) {
+                sum += sc.node_contrib[static_cast<std::size_t>(
+                    node.stage_offset + k)];
+            }
+            FinishReduce(kernel, item, sum,
+                         rec.node_base[static_cast<std::size_t>(
+                             item.tile)] +
+                             node.stage_offset,
+                         node.expected, cache, rec);
+            break;
+          }
+          case WorkItem::Kind::kSolveZero:
+            FinishReduce(kernel, item, 0.0, 0, 0, cache, rec);
+            break;
+        }
+    }
+
+    SimStats& d = cache.delta;
+    d.ops.fmac = rec.fmac;
+    d.ops.add = rec.add;
+    d.ops.mul = rec.mul;
+    d.ops.send = rec.send;
+    d.messages = rec.messages;
+    d.sram_reads = rec.sram_reads;
+    d.sram_writes = rec.sram_writes;
+    cache.ready = true;
+}
+
+void
+FunctionalEngine::ReplayTape(const MatrixKernel& kernel,
+                             const KernelCache& cache)
+{
+    // No zero-fill: every staging slot and value register is written
+    // by the tape before any instruction reads it (the recorded walk
+    // ordered definitions before uses).
+    stage_.resize(static_cast<std::size_t>(cache.stage_size));
+    values_.resize(static_cast<std::size_t>(cache.num_values));
+    const TapeFma* const fmas = cache.fmas.data();
+    double* const stage = stage_.data();
+    double* const values = values_.data();
+    const auto input = static_cast<std::size_t>(kernel.input_vec);
+    const auto output = static_cast<std::size_t>(kernel.output_vec);
+    const std::size_t rhs =
+        cache.has_rhs ? static_cast<std::size_t>(kernel.rhs_vec) : 0;
+
+    for (const TapeInstr& in : cache.instrs) {
+        switch (in.op) {
+          case TapeInstr::Op::kLoadRoot:
+            values[in.val] =
+                tiles_[static_cast<std::size_t>(in.tile)]
+                    .vecs[input][static_cast<std::size_t>(in.local)];
+            break;
+          case TapeInstr::Op::kFmaRun: {
+            const double v = values[in.val];
+            for (std::int32_t j = in.a; j < in.b; ++j) {
+                stage[fmas[j].dst] = fmas[j].coeff * v;
+            }
+            break;
+          }
+          case TapeInstr::Op::kAccFold:
+          case TapeInstr::Op::kFoldForward: {
+            double sum = 0.0;
+            for (std::int32_t k = 0; k < in.b; ++k) {
+                sum += stage[in.a + k];
+            }
+            stage[in.dst] = sum;
+            break;
+          }
+          case TapeInstr::Op::kFoldOutput: {
+            double sum = 0.0;
+            for (std::int32_t k = 0; k < in.b; ++k) {
+                sum += stage[in.a + k];
+            }
+            tiles_[static_cast<std::size_t>(in.tile)]
+                .vecs[output][static_cast<std::size_t>(in.local)] =
+                sum;
+            break;
+          }
+          case TapeInstr::Op::kFoldSolve: {
+            double sum = 0.0;
+            for (std::int32_t k = 0; k < in.b; ++k) {
+                sum += stage[in.a + k];
+            }
+            TileStorage& ts =
+                tiles_[static_cast<std::size_t>(in.tile)];
+            const double r =
+                cache.has_rhs
+                    ? ts.vecs[rhs][static_cast<std::size_t>(in.local)]
+                    : 0.0;
+            const double x = (r - sum) * in.inv_diag;
+            ts.vecs[output][static_cast<std::size_t>(in.local)] = x;
+            if (in.val >= 0) {
+                values[in.val] = x;
+            }
+            break;
+          }
+        }
+    }
+}
+
+void
+FunctionalEngine::RunMatrixKernel(const MatrixKernel& kernel)
+{
+    KernelCache& cache = kernel_cache_[&kernel];
+    if (!cache.ready) {
+        RecordMatrixKernel(kernel, cache);
+    } else {
+        ReplayTape(kernel, cache);
+    }
+    stats_ += cache.delta;
+}
+
+// ---------------------------------------------------------------------------
+// Vector / scalar kernels (value semantics of machine_vector.cc, no
+// timing sweeps)
+// ---------------------------------------------------------------------------
+
+void
+FunctionalEngine::RunElementwise(const VectorKernel& kernel)
+{
+    const double s =
+        kernel.scale_sign *
+        (kernel.use_const_scale
+             ? kernel.const_scale
+             : scalar_regs_[static_cast<std::size_t>(
+                   kernel.scale_reg)]);
+    std::uint64_t n_total = 0;
+    for (TileStorage& storage : tiles_) {
+        auto& dst =
+            storage.vecs[static_cast<std::size_t>(kernel.dst)];
+        const auto& a =
+            storage.vecs[static_cast<std::size_t>(kernel.src_a)];
+        const auto& b2 =
+            storage.vecs[static_cast<std::size_t>(kernel.src_b)];
+        const std::size_t n = dst.size();
+        n_total += n;
+        switch (kernel.op) {
+          case VecOpKind::kAxpy:
+            for (std::size_t i = 0; i < n; ++i) {
+                dst[i] += s * a[i];
+            }
+            break;
+          case VecOpKind::kXpby:
+            for (std::size_t i = 0; i < n; ++i) {
+                dst[i] = a[i] + s * dst[i];
+            }
+            break;
+          case VecOpKind::kSub:
+            for (std::size_t i = 0; i < n; ++i) {
+                dst[i] = a[i] - b2[i];
+            }
+            break;
+          case VecOpKind::kCopy:
+            for (std::size_t i = 0; i < n; ++i) {
+                dst[i] = a[i];
+            }
+            break;
+          case VecOpKind::kDiagScale:
+            for (std::size_t i = 0; i < n; ++i) {
+                dst[i] = a[i] * storage.jacobi_inv_diag[i];
+            }
+            break;
+          default:
+            throw AzulError("bad elementwise kernel");
+        }
+    }
+    // Same per-element accounting as the cycle engine, batched: one
+    // op + two reads + one write per element.
+    switch (kernel.op) {
+      case VecOpKind::kAxpy:
+      case VecOpKind::kXpby:
+        stats_.ops.fmac += n_total;
+        break;
+      case VecOpKind::kSub:
+        stats_.ops.add += n_total;
+        break;
+      default:
+        stats_.ops.mul += n_total;
+        break;
+    }
+    stats_.sram_reads += 2 * n_total;
+    stats_.sram_writes += n_total;
+}
+
+void
+FunctionalEngine::RunDotReduce(const VectorKernel& kernel)
+{
+    // Local partials in scalar-tree node order, each summing its own
+    // tile's slots in slot order; the cross-tile fold is in ascending
+    // node order — the exact fold the cycle engine performs
+    // (machine_vector.cc, "determinism contract").
+    const std::size_t num_nodes = scalar_tree_.size();
+    double dot = 0.0;
+    for (std::size_t ni = 0; ni < num_nodes; ++ni) {
+        const TileStorage& ts = tiles_[static_cast<std::size_t>(
+            scalar_tree_.tiles[ni])];
+        const auto& a =
+            ts.vecs[static_cast<std::size_t>(kernel.src_a)];
+        const auto& b =
+            ts.vecs[static_cast<std::size_t>(kernel.src_b)];
+        double acc = 0.0;
+        for (std::size_t i = 0; i < a.size(); ++i) {
+            acc += a[i] * b[i];
+        }
+        stats_.ops.fmac += a.size();
+        stats_.sram_reads += 2 * a.size();
+        dot += acc;
+    }
+    // Tree-edge op accounting (one add + one send per upward edge),
+    // without the arrival-timing sweep.
+    for (std::size_t ni = num_nodes; ni-- > 0;) {
+        for (std::int32_t ci : scalar_tree_children_[ni]) {
+            (void)ci;
+            stats_.ops.Count(OpKind::kAdd);
+            stats_.ops.Count(OpKind::kSend);
+            ++stats_.messages;
+        }
+    }
+
+    scalar_regs_[static_cast<std::size_t>(kernel.dot_out)] = dot;
+    int broadcast_values = 1;
+    if (kernel.post_divide) {
+        const double num =
+            scalar_regs_[static_cast<std::size_t>(kernel.div_num)];
+        const double q =
+            kernel.divide_dot_by_num ? dot / num : num / dot;
+        scalar_regs_[static_cast<std::size_t>(kernel.div_out)] = q;
+        stats_.ops.Count(OpKind::kMul);
+        ++broadcast_values;
+    }
+    if (kernel.copy_dot_to) {
+        scalar_regs_[static_cast<std::size_t>(kernel.dot_copy_reg)] =
+            dot;
+        ++broadcast_values;
+    }
+    // Broadcast op accounting (per downward edge).
+    for (std::size_t ni = 0; ni < num_nodes; ++ni) {
+        const auto edges = static_cast<std::uint64_t>(
+            scalar_tree_children_[ni].size());
+        stats_.ops.send +=
+            edges * static_cast<std::uint64_t>(broadcast_values);
+        stats_.messages +=
+            edges * static_cast<std::uint64_t>(broadcast_values);
+    }
+}
+
+void
+FunctionalEngine::RunScalarPhase(const ScalarOp& op)
+{
+    const auto reg = [this](ScalarReg r) {
+        return scalar_regs_[static_cast<std::size_t>(r)];
+    };
+    double out = 0.0;
+    switch (op.kind) {
+      case ScalarOp::Kind::kCopy:
+        out = reg(op.a);
+        break;
+      case ScalarOp::Kind::kDiv:
+        out = reg(op.a) / reg(op.b);
+        stats_.ops.Count(OpKind::kMul);
+        break;
+      case ScalarOp::Kind::kMulDiv:
+        out = (reg(op.a) / reg(op.b)) * (reg(op.c) / reg(op.d));
+        stats_.ops.Count(OpKind::kMul);
+        stats_.ops.Count(OpKind::kMul);
+        stats_.ops.Count(OpKind::kMul);
+        break;
+    }
+    scalar_regs_[static_cast<std::size_t>(op.out)] = out;
+    // Broadcast op accounting (one send per tree edge).
+    for (std::size_t ni = 0; ni < scalar_tree_.size(); ++ni) {
+        const auto edges = static_cast<std::uint64_t>(
+            scalar_tree_children_[ni].size());
+        stats_.ops.send += edges;
+        stats_.messages += edges;
+    }
+}
+
+void
+FunctionalEngine::RunVectorKernel(const VectorKernel& kernel)
+{
+    if (kernel.op == VecOpKind::kDotReduce) {
+        RunDotReduce(kernel);
+    } else {
+        RunElementwise(kernel);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Program execution (mirrors machine.cc's phase orchestration)
+// ---------------------------------------------------------------------------
+
+namespace {
+
+PhaseInfo
+MakePhaseInfo(const SolverProgram& prog, const Phase& phase, int index)
+{
+    PhaseInfo info;
+    info.kind = phase.kind;
+    info.index = index;
+    switch (phase.kind) {
+      case Phase::Kind::kMatrix: {
+        const MatrixKernel& kernel =
+            prog.matrix_kernels[static_cast<std::size_t>(
+                phase.matrix_kernel)];
+        info.kclass = kernel.kclass;
+        info.name = kernel.name;
+        break;
+      }
+      case Phase::Kind::kVector:
+        info.kclass = KernelClass::kVectorOp;
+        info.name = phase.vec.ToString();
+        break;
+      case Phase::Kind::kScalar:
+        info.kclass = KernelClass::kVectorOp;
+        info.name = "scalar";
+        break;
+    }
+    return info;
+}
+
+} // namespace
+
+void
+FunctionalEngine::RunPhase(const Phase& phase)
+{
+    switch (phase.kind) {
+      case Phase::Kind::kMatrix:
+        RunMatrixKernel(
+            prog_->matrix_kernels[static_cast<std::size_t>(
+                phase.matrix_kernel)]);
+        break;
+      case Phase::Kind::kVector:
+        RunVectorKernel(phase.vec);
+        break;
+      case Phase::Kind::kScalar:
+        RunScalarPhase(phase.scalar);
+        break;
+    }
+}
+
+void
+FunctionalEngine::RunPhases(const std::vector<Phase>& phases)
+{
+    if (observers_.empty()) {
+        for (const Phase& phase : phases) {
+            RunPhase(phase);
+        }
+        return;
+    }
+    int index = 0;
+    for (const Phase& phase : phases) {
+        const PhaseInfo info = MakePhaseInfo(*prog_, phase, index++);
+        const SimStats before = stats_;
+        for (SimObserver* o : observers_) {
+            o->OnPhaseStart(info, clock_);
+        }
+        RunPhase(phase);
+        const SimStats delta = stats_ - before;
+        for (SimObserver* o : observers_) {
+            o->OnPhaseEnd(info, clock_, delta);
+        }
+    }
+}
+
+void
+FunctionalEngine::RunPrologue()
+{
+    RunPhases(prog_->prologue);
+}
+
+void
+FunctionalEngine::RunIteration()
+{
+    RunPhases(prog_->iteration);
+    // The engine clock ticks once per iteration: RunBudget becomes a
+    // deterministic iteration budget (solver_driver.h), and
+    // stats().cycles counts iterations executed.
+    ++clock_;
+    ++stats_.cycles;
+}
+
+void
+FunctionalEngine::RunResidualRecompute()
+{
+    RunPhases(prog_->residual_recompute);
+}
+
+} // namespace azul

@@ -1,0 +1,233 @@
+/**
+ * @file
+ * The functional execution engine (EngineKind::kFunctional): runs a
+ * compiled SolverProgram + tile mapping as a deterministic ordered
+ * task-graph walk with no per-cycle NoC/router/SRAM timing model.
+ *
+ * Bit-identity: every floating-point reduction is folded in the same
+ * statically-assigned order the cycle engine uses — column-task
+ * partials via ColumnOp::acc_ord, reduce-tree contributions via the
+ * build-time ordinals on NodeDesc/AccumDesc, tile-local dot partials
+ * in slot order, and the cross-tile dot in ascending scalar-tree node
+ * order. For the same program, mapping, and right-hand side the
+ * functional engine therefore produces the exact FP64 x vector and
+ * residual history the cycle-accurate Machine does, at any
+ * cfg.sim_threads (tests/test_engine_functional.cc).
+ *
+ * What it does NOT model: cycle timing (stats().cycles counts solver
+ * iterations, not hardware cycles — see RunBudget in solver_driver.h),
+ * message-buffer spills, PE stalls/idle time, per-kernel class cycle
+ * attribution, per-tile op attribution (tile_ops), matrix-kernel link
+ * activations, and fault injection (construction requires
+ * cfg.faults_enabled() == false; AzulSystem::Create rejects the
+ * combination). Arithmetic op / message / SRAM-traffic counts use the
+ * same per-event accounting as the cycle engine — tallied on a
+ * kernel's first walk and replayed as a per-kernel constant after
+ * that (the walk's control flow is data-independent) — so in
+ * spill-free runs they match it exactly.
+ *
+ * Paper figures always use the cycle engine; this engine exists for
+ * serving-style throughput (AzulService) where only the numerics
+ * matter (docs/SIMULATOR.md, "Choosing an execution engine").
+ */
+#ifndef AZUL_SIM_ENGINE_FUNCTIONAL_H_
+#define AZUL_SIM_ENGINE_FUNCTIONAL_H_
+
+#include <array>
+#include <unordered_map>
+#include <vector>
+
+#include "dataflow/program.h"
+#include "dataflow/tree.h"
+#include "sim/config.h"
+#include "sim/execution_engine.h"
+#include "sim/sim_stats.h"
+#include "sim/tile.h"
+#include "solver/vector_ops.h"
+
+namespace azul {
+
+/** The timing-free functional engine. */
+class FunctionalEngine : public ExecutionEngine {
+  public:
+    /** The program must outlive the engine. Requires
+     *  !cfg.faults_enabled(): fault injection needs the timing model. */
+    FunctionalEngine(SimConfig cfg, const SolverProgram* program);
+
+    EngineKind kind() const override
+    {
+        return EngineKind::kFunctional;
+    }
+
+    void LoadProblem(const Vector& b) override;
+    void RunPrologue() override;
+    /** Runs one solver iteration and advances clock() by one tick. */
+    void RunIteration() override;
+    void RunResidualRecompute() override;
+
+    double ReadScalar(ScalarReg reg) const override;
+    Vector GatherVector(VecName which) const override;
+    void ScatterVector(VecName which, const Vector& v) override;
+
+    const SimStats& stats() const override { return stats_; }
+    const SimConfig& config() const override { return cfg_; }
+    const SolverProgram& program() const override { return *prog_; }
+
+    /** Iteration counter: ticks once per RunIteration (monotonic, not
+     *  reset by LoadProblem), making RunBudget::max_cycles an
+     *  iteration budget under this engine. */
+    Cycle clock() const override { return clock_; }
+
+    /** Always false: the functional engine never injects faults. */
+    bool faults_enabled() const override { return false; }
+
+    MachineCheckpoint CaptureCheckpoint(Index iteration) override;
+    void RestoreCheckpoint(const MachineCheckpoint& checkpoint,
+                           Index from_iteration) override;
+    void RecordFaultDetected(Index iteration,
+                             double residual_norm) override;
+
+  private:
+    /** One queued task of the compile walk (RecordMatrixKernel). */
+    struct WorkItem {
+        enum class Kind : std::uint8_t {
+            kMulticast, //!< deliver `value` to a multicast node
+            kReduce,    //!< stage `value` at ordinal `ord`
+            kSolveZero, //!< fire a zero-expected reduce root (acc=0)
+        };
+        Kind kind = Kind::kMulticast;
+        std::int32_t tile = -1;
+        NodeId node = -1;
+        double value = 0.0;
+        /** kReduce: staging ordinal at the target node. kMulticast:
+         *  tape value register carrying `value` (all forwarded copies
+         *  of a multicast share one register). */
+        std::int32_t ord = 0;
+    };
+
+    /** One staged multiply of the tape: stage_[dst] = coeff * value. */
+    struct TapeFma {
+        double coeff = 0.0;
+        std::int32_t dst = 0;
+    };
+
+    /** One instruction of a compiled kernel tape (RecordMatrixKernel
+     *  explains the compilation; ReplayTape is the interpreter). Fold
+     *  instructions sum stage_[src, src+count) in that (ordinal)
+     *  order, so the replay performs the exact FP additions of the
+     *  queue walk. */
+    struct TapeInstr {
+        enum class Op : std::uint8_t {
+            kLoadRoot,    //!< values_[val] = input_vec[tile][local]
+            kFmaRun,      //!< fmas_[a, b) with value values_[val]
+            kAccFold,     //!< stage_[dst] = fold of an accum range
+            kFoldForward, //!< stage_[dst] = fold of a node range
+            kFoldOutput,  //!< output_vec[tile][local] = fold
+            kFoldSolve,   //!< x = (rhs - fold) * inv_diag; also
+                          //!< values_[val] = x for the trigger
+        };
+        Op op = Op::kLoadRoot;
+        std::int32_t val = -1;   //!< value register
+        std::int32_t a = 0;      //!< fma begin / fold src
+        std::int32_t b = 0;      //!< fma end / fold count
+        std::int32_t dst = 0;    //!< fold destination (staging)
+        std::int32_t tile = -1;  //!< vector-storage tile
+        std::int32_t local = -1; //!< vector-storage local index
+        double inv_diag = 0.0;   //!< kFoldSolve reciprocal
+    };
+
+    /** A matrix kernel compiled on its first execution. The queue
+     *  walk's control flow depends only on the task graph, never on
+     *  the flowing values, so one recorded walk yields a straight-line
+     *  instruction tape that every later run replays — and the stats
+     *  delta of a walk is a per-kernel constant replayed with it. */
+    struct KernelCache {
+        std::vector<TapeFma> fmas;
+        std::vector<TapeInstr> instrs;
+        std::int32_t stage_size = 0; //!< flat fold-staging doubles
+        std::int32_t num_values = 0; //!< value registers (roots+solves)
+        bool has_rhs = false;        //!< kernel.rhs_vec is a real vector
+        SimStats delta;              //!< ops/messages/SRAM of one walk
+        bool ready = false;
+    };
+
+    /** Recording state of one compile walk (flat staging bases and
+     *  the per-event stat tallies flushed into KernelCache::delta). */
+    struct TapeRecorder {
+        std::vector<std::int32_t> acc_base;  //!< per-tile staging base
+        std::vector<std::int32_t> node_base; //!< per-tile staging base
+        std::uint64_t fmac = 0;
+        std::uint64_t add = 0;
+        std::uint64_t mul = 0;
+        std::uint64_t send = 0;
+        std::uint64_t messages = 0;
+        std::uint64_t sram_reads = 0;
+        std::uint64_t sram_writes = 0;
+    };
+
+    void RunPhases(const std::vector<Phase>& phases);
+    void RunPhase(const Phase& phase);
+    void RunMatrixKernel(const MatrixKernel& kernel);
+    /** First execution of a kernel: the queue walk, which both solves
+     *  and compiles the tape + stats delta into `cache`. */
+    void RecordMatrixKernel(const MatrixKernel& kernel,
+                            KernelCache& cache);
+    /** Every later execution: straight-line tape interpretation. */
+    void ReplayTape(const MatrixKernel& kernel,
+                    const KernelCache& cache);
+    /** Completes a reduce node whose fold produced `sum`; emits the
+     *  node's fold instruction (`src`/`count` give the staged range). */
+    void FinishReduce(const MatrixKernel& kernel,
+                      const WorkItem& item, double sum,
+                      std::int32_t src, std::int32_t count,
+                      KernelCache& cache, TapeRecorder& rec);
+    void RunVectorKernel(const VectorKernel& kernel);
+    void RunElementwise(const VectorKernel& kernel);
+    void RunDotReduce(const VectorKernel& kernel);
+    void RunScalarPhase(const ScalarOp& op);
+
+    double ReadSlot(VecName vec, Index slot) const;
+    void WriteSlot(VecName vec, Index slot, double value);
+
+    SimConfig cfg_;
+    const SolverProgram* prog_;
+    TorusGeometry geom_;
+
+    /** Same sharded storage layout as the cycle engine, so slot
+     *  iteration order (and with it dot-partial fold order) is
+     *  identical by construction. */
+    std::vector<TileStorage> tiles_;
+    std::vector<std::int32_t> slot_local_; //!< global slot -> local idx
+
+    std::array<double, static_cast<std::size_t>(ScalarReg::kCount)>
+        scalar_regs_{};
+
+    /** Machine-wide scalar tree (rooted at 0): fixes the cross-tile
+     *  dot fold order and the broadcast/reduce op counts. */
+    TreeTopology scalar_tree_;
+    std::vector<std::vector<std::int32_t>> scalar_tree_children_;
+
+    /** Per-tile matrix-kernel scratch (fold buffers + countdowns). */
+    struct TileScratch {
+        std::vector<double> acc_contrib;
+        std::vector<std::int32_t> acc_remaining;
+        std::vector<double> node_contrib;
+        std::vector<std::int32_t> node_remaining;
+    };
+    std::vector<TileScratch> scratch_;
+    /** FIFO worklist of a compile walk (head index, not pops, so the
+     *  buffer's capacity is reused across kernel runs). */
+    std::vector<WorkItem> queue_;
+    std::unordered_map<const MatrixKernel*, KernelCache>
+        kernel_cache_;
+    /** Flat fold staging and value registers of a tape replay. */
+    std::vector<double> stage_;
+    std::vector<double> values_;
+
+    Cycle clock_ = 0;
+    SimStats stats_;
+};
+
+} // namespace azul
+
+#endif // AZUL_SIM_ENGINE_FUNCTIONAL_H_

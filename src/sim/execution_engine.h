@@ -1,0 +1,150 @@
+/**
+ * @file
+ * The execution-engine abstraction behind the SolverProgram IR.
+ *
+ * An ExecutionEngine runs a compiled SolverProgram + tile mapping:
+ * load a problem, run the prologue / iterations / residual
+ * recomputes, and expose the distributed solver state (vectors,
+ * scalar registers), statistics, and checkpoint hooks the generic
+ * SolverDriver needs. Two engines implement it:
+ *
+ *   - Machine (sim/machine.h): the cycle-accurate model — NoC, PE
+ *     pipeline, SRAM timing. Ground truth for every paper figure.
+ *   - FunctionalEngine (sim/engine_functional.h): a deterministic
+ *     ordered task-graph walk with no timing model, for
+ *     serving-style throughput (AzulService).
+ *
+ * Determinism contract: both engines fold every floating-point
+ * reduction in the same statically-assigned order (see
+ * NodeDesc::stage_offset in dataflow/task.h), so for the same
+ * program, mapping, and right-hand side they produce bit-identical
+ * x vectors and residual histories — the functional engine is an
+ * exact numerical oracle for the cycle engine, and vice versa
+ * (docs/SIMULATOR.md, "Choosing an execution engine";
+ * tests/test_engine_functional.cc enforces it).
+ *
+ * Budget contract: SolverDriver charges RunBudget::max_cycles
+ * against `clock()`. Engine clocks tick in engine-defined units —
+ * simulated cycles for Machine, one tick per RunIteration for
+ * FunctionalEngine — documented with RunBudget (solver_driver.h).
+ */
+#ifndef AZUL_SIM_EXECUTION_ENGINE_H_
+#define AZUL_SIM_EXECUTION_ENGINE_H_
+
+#include <algorithm>
+#include <vector>
+
+#include "dataflow/message.h"
+#include "sim/config.h"
+#include "sim/fault.h"
+#include "sim/sim_stats.h"
+#include "solver/vector_ops.h"
+#include "util/common.h"
+#include "util/logging.h"
+
+namespace azul {
+
+class SimObserver;
+struct SolverProgram;
+
+/** Abstract engine executing a compiled SolverProgram. */
+class ExecutionEngine {
+  public:
+    virtual ~ExecutionEngine() = default;
+
+    /** Which engine this is (EngineKindName for reports). */
+    virtual EngineKind kind() const = 0;
+
+    /** Sets x = 0 and r = b; clears the other vectors and stats. */
+    virtual void LoadProblem(const Vector& b) = 0;
+
+    /** Runs the program prologue. */
+    virtual void RunPrologue() = 0;
+
+    /** Runs one solver iteration. */
+    virtual void RunIteration() = 0;
+
+    /** Runs the program's residual_recompute phases (if any). */
+    virtual void RunResidualRecompute() = 0;
+
+    /** Reads a broadcast scalar register. */
+    virtual double ReadScalar(ScalarReg reg) const = 0;
+
+    /** Gathers a distributed vector into natural index order. */
+    virtual Vector GatherVector(VecName which) const = 0;
+
+    /** Writes a vector into the distributed storage. */
+    virtual void ScatterVector(VecName which, const Vector& v) = 0;
+
+    /** Cumulative statistics since LoadProblem. */
+    virtual const SimStats& stats() const = 0;
+
+    virtual const SimConfig& config() const = 0;
+
+    /** The program this engine executes. */
+    virtual const SolverProgram& program() const = 0;
+
+    /**
+     * Monotonic engine clock (not reset by LoadProblem); the unit the
+     * driver charges RunBudget::max_cycles in. Simulated cycles for
+     * the cycle engine; solver iterations for the functional engine.
+     */
+    virtual Cycle clock() const = 0;
+
+    // ---- Measurement layer -------------------------------------------------
+    /**
+     * Attaches a passive observer; the caller retains ownership and
+     * must keep it alive until detached or the engine is destroyed.
+     * Observers never affect results or timing.
+     */
+    void
+    AttachObserver(SimObserver* observer)
+    {
+        AZUL_CHECK(observer != nullptr);
+        observers_.push_back(observer);
+    }
+
+    void
+    DetachObserver(SimObserver* observer)
+    {
+        observers_.erase(std::remove(observers_.begin(),
+                                     observers_.end(), observer),
+                         observers_.end());
+    }
+
+    const std::vector<SimObserver*>& observers() const
+    {
+        return observers_;
+    }
+
+    // ---- Robustness layer (sim/fault.h, docs/ROBUSTNESS.md) ----------------
+    /** True if a fault injector is active on this engine. */
+    virtual bool faults_enabled() const = 0;
+
+    /**
+     * Snapshots the architectural state (vectors + scalar registers)
+     * at driver iteration `iteration`. Host-side: costs zero
+     * simulated time. The driver fills the solve-position fields.
+     */
+    virtual MachineCheckpoint CaptureCheckpoint(Index iteration) = 0;
+
+    /** Restores a checkpoint's architectural state; `from_iteration`
+     *  is where the solve was when corruption was detected (for the
+     *  observer timeline). The clock and stats are NOT rewound. */
+    virtual void RestoreCheckpoint(const MachineCheckpoint& checkpoint,
+                                   Index from_iteration) = 0;
+
+    /** Records a driver-side corruption detection (counter +
+     *  observer notification). */
+    virtual void RecordFaultDetected(Index iteration,
+                                     double residual_norm) = 0;
+
+  protected:
+    /** Attached observers; engines notify them on the coordinating
+     *  thread only (see observer.h). */
+    std::vector<SimObserver*> observers_;
+};
+
+} // namespace azul
+
+#endif // AZUL_SIM_EXECUTION_ENGINE_H_

@@ -161,24 +161,7 @@ Machine::ReadScalar(ScalarReg reg) const
     return scalar_regs_[static_cast<std::size_t>(reg)];
 }
 
-// ---------------------------------------------------------------------------
-// Measurement layer
-// ---------------------------------------------------------------------------
-
-void
-Machine::AttachObserver(SimObserver* observer)
-{
-    AZUL_CHECK(observer != nullptr);
-    observers_.push_back(observer);
-}
-
-void
-Machine::DetachObserver(SimObserver* observer)
-{
-    observers_.erase(
-        std::remove(observers_.begin(), observers_.end(), observer),
-        observers_.end());
-}
+// Observer attachment lives in ExecutionEngine (execution_engine.h).
 
 // ---------------------------------------------------------------------------
 // Robustness layer

@@ -32,6 +32,7 @@
 
 #include "dataflow/program.h"
 #include "sim/config.h"
+#include "sim/execution_engine.h"
 #include "sim/fault.h"
 #include "sim/noc.h"
 #include "sim/pe.h"
@@ -74,23 +75,25 @@ struct EngineLane {
     std::int64_t issued = 0;
 };
 
-/** The cycle-level machine model. */
-class Machine {
+/** The cycle-level machine model (the EngineKind::kCycle engine). */
+class Machine : public ExecutionEngine {
   public:
     /** The program must outlive the machine. */
     Machine(SimConfig cfg, const SolverProgram* program);
 
+    EngineKind kind() const override { return EngineKind::kCycle; }
+
     /** Sets x = 0 and r = b; clears the other vectors and stats. */
-    void LoadProblem(const Vector& b);
+    void LoadProblem(const Vector& b) override;
 
     /** Runs the program prologue. */
-    void RunPrologue();
+    void RunPrologue() override;
 
     /** Runs one solver iteration. */
-    void RunIteration();
+    void RunIteration() override;
 
     /** Runs the program's residual_recompute phases (if any). */
-    void RunResidualRecompute();
+    void RunResidualRecompute() override;
 
     /**
      * Deprecated shim over the generic driver: prefer
@@ -119,37 +122,27 @@ class Machine {
     }
 
     /** Reads a broadcast scalar register. */
-    double ReadScalar(ScalarReg reg) const;
+    double ReadScalar(ScalarReg reg) const override;
 
     /** Gathers a distributed vector into natural index order. */
-    Vector GatherVector(VecName which) const;
+    Vector GatherVector(VecName which) const override;
 
     /** Writes a vector into the distributed storage. */
-    void ScatterVector(VecName which, const Vector& v);
+    void ScatterVector(VecName which, const Vector& v) override;
 
     /** Cumulative statistics since LoadProblem. */
-    const SimStats& stats() const { return stats_; }
+    const SimStats& stats() const override { return stats_; }
 
-    const SimConfig& config() const { return cfg_; }
+    const SimConfig& config() const override { return cfg_; }
 
     /** The program this machine executes. */
-    const SolverProgram& program() const { return *prog_; }
+    const SolverProgram& program() const override { return *prog_; }
 
     /** Monotonic cycle clock (not reset by LoadProblem). */
-    Cycle clock() const { return clock_; }
+    Cycle clock() const override { return clock_; }
 
     // ---- Measurement layer -------------------------------------------------
-    /**
-     * Attaches a passive observer; the caller retains ownership and
-     * must keep it alive until detached or the machine is destroyed.
-     * Observers never affect timing.
-     */
-    void AttachObserver(SimObserver* observer);
-    void DetachObserver(SimObserver* observer);
-    const std::vector<SimObserver*>& observers() const
-    {
-        return observers_;
-    }
+    // Observer attachment is inherited from ExecutionEngine.
 
     /** Enables Fig 17-style issue sampling during matrix kernels
      *  (built-in equivalent of attaching a TimelineObserver). */
@@ -161,7 +154,7 @@ class Machine {
 
     // ---- Robustness layer (sim/fault.h, docs/ROBUSTNESS.md) ----------------
     /** True if a fault injector is active (cfg.faults_enabled()). */
-    bool faults_enabled() const { return fault_ != nullptr; }
+    bool faults_enabled() const override { return fault_ != nullptr; }
     const FaultInjector* fault_injector() const { return fault_.get(); }
 
     /**
@@ -169,18 +162,19 @@ class Machine {
      * at driver iteration `iteration`. Host-side: costs zero
      * simulated cycles. The driver fills the solve-position fields.
      */
-    MachineCheckpoint CaptureCheckpoint(Index iteration);
+    MachineCheckpoint CaptureCheckpoint(Index iteration) override;
 
     /** Restores a checkpoint's architectural state; `from_iteration`
      *  is where the solve was when corruption was detected (for the
      *  observer timeline). The clock and stats are NOT rewound —
      *  recovery costs real simulated time. */
     void RestoreCheckpoint(const MachineCheckpoint& checkpoint,
-                           Index from_iteration);
+                           Index from_iteration) override;
 
     /** Records a driver-side corruption detection (counter +
      *  observer notification). */
-    void RecordFaultDetected(Index iteration, double residual_norm);
+    void RecordFaultDetected(Index iteration,
+                             double residual_norm) override;
 
   private:
     // ---- Matrix-kernel execution (machine_matrix.cc) ----------------------
@@ -284,7 +278,6 @@ class Machine {
     SimStats stats_;
     Cycle issue_sample_period_ = 0;
     std::vector<Delivery> delivery_buffer_;
-    std::vector<SimObserver*> observers_;
 
     /** Fault injector (null unless cfg_.faults_enabled()). */
     std::unique_ptr<FaultInjector> fault_;

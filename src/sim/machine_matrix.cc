@@ -72,12 +72,16 @@ Machine::StartMatrixKernel(const MatrixKernel& kernel)
             run.acc_remaining[a] = tk.accums[a].expected;
         }
         run.acc_busy.assign(tk.accums.size(), 0);
+        run.acc_contrib.assign(
+            static_cast<std::size_t>(tk.acc_stage_size), 0.0);
         run.node_acc.assign(tk.nodes.size(), 0.0);
         run.node_remaining.resize(tk.nodes.size());
         for (std::size_t nd = 0; nd < tk.nodes.size(); ++nd) {
             run.node_remaining[nd] = tk.nodes[nd].expected;
         }
         run.node_busy.assign(tk.nodes.size(), 0);
+        run.node_contrib.assign(
+            static_cast<std::size_t>(tk.node_stage_size), 0.0);
         run.pe_busy_until = 0;
     }
     // Fire initial nodes.
@@ -115,6 +119,7 @@ Machine::DeliverMessage(const MatrixKernel& kernel, std::int32_t tile,
     RuntimeTask task;
     task.node = msg.dest_node;
     task.value = msg.value;
+    task.ord = msg.ord;
     task.kind = node.kind == NodeKind::kMulticast
                     ? RuntimeTask::Kind::kMulticastDeliver
                     : RuntimeTask::Kind::kReduceArrival;
@@ -166,21 +171,32 @@ Machine::TryIssue(const MatrixKernel& kernel, std::int32_t tile,
         lane.stats.ops.Count(OpKind::kFmac);
         lane.stats.sram_reads += 2; // nonzero + accumulator
         ++lane.stats.sram_writes;
-        run.acc_value[static_cast<std::size_t>(op.acc)] +=
+        const AccumDesc& acc =
+            tk.accums[static_cast<std::size_t>(op.acc)];
+        // Stage the product at its static ordinal; the partial sum is
+        // folded in ordinal order on completion, so the FP64 result
+        // is independent of issue order (docs/SIMULATOR.md,
+        // "Determinism contract"). Timing is unchanged: the
+        // accumulator is busy for the same FMAC latency.
+        run.acc_contrib[static_cast<std::size_t>(acc.stage_offset +
+                                                 op.acc_ord)] =
             op.coeff * task.value;
         run.acc_busy[static_cast<std::size_t>(op.acc)] = now + lat;
         if (--run.acc_remaining[static_cast<std::size_t>(op.acc)] ==
             0) {
+            double sum = 0.0;
+            for (std::int32_t k = 0; k < acc.expected; ++k) {
+                sum += run.acc_contrib[static_cast<std::size_t>(
+                    acc.stage_offset + k)];
+            }
+            run.acc_value[static_cast<std::size_t>(op.acc)] = sum;
             // Deliver the finished partial sum: the send is fused
             // into the final FMAC's writeback stage.
-            const AccumDesc& acc =
-                tk.accums[static_cast<std::size_t>(op.acc)];
             ++lane.stats.messages;
             lane.sends.push_back(PendingSend{
                 now + lat, tile,
-                Message{acc.dest.tile, acc.dest.node,
-                        run.acc_value[static_cast<std::size_t>(
-                            op.acc)]}});
+                Message{acc.dest.tile, acc.dest.node, sum,
+                        acc.dest_ord}});
         }
         ++task.progress;
         completed = task.progress == num_children + node.num_ops;
@@ -197,21 +213,30 @@ Machine::TryIssue(const MatrixKernel& kernel, std::int32_t tile,
         lane.stats.ops.Count(OpKind::kAdd);
         ++lane.stats.sram_reads;
         ++lane.stats.sram_writes;
-        run.node_acc[static_cast<std::size_t>(task.node)] += task.value;
+        // Stage at the sender's static ordinal; fold in ordinal order
+        // once every contribution arrived (see the FMAC site above).
+        run.node_contrib[static_cast<std::size_t>(node.stage_offset +
+                                                  task.ord)] =
+            task.value;
         run.node_busy[static_cast<std::size_t>(task.node)] = now + lat;
         if (--run.node_remaining[static_cast<std::size_t>(task.node)] >
             0) {
             completed = true;
             return true;
         }
+        double sum = 0.0;
+        for (std::int32_t k = 0; k < node.expected; ++k) {
+            sum += run.node_contrib[static_cast<std::size_t>(
+                node.stage_offset + k)];
+        }
+        run.node_acc[static_cast<std::size_t>(task.node)] = sum;
         // All contributions in: forward or finalize.
         if (node.parent.valid()) {
             ++lane.stats.messages;
             lane.sends.push_back(PendingSend{
                 now + lat, tile,
-                Message{node.parent.tile, node.parent.node,
-                        run.node_acc[static_cast<std::size_t>(
-                            task.node)]}});
+                Message{node.parent.tile, node.parent.node, sum,
+                        node.parent_ord}});
             completed = true;
             return true;
         }

@@ -32,6 +32,9 @@ struct RuntimeTask {
     Kind kind = Kind::kMulticastDeliver;
     NodeId node = -1;
     double value = 0.0;
+    /** Reduce arrivals: contribution ordinal at the node's fold
+     *  (copied from Message::ord). */
+    std::int32_t ord = 0;
     /** Micro-op progress within the task (sends, then FMACs; or the
      *  Add, then the solve Mul). */
     std::int32_t progress = 0;
@@ -48,11 +51,18 @@ struct TileRun {
     std::vector<double> acc_value;
     std::vector<std::int32_t> acc_remaining;
     std::vector<Cycle> acc_busy;
+    /** Staged FMAC products, indexed by AccumDesc::stage_offset +
+     *  ColumnOp::acc_ord; folded in ordinal order on completion so the
+     *  FP64 partial sum is schedule-independent. */
+    std::vector<double> acc_contrib;
 
     // Per-reduce-node state (indices match TileKernel::nodes).
     std::vector<double> node_acc;
     std::vector<std::int32_t> node_remaining;
     std::vector<Cycle> node_busy;
+    /** Staged reduce contributions, indexed by NodeDesc::stage_offset
+     *  + RuntimeTask::ord; folded in ordinal order on completion. */
+    std::vector<double> node_contrib;
 
     /** Scalar-core model: PE blocked until this cycle. */
     Cycle pe_busy_until = 0;

@@ -3,8 +3,9 @@
 #include <algorithm>
 #include <cmath>
 
+#include "dataflow/program.h"
+#include "sim/execution_engine.h"
 #include "sim/fault.h"
-#include "sim/machine.h"
 #include "sim/observer.h"
 
 namespace azul {
@@ -27,7 +28,8 @@ namespace {
 
 /** Turns the residual register's value into ||r|| per the spec. */
 double
-ResidualNorm(const Machine& machine, const ConvergenceSpec& spec)
+ResidualNorm(const ExecutionEngine& machine,
+             const ConvergenceSpec& spec)
 {
     const double v = machine.ReadScalar(spec.residual_reg);
     switch (spec.norm) {
@@ -70,7 +72,7 @@ ClassifyResidual(double norm, double initial_norm, double best_norm,
 } // namespace
 
 SolverRunResult
-SolverDriver::Run(Machine& machine, const Vector& b, double tol,
+SolverDriver::Run(ExecutionEngine& machine, const Vector& b, double tol,
                   Index max_iters, const RunBudget& budget) const
 {
     const Cycle start_clock = machine.clock();
@@ -194,7 +196,8 @@ SolverDriver::Run(Machine& machine, const Vector& b, double tol,
             break;
         }
         // Budget gate: stop before paying for the next iteration once
-        // the simulated-cycle allowance is spent. Checked last so a
+        // the engine-clock allowance (cycles or iterations; see
+        // RunBudget) is spent. Checked last so a
         // run that converged exactly at the budget still reports
         // success, and never checked when unlimited (bit-identical
         // fast path).

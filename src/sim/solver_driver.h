@@ -1,7 +1,8 @@
 /**
  * @file
  * The generic run driver of the engine layer: executes any compiled
- * SolverProgram (PCG, weighted Jacobi, BiCGStab, ...) on a Machine to
+ * SolverProgram (PCG, weighted Jacobi, BiCGStab, ...) on any
+ * ExecutionEngine (cycle-accurate Machine or FunctionalEngine) to
  * convergence, consulting only the program's ConvergenceSpec. The
  * algorithm lives entirely in the IR; the driver owns the outer loop,
  * residual bookkeeping, and observer notifications.
@@ -17,7 +18,7 @@
 
 namespace azul {
 
-class Machine;
+class ExecutionEngine;
 
 /**
  * Why a solve did not (or almost did not) converge. kNone on success;
@@ -47,13 +48,23 @@ const char* FailureKindName(FailureKind kind);
  * Resource limits of one driver run, beyond tol/max_iters. The
  * default (all zero) imposes no limit and leaves the run bit-identical
  * to a limitless one; with a budget set, the run is truncated — also
- * deterministically, since the cutoff is in simulated cycles, not
+ * deterministically, since the cutoff is in engine clock ticks, not
  * wall-clock — and labeled FailureKind::kBudgetExhausted. The serving
  * layer (src/service/) maps that onto Status kDeadlineExceeded.
+ *
+ * The budget is charged against ExecutionEngine::clock(), whose unit
+ * is engine-defined (docs/API.md, "Budgets and engines"): simulated
+ * cycles under the cycle engine, and solver iterations under the
+ * functional engine (its clock ticks once per RunIteration). Either
+ * way the cutoff is deterministic, so the service's
+ * kDeadlineExceeded / kBudgetExhausted paths behave identically
+ * under both engines — only the unit of the number differs.
  */
 struct RunBudget {
-    /** Max simulated cycles this run may consume, measured from run
-     *  start (the prologue always completes). 0 = unlimited. */
+    /** Max engine clock ticks this run may consume, measured from
+     *  run start (the prologue always completes). Simulated cycles
+     *  (cycle engine) or iterations (functional engine).
+     *  0 = unlimited. */
     Cycle max_cycles = 0;
 
     bool unlimited() const { return max_cycles == 0; }
@@ -84,22 +95,27 @@ struct SolverRunResult {
 };
 
 /**
- * Runs a machine's program to convergence:
+ * Runs an engine's program to convergence:
  *
  *     SolverDriver driver;
- *     SolverRunResult run = driver.Run(machine, b, tol, max_iters);
+ *     SolverRunResult run = driver.Run(engine, b, tol, max_iters);
  *
  * The loop: load b, run the prologue, then run iterations until the
  * residual norm (read per the program's ConvergenceSpec) drops to
  * `tol` or `max_iters` is reached. If the spec requests periodic
  * true-residual recomputation, the program's residual_recompute
  * phases run before the corresponding convergence checks. Observers
- * attached to the machine receive run/iteration notifications.
+ * attached to the engine receive run/iteration notifications.
+ *
+ * The driver is engine-agnostic: it touches only the ExecutionEngine
+ * surface, so the same convergence loop (and therefore the same
+ * iteration count, residual history, and failure labeling) runs on
+ * the cycle-accurate Machine and on the FunctionalEngine.
  *
  * Robustness (docs/ROBUSTNESS.md): a non-finite residual always fails
  * fast with FailureKind::kNumericalBreakdown (a NaN compares false
  * against any tolerance, so it used to spin to max_iters). When the
- * machine's fault injector is active, the driver additionally screens
+ * engine's fault injector is active, the driver additionally screens
  * for residual spikes, captures a checkpoint of the architectural
  * state every cfg.checkpoint_interval iterations (persisted to
  * cfg.checkpoint_dir when set), rolls back to it on detection (at
@@ -111,10 +127,10 @@ struct SolverRunResult {
 class SolverDriver {
   public:
     SolverRunResult
-    Run(Machine& machine, const Vector& b, double tol,
+    Run(ExecutionEngine& engine, const Vector& b, double tol,
         Index max_iters) const
     {
-        return Run(machine, b, tol, max_iters, RunBudget{});
+        return Run(engine, b, tol, max_iters, RunBudget{});
     }
 
     /**
@@ -124,8 +140,9 @@ class SolverDriver {
      * FailureKind::kBudgetExhausted. The partial x / stats /
      * residual_history are still gathered and valid.
      */
-    SolverRunResult Run(Machine& machine, const Vector& b, double tol,
-                        Index max_iters, const RunBudget& budget) const;
+    SolverRunResult Run(ExecutionEngine& engine, const Vector& b,
+                        double tol, Index max_iters,
+                        const RunBudget& budget) const;
 };
 
 } // namespace azul

@@ -1,3 +1,5 @@
+#include <cstdlib>
+
 #include <gtest/gtest.h>
 
 #include "core/azul_system.h"
@@ -22,10 +24,18 @@ SmallOptions()
     return opts;
 }
 
+/** Create-or-abort helper: these tests feed valid inputs, so a
+ *  rejection is a test bug (value() checks). */
+AzulSystem
+MakeSystem(const CsrMatrix& a, const AzulOptions& opts)
+{
+    return *AzulSystem::Create(a, opts);
+}
+
 TEST(AzulSystem, EndToEndSolve)
 {
     const CsrMatrix a = RandomGeometricLaplacian(400, 7.0, 3);
-    AzulSystem sys(a, SmallOptions());
+    AzulSystem sys = MakeSystem(a, SmallOptions());
     const Vector b = RandomVector(a.rows(), 5);
     const SolveReport rep = sys.Solve(b);
     EXPECT_TRUE(rep.run.converged);
@@ -43,7 +53,7 @@ TEST(AzulSystem, ColoringOffStillSolves)
     const CsrMatrix a = RandomGeometricLaplacian(300, 7.0, 5);
     AzulOptions opts = SmallOptions();
     opts.color_and_permute = false;
-    AzulSystem sys(a, opts);
+    AzulSystem sys = MakeSystem(a, opts);
     EXPECT_TRUE(sys.permutation().IsIdentity());
     const Vector b = RandomVector(a.rows(), 7);
     const SolveReport rep = sys.Solve(b);
@@ -56,7 +66,7 @@ TEST(AzulSystem, JacobiVariantHasNoFactor)
     const CsrMatrix a = RandomGeometricLaplacian(300, 7.0, 9);
     AzulOptions opts = SmallOptions();
     opts.precond = PreconditionerKind::kJacobi;
-    AzulSystem sys(a, opts);
+    AzulSystem sys = MakeSystem(a, opts);
     EXPECT_EQ(sys.factor(), nullptr);
     EXPECT_EQ(sys.program().matrix_kernels.size(), 1u); // SpMV only
     const Vector b = RandomVector(a.rows(), 11);
@@ -66,7 +76,7 @@ TEST(AzulSystem, JacobiVariantHasNoFactor)
 TEST(AzulSystem, MappingSecondsRecorded)
 {
     const CsrMatrix a = RandomGeometricLaplacian(300, 7.0, 13);
-    AzulSystem sys(a, SmallOptions());
+    AzulSystem sys = MakeSystem(a, SmallOptions());
     EXPECT_GT(sys.mapping_seconds(), 0.0);
     const SolveReport rep = sys.Solve(RandomVector(a.rows(), 1));
     EXPECT_DOUBLE_EQ(rep.mapping_seconds, sys.mapping_seconds());
@@ -75,7 +85,7 @@ TEST(AzulSystem, MappingSecondsRecorded)
 TEST(AzulSystem, SramUsageReported)
 {
     const CsrMatrix a = RandomGeometricLaplacian(300, 7.0, 15);
-    AzulSystem sys(a, SmallOptions());
+    AzulSystem sys = MakeSystem(a, SmallOptions());
     const SramUsage usage = sys.sram_usage();
     EXPECT_TRUE(usage.fits);
     EXPECT_GT(usage.total_bytes, 0u);
@@ -85,7 +95,7 @@ TEST(AzulSystem, UpdateValuesKeepsMappingAndSolves)
 {
     // The Sec II-C timestep path: same pattern, new values.
     const CsrMatrix a = RandomGeometricLaplacian(300, 7.0, 17);
-    AzulSystem sys(a, SmallOptions());
+    AzulSystem sys = MakeSystem(a, SmallOptions());
     const auto mapping_before = sys.mapping().a_nnz_tile;
 
     // Scale all values by 2: same pattern, SPD preserved.
@@ -105,7 +115,7 @@ TEST(AzulSystem, UpdateValuesKeepsMappingAndSolves)
 TEST(AzulSystem, UpdateValuesRejectsNewPattern)
 {
     const CsrMatrix a = RandomGeometricLaplacian(300, 7.0, 21);
-    AzulSystem sys(a, SmallOptions());
+    AzulSystem sys = MakeSystem(a, SmallOptions());
     const CsrMatrix other = RandomGeometricLaplacian(300, 7.0, 22);
     const Status st = sys.UpdateValues(other);
     EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
@@ -213,15 +223,35 @@ TEST(AzulSystemCreate, StrictSramFitRejectsOverflow)
     EXPECT_TRUE(AzulSystem::Create(a, opts).ok());
 }
 
-TEST(AzulSystemCreate, DeprecatedConstructorStillThrows)
+TEST(AzulSystemCreate, RejectsFunctionalEngineWithFaults)
 {
-    EXPECT_THROW(AzulSystem(CsrMatrix(), SmallOptions()), AzulError);
+    const CsrMatrix a = RandomGeometricLaplacian(100, 7.0, 55);
+    AzulOptions opts = SmallOptions();
+    opts.engine = EngineKind::kFunctional;
+    opts.sim.fault_rate = 1e-5;
+    ASSERT_TRUE(opts.sim.faults_enabled());
+    const StatusOr<AzulSystem> sys = AzulSystem::Create(a, opts);
+    ASSERT_FALSE(sys.ok());
+    EXPECT_EQ(sys.status().code(), StatusCode::kInvalidArgument);
+    EXPECT_NE(sys.status().message().find("fault"),
+              std::string::npos);
+
+    // Without faults the functional engine builds and solves.
+    opts.sim.fault_rate = 0.0;
+    StatusOr<AzulSystem> func = AzulSystem::Create(a, opts);
+    ASSERT_TRUE(func.ok()) << func.status().ToString();
+    const Vector b = RandomVector(a.rows(), 57);
+    const SolveReport rep = func->Solve(b);
+    EXPECT_TRUE(rep.run.converged);
+    EXPECT_EQ(rep.engine, EngineKind::kFunctional);
+    EXPECT_NE(rep.ToJson().find("\"engine\":\"functional\""),
+              std::string::npos);
 }
 
 TEST(AzulSystem, RunKernelOnceSpMV)
 {
     const CsrMatrix a = RandomGeometricLaplacian(300, 7.0, 23);
-    AzulSystem sys(a, SmallOptions());
+    AzulSystem sys = MakeSystem(a, SmallOptions());
     const Vector v = RandomVector(a.rows(), 25);
     const SimStats stats = sys.RunKernelOnce(0, v);
     EXPECT_GT(stats.cycles, 0u);
@@ -231,7 +261,7 @@ TEST(AzulSystem, RunKernelOnceSpMV)
 TEST(AzulSystem, SolveIsRepeatable)
 {
     const CsrMatrix a = RandomGeometricLaplacian(300, 7.0, 27);
-    AzulSystem sys(a, SmallOptions());
+    AzulSystem sys = MakeSystem(a, SmallOptions());
     const Vector b = RandomVector(a.rows(), 29);
     const SolveReport r1 = sys.Solve(b);
     const SolveReport r2 = sys.Solve(b);
@@ -243,13 +273,16 @@ TEST(AzulSystem, SolveIsRepeatable)
 TEST(AzulSystem, EmptyMatrixRejected)
 {
     CsrMatrix empty;
-    EXPECT_THROW(AzulSystem(empty, SmallOptions()), AzulError);
+    const StatusOr<AzulSystem> sys =
+        AzulSystem::Create(empty, SmallOptions());
+    ASSERT_FALSE(sys.ok());
+    EXPECT_EQ(sys.status().code(), StatusCode::kInvalidArgument);
 }
 
 TEST(AzulSystem, SummaryMentionsConvergence)
 {
     const CsrMatrix a = RandomGeometricLaplacian(300, 7.0, 31);
-    AzulSystem sys(a, SmallOptions());
+    AzulSystem sys = MakeSystem(a, SmallOptions());
     const SolveReport rep = sys.Solve(RandomVector(a.rows(), 33));
     EXPECT_NE(rep.Summary().find("converged"), std::string::npos);
     EXPECT_NE(rep.Summary().find("GFLOP/s"), std::string::npos);
@@ -261,6 +294,30 @@ TEST(AzulSystem, OptionsToString)
     const std::string s = opts.ToString();
     EXPECT_NE(s.find("azul"), std::string::npos);
     EXPECT_NE(s.find("ic0"), std::string::npos);
+    EXPECT_NE(s.find("engine=cycle"), std::string::npos);
+}
+
+TEST(ApplyEnvOverrides, AzulEngineSelectsEngineAndIgnoresGarbage)
+{
+    {
+        AzulOptions opts;
+        ::setenv("AZUL_ENGINE", "functional", 1);
+        ApplyEnvOverrides(opts);
+        EXPECT_EQ(opts.engine, EngineKind::kFunctional);
+    }
+    {
+        AzulOptions opts;
+        ::setenv("AZUL_ENGINE", "hyperdrive", 1);
+        ApplyEnvOverrides(opts); // invalid: default stands
+        EXPECT_EQ(opts.engine, EngineKind::kCycle);
+    }
+    {
+        AzulOptions opts;
+        opts.engine = EngineKind::kFunctional;
+        ::unsetenv("AZUL_ENGINE");
+        ApplyEnvOverrides(opts); // unset: no-op
+        EXPECT_EQ(opts.engine, EngineKind::kFunctional);
+    }
 }
 
 } // namespace

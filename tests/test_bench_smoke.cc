@@ -89,6 +89,36 @@ TEST(BenchSmoke, Fig11OutputIdenticalAcrossThreadCounts)
     EXPECT_EQ(strip_config(serial), strip_config(parallel));
 }
 
+// The serving bench pinned to the functional engine: the --engine
+// flag must be accepted and the single-engine sweep must print its
+// table (no cross-engine comparison in pinned mode, so no gmean).
+TEST(BenchSmoke, ServiceThroughputFunctionalEngineQuickRuns)
+{
+    std::string out;
+    const int status = RunCommand(
+        std::string(AZUL_BENCH_SERVICE_BIN) +
+            " --quick --engine=functional --sessions=2 --requests=2",
+        &out);
+    EXPECT_EQ(status, 0) << "bench exited non-zero; output:\n" << out;
+    EXPECT_NE(out.find("service throughput"), std::string::npos)
+        << out;
+    EXPECT_NE(out.find("engine = functional"), std::string::npos)
+        << out;
+    EXPECT_NE(out.find("solves/sec"), std::string::npos) << out;
+    // Pinned mode runs exactly one engine.
+    EXPECT_EQ(out.find("engine = cycle"), std::string::npos) << out;
+}
+
+// A malformed --engine value is a usage error, not a crash.
+TEST(BenchSmoke, ServiceThroughputRejectsBadEngine)
+{
+    std::string out;
+    const int status = RunCommand(
+        std::string(AZUL_BENCH_SERVICE_BIN) + " --engine=warp", &out);
+    EXPECT_NE(status, 0);
+    EXPECT_NE(out.find("bad --engine"), std::string::npos) << out;
+}
+
 // secVID exercises the parallel partitioner and the mapping cache end
 // to end: two identical cached runs — the first all misses, the
 // second all hits — plus the speedup table.

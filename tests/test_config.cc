@@ -184,6 +184,30 @@ TEST(ParseFaultSpec, RateZeroDisablesInjection)
     EXPECT_FALSE(cfg.faults_enabled());
 }
 
+TEST(EngineKindNames, RoundTripThroughParse)
+{
+    for (const EngineKind kind :
+         {EngineKind::kCycle, EngineKind::kFunctional}) {
+        EngineKind parsed = EngineKind::kCycle;
+        ASSERT_TRUE(ParseEngineKind(EngineKindName(kind), parsed))
+            << EngineKindName(kind);
+        EXPECT_EQ(parsed, kind);
+    }
+    EXPECT_EQ(EngineKindName(EngineKind::kCycle), "cycle");
+    EXPECT_EQ(EngineKindName(EngineKind::kFunctional), "functional");
+}
+
+TEST(EngineKindNames, ParseRejectsGarbageWithoutSideEffects)
+{
+    for (const char* bad : {"", "Cycle", "FUNCTIONAL", "func",
+                            "cycle ", "warp-drive"}) {
+        EngineKind out = EngineKind::kFunctional; // sentinel
+        EXPECT_FALSE(ParseEngineKind(bad, out)) << "'" << bad << "'";
+        EXPECT_EQ(out, EngineKind::kFunctional)
+            << "'" << bad << "' modified the output on failure";
+    }
+}
+
 TEST(ApplyFaultEnv, ReadsAzulFaultsAndIgnoresGarbage)
 {
     {

@@ -44,7 +44,7 @@ TEST(Integration, AzulBeatsAllBaselinesOnThroughput)
     AzulOptions opts = Options16();
     opts.sim.grid_width = 8;
     opts.sim.grid_height = 8;
-    AzulSystem sys(a, opts);
+    AzulSystem sys = *AzulSystem::Create(a, opts);
     const Vector b = RandomVector(a.rows(), 5);
     const SolveReport azul_rep = sys.Solve(b);
     const double azul_gflops = azul_rep.gflops;
@@ -81,7 +81,7 @@ TEST(Integration, MappingOrderingHoldsAcrossSmallSuite)
             AzulOptions opts = Options16();
             opts.mapper = kind;
             opts.max_iters = 6;
-            AzulSystem sys(sm.a, opts);
+            AzulSystem sys = *AzulSystem::Create(sm.a, opts);
             const SolveReport rep =
                 sys.Solve(RandomVector(sm.a.rows(), 7));
             if (kind == MapperKind::kAzul) {
@@ -107,7 +107,7 @@ TEST(Integration, TrafficReductionIsLarge)
         AzulOptions opts = Options16();
         opts.mapper = kind;
         opts.max_iters = 4;
-        AzulSystem sys(a, opts);
+        AzulSystem sys = *AzulSystem::Create(a, opts);
         const SolveReport rep = sys.Solve(b);
         (kind == MapperKind::kAzul ? links_azul : links_rr) =
             rep.run.stats.link_activations;
@@ -165,7 +165,7 @@ TEST(Integration, ScalingUpImprovesThroughputOnParallelMatrix)
         opts.sim.grid_width = dim;
         opts.sim.grid_height = dim;
         opts.max_iters = 6;
-        AzulSystem sys(a, opts);
+        AzulSystem sys = *AzulSystem::Create(a, opts);
         const SolveReport rep = sys.Solve(b);
         (dim == 2 ? gflops_small : gflops_large) = rep.gflops;
     }
@@ -182,7 +182,7 @@ TEST(Integration, SimulatedSolveMatchesReferenceAcrossSuite)
         opts.sim.grid_height = 4;
         opts.tol = 1e-8;
         opts.max_iters = 2000;
-        AzulSystem sys(sm.a, opts);
+        AzulSystem sys = *AzulSystem::Create(sm.a, opts);
         const Vector b = RandomVector(sm.a.rows(), 19);
         const SolveReport rep = sys.Solve(b);
         ASSERT_TRUE(rep.run.converged) << sm.name;
@@ -199,7 +199,7 @@ TEST(Integration, GmeanSpeedupOverGpuIsLarge)
     for (const SuiteMatrix& sm : MakeSmallSuite()) {
         AzulOptions opts = Options16();
         opts.max_iters = 6;
-        AzulSystem sys(sm.a, opts);
+        AzulSystem sys = *AzulSystem::Create(sm.a, opts);
         const SolveReport rep =
             sys.Solve(RandomVector(sm.a.rows(), 21));
         const CsrMatrix* l = sys.factor();

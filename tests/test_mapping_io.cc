@@ -100,14 +100,14 @@ TEST(MappingIo, PrecomputedMappingSkipsMappingStep)
     opts.tol = 1e-8;
     opts.max_iters = 500;
 
-    AzulSystem first(a, opts);
+    AzulSystem first = *AzulSystem::Create(a, opts);
     std::stringstream buffer;
     WriteMapping(first.mapping(), buffer);
     const DataMapping restored = ReadMapping(buffer);
 
     AzulOptions reuse = opts;
     reuse.precomputed_mapping = &restored;
-    AzulSystem second(a, reuse);
+    AzulSystem second = *AzulSystem::Create(a, reuse);
     EXPECT_EQ(second.mapping().a_nnz_tile, first.mapping().a_nnz_tile);
 
     const Vector b = azul::testing::RandomVector(a.rows(), 11);
@@ -131,11 +131,11 @@ TEST(MappingCache, SecondSystemHitsAndReproducesMapping)
     opts.tol = 1e-8;
     opts.max_iters = 500;
 
-    AzulSystem first(a, opts);
+    AzulSystem first = *AzulSystem::Create(a, opts);
     EXPECT_EQ(first.mapping_cache_hits(), 0);
     EXPECT_EQ(first.mapping_cache_misses(), 1);
 
-    AzulSystem second(a, opts);
+    AzulSystem second = *AzulSystem::Create(a, opts);
     EXPECT_EQ(second.mapping_cache_hits(), 1);
     EXPECT_EQ(second.mapping_cache_misses(), 0);
 
@@ -176,14 +176,14 @@ TEST(MappingCache, DifferentSeedMisses)
     opts.sim.grid_height = 4;
     opts.mapping_cache_dir = dir;
 
-    AzulSystem first(a, opts);
+    AzulSystem first = *AzulSystem::Create(a, opts);
     EXPECT_EQ(first.mapping_cache_misses(), 1);
 
     // A different partitioner seed is a different computation — it
     // must not be served the first seed's mapping.
     AzulOptions reseeded = opts;
     reseeded.azul_mapper.partitioner.seed += 1;
-    AzulSystem second(a, reseeded);
+    AzulSystem second = *AzulSystem::Create(a, reseeded);
     EXPECT_EQ(second.mapping_cache_hits(), 0);
     EXPECT_EQ(second.mapping_cache_misses(), 1);
 
@@ -191,7 +191,7 @@ TEST(MappingCache, DifferentSeedMisses)
     // the serial run's entry.
     AzulOptions threaded = opts;
     threaded.azul_mapper.partitioner.threads = 4;
-    AzulSystem third(a, threaded);
+    AzulSystem third = *AzulSystem::Create(a, threaded);
     EXPECT_EQ(third.mapping_cache_hits(), 1);
     EXPECT_EQ(third.mapping().a_nnz_tile, first.mapping().a_nnz_tile);
 }
@@ -208,13 +208,13 @@ TEST(MappingCache, CorruptEntryIsAMissNotAnError)
     opts.sim.grid_height = 4;
     opts.mapping_cache_dir = dir;
 
-    AzulSystem first(a, opts);
+    AzulSystem first = *AzulSystem::Create(a, opts);
     // Truncate every cache entry in place.
     for (const auto& entry : std::filesystem::directory_iterator(dir)) {
         std::ofstream(entry.path(), std::ios::trunc)
             << "azul-mapping v1\n";
     }
-    AzulSystem second(a, opts);
+    AzulSystem second = *AzulSystem::Create(a, opts);
     EXPECT_EQ(second.mapping_cache_hits(), 0);
     EXPECT_EQ(second.mapping_cache_misses(), 1);
     EXPECT_EQ(second.mapping().a_nnz_tile, first.mapping().a_nnz_tile);
@@ -231,7 +231,11 @@ TEST(MappingIo, PrecomputedMappingValidatedAgainstProblem)
     opts.sim.grid_width = 4;
     opts.sim.grid_height = 4;
     opts.precomputed_mapping = &wrong;
-    EXPECT_THROW(AzulSystem(a, opts), AzulError);
+    // The mismatch is only caught by DataMapping::Validate inside the
+    // pipeline; Create converts it to InvalidArgument.
+    const StatusOr<AzulSystem> sys = AzulSystem::Create(a, opts);
+    ASSERT_FALSE(sys.ok());
+    EXPECT_EQ(sys.status().code(), StatusCode::kInvalidArgument);
 }
 
 } // namespace

@@ -16,7 +16,7 @@ MakeReport()
     opts.sim.grid_height = 4;
     opts.tol = 1e-8;
     opts.max_iters = 400;
-    AzulSystem sys(a, opts);
+    AzulSystem sys = *AzulSystem::Create(a, opts);
     return sys.Solve(azul::testing::RandomVector(a.rows(), 5));
 }
 
