@@ -1,0 +1,177 @@
+/**
+ * @file
+ * bench_timestep — warm vs. cold iterations-to-converge and solve
+ * throughput over a value-evolving Laplacian campaign
+ * (docs/TIMESTEPPING.md; the Sec II-C physical-simulation use case
+ * where one mapping serves many timesteps).
+ *
+ * For each execution engine (cycle and functional, or just --engine)
+ * the bench drives a cold system and a warm_start system through the
+ * same 100-step sequence: a 2-D grid Laplacian whose values drift
+ * smoothly each step (UpdateValues), solved to a fixed tolerance.
+ * Reported per engine/mode: mean iterations per step, total
+ * iterations, and end-to-end solves per second. The takeaway is the
+ * warm/cold iteration ratio — warm starts resume from the previous
+ * step's solution, so slow value drift means a small initial residual
+ * and strictly less work per step.
+ *
+ * Extra flag on top of the common set: --steps=N (default 100,
+ * --quick preset 12).
+ */
+#include <chrono>
+#include <cmath>
+#include <vector>
+
+#include "common.h"
+
+using namespace azul;
+using namespace azul::bench;
+
+namespace {
+
+constexpr double kDriftAmplitude = 0.05;
+constexpr int kDriftPeriod = 40;
+
+struct ModeResult {
+    double mean_iters = 0.0;
+    long long total_iters = 0;
+    double solves_per_sec = 0.0;
+    bool all_converged = true;
+};
+
+/** Runs the full campaign on one system configuration. */
+ModeResult
+RunSequence(const CsrMatrix& base, const Vector& b,
+            const AzulOptions& opts, int steps)
+{
+    AzulSystem sys = MakeSystemOrDie(base, opts);
+    ModeResult result;
+    const auto start = std::chrono::steady_clock::now();
+    for (int t = 0; t < steps; ++t) {
+        if (t > 0) {
+            const double scale =
+                1.0 + kDriftAmplitude *
+                          std::sin(2.0 * M_PI * t / kDriftPeriod);
+            CsrMatrix at = base;
+            for (double& v : at.mutable_vals()) {
+                v *= scale;
+            }
+            const Status st = sys.UpdateValues(at);
+            if (!st.ok()) {
+                std::fprintf(stderr, "UpdateValues: %s\n",
+                             st.ToString().c_str());
+                std::exit(1);
+            }
+        }
+        const SolveReport report = sys.Solve(b);
+        result.total_iters +=
+            static_cast<long long>(report.run.iterations);
+        result.all_converged &= report.run.converged;
+    }
+    const double seconds =
+        std::chrono::duration<double>(
+            std::chrono::steady_clock::now() - start)
+            .count();
+    result.mean_iters = static_cast<double>(result.total_iters) /
+                        static_cast<double>(steps);
+    result.solves_per_sec =
+        seconds > 0.0 ? static_cast<double>(steps) / seconds : 0.0;
+    return result;
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    // Peel off the bench-specific --steps flag before the common
+    // parser (which rejects unknown arguments).
+    int steps = 0;
+    std::vector<char*> common_argv{argv[0]};
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg.rfind("--steps=", 0) == 0) {
+            steps = static_cast<int>(std::stol(arg.substr(8)));
+        } else {
+            common_argv.push_back(argv[i]);
+        }
+    }
+    BenchArgs args = BenchArgs::Parse(
+        static_cast<int>(common_argv.size()), common_argv.data());
+    if (steps <= 0) {
+        steps = args.quick ? 12 : 100;
+    }
+
+    // Convergence mode, unlike the throughput benches: the metric is
+    // iterations-to-converge, so tol must be real.
+    AzulOptions opts = BaseOptions(args);
+    opts.tol = 1e-8;
+    opts.max_iters = 2000;
+
+    const Index side = static_cast<Index>(
+        std::max(8.0, std::floor(32.0 * std::sqrt(args.scale))));
+    const CsrMatrix base = Grid2dLaplacian(side, side);
+    Rng rng(0xb0b);
+    Vector b(static_cast<std::size_t>(base.rows()));
+    for (double& v : b) {
+        v = rng.UniformDouble(-1.0, 1.0);
+    }
+
+    PrintBanner(
+        "bench_timestep -- warm vs. cold over an evolving Laplacian "
+        "(docs/TIMESTEPPING.md)",
+        "warm-starting each timestep from the previous solution cuts "
+        "iterations-to-converge (Sec II-C)",
+        args);
+    std::printf("campaign: %lldx%lld grid Laplacian (%lld unknowns), "
+                "%d steps, +/-%.0f%% value drift\n",
+                static_cast<long long>(side),
+                static_cast<long long>(side),
+                static_cast<long long>(base.rows()), steps,
+                100.0 * kDriftAmplitude);
+    std::printf("%-12s %-6s %12s %12s %12s %10s\n", "engine", "mode",
+                "mean-iters", "total-iters", "solves/s", "converged");
+
+    std::vector<std::string> engines;
+    if (!args.engine.empty()) {
+        engines.push_back(args.engine);
+    } else {
+        engines = {"cycle", "functional"};
+    }
+
+    std::vector<double> ratios;
+    bool warm_always_fewer = true;
+    for (const std::string& engine : engines) {
+        AzulOptions eopts = opts;
+        ParseEngineKind(engine, eopts.engine);
+
+        AzulOptions cold_opts = eopts;
+        cold_opts.warm_start = false;
+        AzulOptions warm_opts = eopts;
+        warm_opts.warm_start = true;
+
+        const ModeResult cold =
+            RunSequence(base, b, cold_opts, steps);
+        const ModeResult warm =
+            RunSequence(base, b, warm_opts, steps);
+        std::printf("%-12s %-6s %12.2f %12lld %12.2f %10s\n",
+                    engine.c_str(), "cold", cold.mean_iters,
+                    cold.total_iters, cold.solves_per_sec,
+                    cold.all_converged ? "yes" : "NO");
+        std::printf("%-12s %-6s %12.2f %12lld %12.2f %10s\n",
+                    engine.c_str(), "warm", warm.mean_iters,
+                    warm.total_iters, warm.solves_per_sec,
+                    warm.all_converged ? "yes" : "NO");
+        if (cold.mean_iters > 0.0) {
+            ratios.push_back(warm.mean_iters / cold.mean_iters);
+        }
+        warm_always_fewer &= warm.total_iters < cold.total_iters &&
+                             cold.all_converged &&
+                             warm.all_converged;
+    }
+
+    PrintGmean("warm/cold iters", ratios);
+    std::printf("warm start %s mean iterations on every engine\n",
+                warm_always_fewer ? "reduced" : "DID NOT reduce");
+    return warm_always_fewer ? 0 : 1;
+}

@@ -18,6 +18,10 @@ AzulOptions::ToString() const
     if (!mapping_cache_dir.empty()) {
         oss << ", cache=" << mapping_cache_dir;
     }
+    if (warm_start) {
+        oss << ", warm-start(drift<=" << drift_traffic_threshold
+            << ")";
+    }
     return oss.str();
 }
 
@@ -41,6 +45,17 @@ ApplyEnvOverrides(AzulOptions& opts)
     if (opts.mapping_cache_dir.empty()) {
         if (const char* dir = std::getenv("AZUL_MAPPING_CACHE")) {
             opts.mapping_cache_dir = dir;
+        }
+    }
+
+    // Warm start: explicit on/off values only; anything else leaves
+    // the field untouched (same ignore-invalid policy as AZUL_ENGINE).
+    if (const char* warm_env = std::getenv("AZUL_WARM_START")) {
+        const std::string v(warm_env);
+        if (v == "1" || v == "true" || v == "on") {
+            opts.warm_start = true;
+        } else if (v == "0" || v == "false" || v == "off") {
+            opts.warm_start = false;
         }
     }
 

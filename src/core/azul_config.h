@@ -72,6 +72,31 @@ struct AzulOptions {
     double tol = 1e-8;
     Index max_iters = 1000;
     /**
+     * Time-stepping controls (docs/TIMESTEPPING.md). When warm_start
+     * is true, each Solve after the first starts from the session's
+     * last solution (r = b - A x0 via the program's warm prologue)
+     * instead of x = 0; the first solve — and any solve after warm
+     * state was invalidated — falls back to cold cleanly.
+     */
+    bool warm_start = false;
+    /**
+     * Explicit initial guess for the first solve, in the caller's
+     * original row order. Empty (default) means x0 = 0. A non-empty
+     * x0 whose length differs from the matrix dimension is rejected
+     * by AzulSystem::Create with kInvalidArgument — never silently
+     * ignored.
+     */
+    Vector x0;
+    /**
+     * Structure-drift tolerance for UpdateMatrix: when the sparsity
+     * pattern changes, the old mapping is inherited onto the new
+     * structure and kept as long as its estimated NoC traffic stays
+     * within this factor of the nnz-scaled baseline; beyond it, the
+     * system repartitions from scratch. Must be >= 1
+     * (AzulSystem::Create rejects smaller values).
+     */
+    double drift_traffic_threshold = 1.25;
+    /**
      * When true, AzulSystem::Create fails with RESOURCE_EXHAUSTED if
      * the compiled program does not fit the per-tile scratchpads.
      * When false (default), overflow only logs a warning — the
@@ -98,6 +123,9 @@ struct AzulOptions {
  *   AZUL_MAPPING_CACHE  persistent mapping-cache directory
  *   AZUL_FAULTS         fault-injection spec (ParseFaultSpec format;
  *                       malformed specs are ignored atomically)
+ *   AZUL_WARM_START     "1"/"true"/"on" enables warm_start,
+ *                       "0"/"false"/"off" disables it (anything else
+ *                       is ignored)
  *
  * Unset or invalid variables leave the corresponding fields at their
  * defaults.

@@ -82,6 +82,20 @@ ValidateCreate(const CsrMatrix& a, const AzulOptions& options)
             "(faults need the cycle-accurate timing model; use "
             "engine=cycle)");
     }
+    // Warm-start knobs are never silently ignored (same policy as
+    // functional+faults above): an x0 that cannot seed this system is
+    // an error, not a no-op.
+    if (!options.x0.empty() &&
+        static_cast<Index>(options.x0.size()) != a.rows()) {
+        oss << "x0 has length " << options.x0.size()
+            << " but the matrix is " << a.rows() << "x" << a.cols();
+        return InvalidArgument(oss.str());
+    }
+    if (!(options.drift_traffic_threshold >= 1.0)) {
+        oss << "drift_traffic_threshold must be >= 1 (got "
+            << options.drift_traffic_threshold << ")";
+        return InvalidArgument(oss.str());
+    }
     return OkStatus();
 }
 
@@ -131,6 +145,15 @@ AzulSystem::Create(CsrMatrix a, AzulOptions options)
 void
 AzulSystem::Init(CsrMatrix a)
 {
+    // 0. Warm-start bookkeeping: the structure hash is taken in the
+    // caller's row order (permutation-independent), so it can be
+    // compared across restarts and against incoming matrices.
+    structure_hash_ = StructureHash(a);
+    if (!options_.x0.empty()) {
+        last_x_ = options_.x0; // validated by Create
+        x0_pending_ = true;
+    }
+
     // 1. Coloring + permutation preprocessing.
     if (options_.color_and_permute) {
         ColoredMatrix colored = ColorAndPermute(a);
@@ -199,6 +222,10 @@ AzulSystem::Init(CsrMatrix a)
         mapping_cache_hits_ = cache.hits();
         mapping_cache_misses_ = cache.misses();
     }
+    // Drift baseline: what "good" traffic looks like for this
+    // structure under this mapping (UpdateMatrix scales it by nnz).
+    baseline_traffic_ = EstimateTraffic(prob, mapping_).total();
+    baseline_nnz_ = a_.nnz();
 
     // 4. Dataflow compilation.
     {
@@ -244,13 +271,44 @@ AzulSystem::Solve(const Vector& b)
 SolveReport
 AzulSystem::Solve(const Vector& b, const RunBudget& budget)
 {
+    // Auto warm-start: the session-resident last solution (seeded
+    // from options().x0 before the first solve). An explicit x0 is
+    // honored exactly once even with warm_start off — Create already
+    // rejected any x0 it could not honor.
+    const bool auto_warm =
+        !last_x_.empty() && (options_.warm_start || x0_pending_);
+    x0_pending_ = false;
+    return Solve(b, budget, auto_warm ? last_x_ : Vector());
+}
+
+SolveReport
+AzulSystem::Solve(const Vector& b, const RunBudget& budget,
+                  const Vector& x0)
+{
     AZUL_CHECK(static_cast<Index>(b.size()) == a_.rows());
+    const bool warm = !x0.empty();
+    AZUL_CHECK_MSG(!warm || x0.size() == b.size(),
+                   "x0 length " << x0.size() << " != rhs length "
+                                << b.size());
     const Vector b_perm = PermuteVector(b, perm_);
+    const Vector x0_perm = warm ? PermuteVector(x0, perm_) : Vector();
     SolveReport report;
     report.engine = options_.engine;
-    report.run = SolverDriver().Run(*engine_, b_perm, options_.tol,
-                                    options_.max_iters, budget);
+    report.warm_started = warm;
+    report.run =
+        SolverDriver().Run(*engine_, b_perm, options_.tol,
+                           options_.max_iters, budget,
+                           warm ? &x0_perm : nullptr);
     report.run.x = UnpermuteVector(report.run.x, perm_);
+    last_x_ = report.run.x;
+    x0_pending_ = false;
+    if (warm) {
+        ++warm_solves_;
+    } else {
+        ++cold_solves_;
+    }
+    report.mapping_reuses = mapping_reuses_;
+    report.repartitions = repartitions_;
     report.gflops = report.run.Gflops(options_.sim.clock_ghz);
     report.peak_fraction = report.gflops / options_.sim.PeakGflops();
     report.mapping_seconds = mapping_seconds_;
@@ -290,23 +348,171 @@ AzulSystem::UpdateValues(const CsrMatrix& a_new)
             l_ = *precond->lower_factor();
         }
         // Recompile kernels in place: mapping and machine geometry
-        // are unchanged, so only the coefficient tables change.
-        ProgramBuildInputs in;
-        in.a = &a_;
-        in.l = factored ? &l_ : nullptr;
-        in.precond = options_.precond;
-        in.mapping = &mapping_;
-        in.geom = options_.sim.geometry();
-        in.graph = options_.graph;
-        in.jacobi_omega = options_.jacobi_omega;
-        program_ = std::make_unique<SolverProgram>(
-            BuildSolverProgram(options_.solver, in));
-        engine_ = MakeEngine(options_, program_.get());
+        // are unchanged, so only the coefficient tables change. The
+        // warm state (last_x_, original row order) stays resident.
+        RecompileForCurrentMatrix();
     } catch (const AzulError& e) {
         // Refactorization/recompilation rejected the new values
         // (e.g. a zero Jacobi diagonal).
         return InvalidArgument(e.what());
     }
+    return OkStatus();
+}
+
+void
+AzulSystem::RecompileForCurrentMatrix()
+{
+    const bool factored = l_.nnz() > 0;
+    ProgramBuildInputs in;
+    in.a = &a_;
+    in.l = factored ? &l_ : nullptr;
+    in.precond = options_.precond;
+    in.mapping = &mapping_;
+    in.geom = options_.sim.geometry();
+    in.graph = options_.graph;
+    in.jacobi_omega = options_.jacobi_omega;
+    program_ = std::make_unique<SolverProgram>(
+        BuildSolverProgram(options_.solver, in));
+    engine_ = MakeEngine(options_, program_.get());
+}
+
+Status
+AzulSystem::UpdateMatrix(const CsrMatrix& a_new)
+{
+    if (a_new.rows() != a_.rows() || a_new.cols() != a_.cols()) {
+        std::ostringstream oss;
+        oss << "UpdateMatrix requires the same dimensions (got "
+            << a_new.rows() << "x" << a_new.cols() << "; expected "
+            << a_.rows() << "x" << a_.cols() << ")";
+        return InvalidArgument(oss.str());
+    }
+    const std::uint64_t new_hash = StructureHash(a_new);
+    if (new_hash == structure_hash_) {
+        // Same sparsity pattern: the cheap per-timestep path.
+        return UpdateValues(a_new);
+    }
+
+    // Pattern drift: re-color, then decide between inheriting the
+    // resident mapping and repartitioning from scratch
+    // (docs/TIMESTEPPING.md). All throwing work happens on locals so
+    // a rejected matrix leaves the system untouched.
+    try {
+        CsrMatrix a2;
+        Permutation perm2;
+        if (options_.color_and_permute) {
+            ColoredMatrix colored = ColorAndPermute(a_new);
+            a2 = std::move(colored.a);
+            perm2 = std::move(colored.perm);
+        } else {
+            a2 = a_new;
+            perm2 = Permutation(a_new.rows());
+        }
+        CsrMatrix l2;
+        const bool factored = l_.nnz() > 0;
+        if (factored) {
+            const auto precond = MakePreconditioner(
+                options_.precond, a2, options_.ssor_omega);
+            l2 = *precond->lower_factor();
+        }
+        MappingProblem prob;
+        prob.a = &a2;
+        prob.l = factored ? &l2 : nullptr;
+
+        // Inherit the old mapping onto the new structure: every row
+        // keeps its vector home (identified through original row
+        // order, so the two permutations cancel out), and each new
+        // nonzero lands on its row's home tile — the natural delta
+        // when per-nonzero identities did not survive the drift.
+        DataMapping inherited;
+        inherited.num_tiles = mapping_.num_tiles;
+        const Index n = a2.rows();
+        inherited.vec_tile.resize(static_cast<std::size_t>(n));
+        for (Index i = 0; i < n; ++i) {
+            const Index orig = perm2.NewToOld(i);
+            inherited.vec_tile[static_cast<std::size_t>(i)] =
+                mapping_.vec_tile[static_cast<std::size_t>(
+                    perm_.OldToNew(orig))];
+        }
+        const auto row_home_tiles = [&inherited](const CsrMatrix& m) {
+            std::vector<TileId> tiles(
+                static_cast<std::size_t>(m.nnz()));
+            for (Index i = 0; i < m.rows(); ++i) {
+                for (Index k = m.row_ptr()[static_cast<std::size_t>(i)];
+                     k < m.row_ptr()[static_cast<std::size_t>(i + 1)];
+                     ++k) {
+                    tiles[static_cast<std::size_t>(k)] =
+                        inherited.vec_tile[static_cast<std::size_t>(i)];
+                }
+            }
+            return tiles;
+        };
+        inherited.a_nnz_tile = row_home_tiles(a2);
+        if (factored) {
+            inherited.l_nnz_tile = row_home_tiles(l2);
+        }
+        inherited.Validate(prob);
+
+        // Drift check: keep the inherited mapping while its estimated
+        // traffic stays within the threshold of the nnz-scaled
+        // baseline; beyond that the structure has drifted too far and
+        // a fresh partition pays for itself.
+        const double inherited_traffic =
+            EstimateTraffic(prob, inherited).total();
+        const double scaled_baseline =
+            baseline_traffic_ * static_cast<double>(a2.nnz()) /
+            static_cast<double>(std::max<Index>(baseline_nnz_, 1));
+        if (inherited_traffic <=
+            options_.drift_traffic_threshold * scaled_baseline) {
+            mapping_ = std::move(inherited);
+            ++mapping_reuses_;
+            AZUL_LOG(kInfo)
+                << "UpdateMatrix: pattern drift within threshold, "
+                   "inherited mapping (traffic "
+                << inherited_traffic << " <= "
+                << options_.drift_traffic_threshold << " * "
+                << scaled_baseline << ")";
+        } else {
+            AzulMapperOptions mopts = options_.azul_mapper;
+            mopts.grid_width = options_.sim.grid_width;
+            mopts.grid_height = options_.sim.grid_height;
+            const auto mapper = MakeMapper(options_.mapper, mopts);
+            const auto t0 = std::chrono::steady_clock::now();
+            mapping_ = mapper->Map(prob, options_.sim.num_tiles());
+            mapping_seconds_ = SecondsSince(t0);
+            mapping_.Validate(prob);
+            ++repartitions_;
+            baseline_traffic_ = EstimateTraffic(prob, mapping_).total();
+            baseline_nnz_ = a2.nnz();
+            AZUL_LOG(kInfo)
+                << "UpdateMatrix: drift beyond threshold, "
+                   "repartitioned in "
+                << mapping_seconds_ << " s";
+        }
+
+        a_ = std::move(a2);
+        l_ = std::move(l2);
+        perm_ = std::move(perm2);
+        structure_hash_ = new_hash;
+        RecompileForCurrentMatrix();
+    } catch (const AzulError& e) {
+        return InvalidArgument(e.what());
+    }
+    // The warm state survives: last_x_ lives in original row order,
+    // independent of permutation and mapping.
+    return OkStatus();
+}
+
+Status
+AzulSystem::SeedWarmState(Vector x)
+{
+    if (static_cast<Index>(x.size()) != a_.rows()) {
+        std::ostringstream oss;
+        oss << "SeedWarmState: x has length " << x.size()
+            << " but the matrix is " << a_.rows() << "x" << a_.cols();
+        return InvalidArgument(oss.str());
+    }
+    last_x_ = std::move(x);
+    x0_pending_ = false;
     return OkStatus();
 }
 

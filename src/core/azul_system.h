@@ -59,8 +59,14 @@ class AzulSystem {
     AzulSystem(AzulSystem&&) = default;
     AzulSystem& operator=(AzulSystem&&) = default;
 
-    /** Solves A x = b on the simulated accelerator. The right-hand
-     *  side and returned x are in the caller's original row order. */
+    /**
+     * Solves A x = b on the simulated accelerator. The right-hand
+     * side and returned x are in the caller's original row order.
+     * With options().warm_start, every solve after the first starts
+     * from the previous solution (or options().x0 on the very first)
+     * and report.warm_started records which path ran — see
+     * docs/TIMESTEPPING.md.
+     */
     SolveReport Solve(const Vector& b);
 
     /**
@@ -71,13 +77,69 @@ class AzulSystem {
     SolveReport Solve(const Vector& b, const RunBudget& budget);
 
     /**
+     * Solve with an explicit initial guess in the caller's original
+     * row order (empty = cold start), overriding the session-resident
+     * warm state for this one solve. Aborts if x0 is non-empty with
+     * the wrong length — validate at the API boundary (the service
+     * returns kInvalidArgument).
+     */
+    SolveReport Solve(const Vector& b, const RunBudget& budget,
+                      const Vector& x0);
+
+    /**
      * Updates A's numeric values in place (same sparsity pattern) and
      * refactors the preconditioner — the cheap per-timestep path of
-     * Sec II-C. Mapping and tree structure are reused. Returns
-     * INVALID_ARGUMENT (leaving the system untouched) when a_new has
-     * a different shape or sparsity pattern.
+     * Sec II-C. Mapping and tree structure are reused, and the warm
+     * state (last solution) stays resident. Returns INVALID_ARGUMENT
+     * (leaving the system untouched) when a_new has a different shape
+     * or sparsity pattern.
      */
     Status UpdateValues(const CsrMatrix& a_new);
+
+    /**
+     * Replaces A wholesale, tolerating sparsity-pattern drift — the
+     * expensive end of the time-stepping spectrum (adaptive meshing,
+     * contact changes). Same dimensions required. When the pattern is
+     * unchanged this is exactly UpdateValues; otherwise the system
+     * re-colors, inherits the old mapping onto the new structure, and
+     * keeps it if its estimated traffic stays within
+     * options().drift_traffic_threshold of the nnz-scaled baseline —
+     * else it repartitions from scratch (mapping_reuses() /
+     * repartitions() count the outcomes). The warm state survives
+     * either way: it lives in original row order, independent of the
+     * permutation and mapping.
+     */
+    Status UpdateMatrix(const CsrMatrix& a_new);
+
+    // ---- Warm state (docs/TIMESTEPPING.md) ---------------------------------
+    /** True once a solve completed (or warm state was seeded) and the
+     *  next warm_start solve has an x0 to start from. */
+    bool has_warm_state() const { return !last_x_.empty(); }
+
+    /** Last gathered solution in original row order (empty if none). */
+    const Vector& last_solution() const { return last_x_; }
+
+    /**
+     * Seeds the warm state with an externally supplied solution (the
+     * persistence layer's restore path). Returns kInvalidArgument on
+     * a length mismatch.
+     */
+    Status SeedWarmState(Vector x);
+
+    /** Drops the warm state; the next solve is cold. */
+    void ClearWarmState() { last_x_.clear(); }
+
+    /** FNV-1a hash of the caller-order sparsity structure — the drift
+     *  detector persisted with a session's state. */
+    std::uint64_t structure_hash() const { return structure_hash_; }
+
+    /** Solves that started from a warm / cold prologue. */
+    std::int64_t warm_solves() const { return warm_solves_; }
+    std::int64_t cold_solves() const { return cold_solves_; }
+    /** UpdateMatrix pattern-drift outcomes: inherited-mapping reuses
+     *  vs. full repartitions. */
+    std::int64_t mapping_reuses() const { return mapping_reuses_; }
+    std::int64_t repartitions() const { return repartitions_; }
 
     /**
      * Runs one standalone kernel with the machine's current vector
@@ -123,6 +185,11 @@ class AzulSystem {
      *  from internal validation; Create converts to Status). */
     void Init(CsrMatrix a);
 
+    /** Refactors the preconditioner and recompiles the program +
+     *  engine for the current a_ / mapping_ (UpdateValues and
+     *  UpdateMatrix share it; may throw AzulError). */
+    void RecompileForCurrentMatrix();
+
     AzulOptions options_;
     CsrMatrix a_;        //!< permuted system matrix
     CsrMatrix l_;        //!< lower factor (empty if not factored)
@@ -136,6 +203,20 @@ class AzulSystem {
     double compile_seconds_ = 0.0;
     int mapping_cache_hits_ = 0;
     int mapping_cache_misses_ = 0;
+    // ---- Warm-start / drift state (docs/TIMESTEPPING.md) -------------------
+    Vector last_x_; //!< last solution, original row order
+    /** options_.x0 still owed to the first solve (consumed even when
+     *  warm_start is off: an explicit x0 is never silently ignored). */
+    bool x0_pending_ = false;
+    std::uint64_t structure_hash_ = 0;
+    /** EstimateTraffic of the current mapping and the nnz it was
+     *  computed for — the drift baseline UpdateMatrix scales. */
+    double baseline_traffic_ = 0.0;
+    Index baseline_nnz_ = 0;
+    std::int64_t warm_solves_ = 0;
+    std::int64_t cold_solves_ = 0;
+    std::int64_t mapping_reuses_ = 0;
+    std::int64_t repartitions_ = 0;
 };
 
 } // namespace azul

@@ -39,6 +39,9 @@ SolveReport::Summary() const
     if (run.recoveries > 0) {
         oss << " (" << run.recoveries << " recoveries)";
     }
+    if (warm_started) {
+        oss << " [warm]";
+    }
     return oss.str();
 }
 
@@ -63,6 +66,9 @@ SolveReport::ToJson() const
     oss << ",\"compile_seconds\":" << compile_seconds;
     oss << ",\"mapping_cache_hits\":" << mapping_cache_hits;
     oss << ",\"mapping_cache_misses\":" << mapping_cache_misses;
+    oss << ",\"warm_started\":" << (warm_started ? "true" : "false");
+    oss << ",\"mapping_reuses\":" << mapping_reuses;
+    oss << ",\"repartitions\":" << repartitions;
     oss << ",\"messages\":" << run.stats.messages;
     oss << ",\"link_activations\":" << run.stats.link_activations;
     oss << ",\"spilled_messages\":" << run.stats.spilled_messages;

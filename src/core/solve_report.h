@@ -44,6 +44,14 @@ struct SolveReport {
     SramUsage sram;
     /** Average power over the solve. */
     PowerBreakdown power;
+    /** True when the solve started from an initial guess via the warm
+     *  prologue instead of x = 0 (docs/TIMESTEPPING.md). */
+    bool warm_started = false;
+    /** Cumulative UpdateMatrix pattern-drift outcomes on the system
+     *  that produced this report: inherited-mapping reuses vs. full
+     *  repartitions. */
+    std::int64_t mapping_reuses = 0;
+    std::int64_t repartitions = 0;
 
     /** One-line human-readable summary. */
     std::string Summary() const;

@@ -80,6 +80,23 @@ BuildPcg(const ProgramBuildInputs& in)
     prog.prologue.push_back(
         Phase::Vector(MakeDot(ScalarReg::kRr, VecName::kR, VecName::kR)));
 
+    // ---- Warm prologue: r = b - A x0, then the cold prologue ---------------
+    // The SpMV kernel reads kP, so x is staged through it; the
+    // recurrence restart (z, p, rz_old, rr) is identical to the cold
+    // prologue, making warm PCG exactly restarted PCG from x0.
+    prog.warm_prologue.push_back(
+        Phase::Vector(MakeCopy(VecName::kP, VecName::kX)));
+    prog.warm_prologue.push_back(Phase::Matrix(spmv_idx));
+    prog.warm_prologue.push_back(Phase::Vector(
+        MakeSub(VecName::kR, VecName::kB, VecName::kAp)));
+    apply_precond(prog.warm_prologue);
+    prog.warm_prologue.push_back(
+        Phase::Vector(MakeCopy(VecName::kP, VecName::kZ)));
+    prog.warm_prologue.push_back(Phase::Vector(
+        MakeDot(ScalarReg::kRzOld, VecName::kR, VecName::kZ)));
+    prog.warm_prologue.push_back(
+        Phase::Vector(MakeDot(ScalarReg::kRr, VecName::kR, VecName::kR)));
+
     // ---- Iteration body (Listing 1, lines 5-13) ---------------------------
     // 1. Ap = A p
     prog.iteration.push_back(Phase::Matrix(spmv_idx));
@@ -155,6 +172,10 @@ BuildPcg(const ProgramBuildInputs& in)
     }
     // Preconditioner application + copy (n) + two dots (2n each).
     prog.prologue_flops = prog.sptrsv_flops + 5.0 * n;
+    // The cold prologue plus the true-residual SpMV, a staging copy
+    // (n), and the subtraction (n).
+    prog.warm_prologue_flops = prog.prologue_flops + prog.spmv_flops +
+                               2.0 * n;
     // SpMV + preconditioner apply + two copies (n each) + sub (n) +
     // two dots (2n each).
     prog.recompute_flops = prog.spmv_flops + prog.sptrsv_flops + 7.0 * n;
@@ -220,6 +241,14 @@ BuildJacobiSolverProgram(const CsrMatrix& a, const DataMapping& mapping,
     prog.prologue.push_back(
         Phase::Vector(MakeDot(ScalarReg::kRr, VecName::kR, VecName::kR)));
 
+    // Warm prologue: the SpMV kernel already reads kX, so the true
+    // residual needs no staging copy: Ap = A x0; r = b - Ap; rr = r.r.
+    prog.warm_prologue.push_back(Phase::Matrix(0));
+    prog.warm_prologue.push_back(Phase::Vector(
+        MakeSub(VecName::kR, VecName::kB, VecName::kAp)));
+    prog.warm_prologue.push_back(
+        Phase::Vector(MakeDot(ScalarReg::kRr, VecName::kR, VecName::kR)));
+
     // Iteration: Ap = A x; r = b - Ap; z = D^-1 r; x += omega z;
     // rr = r.r.
     prog.iteration.push_back(Phase::Matrix(0));
@@ -244,6 +273,8 @@ BuildJacobiSolverProgram(const CsrMatrix& a, const DataMapping& mapping,
     prog.spmv_flops = SpMVFlops(a);
     prog.vector_flops = 7.0 * n; // sub + scale + axpy + dot
     prog.prologue_flops = 2.0 * n;  // one dot
+    // True-residual SpMV + sub (n) + dot (2n).
+    prog.warm_prologue_flops = prog.spmv_flops + 3.0 * n;
     prog.recompute_flops = prog.spmv_flops + 3.0 * n;
     return prog;
 }
@@ -274,6 +305,25 @@ BuildBiCgStabProgram(const CsrMatrix& a, const DataMapping& mapping,
     prog.prologue.push_back(Phase::Vector(
         MakeDot(ScalarReg::kRzOld, VecName::kR0, VecName::kR)));
     prog.prologue.push_back(
+        Phase::Vector(MakeDot(ScalarReg::kRr, VecName::kR, VecName::kR)));
+
+    // ---- Warm prologue: r = b - A x0, then the cold prologue --------------
+    // The true residual is staged through the second SpMV kernel
+    // (input kS, output kT) exactly like residual_recompute; the
+    // shadow-residual restart (r0, p, rho_old, rr) then matches the
+    // cold prologue, making warm BiCGStab exactly a restart from x0.
+    prog.warm_prologue.push_back(
+        Phase::Vector(MakeCopy(VecName::kS, VecName::kX)));
+    prog.warm_prologue.push_back(Phase::Matrix(1));
+    prog.warm_prologue.push_back(Phase::Vector(
+        MakeSub(VecName::kR, VecName::kB, VecName::kT)));
+    prog.warm_prologue.push_back(
+        Phase::Vector(MakeCopy(VecName::kR0, VecName::kR)));
+    prog.warm_prologue.push_back(
+        Phase::Vector(MakeCopy(VecName::kP, VecName::kR)));
+    prog.warm_prologue.push_back(Phase::Vector(
+        MakeDot(ScalarReg::kRzOld, VecName::kR0, VecName::kR)));
+    prog.warm_prologue.push_back(
         Phase::Vector(MakeDot(ScalarReg::kRr, VecName::kR, VecName::kR)));
 
     // ---- Iteration --------------------------------------------------------
@@ -359,6 +409,9 @@ BuildBiCgStabProgram(const CsrMatrix& a, const DataMapping& mapping,
     prog.spmv_flops = 2.0 * SpMVFlops(a);
     prog.vector_flops = 22.0 * n;
     prog.prologue_flops = 6.0 * n; // two copies + two dots
+    // The cold prologue plus the true-residual SpMV, its staging copy
+    // (n), and the subtraction (n).
+    prog.warm_prologue_flops = prog.prologue_flops + SpMVFlops(a) + 2.0 * n;
     // One SpMV + copy (n) + sub (n) + dot (2n).
     prog.recompute_flops = SpMVFlops(a) + 4.0 * n;
     return prog;

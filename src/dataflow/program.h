@@ -111,6 +111,16 @@ struct SolverProgram {
     std::vector<TileId> vec_tile;
     std::vector<MatrixKernel> matrix_kernels;
     std::vector<Phase> prologue;  //!< run once (x = 0, r = b assumed)
+    /**
+     * Warm-start prologue: run once instead of `prologue` when the
+     * driver is given a nonzero initial guess. Assumes the engine
+     * loaded b and scattered x0 into the solution vector; computes
+     * the true residual r = b - A x0 through the program's own SpMV
+     * kernel and then re-establishes the recurrence state exactly as
+     * `prologue` does, so warm and cold solves share every downstream
+     * phase (docs/TIMESTEPPING.md).
+     */
+    std::vector<Phase> warm_prologue;
     std::vector<Phase> iteration; //!< run until convergence
     /** Optional phases re-establishing the true residual measure
      *  (see ConvergenceSpec::true_residual_interval). */
@@ -127,6 +137,8 @@ struct SolverProgram {
     double vector_flops = 0.0;
     /** Nominal FLOPs of the one-time prologue. */
     double prologue_flops = 0.0;
+    /** Nominal FLOPs of the one-time warm-start prologue. */
+    double warm_prologue_flops = 0.0;
     /** Nominal FLOPs of one residual_recompute execution. */
     double recompute_flops = 0.0;
 

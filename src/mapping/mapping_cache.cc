@@ -74,6 +74,15 @@ HashStructure(Fnv1a& h, const CsrMatrix* m)
 } // namespace
 
 std::uint64_t
+StructureHash(const CsrMatrix& m)
+{
+    Fnv1a h;
+    h.Str("azul-structure-v1");
+    HashStructure(h, &m);
+    return h.value();
+}
+
+std::uint64_t
 MappingCacheKey(const MappingProblem& prob,
                 const std::string& mapper_name, std::int32_t num_tiles,
                 const AzulMapperOptions& opts)

@@ -47,6 +47,15 @@ std::uint64_t MappingCacheKey(const MappingProblem& prob,
                               std::int32_t num_tiles,
                               const AzulMapperOptions& opts);
 
+/**
+ * Content hash of a matrix's sparsity structure alone
+ * (rows/cols/row_ptr/col_idx; numeric values excluded) — the
+ * structure-drift detector of the warm-start pipeline
+ * (docs/TIMESTEPPING.md): two matrices hash equal iff a mapping
+ * computed for one is structurally valid for the other.
+ */
+std::uint64_t StructureHash(const CsrMatrix& m);
+
 /** A directory of serialized mappings addressed by cache key. */
 class MappingCache {
   public:

@@ -4,6 +4,8 @@
 #include <sstream>
 #include <utility>
 
+#include "mapping/mapping_cache.h"
+#include "service/session_store.h"
 #include "util/logging.h"
 
 namespace azul {
@@ -158,6 +160,19 @@ AzulService::Submit(SessionId session, Request req)
                 << " rows";
             return InvalidArgument(oss.str());
         }
+        if (req.kind == RequestKind::kSolve &&
+            !req.opts.x0.empty() &&
+            static_cast<Index>(req.opts.x0.size()) !=
+                target->rows()) {
+            // A warm-start knob is never silently ignored
+            // (docs/TIMESTEPPING.md).
+            ++stats_.rejected;
+            std::ostringstream oss;
+            oss << "x0 has " << req.opts.x0.size()
+                << " entries but " << target->name() << " solves "
+                << target->rows() << " rows";
+            return InvalidArgument(oss.str());
+        }
         if (pending_ >= options_.max_queue) {
             ++stats_.rejected;
             std::ostringstream oss;
@@ -279,6 +294,102 @@ AzulService::SubmitUpdateValues(SessionId session, CsrMatrix a_new,
     return Submit(session, std::move(req));
 }
 
+StatusOr<RequestId>
+AzulService::SubmitUpdateMatrix(SessionId session, CsrMatrix a_new,
+                                SubmitOptions opts)
+{
+    Request req;
+    req.kind = RequestKind::kUpdateMatrix;
+    req.a_new = std::move(a_new);
+    req.opts = opts;
+    return Submit(session, std::move(req));
+}
+
+Status
+AzulService::SaveSession(SessionId session,
+                         const std::string& state_dir)
+{
+    std::shared_ptr<Session> target;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        auto it = sessions_.find(session);
+        if (it == sessions_.end()) {
+            std::ostringstream oss;
+            oss << "unknown session id " << session;
+            return NotFound(oss.str());
+        }
+        target = it->second;
+    }
+    const AzulSystem& sys = target->system();
+    if (!sys.has_warm_state()) {
+        return FailedPrecondition(
+            target->name() +
+            " has no warm state to save (no completed solve)");
+    }
+    SessionState state;
+    state.structure_hash = sys.structure_hash();
+    state.mapping = sys.mapping();
+    state.last_x = sys.last_solution();
+    AZUL_RETURN_IF_ERROR(
+        SessionStore(state_dir).Save(target->name(), state));
+    AZUL_LOG(kInfo) << "service: saved " << target->name() << " to "
+                    << state_dir;
+    return OkStatus();
+}
+
+StatusOr<AzulService::RestoreResult>
+AzulService::RestoreSession(CsrMatrix a, AzulOptions opts,
+                            std::string name,
+                            const std::string& state_dir)
+{
+    RestoreResult result;
+    StatusOr<SessionState> state =
+        SessionStore(state_dir).Load(name);
+    SessionState restored_state;
+    if (state.ok()) {
+        if (state->structure_hash == StructureHash(a)) {
+            restored_state = *std::move(state);
+            // Skip the mapping step entirely; the pointee only needs
+            // to outlive Create (Init copies it).
+            opts.precomputed_mapping = &restored_state.mapping;
+            result.restored = true;
+        } else {
+            // The matrix drifted across the restart; the saved
+            // mapping (and solution) belong to another structure.
+            result.restore_status = FailedPrecondition(
+                "saved state for '" + name +
+                "' was taken for a different sparsity structure");
+        }
+    } else {
+        // Missing or corrupt state degrades to a cold start with the
+        // typed reason preserved.
+        result.restore_status = state.status();
+    }
+
+    StatusOr<SessionId> id =
+        OpenSession(std::move(a), std::move(opts), std::move(name));
+    if (!id.ok()) {
+        return id.status();
+    }
+    result.session = *id;
+    if (result.restored) {
+        std::shared_ptr<Session> target;
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            target = sessions_.at(result.session);
+        }
+        // The session is quiescent (just opened, nothing submitted).
+        result.restore_status = target->system().SeedWarmState(
+            std::move(restored_state.last_x));
+        result.restored = result.restore_status.ok();
+        if (result.restored) {
+            std::lock_guard<std::mutex> lock(mu_);
+            ++stats_.sessions_restored;
+        }
+    }
+    return result;
+}
+
 StatusOr<SolveResponse>
 AzulService::Wait(RequestId id)
 {
@@ -334,6 +445,12 @@ AzulService::ExecuteOne(const std::shared_ptr<Session>& session)
         ++stats_.completed;
         if (expired) {
             ++stats_.deadline_expired;
+        }
+        if (resp.report.warm_started) {
+            ++stats_.warm_started;
+        }
+        if (resp.repartitioned) {
+            ++stats_.repartitions;
         }
     }
     promise.set_value(std::move(resp));

@@ -74,6 +74,10 @@ struct ServiceStats {
     std::int64_t deadline_expired = 0;  //!< DEADLINE_EXCEEDED responses
     std::int64_t mapping_cache_hits = 0;
     std::int64_t mapping_cache_misses = 0;
+    // ---- Time-stepping counters (docs/TIMESTEPPING.md) ---------------------
+    std::int64_t warm_started = 0;   //!< solves run from an initial guess
+    std::int64_t repartitions = 0;   //!< UpdateMatrix drift repartitions
+    std::int64_t sessions_restored = 0; //!< warm restores from disk
 };
 
 /** The serving layer's entry point; all methods are thread-safe. */
@@ -142,6 +146,48 @@ class AzulService {
     StatusOr<RequestId> SubmitUpdateValues(SessionId session,
                                            CsrMatrix a_new,
                                            SubmitOptions opts = {});
+
+    /**
+     * Admits an in-order wholesale matrix replacement tolerating
+     * sparsity-pattern drift (AzulSystem::UpdateMatrix semantics:
+     * same dimensions required; the session's drift threshold decides
+     * between inheriting the resident mapping and repartitioning).
+     * The response's `repartitioned` flag records the outcome.
+     */
+    StatusOr<RequestId> SubmitUpdateMatrix(SessionId session,
+                                           CsrMatrix a_new,
+                                           SubmitOptions opts = {});
+
+    // ---- Session persistence (docs/TIMESTEPPING.md) ------------------------
+    /**
+     * Persists the session's warm state — mapping, last solution,
+     * structure hash — under its name in `state_dir`, so a successor
+     * service can RestoreSession it after a restart. Snapshot
+     * consistency is the caller's: Drain() first (or save before any
+     * traffic). NOT_FOUND for an unknown id; UNAVAILABLE on I/O
+     * failure.
+     */
+    Status SaveSession(SessionId session, const std::string& state_dir);
+
+    /**
+     * Opens a session and warm-starts it from state previously saved
+     * under `name` in `state_dir`. The restored mapping is only used
+     * when the saved structure hash matches `a` (the matrix may have
+     * drifted across the restart); the saved solution then seeds the
+     * session's warm state. A missing or corrupt state file degrades
+     * to a plain cold OpenSession: the session id is still returned
+     * and `restore_status` carries the typed reason (NOT_FOUND /
+     * INVALID_ARGUMENT / FAILED_PRECONDITION) with `restored` false.
+     */
+    struct RestoreResult {
+        SessionId session = 0;
+        bool restored = false;
+        Status restore_status;
+    };
+    StatusOr<RestoreResult> RestoreSession(CsrMatrix a,
+                                           AzulOptions opts,
+                                           std::string name,
+                                           const std::string& state_dir);
 
     /**
      * Blocks until request `id` completes and returns its response

@@ -31,7 +31,19 @@ Session::Execute(Request req)
             case RequestKind::kSolve: {
                 RunBudget budget;
                 budget.max_cycles = req.opts.cycle_budget;
-                resp.report = system_.Solve(req.b, budget);
+                if (!req.opts.x0.empty()) {
+                    // Explicit guess (length validated at Submit).
+                    resp.report =
+                        system_.Solve(req.b, budget, req.opts.x0);
+                } else if (req.opts.warm_start &&
+                           system_.has_warm_state()) {
+                    resp.report = system_.Solve(
+                        req.b, budget, system_.last_solution());
+                } else {
+                    // Cold, or the session-level warm_start option's
+                    // own policy (AzulSystem::Solve decides).
+                    resp.report = system_.Solve(req.b, budget);
+                }
                 if (resp.report.run.failure ==
                     FailureKind::kBudgetExhausted) {
                     std::ostringstream oss;
@@ -46,6 +58,13 @@ Session::Execute(Request req)
             case RequestKind::kUpdateValues:
                 resp.status = system_.UpdateValues(req.a_new);
                 break;
+            case RequestKind::kUpdateMatrix: {
+                const std::int64_t before = system_.repartitions();
+                resp.status = system_.UpdateMatrix(req.a_new);
+                resp.repartitioned =
+                    system_.repartitions() > before;
+                break;
+            }
             }
         } catch (const std::exception& e) {
             resp.status = InternalError(e.what());

@@ -53,12 +53,26 @@ struct SubmitOptions {
      * 0 = the service default.
      */
     Cycle cycle_budget = 0;
+    /**
+     * Explicit initial guess for this solve, in the caller's original
+     * row order (docs/TIMESTEPPING.md). Empty = no explicit guess. A
+     * wrong-length x0 is rejected at Submit with INVALID_ARGUMENT.
+     * Takes precedence over warm_start.
+     */
+    Vector x0;
+    /**
+     * Warm-start from the session-resident last solution. Falls back
+     * to a cold start cleanly when the session has no prior solve;
+     * report.warm_started records which path ran.
+     */
+    bool warm_start = false;
 };
 
 /** What a request asks the session to do. */
 enum class RequestKind : std::uint8_t {
     kSolve,        //!< solve A x = b for one right-hand side
     kUpdateValues, //!< swap A's numeric values (same pattern)
+    kUpdateMatrix, //!< replace A, tolerating pattern drift
 };
 
 /** Completion record of one request (see Session's file comment for
@@ -77,6 +91,9 @@ struct SolveResponse {
     /** Full solve report (kSolve requests; deterministic fields are
      *  bit-identical to the serial solo run). */
     SolveReport report;
+    /** kUpdateMatrix: the drift check chose a full repartition over
+     *  inheriting the resident mapping. */
+    bool repartitioned = false;
     /** Wall-clock seconds from admission to dispatch. */
     double queue_seconds = 0.0;
     /** Wall-clock seconds executing on the worker. */
@@ -88,7 +105,7 @@ struct Request {
     RequestId id = 0;
     RequestKind kind = RequestKind::kSolve;
     Vector b;              //!< kSolve: right-hand side
-    CsrMatrix a_new;       //!< kUpdateValues: replacement values
+    CsrMatrix a_new;       //!< kUpdateValues/kUpdateMatrix: new matrix
     SubmitOptions opts;    //!< budgets already defaulted by the service
     std::chrono::steady_clock::time_point admitted;
     std::promise<SolveResponse> promise;
@@ -117,6 +134,16 @@ class Session {
     {
         return system_.mapping_cache_misses();
     }
+
+    /**
+     * Direct access to the underlying system — the persistence layer
+     * snapshots mapping / warm state through it and the restore path
+     * seeds it. NOT serialized with request execution: touch it only
+     * while the session is quiescent (before the first submit, or
+     * after AzulService::Drain()).
+     */
+    AzulSystem& system() { return system_; }
+    const AzulSystem& system() const { return system_; }
 
     // ---- Admission FIFO (thread-safe) -------------------------------------
     /** Appends a request; returns true when the session was idle and

@@ -1,0 +1,152 @@
+#include "service/session_store.h"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "mapping/mapping_io.h"
+#include "sim/fault.h"
+#include "util/logging.h"
+
+namespace azul {
+
+namespace {
+
+constexpr const char* kMetaTag = "azul-session-state-v1";
+
+std::string
+Join(const std::string& dir, const std::string& name,
+     const char* suffix)
+{
+    return (std::filesystem::path(dir) / (name + suffix)).string();
+}
+
+} // namespace
+
+std::string
+SessionStore::MetaPath(const std::string& name) const
+{
+    return Join(dir_, name, ".session");
+}
+
+std::string
+SessionStore::MappingPath(const std::string& name) const
+{
+    return Join(dir_, name, ".mapping");
+}
+
+std::string
+SessionStore::SolutionPath(const std::string& name) const
+{
+    return Join(dir_, name, ".x");
+}
+
+Status
+SessionStore::Save(const std::string& name,
+                   const SessionState& state) const
+{
+    if (name.empty()) {
+        return InvalidArgument("session store: empty session name");
+    }
+    if (state.last_x.empty()) {
+        return InvalidArgument(
+            "session store: no warm state to save (empty solution)");
+    }
+    try {
+        std::error_code ec;
+        std::filesystem::create_directories(dir_, ec);
+
+        SaveMapping(state.mapping, MappingPath(name));
+
+        // The solution rides in the checkpoint layer's kX slot; the
+        // other architectural state is irrelevant across restarts but
+        // must be present — the checkpoint format requires every
+        // vector slot to have the same length.
+        MachineCheckpoint ckpt;
+        for (Vector& v : ckpt.vecs) {
+            v.assign(state.last_x.size(), 0.0);
+        }
+        ckpt.vecs[static_cast<std::size_t>(VecName::kX)] =
+            state.last_x;
+        if (!ckpt.Save(SolutionPath(name))) {
+            return Unavailable(
+                "session store: failed to write solution file");
+        }
+
+        // Meta last: a reader that sees it can trust the siblings.
+        const std::string meta = MetaPath(name);
+        const std::string tmp = meta + ".tmp";
+        {
+            std::ofstream out(tmp);
+            out << kMetaTag << "\n";
+            out << "structure_hash " << state.structure_hash << "\n";
+            out << "rows " << state.last_x.size() << "\n";
+            if (!out.good()) {
+                std::error_code rm;
+                std::filesystem::remove(tmp, rm);
+                return Unavailable(
+                    "session store: failed to write " + tmp);
+            }
+        }
+        std::filesystem::rename(tmp, meta);
+    } catch (const std::exception& e) {
+        return Unavailable(std::string("session store: ") + e.what());
+    }
+    return OkStatus();
+}
+
+StatusOr<SessionState>
+SessionStore::Load(const std::string& name) const
+{
+    const std::string meta = MetaPath(name);
+    std::ifstream in(meta);
+    if (!in.good()) {
+        return NotFound("no saved session state at " + meta);
+    }
+    SessionState state;
+    std::string tag;
+    std::getline(in, tag);
+    if (tag != kMetaTag) {
+        return InvalidArgument("corrupt session state " + meta +
+                               ": bad format tag");
+    }
+    std::string key;
+    std::uint64_t rows = 0;
+    bool have_hash = false;
+    bool have_rows = false;
+    while (in >> key) {
+        if (key == "structure_hash" && in >> state.structure_hash) {
+            have_hash = true;
+        } else if (key == "rows" && in >> rows) {
+            have_rows = true;
+        } else {
+            return InvalidArgument("corrupt session state " + meta +
+                                   ": unexpected field '" + key +
+                                   "'");
+        }
+    }
+    if (!have_hash || !have_rows || rows == 0) {
+        return InvalidArgument("corrupt session state " + meta +
+                               ": missing fields");
+    }
+    try {
+        state.mapping = LoadMapping(MappingPath(name));
+        const MachineCheckpoint ckpt =
+            MachineCheckpoint::Load(SolutionPath(name));
+        state.last_x =
+            ckpt.vecs[static_cast<std::size_t>(VecName::kX)];
+    } catch (const AzulError& e) {
+        return InvalidArgument(
+            std::string("corrupt session state: ") + e.what());
+    }
+    if (state.last_x.size() != rows) {
+        std::ostringstream oss;
+        oss << "corrupt session state " << meta << ": solution has "
+            << state.last_x.size() << " entries, header says "
+            << rows;
+        return InvalidArgument(oss.str());
+    }
+    return state;
+}
+
+} // namespace azul

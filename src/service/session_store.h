@@ -1,0 +1,79 @@
+/**
+ * @file
+ * On-disk persistence of a session's warm state (docs/TIMESTEPPING.md)
+ * — the durability leg of the time-stepped warm-start pipeline: a
+ * tenant's mapping and last solution survive an azul_serve restart, so
+ * a multi-hour simulation campaign resumes warm instead of re-mapping
+ * and re-converging from zero.
+ *
+ * One saved session is three sibling files under the store directory,
+ * each written with the tmp+rename discipline of the mapping cache:
+ *
+ *   <name>.session   text header: format tag, structure hash, rows
+ *   <name>.mapping   the DataMapping (mapping_io format)
+ *   <name>.x         the last solution (MachineCheckpoint format,
+ *                    stored in the checkpoint's kX vector slot)
+ *
+ * Load returns a *typed* status instead of bad state: NOT_FOUND for
+ * an absent session, INVALID_ARGUMENT for a torn/corrupt/mismatched
+ * one — the service's RestoreSession degrades to a cold start on
+ * either and surfaces the reason.
+ */
+#ifndef AZUL_SERVICE_SESSION_STORE_H_
+#define AZUL_SERVICE_SESSION_STORE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "mapping/mapping.h"
+#include "solver/vector_ops.h"
+#include "util/status.h"
+
+namespace azul {
+
+/** A session's persisted warm state. */
+struct SessionState {
+    /** StructureHash of the session matrix in caller row order —
+     *  restore only reuses the mapping when it still matches. */
+    std::uint64_t structure_hash = 0;
+    DataMapping mapping;
+    /** Last solution in the caller's original row order. */
+    Vector last_x;
+};
+
+/** A directory of persisted session states addressed by name. */
+class SessionStore {
+  public:
+    /** The directory is created on the first Save. */
+    explicit SessionStore(std::string dir) : dir_(std::move(dir)) {}
+
+    const std::string& dir() const { return dir_; }
+
+    std::string MetaPath(const std::string& name) const;
+    std::string MappingPath(const std::string& name) const;
+    std::string SolutionPath(const std::string& name) const;
+
+    /**
+     * Persists `state` under `name`, overwriting any previous save.
+     * Returns UNAVAILABLE on I/O failure (a broken state dir must
+     * not take the service down) and INVALID_ARGUMENT for an empty
+     * name or a state with no solution.
+     */
+    Status Save(const std::string& name,
+                const SessionState& state) const;
+
+    /**
+     * Loads the state saved under `name`. NOT_FOUND when no save
+     * exists; INVALID_ARGUMENT when any of the three files is torn,
+     * corrupt, or inconsistent (e.g. solution length != rows). Never
+     * returns partially-valid state.
+     */
+    StatusOr<SessionState> Load(const std::string& name) const;
+
+  private:
+    std::string dir_;
+};
+
+} // namespace azul
+
+#endif // AZUL_SERVICE_SESSION_STORE_H_

@@ -807,6 +807,12 @@ FunctionalEngine::RunPrologue()
 }
 
 void
+FunctionalEngine::RunWarmPrologue()
+{
+    RunPhases(prog_->warm_prologue);
+}
+
+void
 FunctionalEngine::RunIteration()
 {
     RunPhases(prog_->iteration);

@@ -61,6 +61,7 @@ class FunctionalEngine : public ExecutionEngine {
 
     void LoadProblem(const Vector& b) override;
     void RunPrologue() override;
+    void RunWarmPrologue() override;
     /** Runs one solver iteration and advances clock() by one tick. */
     void RunIteration() override;
     void RunResidualRecompute() override;

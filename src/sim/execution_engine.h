@@ -61,6 +61,11 @@ class ExecutionEngine {
     /** Runs the program prologue. */
     virtual void RunPrologue() = 0;
 
+    /** Runs the warm-start prologue (r = b - A x0 + recurrence
+     *  restart) instead of RunPrologue when the solution vector holds
+     *  a scattered initial guess (docs/TIMESTEPPING.md). */
+    virtual void RunWarmPrologue() = 0;
+
     /** Runs one solver iteration. */
     virtual void RunIteration() = 0;
 

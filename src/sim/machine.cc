@@ -367,6 +367,12 @@ Machine::RunPrologue()
 }
 
 void
+Machine::RunWarmPrologue()
+{
+    RunPhases(prog_->warm_prologue);
+}
+
+void
 Machine::RunIteration()
 {
     RunPhases(prog_->iteration);

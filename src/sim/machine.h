@@ -89,6 +89,9 @@ class Machine : public ExecutionEngine {
     /** Runs the program prologue. */
     void RunPrologue() override;
 
+    /** Runs the warm-start prologue. */
+    void RunWarmPrologue() override;
+
     /** Runs one solver iteration. */
     void RunIteration() override;
 

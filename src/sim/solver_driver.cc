@@ -73,7 +73,8 @@ ClassifyResidual(double norm, double initial_norm, double best_norm,
 
 SolverRunResult
 SolverDriver::Run(ExecutionEngine& machine, const Vector& b, double tol,
-                  Index max_iters, const RunBudget& budget) const
+                  Index max_iters, const RunBudget& budget,
+                  const Vector* x0) const
 {
     const Cycle start_clock = machine.clock();
     const SolverProgram& prog = machine.program();
@@ -90,14 +91,28 @@ SolverDriver::Run(ExecutionEngine& machine, const Vector& b, double tol,
         recompute_interval = cfg.checkpoint_interval;
     }
 
+    const bool warm = x0 != nullptr && !x0->empty();
+    if (warm) {
+        AZUL_CHECK_MSG(x0->size() == b.size(),
+                       "warm start: x0 length " << x0->size()
+                           << " != rhs length " << b.size());
+        AZUL_CHECK_MSG(!prog.warm_prologue.empty(),
+                       "warm start: program has no warm prologue");
+    }
+
     machine.LoadProblem(b);
     for (SimObserver* o : machine.observers()) {
         o->OnRunStart(prog, machine.config(), machine.clock());
     }
-    machine.RunPrologue();
+    if (warm) {
+        machine.ScatterVector(prog.solution, *x0);
+        machine.RunWarmPrologue();
+    } else {
+        machine.RunPrologue();
+    }
 
     SolverRunResult result;
-    result.flops = prog.prologue_flops;
+    result.flops = warm ? prog.warm_prologue_flops : prog.prologue_flops;
 
     MachineCheckpoint ckpt;
     bool have_ckpt = false;

@@ -140,9 +140,29 @@ class SolverDriver {
      * FailureKind::kBudgetExhausted. The partial x / stats /
      * residual_history are still gathered and valid.
      */
+    SolverRunResult
+    Run(ExecutionEngine& engine, const Vector& b, double tol,
+        Index max_iters, const RunBudget& budget) const
+    {
+        return Run(engine, b, tol, max_iters, budget, nullptr);
+    }
+
+    /**
+     * Run with an optional initial guess (docs/TIMESTEPPING.md).
+     * x0 == nullptr (or empty) is the cold path, bit-identical to the
+     * overloads above. Otherwise x0 must match the program's vector
+     * length; the driver scatters it into the solution vector and
+     * runs the program's warm prologue (r = b - A x0 plus the
+     * recurrence restart) instead of the cold prologue. Every
+     * downstream phase — iterations, recomputes, convergence reads —
+     * is shared with the cold path, so warm runs inherit the full
+     * determinism contract: bit-identical across engines and host
+     * thread counts.
+     */
     SolverRunResult Run(ExecutionEngine& engine, const Vector& b,
                         double tol, Index max_iters,
-                        const RunBudget& budget) const;
+                        const RunBudget& budget,
+                        const Vector* x0) const;
 };
 
 } // namespace azul

@@ -1,4 +1,5 @@
 #include <cstdlib>
+#include <limits>
 
 #include <gtest/gtest.h>
 
@@ -295,6 +296,100 @@ TEST(AzulSystem, OptionsToString)
     EXPECT_NE(s.find("azul"), std::string::npos);
     EXPECT_NE(s.find("ic0"), std::string::npos);
     EXPECT_NE(s.find("engine=cycle"), std::string::npos);
+}
+
+// ---- Warm-start validation and structure drift (docs/TIMESTEPPING.md) -------
+
+TEST(AzulSystemCreate, RejectsWrongLengthX0)
+{
+    const CsrMatrix a = RandomGeometricLaplacian(200, 7.0, 41);
+    AzulOptions opts = SmallOptions();
+    opts.x0 = Vector(7, 0.0); // 200-row system: silently ignoring
+                              // this guess would be a correctness trap
+    const StatusOr<AzulSystem> sys = AzulSystem::Create(a, opts);
+    EXPECT_EQ(sys.status().code(), StatusCode::kInvalidArgument);
+    EXPECT_NE(sys.status().message().find("x0"), std::string::npos);
+}
+
+TEST(AzulSystemCreate, RejectsDriftThresholdBelowOne)
+{
+    const CsrMatrix a = RandomGeometricLaplacian(200, 7.0, 43);
+    AzulOptions opts = SmallOptions();
+    opts.drift_traffic_threshold = 0.5;
+    EXPECT_EQ(AzulSystem::Create(a, opts).status().code(),
+              StatusCode::kInvalidArgument);
+    opts.drift_traffic_threshold =
+        std::numeric_limits<double>::quiet_NaN();
+    EXPECT_EQ(AzulSystem::Create(a, opts).status().code(),
+              StatusCode::kInvalidArgument);
+}
+
+TEST(AzulSystem, UpdateMatrixRejectsDifferentDimensions)
+{
+    const CsrMatrix a = RandomGeometricLaplacian(200, 7.0, 45);
+    AzulSystem sys = MakeSystem(a, SmallOptions());
+    const CsrMatrix smaller = RandomGeometricLaplacian(100, 7.0, 45);
+    const Status st = sys.UpdateMatrix(smaller);
+    EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+    // The rejection left the system untouched.
+    const Vector b = RandomVector(a.rows(), 46);
+    EXPECT_TRUE(sys.Solve(b).run.converged);
+}
+
+TEST(AzulSystem, UpdateMatrixSamePatternActsAsUpdateValues)
+{
+    const CsrMatrix a = RandomGeometricLaplacian(250, 7.0, 47);
+    AzulSystem sys = MakeSystem(a, SmallOptions());
+    const std::uint64_t hash_before = sys.structure_hash();
+    CsrMatrix a2 = a;
+    for (double& v : a2.mutable_vals()) {
+        v *= 1.5;
+    }
+    ASSERT_TRUE(sys.UpdateMatrix(a2).ok());
+    // Identical pattern: no drift event of either kind.
+    EXPECT_EQ(sys.mapping_reuses(), 0);
+    EXPECT_EQ(sys.repartitions(), 0);
+    EXPECT_EQ(sys.structure_hash(), hash_before);
+    const Vector b = RandomVector(a.rows(), 48);
+    const SolveReport rep = sys.Solve(b);
+    ASSERT_TRUE(rep.run.converged);
+    EXPECT_VECTOR_NEAR(SpMV(a2, rep.run.x), b, 1e-6);
+}
+
+TEST(AzulSystem, UpdateMatrixHandlesPatternDriftAndSolves)
+{
+    const CsrMatrix a = RandomGeometricLaplacian(250, 7.0, 49);
+    AzulOptions opts = SmallOptions();
+    opts.warm_start = true;
+    AzulSystem sys = MakeSystem(a, opts);
+    const Vector b = RandomVector(a.rows(), 50);
+    ASSERT_TRUE(sys.Solve(b).run.converged);
+    ASSERT_TRUE(sys.has_warm_state());
+    const std::uint64_t hash_before = sys.structure_hash();
+
+    // Add two symmetric couplings: new sparsity pattern, still SPD.
+    CooMatrix coo = a.ToCoo();
+    const Index pairs[2][2] = {{3, 180}, {57, 140}};
+    for (const auto& p : pairs) {
+        coo.Add(p[0], p[1], -0.5);
+        coo.Add(p[1], p[0], -0.5);
+        coo.Add(p[0], p[0], 0.5);
+        coo.Add(p[1], p[1], 0.5);
+    }
+    coo.Canonicalize();
+    const CsrMatrix a2 = CsrMatrix::FromCoo(coo);
+
+    ASSERT_TRUE(sys.UpdateMatrix(a2).ok());
+    EXPECT_NE(sys.structure_hash(), hash_before);
+    // Exactly one drift decision was taken, either way.
+    EXPECT_EQ(sys.mapping_reuses() + sys.repartitions(), 1);
+    // The warm state survives the structural update...
+    EXPECT_TRUE(sys.has_warm_state());
+    const SolveReport rep = sys.Solve(b);
+    EXPECT_TRUE(rep.warm_started);
+    ASSERT_TRUE(rep.run.converged);
+    // ...and the solve answers the NEW system.
+    EXPECT_VECTOR_NEAR(SpMV(a2, rep.run.x), b, 1e-6);
 }
 
 TEST(ApplyEnvOverrides, AzulEngineSelectsEngineAndIgnoresGarbage)

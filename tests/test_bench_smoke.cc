@@ -109,6 +109,23 @@ TEST(BenchSmoke, ServiceThroughputFunctionalEngineQuickRuns)
     EXPECT_EQ(out.find("engine = cycle"), std::string::npos) << out;
 }
 
+// The time-stepping bench in its quick preset: both engines, cold and
+// warm sequences, and the gmean footer over warm/cold iteration
+// ratios. The bench itself exits non-zero unless warm start converged
+// in strictly fewer total iterations than cold on every engine, so a
+// zero exit here doubles as an acceptance check.
+TEST(BenchSmoke, TimestepWarmStartQuickRuns)
+{
+    std::string out;
+    const int status =
+        RunCommand(std::string(AZUL_BENCH_TIMESTEP_BIN) + " --quick",
+                   &out);
+    EXPECT_EQ(status, 0) << "bench exited non-zero; output:\n" << out;
+    EXPECT_NE(out.find("timestep"), std::string::npos) << out;
+    EXPECT_NE(out.find("warm"), std::string::npos) << out;
+    EXPECT_NE(out.find("gmean"), std::string::npos) << out;
+}
+
 // A malformed --engine value is a usage error, not a crash.
 TEST(BenchSmoke, ServiceThroughputRejectsBadEngine)
 {

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include "core/azul_config.h"
 #include "sim/config.h"
 #include "sim/sim_stats.h"
 
@@ -228,6 +229,63 @@ TEST(ApplyFaultEnv, ReadsAzulFaultsAndIgnoresGarbage)
         ::unsetenv("AZUL_FAULTS");
         ApplyFaultEnv(cfg); // unset: no-op
         EXPECT_DOUBLE_EQ(cfg.fault_rate, 0.0);
+    }
+}
+
+TEST(WarmStartOptions, DefaultsAndToString)
+{
+    AzulOptions opts;
+    EXPECT_FALSE(opts.warm_start);
+    EXPECT_TRUE(opts.x0.empty());
+    EXPECT_GE(opts.drift_traffic_threshold, 1.0);
+    // ToString only mentions warm start when it is on.
+    EXPECT_EQ(opts.ToString().find("warm-start"), std::string::npos);
+    opts.warm_start = true;
+    opts.drift_traffic_threshold = 1.75;
+    const std::string s = opts.ToString();
+    EXPECT_NE(s.find("warm-start"), std::string::npos);
+    EXPECT_NE(s.find("1.75"), std::string::npos);
+}
+
+TEST(ApplyEnvOverridesWarm, ReadsAzulWarmStartAndIgnoresGarbage)
+{
+    {
+        AzulOptions opts;
+        ::setenv("AZUL_WARM_START", "1", 1);
+        ApplyEnvOverrides(opts);
+        EXPECT_TRUE(opts.warm_start);
+        ::setenv("AZUL_WARM_START", "true", 1);
+        opts = AzulOptions{};
+        ApplyEnvOverrides(opts);
+        EXPECT_TRUE(opts.warm_start);
+        ::setenv("AZUL_WARM_START", "on", 1);
+        opts = AzulOptions{};
+        ApplyEnvOverrides(opts);
+        EXPECT_TRUE(opts.warm_start);
+    }
+    {
+        AzulOptions opts;
+        opts.warm_start = true;
+        ::setenv("AZUL_WARM_START", "0", 1);
+        ApplyEnvOverrides(opts); // explicit off wins over the field
+        EXPECT_FALSE(opts.warm_start);
+        opts.warm_start = true;
+        ::setenv("AZUL_WARM_START", "off", 1);
+        ApplyEnvOverrides(opts);
+        EXPECT_FALSE(opts.warm_start);
+    }
+    {
+        AzulOptions opts;
+        ::setenv("AZUL_WARM_START", "sideways", 1);
+        ApplyEnvOverrides(opts); // unrecognized: default stands
+        EXPECT_FALSE(opts.warm_start);
+    }
+    {
+        AzulOptions opts;
+        opts.warm_start = true;
+        ::unsetenv("AZUL_WARM_START");
+        ApplyEnvOverrides(opts); // unset: no-op
+        EXPECT_TRUE(opts.warm_start);
     }
 }
 

@@ -5,6 +5,7 @@
  * emits — must still produce functionally correct SpMV and SpTRSV on
  * the machine, on awkward grid shapes, under every PE model.
  */
+#include <array>
 #include <cmath>
 #include <cstdlib>
 #include <cstring>
@@ -12,6 +13,7 @@
 #include <gtest/gtest.h>
 
 #include "core/azul_config.h"
+#include "core/azul_system.h"
 #include "dataflow/program.h"
 #include "mapping/partitioner.h"
 #include "sim/machine.h"
@@ -492,6 +494,140 @@ TEST(PartitionerStress, SeededParallelMatchesSerial)
             " ./test_fuzz_kernels "
             "--gtest_filter='PartitionerStress.*'");
         RunPartitionerStressSeed(seed);
+        if (::testing::Test::HasFailure()) {
+            break; // the trace above names the failing seed
+        }
+    }
+}
+
+// ---- Seeded time-stepping stress sweep --------------------------------------
+//
+// Random interleavings of value updates, structure-drift updates, rhs
+// changes, and warm/cold solves, driven through a cycle system and a
+// functional system in lockstep. Every solve must (a) actually solve
+// the current matrix and (b) be bit-identical across the two engines
+// — the determinism contract must survive arbitrary warm-start
+// session histories, not just fresh systems. Reproduce one
+// configuration with AZUL_STRESS_SEED=<seed>.
+
+/** Current campaign matrix: seed Laplacian + accumulated symmetric
+ *  couplings, all values scaled. Couplings add -w off-diagonal and +w
+ *  to both diagonals, so the matrix stays SPD. */
+CsrMatrix
+TimestepMatrix(const CsrMatrix& base, double scale,
+               const std::vector<std::array<Index, 2>>& edges)
+{
+    CooMatrix coo = base.ToCoo();
+    for (Triplet& t : coo.mutable_entries()) {
+        t.val *= scale;
+    }
+    for (const auto& e : edges) {
+        coo.Add(e[0], e[1], -0.5 * scale);
+        coo.Add(e[1], e[0], -0.5 * scale);
+        coo.Add(e[0], e[0], 0.5 * scale);
+        coo.Add(e[1], e[1], 0.5 * scale);
+    }
+    coo.Canonicalize();
+    return CsrMatrix::FromCoo(coo);
+}
+
+void
+RunTimestepStressSeed(std::uint64_t seed)
+{
+    Rng rng(seed);
+    const Index n = static_cast<Index>(rng.UniformInt(60, 150));
+    // Strong diagonal shift: every step must converge quickly.
+    const CsrMatrix base = RandomGeometricLaplacian(
+        n, rng.UniformDouble(4.0, 8.0), seed ^ 0x7157, 1.0);
+
+    AzulOptions opts;
+    opts.sim.grid_width =
+        static_cast<std::int32_t>(rng.UniformInt(2, 4));
+    opts.sim.grid_height =
+        static_cast<std::int32_t>(rng.UniformInt(2, 4));
+    const std::int32_t thread_choices[] = {1, 2, 4};
+    opts.sim.sim_threads = thread_choices[rng.UniformInt(0, 2)];
+    opts.tol = 1e-8;
+    opts.max_iters = 4000;
+    opts.warm_start = rng.UniformInt(0, 1) == 1;
+
+    AzulOptions copts = opts;
+    copts.engine = EngineKind::kCycle;
+    AzulOptions fopts = opts;
+    fopts.engine = EngineKind::kFunctional;
+    StatusOr<AzulSystem> cyc = AzulSystem::Create(base, copts);
+    StatusOr<AzulSystem> fun = AzulSystem::Create(base, fopts);
+    ASSERT_TRUE(cyc.ok()) << cyc.status().ToString();
+    ASSERT_TRUE(fun.ok()) << fun.status().ToString();
+
+    double scale = 1.0;
+    std::vector<std::array<Index, 2>> edges;
+    CsrMatrix current = base;
+    Vector b = RandomVector(n, seed + 5);
+    for (int step = 0; step < 6; ++step) {
+        switch (rng.UniformInt(0, 2)) {
+        case 0: { // smooth value drift -> UpdateValues
+            scale *= 1.0 + 0.1 * rng.UniformDouble(-1.0, 1.0);
+            current = TimestepMatrix(base, scale, edges);
+            ASSERT_TRUE(cyc->UpdateValues(current).ok());
+            ASSERT_TRUE(fun->UpdateValues(current).ok());
+            break;
+        }
+        case 1: { // structure drift -> UpdateMatrix
+            const Index i = rng.UniformInt(0, n - 1);
+            const Index j = rng.UniformInt(0, n - 1);
+            if (i != j) {
+                edges.push_back({i, j});
+            }
+            current = TimestepMatrix(base, scale, edges);
+            ASSERT_TRUE(cyc->UpdateMatrix(current).ok());
+            ASSERT_TRUE(fun->UpdateMatrix(current).ok());
+            break;
+        }
+        default: // new right-hand side
+            b = RandomVector(n, seed + 31 + step);
+            break;
+        }
+
+        const SolveReport cr = cyc->Solve(b);
+        const SolveReport fr = fun->Solve(b);
+        ASSERT_TRUE(cr.run.converged) << "step " << step;
+        ASSERT_TRUE(fr.run.converged) << "step " << step;
+        EXPECT_EQ(cr.warm_started, fr.warm_started);
+        EXPECT_VECTOR_NEAR(SpMV(current, cr.run.x), b, 1e-5);
+        ASSERT_EQ(cr.run.x.size(), fr.run.x.size());
+        for (std::size_t i = 0; i < cr.run.x.size(); ++i) {
+            std::uint64_t bc = 0;
+            std::uint64_t bf = 0;
+            std::memcpy(&bc, &cr.run.x[i], sizeof(bc));
+            std::memcpy(&bf, &fr.run.x[i], sizeof(bf));
+            ASSERT_EQ(bc, bf)
+                << "engine divergence at step " << step << " row "
+                << i;
+        }
+    }
+    // Drift accounting matches between the lockstep sessions.
+    EXPECT_EQ(cyc->warm_solves(), fun->warm_solves());
+    EXPECT_EQ(cyc->repartitions(), fun->repartitions());
+    EXPECT_EQ(cyc->mapping_reuses(), fun->mapping_reuses());
+}
+
+TEST(StressSweep, SeededTimestepSessionsStayCorrect)
+{
+    // Sweep seeds start at 1, so 0 doubles as "env unset".
+    if (const std::uint64_t seed = StressSeedFromEnv(0)) {
+        SCOPED_TRACE("stress seed " + std::to_string(seed) +
+                     " (from AZUL_STRESS_SEED)");
+        RunTimestepStressSeed(seed);
+        return;
+    }
+    for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+        SCOPED_TRACE(
+            "stress seed " + std::to_string(seed) +
+            " — rerun with AZUL_STRESS_SEED=" + std::to_string(seed) +
+            " ./test_fuzz_kernels "
+            "--gtest_filter='StressSweep.SeededTimestep*'");
+        RunTimestepStressSeed(seed);
         if (::testing::Test::HasFailure()) {
             break; // the trace above names the failing seed
         }

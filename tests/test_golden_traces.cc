@@ -28,6 +28,7 @@
 
 #include <gtest/gtest.h>
 
+#include "core/azul_system.h"
 #include "core/solve_report.h"
 #include "dataflow/program.h"
 #include "mapping/mapper_factory.h"
@@ -266,6 +267,111 @@ INSTANTIATE_TEST_SUITE_P(
     [](const ::testing::TestParamInfo<GoldenCase>& info) {
         return std::string(info.param.name);
     });
+
+// ---- Multi-step warm session golden -----------------------------------------
+//
+// One warm-start session driven through value drift and structure
+// drift (docs/TIMESTEPPING.md), rendered step by step. Catches any
+// drift in the warm prologue numerics, the session counters, or the
+// report schema across the whole time-stepping pipeline.
+
+/** Deterministic structure drift: two extra symmetric couplings. */
+CsrMatrix
+WithContactEdges(const CsrMatrix& a)
+{
+    CooMatrix coo = a.ToCoo();
+    const Index pairs[2][2] = {{3, 200}, {57, 140}};
+    for (const auto& p : pairs) {
+        coo.Add(p[0], p[1], -0.5);
+        coo.Add(p[1], p[0], -0.5);
+        coo.Add(p[0], p[0], 0.5);
+        coo.Add(p[1], p[1], 0.5);
+    }
+    coo.Canonicalize();
+    return CsrMatrix::FromCoo(coo);
+}
+
+TEST(GoldenWarmSession, MatchesCheckedInTrace)
+{
+    AzulOptions opts;
+    opts.sim.grid_width = 4;
+    opts.sim.grid_height = 4;
+    opts.tol = 0.0; // fixed-iteration throughput trace
+    opts.max_iters = 4;
+    opts.warm_start = true;
+
+    const CsrMatrix base = Grid2dLaplacian(16, 16);
+    StatusOr<AzulSystem> sys = AzulSystem::Create(base, opts);
+    ASSERT_TRUE(sys.ok()) << sys.status().ToString();
+    const Vector b = RandomVector(base.rows(), 3);
+
+    CsrMatrix scaled = base;
+    for (double& v : scaled.mutable_vals()) {
+        v *= 1.05;
+    }
+    const CsrMatrix drifted = WithContactEdges(scaled);
+
+    std::ostringstream oss;
+    oss << "{\n  \"name\": \"warm_session\",\n  \"steps\": [\n";
+    for (int step = 0; step < 4; ++step) {
+        const char* update = "none";
+        if (step == 1) {
+            update = "values";
+            ASSERT_TRUE(sys->UpdateValues(scaled).ok());
+        } else if (step == 2) {
+            update = "pattern";
+            ASSERT_TRUE(sys->UpdateMatrix(drifted).ok());
+        } else if (step == 3) {
+            update = "values";
+            CsrMatrix back = drifted;
+            for (double& v : back.mutable_vals()) {
+                v *= 0.95;
+            }
+            ASSERT_TRUE(sys->UpdateValues(back).ok());
+        }
+        SolveReport report = sys->Solve(b);
+        // Wall-clock fields would make the trace non-reproducible.
+        report.mapping_seconds = 0.0;
+        report.compile_seconds = 0.0;
+        oss << "    {\n";
+        oss << "      \"step\": " << step << ",\n";
+        oss << "      \"update\": \"" << update << "\",\n";
+        oss << "      \"warm\": "
+            << (report.warm_started ? "true" : "false") << ",\n";
+        oss << "      \"x_hash\": \"" << HashVector(report.run.x)
+            << "\",\n";
+        oss << "      \"report\": \"" << JsonEscape(report.ToJson())
+            << "\"\n";
+        oss << "    }" << (step + 1 < 4 ? "," : "") << "\n";
+    }
+    oss << "  ],\n";
+    oss << "  \"warm_solves\": " << sys->warm_solves() << ",\n";
+    oss << "  \"cold_solves\": " << sys->cold_solves() << ",\n";
+    oss << "  \"mapping_reuses\": " << sys->mapping_reuses() << ",\n";
+    oss << "  \"repartitions\": " << sys->repartitions() << "\n";
+    oss << "}\n";
+    const std::string got = oss.str();
+
+    const std::string path = GoldenPath("warm_session");
+    if (UpdateGoldenRequested()) {
+        std::filesystem::create_directories(AZUL_GOLDEN_DIR);
+        std::ofstream out(path, std::ios::binary);
+        ASSERT_TRUE(out.good()) << "cannot write " << path;
+        out << got;
+        GTEST_SKIP() << "regenerated " << path;
+    }
+    std::ifstream in(path, std::ios::binary);
+    ASSERT_TRUE(in.good())
+        << "missing golden file " << path
+        << " — regenerate with AZUL_UPDATE_GOLDEN=1 "
+           "./tests/test_golden_traces";
+    std::ostringstream want;
+    want << in.rdbuf();
+    EXPECT_EQ(got, want.str())
+        << "golden trace drift in warm_session. If the change is "
+           "intended, regenerate with AZUL_UPDATE_GOLDEN=1 and "
+           "review `git diff tests/golden/`.";
+}
 
 // The golden traces must be thread-count independent, or CI machines
 // with different core counts would disagree with the checked-in files.

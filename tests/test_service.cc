@@ -8,6 +8,8 @@
  * mixed-traffic stress run with mid-stream UpdateValues.
  */
 #include <cstddef>
+#include <filesystem>
+#include <fstream>
 #include <string>
 #include <vector>
 
@@ -392,6 +394,247 @@ TEST_F(ServiceErrors, DestructorDrainsAdmittedWork)
     // Destroy with work in flight: every admitted request must still
     // have been executed (responses delivered into the futures).
     service_.reset();
+}
+
+// ---- Warm-start and structure-drift request paths ---------------------------
+
+TEST_F(ServiceErrors, X0LengthMismatchIsInvalidArgument)
+{
+    SubmitOptions sub;
+    sub.x0 = Vector(5, 0.0);
+    const StatusOr<RequestId> r = service_->SubmitSolve(
+        session_, RandomVector(a_.rows(), 51), sub);
+    EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+    EXPECT_NE(r.status().message().find("x0"), std::string::npos);
+    EXPECT_EQ(service_->stats().rejected, 1);
+}
+
+TEST_F(ServiceErrors, WarmStartWithNoPriorSolveFallsBackCold)
+{
+    SubmitOptions sub;
+    sub.warm_start = true;
+    const StatusOr<RequestId> r = service_->SubmitSolve(
+        session_, RandomVector(a_.rows(), 53), sub);
+    ASSERT_TRUE(r.ok());
+    const StatusOr<SolveResponse> resp = service_->Wait(*r);
+    ASSERT_TRUE(resp.ok());
+    EXPECT_TRUE(resp->status.ok());
+    EXPECT_TRUE(resp->report.run.converged);
+    EXPECT_FALSE(resp->report.warm_started); // nothing resident
+    EXPECT_EQ(service_->stats().warm_started, 0);
+}
+
+TEST_F(ServiceErrors, ExplicitX0WarmStartsTheSolve)
+{
+    const Vector b = RandomVector(a_.rows(), 55);
+    const StatusOr<RequestId> first =
+        service_->SubmitSolve(session_, b);
+    ASSERT_TRUE(first.ok());
+    const StatusOr<SolveResponse> cold = service_->Wait(*first);
+    ASSERT_TRUE(cold.ok());
+    ASSERT_TRUE(cold->report.run.converged);
+
+    SubmitOptions sub;
+    sub.x0 = cold->report.run.x; // exact solution as the guess
+    const StatusOr<RequestId> second =
+        service_->SubmitSolve(session_, b, sub);
+    ASSERT_TRUE(second.ok());
+    const StatusOr<SolveResponse> warm = service_->Wait(*second);
+    ASSERT_TRUE(warm.ok());
+    EXPECT_TRUE(warm->report.warm_started);
+    EXPECT_EQ(warm->report.run.iterations, 0);
+    EXPECT_EQ(service_->stats().warm_started, 1);
+}
+
+TEST_F(ServiceErrors, UpdateMatrixToleratesPatternDrift)
+{
+    // A different geometric graph: same size, new sparsity pattern —
+    // UpdateValues must reject it, UpdateMatrix must absorb it.
+    const CsrMatrix drifted = RandomGeometricLaplacian(200, 7.0, 117);
+    const StatusOr<RequestId> r =
+        service_->SubmitUpdateMatrix(session_, drifted);
+    ASSERT_TRUE(r.ok());
+    const StatusOr<SolveResponse> resp = service_->Wait(*r);
+    ASSERT_TRUE(resp.ok());
+    EXPECT_TRUE(resp->status.ok()) << resp->status.ToString();
+
+    const Vector b = RandomVector(a_.rows(), 57);
+    const StatusOr<RequestId> solve =
+        service_->SubmitSolve(session_, b);
+    ASSERT_TRUE(solve.ok());
+    const StatusOr<SolveResponse> sresp = service_->Wait(*solve);
+    ASSERT_TRUE(sresp.ok());
+    ASSERT_TRUE(sresp->report.run.converged);
+    // The response answers the NEW matrix.
+    Vector ax(b.size(), 0.0);
+    for (Index row = 0; row < drifted.rows(); ++row) {
+        for (Index k = drifted.RowBegin(row); k < drifted.RowEnd(row);
+             ++k) {
+            ax[static_cast<std::size_t>(row)] +=
+                drifted.vals()[k] *
+                sresp->report.run
+                    .x[static_cast<std::size_t>(drifted.col_idx()[k])];
+        }
+    }
+    EXPECT_VECTOR_NEAR(ax, b, 1e-6);
+}
+
+// ---- Session persistence (docs/TIMESTEPPING.md) -----------------------------
+
+class ServicePersistence : public ::testing::Test {
+  protected:
+    void
+    SetUp() override
+    {
+        a_ = RandomGeometricLaplacian(180, 7.0, 121);
+        opts_.sim.grid_width = 2;
+        opts_.sim.grid_height = 2;
+        opts_.max_iters = 400;
+        b_ = RandomVector(a_.rows(), 122);
+        state_dir_ = ::testing::TempDir() + "azul-session-state-" +
+                     ::testing::UnitTest::GetInstance()
+                         ->current_test_info()
+                         ->name();
+        std::filesystem::remove_all(state_dir_);
+    }
+
+    void
+    TearDown() override
+    {
+        std::filesystem::remove_all(state_dir_);
+    }
+
+    std::unique_ptr<AzulService>
+    NewService()
+    {
+        ServiceOptions sopts;
+        sopts.num_threads = 2;
+        return *AzulService::Create(sopts);
+    }
+
+    /** Opens a session, solves once, and persists its warm state. */
+    void
+    SaveWarmSession(const std::string& name)
+    {
+        std::unique_ptr<AzulService> svc = NewService();
+        const SessionId id = *svc->OpenSession(a_, opts_, name);
+        const StatusOr<RequestId> r = svc->SubmitSolve(id, b_);
+        ASSERT_TRUE(r.ok());
+        ASSERT_TRUE(svc->Wait(*r).ok());
+        svc->Drain();
+        ASSERT_TRUE(svc->SaveSession(id, state_dir_).ok());
+    }
+
+    CsrMatrix a_;
+    AzulOptions opts_;
+    Vector b_;
+    std::string state_dir_;
+};
+
+TEST_F(ServicePersistence, SaveUnknownSessionIsNotFound)
+{
+    std::unique_ptr<AzulService> svc = NewService();
+    EXPECT_EQ(svc->SaveSession(41, state_dir_).code(),
+              StatusCode::kNotFound);
+}
+
+TEST_F(ServicePersistence, SaveWithoutWarmStateIsFailedPrecondition)
+{
+    std::unique_ptr<AzulService> svc = NewService();
+    const SessionId id = *svc->OpenSession(a_, opts_, "fresh");
+    EXPECT_EQ(svc->SaveSession(id, state_dir_).code(),
+              StatusCode::kFailedPrecondition);
+}
+
+TEST_F(ServicePersistence, RestoreRoundTripWarmStartsTheSuccessor)
+{
+    SaveWarmSession("tenant");
+
+    // A successor service (post-restart) restores by name.
+    std::unique_ptr<AzulService> svc = NewService();
+    const StatusOr<AzulService::RestoreResult> r =
+        svc->RestoreSession(a_, opts_, "tenant", state_dir_);
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    EXPECT_TRUE(r->restored);
+    EXPECT_TRUE(r->restore_status.ok());
+    EXPECT_EQ(svc->stats().sessions_restored, 1);
+
+    // Warm-starting from the restored solution on the same rhs needs
+    // no iterations at all.
+    SubmitOptions sub;
+    sub.warm_start = true;
+    const StatusOr<RequestId> solve =
+        svc->SubmitSolve(r->session, b_, sub);
+    ASSERT_TRUE(solve.ok());
+    const StatusOr<SolveResponse> resp = svc->Wait(*solve);
+    ASSERT_TRUE(resp.ok());
+    EXPECT_TRUE(resp->report.warm_started);
+    EXPECT_TRUE(resp->report.run.converged);
+    EXPECT_EQ(resp->report.run.iterations, 0);
+}
+
+TEST_F(ServicePersistence, MissingStateDegradesToColdWithNotFound)
+{
+    std::unique_ptr<AzulService> svc = NewService();
+    const StatusOr<AzulService::RestoreResult> r =
+        svc->RestoreSession(a_, opts_, "never-saved", state_dir_);
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    EXPECT_FALSE(r->restored);
+    EXPECT_EQ(r->restore_status.code(), StatusCode::kNotFound);
+    EXPECT_EQ(svc->stats().sessions_restored, 0);
+
+    // The session is open and fully usable, just cold.
+    const StatusOr<RequestId> solve =
+        svc->SubmitSolve(r->session, b_);
+    ASSERT_TRUE(solve.ok());
+    const StatusOr<SolveResponse> resp = svc->Wait(*solve);
+    ASSERT_TRUE(resp.ok());
+    EXPECT_FALSE(resp->report.warm_started);
+    EXPECT_TRUE(resp->report.run.converged);
+}
+
+TEST_F(ServicePersistence, CorruptStateDegradesToColdWithTypedStatus)
+{
+    SaveWarmSession("tenant");
+    // Truncate the solution file: the restore must not trust it.
+    {
+        std::ofstream out(state_dir_ + "/tenant.x",
+                          std::ios::binary | std::ios::trunc);
+        out << "not a checkpoint";
+    }
+    std::unique_ptr<AzulService> svc = NewService();
+    const StatusOr<AzulService::RestoreResult> r =
+        svc->RestoreSession(a_, opts_, "tenant", state_dir_);
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    EXPECT_FALSE(r->restored);
+    EXPECT_EQ(r->restore_status.code(),
+              StatusCode::kInvalidArgument);
+
+    const StatusOr<RequestId> solve =
+        svc->SubmitSolve(r->session, b_);
+    ASSERT_TRUE(solve.ok());
+    const StatusOr<SolveResponse> resp = svc->Wait(*solve);
+    ASSERT_TRUE(resp.ok());
+    EXPECT_FALSE(resp->report.warm_started);
+    EXPECT_TRUE(resp->report.run.converged);
+}
+
+TEST_F(ServicePersistence, StructureMismatchDegradesToCold)
+{
+    SaveWarmSession("tenant");
+    // The matrix drifted across the restart: the saved mapping and
+    // solution no longer apply.
+    const CsrMatrix drifted = RandomGeometricLaplacian(180, 7.0, 123);
+    std::unique_ptr<AzulService> svc = NewService();
+    const StatusOr<AzulService::RestoreResult> r =
+        svc->RestoreSession(drifted, opts_, "tenant", state_dir_);
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    EXPECT_FALSE(r->restored);
+    EXPECT_EQ(r->restore_status.code(),
+              StatusCode::kFailedPrecondition);
+    EXPECT_NE(
+        r->restore_status.message().find("structure"),
+        std::string::npos);
 }
 
 // ---- Stress: mixed tenants under the 8-thread scheduler ---------------------

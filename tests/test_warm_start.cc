@@ -1,0 +1,300 @@
+/**
+ * @file
+ * Differential suite for the time-stepped warm-start pipeline
+ * (docs/TIMESTEPPING.md): warm and cold solves agree on the answer,
+ * warm runs are bit-identical across host thread counts and across
+ * execution engines, and a warm start on a smoothly evolving sequence
+ * does strictly less work than a cold one.
+ */
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/azul_system.h"
+#include "solver/spmv.h"
+#include "sparse/generators.h"
+#include "test_helpers.h"
+
+namespace azul {
+namespace {
+
+using azul::testing::RandomVector;
+
+AzulOptions
+SmallOptions()
+{
+    AzulOptions opts;
+    opts.sim.grid_width = 4;
+    opts.sim.grid_height = 4;
+    opts.tol = 1e-8;
+    opts.max_iters = 2000;
+    return opts;
+}
+
+AzulSystem
+MakeSystem(const CsrMatrix& a, const AzulOptions& opts)
+{
+    return *AzulSystem::Create(a, opts);
+}
+
+/** The evolving-campaign matrix at drift step t (values only). */
+CsrMatrix
+StepMatrix(const CsrMatrix& base, int t)
+{
+    CsrMatrix a = base;
+    const double scale = 1.0 + 0.05 * std::sin(0.2 * t);
+    for (double& v : a.mutable_vals()) {
+        v *= scale;
+    }
+    return a;
+}
+
+// ---- Warm and cold agree on the answer --------------------------------------
+
+TEST(WarmStart, WarmMatchesColdSolutionPcg)
+{
+    const CsrMatrix a = RandomGeometricLaplacian(300, 7.0, 3);
+    const Vector b = RandomVector(a.rows(), 5);
+
+    AzulSystem cold = MakeSystem(a, SmallOptions());
+    const SolveReport cold_rep = cold.Solve(b);
+    ASSERT_TRUE(cold_rep.run.converged);
+    EXPECT_FALSE(cold_rep.warm_started);
+
+    AzulOptions wopts = SmallOptions();
+    wopts.warm_start = true;
+    AzulSystem warm = MakeSystem(a, wopts);
+    const SolveReport first = warm.Solve(b); // nothing resident: cold
+    EXPECT_FALSE(first.warm_started);
+    const SolveReport second = warm.Solve(b); // warm from x*
+    EXPECT_TRUE(second.warm_started);
+    ASSERT_TRUE(second.run.converged);
+
+    EXPECT_VECTOR_NEAR(cold_rep.run.x, second.run.x, 1e-6);
+    EXPECT_VECTOR_NEAR(SpMV(a, second.run.x), b, 1e-6);
+}
+
+TEST(WarmStart, WarmMatchesColdSolutionAllSolvers)
+{
+    // Strong diagonal shift so plain Jacobi converges too.
+    const CsrMatrix a = RandomGeometricLaplacian(250, 7.0, 7, 2.0);
+    const Vector b = RandomVector(a.rows(), 9);
+    struct Combo {
+        SolverKind solver;
+        PreconditionerKind precond;
+    };
+    const Combo combos[] = {
+        {SolverKind::kPcg, PreconditionerKind::kIncompleteCholesky},
+        {SolverKind::kJacobi, PreconditionerKind::kIdentity},
+        {SolverKind::kBiCgStab, PreconditionerKind::kIdentity},
+    };
+    for (const Combo& combo : combos) {
+        AzulOptions opts = SmallOptions();
+        opts.solver = combo.solver;
+        opts.precond = combo.precond;
+        opts.tol = 1e-7;
+        opts.max_iters = 6000;
+        AzulSystem cold = MakeSystem(a, opts);
+        const SolveReport cold_rep = cold.Solve(b);
+        ASSERT_TRUE(cold_rep.run.converged);
+
+        opts.warm_start = true;
+        AzulSystem warm = MakeSystem(a, opts);
+        (void)warm.Solve(b);
+        const SolveReport warm_rep = warm.Solve(b);
+        ASSERT_TRUE(warm_rep.run.converged);
+        EXPECT_TRUE(warm_rep.warm_started);
+        EXPECT_VECTOR_NEAR(cold_rep.run.x, warm_rep.run.x, 1e-5);
+    }
+}
+
+// ---- Determinism: thread counts and engines ---------------------------------
+
+/** One fixed two-step warm sequence, returning the final solution. */
+Vector
+WarmSequenceSolution(AzulOptions opts, std::int32_t sim_threads,
+                     EngineKind engine)
+{
+    opts.warm_start = true;
+    opts.sim.sim_threads = sim_threads;
+    opts.engine = engine;
+    const CsrMatrix base = Grid2dLaplacian(18, 18);
+    const Vector b = RandomVector(base.rows(), 21);
+    AzulSystem sys = MakeSystem(base, opts);
+    (void)sys.Solve(b);
+    EXPECT_TRUE(sys.UpdateValues(StepMatrix(base, 1)).ok());
+    const SolveReport rep = sys.Solve(b);
+    EXPECT_TRUE(rep.warm_started);
+    EXPECT_TRUE(rep.run.converged);
+    return rep.run.x;
+}
+
+TEST(WarmStart, BitIdenticalAcrossSimThreads)
+{
+    const Vector x1 =
+        WarmSequenceSolution(SmallOptions(), 1, EngineKind::kCycle);
+    const Vector x2 =
+        WarmSequenceSolution(SmallOptions(), 2, EngineKind::kCycle);
+    const Vector x8 =
+        WarmSequenceSolution(SmallOptions(), 8, EngineKind::kCycle);
+    ASSERT_EQ(x1.size(), x2.size());
+    ASSERT_EQ(x1.size(), x8.size());
+    for (std::size_t i = 0; i < x1.size(); ++i) {
+        EXPECT_EQ(x1[i], x2[i]) << "thread divergence at " << i;
+        EXPECT_EQ(x1[i], x8[i]) << "thread divergence at " << i;
+    }
+}
+
+TEST(WarmStart, BitIdenticalAcrossEngines)
+{
+    const Vector cycle =
+        WarmSequenceSolution(SmallOptions(), 2, EngineKind::kCycle);
+    const Vector functional = WarmSequenceSolution(
+        SmallOptions(), 2, EngineKind::kFunctional);
+    ASSERT_EQ(cycle.size(), functional.size());
+    for (std::size_t i = 0; i < cycle.size(); ++i) {
+        EXPECT_EQ(cycle[i], functional[i])
+            << "engine divergence at " << i;
+    }
+}
+
+// ---- Warm starts do less work -----------------------------------------------
+
+TEST(WarmStart, FewerIterationsOnSmoothSequence)
+{
+    const CsrMatrix base = Grid2dLaplacian(24, 24);
+    const Vector b = RandomVector(base.rows(), 33);
+    constexpr int kSteps = 6;
+
+    AzulOptions copts = SmallOptions();
+    copts.engine = EngineKind::kFunctional;
+    AzulOptions wopts = copts;
+    wopts.warm_start = true;
+    AzulSystem cold = MakeSystem(base, copts);
+    AzulSystem warm = MakeSystem(base, wopts);
+
+    long long cold_total = 0;
+    long long warm_total = 0;
+    for (int t = 0; t < kSteps; ++t) {
+        if (t > 0) {
+            const CsrMatrix at = StepMatrix(base, t);
+            ASSERT_TRUE(cold.UpdateValues(at).ok());
+            ASSERT_TRUE(warm.UpdateValues(at).ok());
+        }
+        const SolveReport cr = cold.Solve(b);
+        const SolveReport wr = warm.Solve(b);
+        ASSERT_TRUE(cr.run.converged);
+        ASSERT_TRUE(wr.run.converged);
+        cold_total += cr.run.iterations;
+        warm_total += wr.run.iterations;
+        if (t > 0) {
+            EXPECT_LE(wr.run.iterations, cr.run.iterations)
+                << "step " << t;
+        }
+    }
+    // The campaign as a whole must be strictly cheaper warm.
+    EXPECT_LT(warm_total, cold_total);
+    EXPECT_EQ(warm.warm_solves(), kSteps - 1);
+    EXPECT_EQ(warm.cold_solves(), 1);
+}
+
+TEST(WarmStart, ExactGuessConvergesWithoutIterating)
+{
+    const CsrMatrix a = RandomGeometricLaplacian(200, 7.0, 11);
+    const Vector b = RandomVector(a.rows(), 13);
+    AzulSystem sys = MakeSystem(a, SmallOptions());
+    const SolveReport first = sys.Solve(b);
+    ASSERT_TRUE(first.run.converged);
+
+    // Re-solving from the exact solution: the warm prologue's true
+    // residual is already below tol, so no iterations run.
+    const SolveReport again = sys.Solve(b, RunBudget{}, first.run.x);
+    EXPECT_TRUE(again.warm_started);
+    EXPECT_TRUE(again.run.converged);
+    EXPECT_EQ(again.run.iterations, 0);
+    EXPECT_VECTOR_NEAR(again.run.x, first.run.x, 1e-12);
+}
+
+// ---- Explicit x0 plumbing ---------------------------------------------------
+
+TEST(WarmStart, OptionsX0ConsumedExactlyOnce)
+{
+    const CsrMatrix a = RandomGeometricLaplacian(200, 7.0, 17);
+    const Vector b = RandomVector(a.rows(), 19);
+    AzulSystem plain = MakeSystem(a, SmallOptions());
+    const Vector x_star = plain.Solve(b).run.x;
+
+    // warm_start stays off: the seeded x0 must still be honored on
+    // the first solve (never silently ignored), then dropped.
+    AzulOptions opts = SmallOptions();
+    opts.x0 = x_star;
+    AzulSystem sys = MakeSystem(a, opts);
+    const SolveReport first = sys.Solve(b);
+    EXPECT_TRUE(first.warm_started);
+    EXPECT_EQ(first.run.iterations, 0);
+    const SolveReport second = sys.Solve(b);
+    EXPECT_FALSE(second.warm_started);
+    EXPECT_GT(second.run.iterations, 0);
+}
+
+TEST(WarmStart, EmptyX0OverrideForcesColdSolve)
+{
+    const CsrMatrix a = RandomGeometricLaplacian(150, 7.0, 23);
+    const Vector b = RandomVector(a.rows(), 25);
+    AzulOptions opts = SmallOptions();
+    opts.warm_start = true;
+    AzulSystem sys = MakeSystem(a, opts);
+    (void)sys.Solve(b);
+    ASSERT_TRUE(sys.has_warm_state());
+    // An explicit empty x0 is the documented one-shot cold override.
+    const SolveReport rep = sys.Solve(b, RunBudget{}, Vector());
+    EXPECT_FALSE(rep.warm_started);
+}
+
+TEST(WarmStart, SeedAndClearWarmState)
+{
+    const CsrMatrix a = RandomGeometricLaplacian(150, 7.0, 29);
+    const Vector b = RandomVector(a.rows(), 31);
+    AzulOptions opts = SmallOptions();
+    opts.warm_start = true;
+    AzulSystem sys = MakeSystem(a, opts);
+    EXPECT_FALSE(sys.has_warm_state());
+
+    // Wrong length is a typed rejection, not an abort.
+    EXPECT_EQ(sys.SeedWarmState(Vector(3, 0.0)).code(),
+              StatusCode::kInvalidArgument);
+    EXPECT_FALSE(sys.has_warm_state());
+
+    AzulSystem donor = MakeSystem(a, SmallOptions());
+    ASSERT_TRUE(sys.SeedWarmState(donor.Solve(b).run.x).ok());
+    EXPECT_TRUE(sys.has_warm_state());
+    const SolveReport rep = sys.Solve(b);
+    EXPECT_TRUE(rep.warm_started);
+    EXPECT_EQ(rep.run.iterations, 0);
+
+    sys.ClearWarmState();
+    EXPECT_FALSE(sys.has_warm_state());
+    EXPECT_FALSE(sys.Solve(b).warm_started);
+}
+
+// ---- Warm prologue accounting -----------------------------------------------
+
+TEST(WarmStart, WarmPrologueFlopsReported)
+{
+    const CsrMatrix a = Grid2dLaplacian(12, 12);
+    const Vector b = RandomVector(a.rows(), 37);
+    AzulOptions opts = SmallOptions();
+    opts.warm_start = true;
+    AzulSystem sys = MakeSystem(a, opts);
+    const SolveReport cold_rep = sys.Solve(b);
+    const SolveReport warm_rep = sys.Solve(b);
+    ASSERT_TRUE(warm_rep.warm_started);
+    EXPECT_GT(sys.program().warm_prologue_flops, 0.0);
+    // Both runs account real work; a 0-iteration warm run still pays
+    // its prologue.
+    EXPECT_GT(cold_rep.run.flops, 0.0);
+    EXPECT_GT(warm_rep.run.flops, 0.0);
+}
+
+} // namespace
+} // namespace azul

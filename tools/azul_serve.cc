@@ -14,6 +14,11 @@
  * Flags:
  *   --threads=N    concurrent solves                 (default 2)
  *   --max-queue=N  admission ceiling                 (default 256)
+ *   --state-dir=P  session persistence directory
+ *                  (docs/TIMESTEPPING.md): open restores a session's
+ *                  warm state saved under its name, close (and end of
+ *                  trace) saves it, so warm campaigns survive a
+ *                  server restart
  *   --quiet        summary only, no per-request rows
  *
  * Trace format: one command per line; '#' starts a comment. Tokens
@@ -21,7 +26,7 @@
  *
  *   open  NAME [n=4096] [seed=1] [grid=8] [matrix=path.mtx]
  *              [solver=pcg|jacobi|bicgstab] [precond=none|jacobi|
- *              symgs|ssor|ic0] [tol=1e-8] [max-iters=1000]
+ *              symgs|ssor|ic0] [tol=1e-8] [max-iters=1000] [warm=0|1]
  *   solve NAME [seed=9] [count=1] [priority=0] [budget=CYCLES]
  *              [deadline=SECONDS]
  *   update NAME [scale=2.0]      # same pattern, values scaled
@@ -92,6 +97,7 @@ struct Tenant {
     SessionId id = 0;
     CsrMatrix a;    //!< original values, for update scale=F
     Index rows = 0;
+    bool closed = false;
 };
 
 struct PendingRequest {
@@ -102,7 +108,7 @@ struct PendingRequest {
 
 const char* kDemoTrace =
     "# Built-in demo: two tenants sharing an 8-thread scheduler.\n"
-    "open fem    n=1200 seed=3 grid=4 precond=ic0\n"
+    "open fem    n=1200 seed=3 grid=4 precond=ic0 warm=1\n"
     "open filter n=800  seed=5 grid=4 solver=bicgstab precond=none "
     "tol=1e-6 max-iters=2000\n"
     "solve fem    seed=11 count=3\n"
@@ -118,6 +124,7 @@ main(int argc, char** argv)
 {
     SetLogLevel(LogLevel::kWarn);
     std::string trace_path;
+    std::string state_dir;
     bool quiet = false;
     ServiceOptions sopts;
     sopts.num_threads = 2;
@@ -130,6 +137,8 @@ main(int argc, char** argv)
         } else if (arg.rfind("--max-queue=", 0) == 0) {
             sopts.max_queue =
                 static_cast<std::size_t>(std::stoul(arg.substr(12)));
+        } else if (arg.rfind("--state-dir=", 0) == 0) {
+            state_dir = arg.substr(12);
         } else if (arg == "--quiet") {
             quiet = true;
         } else if (arg.rfind("--", 0) == 0) {
@@ -229,19 +238,41 @@ main(int argc, char** argv)
             opts.tol = std::stod(Take(kv, "tol", "1e-8"));
             opts.max_iters =
                 std::stol(Take(kv, "max-iters", "1000"));
+            opts.warm_start = Take(kv, "warm", "0") == "1";
 
             Tenant t;
             t.a = matrix.empty()
                       ? RandomGeometricLaplacian(n, 9.0, seed)
                       : CsrMatrix::FromCoo(ReadMatrixMarket(matrix));
             t.rows = t.a.rows();
-            const StatusOr<SessionId> id =
-                svc.OpenSession(t.a, opts, name);
-            if (!id.ok()) {
-                Die("line " + std::to_string(line_no) + ": open " +
-                    name + ": " + id.status().ToString());
+            if (state_dir.empty()) {
+                const StatusOr<SessionId> id =
+                    svc.OpenSession(t.a, opts, name);
+                if (!id.ok()) {
+                    Die("line " + std::to_string(line_no) +
+                        ": open " + name + ": " +
+                        id.status().ToString());
+                }
+                t.id = *id;
+            } else {
+                const StatusOr<AzulService::RestoreResult> r =
+                    svc.RestoreSession(t.a, opts, name, state_dir);
+                if (!r.ok()) {
+                    Die("line " + std::to_string(line_no) +
+                        ": open " + name + ": " +
+                        r.status().ToString());
+                }
+                t.id = r->session;
+                if (!quiet) {
+                    std::printf(
+                        "open %s: %s\n", name.c_str(),
+                        r->restored
+                            ? "restored warm state"
+                            : ("cold start (" +
+                               r->restore_status.ToString() + ")")
+                                  .c_str());
+                }
             }
-            t.id = *id;
             tenants[name] = std::move(t);
         } else if (cmd == "solve") {
             const auto it = tenants.find(name);
@@ -307,11 +338,25 @@ main(int argc, char** argv)
                 Die("line " + std::to_string(line_no) +
                     ": unknown session " + name);
             }
+            if (!state_dir.empty()) {
+                // Save-on-close: quiesce, then persist the warm
+                // state so a successor replay restores it. A session
+                // with no warm state yet is fine to skip.
+                svc.Drain();
+                const Status ss =
+                    svc.SaveSession(it->second.id, state_dir);
+                if (!ss.ok() &&
+                    ss.code() != StatusCode::kFailedPrecondition) {
+                    Die("line " + std::to_string(line_no) +
+                        ": save " + name + ": " + ss.ToString());
+                }
+            }
             const Status st = svc.CloseSession(it->second.id);
             if (!st.ok()) {
                 Die("line " + std::to_string(line_no) + ": close " +
                     name + ": " + st.ToString());
             }
+            it->second.closed = true;
         } else {
             Die("line " + std::to_string(line_no) +
                 ": unknown command " + cmd);
@@ -357,16 +402,37 @@ main(int argc, char** argv)
         }
     }
 
+    if (!state_dir.empty()) {
+        // End-of-trace save for sessions left open: every pending
+        // request was just waited on, so the sessions are quiescent.
+        for (const auto& [tname, tenant] : tenants) {
+            if (tenant.closed) {
+                continue;
+            }
+            const Status ss = svc.SaveSession(tenant.id, state_dir);
+            if (ss.ok() && !quiet) {
+                std::printf("saved %s to %s\n", tname.c_str(),
+                            state_dir.c_str());
+            } else if (!ss.ok() &&
+                       ss.code() !=
+                           StatusCode::kFailedPrecondition) {
+                Die("save " + tname + ": " + ss.ToString());
+            }
+        }
+    }
+
     const ServiceStats stats = svc.stats();
     std::printf("\nsessions=%lld submitted=%lld completed=%lld "
                 "rejected=%lld deadline-expired=%lld "
-                "cache-hits=%lld threads=%d\n",
+                "cache-hits=%lld warm=%lld restored=%lld threads=%d\n",
                 static_cast<long long>(stats.sessions_opened),
                 static_cast<long long>(stats.submitted),
                 static_cast<long long>(stats.completed),
                 static_cast<long long>(stats.rejected),
                 static_cast<long long>(stats.deadline_expired),
                 static_cast<long long>(stats.mapping_cache_hits),
+                static_cast<long long>(stats.warm_started),
+                static_cast<long long>(stats.sessions_restored),
                 svc.num_threads());
     return failures == 0 ? 0 : 1;
 }

@@ -1,0 +1,325 @@
+/**
+ * @file
+ * azul_timestep — time-stepped warm-start demo (docs/TIMESTEPPING.md).
+ *
+ * Drives two identical AzulSystem instances — one cold, one with
+ * warm_start — through the same sequence of evolving linear systems:
+ * a 2-D grid Laplacian whose values drift smoothly each step (the
+ * physical-simulation campaign of paper Sec II-C), optionally gaining
+ * new "contact" edges every K steps to exercise the structure-drift
+ * repartitioning path. Prints per-step iteration counts side by side
+ * plus a summary of the warm-start saving and the drift counters.
+ *
+ * Usage:
+ *   azul_timestep [flags]
+ *
+ * Flags:
+ *   --n=N            unknowns, rounded down to a square (default 1024)
+ *   --steps=N        time steps                          (default 20)
+ *   --amp=F          per-step value drift amplitude      (default 0.05)
+ *   --period=N       drift oscillation period in steps   (default 40)
+ *   --drift-every=K  add contact edges every K steps (0=off, default 0)
+ *   --drift-edges=N  edges added per drift event         (default 8)
+ *   --grid=N         square tile grid dimension          (default 8)
+ *   --solver=NAME    pcg|jacobi|bicgstab                 (default pcg)
+ *   --precond=NAME   none|jacobi|symgs|ssor|ic0          (default ic0)
+ *   --engine=NAME    cycle|functional                    (default cycle)
+ *   --tol=F          convergence threshold               (default 1e-8)
+ *   --max-iters=N    iteration cap                       (default 2000)
+ *   --seed=N         rhs / contact-edge seed             (default 1)
+ *   --quiet          summary only, no per-step rows
+ */
+#include <cmath>
+#include <cstdio>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/azul_system.h"
+#include "sparse/generators.h"
+#include "util/logging.h"
+#include "util/rng.h"
+
+using namespace azul;
+
+namespace {
+
+[[noreturn]] void
+Usage(const char* msg)
+{
+    std::fprintf(stderr,
+                 "azul_timestep: %s\n(see the file comment for "
+                 "flags)\n",
+                 msg);
+    std::exit(2);
+}
+
+/** One symmetric off-grid coupling added by a drift event. */
+struct ContactEdge {
+    Index i = 0;
+    Index j = 0;
+    double weight = 0.0;
+};
+
+/**
+ * The step-t matrix: base Laplacian values scaled by the smooth drift
+ * factor, plus every contact edge added so far. Each edge contributes
+ * -w off-diagonal and +w to both touched diagonals, so the result
+ * stays a shifted graph Laplacian (SPD) no matter how many edges
+ * accumulate.
+ */
+CsrMatrix
+BuildStepMatrix(const CsrMatrix& base, double scale,
+                const std::vector<ContactEdge>& edges)
+{
+    if (edges.empty()) {
+        CsrMatrix a = base;
+        for (double& v : a.mutable_vals()) {
+            v *= scale;
+        }
+        return a;
+    }
+    CooMatrix coo = base.ToCoo();
+    for (Triplet& t : coo.mutable_entries()) {
+        t.val *= scale;
+    }
+    for (const ContactEdge& e : edges) {
+        const double w = e.weight * scale;
+        coo.Add(e.i, e.j, -w);
+        coo.Add(e.j, e.i, -w);
+        coo.Add(e.i, e.i, w);
+        coo.Add(e.j, e.j, w);
+    }
+    coo.Canonicalize();
+    return CsrMatrix::FromCoo(coo);
+}
+
+struct StepRow {
+    int step = 0;
+    bool pattern_drift = false;
+    Index cold_iters = 0;
+    Index warm_iters = 0;
+    double warm_r0 = 0.0; //!< warm run's initial residual norm
+};
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    SetLogLevel(LogLevel::kWarn);
+    Index n = 1024;
+    int steps = 20;
+    double amp = 0.05;
+    int period = 40;
+    int drift_every = 0;
+    int drift_edges = 8;
+    std::uint64_t seed = 1;
+    bool quiet = false;
+    AzulOptions opts;
+    opts.tol = 1e-8;
+    opts.max_iters = 2000;
+    opts.sim.grid_width = opts.sim.grid_height = 8;
+    ApplyEnvOverrides(opts);
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        const auto value = [&arg](const char* prefix)
+            -> std::optional<std::string> {
+            const std::string p = prefix;
+            if (arg.rfind(p, 0) == 0) {
+                return arg.substr(p.size());
+            }
+            return std::nullopt;
+        };
+        if (const auto v = value("--n=")) {
+            n = std::stol(*v);
+        } else if (const auto v2 = value("--steps=")) {
+            steps = static_cast<int>(std::stol(*v2));
+        } else if (const auto v3 = value("--amp=")) {
+            amp = std::stod(*v3);
+        } else if (const auto v4 = value("--period=")) {
+            period = static_cast<int>(std::stol(*v4));
+        } else if (const auto v5 = value("--drift-every=")) {
+            drift_every = static_cast<int>(std::stol(*v5));
+        } else if (const auto v6 = value("--drift-edges=")) {
+            drift_edges = static_cast<int>(std::stol(*v6));
+        } else if (const auto v7 = value("--grid=")) {
+            opts.sim.grid_width = opts.sim.grid_height =
+                static_cast<std::int32_t>(std::stol(*v7));
+        } else if (const auto v8 = value("--solver=")) {
+            if (*v8 == "pcg") {
+                opts.solver = SolverKind::kPcg;
+            } else if (*v8 == "jacobi") {
+                opts.solver = SolverKind::kJacobi;
+            } else if (*v8 == "bicgstab") {
+                opts.solver = SolverKind::kBiCgStab;
+            } else {
+                Usage("unknown solver");
+            }
+        } else if (const auto v9 = value("--precond=")) {
+            if (*v9 == "none") {
+                opts.precond = PreconditionerKind::kIdentity;
+            } else if (*v9 == "jacobi") {
+                opts.precond = PreconditionerKind::kJacobi;
+            } else if (*v9 == "symgs") {
+                opts.precond =
+                    PreconditionerKind::kSymmetricGaussSeidel;
+            } else if (*v9 == "ssor") {
+                opts.precond = PreconditionerKind::kSsor;
+            } else if (*v9 == "ic0") {
+                opts.precond =
+                    PreconditionerKind::kIncompleteCholesky;
+            } else {
+                Usage("unknown preconditioner");
+            }
+        } else if (const auto va = value("--engine=")) {
+            if (*va == "cycle") {
+                opts.engine = EngineKind::kCycle;
+            } else if (*va == "functional") {
+                opts.engine = EngineKind::kFunctional;
+            } else {
+                Usage("unknown engine");
+            }
+        } else if (const auto vb = value("--tol=")) {
+            opts.tol = std::stod(*vb);
+        } else if (const auto vc = value("--max-iters=")) {
+            opts.max_iters = std::stol(*vc);
+        } else if (const auto vd = value("--seed=")) {
+            seed = std::stoull(*vd);
+        } else if (arg == "--quiet") {
+            quiet = true;
+        } else {
+            Usage(("unknown flag " + arg).c_str());
+        }
+    }
+    if (steps < 1) {
+        Usage("--steps must be >= 1");
+    }
+    if (period < 1) {
+        Usage("--period must be >= 1");
+    }
+
+    const Index side = static_cast<Index>(
+        std::max(2.0, std::floor(std::sqrt(static_cast<double>(n)))));
+    const CsrMatrix base = Grid2dLaplacian(side, side);
+    n = base.rows();
+
+    AzulOptions cold_opts = opts;
+    cold_opts.warm_start = false;
+    AzulOptions warm_opts = opts;
+    warm_opts.warm_start = true;
+
+    StatusOr<AzulSystem> cold_or = AzulSystem::Create(base, cold_opts);
+    StatusOr<AzulSystem> warm_or = AzulSystem::Create(base, warm_opts);
+    if (!cold_or.ok() || !warm_or.ok()) {
+        const Status& st =
+            cold_or.ok() ? warm_or.status() : cold_or.status();
+        std::fprintf(stderr, "azul_timestep: %s\n",
+                     st.ToString().c_str());
+        return 2;
+    }
+    AzulSystem& cold = *cold_or;
+    AzulSystem& warm = *warm_or;
+
+    Rng rng(seed);
+    Vector b(static_cast<std::size_t>(n));
+    for (double& v : b) {
+        v = rng.UniformDouble(-1.0, 1.0);
+    }
+    Rng edge_rng(seed + 17);
+
+    std::printf("azul_timestep: %lld unknowns (%lldx%lld grid), %d "
+                "steps, amp=%g, %s\n",
+                static_cast<long long>(n),
+                static_cast<long long>(side),
+                static_cast<long long>(side), steps, amp,
+                opts.ToString().c_str());
+    if (!quiet) {
+        std::printf("%-5s %-8s %11s %11s %13s\n", "step", "update",
+                    "cold-iters", "warm-iters", "warm-||r0||");
+    }
+
+    std::vector<ContactEdge> edges;
+    std::vector<StepRow> rows;
+    int failures = 0;
+    for (int t = 0; t < steps; ++t) {
+        const double scale =
+            1.0 + amp * std::sin(2.0 * M_PI * t / period);
+        bool pattern_drift = false;
+        if (t > 0) {
+            if (drift_every > 0 && t % drift_every == 0) {
+                pattern_drift = true;
+                for (int e = 0; e < drift_edges; ++e) {
+                    ContactEdge edge;
+                    edge.i = edge_rng.UniformInt(0, n - 1);
+                    edge.j = edge_rng.UniformInt(0, n - 1);
+                    if (edge.i == edge.j) {
+                        edge.j = (edge.j + 1) % n;
+                    }
+                    edge.weight = edge_rng.UniformDouble(0.5, 1.5);
+                    edges.push_back(edge);
+                }
+            }
+            CsrMatrix at = BuildStepMatrix(base, scale, edges);
+            const Status cs = pattern_drift
+                                  ? cold.UpdateMatrix(at)
+                                  : cold.UpdateValues(at);
+            const Status ws = pattern_drift
+                                  ? warm.UpdateMatrix(at)
+                                  : warm.UpdateValues(std::move(at));
+            if (!cs.ok() || !ws.ok()) {
+                std::fprintf(stderr,
+                             "azul_timestep: step %d update: %s\n", t,
+                             (cs.ok() ? ws : cs).ToString().c_str());
+                return 2;
+            }
+        }
+        const SolveReport cr = cold.Solve(b);
+        const SolveReport wr = warm.Solve(b);
+        if (!cr.run.converged || !wr.run.converged) {
+            ++failures;
+        }
+        StepRow row;
+        row.step = t;
+        row.pattern_drift = pattern_drift;
+        row.cold_iters = cr.run.iterations;
+        row.warm_iters = wr.run.iterations;
+        row.warm_r0 = wr.run.residual_history.empty()
+                          ? 0.0
+                          : wr.run.residual_history.front();
+        rows.push_back(row);
+        if (!quiet) {
+            std::printf("%-5d %-8s %11lld %11lld %13.3e\n", t,
+                        pattern_drift ? "pattern"
+                                      : (t == 0 ? "-" : "values"),
+                        static_cast<long long>(row.cold_iters),
+                        static_cast<long long>(row.warm_iters),
+                        row.warm_r0);
+        }
+    }
+
+    double cold_total = 0.0;
+    double warm_total = 0.0;
+    for (const StepRow& row : rows) {
+        cold_total += static_cast<double>(row.cold_iters);
+        warm_total += static_cast<double>(row.warm_iters);
+    }
+    const double ns = static_cast<double>(rows.size());
+    std::printf("\nmean iterations/step: cold %.2f, warm %.2f "
+                "(%.1f%% saved)\n",
+                cold_total / ns, warm_total / ns,
+                cold_total > 0.0
+                    ? 100.0 * (cold_total - warm_total) / cold_total
+                    : 0.0);
+    std::printf("warm session: %lld warm / %lld cold solves, %lld "
+                "mapping reuses, %lld repartitions\n",
+                static_cast<long long>(warm.warm_solves()),
+                static_cast<long long>(warm.cold_solves()),
+                static_cast<long long>(warm.mapping_reuses()),
+                static_cast<long long>(warm.repartitions()));
+    if (failures > 0) {
+        std::printf("%d step(s) did not converge\n", failures);
+    }
+    return failures == 0 ? 0 : 1;
+}
