@@ -1,0 +1,96 @@
+#!/usr/bin/env python3
+"""Compare a bench_micro_kernels --json run against a baseline.
+
+Usage:
+    build/bench/bench_micro_kernels --json=current.json
+    python3 scripts/check_bench_regression.py current.json \
+        [--baseline bench/baseline_micro_kernels.json] \
+        [--threshold 3.0]
+
+Exits non-zero (loudly) when any kernel's ns-per-work-item is more
+than `threshold` times its baseline, or when a baseline kernel is
+missing from the current run. The default threshold is deliberately
+generous: the baseline was recorded on one machine and CI runners
+differ in clock speed and cache size, so the gate is meant to catch
+algorithmic regressions (an accidentally de-vectorized sweep, a
+reintroduced per-call allocation), not single-digit-percent noise.
+
+Speedups are reported but never fail the check; refresh the baseline
+with a full-scale run on a quiet machine when the code gets faster
+(docs/PERFORMANCE.md, "Updating the baseline").
+"""
+import argparse
+import json
+import sys
+
+
+def load_kernels(path):
+    with open(path) as f:
+        data = json.load(f)
+    if data.get("bench") != "micro_kernels":
+        sys.exit(f"{path}: not a bench_micro_kernels JSON file")
+    return data, {k["name"]: k for k in data["kernels"]}
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("current", help="JSON from the run under test")
+    parser.add_argument("--baseline",
+                        default="bench/baseline_micro_kernels.json",
+                        help="baseline JSON (default: checked-in)")
+    parser.add_argument("--threshold", type=float, default=3.0,
+                        help="fail when current/baseline ns-per-item "
+                             "exceeds this ratio (default: 3.0)")
+    args = parser.parse_args()
+
+    base_data, base = load_kernels(args.baseline)
+    cur_data, cur = load_kernels(args.current)
+
+    # Different --scale/--grid presets shift absolute numbers; warn so
+    # a --quick run against the full-scale baseline reads as intended.
+    for key in ("scale", "grid"):
+        if base_data["config"].get(key) != cur_data["config"].get(key):
+            print(f"note: config '{key}' differs from baseline "
+                  f"({cur_data['config'].get(key)} vs "
+                  f"{base_data['config'].get(key)}); ratios compare "
+                  "different problem sizes")
+
+    print(f"{'kernel':<24} {'baseline':>12} {'current':>12} "
+          f"{'ratio':>8}  verdict (threshold {args.threshold:.2f}x)")
+    failures = []
+    for name, b in base.items():
+        c = cur.get(name)
+        if c is None:
+            failures.append(f"kernel '{name}' missing from current run")
+            print(f"{name:<24} {b['ns_per_item']:>12.3f} "
+                  f"{'MISSING':>12} {'-':>8}  FAIL")
+            continue
+        ratio = c["ns_per_item"] / b["ns_per_item"]
+        bad = ratio > args.threshold
+        verdict = "REGRESSION" if bad else "ok"
+        print(f"{name:<24} {b['ns_per_item']:>12.3f} "
+              f"{c['ns_per_item']:>12.3f} {ratio:>7.2f}x  {verdict}")
+        if bad:
+            failures.append(
+                f"kernel '{name}' regressed {ratio:.2f}x "
+                f"({b['ns_per_item']:.3f} -> {c['ns_per_item']:.3f} "
+                "ns/item)")
+
+    if failures:
+        print("\n" + "=" * 64)
+        print("PERF REGRESSION DETECTED")
+        for f in failures:
+            print(f"  - {f}")
+        print("If this is expected (e.g. a deliberate accuracy/perf "
+              "trade), rerun bench_micro_kernels at full scale on a "
+              "quiet machine and refresh "
+              "bench/baseline_micro_kernels.json in the same change.")
+        print("=" * 64)
+        sys.exit(1)
+    print("\nall kernels within threshold")
+
+
+if __name__ == "__main__":
+    main()

@@ -59,6 +59,10 @@ ApplyEnvOverrides(AzulOptions& opts)
         }
     }
 
+    // SIMD elementwise kernels: results are bit-identical either way
+    // (util/simd.h), so this only trades host speed for debuggability.
+    opts.sim.simd = SimdFromEnv(opts.sim.simd);
+
     // Malformed AZUL_FAULTS specs are rejected atomically inside.
     ApplyFaultEnv(opts.sim);
 }

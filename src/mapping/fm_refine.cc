@@ -1,7 +1,26 @@
+/**
+ * @file
+ * Gain-bucket Fiduccia-Mattheyses refinement. The selection structure
+ * is the classic dense bucket array (one doubly-linked list of free
+ * vertices per gain value, plus a max-gain cursor), and gains are
+ * maintained incrementally with the standard F-M delta rules instead
+ * of recomputing every neighbor's gain from scratch after each move —
+ * the former lazy-heap implementation spent almost all of its time in
+ * those O(degree^2) recomputes (docs/PERFORMANCE.md, "FM refinement").
+ *
+ * Determinism: bucket insertion is LIFO and selection always takes the
+ * head of the highest non-empty bucket, so the move order is a pure
+ * function of the hypergraph and the input partition — bit-identical
+ * across runs and thread counts (the partitioner's branch-local
+ * seeding does the rest). Tie-breaking differs from the old heap, so
+ * switching implementations was a one-time sanctioned change of
+ * partition outputs (golden traces regenerated; see TESTING.md).
+ */
 #include "mapping/fm_refine.h"
 
 #include <algorithm>
-#include <queue>
+
+#include "util/logging.h"
 
 namespace azul {
 
@@ -26,6 +45,107 @@ BisectionCut(const Hypergraph& hg, const std::vector<std::int32_t>& part)
 
 namespace {
 
+/** Dense-gain cap: gains beyond this magnitude share the boundary
+ *  buckets (still selected from the top; only the relative order of
+ *  such extreme vertices coarsens). Bounds the bucket array at ~16 MB
+ *  even for hypergraphs with huge accumulated edge weights. */
+constexpr Weight kMaxDenseGain = Weight{1} << 20;
+
+/**
+ * The FM selection structure: buckets_[gain + cap] heads an intrusive
+ * doubly-linked list of the free vertices currently at that gain.
+ * Insertion is LIFO; PopMax takes the head of the highest non-empty
+ * bucket, walking the max cursor down lazily (it only ever rises on
+ * insert, so a pass's total downward walk is bounded by the number of
+ * inserts). All operations are O(1) apart from that amortized walk.
+ */
+class GainBuckets {
+  public:
+    GainBuckets(Index num_vertices, Weight cap)
+        : cap_(cap),
+          head_(static_cast<std::size_t>(2 * cap + 1), kNone),
+          prev_(static_cast<std::size_t>(num_vertices), kNone),
+          next_(static_cast<std::size_t>(num_vertices), kNone),
+          bucket_(static_cast<std::size_t>(num_vertices), kNone)
+    {
+    }
+
+    void
+    Insert(Index v, Weight gain)
+    {
+        const std::int64_t b = BucketOf(gain);
+        const std::int64_t old_head =
+            head_[static_cast<std::size_t>(b)];
+        prev_[static_cast<std::size_t>(v)] = kNone;
+        next_[static_cast<std::size_t>(v)] = old_head;
+        if (old_head != kNone) {
+            prev_[static_cast<std::size_t>(old_head)] = v;
+        }
+        head_[static_cast<std::size_t>(b)] = v;
+        bucket_[static_cast<std::size_t>(v)] = b;
+        max_bucket_ = std::max(max_bucket_, b);
+    }
+
+    void
+    Remove(Index v)
+    {
+        const std::int64_t b = bucket_[static_cast<std::size_t>(v)];
+        const std::int64_t p = prev_[static_cast<std::size_t>(v)];
+        const std::int64_t n = next_[static_cast<std::size_t>(v)];
+        if (p != kNone) {
+            next_[static_cast<std::size_t>(p)] = n;
+        } else {
+            head_[static_cast<std::size_t>(b)] = n;
+        }
+        if (n != kNone) {
+            prev_[static_cast<std::size_t>(n)] = p;
+        }
+        bucket_[static_cast<std::size_t>(v)] = kNone;
+    }
+
+    /** Moves v to the bucket of its new gain (v must be inserted). */
+    void
+    Update(Index v, Weight gain)
+    {
+        Remove(v);
+        Insert(v, gain);
+    }
+
+    /** Pops the head of the highest non-empty bucket into `out`;
+     *  false when every vertex is locked or moved. */
+    bool
+    PopMax(Index& out)
+    {
+        while (max_bucket_ >= 0 &&
+               head_[static_cast<std::size_t>(max_bucket_)] == kNone) {
+            --max_bucket_;
+        }
+        if (max_bucket_ < 0) {
+            return false;
+        }
+        out = static_cast<Index>(
+            head_[static_cast<std::size_t>(max_bucket_)]);
+        Remove(out);
+        return true;
+    }
+
+  private:
+    static constexpr std::int64_t kNone = -1;
+
+    std::int64_t
+    BucketOf(Weight gain) const
+    {
+        return std::clamp<Weight>(gain, -cap_, cap_) + cap_;
+    }
+
+    Weight cap_;
+    std::vector<std::int64_t> head_;
+    std::vector<std::int64_t> prev_;
+    std::vector<std::int64_t> next_;
+    std::vector<std::int64_t> bucket_; //!< kNone when not inserted
+    std::int64_t max_bucket_ = -1;
+};
+
 /** Mutable state of one FM run. */
 class FmState {
   public:
@@ -36,7 +156,6 @@ class FmState {
           pin_count0_(static_cast<std::size_t>(hg.NumEdges()), 0),
           gain_(static_cast<std::size_t>(hg.NumVertices()), 0),
           locked_(static_cast<std::size_t>(hg.NumVertices()), 0),
-          stamp_(static_cast<std::size_t>(hg.NumVertices()), 0),
           side_weight_(2 * static_cast<std::size_t>(nc_), 0)
     {
         for (Index e = 0; e < hg_.NumEdges(); ++e) {
@@ -76,6 +195,23 @@ class FmState {
         return g;
     }
 
+    /** Largest possible |gain| of any vertex: its incident weight sum
+     *  (the dense bucket span, clamped to kMaxDenseGain). */
+    Weight
+    GainBound() const
+    {
+        Weight bound = 1;
+        for (Index v = 0; v < hg_.NumVertices(); ++v) {
+            Weight s = 0;
+            for (Index ik = hg_.IncBegin(v); ik < hg_.IncEnd(v);
+                 ++ik) {
+                s += hg_.EdgeWeight(hg_.IncEdge(ik));
+            }
+            bound = std::max(bound, s);
+        }
+        return std::min(bound, kMaxDenseGain);
+    }
+
     /** Sum over sides/constraints of weight above the allowed max. */
     Weight
     Violation() const
@@ -113,7 +249,8 @@ class FmState {
         return total;
     }
 
-    /** Applies the move of v to the other side, updating all state. */
+    /** Applies the move of v to the other side (no gain maintenance;
+     *  used for rollback, where the buckets are already drained). */
     void
     Move(Index v)
     {
@@ -132,6 +269,81 @@ class FmState {
         }
     }
 
+    /**
+     * Moves v (already locked and removed from the buckets) and
+     * applies the F-M delta-gain rules to the free pins of its edges.
+     * For each edge, with T the destination side: if no pin was on T,
+     * every free pin gains +w (the edge is about to become cut); if
+     * exactly one was, that pin loses the +w it had for making the
+     * edge internal. Symmetrically after the flip for the source
+     * side. These deltas reproduce ComputeGain exactly — the old
+     * implementation's post-move recompute of every neighbor is what
+     * this replaces.
+     */
+    void
+    MoveWithGainUpdates(Index v, GainBuckets& buckets)
+    {
+        const int from = part_[static_cast<std::size_t>(v)];
+        const int to = 1 - from;
+        for (Index ik = hg_.IncBegin(v); ik < hg_.IncEnd(v); ++ik) {
+            const Index e = hg_.IncEdge(ik);
+            const Weight w = hg_.EdgeWeight(e);
+            const Index size = hg_.EdgeSize(e);
+            const Index c0 = pin_count0_[static_cast<std::size_t>(e)];
+            const Index from_count = from == 0 ? c0 : size - c0;
+            const Index to_count = size - from_count;
+
+            if (to_count == 0) {
+                for (Index pk = hg_.EdgeBegin(e); pk < hg_.EdgeEnd(e);
+                     ++pk) {
+                    const Index u = hg_.Pin(pk);
+                    if (u != v) {
+                        AddGain(u, w, buckets);
+                    }
+                }
+            } else if (to_count == 1) {
+                for (Index pk = hg_.EdgeBegin(e); pk < hg_.EdgeEnd(e);
+                     ++pk) {
+                    const Index u = hg_.Pin(pk);
+                    if (part_[static_cast<std::size_t>(u)] == to) {
+                        AddGain(u, -w, buckets);
+                        break;
+                    }
+                }
+            }
+
+            pin_count0_[static_cast<std::size_t>(e)] +=
+                to == 0 ? 1 : -1;
+
+            const Index rem = from_count - 1; // pins left on `from`
+            if (rem == 0) {
+                for (Index pk = hg_.EdgeBegin(e); pk < hg_.EdgeEnd(e);
+                     ++pk) {
+                    const Index u = hg_.Pin(pk);
+                    if (u != v) {
+                        AddGain(u, -w, buckets);
+                    }
+                }
+            } else if (rem == 1) {
+                for (Index pk = hg_.EdgeBegin(e); pk < hg_.EdgeEnd(e);
+                     ++pk) {
+                    const Index u = hg_.Pin(pk);
+                    if (u != v &&
+                        part_[static_cast<std::size_t>(u)] == from) {
+                        AddGain(u, w, buckets);
+                        break;
+                    }
+                }
+            }
+        }
+        part_[static_cast<std::size_t>(v)] = to;
+        for (int c = 0; c < nc_; ++c) {
+            const Weight w = hg_.VertexWeight(v, c);
+            side_weight_[static_cast<std::size_t>(from * nc_ + c)] -= w;
+            side_weight_[static_cast<std::size_t>(to * nc_ + c)] += w;
+        }
+    }
+
     const Hypergraph& hg_;
     std::vector<std::int32_t>& part_;
     const BisectionConstraints& cons_;
@@ -139,8 +351,18 @@ class FmState {
     std::vector<Index> pin_count0_;
     std::vector<Weight> gain_;
     std::vector<char> locked_;
-    std::vector<std::uint32_t> stamp_;
     std::vector<Weight> side_weight_;
+
+  private:
+    void
+    AddGain(Index u, Weight delta, GainBuckets& buckets)
+    {
+        if (locked_[static_cast<std::size_t>(u)]) {
+            return; // locked and moved vertices take no more updates
+        }
+        gain_[static_cast<std::size_t>(u)] += delta;
+        buckets.Update(u, gain_[static_cast<std::size_t>(u)]);
+    }
 };
 
 } // namespace
@@ -156,32 +378,24 @@ FmRefineBisection(const Hypergraph& hg, std::vector<std::int32_t>& part,
                hg.num_constraints());
     AZUL_CHECK(static_cast<int>(constraints.max_part1.size()) ==
                hg.num_constraints());
+    ScopedTimer fm_timer(opts.fm_seconds);
 
     FmState st(hg, part, constraints);
+    GainBuckets buckets(hg.NumVertices(), st.GainBound());
     Weight total_improvement = 0;
 
-    struct HeapEntry {
-        Weight gain;
-        Index vertex;
-        std::uint32_t stamp;
-        bool
-        operator<(const HeapEntry& o) const
-        {
-            return gain < o.gain; // max-heap on gain
-        }
-    };
-
+    std::vector<Index> move_sequence;
     for (int pass = 0; pass < opts.max_passes; ++pass) {
         std::fill(st.locked_.begin(), st.locked_.end(), 0);
-        std::priority_queue<HeapEntry> heap;
+        // A pass always drains the buckets (every vertex is popped
+        // exactly once: moved or admissibility-locked), so they are
+        // empty here and refilling them is all the reset needed.
         for (Index v = 0; v < hg.NumVertices(); ++v) {
             st.gain_[static_cast<std::size_t>(v)] = st.ComputeGain(v);
-            ++st.stamp_[static_cast<std::size_t>(v)];
-            heap.push({st.gain_[static_cast<std::size_t>(v)], v,
-                       st.stamp_[static_cast<std::size_t>(v)]});
+            buckets.Insert(v, st.gain_[static_cast<std::size_t>(v)]);
         }
 
-        std::vector<Index> move_sequence;
+        move_sequence.clear();
         Weight cum_gain = 0;
         Weight best_cum_gain = 0;
         // Best prefix ranks feasibility first, then cut gain, so a
@@ -192,24 +406,19 @@ FmRefineBisection(const Hypergraph& hg, std::vector<std::int32_t>& part,
         const Weight start_violation = best_violation;
         std::size_t best_prefix = 0;
 
-        while (!heap.empty()) {
-            const HeapEntry top = heap.top();
-            heap.pop();
-            const Index v = top.vertex;
-            if (top.stamp != st.stamp_[static_cast<std::size_t>(v)] ||
-                st.locked_[static_cast<std::size_t>(v)]) {
-                continue; // stale entry
-            }
+        Index v = -1;
+        while (buckets.PopMax(v)) {
             // Admissibility: moving v must not worsen the violation.
+            // Locked for the rest of the pass (it stays out of the
+            // buckets) to guarantee progress, exactly as before.
             if (st.ViolationAfterMove(v) > st.Violation()) {
-                // Re-examine later only if other moves change the
-                // weights; lock for this pass to guarantee progress.
                 st.locked_[static_cast<std::size_t>(v)] = 1;
                 continue;
             }
-            st.Move(v);
             st.locked_[static_cast<std::size_t>(v)] = 1;
-            cum_gain += top.gain;
+            const Weight gain = st.gain_[static_cast<std::size_t>(v)];
+            st.MoveWithGainUpdates(v, buckets);
+            cum_gain += gain;
             move_sequence.push_back(v);
             const Weight violation = st.Violation();
             if (violation < best_violation ||
@@ -218,25 +427,6 @@ FmRefineBisection(const Hypergraph& hg, std::vector<std::int32_t>& part,
                 best_violation = violation;
                 best_cum_gain = cum_gain;
                 best_prefix = move_sequence.size();
-            }
-            // Refresh gains of unlocked pins of v's edges.
-            for (Index ik = hg.IncBegin(v); ik < hg.IncEnd(v); ++ik) {
-                const Index e = hg.IncEdge(ik);
-                for (Index pk = hg.EdgeBegin(e); pk < hg.EdgeEnd(e);
-                     ++pk) {
-                    const Index u = hg.Pin(pk);
-                    if (st.locked_[static_cast<std::size_t>(u)]) {
-                        continue;
-                    }
-                    const Weight g = st.ComputeGain(u);
-                    if (g != st.gain_[static_cast<std::size_t>(u)]) {
-                        st.gain_[static_cast<std::size_t>(u)] = g;
-                        ++st.stamp_[static_cast<std::size_t>(u)];
-                        heap.push(
-                            {g, u,
-                             st.stamp_[static_cast<std::size_t>(u)]});
-                    }
-                }
             }
         }
 

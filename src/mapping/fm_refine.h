@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "mapping/hypergraph.h"
+#include "util/scoped_timer.h"
 
 namespace azul {
 
@@ -24,6 +25,9 @@ struct BisectionConstraints {
 /** FM knobs. */
 struct FmOptions {
     int max_passes = 4;
+    /** Optional wall-time accumulator: every FmRefineBisection call
+     *  adds its own duration (PartitionPhaseStats::fm_refine). */
+    AtomicSeconds* fm_seconds = nullptr;
 };
 
 /**

@@ -202,6 +202,9 @@ MultilevelBisect(const Hypergraph& hg, double ratio,
                 GrowInitialBisection(coarsest, ratio, rng);
             FmOptions fm;
             fm.max_passes = opts.fm_passes;
+            fm.fm_seconds = ctx.phases != nullptr
+                                ? &ctx.phases->fm_refine
+                                : nullptr;
             FmRefineBisection(coarsest, part, coarse_cons, fm);
             cuts[static_cast<std::size_t>(t)] =
                 BisectionCut(coarsest, part);
@@ -253,6 +256,8 @@ MultilevelBisect(const Hypergraph& hg, double ratio,
             fine, ratio, opts.epsilon, MaxVertexWeights(fine));
         FmOptions fm;
         fm.max_passes = opts.fm_passes;
+        fm.fm_seconds = ctx.phases != nullptr ? &ctx.phases->fm_refine
+                                              : nullptr;
         FmRefineBisection(fine, fine_part, cons, fm);
         part = std::move(fine_part);
     }

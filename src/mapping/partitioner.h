@@ -60,6 +60,11 @@ struct PartitionPhaseStats {
     AtomicSeconds initial; //!< greedy growth + FM at coarsest level
     AtomicSeconds refine;  //!< uncoarsening FM passes
     AtomicSeconds extract; //!< side sub-hypergraph construction
+    /** Time inside FmRefineBisection itself (gain-bucket refinement).
+     *  A sub-measure of `initial` + `refine`, so it is NOT added to
+     *  total() — it isolates the FM kernel from projection/constraint
+     *  bookkeeping around it. */
+    AtomicSeconds fm_refine;
 
     double
     total() const

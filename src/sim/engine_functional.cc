@@ -8,11 +8,15 @@
  *
  * The walk's control flow is also data-independent, so a kernel's
  * first execution records the walk into a straight-line tape
- * (KernelCache): the flat FMA table, the fold instructions in
+ * (KernelCache): the SoA column-op table, the fold instructions in
  * completion order, and the constant stats delta of one walk. Every
  * later execution replays the tape — no queue, no countdowns, no
  * node-table lookups — performing the identical FP operations in the
- * identical order, so the replay is bit-equal to the walk.
+ * identical order, so the replay is bit-equal to the walk. Column
+ * partials are computed directly from the SoA table at fold time
+ * (kAccFold): reordering multiplications is exact, only the addition
+ * order matters, and that is preserved per-ordinal — so the replay
+ * skips the product-staging pass entirely.
  */
 #include "sim/engine_functional.h"
 
@@ -20,6 +24,7 @@
 
 #include "sim/observer.h"
 #include "util/logging.h"
+#include "util/simd.h"
 
 namespace azul {
 
@@ -39,68 +44,69 @@ FunctionalEngine::FunctionalEngine(SimConfig cfg,
                    "the functional engine does not model fault "
                    "injection; use the cycle engine");
 
-    // Identical storage sharding to Machine: slots pushed in
-    // ascending global order, so per-tile slot order — which fixes
-    // the dot-partial fold order — matches by construction.
+    // Identical slot sharding to Machine, flattened tile-major: tile
+    // t's flat range lists its homed slots in ascending global order,
+    // so per-tile slot order — which fixes the dot-partial fold
+    // order — matches the cycle engine by construction.
     const Index n = static_cast<Index>(prog_->vec_tile.size());
-    tiles_.resize(static_cast<std::size_t>(geom_.num_tiles()));
-    slot_local_.assign(static_cast<std::size_t>(n), -1);
+    const auto num_tiles = static_cast<std::size_t>(geom_.num_tiles());
+    tile_begin_.assign(num_tiles + 1, 0);
     for (Index i = 0; i < n; ++i) {
-        TileStorage& ts =
-            tiles_[static_cast<std::size_t>(
-                prog_->vec_tile[static_cast<std::size_t>(i)])];
-        slot_local_[static_cast<std::size_t>(i)] =
-            static_cast<std::int32_t>(ts.slots.size());
-        ts.slots.push_back(i);
+        ++tile_begin_[static_cast<std::size_t>(
+                          prog_->vec_tile[static_cast<std::size_t>(
+                              i)]) +
+                      1];
     }
-    for (auto& ts : tiles_) {
-        ts.InitStorage();
+    for (std::size_t t = 0; t < num_tiles; ++t) {
+        tile_begin_[t + 1] += tile_begin_[t];
+    }
+    slot_flat_.assign(static_cast<std::size_t>(n), -1);
+    std::vector<std::int32_t> cursor(tile_begin_.begin(),
+                                     tile_begin_.end() - 1);
+    for (Index i = 0; i < n; ++i) {
+        slot_flat_[static_cast<std::size_t>(i)] =
+            cursor[static_cast<std::size_t>(
+                prog_->vec_tile[static_cast<std::size_t>(i)])]++;
+    }
+    for (auto& v : vecs_) {
+        v.assign(static_cast<std::size_t>(n), 0.0);
     }
     if (!prog_->jacobi_inv_diag.empty()) {
-        for (auto& ts : tiles_) {
-            ts.jacobi_inv_diag.assign(ts.slots.size(), 0.0);
-            for (std::size_t s = 0; s < ts.slots.size(); ++s) {
-                ts.jacobi_inv_diag[s] =
-                    prog_->jacobi_inv_diag[static_cast<std::size_t>(
-                        ts.slots[s])];
-            }
+        inv_diag_.assign(static_cast<std::size_t>(n), 0.0);
+        for (Index i = 0; i < n; ++i) {
+            inv_diag_[static_cast<std::size_t>(
+                slot_flat_[static_cast<std::size_t>(i)])] =
+                prog_->jacobi_inv_diag[static_cast<std::size_t>(i)];
         }
     }
 
-    std::vector<std::int32_t> all_tiles(
-        static_cast<std::size_t>(geom_.num_tiles()));
+    std::vector<std::int32_t> all_tiles(num_tiles);
     for (std::int32_t t = 0; t < geom_.num_tiles(); ++t) {
         all_tiles[static_cast<std::size_t>(t)] = t;
     }
     scalar_tree_ = BuildTorusTree(geom_, 0, all_tiles);
     scalar_tree_children_ = scalar_tree_.Children();
 
-    scratch_.resize(tiles_.size());
+    scratch_.resize(num_tiles);
 }
 
 // ---------------------------------------------------------------------------
-// Storage plumbing (mirrors machine.cc)
+// Storage plumbing (flat tile-major layout; see engine_functional.h)
 // ---------------------------------------------------------------------------
 
 double
 FunctionalEngine::ReadSlot(VecName vec, Index slot) const
 {
-    const TileStorage& ts =
-        tiles_[static_cast<std::size_t>(
-            prog_->vec_tile[static_cast<std::size_t>(slot)])];
-    return ts.vecs[static_cast<std::size_t>(vec)]
+    return vecs_[static_cast<std::size_t>(vec)]
         [static_cast<std::size_t>(
-            slot_local_[static_cast<std::size_t>(slot)])];
+            slot_flat_[static_cast<std::size_t>(slot)])];
 }
 
 void
 FunctionalEngine::WriteSlot(VecName vec, Index slot, double value)
 {
-    TileStorage& ts =
-        tiles_[static_cast<std::size_t>(
-            prog_->vec_tile[static_cast<std::size_t>(slot)])];
-    ts.vecs[static_cast<std::size_t>(vec)][static_cast<std::size_t>(
-        slot_local_[static_cast<std::size_t>(slot)])] = value;
+    vecs_[static_cast<std::size_t>(vec)][static_cast<std::size_t>(
+        slot_flat_[static_cast<std::size_t>(slot)])] = value;
 }
 
 Vector
@@ -125,8 +131,8 @@ FunctionalEngine::ScatterVector(VecName which, const Vector& v)
 void
 FunctionalEngine::LoadProblem(const Vector& b)
 {
-    for (auto& ts : tiles_) {
-        ts.InitStorage();
+    for (auto& v : vecs_) {
+        std::fill(v.begin(), v.end(), 0.0);
     }
     ScatterVector(VecName::kB, b);
     ScatterVector(VecName::kR, b);
@@ -228,9 +234,7 @@ FunctionalEngine::FinishReduce(const MatrixKernel& kernel,
         in.op = TapeInstr::Op::kFoldOutput;
         in.a = src;
         in.b = count;
-        in.tile = prog_->vec_tile[static_cast<std::size_t>(node.slot)];
-        in.local =
-            slot_local_[static_cast<std::size_t>(node.slot)];
+        in.dst = slot_flat_[static_cast<std::size_t>(node.slot)];
         cache.instrs.push_back(in);
         return;
     }
@@ -249,8 +253,7 @@ FunctionalEngine::FinishReduce(const MatrixKernel& kernel,
     in.op = TapeInstr::Op::kFoldSolve;
     in.a = src;
     in.b = count;
-    in.tile = prog_->vec_tile[static_cast<std::size_t>(node.slot)];
-    in.local = slot_local_[static_cast<std::size_t>(node.slot)];
+    in.dst = slot_flat_[static_cast<std::size_t>(node.slot)];
     in.inv_diag =
         kernel.inv_diag[static_cast<std::size_t>(node.slot)];
     if (node.trigger_node != -1) {
@@ -268,22 +271,30 @@ FunctionalEngine::RecordMatrixKernel(const MatrixKernel& kernel,
 {
     cache.has_rhs = kernel.rhs_vec != VecName::kCount;
 
+    // Two flat index spaces: the SoA column-op table (acc_coeff /
+    // acc_val, mirroring the cycle engine's accumulator staging
+    // layout) and the node-fold staging buffer (stage_).
     TapeRecorder rec;
     rec.acc_base.resize(kernel.tiles.size());
     rec.node_base.resize(kernel.tiles.size());
-    std::int32_t stage_total = 0;
+    std::int32_t acc_total = 0;
+    std::int32_t node_total = 0;
     for (std::size_t t = 0; t < kernel.tiles.size(); ++t) {
-        rec.acc_base[t] = stage_total;
-        stage_total += kernel.tiles[t].acc_stage_size;
-        rec.node_base[t] = stage_total;
-        stage_total += kernel.tiles[t].node_stage_size;
+        rec.acc_base[t] = acc_total;
+        acc_total += kernel.tiles[t].acc_stage_size;
+        rec.node_base[t] = node_total;
+        node_total += kernel.tiles[t].node_stage_size;
     }
-    cache.stage_size = stage_total;
+    cache.stage_size = node_total;
+    // Every entry is written below: the build-time ordinals are a
+    // bijection onto each accumulator's [0, expected) range, and the
+    // walk delivers every contribution.
+    cache.acc_coeff.resize(static_cast<std::size_t>(acc_total));
+    cache.acc_val.resize(static_cast<std::size_t>(acc_total));
 
     // Seed the per-tile fold scratch for the one recorded walk. No
-    // zero-fill of the staging buffers: the build-time ordinals are a
-    // bijection onto [0, expected), so every staged slot is written
-    // before the fold that reads it.
+    // zero-fill of the staging buffers: every staged slot is written
+    // before the fold that reads it (same bijection argument).
     for (std::int32_t t = 0; t < geom_.num_tiles(); ++t) {
         const TileKernel& tk =
             kernel.tiles[static_cast<std::size_t>(t)];
@@ -318,9 +329,7 @@ FunctionalEngine::RecordMatrixKernel(const MatrixKernel& kernel,
                 TapeInstr in;
                 in.op = TapeInstr::Op::kLoadRoot;
                 in.val = cache.num_values++;
-                in.tile = prog_->vec_tile[static_cast<std::size_t>(
-                    node.source_slot)];
-                in.local = slot_local_[static_cast<std::size_t>(
+                in.dst = slot_flat_[static_cast<std::size_t>(
                     node.source_slot)];
                 cache.instrs.push_back(in);
                 queue_.push_back(WorkItem{
@@ -366,14 +375,6 @@ FunctionalEngine::RecordMatrixKernel(const MatrixKernel& kernel,
                                           child.tile, child.node,
                                           item.value, item.ord});
             }
-            if (node.num_ops > 0) {
-                TapeInstr in;
-                in.op = TapeInstr::Op::kFmaRun;
-                in.val = item.ord;
-                in.a = static_cast<std::int32_t>(cache.fmas.size());
-                in.b = in.a + node.num_ops;
-                cache.instrs.push_back(in);
-            }
             for (std::int32_t j = 0; j < node.num_ops; ++j) {
                 const ColumnOp& op =
                     tk.ops[static_cast<std::size_t>(node.first_op +
@@ -382,11 +383,14 @@ FunctionalEngine::RecordMatrixKernel(const MatrixKernel& kernel,
                     tk.accums[static_cast<std::size_t>(op.acc)];
                 const std::int32_t stage_at =
                     acc.stage_offset + op.acc_ord;
-                cache.fmas.push_back(TapeFma{
-                    op.coeff,
+                const std::int32_t table_at =
                     rec.acc_base[static_cast<std::size_t>(
                         item.tile)] +
-                        stage_at});
+                    stage_at;
+                cache.acc_coeff[static_cast<std::size_t>(table_at)] =
+                    op.coeff;
+                cache.acc_val[static_cast<std::size_t>(table_at)] =
+                    item.ord;
                 sc.acc_contrib[static_cast<std::size_t>(stage_at)] =
                     op.coeff * item.value;
                 if (--sc.acc_remaining[static_cast<std::size_t>(
@@ -397,9 +401,10 @@ FunctionalEngine::RecordMatrixKernel(const MatrixKernel& kernel,
                             acc.stage_offset + k)];
                     }
                     ++rec.messages;
-                    // The fold runs after the enclosing FMA run in the
-                    // tape, which is safe: the remaining FMAs of this
-                    // run write other accumulators' staged slots.
+                    // Every value register the fold reads is defined
+                    // by an earlier tape instruction: this multicast's
+                    // register (and those of all earlier arrivals)
+                    // precede the fold in completion order.
                     const NodeDesc& dest =
                         kernel
                             .tiles[static_cast<std::size_t>(
@@ -472,29 +477,36 @@ FunctionalEngine::ReplayTape(const MatrixKernel& kernel,
     // ordered definitions before uses).
     stage_.resize(static_cast<std::size_t>(cache.stage_size));
     values_.resize(static_cast<std::size_t>(cache.num_values));
-    const TapeFma* const fmas = cache.fmas.data();
+    const double* const acc_coeff = cache.acc_coeff.data();
+    const std::int32_t* const acc_val = cache.acc_val.data();
     double* const stage = stage_.data();
     double* const values = values_.data();
-    const auto input = static_cast<std::size_t>(kernel.input_vec);
-    const auto output = static_cast<std::size_t>(kernel.output_vec);
-    const std::size_t rhs =
-        cache.has_rhs ? static_cast<std::size_t>(kernel.rhs_vec) : 0;
+    const double* const in_vec =
+        vecs_[static_cast<std::size_t>(kernel.input_vec)].data();
+    double* const out_vec =
+        vecs_[static_cast<std::size_t>(kernel.output_vec)].data();
+    const double* const rhs_vec =
+        cache.has_rhs
+            ? vecs_[static_cast<std::size_t>(kernel.rhs_vec)].data()
+            : nullptr;
 
     for (const TapeInstr& in : cache.instrs) {
         switch (in.op) {
           case TapeInstr::Op::kLoadRoot:
-            values[in.val] =
-                tiles_[static_cast<std::size_t>(in.tile)]
-                    .vecs[input][static_cast<std::size_t>(in.local)];
+            values[in.val] = in_vec[in.dst];
             break;
-          case TapeInstr::Op::kFmaRun: {
-            const double v = values[in.val];
-            for (std::int32_t j = in.a; j < in.b; ++j) {
-                stage[fmas[j].dst] = fmas[j].coeff * v;
+          case TapeInstr::Op::kAccFold: {
+            // The column-task partial: products formed on the fly in
+            // ordinal order — bit-identical to staging each product
+            // first, since only the addition order matters.
+            double sum = 0.0;
+            for (std::int32_t k = 0; k < in.b; ++k) {
+                sum += acc_coeff[in.a + k] *
+                       values[acc_val[in.a + k]];
             }
+            stage[in.dst] = sum;
             break;
           }
-          case TapeInstr::Op::kAccFold:
           case TapeInstr::Op::kFoldForward: {
             double sum = 0.0;
             for (std::int32_t k = 0; k < in.b; ++k) {
@@ -508,9 +520,7 @@ FunctionalEngine::ReplayTape(const MatrixKernel& kernel,
             for (std::int32_t k = 0; k < in.b; ++k) {
                 sum += stage[in.a + k];
             }
-            tiles_[static_cast<std::size_t>(in.tile)]
-                .vecs[output][static_cast<std::size_t>(in.local)] =
-                sum;
+            out_vec[in.dst] = sum;
             break;
           }
           case TapeInstr::Op::kFoldSolve: {
@@ -518,14 +528,10 @@ FunctionalEngine::ReplayTape(const MatrixKernel& kernel,
             for (std::int32_t k = 0; k < in.b; ++k) {
                 sum += stage[in.a + k];
             }
-            TileStorage& ts =
-                tiles_[static_cast<std::size_t>(in.tile)];
             const double r =
-                cache.has_rhs
-                    ? ts.vecs[rhs][static_cast<std::size_t>(in.local)]
-                    : 0.0;
+                rhs_vec != nullptr ? rhs_vec[in.dst] : 0.0;
             const double x = (r - sum) * in.inv_diag;
-            ts.vecs[output][static_cast<std::size_t>(in.local)] = x;
+            out_vec[in.dst] = x;
             if (in.val >= 0) {
                 values[in.val] = x;
             }
@@ -547,9 +553,40 @@ FunctionalEngine::RunMatrixKernel(const MatrixKernel& kernel)
     stats_ += cache.delta;
 }
 
+SimStats
+FunctionalEngine::RunMatrixKernelStandalone(int kernel_index)
+{
+    AZUL_CHECK(kernel_index >= 0 &&
+               kernel_index <
+                   static_cast<int>(prog_->matrix_kernels.size()));
+    const MatrixKernel& kernel =
+        prog_->matrix_kernels[static_cast<std::size_t>(kernel_index)];
+    const SimStats before = stats_;
+    if (!observers_.empty()) {
+        PhaseInfo info;
+        info.kind = Phase::Kind::kMatrix;
+        info.kclass = kernel.kclass;
+        info.name = kernel.name;
+        info.index = kernel_index;
+        for (SimObserver* o : observers_) {
+            o->OnPhaseStart(info, clock_);
+        }
+        RunMatrixKernel(kernel);
+        const SimStats delta = stats_ - before;
+        for (SimObserver* o : observers_) {
+            o->OnPhaseEnd(info, clock_, delta);
+        }
+        return delta;
+    }
+    RunMatrixKernel(kernel);
+    return stats_ - before;
+}
+
 // ---------------------------------------------------------------------------
 // Vector / scalar kernels (value semantics of machine_vector.cc, no
-// timing sweeps)
+// timing sweeps). Elementwise sweeps run over the whole flat array in
+// one pass — per-element results are order-independent, so the
+// flattening cannot change bits.
 // ---------------------------------------------------------------------------
 
 void
@@ -561,48 +598,36 @@ FunctionalEngine::RunElementwise(const VectorKernel& kernel)
              ? kernel.const_scale
              : scalar_regs_[static_cast<std::size_t>(
                    kernel.scale_reg)]);
-    std::uint64_t n_total = 0;
-    for (TileStorage& storage : tiles_) {
-        auto& dst =
-            storage.vecs[static_cast<std::size_t>(kernel.dst)];
-        const auto& a =
-            storage.vecs[static_cast<std::size_t>(kernel.src_a)];
-        const auto& b2 =
-            storage.vecs[static_cast<std::size_t>(kernel.src_b)];
-        const std::size_t n = dst.size();
-        n_total += n;
-        switch (kernel.op) {
-          case VecOpKind::kAxpy:
-            for (std::size_t i = 0; i < n; ++i) {
-                dst[i] += s * a[i];
-            }
-            break;
-          case VecOpKind::kXpby:
-            for (std::size_t i = 0; i < n; ++i) {
-                dst[i] = a[i] + s * dst[i];
-            }
-            break;
-          case VecOpKind::kSub:
-            for (std::size_t i = 0; i < n; ++i) {
-                dst[i] = a[i] - b2[i];
-            }
-            break;
-          case VecOpKind::kCopy:
-            for (std::size_t i = 0; i < n; ++i) {
-                dst[i] = a[i];
-            }
-            break;
-          case VecOpKind::kDiagScale:
-            for (std::size_t i = 0; i < n; ++i) {
-                dst[i] = a[i] * storage.jacobi_inv_diag[i];
-            }
-            break;
-          default:
-            throw AzulError("bad elementwise kernel");
-        }
+    double* const dst =
+        vecs_[static_cast<std::size_t>(kernel.dst)].data();
+    const double* const a =
+        vecs_[static_cast<std::size_t>(kernel.src_a)].data();
+    const double* const b2 =
+        vecs_[static_cast<std::size_t>(kernel.src_b)].data();
+    const std::size_t n =
+        vecs_[static_cast<std::size_t>(kernel.dst)].size();
+    switch (kernel.op) {
+      case VecOpKind::kAxpy:
+        simd::Axpy(dst, a, s, n, cfg_.simd);
+        break;
+      case VecOpKind::kXpby:
+        simd::Xpby(dst, a, s, n, cfg_.simd);
+        break;
+      case VecOpKind::kSub:
+        simd::Sub(dst, a, b2, n, cfg_.simd);
+        break;
+      case VecOpKind::kCopy:
+        simd::Copy(dst, a, n, cfg_.simd);
+        break;
+      case VecOpKind::kDiagScale:
+        simd::Mul(dst, a, inv_diag_.data(), n, cfg_.simd);
+        break;
+      default:
+        throw AzulError("bad elementwise kernel");
     }
     // Same per-element accounting as the cycle engine, batched: one
     // op + two reads + one write per element.
+    const auto n_total = static_cast<std::uint64_t>(n);
     switch (kernel.op) {
       case VecOpKind::kAxpy:
       case VecOpKind::kXpby:
@@ -623,24 +648,28 @@ void
 FunctionalEngine::RunDotReduce(const VectorKernel& kernel)
 {
     // Local partials in scalar-tree node order, each summing its own
-    // tile's slots in slot order; the cross-tile fold is in ascending
-    // node order — the exact fold the cycle engine performs
-    // (machine_vector.cc, "determinism contract").
+    // tile's flat range in slot order; the cross-tile fold is in
+    // ascending node order — the exact fold the cycle engine performs
+    // (machine_vector.cc, "determinism contract"). These chains are
+    // order-sensitive, so they stay serial regardless of cfg.simd.
     const std::size_t num_nodes = scalar_tree_.size();
+    const double* const a =
+        vecs_[static_cast<std::size_t>(kernel.src_a)].data();
+    const double* const b =
+        vecs_[static_cast<std::size_t>(kernel.src_b)].data();
     double dot = 0.0;
     for (std::size_t ni = 0; ni < num_nodes; ++ni) {
-        const TileStorage& ts = tiles_[static_cast<std::size_t>(
-            scalar_tree_.tiles[ni])];
-        const auto& a =
-            ts.vecs[static_cast<std::size_t>(kernel.src_a)];
-        const auto& b =
-            ts.vecs[static_cast<std::size_t>(kernel.src_b)];
+        const auto t = static_cast<std::size_t>(
+            scalar_tree_.tiles[ni]);
+        const std::int32_t begin = tile_begin_[t];
+        const std::int32_t end = tile_begin_[t + 1];
         double acc = 0.0;
-        for (std::size_t i = 0; i < a.size(); ++i) {
+        for (std::int32_t i = begin; i < end; ++i) {
             acc += a[i] * b[i];
         }
-        stats_.ops.fmac += a.size();
-        stats_.sram_reads += 2 * a.size();
+        const auto count = static_cast<std::uint64_t>(end - begin);
+        stats_.ops.fmac += count;
+        stats_.sram_reads += 2 * count;
         dot += acc;
     }
     // Tree-edge op accounting (one add + one send per upward edge),

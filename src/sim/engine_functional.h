@@ -14,6 +14,14 @@
  * residual history the cycle-accurate Machine does, at any
  * cfg.sim_threads (tests/test_engine_functional.cc).
  *
+ * Host-side layout (docs/PERFORMANCE.md): the distributed vectors are
+ * stored as flat per-vector arrays in tile-major slot order — the
+ * concatenation of the cycle engine's per-tile shards — so per-tile
+ * slot order, and with it the dot-partial fold order, is unchanged,
+ * while elementwise kernels become single contiguous sweeps
+ * (SIMD-annotated via util/simd.h, toggled by cfg.simd) and tape
+ * instructions address storage with one flat index.
+ *
  * What it does NOT model: cycle timing (stats().cycles counts solver
  * iterations, not hardware cycles — see RunBudget in solver_driver.h),
  * message-buffer spills, PE stalls/idle time, per-kernel class cycle
@@ -42,7 +50,6 @@
 #include "sim/config.h"
 #include "sim/execution_engine.h"
 #include "sim/sim_stats.h"
-#include "sim/tile.h"
 #include "solver/vector_ops.h"
 
 namespace azul {
@@ -82,6 +89,12 @@ class FunctionalEngine : public ExecutionEngine {
     /** Always false: the functional engine never injects faults. */
     bool faults_enabled() const override { return false; }
 
+    /** Runs program().matrix_kernels[kernel_index] by itself (first
+     *  run records the tape, later runs replay it) and returns the
+     *  stats delta — the tape-replay entry point for benches and
+     *  differential tests (bench_micro_kernels). */
+    SimStats RunMatrixKernelStandalone(int kernel_index);
+
     MachineCheckpoint CaptureCheckpoint(Index iteration) override;
     void RestoreCheckpoint(const MachineCheckpoint& checkpoint,
                            Index from_iteration) override;
@@ -106,46 +119,49 @@ class FunctionalEngine : public ExecutionEngine {
         std::int32_t ord = 0;
     };
 
-    /** One staged multiply of the tape: stage_[dst] = coeff * value. */
-    struct TapeFma {
-        double coeff = 0.0;
-        std::int32_t dst = 0;
-    };
-
     /** One instruction of a compiled kernel tape (RecordMatrixKernel
      *  explains the compilation; ReplayTape is the interpreter). Fold
-     *  instructions sum stage_[src, src+count) in that (ordinal)
-     *  order, so the replay performs the exact FP additions of the
-     *  queue walk. */
+     *  instructions sum their staged range in ordinal order, so the
+     *  replay performs the exact FP additions of the queue walk. */
     struct TapeInstr {
         enum class Op : std::uint8_t {
-            kLoadRoot,    //!< values_[val] = input_vec[tile][local]
-            kFmaRun,      //!< fmas_[a, b) with value values_[val]
-            kAccFold,     //!< stage_[dst] = fold of an accum range
+            kLoadRoot,    //!< values_[val] = input_vec[dst]
+            kAccFold,     //!< stage_[dst] = sum_k coeff[a+k] *
+                          //!< values_[acc_val[a+k]], k < b — the
+                          //!< column-task partial, products formed at
+                          //!< fold time in ordinal order (identical
+                          //!< bits to staging each product first,
+                          //!< since only addition order matters)
             kFoldForward, //!< stage_[dst] = fold of a node range
-            kFoldOutput,  //!< output_vec[tile][local] = fold
-            kFoldSolve,   //!< x = (rhs - fold) * inv_diag; also
+            kFoldOutput,  //!< output_vec[dst] = fold of [a, a+b)
+            kFoldSolve,   //!< x = (rhs[dst] - fold) * inv_diag; also
                           //!< values_[val] = x for the trigger
         };
         Op op = Op::kLoadRoot;
-        std::int32_t val = -1;   //!< value register
-        std::int32_t a = 0;      //!< fma begin / fold src
-        std::int32_t b = 0;      //!< fma end / fold count
-        std::int32_t dst = 0;    //!< fold destination (staging)
-        std::int32_t tile = -1;  //!< vector-storage tile
-        std::int32_t local = -1; //!< vector-storage local index
-        double inv_diag = 0.0;   //!< kFoldSolve reciprocal
+        std::int32_t val = -1; //!< value register
+        std::int32_t a = 0;    //!< acc-table / node-stage fold base
+        std::int32_t b = 0;    //!< fold count
+        std::int32_t dst = 0;  //!< stage slot (folds) or flat storage
+                               //!< index (loads/outputs/solves)
+        double inv_diag = 0.0; //!< kFoldSolve reciprocal
     };
 
     /** A matrix kernel compiled on its first execution. The queue
      *  walk's control flow depends only on the task graph, never on
      *  the flowing values, so one recorded walk yields a straight-line
      *  instruction tape that every later run replays — and the stats
-     *  delta of a walk is a per-kernel constant replayed with it. */
+     *  delta of a walk is a per-kernel constant replayed with it.
+     *
+     *  The column-task FMA table is stored structure-of-arrays
+     *  (acc_coeff / acc_val, indexed by the accumulator staging layout
+     *  of the cycle engine), and kAccFold consumes it directly —
+     *  replay never materializes per-product staging, halving the
+     *  tape's memory traffic versus the scatter-then-fold scheme. */
     struct KernelCache {
-        std::vector<TapeFma> fmas;
+        std::vector<double> acc_coeff;     //!< per-op coefficient
+        std::vector<std::int32_t> acc_val; //!< per-op value register
         std::vector<TapeInstr> instrs;
-        std::int32_t stage_size = 0; //!< flat fold-staging doubles
+        std::int32_t stage_size = 0; //!< node-fold staging doubles
         std::int32_t num_values = 0; //!< value registers (roots+solves)
         bool has_rhs = false;        //!< kernel.rhs_vec is a real vector
         SimStats delta;              //!< ops/messages/SRAM of one walk
@@ -155,7 +171,7 @@ class FunctionalEngine : public ExecutionEngine {
     /** Recording state of one compile walk (flat staging bases and
      *  the per-event stat tallies flushed into KernelCache::delta). */
     struct TapeRecorder {
-        std::vector<std::int32_t> acc_base;  //!< per-tile staging base
+        std::vector<std::int32_t> acc_base;  //!< per-tile acc-table base
         std::vector<std::int32_t> node_base; //!< per-tile staging base
         std::uint64_t fmac = 0;
         std::uint64_t add = 0;
@@ -194,11 +210,19 @@ class FunctionalEngine : public ExecutionEngine {
     const SolverProgram* prog_;
     TorusGeometry geom_;
 
-    /** Same sharded storage layout as the cycle engine, so slot
-     *  iteration order (and with it dot-partial fold order) is
-     *  identical by construction. */
-    std::vector<TileStorage> tiles_;
-    std::vector<std::int32_t> slot_local_; //!< global slot -> local idx
+    /** Flat per-vector storage in tile-major slot order (see the file
+     *  comment): vecs_[v][tile_begin_[t] + local] is slot `local` of
+     *  tile t — the same slot enumeration the cycle engine shards
+     *  per tile, so fold orders match by construction. */
+    std::array<std::vector<double>, static_cast<std::size_t>(
+                                        VecName::kCount)>
+        vecs_;
+    /** 1/diag(A) in the same flat layout (Jacobi), if used. */
+    std::vector<double> inv_diag_;
+    /** Flat-range start of each tile (num_tiles + 1 entries). */
+    std::vector<std::int32_t> tile_begin_;
+    /** Global slot -> flat storage index. */
+    std::vector<std::int32_t> slot_flat_;
 
     std::array<double, static_cast<std::size_t>(ScalarReg::kCount)>
         scalar_regs_{};
@@ -208,7 +232,8 @@ class FunctionalEngine : public ExecutionEngine {
     TreeTopology scalar_tree_;
     std::vector<std::vector<std::int32_t>> scalar_tree_children_;
 
-    /** Per-tile matrix-kernel scratch (fold buffers + countdowns). */
+    /** Per-tile matrix-kernel scratch (fold buffers + countdowns),
+     *  used only by the one recorded walk of each kernel. */
     struct TileScratch {
         std::vector<double> acc_contrib;
         std::vector<std::int32_t> acc_remaining;
@@ -221,7 +246,7 @@ class FunctionalEngine : public ExecutionEngine {
     std::vector<WorkItem> queue_;
     std::unordered_map<const MatrixKernel*, KernelCache>
         kernel_cache_;
-    /** Flat fold staging and value registers of a tape replay. */
+    /** Node-fold staging and value registers of a tape replay. */
     std::vector<double> stage_;
     std::vector<double> values_;
 

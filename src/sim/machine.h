@@ -40,6 +40,7 @@
 #include "sim/solver_driver.h"
 #include "sim/tile.h"
 #include "solver/vector_ops.h"
+#include "util/arena.h"
 #include "util/thread_pool.h"
 
 namespace azul {
@@ -293,6 +294,11 @@ class Machine : public ExecutionEngine {
      *  worker; lanes_[0] doubles as the coordinator's sink. */
     std::unique_ptr<ThreadPool> pool_;
     std::vector<EngineLane> lanes_;
+
+    /** Per-kernel scratch (dot partials, tree timing arrays). Owned by
+     *  the coordinating thread, Reset at each dot/scalar kernel entry;
+     *  workers only write through pointers it returned (util/arena.h). */
+    Arena scratch_arena_;
 };
 
 } // namespace azul

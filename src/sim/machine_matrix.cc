@@ -66,22 +66,29 @@ Machine::StartMatrixKernel(const MatrixKernel& kernel)
         TileRun& run = runs_[static_cast<std::size_t>(t)];
         run.contexts.clear();
         run.pending.clear();
-        run.acc_value.assign(tk.accums.size(), 0.0);
+        // The staging buffers (acc_contrib / node_contrib) and the
+        // write-only acc_value are resized without a zero fill: the
+        // build-time ordinals are a bijection onto [0, expected), so
+        // every staged slot is written before the fold that reads it.
+        // The busy timestamps and node_acc DO need zeroing — busy is
+        // compared against the monotonic clock before the first write,
+        // and zero-expected solve roots read node_acc unwritten.
+        run.acc_value.resize(tk.accums.size());
         run.acc_remaining.resize(tk.accums.size());
         for (std::size_t a = 0; a < tk.accums.size(); ++a) {
             run.acc_remaining[a] = tk.accums[a].expected;
         }
         run.acc_busy.assign(tk.accums.size(), 0);
-        run.acc_contrib.assign(
-            static_cast<std::size_t>(tk.acc_stage_size), 0.0);
+        run.acc_contrib.resize(
+            static_cast<std::size_t>(tk.acc_stage_size));
         run.node_acc.assign(tk.nodes.size(), 0.0);
         run.node_remaining.resize(tk.nodes.size());
         for (std::size_t nd = 0; nd < tk.nodes.size(); ++nd) {
             run.node_remaining[nd] = tk.nodes[nd].expected;
         }
         run.node_busy.assign(tk.nodes.size(), 0);
-        run.node_contrib.assign(
-            static_cast<std::size_t>(tk.node_stage_size), 0.0);
+        run.node_contrib.resize(
+            static_cast<std::size_t>(tk.node_stage_size));
         run.pe_busy_until = 0;
     }
     // Fire initial nodes.

@@ -18,6 +18,7 @@
 
 #include "sim/machine.h"
 #include "util/logging.h"
+#include "util/simd.h"
 
 namespace azul {
 
@@ -45,7 +46,12 @@ Machine::RunElementwise(const VectorKernel& kernel)
                    kernel.scale_reg)]);
 
     // Per-tile sweep: touches only the tile's own slots plus `sink`,
-    // so distinct tiles run concurrently without races.
+    // so distinct tiles run concurrently without races. The op switch
+    // and stats accounting are hoisted out of the element loop; the
+    // sweeps themselves are the shared SIMD-capable helpers
+    // (util/simd.h) both engines use. Per-element counts are batched
+    // (one op + two reads + one write per element), which sums to the
+    // same totals as counting inside the loop.
     const auto sweep_tile = [&](std::size_t tile,
                                 SimStats& sink) -> Index {
         TileStorage& storage = tiles_[tile];
@@ -53,40 +59,42 @@ Machine::RunElementwise(const VectorKernel& kernel)
             stats_.tile_ops[tile] +=
                 static_cast<std::uint64_t>(storage.NumSlots());
         }
-        auto& dst =
-            storage.vecs[static_cast<std::size_t>(kernel.dst)];
-        const auto& a =
-            storage.vecs[static_cast<std::size_t>(kernel.src_a)];
-        const auto& b2 =
-            storage.vecs[static_cast<std::size_t>(kernel.src_b)];
-        for (std::size_t i = 0; i < dst.size(); ++i) {
-            switch (kernel.op) {
-              case VecOpKind::kAxpy:
-                dst[i] += s * a[i];
-                sink.ops.Count(OpKind::kFmac);
-                break;
-              case VecOpKind::kXpby:
-                dst[i] = a[i] + s * dst[i];
-                sink.ops.Count(OpKind::kFmac);
-                break;
-              case VecOpKind::kSub:
-                dst[i] = a[i] - b2[i];
-                sink.ops.Count(OpKind::kAdd);
-                break;
-              case VecOpKind::kCopy:
-                dst[i] = a[i];
-                sink.ops.Count(OpKind::kMul);
-                break;
-              case VecOpKind::kDiagScale:
-                dst[i] = a[i] * storage.jacobi_inv_diag[i];
-                sink.ops.Count(OpKind::kMul);
-                break;
-              default:
-                throw AzulError("bad elementwise kernel");
-            }
-            sink.sram_reads += 2;
-            ++sink.sram_writes;
+        double* const dst =
+            storage.vecs[static_cast<std::size_t>(kernel.dst)].data();
+        const double* const a =
+            storage.vecs[static_cast<std::size_t>(kernel.src_a)]
+                .data();
+        const double* const b2 =
+            storage.vecs[static_cast<std::size_t>(kernel.src_b)]
+                .data();
+        const auto n = static_cast<std::size_t>(storage.NumSlots());
+        switch (kernel.op) {
+          case VecOpKind::kAxpy:
+            simd::Axpy(dst, a, s, n, cfg_.simd);
+            sink.ops.fmac += n;
+            break;
+          case VecOpKind::kXpby:
+            simd::Xpby(dst, a, s, n, cfg_.simd);
+            sink.ops.fmac += n;
+            break;
+          case VecOpKind::kSub:
+            simd::Sub(dst, a, b2, n, cfg_.simd);
+            sink.ops.add += n;
+            break;
+          case VecOpKind::kCopy:
+            simd::Copy(dst, a, n, cfg_.simd);
+            sink.ops.mul += n;
+            break;
+          case VecOpKind::kDiagScale:
+            simd::Mul(dst, a, storage.jacobi_inv_diag.data(), n,
+                      cfg_.simd);
+            sink.ops.mul += n;
+            break;
+          default:
+            throw AzulError("bad elementwise kernel");
         }
+        sink.sram_reads += 2 * n;
+        sink.sram_writes += n;
         return storage.NumSlots();
     };
 
@@ -131,10 +139,14 @@ Machine::RunDotReduce(const VectorKernel& kernel)
 
     // Local partials, one per tree node (i.e. per tile). Each node's
     // partial sums its own tile's slots in slot order regardless of
-    // thread count.
+    // thread count. Scratch lives in the kernel arena — steady-state
+    // dot products perform no heap allocation. Every entry is written
+    // by local_dot before it is read, so no zero fill is needed.
     const std::size_t num_nodes = scalar_tree_.size();
-    std::vector<double> partial(num_nodes, 0.0);
-    std::vector<Cycle> ready(num_nodes, 0);
+    scratch_arena_.Reset();
+    double* const partial =
+        scratch_arena_.AllocateArray<double>(num_nodes);
+    Cycle* const ready = scratch_arena_.AllocateArray<Cycle>(num_nodes);
     const auto local_dot = [&](std::size_t ni, SimStats& sink) {
         const TileStorage& ts = tiles_[static_cast<std::size_t>(
             scalar_tree_.tiles[ni])];
@@ -183,7 +195,8 @@ Machine::RunDotReduce(const VectorKernel& kernel)
 
     // Upward reduction: children precede parents in completion; tree
     // node indices have parents before children, so sweep backwards.
-    std::vector<Cycle> done = ready;
+    Cycle* const done = scratch_arena_.AllocateArray<Cycle>(num_nodes);
+    std::copy(ready, ready + num_nodes, done);
     for (std::size_t ni = num_nodes; ni-- > 0;) {
         for (std::int32_t ci : scalar_tree_children_[ni]) {
             const Cycle arrival =
@@ -232,7 +245,12 @@ Cycle
 Machine::BroadcastScalars(Cycle root_done, int values)
 {
     const std::size_t num_nodes = scalar_tree_.size();
-    std::vector<Cycle> down(num_nodes, 0);
+    // Callers are done with their own arena scratch once root_done is
+    // computed, so the arena can be rewound here. down[ci] is written
+    // when ci's parent is visited, and parents precede children in
+    // node order, so every read hits a written entry.
+    scratch_arena_.Reset();
+    Cycle* const down = scratch_arena_.AllocateArray<Cycle>(num_nodes);
     down[0] = root_done;
     Cycle finish = root_done;
     for (std::size_t ni = 0; ni < num_nodes; ++ni) {

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * A chunked bump allocator for per-kernel scratch buffers.
+ *
+ * The cycle engine used to allocate fresh std::vectors for every dot
+ * reduction and scalar broadcast (partial sums, tree timing arrays) —
+ * thousands of heap round-trips per solve. An Arena replaces that
+ * churn: allocation is a pointer bump into retained chunks, and
+ * Reset() makes the whole capacity reusable without freeing, so the
+ * steady state performs zero heap traffic (docs/PERFORMANCE.md,
+ * "Arena-allocated scratch").
+ *
+ * Chunks are never reallocated or merged, so pointers handed out
+ * between two Reset() calls stay valid for that whole window even as
+ * more allocations follow. Not thread-safe: each Arena must be owned
+ * by one coordinating thread (workers may *write through* pointers it
+ * returned, exactly like a pre-sized std::vector).
+ */
+#ifndef AZUL_UTIL_ARENA_H_
+#define AZUL_UTIL_ARENA_H_
+
+#include <cstddef>
+#include <cstring>
+#include <memory>
+#include <type_traits>
+#include <vector>
+
+namespace azul {
+
+/** Bump allocator over retained chunks; see the file comment. */
+class Arena {
+  public:
+    explicit Arena(std::size_t min_chunk_bytes = 64 * 1024)
+        : min_chunk_bytes_(min_chunk_bytes)
+    {
+    }
+
+    /**
+     * Allocates an uninitialized array of `count` Ts. T must be
+     * trivial: the arena never runs constructors or destructors.
+     */
+    template <typename T>
+    T*
+    AllocateArray(std::size_t count)
+    {
+        static_assert(std::is_trivial_v<T>,
+                      "Arena hands out raw storage only");
+        return static_cast<T*>(
+            AllocateBytes(count * sizeof(T), alignof(T)));
+    }
+
+    /** AllocateArray + zero fill. */
+    template <typename T>
+    T*
+    AllocateZeroed(std::size_t count)
+    {
+        T* p = AllocateArray<T>(count);
+        std::memset(static_cast<void*>(p), 0, count * sizeof(T));
+        return p;
+    }
+
+    /** Rewinds to empty, retaining every chunk for reuse. */
+    void
+    Reset()
+    {
+        chunk_index_ = 0;
+        offset_ = 0;
+    }
+
+    /** Total chunk capacity in bytes (diagnostics). */
+    std::size_t
+    capacity_bytes() const
+    {
+        std::size_t total = 0;
+        for (const Chunk& c : chunks_) {
+            total += c.size;
+        }
+        return total;
+    }
+
+  private:
+    struct Chunk {
+        std::unique_ptr<std::byte[]> data;
+        std::size_t size = 0;
+    };
+
+    void*
+    AllocateBytes(std::size_t bytes, std::size_t align)
+    {
+        if (bytes == 0) {
+            bytes = 1; // distinct non-null pointers, like operator new
+        }
+        while (chunk_index_ < chunks_.size()) {
+            Chunk& c = chunks_[chunk_index_];
+            const std::size_t aligned = Align(offset_, align);
+            if (aligned + bytes <= c.size) {
+                offset_ = aligned + bytes;
+                return c.data.get() + aligned;
+            }
+            // Chunk exhausted: move on; the leftover tail is reclaimed
+            // at the next Reset().
+            ++chunk_index_;
+            offset_ = 0;
+        }
+        Chunk c;
+        c.size = bytes > min_chunk_bytes_ ? bytes : min_chunk_bytes_;
+        c.data = std::make_unique<std::byte[]>(c.size);
+        chunks_.push_back(std::move(c));
+        chunk_index_ = chunks_.size() - 1;
+        offset_ = bytes;
+        return chunks_.back().data.get();
+    }
+
+    static std::size_t
+    Align(std::size_t offset, std::size_t align)
+    {
+        return (offset + align - 1) & ~(align - 1);
+    }
+
+    std::size_t min_chunk_bytes_;
+    std::vector<Chunk> chunks_;
+    std::size_t chunk_index_ = 0;
+    std::size_t offset_ = 0;
+};
+
+} // namespace azul
+
+#endif // AZUL_UTIL_ARENA_H_

@@ -136,6 +136,56 @@ TEST(BenchSmoke, ServiceThroughputRejectsBadEngine)
     EXPECT_NE(out.find("bad --engine"), std::string::npos) << out;
 }
 
+// The micro-kernel suite in its quick preset: banner + gmean footer,
+// JSON emission, and the regression-check script end to end — first
+// with an infinite threshold (must pass: exercises the parse/compare
+// path regardless of machine speed), then with an impossible one
+// (must exit non-zero: the gate demonstrably fails on "regression").
+TEST(BenchSmoke, MicroKernelsQuickRunsAndRegressionGateWorks)
+{
+    std::string out;
+    if (RunCommand("python3 --version", &out) != 0) {
+        GTEST_SKIP() << "python3 unavailable";
+    }
+
+    const std::string json =
+        ::testing::TempDir() + "/azul_micro_kernels.json";
+    std::remove(json.c_str());
+    const int status = RunCommand(std::string(AZUL_BENCH_MICRO_BIN) +
+                                      " --quick --json=" + json,
+                                  &out);
+    EXPECT_EQ(status, 0) << "bench exited non-zero; output:\n" << out;
+    EXPECT_NE(out.find("micro-kernels"), std::string::npos) << out;
+    EXPECT_NE(out.find("config:"), std::string::npos) << out;
+    EXPECT_NE(out.find("gmean"), std::string::npos) << out;
+    EXPECT_NE(out.find("functional_spmv_replay"), std::string::npos)
+        << out;
+
+    const std::string check = std::string("python3 ") +
+                              AZUL_REGRESSION_SCRIPT + " " + json +
+                              " --baseline " + AZUL_BENCH_BASELINE;
+    EXPECT_EQ(RunCommand(check + " --threshold 1e9", &out), 0)
+        << "regression check failed with infinite threshold:\n"
+        << out;
+    EXPECT_NE(out.find("ok"), std::string::npos) << out;
+
+    EXPECT_NE(RunCommand(check + " --threshold 1e-9", &out), 0)
+        << "regression gate passed an impossible threshold:\n"
+        << out;
+    EXPECT_NE(out.find("PERF REGRESSION"), std::string::npos) << out;
+}
+
+// A malformed flag is a usage error, not a crash.
+TEST(BenchSmoke, MicroKernelsRejectsUnknownFlag)
+{
+    std::string out;
+    EXPECT_NE(RunCommand(std::string(AZUL_BENCH_MICRO_BIN) +
+                             " --warp-factor=9",
+                         &out),
+              0);
+    EXPECT_NE(out.find("unknown argument"), std::string::npos) << out;
+}
+
 // secVID exercises the parallel partitioner and the mapping cache end
 // to end: two identical cached runs — the first all misses, the
 // second all hits — plus the speedup table.

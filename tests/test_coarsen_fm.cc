@@ -207,5 +207,46 @@ TEST(Fm, CutNeverIncreases)
     EXPECT_LE(BisectionCut(hg, part), before);
 }
 
+// The gain-bucket refiner must be a pure function of its input: the
+// bucket order (LIFO within a gain, lazy max cursor) is fully
+// deterministic, so repeated runs from the same start produce the
+// same moves, gain, and final partition.
+TEST(Fm, RepeatedRunsBitIdentical)
+{
+    const Hypergraph hg = PathHg(64);
+    std::vector<std::int32_t> start(64);
+    for (std::size_t i = 0; i < start.size(); ++i) {
+        start[i] = static_cast<std::int32_t>(i % 2);
+    }
+    std::vector<std::int32_t> first = start;
+    const Weight gain_first =
+        FmRefineBisection(hg, first, EvenSplit(hg));
+    for (int rep = 0; rep < 3; ++rep) {
+        std::vector<std::int32_t> part = start;
+        EXPECT_EQ(FmRefineBisection(hg, part, EvenSplit(hg)),
+                  gain_first);
+        EXPECT_EQ(part, first) << "run " << rep << " diverged";
+    }
+}
+
+// FmOptions::fm_seconds accumulates across calls (the hook behind
+// PartitionPhaseStats::fm_refine).
+TEST(Fm, TimerAccumulatesAcrossCalls)
+{
+    const Hypergraph hg = PathHg(64);
+    AtomicSeconds timer;
+    FmOptions opts;
+    opts.fm_seconds = &timer;
+    std::vector<std::int32_t> part(64);
+    for (std::size_t i = 0; i < part.size(); ++i) {
+        part[i] = static_cast<std::int32_t>(i % 2);
+    }
+    FmRefineBisection(hg, part, EvenSplit(hg), opts);
+    const double after_one = timer.seconds();
+    EXPECT_GT(after_one, 0.0);
+    FmRefineBisection(hg, part, EvenSplit(hg), opts);
+    EXPECT_GT(timer.seconds(), after_one);
+}
+
 } // namespace
 } // namespace azul

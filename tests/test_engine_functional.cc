@@ -237,6 +237,56 @@ INSTANTIATE_TEST_SUITE_P(
         return std::string(info.param.name);
     });
 
+// cfg.simd only swaps the loop annotation in util/simd.h — both paths
+// perform the same FP64 operation per element — so every solver,
+// mapping, engine, and host-thread count must produce bit-identical
+// numerics AND identical simulated timing with SIMD on and off
+// (docs/PERFORMANCE.md).
+TEST_P(FunctionalEngineTest, SimdAndScalarPathsBitIdentical)
+{
+    const EngineCase& tc = GetParam();
+    const Compiled c = Build(tc.kind, tc.mapper, /*grid=*/4);
+
+    for (const bool functional : {false, true}) {
+        for (const std::int32_t threads : {1, 2, 8}) {
+            SCOPED_TRACE(std::string(functional ? "functional"
+                                                : "cycle") +
+                         " sim_threads=" + std::to_string(threads));
+            SolverRunResult runs[2];
+            for (int simd = 0; simd < 2; ++simd) {
+                SimConfig cfg = c.cfg;
+                cfg.simd = simd == 1;
+                cfg.sim_threads = threads;
+                cfg.sim_parallel_grain = 1;
+                if (functional) {
+                    FunctionalEngine eng(cfg, &c.program);
+                    runs[simd] = SolverDriver().Run(
+                        eng, c.b, /*tol=*/0.0, tc.iters);
+                } else {
+                    Machine machine(cfg, &c.program);
+                    runs[simd] = SolverDriver().Run(
+                        machine, c.b, /*tol=*/0.0, tc.iters);
+                }
+            }
+            EXPECT_EQ(runs[0].iterations, runs[1].iterations);
+            ExpectBitEqual(runs[0].x, runs[1].x, "x");
+            ExpectBitEqual(runs[0].residual_history,
+                           runs[1].residual_history,
+                           "residual_history");
+            // Same engine on both sides: everything matches exactly,
+            // including the cycle engine's timing model.
+            EXPECT_EQ(runs[0].stats.cycles, runs[1].stats.cycles);
+            EXPECT_EQ(runs[0].stats.ops.fmac, runs[1].stats.ops.fmac);
+            EXPECT_EQ(runs[0].stats.ops.add, runs[1].stats.ops.add);
+            EXPECT_EQ(runs[0].stats.ops.mul, runs[1].stats.ops.mul);
+            EXPECT_EQ(runs[0].stats.sram_reads,
+                      runs[1].stats.sram_reads);
+            EXPECT_EQ(runs[0].stats.sram_writes,
+                      runs[1].stats.sram_writes);
+        }
+    }
+}
+
 // ---- Golden cross-check ------------------------------------------------
 
 /** FNV-1a over FP64 bit patterns — same hash as test_golden_traces. */

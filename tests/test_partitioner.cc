@@ -226,6 +226,38 @@ TEST(Partitioner, PhaseStatsPopulated)
     EXPECT_GE(phases.initial.seconds(), 0.0);
     EXPECT_GE(phases.refine.seconds(), 0.0);
     EXPECT_GE(phases.extract.seconds(), 0.0);
+    // The FM kernel ran (every level refines), and as a sub-measure
+    // of initial+refine it is NOT folded into total().
+    EXPECT_GT(phases.fm_refine.seconds(), 0.0);
+    EXPECT_LE(phases.fm_refine.seconds(),
+              phases.initial.seconds() + phases.refine.seconds() +
+                  1e-4); // nested intervals, tiny clock-read slack
+}
+
+// The gain-bucket FM refiner runs inside the parallel recursion tree:
+// the partition AND the fm_refine phase accounting must behave at
+// every thread count — identical partitions, timer populated.
+TEST(Partitioner, FmRefineDeterministicAcrossThreadCounts)
+{
+    const Hypergraph hg =
+        MatrixHg(RandomGeometricLaplacian(700, 8.0, 11));
+    PartitionerOptions opts;
+    opts.parallel_grain = 1; // maximally parallel schedule
+    std::vector<std::int32_t> serial;
+    for (int threads : {1, 2, 8}) {
+        opts.threads = threads;
+        PartitionPhaseStats phases;
+        const auto part = PartitionHypergraph(hg, 8, opts, &phases);
+        EXPECT_GT(phases.fm_refine.seconds(), 0.0)
+            << "fm timer empty at threads=" << threads;
+        if (threads == 1) {
+            serial = part;
+        } else {
+            EXPECT_EQ(part, serial)
+                << "FM-refined partition changed at threads="
+                << threads;
+        }
+    }
 }
 
 TEST(Partitioner, LargerKNeverReducesCutBelowSmallerK)

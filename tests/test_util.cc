@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include "util/arena.h"
 #include "util/common.h"
 #include "util/logging.h"
 #include "util/rng.h"
@@ -386,6 +387,86 @@ TEST(Logging, LevelFilterRoundTrip)
     SetLogLevel(LogLevel::kError);
     EXPECT_EQ(GetLogLevel(), LogLevel::kError);
     SetLogLevel(before);
+}
+
+TEST(Arena, AllocationsAreDisjointAndWritable)
+{
+    Arena arena(/*min_chunk_bytes=*/256);
+    double* a = arena.AllocateArray<double>(16);
+    double* b = arena.AllocateArray<double>(16);
+    ASSERT_NE(a, nullptr);
+    ASSERT_NE(b, nullptr);
+    for (int i = 0; i < 16; ++i) {
+        a[i] = 1.0 + i;
+        b[i] = -1.0 - i;
+    }
+    for (int i = 0; i < 16; ++i) {
+        EXPECT_DOUBLE_EQ(a[i], 1.0 + i);
+        EXPECT_DOUBLE_EQ(b[i], -1.0 - i);
+    }
+}
+
+TEST(Arena, AllocateZeroedZeroes)
+{
+    Arena arena;
+    // Dirty the storage first so the zero fill is observable after
+    // the Reset reuses it.
+    int* dirty = arena.AllocateArray<int>(64);
+    std::fill(dirty, dirty + 64, 0x5a5a5a5a);
+    arena.Reset();
+    const int* z = arena.AllocateZeroed<int>(64);
+    for (int i = 0; i < 64; ++i) {
+        EXPECT_EQ(z[i], 0) << i;
+    }
+}
+
+TEST(Arena, ResetReusesCapacityWithoutGrowth)
+{
+    Arena arena(/*min_chunk_bytes=*/1024);
+    arena.AllocateArray<double>(100);
+    const std::size_t cap = arena.capacity_bytes();
+    EXPECT_GT(cap, 0u);
+    for (int round = 0; round < 10; ++round) {
+        arena.Reset();
+        arena.AllocateArray<double>(100);
+        EXPECT_EQ(arena.capacity_bytes(), cap)
+            << "round " << round << " grew the arena";
+    }
+}
+
+TEST(Arena, OversizedRequestGetsOwnChunk)
+{
+    Arena arena(/*min_chunk_bytes=*/64);
+    // Far beyond min_chunk_bytes: must still be one contiguous block.
+    double* big = arena.AllocateArray<double>(4096);
+    big[0] = 1.0;
+    big[4095] = 2.0;
+    EXPECT_DOUBLE_EQ(big[0] + big[4095], 3.0);
+    EXPECT_GE(arena.capacity_bytes(), 4096 * sizeof(double));
+}
+
+TEST(Arena, PointersStableBetweenResets)
+{
+    // Chunks are never reallocated, so pointers handed out since the
+    // last Reset stay valid as later allocations land — the property
+    // Machine's per-kernel scratch relies on (sim/machine.h).
+    Arena arena(/*min_chunk_bytes=*/128);
+    double* first = arena.AllocateArray<double>(8);
+    first[0] = 42.0;
+    for (int i = 0; i < 32; ++i) {
+        arena.AllocateArray<double>(64); // forces new chunks
+    }
+    EXPECT_DOUBLE_EQ(first[0], 42.0);
+}
+
+TEST(Arena, ZeroCountYieldsDistinctNonNull)
+{
+    Arena arena;
+    double* a = arena.AllocateArray<double>(0);
+    double* b = arena.AllocateArray<double>(0);
+    EXPECT_NE(a, nullptr);
+    EXPECT_NE(b, nullptr);
+    EXPECT_NE(a, b);
 }
 
 } // namespace
