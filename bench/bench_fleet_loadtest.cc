@@ -1,0 +1,424 @@
+/**
+ * @file
+ * Fleet capacity model: open-loop load test of AzulFleet across
+ * instance counts (docs/FLEET.md, "Load-test methodology").
+ *
+ * Two phases per instance count:
+ *
+ *  1. Saturation: a closed-loop burst (every request admitted up
+ *     front, then Drain) measures the fleet's peak sustainable
+ *     throughput — saturation RPS.
+ *  2. Open loop: Poisson arrivals at --utilization x saturation.
+ *     Unlike a closed loop, the generator does not wait for
+ *     responses, so queueing delay is *visible*: per-request latency
+ *     is measured from the intended arrival time (generator lag +
+ *     queue + service), the way a real client would see it. Reported
+ *     as p50/p99/p999.
+ *
+ * Expectation: instances are independent AzulService processes-in-a-
+ * process — own scheduler, own thread pool — so saturation RPS scales
+ * near-linearly with instance count until the host runs out of cores
+ * (the 1->2 scaling footer should be >= 1.7x on a multi-core host),
+ * while open-loop tail latency at fixed utilization stays flat.
+ * Results per session stay bit-identical whatever the instance count
+ * (tests/test_fleet.cc asserts this; here we only measure).
+ *
+ * Mixed-tenant traffic: sessions cycle through the bench suite
+ * (--size-mix picks the small/large/mixed ends of the matrix-size
+ * distribution), and --warm-frac of requests warm-start from the
+ * session's previous solution, modeling time-stepped tenants.
+ *
+ * Flags (bench/common.h), plus:
+ *   --instances=L   comma list of instance counts    (default 1,2,4)
+ *   --sessions=N    tenant sessions                  (default 8)
+ *   --tpi=N         service threads per instance     (default 2)
+ *   --sat-requests=N closed-loop burst size          (default 24/session)
+ *   --duration=S    open-loop phase seconds          (default 2.0)
+ *   --warm-frac=F   fraction of warm-start requests  (default 0.5)
+ *   --utilization=F offered / saturation             (default 0.6)
+ *   --size-mix=M    small | large | mixed            (default mixed)
+ *   --seed=N        arrival-process seed             (default 42)
+ *
+ * The default engine here is functional: this bench measures
+ * router/scheduler capacity, not simulated hardware (pass
+ * --engine=cycle to model cycle-accurate serving).
+ */
+#include <chrono>
+#include <cstring>
+#include <random>
+#include <thread>
+
+#include "common.h"
+#include "fleet/azul_fleet.h"
+
+using namespace azul;
+using namespace azul::bench;
+
+namespace {
+
+struct LoadArgs {
+    std::vector<int> instances = {1, 2, 4};
+    int sessions = 8;
+    int threads_per_instance = 2;
+    int sat_requests = 0; //!< 0 = 24 per session
+    double duration = 2.0;
+    double warm_frac = 0.5;
+    double utilization = 0.6;
+    std::string size_mix = "mixed";
+    std::uint64_t seed = 42;
+};
+
+/** Strips the fleet flags before BenchArgs sees the rest. */
+LoadArgs
+ParseLoadArgs(int& argc, char** argv)
+{
+    LoadArgs out;
+    int w = 1;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg.rfind("--instances=", 0) == 0) {
+            out.instances.clear();
+            std::string rest = arg.substr(12);
+            std::size_t pos = 0;
+            while (pos < rest.size()) {
+                std::size_t comma = rest.find(',', pos);
+                if (comma == std::string::npos) {
+                    comma = rest.size();
+                }
+                out.instances.push_back(static_cast<int>(
+                    std::stol(rest.substr(pos, comma - pos))));
+                pos = comma + 1;
+            }
+        } else if (arg.rfind("--sessions=", 0) == 0) {
+            out.sessions = static_cast<int>(std::stol(arg.substr(11)));
+        } else if (arg.rfind("--tpi=", 0) == 0) {
+            out.threads_per_instance =
+                static_cast<int>(std::stol(arg.substr(6)));
+        } else if (arg.rfind("--sat-requests=", 0) == 0) {
+            out.sat_requests =
+                static_cast<int>(std::stol(arg.substr(15)));
+        } else if (arg.rfind("--duration=", 0) == 0) {
+            out.duration = std::stod(arg.substr(11));
+        } else if (arg.rfind("--warm-frac=", 0) == 0) {
+            out.warm_frac = std::stod(arg.substr(12));
+        } else if (arg.rfind("--utilization=", 0) == 0) {
+            out.utilization = std::stod(arg.substr(14));
+        } else if (arg.rfind("--size-mix=", 0) == 0) {
+            out.size_mix = arg.substr(11);
+        } else if (arg.rfind("--seed=", 0) == 0) {
+            out.seed = std::stoull(arg.substr(7));
+        } else {
+            argv[w++] = argv[i];
+        }
+    }
+    argc = w;
+    return out;
+}
+
+/** Applies --size-mix to the suite: the small or large end of the
+ *  matrix-size distribution, or the whole mix. */
+std::vector<BenchMatrix>
+ApplySizeMix(std::vector<BenchMatrix> suite, const std::string& mix)
+{
+    if (mix == "mixed" || suite.size() < 3) {
+        return suite;
+    }
+    std::sort(suite.begin(), suite.end(),
+              [](const BenchMatrix& a, const BenchMatrix& b) {
+                  return a.a.rows() < b.a.rows();
+              });
+    const std::size_t third = suite.size() / 3;
+    if (mix == "small") {
+        suite.resize(suite.size() - third);
+    } else if (mix == "large") {
+        suite.erase(suite.begin(),
+                    suite.begin() + static_cast<std::ptrdiff_t>(third));
+    } else {
+        std::fprintf(stderr,
+                     "bad --size-mix '%s' (want small, large, or "
+                     "mixed)\n",
+                     mix.c_str());
+        std::exit(2);
+    }
+    return suite;
+}
+
+struct FleetRow {
+    int instances = 0;
+    double saturation_rps = 0.0;
+    double offered_rps = 0.0;
+    double achieved_rps = 0.0;
+    double p50_ms = 0.0;
+    double p99_ms = 0.0;
+    double p999_ms = 0.0;
+    std::int64_t rejected = 0;
+};
+
+std::unique_ptr<AzulFleet>
+MakeFleet(int instances, const LoadArgs& load, const BenchArgs& bargs,
+          std::size_t max_queue)
+{
+    FleetOptions fopts;
+    fopts.num_instances = instances;
+    fopts.service.num_threads = load.threads_per_instance;
+    fopts.service.max_queue = max_queue;
+    fopts.service.mapping_cache_dir = bargs.cache_dir;
+    // A pure load generator: nothing is killed, so don't retain
+    // request payloads for replay.
+    fopts.record_replay_log = false;
+    StatusOr<std::unique_ptr<AzulFleet>> fleet =
+        AzulFleet::Create(std::move(fopts));
+    if (!fleet.ok()) {
+        std::fprintf(stderr, "fleet create: %s\n",
+                     fleet.status().ToString().c_str());
+        std::exit(1);
+    }
+    return *std::move(fleet);
+}
+
+std::vector<SessionId>
+OpenTenants(AzulFleet& fleet, const LoadArgs& load,
+            const std::vector<BenchMatrix>& suite,
+            const AzulOptions& base,
+            std::vector<const BenchMatrix*>& mats)
+{
+    std::vector<SessionId> ids;
+    for (int s = 0; s < load.sessions; ++s) {
+        const BenchMatrix& bm =
+            suite[static_cast<std::size_t>(s) % suite.size()];
+        const StatusOr<SessionId> id = fleet.OpenSession(
+            bm.a, base, "tenant-" + std::to_string(s));
+        if (!id.ok()) {
+            std::fprintf(stderr, "open: %s\n",
+                         id.status().ToString().c_str());
+            std::exit(1);
+        }
+        ids.push_back(*id);
+        mats.push_back(&bm);
+    }
+    return ids;
+}
+
+FleetRow
+RunInstancePoint(int instances, const LoadArgs& load,
+                 const BenchArgs& bargs,
+                 const std::vector<BenchMatrix>& suite,
+                 const AzulOptions& base)
+{
+    FleetRow row;
+    row.instances = instances;
+    const int sat_requests = load.sat_requests > 0
+                                 ? load.sat_requests
+                                 : 24 * load.sessions;
+
+    // ---- Phase 1: closed-loop saturation burst -------------------------
+    {
+        std::unique_ptr<AzulFleet> fleet = MakeFleet(
+            instances, load, bargs,
+            static_cast<std::size_t>(sat_requests) + 16);
+        std::vector<const BenchMatrix*> mats;
+        std::vector<SessionId> ids =
+            OpenTenants(*fleet, load, suite, base, mats);
+        // Warm every tenant once outside the measured region so the
+        // warm-start fraction has a previous solution to start from.
+        for (int s = 0; s < load.sessions; ++s) {
+            const std::size_t si = static_cast<std::size_t>(s);
+            (void)*fleet->SubmitSolve(ids[si], mats[si]->b);
+        }
+        fleet->Drain();
+
+        std::mt19937_64 rng(load.seed);
+        std::uniform_real_distribution<double> uni(0.0, 1.0);
+        const auto t0 = std::chrono::steady_clock::now();
+        std::vector<RequestId> reqs;
+        reqs.reserve(static_cast<std::size_t>(sat_requests));
+        for (int r = 0; r < sat_requests; ++r) {
+            const std::size_t si =
+                static_cast<std::size_t>(r % load.sessions);
+            SubmitOptions sopts;
+            sopts.warm_start = uni(rng) < load.warm_frac;
+            const StatusOr<RequestId> id =
+                fleet->SubmitSolve(ids[si], mats[si]->b, sopts);
+            if (id.ok()) {
+                reqs.push_back(*id);
+            } else {
+                ++row.rejected;
+            }
+        }
+        fleet->Drain();
+        const double wall = std::chrono::duration<double>(
+                                std::chrono::steady_clock::now() - t0)
+                                .count();
+        row.saturation_rps = static_cast<double>(reqs.size()) / wall;
+        for (const RequestId id : reqs) {
+            (void)fleet->Wait(id);
+        }
+    }
+
+    // ---- Phase 2: open-loop Poisson arrivals ---------------------------
+    {
+        row.offered_rps = load.utilization * row.saturation_rps;
+        const int expected = static_cast<int>(row.offered_rps *
+                                              load.duration) +
+                             16;
+        std::unique_ptr<AzulFleet> fleet =
+            MakeFleet(instances, load, bargs,
+                      static_cast<std::size_t>(expected) * 2);
+        std::vector<const BenchMatrix*> mats;
+        std::vector<SessionId> ids =
+            OpenTenants(*fleet, load, suite, base, mats);
+        for (int s = 0; s < load.sessions; ++s) {
+            const std::size_t si = static_cast<std::size_t>(s);
+            (void)*fleet->SubmitSolve(ids[si], mats[si]->b);
+        }
+        fleet->Drain();
+
+        std::mt19937_64 rng(load.seed ^ 0x9e3779b97f4a7c15ULL);
+        std::exponential_distribution<double> interarrival(
+            row.offered_rps);
+        std::uniform_real_distribution<double> uni(0.0, 1.0);
+        std::uniform_int_distribution<int> pick(0, load.sessions - 1);
+
+        struct InFlight {
+            RequestId id = 0;
+            double lag_ms = 0.0; //!< intended arrival -> admission
+        };
+        std::vector<InFlight> inflight;
+        const auto start = std::chrono::steady_clock::now();
+        double next_arrival = 0.0; // seconds since start
+        std::int64_t submitted = 0;
+        while (next_arrival < load.duration) {
+            const auto intended =
+                start + std::chrono::duration_cast<
+                            std::chrono::steady_clock::duration>(
+                            std::chrono::duration<double>(
+                                next_arrival));
+            // Open loop: arrivals keep their schedule no matter how
+            // the fleet is doing; falling behind shows up as lag.
+            std::this_thread::sleep_until(intended);
+            const std::size_t si =
+                static_cast<std::size_t>(pick(rng));
+            SubmitOptions sopts;
+            sopts.warm_start = uni(rng) < load.warm_frac;
+            const auto before = std::chrono::steady_clock::now();
+            const StatusOr<RequestId> id =
+                fleet->SubmitSolve(ids[si], mats[si]->b, sopts);
+            ++submitted;
+            if (id.ok()) {
+                InFlight f;
+                f.id = *id;
+                f.lag_ms = std::chrono::duration<double>(before -
+                                                         intended)
+                               .count() *
+                           1e3;
+                inflight.push_back(f);
+            } else {
+                ++row.rejected;
+            }
+            next_arrival += interarrival(rng);
+        }
+        const auto submit_end = std::chrono::steady_clock::now();
+
+        std::vector<double> latencies_ms;
+        latencies_ms.reserve(inflight.size());
+        for (const InFlight& f : inflight) {
+            const StatusOr<SolveResponse> resp = fleet->Wait(f.id);
+            if (!resp.ok() || !resp->status.ok()) {
+                continue; // deadline/rejection: not a latency sample
+            }
+            latencies_ms.push_back(f.lag_ms +
+                                   (resp->queue_seconds +
+                                    resp->service_seconds) *
+                                       1e3);
+        }
+        const double submit_wall =
+            std::chrono::duration<double>(submit_end - start).count();
+        row.achieved_rps =
+            static_cast<double>(latencies_ms.size()) / submit_wall;
+        row.p50_ms = Percentile(latencies_ms, 50.0);
+        row.p99_ms = Percentile(latencies_ms, 99.0);
+        row.p999_ms = Percentile(latencies_ms, 99.9);
+        (void)submitted;
+    }
+    return row;
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    LoadArgs load = ParseLoadArgs(argc, argv);
+    BenchArgs args = BenchArgs::Parse(argc, argv);
+    if (args.quick) {
+        load.instances = {1, 2};
+        load.sessions = 4;
+        load.sat_requests = 32;
+        load.duration = 0.5;
+    }
+    PrintBanner(
+        "fleet load test: saturation RPS and open-loop tail latency "
+        "vs instance count",
+        "sessions shard cleanly, so instances scale like independent "
+        "machines until the host runs out of cores; open-loop tails "
+        "stay flat at fixed utilization",
+        args);
+
+    AzulOptions base = BaseOptions(args);
+    if (args.engine.empty()) {
+        // Capacity model by default: the functional engine serves
+        // bit-identical numerics at a fraction of the cycle cost.
+        base.engine = EngineKind::kFunctional;
+    }
+    base.tol = 1e-6;
+    base.max_iters = 500;
+
+    const std::vector<BenchMatrix> suite =
+        ApplySizeMix(LoadSuite(args), load.size_mix);
+    std::printf("%d tenants over %zu matrices (%s mix), %.0f%% "
+                "warm-start, %d threads/instance, open loop at "
+                "%.0f%% of saturation for %.1fs (host has %u "
+                "hardware threads)\n\n",
+                load.sessions, suite.size(), load.size_mix.c_str(),
+                load.warm_frac * 100.0, load.threads_per_instance,
+                load.utilization * 100.0, load.duration,
+                std::thread::hardware_concurrency());
+
+    std::printf("%-10s %12s %12s %12s %9s %9s %9s %9s\n", "instances",
+                "sat-rps", "offered-rps", "achieved", "p50-ms",
+                "p99-ms", "p999-ms", "rejected");
+    std::vector<FleetRow> rows;
+    for (const int n : load.instances) {
+        const FleetRow row =
+            RunInstancePoint(n, load, args, suite, base);
+        std::printf("%-10d %12.1f %12.1f %12.1f %9.2f %9.2f %9.2f "
+                    "%9lld\n",
+                    row.instances, row.saturation_rps,
+                    row.offered_rps, row.achieved_rps, row.p50_ms,
+                    row.p99_ms, row.p999_ms,
+                    static_cast<long long>(row.rejected));
+        rows.push_back(row);
+    }
+
+    // Scaling footer: saturation throughput relative to 1 instance.
+    const FleetRow* one = nullptr;
+    for (const FleetRow& r : rows) {
+        if (r.instances == 1) {
+            one = &r;
+        }
+    }
+    if (one != nullptr && rows.size() > 1) {
+        std::printf("\nsaturation scaling vs 1 instance:\n");
+        for (const FleetRow& r : rows) {
+            if (r.instances == 1) {
+                continue;
+            }
+            std::printf("%-10d %11.2fx\n", r.instances,
+                        r.saturation_rps / one->saturation_rps);
+        }
+        std::printf("(>= 1.7x at 2 instances on a multi-core host; "
+                    "flat on a single core, where instances share "
+                    "the one hardware thread)\n");
+    }
+    return 0;
+}

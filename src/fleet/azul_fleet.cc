@@ -1,0 +1,804 @@
+#include "fleet/azul_fleet.h"
+
+#include <sstream>
+#include <utility>
+
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace azul {
+
+namespace {
+
+/** Ring-point seed; any fixed constant works, it only has to be the
+ *  same on every fleet so tests can predict placement. */
+constexpr std::uint64_t kRingSeed = 0xf1ee'7a21ULL;
+
+/** FNV-1a over the session name, finalized through SplitMix64 so
+ *  short names still spread over the whole ring. */
+std::uint64_t
+HashName(const std::string& name)
+{
+    std::uint64_t h = 1469598103934665603ULL;
+    for (const char c : name) {
+        h ^= static_cast<unsigned char>(c);
+        h *= 1099511628211ULL;
+    }
+    return SplitMix64(h);
+}
+
+} // namespace
+
+StatusOr<std::unique_ptr<AzulFleet>>
+AzulFleet::Create(FleetOptions options)
+{
+    if (options.num_instances < 1) {
+        std::ostringstream oss;
+        oss << "num_instances must be >= 1 (got "
+            << options.num_instances << ")";
+        return InvalidArgument(oss.str());
+    }
+    if (options.virtual_nodes < 1) {
+        std::ostringstream oss;
+        oss << "virtual_nodes must be >= 1 (got "
+            << options.virtual_nodes << ")";
+        return InvalidArgument(oss.str());
+    }
+    std::unique_ptr<AzulFleet> fleet(new AzulFleet(std::move(options)));
+    AZUL_RETURN_IF_ERROR(fleet->Start());
+    return fleet;
+}
+
+AzulFleet::AzulFleet(FleetOptions options) : options_(std::move(options)) {}
+
+Status
+AzulFleet::Start()
+{
+    services_.reserve(static_cast<std::size_t>(options_.num_instances));
+    for (int i = 0; i < options_.num_instances; ++i) {
+        StatusOr<std::unique_ptr<AzulService>> svc =
+            AzulService::Create(options_.service);
+        if (!svc.ok()) {
+            return svc.status();
+        }
+        services_.push_back(std::move(*svc));
+        live_.push_back(true);
+        for (int v = 0; v < options_.virtual_nodes; ++v) {
+            ring_[MixSeed(kRingSeed,
+                          static_cast<std::uint64_t>(i) + 1,
+                          static_cast<std::uint64_t>(v) + 1)] = i;
+        }
+        ++fleet_counters_.instances_started;
+    }
+    AZUL_LOG(kInfo) << "fleet: started " << services_.size()
+                    << " instances x " << options_.service.num_threads
+                    << " threads";
+    return OkStatus();
+}
+
+AzulFleet::~AzulFleet()
+{
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        shutdown_ = true;
+    }
+    Drain();
+    // Instance destructors drain again (a no-op now) and stop their
+    // schedulers; retired instances finish discarding their work here.
+    services_.clear();
+}
+
+int
+AzulFleet::RouteKey(std::uint64_t key) const
+{
+    if (ring_.empty()) {
+        return -1;
+    }
+    auto it = ring_.upper_bound(key);
+    if (it == ring_.end()) {
+        it = ring_.begin(); // wrap around
+    }
+    return it->second;
+}
+
+StatusOr<SessionId>
+AzulFleet::OpenSession(CsrMatrix a, AzulOptions opts, std::string name)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    if (shutdown_) {
+        ++fleet_counters_.router_rejected;
+        return Unavailable("fleet is shutting down");
+    }
+    const SessionId id = next_session_;
+    if (name.empty()) {
+        name = "fleet-session-" + std::to_string(id);
+    }
+    for (const auto& [sid, rec] : sessions_) {
+        if (rec.name == name) {
+            ++fleet_counters_.router_rejected;
+            return InvalidArgument(
+                "session name '" + name +
+                "' is already used in this fleet (names key routing "
+                "and checkpoint files)");
+        }
+    }
+    const std::uint64_t key = HashName(name);
+    const int idx = RouteKey(key);
+    AZUL_CHECK_MSG(idx >= 0, "fleet routing ring is empty");
+
+    SessionRec rec;
+    rec.name = name;
+    rec.key = key;
+    rec.opts = opts;
+    // The stored options must outlive this call; a caller-owned
+    // precomputed mapping would dangle by reopen time.
+    rec.opts.precomputed_mapping = nullptr;
+    rec.ckpt_a = a;
+    rec.current_a = a;
+    rec.instance = idx;
+
+    StatusOr<SessionId> local =
+        services_[static_cast<std::size_t>(idx)]->OpenSession(
+            std::move(a), std::move(opts), name);
+    if (!local.ok()) {
+        return local.status();
+    }
+    rec.local = *local;
+    next_session_ = id + 1;
+    sessions_.emplace(id, std::move(rec));
+    return id;
+}
+
+StatusOr<AzulService::RestoreResult>
+AzulFleet::RestoreSession(CsrMatrix a, AzulOptions opts, std::string name,
+                          const std::string& state_dir)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    if (shutdown_) {
+        ++fleet_counters_.router_rejected;
+        return Unavailable("fleet is shutting down");
+    }
+    if (name.empty()) {
+        ++fleet_counters_.router_rejected;
+        return InvalidArgument("RestoreSession needs a session name");
+    }
+    for (const auto& [sid, rec] : sessions_) {
+        if (rec.name == name) {
+            ++fleet_counters_.router_rejected;
+            return InvalidArgument("session name '" + name +
+                                   "' is already used in this fleet");
+        }
+    }
+    const std::uint64_t key = HashName(name);
+    const int idx = RouteKey(key);
+    AZUL_CHECK_MSG(idx >= 0, "fleet routing ring is empty");
+
+    SessionRec rec;
+    rec.name = name;
+    rec.key = key;
+    rec.opts = opts;
+    rec.opts.precomputed_mapping = nullptr;
+    rec.ckpt_a = a;
+    rec.current_a = a;
+    rec.instance = idx;
+
+    StatusOr<AzulService::RestoreResult> result =
+        services_[static_cast<std::size_t>(idx)]->RestoreSession(
+            std::move(a), std::move(opts), name, state_dir);
+    if (!result.ok()) {
+        return result.status();
+    }
+    rec.local = result->session;
+    // A successful warm restore doubles as the session's replay
+    // checkpoint: a kill re-restores from the same files.
+    if (result->restored) {
+        rec.ckpt_dir = state_dir;
+    }
+    const SessionId id = next_session_++;
+    sessions_.emplace(id, std::move(rec));
+    result->session = id;
+    return result;
+}
+
+Status
+AzulFleet::CloseSession(SessionId session)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = sessions_.find(session);
+    if (it == sessions_.end()) {
+        std::ostringstream oss;
+        oss << "unknown fleet session id " << session;
+        return NotFound(oss.str());
+    }
+    SessionRec& rec = it->second;
+    rec.closed = true;
+    if (rec.instance < 0) {
+        return OkStatus(); // already riding out on a retired instance
+    }
+    return services_[static_cast<std::size_t>(rec.instance)]
+        ->CloseSession(rec.local);
+}
+
+StatusOr<RequestId>
+AzulFleet::SubmitPayload(SessionId session, Payload payload)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    if (shutdown_) {
+        ++fleet_counters_.router_rejected;
+        return Unavailable("fleet is shutting down");
+    }
+    auto it = sessions_.find(session);
+    if (it == sessions_.end()) {
+        ++fleet_counters_.router_rejected;
+        std::ostringstream oss;
+        oss << "unknown fleet session id " << session;
+        return NotFound(oss.str());
+    }
+    SessionRec& rec = it->second;
+    if (rec.instance < 0) {
+        ++fleet_counters_.router_rejected;
+        return FailedPrecondition("session '" + rec.name +
+                                  "' is closed (instance retired)");
+    }
+    const std::shared_ptr<AzulService>& svc =
+        services_[static_cast<std::size_t>(rec.instance)];
+
+    auto shared = std::make_shared<Payload>(std::move(payload));
+    StatusOr<RequestId> local = 0;
+    switch (shared->kind) {
+    case RequestKind::kSolve:
+        local = svc->SubmitSolve(rec.local, shared->b, shared->opts);
+        break;
+    case RequestKind::kUpdateValues:
+        local =
+            svc->SubmitUpdateValues(rec.local, shared->a_new, shared->opts);
+        break;
+    case RequestKind::kUpdateMatrix:
+        local =
+            svc->SubmitUpdateMatrix(rec.local, shared->a_new, shared->opts);
+        break;
+    }
+    if (!local.ok()) {
+        // Typed instance rejection (queue full, closed, bad rhs...)
+        // passes through the router unchanged; rejected requests are
+        // never logged for replay.
+        return local.status();
+    }
+    const RequestId id = next_request_++;
+    shared->fleet_id = id;
+    if (shared->kind != RequestKind::kSolve) {
+        // What a drain reopens with: updates are applied in admission
+        // order, and the drain path only runs after a full Drain().
+        rec.current_a = shared->a_new;
+    }
+    Binding binding;
+    binding.fleet_session = session;
+    binding.svc = svc;
+    binding.local = *local;
+    binding.payload = shared;
+    bindings_.emplace(id, std::move(binding));
+    if (options_.record_replay_log) {
+        rec.log.push_back(std::move(shared));
+    }
+    return id;
+}
+
+StatusOr<RequestId>
+AzulFleet::SubmitSolve(SessionId session, Vector b, SubmitOptions opts)
+{
+    Payload p;
+    p.kind = RequestKind::kSolve;
+    p.b = std::move(b);
+    p.opts = std::move(opts);
+    return SubmitPayload(session, std::move(p));
+}
+
+StatusOr<std::vector<RequestId>>
+AzulFleet::SubmitBatch(SessionId session, std::vector<Vector> rhs,
+                       SubmitOptions opts)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    if (shutdown_) {
+        ++fleet_counters_.router_rejected;
+        return Unavailable("fleet is shutting down");
+    }
+    auto it = sessions_.find(session);
+    if (it == sessions_.end()) {
+        ++fleet_counters_.router_rejected;
+        std::ostringstream oss;
+        oss << "unknown fleet session id " << session;
+        return NotFound(oss.str());
+    }
+    SessionRec& rec = it->second;
+    if (rec.instance < 0) {
+        ++fleet_counters_.router_rejected;
+        return FailedPrecondition("session '" + rec.name +
+                                  "' is closed (instance retired)");
+    }
+    const std::shared_ptr<AzulService>& svc =
+        services_[static_cast<std::size_t>(rec.instance)];
+
+    std::vector<Vector> copies = rhs; // replay log keeps its own copy
+    StatusOr<std::vector<RequestId>> locals =
+        svc->SubmitBatch(rec.local, std::move(rhs), opts);
+    if (!locals.ok()) {
+        return locals.status(); // atomic: nothing admitted, nothing logged
+    }
+    std::vector<RequestId> ids;
+    ids.reserve(locals->size());
+    for (std::size_t i = 0; i < locals->size(); ++i) {
+        auto shared = std::make_shared<Payload>();
+        shared->kind = RequestKind::kSolve;
+        shared->b = std::move(copies[i]);
+        shared->opts = opts;
+        const RequestId id = next_request_++;
+        shared->fleet_id = id;
+        Binding binding;
+        binding.fleet_session = session;
+        binding.svc = svc;
+        binding.local = (*locals)[i];
+        binding.payload = shared;
+        bindings_.emplace(id, std::move(binding));
+        if (options_.record_replay_log) {
+            rec.log.push_back(std::move(shared));
+        }
+        ids.push_back(id);
+    }
+    return ids;
+}
+
+StatusOr<RequestId>
+AzulFleet::SubmitUpdateValues(SessionId session, CsrMatrix a_new,
+                              SubmitOptions opts)
+{
+    Payload p;
+    p.kind = RequestKind::kUpdateValues;
+    p.a_new = std::move(a_new);
+    p.opts = std::move(opts);
+    return SubmitPayload(session, std::move(p));
+}
+
+StatusOr<RequestId>
+AzulFleet::SubmitUpdateMatrix(SessionId session, CsrMatrix a_new,
+                              SubmitOptions opts)
+{
+    Payload p;
+    p.kind = RequestKind::kUpdateMatrix;
+    p.a_new = std::move(a_new);
+    p.opts = std::move(opts);
+    return SubmitPayload(session, std::move(p));
+}
+
+StatusOr<SolveResponse>
+AzulFleet::Wait(RequestId id)
+{
+    for (;;) {
+        std::shared_ptr<AzulService> svc;
+        RequestId local = 0;
+        std::uint64_t generation = 0;
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            auto it = bindings_.find(id);
+            if (it == bindings_.end()) {
+                std::ostringstream oss;
+                oss << "unknown or already-waited fleet request id "
+                    << id;
+                return NotFound(oss.str());
+            }
+            if (!it->second.failed.ok()) {
+                // The replay resubmission was rejected; surface that
+                // instead of blocking forever.
+                Status st = it->second.failed;
+                it->second.payload->delivered = true;
+                bindings_.erase(it);
+                return st;
+            }
+            svc = it->second.svc;
+            local = it->second.local;
+            generation = it->second.generation;
+        }
+        StatusOr<SolveResponse> resp = svc->Wait(local);
+        std::lock_guard<std::mutex> lock(mu_);
+        auto it = bindings_.find(id);
+        if (it == bindings_.end()) {
+            // A concurrent Wait on the same id won the race.
+            std::ostringstream oss;
+            oss << "unknown or already-waited fleet request id " << id;
+            return NotFound(oss.str());
+        }
+        if (it->second.generation != generation) {
+            // The owning instance was killed while we waited and the
+            // request replayed elsewhere; drop the stale response (if
+            // any) and wait on the new binding.
+            if (resp.ok()) {
+                ++fleet_counters_.responses_discarded;
+            }
+            continue;
+        }
+        const SessionId fleet_session = it->second.fleet_session;
+        it->second.payload->delivered = true;
+        bindings_.erase(it);
+        if (!resp.ok()) {
+            return resp.status();
+        }
+        resp->id = id;
+        resp->session = fleet_session;
+        return resp;
+    }
+}
+
+void
+AzulFleet::Drain()
+{
+    std::vector<std::shared_ptr<AzulService>> all;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        all = services_;
+    }
+    // Retired instances drain too: their discarded work must settle
+    // before stats invariants (submitted == completed) can hold.
+    for (const std::shared_ptr<AzulService>& svc : all) {
+        if (svc) {
+            svc->Drain();
+        }
+    }
+}
+
+Status
+AzulFleet::SaveSession(SessionId session, const std::string& state_dir)
+{
+    std::shared_ptr<AzulService> svc;
+    SessionId local = 0;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        auto it = sessions_.find(session);
+        if (it == sessions_.end()) {
+            std::ostringstream oss;
+            oss << "unknown fleet session id " << session;
+            return NotFound(oss.str());
+        }
+        if (it->second.instance < 0) {
+            return FailedPrecondition("session '" + it->second.name +
+                                      "' retired with its instance");
+        }
+        svc = services_[static_cast<std::size_t>(it->second.instance)];
+        local = it->second.local;
+    }
+    return svc->SaveSession(local, state_dir);
+}
+
+Status
+AzulFleet::Checkpoint()
+{
+    if (options_.state_dir.empty()) {
+        return FailedPrecondition(
+            "fleet has no state_dir configured for checkpoints");
+    }
+    Drain();
+    std::lock_guard<std::mutex> lock(mu_);
+    Status first_error;
+    for (auto& [id, rec] : sessions_) {
+        if (rec.closed || rec.instance < 0) {
+            continue;
+        }
+        const std::shared_ptr<AzulService>& svc =
+            services_[static_cast<std::size_t>(rec.instance)];
+        const Status st = svc->SaveSession(rec.local, options_.state_dir);
+        if (st.ok()) {
+            rec.ckpt_a = rec.current_a;
+            rec.ckpt_dir = options_.state_dir;
+            rec.log.clear();
+        } else if (st.code() == StatusCode::kFailedPrecondition) {
+            // No completed solve yet — nothing warm to save; the
+            // session keeps replaying from its previous restart point.
+        } else if (first_error.ok()) {
+            first_error = st;
+        }
+    }
+    return first_error;
+}
+
+Status
+AzulFleet::RehashSessions(int index, bool replay)
+{
+    Status first_error;
+    for (auto& [id, rec] : sessions_) {
+        if (rec.instance != index) {
+            continue;
+        }
+        if (rec.closed) {
+            // Closed sessions ride out on the retired instance: their
+            // undelivered responses stay retrievable through the old
+            // bindings, and nothing new can be admitted.
+            rec.instance = -1;
+            continue;
+        }
+        const int new_idx = RouteKey(rec.key);
+        AZUL_CHECK_MSG(new_idx >= 0 && new_idx != index,
+                       "rehash routed to the removed instance");
+        const std::shared_ptr<AzulService>& dst =
+            services_[static_cast<std::size_t>(new_idx)];
+
+        // Pick the state to reopen from: a drain moved a quiescent,
+        // freshly-checkpointed session (current state); a kill goes
+        // back to the last checkpoint and replays.
+        const CsrMatrix& base = replay ? rec.ckpt_a : rec.current_a;
+        bool warm = !rec.ckpt_dir.empty();
+        if (warm) {
+            StatusOr<AzulService::RestoreResult> restored =
+                dst->RestoreSession(base, rec.opts, rec.name,
+                                    rec.ckpt_dir);
+            if (!restored.ok()) {
+                if (first_error.ok()) {
+                    first_error = restored.status();
+                }
+                rec.instance = -1;
+                continue;
+            }
+            rec.local = restored->session;
+            if (!restored->restored) {
+                AZUL_LOG(kWarn)
+                    << "fleet: session '" << rec.name
+                    << "' lost its warm state moving off instance "
+                    << index << ": "
+                    << restored->restore_status.ToString();
+            }
+        } else {
+            StatusOr<SessionId> opened =
+                dst->OpenSession(base, rec.opts, rec.name);
+            if (!opened.ok()) {
+                if (first_error.ok()) {
+                    first_error = opened.status();
+                }
+                rec.instance = -1;
+                continue;
+            }
+            rec.local = *opened;
+        }
+        rec.instance = new_idx;
+        ++fleet_counters_.sessions_rehashed;
+
+        if (!replay) {
+            // The move itself was the checkpoint.
+            rec.ckpt_a = rec.current_a;
+            rec.log.clear();
+            continue;
+        }
+        // Replay every request admitted since the checkpoint, in
+        // admission order. Delivered ones rebuild state (their new
+        // responses go unclaimed); undelivered ones are re-bound so a
+        // blocked Wait() picks up the replayed response.
+        for (const std::shared_ptr<Payload>& p : rec.log) {
+            StatusOr<RequestId> local = 0;
+            switch (p->kind) {
+            case RequestKind::kSolve:
+                local = dst->SubmitSolve(rec.local, p->b, p->opts);
+                break;
+            case RequestKind::kUpdateValues:
+                local =
+                    dst->SubmitUpdateValues(rec.local, p->a_new, p->opts);
+                break;
+            case RequestKind::kUpdateMatrix:
+                local =
+                    dst->SubmitUpdateMatrix(rec.local, p->a_new, p->opts);
+                break;
+            }
+            ++fleet_counters_.requests_replayed;
+            if (p->delivered) {
+                if (!local.ok() && first_error.ok()) {
+                    // State reconstruction is now incomplete; the
+                    // session may diverge. Size max_queue for the
+                    // replay burst (docs/FLEET.md).
+                    first_error = local.status();
+                }
+                continue;
+            }
+            auto bit = bindings_.find(p->fleet_id);
+            if (bit == bindings_.end()) {
+                continue; // delivered between kill and rehash
+            }
+            Binding& b = bit->second;
+            if (local.ok()) {
+                b.svc = dst;
+                b.local = *local;
+            } else {
+                b.failed = local.status();
+            }
+            ++b.generation;
+        }
+    }
+    return first_error;
+}
+
+Status
+AzulFleet::DrainInstance(int index)
+{
+    if (options_.state_dir.empty()) {
+        return FailedPrecondition(
+            "fleet has no state_dir configured; drain needs it to "
+            "checkpoint the moving sessions");
+    }
+    std::lock_guard<std::mutex> lock(mu_);
+    if (index < 0 || index >= static_cast<int>(services_.size())) {
+        std::ostringstream oss;
+        oss << "no instance " << index << " (started "
+            << services_.size() << ")";
+        return InvalidArgument(oss.str());
+    }
+    if (!live_[static_cast<std::size_t>(index)]) {
+        std::ostringstream oss;
+        oss << "instance " << index << " was already removed";
+        return FailedPrecondition(oss.str());
+    }
+    if (num_live_locked() <= 1) {
+        return FailedPrecondition(
+            "cannot remove the last live instance");
+    }
+    live_[static_cast<std::size_t>(index)] = false;
+    for (int v = 0; v < options_.virtual_nodes; ++v) {
+        ring_.erase(MixSeed(kRingSeed,
+                            static_cast<std::uint64_t>(index) + 1,
+                            static_cast<std::uint64_t>(v) + 1));
+    }
+    ++fleet_counters_.instances_drained;
+
+    const std::shared_ptr<AzulService>& old =
+        services_[static_cast<std::size_t>(index)];
+    // Graceful: every admitted request finishes before the sessions
+    // move, so the checkpoint captures the current state exactly.
+    old->Drain();
+    Status first_error;
+    for (auto& [id, rec] : sessions_) {
+        if (rec.instance != index || rec.closed) {
+            continue;
+        }
+        const Status st = old->SaveSession(rec.local, options_.state_dir);
+        if (st.ok()) {
+            rec.ckpt_dir = options_.state_dir;
+        } else if (st.code() == StatusCode::kFailedPrecondition) {
+            rec.ckpt_dir.clear(); // nothing warm yet: cold reopen
+        } else if (first_error.ok()) {
+            first_error = st;
+        }
+    }
+    const Status rehash = RehashSessions(index, /*replay=*/false);
+    if (first_error.ok()) {
+        first_error = rehash;
+    }
+    AZUL_LOG(kInfo) << "fleet: drained instance " << index << ", "
+                    << num_live_locked() << " live remain";
+    return first_error;
+}
+
+Status
+AzulFleet::KillInstance(int index)
+{
+    if (!options_.record_replay_log) {
+        return FailedPrecondition(
+            "record_replay_log is off; kill cannot replay");
+    }
+    std::lock_guard<std::mutex> lock(mu_);
+    if (index < 0 || index >= static_cast<int>(services_.size())) {
+        std::ostringstream oss;
+        oss << "no instance " << index << " (started "
+            << services_.size() << ")";
+        return InvalidArgument(oss.str());
+    }
+    if (!live_[static_cast<std::size_t>(index)]) {
+        std::ostringstream oss;
+        oss << "instance " << index << " was already removed";
+        return FailedPrecondition(oss.str());
+    }
+    if (num_live_locked() <= 1) {
+        return FailedPrecondition(
+            "cannot remove the last live instance");
+    }
+    live_[static_cast<std::size_t>(index)] = false;
+    for (int v = 0; v < options_.virtual_nodes; ++v) {
+        ring_.erase(MixSeed(kRingSeed,
+                            static_cast<std::uint64_t>(index) + 1,
+                            static_cast<std::uint64_t>(v) + 1));
+    }
+    ++fleet_counters_.instances_killed;
+    // No drain: the instance dies mid-solve. It keeps computing in
+    // the background (in-process threads cannot be yanked) but its
+    // sessions are rehashed and its late responses discarded by the
+    // generation check in Wait().
+    const Status st = RehashSessions(index, /*replay=*/true);
+    AZUL_LOG(kInfo) << "fleet: killed instance " << index << ", "
+                    << num_live_locked() << " live remain";
+    return st;
+}
+
+StatusOr<int>
+AzulFleet::InstanceOf(SessionId session) const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = sessions_.find(session);
+    if (it == sessions_.end()) {
+        std::ostringstream oss;
+        oss << "unknown fleet session id " << session;
+        return NotFound(oss.str());
+    }
+    return it->second.instance;
+}
+
+int
+AzulFleet::num_live_locked() const
+{
+    int n = 0;
+    for (const bool alive : live_) {
+        n += alive ? 1 : 0;
+    }
+    return n;
+}
+
+int
+AzulFleet::num_live_instances() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return num_live_locked();
+}
+
+int
+AzulFleet::num_instances_started() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return static_cast<int>(services_.size());
+}
+
+namespace {
+
+void
+Accumulate(ServiceStats& into, const ServiceStats& s)
+{
+    into.sessions_opened += s.sessions_opened;
+    into.sessions_closed += s.sessions_closed;
+    into.submitted += s.submitted;
+    into.rejected += s.rejected;
+    into.completed += s.completed;
+    into.deadline_expired += s.deadline_expired;
+    into.mapping_cache_hits += s.mapping_cache_hits;
+    into.mapping_cache_misses += s.mapping_cache_misses;
+    into.warm_started += s.warm_started;
+    into.repartitions += s.repartitions;
+    into.sessions_restored += s.sessions_restored;
+}
+
+} // namespace
+
+FleetStats
+AzulFleet::stats() const
+{
+    std::vector<std::shared_ptr<AzulService>> all;
+    FleetStats out;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        all = services_;
+        out = fleet_counters_;
+    }
+    for (const std::shared_ptr<AzulService>& svc : all) {
+        if (svc) {
+            Accumulate(out.service, svc->stats());
+        }
+    }
+    return out;
+}
+
+std::vector<ServiceStats>
+AzulFleet::per_instance_stats() const
+{
+    std::vector<std::shared_ptr<AzulService>> all;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        all = services_;
+    }
+    std::vector<ServiceStats> out;
+    out.reserve(all.size());
+    for (const std::shared_ptr<AzulService>& svc : all) {
+        out.push_back(svc ? svc->stats() : ServiceStats{});
+    }
+    return out;
+}
+
+} // namespace azul

@@ -1,0 +1,308 @@
+/**
+ * @file
+ * AzulFleet: a front-end router that shards sessions across N
+ * in-process AzulService instances (docs/FLEET.md).
+ *
+ * One fleet owns N AzulService instances, each with its own scheduler
+ * and thread pool, all sharing one persistent on-disk mapping cache.
+ * Sessions are placed by consistent hashing on the session *name*
+ * over a ring of virtual nodes, so removing an instance moves only
+ * that instance's sessions. The fleet API mirrors AzulService
+ * (OpenSession / Submit* / Wait / Drain) with fleet-level session and
+ * request ids; every Status of the service taxonomy — queue-full
+ * RESOURCE_EXHAUSTED, expired-deadline DEADLINE_EXCEEDED, closed
+ * FAILED_PRECONDITION — passes through the router unchanged, and
+ * per-request deadlines/budgets propagate to the owning instance.
+ *
+ * Elasticity (docs/FLEET.md "Drain and kill"):
+ *
+ *  - DrainInstance(i): graceful removal. The instance finishes every
+ *    admitted request, its sessions are checkpointed via SessionStore
+ *    into FleetOptions::state_dir, removed from the hash ring, and
+ *    restored warm on the surviving instances — warm-start iteration
+ *    counts are preserved across the move.
+ *  - KillInstance(i): fault injection. The instance is dropped from
+ *    the ring *without* draining — mid-solve. Its sessions reopen on
+ *    the survivors from their last checkpoint, and every request
+ *    admitted after that checkpoint is replayed in admission order;
+ *    late results from the dead instance are discarded. Determinism
+ *    of the execution engines makes the replayed responses
+ *    bit-identical to an undisturbed run (tests/test_fleet.cc).
+ *
+ * Determinism contract: routing decides only *where* a session runs.
+ * Each session still executes its requests in admission order on one
+ * machine, so per-session responses are bit-identical whatever the
+ * instance count, thread count, or engine — the differential fleet
+ * suite checks 1/2/4 instances against a solo serial run.
+ */
+#ifndef AZUL_FLEET_AZUL_FLEET_H_
+#define AZUL_FLEET_AZUL_FLEET_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "service/azul_service.h"
+
+namespace azul {
+
+/** Fleet-wide configuration. */
+struct FleetOptions {
+    /** Number of AzulService instances to start (>= 1). */
+    int num_instances = 1;
+    /**
+     * Per-instance service configuration. `mapping_cache_dir` is the
+     * *shared* cache: every instance points at the same directory, so
+     * a mapping computed by one shard is a disk hit for the others.
+     */
+    ServiceOptions service;
+    /**
+     * Checkpoint directory for Checkpoint()/DrainInstance()/
+     * KillInstance() (SessionStore format, addressed by session
+     * name). Empty disables drain (FAILED_PRECONDITION); kill then
+     * replays cold from the session's opening state.
+     */
+    std::string state_dir;
+    /** Virtual nodes per instance on the consistent-hash ring. */
+    int virtual_nodes = 16;
+    /**
+     * Record per-session replay logs (every admitted request since
+     * the last checkpoint) so KillInstance can reconstruct state.
+     * Load generators that never kill can turn this off to avoid
+     * retaining request payloads.
+     */
+    bool record_replay_log = true;
+};
+
+/** Monotonic fleet counters; a consistent snapshot via stats(). */
+struct FleetStats {
+    /** Element-wise sum of every instance's ServiceStats (live and
+     *  retired), so e.g. `service.mapping_cache_hits` counts shared
+     *  cache hits across all shards. */
+    ServiceStats service;
+    std::int64_t instances_started = 0;
+    std::int64_t instances_drained = 0;
+    std::int64_t instances_killed = 0;
+    /** Sessions moved to a surviving instance by drain or kill. */
+    std::int64_t sessions_rehashed = 0;
+    /** Requests re-submitted from a replay log after a kill. */
+    std::int64_t requests_replayed = 0;
+    /** Late responses from killed instances dropped by Wait(). */
+    std::int64_t responses_discarded = 0;
+    /** Submissions rejected by the router itself (unknown fleet
+     *  session id, duplicate session name, shutdown) before reaching
+     *  any instance; instance-level rejections are counted in the
+     *  instances' own `rejected`. */
+    std::int64_t router_rejected = 0;
+};
+
+/**
+ * The sharded serving layer's entry point; all methods are
+ * thread-safe. Control-plane calls (Checkpoint, DrainInstance,
+ * KillInstance) hold the router lock for their whole critical
+ * section, briefly blocking admissions but never in-flight solves or
+ * Wait()s.
+ */
+class AzulFleet {
+  public:
+    /** Validates `options` and starts the instances. */
+    static StatusOr<std::unique_ptr<AzulFleet>> Create(FleetOptions options);
+
+    /** Drains every instance (retired ones included), then stops. */
+    ~AzulFleet();
+
+    AzulFleet(const AzulFleet&) = delete;
+    AzulFleet& operator=(const AzulFleet&) = delete;
+
+    /**
+     * Routes the session by consistent hash of `name` (auto-generated
+     * when empty) and opens it on the owning instance
+     * (AzulService::OpenSession semantics). A `name` already open —
+     * or previously open — in this fleet is INVALID_ARGUMENT: names
+     * key both routing and checkpoint files.
+     */
+    StatusOr<SessionId> OpenSession(CsrMatrix a, AzulOptions opts,
+                                    std::string name = "");
+
+    /** Stops admissions to the session (NOT_FOUND for unknown ids);
+     *  already-admitted requests still complete. */
+    Status CloseSession(SessionId session);
+
+    /** AzulService::SubmitSolve through the router: all typed
+     *  rejections of the owning instance pass through unchanged. */
+    StatusOr<RequestId> SubmitSolve(SessionId session, Vector b,
+                                    SubmitOptions opts = {});
+
+    /** Atomic multi-RHS batch on the owning instance. */
+    StatusOr<std::vector<RequestId>>
+    SubmitBatch(SessionId session, std::vector<Vector> rhs,
+                SubmitOptions opts = {});
+
+    /** In-order numeric update (AzulSystem::UpdateValues). */
+    StatusOr<RequestId> SubmitUpdateValues(SessionId session, CsrMatrix a_new,
+                                           SubmitOptions opts = {});
+
+    /** In-order drift-tolerant replacement (AzulSystem::UpdateMatrix). */
+    StatusOr<RequestId> SubmitUpdateMatrix(SessionId session, CsrMatrix a_new,
+                                           SubmitOptions opts = {});
+
+    /**
+     * Blocks for the response of fleet request `id` (exactly once; a
+     * second Wait is NOT_FOUND). Survives the owning instance being
+     * drained or killed mid-request: a response computed by a killed
+     * instance is discarded and the replayed one returned instead.
+     */
+    StatusOr<SolveResponse> Wait(RequestId id);
+
+    /** Blocks until every admitted request on every instance (retired
+     *  ones included) has completed. */
+    void Drain();
+
+    // ---- Persistence (SessionStore, docs/TIMESTEPPING.md) ------------------
+    /** Persists one quiescent session's warm state under its name. */
+    Status SaveSession(SessionId session, const std::string& state_dir);
+
+    /**
+     * Routes by `name` and opens the session warm from state saved in
+     * `state_dir` (AzulService::RestoreSession semantics: degrades to
+     * a cold open with the typed reason in `restore_status`).
+     */
+    StatusOr<AzulService::RestoreResult>
+    RestoreSession(CsrMatrix a, AzulOptions opts, std::string name,
+                   const std::string& state_dir);
+
+    /**
+     * Drains the fleet, then checkpoints every open session into
+     * FleetOptions::state_dir and truncates its replay log — the
+     * restart point KillInstance replays from. Sessions with no warm
+     * state yet (no completed solve) are skipped and replay from
+     * their opening state instead. FAILED_PRECONDITION when no
+     * state_dir is configured.
+     */
+    Status Checkpoint();
+
+    /**
+     * Gracefully removes instance `index`: drains it, checkpoints its
+     * sessions into state_dir, removes it from the ring, and restores
+     * the sessions warm on the surviving instances. Undelivered
+     * responses of already-admitted requests remain retrievable.
+     * FAILED_PRECONDITION when it is the last live instance, already
+     * removed, or no state_dir is configured.
+     */
+    Status DrainInstance(int index);
+
+    /**
+     * Hard-kills instance `index` mid-solve (fault injection): drops
+     * it from the ring without draining, reopens its sessions on the
+     * survivors from their last checkpoint, and replays every request
+     * admitted since — in admission order, so replayed responses are
+     * bit-identical to an undisturbed run. The dead instance's late
+     * results are discarded. Requires record_replay_log;
+     * FAILED_PRECONDITION when it is the last live instance.
+     */
+    Status KillInstance(int index);
+
+    /** Instance currently owning the session (NOT_FOUND when the
+     *  session is unknown; -1 when it rode away on a retired
+     *  instance after CloseSession). */
+    StatusOr<int> InstanceOf(SessionId session) const;
+
+    /** Live (not drained/killed) instance count. */
+    int num_live_instances() const;
+    /** Instances ever started (vector index space of
+     *  per_instance_stats and DrainInstance/KillInstance args). */
+    int num_instances_started() const;
+
+    FleetStats stats() const;
+    /** Per-instance ServiceStats snapshot, indexed by start order
+     *  (retired instances keep reporting their final counters). */
+    std::vector<ServiceStats> per_instance_stats() const;
+
+    const FleetOptions& options() const { return options_; }
+
+  private:
+    /** A request admitted through the router: enough to re-submit it
+     *  after a kill, plus delivery bookkeeping. */
+    struct Payload {
+        RequestId fleet_id = 0;
+        RequestKind kind = RequestKind::kSolve;
+        Vector b;
+        CsrMatrix a_new;
+        SubmitOptions opts;
+        bool delivered = false;
+    };
+
+    /** Where a fleet request id currently resolves. Wait() re-reads
+     *  the binding after every underlying wait: a bumped generation
+     *  means the owning instance died and the request was replayed
+     *  elsewhere. */
+    struct Binding {
+        SessionId fleet_session = 0;
+        std::shared_ptr<AzulService> svc;
+        RequestId local = 0;
+        std::uint64_t generation = 0;
+        std::shared_ptr<Payload> payload;
+        /** Non-OK when the replay resubmission itself was rejected;
+         *  Wait() then returns this status. */
+        Status failed;
+    };
+
+    /** Router-side record of one session. */
+    struct SessionRec {
+        std::string name;
+        std::uint64_t key = 0;   //!< consistent-hash route key
+        AzulOptions opts;        //!< for reopening on another instance
+        /** Matrix in caller row order as of the last checkpoint (the
+         *  kill-replay starting point; = the opening matrix until the
+         *  first Checkpoint). */
+        CsrMatrix ckpt_a;
+        /** Matrix in caller row order as of the last *admitted*
+         *  update (what a drain reopens with). */
+        CsrMatrix current_a;
+        /** Directory to restore warm state from at replay time;
+         *  empty = replay cold from ckpt_a. */
+        std::string ckpt_dir;
+        int instance = -1;       //!< owning index; -1 = retired away
+        SessionId local = 0;     //!< id on the owning instance
+        bool closed = false;
+        /** Admission-ordered requests since the last checkpoint. */
+        std::vector<std::shared_ptr<Payload>> log;
+    };
+
+    explicit AzulFleet(FleetOptions options);
+
+    Status Start(); //!< builds instances + ring; called by Create
+
+    /** Ring lookup (caller holds mu_); -1 on an empty ring. */
+    int RouteKey(std::uint64_t key) const;
+
+    /** Live instance count (caller holds mu_). */
+    int num_live_locked() const;
+
+    /** Common admission path for solve/update payloads. */
+    StatusOr<RequestId> SubmitPayload(SessionId session, Payload payload);
+
+    /** Moves every session of (dead) instance `index` to survivors.
+     *  `replay` replays post-checkpoint logs (kill) instead of
+     *  reopening from the drained current state. Caller holds mu_. */
+    Status RehashSessions(int index, bool replay);
+
+    const FleetOptions options_;
+
+    mutable std::mutex mu_;
+    bool shutdown_ = false;
+    std::vector<std::shared_ptr<AzulService>> services_; //!< by start order
+    std::vector<bool> live_;
+    std::map<std::uint64_t, int> ring_; //!< hash point -> instance
+    SessionId next_session_ = 1;
+    RequestId next_request_ = 1;
+    std::map<SessionId, SessionRec> sessions_;
+    std::map<RequestId, Binding> bindings_;
+    FleetStats fleet_counters_; //!< fleet-only fields (service unused)
+};
+
+} // namespace azul
+
+#endif // AZUL_FLEET_AZUL_FLEET_H_

@@ -1,8 +1,15 @@
 #include "service/session_store.h"
 
+#include <atomic>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
+
+#ifdef _WIN32
+#include <process.h>
+#else
+#include <unistd.h>
+#endif
 
 #include "mapping/mapping_io.h"
 #include "sim/fault.h"
@@ -19,6 +26,30 @@ Join(const std::string& dir, const std::string& name,
      const char* suffix)
 {
     return (std::filesystem::path(dir) / (name + suffix)).string();
+}
+
+/**
+ * A tmp-file suffix unique to this writer. A fixed ".tmp" suffix lets
+ * two concurrent saves of the same session name interleave on the
+ * same intermediate file — one writer renames a half-written mix of
+ * both into place. pid + a process-wide counter makes every save's
+ * intermediate files its own; the final rename stays atomic, so
+ * concurrent savers race only over *which* complete, self-consistent
+ * state lands last.
+ */
+std::string
+WriterUniqueSuffix()
+{
+    static std::atomic<std::uint64_t> counter{0};
+    std::ostringstream oss;
+    oss << ".tmp." <<
+#ifdef _WIN32
+        _getpid()
+#else
+        ::getpid()
+#endif
+        << "." << counter.fetch_add(1, std::memory_order_relaxed);
+    return oss.str();
 }
 
 } // namespace
@@ -52,11 +83,17 @@ SessionStore::Save(const std::string& name,
         return InvalidArgument(
             "session store: no warm state to save (empty solution)");
     }
+    // Every file goes through a writer-unique intermediate path + an
+    // atomic rename into place, so concurrent saves of the same name
+    // never share an intermediate file (see WriterUniqueSuffix).
+    const std::string suffix = WriterUniqueSuffix();
     try {
         std::error_code ec;
         std::filesystem::create_directories(dir_, ec);
 
-        SaveMapping(state.mapping, MappingPath(name));
+        const std::string mapping_tmp = MappingPath(name) + suffix;
+        SaveMapping(state.mapping, mapping_tmp);
+        std::filesystem::rename(mapping_tmp, MappingPath(name));
 
         // The solution rides in the checkpoint layer's kX slot; the
         // other architectural state is irrelevant across restarts but
@@ -68,14 +105,18 @@ SessionStore::Save(const std::string& name,
         }
         ckpt.vecs[static_cast<std::size_t>(VecName::kX)] =
             state.last_x;
-        if (!ckpt.Save(SolutionPath(name))) {
+        // Save()'s own ".tmp" staging hangs off our unique path, so
+        // it is unique too.
+        const std::string solution_tmp = SolutionPath(name) + suffix;
+        if (!ckpt.Save(solution_tmp)) {
             return Unavailable(
                 "session store: failed to write solution file");
         }
+        std::filesystem::rename(solution_tmp, SolutionPath(name));
 
         // Meta last: a reader that sees it can trust the siblings.
         const std::string meta = MetaPath(name);
-        const std::string tmp = meta + ".tmp";
+        const std::string tmp = meta + suffix;
         {
             std::ofstream out(tmp);
             out << kMetaTag << "\n";

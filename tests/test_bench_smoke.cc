@@ -126,6 +126,24 @@ TEST(BenchSmoke, TimestepWarmStartQuickRuns)
     EXPECT_NE(out.find("gmean"), std::string::npos) << out;
 }
 
+// The fleet load test in its quick preset: Poisson open-loop arrivals
+// against 1 and 2 instances, the latency percentile columns, and the
+// saturation-scaling footer must all appear.
+TEST(BenchSmoke, FleetLoadtestQuickRuns)
+{
+    std::string out;
+    const int status = RunCommand(
+        std::string(AZUL_BENCH_FLEET_BIN) + " --quick", &out);
+    EXPECT_EQ(status, 0) << "bench exited non-zero; output:\n" << out;
+    EXPECT_NE(out.find("fleet load test"), std::string::npos) << out;
+    EXPECT_NE(out.find("sat-rps"), std::string::npos) << out;
+    EXPECT_NE(out.find("p50-ms"), std::string::npos) << out;
+    EXPECT_NE(out.find("p999-ms"), std::string::npos) << out;
+    EXPECT_NE(out.find("saturation scaling vs 1 instance"),
+              std::string::npos)
+        << out;
+}
+
 // A malformed --engine value is a usage error, not a crash.
 TEST(BenchSmoke, ServiceThroughputRejectsBadEngine)
 {

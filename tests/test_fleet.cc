@@ -1,0 +1,857 @@
+/**
+ * @file
+ * Tests of the fleet layer (src/fleet/): the differential fleet suite
+ * — per-session responses of a sharded multi-instance run must be
+ * bit-identical to a serial solo AzulSystem run, across 1/2/4
+ * instances, both engines, and 1/2/8 service threads, including
+ * after a graceful drain-and-rehash and after a hard instance kill
+ * with replay-from-checkpoint — plus exact fleet-stats accounting
+ * under concurrent mixed traffic, typed rejections through the
+ * router, and a golden fleet trace (docs/FLEET.md).
+ */
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#ifdef _WIN32
+#include <process.h>
+#define AZUL_TEST_GETPID _getpid
+#else
+#include <unistd.h>
+#define AZUL_TEST_GETPID ::getpid
+#endif
+
+#include "fleet/azul_fleet.h"
+#include "sparse/generators.h"
+#include "test_helpers.h"
+
+#ifndef AZUL_GOLDEN_DIR
+#error "AZUL_GOLDEN_DIR must point at the source-tree tests/golden/"
+#endif
+
+namespace azul {
+namespace {
+
+using azul::testing::RandomVector;
+
+CsrMatrix
+Scaled(const CsrMatrix& a, double s)
+{
+    CsrMatrix out = a;
+    for (double& v : out.mutable_vals()) {
+        v *= s;
+    }
+    return out;
+}
+
+std::string
+UniqueTempDir(const std::string& tag)
+{
+    static std::atomic<int> counter{0};
+    return ::testing::TempDir() + "azul-fleet-" + tag + "-" +
+           std::to_string(AZUL_TEST_GETPID()) + "-" +
+           std::to_string(counter.fetch_add(1));
+}
+
+// ---- Differential scenario --------------------------------------------------
+
+/** One tenant's scripted request sequence. */
+struct TenantScript {
+    std::string name;
+    CsrMatrix a;
+    AzulOptions opts;
+    std::vector<Vector> rhs; //!< solves, in order
+    int update_after = -1;   //!< UpdateValues position; -1 = never
+    double update_scale = 1.0;
+};
+
+/** Five heterogeneous tenants; enough names to spread over 4
+ *  instances. The warm tenants exercise iteration-count preservation
+ *  across moves; the middle one updates values mid-stream. */
+std::vector<TenantScript>
+MakeScripts(EngineKind engine, int solves)
+{
+    std::vector<TenantScript> scripts;
+    const struct {
+        const char* name;
+        Index n;
+        std::uint64_t seed;
+        bool warm;
+        PreconditionerKind precond;
+    } spec[] = {
+        {"alpha", 220, 101, true, PreconditionerKind::kIncompleteCholesky},
+        {"bravo", 180, 103, false, PreconditionerKind::kJacobi},
+        {"charlie", 240, 105, true, PreconditionerKind::kIncompleteCholesky},
+        {"delta", 160, 107, true, PreconditionerKind::kJacobi},
+        {"echo", 200, 109, false, PreconditionerKind::kIncompleteCholesky},
+    };
+    int i = 0;
+    for (const auto& sp : spec) {
+        TenantScript s;
+        s.name = sp.name;
+        s.a = RandomGeometricLaplacian(sp.n, 7.0, sp.seed);
+        s.opts.engine = engine;
+        s.opts.sim.grid_width = 4;
+        s.opts.sim.grid_height = 2;
+        s.opts.precond = sp.precond;
+        s.opts.warm_start = sp.warm;
+        s.opts.max_iters = 800;
+        for (int r = 0; r < solves; ++r) {
+            s.rhs.push_back(RandomVector(
+                s.a.rows(),
+                1000 + static_cast<std::uint64_t>(100 * i + r)));
+        }
+        if (i == 1) {
+            s.update_after = solves / 2;
+            s.update_scale = 2.5;
+        }
+        ++i;
+        scripts.push_back(std::move(s));
+    }
+    return scripts;
+}
+
+/** Serial solo ground truth for one script. */
+std::vector<SolveReport>
+RunSerial(const TenantScript& script)
+{
+    StatusOr<AzulSystem> sys =
+        AzulSystem::Create(script.a, script.opts);
+    EXPECT_TRUE(sys.ok()) << sys.status().ToString();
+    std::vector<SolveReport> reports;
+    for (std::size_t i = 0; i < script.rhs.size(); ++i) {
+        if (static_cast<int>(i) == script.update_after) {
+            EXPECT_TRUE(sys->UpdateValues(
+                               Scaled(script.a, script.update_scale))
+                            .ok());
+        }
+        reports.push_back(sys->Solve(script.rhs[i]));
+    }
+    return reports;
+}
+
+/** The deterministic slice of a SolveReport (as in test_service.cc):
+ *  everything but the wall-clock mapping/compile fields. */
+void
+ExpectBitIdentical(const SolveReport& got, const SolveReport& want,
+                   const std::string& context)
+{
+    SCOPED_TRACE(context);
+    EXPECT_EQ(got.run.x, want.run.x); // bitwise: no tolerance
+    EXPECT_EQ(got.run.converged, want.run.converged);
+    EXPECT_EQ(got.run.iterations, want.run.iterations);
+    EXPECT_EQ(got.run.residual_history, want.run.residual_history);
+    EXPECT_EQ(got.run.stats.cycles, want.run.stats.cycles);
+    EXPECT_EQ(got.run.stats.messages, want.run.stats.messages);
+    EXPECT_DOUBLE_EQ(got.gflops, want.gflops);
+    EXPECT_DOUBLE_EQ(got.solve_seconds, want.solve_seconds);
+}
+
+/** What to do to the fleet mid-sequence. */
+enum class MidAction { kNone, kDrain, kKill };
+
+/**
+ * Runs all scripts through a fleet of `instances` x `threads` and
+ * checks every response bitwise against the serial ground truth.
+ * With kDrain/kKill, the instance owning the first tenant is removed
+ * after the first half of each script (gracefully or hard).
+ */
+void
+RunFleetDifferential(int instances, int threads, EngineKind engine,
+                     MidAction action = MidAction::kNone,
+                     int solves = 4)
+{
+    SCOPED_TRACE(std::to_string(instances) + " instances x " +
+                 std::to_string(threads) + " threads");
+    const std::vector<TenantScript> scripts =
+        MakeScripts(engine, solves);
+    std::vector<std::vector<SolveReport>> want;
+    want.reserve(scripts.size());
+    for (const TenantScript& s : scripts) {
+        want.push_back(RunSerial(s));
+    }
+
+    FleetOptions fopts;
+    fopts.num_instances = instances;
+    fopts.service.num_threads = threads;
+    fopts.service.max_queue = 256;
+    fopts.state_dir = UniqueTempDir("diff");
+    StatusOr<std::unique_ptr<AzulFleet>> created =
+        AzulFleet::Create(fopts);
+    ASSERT_TRUE(created.ok()) << created.status().ToString();
+    AzulFleet& fleet = **created;
+
+    std::vector<SessionId> ids;
+    for (const TenantScript& s : scripts) {
+        StatusOr<SessionId> id = fleet.OpenSession(s.a, s.opts, s.name);
+        ASSERT_TRUE(id.ok()) << id.status().ToString();
+        ids.push_back(*id);
+    }
+
+    const int half = solves / 2;
+    std::vector<std::vector<RequestId>> reqs(scripts.size());
+    // Submits one scripted step for every tenant, round-robin, so
+    // instances genuinely overlap.
+    const auto submit_steps = [&](int from, int to) {
+        for (int step = from; step < to; ++step) {
+            for (std::size_t s = 0; s < scripts.size(); ++s) {
+                const TenantScript& script = scripts[s];
+                if (script.update_after == step) {
+                    StatusOr<RequestId> r = fleet.SubmitUpdateValues(
+                        ids[s],
+                        Scaled(script.a, script.update_scale));
+                    ASSERT_TRUE(r.ok()) << r.status().ToString();
+                }
+                StatusOr<RequestId> r = fleet.SubmitSolve(
+                    ids[s], script.rhs[static_cast<std::size_t>(step)]);
+                ASSERT_TRUE(r.ok()) << r.status().ToString();
+                reqs[s].push_back(*r);
+            }
+        }
+    };
+
+    submit_steps(0, half);
+
+    if (action != MidAction::kNone) {
+        if (action == MidAction::kKill) {
+            // A checkpoint between the halves is the state the kill
+            // replays from; first-half responses are consumed before
+            // it so the replay log holds only the second half.
+            for (std::size_t s = 0; s < scripts.size(); ++s) {
+                for (const RequestId r : reqs[s]) {
+                    ASSERT_TRUE(fleet.Wait(r).ok());
+                }
+                reqs[s].clear();
+            }
+            ASSERT_TRUE(fleet.Checkpoint().ok());
+        }
+        const StatusOr<int> victim = fleet.InstanceOf(ids[0]);
+        ASSERT_TRUE(victim.ok());
+        if (action == MidAction::kDrain) {
+            submit_steps(half, solves); // move with requests in flight
+            ASSERT_TRUE(fleet.DrainInstance(*victim).ok());
+        } else {
+            submit_steps(half, solves); // kill mid-solve
+            ASSERT_TRUE(fleet.KillInstance(*victim).ok());
+        }
+        // The victim's sessions now live elsewhere.
+        const StatusOr<int> moved = fleet.InstanceOf(ids[0]);
+        ASSERT_TRUE(moved.ok());
+        EXPECT_NE(*moved, *victim);
+        EXPECT_EQ(fleet.num_live_instances(), instances - 1);
+        const FleetStats fs = fleet.stats();
+        EXPECT_GE(fs.sessions_rehashed, 1);
+        if (action == MidAction::kKill) {
+            EXPECT_GE(fs.requests_replayed, 1);
+        }
+    } else {
+        submit_steps(half, solves);
+    }
+
+    for (std::size_t s = 0; s < scripts.size(); ++s) {
+        const std::size_t base =
+            scripts[s].rhs.size() - reqs[s].size();
+        for (std::size_t i = 0; i < reqs[s].size(); ++i) {
+            StatusOr<SolveResponse> resp = fleet.Wait(reqs[s][i]);
+            ASSERT_TRUE(resp.ok()) << resp.status().ToString();
+            EXPECT_TRUE(resp->status.ok())
+                << resp->status.ToString();
+            EXPECT_EQ(resp->session, ids[s]);
+            ExpectBitIdentical(resp->report, want[s][base + i],
+                               scripts[s].name + " solve " +
+                                   std::to_string(base + i));
+        }
+    }
+
+    fleet.Drain();
+    const FleetStats fs = fleet.stats();
+    // Every admitted request (replays included) completed; nothing
+    // was rejected anywhere.
+    EXPECT_EQ(fs.service.submitted, fs.service.completed);
+    EXPECT_EQ(fs.service.rejected, 0);
+    EXPECT_EQ(fs.router_rejected, 0);
+    std::filesystem::remove_all(fopts.state_dir);
+}
+
+// The instance/thread/engine cross, sampled so every instance count
+// (1/2/4), thread count (1/2/8), and engine appears at least once
+// per axis without running all 18 combinations.
+TEST(FleetDifferential, Functional1Instance2Threads)
+{
+    RunFleetDifferential(1, 2, EngineKind::kFunctional);
+}
+
+TEST(FleetDifferential, Functional2Instances8Threads)
+{
+    RunFleetDifferential(2, 8, EngineKind::kFunctional);
+}
+
+TEST(FleetDifferential, Functional4Instances1Thread)
+{
+    RunFleetDifferential(4, 1, EngineKind::kFunctional);
+}
+
+TEST(FleetDifferential, Cycle1Instance1Thread)
+{
+    RunFleetDifferential(1, 1, EngineKind::kCycle);
+}
+
+TEST(FleetDifferential, Cycle2Instances2Threads)
+{
+    RunFleetDifferential(2, 2, EngineKind::kCycle);
+}
+
+TEST(FleetDifferential, Cycle4Instances8Threads)
+{
+    RunFleetDifferential(4, 8, EngineKind::kCycle);
+}
+
+// Drain-and-rehash mid-sequence: the moved sessions keep their warm
+// state, so warm-start iteration counts stay bit-identical to the
+// undisturbed serial run (the `want` reports include the warm
+// iteration drop).
+TEST(FleetDifferential, DrainAndRehashPreservesWarmIterations)
+{
+    RunFleetDifferential(2, 2, EngineKind::kFunctional,
+                         MidAction::kDrain);
+}
+
+TEST(FleetDifferential, DrainAndRehashCycleEngine)
+{
+    RunFleetDifferential(2, 1, EngineKind::kCycle, MidAction::kDrain);
+}
+
+// Hard kill mid-solve: the victim's sessions replay from the
+// checkpoint and every replayed response is bit-identical to the
+// undisturbed run.
+TEST(FleetDifferential, KillMidSolveReplaysFromCheckpoint)
+{
+    RunFleetDifferential(2, 2, EngineKind::kFunctional,
+                         MidAction::kKill);
+}
+
+TEST(FleetDifferential, KillFourInstances)
+{
+    RunFleetDifferential(4, 2, EngineKind::kFunctional,
+                         MidAction::kKill);
+}
+
+TEST(FleetDifferential, KillCycleEngine)
+{
+    RunFleetDifferential(2, 1, EngineKind::kCycle, MidAction::kKill);
+}
+
+// ---- Exact stats accounting under concurrent mixed traffic ------------------
+
+TEST(FleetStatsAccounting, ExactUnderConcurrentMixedTraffic)
+{
+    const std::string cache_dir = UniqueTempDir("cache");
+    FleetOptions fopts;
+    fopts.num_instances = 4;
+    fopts.service.num_threads = 2;
+    fopts.service.max_queue = 512;
+    fopts.service.mapping_cache_dir = cache_dir;
+    StatusOr<std::unique_ptr<AzulFleet>> created =
+        AzulFleet::Create(fopts);
+    ASSERT_TRUE(created.ok()) << created.status().ToString();
+    AzulFleet& fleet = **created;
+
+    const CsrMatrix a = RandomGeometricLaplacian(160, 7.0, 211);
+    AzulOptions opts;
+    opts.engine = EngineKind::kFunctional;
+    opts.sim.grid_width = 2;
+    opts.sim.grid_height = 2;
+    opts.max_iters = 400;
+
+    // 8 worker-owned sessions + 1 that gets closed: all the same
+    // matrix, so the shared cache is exercised across shards.
+    constexpr int kThreads = 4;
+    constexpr int kPerThread = 2;
+    constexpr int kSolves = 6;
+    std::vector<SessionId> ids;
+    for (int s = 0; s < kThreads * kPerThread; ++s) {
+        StatusOr<SessionId> id = fleet.OpenSession(
+            a, opts, "acct-" + std::to_string(s));
+        ASSERT_TRUE(id.ok()) << id.status().ToString();
+        ids.push_back(*id);
+    }
+    const StatusOr<SessionId> closed =
+        fleet.OpenSession(a, opts, "acct-closed");
+    ASSERT_TRUE(closed.ok());
+    ASSERT_TRUE(fleet.CloseSession(*closed).ok());
+
+    std::atomic<std::int64_t> ok_submits{0};
+    std::atomic<std::int64_t> instance_rejects{0};
+    std::atomic<std::int64_t> router_rejects{0};
+    std::vector<std::thread> workers;
+    for (int t = 0; t < kThreads; ++t) {
+        workers.emplace_back([&, t] {
+            std::vector<RequestId> mine;
+            for (int i = 0; i < kSolves; ++i) {
+                for (int s = 0; s < kPerThread; ++s) {
+                    const SessionId sid = ids[static_cast<std::size_t>(
+                        t * kPerThread + s)];
+                    SubmitOptions sopts;
+                    sopts.warm_start = true;
+                    StatusOr<RequestId> r = fleet.SubmitSolve(
+                        sid,
+                        RandomVector(a.rows(),
+                                     static_cast<std::uint64_t>(
+                                         7000 + 100 * t + i)),
+                        sopts);
+                    ASSERT_TRUE(r.ok()) << r.status().ToString();
+                    ++ok_submits;
+                    mine.push_back(*r);
+                }
+                // Typed rejections, one per flavor per iteration:
+                // wrong rhs length (instance-level INVALID_ARGUMENT),
+                // closed session (instance-level FAILED_PRECONDITION),
+                // unknown fleet session (router-level NOT_FOUND).
+                if (fleet.SubmitSolve(ids[0], Vector(3, 1.0))
+                        .status()
+                        .code() == StatusCode::kInvalidArgument) {
+                    ++instance_rejects;
+                }
+                if (fleet.SubmitSolve(*closed,
+                                      RandomVector(a.rows(), 1))
+                        .status()
+                        .code() == StatusCode::kFailedPrecondition) {
+                    ++instance_rejects;
+                }
+                if (fleet.SubmitSolve(99999,
+                                      RandomVector(a.rows(), 1))
+                        .status()
+                        .code() == StatusCode::kNotFound) {
+                    ++router_rejects;
+                }
+            }
+            for (const RequestId r : mine) {
+                const StatusOr<SolveResponse> resp = fleet.Wait(r);
+                ASSERT_TRUE(resp.ok()) << resp.status().ToString();
+                EXPECT_TRUE(resp->status.ok());
+            }
+        });
+    }
+    for (std::thread& w : workers) {
+        w.join();
+    }
+    fleet.Drain();
+
+    const FleetStats fs = fleet.stats();
+    const std::int64_t expected_ok = kThreads * kPerThread * kSolves;
+    EXPECT_EQ(ok_submits.load(), expected_ok);
+    EXPECT_EQ(instance_rejects.load(), 2 * kThreads * kSolves);
+    EXPECT_EQ(router_rejects.load(), kThreads * kSolves);
+
+    // submitted = completed (+0 cancelled: admitted work always
+    // runs), and rejections are conserved with their level.
+    EXPECT_EQ(fs.service.submitted, expected_ok);
+    EXPECT_EQ(fs.service.completed, expected_ok);
+    EXPECT_EQ(fs.service.rejected, instance_rejects.load());
+    EXPECT_EQ(fs.router_rejected, router_rejects.load());
+    EXPECT_EQ(fs.service.deadline_expired, 0);
+
+    // Warm/cold: every solve asked for warm start; exactly the first
+    // per session ran cold.
+    EXPECT_EQ(fs.service.warm_started,
+              expected_ok - kThreads * kPerThread);
+
+    // Shared mapping cache across shards: 9 identical opens = 1 miss
+    // (the writer) + 8 hits, wherever the sessions landed.
+    EXPECT_EQ(fs.service.mapping_cache_misses, 1);
+    EXPECT_EQ(fs.service.mapping_cache_hits, 8);
+    EXPECT_EQ(fs.service.sessions_opened, 9);
+    EXPECT_EQ(fs.service.sessions_closed, 1);
+
+    // The aggregate really is the shard sum.
+    ServiceStats sum;
+    for (const ServiceStats& s : fleet.per_instance_stats()) {
+        sum.submitted += s.submitted;
+        sum.completed += s.completed;
+        sum.rejected += s.rejected;
+        sum.mapping_cache_hits += s.mapping_cache_hits;
+        sum.mapping_cache_misses += s.mapping_cache_misses;
+        sum.warm_started += s.warm_started;
+        sum.sessions_opened += s.sessions_opened;
+    }
+    EXPECT_EQ(sum.submitted, fs.service.submitted);
+    EXPECT_EQ(sum.completed, fs.service.completed);
+    EXPECT_EQ(sum.rejected, fs.service.rejected);
+    EXPECT_EQ(sum.mapping_cache_hits, fs.service.mapping_cache_hits);
+    EXPECT_EQ(sum.mapping_cache_misses,
+              fs.service.mapping_cache_misses);
+    EXPECT_EQ(sum.warm_started, fs.service.warm_started);
+    EXPECT_EQ(sum.sessions_opened, fs.service.sessions_opened);
+
+    std::filesystem::remove_all(cache_dir);
+}
+
+// ---- Typed rejections and control-plane errors ------------------------------
+
+class FleetErrors : public ::testing::Test {
+  protected:
+    void
+    SetUp() override
+    {
+        a_ = RandomGeometricLaplacian(160, 7.0, 311);
+        opts_.engine = EngineKind::kFunctional;
+        opts_.sim.grid_width = 2;
+        opts_.sim.grid_height = 2;
+        opts_.max_iters = 400;
+        FleetOptions fopts;
+        fopts.num_instances = 2;
+        fopts.service.num_threads = 1;
+        fopts.service.max_queue = 4;
+        fleet_ = *AzulFleet::Create(fopts);
+        session_ = *fleet_->OpenSession(a_, opts_, "tenant");
+    }
+
+    CsrMatrix a_;
+    AzulOptions opts_;
+    std::unique_ptr<AzulFleet> fleet_;
+    SessionId session_ = 0;
+};
+
+TEST_F(FleetErrors, CreateRejectsBadOptions)
+{
+    FleetOptions bad;
+    bad.num_instances = 0;
+    EXPECT_EQ(AzulFleet::Create(bad).status().code(),
+              StatusCode::kInvalidArgument);
+    bad = FleetOptions{};
+    bad.virtual_nodes = 0;
+    EXPECT_EQ(AzulFleet::Create(bad).status().code(),
+              StatusCode::kInvalidArgument);
+    bad = FleetOptions{};
+    bad.service.num_threads = 0;
+    EXPECT_EQ(AzulFleet::Create(bad).status().code(),
+              StatusCode::kInvalidArgument);
+}
+
+TEST_F(FleetErrors, DuplicateSessionNameIsInvalidArgument)
+{
+    const StatusOr<SessionId> dup =
+        fleet_->OpenSession(a_, opts_, "tenant");
+    EXPECT_EQ(dup.status().code(), StatusCode::kInvalidArgument);
+    EXPECT_NE(dup.status().message().find("tenant"),
+              std::string::npos);
+}
+
+TEST_F(FleetErrors, UnknownSessionIsNotFoundThroughRouter)
+{
+    EXPECT_EQ(fleet_->SubmitSolve(9999, RandomVector(a_.rows(), 1))
+                  .status()
+                  .code(),
+              StatusCode::kNotFound);
+    EXPECT_EQ(fleet_->CloseSession(9999).code(),
+              StatusCode::kNotFound);
+    EXPECT_EQ(fleet_->InstanceOf(9999).status().code(),
+              StatusCode::kNotFound);
+    EXPECT_EQ(fleet_->stats().router_rejected, 1);
+}
+
+TEST_F(FleetErrors, RhsMismatchIsInvalidArgumentThroughRouter)
+{
+    const StatusOr<RequestId> r =
+        fleet_->SubmitSolve(session_, Vector(5, 1.0));
+    EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+    EXPECT_NE(r.status().message().find("rhs"), std::string::npos);
+}
+
+TEST_F(FleetErrors, QueueFullIsResourceExhaustedThroughRouter)
+{
+    // max_queue is 4 per instance: a 5-RHS batch can never fit —
+    // deterministic RESOURCE_EXHAUSTED propagated by the router.
+    std::vector<Vector> rhs;
+    for (std::uint64_t i = 0; i < 5; ++i) {
+        rhs.push_back(RandomVector(a_.rows(), 40 + i));
+    }
+    const StatusOr<std::vector<RequestId>> r =
+        fleet_->SubmitBatch(session_, rhs);
+    EXPECT_EQ(r.status().code(), StatusCode::kResourceExhausted);
+    fleet_->Drain();
+    const FleetStats fs = fleet_->stats();
+    EXPECT_EQ(fs.service.submitted, 0);
+    EXPECT_EQ(fs.service.rejected, 1);
+}
+
+TEST_F(FleetErrors, CycleBudgetExpiresAsDeadlineExceeded)
+{
+    // Deadline propagation through the router: the per-request budget
+    // reaches the instance and the typed response comes back.
+    SubmitOptions sopts;
+    sopts.cycle_budget = 1;
+    const StatusOr<RequestId> r = fleet_->SubmitSolve(
+        session_, RandomVector(a_.rows(), 7), sopts);
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    const StatusOr<SolveResponse> resp = fleet_->Wait(*r);
+    ASSERT_TRUE(resp.ok());
+    EXPECT_EQ(resp->status.code(), StatusCode::kDeadlineExceeded);
+    EXPECT_EQ(fleet_->stats().service.deadline_expired, 1);
+}
+
+TEST_F(FleetErrors, WaitConsumesExactlyOnce)
+{
+    const StatusOr<RequestId> r =
+        fleet_->SubmitSolve(session_, RandomVector(a_.rows(), 9));
+    ASSERT_TRUE(r.ok());
+    ASSERT_TRUE(fleet_->Wait(*r).ok());
+    EXPECT_EQ(fleet_->Wait(*r).status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(FleetErrors, ClosedSessionIsFailedPrecondition)
+{
+    ASSERT_TRUE(fleet_->CloseSession(session_).ok());
+    EXPECT_EQ(
+        fleet_->SubmitSolve(session_, RandomVector(a_.rows(), 3))
+            .status()
+            .code(),
+        StatusCode::kFailedPrecondition);
+}
+
+TEST_F(FleetErrors, ControlPlaneGuards)
+{
+    // Bad index.
+    EXPECT_EQ(fleet_->KillInstance(7).code(),
+              StatusCode::kInvalidArgument);
+    EXPECT_EQ(fleet_->KillInstance(-1).code(),
+              StatusCode::kInvalidArgument);
+    // No state_dir configured: drain and checkpoint refuse.
+    EXPECT_EQ(fleet_->DrainInstance(0).code(),
+              StatusCode::kFailedPrecondition);
+    EXPECT_EQ(fleet_->Checkpoint().code(),
+              StatusCode::kFailedPrecondition);
+    // Kill works without state_dir (cold replay)...
+    ASSERT_TRUE(fleet_->KillInstance(0).ok());
+    // ...but never the last live instance, and never twice.
+    EXPECT_EQ(fleet_->KillInstance(0).code(),
+              StatusCode::kFailedPrecondition);
+    EXPECT_EQ(fleet_->KillInstance(1).code(),
+              StatusCode::kFailedPrecondition);
+    EXPECT_EQ(fleet_->num_live_instances(), 1);
+    EXPECT_EQ(fleet_->num_instances_started(), 2);
+}
+
+TEST_F(FleetErrors, KillWithoutReplayLogIsFailedPrecondition)
+{
+    FleetOptions fopts;
+    fopts.num_instances = 2;
+    fopts.record_replay_log = false;
+    std::unique_ptr<AzulFleet> fleet = *AzulFleet::Create(fopts);
+    EXPECT_EQ(fleet->KillInstance(0).code(),
+              StatusCode::kFailedPrecondition);
+}
+
+TEST_F(FleetErrors, SessionsSurviveAColdKill)
+{
+    // No checkpoint, no state_dir: the kill replays the whole
+    // admitted history from the opening state.
+    StatusOr<AzulSystem> solo = AzulSystem::Create(a_, opts_);
+    ASSERT_TRUE(solo.ok());
+    const Vector b0 = RandomVector(a_.rows(), 21);
+    const Vector b1 = RandomVector(a_.rows(), 22);
+    const SolveReport want0 = solo->Solve(b0);
+    const SolveReport want1 = solo->Solve(b1);
+
+    const StatusOr<RequestId> r0 = fleet_->SubmitSolve(session_, b0);
+    const StatusOr<RequestId> r1 = fleet_->SubmitSolve(session_, b1);
+    ASSERT_TRUE(r0.ok());
+    ASSERT_TRUE(r1.ok());
+    const StatusOr<int> victim = fleet_->InstanceOf(session_);
+    ASSERT_TRUE(victim.ok());
+    ASSERT_TRUE(fleet_->KillInstance(*victim).ok());
+    const StatusOr<SolveResponse> resp0 = fleet_->Wait(*r0);
+    const StatusOr<SolveResponse> resp1 = fleet_->Wait(*r1);
+    ASSERT_TRUE(resp0.ok()) << resp0.status().ToString();
+    ASSERT_TRUE(resp1.ok()) << resp1.status().ToString();
+    ExpectBitIdentical(resp0->report, want0, "cold-kill solve 0");
+    ExpectBitIdentical(resp1->report, want1, "cold-kill solve 1");
+    EXPECT_GE(fleet_->stats().requests_replayed, 2);
+}
+
+// ---- Persistence through the router -----------------------------------------
+
+TEST(FleetPersistence, SaveAndRestoreRoundTripAcrossFleets)
+{
+    const std::string state_dir = UniqueTempDir("persist");
+    CsrMatrix a = RandomGeometricLaplacian(180, 7.0, 411);
+    AzulOptions opts;
+    opts.engine = EngineKind::kFunctional;
+    opts.sim.grid_width = 2;
+    opts.sim.grid_height = 2;
+    opts.warm_start = true;
+    opts.max_iters = 600;
+    const Vector b = RandomVector(a.rows(), 5);
+
+    // Solo ground truth: two solves, the second warm.
+    StatusOr<AzulSystem> solo = AzulSystem::Create(a, opts);
+    ASSERT_TRUE(solo.ok());
+    (void)solo->Solve(b);
+    const SolveReport want = solo->Solve(b);
+
+    FleetOptions fopts;
+    fopts.num_instances = 2;
+    {
+        std::unique_ptr<AzulFleet> fleet = *AzulFleet::Create(fopts);
+        const SessionId sid = *fleet->OpenSession(a, opts, "campaign");
+        ASSERT_TRUE(fleet->Wait(*fleet->SubmitSolve(sid, b)).ok());
+        fleet->Drain();
+        ASSERT_TRUE(fleet->SaveSession(sid, state_dir).ok());
+    }
+    {
+        std::unique_ptr<AzulFleet> fleet = *AzulFleet::Create(fopts);
+        const StatusOr<AzulService::RestoreResult> r =
+            fleet->RestoreSession(a, opts, "campaign", state_dir);
+        ASSERT_TRUE(r.ok()) << r.status().ToString();
+        EXPECT_TRUE(r->restored) << r->restore_status.ToString();
+        const StatusOr<SolveResponse> resp =
+            fleet->Wait(*fleet->SubmitSolve(r->session, b));
+        ASSERT_TRUE(resp.ok());
+        ExpectBitIdentical(resp->report, want,
+                           "restored warm solve across fleets");
+        EXPECT_TRUE(resp->report.warm_started);
+    }
+    std::filesystem::remove_all(state_dir);
+}
+
+// ---- Golden fleet trace -----------------------------------------------------
+
+/** FNV-1a over FP64 bit patterns (as in test_golden_traces.cc). */
+std::string
+HashVector(const Vector& v)
+{
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    for (const double d : v) {
+        std::uint64_t bits = 0;
+        std::memcpy(&bits, &d, sizeof(bits));
+        for (int byte = 0; byte < 8; ++byte) {
+            h ^= (bits >> (8 * byte)) & 0xffU;
+            h *= 0x100000001b3ULL;
+        }
+    }
+    std::ostringstream oss;
+    oss << std::hex << h;
+    return oss.str();
+}
+
+/**
+ * A fixed multi-tenant fleet schedule — open / solve / update / kill /
+ * solve — whose full deterministic outcome (solution hashes,
+ * iteration counts, fleet counters) is pinned by
+ * tests/golden/fleet_session.json. Regenerate after an intended
+ * change with AZUL_UPDATE_GOLDEN=1 (docs/TESTING.md).
+ */
+TEST(FleetGolden, MatchesCheckedInTrace)
+{
+    const std::string state_dir = UniqueTempDir("golden");
+    FleetOptions fopts;
+    fopts.num_instances = 2;
+    fopts.service.num_threads = 1;
+    fopts.state_dir = state_dir;
+    std::unique_ptr<AzulFleet> fleet = *AzulFleet::Create(fopts);
+
+    AzulOptions opts;
+    opts.engine = EngineKind::kFunctional;
+    opts.sim.grid_width = 4;
+    opts.sim.grid_height = 4;
+    opts.tol = 0.0; // fixed-iteration trace
+    opts.max_iters = 4;
+    opts.warm_start = true;
+
+    const char* names[3] = {"gold-a", "gold-b", "gold-c"};
+    std::vector<CsrMatrix> mats;
+    std::vector<SessionId> ids;
+    std::vector<Vector> rhs;
+    for (int t = 0; t < 3; ++t) {
+        mats.push_back(Grid2dLaplacian(10 + 2 * t, 10));
+        rhs.push_back(RandomVector(
+            mats.back().rows(), 50 + static_cast<std::uint64_t>(t)));
+        ids.push_back(*fleet->OpenSession(mats.back(), opts,
+                                          names[t]));
+    }
+
+    std::ostringstream oss;
+    oss << "{\n  \"name\": \"fleet_session\",\n  \"steps\": [\n";
+    const auto solve_all = [&](const char* phase, bool last) {
+        std::vector<RequestId> reqs;
+        for (int t = 0; t < 3; ++t) {
+            reqs.push_back(*fleet->SubmitSolve(
+                ids[static_cast<std::size_t>(t)],
+                rhs[static_cast<std::size_t>(t)]));
+        }
+        // A hard kill lands between submission and completion on the
+        // final phase.
+        if (last) {
+            const int victim = *fleet->InstanceOf(ids[0]);
+            ASSERT_TRUE(fleet->KillInstance(victim).ok());
+        }
+        for (int t = 0; t < 3; ++t) {
+            const StatusOr<SolveResponse> resp =
+                fleet->Wait(reqs[static_cast<std::size_t>(t)]);
+            ASSERT_TRUE(resp.ok()) << resp.status().ToString();
+            ASSERT_TRUE(resp->status.ok());
+            oss << "    {\"phase\": \"" << phase << "\", "
+                << "\"tenant\": \"" << names[t] << "\", "
+                << "\"warm\": "
+                << (resp->report.warm_started ? "true" : "false")
+                << ", \"iters\": " << resp->report.run.iterations
+                << ", \"x_hash\": \"" << HashVector(resp->report.run.x)
+                << "\"},\n";
+        }
+    };
+    solve_all("cold", false);
+    // Numeric update on the middle tenant, then warm solves.
+    ASSERT_TRUE(
+        fleet->SubmitUpdateValues(ids[1], Scaled(mats[1], 1.05)).ok());
+    solve_all("warm", false);
+    ASSERT_TRUE(fleet->Checkpoint().ok());
+    solve_all("killed", true);
+    fleet->Drain();
+
+    const FleetStats fs = fleet->stats();
+    oss << "    {\"phase\": \"end\"}\n  ],\n";
+    oss << "  \"submitted\": " << fs.service.submitted << ",\n";
+    oss << "  \"completed\": " << fs.service.completed << ",\n";
+    oss << "  \"warm_started\": " << fs.service.warm_started << ",\n";
+    oss << "  \"sessions_restored\": " << fs.service.sessions_restored
+        << ",\n";
+    oss << "  \"instances_killed\": " << fs.instances_killed << ",\n";
+    oss << "  \"sessions_rehashed\": " << fs.sessions_rehashed
+        << ",\n";
+    oss << "  \"requests_replayed\": " << fs.requests_replayed
+        << "\n}\n";
+    const std::string got = oss.str();
+
+    const std::string path =
+        std::string(AZUL_GOLDEN_DIR) + "/fleet_session.json";
+    if (std::getenv("AZUL_UPDATE_GOLDEN") != nullptr) {
+        std::filesystem::create_directories(AZUL_GOLDEN_DIR);
+        std::ofstream out(path, std::ios::binary);
+        ASSERT_TRUE(out.good()) << "cannot write " << path;
+        out << got;
+        std::filesystem::remove_all(state_dir);
+        GTEST_SKIP() << "regenerated " << path;
+    }
+    std::ifstream in(path, std::ios::binary);
+    ASSERT_TRUE(in.good())
+        << "missing golden file " << path
+        << " — regenerate with AZUL_UPDATE_GOLDEN=1 ./tests/test_fleet";
+    std::ostringstream want;
+    want << in.rdbuf();
+    EXPECT_EQ(got, want.str())
+        << "golden fleet trace drift. If intended, regenerate with "
+           "AZUL_UPDATE_GOLDEN=1 and review `git diff tests/golden/`.";
+    std::filesystem::remove_all(state_dir);
+}
+
+} // namespace
+} // namespace azul

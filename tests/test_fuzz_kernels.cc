@@ -9,12 +9,14 @@
 #include <cmath>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 
 #include <gtest/gtest.h>
 
 #include "core/azul_config.h"
 #include "core/azul_system.h"
 #include "dataflow/program.h"
+#include "fleet/azul_fleet.h"
 #include "mapping/partitioner.h"
 #include "sim/machine.h"
 #include "solver/ic0.h"
@@ -628,6 +630,204 @@ TEST(StressSweep, SeededTimestepSessionsStayCorrect)
             " ./test_fuzz_kernels "
             "--gtest_filter='StressSweep.SeededTimestep*'");
         RunTimestepStressSeed(seed);
+        if (::testing::Test::HasFailure()) {
+            break; // the trace above names the failing seed
+        }
+    }
+}
+
+// ---- Seeded fleet stress sweep ----------------------------------------------
+//
+// Random multi-tenant open/solve/update schedules driven through an
+// AzulFleet while instances are randomly drained (graceful move) or
+// killed (replay-from-checkpoint) between steps. Every response must
+// stay bit-identical to the undisturbed solo run of the same tenant
+// script — the determinism contract must survive arbitrary
+// rehashing histories. Reproduce with AZUL_STRESS_SEED=<seed>.
+
+void
+RunFleetStressSeed(std::uint64_t seed)
+{
+    Rng rng(seed);
+    const int tenants = static_cast<int>(rng.UniformInt(2, 4));
+    const int steps = static_cast<int>(rng.UniformInt(3, 5));
+
+    struct TenantPlan {
+        CsrMatrix a;
+        AzulOptions opts;
+        std::vector<bool> update;  //!< UpdateValues before this solve
+        std::vector<double> scale; //!< cumulative value scale
+        std::vector<Vector> rhs;
+    };
+    std::vector<TenantPlan> plans;
+    for (int t = 0; t < tenants; ++t) {
+        TenantPlan p;
+        const Index n = static_cast<Index>(rng.UniformInt(60, 140));
+        p.a = RandomGeometricLaplacian(
+            n, rng.UniformDouble(4.0, 8.0),
+            seed ^ (0x9e37ULL + static_cast<std::uint64_t>(t)), 1.0);
+        p.opts.engine = EngineKind::kFunctional;
+        p.opts.sim.grid_width =
+            static_cast<std::int32_t>(rng.UniformInt(2, 4));
+        p.opts.sim.grid_height = 2;
+        p.opts.warm_start = rng.UniformInt(0, 1) == 1;
+        p.opts.max_iters = 4000;
+        double scale = 1.0;
+        for (int s = 0; s < steps; ++s) {
+            const bool upd = s > 0 && rng.UniformInt(0, 3) == 0;
+            if (upd) {
+                scale *= 1.0 + 0.05 * rng.UniformDouble(-1.0, 1.0);
+            }
+            p.update.push_back(upd);
+            p.scale.push_back(scale);
+            p.rhs.push_back(RandomVector(
+                n, seed + static_cast<std::uint64_t>(91 * t + s)));
+        }
+        plans.push_back(std::move(p));
+    }
+    // Per-step fleet control action: 0/1 none, 2 drain, 3 kill.
+    std::vector<int> actions;
+    for (int s = 0; s < steps; ++s) {
+        actions.push_back(static_cast<int>(rng.UniformInt(0, 3)));
+    }
+
+    const auto scaled = [](const CsrMatrix& a, double s) {
+        CsrMatrix out = a;
+        for (double& v : out.mutable_vals()) {
+            v *= s;
+        }
+        return out;
+    };
+
+    // Undisturbed solo expectations.
+    std::vector<std::vector<SolveReport>> want;
+    for (const TenantPlan& p : plans) {
+        StatusOr<AzulSystem> sys = AzulSystem::Create(p.a, p.opts);
+        ASSERT_TRUE(sys.ok()) << sys.status().ToString();
+        std::vector<SolveReport> reports;
+        for (int s = 0; s < steps; ++s) {
+            if (p.update[static_cast<std::size_t>(s)]) {
+                ASSERT_TRUE(
+                    sys->UpdateValues(
+                           scaled(p.a,
+                                  p.scale[static_cast<std::size_t>(
+                                      s)]))
+                        .ok());
+            }
+            reports.push_back(
+                sys->Solve(p.rhs[static_cast<std::size_t>(s)]));
+        }
+        want.push_back(std::move(reports));
+    }
+
+    // The same schedule through a fleet, with instances removed
+    // underneath it.
+    FleetOptions fopts;
+    fopts.num_instances = static_cast<int>(rng.UniformInt(2, 4));
+    fopts.service.num_threads =
+        static_cast<int>(rng.UniformInt(1, 2));
+    fopts.service.max_queue = 512;
+    fopts.state_dir = ::testing::TempDir() + "azul-fleet-stress-" +
+                      std::to_string(seed);
+    std::filesystem::remove_all(fopts.state_dir);
+    StatusOr<std::unique_ptr<AzulFleet>> created =
+        AzulFleet::Create(fopts);
+    ASSERT_TRUE(created.ok()) << created.status().ToString();
+    AzulFleet& fleet = **created;
+
+    std::vector<SessionId> ids;
+    for (int t = 0; t < tenants; ++t) {
+        StatusOr<SessionId> id = fleet.OpenSession(
+            plans[static_cast<std::size_t>(t)].a,
+            plans[static_cast<std::size_t>(t)].opts,
+            "stress-" + std::to_string(t));
+        ASSERT_TRUE(id.ok()) << id.status().ToString();
+        ids.push_back(*id);
+    }
+
+    std::vector<std::vector<RequestId>> reqs(
+        static_cast<std::size_t>(tenants));
+    for (int s = 0; s < steps; ++s) {
+        for (int t = 0; t < tenants; ++t) {
+            const TenantPlan& p = plans[static_cast<std::size_t>(t)];
+            if (p.update[static_cast<std::size_t>(s)]) {
+                StatusOr<RequestId> r = fleet.SubmitUpdateValues(
+                    ids[static_cast<std::size_t>(t)],
+                    scaled(p.a,
+                           p.scale[static_cast<std::size_t>(s)]));
+                ASSERT_TRUE(r.ok()) << r.status().ToString();
+                reqs[static_cast<std::size_t>(t)].push_back(*r);
+            }
+            StatusOr<RequestId> r = fleet.SubmitSolve(
+                ids[static_cast<std::size_t>(t)],
+                p.rhs[static_cast<std::size_t>(s)]);
+            ASSERT_TRUE(r.ok()) << r.status().ToString();
+            reqs[static_cast<std::size_t>(t)].push_back(*r);
+        }
+        // Remove an instance with this step's requests in flight.
+        if (actions[static_cast<std::size_t>(s)] >= 2 &&
+            fleet.num_live_instances() > 1) {
+            const StatusOr<int> victim = fleet.InstanceOf(
+                ids[static_cast<std::size_t>(static_cast<int>(
+                    rng.UniformInt(0, tenants - 1)))]);
+            ASSERT_TRUE(victim.ok());
+            if (actions[static_cast<std::size_t>(s)] == 2) {
+                ASSERT_TRUE(fleet.DrainInstance(*victim).ok());
+            } else {
+                ASSERT_TRUE(fleet.KillInstance(*victim).ok());
+            }
+        }
+    }
+
+    for (int t = 0; t < tenants; ++t) {
+        std::size_t solve_idx = 0;
+        for (const RequestId r : reqs[static_cast<std::size_t>(t)]) {
+            const StatusOr<SolveResponse> resp = fleet.Wait(r);
+            ASSERT_TRUE(resp.ok()) << resp.status().ToString();
+            ASSERT_TRUE(resp->status.ok())
+                << resp->status.ToString();
+            if (resp->report.run.x.empty()) {
+                continue; // an UpdateValues ack, not a solve
+            }
+            const SolveReport& exp =
+                want[static_cast<std::size_t>(t)][solve_idx];
+            SCOPED_TRACE("tenant " + std::to_string(t) + " solve " +
+                         std::to_string(solve_idx));
+            EXPECT_EQ(resp->report.run.x, exp.run.x);
+            EXPECT_EQ(resp->report.run.iterations,
+                      exp.run.iterations);
+            EXPECT_EQ(resp->report.run.residual_history,
+                      exp.run.residual_history);
+            EXPECT_EQ(resp->report.warm_started, exp.warm_started);
+            ++solve_idx;
+        }
+        EXPECT_EQ(solve_idx,
+                  want[static_cast<std::size_t>(t)].size());
+    }
+
+    fleet.Drain();
+    const FleetStats fs = fleet.stats();
+    EXPECT_EQ(fs.service.submitted, fs.service.completed);
+    EXPECT_EQ(fs.service.rejected, 0);
+    EXPECT_EQ(fs.router_rejected, 0);
+    std::filesystem::remove_all(fopts.state_dir);
+}
+
+TEST(StressSweep, SeededFleetSessionsStayCorrect)
+{
+    if (const std::uint64_t seed = StressSeedFromEnv(0)) {
+        SCOPED_TRACE("stress seed " + std::to_string(seed) +
+                     " (from AZUL_STRESS_SEED)");
+        RunFleetStressSeed(seed);
+        return;
+    }
+    for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+        SCOPED_TRACE(
+            "stress seed " + std::to_string(seed) +
+            " — rerun with AZUL_STRESS_SEED=" + std::to_string(seed) +
+            " ./test_fuzz_kernels "
+            "--gtest_filter='StressSweep.SeededFleet*'");
+        RunFleetStressSeed(seed);
         if (::testing::Test::HasFailure()) {
             break; // the trace above names the failing seed
         }

@@ -7,15 +7,18 @@
  * control, typed error paths, deadline/budget classification, and a
  * mixed-traffic stress run with mid-stream UpdateValues.
  */
+#include <atomic>
 #include <cstddef>
 #include <filesystem>
 #include <fstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
 
 #include "service/azul_service.h"
+#include "service/session_store.h"
 #include "sparse/generators.h"
 #include "test_helpers.h"
 
@@ -544,6 +547,61 @@ TEST_F(ServicePersistence, SaveWithoutWarmStateIsFailedPrecondition)
     const SessionId id = *svc->OpenSession(a_, opts_, "fresh");
     EXPECT_EQ(svc->SaveSession(id, state_dir_).code(),
               StatusCode::kFailedPrecondition);
+}
+
+TEST_F(ServicePersistence, ConcurrentSavesOfOneNameStayConsistent)
+{
+    // Regression: SessionStore used a fixed ".tmp" staging suffix, so
+    // two concurrent saves of the same session name interleaved on
+    // the same intermediate file and could rename a torn mix of both
+    // writers into place. With writer-unique suffixes, whichever
+    // complete state renames last wins, and a load always sees one
+    // writer's solution bit-for-bit.
+    std::unique_ptr<AzulService> s1 = NewService();
+    std::unique_ptr<AzulService> s2 = NewService();
+    const SessionId id1 = *s1->OpenSession(a_, opts_, "shared");
+    const SessionId id2 = *s2->OpenSession(a_, opts_, "shared");
+    const StatusOr<SolveResponse> r1 =
+        s1->Wait(*s1->SubmitSolve(id1, b_));
+    const StatusOr<SolveResponse> r2 =
+        s2->Wait(*s2->SubmitSolve(id2, RandomVector(a_.rows(), 123)));
+    ASSERT_TRUE(r1.ok());
+    ASSERT_TRUE(r2.ok());
+    ASSERT_NE(r1->report.run.x, r2->report.run.x);
+    s1->Drain();
+    s2->Drain();
+
+    constexpr int kRounds = 24;
+    std::atomic<int> failures{0};
+    const auto hammer = [&](AzulService& svc, SessionId id) {
+        for (int i = 0; i < kRounds; ++i) {
+            if (!svc.SaveSession(id, state_dir_).ok()) {
+                ++failures;
+            }
+        }
+    };
+    std::thread w1(hammer, std::ref(*s1), id1);
+    std::thread w2(hammer, std::ref(*s2), id2);
+    w1.join();
+    w2.join();
+    EXPECT_EQ(failures.load(), 0);
+
+    const SessionStore store(state_dir_);
+    const StatusOr<SessionState> state = store.Load("shared");
+    ASSERT_TRUE(state.ok()) << state.status().ToString();
+    // The surviving solution is exactly one writer's — never a blend.
+    EXPECT_TRUE(state->last_x == r1->report.run.x ||
+                state->last_x == r2->report.run.x);
+    // No staging debris left behind.
+    int tmp_files = 0;
+    for (const auto& entry :
+         std::filesystem::directory_iterator(state_dir_)) {
+        if (entry.path().filename().string().find(".tmp") !=
+            std::string::npos) {
+            ++tmp_files;
+        }
+    }
+    EXPECT_EQ(tmp_files, 0);
 }
 
 TEST_F(ServicePersistence, RestoreRoundTripWarmStartsTheSuccessor)

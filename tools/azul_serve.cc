@@ -2,17 +2,20 @@
  * @file
  * azul_serve — trace-replay driver for the serving layer.
  *
- * Replays a textual request trace against one AzulService, so
- * multi-tenant schedules are reproducible from a file: the trace
- * fixes the admission order, and the service's determinism contract
- * fixes everything else (each response is bit-identical to a serial
- * solo run regardless of --threads).
+ * Replays a textual request trace against an AzulFleet (one or more
+ * AzulService instances behind the consistent-hash router,
+ * docs/FLEET.md), so multi-tenant schedules are reproducible from a
+ * file: the trace fixes the admission order, and the determinism
+ * contract fixes everything else (each response is bit-identical to a
+ * serial solo run regardless of --threads or --instances).
  *
  * Usage:
  *   azul_serve [trace.txt] [flags]
  *
  * Flags:
- *   --threads=N    concurrent solves                 (default 2)
+ *   --instances=N  AzulService instances; sessions shard across them
+ *                  by consistent hashing on the name (default 1)
+ *   --threads=N    concurrent solves per instance    (default 2)
  *   --max-queue=N  admission ceiling                 (default 256)
  *   --state-dir=P  session persistence directory
  *                  (docs/TIMESTEPPING.md): open restores a session's
@@ -45,7 +48,7 @@
 #include <string>
 #include <vector>
 
-#include "service/azul_service.h"
+#include "fleet/azul_fleet.h"
 #include "sparse/generators.h"
 #include "sparse/matrix_market.h"
 #include "util/logging.h"
@@ -126,16 +129,21 @@ main(int argc, char** argv)
     std::string trace_path;
     std::string state_dir;
     bool quiet = false;
-    ServiceOptions sopts;
-    sopts.num_threads = 2;
+    FleetOptions fopts;
+    fopts.service.num_threads = 2;
+    // Trace replay never kills an instance; skip payload retention.
+    fopts.record_replay_log = false;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
-        if (arg.rfind("--threads=", 0) == 0) {
-            sopts.num_threads =
+        if (arg.rfind("--instances=", 0) == 0) {
+            fopts.num_instances =
+                static_cast<int>(std::stol(arg.substr(12)));
+        } else if (arg.rfind("--threads=", 0) == 0) {
+            fopts.service.num_threads =
                 static_cast<int>(std::stol(arg.substr(10)));
         } else if (arg.rfind("--max-queue=", 0) == 0) {
-            sopts.max_queue =
+            fopts.service.max_queue =
                 static_cast<std::size_t>(std::stoul(arg.substr(12)));
         } else if (arg.rfind("--state-dir=", 0) == 0) {
             state_dir = arg.substr(12);
@@ -165,12 +173,13 @@ main(int argc, char** argv)
         std::fclose(f);
     }
 
-    StatusOr<std::unique_ptr<AzulService>> created =
-        AzulService::Create(sopts);
+    fopts.state_dir = state_dir;
+    StatusOr<std::unique_ptr<AzulFleet>> created =
+        AzulFleet::Create(fopts);
     if (!created.ok()) {
         Die(created.status().ToString());
     }
-    AzulService& svc = **created;
+    AzulFleet& svc = **created;
 
     std::map<std::string, Tenant> tenants;
     std::vector<PendingRequest> pending;
@@ -421,18 +430,20 @@ main(int argc, char** argv)
         }
     }
 
-    const ServiceStats stats = svc.stats();
+    const FleetStats stats = svc.stats();
     std::printf("\nsessions=%lld submitted=%lld completed=%lld "
                 "rejected=%lld deadline-expired=%lld "
-                "cache-hits=%lld warm=%lld restored=%lld threads=%d\n",
-                static_cast<long long>(stats.sessions_opened),
-                static_cast<long long>(stats.submitted),
-                static_cast<long long>(stats.completed),
-                static_cast<long long>(stats.rejected),
-                static_cast<long long>(stats.deadline_expired),
-                static_cast<long long>(stats.mapping_cache_hits),
-                static_cast<long long>(stats.warm_started),
-                static_cast<long long>(stats.sessions_restored),
-                svc.num_threads());
+                "cache-hits=%lld warm=%lld restored=%lld "
+                "instances=%d threads/instance=%d\n",
+                static_cast<long long>(stats.service.sessions_opened),
+                static_cast<long long>(stats.service.submitted),
+                static_cast<long long>(stats.service.completed),
+                static_cast<long long>(stats.service.rejected),
+                static_cast<long long>(stats.service.deadline_expired),
+                static_cast<long long>(stats.service.mapping_cache_hits),
+                static_cast<long long>(stats.service.warm_started),
+                static_cast<long long>(stats.service.sessions_restored),
+                svc.num_live_instances(),
+                svc.options().service.num_threads);
     return failures == 0 ? 0 : 1;
 }
