@@ -56,8 +56,8 @@ main(int argc, char** argv)
         // Convergent mode (unlike the throughput benches): detection
         // and rollback only engage when the driver is actually
         // chasing a tolerance.
-        base.tol = 1e-6;
-        base.max_iters = args.quick ? 400 : 600;
+        base.spec.tol = 1e-6;
+        base.spec.max_iters = args.quick ? 400 : 600;
         // 25 balances recovery granularity against the restart cost:
         // every checkpoint is verified by a true-residual recompute
         // that restarts the PCG recurrence, and restarting too often

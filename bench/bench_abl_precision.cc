@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Ablation (beyond the paper's figures): mixed-precision (FP32
+ * iterate storage, docs/SOLVERS.md "Mixed precision") against the
+ * FP64 baseline on the benchmark suite. Each matrix runs the same
+ * solver program at both precisions for a fixed iteration budget and
+ * reports, per precision:
+ *
+ *   - total and vector-phase cycles (FP32 packs two values per SRAM
+ *     word, so elementwise sweeps finish in fewer cycles),
+ *   - peak per-tile data SRAM (the footprint win),
+ *   - the TRUE relative residual reached after the budget, recomputed
+ *     on the host in FP64 (the accuracy cost of quantized iterates).
+ *
+ * The expected shape: FP32 trades a bounded accuracy floor for a
+ * vector-phase speedup and roughly half the vector footprint; the
+ * FP64 recovery (periodic true-residual recompute) keeps the
+ * reported residual honest, so the floor is visible, not hidden.
+ *
+ * Runs on either engine (--engine=cycle|functional); the solve is
+ * bit-identical across engines at both precisions.
+ */
+#include <cmath>
+
+#include "common.h"
+#include "solver/spmv.h"
+
+using namespace azul;
+using namespace azul::bench;
+
+namespace {
+
+double
+TrueRelativeResidual(const CsrMatrix& a, const Vector& x,
+                     const Vector& b)
+{
+    const Vector ax = SpMV(a, x);
+    double rr = 0.0;
+    double bb = 0.0;
+    for (std::size_t i = 0; i < b.size(); ++i) {
+        const double d = b[i] - ax[i];
+        rr += d * d;
+        bb += b[i] * b[i];
+    }
+    return bb > 0.0 ? std::sqrt(rr / bb) : 0.0;
+}
+
+struct PrecisionPoint {
+    SolveReport report;
+    double true_residual = 0.0;
+};
+
+PrecisionPoint
+RunPrecision(const BenchMatrix& bm, const AzulOptions& base,
+             PrecisionMode precision)
+{
+    AzulOptions opts = base;
+    opts.spec.precision = precision;
+    PrecisionPoint p;
+    p.report = RunConfig(bm.a, bm.b, opts);
+    p.true_residual = TrueRelativeResidual(bm.a, p.report.run.x, bm.b);
+    return p;
+}
+
+std::uint64_t
+VectorCycles(const SolveReport& rep)
+{
+    return rep.run.stats.class_cycles[static_cast<std::size_t>(
+        KernelClass::kVectorOp)];
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    const BenchArgs args = BenchArgs::Parse(argc, argv);
+    PrintBanner(
+        "Ablation: FP32 iterate storage vs the FP64 baseline",
+        "FP32 halves the vector footprint and speeds elementwise "
+        "phases; FP64 recovery bounds the accuracy floor",
+        args);
+
+    std::printf("%-16s %5s %12s %12s %9s %10s %8s %8s\n", "matrix",
+                "prec", "cycles", "vec_cycles", "sram_kb",
+                "true_rel_r", "speedup", "sram_sv");
+    std::vector<double> vec_speedups;
+    std::vector<double> sram_savings;
+    for (const BenchMatrix& bm : LoadSuite(args)) {
+        const AzulOptions base = BaseOptions(args);
+        const PrecisionPoint p64 =
+            RunPrecision(bm, base, PrecisionMode::kFp64);
+        const PrecisionPoint p32 =
+            RunPrecision(bm, base, PrecisionMode::kFp32);
+
+        const double vec64 = static_cast<double>(VectorCycles(p64.report));
+        const double vec32 = static_cast<double>(VectorCycles(p32.report));
+        const double vec_speedup = vec32 > 0.0 ? vec64 / vec32 : 1.0;
+        const double sram64 =
+            static_cast<double>(p64.report.sram.max_data_bytes);
+        const double sram32 =
+            static_cast<double>(p32.report.sram.max_data_bytes);
+        const double sram_save = sram64 > 0.0 ? sram32 / sram64 : 1.0;
+        vec_speedups.push_back(vec_speedup);
+        sram_savings.push_back(sram_save);
+
+        std::printf("%-16s %5s %12llu %12llu %9.1f %10.3e %8s %8s\n",
+                    bm.name.c_str(), "fp64",
+                    static_cast<unsigned long long>(
+                        p64.report.run.stats.cycles),
+                    static_cast<unsigned long long>(VectorCycles(p64.report)),
+                    sram64 / 1024.0, p64.true_residual, "1.00x",
+                    "1.00x");
+        std::printf("%-16s %5s %12llu %12llu %9.1f %10.3e %7.2fx %7.2fx\n",
+                    bm.name.c_str(), "fp32",
+                    static_cast<unsigned long long>(
+                        p32.report.run.stats.cycles),
+                    static_cast<unsigned long long>(VectorCycles(p32.report)),
+                    sram32 / 1024.0, p32.true_residual, vec_speedup,
+                    sram_save);
+    }
+    PrintGmean("vec speedup", vec_speedups);
+    PrintGmean("sram ratio", sram_savings);
+    return 0;
+}

@@ -370,8 +370,8 @@ main(int argc, char** argv)
         // bit-identical numerics at a fraction of the cycle cost.
         base.engine = EngineKind::kFunctional;
     }
-    base.tol = 1e-6;
-    base.max_iters = 500;
+    base.spec.tol = 1e-6;
+    base.spec.max_iters = 500;
 
     const std::vector<BenchMatrix> suite =
         ApplySizeMix(LoadSuite(args), load.size_mix);

@@ -197,8 +197,8 @@ main(int argc, char** argv)
     AzulOptions base = BaseOptions(args);
     // Serving benches measure latency under convergence, not fixed
     // iteration counts.
-    base.tol = 1e-6;
-    base.max_iters = 500;
+    base.spec.tol = 1e-6;
+    base.spec.max_iters = 500;
 
     std::printf("%d sessions x %d requests, matrices cycled from the "
                 "%zu-matrix suite (host has %u hardware threads; "

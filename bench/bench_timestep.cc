@@ -105,8 +105,8 @@ main(int argc, char** argv)
     // Convergence mode, unlike the throughput benches: the metric is
     // iterations-to-converge, so tol must be real.
     AzulOptions opts = BaseOptions(args);
-    opts.tol = 1e-8;
-    opts.max_iters = 2000;
+    opts.spec.tol = 1e-8;
+    opts.spec.max_iters = 2000;
 
     const Index side = static_cast<Index>(
         std::max(8.0, std::floor(32.0 * std::sqrt(args.scale))));

@@ -14,6 +14,13 @@
  *   --engine=E  execution engine: cycle (default) or functional
  *               (docs/SIMULATOR.md, "Choosing an execution engine");
  *               overrides the AZUL_ENGINE environment variable
+ *   --solver=S  iterative method: jacobi/pcg/bicgstab/gmres
+ *               (docs/SOLVERS.md); overrides AZUL_SOLVER
+ *   --precond=P preconditioner: none/jacobi/symgs/ssor/ic0;
+ *               overrides AZUL_PRECOND
+ *   --precision=W iterate storage precision: fp64 (default) or fp32
+ *               (docs/SOLVERS.md, "Mixed precision"); overrides
+ *               AZUL_PRECISION
  *   --quick     small preset for smoke runs  (scale 0.2, grid 4)
  *   --cache[=D] reuse mappings via the persistent cache in directory
  *               D (default .azul-mapping-cache); off when absent
@@ -57,6 +64,12 @@ struct BenchArgs {
     /** "cycle"/"functional" from --engine; empty = no explicit flag,
      *  so the AZUL_ENGINE env override (or the default) stands. */
     std::string engine;
+    /** Solver-spec flags; empty = no explicit flag, so the matching
+     *  env override (AZUL_SOLVER/AZUL_PRECOND/AZUL_PRECISION) or the
+     *  default stands. */
+    std::string solver;
+    std::string precond;
+    std::string precision;
 
     static BenchArgs
     Parse(int argc, char** argv)
@@ -90,6 +103,37 @@ struct BenchArgs {
                                  "bad --engine '%s' (want cycle or "
                                  "functional)\n",
                                  args.engine.c_str());
+                    std::exit(2);
+                }
+            } else if (arg.rfind("--solver=", 0) == 0) {
+                args.solver = arg.substr(9);
+                SolverKind parsed = SolverKind::kPcg;
+                if (!ParseSolverKind(args.solver, parsed)) {
+                    std::fprintf(stderr,
+                                 "bad --solver '%s' (want jacobi, "
+                                 "pcg, bicgstab or gmres)\n",
+                                 args.solver.c_str());
+                    std::exit(2);
+                }
+            } else if (arg.rfind("--precond=", 0) == 0) {
+                args.precond = arg.substr(10);
+                PreconditionerKind parsed =
+                    PreconditionerKind::kIdentity;
+                if (!ParsePreconditionerKind(args.precond, parsed)) {
+                    std::fprintf(stderr,
+                                 "bad --precond '%s' (want none, "
+                                 "jacobi, symgs, ssor or ic0)\n",
+                                 args.precond.c_str());
+                    std::exit(2);
+                }
+            } else if (arg.rfind("--precision=", 0) == 0) {
+                args.precision = arg.substr(12);
+                PrecisionMode parsed = PrecisionMode::kFp64;
+                if (!ParsePrecisionMode(args.precision, parsed)) {
+                    std::fprintf(stderr,
+                                 "bad --precision '%s' (want fp64 or "
+                                 "fp32)\n",
+                                 args.precision.c_str());
                     std::exit(2);
                 }
             } else if (arg == "--quick") {
@@ -163,8 +207,25 @@ BaseOptions(const BenchArgs& args)
         // Parse already validated the flag value.
         ParseEngineKind(args.engine, opts.engine);
     }
-    opts.tol = 0.0; // run exactly `iters` iterations
-    opts.max_iters = args.iters;
+    if (!args.solver.empty()) {
+        ParseSolverKind(args.solver, opts.spec.method);
+        if (opts.spec.method == SolverKind::kJacobi &&
+            args.precond.empty()) {
+            // A bare --solver=jacobi works out of the box: the
+            // stationary method requires precond=none, so drop the
+            // ic0 default (an explicit --precond still wins below
+            // and gets rejected by the spec validation).
+            opts.spec.precond = PreconditionerKind::kIdentity;
+        }
+    }
+    if (!args.precond.empty()) {
+        ParsePreconditionerKind(args.precond, opts.spec.precond);
+    }
+    if (!args.precision.empty()) {
+        ParsePrecisionMode(args.precision, opts.spec.precision);
+    }
+    opts.spec.tol = 0.0; // run exactly `iters` iterations
+    opts.spec.max_iters = args.iters;
     if (!args.fault_spec.empty() &&
         !ParseFaultSpec(args.fault_spec, opts.sim)) {
         std::fprintf(stderr, "malformed --faults spec '%s'\n",

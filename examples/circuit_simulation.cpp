@@ -91,7 +91,7 @@ main()
     AzulOptions options;
     options.sim.grid_width = 8;
     options.sim.grid_height = 8;
-    options.tol = 1e-10;
+    options.spec.tol = 1e-10;
     AzulSystem system = *AzulSystem::Create(SystemMatrix(g), options);
     std::printf("circuit: %lld nodes, %lld conductances; mapping "
                 "%.2fs (once)\n",

@@ -82,7 +82,7 @@ main()
     AzulOptions options;
     options.sim.grid_width = 8;
     options.sim.grid_height = 8;
-    options.tol = 1e-9;
+    options.spec.tol = 1e-9;
     // Generated input: a Create failure here is a bug, and value()
     // checks, so no explicit branch is needed.
     AzulSystem system = *AzulSystem::Create(a, options);

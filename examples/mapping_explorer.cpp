@@ -70,8 +70,8 @@ main(int argc, char** argv)
         opts.sim.grid_width = grid;
         opts.sim.grid_height = grid;
         opts.mapper = kind;
-        opts.tol = 0.0;
-        opts.max_iters = iters;
+        opts.spec.tol = 0.0;
+        opts.spec.max_iters = iters;
         AzulSystem sys = *AzulSystem::Create(a, opts);
         const SolveReport rep = sys.Solve(b);
         std::printf("%-13s %14.3g %14llu %12llu %12.2f %10.2f\n",

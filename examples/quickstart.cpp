@@ -42,7 +42,7 @@ main(int argc, char** argv)
     AzulOptions options;
     options.sim.grid_width = 8;
     options.sim.grid_height = 8;
-    options.tol = 1e-8;
+    options.spec.tol = 1e-8;
 
     // 3. Build the system: coloring, factorization, mapping, kernel
     //    compilation, engine instantiation. This is the expensive,

@@ -80,8 +80,8 @@ main()
         AzulOptions opts;
         opts.sim.grid_width = 8;
         opts.sim.grid_height = 8;
-        opts.tol = tol;
-        opts.max_iters = cap;
+        opts.spec.tol = tol;
+        opts.spec.max_iters = cap;
         AzulSystem sys = *AzulSystem::Create(a, opts);
         const SolveReport rep = sys.Solve(b);
         std::printf("%-24s %s\n", "Azul PCG + ic0",

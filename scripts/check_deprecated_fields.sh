@@ -1,0 +1,42 @@
+#!/usr/bin/env bash
+# Guards the SolverSpec migration (docs/SOLVERS.md): no in-repo code
+# may write the DEPRECATED flat AzulOptions aliases (solver, precond,
+# tol, max_iters, jacobi_omega, ssor_omega) — everything goes through
+# the nested `spec`. The aliases stay for one release for external
+# callers; this check stops them from creeping back in here.
+#
+# Exemptions:
+#   - tests/            exercises the aliases on purpose
+#   - core/azul_config.*  defines them
+#   - lines tagged `deprecated-alias-shim` (the Create mirror that
+#     keeps alias readers working)
+#
+# Usage: scripts/check_deprecated_fields.sh [repo-root]
+set -u
+
+root="${1:-$(cd "$(dirname "$0")/.." && pwd)}"
+cd "$root" || exit 2
+
+# Flat-alias access looks like `<options-expr>.solver = ...` or
+# `opts.tol`, where the receiver is an options-shaped variable. The
+# spec fields are accessed as `.spec.solver`-style chains, which the
+# negative lookbehind on `spec` excludes.
+fields='solver|precond|tol|max_iters|jacobi_omega|ssor_omega'
+pattern="\\b(opts|opts_|options|options_|base|o|fo)\\.(${fields})\\b"
+
+matches=$(grep -rnE "$pattern" src bench tools examples \
+    --include='*.cc' --include='*.h' --include='*.cpp' \
+    | grep -v 'deprecated-alias-shim' \
+    | grep -v 'src/core/azul_config\.')
+
+if [ -n "$matches" ]; then
+    echo "error: deprecated flat AzulOptions solver fields in use;"
+    echo "write the nested SolverSpec (opts.spec.*) instead"
+    echo "(docs/SOLVERS.md, 'Migrating from the flat fields'):"
+    echo
+    echo "$matches"
+    exit 1
+fi
+
+echo "ok: no deprecated flat solver-field use outside tests/"
+exit 0

@@ -5,13 +5,134 @@
 
 namespace azul {
 
+Status
+SolverSpec::Validate() const
+{
+    std::ostringstream oss;
+    if (tol < 0.0) {
+        oss << "spec.tol must be >= 0, got " << tol;
+        return InvalidArgument(oss.str());
+    }
+    if (max_iters < 0) {
+        oss << "spec.max_iters must be >= 0, got " << max_iters;
+        return InvalidArgument(oss.str());
+    }
+    if (method == SolverKind::kJacobi) {
+        if (precond != PreconditionerKind::kIdentity) {
+            oss << "spec.method=jacobi is its own stationary method "
+                   "and requires spec.precond=none, got "
+                << PreconditionerKindName(precond);
+            return InvalidArgument(oss.str());
+        }
+        if (!(jacobi_omega > 0.0 && jacobi_omega <= 1.0)) {
+            oss << "spec.jacobi_omega must lie in (0, 1], got "
+                << jacobi_omega;
+            return InvalidArgument(oss.str());
+        }
+    }
+    if (method == SolverKind::kGmres && restart < 1) {
+        oss << "spec.restart must be >= 1 for gmres, got " << restart;
+        return InvalidArgument(oss.str());
+    }
+    if (precond == PreconditionerKind::kSsor &&
+        !(ssor_omega > 0.0 && ssor_omega < 2.0)) {
+        oss << "spec.ssor_omega must lie in (0, 2), got "
+            << ssor_omega;
+        return InvalidArgument(oss.str());
+    }
+    return OkStatus();
+}
+
+std::string
+SolverSpec::ToString() const
+{
+    std::ostringstream oss;
+    oss << "method=" << SolverKindName(method)
+        << ", precond=" << PreconditionerKindName(precond)
+        << ", precision=" << PrecisionModeName(precision)
+        << ", tol=" << tol << ", max_iters=" << max_iters;
+    if (method == SolverKind::kGmres) {
+        oss << ", restart=" << restart;
+    }
+    if (method == SolverKind::kJacobi) {
+        oss << ", jacobi_omega=" << jacobi_omega;
+    }
+    if (precond == PreconditionerKind::kSsor) {
+        oss << ", ssor_omega=" << ssor_omega;
+    }
+    return oss.str();
+}
+
+StatusOr<SolverSpec>
+AzulOptions::ResolvedSpec() const
+{
+    const SolverSpec spec_defaults;
+    const AzulOptions flat_defaults;
+    SolverSpec merged = spec;
+    std::ostringstream conflict;
+
+    // One merge rule per deprecated flat alias: a flat field changed
+    // from its default is adopted when the spec field is still at its
+    // default; both changed to different values is a conflict.
+    const auto merge = [&](auto& out, const auto& spec_value,
+                           const auto& spec_default,
+                           const auto& flat_value,
+                           const auto& flat_default,
+                           const char* flat_name,
+                           const char* spec_name, auto&& print) {
+        if (flat_value == flat_default) {
+            return true; // flat untouched; spec (or default) wins
+        }
+        if (spec_value == spec_default || spec_value == flat_value) {
+            out = flat_value;
+            return true;
+        }
+        conflict << "deprecated flat field '" << flat_name
+                 << "' conflicts with spec." << spec_name << " ("
+                 << print(flat_value) << " vs " << print(spec_value)
+                 << "); set only spec." << spec_name;
+        return false;
+    };
+    const auto raw = [](const auto& v) { return v; };
+
+    if (!merge(merged.method, spec.method, spec_defaults.method,
+               solver, flat_defaults.solver, "solver", "method",
+               [](SolverKind k) { return SolverKindName(k); }) ||
+        !merge(merged.jacobi_omega, spec.jacobi_omega,
+               spec_defaults.jacobi_omega, jacobi_omega,
+               flat_defaults.jacobi_omega, "jacobi_omega",
+               "jacobi_omega", raw) ||
+        !merge(merged.precond, spec.precond, spec_defaults.precond,
+               precond, flat_defaults.precond, "precond", "precond",
+               [](PreconditionerKind k) {
+                   return PreconditionerKindName(k);
+               }) ||
+        !merge(merged.ssor_omega, spec.ssor_omega,
+               spec_defaults.ssor_omega, ssor_omega,
+               flat_defaults.ssor_omega, "ssor_omega", "ssor_omega",
+               raw) ||
+        !merge(merged.tol, spec.tol, spec_defaults.tol, tol,
+               flat_defaults.tol, "tol", "tol", raw) ||
+        !merge(merged.max_iters, spec.max_iters,
+               spec_defaults.max_iters, max_iters,
+               flat_defaults.max_iters, "max_iters", "max_iters",
+               raw)) {
+        return InvalidArgument(conflict.str());
+    }
+    return merged;
+}
+
 std::string
 AzulOptions::ToString() const
 {
+    // Print the merged solver spec so the summary reflects what Create
+    // would actually run; an unresolved conflict falls back to the
+    // nested spec (Create will reject it with the full message).
+    const StatusOr<SolverSpec> resolved = ResolvedSpec();
+    const SolverSpec& s = resolved.ok() ? *resolved : spec;
     std::ostringstream oss;
     oss << sim.ToString() << ", engine=" << EngineKindName(engine)
-        << ", solver=" << SolverKindName(solver)
-        << ", precond=" << PreconditionerKindName(precond)
+        << ", solver_spec{" << s.ToString() << "}"
         << ", mapper=" << MapperKindName(mapper)
         << (color_and_permute ? ", colored" : ", uncolored")
         << (graph.use_trees ? ", trees" : ", p2p");
@@ -40,6 +161,18 @@ ApplyEnvOverrides(AzulOptions& opts)
     // ignored (the default stays).
     if (const char* engine_env = std::getenv("AZUL_ENGINE")) {
         ParseEngineKind(engine_env, opts.engine);
+    }
+
+    // Solver spec overrides: same ignore-invalid policy — an
+    // unrecognized name leaves the spec field at its default.
+    if (const char* solver_env = std::getenv("AZUL_SOLVER")) {
+        ParseSolverKind(solver_env, opts.spec.method);
+    }
+    if (const char* precond_env = std::getenv("AZUL_PRECOND")) {
+        ParsePreconditionerKind(precond_env, opts.spec.precond);
+    }
+    if (const char* precision_env = std::getenv("AZUL_PRECISION")) {
+        ParsePrecisionMode(precision_env, opts.spec.precision);
     }
 
     if (opts.mapping_cache_dir.empty()) {

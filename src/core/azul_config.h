@@ -16,8 +16,61 @@
 #include "sim/config.h"
 #include "solver/preconditioner.h"
 #include "util/common.h"
+#include "util/status.h"
 
 namespace azul {
+
+/**
+ * What to solve and how: iterative method, preconditioner, working
+ * precision, and convergence controls, validated as one unit by
+ * AzulSystem::Create (docs/SOLVERS.md). This nested spec replaces the
+ * flat solver/precond/tol/... fields on AzulOptions, which remain as
+ * deprecated aliases for one release (docs/API.md, "Deprecation
+ * policy").
+ */
+struct SolverSpec {
+    /** Iterative method the system compiles and runs. */
+    SolverKind method = SolverKind::kPcg;
+    /** Damping weight of the kJacobi method (ignored otherwise);
+     *  must lie in (0, 1]. */
+    double jacobi_omega = 2.0 / 3.0;
+    /** Restart length m of GMRES(m) (ignored otherwise); every m
+     *  inner steps the machine restarts from the true residual. */
+    Index restart = 30;
+    /**
+     * Preconditioner; PCG with IC(0) is the paper's evaluation.
+     * kPcg, kBiCgStab and kGmres accept any preconditioner; kJacobi
+     * is its own stationary method and requires kIdentity.
+     */
+    PreconditionerKind precond =
+        PreconditionerKind::kIncompleteCholesky;
+    /** Relaxation weight when precond = kSsor; must lie in (0, 2). */
+    double ssor_omega = 1.0;
+    /**
+     * Working precision of the machine's iterate storage
+     * (sim/config.h PrecisionMode). kFp32 halves vector SRAM and
+     * doubles elementwise sweep throughput; the FP64 anchors x and b
+     * plus the periodic true-residual recompute bound the accuracy
+     * loss (docs/SOLVERS.md, "Mixed precision").
+     */
+    PrecisionMode precision = PrecisionMode::kFp64;
+    /** Relative residual tolerance ||r|| <= tol * ||b||. */
+    double tol = 1e-8;
+    /** Driver iteration cap; for kGmres each driver iteration is one
+     *  restart cycle of `restart` inner steps. */
+    Index max_iters = 1000;
+
+    /**
+     * Checks the spec as one unit; returns kInvalidArgument with a
+     * field-specific message on the first violation. AzulSystem::
+     * Create calls this, so standalone use is only needed to validate
+     * ahead of time.
+     */
+    Status Validate() const;
+
+    /** "method=pcg, precond=ic0, precision=fp64, tol=1e-08, ...". */
+    std::string ToString() const;
+};
 
 /** Everything needed to instantiate an AzulSystem. */
 struct AzulOptions {
@@ -32,15 +85,26 @@ struct AzulOptions {
      * (Create rejects engine=functional + sim.faults_enabled()).
      */
     EngineKind engine = EngineKind::kCycle;
-    /** Iterative method the system compiles and runs. kJacobi and
-     *  kBiCgStab are their own methods and require precond =
-     *  kIdentity (AzulSystem::Create rejects other combinations). */
+    /**
+     * What to solve and how (method, preconditioner, precision,
+     * convergence); validated as one unit by AzulSystem::Create.
+     */
+    SolverSpec spec;
+    /**
+     * DEPRECATED flat aliases of the SolverSpec fields, kept for one
+     * release (docs/API.md, "Deprecation policy"); removal planned
+     * for the next release. A flat field changed from its default is
+     * adopted into the spec by ResolvedSpec(); setting both a flat
+     * field and its spec counterpart to conflicting values is a
+     * kInvalidArgument at Create. New code sets `spec` directly.
+     */
     SolverKind solver = SolverKind::kPcg;
-    /** Damping weight of the kJacobi solver (ignored otherwise). */
+    /** DEPRECATED: use spec.jacobi_omega. */
     double jacobi_omega = 2.0 / 3.0;
-    /** Preconditioner; PCG with IC(0) is the paper's evaluation. */
+    /** DEPRECATED: use spec.precond. */
     PreconditionerKind precond =
         PreconditionerKind::kIncompleteCholesky;
+    /** DEPRECATED: use spec.ssor_omega. */
     double ssor_omega = 1.0;
     /** Graph-coloring preprocessing (Sec II-A); on by default, as in
      *  all the paper's results. */
@@ -68,8 +132,9 @@ struct AzulOptions {
     std::string mapping_cache_dir;
     /** Kernel-compiler options (multicast trees vs point-to-point). */
     GraphOptions graph;
-    /** Solver controls. */
+    /** DEPRECATED: use spec.tol. */
     double tol = 1e-8;
+    /** DEPRECATED: use spec.max_iters. */
     Index max_iters = 1000;
     /**
      * Time-stepping controls (docs/TIMESTEPPING.md). When warm_start
@@ -105,6 +170,17 @@ struct AzulOptions {
      */
     bool strict_sram_fit = false;
 
+    /**
+     * Merges the deprecated flat solver fields into `spec` and
+     * returns the result: a flat field changed from its default wins
+     * over a spec field still at its default (so legacy callers keep
+     * working unchanged); a flat field and its spec counterpart both
+     * changed to *different* values is a kInvalidArgument. Does not
+     * run SolverSpec::Validate() — Create does that on the merged
+     * spec.
+     */
+    StatusOr<SolverSpec> ResolvedSpec() const;
+
     std::string ToString() const;
 };
 
@@ -120,6 +196,13 @@ struct AzulOptions {
  *                       bit-identical at any thread count)
  *   AZUL_ENGINE         execution engine, "cycle" or "functional"
  *                       (ParseEngineKind; anything else is ignored)
+ *   AZUL_SOLVER         iterative method, "jacobi"/"pcg"/"bicgstab"/
+ *                       "gmres" (ParseSolverKind; sets spec.method)
+ *   AZUL_PRECOND        preconditioner, "none"/"jacobi"/"symgs"/
+ *                       "ssor"/"ic0" (ParsePreconditionerKind; sets
+ *                       spec.precond)
+ *   AZUL_PRECISION      iterate storage precision, "fp64" or "fp32"
+ *                       (ParsePrecisionMode; sets spec.precision)
  *   AZUL_MAPPING_CACHE  persistent mapping-cache directory
  *   AZUL_FAULTS         fault-injection spec (ParseFaultSpec format;
  *                       malformed specs are ignored atomically)

@@ -42,30 +42,9 @@ ValidateCreate(const CsrMatrix& a, const AzulOptions& options)
             << options.sim.grid_height << ")";
         return InvalidArgument(oss.str());
     }
-    if (!(options.tol >= 0.0)) {
-        oss << "tolerance must be >= 0 (got " << options.tol << ")";
-        return InvalidArgument(oss.str());
-    }
-    if (options.max_iters < 0) {
-        oss << "max_iters must be >= 0 (got " << options.max_iters
-            << ")";
-        return InvalidArgument(oss.str());
-    }
-    if (options.solver != SolverKind::kPcg &&
-        options.precond != PreconditionerKind::kIdentity) {
-        oss << "solver " << SolverKindName(options.solver)
-            << " is its own method and supports only precond=none "
-               "(got "
-            << PreconditionerKindName(options.precond) << ")";
-        return InvalidArgument(oss.str());
-    }
-    if (options.solver == SolverKind::kJacobi &&
-        !(options.jacobi_omega > 0.0 &&
-          options.jacobi_omega <= 1.0)) {
-        oss << "jacobi_omega must be in (0, 1] (got "
-            << options.jacobi_omega << ")";
-        return InvalidArgument(oss.str());
-    }
+    // The solver-related fields (method/precond compatibility,
+    // tolerances, omegas) are validated as one unit by
+    // SolverSpec::Validate on the merged spec — see Create.
     if (options.precomputed_mapping != nullptr &&
         options.precomputed_mapping->num_tiles !=
             options.sim.num_tiles()) {
@@ -111,14 +90,66 @@ MakeEngine(const AzulOptions& options, const SolverProgram* program)
     return std::make_unique<Machine>(options.sim, program);
 }
 
+/** True when the spec's method runs its preconditioner through the
+ *  machine's SpTRSV kernels (needs a factored lower triangle). */
+bool
+NeedsFactor(const SolverSpec& spec)
+{
+    const bool trisolve_method =
+        spec.method == SolverKind::kPcg ||
+        spec.method == SolverKind::kBiCgStab ||
+        spec.method == SolverKind::kGmres;
+    return trisolve_method &&
+           (spec.precond == PreconditionerKind::kIncompleteCholesky ||
+            spec.precond ==
+                PreconditionerKind::kSymmetricGaussSeidel ||
+            spec.precond == PreconditionerKind::kSsor);
+}
+
+/**
+ * Mixed-precision recovery cadence: under FP32 iterate storage, the
+ * recurrence residual stalls near single-precision accuracy, so give
+ * programs that can recompute the true residual from the FP64
+ * anchors a periodic recovery interval unless the program already
+ * chose one (docs/SOLVERS.md, "Mixed precision").
+ */
+void
+ApplyPrecisionPolicy(SolverProgram& prog, const SolverSpec& spec)
+{
+    if (spec.precision == PrecisionMode::kFp32 &&
+        !prog.residual_recompute.empty() &&
+        prog.convergence.true_residual_interval == 0) {
+        prog.convergence.true_residual_interval = 8;
+    }
+}
+
 } // namespace
 
 StatusOr<AzulSystem>
 AzulSystem::Create(CsrMatrix a, AzulOptions options)
 {
     AZUL_RETURN_IF_ERROR(ValidateCreate(a, options));
+    // Merge the deprecated flat solver fields into the nested spec
+    // and validate the result as one unit.
+    StatusOr<SolverSpec> resolved = options.ResolvedSpec();
+    if (!resolved.ok()) {
+        return resolved.status();
+    }
+    AZUL_RETURN_IF_ERROR(resolved->Validate());
     AzulSystem sys;
     sys.options_ = std::move(options);
+    // The merged spec is the single source of truth from here on;
+    // mirror it back into the deprecated flat aliases so legacy
+    // readers of options() observe consistent values.
+    sys.options_.spec = *resolved;
+    sys.options_.solver = resolved->method;           // deprecated-alias-shim
+    sys.options_.jacobi_omega = resolved->jacobi_omega; // deprecated-alias-shim
+    sys.options_.precond = resolved->precond;         // deprecated-alias-shim
+    sys.options_.ssor_omega = resolved->ssor_omega;   // deprecated-alias-shim
+    sys.options_.tol = resolved->tol;                 // deprecated-alias-shim
+    sys.options_.max_iters = resolved->max_iters;     // deprecated-alias-shim
+    // The working precision rides into the engines on SimConfig.
+    sys.options_.sim.precision = resolved->precision;
     try {
         sys.Init(std::move(a));
     } catch (const AzulError& e) {
@@ -166,16 +197,14 @@ AzulSystem::Init(CsrMatrix a)
         perm_ = Permutation(a_.rows());
     }
 
-    // 2. Preconditioner factorization (kPcg only; the other solver
-    // kinds are their own methods — Create enforces precond=none).
-    const bool factored =
-        options_.solver == SolverKind::kPcg &&
-        (options_.precond == PreconditionerKind::kIncompleteCholesky ||
-         options_.precond == PreconditionerKind::kSymmetricGaussSeidel ||
-         options_.precond == PreconditionerKind::kSsor);
+    // 2. Preconditioner factorization for the trisolve-based kinds
+    // (PCG, BiCGStab and GMRES all accept them; kJacobi is its own
+    // stationary method — the spec validation enforced precond=none).
+    const SolverSpec& spec = options_.spec;
+    const bool factored = NeedsFactor(spec);
     if (factored) {
-        const auto precond = MakePreconditioner(
-            options_.precond, a_, options_.ssor_omega);
+        const auto precond =
+            MakePreconditioner(spec.precond, a_, spec.ssor_omega);
         l_ = *precond->lower_factor();
     }
 
@@ -232,14 +261,16 @@ AzulSystem::Init(CsrMatrix a)
         ProgramBuildInputs in;
         in.a = &a_;
         in.l = factored ? &l_ : nullptr;
-        in.precond = options_.precond;
+        in.precond = spec.precond;
         in.mapping = &mapping_;
         in.geom = options_.sim.geometry();
         in.graph = options_.graph;
-        in.jacobi_omega = options_.jacobi_omega;
+        in.jacobi_omega = spec.jacobi_omega;
+        in.restart = spec.restart;
         const auto t0 = std::chrono::steady_clock::now();
         program_ = std::make_unique<SolverProgram>(
-            BuildSolverProgram(options_.solver, in));
+            BuildSolverProgram(spec.method, in));
+        ApplyPrecisionPolicy(*program_, spec);
         compile_seconds_ = SecondsSince(t0);
     }
 
@@ -295,9 +326,10 @@ AzulSystem::Solve(const Vector& b, const RunBudget& budget,
     SolveReport report;
     report.engine = options_.engine;
     report.warm_started = warm;
+    report.spec = options_.spec;
     report.run =
-        SolverDriver().Run(*engine_, b_perm, options_.tol,
-                           options_.max_iters, budget,
+        SolverDriver().Run(*engine_, b_perm, options_.spec.tol,
+                           options_.spec.max_iters, budget,
                            warm ? &x0_perm : nullptr);
     report.run.x = UnpermuteVector(report.run.x, perm_);
     last_x_ = report.run.x;
@@ -343,8 +375,9 @@ AzulSystem::UpdateValues(const CsrMatrix& a_new)
         a_ = std::move(permuted);
         const bool factored = l_.nnz() > 0;
         if (factored) {
-            const auto precond = MakePreconditioner(
-                options_.precond, a_, options_.ssor_omega);
+            const auto precond =
+                MakePreconditioner(options_.spec.precond, a_,
+                                   options_.spec.ssor_omega);
             l_ = *precond->lower_factor();
         }
         // Recompile kernels in place: mapping and machine geometry
@@ -362,17 +395,20 @@ AzulSystem::UpdateValues(const CsrMatrix& a_new)
 void
 AzulSystem::RecompileForCurrentMatrix()
 {
+    const SolverSpec& spec = options_.spec;
     const bool factored = l_.nnz() > 0;
     ProgramBuildInputs in;
     in.a = &a_;
     in.l = factored ? &l_ : nullptr;
-    in.precond = options_.precond;
+    in.precond = spec.precond;
     in.mapping = &mapping_;
     in.geom = options_.sim.geometry();
     in.graph = options_.graph;
-    in.jacobi_omega = options_.jacobi_omega;
+    in.jacobi_omega = spec.jacobi_omega;
+    in.restart = spec.restart;
     program_ = std::make_unique<SolverProgram>(
-        BuildSolverProgram(options_.solver, in));
+        BuildSolverProgram(spec.method, in));
+    ApplyPrecisionPolicy(*program_, spec);
     engine_ = MakeEngine(options_, program_.get());
 }
 
@@ -410,8 +446,9 @@ AzulSystem::UpdateMatrix(const CsrMatrix& a_new)
         CsrMatrix l2;
         const bool factored = l_.nnz() > 0;
         if (factored) {
-            const auto precond = MakePreconditioner(
-                options_.precond, a2, options_.ssor_omega);
+            const auto precond =
+                MakePreconditioner(options_.spec.precond, a2,
+                                   options_.spec.ssor_omega);
             l2 = *precond->lower_factor();
         }
         MappingProblem prob;

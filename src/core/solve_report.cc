@@ -54,6 +54,15 @@ SolveReport::ToJson() const
     oss << "\"converged\":" << (run.converged ? "true" : "false");
     oss << ",\"failure\":\"" << FailureKindName(run.failure) << "\"";
     oss << ",\"engine\":\"" << EngineKindName(engine) << "\"";
+    oss << ",\"solver_spec\":{\"method\":\""
+        << SolverKindName(spec.method) << "\",\"precond\":\""
+        << PreconditionerKindName(spec.precond)
+        << "\",\"precision\":\"" << PrecisionModeName(spec.precision)
+        << "\",\"tol\":" << JsonNumber(spec.tol)
+        << ",\"max_iters\":" << spec.max_iters
+        << ",\"restart\":" << spec.restart << "}";
+    oss << ",\"precision\":\"" << PrecisionModeName(spec.precision)
+        << "\"";
     oss << ",\"iterations\":" << run.iterations;
     oss << ",\"recoveries\":" << run.recoveries;
     oss << ",\"residual_norm\":" << JsonNumber(run.residual_norm);

@@ -9,6 +9,7 @@
 
 #include <string>
 
+#include "core/azul_config.h"
 #include "energy/energy_model.h"
 #include "sim/machine.h"
 #include "sim/sram.h"
@@ -19,6 +20,9 @@ namespace azul {
 struct SolveReport {
     /** Solver outcome + cumulative simulation statistics. */
     SolverRunResult run;
+    /** The merged solver spec the system actually ran (method,
+     *  preconditioner, precision, convergence controls). */
+    SolverSpec spec;
     /**
      * Execution engine that produced the run. Timing-derived fields
      * (cycles, gflops, solve_seconds, power) are only meaningful under

@@ -194,8 +194,23 @@ SolverKindName(SolverKind kind)
       case SolverKind::kPcg: return "pcg";
       case SolverKind::kJacobi: return "jacobi";
       case SolverKind::kBiCgStab: return "bicgstab";
+      case SolverKind::kGmres: return "gmres";
     }
     return "unknown";
+}
+
+bool
+ParseSolverKind(const std::string& text, SolverKind& out)
+{
+    for (const SolverKind kind :
+         {SolverKind::kPcg, SolverKind::kJacobi, SolverKind::kBiCgStab,
+          SolverKind::kGmres}) {
+        if (text == SolverKindName(kind)) {
+            out = kind;
+            return true;
+        }
+    }
+    return false;
 }
 
 SolverProgram
@@ -211,7 +226,9 @@ BuildSolverProgram(SolverKind kind, const ProgramBuildInputs& in)
                                         in.jacobi_omega, in.graph);
       case SolverKind::kBiCgStab:
         return BuildBiCgStabProgram(*in.a, *in.mapping, in.geom,
-                                    in.graph);
+                                    in.graph, in.precond, in.l);
+      case SolverKind::kGmres:
+        return BuildGmresProgram(in);
     }
     AZUL_CHECK_MSG(false, "unknown solver kind");
     return SolverProgram{};
@@ -279,11 +296,227 @@ BuildJacobiSolverProgram(const CsrMatrix& a, const DataMapping& mapping,
     return prog;
 }
 
+namespace {
+
+/** Fills `prog.jacobi_inv_diag` with 1/diag(A) for kDiagScale. */
+void
+FillJacobiInvDiag(SolverProgram& prog, const CsrMatrix& a)
+{
+    prog.jacobi_inv_diag.resize(static_cast<std::size_t>(a.rows()));
+    for (Index i = 0; i < a.rows(); ++i) {
+        const double d = a.At(i, i);
+        AZUL_CHECK_MSG(d != 0.0, "Jacobi: zero diagonal at " << i);
+        prog.jacobi_inv_diag[static_cast<std::size_t>(i)] = 1.0 / d;
+    }
+}
+
+/** True for preconditioners applied as an SpTRSV pair. */
+bool
+IsFactoredPrecond(PreconditionerKind precond)
+{
+    return precond == PreconditionerKind::kIncompleteCholesky ||
+           precond == PreconditionerKind::kSymmetricGaussSeidel ||
+           precond == PreconditionerKind::kSsor;
+}
+
+/** The right-preconditioned BiCGStab variant (precond != identity).
+ *  Kernel/vector layout differs from the historical unpreconditioned
+ *  program: both SpMVs read the preconditioned direction in kZ. */
+SolverProgram
+BuildPreconditionedBiCgStab(const CsrMatrix& a,
+                            const DataMapping& mapping,
+                            const TorusGeometry& geom,
+                            const GraphOptions& graph,
+                            PreconditionerKind precond,
+                            const CsrMatrix* l)
+{
+    AZUL_CHECK(geom.num_tiles() == mapping.num_tiles);
+    const bool factored = IsFactoredPrecond(precond);
+    AZUL_CHECK_MSG(!factored || l != nullptr,
+                   "trisolve preconditioner requires a lower factor");
+
+    SolverProgram prog;
+    prog.geom = geom;
+    prog.vec_tile = mapping.vec_tile;
+
+    // Two SpMVs per iteration, both reading the preconditioned
+    // direction z^ = M^-1 p (resp. s^ = M^-1 s) staged in kZ:
+    // v = A z^ -> kAp and t = A s^ -> kT.
+    prog.matrix_kernels.push_back(
+        BuildSpMVKernel(a, mapping.a_nnz_tile, mapping.vec_tile, geom,
+                        VecName::kZ, VecName::kAp, graph));
+    prog.matrix_kernels.push_back(
+        BuildSpMVKernel(a, mapping.a_nnz_tile, mapping.vec_tile, geom,
+                        VecName::kZ, VecName::kT, graph));
+    int fwd_idx = -1;
+    int bwd_idx = -1;
+    if (factored) {
+        fwd_idx = static_cast<int>(prog.matrix_kernels.size());
+        prog.matrix_kernels.push_back(BuildSpTRSVForwardKernel(
+            *l, mapping.l_nnz_tile, mapping.vec_tile, geom, VecName::kZ,
+            VecName::kT, graph));
+        bwd_idx = static_cast<int>(prog.matrix_kernels.size());
+        prog.matrix_kernels.push_back(BuildSpTRSVBackwardKernel(
+            *l, mapping.l_nnz_tile, mapping.vec_tile, geom, VecName::kT,
+            VecName::kZ, graph));
+    }
+    if (precond == PreconditionerKind::kJacobi) {
+        FillJacobiInvDiag(prog, a);
+    }
+
+    // kZ = M^-1 src. The factored path stages src through kZ, solves
+    // L w = z into kT, then L^T z = w back into kZ; kT is dead at
+    // every apply site.
+    const auto apply_precond = [&](std::vector<Phase>& out,
+                                   VecName src) {
+        if (precond == PreconditionerKind::kJacobi) {
+            out.push_back(
+                Phase::Vector(MakeDiagScale(VecName::kZ, src)));
+            return;
+        }
+        out.push_back(Phase::Vector(MakeCopy(VecName::kZ, src)));
+        out.push_back(Phase::Matrix(fwd_idx));
+        out.push_back(Phase::Matrix(bwd_idx));
+    };
+
+    // ---- Prologue: r0 = r; p = r; rho_old = r0.r; rr = r.r --------------
+    prog.prologue.push_back(
+        Phase::Vector(MakeCopy(VecName::kR0, VecName::kR)));
+    prog.prologue.push_back(
+        Phase::Vector(MakeCopy(VecName::kP, VecName::kR)));
+    prog.prologue.push_back(Phase::Vector(
+        MakeDot(ScalarReg::kRzOld, VecName::kR0, VecName::kR)));
+    prog.prologue.push_back(
+        Phase::Vector(MakeDot(ScalarReg::kRr, VecName::kR, VecName::kR)));
+
+    // ---- Warm prologue: r = b - A x0, then the cold prologue --------------
+    // The true residual is staged through the second SpMV kernel
+    // (input kZ, output kT) exactly like residual_recompute.
+    prog.warm_prologue.push_back(
+        Phase::Vector(MakeCopy(VecName::kZ, VecName::kX)));
+    prog.warm_prologue.push_back(Phase::Matrix(1));
+    prog.warm_prologue.push_back(Phase::Vector(
+        MakeSub(VecName::kR, VecName::kB, VecName::kT)));
+    prog.warm_prologue.push_back(
+        Phase::Vector(MakeCopy(VecName::kR0, VecName::kR)));
+    prog.warm_prologue.push_back(
+        Phase::Vector(MakeCopy(VecName::kP, VecName::kR)));
+    prog.warm_prologue.push_back(Phase::Vector(
+        MakeDot(ScalarReg::kRzOld, VecName::kR0, VecName::kR)));
+    prog.warm_prologue.push_back(
+        Phase::Vector(MakeDot(ScalarReg::kRr, VecName::kR, VecName::kR)));
+
+    // ---- Iteration --------------------------------------------------------
+    // 1. z^ = M^-1 p ; v = A z^
+    apply_precond(prog.iteration, VecName::kP);
+    prog.iteration.push_back(Phase::Matrix(0));
+    // 2. alpha = rho_old / (r0 . v)
+    {
+        VectorKernel dot =
+            MakeDot(ScalarReg::kPap, VecName::kR0, VecName::kAp);
+        dot.post_divide = true;
+        dot.div_num = ScalarReg::kRzOld;
+        dot.div_out = ScalarReg::kAlpha;
+        prog.iteration.push_back(Phase::Vector(dot));
+    }
+    // 3. s = r - alpha v ; x += alpha z^ (z^ dies here)
+    prog.iteration.push_back(
+        Phase::Vector(MakeCopy(VecName::kS, VecName::kR)));
+    prog.iteration.push_back(Phase::Vector(
+        MakeAxpy(VecName::kS, ScalarReg::kAlpha, VecName::kAp, -1.0)));
+    prog.iteration.push_back(Phase::Vector(
+        MakeAxpy(VecName::kX, ScalarReg::kAlpha, VecName::kZ)));
+    // 4. s^ = M^-1 s ; t = A s^
+    apply_precond(prog.iteration, VecName::kS);
+    prog.iteration.push_back(Phase::Matrix(1));
+    // 5. omega = (t . s) / (t . t)
+    prog.iteration.push_back(Phase::Vector(
+        MakeDot(ScalarReg::kTmp, VecName::kT, VecName::kS)));
+    {
+        VectorKernel dot =
+            MakeDot(ScalarReg::kPap, VecName::kT, VecName::kT);
+        dot.post_divide = true;
+        dot.div_num = ScalarReg::kTmp;
+        dot.div_out = ScalarReg::kOmega; // (t.s) / (t.t)
+        prog.iteration.push_back(Phase::Vector(dot));
+    }
+    // 6. x += omega s^ ; r = s - omega t
+    prog.iteration.push_back(Phase::Vector(
+        MakeAxpy(VecName::kX, ScalarReg::kOmega, VecName::kZ)));
+    prog.iteration.push_back(
+        Phase::Vector(MakeCopy(VecName::kR, VecName::kS)));
+    prog.iteration.push_back(Phase::Vector(
+        MakeAxpy(VecName::kR, ScalarReg::kOmega, VecName::kT, -1.0)));
+    // 7. rho_new = r0 . r; beta = (rho_new/rho_old)*(alpha/omega);
+    //    rho_old = rho_new
+    prog.iteration.push_back(Phase::Vector(
+        MakeDot(ScalarReg::kRzNew, VecName::kR0, VecName::kR)));
+    {
+        ScalarOp beta;
+        beta.kind = ScalarOp::Kind::kMulDiv;
+        beta.out = ScalarReg::kBeta;
+        beta.a = ScalarReg::kRzNew;
+        beta.b = ScalarReg::kRzOld;
+        beta.c = ScalarReg::kAlpha;
+        beta.d = ScalarReg::kOmega;
+        prog.iteration.push_back(Phase::Scalar(beta));
+        ScalarOp rot;
+        rot.kind = ScalarOp::Kind::kCopy;
+        rot.out = ScalarReg::kRzOld;
+        rot.a = ScalarReg::kRzNew;
+        prog.iteration.push_back(Phase::Scalar(rot));
+    }
+    // 8. p = r + beta (p - omega v)
+    prog.iteration.push_back(Phase::Vector(
+        MakeAxpy(VecName::kP, ScalarReg::kOmega, VecName::kAp, -1.0)));
+    prog.iteration.push_back(Phase::Vector(
+        MakeXpby(VecName::kP, VecName::kR, ScalarReg::kBeta)));
+    // 9. rr = r . r
+    prog.iteration.push_back(
+        Phase::Vector(MakeDot(ScalarReg::kRr, VecName::kR, VecName::kR)));
+
+    // ---- True-residual recompute (residual replacement) -------------------
+    prog.residual_recompute.push_back(
+        Phase::Vector(MakeCopy(VecName::kZ, VecName::kX)));
+    prog.residual_recompute.push_back(Phase::Matrix(1));
+    prog.residual_recompute.push_back(Phase::Vector(
+        MakeSub(VecName::kR, VecName::kB, VecName::kT)));
+    prog.residual_recompute.push_back(
+        Phase::Vector(MakeDot(ScalarReg::kRr, VecName::kR, VecName::kR)));
+
+    const double n = static_cast<double>(a.rows());
+    prog.spmv_flops = 2.0 * SpMVFlops(a);
+    if (factored) {
+        // Two M^-1 applies per iteration, two trisolves each.
+        prog.sptrsv_flops = 4.0 * SpTRSVFlops(*l);
+    }
+    // The unpreconditioned 22n plus the two x-update axpys staged off
+    // kZ and the apply staging (copies / diag scales).
+    prog.vector_flops = 24.0 * n;
+    if (precond == PreconditionerKind::kJacobi) {
+        prog.vector_flops += 2.0 * n;
+    }
+    prog.prologue_flops = 6.0 * n; // two copies + two dots
+    prog.warm_prologue_flops = prog.prologue_flops + SpMVFlops(a) + 2.0 * n;
+    prog.recompute_flops = SpMVFlops(a) + 4.0 * n;
+    return prog;
+}
+
+} // namespace
+
 SolverProgram
 BuildBiCgStabProgram(const CsrMatrix& a, const DataMapping& mapping,
                      const TorusGeometry& geom,
-                     const GraphOptions& graph)
+                     const GraphOptions& graph,
+                     PreconditionerKind precond, const CsrMatrix* l)
 {
+    // The identity-preconditioner program is kept exactly as it
+    // always was (same kernels, same phase list), so existing golden
+    // traces and callers see an unchanged compilation.
+    if (precond != PreconditionerKind::kIdentity) {
+        return BuildPreconditionedBiCgStab(a, mapping, geom, graph,
+                                           precond, l);
+    }
     AZUL_CHECK(geom.num_tiles() == mapping.num_tiles);
     SolverProgram prog;
     prog.geom = geom;
@@ -414,6 +647,239 @@ BuildBiCgStabProgram(const CsrMatrix& a, const DataMapping& mapping,
     prog.warm_prologue_flops = prog.prologue_flops + SpMVFlops(a) + 2.0 * n;
     // One SpMV + copy (n) + sub (n) + dot (2n).
     prog.recompute_flops = SpMVFlops(a) + 4.0 * n;
+    return prog;
+}
+
+SolverProgram
+BuildGmresProgram(const ProgramBuildInputs& in)
+{
+    AZUL_CHECK(in.a != nullptr);
+    AZUL_CHECK(in.mapping != nullptr);
+    AZUL_CHECK(in.geom.num_tiles() == in.mapping->num_tiles);
+    AZUL_CHECK_MSG(in.restart >= 1, "GMRES restart must be >= 1");
+    const Index m = in.restart;
+    const bool factored = IsFactoredPrecond(in.precond);
+    AZUL_CHECK_MSG(!factored || in.l != nullptr,
+                   "trisolve preconditioner requires a lower factor");
+
+    SolverProgram prog;
+    prog.geom = in.geom;
+    prog.vec_tile = in.mapping->vec_tile;
+
+    // One SpMV kernel (input kP, output kAp), re-walked m+1 times per
+    // restart — the paper's structure-reuse observation applied
+    // across the Arnoldi loop. Factored preconditioners add the
+    // SpTRSV pair kZ -> kT -> kP.
+    const int spmv_idx = 0;
+    prog.matrix_kernels.push_back(
+        BuildSpMVKernel(*in.a, in.mapping->a_nnz_tile,
+                        in.mapping->vec_tile, in.geom, VecName::kP,
+                        VecName::kAp, in.graph));
+    int fwd_idx = -1;
+    int bwd_idx = -1;
+    if (factored) {
+        fwd_idx = static_cast<int>(prog.matrix_kernels.size());
+        prog.matrix_kernels.push_back(BuildSpTRSVForwardKernel(
+            *in.l, in.mapping->l_nnz_tile, in.mapping->vec_tile, in.geom,
+            VecName::kZ, VecName::kT, in.graph));
+        bwd_idx = static_cast<int>(prog.matrix_kernels.size());
+        prog.matrix_kernels.push_back(BuildSpTRSVBackwardKernel(
+            *in.l, in.mapping->l_nnz_tile, in.mapping->vec_tile, in.geom,
+            VecName::kT, VecName::kP, in.graph));
+    }
+    if (in.precond == PreconditionerKind::kJacobi) {
+        FillJacobiInvDiag(prog, *in.a);
+    }
+
+    // Register-bank layout: the Krylov basis V_0..V_{m-1} in the
+    // vector bank; the scalar bank holds H column-major (column j at
+    // j*(m+1), rows 0..j+1 written), then beta, then y.
+    prog.num_bank_vectors = m;
+    const auto h_idx = [m](Index i, Index j) {
+        return static_cast<std::int32_t>(j * (m + 1) + i);
+    };
+    const std::int32_t beta_off = static_cast<std::int32_t>(m * (m + 1));
+    const std::int32_t y_off = beta_off + 1;
+    prog.num_bank_scalars = static_cast<Index>(y_off) + m;
+
+    // kP = M^-1 src (named vector or bank slot when src_bank >= 0).
+    const auto apply_precond = [&](std::vector<Phase>& out, VecName src,
+                                   std::int32_t src_bank) {
+        switch (in.precond) {
+          case PreconditionerKind::kIdentity: {
+            VectorKernel k = MakeCopy(VecName::kP, src);
+            k.src_a_bank = src_bank;
+            out.push_back(Phase::Vector(k));
+            break;
+          }
+          case PreconditionerKind::kJacobi: {
+            VectorKernel k = MakeDiagScale(VecName::kP, src);
+            k.src_a_bank = src_bank;
+            out.push_back(Phase::Vector(k));
+            break;
+          }
+          default: {
+            VectorKernel k = MakeCopy(VecName::kZ, src);
+            k.src_a_bank = src_bank;
+            out.push_back(Phase::Vector(k));
+            out.push_back(Phase::Matrix(fwd_idx));
+            out.push_back(Phase::Matrix(bwd_idx));
+            break;
+          }
+        }
+    };
+
+    // ---- Prologue: rr = ||r|| (r == b after LoadProblem, x = 0) ----------
+    // The iteration body recomputes the true residual itself, so the
+    // prologue only establishes the driver's initial convergence read.
+    {
+        VectorKernel norm =
+            MakeDot(ScalarReg::kRr, VecName::kR, VecName::kR);
+        norm.post_sqrt = true;
+        prog.prologue.push_back(Phase::Vector(norm));
+    }
+
+    // ---- Warm prologue: r = b - A x0; rr = ||r|| --------------------------
+    prog.warm_prologue.push_back(
+        Phase::Vector(MakeCopy(VecName::kP, VecName::kX)));
+    prog.warm_prologue.push_back(Phase::Matrix(spmv_idx));
+    prog.warm_prologue.push_back(Phase::Vector(
+        MakeSub(VecName::kR, VecName::kB, VecName::kAp)));
+    {
+        VectorKernel norm =
+            MakeDot(ScalarReg::kRr, VecName::kR, VecName::kR);
+        norm.post_sqrt = true;
+        prog.warm_prologue.push_back(Phase::Vector(norm));
+    }
+
+    // ---- Iteration: one full restart cycle --------------------------------
+    // 1. True residual r = b - A x; beta = ||r||; V_0 = r / beta.
+    prog.iteration.push_back(
+        Phase::Vector(MakeCopy(VecName::kP, VecName::kX)));
+    prog.iteration.push_back(Phase::Matrix(spmv_idx));
+    prog.iteration.push_back(Phase::Vector(
+        MakeSub(VecName::kR, VecName::kB, VecName::kAp)));
+    {
+        VectorKernel norm =
+            MakeDot(ScalarReg::kCount, VecName::kR, VecName::kR);
+        norm.post_sqrt = true;
+        norm.dot_out_bank = beta_off;
+        prog.iteration.push_back(Phase::Vector(norm));
+    }
+    {
+        VectorKernel k =
+            MakeScale(VecName::kX, ScalarReg::kAlpha, VecName::kR,
+                      /*invert=*/true);
+        k.dst_bank = 0;
+        k.scale_bank = beta_off;
+        prog.iteration.push_back(Phase::Vector(k));
+    }
+    // 2. Arnoldi with modified Gram-Schmidt, one column per j.
+    for (Index j = 0; j < m; ++j) {
+        apply_precond(prog.iteration, VecName::kX,
+                      static_cast<std::int32_t>(j));
+        prog.iteration.push_back(Phase::Matrix(spmv_idx));
+        for (Index i = 0; i <= j; ++i) {
+            VectorKernel dot =
+                MakeDot(ScalarReg::kCount, VecName::kAp, VecName::kX);
+            dot.src_b_bank = static_cast<std::int32_t>(i);
+            dot.dot_out_bank = h_idx(i, j);
+            prog.iteration.push_back(Phase::Vector(dot));
+            VectorKernel axpy = MakeAxpy(VecName::kAp,
+                                         ScalarReg::kAlpha,
+                                         VecName::kX, -1.0);
+            axpy.src_a_bank = static_cast<std::int32_t>(i);
+            axpy.scale_bank = h_idx(i, j);
+            prog.iteration.push_back(Phase::Vector(axpy));
+        }
+        {
+            VectorKernel norm =
+                MakeDot(ScalarReg::kCount, VecName::kAp, VecName::kAp);
+            norm.post_sqrt = true;
+            norm.dot_out_bank = h_idx(j + 1, j);
+            prog.iteration.push_back(Phase::Vector(norm));
+        }
+        if (j + 1 < m) {
+            VectorKernel k =
+                MakeScale(VecName::kX, ScalarReg::kAlpha, VecName::kAp,
+                          /*invert=*/true);
+            k.dst_bank = static_cast<std::int32_t>(j + 1);
+            k.scale_bank = h_idx(j + 1, j);
+            prog.iteration.push_back(Phase::Vector(k));
+        }
+    }
+    // 3. Host least squares: Givens QR of H, back-substitution into
+    //    y, residual estimate |g(m)| -> kRr.
+    {
+        HostOp lsq;
+        lsq.kind = HostOp::Kind::kGmresLsq;
+        lsq.restart = m;
+        lsq.h_offset = 0;
+        lsq.beta_offset = beta_off;
+        lsq.y_offset = y_off;
+        lsq.out = ScalarReg::kRr;
+        prog.iteration.push_back(Phase::Host(lsq));
+    }
+    // 4. Correction: s = V y; x += M^-1 s.
+    {
+        VectorKernel k =
+            MakeScale(VecName::kS, ScalarReg::kAlpha, VecName::kX);
+        k.src_a_bank = 0;
+        k.scale_bank = y_off;
+        prog.iteration.push_back(Phase::Vector(k));
+    }
+    for (Index j = 1; j < m; ++j) {
+        VectorKernel axpy =
+            MakeAxpy(VecName::kS, ScalarReg::kAlpha, VecName::kX);
+        axpy.src_a_bank = static_cast<std::int32_t>(j);
+        axpy.scale_bank = y_off + static_cast<std::int32_t>(j);
+        prog.iteration.push_back(Phase::Vector(axpy));
+    }
+    apply_precond(prog.iteration, VecName::kS, -1);
+    prog.iteration.push_back(Phase::Vector(
+        MakeAxpyConst(VecName::kX, 1.0, VecName::kP)));
+
+    // ---- True-residual recompute ------------------------------------------
+    // Identical to the warm prologue: GMRES is self-healing (every
+    // restart rebuilds its state from x), so replacing r + rr is a
+    // complete recovery — used by the mixed-precision FP64 recovery
+    // path and the fault-injection rollback.
+    prog.residual_recompute.push_back(
+        Phase::Vector(MakeCopy(VecName::kP, VecName::kX)));
+    prog.residual_recompute.push_back(Phase::Matrix(spmv_idx));
+    prog.residual_recompute.push_back(Phase::Vector(
+        MakeSub(VecName::kR, VecName::kB, VecName::kAp)));
+    {
+        VectorKernel norm =
+            MakeDot(ScalarReg::kRr, VecName::kR, VecName::kR);
+        norm.post_sqrt = true;
+        prog.residual_recompute.push_back(Phase::Vector(norm));
+    }
+
+    // The driver reads ||r|| (or its |g(m)| estimate) directly.
+    prog.convergence.residual_reg = ScalarReg::kRr;
+    prog.convergence.norm = ConvergenceSpec::Norm::kAbsolute;
+
+    // ---- FLOP accounting (per restart cycle) ------------------------------
+    const double n = static_cast<double>(in.a->rows());
+    const double md = static_cast<double>(m);
+    // m Arnoldi SpMVs + the true-residual SpMV.
+    prog.spmv_flops = (md + 1.0) * SpMVFlops(*in.a);
+    if (factored) {
+        // m+1 M^-1 applies (m Arnoldi + 1 correction), 2 trisolves each.
+        prog.sptrsv_flops = 2.0 * (md + 1.0) * SpTRSVFlops(*in.l);
+    }
+    // Dots: 1 + m(m+1)/2 + m at 2n each; axpys: m(m+1)/2 MGS + (m-1)
+    // accumulate + 1 x update at 2n; scales/copies at n.
+    const double dots = 1.0 + md * (md + 1.0) / 2.0 + md;
+    const double axpys = md * (md + 1.0) / 2.0 + md;
+    prog.vector_flops = 2.0 * n * (dots + axpys) + n * (2.0 * md + 4.0);
+    if (in.precond == PreconditionerKind::kJacobi) {
+        prog.vector_flops += (md + 1.0) * n;
+    }
+    prog.prologue_flops = 2.0 * n;
+    prog.warm_prologue_flops = SpMVFlops(*in.a) + 4.0 * n;
+    prog.recompute_flops = SpMVFlops(*in.a) + 4.0 * n;
     return prog;
 }
 

@@ -14,6 +14,7 @@
 #ifndef AZUL_DATAFLOW_PROGRAM_H_
 #define AZUL_DATAFLOW_PROGRAM_H_
 
+#include <string>
 #include <vector>
 
 #include "dataflow/sptrsv_graph.h"
@@ -42,14 +43,40 @@ struct ScalarOp {
     ScalarReg d = ScalarReg::kTmp;
 };
 
-/** One phase: a matrix kernel (by index), an inline vector kernel, or
- *  a scalar-register operation. */
+/**
+ * A host-side epilogue computed once per iteration on the scalar
+ * state the machine reduced and broadcast — dense O(m^2) arithmetic
+ * that would waste the fabric (the paper's Sec II-C division of
+ * labor: the accelerator runs the sparse/vector kernels, the host
+ * runs tiny dense solves). Both engines execute the identical serial
+ * FP64 routine (`sim/host_ops.h`), so host ops preserve the
+ * bit-identity contract.
+ */
+struct HostOp {
+    enum class Kind : std::uint8_t {
+        /** Givens-rotation least squares over the GMRES Hessenberg
+         *  column block: reads H (column-major, column j at
+         *  j*(restart+1)) and beta from the scalar bank, writes y to
+         *  `y_offset` and the residual estimate |g(m)| to `out`. */
+        kGmresLsq,
+    };
+    Kind kind = Kind::kGmresLsq;
+    Index restart = 0;          //!< m, the Krylov dimension
+    std::int32_t h_offset = 0;  //!< scalar-bank offset of H
+    std::int32_t beta_offset = 0;
+    std::int32_t y_offset = 0;
+    ScalarReg out = ScalarReg::kRr;
+};
+
+/** One phase: a matrix kernel (by index), an inline vector kernel, a
+ *  scalar-register operation, or a host-side epilogue. */
 struct Phase {
-    enum class Kind : std::uint8_t { kMatrix, kVector, kScalar };
+    enum class Kind : std::uint8_t { kMatrix, kVector, kScalar, kHost };
     Kind kind = Kind::kVector;
     int matrix_kernel = -1;
     VectorKernel vec;
     ScalarOp scalar;
+    HostOp host;
 
     static Phase
     Matrix(int index)
@@ -73,6 +100,14 @@ struct Phase {
         Phase p;
         p.kind = Kind::kScalar;
         p.scalar = op;
+        return p;
+    }
+    static Phase
+    Host(HostOp op)
+    {
+        Phase p;
+        p.kind = Kind::kHost;
+        p.host = op;
         return p;
     }
 };
@@ -131,6 +166,18 @@ struct SolverProgram {
     VecName solution = VecName::kX;
     /** Per-index 1/diag(A) for the Jacobi kDiagScale kernel. */
     std::vector<double> jacobi_inv_diag;
+    /**
+     * Size of the multi-vector register bank (GMRES's Krylov basis;
+     * 0 for programs that only use the named vectors). Bank vectors
+     * are sharded across tiles like named vectors and count toward
+     * the SRAM footprint, but are scratch within one iteration: they
+     * are rebuilt from `solution` every restart, so checkpoints and
+     * fault injection cover only the architectural VecName state.
+     */
+    Index num_bank_vectors = 0;
+    /** Size of the broadcast scalar bank (Hessenberg entries + beta +
+     *  y for GMRES; 0 when unused). */
+    Index num_bank_scalars = 0;
     /** Nominal FLOPs per iteration, by kernel class. */
     double spmv_flops = 0.0;
     double sptrsv_flops = 0.0;
@@ -153,11 +200,17 @@ struct SolverProgram {
 enum class SolverKind : std::uint8_t {
     kPcg,      //!< preconditioned CG (Listing 1; the paper's default)
     kJacobi,   //!< weighted Jacobi (damped Richardson)
-    kBiCgStab, //!< unpreconditioned BiCGStab (nonsymmetric systems)
+    kBiCgStab, //!< preconditioned BiCGStab (nonsymmetric systems)
+    kGmres,    //!< restarted, right-preconditioned GMRES(m)
 };
 
-/** Printable solver-kind name ("pcg", "jacobi", "bicgstab"). */
+/** Printable solver-kind name ("pcg", "jacobi", "bicgstab",
+ *  "gmres"). */
 const char* SolverKindName(SolverKind kind);
+
+/** Inverse of SolverKindName; leaves `out` untouched and returns
+ *  false on an unknown name. */
+bool ParseSolverKind(const std::string& text, SolverKind& out);
 
 /** Inputs to program compilation. */
 struct ProgramBuildInputs {
@@ -170,13 +223,15 @@ struct ProgramBuildInputs {
     GraphOptions graph;
     /** Damping weight of the kJacobi solver (ignored otherwise). */
     double jacobi_omega = 2.0 / 3.0;
+    /** Krylov dimension m of the kGmres solver (ignored otherwise). */
+    Index restart = 30;
 };
 
 /**
  * Compiles a solver program of the requested kind on the placement
- * given by the mapping — the single compilation entry point. kPcg
- * honors `in.precond`/`in.l`; kJacobi and kBiCgStab are their own
- * methods and ignore the preconditioner fields (pass
+ * given by the mapping — the single compilation entry point. kPcg,
+ * kBiCgStab, and kGmres honor `in.precond`/`in.l`; kJacobi is its
+ * own method and ignores the preconditioner fields (pass
  * PreconditionerKind::kIdentity and l = nullptr).
  */
 SolverProgram BuildSolverProgram(SolverKind kind,
@@ -197,15 +252,34 @@ SolverProgram BuildJacobiSolverProgram(const CsrMatrix& a,
                                        const GraphOptions& graph = {});
 
 /**
- * Compiles a (unpreconditioned) BiCGStab solver program — Table II's
- * nonsymmetric workhorse, built from two SpMVs plus vector and scalar
- * kernels per iteration. The matrix need not be symmetric, so this
- * exercises Azul's generality beyond PCG.
+ * Compiles a BiCGStab solver program — Table II's nonsymmetric
+ * workhorse, built from two SpMVs plus vector and scalar kernels per
+ * iteration. The matrix need not be symmetric, so this exercises
+ * Azul's generality beyond PCG. With the default kIdentity
+ * preconditioner the emitted program is exactly the historical
+ * unpreconditioned one; any other kind compiles the right-
+ * preconditioned variant (M^{-1} applied before each SpMV), with `l`
+ * required for the trisolve-based preconditioners.
  */
-SolverProgram BuildBiCgStabProgram(const CsrMatrix& a,
-                                   const DataMapping& mapping,
-                                   const TorusGeometry& geom,
-                                   const GraphOptions& graph = {});
+SolverProgram BuildBiCgStabProgram(
+    const CsrMatrix& a, const DataMapping& mapping,
+    const TorusGeometry& geom, const GraphOptions& graph = {},
+    PreconditionerKind precond = PreconditionerKind::kIdentity,
+    const CsrMatrix* l = nullptr);
+
+/**
+ * Compiles a restarted right-preconditioned GMRES(m) program. One
+ * driver iteration is one full restart cycle: recompute the true
+ * residual, build the m-dimensional Arnoldi basis (modified
+ * Gram-Schmidt over the multi-vector bank, one SpMV + preconditioner
+ * apply per column), solve the (m+1) x m Hessenberg least squares on
+ * the host (Phase::Kind::kHost), and fold the correction back into
+ * x. The residual estimate |g(m)| lands in ScalarReg::kRr
+ * (Norm::kAbsolute). The statically unrolled iteration has O(m^2)
+ * phases, re-walking the same SpMV kernel m+1 times — the paper's
+ * structure-reuse observation applied across the restart loop.
+ */
+SolverProgram BuildGmresProgram(const ProgramBuildInputs& in);
 
 } // namespace azul
 

@@ -4,32 +4,52 @@
 
 namespace azul {
 
+namespace {
+
+/** Operand name: a bank slot ("v[3]") or the architectural vector. */
+std::string
+OperandStr(VecName name, std::int32_t bank)
+{
+    if (bank >= 0) {
+        return "v[" + std::to_string(bank) + "]";
+    }
+    return VecNameStr(name);
+}
+
+} // namespace
+
 std::string
 VectorKernel::ToString() const
 {
     std::ostringstream oss;
+    const std::string d = OperandStr(dst, dst_bank);
+    const std::string a = OperandStr(src_a, src_a_bank);
+    const std::string b = OperandStr(src_b, src_b_bank);
     switch (op) {
       case VecOpKind::kAxpy:
-        oss << VecNameStr(dst) << " += " << (scale_sign < 0 ? "-" : "")
-            << "s*" << VecNameStr(src_a);
+        oss << d << " += " << (scale_sign < 0 ? "-" : "") << "s*" << a;
         break;
       case VecOpKind::kXpby:
-        oss << VecNameStr(dst) << " = " << VecNameStr(src_a) << " + s*"
-            << VecNameStr(dst);
+        oss << d << " = " << a << " + s*" << d;
         break;
       case VecOpKind::kCopy:
-        oss << VecNameStr(dst) << " = " << VecNameStr(src_a);
+        oss << d << " = " << a;
         break;
       case VecOpKind::kSub:
-        oss << VecNameStr(dst) << " = " << VecNameStr(src_a) << " - "
-            << VecNameStr(src_b);
+        oss << d << " = " << a << " - " << b;
         break;
       case VecOpKind::kDiagScale:
-        oss << VecNameStr(dst) << " = D^-1 " << VecNameStr(src_a);
+        oss << d << " = D^-1 " << a;
+        break;
+      case VecOpKind::kScale:
+        oss << d << " = " << (scale_invert ? "1/s * " : "s * ") << a;
         break;
       case VecOpKind::kDotReduce:
-        oss << "dot(" << VecNameStr(src_a) << "," << VecNameStr(src_b)
-            << ")";
+        oss << (post_sqrt ? "norm2(" : "dot(") << a;
+        if (!post_sqrt) {
+            oss << "," << b;
+        }
+        oss << ")";
         break;
     }
     return oss.str();
@@ -109,6 +129,18 @@ MakeDot(ScalarReg reg, VecName a, VecName b)
     k.src_a = a;
     k.src_b = b;
     k.dot_out = reg;
+    return k;
+}
+
+VectorKernel
+MakeScale(VecName dst, ScalarReg reg, VecName a, bool invert)
+{
+    VectorKernel k;
+    k.op = VecOpKind::kScale;
+    k.dst = dst;
+    k.src_a = a;
+    k.scale_reg = reg;
+    k.scale_invert = invert;
     return k;
 }
 

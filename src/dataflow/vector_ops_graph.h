@@ -24,15 +24,32 @@ enum class VecOpKind : std::uint8_t {
     kCopy,      //!< dst[i] = a[i]
     kSub,       //!< dst[i] = a[i] - b[i]
     kDiagScale, //!< dst[i] = a[i] * inv_diag[i] (Jacobi apply)
+    kScale,     //!< dst[i] = s * a[i] (or a[i] / s with scale_invert)
     kDotReduce, //!< reg = dot(a, b), with optional derived quotient
 };
 
-/** One vector-op phase. */
+/**
+ * One vector-op phase.
+ *
+ * Operands are named either by a `VecName` architectural vector or,
+ * when the matching `*_bank` index is >= 0, by a slot of the
+ * program's multi-vector register bank (the Krylov basis of
+ * GMRES(m); see `SolverProgram::num_bank_vectors`). Bank vectors are
+ * sharded across tiles exactly like named vectors. Scalars can
+ * likewise come from / go to the broadcast scalar *bank*
+ * (`scale_bank` / `dot_out_bank`), which holds the per-restart
+ * Hessenberg entries the host least-squares epilogue consumes.
+ */
 struct VectorKernel {
     VecOpKind op = VecOpKind::kCopy;
     VecName dst = VecName::kX;
     VecName src_a = VecName::kX;
     VecName src_b = VecName::kX; //!< second dot operand
+
+    /** Bank-slot overrides; -1 selects the named vector instead. */
+    std::int32_t dst_bank = -1;
+    std::int32_t src_a_bank = -1;
+    std::int32_t src_b_bank = -1;
 
     ScalarReg scale_reg = ScalarReg::kAlpha; //!< axpy/xpby scale
     double scale_sign = 1.0;                 //!< -1 for r -= alpha*Ap
@@ -40,9 +57,20 @@ struct VectorKernel {
      *  a scalar register (e.g. Jacobi's fixed damping omega). */
     bool use_const_scale = false;
     double const_scale = 1.0;
+    /** When >= 0, the scale comes from this scalar-bank slot. */
+    std::int32_t scale_bank = -1;
+    /** kScale only: dst = a / s instead of s * a. A zero divisor
+     *  writes 0 (the Arnoldi lucky-breakdown guard), so the compiled
+     *  program never produces non-finite basis vectors. */
+    bool scale_invert = false;
 
     // kDotReduce extras, applied at the reduction root then broadcast:
-    ScalarReg dot_out = ScalarReg::kRr; //!< receives dot(a, b)
+    /** Receives dot(a, b); kCount writes the scalar bank only. */
+    ScalarReg dot_out = ScalarReg::kRr;
+    /** When >= 0, the dot (after post_sqrt) also lands in this
+     *  scalar-bank slot. */
+    std::int32_t dot_out_bank = -1;
+    bool post_sqrt = false;             //!< store sqrt(dot) (a norm)
     bool post_divide = false;           //!< compute a quotient too
     bool divide_dot_by_num = false;     //!< false: num/dot; true: dot/num
     ScalarReg div_num = ScalarReg::kRzOld;
@@ -77,6 +105,10 @@ VectorKernel MakeDiagScale(VecName dst, VecName a);
 
 /** reg = dot(a, b). */
 VectorKernel MakeDot(ScalarReg reg, VecName a, VecName b);
+
+/** dst = reg * a (or a / reg when `invert`; 0 divisor yields 0). */
+VectorKernel MakeScale(VecName dst, ScalarReg reg, VecName a,
+                       bool invert = false);
 
 } // namespace azul
 

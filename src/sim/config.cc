@@ -29,6 +29,30 @@ ParseEngineKind(const std::string& text, EngineKind& out)
     return false;
 }
 
+std::string
+PrecisionModeName(PrecisionMode mode)
+{
+    switch (mode) {
+      case PrecisionMode::kFp64: return "fp64";
+      case PrecisionMode::kFp32: return "fp32";
+    }
+    return "unknown";
+}
+
+bool
+ParsePrecisionMode(const std::string& text, PrecisionMode& out)
+{
+    if (text == "fp64") {
+        out = PrecisionMode::kFp64;
+        return true;
+    }
+    if (text == "fp32") {
+        out = PrecisionMode::kFp32;
+        return true;
+    }
+    return false;
+}
+
 double
 SimConfig::PeakGflops() const
 {
@@ -62,6 +86,9 @@ SimConfig::ToString() const
     }
     if (!simd) {
         oss << ", no-simd";
+    }
+    if (precision == PrecisionMode::kFp32) {
+        oss << ", fp32-iterates";
     }
     if (faults_enabled()) {
         oss << ", fault-rate=" << fault_rate;

@@ -53,6 +53,33 @@ std::string EngineKindName(EngineKind kind);
  */
 bool ParseEngineKind(const std::string& text, EngineKind& out);
 
+/**
+ * Working precision of the iterate storage (the iterative-refinement
+ * idiom, docs/SOLVERS.md). Under kFp32 every working vector — and
+ * GMRES's Krylov bank — is quantized to FP32 at the end of each
+ * *iteration* phase; the solution x and the right-hand side b are
+ * never quantized, and the prologue / warm-prologue /
+ * `residual_recompute` phases run at full FP64, so the recompute
+ * recovers a true FP64 residual from the FP64 anchors. Arithmetic
+ * (dot folds, FMAC accumulation, scalar registers) stays FP64 in
+ * either mode, and kFp64 is bit-identical to the historical behavior.
+ * Both engines quantize at the same phase boundaries, preserving the
+ * cross-engine bit-identity contract at either precision.
+ */
+enum class PrecisionMode : std::uint8_t {
+    kFp64, //!< full FP64 iterate storage (default)
+    kFp32, //!< FP32 working vectors, FP64 recovery
+};
+
+/** Returns "fp64" or "fp32". */
+std::string PrecisionModeName(PrecisionMode mode);
+
+/**
+ * Parses "fp64" or "fp32" into `out`. Returns false (leaving `out`
+ * untouched) for anything else.
+ */
+bool ParsePrecisionMode(const std::string& text, PrecisionMode& out);
+
 /** PE timing models. */
 enum class PeModel : std::uint8_t {
     kAzul,       //!< specialized pipeline, 1 op/cycle (Sec V-A)
@@ -92,6 +119,24 @@ struct SimConfig {
     // Message buffer (register-based; overflow spills to Data SRAM).
     std::int32_t msg_buffer_entries = 64;
     std::int32_t spill_penalty = 2; //!< extra cycles per spilled msg
+
+    /**
+     * Working precision of the iterate storage (see PrecisionMode).
+     * Under kFp32 the iteration's vector-op sweeps stream two packed
+     * values per SRAM word (halving their issue cycles; the
+     * full-precision prologue/recompute sweeps are charged full
+     * width) and working vectors occupy narrower scratchpad words
+     * (sim/sram.cc); arithmetic and the matrix values stay FP64.
+     */
+    PrecisionMode precision = PrecisionMode::kFp64;
+
+    /** Packed iterate values per SRAM word at the working
+     *  precision. */
+    std::int32_t
+    values_per_word() const
+    {
+        return precision == PrecisionMode::kFp32 ? 2 : 1;
+    }
 
     /** Watchdog: abort a phase after this many cycles. */
     Cycle max_phase_cycles = 1'000'000'000ULL;

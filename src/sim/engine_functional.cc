@@ -20,8 +20,10 @@
  */
 #include "sim/engine_functional.h"
 
+#include <algorithm>
 #include <cmath>
 
+#include "sim/host_ops.h"
 #include "sim/observer.h"
 #include "util/logging.h"
 #include "util/simd.h"
@@ -71,6 +73,11 @@ FunctionalEngine::FunctionalEngine(SimConfig cfg,
     for (auto& v : vecs_) {
         v.assign(static_cast<std::size_t>(n), 0.0);
     }
+    bank_.assign(static_cast<std::size_t>(prog_->num_bank_vectors),
+                 std::vector<double>(static_cast<std::size_t>(n),
+                                     0.0));
+    scalar_bank_.assign(
+        static_cast<std::size_t>(prog_->num_bank_scalars), 0.0);
     if (!prog_->jacobi_inv_diag.empty()) {
         inv_diag_.assign(static_cast<std::size_t>(n), 0.0);
         for (Index i = 0; i < n; ++i) {
@@ -134,9 +141,13 @@ FunctionalEngine::LoadProblem(const Vector& b)
     for (auto& v : vecs_) {
         std::fill(v.begin(), v.end(), 0.0);
     }
+    for (auto& v : bank_) {
+        std::fill(v.begin(), v.end(), 0.0);
+    }
     ScatterVector(VecName::kB, b);
     ScatterVector(VecName::kR, b);
     scalar_regs_.fill(0.0);
+    std::fill(scalar_bank_.begin(), scalar_bank_.end(), 0.0);
     stats_ = SimStats{};
 }
 
@@ -592,20 +603,27 @@ FunctionalEngine::RunMatrixKernelStandalone(int kernel_index)
 void
 FunctionalEngine::RunElementwise(const VectorKernel& kernel)
 {
-    const double s =
-        kernel.scale_sign *
-        (kernel.use_const_scale
-             ? kernel.const_scale
-             : scalar_regs_[static_cast<std::size_t>(
-                   kernel.scale_reg)]);
+    const double base =
+        kernel.scale_bank >= 0
+            ? scalar_bank_[static_cast<std::size_t>(
+                  kernel.scale_bank)]
+            : kernel.use_const_scale
+                  ? kernel.const_scale
+                  : scalar_regs_[static_cast<std::size_t>(
+                        kernel.scale_reg)];
+    const double s = kernel.scale_sign * base;
+    // kScale's guarded reciprocal: a zero divisor yields factor 0
+    // (the Arnoldi lucky-breakdown guard, vector_ops_graph.h).
+    const double factor =
+        kernel.scale_invert ? (s == 0.0 ? 0.0 : 1.0 / s) : s;
     double* const dst =
-        vecs_[static_cast<std::size_t>(kernel.dst)].data();
+        Operand(kernel.dst, kernel.dst_bank).data();
     const double* const a =
-        vecs_[static_cast<std::size_t>(kernel.src_a)].data();
+        Operand(kernel.src_a, kernel.src_a_bank).data();
     const double* const b2 =
-        vecs_[static_cast<std::size_t>(kernel.src_b)].data();
+        Operand(kernel.src_b, kernel.src_b_bank).data();
     const std::size_t n =
-        vecs_[static_cast<std::size_t>(kernel.dst)].size();
+        vecs_[static_cast<std::size_t>(VecName::kX)].size();
     switch (kernel.op) {
       case VecOpKind::kAxpy:
         simd::Axpy(dst, a, s, n, cfg_.simd);
@@ -621,6 +639,9 @@ FunctionalEngine::RunElementwise(const VectorKernel& kernel)
         break;
       case VecOpKind::kDiagScale:
         simd::Mul(dst, a, inv_diag_.data(), n, cfg_.simd);
+        break;
+      case VecOpKind::kScale:
+        simd::Scale(dst, a, factor, n, cfg_.simd);
         break;
       default:
         throw AzulError("bad elementwise kernel");
@@ -654,9 +675,9 @@ FunctionalEngine::RunDotReduce(const VectorKernel& kernel)
     // order-sensitive, so they stay serial regardless of cfg.simd.
     const std::size_t num_nodes = scalar_tree_.size();
     const double* const a =
-        vecs_[static_cast<std::size_t>(kernel.src_a)].data();
+        Operand(kernel.src_a, kernel.src_a_bank).data();
     const double* const b =
-        vecs_[static_cast<std::size_t>(kernel.src_b)].data();
+        Operand(kernel.src_b, kernel.src_b_bank).data();
     double dot = 0.0;
     for (std::size_t ni = 0; ni < num_nodes; ++ni) {
         const auto t = static_cast<std::size_t>(
@@ -683,8 +704,27 @@ FunctionalEngine::RunDotReduce(const VectorKernel& kernel)
         }
     }
 
-    scalar_regs_[static_cast<std::size_t>(kernel.dot_out)] = dot;
-    int broadcast_values = 1;
+    // Root post-ops mirror machine_vector.cc: optional sqrt, the
+    // register write (suppressed for dot_out == kCount), and the
+    // scalar-bank landing slot.
+    const double result = kernel.post_sqrt ? std::sqrt(dot) : dot;
+    int broadcast_values = 0;
+    if (kernel.post_sqrt) {
+        stats_.ops.Count(OpKind::kMul);
+    }
+    if (kernel.dot_out != ScalarReg::kCount) {
+        scalar_regs_[static_cast<std::size_t>(kernel.dot_out)] =
+            result;
+        ++broadcast_values;
+    }
+    if (kernel.dot_out_bank >= 0) {
+        scalar_bank_[static_cast<std::size_t>(kernel.dot_out_bank)] =
+            result;
+        ++broadcast_values;
+    }
+    if (broadcast_values == 0) {
+        broadcast_values = 1;
+    }
     if (kernel.post_divide) {
         const double num =
             scalar_regs_[static_cast<std::size_t>(kernel.div_num)];
@@ -743,6 +783,64 @@ FunctionalEngine::RunScalarPhase(const ScalarOp& op)
 }
 
 void
+FunctionalEngine::RunHostPhase(const HostOp& op)
+{
+    const double out = RunHostOp(op, scalar_bank_);
+    scalar_regs_[static_cast<std::size_t>(op.out)] = out;
+    // Same op accounting as Machine::RunHostPhase: the dense root
+    // work plus broadcasting y and the residual estimate (1 + m
+    // values per tree edge).
+    stats_.ops.fmac +=
+        static_cast<std::uint64_t>(op.restart) *
+        static_cast<std::uint64_t>(op.restart + 1);
+    const auto values =
+        static_cast<std::uint64_t>(op.restart) + 1;
+    for (std::size_t ni = 0; ni < scalar_tree_.size(); ++ni) {
+        const auto edges = static_cast<std::uint64_t>(
+            scalar_tree_children_[ni].size());
+        stats_.ops.send += edges * values;
+        stats_.messages += edges * values;
+    }
+}
+
+void
+FunctionalEngine::QuantizePhaseDst(const Phase& phase)
+{
+    const auto quantize = [](std::vector<double>& v) {
+        for (double& x : v) {
+            x = static_cast<double>(static_cast<float>(x));
+        }
+    };
+    switch (phase.kind) {
+      case Phase::Kind::kMatrix: {
+        const VecName out =
+            prog_->matrix_kernels[static_cast<std::size_t>(
+                                      phase.matrix_kernel)]
+                .output_vec;
+        if (out != VecName::kX && out != VecName::kB) {
+            quantize(vecs_[static_cast<std::size_t>(out)]);
+        }
+        break;
+      }
+      case Phase::Kind::kVector:
+        if (phase.vec.op == VecOpKind::kDotReduce) {
+            break; // scalars stay FP64
+        }
+        if (phase.vec.dst_bank >= 0) {
+            quantize(bank_[static_cast<std::size_t>(
+                phase.vec.dst_bank)]);
+        } else if (phase.vec.dst != VecName::kX &&
+                   phase.vec.dst != VecName::kB) {
+            quantize(vecs_[static_cast<std::size_t>(phase.vec.dst)]);
+        }
+        break;
+      case Phase::Kind::kScalar:
+      case Phase::Kind::kHost:
+        break;
+    }
+}
+
+void
 FunctionalEngine::RunVectorKernel(const VectorKernel& kernel)
 {
     if (kernel.op == VecOpKind::kDotReduce) {
@@ -781,6 +879,10 @@ MakePhaseInfo(const SolverProgram& prog, const Phase& phase, int index)
         info.kclass = KernelClass::kVectorOp;
         info.name = "scalar";
         break;
+      case Phase::Kind::kHost:
+        info.kclass = KernelClass::kVectorOp;
+        info.name = "host-lsq";
+        break;
     }
     return info;
 }
@@ -802,6 +904,12 @@ FunctionalEngine::RunPhase(const Phase& phase)
       case Phase::Kind::kScalar:
         RunScalarPhase(phase.scalar);
         break;
+      case Phase::Kind::kHost:
+        RunHostPhase(phase.host);
+        break;
+    }
+    if (fp32_active_) {
+        QuantizePhaseDst(phase);
     }
 }
 
@@ -844,7 +952,11 @@ FunctionalEngine::RunWarmPrologue()
 void
 FunctionalEngine::RunIteration()
 {
+    // Quantization applies to the iteration body only — the prologue
+    // and residual_recompute run at full FP64 (see machine.cc).
+    fp32_active_ = cfg_.precision == PrecisionMode::kFp32;
     RunPhases(prog_->iteration);
+    fp32_active_ = false;
     // The engine clock ticks once per iteration: RunBudget becomes a
     // deterministic iteration budget (solver_driver.h), and
     // stats().cycles counts iterations executed.

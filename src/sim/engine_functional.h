@@ -202,9 +202,27 @@ class FunctionalEngine : public ExecutionEngine {
     void RunElementwise(const VectorKernel& kernel);
     void RunDotReduce(const VectorKernel& kernel);
     void RunScalarPhase(const ScalarOp& op);
+    /** Runs a host epilogue (sim/host_ops.h) — the identical serial
+     *  routine the cycle engine calls, plus its op accounting. */
+    void RunHostPhase(const HostOp& op);
+    /** End-of-phase FP32 quantization of the phase's destination
+     *  vector (PrecisionMode::kFp32, iteration phases only; x and b
+     *  are exempt FP64 anchors) — same boundaries as the cycle
+     *  engine, preserving bit-identity at either precision. */
+    void QuantizePhaseDst(const Phase& phase);
 
     double ReadSlot(VecName vec, Index slot) const;
     void WriteSlot(VecName vec, Index slot, double value);
+
+    /** Flat data of the operand (`name`, `bank_slot`): the bank slot
+     *  when >= 0, the named vector otherwise. */
+    std::vector<double>&
+    Operand(VecName name, std::int32_t bank_slot)
+    {
+        return bank_slot >= 0
+                   ? bank_[static_cast<std::size_t>(bank_slot)]
+                   : vecs_[static_cast<std::size_t>(name)];
+    }
 
     SimConfig cfg_;
     const SolverProgram* prog_;
@@ -217,6 +235,9 @@ class FunctionalEngine : public ExecutionEngine {
     std::array<std::vector<double>, static_cast<std::size_t>(
                                         VecName::kCount)>
         vecs_;
+    /** Multi-vector register bank in the same flat layout (GMRES's
+     *  Krylov basis; SolverProgram::num_bank_vectors entries). */
+    std::vector<std::vector<double>> bank_;
     /** 1/diag(A) in the same flat layout (Jacobi), if used. */
     std::vector<double> inv_diag_;
     /** Flat-range start of each tile (num_tiles + 1 entries). */
@@ -226,6 +247,13 @@ class FunctionalEngine : public ExecutionEngine {
 
     std::array<double, static_cast<std::size_t>(ScalarReg::kCount)>
         scalar_regs_{};
+    /** Broadcast scalar bank (num_bank_scalars): Hessenberg entries +
+     *  beta + y of GMRES; per-restart scratch, not checkpointed. */
+    std::vector<double> scalar_bank_;
+    /** True while iteration phases run under PrecisionMode::kFp32
+     *  (enables end-of-phase quantization; prologue/recompute phases
+     *  stay full-precision). */
+    bool fp32_active_ = false;
 
     /** Machine-wide scalar tree (rooted at 0): fixes the cross-tile
      *  dot fold order and the broadcast/reduce op counts. */

@@ -1,0 +1,103 @@
+#include "sim/host_ops.h"
+
+#include <cmath>
+
+#include "util/common.h"
+
+namespace azul {
+
+namespace {
+
+/** Givens least squares over the GMRES Hessenberg block. */
+double
+GmresLsq(const HostOp& op, std::vector<double>& bank)
+{
+    const Index m = op.restart;
+    const auto h_at = [&](Index i, Index j) -> double& {
+        return bank[static_cast<std::size_t>(op.h_offset) +
+                    static_cast<std::size_t>(j * (m + 1) + i)];
+    };
+
+    // Working copies: the QR factors R (overwriting a local H copy)
+    // and the rotated right-hand side g = (beta, 0, ..., 0)^T.
+    std::vector<double> r(static_cast<std::size_t>(m * (m + 1)));
+    for (Index j = 0; j < m; ++j) {
+        for (Index i = 0; i <= j + 1; ++i) {
+            r[static_cast<std::size_t>(j * (m + 1) + i)] = h_at(i, j);
+        }
+    }
+    std::vector<double> g(static_cast<std::size_t>(m) + 1, 0.0);
+    g[0] = bank[static_cast<std::size_t>(op.beta_offset)];
+
+    std::vector<double> cs(static_cast<std::size_t>(m), 1.0);
+    std::vector<double> sn(static_cast<std::size_t>(m), 0.0);
+    const auto r_at = [&](Index i, Index j) -> double& {
+        return r[static_cast<std::size_t>(j * (m + 1) + i)];
+    };
+    for (Index k = 0; k < m; ++k) {
+        // Apply previous rotations to column k.
+        for (Index i = 0; i < k; ++i) {
+            const double tmp = cs[static_cast<std::size_t>(i)] *
+                                   r_at(i, k) +
+                               sn[static_cast<std::size_t>(i)] *
+                                   r_at(i + 1, k);
+            r_at(i + 1, k) = -sn[static_cast<std::size_t>(i)] *
+                                 r_at(i, k) +
+                             cs[static_cast<std::size_t>(i)] *
+                                 r_at(i + 1, k);
+            r_at(i, k) = tmp;
+        }
+        // New rotation annihilating the subdiagonal. A zero column
+        // pair (lucky breakdown upstream) keeps the identity
+        // rotation, leaving g — and the residual estimate — intact.
+        const double a = r_at(k, k);
+        const double b = r_at(k + 1, k);
+        const double denom = std::sqrt(a * a + b * b);
+        double ck = 1.0;
+        double sk = 0.0;
+        if (denom != 0.0) {
+            ck = a / denom;
+            sk = b / denom;
+        }
+        cs[static_cast<std::size_t>(k)] = ck;
+        sn[static_cast<std::size_t>(k)] = sk;
+        r_at(k, k) = ck * a + sk * b;
+        r_at(k + 1, k) = 0.0;
+        const double gk = g[static_cast<std::size_t>(k)];
+        g[static_cast<std::size_t>(k)] = ck * gk;
+        g[static_cast<std::size_t>(k) + 1] = -sk * gk;
+    }
+
+    // Back-substitution; a zero diagonal (breakdown column) yields
+    // y_i = 0, matching the zeroed basis vector it scales.
+    std::vector<double> y(static_cast<std::size_t>(m), 0.0);
+    for (Index i = m - 1; i >= 0; --i) {
+        double sum = g[static_cast<std::size_t>(i)];
+        for (Index j = i + 1; j < m; ++j) {
+            sum -= r_at(i, j) * y[static_cast<std::size_t>(j)];
+        }
+        const double diag = r_at(i, i);
+        y[static_cast<std::size_t>(i)] = diag != 0.0 ? sum / diag : 0.0;
+    }
+    for (Index i = 0; i < m; ++i) {
+        bank[static_cast<std::size_t>(op.y_offset) +
+             static_cast<std::size_t>(i)] =
+            y[static_cast<std::size_t>(i)];
+    }
+    return std::abs(g[static_cast<std::size_t>(m)]);
+}
+
+} // namespace
+
+double
+RunHostOp(const HostOp& op, std::vector<double>& scalar_bank)
+{
+    switch (op.kind) {
+      case HostOp::Kind::kGmresLsq:
+        return GmresLsq(op, scalar_bank);
+    }
+    AZUL_CHECK_MSG(false, "unknown host op");
+    return 0.0;
+}
+
+} // namespace azul

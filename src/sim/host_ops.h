@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Host-side epilogue routines shared by both execution engines
+ * (Phase::Kind::kHost). These run dense O(m^2) scalar arithmetic the
+ * fabric would waste cycles on — the GMRES Hessenberg least squares
+ * per restart. Exactly one serial FP64 implementation exists, called
+ * by the cycle and functional engines alike, so host ops can never
+ * break the cross-engine bit-identity contract.
+ */
+#ifndef AZUL_SIM_HOST_OPS_H_
+#define AZUL_SIM_HOST_OPS_H_
+
+#include <vector>
+
+#include "dataflow/program.h"
+
+namespace azul {
+
+/**
+ * Executes a HostOp against the broadcast scalar bank, returning the
+ * value to store in `op.out` (the driver-visible residual measure).
+ *
+ * kGmresLsq: Givens-rotation QR of the (m+1) x m Hessenberg block at
+ * `op.h_offset` (column-major, column j at j*(m+1)), right-hand side
+ * (beta, 0, ..., 0)^T with beta at `op.beta_offset`; writes the
+ * back-substituted y into `op.y_offset`..`op.y_offset + m - 1` and
+ * returns |g(m)|, the GMRES residual estimate. Breakdown-safe: a
+ * zero rotation column leaves an identity rotation and a zero
+ * diagonal of R yields y_i = 0 (the corresponding basis vector is
+ * zero after the lucky-breakdown guard in kScale), so the epilogue
+ * is total — no control flow escapes into the IR.
+ */
+double RunHostOp(const HostOp& op, std::vector<double>& scalar_bank);
+
+} // namespace azul
+
+#endif // AZUL_SIM_HOST_OPS_H_

@@ -40,8 +40,12 @@ Machine::Machine(SimConfig cfg, const SolverProgram* program)
         ts.slots.push_back(i);
     }
     for (auto& ts : tiles_) {
+        ts.bank.resize(
+            static_cast<std::size_t>(prog_->num_bank_vectors));
         ts.InitStorage();
     }
+    scalar_bank_.assign(
+        static_cast<std::size_t>(prog_->num_bank_scalars), 0.0);
     if (!prog_->jacobi_inv_diag.empty()) {
         for (auto& ts : tiles_) {
             ts.jacobi_inv_diag.assign(ts.slots.size(), 0.0);
@@ -150,6 +154,7 @@ Machine::LoadProblem(const Vector& b)
     ScatterVector(VecName::kB, b);
     ScatterVector(VecName::kR, b);
     scalar_regs_.fill(0.0);
+    std::fill(scalar_bank_.begin(), scalar_bank_.end(), 0.0);
     stats_ = SimStats{};
     stats_.tile_ops.assign(tiles_.size(), 0);
     noc_.ResetCounters();
@@ -300,11 +305,69 @@ MakePhaseInfo(const SolverProgram& prog, const Phase& phase, int index)
         info.kclass = KernelClass::kVectorOp;
         info.name = "scalar";
         break;
+      case Phase::Kind::kHost:
+        info.kclass = KernelClass::kVectorOp;
+        info.name = "host-lsq";
+        break;
     }
     return info;
 }
 
+/** Rounds every element through FP32 storage. */
+void
+QuantizeArray(std::vector<double>& v)
+{
+    for (double& x : v) {
+        x = static_cast<double>(static_cast<float>(x));
+    }
+}
+
 } // namespace
+
+void
+Machine::QuantizeNamed(VecName vec)
+{
+    if (vec == VecName::kX || vec == VecName::kB) {
+        return; // FP64 anchors
+    }
+    for (auto& ts : tiles_) {
+        QuantizeArray(ts.vecs[static_cast<std::size_t>(vec)]);
+    }
+}
+
+void
+Machine::QuantizeBank(std::int32_t bank_slot)
+{
+    for (auto& ts : tiles_) {
+        QuantizeArray(ts.bank[static_cast<std::size_t>(bank_slot)]);
+    }
+}
+
+void
+Machine::QuantizePhaseDst(const Phase& phase)
+{
+    switch (phase.kind) {
+      case Phase::Kind::kMatrix:
+        QuantizeNamed(
+            prog_->matrix_kernels[static_cast<std::size_t>(
+                                      phase.matrix_kernel)]
+                .output_vec);
+        break;
+      case Phase::Kind::kVector:
+        if (phase.vec.op == VecOpKind::kDotReduce) {
+            break; // scalars stay FP64
+        }
+        if (phase.vec.dst_bank >= 0) {
+            QuantizeBank(phase.vec.dst_bank);
+        } else {
+            QuantizeNamed(phase.vec.dst);
+        }
+        break;
+      case Phase::Kind::kScalar:
+      case Phase::Kind::kHost:
+        break;
+    }
+}
 
 void
 Machine::RunPhase(const Phase& phase)
@@ -333,6 +396,17 @@ Machine::RunPhase(const Phase& phase)
             KernelClass::kVectorOp)] += duration;
         break;
       }
+      case Phase::Kind::kHost: {
+        const Cycle duration = RunHostPhase(phase.host);
+        clock_ += duration;
+        stats_.cycles += duration;
+        stats_.class_cycles[static_cast<std::size_t>(
+            KernelClass::kVectorOp)] += duration;
+        break;
+      }
+    }
+    if (fp32_active_) {
+        QuantizePhaseDst(phase);
     }
 }
 
@@ -375,7 +449,12 @@ Machine::RunWarmPrologue()
 void
 Machine::RunIteration()
 {
+    // Quantization (and the packed-word sweep timing) applies to the
+    // iteration body only: the prologue and residual_recompute run at
+    // full FP64 so true-residual recovery reads unquantized state.
+    fp32_active_ = cfg_.precision == PrecisionMode::kFp32;
     RunPhases(prog_->iteration);
+    fp32_active_ = false;
 }
 
 void

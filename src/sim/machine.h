@@ -212,6 +212,12 @@ class Machine : public ExecutionEngine {
     Cycle RunElementwise(const VectorKernel& kernel);
     Cycle RunDotReduce(const VectorKernel& kernel);
     Cycle RunScalarPhase(const ScalarOp& op);
+    /** Runs a host epilogue (sim/host_ops.h) against the scalar bank
+     *  and times the root compute + result broadcast. */
+    Cycle RunHostPhase(const HostOp& op);
+    /** Issue cycles of a full sweep over `slots` values at the active
+     *  storage width (fp32 iteration sweeps pack two per word). */
+    Cycle SweepCycles(Index slots, std::int32_t cost) const;
     /** Timing + stats of broadcasting `values` scalars from the root
      *  down the machine-wide tree, starting at root_done. */
     Cycle BroadcastScalars(Cycle root_done, int values);
@@ -257,6 +263,13 @@ class Machine : public ExecutionEngine {
     void RunPhases(const std::vector<Phase>& phases);
     /** Executes one phase; observer notifications handled by caller. */
     void RunPhase(const Phase& phase);
+    /** Quantizes the phase's destination vector to FP32 storage
+     *  (PrecisionMode::kFp32, iteration phases only). The solution x
+     *  and right-hand side b are exempt — they are the FP64 anchors
+     *  residual recovery reads. */
+    void QuantizePhaseDst(const Phase& phase);
+    void QuantizeNamed(VecName vec);
+    void QuantizeBank(std::int32_t bank_slot);
 
     SimConfig cfg_;
     const SolverProgram* prog_;
@@ -273,6 +286,14 @@ class Machine : public ExecutionEngine {
     /** Scalar registers (functionally global; broadcast is timed). */
     std::array<double, static_cast<std::size_t>(ScalarReg::kCount)>
         scalar_regs_{};
+    /** Broadcast scalar bank (SolverProgram::num_bank_scalars): the
+     *  Hessenberg entries + beta + y of GMRES. Like the vector bank
+     *  it is per-restart scratch, excluded from checkpoints. */
+    std::vector<double> scalar_bank_;
+    /** True while iteration phases run under PrecisionMode::kFp32:
+     *  enables end-of-phase quantization and the packed-word sweep
+     *  timing (prologue/recompute phases stay full-precision). */
+    bool fp32_active_ = false;
 
     /** Machine-wide scalar reduction/broadcast tree (rooted at 0). */
     TreeTopology scalar_tree_;

@@ -16,6 +16,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "sim/host_ops.h"
 #include "sim/machine.h"
 #include "util/logging.h"
 #include "util/simd.h"
@@ -35,15 +36,39 @@ PipelineDepth(const SimConfig& cfg)
 } // namespace
 
 Cycle
+Machine::SweepCycles(Index slots, std::int32_t cost) const
+{
+    if (cost == 0) {
+        return 1;
+    }
+    // FP32 iteration sweeps stream two packed values per SRAM word;
+    // full-precision (fp64, or prologue/recompute) sweeps issue one
+    // value per word.
+    const std::int32_t vpw =
+        fp32_active_ ? cfg_.values_per_word() : 1;
+    const Index words = (slots + vpw - 1) / vpw;
+    return static_cast<Cycle>(words) * static_cast<Cycle>(cost) +
+           PipelineDepth(cfg_);
+}
+
+Cycle
 Machine::RunElementwise(const VectorKernel& kernel)
 {
     const std::int32_t cost = IssueCost(cfg_);
-    const double s =
-        kernel.scale_sign *
-        (kernel.use_const_scale
-             ? kernel.const_scale
-             : scalar_regs_[static_cast<std::size_t>(
-                   kernel.scale_reg)]);
+    const double base =
+        kernel.scale_bank >= 0
+            ? scalar_bank_[static_cast<std::size_t>(
+                  kernel.scale_bank)]
+            : kernel.use_const_scale
+                  ? kernel.const_scale
+                  : scalar_regs_[static_cast<std::size_t>(
+                        kernel.scale_reg)];
+    const double s = kernel.scale_sign * base;
+    // kScale multiplies by the scale (or its guarded reciprocal): a
+    // zero divisor yields factor 0, zeroing the destination — the
+    // Arnoldi lucky-breakdown guard (vector_ops_graph.h).
+    const double factor =
+        kernel.scale_invert ? (s == 0.0 ? 0.0 : 1.0 / s) : s;
 
     // Per-tile sweep: touches only the tile's own slots plus `sink`,
     // so distinct tiles run concurrently without races. The op switch
@@ -60,13 +85,11 @@ Machine::RunElementwise(const VectorKernel& kernel)
                 static_cast<std::uint64_t>(storage.NumSlots());
         }
         double* const dst =
-            storage.vecs[static_cast<std::size_t>(kernel.dst)].data();
+            storage.Operand(kernel.dst, kernel.dst_bank).data();
         const double* const a =
-            storage.vecs[static_cast<std::size_t>(kernel.src_a)]
-                .data();
+            storage.Operand(kernel.src_a, kernel.src_a_bank).data();
         const double* const b2 =
-            storage.vecs[static_cast<std::size_t>(kernel.src_b)]
-                .data();
+            storage.Operand(kernel.src_b, kernel.src_b_bank).data();
         const auto n = static_cast<std::size_t>(storage.NumSlots());
         switch (kernel.op) {
           case VecOpKind::kAxpy:
@@ -88,6 +111,10 @@ Machine::RunElementwise(const VectorKernel& kernel)
           case VecOpKind::kDiagScale:
             simd::Mul(dst, a, storage.jacobi_inv_diag.data(), n,
                       cfg_.simd);
+            sink.ops.mul += n;
+            break;
+          case VecOpKind::kScale:
+            simd::Scale(dst, a, factor, n, cfg_.simd);
             sink.ops.mul += n;
             break;
           default:
@@ -122,20 +149,13 @@ Machine::RunElementwise(const VectorKernel& kernel)
         }
     }
 
-    const Cycle duration =
-        cost == 0 ? 1
-                  : static_cast<Cycle>(max_slots) *
-                            static_cast<Cycle>(cost) +
-                        PipelineDepth(cfg_);
-    return duration;
+    return SweepCycles(max_slots, cost);
 }
 
 Cycle
 Machine::RunDotReduce(const VectorKernel& kernel)
 {
     const std::int32_t cost = IssueCost(cfg_);
-    const Cycle pipe = PipelineDepth(cfg_);
-    const Cycle op_cost = cost == 0 ? 0 : static_cast<Cycle>(cost);
 
     // Local partials, one per tree node (i.e. per tile). Each node's
     // partial sums its own tile's slots in slot order regardless of
@@ -150,8 +170,8 @@ Machine::RunDotReduce(const VectorKernel& kernel)
     const auto local_dot = [&](std::size_t ni, SimStats& sink) {
         const TileStorage& ts = tiles_[static_cast<std::size_t>(
             scalar_tree_.tiles[ni])];
-        const auto& a = ts.vecs[static_cast<std::size_t>(kernel.src_a)];
-        const auto& b = ts.vecs[static_cast<std::size_t>(kernel.src_b)];
+        const auto& a = ts.Operand(kernel.src_a, kernel.src_a_bank);
+        const auto& b = ts.Operand(kernel.src_b, kernel.src_b_bank);
         double acc = 0.0;
         for (std::size_t i = 0; i < a.size(); ++i) {
             acc += a[i] * b[i];
@@ -163,9 +183,7 @@ Machine::RunDotReduce(const VectorKernel& kernel)
                 scalar_tree_.tiles[ni])] += a.size();
         }
         partial[ni] = acc;
-        ready[ni] = cost == 0
-                        ? 1
-                        : static_cast<Cycle>(a.size()) * op_cost + pipe;
+        ready[ni] = SweepCycles(static_cast<Index>(a.size()), cost);
     };
     if (UseParallel(num_nodes)) {
         pool_->ParallelFor(
@@ -218,10 +236,29 @@ Machine::RunDotReduce(const VectorKernel& kernel)
         }
     }
 
-    // Root post-ops: quotient and register copies, then broadcast.
-    scalar_regs_[static_cast<std::size_t>(kernel.dot_out)] = dot;
-    int broadcast_values = 1;
+    // Root post-ops: optional sqrt (norms), quotient, register
+    // copies, then broadcast. dot_out == kCount suppresses the
+    // register write (the result lands in the scalar bank only).
+    const double result = kernel.post_sqrt ? std::sqrt(dot) : dot;
+    int broadcast_values = 0;
     Cycle root_done = done[0];
+    if (kernel.post_sqrt) {
+        stats_.ops.Count(OpKind::kMul);
+        root_done += 4; // FP sqrt latency at the root
+    }
+    if (kernel.dot_out != ScalarReg::kCount) {
+        scalar_regs_[static_cast<std::size_t>(kernel.dot_out)] =
+            result;
+        ++broadcast_values;
+    }
+    if (kernel.dot_out_bank >= 0) {
+        scalar_bank_[static_cast<std::size_t>(kernel.dot_out_bank)] =
+            result;
+        ++broadcast_values;
+    }
+    if (broadcast_values == 0) {
+        broadcast_values = 1;
+    }
     if (kernel.post_divide) {
         const double num =
             scalar_regs_[static_cast<std::size_t>(kernel.div_num)];
@@ -302,6 +339,23 @@ Machine::RunScalarPhase(const ScalarOp& op)
     }
     scalar_regs_[static_cast<std::size_t>(op.out)] = out;
     return BroadcastScalars(root_done, 1);
+}
+
+Cycle
+Machine::RunHostPhase(const HostOp& op)
+{
+    const double out = RunHostOp(op, scalar_bank_);
+    scalar_regs_[static_cast<std::size_t>(op.out)] = out;
+    // Dense O(m^2) arithmetic at the host/root: ~2 FMACs per Givens
+    // rotation application plus the back-substitution triangle. The
+    // m entries of y and the residual estimate broadcast together.
+    const auto m = static_cast<Cycle>(op.restart);
+    const Cycle root_done = 2 * m * (m + 1) + m * (m + 1) / 2;
+    stats_.ops.fmac +=
+        static_cast<std::uint64_t>(op.restart) *
+        static_cast<std::uint64_t>(op.restart + 1);
+    return BroadcastScalars(root_done,
+                            1 + static_cast<int>(op.restart));
 }
 
 Cycle

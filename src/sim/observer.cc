@@ -106,6 +106,7 @@ ChromeTraceObserver::OnPhaseEnd(const PhaseInfo& info, Cycle now,
       case Phase::Kind::kMatrix: category = "matrix"; break;
       case Phase::Kind::kVector: category = "vector"; break;
       case Phase::Kind::kScalar: category = "scalar"; break;
+      case Phase::Kind::kHost: category = "host"; break;
     }
     Record(info.name, category, phase_start_, now);
 }

@@ -19,17 +19,29 @@ ComputeSramUsage(const SolverProgram& prog, const SimConfig& cfg)
     // 96 bits = 12 bytes per stored operand (64-bit value + 32-bit
     // metadata), matching the paper's SRAM word.
     constexpr std::size_t kWord = 12;
+    // FP32 iterate storage narrows a working-vector slot to a 32-bit
+    // value + 32-bit metadata. The FP64 anchors x and b (and the
+    // matrix values below) keep the full word at either precision.
+    const std::size_t work_word =
+        cfg.precision == PrecisionMode::kFp32 ? 8 : kWord;
     const std::size_t num_vecs =
         static_cast<std::size_t>(VecName::kCount);
+    constexpr std::size_t kNumAnchors = 2; // x and b
+    // Per-slot cost of all dense-vector shards: the named vectors
+    // (anchors at full width, the rest at working width) plus the
+    // program's multi-vector register bank (working width).
+    const std::size_t slot_bytes =
+        kNumAnchors * kWord + (num_vecs - kNumAnchors) * work_word +
+        static_cast<std::size_t>(prog.num_bank_vectors) * work_word;
 
     std::vector<std::size_t> data_bytes(
         static_cast<std::size_t>(num_tiles), 0);
     std::vector<std::size_t> accum_bytes(
         static_cast<std::size_t>(num_tiles), 0);
 
-    // Vector shards: one word per slot per dense vector.
+    // Vector shards: one word per slot per dense (and bank) vector.
     for (TileId home : prog.vec_tile) {
-        data_bytes[static_cast<std::size_t>(home)] += kWord * num_vecs;
+        data_bytes[static_cast<std::size_t>(home)] += slot_bytes;
     }
     // Matrix kernels: ops are stored nonzeros; accumulators live in
     // the Accumulator SRAM; node tables cost one word each. Partial

@@ -23,6 +23,10 @@ struct TileStorage {
     std::array<std::vector<double>, static_cast<std::size_t>(
                                         VecName::kCount)>
         vecs;
+    /** Local shards of the multi-vector register bank (GMRES's Krylov
+     *  basis; empty unless the program declares num_bank_vectors).
+     *  Sized by Machine's constructor, zeroed with the named vectors. */
+    std::vector<std::vector<double>> bank;
     /** 1/diag(A) per local slot (Jacobi preconditioner), if used. */
     std::vector<double> jacobi_inv_diag;
 
@@ -38,6 +42,26 @@ struct TileStorage {
         for (auto& v : vecs) {
             v.assign(slots.size(), 0.0);
         }
+        for (auto& v : bank) {
+            v.assign(slots.size(), 0.0);
+        }
+    }
+
+    /** Local data of the operand (`name`, `bank_slot`): the bank slot
+     *  when `bank_slot` >= 0, the named vector otherwise. */
+    std::vector<double>&
+    Operand(VecName name, std::int32_t bank_slot)
+    {
+        return bank_slot >= 0
+                   ? bank[static_cast<std::size_t>(bank_slot)]
+                   : vecs[static_cast<std::size_t>(name)];
+    }
+    const std::vector<double>&
+    Operand(VecName name, std::int32_t bank_slot) const
+    {
+        return bank_slot >= 0
+                   ? bank[static_cast<std::size_t>(bank_slot)]
+                   : vecs[static_cast<std::size_t>(name)];
     }
 };
 

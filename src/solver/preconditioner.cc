@@ -21,6 +21,23 @@ PreconditionerKindName(PreconditionerKind kind)
     return "?";
 }
 
+bool
+ParsePreconditionerKind(const std::string& text,
+                        PreconditionerKind& out)
+{
+    for (PreconditionerKind kind :
+         {PreconditionerKind::kIdentity, PreconditionerKind::kJacobi,
+          PreconditionerKind::kSymmetricGaussSeidel,
+          PreconditionerKind::kSsor,
+          PreconditionerKind::kIncompleteCholesky}) {
+        if (text == PreconditionerKindName(kind)) {
+            out = kind;
+            return true;
+        }
+    }
+    return false;
+}
+
 namespace {
 
 class IdentityPreconditioner final : public Preconditioner {

@@ -30,6 +30,12 @@ enum class PreconditionerKind {
 /** Returns the human-readable name of a preconditioner kind. */
 std::string PreconditionerKindName(PreconditionerKind kind);
 
+/** Inverse of PreconditionerKindName ("none", "jacobi", "symgs",
+ *  "ssor", "ic0"); leaves `out` untouched and returns false on an
+ *  unknown name. */
+bool ParsePreconditionerKind(const std::string& text,
+                             PreconditionerKind& out);
+
 /** Abstract preconditioner: z = Apply(r) computes M^{-1} r. */
 class Preconditioner {
   public:

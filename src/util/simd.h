@@ -92,6 +92,22 @@ Copy(double* dst, const double* a, std::size_t n, bool simd)
     }
 }
 
+/** dst[i] = s * a[i] (Arnoldi basis normalization) */
+inline void
+Scale(double* dst, const double* a, double s, std::size_t n, bool simd)
+{
+    if (simd) {
+#pragma omp simd
+        for (std::size_t i = 0; i < n; ++i) {
+            dst[i] = s * a[i];
+        }
+    } else {
+        for (std::size_t i = 0; i < n; ++i) {
+            dst[i] = s * a[i];
+        }
+    }
+}
+
 /** dst[i] = a[i] * b[i] (diagonal preconditioner scale) */
 inline void
 Mul(double* dst, const double* a, const double* b, std::size_t n,

@@ -20,8 +20,8 @@ SmallOptions()
     AzulOptions opts;
     opts.sim.grid_width = 4;
     opts.sim.grid_height = 4;
-    opts.tol = 1e-8;
-    opts.max_iters = 800;
+    opts.spec.tol = 1e-8;
+    opts.spec.max_iters = 800;
     return opts;
 }
 
@@ -66,7 +66,7 @@ TEST(AzulSystem, JacobiVariantHasNoFactor)
 {
     const CsrMatrix a = RandomGeometricLaplacian(300, 7.0, 9);
     AzulOptions opts = SmallOptions();
-    opts.precond = PreconditionerKind::kJacobi;
+    opts.spec.precond = PreconditionerKind::kJacobi;
     AzulSystem sys = MakeSystem(a, opts);
     EXPECT_EQ(sys.factor(), nullptr);
     EXPECT_EQ(sys.program().matrix_kernels.size(), 1u); // SpMV only
@@ -174,7 +174,7 @@ TEST(AzulSystemCreate, RejectsNegativeTolerance)
 {
     const CsrMatrix a = RandomGeometricLaplacian(100, 7.0, 47);
     AzulOptions opts = SmallOptions();
-    opts.tol = -1.0;
+    opts.spec.tol = -1.0;
     const StatusOr<AzulSystem> sys = AzulSystem::Create(a, opts);
     ASSERT_FALSE(sys.ok());
     EXPECT_EQ(sys.status().code(), StatusCode::kInvalidArgument);
@@ -184,7 +184,7 @@ TEST(AzulSystemCreate, RejectsPreconditionedJacobiSolver)
 {
     const CsrMatrix a = RandomGeometricLaplacian(100, 7.0, 49);
     AzulOptions opts = SmallOptions();
-    opts.solver = SolverKind::kJacobi;
+    opts.spec.method = SolverKind::kJacobi;
     // kJacobi is its own method; the default IC(0) precond clashes.
     const StatusOr<AzulSystem> sys = AzulSystem::Create(a, opts);
     ASSERT_FALSE(sys.ok());
@@ -390,6 +390,93 @@ TEST(AzulSystem, UpdateMatrixHandlesPatternDriftAndSolves)
     ASSERT_TRUE(rep.run.converged);
     // ...and the solve answers the NEW system.
     EXPECT_VECTOR_NEAR(SpMV(a2, rep.run.x), b, 1e-6);
+}
+
+TEST(AzulSystemCreate, DeprecatedFlatAliasesStillDriveTheSolver)
+{
+    // Pre-SolverSpec callers set the flat fields; Create must
+    // canonicalize them into the nested spec and mirror back, so
+    // both old writers and old readers keep working for one release.
+    const CsrMatrix a = RandomGeometricLaplacian(200, 7.0, 91);
+    AzulOptions opts = SmallOptions();
+    opts.solver = SolverKind::kBiCgStab;
+    opts.tol = 1e-7;
+    StatusOr<AzulSystem> sys = AzulSystem::Create(a, opts);
+    ASSERT_TRUE(sys.ok()) << sys.status().ToString();
+    EXPECT_EQ(sys->options().spec.method, SolverKind::kBiCgStab);
+    EXPECT_DOUBLE_EQ(sys->options().spec.tol, 1e-7);
+    EXPECT_EQ(sys->options().solver, SolverKind::kBiCgStab);
+    const Vector b = RandomVector(a.rows(), 93);
+    const SolveReport rep = sys->Solve(b);
+    ASSERT_TRUE(rep.run.converged);
+    EXPECT_NE(rep.ToJson().find("\"method\":\"bicgstab\""),
+              std::string::npos);
+}
+
+TEST(AzulSystemCreate, FlatAndSpecConflictIsRejected)
+{
+    // Setting BOTH the deprecated alias and the spec field to
+    // different non-default values is ambiguous — a typed rejection
+    // naming both fields, not a silent precedence rule.
+    const CsrMatrix a = RandomGeometricLaplacian(100, 7.0, 95);
+    AzulOptions opts = SmallOptions();
+    opts.solver = SolverKind::kBiCgStab;
+    opts.spec.method = SolverKind::kGmres;
+    const StatusOr<AzulSystem> sys = AzulSystem::Create(a, opts);
+    ASSERT_FALSE(sys.ok());
+    EXPECT_EQ(sys.status().code(), StatusCode::kInvalidArgument);
+    EXPECT_NE(sys.status().message().find("conflicts"),
+              std::string::npos)
+        << sys.status().ToString();
+    EXPECT_NE(sys.status().message().find("solver"),
+              std::string::npos);
+}
+
+TEST(AzulSystemCreate, SpecValidationRejectsBadGmresRestart)
+{
+    const CsrMatrix a = RandomGeometricLaplacian(100, 7.0, 97);
+    AzulOptions opts = SmallOptions();
+    opts.spec.method = SolverKind::kGmres;
+    opts.spec.restart = 0;
+    const StatusOr<AzulSystem> sys = AzulSystem::Create(a, opts);
+    ASSERT_FALSE(sys.ok());
+    EXPECT_EQ(sys.status().code(), StatusCode::kInvalidArgument);
+    EXPECT_NE(sys.status().message().find("restart"),
+              std::string::npos);
+}
+
+TEST(ApplyEnvOverrides, AzulSolverSpecVarsSelectAndIgnoreGarbage)
+{
+    {
+        AzulOptions opts;
+        ::setenv("AZUL_SOLVER", "gmres", 1);
+        ::setenv("AZUL_PRECOND", "ssor", 1);
+        ::setenv("AZUL_PRECISION", "fp32", 1);
+        ApplyEnvOverrides(opts);
+        EXPECT_EQ(opts.spec.method, SolverKind::kGmres);
+        EXPECT_EQ(opts.spec.precond, PreconditionerKind::kSsor);
+        EXPECT_EQ(opts.spec.precision, PrecisionMode::kFp32);
+    }
+    {
+        AzulOptions opts;
+        ::setenv("AZUL_SOLVER", "minres", 1);
+        ::setenv("AZUL_PRECOND", "ilu", 1);
+        ::setenv("AZUL_PRECISION", "fp16", 1);
+        ApplyEnvOverrides(opts); // invalid: defaults stand
+        EXPECT_EQ(opts.spec.method, SolverKind::kPcg);
+        EXPECT_EQ(opts.spec.precond,
+                  PreconditionerKind::kIncompleteCholesky);
+        EXPECT_EQ(opts.spec.precision, PrecisionMode::kFp64);
+    }
+    {
+        AzulOptions opts;
+        opts.spec.method = SolverKind::kBiCgStab;
+        ::unsetenv("AZUL_SOLVER");
+        ::unsetenv("AZUL_PRECOND");
+        ::unsetenv("AZUL_PRECISION");
+        ApplyEnvOverrides(opts); // unset: no-op
+        EXPECT_EQ(opts.spec.method, SolverKind::kBiCgStab);
+    }
 }
 
 TEST(ApplyEnvOverrides, AzulEngineSelectsEngineAndIgnoresGarbage)

@@ -144,6 +144,50 @@ TEST(BenchSmoke, FleetLoadtestQuickRuns)
         << out;
 }
 
+// The mixed-precision ablation in its quick preset, on BOTH engines:
+// each run prints its fp64/fp32 row pairs and the vector-speedup and
+// SRAM-ratio gmean footers (docs/SOLVERS.md, "Mixed precision").
+TEST(BenchSmoke, AblPrecisionQuickRunsOnBothEngines)
+{
+    for (const char* engine : {"cycle", "functional"}) {
+        std::string out;
+        const int status = RunCommand(
+            std::string(AZUL_BENCH_PRECISION_BIN) +
+                " --quick --engine=" + engine,
+            &out);
+        EXPECT_EQ(status, 0) << "engine=" << engine
+                             << " exited non-zero; output:\n"
+                             << out;
+        EXPECT_NE(out.find("FP32 iterate storage"), std::string::npos)
+            << out;
+        EXPECT_NE(out.find("fp64"), std::string::npos) << out;
+        EXPECT_NE(out.find("fp32"), std::string::npos) << out;
+        EXPECT_NE(out.find("vec speedup"), std::string::npos) << out;
+        EXPECT_NE(out.find("sram ratio"), std::string::npos) << out;
+    }
+}
+
+// The solver-spec flags are part of the common bench surface: a
+// malformed value is a usage error naming the flag, not a crash.
+TEST(BenchSmoke, AblPrecisionRejectsBadSolverSpecFlags)
+{
+    const struct {
+        const char* flag;
+        const char* diagnostic;
+    } cases[] = {
+        {" --solver=sor", "bad --solver"},
+        {" --precond=ilu", "bad --precond"},
+        {" --precision=fp16", "bad --precision"},
+    };
+    for (const auto& c : cases) {
+        std::string out;
+        const int status = RunCommand(
+            std::string(AZUL_BENCH_PRECISION_BIN) + c.flag, &out);
+        EXPECT_NE(status, 0) << c.flag;
+        EXPECT_NE(out.find(c.diagnostic), std::string::npos) << out;
+    }
+}
+
 // A malformed --engine value is a usage error, not a crash.
 TEST(BenchSmoke, ServiceThroughputRejectsBadEngine)
 {

@@ -209,6 +209,102 @@ TEST(EngineKindNames, ParseRejectsGarbageWithoutSideEffects)
     }
 }
 
+TEST(SolverSpecNames, SolverKindRoundTripsThroughParse)
+{
+    for (const SolverKind kind :
+         {SolverKind::kPcg, SolverKind::kJacobi, SolverKind::kBiCgStab,
+          SolverKind::kGmres}) {
+        SolverKind parsed = SolverKind::kPcg;
+        ASSERT_TRUE(ParseSolverKind(SolverKindName(kind), parsed))
+            << SolverKindName(kind);
+        EXPECT_EQ(parsed, kind);
+    }
+    SolverKind out = SolverKind::kGmres; // sentinel
+    EXPECT_FALSE(ParseSolverKind("conjugate-gradient", out));
+    EXPECT_EQ(out, SolverKind::kGmres);
+}
+
+TEST(SolverSpecNames, PreconditionerKindRoundTripsThroughParse)
+{
+    for (const PreconditionerKind kind :
+         {PreconditionerKind::kIdentity, PreconditionerKind::kJacobi,
+          PreconditionerKind::kSymmetricGaussSeidel,
+          PreconditionerKind::kSsor,
+          PreconditionerKind::kIncompleteCholesky}) {
+        PreconditionerKind parsed = PreconditionerKind::kIdentity;
+        ASSERT_TRUE(
+            ParsePreconditionerKind(PreconditionerKindName(kind),
+                                    parsed))
+            << PreconditionerKindName(kind);
+        EXPECT_EQ(parsed, kind);
+    }
+    PreconditionerKind out = PreconditionerKind::kSsor; // sentinel
+    EXPECT_FALSE(ParsePreconditionerKind("ilu", out));
+    EXPECT_EQ(out, PreconditionerKind::kSsor);
+}
+
+TEST(SolverSpecNames, PrecisionModeRoundTripsThroughParse)
+{
+    for (const PrecisionMode mode :
+         {PrecisionMode::kFp64, PrecisionMode::kFp32}) {
+        PrecisionMode parsed = PrecisionMode::kFp64;
+        ASSERT_TRUE(ParsePrecisionMode(PrecisionModeName(mode), parsed))
+            << PrecisionModeName(mode);
+        EXPECT_EQ(parsed, mode);
+    }
+    PrecisionMode out = PrecisionMode::kFp32; // sentinel
+    EXPECT_FALSE(ParsePrecisionMode("fp16", out));
+    EXPECT_EQ(out, PrecisionMode::kFp32);
+}
+
+TEST(SolverSpec, ValidateAcceptsTheDefaultAndCatchesBadFields)
+{
+    SolverSpec spec;
+    EXPECT_TRUE(spec.Validate().ok());
+
+    spec = SolverSpec();
+    spec.tol = -1e-9;
+    EXPECT_EQ(spec.Validate().code(), StatusCode::kInvalidArgument);
+
+    spec = SolverSpec();
+    spec.max_iters = -1;
+    EXPECT_EQ(spec.Validate().code(), StatusCode::kInvalidArgument);
+
+    // Weighted Jacobi is a stationary method: no preconditioner, and
+    // the damping weight must stay in (0, 1].
+    spec = SolverSpec();
+    spec.method = SolverKind::kJacobi;
+    EXPECT_EQ(spec.Validate().code(), StatusCode::kInvalidArgument);
+    spec.precond = PreconditionerKind::kIdentity;
+    EXPECT_TRUE(spec.Validate().ok());
+    spec.jacobi_omega = 1.5;
+    EXPECT_EQ(spec.Validate().code(), StatusCode::kInvalidArgument);
+
+    spec = SolverSpec();
+    spec.method = SolverKind::kGmres;
+    spec.restart = 0;
+    EXPECT_EQ(spec.Validate().code(), StatusCode::kInvalidArgument);
+
+    spec = SolverSpec();
+    spec.precond = PreconditionerKind::kSsor;
+    spec.ssor_omega = 2.0; // open interval: (0, 2)
+    EXPECT_EQ(spec.Validate().code(), StatusCode::kInvalidArgument);
+    spec.ssor_omega = 1.2;
+    EXPECT_TRUE(spec.Validate().ok());
+}
+
+TEST(SolverSpec, ToStringMentionsTheResolvedShape)
+{
+    SolverSpec spec;
+    spec.method = SolverKind::kGmres;
+    spec.restart = 25;
+    spec.precision = PrecisionMode::kFp32;
+    const std::string text = spec.ToString();
+    EXPECT_NE(text.find("method=gmres"), std::string::npos) << text;
+    EXPECT_NE(text.find("restart=25"), std::string::npos) << text;
+    EXPECT_NE(text.find("precision=fp32"), std::string::npos) << text;
+}
+
 TEST(ApplyFaultEnv, ReadsAzulFaultsAndIgnoresGarbage)
 {
     {

@@ -401,8 +401,8 @@ TEST(FunctionalEngineSystem, EndToEndMatchesCycleEngine)
     AzulOptions opts;
     opts.sim.grid_width = 4;
     opts.sim.grid_height = 4;
-    opts.tol = 1e-8;
-    opts.max_iters = 800;
+    opts.spec.tol = 1e-8;
+    opts.spec.max_iters = 800;
 
     AzulSystem cycle_sys = *AzulSystem::Create(a, opts);
     const SolveReport cycle_rep = cycle_sys.Solve(b);

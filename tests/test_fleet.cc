@@ -102,9 +102,9 @@ MakeScripts(EngineKind engine, int solves)
         s.opts.engine = engine;
         s.opts.sim.grid_width = 4;
         s.opts.sim.grid_height = 2;
-        s.opts.precond = sp.precond;
+        s.opts.spec.precond = sp.precond;
         s.opts.warm_start = sp.warm;
-        s.opts.max_iters = 800;
+        s.opts.spec.max_iters = 800;
         for (int r = 0; r < solves; ++r) {
             s.rhs.push_back(RandomVector(
                 s.a.rows(),
@@ -370,7 +370,7 @@ TEST(FleetStatsAccounting, ExactUnderConcurrentMixedTraffic)
     opts.engine = EngineKind::kFunctional;
     opts.sim.grid_width = 2;
     opts.sim.grid_height = 2;
-    opts.max_iters = 400;
+    opts.spec.max_iters = 400;
 
     // 8 worker-owned sessions + 1 that gets closed: all the same
     // matrix, so the shared cache is exercised across shards.
@@ -506,7 +506,7 @@ class FleetErrors : public ::testing::Test {
         opts_.engine = EngineKind::kFunctional;
         opts_.sim.grid_width = 2;
         opts_.sim.grid_height = 2;
-        opts_.max_iters = 400;
+        opts_.spec.max_iters = 400;
         FleetOptions fopts;
         fopts.num_instances = 2;
         fopts.service.num_threads = 1;
@@ -689,7 +689,7 @@ TEST(FleetPersistence, SaveAndRestoreRoundTripAcrossFleets)
     opts.sim.grid_width = 2;
     opts.sim.grid_height = 2;
     opts.warm_start = true;
-    opts.max_iters = 600;
+    opts.spec.max_iters = 600;
     const Vector b = RandomVector(a.rows(), 5);
 
     // Solo ground truth: two solves, the second warm.
@@ -763,8 +763,8 @@ TEST(FleetGolden, MatchesCheckedInTrace)
     opts.engine = EngineKind::kFunctional;
     opts.sim.grid_width = 4;
     opts.sim.grid_height = 4;
-    opts.tol = 0.0; // fixed-iteration trace
-    opts.max_iters = 4;
+    opts.spec.tol = 0.0; // fixed-iteration trace
+    opts.spec.max_iters = 4;
     opts.warm_start = true;
 
     const char* names[3] = {"gold-a", "gold-b", "gold-c"};

@@ -385,6 +385,137 @@ TEST(StressSweep, SeededFaultedKernelsStayCorrect)
     }
 }
 
+/**
+ * One seed-derived SolverSpec configuration solved end to end
+ * through AzulSystem (docs/SOLVERS.md): the method, preconditioner,
+ * precision, restart and thread count all come from the seed. Two
+ * invariants that hold for EVERY legal spec:
+ *
+ *  1. No false convergence: when the driver reports converged, the
+ *     host-recomputed residual honors the tolerance (the FP32 mode
+ *     must be rescued by its FP64 recovery, not just look done).
+ *  2. Determinism: the same spec re-run with a different host thread
+ *     count, and again on the functional engine, yields the same
+ *     solution bit for bit.
+ */
+void
+RunSolverSpecStressSeed(std::uint64_t seed)
+{
+    Rng rng(seed);
+    const Index n = static_cast<Index>(rng.UniformInt(80, 200));
+    const bool fp32 = rng.UniformInt(0, 1) == 1;
+    // The absolute FP32 floor scales with ||x|| ~ ||b||/lambda_min:
+    // under the default 1e-3 shift an FP32 run can sit above any
+    // fixed tolerance forever (honestly — recovery reports the true
+    // residual). Give FP32 seeds a well-conditioned operator so the
+    // swept tolerance is actually reachable.
+    const CsrMatrix a = RandomGeometricLaplacian(
+        n, rng.UniformDouble(5.0, 9.0), seed ^ 0x50ec,
+        fp32 ? 1.0 : 1e-3);
+
+    AzulOptions opts;
+    opts.sim.grid_width =
+        static_cast<std::int32_t>(rng.UniformInt(2, 4));
+    opts.sim.grid_height =
+        static_cast<std::int32_t>(rng.UniformInt(2, 4));
+    opts.sim.sim_parallel_grain = 1;
+
+    const SolverKind methods[] = {
+        SolverKind::kPcg, SolverKind::kBiCgStab, SolverKind::kGmres};
+    opts.spec.method = methods[rng.UniformInt(0, 2)];
+    const PreconditionerKind preconds[] = {
+        PreconditionerKind::kJacobi,
+        PreconditionerKind::kIncompleteCholesky};
+    opts.spec.precond = preconds[rng.UniformInt(0, 1)];
+    if (opts.spec.method == SolverKind::kGmres) {
+        // Weakly preconditioned restarted GMRES can legitimately
+        // stagnate on a Laplacian; the sweep tests legal behavior,
+        // not Krylov folklore, so give GMRES its strong precond.
+        opts.spec.precond = PreconditionerKind::kIncompleteCholesky;
+        opts.spec.restart =
+            static_cast<Index>(rng.UniformInt(6, 25));
+    }
+    opts.spec.precision =
+        fp32 ? PrecisionMode::kFp32 : PrecisionMode::kFp64;
+    // The driver tolerance is absolute; FP32 runs stay above the
+    // single-precision rounding floor.
+    opts.spec.tol = fp32 ? 1e-4 : 1e-7;
+    opts.spec.max_iters = 2000;
+    ASSERT_TRUE(opts.spec.Validate().ok())
+        << opts.spec.ToString();
+
+    const Vector b = RandomVector(a.rows(), seed + 7);
+    const std::int32_t thread_choices[] = {1, 2, 4, 8};
+    const std::int32_t first_threads =
+        thread_choices[rng.UniformInt(0, 3)];
+    Vector reference;
+    Index reference_iters = 0;
+    for (const std::int32_t threads :
+         {first_threads, first_threads == 1 ? 8 : 1}) {
+        AzulOptions o = opts;
+        o.sim.sim_threads = threads;
+        StatusOr<AzulSystem> sys = AzulSystem::Create(a, o);
+        ASSERT_TRUE(sys.ok())
+            << opts.spec.ToString() << ": " << sys.status().ToString();
+        const SolveReport rep = sys->Solve(b);
+        ASSERT_TRUE(rep.run.converged) << opts.spec.ToString();
+        EXPECT_TRUE(std::isfinite(rep.run.residual_norm));
+
+        // Invariant 1: reported convergence is true convergence.
+        const Vector ax = SpMV(a, rep.run.x);
+        double rr = 0.0;
+        for (std::size_t i = 0; i < b.size(); ++i) {
+            const double d = b[i] - ax[i];
+            rr += d * d;
+        }
+        EXPECT_LE(std::sqrt(rr), 10.0 * opts.spec.tol)
+            << opts.spec.ToString();
+
+        // Invariant 2: bit-identical across host thread counts.
+        if (reference.empty()) {
+            reference = rep.run.x;
+            reference_iters = rep.run.iterations;
+        } else {
+            EXPECT_EQ(rep.run.x, reference)
+                << opts.spec.ToString() << " threads=" << threads;
+            EXPECT_EQ(rep.run.iterations, reference_iters);
+        }
+    }
+
+    // ...and across execution engines (faults are off, so the
+    // functional engine is legal for every spec).
+    AzulOptions fo = opts;
+    fo.engine = EngineKind::kFunctional;
+    StatusOr<AzulSystem> fsys = AzulSystem::Create(a, fo);
+    ASSERT_TRUE(fsys.ok()) << fsys.status().ToString();
+    const SolveReport frep = fsys->Solve(b);
+    ASSERT_TRUE(frep.run.converged) << opts.spec.ToString();
+    EXPECT_EQ(frep.run.x, reference)
+        << opts.spec.ToString() << " functional engine";
+}
+
+TEST(StressSweep, SeededSolverSpecsStayCorrect)
+{
+    // Sweep seeds start at 1, so 0 doubles as "env unset".
+    if (const std::uint64_t seed = StressSeedFromEnv(0)) {
+        SCOPED_TRACE("stress seed " + std::to_string(seed) +
+                     " (from AZUL_STRESS_SEED)");
+        RunSolverSpecStressSeed(seed);
+        return;
+    }
+    for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+        SCOPED_TRACE(
+            "stress seed " + std::to_string(seed) +
+            " — rerun with AZUL_STRESS_SEED=" + std::to_string(seed) +
+            " ./test_fuzz_kernels "
+            "--gtest_filter='StressSweep.SeededSolverSpecs*'");
+        RunSolverSpecStressSeed(seed);
+        if (::testing::Test::HasFailure()) {
+            break; // the trace above names the failing seed
+        }
+    }
+}
+
 /** Hypergraph of a matrix's rows+cols over its nonzeros — the same
  *  shape the mapper produces, minus vector vertices. */
 Hypergraph
@@ -549,8 +680,8 @@ RunTimestepStressSeed(std::uint64_t seed)
         static_cast<std::int32_t>(rng.UniformInt(2, 4));
     const std::int32_t thread_choices[] = {1, 2, 4};
     opts.sim.sim_threads = thread_choices[rng.UniformInt(0, 2)];
-    opts.tol = 1e-8;
-    opts.max_iters = 4000;
+    opts.spec.tol = 1e-8;
+    opts.spec.max_iters = 4000;
     opts.warm_start = rng.UniformInt(0, 1) == 1;
 
     AzulOptions copts = opts;
@@ -671,7 +802,7 @@ RunFleetStressSeed(std::uint64_t seed)
             static_cast<std::int32_t>(rng.UniformInt(2, 4));
         p.opts.sim.grid_height = 2;
         p.opts.warm_start = rng.UniformInt(0, 1) == 1;
-        p.opts.max_iters = 4000;
+        p.opts.spec.max_iters = 4000;
         double scale = 1.0;
         for (int s = 0; s < steps; ++s) {
             const bool upd = s > 0 && rng.UniformInt(0, 3) == 0;

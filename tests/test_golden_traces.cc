@@ -296,8 +296,8 @@ TEST(GoldenWarmSession, MatchesCheckedInTrace)
     AzulOptions opts;
     opts.sim.grid_width = 4;
     opts.sim.grid_height = 4;
-    opts.tol = 0.0; // fixed-iteration throughput trace
-    opts.max_iters = 4;
+    opts.spec.tol = 0.0; // fixed-iteration throughput trace
+    opts.spec.max_iters = 4;
     opts.warm_start = true;
 
     const CsrMatrix base = Grid2dLaplacian(16, 16);

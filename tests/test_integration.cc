@@ -28,8 +28,8 @@ Options16()
     AzulOptions opts;
     opts.sim.grid_width = 4;
     opts.sim.grid_height = 4;
-    opts.max_iters = 12; // throughput measurement, not convergence
-    opts.tol = 0.0;
+    opts.spec.max_iters = 12; // throughput measurement, not convergence
+    opts.spec.tol = 0.0;
     return opts;
 }
 
@@ -80,7 +80,7 @@ TEST(Integration, MappingOrderingHoldsAcrossSmallSuite)
               MapperKind::kBlock, MapperKind::kSparseP}) {
             AzulOptions opts = Options16();
             opts.mapper = kind;
-            opts.max_iters = 6;
+            opts.spec.max_iters = 6;
             AzulSystem sys = *AzulSystem::Create(sm.a, opts);
             const SolveReport rep =
                 sys.Solve(RandomVector(sm.a.rows(), 7));
@@ -106,7 +106,7 @@ TEST(Integration, TrafficReductionIsLarge)
          {MapperKind::kAzul, MapperKind::kRoundRobin}) {
         AzulOptions opts = Options16();
         opts.mapper = kind;
-        opts.max_iters = 4;
+        opts.spec.max_iters = 4;
         AzulSystem sys = *AzulSystem::Create(a, opts);
         const SolveReport rep = sys.Solve(b);
         (kind == MapperKind::kAzul ? links_azul : links_rr) =
@@ -164,7 +164,7 @@ TEST(Integration, ScalingUpImprovesThroughputOnParallelMatrix)
         AzulOptions opts = Options16();
         opts.sim.grid_width = dim;
         opts.sim.grid_height = dim;
-        opts.max_iters = 6;
+        opts.spec.max_iters = 6;
         AzulSystem sys = *AzulSystem::Create(a, opts);
         const SolveReport rep = sys.Solve(b);
         (dim == 2 ? gflops_small : gflops_large) = rep.gflops;
@@ -180,8 +180,8 @@ TEST(Integration, SimulatedSolveMatchesReferenceAcrossSuite)
         AzulOptions opts;
         opts.sim.grid_width = 4;
         opts.sim.grid_height = 4;
-        opts.tol = 1e-8;
-        opts.max_iters = 2000;
+        opts.spec.tol = 1e-8;
+        opts.spec.max_iters = 2000;
         AzulSystem sys = *AzulSystem::Create(sm.a, opts);
         const Vector b = RandomVector(sm.a.rows(), 19);
         const SolveReport rep = sys.Solve(b);
@@ -198,7 +198,7 @@ TEST(Integration, GmeanSpeedupOverGpuIsLarge)
     std::vector<double> speedups;
     for (const SuiteMatrix& sm : MakeSmallSuite()) {
         AzulOptions opts = Options16();
-        opts.max_iters = 6;
+        opts.spec.max_iters = 6;
         AzulSystem sys = *AzulSystem::Create(sm.a, opts);
         const SolveReport rep =
             sys.Solve(RandomVector(sm.a.rows(), 21));

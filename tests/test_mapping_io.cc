@@ -97,8 +97,8 @@ TEST(MappingIo, PrecomputedMappingSkipsMappingStep)
     AzulOptions opts;
     opts.sim.grid_width = 4;
     opts.sim.grid_height = 4;
-    opts.tol = 1e-8;
-    opts.max_iters = 500;
+    opts.spec.tol = 1e-8;
+    opts.spec.max_iters = 500;
 
     AzulSystem first = *AzulSystem::Create(a, opts);
     std::stringstream buffer;
@@ -128,8 +128,8 @@ TEST(MappingCache, SecondSystemHitsAndReproducesMapping)
     opts.sim.grid_width = 4;
     opts.sim.grid_height = 4;
     opts.mapping_cache_dir = dir;
-    opts.tol = 1e-8;
-    opts.max_iters = 500;
+    opts.spec.tol = 1e-8;
+    opts.spec.max_iters = 500;
 
     AzulSystem first = *AzulSystem::Create(a, opts);
     EXPECT_EQ(first.mapping_cache_hits(), 0);

@@ -63,7 +63,7 @@ MakeScripts()
         s.a = RandomGeometricLaplacian(300, 7.0, 101);
         s.opts.sim.grid_width = 4;
         s.opts.sim.grid_height = 4;
-        s.opts.max_iters = 800;
+        s.opts.spec.max_iters = 800;
         for (std::uint64_t i = 0; i < 4; ++i) {
             s.rhs.push_back(RandomVector(s.a.rows(), 200 + i));
         }
@@ -75,9 +75,9 @@ MakeScripts()
         s.a = RandomGeometricLaplacian(250, 7.0, 103);
         s.opts.sim.grid_width = 4;
         s.opts.sim.grid_height = 2;
-        s.opts.precond = PreconditionerKind::kJacobi;
+        s.opts.spec.precond = PreconditionerKind::kJacobi;
         s.opts.mapper = MapperKind::kBlock;
-        s.opts.max_iters = 800;
+        s.opts.spec.max_iters = 800;
         for (std::uint64_t i = 0; i < 4; ++i) {
             s.rhs.push_back(RandomVector(s.a.rows(), 300 + i));
         }
@@ -91,9 +91,9 @@ MakeScripts()
         s.a = RandomSpd(200, 4, 105);
         s.opts.sim.grid_width = 2;
         s.opts.sim.grid_height = 2;
-        s.opts.solver = SolverKind::kJacobi;
-        s.opts.precond = PreconditionerKind::kIdentity;
-        s.opts.max_iters = 2000;
+        s.opts.spec.method = SolverKind::kJacobi;
+        s.opts.spec.precond = PreconditionerKind::kIdentity;
+        s.opts.spec.max_iters = 2000;
         for (std::uint64_t i = 0; i < 4; ++i) {
             s.rhs.push_back(RandomVector(s.a.rows(), 400 + i));
         }
@@ -244,7 +244,7 @@ class ServiceErrors : public ::testing::Test {
         a_ = RandomGeometricLaplacian(200, 7.0, 111);
         opts_.sim.grid_width = 2;
         opts_.sim.grid_height = 2;
-        opts_.max_iters = 400;
+        opts_.spec.max_iters = 400;
         ServiceOptions sopts;
         sopts.num_threads = 2;
         sopts.max_queue = 4;
@@ -492,7 +492,7 @@ class ServicePersistence : public ::testing::Test {
         a_ = RandomGeometricLaplacian(180, 7.0, 121);
         opts_.sim.grid_width = 2;
         opts_.sim.grid_height = 2;
-        opts_.max_iters = 400;
+        opts_.spec.max_iters = 400;
         b_ = RandomVector(a_.rows(), 122);
         state_dir_ = ::testing::TempDir() + "azul-session-state-" +
                      ::testing::UnitTest::GetInstance()

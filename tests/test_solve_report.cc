@@ -14,8 +14,8 @@ MakeReport()
     AzulOptions opts;
     opts.sim.grid_width = 4;
     opts.sim.grid_height = 4;
-    opts.tol = 1e-8;
-    opts.max_iters = 400;
+    opts.spec.tol = 1e-8;
+    opts.spec.max_iters = 400;
     AzulSystem sys = *AzulSystem::Create(a, opts);
     return sys.Solve(azul::testing::RandomVector(a.rows(), 5));
 }

@@ -26,8 +26,8 @@ SmallOptions()
     AzulOptions opts;
     opts.sim.grid_width = 4;
     opts.sim.grid_height = 4;
-    opts.tol = 1e-8;
-    opts.max_iters = 2000;
+    opts.spec.tol = 1e-8;
+    opts.spec.max_iters = 2000;
     return opts;
 }
 
@@ -90,10 +90,10 @@ TEST(WarmStart, WarmMatchesColdSolutionAllSolvers)
     };
     for (const Combo& combo : combos) {
         AzulOptions opts = SmallOptions();
-        opts.solver = combo.solver;
-        opts.precond = combo.precond;
-        opts.tol = 1e-7;
-        opts.max_iters = 6000;
+        opts.spec.method = combo.solver;
+        opts.spec.precond = combo.precond;
+        opts.spec.tol = 1e-7;
+        opts.spec.max_iters = 6000;
         AzulSystem cold = MakeSystem(a, opts);
         const SolveReport cold_rep = cold.Solve(b);
         ASSERT_TRUE(cold_rep.run.converged);

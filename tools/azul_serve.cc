@@ -218,34 +218,34 @@ main(int argc, char** argv)
             opts.sim.grid_width = opts.sim.grid_height = grid;
             const std::string solver = Take(kv, "solver", "pcg");
             if (solver == "pcg") {
-                opts.solver = SolverKind::kPcg;
+                opts.spec.method = SolverKind::kPcg;
             } else if (solver == "jacobi") {
-                opts.solver = SolverKind::kJacobi;
+                opts.spec.method = SolverKind::kJacobi;
             } else if (solver == "bicgstab") {
-                opts.solver = SolverKind::kBiCgStab;
+                opts.spec.method = SolverKind::kBiCgStab;
             } else {
                 Die("line " + std::to_string(line_no) +
                     ": unknown solver " + solver);
             }
             const std::string precond = Take(kv, "precond", "ic0");
             if (precond == "none") {
-                opts.precond = PreconditionerKind::kIdentity;
+                opts.spec.precond = PreconditionerKind::kIdentity;
             } else if (precond == "jacobi") {
-                opts.precond = PreconditionerKind::kJacobi;
+                opts.spec.precond = PreconditionerKind::kJacobi;
             } else if (precond == "symgs") {
-                opts.precond =
+                opts.spec.precond =
                     PreconditionerKind::kSymmetricGaussSeidel;
             } else if (precond == "ssor") {
-                opts.precond = PreconditionerKind::kSsor;
+                opts.spec.precond = PreconditionerKind::kSsor;
             } else if (precond == "ic0") {
-                opts.precond =
+                opts.spec.precond =
                     PreconditionerKind::kIncompleteCholesky;
             } else {
                 Die("line " + std::to_string(line_no) +
                     ": unknown precond " + precond);
             }
-            opts.tol = std::stod(Take(kv, "tol", "1e-8"));
-            opts.max_iters =
+            opts.spec.tol = std::stod(Take(kv, "tol", "1e-8"));
+            opts.spec.max_iters =
                 std::stol(Take(kv, "max-iters", "1000"));
             opts.warm_start = Take(kv, "warm", "0") == "1";
 

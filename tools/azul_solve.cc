@@ -107,8 +107,8 @@ main(int argc, char** argv)
     bool json = false;
     Index gen_n = 4096;
     AzulOptions opts;
-    opts.tol = 1e-8;
-    opts.max_iters = 5000;
+    opts.spec.tol = 1e-8;
+    opts.spec.max_iters = 5000;
     // Documented env overrides first (AZUL_SIM_THREADS, AZUL_FAULTS,
     // AZUL_MAPPING_CACHE); explicit flags below override them.
     ApplyEnvOverrides(opts);
@@ -129,11 +129,11 @@ main(int argc, char** argv)
         } else if (const auto v2 = value("--mapper=")) {
             opts.mapper = ParseMapper(*v2);
         } else if (const auto v3 = value("--precond=")) {
-            opts.precond = ParsePrecond(*v3);
+            opts.spec.precond = ParsePrecond(*v3);
         } else if (const auto v4 = value("--tol=")) {
-            opts.tol = std::stod(*v4);
+            opts.spec.tol = std::stod(*v4);
         } else if (const auto v5 = value("--max-iters=")) {
-            opts.max_iters = std::stol(*v5);
+            opts.spec.max_iters = std::stol(*v5);
         } else if (const auto vp = value("--pe=")) {
             if (*vp == "azul") {
                 opts.sim.pe_model = PeModel::kAzul;

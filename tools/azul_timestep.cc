@@ -117,8 +117,8 @@ main(int argc, char** argv)
     std::uint64_t seed = 1;
     bool quiet = false;
     AzulOptions opts;
-    opts.tol = 1e-8;
-    opts.max_iters = 2000;
+    opts.spec.tol = 1e-8;
+    opts.spec.max_iters = 2000;
     opts.sim.grid_width = opts.sim.grid_height = 8;
     ApplyEnvOverrides(opts);
 
@@ -149,26 +149,26 @@ main(int argc, char** argv)
                 static_cast<std::int32_t>(std::stol(*v7));
         } else if (const auto v8 = value("--solver=")) {
             if (*v8 == "pcg") {
-                opts.solver = SolverKind::kPcg;
+                opts.spec.method = SolverKind::kPcg;
             } else if (*v8 == "jacobi") {
-                opts.solver = SolverKind::kJacobi;
+                opts.spec.method = SolverKind::kJacobi;
             } else if (*v8 == "bicgstab") {
-                opts.solver = SolverKind::kBiCgStab;
+                opts.spec.method = SolverKind::kBiCgStab;
             } else {
                 Usage("unknown solver");
             }
         } else if (const auto v9 = value("--precond=")) {
             if (*v9 == "none") {
-                opts.precond = PreconditionerKind::kIdentity;
+                opts.spec.precond = PreconditionerKind::kIdentity;
             } else if (*v9 == "jacobi") {
-                opts.precond = PreconditionerKind::kJacobi;
+                opts.spec.precond = PreconditionerKind::kJacobi;
             } else if (*v9 == "symgs") {
-                opts.precond =
+                opts.spec.precond =
                     PreconditionerKind::kSymmetricGaussSeidel;
             } else if (*v9 == "ssor") {
-                opts.precond = PreconditionerKind::kSsor;
+                opts.spec.precond = PreconditionerKind::kSsor;
             } else if (*v9 == "ic0") {
-                opts.precond =
+                opts.spec.precond =
                     PreconditionerKind::kIncompleteCholesky;
             } else {
                 Usage("unknown preconditioner");
@@ -182,9 +182,9 @@ main(int argc, char** argv)
                 Usage("unknown engine");
             }
         } else if (const auto vb = value("--tol=")) {
-            opts.tol = std::stod(*vb);
+            opts.spec.tol = std::stod(*vb);
         } else if (const auto vc = value("--max-iters=")) {
-            opts.max_iters = std::stol(*vc);
+            opts.spec.max_iters = std::stol(*vc);
         } else if (const auto vd = value("--seed=")) {
             seed = std::stoull(*vd);
         } else if (arg == "--quiet") {
